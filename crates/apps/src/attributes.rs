@@ -1,0 +1,149 @@
+//! Attribute extraction (paper §5.3.1, Figure 12; Pasca \[25\]).
+//!
+//! Pasca's weakly-supervised harvester mines `"the <attribute> of
+//! <instance>"` constructions, but needs hand-picked *seed instances* per
+//! concept. Probase removes the manual step: the seeds are simply the
+//! concept's most typical instances by `T(i|x)`. Figure 12 shows the
+//! automatic seeds match hand-picked seed quality (88.3% vs 86.2% top-20
+//! precision).
+//!
+//! This module implements the shared harvester plus both seeding
+//! strategies; the evaluation compares their top-k precision.
+
+use probase_corpus::attributes::AttributeMention;
+use probase_prob::ProbaseModel;
+use probase_text::tokenize;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// A ranked attribute for a concept.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedAttribute {
+    pub attribute: String,
+    /// Number of seed-instance mentions supporting it.
+    pub support: u32,
+}
+
+/// Parse `"the <attr> of <Instance>"` out of a sentence, if present.
+/// Returns `(attribute, instance)`.
+pub fn parse_attribute_mention(text: &str) -> Option<(String, String)> {
+    let tokens = tokenize(text);
+    let words: Vec<String> = tokens.iter().map(|t| t.text.clone()).collect();
+    let lower: Vec<String> = words.iter().map(|w| w.to_lowercase()).collect();
+    // find "the X of Y": X = words between "the" and "of" (1–3 words),
+    // Y = capitalized-or-lowercase run after "of" up to a verb-ish word.
+    for i in 0..lower.len() {
+        if lower[i] != "the" {
+            continue;
+        }
+        let Some(of_rel) = lower[i + 1..].iter().position(|w| w == "of") else { continue };
+        let of_idx = i + 1 + of_rel;
+        if of_rel == 0 || of_rel > 3 || of_idx + 1 >= words.len() {
+            continue;
+        }
+        let attr = lower[i + 1..of_idx].join(" ");
+        // Instance: run of words after "of" until punctuation or a stop
+        // word; keep original case.
+        let mut inst_words = Vec::new();
+        for w in &words[of_idx + 1..] {
+            let wl = w.to_lowercase();
+            if !w.chars().next().is_some_and(|c| c.is_alphanumeric()) {
+                break;
+            }
+            if ["is", "was", "changed", "for", "said", "has"].contains(&wl.as_str()) {
+                break;
+            }
+            inst_words.push(w.clone());
+            if inst_words.len() >= 4 {
+                break;
+            }
+        }
+        if inst_words.is_empty() {
+            continue;
+        }
+        return Some((attr, inst_words.join(" ")));
+    }
+    None
+}
+
+/// Harvest attributes for one concept given its seed instances: count how
+/// often each attribute appears with a seed, rank by support.
+pub fn harvest_attributes(
+    mentions: &[AttributeMention],
+    seeds: &[String],
+) -> Vec<RankedAttribute> {
+    let seed_set: HashSet<&str> = seeds.iter().map(|s| s.as_str()).collect();
+    let mut support: HashMap<String, u32> = HashMap::new();
+    for m in mentions {
+        let Some((attr, inst)) = parse_attribute_mention(&m.text) else { continue };
+        if seed_set.contains(inst.as_str()) {
+            *support.entry(attr).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<RankedAttribute> = support
+        .into_iter()
+        .map(|(attribute, support)| RankedAttribute { attribute, support })
+        .collect();
+    out.sort_by(|a, b| b.support.cmp(&a.support).then(a.attribute.cmp(&b.attribute)));
+    out
+}
+
+/// Probase seeding: the concept's most typical instances (automatic —
+/// the paper's contribution over Pasca's manual seeds).
+pub fn probase_seeds(model: &ProbaseModel, concept: &str, k: usize) -> Vec<String> {
+    model.typical_instances(concept, k).into_iter().map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probase_store::ConceptGraph;
+
+    #[test]
+    fn parses_attribute_constructions() {
+        assert_eq!(
+            parse_attribute_mention("the population of China is well known."),
+            Some(("population".to_string(), "China".to_string()))
+        );
+        assert_eq!(
+            parse_attribute_mention("what is the capital of France?"),
+            Some(("capital".to_string(), "France".to_string()))
+        );
+        assert_eq!(
+            parse_attribute_mention("see the fleet size of British Airways for details."),
+            Some(("fleet size".to_string(), "British Airways".to_string()))
+        );
+        assert_eq!(parse_attribute_mention("no construction here"), None);
+    }
+
+    fn mention(text: &str, valid: bool) -> AttributeMention {
+        AttributeMention { text: text.to_string(), instance: String::new(), attribute: String::new(), valid }
+    }
+
+    #[test]
+    fn harvest_counts_seed_mentions_only() {
+        let mentions = vec![
+            mention("the population of China is well known.", true),
+            mention("the population of China is well known.", true),
+            mention("the capital of China is well known.", true),
+            mention("the rest of Narnia is well known.", false),
+        ];
+        let ranked = harvest_attributes(&mentions, &["China".to_string()]);
+        assert_eq!(ranked[0].attribute, "population");
+        assert_eq!(ranked[0].support, 2);
+        assert!(!ranked.iter().any(|r| r.attribute == "rest"));
+    }
+
+    #[test]
+    fn probase_seeds_are_typical_instances() {
+        let mut g = ConceptGraph::new();
+        let country = g.ensure_node("country", 0);
+        for (i, n) in ["China", "India", "Brazil"].iter().enumerate() {
+            let node = g.ensure_node(n, 0);
+            g.add_evidence(country, node, 9 - i as u32 * 2);
+        }
+        let m = ProbaseModel::new(g);
+        let seeds = probase_seeds(&m, "country", 2);
+        assert_eq!(seeds, vec!["China".to_string(), "India".to_string()]);
+    }
+}

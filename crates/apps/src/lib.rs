@@ -1,0 +1,48 @@
+//! # probase-apps
+//!
+//! The text-understanding applications of SIGMOD 2012 §5.3, all built on
+//! the probabilistic query API of `probase-prob`:
+//!
+//! * [`search`] — **semantic web search** (§5.3.1): rewrite concept-
+//!   bearing queries ("database conferences in asian cities") into
+//!   typical-instance keyword queries ("SIGMOD in Beijing"), ranked by
+//!   typicality and page-co-occurrence association.
+//! * [`attributes`] — **attribute extraction** (§5.3.1, Fig. 12):
+//!   Pasca-style harvesting with automatic typicality-ranked seeds
+//!   instead of manual ones.
+//! * [`shorttext`] — **short-text understanding** (§5.3.2): conceptualize
+//!   tweet-sized text and cluster by concept vectors, beating bag-of-words.
+//! * [`tables`] — **web-table understanding** (§5.3.2): infer column
+//!   headers by abstraction voting and feed unknown cells back as
+//!   enrichment.
+//! * [`ner`] — **fine-grained NER** (§1's motivating task): tag entity
+//!   mentions with specific concepts, using document context to pick the
+//!   right sense.
+//! * [`mixed`] — **mixed abstraction** (§1 footnote 1): conceptualize a
+//!   mixture of instances and attributes ("headquarter, apple → company").
+//! * [`taxsearch`] — **taxonomy keyword search** (§5.3 \[9\]): find the
+//!   tightest concepts covering a keyword set.
+//! * [`terms`] — the shared term spotter all of the above use.
+
+pub mod attributes;
+pub mod mixed;
+pub mod ner;
+pub mod search;
+pub mod shorttext;
+pub mod tables;
+pub mod taxsearch;
+pub mod terms;
+
+pub use attributes::{harvest_attributes, parse_attribute_mention, probase_seeds, RankedAttribute};
+pub use search::{
+    pages_from_corpus, rewrite_query, semantic_search, Association, Document, MiniIndex,
+    RewrittenQuery,
+};
+pub use shorttext::{
+    bow_vector, concept_vector, conceptualize_text, kmeans, purity, FeatureSpace, SparseVector,
+};
+pub use mixed::{index_from_harvest, AttributeIndex, MixedConceptualizer, TermRole};
+pub use ner::{tag_entities, EntityTag, NerConfig};
+pub use tables::{apply_enrichments, infer_header, understand_tables, Column, Enrichment, HeaderInference};
+pub use taxsearch::{ConceptHit, TaxonomyIndex};
+pub use terms::{spot_terms, SpottedTerm, TermKind};

@@ -1,0 +1,233 @@
+//! Mixed-evidence abstraction (paper §1, footnote 1).
+//!
+//! "Probase also supports abstraction from a mixture of instances,
+//! attributes, and actions. For example, inferring from *headquarter,
+//! apple* to *company*." An attribute term alone is ambiguous (many
+//! concepts have a *population*), and an instance term alone may be too
+//! (*apple* the fruit vs *Apple* the company); together they pin the
+//! concept down. The [`MixedConceptualizer`] combines the instance-side
+//! typicality `T(x|i)` with an attribute→concept index — either taken
+//! from harvested attributes (see [`crate::attributes`]) or supplied
+//! directly.
+
+use probase_prob::ProbaseModel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An attribute → concepts index with normalized weights.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AttributeIndex {
+    map: HashMap<String, Vec<(String, f64)>>,
+}
+
+impl AttributeIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register that `concept` carries `attribute` with the given weight
+    /// (e.g. harvest support). Weights are normalized per attribute at
+    /// query time.
+    pub fn add(&mut self, attribute: &str, concept: &str, weight: f64) {
+        self.map
+            .entry(attribute.to_lowercase())
+            .or_default()
+            .push((concept.to_string(), weight.max(0.0)));
+    }
+
+    /// Concepts typically carrying `attribute`, normalized.
+    pub fn concepts_of(&self, attribute: &str) -> Vec<(String, f64)> {
+        let Some(list) = self.map.get(&attribute.to_lowercase()) else { return Vec::new() };
+        let total: f64 = list.iter().map(|(_, w)| w).sum();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        let mut out: Vec<(String, f64)> =
+            list.iter().map(|(c, w)| (c.clone(), w / total)).collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Is the term a known attribute?
+    pub fn knows(&self, term: &str) -> bool {
+        self.map.contains_key(&term.to_lowercase())
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Conceptualization over a mixture of instance and attribute terms.
+pub struct MixedConceptualizer<'m> {
+    model: &'m ProbaseModel,
+    attributes: AttributeIndex,
+}
+
+/// How each input term was interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TermRole {
+    Instance,
+    Attribute,
+    Unknown,
+}
+
+impl<'m> MixedConceptualizer<'m> {
+    pub fn new(model: &'m ProbaseModel, attributes: AttributeIndex) -> Self {
+        Self { model, attributes }
+    }
+
+    /// Classify a term: attribute if the index knows it and the taxonomy
+    /// does not have it as an instance with stronger evidence.
+    pub fn role_of(&self, term: &str) -> TermRole {
+        let is_instance = self.model.knows(term);
+        let is_attribute = self.attributes.knows(term);
+        match (is_instance, is_attribute) {
+            (true, false) => TermRole::Instance,
+            (false, true) => TermRole::Attribute,
+            (true, true) => TermRole::Instance, // instance evidence is direct
+            (false, false) => TermRole::Unknown,
+        }
+    }
+
+    /// Conceptualize a mixed term set: naive-Bayes combination of each
+    /// term's concept distribution, whatever its role (paper's
+    /// "headquarter, apple → company").
+    pub fn conceptualize(&self, terms: &[&str], k: usize) -> Vec<(String, f64)> {
+        const EPS: f64 = 1e-4;
+        let mut per_term: Vec<HashMap<String, f64>> = Vec::new();
+        for term in terms {
+            let dist: Vec<(String, f64)> = match self.role_of(term) {
+                TermRole::Instance => self.model.typical_concepts(term, usize::MAX),
+                TermRole::Attribute => self.attributes.concepts_of(term),
+                TermRole::Unknown => Vec::new(),
+            };
+            if !dist.is_empty() {
+                per_term.push(dist.into_iter().collect());
+            }
+        }
+        if per_term.is_empty() {
+            return Vec::new();
+        }
+        let mut candidates: HashMap<String, f64> = HashMap::new();
+        for m in &per_term {
+            for c in m.keys() {
+                candidates.entry(c.clone()).or_insert(0.0);
+            }
+        }
+        let mut scored: Vec<(String, f64)> = candidates
+            .into_keys()
+            .map(|c| {
+                let s: f64 = per_term
+                    .iter()
+                    .map(|m| m.get(&c).copied().unwrap_or(EPS).max(EPS).ln())
+                    .sum();
+                (c, s)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        let m = scored.first().map(|(_, s)| *s).unwrap_or(0.0);
+        let total: f64 = scored.iter().map(|(_, s)| (s - m).exp()).sum();
+        scored.into_iter().map(|(c, s)| (c, (s - m).exp() / total)).collect()
+    }
+}
+
+/// Build an [`AttributeIndex`] from harvested attribute rankings per
+/// concept (the output of [`crate::attributes::harvest_attributes`]).
+pub fn index_from_harvest(
+    per_concept: &[(String, Vec<crate::attributes::RankedAttribute>)],
+) -> AttributeIndex {
+    let mut idx = AttributeIndex::new();
+    for (concept, ranked) in per_concept {
+        for r in ranked {
+            idx.add(&r.attribute, concept, r.support as f64);
+        }
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probase_store::ConceptGraph;
+
+    fn model() -> ProbaseModel {
+        let mut g = ConceptGraph::new();
+        let fruit = g.ensure_node("fruit", 0);
+        let company = g.ensure_node("company", 0);
+        let apple_f = g.ensure_node("apple", 0);
+        let apple_c = g.ensure_node("Apple", 0);
+        let banana = g.ensure_node("banana", 0);
+        let ibm = g.ensure_node("IBM", 0);
+        g.add_evidence(fruit, apple_f, 9);
+        g.add_evidence(fruit, banana, 6);
+        g.add_evidence(company, apple_c, 7);
+        g.add_evidence(company, ibm, 9);
+        ProbaseModel::new(g)
+    }
+
+    fn attrs() -> AttributeIndex {
+        let mut idx = AttributeIndex::new();
+        idx.add("headquarter", "company", 10.0);
+        idx.add("ceo", "company", 8.0);
+        idx.add("vitamin", "fruit", 6.0);
+        idx.add("population", "country", 9.0);
+        idx.add("population", "city", 5.0);
+        idx
+    }
+
+    #[test]
+    fn headquarter_apple_is_a_company() {
+        let m = model();
+        let mc = MixedConceptualizer::new(&m, attrs());
+        // Capitalized "Apple" + attribute "headquarter" → company.
+        let out = mc.conceptualize(&["headquarter", "Apple"], 2);
+        assert_eq!(out[0].0, "company", "{out:?}");
+        // Lowercase "apple" + "vitamin" → fruit.
+        let out = mc.conceptualize(&["vitamin", "apple"], 2);
+        assert_eq!(out[0].0, "fruit", "{out:?}");
+    }
+
+    #[test]
+    fn roles_are_classified() {
+        let m = model();
+        let mc = MixedConceptualizer::new(&m, attrs());
+        assert_eq!(mc.role_of("IBM"), TermRole::Instance);
+        assert_eq!(mc.role_of("headquarter"), TermRole::Attribute);
+        assert_eq!(mc.role_of("zorblax"), TermRole::Unknown);
+    }
+
+    #[test]
+    fn attribute_only_queries_work() {
+        let m = model();
+        let mc = MixedConceptualizer::new(&m, attrs());
+        let out = mc.conceptualize(&["headquarter", "ceo"], 1);
+        assert_eq!(out[0].0, "company");
+    }
+
+    #[test]
+    fn unknown_terms_are_ignored() {
+        let m = model();
+        let mc = MixedConceptualizer::new(&m, attrs());
+        assert!(mc.conceptualize(&["zorblax"], 3).is_empty());
+        let out = mc.conceptualize(&["zorblax", "headquarter"], 1);
+        assert_eq!(out[0].0, "company");
+    }
+
+    #[test]
+    fn index_from_harvest_roundtrip() {
+        use crate::attributes::RankedAttribute;
+        let per = vec![(
+            "country".to_string(),
+            vec![RankedAttribute { attribute: "population".into(), support: 5 }],
+        )];
+        let idx = index_from_harvest(&per);
+        assert!(idx.knows("population"));
+        assert_eq!(idx.concepts_of("population")[0].0, "country");
+    }
+}

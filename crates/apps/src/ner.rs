@@ -1,0 +1,159 @@
+//! Fine-grained named-entity recognition (paper §1).
+//!
+//! The introduction motivates Probase with exactly this task: "it is
+//! generally agreed that fine-grained NER (i.e., by using more specific
+//! subcategories) is more beneficial for a wide range of web
+//! applications". With a taxonomy in hand, NER is abstraction applied to
+//! spans: spot the known terms, tag each with its most typical concept —
+//! and, because `T(x|i)` is context-free, refine the pick with the other
+//! entities in the same text (an entity surrounded by *countries* is more
+//! likely tagged with its country sense than its city sense).
+
+use crate::terms::{spot_terms, SpottedTerm, TermKind};
+use probase_prob::ProbaseModel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One tagged entity mention.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntityTag {
+    /// Surface form as matched.
+    pub surface: String,
+    /// Fine-grained concept label.
+    pub concept: String,
+    /// Normalized confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// Configuration for the NER tagger.
+#[derive(Debug, Clone)]
+pub struct NerConfig {
+    /// Candidate concepts considered per entity.
+    pub candidates_per_entity: usize,
+    /// Weight of document-context agreement vs standalone typicality.
+    pub context_weight: f64,
+}
+
+impl Default for NerConfig {
+    fn default() -> Self {
+        Self { candidates_per_entity: 6, context_weight: 0.5 }
+    }
+}
+
+/// Tag the entities of `text` with fine-grained concepts.
+pub fn tag_entities(model: &ProbaseModel, text: &str, cfg: &NerConfig) -> Vec<EntityTag> {
+    let spans = spot_terms(model, text);
+    let entities: Vec<&SpottedTerm> =
+        spans.iter().filter(|s| s.kind == TermKind::Instance).collect();
+    if entities.is_empty() {
+        return Vec::new();
+    }
+
+    // Per-entity candidate concepts with standalone typicality.
+    let candidates: Vec<Vec<(String, f64)>> = entities
+        .iter()
+        .map(|e| model.typical_concepts(&e.canonical, cfg.candidates_per_entity))
+        .collect();
+
+    // Document context: summed typicality of each concept over all
+    // entities — the crowd votes on what this text is about.
+    let mut context: HashMap<&str, f64> = HashMap::new();
+    for cand in &candidates {
+        for (c, t) in cand {
+            *context.entry(c.as_str()).or_insert(0.0) += t;
+        }
+    }
+
+    entities
+        .iter()
+        .zip(&candidates)
+        .filter_map(|(e, cand)| {
+            if cand.is_empty() {
+                return None;
+            }
+            let scored: Vec<(&str, f64)> = cand
+                .iter()
+                .map(|(c, t)| {
+                    let ctx = context.get(c.as_str()).copied().unwrap_or(0.0) - t;
+                    (c.as_str(), t + cfg.context_weight * ctx)
+                })
+                .collect();
+            let total: f64 = scored.iter().map(|(_, s)| s).sum();
+            let (best, score) = scored
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .copied()?;
+            Some(EntityTag {
+                surface: e.surface.clone(),
+                concept: best.to_string(),
+                confidence: if total > 0.0 { (score / total).clamp(0.0, 1.0) } else { 0.0 },
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probase_store::ConceptGraph;
+
+    /// "Georgia"-style ambiguity: Paris is a city and a celebrity name.
+    fn model() -> ProbaseModel {
+        let mut g = ConceptGraph::new();
+        let city = g.ensure_node("city", 0);
+        let celeb = g.ensure_node("celebrity", 0);
+        let country = g.ensure_node("country", 0);
+        let paris = g.ensure_node("Paris", 0);
+        g.add_evidence(city, paris, 6);
+        g.add_evidence(celeb, paris, 5);
+        for (i, n) in ["London", "Tokyo", "Berlin"].iter().enumerate() {
+            let node = g.ensure_node(n, 0);
+            g.add_evidence(city, node, 8 - i as u32);
+        }
+        for (i, n) in ["France", "Japan"].iter().enumerate() {
+            let node = g.ensure_node(n, 0);
+            g.add_evidence(country, node, 9 - i as u32);
+        }
+        let hilton = g.ensure_node("Nicky Hilton", 0);
+        g.add_evidence(celeb, hilton, 7);
+        ProbaseModel::new(g)
+    }
+
+    #[test]
+    fn tags_unambiguous_entities() {
+        let m = model();
+        let tags = tag_entities(&m, "flights from London to Tokyo", &NerConfig::default());
+        assert_eq!(tags.len(), 2);
+        assert!(tags.iter().all(|t| t.concept == "city"), "{tags:?}");
+        assert!(tags.iter().all(|t| t.confidence > 0.3));
+    }
+
+    #[test]
+    fn context_disambiguates_paris() {
+        let m = model();
+        // Among cities, Paris is a city…
+        let city_ctx = tag_entities(&m, "London, Paris and Tokyo", &NerConfig::default());
+        let paris = city_ctx.iter().find(|t| t.surface == "Paris").unwrap();
+        assert_eq!(paris.concept, "city", "{city_ctx:?}");
+        // …next to a celebrity, the celebrity reading wins.
+        let celeb_ctx = tag_entities(&m, "Paris and Nicky Hilton arrived", &NerConfig::default());
+        let paris = celeb_ctx.iter().find(|t| t.surface == "Paris").unwrap();
+        assert_eq!(paris.concept, "celebrity", "{celeb_ctx:?}");
+    }
+
+    #[test]
+    fn unknown_text_yields_nothing() {
+        let m = model();
+        assert!(tag_entities(&m, "nothing to see here", &NerConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn zero_context_weight_uses_pure_typicality() {
+        let m = model();
+        let cfg = NerConfig { context_weight: 0.0, ..Default::default() };
+        let tags = tag_entities(&m, "Paris and Nicky Hilton arrived", &cfg);
+        let paris = tags.iter().find(|t| t.surface == "Paris").unwrap();
+        // Standalone, the city sense has more evidence mass.
+        assert_eq!(paris.concept, "city");
+    }
+}

@@ -1,0 +1,363 @@
+//! Semantic web search (paper §5.3.1).
+//!
+//! Keyword engines fail on queries like *"database conferences in asian
+//! cities"* because no page contains those exact words. The Probase
+//! prototype rewrites the query: each spotted concept is replaced by its
+//! most typical instances, and instance pairs are ranked by a word
+//! association score mined from page co-occurrence before the rewritten
+//! queries hit an ordinary keyword index.
+//!
+//! This module ships all three pieces: a small inverted keyword index
+//! over simulated pages ([`MiniIndex`]), the co-occurrence association
+//! model ([`Association`]), and the rewriter ([`semantic_search`]). The
+//! keyword baseline is the same index queried with the original text.
+
+use crate::terms::{spot_terms, TermKind};
+use probase_corpus::SentenceRecord;
+use probase_prob::ProbaseModel;
+use probase_text::tokenize;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// A searchable document (one simulated web page).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Document {
+    pub page_id: u64,
+    pub text: String,
+}
+
+/// Assemble page documents from a sentence corpus.
+pub fn pages_from_corpus(records: &[SentenceRecord]) -> Vec<Document> {
+    let mut by_page: HashMap<u64, String> = HashMap::new();
+    for r in records {
+        let entry = by_page.entry(r.meta.page_id).or_default();
+        if !entry.is_empty() {
+            entry.push(' ');
+        }
+        entry.push_str(&r.text);
+    }
+    let mut docs: Vec<Document> =
+        by_page.into_iter().map(|(page_id, text)| Document { page_id, text }).collect();
+    docs.sort_by_key(|d| d.page_id);
+    docs
+}
+
+/// Inverted keyword index with AND semantics and term-frequency scoring.
+#[derive(Debug, Default)]
+pub struct MiniIndex {
+    docs: Vec<Document>,
+    postings: HashMap<String, Vec<u32>>,
+}
+
+impl MiniIndex {
+    pub fn build(docs: Vec<Document>) -> Self {
+        let mut postings: HashMap<String, Vec<u32>> = HashMap::new();
+        for (i, d) in docs.iter().enumerate() {
+            let mut seen = HashSet::new();
+            for t in tokenize(&d.text) {
+                let w = t.text.to_lowercase();
+                if seen.insert(w.clone()) {
+                    postings.entry(w).or_default().push(i as u32);
+                }
+            }
+        }
+        Self { docs, postings }
+    }
+
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    pub fn doc(&self, i: u32) -> &Document {
+        &self.docs[i as usize]
+    }
+
+    /// Documents containing *all* query words (AND), best-first by the
+    /// number of distinct query word positions (crude TF).
+    pub fn search(&self, query: &str, k: usize) -> Vec<u32> {
+        let words: Vec<String> =
+            tokenize(query).into_iter().map(|t| t.text.to_lowercase()).collect();
+        if words.is_empty() {
+            return Vec::new();
+        }
+        let mut lists: Vec<&Vec<u32>> = Vec::new();
+        for w in &words {
+            match self.postings.get(w) {
+                Some(l) => lists.push(l),
+                None => return Vec::new(),
+            }
+        }
+        lists.sort_by_key(|l| l.len());
+        let mut result: Vec<u32> = lists[0].clone();
+        for l in &lists[1..] {
+            let set: HashSet<u32> = l.iter().copied().collect();
+            result.retain(|d| set.contains(d));
+        }
+        result.truncate(k);
+        result
+    }
+}
+
+/// Word association mined from page-level co-occurrence (paper \[39\]).
+#[derive(Debug, Default)]
+pub struct Association {
+    /// (term a, term b) sorted → pages co-mentioning both.
+    counts: HashMap<(String, String), u32>,
+}
+
+impl Association {
+    /// Count how often two taxonomy terms share a page. Terms are matched
+    /// by simple containment against a provided vocabulary.
+    pub fn from_pages(docs: &[Document], vocabulary: &[String]) -> Self {
+        let mut counts = HashMap::new();
+        for d in docs {
+            let lower = d.text.to_lowercase();
+            let mentioned: Vec<&String> =
+                vocabulary.iter().filter(|v| lower.contains(&v.to_lowercase())).collect();
+            for (i, a) in mentioned.iter().enumerate() {
+                for b in &mentioned[i + 1..] {
+                    let key = if a <= b {
+                        ((*a).clone(), (*b).clone())
+                    } else {
+                        ((*b).clone(), (*a).clone())
+                    };
+                    *counts.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        Self { counts }
+    }
+
+    pub fn score(&self, a: &str, b: &str) -> u32 {
+        let key = if a <= b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        };
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+}
+
+/// A rewritten query: instances substituted for concepts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RewrittenQuery {
+    pub text: String,
+    /// Instance chosen per concept slot, in slot order.
+    pub substitutions: Vec<String>,
+    /// Combined typicality × association score used for ranking.
+    pub score: f64,
+}
+
+/// Rewrite a semantic query into concrete keyword queries (paper §5.3.1:
+/// "database conferences in asian cities" → "SIGMOD in Beijing", …).
+///
+/// Each spotted concept contributes its top-`per_concept` typical
+/// instances; combinations are ranked by the product of typicalities
+/// times (1 + association between the chosen instances).
+pub fn rewrite_query(
+    model: &ProbaseModel,
+    assoc: &Association,
+    query: &str,
+    per_concept: usize,
+    max_rewrites: usize,
+) -> Vec<RewrittenQuery> {
+    let spans = spot_terms(model, query);
+    let concept_slots: Vec<(usize, Vec<(String, f64)>)> = spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.kind == TermKind::Concept)
+        .map(|(i, s)| (i, model.typical_instances(&s.canonical, per_concept)))
+        .collect();
+    if concept_slots.is_empty() {
+        return vec![RewrittenQuery { text: query.to_string(), substitutions: vec![], score: 1.0 }];
+    }
+    // Cartesian product over slots (bounded: per_concept^slots).
+    let mut combos: Vec<(Vec<(usize, String)>, f64)> = vec![(Vec::new(), 1.0)];
+    for (slot, instances) in &concept_slots {
+        let mut next = Vec::new();
+        for (chosen, score) in &combos {
+            for (inst, t) in instances {
+                let mut c = chosen.clone();
+                c.push((*slot, inst.clone()));
+                next.push((c, score * t.max(1e-6)));
+            }
+        }
+        combos = next;
+    }
+    // Association bonus between chosen instances.
+    let mut rewrites: Vec<RewrittenQuery> = combos
+        .into_iter()
+        .map(|(chosen, tscore)| {
+            let mut bonus = 1.0;
+            for (i, (_, a)) in chosen.iter().enumerate() {
+                for (_, b) in &chosen[i + 1..] {
+                    bonus += assoc.score(a, b) as f64;
+                }
+            }
+            let mut words: Vec<String> = spans.iter().map(|s| s.surface.clone()).collect();
+            let mut subs = Vec::new();
+            for (slot, inst) in &chosen {
+                words[*slot] = inst.clone();
+                subs.push(inst.clone());
+            }
+            RewrittenQuery { text: words.join(" "), substitutions: subs, score: tscore * bonus }
+        })
+        .collect();
+    rewrites.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"));
+    rewrites.truncate(max_rewrites);
+    rewrites
+}
+
+/// Full semantic search: rewrite, run each rewrite against the index,
+/// merge results best-rewrite-first. Returns document indexes.
+pub fn semantic_search(
+    model: &ProbaseModel,
+    assoc: &Association,
+    index: &MiniIndex,
+    query: &str,
+    k: usize,
+) -> Vec<u32> {
+    let rewrites = rewrite_query(model, assoc, query, 8, 48);
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for rw in &rewrites {
+        for d in index.search(&rw.text, k) {
+            if seen.insert(d) {
+                out.push(d);
+                if out.len() >= k {
+                    return out;
+                }
+            }
+        }
+    }
+    // Fallback: the full rewrite keeps the query's glue words; retry with
+    // the substituted instances alone ("SIGMOD Beijing").
+    for rw in &rewrites {
+        if rw.substitutions.is_empty() {
+            continue;
+        }
+        let bare = rw.substitutions.join(" ");
+        for d in index.search(&bare, k) {
+            if seen.insert(d) {
+                out.push(d);
+                if out.len() >= k {
+                    return out;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probase_store::ConceptGraph;
+
+    fn model() -> ProbaseModel {
+        let mut g = ConceptGraph::new();
+        let conf = g.ensure_node("database conference", 0);
+        let city = g.ensure_node("asian city", 0);
+        for (i, name) in ["SIGMOD", "VLDB", "ICDE"].iter().enumerate() {
+            let n = g.ensure_node(name, 0);
+            g.add_evidence(conf, n, 10 - i as u32 * 2);
+        }
+        for (i, name) in ["Beijing", "Singapore", "Tokyo"].iter().enumerate() {
+            let n = g.ensure_node(name, 0);
+            g.add_evidence(city, n, 9 - i as u32 * 2);
+        }
+        ProbaseModel::new(g)
+    }
+
+    fn docs() -> Vec<Document> {
+        vec![
+            Document { page_id: 0, text: "SIGMOD in Beijing was memorable".into() },
+            Document { page_id: 1, text: "VLDB in Singapore attracted many".into() },
+            Document { page_id: 2, text: "a cooking blog about noodles".into() },
+        ]
+    }
+
+    #[test]
+    fn keyword_search_finds_exact_words_only() {
+        let index = MiniIndex::build(docs());
+        assert!(index.search("database conferences in asian cities", 10).is_empty());
+        assert_eq!(index.search("SIGMOD Beijing", 10), vec![0]);
+    }
+
+    #[test]
+    fn rewrite_substitutes_typical_instances() {
+        let m = model();
+        let assoc = Association::default();
+        let rewrites = rewrite_query(&m, &assoc, "database conferences in asian cities", 3, 9);
+        assert!(!rewrites.is_empty());
+        assert!(rewrites.iter().any(|r| r.text == "SIGMOD in Beijing"), "{rewrites:?}");
+        // Typicality ordering: top rewrite uses the most typical instances.
+        assert_eq!(rewrites[0].substitutions, vec!["SIGMOD".to_string(), "Beijing".to_string()]);
+    }
+
+    #[test]
+    fn association_breaks_ties_toward_cooccurring_pairs() {
+        let m = model();
+        let d = docs();
+        let vocab: Vec<String> =
+            ["SIGMOD", "VLDB", "ICDE", "Beijing", "Singapore", "Tokyo"].iter().map(|s| s.to_string()).collect();
+        let assoc = Association::from_pages(&d, &vocab);
+        assert_eq!(assoc.score("VLDB", "Singapore"), 1);
+        assert_eq!(assoc.score("VLDB", "Beijing"), 0);
+        let rewrites = rewrite_query(&m, &assoc, "database conferences in asian cities", 3, 9);
+        // VLDB+Singapore must outrank VLDB+anything-else.
+        let vldb_first = rewrites
+            .iter()
+            .find(|r| r.substitutions.first().map(|s| s == "VLDB").unwrap_or(false))
+            .unwrap();
+        assert_eq!(vldb_first.substitutions[1], "Singapore");
+    }
+
+    #[test]
+    fn semantic_search_beats_keyword_on_semantic_query() {
+        let m = model();
+        let d = docs();
+        let vocab: Vec<String> =
+            ["SIGMOD", "VLDB", "Beijing", "Singapore"].iter().map(|s| s.to_string()).collect();
+        let assoc = Association::from_pages(&d, &vocab);
+        let index = MiniIndex::build(d);
+        let hits = semantic_search(&m, &assoc, &index, "database conferences in asian cities", 5);
+        assert!(!hits.is_empty());
+        assert!(hits.contains(&0) || hits.contains(&1));
+        assert!(index.search("database conferences in asian cities", 5).is_empty());
+    }
+
+    #[test]
+    fn non_semantic_query_passes_through() {
+        let m = model();
+        let rewrites = rewrite_query(&m, &Association::default(), "noodle recipe", 3, 9);
+        assert_eq!(rewrites.len(), 1);
+        assert_eq!(rewrites[0].text, "noodle recipe");
+    }
+
+    #[test]
+    fn pages_group_sentences() {
+        use probase_corpus::sentence::{SentenceTruth, SourceMeta};
+        let recs = vec![
+            SentenceRecord {
+                id: 0,
+                text: "a".into(),
+                meta: SourceMeta { page_id: 7, page_rank: 0.1, source_quality: 0.5 },
+                truth: SentenceTruth::default(),
+            },
+            SentenceRecord {
+                id: 1,
+                text: "b".into(),
+                meta: SourceMeta { page_id: 7, page_rank: 0.1, source_quality: 0.5 },
+                truth: SentenceTruth::default(),
+            },
+        ];
+        let docs = pages_from_corpus(&recs);
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].text, "a b");
+    }
+}

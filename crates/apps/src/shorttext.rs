@@ -1,0 +1,285 @@
+//! Short-text understanding and clustering (paper §5.3.2, \[34\]).
+//!
+//! Bag-of-words models have too little signal in a tweet-sized text.
+//! Probase conceptualizes the text instead: spot the known terms, abstract
+//! them to typical concepts via `T(x|i)`, and represent the text as a
+//! sparse concept vector. K-means over concept vectors then groups
+//! "visited Beijing and Tokyo" with "a week in Singapore" even though the
+//! two share no words — they share *concepts*.
+
+use crate::terms::{spot_terms, TermKind};
+use probase_prob::ProbaseModel;
+use probase_text::tokenize;
+use std::collections::HashMap;
+
+/// A sparse feature vector (feature id → weight), L2-normalized.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVector {
+    pub weights: HashMap<u32, f64>,
+}
+
+impl SparseVector {
+    pub fn normalize(&mut self) {
+        let norm: f64 = self.weights.values().map(|w| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for w in self.weights.values_mut() {
+                *w /= norm;
+            }
+        }
+    }
+
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        let (small, large) = if self.weights.len() <= other.weights.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .weights
+            .iter()
+            .filter_map(|(k, w)| large.weights.get(k).map(|v| v * w))
+            .sum()
+    }
+
+    pub fn add_scaled(&mut self, other: &SparseVector, scale: f64) {
+        for (&k, &w) in &other.weights {
+            *self.weights.entry(k).or_insert(0.0) += w * scale;
+        }
+    }
+}
+
+/// A shared feature vocabulary (string features → dense ids).
+#[derive(Debug, Default)]
+pub struct FeatureSpace {
+    ids: HashMap<String, u32>,
+}
+
+impl FeatureSpace {
+    pub fn id(&mut self, feature: &str) -> u32 {
+        let next = self.ids.len() as u32;
+        *self.ids.entry(feature.to_string()).or_insert(next)
+    }
+
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Conceptualize a short text: spot known terms, abstract the instance
+/// terms jointly, and return the top concepts with scores.
+pub fn conceptualize_text(model: &ProbaseModel, text: &str, k: usize) -> Vec<(String, f64)> {
+    let spans = spot_terms(model, text);
+    let instance_terms: Vec<&str> = spans
+        .iter()
+        .filter(|s| s.kind == TermKind::Instance)
+        .map(|s| s.canonical.as_str())
+        .collect();
+    let mut concepts = if instance_terms.is_empty() {
+        Vec::new()
+    } else {
+        model.conceptualize(&instance_terms, k)
+    };
+    // Concept mentions contribute themselves directly.
+    for s in spans.iter().filter(|s| s.kind == TermKind::Concept) {
+        if !concepts.iter().any(|(c, _)| c == &s.canonical) {
+            concepts.push((s.canonical.clone(), 1.0));
+        }
+    }
+    concepts.truncate(k.max(1));
+    concepts
+}
+
+/// Concept-vector representation of a text (Probase featurization).
+pub fn concept_vector(
+    model: &ProbaseModel,
+    space: &mut FeatureSpace,
+    text: &str,
+    top_concepts: usize,
+) -> SparseVector {
+    let mut v = SparseVector::default();
+    for (c, score) in conceptualize_text(model, text, top_concepts) {
+        let id = space.id(&format!("c:{c}"));
+        *v.weights.entry(id).or_insert(0.0) += score;
+    }
+    v.normalize();
+    v
+}
+
+/// Bag-of-words representation (the baseline the paper beats).
+pub fn bow_vector(space: &mut FeatureSpace, text: &str) -> SparseVector {
+    let mut v = SparseVector::default();
+    for t in tokenize(text) {
+        let w = t.text.to_lowercase();
+        if w.len() < 2 {
+            continue;
+        }
+        let id = space.id(&format!("w:{w}"));
+        *v.weights.entry(id).or_insert(0.0) += 1.0;
+    }
+    v.normalize();
+    v
+}
+
+/// Deterministic spherical k-means (cosine similarity).
+/// Returns the cluster assignment per vector.
+pub fn kmeans(vectors: &[SparseVector], k: usize, iterations: usize, seed: u64) -> Vec<usize> {
+    assert!(k >= 1);
+    if vectors.is_empty() {
+        return Vec::new();
+    }
+    // Deterministic seeding: spread initial centers over the input.
+    let mut centers: Vec<SparseVector> = (0..k)
+        .map(|i| {
+            let idx = ((seed as usize).wrapping_add(i * vectors.len() / k)) % vectors.len();
+            vectors[idx].clone()
+        })
+        .collect();
+    let mut assignment = vec![0usize; vectors.len()];
+    for _ in 0..iterations {
+        let mut changed = false;
+        for (i, v) in vectors.iter().enumerate() {
+            let best = (0..k)
+                .max_by(|&a, &b| {
+                    centers[a]
+                        .dot(v)
+                        .partial_cmp(&centers[b].dot(v))
+                        .expect("finite")
+                        .then(b.cmp(&a))
+                })
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centers.
+        let mut next: Vec<SparseVector> = vec![SparseVector::default(); k];
+        let mut counts = vec![0usize; k];
+        for (i, v) in vectors.iter().enumerate() {
+            next[assignment[i]].add_scaled(v, 1.0);
+            counts[assignment[i]] += 1;
+        }
+        for (c, n) in next.iter_mut().zip(&counts) {
+            if *n > 0 {
+                c.normalize();
+            }
+        }
+        // Re-seed empty clusters deterministically.
+        for (ci, n) in counts.iter().enumerate() {
+            if *n == 0 {
+                next[ci] = vectors[(ci * 7 + seed as usize) % vectors.len()].clone();
+            }
+        }
+        centers = next;
+        if !changed {
+            break;
+        }
+    }
+    assignment
+}
+
+/// Clustering purity against gold labels: fraction of points whose
+/// cluster's majority label matches their own.
+pub fn purity(assignment: &[usize], gold: &[usize]) -> f64 {
+    assert_eq!(assignment.len(), gold.len());
+    if assignment.is_empty() {
+        return 0.0;
+    }
+    let mut per_cluster: HashMap<usize, HashMap<usize, usize>> = HashMap::new();
+    for (&c, &g) in assignment.iter().zip(gold) {
+        *per_cluster.entry(c).or_default().entry(g).or_insert(0) += 1;
+    }
+    let correct: usize =
+        per_cluster.values().map(|m| m.values().copied().max().unwrap_or(0)).sum();
+    correct as f64 / assignment.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probase_store::ConceptGraph;
+
+    fn model() -> ProbaseModel {
+        let mut g = ConceptGraph::new();
+        let city = g.ensure_node("asian city", 0);
+        let dish = g.ensure_node("dish", 0);
+        for (i, name) in ["Beijing", "Tokyo", "Singapore"].iter().enumerate() {
+            let n = g.ensure_node(name, 0);
+            g.add_evidence(city, n, 9 - i as u32);
+        }
+        for (i, name) in ["pizza", "sushi", "curry"].iter().enumerate() {
+            let n = g.ensure_node(name, 0);
+            g.add_evidence(dish, n, 9 - i as u32);
+        }
+        ProbaseModel::new(g)
+    }
+
+    #[test]
+    fn conceptualize_finds_shared_concept() {
+        let m = model();
+        let cs = conceptualize_text(&m, "a trip to Beijing and Tokyo", 3);
+        assert_eq!(cs[0].0, "asian city", "{cs:?}");
+    }
+
+    #[test]
+    fn concept_vectors_bridge_disjoint_vocabulary() {
+        let m = model();
+        let mut space = FeatureSpace::default();
+        let a = concept_vector(&m, &mut space, "visited Beijing last year", 3);
+        let b = concept_vector(&m, &mut space, "Singapore is lovely", 3);
+        let c = concept_vector(&m, &mut space, "pizza and curry tonight", 3);
+        assert!(a.dot(&b) > 0.5, "same-concept texts must be close");
+        assert!(a.dot(&c) < 0.1, "different-concept texts must be far");
+        // Bag of words sees nothing in common.
+        let mut ws = FeatureSpace::default();
+        let aw = bow_vector(&mut ws, "visited Beijing last year");
+        let bw = bow_vector(&mut ws, "Singapore is lovely");
+        assert_eq!(aw.dot(&bw), 0.0);
+    }
+
+    #[test]
+    fn kmeans_recovers_two_topics() {
+        let m = model();
+        let mut space = FeatureSpace::default();
+        let texts = [
+            "Beijing was crowded",
+            "Tokyo in spring",
+            "a week in Singapore",
+            "pizza for dinner",
+            "fresh sushi",
+            "spicy curry",
+        ];
+        let gold = [0, 0, 0, 1, 1, 1];
+        let vectors: Vec<SparseVector> =
+            texts.iter().map(|t| concept_vector(&m, &mut space, t, 3)).collect();
+        let assignment = kmeans(&vectors, 2, 20, 3);
+        assert!(purity(&assignment, &gold) >= 0.99, "{assignment:?}");
+    }
+
+    #[test]
+    fn purity_bounds() {
+        assert_eq!(purity(&[0, 0, 1, 1], &[0, 0, 1, 1]), 1.0);
+        assert_eq!(purity(&[0, 0, 0, 0], &[0, 1, 2, 3]), 0.25);
+    }
+
+    #[test]
+    fn kmeans_deterministic() {
+        let m = model();
+        let mut space = FeatureSpace::default();
+        let vecs: Vec<SparseVector> = ["Beijing", "Tokyo", "pizza", "sushi"]
+            .iter()
+            .map(|t| concept_vector(&m, &mut space, t, 3))
+            .collect();
+        assert_eq!(kmeans(&vecs, 2, 10, 5), kmeans(&vecs, 2, 10, 5));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(kmeans(&[], 3, 5, 0).is_empty());
+        assert_eq!(purity(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Web-table understanding (paper §5.3.2, \[37\]).
+//!
+//! Given a column of cell values, infer the concept that should head it:
+//! each cell votes for its typical concepts by `T(x|i)`, the concept with
+//! the highest summed vote wins. Cells the taxonomy does not know yet can
+//! then be *enriched back* into the taxonomy under the inferred concept —
+//! the virtuous cycle the paper describes ("the information, once
+//! understood, is used to enrich Probase").
+
+use probase_prob::ProbaseModel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A column of cell strings (header unknown).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Column {
+    pub cells: Vec<String>,
+}
+
+/// The inferred header for a column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeaderInference {
+    /// Winning concept label.
+    pub concept: String,
+    /// Normalized vote share in `[0, 1]`.
+    pub confidence: f64,
+    /// Cells unknown to the taxonomy (candidates for enrichment).
+    pub unknown_cells: Vec<String>,
+}
+
+/// Infer the concept heading a column. Returns `None` when no cell is
+/// known to the taxonomy.
+pub fn infer_header(model: &ProbaseModel, column: &Column, per_cell: usize) -> Option<HeaderInference> {
+    let mut votes: HashMap<String, f64> = HashMap::new();
+    let mut unknown = Vec::new();
+    let mut known_cells = 0usize;
+    for cell in &column.cells {
+        let concepts = model.typical_concepts(cell, per_cell);
+        if concepts.is_empty() {
+            unknown.push(cell.clone());
+            continue;
+        }
+        known_cells += 1;
+        for (c, t) in concepts {
+            *votes.entry(c).or_insert(0.0) += t;
+        }
+    }
+    if known_cells == 0 {
+        return None;
+    }
+    let (concept, best) = votes
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(b.0.cmp(&a.0)))?;
+    Some(HeaderInference {
+        concept,
+        confidence: (best / known_cells as f64).clamp(0.0, 1.0),
+        unknown_cells: unknown,
+    })
+}
+
+/// Enrichment proposals: unknown cells to add under the inferred concept
+/// (paper: "Instances that are not already in Probase are then added in
+/// under the inferred concept").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Enrichment {
+    pub concept: String,
+    pub new_instances: Vec<String>,
+}
+
+/// Understand a batch of columns, producing header inferences and
+/// enrichment proposals for confident columns.
+pub fn understand_tables(
+    model: &ProbaseModel,
+    columns: &[Column],
+    min_confidence: f64,
+) -> (Vec<Option<HeaderInference>>, Vec<Enrichment>) {
+    let mut inferences = Vec::with_capacity(columns.len());
+    let mut enrichments = Vec::new();
+    for col in columns {
+        let inf = infer_header(model, col, 4);
+        if let Some(h) = &inf {
+            if h.confidence >= min_confidence && !h.unknown_cells.is_empty() {
+                enrichments.push(Enrichment {
+                    concept: h.concept.clone(),
+                    new_instances: h.unknown_cells.clone(),
+                });
+            }
+        }
+        inferences.push(inf);
+    }
+    (inferences, enrichments)
+}
+
+/// Apply enrichment proposals back into a taxonomy graph: each new
+/// instance is attached under the concept's largest sense with one unit
+/// of evidence and the column's confidence as plausibility — the
+/// "understand tables, then enrich Probase" loop of §5.3.2. Returns the
+/// number of edges added.
+pub fn apply_enrichments(
+    graph: &mut probase_store::ConceptGraph,
+    enrichments: &[Enrichment],
+    confidence: f64,
+) -> usize {
+    let mut added = 0;
+    for e in enrichments {
+        let senses = graph.senses_of(&e.concept);
+        let Some(&target) = senses.iter().find(|&&n| !graph.is_instance(n)) else { continue };
+        for inst in &e.new_instances {
+            let node = graph.ensure_node(inst, 0);
+            if node == target || !graph.is_instance(node) {
+                continue; // never attach a concept as a table cell
+            }
+            if graph.edge(target, node).is_none() {
+                graph.add_evidence(target, node, 1);
+                graph.set_plausibility(target, node, confidence.clamp(0.0, 1.0));
+                added += 1;
+            }
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probase_store::ConceptGraph;
+
+    fn model() -> ProbaseModel {
+        let mut g = ConceptGraph::new();
+        let country = g.ensure_node("country", 0);
+        let city = g.ensure_node("city", 0);
+        for (i, name) in ["China", "India", "Brazil", "France"].iter().enumerate() {
+            let n = g.ensure_node(name, 0);
+            g.add_evidence(country, n, 10 - i as u32);
+        }
+        for (i, name) in ["Paris", "Tokyo", "Beijing"].iter().enumerate() {
+            let n = g.ensure_node(name, 0);
+            g.add_evidence(city, n, 8 - i as u32);
+        }
+        ProbaseModel::new(g)
+    }
+
+    fn col(cells: &[&str]) -> Column {
+        Column { cells: cells.iter().map(|s| s.to_string()).collect() }
+    }
+
+    #[test]
+    fn infers_country_column() {
+        let m = model();
+        let h = infer_header(&m, &col(&["China", "India", "Brazil"]), 3).unwrap();
+        assert_eq!(h.concept, "country");
+        assert!(h.confidence > 0.5);
+        assert!(h.unknown_cells.is_empty());
+    }
+
+    #[test]
+    fn unknown_cells_reported_for_enrichment() {
+        let m = model();
+        let h = infer_header(&m, &col(&["China", "India", "Wakanda"]), 3).unwrap();
+        assert_eq!(h.concept, "country");
+        assert_eq!(h.unknown_cells, vec!["Wakanda".to_string()]);
+    }
+
+    #[test]
+    fn fully_unknown_column_is_none() {
+        let m = model();
+        assert!(infer_header(&m, &col(&["Wakanda", "Narnia"]), 3).is_none());
+    }
+
+    #[test]
+    fn mixed_column_majority_wins() {
+        let m = model();
+        let h = infer_header(&m, &col(&["Paris", "Tokyo", "China"]), 3).unwrap();
+        assert_eq!(h.concept, "city");
+    }
+
+    #[test]
+    fn enrichment_feeds_back_into_the_graph() {
+        let m = model();
+        let cols = vec![col(&["China", "India", "Wakanda"])];
+        let (_, enrichments) = understand_tables(&m, &cols, 0.2);
+        // Rebuild a graph and apply.
+        let mut g = probase_store::ConceptGraph::new();
+        let country = g.ensure_node("country", 0);
+        for n in ["China", "India"] {
+            let node = g.ensure_node(n, 0);
+            g.add_evidence(country, node, 5);
+        }
+        let added = apply_enrichments(&mut g, &enrichments, 0.8);
+        assert_eq!(added, 1);
+        let wakanda = g.find_node("Wakanda", 0).expect("enriched node");
+        let e = g.edge(country, wakanda).expect("enriched edge");
+        assert_eq!(e.count, 1);
+        assert!((e.plausibility - 0.8).abs() < 1e-12);
+        // Idempotent: applying again adds nothing.
+        assert_eq!(apply_enrichments(&mut g, &enrichments, 0.8), 0);
+        // The model now knows the new instance.
+        let m2 = probase_prob::ProbaseModel::new(g);
+        assert!(m2.knows("Wakanda"));
+    }
+
+    #[test]
+    fn understand_tables_produces_enrichments() {
+        let m = model();
+        let cols = vec![col(&["China", "India", "Wakanda"]), col(&["Paris", "Tokyo"])];
+        let (inferences, enrichments) = understand_tables(&m, &cols, 0.2);
+        assert_eq!(inferences.len(), 2);
+        assert_eq!(enrichments.len(), 1);
+        assert_eq!(enrichments[0].concept, "country");
+        assert_eq!(enrichments[0].new_instances, vec!["Wakanda".to_string()]);
+    }
+}

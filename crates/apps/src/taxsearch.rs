@@ -1,0 +1,201 @@
+//! Taxonomy keyword search (paper §5.3, \[9\] — Ding et al., "Optimizing
+//! index for taxonomy keyword search", SIGMOD 2012).
+//!
+//! Given a set of keywords, find the concepts that *cover* them: the
+//! tightest nodes of the taxonomy whose closure contains (instances
+//! matching) all the keywords. "sigmod beijing" should surface concepts
+//! like *database conference* and *asian city* rather than the root. The
+//! implementation builds an inverted keyword → node index over instance
+//! labels and scores candidate concepts by keyword coverage, typicality
+//! mass, and tightness (smaller closures win ties — the paper's "best
+//! abstraction" intuition from §1).
+
+use probase_prob::ProbaseModel;
+use probase_store::{FxHashMap, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A concept hit for a keyword query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConceptHit {
+    pub concept: String,
+    /// How many query keywords the concept's instances cover.
+    pub covered: usize,
+    /// Combined score (coverage, typicality, tightness).
+    pub score: f64,
+    /// The matching instances, one per covered keyword.
+    pub witnesses: Vec<String>,
+}
+
+/// An inverted keyword index over a model's instances: lowercase word →
+/// instance nodes whose label contains it.
+pub struct TaxonomyIndex<'m> {
+    model: &'m ProbaseModel,
+    word_to_instances: FxHashMap<String, Vec<NodeId>>,
+}
+
+impl<'m> TaxonomyIndex<'m> {
+    /// Build the index (O(instances × words-per-label)).
+    pub fn build(model: &'m ProbaseModel) -> Self {
+        let mut word_to_instances: FxHashMap<String, Vec<NodeId>> = FxHashMap::default();
+        let g = model.graph();
+        for inst in g.instances() {
+            for w in g.label(inst).split_whitespace() {
+                let w = w.to_lowercase();
+                if w.len() < 2 {
+                    continue;
+                }
+                word_to_instances.entry(w).or_default().push(inst);
+            }
+        }
+        Self { model, word_to_instances }
+    }
+
+    /// Search for concepts covering the keywords, best first.
+    pub fn search(&self, keywords: &[&str], k: usize) -> Vec<ConceptHit> {
+        let g = self.model.graph();
+        let tmodel = self.model.typicality_model();
+        // Per keyword: the set of instances matching it.
+        let matches: Vec<&[NodeId]> = keywords
+            .iter()
+            .map(|kw| {
+                self.word_to_instances
+                    .get(&kw.to_lowercase())
+                    .map(|v| v.as_slice())
+                    .unwrap_or(&[])
+            })
+            .collect();
+        // Candidate concepts: any concept with typicality mass on a
+        // matching instance, scored by which keywords it covers.
+        struct Cand {
+            covered: Vec<Option<(NodeId, f64)>>,
+        }
+        let mut cands: FxHashMap<NodeId, Cand> = FxHashMap::default();
+        for (ki, insts) in matches.iter().enumerate() {
+            for &inst in insts.iter() {
+                for &(concept, t) in tmodel.concepts_of(inst) {
+                    let c = cands.entry(concept).or_insert_with(|| Cand {
+                        covered: vec![None; keywords.len()],
+                    });
+                    let better = match c.covered[ki] {
+                        None => true,
+                        Some((_, prev)) => t > prev,
+                    };
+                    if better {
+                        c.covered[ki] = Some((inst, t));
+                    }
+                }
+            }
+        }
+        let mut hits: Vec<ConceptHit> = cands
+            .into_iter()
+            .map(|(concept, c)| {
+                let covered = c.covered.iter().flatten().count();
+                let mass: f64 = c.covered.iter().flatten().map(|(_, t)| t).sum();
+                // Tightness: smaller concepts rank above giant ones at
+                // equal coverage (the §1 "BRIC beats country" intuition).
+                let size = g.child_count(concept).max(1) as f64;
+                let score = covered as f64 * 10.0 + mass - size.ln() * 0.1;
+                ConceptHit {
+                    concept: g.display(concept),
+                    covered,
+                    score,
+                    witnesses: c
+                        .covered
+                        .iter()
+                        .flatten()
+                        .map(|(i, _)| g.label(*i).to_string())
+                        .collect(),
+                }
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.covered
+                .cmp(&a.covered)
+                .then(b.score.partial_cmp(&a.score).expect("finite"))
+                .then(a.concept.cmp(&b.concept))
+        });
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probase_store::ConceptGraph;
+
+    fn model() -> ProbaseModel {
+        let mut g = ConceptGraph::new();
+        let conf = g.ensure_node("database conference", 0);
+        let city = g.ensure_node("asian city", 0);
+        let place = g.ensure_node("place", 0);
+        for (i, n) in ["SIGMOD", "VLDB", "ICDE"].iter().enumerate() {
+            let node = g.ensure_node(n, 0);
+            g.add_evidence(conf, node, 9 - i as u32);
+        }
+        for (i, n) in ["Beijing", "Tokyo", "Singapore"].iter().enumerate() {
+            let node = g.ensure_node(n, 0);
+            g.add_evidence(city, node, 8 - i as u32);
+            g.add_evidence(place, node, 2);
+        }
+        // place is a huge generic concept (tightness should demote it).
+        for i in 0..30 {
+            let node = g.ensure_node(&format!("Somewhere{i}"), 0);
+            g.add_evidence(place, node, 1);
+        }
+        ProbaseModel::new(g)
+    }
+
+    #[test]
+    fn single_keyword_finds_owning_concept() {
+        let m = model();
+        let idx = TaxonomyIndex::build(&m);
+        let hits = idx.search(&["sigmod"], 3);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].concept, "database conference");
+        assert_eq!(hits[0].covered, 1);
+        assert_eq!(hits[0].witnesses, vec!["SIGMOD".to_string()]);
+    }
+
+    #[test]
+    fn tight_concept_beats_generic_at_equal_coverage() {
+        let m = model();
+        let idx = TaxonomyIndex::build(&m);
+        let hits = idx.search(&["beijing"], 3);
+        let city_rank = hits.iter().position(|h| h.concept == "asian city");
+        let place_rank = hits.iter().position(|h| h.concept == "place");
+        assert!(city_rank < place_rank, "{hits:?}");
+    }
+
+    #[test]
+    fn coverage_dominates_ranking() {
+        let m = model();
+        let idx = TaxonomyIndex::build(&m);
+        // No single concept covers both; coverage 1 hits appear for each.
+        let hits = idx.search(&["sigmod", "beijing"], 5);
+        assert!(hits.iter().any(|h| h.concept == "database conference"));
+        assert!(hits.iter().any(|h| h.concept == "asian city"));
+        assert!(hits.iter().all(|h| h.covered == 1));
+    }
+
+    #[test]
+    fn multiword_instance_words_indexed() {
+        let mut g = ConceptGraph::new();
+        let company = g.ensure_node("company", 0);
+        let pg = g.ensure_node("Proctor and Gamble", 0);
+        g.add_evidence(company, pg, 3);
+        let m = ProbaseModel::new(g);
+        let idx = TaxonomyIndex::build(&m);
+        let hits = idx.search(&["gamble"], 2);
+        assert_eq!(hits[0].concept, "company");
+        assert_eq!(hits[0].witnesses[0], "Proctor and Gamble");
+    }
+
+    #[test]
+    fn unknown_keywords_yield_empty() {
+        let m = model();
+        let idx = TaxonomyIndex::build(&m);
+        assert!(idx.search(&["zorblax"], 3).is_empty());
+        assert!(idx.search(&[], 3).is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Term spotting: find taxonomy terms inside free text.
+//!
+//! Every §5.3 application starts the same way — locate the concepts and
+//! instances a piece of text mentions. The spotter does greedy
+//! longest-match over token n-grams against the model's vocabulary,
+//! normalizing candidate concept phrases to canonical form (so the query
+//! word "conferences" hits the concept "conference").
+
+use probase_prob::ProbaseModel;
+use probase_text::{normalize_concept, tokenize};
+use serde::{Deserialize, Serialize};
+
+/// What a spotted term is in the taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TermKind {
+    /// A concept label ("tropical country").
+    Concept,
+    /// An instance ("Singapore").
+    Instance,
+    /// Out-of-taxonomy filler.
+    Keyword,
+}
+
+/// One spotted span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpottedTerm {
+    /// The canonical form stored in the taxonomy.
+    pub canonical: String,
+    /// The surface text matched.
+    pub surface: String,
+    pub kind: TermKind,
+}
+
+/// Maximum n-gram length tried.
+const MAX_NGRAM: usize = 4;
+
+/// Spot taxonomy terms in `text`, greedy longest-match left to right.
+/// Unmatched words come back as keywords.
+pub fn spot_terms(model: &ProbaseModel, text: &str) -> Vec<SpottedTerm> {
+    let tokens = tokenize(text);
+    let words: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < words.len() {
+        let mut matched = None;
+        for len in (1..=MAX_NGRAM.min(words.len() - i)).rev() {
+            let surface = words[i..i + len].join(" ");
+            // Try concept form first (canonical singular), then verbatim.
+            let concept_form = normalize_concept(&surface);
+            if model.is_concept(&concept_form) {
+                matched = Some((
+                    len,
+                    SpottedTerm {
+                        canonical: concept_form,
+                        surface: surface.clone(),
+                        kind: TermKind::Concept,
+                    },
+                ));
+                break;
+            }
+            if model.knows(&surface) {
+                matched = Some((
+                    len,
+                    SpottedTerm { canonical: surface.clone(), surface, kind: TermKind::Instance },
+                ));
+                break;
+            }
+        }
+        match matched {
+            Some((len, term)) => {
+                out.push(term);
+                i += len;
+            }
+            None => {
+                if words[i].chars().any(|c| c.is_alphanumeric()) {
+                    out.push(SpottedTerm {
+                        canonical: words[i].to_lowercase(),
+                        surface: words[i].to_string(),
+                        kind: TermKind::Keyword,
+                    });
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probase_store::ConceptGraph;
+
+    fn model() -> ProbaseModel {
+        let mut g = ConceptGraph::new();
+        let country = g.ensure_node("asian country", 0);
+        let conf = g.ensure_node("database conference", 0);
+        let sg = g.ensure_node("Singapore", 0);
+        let sigmod = g.ensure_node("SIGMOD", 0);
+        g.add_evidence(country, sg, 5);
+        g.add_evidence(conf, sigmod, 5);
+        ProbaseModel::new(g)
+    }
+
+    #[test]
+    fn spots_plural_concepts() {
+        let m = model();
+        let spans = spot_terms(&m, "database conferences in asian countries");
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].canonical, "database conference");
+        assert_eq!(spans[0].kind, TermKind::Concept);
+        assert_eq!(spans[1].kind, TermKind::Keyword);
+        assert_eq!(spans[2].canonical, "asian country");
+    }
+
+    #[test]
+    fn spots_instances_verbatim() {
+        let m = model();
+        let spans = spot_terms(&m, "flights to Singapore");
+        let inst = spans.iter().find(|s| s.kind == TermKind::Instance).unwrap();
+        assert_eq!(inst.canonical, "Singapore");
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let m = model();
+        let spans = spot_terms(&m, "asian countries");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].canonical, "asian country");
+    }
+
+    #[test]
+    fn unknown_text_is_keywords() {
+        let m = model();
+        let spans = spot_terms(&m, "hello world");
+        assert!(spans.iter().all(|s| s.kind == TermKind::Keyword));
+    }
+}

@@ -1,0 +1,109 @@
+//! Edge-case tests for the applications layer.
+
+use probase_apps::{
+    bow_vector, infer_header, kmeans, parse_attribute_mention, rewrite_query, spot_terms,
+    tag_entities, Association, Column, FeatureSpace, MiniIndex, NerConfig, SparseVector,
+    TaxonomyIndex, TermKind,
+};
+use probase_prob::ProbaseModel;
+use probase_store::ConceptGraph;
+
+fn model() -> ProbaseModel {
+    let mut g = ConceptGraph::new();
+    let country = g.ensure_node("country", 0);
+    for (i, n) in ["France", "Spain", "Japan"].iter().enumerate() {
+        let node = g.ensure_node(n, 0);
+        g.add_evidence(country, node, 9 - i as u32);
+    }
+    ProbaseModel::new(g)
+}
+
+#[test]
+fn mini_index_edge_cases() {
+    let index = MiniIndex::build(vec![]);
+    assert!(index.is_empty());
+    assert!(index.search("anything", 5).is_empty());
+    let index = MiniIndex::build(vec![probase_apps::Document {
+        page_id: 0,
+        text: "France and Spain".into(),
+    }]);
+    assert!(index.search("", 5).is_empty());
+    assert_eq!(index.search("france", 5).len(), 1); // case-insensitive
+    assert!(index.search("france germany", 5).is_empty()); // AND semantics
+}
+
+#[test]
+fn association_is_symmetric_and_zero_default() {
+    let docs = vec![probase_apps::Document { page_id: 0, text: "France met Spain".into() }];
+    let assoc = Association::from_pages(&docs, &["France".into(), "Spain".into(), "Japan".into()]);
+    assert_eq!(assoc.score("France", "Spain"), assoc.score("Spain", "France"));
+    assert_eq!(assoc.score("France", "Japan"), 0);
+}
+
+#[test]
+fn rewrite_query_respects_limits() {
+    let m = model();
+    let rewrites = rewrite_query(&m, &Association::default(), "best countries", 2, 1);
+    assert_eq!(rewrites.len(), 1);
+    assert_eq!(rewrites[0].substitutions.len(), 1);
+    // per_concept = 2 caps the candidate instances.
+    let all = rewrite_query(&m, &Association::default(), "best countries", 2, 10);
+    assert!(all.len() <= 2);
+}
+
+#[test]
+fn spot_terms_prefers_concept_reading_over_instance() {
+    let mut g = ConceptGraph::new();
+    // "apple" exists both as a concept (with children) and would match as
+    // an instance string; the spotter prefers the concept reading.
+    let apple = g.ensure_node("apple", 0);
+    let gala = g.ensure_node("Gala", 0);
+    g.add_evidence(apple, gala, 2);
+    let m = ProbaseModel::new(g);
+    let spans = spot_terms(&m, "apples");
+    assert_eq!(spans.len(), 1);
+    assert_eq!(spans[0].kind, TermKind::Concept);
+    assert_eq!(spans[0].canonical, "apple");
+}
+
+#[test]
+fn ner_confidence_is_normalized() {
+    let m = model();
+    for tag in tag_entities(&m, "France against Spain", &NerConfig::default()) {
+        assert!((0.0..=1.0).contains(&tag.confidence));
+    }
+}
+
+#[test]
+fn kmeans_more_clusters_than_points() {
+    let mut space = FeatureSpace::default();
+    let vecs: Vec<SparseVector> =
+        ["a b", "c d"].iter().map(|t| bow_vector(&mut space, t)).collect();
+    let assignment = kmeans(&vecs, 5, 10, 1);
+    assert_eq!(assignment.len(), 2);
+    assert!(assignment.iter().all(|&c| c < 5));
+}
+
+#[test]
+fn infer_header_single_cell() {
+    let m = model();
+    let h = infer_header(&m, &Column { cells: vec!["France".into()] }, 3).unwrap();
+    assert_eq!(h.concept, "country");
+}
+
+#[test]
+fn attribute_parser_rejects_malformed() {
+    assert_eq!(parse_attribute_mention("the of nothing"), None);
+    assert_eq!(parse_attribute_mention(""), None);
+    assert_eq!(parse_attribute_mention("the a b c d of X"), None); // too long
+}
+
+#[test]
+fn taxonomy_search_dedupes_witnesses_per_keyword() {
+    let m = model();
+    let idx = TaxonomyIndex::build(&m);
+    let hits = idx.search(&["france", "france"], 3);
+    // Two identical keywords: coverage counts positions, both witnessed.
+    assert!(!hits.is_empty());
+    assert_eq!(hits[0].covered, 2);
+}

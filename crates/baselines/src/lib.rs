@@ -1,0 +1,20 @@
+//! # probase-baselines
+//!
+//! Comparators for the evaluation (SIGMOD 2012 §5):
+//!
+//! * [`syntactic`] — the syntactic-iteration extraction family
+//!   (KnowItAll / TextRunner / NELL style) whose precision Figure 9
+//!   compares against Probase's, exhibiting exactly the failure modes §2.1
+//!   catalogs: distractor super-concepts, conjunction splitting, list
+//!   drift, proper-noun-only recall loss, and bootstrapped-pattern
+//!   semantic drift.
+//! * [`rivals`] — structural simulators of the rival taxonomies of
+//!   Table 1 (WordNet, WikiTaxonomy, YAGO, Freebase), sampled from the
+//!   ground-truth world with each rival's documented signature, feeding
+//!   Figures 5–8 and Table 4.
+
+pub mod rivals;
+pub mod syntactic;
+
+pub use rivals::{sample_rival, GraphView, RivalConfig, RivalTaxonomy, TaxonomyView};
+pub use syntactic::{extract_syntactic, BaselineOutput, SyntacticConfig};

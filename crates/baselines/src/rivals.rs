@@ -1,0 +1,347 @@
+//! Rival taxonomy simulators (paper Table 1, Figures 5–8).
+//!
+//! The paper compares Probase to WordNet, WikiTaxonomy, YAGO, and
+//! Freebase. Those artifacts are external data we do not ship; what the
+//! experiments actually consume is each rival's *structural signature* —
+//! how many concepts it knows, how deep its hierarchy is, how its
+//! instances distribute. Each simulator samples the ground-truth world
+//! with its rival's documented signature (scaled to our world size):
+//!
+//! | rival | signature |
+//! |---|---|
+//! | WordNet | small, curated, deep; common nouns; few proper instances |
+//! | WikiTaxonomy | mid-size; topic-like concepts; moderate instances |
+//! | YAGO | larger concept set; many proper instances; shallow |
+//! | Freebase | **tiny** concept set, **zero** concept-subconcept edges, enormous instance sets concentrated in a few concepts |
+
+use probase_corpus::{World, WorldIndex};
+use probase_store::{ConceptGraph, GraphStats};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Anything the coverage experiments can interrogate.
+pub trait TaxonomyView {
+    /// Display name ("YAGO", "Probase", …).
+    fn name(&self) -> &str;
+    /// Does the taxonomy contain this concept label?
+    fn has_concept(&self, label: &str) -> bool;
+    /// Does it contain this term at all (concept or instance)?
+    fn has_term(&self, term: &str) -> bool;
+    /// Number of concepts.
+    fn concept_count(&self) -> usize;
+    /// Instance-set sizes per concept (Figure 8's histogram input).
+    fn concept_sizes(&self) -> Vec<usize>;
+}
+
+/// A sampled rival taxonomy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RivalTaxonomy {
+    pub name: String,
+    concepts: HashSet<String>,
+    /// lowercase term → present
+    terms: HashSet<String>,
+    /// instance count per concept
+    sizes: HashMap<String, usize>,
+    pub concept_instance_pairs: usize,
+    pub concept_subconcept_pairs: usize,
+    /// Hierarchy edges retained (empty for Freebase).
+    edges: Vec<(String, String)>,
+}
+
+impl TaxonomyView for RivalTaxonomy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn has_concept(&self, label: &str) -> bool {
+        self.concepts.contains(label)
+    }
+    fn has_term(&self, term: &str) -> bool {
+        self.terms.contains(&term.to_lowercase())
+    }
+    fn concept_count(&self) -> usize {
+        self.concepts.len()
+    }
+    fn concept_sizes(&self) -> Vec<usize> {
+        self.sizes.values().copied().collect()
+    }
+}
+
+impl RivalTaxonomy {
+    /// Build a [`ConceptGraph`] of the rival for Table 4 statistics.
+    pub fn to_graph(&self) -> ConceptGraph {
+        let mut g = ConceptGraph::new();
+        for (parent, child) in &self.edges {
+            let p = g.ensure_node(parent, 0);
+            let c = g.ensure_node(child, 0);
+            if p != c {
+                g.add_evidence(p, c, 1);
+            }
+        }
+        g
+    }
+
+    /// Table 4 statistics for the rival.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::compute(&self.to_graph())
+    }
+}
+
+/// Sampling knobs for one rival.
+#[derive(Debug, Clone)]
+pub struct RivalConfig {
+    pub name: &'static str,
+    /// Fraction of world concepts included.
+    pub concept_fraction: f64,
+    /// Curated concepts always included?
+    pub include_curated: bool,
+    /// Per-concept cap on instances (None = all).
+    pub max_instances: Option<usize>,
+    /// Fraction of each concept's instances included.
+    pub instance_fraction: f64,
+    /// Keep concept-subconcept edges?
+    pub keep_hierarchy: bool,
+    pub seed: u64,
+}
+
+impl RivalConfig {
+    pub fn wordnet() -> Self {
+        Self {
+            name: "WordNet",
+            concept_fraction: 0.02,
+            include_curated: true,
+            max_instances: Some(6),
+            instance_fraction: 0.3,
+            keep_hierarchy: true,
+            seed: 101,
+        }
+    }
+
+    pub fn wikitaxonomy() -> Self {
+        Self {
+            name: "WikiTaxonomy",
+            concept_fraction: 0.08,
+            include_curated: true,
+            max_instances: Some(10),
+            instance_fraction: 0.35,
+            keep_hierarchy: true,
+            seed: 102,
+        }
+    }
+
+    pub fn yago() -> Self {
+        Self {
+            name: "YAGO",
+            concept_fraction: 0.13,
+            include_curated: true,
+            max_instances: Some(40),
+            instance_fraction: 0.6,
+            keep_hierarchy: true,
+            seed: 103,
+        }
+    }
+
+    pub fn freebase() -> Self {
+        Self {
+            name: "Freebase",
+            concept_fraction: 0.002,
+            include_curated: false,
+            max_instances: None,
+            instance_fraction: 1.0,
+            keep_hierarchy: false,
+            seed: 104,
+        }
+    }
+
+    /// The standard panel compared throughout §5.
+    pub fn panel() -> Vec<RivalConfig> {
+        vec![Self::wordnet(), Self::wikitaxonomy(), Self::yago(), Self::freebase()]
+    }
+}
+
+/// Sample a rival taxonomy from the world.
+pub fn sample_rival(world: &World, cfg: &RivalConfig) -> RivalTaxonomy {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let idx = WorldIndex::new(world);
+    let mut concepts: HashSet<String> = HashSet::new();
+    let mut chosen_ids = Vec::new();
+
+    // Freebase concentrates on the most popular concepts; others sample.
+    if cfg.name == "Freebase" {
+        let mut by_pop: Vec<_> = world.concepts.iter().filter(|c| !c.instances.is_empty()).collect();
+        by_pop.sort_by(|a, b| b.popularity.partial_cmp(&a.popularity).expect("finite"));
+        let take = ((world.concepts.len() as f64 * cfg.concept_fraction).ceil() as usize).max(8);
+        for c in by_pop.into_iter().take(take) {
+            concepts.insert(c.label.clone());
+            chosen_ids.push(c.id);
+        }
+    } else {
+        for c in &world.concepts {
+            let take = (cfg.include_curated && c.curated) || rng.gen_bool(cfg.concept_fraction);
+            if take && !c.instances.is_empty() {
+                concepts.insert(c.label.clone());
+                chosen_ids.push(c.id);
+            }
+        }
+    }
+
+    let mut terms: HashSet<String> = concepts.iter().map(|c| c.to_lowercase()).collect();
+    let mut sizes: HashMap<String, usize> = HashMap::new();
+    let mut concept_instance_pairs = 0;
+    for &cid in &chosen_ids {
+        let c = world.concept(cid);
+        let mut n = 0;
+        for m in &c.instances {
+            if !rng.gen_bool(cfg.instance_fraction.clamp(0.0, 1.0)) {
+                continue;
+            }
+            if let Some(cap) = cfg.max_instances {
+                if n >= cap {
+                    break;
+                }
+            }
+            let inst = world.instance(m.instance);
+            terms.insert(inst.surface.to_lowercase());
+            n += 1;
+        }
+        // Freebase inflates head concepts: every transitive instance is
+        // listed directly under the concept (flat, huge sets).
+        if cfg.name == "Freebase" {
+            n = idx.world().closure_instances(cid).len().max(n);
+        }
+        concept_instance_pairs += n;
+        *sizes.entry(c.label.clone()).or_insert(0) += n;
+    }
+
+    let mut edges = Vec::new();
+    if cfg.keep_hierarchy {
+        for &cid in &chosen_ids {
+            let c = world.concept(cid);
+            for &ch in &c.children {
+                let child = world.concept(ch);
+                if concepts.contains(&child.label) {
+                    edges.push((c.label.clone(), child.label.clone()));
+                }
+            }
+            // Leaf instances as graph leaves (sampled small set).
+            for m in c.instances.iter().take(cfg.max_instances.unwrap_or(5).min(5)) {
+                edges.push((c.label.clone(), world.instance(m.instance).surface.clone()));
+            }
+        }
+    } else {
+        for &cid in &chosen_ids {
+            let c = world.concept(cid);
+            for m in c.instances.iter().take(50) {
+                edges.push((c.label.clone(), world.instance(m.instance).surface.clone()));
+            }
+        }
+    }
+
+    let concept_subconcept_pairs = if cfg.keep_hierarchy {
+        edges.iter().filter(|(_, c)| concepts.contains(c)).count()
+    } else {
+        0
+    };
+    RivalTaxonomy {
+        name: cfg.name.to_string(),
+        concepts,
+        terms,
+        sizes,
+        concept_instance_pairs,
+        concept_subconcept_pairs,
+        edges,
+    }
+}
+
+/// A [`TaxonomyView`] over a built Probase graph.
+pub struct GraphView<'g> {
+    pub name: String,
+    pub graph: &'g ConceptGraph,
+}
+
+impl TaxonomyView for GraphView<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn has_concept(&self, label: &str) -> bool {
+        self.graph
+            .senses_of(label)
+            .iter()
+            .any(|&n| !self.graph.is_instance(n))
+    }
+    fn has_term(&self, term: &str) -> bool {
+        !self.graph.senses_of(term).is_empty()
+    }
+    fn concept_count(&self) -> usize {
+        self.graph.concepts().count()
+    }
+    fn concept_sizes(&self) -> Vec<usize> {
+        self.graph
+            .concepts()
+            .map(|c| self.graph.children(c).filter(|(n, _)| self.graph.is_instance(*n)).count())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probase_corpus::{generate, WorldConfig};
+
+    fn world() -> World {
+        generate(&WorldConfig::small(31))
+    }
+
+    #[test]
+    fn panel_has_expected_scale_ordering() {
+        let w = world();
+        let rivals: Vec<RivalTaxonomy> =
+            RivalConfig::panel().iter().map(|c| sample_rival(&w, c)).collect();
+        let by_name: HashMap<&str, &RivalTaxonomy> =
+            rivals.iter().map(|r| (r.name.as_str(), r)).collect();
+        // Freebase has very few concepts, WordNet few, YAGO most.
+        assert!(by_name["Freebase"].concept_count() < by_name["WordNet"].concept_count());
+        assert!(by_name["WordNet"].concept_count() <= by_name["YAGO"].concept_count());
+    }
+
+    #[test]
+    fn freebase_has_no_hierarchy_but_big_sets() {
+        let w = world();
+        let fb = sample_rival(&w, &RivalConfig::freebase());
+        assert_eq!(fb.concept_subconcept_pairs, 0);
+        assert_eq!(fb.stats().concept_subconcept_pairs, 0);
+        let max_size = fb.concept_sizes().into_iter().max().unwrap_or(0);
+        let wn = sample_rival(&w, &RivalConfig::wordnet());
+        let wn_max = wn.concept_sizes().into_iter().max().unwrap_or(0);
+        assert!(max_size > wn_max, "freebase {max_size} vs wordnet {wn_max}");
+    }
+
+    #[test]
+    fn wordnet_keeps_hierarchy() {
+        let w = world();
+        let wn = sample_rival(&w, &RivalConfig::wordnet());
+        assert!(wn.concept_subconcept_pairs > 0);
+        let stats = wn.stats();
+        assert!(stats.max_level >= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn term_lookup_case_insensitive() {
+        let w = world();
+        let yago = sample_rival(&w, &RivalConfig::yago());
+        assert!(yago.has_concept("country"));
+        assert!(yago.has_term("country"));
+        // Some curated instance should be present.
+        assert!(yago.has_term("china") || yago.has_term("india") || yago.has_term("usa"));
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let w = world();
+        let a = sample_rival(&w, &RivalConfig::yago());
+        let b = sample_rival(&w, &RivalConfig::yago());
+        assert_eq!(a.concept_count(), b.concept_count());
+        assert_eq!(a.concept_instance_pairs, b.concept_instance_pairs);
+    }
+}

@@ -1,0 +1,289 @@
+//! Syntactic-iteration extraction baselines (paper §2.1).
+//!
+//! These reproduce the behavior of the KnowItAll / TextRunner / NELL
+//! family that Probase's Figure 9 compares against. They share Probase's
+//! Hearst matcher but make every decision *syntactically*:
+//!
+//! * the super-concept is the **closest** plural NP to the keywords — so
+//!   "animals other than **dogs** such as cats" yields `(dog, cat)`;
+//! * conjunctions are always delimiters — "Proctor and Gamble" becomes
+//!   two companies;
+//! * there is no scope detection — drifted list prefixes ("…, Europe, and
+//!   other countries") are extracted wholesale;
+//! * optionally, instances are restricted to proper nouns (the precision/
+//!   recall trade the paper describes: "(cat isA animal)" is lost);
+//! * optionally, a **pattern-bootstrapping** iteration learns new
+//!   lexical contexts from known instances and harvests from them — the
+//!   mechanism behind *semantic drift* ("war with x" ⇒ x = planet Earth).
+
+use probase_corpus::sentence::SentenceRecord;
+use probase_extract::pattern::find_pattern;
+use probase_extract::syntactic::normalize_sub;
+use probase_text::{normalize_concept, tag_tokens, tokenize, Chunker, Lexicon, Tag, TaggedToken};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the syntactic baseline.
+#[derive(Debug, Clone)]
+pub struct SyntacticConfig {
+    /// Restrict extracted instances to proper-noun-looking items.
+    pub proper_only: bool,
+    /// Strip modifiers off the super-concept ("industrialized countries"
+    /// → "countries"), as most baseline systems do (§2.1 third bullet).
+    pub head_noun_super: bool,
+    /// Run the pattern-bootstrapping iteration (semantic drift source).
+    pub bootstrap_patterns: bool,
+    /// Minimum support for a learned context pattern.
+    pub min_pattern_support: u32,
+}
+
+impl Default for SyntacticConfig {
+    fn default() -> Self {
+        Self {
+            proper_only: false,
+            head_noun_super: true,
+            bootstrap_patterns: true,
+            min_pattern_support: 3,
+        }
+    }
+}
+
+/// Output of a baseline run: pair occurrence counts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BaselineOutput {
+    /// `(super, sub) → occurrences`.
+    pub pairs: HashMap<(String, String), u32>,
+    /// Pairs produced by learned (non-Hearst) patterns — the drift-prone
+    /// portion, reported separately for the ablation.
+    pub bootstrapped_pairs: usize,
+}
+
+impl BaselineOutput {
+    fn add(&mut self, x: String, y: String) {
+        if x != y {
+            *self.pairs.entry((x, y)).or_insert(0) += 1;
+        }
+    }
+
+    pub fn distinct_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+/// Run the syntactic baseline over a corpus.
+pub fn extract_syntactic(
+    records: &[SentenceRecord],
+    lexicon: &Lexicon,
+    cfg: &SyntacticConfig,
+) -> BaselineOutput {
+    let chunker = Chunker::default();
+    let mut out = BaselineOutput::default();
+    // instance → concept map for bootstrapping, filled during phase 1.
+    let mut known: HashMap<String, String> = HashMap::new();
+
+    for rec in records {
+        let tagged = tag_tokens(&tokenize(&rec.text), lexicon);
+        let Some(pm) = find_pattern(&tagged) else { continue };
+        // Closest plural NP: last NP of the super region for forward
+        // patterns, first for reverse ones.
+        let (ss, se) = pm.super_region;
+        let mut phrases = chunker.chunk(&tagged[ss..se]);
+        phrases.retain(|p| p.head_plural);
+        let reverse = matches!(
+            pm.kind,
+            probase_corpus::sentence::PatternKind::AndOther
+                | probase_corpus::sentence::PatternKind::OrOther
+        );
+        let super_np = if reverse { phrases.first() } else { phrases.last() };
+        let Some(super_np) = super_np else { continue };
+        let super_label = if cfg.head_noun_super {
+            normalize_concept(super_np.head())
+        } else {
+            normalize_concept(&super_np.text())
+        };
+
+        // All segments, always splitting at conjunctions.
+        let (ls, le) = pm.list_region;
+        for item in naive_segments(&tagged[ls..le]) {
+            if cfg.proper_only && !looks_proper(&item) {
+                continue;
+            }
+            let norm = normalize_sub(&item);
+            known.entry(norm.clone()).or_insert_with(|| super_label.clone());
+            out.add(super_label.clone(), norm);
+        }
+    }
+
+    if cfg.bootstrap_patterns {
+        bootstrap(records, lexicon, &known, cfg, &mut out);
+    }
+    out
+}
+
+/// Naive list segmentation: commas, semicolons, and conjunctions all
+/// delimit; the sentence period ends the list; no boundary-cut readings.
+fn naive_segments(tokens: &[TaggedToken]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current: Vec<&str> = Vec::new();
+    for t in tokens {
+        match t.tag {
+            Tag::Punct => match t.token.text.as_str() {
+                "," | ";" => flush(&mut current, &mut out),
+                "." | "!" | "?" => break,
+                _ => {}
+            },
+            Tag::Conj => flush(&mut current, &mut out),
+            _ => current.push(&t.token.text),
+        }
+    }
+    flush(&mut current, &mut out);
+    out.retain(|s| !s.is_empty() && s.to_lowercase() != "etc");
+    out
+}
+
+fn flush(current: &mut Vec<&str>, out: &mut Vec<String>) {
+    if !current.is_empty() {
+        out.push(current.join(" "));
+        current.clear();
+    }
+}
+
+fn looks_proper(item: &str) -> bool {
+    item.split_whitespace().next().is_some_and(|w| w.chars().next().is_some_and(|c| c.is_uppercase()))
+}
+
+/// Phase 2: learn lexical contexts around known instances from *all*
+/// sentences, then harvest whatever else appears in those contexts. This
+/// is how syntactic bootstrapping drifts: a context like "the committee
+/// discussed {X}" is not specific to any concept.
+fn bootstrap(
+    records: &[SentenceRecord],
+    lexicon: &Lexicon,
+    known: &HashMap<String, String>,
+    cfg: &SyntacticConfig,
+    out: &mut BaselineOutput,
+) {
+    // context = (previous word, following word) around a proper NP.
+    let mut contexts: HashMap<(String, String), HashMap<String, u32>> = HashMap::new();
+    let mut occurrences: Vec<((String, String), String)> = Vec::new();
+    for rec in records {
+        let tagged = tag_tokens(&tokenize(&rec.text), lexicon);
+        for (i, t) in tagged.iter().enumerate() {
+            if !t.tag.is_noun() {
+                continue;
+            }
+            let prev = if i > 0 { tagged[i - 1].token.text.to_lowercase() } else { "^".into() };
+            let next = if i + 1 < tagged.len() {
+                tagged[i + 1].token.text.to_lowercase()
+            } else {
+                "$".into()
+            };
+            let term = normalize_sub(&t.token.text);
+            let ctx = (prev, next);
+            if let Some(concept) = known.get(&term) {
+                *contexts.entry(ctx.clone()).or_default().entry(concept.clone()).or_insert(0) += 1;
+            }
+            occurrences.push((ctx, term));
+        }
+    }
+    // A context is adopted for a concept when its support clears the bar.
+    let adopted: HashMap<(String, String), String> = contexts
+        .into_iter()
+        .filter_map(|(ctx, by_concept)| {
+            let (concept, n) = by_concept.into_iter().max_by_key(|&(_, n)| n)?;
+            (n >= cfg.min_pattern_support).then_some((ctx, concept))
+        })
+        .collect();
+    for (ctx, term) in occurrences {
+        if let Some(concept) = adopted.get(&ctx) {
+            if known.get(&term) != Some(concept) {
+                out.add(concept.clone(), term);
+                out.bootstrapped_pairs += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probase_corpus::sentence::{SentenceTruth, SourceMeta};
+
+    fn rec(id: u64, text: &str) -> SentenceRecord {
+        SentenceRecord {
+            id,
+            text: text.to_string(),
+            meta: SourceMeta { page_id: 0, page_rank: 0.5, source_quality: 0.5 },
+            truth: SentenceTruth::default(),
+        }
+    }
+
+    fn run(texts: &[&str], cfg: &SyntacticConfig) -> BaselineOutput {
+        let records: Vec<SentenceRecord> =
+            texts.iter().enumerate().map(|(i, t)| rec(i as u64, t)).collect();
+        extract_syntactic(&records, &Lexicon::default(), cfg)
+    }
+
+    fn no_bootstrap() -> SyntacticConfig {
+        SyntacticConfig { bootstrap_patterns: false, ..Default::default() }
+    }
+
+    #[test]
+    fn falls_for_other_than_distractor() {
+        let out = run(&["animals other than dogs such as cats."], &no_bootstrap());
+        assert!(out.pairs.contains_key(&("dog".to_string(), "cat".to_string())), "{:?}", out.pairs);
+        assert!(!out.pairs.contains_key(&("animal".to_string(), "cat".to_string())));
+    }
+
+    #[test]
+    fn splits_conjunction_names() {
+        let out = run(&["companies such as IBM, Proctor and Gamble."], &no_bootstrap());
+        assert!(out.pairs.contains_key(&("company".to_string(), "Proctor".to_string())));
+        assert!(out.pairs.contains_key(&("company".to_string(), "Gamble".to_string())));
+        assert!(!out.pairs.keys().any(|(_, y)| y == "Proctor and Gamble"));
+    }
+
+    #[test]
+    fn swallows_drifted_lists() {
+        let out = run(
+            &["representatives in North America, Europe, China, and other countries."],
+            &no_bootstrap(),
+        );
+        assert!(out.pairs.contains_key(&("country".to_string(), "Europe".to_string())), "{:?}", out.pairs);
+    }
+
+    #[test]
+    fn head_noun_super_loses_specific_concept() {
+        let out = run(&["industrialized countries such as Germany."], &no_bootstrap());
+        assert!(out.pairs.contains_key(&("country".to_string(), "Germany".to_string())));
+        assert!(!out.pairs.keys().any(|(x, _)| x == "industrialized country"));
+    }
+
+    #[test]
+    fn proper_only_drops_common_instances() {
+        let cfg = SyntacticConfig { proper_only: true, bootstrap_patterns: false, ..Default::default() };
+        let out = run(&["animals such as cats and dogs."], &cfg);
+        assert_eq!(out.distinct_pairs(), 0);
+    }
+
+    #[test]
+    fn bootstrapping_drifts() {
+        // "the committee discussed {X}" context is learned from countries
+        // and then harvests a disease.
+        let mut texts = vec![
+            "countries such as France.",
+            "countries such as Spain.",
+            "countries such as Poland.",
+        ];
+        texts.extend(["the committee discussed France .", "the committee discussed Spain .",
+                      "the committee discussed Poland ."]);
+        texts.push("the committee discussed Malaria .");
+        let out = run(&texts, &SyntacticConfig::default());
+        assert!(
+            out.pairs.contains_key(&("country".to_string(), "Malaria".to_string())),
+            "expected drift pair: {:?}",
+            out.pairs
+        );
+        assert!(out.bootstrapped_pairs >= 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! Microbenchmark: the §5.3 applications — query rewriting, short-text
+//! conceptualization, and table-header inference over a built model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use probase_apps::{conceptualize_text, infer_header, rewrite_query, Association, Column};
+use probase_core::{ProbaseConfig, Simulation};
+use probase_corpus::{CorpusConfig, WorldConfig};
+
+fn bench_apps(c: &mut Criterion) {
+    let sim = Simulation::run(
+        &WorldConfig::small(904),
+        &CorpusConfig { seed: 904, sentences: 4_000, ..CorpusConfig::default() },
+        &ProbaseConfig::paper(),
+    );
+    let model = &sim.probase.model;
+    let assoc = Association::default();
+
+    let mut group = c.benchmark_group("apps");
+    group.bench_function("rewrite_semantic_query", |b| {
+        b.iter(|| {
+            black_box(rewrite_query(model, &assoc, "famous actors in big companies", 5, 12).len())
+        })
+    });
+    group.bench_function("conceptualize_short_text", |b| {
+        b.iter(|| black_box(conceptualize_text(model, "a trip to China and India", 3).len()))
+    });
+    let col = Column {
+        cells: ["China", "India", "Brazil", "France", "Japan"].iter().map(|s| s.to_string()).collect(),
+    };
+    group.bench_function("infer_table_header", |b| {
+        b.iter(|| black_box(infer_header(model, &col, 4).map(|h| h.concept)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Microbenchmark: the full iterative extraction (Algorithm 1), serial vs
+//! parallel driver — the stage the paper ran on 10 machines for 7 hours.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use probase_corpus::{CorpusConfig, CorpusGenerator, WorldConfig};
+use probase_extract::{extract, extract_parallel, ExtractorConfig};
+
+fn bench_extraction(c: &mut Criterion) {
+    let world = probase_corpus::generate(&WorldConfig::small(901));
+    let corpus = CorpusGenerator::new(
+        &world,
+        CorpusConfig { seed: 901, sentences: 3_000, ..CorpusConfig::default() },
+    )
+    .generate_all();
+    let cfg = ExtractorConfig::paper();
+
+    let mut group = c.benchmark_group("extraction");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(corpus.len() as u64));
+    group.bench_function("serial_3k_sentences", |b| {
+        b.iter(|| black_box(extract(&corpus, &world.lexicon, &cfg).knowledge.pair_count()))
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel_3k_sentences", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    black_box(
+                        extract_parallel(&corpus, &world.lexicon, &cfg, t)
+                            .knowledge
+                            .pair_count(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_persist(c: &mut Criterion) {
+    let world = probase_corpus::generate(&WorldConfig::small(905));
+    let corpus = CorpusGenerator::new(
+        &world,
+        CorpusConfig { seed: 905, sentences: 3_000, ..CorpusConfig::default() },
+    )
+    .generate_all();
+    let out = extract(&corpus, &world.lexicon, &ExtractorConfig::paper());
+    let mut group = c.benchmark_group("knowledge");
+    group.bench_function("persist_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = probase_extract::knowledge_to_bytes(&out.knowledge);
+            black_box(probase_extract::knowledge_from_bytes(bytes).expect("roundtrip").pair_count())
+        })
+    });
+    group.bench_function("absorb", |b| {
+        b.iter(|| {
+            let mut merged = out.knowledge.clone();
+            merged.absorb(&out.knowledge);
+            black_box(merged.total())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction, bench_persist);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Microbenchmark: Hearst pattern matching and syntactic extraction
+//! throughput (the per-sentence cost of the paper's §2.3.1 stage).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use probase_corpus::{CorpusConfig, CorpusGenerator, WorldConfig};
+use probase_extract::syntactic_extract;
+use probase_text::{tag_tokens, tokenize, Chunker};
+
+fn bench_pattern(c: &mut Criterion) {
+    let world = probase_corpus::generate(&WorldConfig::small(900));
+    let corpus = CorpusGenerator::new(
+        &world,
+        CorpusConfig { seed: 900, sentences: 2_000, ..CorpusConfig::default() },
+    )
+    .generate_all();
+    let texts: Vec<&str> = corpus.iter().map(|r| r.text.as_str()).collect();
+    let lexicon = &world.lexicon;
+    let chunker = Chunker::default();
+
+    let mut group = c.benchmark_group("pattern");
+    group.throughput(Throughput::Elements(texts.len() as u64));
+    group.bench_function("tokenize_tag_2k_sentences", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for t in &texts {
+                n += tag_tokens(&tokenize(t), lexicon).len();
+            }
+            black_box(n)
+        })
+    });
+    group.bench_function("syntactic_extract_2k_sentences", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for t in &texts {
+                if let Some(e) = syntactic_extract(t, lexicon, &chunker) {
+                    n += e.segments.len();
+                }
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pattern);
+criterion_main!(benches);

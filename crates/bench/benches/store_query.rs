@@ -1,0 +1,48 @@
+//! Microbenchmark: the graph store — node/edge ingest, level computation
+//! (Table 4 statistics), and snapshot round-trips.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use probase_store::query::parent_level_sets;
+use probase_store::{snapshot, ConceptGraph, GraphStats};
+
+fn build_graph(concepts: usize, fanout: usize) -> ConceptGraph {
+    let mut g = ConceptGraph::new();
+    for i in 0..concepts {
+        let parent = g.ensure_node(&format!("concept{i}"), 0);
+        for j in 0..fanout {
+            let child = if j == 0 && i + 1 < concepts {
+                g.ensure_node(&format!("concept{}", i + 1), 0)
+            } else {
+                g.ensure_node(&format!("inst{i}_{j}"), 0)
+            };
+            g.add_evidence(parent, child, (i + j) as u32 % 7 + 1);
+        }
+    }
+    g
+}
+
+fn bench_store(c: &mut Criterion) {
+    let g = build_graph(2_000, 8);
+    let mut group = c.benchmark_group("store");
+    group.bench_function("ingest_2k_x8", |b| b.iter(|| black_box(build_graph(2_000, 8).edge_count())));
+    group.bench_function("graph_stats_table4", |b| {
+        b.iter(|| black_box(GraphStats::compute(&g).max_level))
+    });
+    group.bench_function("parent_level_sets", |b| {
+        b.iter(|| black_box(parent_level_sets(&g).len()))
+    });
+    group.bench_function("shared_store_reads", |b| {
+        let shared = probase_store::SharedStore::new(g.clone());
+        b.iter(|| shared.read(|g| black_box(g.edge_count())))
+    });
+    group.bench_function("snapshot_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = snapshot::to_bytes(&g);
+            black_box(snapshot::from_bytes(bytes).expect("roundtrip").node_count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

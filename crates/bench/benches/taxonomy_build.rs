@@ -1,0 +1,49 @@
+//! Microbenchmark: taxonomy construction (Algorithm 2) — including the
+//! AB1 ablation of merge schedules on the operational engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use probase_corpus::{CorpusConfig, CorpusGenerator, WorldConfig};
+use probase_extract::{extract, ExtractorConfig};
+use probase_taxonomy::{
+    build_local_taxonomies, build_taxonomy, AbsoluteOverlap, MergeState, TaxonomyConfig,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_taxonomy(c: &mut Criterion) {
+    let world = probase_corpus::generate(&WorldConfig::small(902));
+    let corpus = CorpusGenerator::new(
+        &world,
+        CorpusConfig { seed: 902, sentences: 4_000, ..CorpusConfig::default() },
+    )
+    .generate_all();
+    let out = extract(&corpus, &world.lexicon, &ExtractorConfig::paper());
+
+    let mut group = c.benchmark_group("taxonomy");
+    group.sample_size(20);
+    group.bench_function("build_indexed", |b| {
+        b.iter(|| black_box(build_taxonomy(&out.sentences, &TaxonomyConfig::default()).stats))
+    });
+
+    // AB1: engine schedules on a subsample.
+    let (locals, _) = build_local_taxonomies(&out.sentences);
+    let locals: Vec<_> = locals.into_iter().filter(|l| l.children.len() >= 2).take(80).collect();
+    let sim = AbsoluteOverlap { delta: 2 };
+    group.bench_function("engine_horizontal_first_80", |b| {
+        b.iter(|| {
+            let mut st = MergeState::from_locals(&locals);
+            black_box(st.run_horizontal_first(&sim))
+        })
+    });
+    group.bench_function("engine_random_order_80", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let mut st = MergeState::from_locals(&locals);
+            black_box(st.run_with(&sim, |ops| rng.gen_range(0..ops.len())))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_taxonomy);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Microbenchmark: the probabilistic layer — plausibility (Eq. 1–2),
+//! Algorithm 3 reachability, and typicality (Eq. 3–4).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use probase_core::{seed_from_world, ProbaseConfig};
+use probase_corpus::{CorpusConfig, CorpusGenerator, WorldConfig};
+use probase_extract::{extract, ExtractorConfig};
+use probase_prob::{
+    compute_plausibility, EvidenceModel, PlausibilityConfig, ReachTable, TypicalityModel,
+};
+use probase_taxonomy::{build_taxonomy, TaxonomyConfig};
+
+fn bench_prob(c: &mut Criterion) {
+    let _ = ProbaseConfig::paper();
+    let world = probase_corpus::generate(&WorldConfig::small(903));
+    let corpus = CorpusGenerator::new(
+        &world,
+        CorpusConfig { seed: 903, sentences: 4_000, ..CorpusConfig::default() },
+    )
+    .generate_all();
+    let out = extract(&corpus, &world.lexicon, &ExtractorConfig::paper());
+    let built = build_taxonomy(&out.sentences, &TaxonomyConfig::default());
+    let seed = seed_from_world(&world);
+    let model = EvidenceModel::fit(&out.evidence, &seed);
+
+    let mut group = c.benchmark_group("prob");
+    group.sample_size(20);
+    group.bench_function("plausibility_noisy_or", |b| {
+        b.iter(|| {
+            black_box(
+                compute_plausibility(&out.evidence, &out.knowledge, &model, &PlausibilityConfig::default())
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("reach_algorithm3", |b| {
+        b.iter(|| black_box(ReachTable::compute(&built.graph).len()))
+    });
+    let reach = ReachTable::compute(&built.graph);
+    group.bench_function("typicality_eq4", |b| {
+        b.iter(|| black_box(TypicalityModel::compute(&built.graph, &reach).concept_count()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prob);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! AB5: similarity threshold sweep.
+use probase_bench::common::standard_simulation;
+
+fn main() {
+    let sim = standard_simulation(80_000);
+    print!("{}", probase_bench::exp_ablation::ablation_delta(&sim));
+}

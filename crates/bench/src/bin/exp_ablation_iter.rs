@@ -1,0 +1,7 @@
+//! AB3: semantic vs syntactic iteration ablation.
+use probase_bench::common::standard_simulation;
+
+fn main() {
+    let sim = standard_simulation(80_000);
+    print!("{}", probase_bench::exp_ablation::ablation_iteration(&sim));
+}

@@ -1,0 +1,7 @@
+//! AB1: Theorem 1/2 merge-order ablation.
+use probase_bench::common::standard_simulation;
+
+fn main() {
+    let sim = standard_simulation(80_000);
+    print!("{}", probase_bench::exp_ablation::ablation_merge_order(&sim, 120, 5));
+}

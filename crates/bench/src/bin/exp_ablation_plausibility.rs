@@ -1,0 +1,7 @@
+//! AB4: plausibility model comparison (noisy-or vs Urns vs counts).
+use probase_bench::common::standard_simulation;
+
+fn main() {
+    let sim = standard_simulation(80_000);
+    print!("{}", probase_bench::exp_ablation::ablation_plausibility(&sim));
+}

@@ -1,0 +1,4 @@
+//! AB6: corpus-cleanliness sweep.
+fn main() {
+    print!("{}", probase_bench::exp_ablation::ablation_corpus_profiles(40_000));
+}

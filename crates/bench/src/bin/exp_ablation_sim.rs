@@ -1,0 +1,4 @@
+//! AB2: similarity-function ablation (no simulation needed).
+fn main() {
+    print!("{}", probase_bench::exp_ablation::ablation_similarity(20_000));
+}

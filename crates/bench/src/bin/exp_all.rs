@@ -1,0 +1,46 @@
+//! Regenerates every table and figure of the paper in one run, reusing a
+//! single simulated deployment. Output is the raw material of
+//! EXPERIMENTS.md.
+use probase_bench::common::standard_simulation;
+use probase_bench::{exp_ablation, exp_apps, exp_precision, exp_scale};
+use std::time::Instant;
+
+fn main() {
+    let sentences: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(80_000);
+    let t0 = Instant::now();
+    eprintln!("building standard simulation ({sentences} sentences) ...");
+    let sim = standard_simulation(sentences);
+    eprintln!("built in {:?}", t0.elapsed());
+
+    let log = exp_scale::query_log(&sim, 100_000);
+    for report in [
+        exp_scale::table1(&sim),
+        exp_scale::table4(&sim),
+        exp_precision::table5(&sim),
+        exp_scale::fig5(&sim, &log),
+        exp_scale::fig6(&sim, &log),
+        exp_scale::fig7(&sim, &log),
+        exp_scale::fig8(&sim),
+        exp_precision::fig9(&sim),
+        exp_precision::fig10(&sim),
+        exp_precision::fig11(&sim),
+        exp_apps::fig12(&sim),
+        exp_apps::app_search(&sim),
+        exp_apps::app_shorttext(&sim),
+        exp_apps::app_tables(&sim),
+        exp_apps::app_ner(&sim),
+        exp_apps::app_mixed(&sim),
+        exp_ablation::ablation_merge_order(&sim, 120, 5),
+        exp_ablation::ablation_similarity(20_000),
+        exp_ablation::ablation_iteration(&sim),
+        exp_ablation::ablation_plausibility(&sim),
+        exp_ablation::ablation_delta(&sim),
+        exp_ablation::ablation_corpus_profiles(sentences / 2),
+        exp_ablation::ablation_pr_curve(&sim),
+        exp_scale::scaling_sweep(&[sentences / 8, sentences / 4, sentences / 2, sentences]),
+    ] {
+        println!("{report}");
+    }
+    eprintln!("total wall time {:?}", t0.elapsed());
+}

@@ -1,0 +1,7 @@
+//! A5: mixed instance+attribute abstraction.
+use probase_bench::common::standard_simulation;
+
+fn main() {
+    let sim = standard_simulation(80_000);
+    print!("{}", probase_bench::exp_apps::app_mixed(&sim));
+}

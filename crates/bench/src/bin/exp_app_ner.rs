@@ -1,0 +1,7 @@
+//! A4: fine-grained NER case study.
+use probase_bench::common::standard_simulation;
+
+fn main() {
+    let sim = standard_simulation(80_000);
+    print!("{}", probase_bench::exp_apps::app_ner(&sim));
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Figure 12 (attribute extraction precision).
+use probase_bench::common::standard_simulation;
+
+fn main() {
+    let sim = standard_simulation(80_000);
+    print!("{}", probase_bench::exp_apps::fig12(&sim));
+}

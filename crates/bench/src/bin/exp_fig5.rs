@@ -1,0 +1,9 @@
+//! Regenerates paper Figure 5 (relevant concepts vs top-k queries).
+use probase_bench::common::standard_simulation;
+use probase_bench::exp_scale::{fig5, query_log};
+
+fn main() {
+    let sim = standard_simulation(80_000);
+    let log = query_log(&sim, 100_000);
+    print!("{}", fig5(&sim, &log));
+}

@@ -1,0 +1,9 @@
+//! Regenerates paper Figure 6 (taxonomy coverage of top-k queries).
+use probase_bench::common::standard_simulation;
+use probase_bench::exp_scale::{fig6, query_log};
+
+fn main() {
+    let sim = standard_simulation(80_000);
+    let log = query_log(&sim, 100_000);
+    print!("{}", fig6(&sim, &log));
+}

@@ -1,0 +1,9 @@
+//! Regenerates paper Figure 7 (concept coverage of top-k queries).
+use probase_bench::common::standard_simulation;
+use probase_bench::exp_scale::{fig7, query_log};
+
+fn main() {
+    let sim = standard_simulation(80_000);
+    let log = query_log(&sim, 100_000);
+    print!("{}", fig7(&sim, &log));
+}

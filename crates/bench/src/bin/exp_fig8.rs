@@ -1,0 +1,7 @@
+//! Regenerates paper Figure 8 (concept size distributions).
+use probase_bench::common::standard_simulation;
+
+fn main() {
+    let sim = standard_simulation(80_000);
+    print!("{}", probase_bench::exp_scale::fig8(&sim));
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Figure 9 (extraction precision vs baselines).
+use probase_bench::common::standard_simulation;
+
+fn main() {
+    let sim = standard_simulation(80_000);
+    print!("{}", probase_bench::exp_precision::fig9(&sim));
+}

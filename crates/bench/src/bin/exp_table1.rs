@@ -1,0 +1,7 @@
+//! Regenerates paper Table 1 (taxonomy scale).
+use probase_bench::common::standard_simulation;
+
+fn main() {
+    let sim = standard_simulation(80_000);
+    print!("{}", probase_bench::exp_scale::table1(&sim));
+}

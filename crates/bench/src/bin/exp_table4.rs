@@ -1,0 +1,7 @@
+//! Regenerates paper Table 4 (concept-subconcept space).
+use probase_bench::common::standard_simulation;
+
+fn main() {
+    let sim = standard_simulation(80_000);
+    print!("{}", probase_bench::exp_scale::table4(&sim));
+}

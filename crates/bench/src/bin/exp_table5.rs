@@ -1,0 +1,7 @@
+//! Regenerates paper Table 5 (benchmark concepts and typical instances).
+use probase_bench::common::standard_simulation;
+
+fn main() {
+    let sim = standard_simulation(80_000);
+    print!("{}", probase_bench::exp_precision::table5(&sim));
+}

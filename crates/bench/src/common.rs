@@ -1,0 +1,31 @@
+//! Shared setup for the experiment binaries: one standard simulated
+//! deployment (world + corpus + Probase) at the evaluation scale, plus
+//! small helpers for printing paper-style output.
+
+use probase_core::{ProbaseConfig, Simulation};
+use probase_corpus::{CorpusConfig, WorldConfig};
+
+/// The standard evaluation scale. Roughly 1/1000 of the paper's corpus;
+/// EXPERIMENTS.md records the scaling factor next to every number.
+pub fn eval_world() -> WorldConfig {
+    // A slightly denser world than the library default: fewer filler
+    // concepts relative to the corpus, so the corpus/world mention ratio
+    // is closer to the paper's 1.68 B pages over its term space.
+    WorldConfig { seed: 2012, filler_concepts: 700, filler_instances: (4, 24), ..WorldConfig::default() }
+}
+
+/// The standard corpus configuration for the evaluation scale.
+pub fn eval_corpus(sentences: usize) -> CorpusConfig {
+    CorpusConfig { seed: 2012, sentences, ..CorpusConfig::default() }
+}
+
+/// Build the standard simulation used by most experiments.
+pub fn standard_simulation(sentences: usize) -> Simulation {
+    Simulation::run(&eval_world(), &eval_corpus(sentences), &ProbaseConfig::paper())
+}
+
+/// Render an experiment banner.
+pub fn banner(id: &str, title: &str) -> String {
+    let line = "=".repeat(64);
+    format!("{line}\n{id}: {title}\n{line}\n")
+}

@@ -1,0 +1,381 @@
+//! Application experiments: Figure 12 and the §5.3 case studies
+//! (semantic search, short-text clustering, web tables).
+
+use crate::common::banner;
+use probase_apps::{
+    bow_vector, concept_vector, harvest_attributes, infer_header, kmeans, pages_from_corpus,
+    probase_seeds, purity, semantic_search, Association, Column, FeatureSpace, MiniIndex,
+};
+use probase_core::Simulation;
+use probase_corpus::attributes::{generate_attribute_corpus, AttributeCorpusConfig};
+use probase_corpus::{ConceptId, WorldIndex};
+use probase_eval::{precision_at_k, render_table, semantic_queries, table_columns, tweets};
+use std::collections::HashSet;
+
+/// Figure 12: top-20 attribute precision, Pasca-style manual seeds vs
+/// Probase automatic seeds, over the benchmark concepts.
+pub fn fig12(sim: &Simulation) -> String {
+    let head = banner("F12", "Figure 12 — precision of top-20 attributes (Pasca seeds vs Probase seeds)");
+    let idx = WorldIndex::new(&sim.world);
+    // The paper evaluates 31 concepts; take the first 31 benchmark
+    // concepts the model knows.
+    let concepts: Vec<(&str, ConceptId)> = probase_corpus::benchmark::benchmark_labels()
+        .into_iter()
+        .filter_map(|l| idx.senses(l).first().map(|&c| (l, c)))
+        .filter(|(l, _)| sim.probase.model.is_concept(l))
+        .take(31)
+        .collect();
+
+    let mentions_cfg = AttributeCorpusConfig { mentions_per_attribute: 24, ..Default::default() };
+    let mut rows = Vec::new();
+    let (mut pasca_sum, mut probase_sum, mut n) = (0.0, 0.0, 0usize);
+    for (label, cid) in &concepts {
+        let mentions = generate_attribute_corpus(&sim.world, &[*cid], &mentions_cfg);
+        let truth: HashSet<&String> = sim.world.concept(*cid).attributes.iter().collect();
+        // Pasca: manually curated seeds — the world's ground-truth most
+        // typical instances (what a human would pick).
+        let pasca_seeds: Vec<String> = sim
+            .world
+            .concept(*cid)
+            .instances
+            .iter()
+            .take(5)
+            .map(|m| sim.world.instance(m.instance).surface.clone())
+            .collect();
+        // Probase: automatic typicality seeds.
+        let auto_seeds = probase_seeds(&sim.probase.model, label, 5);
+
+        let p_pasca = precision_at_k(&harvest_attributes(&mentions, &pasca_seeds), 20, |r| {
+            truth.contains(&r.attribute)
+        });
+        let p_auto = precision_at_k(&harvest_attributes(&mentions, &auto_seeds), 20, |r| {
+            truth.contains(&r.attribute)
+        });
+        pasca_sum += p_pasca;
+        probase_sum += p_auto;
+        n += 1;
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0}%", 100.0 * p_pasca),
+            format!("{:.0}%", 100.0 * p_auto),
+        ]);
+    }
+    let table = render_table(&["concept", "Pasca seeds", "Probase seeds"], &rows);
+    let (pa, pb) = (100.0 * pasca_sum / n.max(1) as f64, 100.0 * probase_sum / n.max(1) as f64);
+    format!(
+        "{head}{table}\naverages: Pasca {pa:.1}% vs Probase {pb:.1}% (paper: 86.2% vs 88.3%)\n\
+         shape check: automatic seeds comparable to manual = {}\n",
+        if (pa - pb).abs() < 15.0 { "YES" } else { "NO" }
+    )
+}
+
+/// §5.3.1 semantic search case study: relevance of top results,
+/// semantic rewriting vs keyword baseline (paper: ~80% vs <50%).
+pub fn app_search(sim: &Simulation) -> String {
+    let head = banner("A1", "§5.3.1 — semantic web search relevance");
+    let model = &sim.probase.model;
+    let idx = WorldIndex::new(&sim.world);
+    let docs = pages_from_corpus(&sim.corpus);
+    let index = MiniIndex::build(docs);
+
+    // Association over typical instances of the queried concepts.
+    let queries = semantic_queries(&sim.world, 40, 12);
+    let mut vocab: Vec<String> = Vec::new();
+    for q in &queries {
+        for c in [&q.concept_a, &q.concept_b] {
+            vocab.extend(model.typical_instances(c, 8).into_iter().map(|(i, _)| i));
+        }
+    }
+    vocab.sort();
+    vocab.dedup();
+    let pages = pages_from_corpus(&sim.corpus);
+    let assoc = Association::from_pages(&pages, &vocab);
+
+    // Relevance: the query "A-plural <link> B-plural" asks for pages about
+    // concrete members of *both* concepts ("SIGMOD in Beijing"), so a page
+    // is relevant iff it mentions an instance of A **and** an instance of
+    // B (ground-truth closure check).
+    let surfaces_of = |label: &str| -> HashSet<String> {
+        idx.senses(label)
+            .iter()
+            .flat_map(|&cid| {
+                idx.world().closure_instances(cid).into_iter().map(|i| {
+                    idx.world().instance(i).surface.to_lowercase()
+                })
+            })
+            .collect()
+    };
+
+    let (mut sem_rel, mut sem_tot) = (0usize, 0usize);
+    let (mut kw_rel, mut kw_tot) = (0usize, 0usize);
+    let (mut sem_answered, mut kw_answered) = (0usize, 0usize);
+    for q in &queries {
+        let sa = surfaces_of(&q.concept_a);
+        let sb = surfaces_of(&q.concept_b);
+        let relevant = |d: u32| {
+            let text = index.doc(d).text.to_lowercase();
+            sa.iter().any(|s| text.contains(s)) && sb.iter().any(|s| text.contains(s))
+        };
+        let sem = semantic_search(model, &assoc, &index, &q.text, 10);
+        if !sem.is_empty() {
+            sem_answered += 1;
+        }
+        for &d in &sem {
+            sem_tot += 1;
+            sem_rel += usize::from(relevant(d));
+        }
+        let kw = index.search(&q.text, 10);
+        if !kw.is_empty() {
+            kw_answered += 1;
+        }
+        for &d in &kw {
+            kw_tot += 1;
+            kw_rel += usize::from(relevant(d));
+        }
+    }
+    let sem_p = 100.0 * sem_rel as f64 / sem_tot.max(1) as f64;
+    let kw_p = 100.0 * kw_rel as f64 / kw_tot.max(1) as f64;
+    let kw_eff = 100.0 * kw_rel as f64 / (queries.len() * 10) as f64;
+    let table = render_table(
+        &["system", "queries answered", "results", "relevant", "relevance"],
+        &[
+            vec![
+                "semantic rewrite".into(),
+                format!("{sem_answered}/{}", queries.len()),
+                sem_tot.to_string(),
+                sem_rel.to_string(),
+                format!("{sem_p:.1}%"),
+            ],
+            vec![
+                "keyword baseline".into(),
+                format!("{kw_answered}/{}", queries.len()),
+                kw_tot.to_string(),
+                kw_rel.to_string(),
+                format!("{kw_p:.1}% ({kw_eff:.1}% of requested)"),
+            ],
+        ],
+    );
+    format!(
+        "{head}{table}paper: ~80% of semantic results relevant vs <50% for keyword search.\n\
+         note: our simulated pages are list-dense, so the *relevance* of the few pages\n\
+         keyword search does find is higher than on the real web; the reproducible contrast\n\
+         is answering power — rewritten queries answer more queries with more relevant results.\n\
+         shape check: semantic relevance ≥ 80% and more relevant results than keyword = {}\n",
+        if sem_p >= 80.0 && sem_rel > kw_rel { "YES" } else { "NO" }
+    )
+}
+
+/// §5.3.2 short-text clustering: concept vectors vs bag of words.
+pub fn app_shorttext(sim: &Simulation) -> String {
+    let head = banner("A2", "§5.3.2 — short-text (tweet) clustering purity");
+    let model = &sim.probase.model;
+    let idx = WorldIndex::new(&sim.world);
+    let topic_labels = ["country", "dish", "film", "animal", "company", "university"];
+    let topics: Vec<ConceptId> =
+        topic_labels.iter().filter_map(|l| idx.senses(l).first().copied()).collect();
+    let tws = tweets(&sim.world, &topics, 80, 17);
+    let gold: Vec<usize> = tws.iter().map(|t| t.topic).collect();
+
+    let mut cs = FeatureSpace::default();
+    let cv: Vec<_> = tws.iter().map(|t| concept_vector(model, &mut cs, &t.text, 3)).collect();
+    let concept_purity = purity(&kmeans(&cv, topics.len(), 30, 3), &gold);
+    let mut ws = FeatureSpace::default();
+    let wv: Vec<_> = tws.iter().map(|t| bow_vector(&mut ws, &t.text)).collect();
+    let bow_purity = purity(&kmeans(&wv, topics.len(), 30, 3), &gold);
+
+    let table = render_table(
+        &["representation", "k-means purity"],
+        &[
+            vec!["Probase concept vectors".into(), format!("{concept_purity:.3}")],
+            vec!["bag of words".into(), format!("{bow_purity:.3}")],
+        ],
+    );
+    format!(
+        "{head}{table}({} tweets, {} topics)\n\
+         shape check: concept clustering wins (paper: beats LDA and all baselines) = {}\n",
+        tws.len(),
+        topics.len(),
+        if concept_purity > bow_purity { "YES" } else { "NO" }
+    )
+}
+
+/// §5.3.2 web-table understanding: header inference precision
+/// (paper: 96%).
+pub fn app_tables(sim: &Simulation) -> String {
+    let head = banner("A3", "§5.3.2 — web-table header inference");
+    let model = &sim.probase.model;
+    let idx = WorldIndex::new(&sim.world);
+    let gold = table_columns(&sim.world, 300, 6, 0.08, 23);
+    // A header is acceptable when it names the gold concept or one of its
+    // ground-truth ancestors/descendants — a column of tropical countries
+    // headed "country" is right by any judge's standard.
+    let acceptable = |inferred: &str, gold_label: &str| -> bool {
+        if inferred == gold_label {
+            return true;
+        }
+        idx.senses(gold_label).iter().any(|&cid| {
+            let w = idx.world();
+            w.descendant_concepts(cid).iter().any(|&d| w.concept(d).label == inferred)
+        }) || idx.senses(inferred).iter().any(|&cid| {
+            let w = idx.world();
+            w.descendant_concepts(cid).iter().any(|&d| w.concept(d).label == gold_label)
+        })
+    };
+    let (mut correct, mut answered, mut enriched) = (0usize, 0usize, 0usize);
+    for g in &gold {
+        let col = Column { cells: g.cells.clone() };
+        if let Some(h) = infer_header(model, &col, 4) {
+            answered += 1;
+            correct += usize::from(acceptable(&h.concept, &g.concept));
+            enriched += h.unknown_cells.len();
+        }
+    }
+    let precision = 100.0 * correct as f64 / answered.max(1) as f64;
+    let table = render_table(
+        &["metric", "value"],
+        &[
+            vec!["columns".into(), gold.len().to_string()],
+            vec!["answered".into(), answered.to_string()],
+            vec!["header precision".into(), format!("{precision:.1}%")],
+            vec!["cells proposed for enrichment".into(), enriched.to_string()],
+        ],
+    );
+    format!(
+        "{head}{table}paper: 96% average precision\nshape check: precision >= 80% = {}\n",
+        if precision >= 80.0 { "YES" } else { "NO" }
+    )
+}
+
+/// §1 fine-grained NER case study: tag entity mentions in synthetic short
+/// texts and judge the concept tags against ground truth.
+pub fn app_ner(sim: &Simulation) -> String {
+    use probase_apps::{tag_entities, NerConfig};
+    use probase_eval::Judge;
+
+    let head = banner("A4", "§1 — fine-grained named-entity recognition");
+    let judge = Judge::new(&sim.world);
+    let idx = WorldIndex::new(&sim.world);
+    let topics: Vec<ConceptId> = ["country", "city", "company", "film", "disease", "university"]
+        .iter()
+        .filter_map(|l| idx.senses(l).first().copied())
+        .collect();
+    let texts = tweets(&sim.world, &topics, 80, 31);
+    let (mut coarse_ok, mut fine, mut total) = (0usize, 0usize, 0usize);
+    for t in &texts {
+        for tag in tag_entities(&sim.probase.model, &t.text, &NerConfig::default()) {
+            total += 1;
+            // Correct when the tagged concept truly contains the entity.
+            if judge.pair_valid(&tag.concept, &tag.surface) {
+                coarse_ok += 1;
+                // Fine-grained: more specific than the upper ontology roots.
+                if !probase_corpus::benchmark::ROOTS.contains(&tag.concept.as_str()) {
+                    fine += 1;
+                }
+            }
+        }
+    }
+    let table = render_table(
+        &["metric", "value"],
+        &[
+            vec!["texts".into(), texts.len().to_string()],
+            vec!["entity tags".into(), total.to_string()],
+            vec!["correct tags".into(), format!("{coarse_ok} ({:.1}%)", 100.0 * coarse_ok as f64 / total.max(1) as f64)],
+            vec!["correct and fine-grained".into(), format!("{fine} ({:.1}%)", 100.0 * fine as f64 / total.max(1) as f64)],
+        ],
+    );
+    let prec = coarse_ok as f64 / total.max(1) as f64;
+    format!(
+        "{head}{table}shape check: tagging precision >= 75% with fine-grained concepts = {}\n",
+        if prec >= 0.75 && fine * 2 > total { "YES" } else { "NO" }
+    )
+}
+
+
+
+/// A5 — mixed instance+attribute abstraction (paper §1 footnote 1:
+/// "inferring from headquarter, apple to company"). The attribute index
+/// is harvested from the attribute corpus using automatic typicality
+/// seeds, then mixed term sets are conceptualized and judged.
+pub fn app_mixed(sim: &Simulation) -> String {
+    use probase_apps::{harvest_attributes, index_from_harvest, probase_seeds, MixedConceptualizer};
+
+    let head = banner("A5", "§1 footnote 1 — abstraction from instances + attributes");
+    let idx = WorldIndex::new(&sim.world);
+    let model = &sim.probase.model;
+
+    // Harvest an attribute → concept index over the benchmark concepts.
+    let concepts: Vec<(&str, ConceptId)> = probase_corpus::benchmark::benchmark_labels()
+        .into_iter()
+        .filter_map(|l| idx.senses(l).first().map(|&c| (l, c)))
+        .collect();
+    let cfg = AttributeCorpusConfig { mentions_per_attribute: 16, ..Default::default() };
+    let mut harvested = Vec::new();
+    for (label, cid) in &concepts {
+        let mentions = generate_attribute_corpus(&sim.world, &[*cid], &cfg);
+        let seeds = probase_seeds(model, label, 5);
+        harvested.push((label.to_string(), harvest_attributes(&mentions, &seeds)));
+    }
+    let attr_index = index_from_harvest(&harvested);
+    let mc = MixedConceptualizer::new(model, attr_index);
+
+    // Queries: for each concept, (a true attribute, a typical instance) —
+    // the concept itself is the gold answer.
+    let (mut top1, mut top3, mut total) = (0usize, 0usize, 0usize);
+    for (label, cid) in concepts.iter().take(25) {
+        let c = sim.world.concept(*cid);
+        let Some(attr) = c.attributes.first() else { continue };
+        let Some(inst) = c.instances.first() else { continue };
+        let inst_surface = sim.world.instance(inst.instance).surface.clone();
+        let out = mc.conceptualize(&[attr.as_str(), inst_surface.as_str()], 3);
+        if out.is_empty() {
+            continue;
+        }
+        total += 1;
+        top1 += usize::from(out[0].0 == *label);
+        top3 += usize::from(out.iter().any(|(g, _)| g == label));
+    }
+    let table = render_table(
+        &["metric", "value"],
+        &[
+            vec!["queries (attribute + instance)".into(), total.to_string()],
+            vec!["gold concept at rank 1".into(), format!("{top1} ({:.0}%)", 100.0 * top1 as f64 / total.max(1) as f64)],
+            vec!["gold concept in top 3".into(), format!("{top3} ({:.0}%)", 100.0 * top3 as f64 / total.max(1) as f64)],
+        ],
+    );
+    format!(
+        "{head}{table}example from the paper: {{headquarter, apple}} → company\n\
+         shape check: gold concept in top 3 for >= 70% of queries = {}\n",
+        if top3 * 10 >= total * 7 { "YES" } else { "NO" }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{eval_corpus, eval_world};
+    use probase_core::ProbaseConfig;
+
+    fn small_sim() -> Simulation {
+        let mut w = eval_world();
+        w.filler_concepts = 120;
+        Simulation::run(&w, &eval_corpus(5_000), &ProbaseConfig::paper())
+    }
+
+    #[test]
+    fn app_experiments_render_and_pass_shape_checks() {
+        let sim = small_sim();
+        let shorttext = app_shorttext(&sim);
+        assert!(shorttext.contains("= YES"), "{shorttext}");
+        let tables = app_tables(&sim);
+        assert!(tables.lines().count() > 4, "{tables}");
+        let attrs = fig12(&sim);
+        assert!(attrs.contains("averages"), "{attrs}");
+    }
+
+    #[test]
+    fn search_experiment_renders() {
+        let sim = small_sim();
+        let r = app_search(&sim);
+        assert!(r.contains("semantic rewrite"), "{r}");
+    }
+}

@@ -1,0 +1,41 @@
+//! # probase-core
+//!
+//! The primary public API of the Probase reproduction (SIGMOD 2012):
+//! one call from a sentence corpus to a queryable probabilistic taxonomy.
+//!
+//! ```no_run
+//! use probase_core::{ProbaseConfig, Simulation};
+//! use probase_corpus::{CorpusConfig, WorldConfig};
+//!
+//! // Simulate a web crawl and build Probase over it.
+//! let sim = Simulation::run(
+//!     &WorldConfig::default(),
+//!     &CorpusConfig::default(),
+//!     &ProbaseConfig::paper(),
+//! );
+//! // Instantiation: concept → typical instances.
+//! for (inst, t) in sim.probase.model.typical_instances("company", 5) {
+//!     println!("{inst}: {t:.3}");
+//! }
+//! // Abstraction: instances → typical concepts.
+//! let concepts = sim.probase.model.conceptualize(&["China", "India", "Brazil"], 3);
+//! println!("{concepts:?}");
+//! ```
+//!
+//! The stages are re-exported from their home crates: `probase-extract`
+//! (iterative extraction, §2), `probase-taxonomy` (construction, §3),
+//! `probase-prob` (plausibility & typicality, §4), `probase-store` (the
+//! graph store), `probase-corpus` (the synthetic web), `probase-text`
+//! (shallow NLP).
+
+pub mod pipeline;
+
+pub use pipeline::{build_probase, seed_from_world, PlausibilityKind, Probase, ProbaseConfig, Simulation};
+
+// Re-export the component crates under stable names.
+pub use probase_corpus as corpus;
+pub use probase_extract as extract;
+pub use probase_prob as prob;
+pub use probase_store as store;
+pub use probase_taxonomy as taxonomy;
+pub use probase_text as text;

@@ -1,0 +1,242 @@
+//! The end-to-end Probase pipeline.
+//!
+//! Corpus sentences → iterative extraction (Algorithm 1) → taxonomy
+//! construction (Algorithm 2) → plausibility (Eq. 1–2) → typicality
+//! (Eq. 3–4, Algorithm 3) → the queryable [`ProbaseModel`].
+//!
+//! [`build_probase`] runs the whole chain over any sentence corpus;
+//! [`Simulation`] additionally generates the synthetic world and corpus
+//! (the reproduction's stand-in for the 1.68 B-page crawl) and derives the
+//! WordNet-style seed oracle from the world's curated core.
+
+use probase_corpus::{
+    generate, CorpusConfig, CorpusGenerator, SentenceRecord, World, WorldConfig,
+};
+use probase_extract::{extract, extract_parallel, ExtractionOutput, ExtractorConfig};
+use probase_prob::{
+    annotate_graph, annotate_graph_urns, compute_plausibility, EvidenceModel,
+    PlausibilityConfig, ProbaseModel, SeedOracle, SeedSet, UrnsModel,
+};
+use probase_store::GraphStats;
+use probase_taxonomy::{build_taxonomy, BuildStats, TaxonomyConfig};
+use probase_text::Lexicon;
+
+/// Which plausibility model annotates the taxonomy edges (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlausibilityKind {
+    /// Naive Bayes over extraction features + noisy-or (Eq. 1–2).
+    #[default]
+    NoisyOr,
+    /// The unsupervised Urns redundancy model (\[11\]).
+    Urns,
+}
+
+/// Every knob of the pipeline in one place.
+#[derive(Debug, Clone, Default)]
+pub struct ProbaseConfig {
+    pub extractor: ExtractorConfig,
+    pub taxonomy: TaxonomyConfig,
+    pub plausibility: PlausibilityConfig,
+    /// Which §4.1 model computes edge plausibility.
+    pub plausibility_kind: PlausibilityKind,
+    /// Worker threads for extraction; 0 or 1 = serial driver.
+    pub threads: usize,
+}
+
+impl ProbaseConfig {
+    /// The defaults used by the paper reproduction.
+    pub fn paper() -> Self {
+        Self {
+            extractor: ExtractorConfig::paper(),
+            taxonomy: TaxonomyConfig::default(),
+            plausibility: PlausibilityConfig::default(),
+            plausibility_kind: PlausibilityKind::default(),
+            threads: 4,
+        }
+    }
+}
+
+/// A fully built Probase: the model plus everything produced on the way.
+#[derive(Debug)]
+pub struct Probase {
+    /// The queryable probabilistic taxonomy.
+    pub model: ProbaseModel,
+    /// Raw extraction output (Γ, evidence log, per-iteration stats).
+    pub extraction: ExtractionOutput,
+    /// Taxonomy construction counters.
+    pub build_stats: BuildStats,
+    /// Table 4-style statistics of the final graph.
+    pub graph_stats: GraphStats,
+}
+
+/// Run the full pipeline over a sentence corpus.
+///
+/// `oracle` plays WordNet's role for training the evidence model (paper
+/// §4.1); pass an empty [`SeedSet`] to fall back to the prior model.
+pub fn build_probase(
+    records: &[SentenceRecord],
+    lexicon: &Lexicon,
+    config: &ProbaseConfig,
+    oracle: &dyn SeedOracle,
+) -> Probase {
+    // 1. Iterative semantic extraction.
+    let extraction = if config.threads > 1 {
+        extract_parallel(records, lexicon, &config.extractor, config.threads)
+    } else {
+        extract(records, lexicon, &config.extractor)
+    };
+
+    // 2. Taxonomy construction.
+    let built = build_taxonomy(&extraction.sentences, &config.taxonomy);
+    let mut graph = built.graph;
+
+    // 3. Plausibility (§4.1): annotate edges with the configured model.
+    match config.plausibility_kind {
+        PlausibilityKind::NoisyOr => {
+            let model = EvidenceModel::fit(&extraction.evidence, oracle);
+            let table = compute_plausibility(
+                &extraction.evidence,
+                &extraction.knowledge,
+                &model,
+                &config.plausibility,
+            );
+            annotate_graph(&mut graph, &table);
+        }
+        PlausibilityKind::Urns => {
+            if extraction.knowledge.pair_count() > 0 {
+                let urns = UrnsModel::fit_knowledge(&extraction.knowledge, 200);
+                annotate_graph_urns(&mut graph, &urns);
+            }
+        }
+    }
+
+    // 4. Typicality + query model.
+    let graph_stats = GraphStats::compute(&graph);
+    let model = ProbaseModel::new(graph);
+    Probase { model, extraction, build_stats: built.stats, graph_stats }
+}
+
+/// Build the WordNet-style seed oracle from a world: the curated concepts
+/// and their curated instances form the seed vocabulary, their true
+/// memberships the positive pairs.
+pub fn seed_from_world(world: &World) -> SeedSet {
+    let mut seed = SeedSet::new();
+    for c in world.concepts.iter().filter(|c| c.curated) {
+        seed.add_term(&c.label);
+        for m in c.instances.iter().take(12) {
+            let inst = world.instance(m.instance);
+            seed.add_positive(&c.label, &inst.surface);
+            // The corpus renders common nouns in canonical singular after
+            // extraction; surfaces are already canonical in the world.
+        }
+        for &ch in &c.children {
+            seed.add_positive(&c.label, &world.concept(ch).label);
+        }
+    }
+    seed
+}
+
+/// A complete simulated deployment: world, corpus, and the Probase built
+/// from it. This is what the examples and the benchmark harness drive.
+#[derive(Debug)]
+pub struct Simulation {
+    pub world: World,
+    pub corpus: Vec<SentenceRecord>,
+    pub probase: Probase,
+}
+
+impl Simulation {
+    /// Generate a world and corpus, then build Probase over them.
+    pub fn run(world_cfg: &WorldConfig, corpus_cfg: &CorpusConfig, config: &ProbaseConfig) -> Self {
+        let world = generate(world_cfg);
+        let corpus = CorpusGenerator::new(&world, corpus_cfg.clone()).generate_all();
+        let seed = seed_from_world(&world);
+        let probase = build_probase(&corpus, &world.lexicon, config, &seed);
+        Self { world, corpus, probase }
+    }
+
+    /// A small, fast simulation for tests and the quickstart example.
+    pub fn small(seed: u64) -> Self {
+        Self::run(
+            &WorldConfig::small(seed),
+            &CorpusConfig { seed, sentences: 4_000, ..CorpusConfig::default() },
+            &ProbaseConfig::paper(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> Simulation {
+        Simulation::small(41)
+    }
+
+    #[test]
+    fn pipeline_produces_nonempty_model() {
+        let s = sim();
+        assert!(s.probase.extraction.knowledge.pair_count() > 100);
+        assert!(s.probase.graph_stats.concepts > 20);
+        assert!(s.probase.graph_stats.instances > 50);
+        assert!(s.probase.graph_stats.max_level >= 1);
+    }
+
+    #[test]
+    fn model_answers_paper_queries() {
+        let s = sim();
+        let m = &s.probase.model;
+        // Instantiation over a curated concept.
+        let instances = m.typical_instances("country", 5);
+        assert!(!instances.is_empty(), "country should have instances");
+        // Abstraction over a famous instance.
+        let concepts = m.typical_concepts("China", 8);
+        assert!(
+            concepts.iter().any(|(c, _)| c.contains("country") || c == "emerging market"),
+            "{concepts:?}"
+        );
+    }
+
+    #[test]
+    fn plausibility_annotated_on_edges() {
+        let s = sim();
+        let g = s.probase.model.graph();
+        let annotated = g.edges().filter(|(_, _, e)| e.plausibility < 1.0).count();
+        assert!(annotated > 0, "some edges must carry non-default plausibility");
+        for (_, _, e) in g.edges() {
+            assert!((0.0..=1.0).contains(&e.plausibility));
+        }
+    }
+
+    #[test]
+    fn seed_oracle_labels_curated_pairs() {
+        let s = sim();
+        let seed = seed_from_world(&s.world);
+        assert!(seed.positive_count() > 100);
+        use probase_prob::SeedOracle as _;
+        assert_eq!(seed.label("country", "China"), Some(true));
+        assert_eq!(seed.label("country", "nonexistent"), None);
+    }
+
+    #[test]
+    fn iterations_progress_like_figure_10() {
+        let s = sim();
+        let iters = &s.probase.extraction.iterations;
+        assert!(iters.len() >= 2, "{iters:?}");
+        // Monotone accumulation of distinct pairs.
+        for w in iters.windows(2) {
+            assert!(w[1].distinct_pairs >= w[0].distinct_pairs);
+        }
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let a = Simulation::small(43);
+        let b = Simulation::small(43);
+        assert_eq!(
+            a.probase.extraction.knowledge.pair_count(),
+            b.probase.extraction.knowledge.pair_count()
+        );
+        assert_eq!(a.probase.graph_stats, b.probase.graph_stats);
+    }
+}

@@ -1,0 +1,150 @@
+//! Attribute-sentence corpus for the attribute-extraction application
+//! (paper §5.3.1, Figure 12).
+//!
+//! Pasca's weakly-supervised attribute harvester — the baseline the paper
+//! compares against — mines constructions like *"the population of China"*
+//! from query logs and web text. This module renders the synthetic
+//! equivalent: `"the <attribute> of <instance>"` sentences where the
+//! attribute truly belongs to the instance's concept, mixed with generic
+//! junk attributes ("the rest of China") that a frequency-based harvester
+//! must learn to rank below the real ones.
+
+use crate::ids::ConceptId;
+use crate::world::World;
+use crate::zipf::Zipf;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One attribute mention.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttributeMention {
+    /// Full sentence text (`"the population of China is large."`).
+    pub text: String,
+    /// Instance surface as rendered.
+    pub instance: String,
+    /// Attribute word.
+    pub attribute: String,
+    /// Ground truth: is the attribute genuinely an attribute of the
+    /// instance's concept?
+    pub valid: bool,
+}
+
+/// Generic words that appear in "the X of Y" constructions without being
+/// attributes — the noise a real harvester fights.
+pub const JUNK_ATTRIBUTES: &[&str] = &[
+    "rest", "list", "number", "part", "side", "top", "bottom", "end", "middle", "story",
+    "picture", "photo", "map", "best", "future", "idea", "case", "cost", "kind", "sort",
+];
+
+/// Configuration for the attribute corpus.
+#[derive(Debug, Clone)]
+pub struct AttributeCorpusConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Mentions per (concept, attribute) pair on average.
+    pub mentions_per_attribute: usize,
+    /// Fraction of mentions that use a junk attribute instead.
+    pub junk_rate: f64,
+}
+
+impl Default for AttributeCorpusConfig {
+    fn default() -> Self {
+        Self { seed: 77, mentions_per_attribute: 6, junk_rate: 0.35 }
+    }
+}
+
+/// Render the attribute corpus for the given concepts (typically the
+/// benchmark set). Mentions are skewed toward typical instances, matching
+/// how attribute evidence concentrates on famous entities.
+pub fn generate_attribute_corpus(
+    world: &World,
+    concepts: &[ConceptId],
+    config: &AttributeCorpusConfig,
+) -> Vec<AttributeMention> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut out = Vec::new();
+    const TEMPLATES: &[&str] = &[
+        "the {A} of {I} is well known.",
+        "what is the {A} of {I}?",
+        "he asked about the {A} of {I}.",
+        "the {A} of {I} changed last year.",
+        "see the {A} of {I} for details.",
+    ];
+    for &cid in concepts {
+        let c = world.concept(cid);
+        if c.instances.is_empty() || c.attributes.is_empty() {
+            continue;
+        }
+        let z = Zipf::new(c.instances.len(), 1.0);
+        let total = c.attributes.len() * config.mentions_per_attribute;
+        for _ in 0..total {
+            let iid = c.instances[z.sample(&mut rng)].instance;
+            let inst = world.instance(iid).surface.clone();
+            let (attr, valid) = if rng.gen_bool(config.junk_rate) {
+                (JUNK_ATTRIBUTES[rng.gen_range(0..JUNK_ATTRIBUTES.len())].to_string(), false)
+            } else {
+                (c.attributes[rng.gen_range(0..c.attributes.len())].clone(), true)
+            };
+            let t = TEMPLATES[rng.gen_range(0..TEMPLATES.len())];
+            out.push(AttributeMention {
+                text: t.replace("{A}", &attr).replace("{I}", &inst),
+                instance: inst,
+                attribute: attr,
+                valid,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worldgen::{generate, WorldConfig};
+
+    #[test]
+    fn corpus_mixes_valid_and_junk() {
+        let world = generate(&WorldConfig::small(5));
+        let concepts: Vec<ConceptId> =
+            world.concepts.iter().filter(|c| c.curated).map(|c| c.id).take(10).collect();
+        let corpus = generate_attribute_corpus(&world, &concepts, &AttributeCorpusConfig::default());
+        assert!(!corpus.is_empty());
+        let valid = corpus.iter().filter(|m| m.valid).count();
+        let junk = corpus.len() - valid;
+        assert!(valid > 0 && junk > 0);
+        for m in &corpus {
+            assert!(m.text.contains(&m.attribute));
+            assert!(m.text.contains(&m.instance));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let world = generate(&WorldConfig::small(5));
+        let concepts: Vec<ConceptId> = world.concepts.iter().take(20).map(|c| c.id).collect();
+        let a = generate_attribute_corpus(&world, &concepts, &AttributeCorpusConfig::default());
+        let b = generate_attribute_corpus(&world, &concepts, &AttributeCorpusConfig::default());
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.text == y.text));
+    }
+
+    #[test]
+    fn junk_rate_extremes() {
+        let world = generate(&WorldConfig::small(6));
+        let concepts: Vec<ConceptId> =
+            world.concepts.iter().filter(|c| c.curated).map(|c| c.id).take(5).collect();
+        let all_junk = generate_attribute_corpus(
+            &world,
+            &concepts,
+            &AttributeCorpusConfig { junk_rate: 1.0, ..Default::default() },
+        );
+        assert!(all_junk.iter().all(|m| !m.valid));
+        let none_junk = generate_attribute_corpus(
+            &world,
+            &concepts,
+            &AttributeCorpusConfig { junk_rate: 0.0, ..Default::default() },
+        );
+        assert!(none_junk.iter().all(|m| m.valid));
+    }
+}

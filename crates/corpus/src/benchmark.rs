@@ -1,0 +1,364 @@
+//! Curated seed data: the paper's 40 benchmark concepts (Table 5) plus the
+//! running examples of §1–§3 (countries, animals, the two senses of
+//! *plant*, …).
+//!
+//! The world generator plants these concepts — with their real, recognizable
+//! instances — into every generated world so that Table 5, Figure 9, and
+//! Figure 11 reproduce with the same concept names the paper reports.
+//! Coined filler concepts and instances are layered around them by
+//! `crate::worldgen`.
+
+/// One curated concept sense.
+#[derive(Debug, Clone, Copy)]
+pub struct CuratedConcept {
+    /// Canonical singular label.
+    pub label: &'static str,
+    /// Label of the parent concept (must appear earlier in [`CURATED`] or
+    /// be a root). `None` for roots.
+    pub parent: Option<&'static str>,
+    /// Curated instance surfaces. Kinds are inferred: capitalized →
+    /// proper, contains `" and "` → conjunction name, lowercase → common.
+    pub instances: &'static [&'static str],
+    /// Curated attribute vocabulary (used by the Fig. 12 application).
+    pub attributes: &'static [&'static str],
+    /// Part of the paper's Table 5 benchmark?
+    pub benchmark: bool,
+    /// Vague concept (borderline membership, e.g. "largest company").
+    pub vague: bool,
+}
+
+const fn c(
+    label: &'static str,
+    parent: Option<&'static str>,
+    instances: &'static [&'static str],
+    attributes: &'static [&'static str],
+    benchmark: bool,
+    vague: bool,
+) -> CuratedConcept {
+    CuratedConcept { label, parent, instances, attributes, benchmark, vague }
+}
+
+/// Upper-ontology roots. Intentionally coarse; the paper's taxonomy has no
+/// single root either.
+pub const ROOTS: &[&str] = &[
+    "person",
+    "organization",
+    "place",
+    "creative work",
+    "product",
+    "event",
+    "field",
+    "organism",
+    "substance",
+    "technology",
+    "facility",
+    "food",
+];
+
+/// The curated concept inventory. Parents must precede children.
+pub const CURATED: &[CuratedConcept] = &[
+    // ---- paper running examples -------------------------------------
+    c("country", Some("place"), &[
+        "China", "India", "Brazil", "Russia", "USA", "Germany", "Japan", "France", "Singapore",
+        "Malaysia", "Mexico", "Canada", "Australia", "Italy", "Spain", "Egypt", "Kenya",
+        "Thailand", "Indonesia", "Vietnam", "Nigeria", "Poland", "Sweden", "Norway",
+    ], &["population", "capital", "currency", "president", "area", "gdp"], false, false),
+    c("tropical country", Some("country"), &[
+        "Singapore", "Malaysia", "Brazil", "Thailand", "Indonesia", "Vietnam", "Kenya", "Nigeria",
+    ], &[], false, false),
+    c("developing country", Some("country"), &[
+        "China", "India", "Brazil", "Mexico", "Indonesia", "Vietnam", "Nigeria", "Egypt", "Kenya",
+    ], &[], false, false),
+    c("industrialized country", Some("country"), &[
+        "USA", "Germany", "Japan", "France", "Canada", "Italy", "Sweden", "Norway",
+    ], &[], false, false),
+    c("asian country", Some("country"), &[
+        "China", "India", "Japan", "Singapore", "Malaysia", "Thailand", "Indonesia", "Vietnam",
+    ], &[], false, false),
+    c("european country", Some("country"), &[
+        "Germany", "France", "Italy", "Spain", "Poland", "Sweden", "Norway",
+    ], &[], false, false),
+    c("bric country", Some("country"), &["Brazil", "Russia", "India", "China"], &[], false, false),
+    c("emerging market", Some("place"), &[
+        "China", "India", "Brazil", "Russia", "Mexico", "Indonesia", "Vietnam",
+    ], &[], false, true),
+    c("continent", Some("place"), &[
+        "Europe", "Asia", "Africa", "North America", "South America", "Australia", "Antarctica",
+    ], &["area", "population"], false, false),
+    c("region", Some("place"), &[
+        "the Middle East", "Southeast Asia", "Latin America", "Scandinavia", "the Balkans",
+    ], &[], false, false),
+    c("organism", None, &[], &[], false, false),
+    c("animal", Some("organism"), &[
+        "cat", "dog", "horse", "cow", "rabbit", "lion", "tiger", "elephant", "wolf", "bear",
+        "robin", "ostrich", "snake", "goat", "pig", "chicken", "duck", "deer", "fox", "monkey",
+    ], &["habitat", "diet", "lifespan"], false, false),
+    c("domestic animal", Some("animal"), &[
+        "cat", "dog", "horse", "cow", "rabbit", "goat", "pig", "chicken", "duck",
+    ], &[], false, false),
+    c("wild animal", Some("animal"), &[
+        "lion", "tiger", "elephant", "wolf", "bear", "snake", "deer", "fox", "monkey",
+    ], &[], false, false),
+    c("household pet", Some("domestic animal"), &[
+        "cat", "dog", "rabbit", "hamster", "goldfish", "parrot",
+    ], &[], false, false),
+    c("bird", Some("animal"), &["robin", "ostrich", "sparrow", "eagle", "penguin", "parrot"], &[], false, false),
+    // plant sense 0: flora (under organism)
+    c("plant", Some("organism"), &[
+        "tree", "grass", "herb", "flower", "shrub", "moss", "fern", "vine",
+    ], &[], false, false),
+    // plant sense 1: industrial equipment (under facility). Same label —
+    // worldgen creates it as a second sense.
+    c("plant", Some("facility"), &[
+        "steam turbine", "pump", "boiler", "generator", "compressor", "condenser",
+    ], &[], false, false),
+    c("fruit", Some("food"), &[
+        "apple", "banana", "orange", "mango", "pear", "grape", "peach", "cherry",
+    ], &[], false, false),
+    c("vegetable", Some("food"), &[
+        "carrot", "potato", "onion", "spinach", "broccoli", "cabbage",
+    ], &[], false, false),
+    // ---- Table 5 benchmark concepts ----------------------------------
+    c("actor", Some("person"), &[
+        "Tom Hanks", "Marlon Brando", "George Clooney", "Meryl Streep", "Denzel Washington",
+        "Al Pacino", "Robert De Niro", "Nicole Kidman", "Johnny Depp", "Cate Blanchett",
+    ], &["birthday", "nationality", "awards", "movies"], true, false),
+    c("aircraft model", Some("product"), &[
+        "Airbus A320-200", "Piper PA-32", "Beech-18", "Boeing 747", "Cessna 172",
+        "Airbus A380", "Boeing 737-800",
+    ], &["wingspan", "range", "capacity"], true, false),
+    c("airline", Some("organization"), &[
+        "British Airways", "Delta", "Lufthansa", "United Airlines", "Air France", "Qantas",
+        "Singapore Airlines", "Emirates", "KLM",
+    ], &["fleet size", "hub", "destinations"], true, false),
+    c("airport", Some("facility"), &[
+        "Heathrow", "Gatwick", "Stansted", "JFK", "Changi", "Schiphol", "Narita", "O'Hare",
+    ], &["runways", "terminals", "passengers"], true, false),
+    c("album", Some("creative work"), &[
+        "Thriller", "Big Calm", "Dirty Mind", "Abbey Road", "Nevermind", "Rumours",
+        "The Wall", "Purple Rain",
+    ], &["release date", "label", "tracks"], true, false),
+    c("architect", Some("person"), &[
+        "Frank Gehry", "Le Corbusier", "Zaha Hadid", "Frank Lloyd Wright", "Norman Foster",
+        "Renzo Piano", "Mies van der Rohe",
+    ], &["buildings", "style", "awards"], true, false),
+    c("artist", Some("person"), &[
+        "Picasso", "Bob Dylan", "Madonna", "Monet", "Warhol", "Van Gogh", "Banksy", "Dali",
+        "Rembrandt", "Matisse",
+    ], &["style", "works", "period"], true, false),
+    c("book", Some("creative work"), &[
+        "Bible", "Harry Potter", "Treasure Island", "Moby Dick", "War and Peace",
+        "Pride and Prejudice", "The Hobbit", "Don Quixote",
+    ], &["author", "publisher", "isbn", "pages"], true, false),
+    c("cancer center", Some("facility"), &[
+        "Fox Chase", "Care Alliance", "Dana-Farber", "MD Anderson", "Memorial Sloan Kettering",
+    ], &["location", "specialties"], true, false),
+    c("celebrity", Some("person"), &[
+        "Madonna", "Paris Hilton", "Angelina Jolie", "Brad Pitt", "Oprah Winfrey",
+        "David Beckham", "Kim Kardashian",
+    ], &["net worth", "spouse"], true, false),
+    c("chemical compound", Some("substance"), &[
+        "carbon dioxide", "phenanthrene", "carbon monoxide", "sodium chloride", "ammonia",
+        "methane", "ethanol", "benzene",
+    ], &["formula", "molar mass", "boiling point"], true, false),
+    c("city", Some("place"), &[
+        "New York", "Chicago", "Los Angeles", "London", "Paris", "Tokyo", "Beijing", "Singapore",
+        "Sydney", "Berlin", "Madrid", "Rome", "Moscow", "Toronto", "Seoul", "Mumbai",
+    ], &["population", "mayor", "area"], true, false),
+    c("asian city", Some("city"), &[
+        "Tokyo", "Beijing", "Singapore", "Seoul", "Mumbai",
+    ], &[], false, false),
+    c("company", Some("organization"), &[
+        "IBM", "Microsoft", "Google", "Apple", "Intel", "HP", "EMC", "Nokia",
+        "Proctor and Gamble", "China Mobile", "Tata Group", "PetroBras", "Samsung", "Sony",
+        "Toyota", "Shell", "Walmart", "ExxonMobil", "Siemens", "Oracle",
+    ], &["ceo", "headquarters", "revenue", "employees", "founder"], true, false),
+    c("it company", Some("company"), &[
+        "IBM", "Microsoft", "Google", "Apple", "Intel", "HP", "EMC", "Oracle", "Samsung",
+    ], &[], false, false),
+    c("big company", Some("company"), &[
+        "IBM", "Microsoft", "Walmart", "ExxonMobil", "Toyota", "Shell", "Samsung",
+    ], &[], false, true),
+    c("largest company", Some("company"), &[
+        "China Mobile", "Tata Group", "PetroBras", "Walmart", "ExxonMobil", "Shell",
+    ], &[], false, true),
+    c("software company", Some("it company"), &[
+        "Microsoft", "Google", "Oracle", "Adobe", "SAP",
+    ], &[], false, false),
+    c("digital camera", Some("product"), &[
+        "Canon", "Nikon", "Olympus", "Sony Alpha", "Fujifilm X100", "Leica M",
+    ], &["megapixels", "sensor", "price"], true, false),
+    c("disease", Some("field"), &[
+        "AIDS", "Alzheimer", "chlamydia", "diabetes", "malaria", "tuberculosis", "influenza",
+        "asthma", "cholera",
+    ], &["symptoms", "treatment", "causes"], true, false),
+    c("drug", Some("substance"), &[
+        "tobacco", "heroin", "alcohol", "aspirin", "morphine", "penicillin", "caffeine",
+        "insulin",
+    ], &["dosage", "side effects"], true, false),
+    c("festival", Some("event"), &[
+        "Sundance", "Christmas", "Diwali", "Oktoberfest", "Carnival", "Easter", "Hanukkah",
+        "Ramadan",
+    ], &["date", "location"], true, false),
+    c("file format", Some("technology"), &[
+        "PDF", "JPEG", "TIFF", "PNG", "XML", "CSV", "MP3", "ZIP", "HTML",
+    ], &["extension", "mime type"], true, false),
+    c("film", Some("creative work"), &[
+        "Blade Runner", "Star Wars", "Clueless", "Gone with the Wind", "Casablanca",
+        "The Godfather", "Pulp Fiction", "Titanic", "Jaws", "Vertigo",
+    ], &["director", "release date", "cast", "budget"], true, false),
+    c("classic movie", Some("film"), &[
+        "Gone with the Wind", "Casablanca", "Vertigo", "The Godfather",
+    ], &[], false, true),
+    c("cartoon", Some("creative work"), &[
+        "Tom and Jerry", "Mickey Mouse", "Bugs Bunny", "Scooby-Doo", "Popeye",
+    ], &["creator", "studio"], false, false),
+    // food root doubles as the benchmark concept
+    c("dish", Some("food"), &[
+        "beef", "dairy", "French fries", "pizza", "sushi", "pasta", "curry", "salad",
+    ], &["calories", "cuisine"], true, false),
+    c("football team", Some("organization"), &[
+        "Real Madrid", "AC Milan", "Manchester United", "Barcelona", "Bayern Munich",
+        "Liverpool", "Juventus", "Chelsea",
+    ], &["stadium", "coach", "titles"], true, false),
+    c("game publisher", Some("organization"), &[
+        "Electronic Arts", "Ubisoft", "Eidos", "Activision", "Nintendo", "Valve", "Capcom",
+    ], &["games", "founded"], true, false),
+    c("internet protocol", Some("technology"), &[
+        "HTTP", "FTP", "SMTP", "TCP", "UDP", "DNS", "SSH", "IMAP", "POP3",
+    ], &["port", "rfc"], true, false),
+    c("mountain", Some("place"), &[
+        "Everest", "the Alps", "the Himalayas", "K2", "Kilimanjaro", "Mont Blanc", "Denali",
+        "Fuji",
+    ], &["height", "location", "first ascent"], true, false),
+    c("museum", Some("facility"), &[
+        "the Louvre", "Smithsonian", "the Guggenheim", "the Met", "British Museum", "Uffizi",
+        "Prado", "Hermitage",
+    ], &["location", "collection", "visitors"], true, false),
+    c("olympic sport", Some("event"), &[
+        "gymnastics", "athletics", "cycling", "swimming", "rowing", "fencing", "judo",
+        "archery",
+    ], &["events", "federation"], true, false),
+    c("operating system", Some("technology"), &[
+        "Linux", "Solaris", "Microsoft Windows", "macOS", "FreeBSD", "Android", "iOS",
+    ], &["kernel", "vendor", "version"], true, false),
+    c("political party", Some("organization"), &[
+        "NLD", "ANC", "Awami League", "Labour Party", "Democratic Party", "Republican Party",
+        "Congress Party",
+    ], &["leader", "ideology", "founded"], true, false),
+    c("politician", Some("person"), &[
+        "Barack Obama", "Bush", "Tony Blair", "Angela Merkel", "Nelson Mandela",
+        "Margaret Thatcher", "Winston Churchill",
+    ], &["party", "office", "term"], true, false),
+    c("programming language", Some("technology"), &[
+        "Java", "Perl", "PHP", "Python", "Ruby", "Haskell", "Lisp", "Fortran", "Rust",
+        "JavaScript",
+    ], &["paradigm", "designer", "typing"], true, false),
+    c("public library", Some("facility"), &[
+        "Haringey", "Calcutta", "Norwich", "Boston Public Library", "Seattle Central Library",
+    ], &["branches", "collection size"], true, false),
+    c("religion", Some("field"), &[
+        "Christianity", "Islam", "Buddhism", "Hinduism", "Judaism", "Sikhism", "Taoism",
+    ], &["followers", "founder", "scripture"], true, false),
+    c("restaurant", Some("organization"), &[
+        "Burger King", "Red Lobster", "McDonalds", "KFC", "Subway", "Pizza Hut", "Taco Bell",
+        "Wendys",
+    ], &["cuisine", "locations", "menu"], true, false),
+    c("river", Some("place"), &[
+        "Mississippi", "the Nile", "Ganges", "Amazon", "Yangtze", "Danube", "Thames", "Rhine",
+        "Volga",
+    ], &["length", "source", "mouth"], true, false),
+    c("skyscraper", Some("facility"), &[
+        "the Empire State Building", "the Sears Tower", "Burj Dubai", "Taipei 101",
+        "Petronas Towers", "the Chrysler Building",
+    ], &["height", "floors", "architect"], true, false),
+    c("tennis player", Some("person"), &[
+        "Maria Sharapova", "Andre Agassi", "Roger Federer", "Serena Williams", "Rafael Nadal",
+        "Novak Djokovic", "Steffi Graf",
+    ], &["ranking", "grand slams", "coach"], true, false),
+    c("theater", Some("facility"), &[
+        "Metro", "Pacific Place", "Criterion", "the Globe", "La Scala", "Broadway Theatre",
+    ], &["capacity", "location"], true, false),
+    c("university", Some("organization"), &[
+        "Harvard", "Stanford", "Yale", "MIT", "Oxford", "Cambridge", "Princeton", "Berkeley",
+        "Columbia", "Cornell",
+    ], &["enrollment", "tuition", "president", "founded"], true, false),
+    c("best university", Some("university"), &[
+        "Harvard", "Stanford", "MIT", "Oxford", "Cambridge",
+    ], &[], false, true),
+    c("web browser", Some("technology"), &[
+        "Internet Explorer", "Firefox", "Safari", "Chrome", "Opera", "Netscape",
+    ], &["engine", "vendor"], true, false),
+    c("website", Some("technology"), &[
+        "YouTube", "Facebook", "MySpace", "Wikipedia", "Twitter", "Amazon", "eBay", "Reddit",
+    ], &["url", "founder", "traffic"], true, false),
+    c("musician", Some("person"), &[
+        "Bob Dylan", "Madonna", "Prince", "Beethoven", "Mozart", "Elvis Presley",
+        "Michael Jackson",
+    ], &["instrument", "genre", "albums"], false, false),
+    c("database conference", Some("event"), &[
+        "SIGMOD", "VLDB", "ICDE", "EDBT", "CIDR", "PODS",
+    ], &["venue", "deadline"], false, false),
+    c("renewable energy technology", Some("technology"), &[
+        "solar power", "wind power", "hydropower", "geothermal energy", "biomass",
+    ], &[], false, false),
+    c("meteorological phenomenon", Some("field"), &[
+        "hurricane", "tornado", "monsoon", "blizzard", "drought", "hailstorm",
+    ], &[], false, false),
+    c("common sleep disorder", Some("field"), &[
+        "insomnia", "sleep apnea", "narcolepsy", "restless legs syndrome",
+    ], &[], false, false),
+];
+
+/// Labels of the 40 Table-5 benchmark concepts, in the paper's order where
+/// applicable. ("food" appears in the paper; our curated food concept is
+/// labeled "dish" to keep "food" as a root — the benchmark maps to "dish".)
+pub fn benchmark_labels() -> Vec<&'static str> {
+    CURATED.iter().filter(|c| c.benchmark).map(|c| c.label).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn forty_benchmark_concepts() {
+        assert_eq!(benchmark_labels().len(), 40, "Table 5 has exactly 40 concepts");
+    }
+
+    #[test]
+    fn parents_precede_children_or_are_roots() {
+        let mut seen: HashSet<&str> = ROOTS.iter().copied().collect();
+        for cc in CURATED {
+            if let Some(p) = cc.parent {
+                assert!(seen.contains(p), "{}: parent {p} not yet defined", cc.label);
+            }
+            seen.insert(cc.label);
+        }
+    }
+
+    #[test]
+    fn paper_examples_present() {
+        let labels: HashSet<&str> = CURATED.iter().map(|c| c.label).collect();
+        for l in ["bric country", "emerging market", "tropical country", "domestic animal", "it company", "classic movie"] {
+            assert!(labels.contains(l), "missing {l}");
+        }
+        // homograph: plant occurs twice
+        assert_eq!(CURATED.iter().filter(|c| c.label == "plant").count(), 2);
+    }
+
+    #[test]
+    fn instances_nonempty_for_benchmark() {
+        for cc in CURATED.iter().filter(|c| c.benchmark) {
+            assert!(cc.instances.len() >= 5, "{} has too few curated instances", cc.label);
+        }
+    }
+
+    #[test]
+    fn labels_are_canonical() {
+        for cc in CURATED {
+            assert_eq!(cc.label, probase_text::normalize_concept(cc.label), "{}", cc.label);
+        }
+    }
+}

@@ -1,0 +1,668 @@
+//! The web-corpus simulator.
+//!
+//! Renders a stream of [`SentenceRecord`]s from a ground-truth [`World`].
+//! The mixture of constructions and the rates of each ambiguity class are
+//! controlled by [`CorpusConfig`]; every knob corresponds to a phenomenon
+//! the paper's extraction algorithm must handle (references inline).
+
+use crate::ids::{ConceptId, InstanceId};
+use crate::sentence::{PatternKind, Referent, SentenceRecord, SentenceTruth, SourceMeta, TruthPair};
+use crate::world::{InstanceKind, World};
+use crate::zipf::Zipf;
+use probase_text::pluralize;
+use rand::distributions::WeightedIndex;
+use rand::prelude::Distribution;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the corpus simulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// RNG seed (independent of the world seed).
+    pub seed: u64,
+    /// Number of sentences to render.
+    pub sentences: usize,
+    /// Relative weights of the six Hearst patterns (paper Table 2). "such
+    /// as" dominates real web text.
+    pub pattern_mix: [f64; 6],
+    /// Probability that a `SuchAs`/`Including` sentence carries an
+    /// "other than D" distractor (§2.1: "animals other than dogs such as
+    /// cats").
+    pub other_than_rate: f64,
+    /// Probability that an `AndOther`/`OrOther` list is prefixed by items
+    /// from a *sibling* concept (§2.2 Example 2(4): continents before
+    /// countries).
+    pub list_drift_rate: f64,
+    /// Number of drifted items when drift occurs (upper bound).
+    pub max_drift_items: usize,
+    /// Base probability that one list item is replaced by garbage (web
+    /// noise). Scaled up on low-quality pages, which is what makes
+    /// `source_quality` an informative plausibility feature (§4.1).
+    pub corrupt_rate: f64,
+    /// Fraction of sentences that are background prose with no pattern.
+    pub noise_rate: f64,
+    /// Fraction of sentences that are part-of constructions (negative isA
+    /// evidence, §4.1).
+    pub partof_rate: f64,
+    /// Probability that a valid list item is a *sub-concept label* rather
+    /// than an instance (feeds vertical merging, §3.4 Property 3).
+    pub subconcept_item_rate: f64,
+    /// Minimum list length (inclusive).
+    pub min_list: usize,
+    /// Maximum list length (inclusive).
+    pub max_list: usize,
+    /// Average sentences per simulated page.
+    pub sentences_per_page: usize,
+    /// Source-credibility range pages are drawn from. Encyclopedic
+    /// corpora sit high; forum scrapes sit low. Interacts with
+    /// `corrupt_rate` (corruption scales with low quality).
+    pub quality_range: (f64, f64),
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            sentences: 60_000,
+            pattern_mix: [0.42, 0.08, 0.18, 0.14, 0.05, 0.13],
+            other_than_rate: 0.06,
+            list_drift_rate: 0.08,
+            max_drift_items: 3,
+            corrupt_rate: 0.025,
+            noise_rate: 0.12,
+            partof_rate: 0.03,
+            subconcept_item_rate: 0.10,
+            min_list: 1,
+            max_list: 6,
+            sentences_per_page: 3,
+            quality_range: (0.2, 1.0),
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// Small corpus for unit tests.
+    pub fn small(seed: u64) -> Self {
+        Self { seed, sentences: 2_000, ..Self::default() }
+    }
+
+    /// Encyclopedia-like profile: curated, high-credibility pages with
+    /// very little corruption (the Wikipedia-ish end of the web).
+    pub fn encyclopedia(seed: u64, sentences: usize) -> Self {
+        Self {
+            seed,
+            sentences,
+            corrupt_rate: 0.006,
+            noise_rate: 0.08,
+            quality_range: (0.7, 1.0),
+            ..Self::default()
+        }
+    }
+
+    /// Forum-like profile: low-credibility pages, heavy corruption and
+    /// drift — the messy end of the web the paper's robustness story is
+    /// about.
+    pub fn forum(seed: u64, sentences: usize) -> Self {
+        Self {
+            seed,
+            sentences,
+            corrupt_rate: 0.06,
+            noise_rate: 0.2,
+            list_drift_rate: 0.14,
+            other_than_rate: 0.1,
+            quality_range: (0.2, 0.6),
+            ..Self::default()
+        }
+    }
+}
+
+/// Streaming generator over a world. Use [`CorpusGenerator::generate_all`]
+/// for a batch or iterate with [`CorpusGenerator::next_record`].
+pub struct CorpusGenerator<'w> {
+    world: &'w World,
+    config: CorpusConfig,
+    rng: SmallRng,
+    /// Weighted sampler over concepts with at least one instance.
+    concept_sampler: WeightedIndex<f64>,
+    eligible: Vec<ConceptId>,
+    pattern_sampler: WeightedIndex<f64>,
+    next_id: u64,
+    /// Current page state.
+    page_id: u64,
+    page_left: usize,
+    page_rank: f64,
+    page_quality: f64,
+}
+
+impl<'w> CorpusGenerator<'w> {
+    /// Create a generator; panics if the world has no populated concepts.
+    pub fn new(world: &'w World, config: CorpusConfig) -> Self {
+        let eligible: Vec<ConceptId> = world
+            .concepts
+            .iter()
+            .filter(|c| !c.instances.is_empty())
+            .map(|c| c.id)
+            .collect();
+        assert!(!eligible.is_empty(), "world has no populated concepts");
+        let weights: Vec<f64> =
+            eligible.iter().map(|&id| world.concept(id).popularity.max(1e-12)).collect();
+        let concept_sampler = WeightedIndex::new(&weights).expect("positive weights");
+        let pattern_sampler = WeightedIndex::new(config.pattern_mix).expect("pattern mix");
+        let rng = SmallRng::seed_from_u64(config.seed);
+        Self {
+            world,
+            config,
+            rng,
+            concept_sampler,
+            eligible,
+            pattern_sampler,
+            next_id: 0,
+            page_id: 0,
+            page_left: 0,
+            page_rank: 0.0,
+            page_quality: 0.0,
+        }
+    }
+
+    /// Render the whole corpus.
+    pub fn generate_all(mut self) -> Vec<SentenceRecord> {
+        let mut out = Vec::with_capacity(self.config.sentences);
+        for _ in 0..self.config.sentences {
+            out.push(self.next_record());
+        }
+        out
+    }
+
+    /// Render one sentence.
+    pub fn next_record(&mut self) -> SentenceRecord {
+        if self.page_left == 0 {
+            self.page_id += 1;
+            self.page_left = 1 + self.rng.gen_range(0..self.config.sentences_per_page * 2);
+            // PageRank: heavy-tailed toward 0.
+            let u: f64 = self.rng.gen();
+            self.page_rank = u.powf(3.0);
+            let (lo, hi) = self.config.quality_range;
+            self.page_quality = self.rng.gen_range(lo..hi.max(lo + 1e-9));
+        }
+        self.page_left -= 1;
+        let meta = SourceMeta {
+            page_id: self.page_id,
+            page_rank: self.page_rank,
+            source_quality: self.page_quality,
+        };
+
+        let roll: f64 = self.rng.gen();
+        let (text, truth) = if roll < self.config.noise_rate {
+            (self.noise_sentence(), SentenceTruth::default())
+        } else if roll < self.config.noise_rate + self.config.partof_rate {
+            self.partof_sentence()
+        } else {
+            self.hearst_sentence()
+        };
+
+        let id = self.next_id;
+        self.next_id += 1;
+        SentenceRecord { id, text, meta, truth }
+    }
+
+    // ---- sentence builders ------------------------------------------
+
+    fn pick_concept(&mut self) -> ConceptId {
+        self.eligible[self.concept_sampler.sample(&mut self.rng)]
+    }
+
+    /// Draw up to `n` distinct instances of `cid` by typicality weight.
+    fn draw_instances(&mut self, cid: ConceptId, n: usize) -> Vec<InstanceId> {
+        let members = &self.world.concept(cid).instances;
+        let z = Zipf::new(members.len(), 1.0);
+        let mut chosen: Vec<InstanceId> = Vec::with_capacity(n);
+        let mut guard = 0;
+        while chosen.len() < n.min(members.len()) && guard < 50 * n + 50 {
+            guard += 1;
+            let k = z.sample(&mut self.rng);
+            let iid = members[k].instance;
+            if !chosen.contains(&iid) {
+                chosen.push(iid);
+            }
+        }
+        chosen
+    }
+
+    /// Surface of an instance as it appears inside a list. Common nouns are
+    /// rendered in the plural ("animals such as cats"); proper names,
+    /// conjunction names and titles stay verbatim.
+    fn render_instance(&self, iid: InstanceId) -> String {
+        let inst = self.world.instance(iid);
+        match inst.kind {
+            InstanceKind::Common => pluralize_phrase(&inst.surface),
+            _ => inst.surface.clone(),
+        }
+    }
+
+    /// Plural surface of a concept label ("tropical country" →
+    /// "tropical countries").
+    fn render_concept(&self, cid: ConceptId) -> String {
+        pluralize_phrase(&self.world.concept(cid).label)
+    }
+
+    fn hearst_sentence(&mut self) -> (String, SentenceTruth) {
+        let cid = self.pick_concept();
+        let pattern = PatternKind::HEARST[self.pattern_sampler.sample(&mut self.rng)];
+        let c = self.world.concept(cid);
+
+        let want = self.rng.gen_range(self.config.min_list..=self.config.max_list);
+        let drawn = self.draw_instances(cid, want);
+        let mut items: Vec<TruthPair> = drawn
+            .iter()
+            .map(|&iid| TruthPair {
+                surface: self.render_instance(iid),
+                referent: Referent::Instance(iid),
+            })
+            .collect();
+
+        // Sub-concept items (vertical-merge fuel): occasionally list a
+        // child concept label among the instances, together with a few of
+        // the child's own instances — the co-listing evidence Property 3
+        // (paper §3.3, sentence d: "organisms such as plants, trees, grass
+        // and animals") relies on. Child instances are valid under the
+        // parent transitively.
+        if !c.children.is_empty() && self.rng.gen_bool(self.config.subconcept_item_rate) {
+            let child = c.children[self.rng.gen_range(0..c.children.len())];
+            if !self.world.concept(child).instances.is_empty() {
+                let surface = self.render_concept(child);
+                let pos = self.rng.gen_range(0..=items.len());
+                items.insert(
+                    pos.min(items.len()),
+                    TruthPair { surface, referent: Referent::Concept(child) },
+                );
+                let extra = self.rng.gen_range(1..=3);
+                for iid in self.draw_instances(child, extra) {
+                    let surface = self.render_instance(iid);
+                    if !items.iter().any(|t| t.surface == surface) {
+                        items.push(TruthPair { surface, referent: Referent::Instance(iid) });
+                    }
+                }
+            }
+        }
+
+        // Corruption: replace a non-first item with garbage, more often on
+        // low-quality pages.
+        let effective_corrupt = self.config.corrupt_rate * (1.6 - self.page_quality);
+        if items.len() >= 2 && self.rng.gen_bool(effective_corrupt.clamp(0.0, 1.0)) {
+            let pos = self.rng.gen_range(1..items.len());
+            items[pos] = TruthPair { surface: self.junk_surface(cid), referent: Referent::Junk };
+        }
+
+        // Distractor and drift.
+        let mut distractor = None;
+        match pattern {
+            PatternKind::SuchAs | PatternKind::Including | PatternKind::Especially
+                if self.rng.gen_bool(self.config.other_than_rate) => {
+                    distractor = self.pick_distractor(cid, &items);
+                }
+            PatternKind::AndOther | PatternKind::OrOther
+                if self.rng.gen_bool(self.config.list_drift_rate) => {
+                    let k = self.rng.gen_range(1..=self.config.max_drift_items);
+                    let drift = self.drift_items(cid, k);
+                    for (i, d) in drift.into_iter().enumerate() {
+                        items.insert(i, d);
+                    }
+                }
+            _ => {}
+        }
+
+        let text = self.render_hearst(pattern, cid, &items, distractor.as_deref());
+        let truth = SentenceTruth {
+            concept: Some(cid),
+            items,
+            distractor,
+            pattern: Some(pattern),
+        };
+        (text, truth)
+    }
+
+    /// A plural common-noun co-instance to use as an "other than"
+    /// distractor ("dogs" for animals). Falls back to `None` when the
+    /// concept has no suitable common-noun member outside the listed items.
+    fn pick_distractor(&mut self, cid: ConceptId, items: &[TruthPair]) -> Option<String> {
+        let c = self.world.concept(cid);
+        let candidates: Vec<&str> = c
+            .instances
+            .iter()
+            .map(|m| self.world.instance(m.instance))
+            .filter(|i| i.kind == InstanceKind::Common)
+            .map(|i| i.surface.as_str())
+            .filter(|s| {
+                let plural = pluralize_phrase(s);
+                !items.iter().any(|t| t.surface == plural)
+            })
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let pick = candidates[self.rng.gen_range(0..candidates.len())];
+        Some(pluralize_phrase(pick))
+    }
+
+    /// Items drifted in from a sibling concept (invalid under `cid`).
+    fn drift_items(&mut self, cid: ConceptId, k: usize) -> Vec<TruthPair> {
+        let sibling = self.sibling_of(cid);
+        let Some(sib) = sibling else { return Vec::new() };
+        self.draw_instances(sib, k)
+            .into_iter()
+            .map(|iid| TruthPair {
+                surface: self.render_instance(iid),
+                referent: Referent::Junk,
+            })
+            .collect()
+    }
+
+    fn sibling_of(&mut self, cid: ConceptId) -> Option<ConceptId> {
+        let c = self.world.concept(cid);
+        let parent = *c.parents.first()?;
+        let siblings: Vec<ConceptId> = self
+            .world
+            .concept(parent)
+            .children
+            .iter()
+            .copied()
+            .filter(|&s| s != cid && !self.world.concept(s).instances.is_empty())
+            .collect();
+        if siblings.is_empty() {
+            None
+        } else {
+            Some(siblings[self.rng.gen_range(0..siblings.len())])
+        }
+    }
+
+    /// A garbage surface for corruption: an attribute noun of the concept
+    /// (pluralized) or a random instance of an unrelated concept.
+    fn junk_surface(&mut self, cid: ConceptId) -> String {
+        let c = self.world.concept(cid);
+        if !c.attributes.is_empty() && self.rng.gen_bool(0.4) {
+            return pluralize_phrase(&c.attributes[self.rng.gen_range(0..c.attributes.len())]);
+        }
+        // Random unrelated instance.
+        for _ in 0..8 {
+            let other = self.eligible[self.rng.gen_range(0..self.eligible.len())];
+            if other != cid {
+                let drawn = self.draw_instances(other, 1);
+                if let Some(iid) = drawn.first() {
+                    return self.render_instance(*iid);
+                }
+            }
+        }
+        "miscellanea".to_string()
+    }
+
+    fn render_hearst(
+        &mut self,
+        pattern: PatternKind,
+        cid: ConceptId,
+        items: &[TruthPair],
+        distractor: Option<&str>,
+    ) -> String {
+        let x = self.render_concept(cid);
+        let x = match distractor {
+            Some(d) => format!("{x} other than {d}"),
+            None => x,
+        };
+        let list = self.render_list(items);
+        let prefix = self.prefix();
+        let suffix = self.suffix();
+        let body = match pattern {
+            PatternKind::SuchAs => format!("{x} such as {list}"),
+            PatternKind::SuchNpAs => format!("such {x} as {list}"),
+            PatternKind::Including => format!("{x}, including {list}"),
+            PatternKind::AndOther => format!("{list}, and other {x}"),
+            PatternKind::OrOther => format!("{list}, or other {x}"),
+            PatternKind::Especially => format!("{x}, especially {list}"),
+            _ => unreachable!("not a Hearst pattern"),
+        };
+        format!("{prefix}{body}{suffix}")
+    }
+
+    /// Comma-separated list with a final "and"/"or" before the last item
+    /// (as real prose has), sometimes plain commas only.
+    fn render_list(&mut self, items: &[TruthPair]) -> String {
+        let surfaces: Vec<&str> = items.iter().map(|t| t.surface.as_str()).collect();
+        match surfaces.len() {
+            0 => String::new(),
+            1 => surfaces[0].to_string(),
+            _ => {
+                let conj = if self.rng.gen_bool(0.75) { "and" } else { "or" };
+                let joiner = if self.rng.gen_bool(0.85) {
+                    format!(" {conj} ")
+                } else {
+                    ", ".to_string()
+                };
+                let head = surfaces[..surfaces.len() - 1].join(", ");
+                format!("{head}{joiner}{}", surfaces[surfaces.len() - 1])
+            }
+        }
+    }
+
+    fn prefix(&mut self) -> String {
+        const PREFIXES: &[&str] = &[
+            "",
+            "",
+            "",
+            "many experts recommend ",
+            "the report covers ",
+            "we studied ",
+            "visitors often mention ",
+            "the market for ",
+            "there is growing interest in ",
+            "analysts track ",
+        ];
+        PREFIXES[self.rng.gen_range(0..PREFIXES.len())].to_string()
+    }
+
+    fn suffix(&mut self) -> String {
+        const SUFFIXES: &[&str] = &[
+            ".",
+            ".",
+            " in recent years.",
+            " around the world.",
+            " among many others.",
+            " according to the survey.",
+            ", which keeps growing.",
+        ];
+        SUFFIXES[self.rng.gen_range(0..SUFFIXES.len())].to_string()
+    }
+
+    /// Background prose with no Hearst pattern.
+    fn noise_sentence(&mut self) -> String {
+        let cid = self.pick_concept();
+        let x = self.render_concept(cid);
+        let drawn = self.draw_instances(cid, 1);
+        let inst = drawn
+            .first()
+            .map(|&i| self.render_instance(i))
+            .unwrap_or_else(|| "things".to_string());
+        const TEMPLATES: &[&str] = &[
+            "the history of {X} is long and well documented.",
+            "{I} remains a popular choice for many families.",
+            "few people realize how quickly {X} have changed.",
+            "{I} was mentioned twice in the annual report.",
+            "prices for {X} rose sharply this quarter.",
+            "the committee discussed {I} at length.",
+        ];
+        let t = TEMPLATES[self.rng.gen_range(0..TEMPLATES.len())];
+        t.replace("{X}", &x).replace("{I}", &inst)
+    }
+
+    /// Part-of construction: negative isA evidence (§4.1). Claims that the
+    /// concept's *attributes* are parts, so any corrupted isA pair built
+    /// from an attribute can be counteracted.
+    fn partof_sentence(&mut self) -> (String, SentenceTruth) {
+        let cid = self.pick_concept();
+        let c = self.world.concept(cid);
+        let n = self.rng.gen_range(2..=3.min(c.attributes.len().max(2)));
+        let mut parts: Vec<String> = Vec::new();
+        for _ in 0..n {
+            if c.attributes.is_empty() {
+                break;
+            }
+            let a = &c.attributes[self.rng.gen_range(0..c.attributes.len())];
+            let p = pluralize_phrase(a);
+            if !parts.contains(&p) {
+                parts.push(p);
+            }
+        }
+        let x = self.render_concept(cid);
+        let list = parts.join(", ");
+        let text = format!("{x} are comprised of {list}.");
+        let truth = SentenceTruth {
+            concept: Some(cid),
+            items: parts
+                .into_iter()
+                .map(|surface| TruthPair { surface, referent: Referent::Junk })
+                .collect(),
+            distractor: None,
+            pattern: Some(PatternKind::PartOf),
+        };
+        (text, truth)
+    }
+}
+
+/// Pluralize the head (final word) of a phrase: `"tropical country"` →
+/// `"tropical countries"`, `"steam turbine"` → `"steam turbines"`.
+pub fn pluralize_phrase(phrase: &str) -> String {
+    match phrase.rsplit_once(' ') {
+        Some((head, last)) => format!("{head} {}", pluralize(last)),
+        None => pluralize(phrase),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worldgen::{generate, WorldConfig};
+
+    fn corpus(seed: u64, n: usize) -> (World, Vec<SentenceRecord>) {
+        let world = generate(&WorldConfig::small(seed));
+        let cfg = CorpusConfig { seed, sentences: n, ..CorpusConfig::default() };
+        let records = CorpusGenerator::new(&world, cfg).generate_all();
+        (world, records)
+    }
+
+    #[test]
+    fn generates_requested_count_with_dense_ids() {
+        let (_, recs) = corpus(3, 500);
+        assert_eq!(recs.len(), 500);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (_, a) = corpus(5, 200);
+        let (_, b) = corpus(5, 200);
+        assert_eq!(
+            a.iter().map(|r| &r.text).collect::<Vec<_>>(),
+            b.iter().map(|r| &r.text).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mixture_contains_all_constructions() {
+        let (_, recs) = corpus(7, 4000);
+        let mut kinds = std::collections::HashSet::new();
+        for r in &recs {
+            kinds.insert(r.truth.pattern);
+        }
+        for p in PatternKind::HEARST {
+            assert!(kinds.contains(&Some(p)), "missing {p:?}");
+        }
+        assert!(kinds.contains(&None), "missing noise");
+        assert!(kinds.contains(&Some(PatternKind::PartOf)));
+    }
+
+    #[test]
+    fn such_as_sentences_contain_keyword_and_items() {
+        let (_, recs) = corpus(11, 3000);
+        let mut seen = 0;
+        for r in recs.iter().filter(|r| r.truth.pattern == Some(PatternKind::SuchAs)) {
+            assert!(r.text.contains("such as"), "{}", r.text);
+            for item in &r.truth.items {
+                assert!(r.text.contains(&item.surface), "{} missing {}", r.text, item.surface);
+            }
+            seen += 1;
+        }
+        assert!(seen > 100);
+    }
+
+    #[test]
+    fn other_than_distractors_appear_in_text() {
+        let (_, recs) = corpus(13, 6000);
+        let with = recs.iter().filter(|r| r.truth.distractor.is_some()).count();
+        assert!(with > 10, "expected some distractor sentences, got {with}");
+        for r in recs.iter().filter(|r| r.truth.distractor.is_some()) {
+            let d = r.truth.distractor.as_ref().unwrap();
+            assert!(r.text.contains(&format!("other than {d}")), "{}", r.text);
+        }
+    }
+
+    #[test]
+    fn drift_items_marked_junk() {
+        let (_, recs) = corpus(17, 8000);
+        let drifted: Vec<_> = recs
+            .iter()
+            .filter(|r| {
+                matches!(r.truth.pattern, Some(PatternKind::AndOther | PatternKind::OrOther))
+                    && r.truth.items.first().is_some_and(|t| !t.is_valid())
+            })
+            .collect();
+        assert!(!drifted.is_empty(), "expected drifted and-other sentences");
+    }
+
+    #[test]
+    fn corruption_rate_roughly_respected() {
+        let (_, recs) = corpus(19, 6000);
+        let hearst: Vec<_> =
+            recs.iter().filter(|r| r.truth.pattern.is_some_and(|p| p.hearst_index().is_some())).collect();
+        let corrupted = hearst
+            .iter()
+            .filter(|r| r.truth.items.iter().any(|t| !t.is_valid()) && r.truth.distractor.is_none())
+            .count();
+        let frac = corrupted as f64 / hearst.len() as f64;
+        assert!(frac > 0.005 && frac < 0.25, "corruption fraction {frac}");
+    }
+
+    #[test]
+    fn page_metadata_in_range_and_grouped() {
+        let (_, recs) = corpus(23, 1000);
+        for r in &recs {
+            assert!((0.0..=1.0).contains(&r.meta.page_rank));
+            assert!((0.0..=1.0).contains(&r.meta.source_quality));
+        }
+        // Consecutive sentences on the same page share metadata.
+        let same_page: Vec<_> = recs.windows(2).filter(|w| w[0].meta.page_id == w[1].meta.page_id).collect();
+        assert!(!same_page.is_empty());
+        for w in same_page {
+            assert_eq!(w[0].meta.source_quality, w[1].meta.source_quality);
+        }
+    }
+
+    #[test]
+    fn pluralize_phrase_handles_multiword() {
+        assert_eq!(pluralize_phrase("tropical country"), "tropical countries");
+        assert_eq!(pluralize_phrase("steam turbine"), "steam turbines");
+        assert_eq!(pluralize_phrase("cat"), "cats");
+    }
+
+    #[test]
+    fn partof_sentences_use_comprised_of() {
+        let (_, recs) = corpus(29, 4000);
+        let part: Vec<_> =
+            recs.iter().filter(|r| r.truth.pattern == Some(PatternKind::PartOf)).collect();
+        assert!(!part.is_empty());
+        for r in part {
+            assert!(r.text.contains("are comprised of"), "{}", r.text);
+            assert!(r.truth.items.iter().all(|t| !t.is_valid()));
+        }
+    }
+}

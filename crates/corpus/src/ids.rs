@@ -1,0 +1,56 @@
+//! Typed identifiers for world-model entities.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a concept *sense* in the ground-truth world. Two concepts
+/// sharing a surface label but with different `ConceptId`s are homographs
+/// (e.g. *plant* the organism vs *plant* the facility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConceptId(pub u32);
+
+/// Identifier of an instance in the ground-truth world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstanceId(pub u32);
+
+impl ConceptId {
+    /// Index into the world's concept table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl InstanceId {
+    /// Index into the world's instance table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ConceptId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl std::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ConceptId(7).to_string(), "c7");
+        assert_eq!(InstanceId(3).to_string(), "i3");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(ConceptId(42).index(), 42);
+        assert_eq!(InstanceId(42).index(), 42);
+    }
+}

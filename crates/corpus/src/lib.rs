@@ -1,0 +1,41 @@
+//! # probase-corpus
+//!
+//! The synthetic web: a ground-truth world model and a corpus simulator.
+//!
+//! The Probase paper extracts its taxonomy from 1.68 billion proprietary
+//! web pages. This crate is the reproduction's substitution for that input
+//! (DESIGN.md §2): it builds a sense-annotated ground-truth taxonomy (the
+//! [`world::World`]) and renders from it a stream of Hearst-pattern
+//! sentences — [`sentence::SentenceRecord`]s — exhibiting exactly the
+//! ambiguity classes the paper's extraction algorithm must resolve:
+//!
+//! * "X **other than** D such as y…" distractor super-concepts (§2.1),
+//! * instances that are not noun phrases ("Gone with the Wind", §2.2),
+//! * instances with embedded conjunctions ("Proctor and Gamble", §2.3.3),
+//! * list-boundary drift ("…, Europe, and other countries", §2.2),
+//! * homograph concept labels ("plants", §3.2),
+//! * modifier-derived concepts ("tropical countries" ⊆ "countries"),
+//! * page-level noise (source quality, corrupted pairs).
+//!
+//! Because every sentence carries its ground truth (hidden from the
+//! extractor, visible to the judge), the evaluation crate can measure true
+//! precision and recall — the role played by human judges in the paper.
+
+#![warn(missing_docs)]
+
+pub mod attributes;
+pub mod benchmark;
+pub mod generator;
+pub mod ids;
+pub mod names;
+pub mod sentence;
+pub mod world;
+pub mod worldgen;
+pub mod zipf;
+
+pub use generator::{CorpusConfig, CorpusGenerator};
+pub use ids::{ConceptId, InstanceId};
+pub use sentence::{SentenceRecord, SentenceTruth, SourceMeta, TruthPair};
+pub use world::{ConceptSpec, InstanceKind, InstanceSpec, Membership, World, WorldIndex};
+pub use worldgen::{generate, WorldConfig};
+pub use zipf::Zipf;

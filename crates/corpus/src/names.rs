@@ -1,0 +1,222 @@
+//! Deterministic coined-name generation.
+//!
+//! The synthetic world needs far more vocabulary than any curated list can
+//! supply: filler concept nouns, proper-name instances, adjectives for
+//! modifier-derived concepts, and attribute nouns. Names are coined from
+//! syllables so they are pronounceable, collision-checked against a
+//! registry, and — crucially — *morphologically regular*, so the heuristic
+//! tagger in `probase-text` treats them exactly like real vocabulary.
+
+use rand::Rng;
+use std::collections::HashSet;
+
+const ONSETS: &[&str] = &[
+    "b", "br", "c", "cr", "d", "dr", "f", "fl", "g", "gl", "gr", "h", "j", "k", "kl", "l", "m",
+    "n", "p", "pl", "pr", "qu", "r", "s", "sk", "sl", "sp", "st", "t", "tr", "v", "w", "z",
+];
+const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ar", "er", "or", "an", "en", "on", "el", "al"];
+const CODAS: &[&str] = &["", "n", "m", "l", "r", "s", "t", "x", "nd", "rk", "st", "th"];
+
+/// Suffixes that make a coined word read as a common noun.
+const NOUN_SUFFIXES: &[&str] = &["on", "ite", "ant", "oid", "ide", "ome", "ine", "ode"];
+/// Suffixes that make a coined word read as an adjective to the tagger
+/// (must be among `probase-text`'s adjective suffixes).
+const ADJ_SUFFIXES: &[&str] = &["ous", "ive", "ish", "ful"];
+
+/// A name coiner that guarantees uniqueness within its lifetime.
+#[derive(Debug, Default)]
+pub struct NameCoiner {
+    used: HashSet<String>,
+}
+
+impl NameCoiner {
+    /// An empty coiner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserve an externally supplied name so coined names never collide
+    /// with curated vocabulary.
+    pub fn reserve(&mut self, name: &str) {
+        self.used.insert(name.to_lowercase());
+    }
+
+    fn syllable<R: Rng + ?Sized>(rng: &mut R) -> String {
+        let o = ONSETS[rng.gen_range(0..ONSETS.len())];
+        let n = NUCLEI[rng.gen_range(0..NUCLEI.len())];
+        let c = CODAS[rng.gen_range(0..CODAS.len())];
+        format!("{o}{n}{c}")
+    }
+
+    fn fresh<R: Rng + ?Sized>(&mut self, rng: &mut R, make: impl Fn(&mut R) -> String) -> String {
+        for _ in 0..1000 {
+            let candidate = make(rng);
+            if self.used.insert(candidate.to_lowercase()) {
+                return candidate;
+            }
+        }
+        // Practically unreachable: fall back to a counter-suffixed name.
+        let mut i = self.used.len();
+        loop {
+            let candidate = format!("{}{}", make(rng), i);
+            if self.used.insert(candidate.to_lowercase()) {
+                return candidate;
+            }
+            i += 1;
+        }
+    }
+
+    /// Coin a singular common noun, lowercase (e.g. `"brathone"`).
+    pub fn common_noun<R: Rng + ?Sized>(&mut self, rng: &mut R) -> String {
+        self.fresh(rng, |rng| {
+            let n = rng.gen_range(1..=2);
+            let mut w: String = (0..n).map(|_| Self::syllable(rng)).collect();
+            w.push_str(NOUN_SUFFIXES[rng.gen_range(0..NOUN_SUFFIXES.len())]);
+            w
+        })
+    }
+
+    /// Coin an adjective the heuristic tagger will classify as such.
+    pub fn adjective<R: Rng + ?Sized>(&mut self, rng: &mut R) -> String {
+        self.fresh(rng, |rng| {
+            let mut w = Self::syllable(rng);
+            w.push_str(ADJ_SUFFIXES[rng.gen_range(0..ADJ_SUFFIXES.len())]);
+            w
+        })
+    }
+
+    /// Coin a capitalized proper name of `words` words (e.g. `"Dramor Plisk"`).
+    pub fn proper_name<R: Rng + ?Sized>(&mut self, rng: &mut R, words: usize) -> String {
+        self.fresh(rng, |rng| {
+            (0..words.max(1))
+                .map(|_| {
+                    let n = rng.gen_range(1..=2);
+                    let w: String = (0..n).map(|_| Self::syllable(rng)).collect();
+                    capitalize(&w)
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+    }
+
+    /// Coin a proper name containing an embedded conjunction, like
+    /// `"Proctor and Gamble"` — the §2.3.3 ambiguity class.
+    pub fn conjunction_name<R: Rng + ?Sized>(&mut self, rng: &mut R) -> String {
+        let a = self.proper_name(rng, 1);
+        let b = self.proper_name(rng, 1);
+        let joined = format!("{a} and {b}");
+        self.used.insert(joined.to_lowercase());
+        joined
+    }
+
+    /// Coin a title that is not a noun phrase, like `"Gone with the Wind"`
+    /// — the §2.2 Example 2(2) ambiguity class.
+    pub fn title_name<R: Rng + ?Sized>(&mut self, rng: &mut R) -> String {
+        const OPENERS: &[&str] = &["Gone", "Lost", "Born", "Running", "Waiting", "Falling"];
+        const LINKS: &[&str] = &["with the", "of the", "in the", "under the", "beyond the"];
+        self.fresh(rng, |rng| {
+            let opener = OPENERS[rng.gen_range(0..OPENERS.len())];
+            let link = LINKS[rng.gen_range(0..LINKS.len())];
+            let noun = capitalize(&Self::syllable(rng));
+            format!("{opener} {link} {noun}")
+        })
+    }
+}
+
+fn capitalize(w: &str) -> String {
+    let mut cs = w.chars();
+    match cs.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + cs.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probase_text::{is_plural, pluralize};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn coined_nouns_are_unique_and_lowercase() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut coiner = NameCoiner::new();
+        let mut seen = HashSet::new();
+        for _ in 0..500 {
+            let w = coiner.common_noun(&mut rng);
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+            assert!(seen.insert(w.clone()), "duplicate {w}");
+        }
+    }
+
+    #[test]
+    fn coined_nouns_pluralize_regularly() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut coiner = NameCoiner::new();
+        for _ in 0..200 {
+            let w = coiner.common_noun(&mut rng);
+            let p = pluralize(&w);
+            assert!(is_plural(&p), "pluralized coined noun {p} not detected as plural");
+        }
+    }
+
+    #[test]
+    fn adjectives_carry_adjective_suffix() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut coiner = NameCoiner::new();
+        for _ in 0..100 {
+            let w = coiner.adjective(&mut rng);
+            assert!(ADJ_SUFFIXES.iter().any(|s| w.ends_with(s)), "{w}");
+        }
+    }
+
+    #[test]
+    fn proper_names_are_capitalized() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut coiner = NameCoiner::new();
+        for _ in 0..100 {
+            let name = coiner.proper_name(&mut rng, 2);
+            for word in name.split(' ') {
+                assert!(word.chars().next().unwrap().is_uppercase(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn conjunction_names_contain_and() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut coiner = NameCoiner::new();
+        let n = coiner.conjunction_name(&mut rng);
+        assert!(n.contains(" and "), "{n}");
+    }
+
+    #[test]
+    fn titles_are_not_noun_phrases() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut coiner = NameCoiner::new();
+        let t = coiner.title_name(&mut rng);
+        assert!(t.split(' ').count() >= 3, "{t}");
+    }
+
+    #[test]
+    fn reserve_prevents_collision() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut coiner = NameCoiner::new();
+        coiner.reserve("Testname");
+        for _ in 0..200 {
+            assert_ne!(coiner.proper_name(&mut rng, 1).to_lowercase(), "testname");
+        }
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let gen = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut c = NameCoiner::new();
+            (0..20).map(|_| c.common_noun(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(11), gen(11));
+        assert_ne!(gen(11), gen(12));
+    }
+}

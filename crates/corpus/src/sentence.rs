@@ -1,0 +1,143 @@
+//! Sentence records: what the extractor sees, plus hidden ground truth.
+//!
+//! A [`SentenceRecord`] carries the raw sentence text and page-level
+//! metadata (the extractor's entire view), and a [`SentenceTruth`] that only
+//! the evaluation judge may consult. This mirrors the paper's setup: the
+//! extraction pipeline works on opaque web text; humans (here: the truth
+//! channel) judge the output afterwards (§5.2).
+
+use crate::ids::{ConceptId, InstanceId};
+use serde::{Deserialize, Serialize};
+
+/// Which surface construction a sentence was rendered with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// Hearst 1: `NP such as NP, NP, (and|or) NP`.
+    SuchAs,
+    /// Hearst 2: `such NP as NP, …`.
+    SuchNpAs,
+    /// Hearst 3: `NP, including NP, …`.
+    Including,
+    /// Hearst 4: `NP, NP, …, and other NP`.
+    AndOther,
+    /// Hearst 5: `NP, NP, …, or other NP`.
+    OrOther,
+    /// Hearst 6: `NP, especially NP, …`.
+    Especially,
+    /// Meronymy: `NP is comprised of NP, …` (negative isA evidence, §4.1).
+    PartOf,
+    /// No pattern at all (background prose).
+    Noise,
+}
+
+impl PatternKind {
+    /// The six genuine Hearst patterns (paper Table 2), in order.
+    pub const HEARST: [PatternKind; 6] = [
+        PatternKind::SuchAs,
+        PatternKind::SuchNpAs,
+        PatternKind::Including,
+        PatternKind::AndOther,
+        PatternKind::OrOther,
+        PatternKind::Especially,
+    ];
+
+    /// Index of a Hearst pattern in [`Self::HEARST`], if it is one.
+    pub fn hearst_index(self) -> Option<usize> {
+        Self::HEARST.iter().position(|&p| p == self)
+    }
+}
+
+/// What a listed item actually refers to, per ground truth.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Referent {
+    /// A true instance of the sentence's super-concept (possibly indirect).
+    Instance(InstanceId),
+    /// A true sub-concept of the sentence's super-concept.
+    Concept(ConceptId),
+    /// Deliberate garbage: a corruption or a drifted list item that does
+    /// not belong under the super-concept.
+    Junk,
+}
+
+/// One listed item with its ground-truth status.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TruthPair {
+    /// Surface exactly as rendered in the sentence (e.g. `"cats"`,
+    /// `"Proctor and Gamble"`, `"the Middle East"`).
+    pub surface: String,
+    /// What the item is, per ground truth.
+    pub referent: Referent,
+}
+
+impl TruthPair {
+    /// Is the item truly subordinate to the sentence's super-concept?
+    pub fn is_valid(&self) -> bool {
+        !matches!(self.referent, Referent::Junk)
+    }
+}
+
+/// Hidden ground truth attached to a sentence.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SentenceTruth {
+    /// The intended super-concept sense, when the sentence encodes an isA
+    /// list (`None` for noise).
+    pub concept: Option<ConceptId>,
+    /// Listed items in sentence order (for `AndOther`/`OrOther` this is
+    /// the order of appearance, i.e. *reversed* keyword distance).
+    pub items: Vec<TruthPair>,
+    /// Plural surface of an "other than" distractor NP, when present.
+    pub distractor: Option<String>,
+    /// Construction used.
+    pub pattern: Option<PatternKind>,
+}
+
+/// Page-level metadata, the raw material for plausibility features
+/// (paper §4.1: PageRank of the source page, etc.).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SourceMeta {
+    /// Identifier of the simulated web page the sentence came from.
+    pub page_id: u64,
+    /// PageRank-style importance score in `[0, 1]`.
+    pub page_rank: f64,
+    /// Source credibility in `[0, 1]` ("New York Times vs public forum").
+    /// Correlates with the generator's corruption rate, which is what makes
+    /// it an informative plausibility feature.
+    pub source_quality: f64,
+}
+
+/// A sentence as delivered to the extraction pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SentenceRecord {
+    /// Dense sentence id (position in the corpus).
+    pub id: u64,
+    /// Raw sentence text.
+    pub text: String,
+    /// Page metadata visible to the extractor.
+    pub meta: SourceMeta,
+    /// Ground truth — judge-only. Extraction code must not read this; the
+    /// public pipeline API only exposes `text` and `meta`.
+    pub truth: SentenceTruth,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hearst_patterns_enumerate_six() {
+        assert_eq!(PatternKind::HEARST.len(), 6);
+        for (i, p) in PatternKind::HEARST.iter().enumerate() {
+            assert_eq!(p.hearst_index(), Some(i));
+        }
+        assert_eq!(PatternKind::Noise.hearst_index(), None);
+        assert_eq!(PatternKind::PartOf.hearst_index(), None);
+    }
+
+    #[test]
+    fn truth_pair_validity() {
+        let valid = TruthPair { surface: "cats".into(), referent: Referent::Instance(InstanceId(0)) };
+        let junk = TruthPair { surface: "tables".into(), referent: Referent::Junk };
+        assert!(valid.is_valid());
+        assert!(!junk.is_valid());
+    }
+}

@@ -1,0 +1,574 @@
+//! World generation.
+//!
+//! Builds a [`World`] by planting the curated benchmark inventory
+//! (`crate::benchmark`) and growing coined filler concepts, instances,
+//! modifier-derived sub-concepts, homograph label pairs, and attribute
+//! vocabulary around it. Everything is driven by a single seed: the same
+//! [`WorldConfig`] always yields byte-identical worlds.
+
+use crate::benchmark::{CURATED, ROOTS};
+use crate::ids::{ConceptId, InstanceId};
+use crate::names::NameCoiner;
+use crate::world::{ConceptSpec, InstanceSpec, InstanceKind, Membership, World};
+use crate::zipf::Zipf;
+use probase_text::{LexEntry, Lexicon};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Parameters controlling world generation.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// RNG seed; all structure and names derive from it.
+    pub seed: u64,
+    /// Number of coined filler concepts grown around the curated core.
+    pub filler_concepts: usize,
+    /// Range (inclusive) of instances per filler concept.
+    pub filler_instances: (usize, usize),
+    /// Coined instances added to each curated concept on top of its
+    /// curated inventory.
+    pub extra_instances_per_curated: usize,
+    /// Probability that a concept with enough instances receives
+    /// modifier-derived sub-concepts ("tropical X").
+    pub modifier_children_rate: f64,
+    /// Maximum modifier-derived sub-concepts per concept.
+    pub max_modifier_children: usize,
+    /// Number of coined homograph label pairs (two senses, one label).
+    pub homograph_pairs: usize,
+    /// Probability that an instance also joins a second, unrelated concept.
+    pub multi_membership_rate: f64,
+    /// Instance-kind mixture for coined instances (remaining mass goes to
+    /// plain proper names): share with embedded conjunctions
+    /// ("Proctor and Gamble").
+    pub conjunction_instance_rate: f64,
+    /// Share of non-NP titles ("Gone with the Wind").
+    pub title_instance_rate: f64,
+    /// Share of lowercase common-noun instances ("cat").
+    pub common_instance_rate: f64,
+    /// Fraction of proper coined instances with two-word names.
+    pub multiword_instance_rate: f64,
+    /// Zipf exponent for within-concept typicality.
+    pub zipf_typicality: f64,
+    /// Zipf exponent for concept popularity.
+    pub zipf_popularity: f64,
+    /// Coined attributes added per concept.
+    pub attributes_per_concept: usize,
+    /// Maximum hierarchy depth for filler concepts.
+    pub max_depth: usize,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            filler_concepts: 1200,
+            filler_instances: (4, 36),
+            extra_instances_per_curated: 14,
+            modifier_children_rate: 0.22,
+            max_modifier_children: 3,
+            homograph_pairs: 25,
+            multi_membership_rate: 0.04,
+            conjunction_instance_rate: 0.03,
+            title_instance_rate: 0.02,
+            common_instance_rate: 0.12,
+            multiword_instance_rate: 0.35,
+            zipf_typicality: 1.0,
+            zipf_popularity: 0.9,
+            attributes_per_concept: 16,
+            max_depth: 5,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A small world for unit tests: fast to generate, still exhibits every
+    /// ambiguity class.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            filler_concepts: 80,
+            filler_instances: (3, 12),
+            extra_instances_per_curated: 4,
+            homograph_pairs: 4,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generate a world from `config`.
+pub fn generate(config: &WorldConfig) -> World {
+    Builder::new(config).build()
+}
+
+struct Builder<'a> {
+    config: &'a WorldConfig,
+    rng: SmallRng,
+    coiner: NameCoiner,
+    concepts: Vec<ConceptSpec>,
+    instances: Vec<InstanceSpec>,
+    lexicon: Lexicon,
+    /// surface (exact) → instance id, for dedup/merging of memberships.
+    by_surface: HashMap<String, InstanceId>,
+    /// label → number of senses created so far.
+    senses: HashMap<String, u32>,
+    depth: Vec<usize>,
+    /// Real modifier adjectives cycled before coining new ones.
+    real_modifiers: Vec<&'static str>,
+    next_real_modifier: usize,
+}
+
+impl<'a> Builder<'a> {
+    fn new(config: &'a WorldConfig) -> Self {
+        let mut coiner = NameCoiner::new();
+        for root in ROOTS {
+            coiner.reserve(root);
+        }
+        for cc in CURATED {
+            coiner.reserve(cc.label);
+            for i in cc.instances {
+                coiner.reserve(i);
+            }
+        }
+        Self {
+            config,
+            rng: SmallRng::seed_from_u64(config.seed),
+            coiner,
+            concepts: Vec::new(),
+            instances: Vec::new(),
+            lexicon: Lexicon::new(),
+            by_surface: HashMap::new(),
+            senses: HashMap::new(),
+            depth: Vec::new(),
+            real_modifiers: vec![
+                "northern", "southern", "eastern", "western", "coastal", "ancient", "modern",
+                "regional", "urban", "rural", "major", "minor", "popular", "rare", "classic",
+            ],
+            next_real_modifier: 0,
+        }
+    }
+
+    fn add_concept(&mut self, label: &str, parent: Option<ConceptId>, depth: usize) -> ConceptId {
+        let sense = {
+            let s = self.senses.entry(label.to_string()).or_insert(0);
+            let v = *s;
+            *s += 1;
+            v
+        };
+        let id = ConceptId(self.concepts.len() as u32);
+        self.concepts.push(ConceptSpec {
+            id,
+            label: label.to_string(),
+            sense,
+            parents: parent.into_iter().collect(),
+            children: vec![],
+            instances: vec![],
+            popularity: 0.0,
+            attributes: vec![],
+            curated: false,
+            vague: false,
+        });
+        if let Some(p) = parent {
+            self.concepts[p.index()].children.push(id);
+        }
+        self.depth.push(depth);
+        id
+    }
+
+    /// Get or create the instance for `surface`; ensure membership in `cid`.
+    fn attach_instance(&mut self, surface: &str, kind: InstanceKind, cid: ConceptId) -> InstanceId {
+        let id = match self.by_surface.get(surface) {
+            Some(&id) => id,
+            None => {
+                let id = InstanceId(self.instances.len() as u32);
+                self.instances.push(InstanceSpec {
+                    id,
+                    surface: surface.to_string(),
+                    kind,
+                    concepts: vec![],
+                });
+                self.by_surface.insert(surface.to_string(), id);
+                id
+            }
+        };
+        let inst = &mut self.instances[id.index()];
+        if !inst.concepts.contains(&cid) {
+            inst.concepts.push(cid);
+            // Typicality is assigned in `finalize`; store order for now.
+            self.concepts[cid.index()]
+                .instances
+                .push(Membership { instance: id, typicality: 0.0 });
+        }
+        id
+    }
+
+    fn infer_kind(surface: &str) -> InstanceKind {
+        const TITLE_OPENERS: &[&str] = &["Gone", "Lost", "Born", "Running", "Waiting", "Falling"];
+        let first = surface.split(' ').next().unwrap_or("");
+        if TITLE_OPENERS.contains(&first) {
+            return InstanceKind::Title;
+        }
+        if surface.contains(" and ") {
+            return InstanceKind::ConjunctionName;
+        }
+        // Any capitalized word makes the surface a proper name ("the
+        // Alps", "eBay" is the lone exception we accept as common-ish).
+        if surface.split(' ').any(|w| w.chars().next().is_some_and(|c| c.is_uppercase()))
+            || surface.chars().any(|c| c.is_uppercase())
+        {
+            InstanceKind::Proper
+        } else {
+            InstanceKind::Common
+        }
+    }
+
+    fn coin_instance(&mut self) -> (String, InstanceKind) {
+        let r: f64 = self.rng.gen();
+        let c = self.config;
+        if r < c.conjunction_instance_rate {
+            (self.coiner.conjunction_name(&mut self.rng), InstanceKind::ConjunctionName)
+        } else if r < c.conjunction_instance_rate + c.title_instance_rate {
+            (self.coiner.title_name(&mut self.rng), InstanceKind::Title)
+        } else if r < c.conjunction_instance_rate + c.title_instance_rate + c.common_instance_rate {
+            (self.coiner.common_noun(&mut self.rng), InstanceKind::Common)
+        } else {
+            let words = if self.rng.gen_bool(c.multiword_instance_rate) { 2 } else { 1 };
+            (self.coiner.proper_name(&mut self.rng, words), InstanceKind::Proper)
+        }
+    }
+
+    fn next_modifier(&mut self) -> String {
+        if self.next_real_modifier < self.real_modifiers.len() && self.rng.gen_bool(0.5) {
+            let m = self.real_modifiers[self.next_real_modifier];
+            self.next_real_modifier += 1;
+            m.to_string()
+        } else {
+            let adj = self.coiner.adjective(&mut self.rng);
+            self.lexicon.insert(&adj, LexEntry::Adjective);
+            adj
+        }
+    }
+
+    fn build(mut self) -> World {
+        // 1. Roots.
+        let mut label_to_id: HashMap<&'static str, ConceptId> = HashMap::new();
+        for &root in ROOTS {
+            let id = self.add_concept(root, None, 0);
+            label_to_id.insert(root, id);
+        }
+
+        // 2. Curated concepts with their instances.
+        for cc in CURATED {
+            let parent = cc.parent.map(|p| label_to_id[p]);
+            let depth = parent.map(|p| self.depth[p.index()] + 1).unwrap_or(0);
+            let id = self.add_concept(cc.label, parent, depth);
+            // First sense wins the label_to_id slot (homographs keep both
+            // ConceptSpecs; children attach to the first sense).
+            label_to_id.entry(cc.label).or_insert(id);
+            {
+                let c = &mut self.concepts[id.index()];
+                c.curated = true;
+                c.vague = cc.vague;
+                c.attributes = cc.attributes.iter().map(|a| a.to_string()).collect();
+            }
+            for surf in cc.instances {
+                let kind = Self::infer_kind(surf);
+                self.attach_instance(surf, kind, id);
+            }
+        }
+
+        // 3. Filler concepts.
+        for _ in 0..self.config.filler_concepts {
+            let parent = self.pick_parent();
+            let depth = self.depth[parent.index()] + 1;
+            let label = self.coiner.common_noun(&mut self.rng);
+            let id = self.add_concept(&label, Some(parent), depth);
+            let (lo, hi) = self.config.filler_instances;
+            let n = self.rng.gen_range(lo..=hi);
+            for _ in 0..n {
+                let (surface, kind) = self.coin_instance();
+                self.attach_instance(&surface, kind, id);
+            }
+        }
+
+        // 4. Modifier-derived sub-concepts over filler + curated concepts
+        //    that don't already have curated modifier children.
+        let candidates: Vec<ConceptId> = self
+            .concepts
+            .iter()
+            .filter(|c| c.instances.len() >= 6 && c.children.is_empty())
+            .map(|c| c.id)
+            .collect();
+        for cid in candidates {
+            if !self.rng.gen_bool(self.config.modifier_children_rate) {
+                continue;
+            }
+            let k = self.rng.gen_range(1..=self.config.max_modifier_children);
+            for _ in 0..k {
+                let modifier = self.next_modifier();
+                let parent_label = self.concepts[cid.index()].label.clone();
+                let label = format!("{modifier} {parent_label}");
+                if self.senses.contains_key(&label) {
+                    continue;
+                }
+                let depth = self.depth[cid.index()] + 1;
+                let sub = self.add_concept(&label, Some(cid), depth);
+                // Subset of parent instances, biased to the head.
+                let parent_members: Vec<InstanceId> =
+                    self.concepts[cid.index()].instances.iter().map(|m| m.instance).collect();
+                let take = (parent_members.len() / 2).max(2).min(parent_members.len());
+                let mut chosen = parent_members;
+                chosen.shuffle(&mut self.rng);
+                chosen.truncate(take);
+                for iid in chosen {
+                    let surface = self.instances[iid.index()].surface.clone();
+                    let kind = self.instances[iid.index()].kind;
+                    self.attach_instance(&surface, kind, sub);
+                }
+            }
+        }
+
+        // 5. Coined homograph pairs: relabel a filler concept with another
+        //    filler concept's label, in a different subtree.
+        let filler_ids: Vec<ConceptId> = self
+            .concepts
+            .iter()
+            .filter(|c| !c.curated && !c.parents.is_empty() && c.label.split(' ').count() == 1)
+            .map(|c| c.id)
+            .collect();
+        for _ in 0..self.config.homograph_pairs {
+            if filler_ids.len() < 2 {
+                break;
+            }
+            let a = filler_ids[self.rng.gen_range(0..filler_ids.len())];
+            let b = filler_ids[self.rng.gen_range(0..filler_ids.len())];
+            if a == b {
+                continue;
+            }
+            let (la, lb) =
+                (self.concepts[a.index()].label.clone(), self.concepts[b.index()].label.clone());
+            if la == lb || self.concepts[a.index()].parents == self.concepts[b.index()].parents {
+                continue;
+            }
+            // b takes a's label as a new sense.
+            let sense = {
+                let s = self.senses.entry(la.clone()).or_insert(0);
+                let v = *s;
+                *s += 1;
+                v
+            };
+            let cb = &mut self.concepts[b.index()];
+            cb.label = la;
+            cb.sense = sense;
+        }
+
+        // 6. Extra coined instances on curated concepts.
+        let curated_ids: Vec<ConceptId> =
+            self.concepts.iter().filter(|c| c.curated).map(|c| c.id).collect();
+        for cid in curated_ids {
+            for _ in 0..self.config.extra_instances_per_curated {
+                let (surface, kind) = self.coin_instance();
+                self.attach_instance(&surface, kind, cid);
+            }
+        }
+
+        // 7. Multi-membership noise.
+        let n_extra = (self.instances.len() as f64 * self.config.multi_membership_rate) as usize;
+        for _ in 0..n_extra {
+            let iid = InstanceId(self.rng.gen_range(0..self.instances.len() as u32));
+            let cid = ConceptId(self.rng.gen_range(0..self.concepts.len() as u32));
+            let surface = self.instances[iid.index()].surface.clone();
+            let kind = self.instances[iid.index()].kind;
+            self.attach_instance(&surface, kind, cid);
+        }
+
+        // 8. Coined attributes everywhere.
+        for idx in 0..self.concepts.len() {
+            for _ in 0..self.config.attributes_per_concept {
+                let a = self.coiner.common_noun(&mut self.rng);
+                self.concepts[idx].attributes.push(a);
+            }
+        }
+
+        self.finalize()
+    }
+
+    fn pick_parent(&mut self) -> ConceptId {
+        // Prefer shallower parents so the tree stays broad; retry a few
+        // times if we land too deep.
+        for _ in 0..16 {
+            let idx = self.rng.gen_range(0..self.concepts.len());
+            if self.depth[idx] < self.config.max_depth {
+                return ConceptId(idx as u32);
+            }
+        }
+        ConceptId(0)
+    }
+
+    fn finalize(mut self) -> World {
+        // Typicality: Zipf over membership order (curated order first).
+        for c in &mut self.concepts {
+            if c.instances.is_empty() {
+                continue;
+            }
+            let z = Zipf::new(c.instances.len(), self.config.zipf_typicality);
+            let probs = z.probabilities();
+            for (m, p) in c.instances.iter_mut().zip(probs) {
+                m.typicality = p;
+            }
+        }
+        // Popularity: Zipf by a seeded permutation rank; curated concepts
+        // are boosted into the head (they model well-known concepts).
+        let n = self.concepts.len();
+        let z = Zipf::new(n, self.config.zipf_popularity);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut self.rng);
+        // Stable partition: curated first (keep shuffled order within each
+        // group) so curated concepts occupy head ranks.
+        let (head, tail): (Vec<usize>, Vec<usize>) =
+            order.into_iter().partition(|&i| self.concepts[i].curated);
+        for (rank, idx) in head.into_iter().chain(tail).enumerate() {
+            self.concepts[idx].popularity = z.pmf(rank);
+        }
+        World {
+            concepts: self.concepts,
+            instances: self.instances,
+            lexicon: self.lexicon,
+            seed: self.config.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldIndex;
+
+    fn small() -> World {
+        generate(&WorldConfig::small(7))
+    }
+
+    #[test]
+    fn generated_world_is_structurally_valid() {
+        let w = small();
+        let errors = w.validate();
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(&WorldConfig::small(9));
+        let b = generate(&WorldConfig::small(9));
+        assert_eq!(a.concept_count(), b.concept_count());
+        assert_eq!(a.instance_count(), b.instance_count());
+        assert_eq!(a.concepts[50].label, b.concepts[50].label);
+        let c = generate(&WorldConfig::small(10));
+        assert!(a.concepts.iter().zip(&c.concepts).any(|(x, y)| x.label != y.label));
+    }
+
+    #[test]
+    fn curated_concepts_present_with_instances() {
+        let w = small();
+        let idx = WorldIndex::new(&w);
+        for label in ["country", "company", "animal", "city", "film"] {
+            let senses = idx.senses(label);
+            assert!(!senses.is_empty(), "missing {label}");
+            assert!(!w.concept(senses[0]).instances.is_empty());
+        }
+    }
+
+    #[test]
+    fn plant_has_two_senses() {
+        let w = small();
+        assert!(w.senses_of("plant").len() >= 2);
+    }
+
+    #[test]
+    fn coined_homographs_exist() {
+        let w = small();
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for c in &w.concepts {
+            *counts.entry(c.label.as_str()).or_default() += 1;
+        }
+        let homographs = counts.values().filter(|&&v| v >= 2).count();
+        assert!(homographs >= 2, "expected coined homographs, got {homographs}");
+    }
+
+    #[test]
+    fn typicality_normalized_and_sorted_head_heavy() {
+        let w = small();
+        for c in &w.concepts {
+            if c.instances.is_empty() {
+                continue;
+            }
+            let sum: f64 = c.instances.iter().map(|m| m.typicality).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", c.label);
+            for win in c.instances.windows(2) {
+                assert!(win[0].typicality >= win[1].typicality - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_table5_typical_instances_rank_first() {
+        let w = small();
+        let idx = WorldIndex::new(&w);
+        let actor = w.concept(idx.senses("actor")[0]);
+        let top = w.instance(actor.instances[0].instance);
+        assert_eq!(top.surface, "Tom Hanks");
+    }
+
+    #[test]
+    fn world_has_ambiguity_classes() {
+        let w = small();
+        use crate::world::InstanceKind::*;
+        let kinds: Vec<_> = w.instances.iter().map(|i| i.kind).collect();
+        for k in [Proper, Common, ConjunctionName, Title] {
+            assert!(kinds.contains(&k), "missing kind {k:?}");
+        }
+    }
+
+    #[test]
+    fn popularity_positive_and_curated_boosted() {
+        let w = small();
+        assert!(w.concepts.iter().all(|c| c.popularity > 0.0));
+        let avg = |f: &dyn Fn(&ConceptSpec) -> bool| {
+            let v: Vec<f64> =
+                w.concepts.iter().filter(|c| f(c)).map(|c| c.popularity).collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg(&|c| c.curated) > avg(&|c| !c.curated));
+    }
+
+    #[test]
+    fn depth_bounded() {
+        let w = generate(&WorldConfig::small(3));
+        // longest chain from any root must be <= max_depth + modifier layer
+        fn depth_of(w: &World, id: ConceptId, memo: &mut HashMap<ConceptId, usize>) -> usize {
+            if let Some(&d) = memo.get(&id) {
+                return d;
+            }
+            let d = w
+                .concept(id)
+                .children
+                .iter()
+                .map(|&c| depth_of(w, c, memo) + 1)
+                .max()
+                .unwrap_or(0);
+            memo.insert(id, d);
+            d
+        }
+        let mut memo = HashMap::new();
+        let max = w.roots().iter().map(|&r| depth_of(&w, r, &mut memo)).max().unwrap();
+        assert!(max <= WorldConfig::small(3).max_depth + 2, "depth {max}");
+    }
+
+    #[test]
+    fn attributes_assigned() {
+        let w = small();
+        assert!(w.concepts.iter().all(|c| !c.attributes.is_empty()));
+        let idx = WorldIndex::new(&w);
+        let country = w.concept(idx.senses("country")[0]);
+        assert!(country.attributes.iter().any(|a| a == "population"));
+    }
+}

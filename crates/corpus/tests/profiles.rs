@@ -1,0 +1,111 @@
+//! Tests for the corpus profiles and generator knobs.
+
+use probase_corpus::{generate, CorpusConfig, CorpusGenerator, WorldConfig};
+
+fn world() -> probase_corpus::World {
+    generate(&WorldConfig::small(81))
+}
+
+#[test]
+fn profiles_respect_quality_ranges() {
+    let w = world();
+    let enc = CorpusGenerator::new(&w, CorpusConfig::encyclopedia(81, 800)).generate_all();
+    let forum = CorpusGenerator::new(&w, CorpusConfig::forum(81, 800)).generate_all();
+    assert!(enc.iter().all(|r| r.meta.source_quality >= 0.7));
+    assert!(forum.iter().all(|r| r.meta.source_quality <= 0.6));
+}
+
+#[test]
+fn forum_is_noisier_than_encyclopedia() {
+    let w = world();
+    let corrupt_fraction = |cfg: CorpusConfig| -> f64 {
+        let recs = CorpusGenerator::new(&w, cfg).generate_all();
+        let hearst: Vec<_> = recs
+            .iter()
+            .filter(|r| r.truth.pattern.is_some_and(|p| p.hearst_index().is_some()))
+            .collect();
+        let bad = hearst
+            .iter()
+            .filter(|r| r.truth.items.iter().any(|t| !t.is_valid()))
+            .count();
+        bad as f64 / hearst.len().max(1) as f64
+    };
+    let enc = corrupt_fraction(CorpusConfig::encyclopedia(82, 4_000));
+    let forum = corrupt_fraction(CorpusConfig::forum(82, 4_000));
+    assert!(forum > enc * 2.0, "forum {forum:.4} vs encyclopedia {enc:.4}");
+}
+
+#[test]
+fn zero_noise_config_produces_only_patterns() {
+    let w = world();
+    let cfg = CorpusConfig {
+        seed: 83,
+        sentences: 500,
+        noise_rate: 0.0,
+        partof_rate: 0.0,
+        ..CorpusConfig::default()
+    };
+    let recs = CorpusGenerator::new(&w, cfg).generate_all();
+    assert!(recs
+        .iter()
+        .all(|r| r.truth.pattern.is_some_and(|p| p.hearst_index().is_some())));
+}
+
+#[test]
+fn list_bounds_are_respected() {
+    let w = world();
+    let cfg = CorpusConfig {
+        seed: 84,
+        sentences: 1_000,
+        min_list: 2,
+        max_list: 3,
+        subconcept_item_rate: 0.0,
+        list_drift_rate: 0.0,
+        other_than_rate: 0.0,
+        corrupt_rate: 0.0,
+        noise_rate: 0.0,
+        partof_rate: 0.0,
+        ..CorpusConfig::default()
+    };
+    let recs = CorpusGenerator::new(&w, cfg).generate_all();
+    for r in &recs {
+        let n = r.truth.items.len();
+        // Lists may fall short only when the concept has too few instances.
+        assert!(n <= 3, "list too long: {n} in {:?}", r.text);
+        assert!(n >= 1);
+    }
+}
+
+#[test]
+fn pattern_mix_extremes_pin_the_pattern() {
+    use probase_corpus::sentence::PatternKind;
+    let w = world();
+    let cfg = CorpusConfig {
+        seed: 85,
+        sentences: 300,
+        pattern_mix: [0.0, 0.0, 0.0, 1.0, 0.0, 0.0], // AndOther only
+        noise_rate: 0.0,
+        partof_rate: 0.0,
+        ..CorpusConfig::default()
+    };
+    let recs = CorpusGenerator::new(&w, cfg).generate_all();
+    assert!(recs.iter().all(|r| r.truth.pattern == Some(PatternKind::AndOther)));
+}
+
+#[test]
+fn sentences_always_contain_their_concept_surface() {
+    let w = world();
+    let recs = CorpusGenerator::new(&w, CorpusConfig::small(86)).generate_all();
+    for r in recs.iter().filter(|r| r.truth.pattern.is_some_and(|p| p.hearst_index().is_some())) {
+        let cid = r.truth.concept.expect("hearst sentences name a concept");
+        let label = &w.concept(cid).label;
+        // The plural surface of the head word must appear in the text.
+        let head = label.rsplit(' ').next().unwrap();
+        let plural = probase_text::pluralize(head);
+        assert!(
+            r.text.contains(&plural),
+            "sentence {:?} lacks concept surface {plural:?}",
+            r.text
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! # probase-eval
+//!
+//! The evaluation harness: everything needed to regenerate the paper's
+//! §5 results against the synthetic ground truth.
+//!
+//! * [`judge`] — exact precision judging (the stand-in for the paper's
+//!   human judges), including the 40-concept benchmark protocol.
+//! * [`querylog`] — the scaled Bing-log simulator behind Figures 5–7.
+//! * [`workloads`] — semantic queries, tweets, and web tables with gold
+//!   labels for the §5.3 application experiments.
+//! * [`metrics`] — size histograms (Figure 8), precision@k, head
+//!   concentration, and plain-text table rendering for the `exp_*`
+//!   binaries.
+
+pub mod judge;
+pub mod metrics;
+pub mod querylog;
+pub mod workloads;
+
+pub use judge::{Judge, Precision};
+pub use metrics::{head_concentration, pr_curve, precision_at_k, render_table, PrPoint, SizeHistogram};
+pub use querylog::{coverage_series, generate_query_log, relevant_concepts_series, Query, QueryLogConfig};
+pub use workloads::{semantic_queries, table_columns, tweets, GoldColumn, SemanticQuery, Tweet};

@@ -1,0 +1,208 @@
+//! Shared evaluation metrics and report formatting.
+
+use serde::{Deserialize, Serialize};
+
+/// A labeled histogram over concept sizes (paper Figure 8). Buckets are
+/// half-open `[lo, hi)` ranges scaled down from the paper's
+/// `≥1M … <5` intervals to fit the simulated world.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SizeHistogram {
+    pub buckets: Vec<(String, usize)>,
+}
+
+/// The scaled bucket boundaries: `(label, lo_inclusive)` descending.
+pub const SIZE_BUCKETS: &[(&str, usize)] = &[
+    (">=1000", 1000),
+    ("[300,1000)", 300),
+    ("[100,300)", 100),
+    ("[30,100)", 30),
+    ("[10,30)", 10),
+    ("[5,10)", 5),
+    ("<5", 0),
+];
+
+impl SizeHistogram {
+    /// Bucket the concept sizes.
+    pub fn compute(sizes: &[usize]) -> Self {
+        let mut counts = vec![0usize; SIZE_BUCKETS.len()];
+        for &s in sizes {
+            for (i, &(_, lo)) in SIZE_BUCKETS.iter().enumerate() {
+                if s >= lo {
+                    counts[i] += 1;
+                    break;
+                }
+            }
+        }
+        Self {
+            buckets: SIZE_BUCKETS
+                .iter()
+                .zip(counts)
+                .map(|(&(label, _), n)| (label.to_string(), n))
+                .collect(),
+        }
+    }
+
+    pub fn total(&self) -> usize {
+        self.buckets.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// Share of the top-`k` concepts in the total pair mass (the paper's
+/// "top 10 concepts in Freebase contain 70% of all pairs" observation).
+pub fn head_concentration(sizes: &[usize], k: usize) -> f64 {
+    let total: usize = sizes.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sorted = sizes.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let head: usize = sorted.iter().take(k).sum();
+    head as f64 / total as f64
+}
+
+/// Precision@k of a ranked list against a validity predicate.
+pub fn precision_at_k<T>(ranked: &[T], k: usize, valid: impl Fn(&T) -> bool) -> f64 {
+    let take = ranked.len().min(k);
+    if take == 0 {
+        return 0.0;
+    }
+    ranked[..take].iter().filter(|x| valid(x)).count() as f64 / take as f64
+}
+
+/// One point of a precision/recall trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrPoint {
+    /// Score threshold the knowledge was filtered at.
+    pub threshold: f64,
+    /// Precision of the pairs kept.
+    pub precision: f64,
+    /// Fraction of all *valid* pairs kept (recall relative to what was
+    /// extracted, not to the world).
+    pub recall: f64,
+    /// Pairs kept.
+    pub kept: usize,
+}
+
+/// Sweep a score threshold over `(score, valid)` pairs and report the
+/// precision/recall trade-off — the payoff of plausibility (§4): keep
+/// only claims above τ and precision rises as recall falls.
+///
+/// ```
+/// use probase_eval::pr_curve;
+/// let scored = [(0.9, true), (0.8, true), (0.2, false)];
+/// let curve = pr_curve(&scored, &[0.0, 0.5]);
+/// assert!(curve[1].precision >= curve[0].precision);
+/// ```
+pub fn pr_curve(scored: &[(f64, bool)], thresholds: &[f64]) -> Vec<PrPoint> {
+    let total_valid = scored.iter().filter(|(_, ok)| *ok).count().max(1);
+    thresholds
+        .iter()
+        .map(|&threshold| {
+            let kept: Vec<&(f64, bool)> =
+                scored.iter().filter(|(s, _)| *s >= threshold).collect();
+            let valid = kept.iter().filter(|(_, ok)| *ok).count();
+            PrPoint {
+                threshold,
+                precision: valid as f64 / kept.len().max(1) as f64,
+                recall: valid as f64 / total_valid as f64,
+                kept: kept.len(),
+            }
+        })
+        .collect()
+}
+
+/// Render a simple aligned text table (used by the `exp_*` binaries so
+/// their output reads like the paper's tables).
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_cover_everything() {
+        let sizes = vec![0, 3, 7, 12, 50, 200, 500, 2000];
+        let h = SizeHistogram::compute(&sizes);
+        assert_eq!(h.total(), sizes.len());
+        let big = h.buckets.iter().find(|(l, _)| l == ">=1000").unwrap();
+        assert_eq!(big.1, 1);
+        let small = h.buckets.iter().find(|(l, _)| l == "<5").unwrap();
+        assert_eq!(small.1, 2);
+    }
+
+    #[test]
+    fn head_concentration_extremes() {
+        assert!((head_concentration(&[100, 1, 1], 1) - 100.0 / 102.0).abs() < 1e-12);
+        assert_eq!(head_concentration(&[], 5), 0.0);
+        assert!((head_concentration(&[5, 5], 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_at_k_counts_prefix() {
+        let ranked = [1, 0, 1, 1];
+        assert!((precision_at_k(&ranked, 2, |&x| x == 1) - 0.5).abs() < 1e-12);
+        assert!((precision_at_k(&ranked, 4, |&x| x == 1) - 0.75).abs() < 1e-12);
+        assert_eq!(precision_at_k::<i32>(&[], 5, |_| true), 0.0);
+    }
+
+    #[test]
+    fn pr_curve_trades_recall_for_precision() {
+        // Scores correlate with validity: valid pairs score higher.
+        let mut scored = Vec::new();
+        for i in 0..100 {
+            let valid = i % 10 != 0; // 90% valid
+            let score = if valid { 0.5 + (i % 50) as f64 / 100.0 } else { 0.3 };
+            scored.push((score, valid));
+        }
+        let curve = pr_curve(&scored, &[0.0, 0.4, 0.9]);
+        assert_eq!(curve.len(), 3);
+        // Higher threshold: precision up (or equal), recall down.
+        assert!(curve[1].precision >= curve[0].precision);
+        assert!(curve[1].recall <= curve[0].recall);
+        assert!((curve[1].precision - 1.0).abs() < 1e-12, "{curve:?}");
+        assert!(curve[2].kept < curve[1].kept);
+    }
+
+    #[test]
+    fn pr_curve_empty_threshold_keeps_all() {
+        let scored = [(0.9, true), (0.1, false)];
+        let c = pr_curve(&scored, &[0.0]);
+        assert_eq!(c[0].kept, 2);
+        assert!((c[0].recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_table_aligns() {
+        let s = render_table(&["name", "n"], &[vec!["Probase".into(), "42".into()]]);
+        assert!(s.contains("Probase"));
+        assert!(s.lines().count() == 3);
+    }
+}

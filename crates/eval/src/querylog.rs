@@ -1,0 +1,293 @@
+//! Synthetic web-query log (paper §5.1, Figures 5–7).
+//!
+//! The paper analyzed Bing's two-year query log: 50 million distinct
+//! queries, long-tail frequency distribution, many mentioning concepts or
+//! instances. The simulator reproduces the *mention structure*: each
+//! query is built from a template plus world terms drawn Zipf-by-
+//! popularity, with a slice of out-of-vocabulary queries. Each query
+//! remembers the exact terms it mentions so coverage checks are fair and
+//! fast across taxonomies.
+
+use probase_baselines::TaxonomyView;
+use probase_corpus::{World, Zipf};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One distinct query, in descending-frequency order within the log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Query {
+    pub text: String,
+    /// Concept labels mentioned (canonical form).
+    pub concept_mentions: Vec<String>,
+    /// Instance surfaces mentioned.
+    pub instance_mentions: Vec<String>,
+}
+
+impl Query {
+    /// Does `t` cover (understand at least one term of) this query?
+    pub fn covered_by(&self, t: &dyn TaxonomyView) -> bool {
+        self.concept_mentions.iter().any(|c| t.has_concept(c))
+            || self.instance_mentions.iter().any(|i| t.has_term(i))
+    }
+
+    /// Does `t` know at least one *concept* of this query (Figure 7)?
+    pub fn concept_covered_by(&self, t: &dyn TaxonomyView) -> bool {
+        self.concept_mentions.iter().any(|c| t.has_concept(c))
+    }
+}
+
+/// Query log configuration.
+#[derive(Debug, Clone)]
+pub struct QueryLogConfig {
+    pub seed: u64,
+    /// Number of distinct queries (the paper's 50 M, scaled).
+    pub queries: usize,
+    /// Zipf exponent over concepts.
+    pub zipf: f64,
+    /// Zipf exponent over instances within a concept (people query famous
+    /// entities far more than obscure ones).
+    pub instance_zipf: f64,
+    /// Fraction of queries mentioning no taxonomy term at all.
+    pub oov_rate: f64,
+    /// Fraction of term-bearing queries that mention a concept (vs only
+    /// an instance).
+    pub concept_rate: f64,
+}
+
+impl Default for QueryLogConfig {
+    fn default() -> Self {
+        Self { seed: 7, queries: 200_000, zipf: 1.25, instance_zipf: 1.2, oov_rate: 0.12, concept_rate: 0.45 }
+    }
+}
+
+const INSTANCE_TEMPLATES: &[&str] = &[
+    "{I}",
+    "{I} review",
+    "cheap {I}",
+    "{I} near me",
+    "history of {I}",
+    "{I} news",
+    "buy {I} online",
+    "{I} wiki",
+    "{I} photos",
+    "{I} vs",
+    "{I} facts",
+    "is {I} good",
+    "{I} official site",
+    "where is {I}",
+];
+
+const CONCEPT_TEMPLATES: &[&str] = &[
+    "best {C}",
+    "{C} list",
+    "top 10 {C}",
+    "famous {C}",
+    "{C} comparison",
+    "new {C} 2011",
+    "{C} near me",
+    "cheapest {C}",
+    "{C} ranked",
+    "most popular {C}",
+    "{C} reviews",
+];
+
+const OOV_WORDS: &[&str] = &[
+    "qwerty", "asdf", "lyrics", "login", "weather", "horoscope", "zip", "codes", "meme",
+    "screensaver", "ringtone", "coupon",
+];
+
+/// Generate the log, most frequent queries first. Frequency rank is the
+/// vector index — the generator samples terms Zipf-by-popularity, so head
+/// queries mention head terms, matching the paper's observation that
+/// frequent queries carry common concepts and the tail carries the
+/// specific ones.
+pub fn generate_query_log(world: &World, cfg: &QueryLogConfig) -> Vec<Query> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // Popularity-ordered concepts (head first) and their instances.
+    let mut concepts: Vec<usize> = (0..world.concepts.len())
+        .filter(|&i| !world.concepts[i].instances.is_empty())
+        .collect();
+    concepts.sort_by(|&a, &b| {
+        world.concepts[b].popularity.partial_cmp(&world.concepts[a].popularity).expect("finite")
+    });
+    let concept_zipf = Zipf::new(concepts.len(), cfg.zipf);
+
+    let mut out = Vec::with_capacity(cfg.queries);
+    let mut seen = std::collections::HashSet::new();
+    let mut guard = 0usize;
+    // The OOV space is effectively unbounded while term-bearing queries
+    // saturate under deduplication, so the OOV share must be enforced as
+    // a hard quota or it silently swallows the log.
+    let oov_quota = (cfg.oov_rate * cfg.queries as f64).ceil() as usize;
+    let mut oov_used = 0usize;
+    while out.len() < cfg.queries && guard < cfg.queries * 20 {
+        guard += 1;
+        let q = if oov_used < oov_quota && rng.gen_bool(cfg.oov_rate) {
+            let a = OOV_WORDS[rng.gen_range(0..OOV_WORDS.len())];
+            let b = OOV_WORDS[rng.gen_range(0..OOV_WORDS.len())];
+            let n: u32 = rng.gen_range(0..10_000);
+            Query {
+                text: format!("{a} {b} {n}"),
+                concept_mentions: vec![],
+                instance_mentions: vec![],
+            }
+        } else {
+            let ci = concepts[concept_zipf.sample(&mut rng)];
+            let concept = &world.concepts[ci];
+            if rng.gen_bool(cfg.concept_rate) {
+                let t = CONCEPT_TEMPLATES[rng.gen_range(0..CONCEPT_TEMPLATES.len())];
+                let plural = probase_corpus::generator::pluralize_phrase(&concept.label);
+                Query {
+                    text: t.replace("{C}", &plural),
+                    concept_mentions: vec![concept.label.clone()],
+                    instance_mentions: vec![],
+                }
+            } else {
+                let z = Zipf::new(concept.instances.len(), cfg.instance_zipf);
+                let inst = world.instance(concept.instances[z.sample(&mut rng)].instance);
+                let t = INSTANCE_TEMPLATES[rng.gen_range(0..INSTANCE_TEMPLATES.len())];
+                Query {
+                    text: t.replace("{I}", &inst.surface),
+                    concept_mentions: vec![],
+                    instance_mentions: vec![inst.surface.clone()],
+                }
+            }
+        };
+        if seen.insert(q.text.clone()) {
+            if q.concept_mentions.is_empty() && q.instance_mentions.is_empty() {
+                oov_used += 1;
+            }
+            out.push(q);
+        }
+    }
+    out
+}
+
+/// Figure 5 series: number of *distinct relevant concepts* (concepts
+/// known to `t` that appear in the top-k queries) at each checkpoint.
+pub fn relevant_concepts_series(
+    log: &[Query],
+    t: &dyn TaxonomyView,
+    checkpoints: &[usize],
+) -> Vec<usize> {
+    let mut seen = std::collections::HashSet::new();
+    let mut count = 0usize;
+    let mut out = Vec::with_capacity(checkpoints.len());
+    let mut ci = 0;
+    for (i, q) in log.iter().enumerate() {
+        for c in &q.concept_mentions {
+            if t.has_concept(c) && seen.insert(c.clone()) {
+                count += 1;
+            }
+        }
+        while ci < checkpoints.len() && i + 1 == checkpoints[ci] {
+            out.push(count);
+            ci += 1;
+        }
+    }
+    while ci < checkpoints.len() {
+        out.push(count);
+        ci += 1;
+    }
+    out
+}
+
+/// Figure 6/7 series: queries covered (any term / concept only) within
+/// the top-k prefix at each checkpoint.
+pub fn coverage_series(
+    log: &[Query],
+    t: &dyn TaxonomyView,
+    checkpoints: &[usize],
+    concept_only: bool,
+) -> Vec<usize> {
+    let mut covered = 0usize;
+    let mut out = Vec::with_capacity(checkpoints.len());
+    let mut ci = 0;
+    for (i, q) in log.iter().enumerate() {
+        let hit = if concept_only { q.concept_covered_by(t) } else { q.covered_by(t) };
+        covered += usize::from(hit);
+        while ci < checkpoints.len() && i + 1 == checkpoints[ci] {
+            out.push(covered);
+            ci += 1;
+        }
+    }
+    while ci < checkpoints.len() {
+        out.push(covered);
+        ci += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probase_baselines::{sample_rival, RivalConfig};
+    use probase_corpus::{generate, WorldConfig};
+
+    fn world() -> World {
+        generate(&WorldConfig::small(61))
+    }
+
+    fn log(world: &World, n: usize) -> Vec<Query> {
+        generate_query_log(world, &QueryLogConfig { queries: n, seed: 61, ..Default::default() })
+    }
+
+    #[test]
+    fn log_has_requested_size_and_mixture() {
+        let w = world();
+        let l = log(&w, 3000);
+        assert_eq!(l.len(), 3000);
+        let with_concepts = l.iter().filter(|q| !q.concept_mentions.is_empty()).count();
+        let with_instances = l.iter().filter(|q| !q.instance_mentions.is_empty()).count();
+        let oov = l
+            .iter()
+            .filter(|q| q.concept_mentions.is_empty() && q.instance_mentions.is_empty())
+            .count();
+        assert!(with_concepts > 500);
+        assert!(with_instances > 500);
+        assert!(oov > 200);
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = world();
+        let a = log(&w, 500);
+        let b = log(&w, 500);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.text == y.text));
+    }
+
+    #[test]
+    fn series_are_monotone() {
+        let w = world();
+        let l = log(&w, 2000);
+        let yago = sample_rival(&w, &RivalConfig::yago());
+        let cps = [200, 500, 1000, 2000];
+        let rel = relevant_concepts_series(&l, &yago, &cps);
+        let cov = coverage_series(&l, &yago, &cps, false);
+        let ccov = coverage_series(&l, &yago, &cps, true);
+        for w2 in rel.windows(2) {
+            assert!(w2[1] >= w2[0]);
+        }
+        for w2 in cov.windows(2) {
+            assert!(w2[1] >= w2[0]);
+        }
+        // concept coverage is a subset of full coverage
+        for (c, f) in ccov.iter().zip(&cov) {
+            assert!(c <= f);
+        }
+    }
+
+    #[test]
+    fn bigger_taxonomy_covers_more() {
+        let w = world();
+        let l = log(&w, 2000);
+        let yago = sample_rival(&w, &RivalConfig::yago());
+        let wordnet = sample_rival(&w, &RivalConfig::wordnet());
+        let cps = [2000];
+        let y = coverage_series(&l, &yago, &cps, false)[0];
+        let wn = coverage_series(&l, &wordnet, &cps, false)[0];
+        assert!(y >= wn, "yago {y} vs wordnet {wn}");
+    }
+}

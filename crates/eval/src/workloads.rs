@@ -1,0 +1,188 @@
+//! Application workloads derived from the world: semantic queries with
+//! relevance truth (§5.3.1), tweets with topic gold labels (§5.3.2), and
+//! web tables with header gold labels (§5.3.2).
+
+use probase_corpus::{World, Zipf};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A semantic query over two concepts, with its ground truth: the pair of
+/// concept labels whose instances a relevant page must co-mention.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SemanticQuery {
+    /// E.g. "database conferences in asian cities".
+    pub text: String,
+    pub concept_a: String,
+    pub concept_b: String,
+}
+
+/// Generate `n` two-concept semantic queries over curated concepts with
+/// enough instances.
+pub fn semantic_queries(world: &World, n: usize, seed: u64) -> Vec<SemanticQuery> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let eligible: Vec<&probase_corpus::ConceptSpec> = world
+        .concepts
+        .iter()
+        .filter(|c| c.curated && c.instances.len() >= 4)
+        .collect();
+    const LINKS: &[&str] = &["in", "for", "with", "from"];
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = eligible[rng.gen_range(0..eligible.len())];
+        let b = eligible[rng.gen_range(0..eligible.len())];
+        if a.id == b.id {
+            continue;
+        }
+        let link = LINKS[rng.gen_range(0..LINKS.len())];
+        let plural = |l: &str| probase_corpus::generator::pluralize_phrase(l);
+        out.push(SemanticQuery {
+            text: format!("{} {} {}", plural(&a.label), link, plural(&b.label)),
+            concept_a: a.label.clone(),
+            concept_b: b.label.clone(),
+        });
+    }
+    out
+}
+
+/// A synthetic tweet with its gold topic (index into the topic concepts).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tweet {
+    pub text: String,
+    pub topic: usize,
+}
+
+/// Generate tweets over `topics` (concept ids chosen by the caller):
+/// each tweet mentions 1–3 instances of its topic concept plus filler.
+pub fn tweets(
+    world: &World,
+    topics: &[probase_corpus::ConceptId],
+    per_topic: usize,
+    seed: u64,
+) -> Vec<Tweet> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    const FILLERS: &[&str] = &[
+        "loving {}",
+        "so impressed by {} today",
+        "cannot stop thinking about {}",
+        "{} was amazing this weekend",
+        "finally tried {} !!",
+        "hot take: {} is underrated",
+        "my thread about {}",
+    ];
+    let mut out = Vec::new();
+    for (topic, &cid) in topics.iter().enumerate() {
+        let c = world.concept(cid);
+        if c.instances.is_empty() {
+            continue;
+        }
+        let z = Zipf::new(c.instances.len(), 1.0);
+        for _ in 0..per_topic {
+            let k = rng.gen_range(1..=3usize);
+            let mut mentions = Vec::new();
+            for _ in 0..k {
+                let inst = world.instance(c.instances[z.sample(&mut rng)].instance);
+                if !mentions.contains(&inst.surface) {
+                    mentions.push(inst.surface.clone());
+                }
+            }
+            let filler = FILLERS[rng.gen_range(0..FILLERS.len())];
+            let text = filler.replace("{}", &mentions.join(" and "));
+            out.push(Tweet { text, topic });
+        }
+    }
+    out
+}
+
+/// A synthetic web-table column with its gold header concept.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GoldColumn {
+    pub cells: Vec<String>,
+    pub concept: String,
+    /// Fraction of cells replaced by unknown strings (enrichment bait).
+    pub unknown_cells: usize,
+}
+
+/// Generate table columns: `n` columns over concepts with enough
+/// instances; `unknown_rate` of cells are novel strings.
+pub fn table_columns(world: &World, n: usize, rows: usize, unknown_rate: f64, seed: u64) -> Vec<GoldColumn> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let eligible: Vec<&probase_corpus::ConceptSpec> =
+        world.concepts.iter().filter(|c| c.instances.len() >= rows).collect();
+    let mut out = Vec::with_capacity(n);
+    for t in 0..n {
+        let c = eligible[rng.gen_range(0..eligible.len())];
+        let z = Zipf::new(c.instances.len(), 0.8);
+        let mut cells = Vec::new();
+        let mut unknown_cells = 0;
+        while cells.len() < rows {
+            if rng.gen_bool(unknown_rate) {
+                cells.push(format!("Novel{}x{}", t, cells.len()));
+                unknown_cells += 1;
+            } else {
+                let inst = world.instance(c.instances[z.sample(&mut rng)].instance);
+                if !cells.contains(&inst.surface) {
+                    cells.push(inst.surface.clone());
+                }
+            }
+        }
+        out.push(GoldColumn { cells, concept: c.label.clone(), unknown_cells });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probase_corpus::{generate, WorldConfig, WorldIndex};
+
+    fn world() -> World {
+        generate(&WorldConfig::small(71))
+    }
+
+    #[test]
+    fn semantic_queries_use_curated_concepts() {
+        let w = world();
+        let qs = semantic_queries(&w, 20, 1);
+        assert!(!qs.is_empty());
+        for q in &qs {
+            assert!(q.text.contains(' '));
+            assert_ne!(q.concept_a, q.concept_b);
+        }
+    }
+
+    #[test]
+    fn tweets_mention_topic_instances() {
+        let w = world();
+        let idx = WorldIndex::new(&w);
+        let topics = vec![idx.senses("country")[0], idx.senses("dish")[0]];
+        let ts = tweets(&w, &topics, 10, 3);
+        assert_eq!(ts.len(), 20);
+        let country_tweets: Vec<_> = ts.iter().filter(|t| t.topic == 0).collect();
+        assert!(country_tweets.iter().any(|t| {
+            w.concept(topics[0]).instances.iter().any(|m| {
+                t.text.contains(&w.instance(m.instance).surface)
+            })
+        }));
+    }
+
+    #[test]
+    fn table_columns_have_gold_labels() {
+        let w = world();
+        let cols = table_columns(&w, 15, 5, 0.2, 9);
+        assert_eq!(cols.len(), 15);
+        for c in &cols {
+            assert_eq!(c.cells.len(), 5);
+            assert!(!c.concept.is_empty());
+        }
+        assert!(cols.iter().any(|c| c.unknown_cells > 0));
+    }
+
+    #[test]
+    fn workloads_deterministic() {
+        let w = world();
+        let a = table_columns(&w, 5, 4, 0.1, 3);
+        let b = table_columns(&w, 5, 4, 0.1, 3);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.cells == y.cells));
+    }
+}

@@ -1,0 +1,87 @@
+//! Per-extraction evidence records.
+//!
+//! Every accepted pair occurrence is logged with the features the
+//! plausibility model consumes (paper §4.1): the pattern used, the source
+//! page's PageRank and credibility, the item's position in the list, and
+//! the list length. The `probase-prob` crate trains a Naive Bayes model
+//! over exactly these features (Eq. 2) and folds the per-evidence
+//! probabilities into a noisy-or plausibility (Eq. 1).
+
+use probase_corpus::sentence::PatternKind;
+use serde::{Deserialize, Serialize};
+
+/// Features of one evidence occurrence of an isA pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvidenceRecord {
+    /// Normalized super-concept label.
+    pub x: String,
+    /// Normalized sub-concept item.
+    pub y: String,
+    /// Sentence the evidence came from.
+    pub sentence_id: u64,
+    /// Hearst pattern that matched.
+    pub pattern: PatternKind,
+    /// PageRank of the source page, `[0, 1]`.
+    pub page_rank: f64,
+    /// Source credibility, `[0, 1]`.
+    pub source_quality: f64,
+    /// 1-based distance rank of the item from the pattern keywords.
+    pub position: u32,
+    /// Number of candidate positions in the sentence's list.
+    pub list_len: u32,
+}
+
+/// Grouped evidence for a single pair.
+#[derive(Debug, Clone, Default)]
+pub struct PairEvidence {
+    pub records: Vec<EvidenceRecord>,
+}
+
+impl PairEvidence {
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Group a flat evidence log by `(x, y)`.
+pub fn group_by_pair(
+    records: &[EvidenceRecord],
+) -> std::collections::HashMap<(String, String), PairEvidence> {
+    let mut map: std::collections::HashMap<(String, String), PairEvidence> =
+        std::collections::HashMap::new();
+    for r in records {
+        map.entry((r.x.clone(), r.y.clone())).or_default().records.push(r.clone());
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(x: &str, y: &str, id: u64) -> EvidenceRecord {
+        EvidenceRecord {
+            x: x.into(),
+            y: y.into(),
+            sentence_id: id,
+            pattern: PatternKind::SuchAs,
+            page_rank: 0.5,
+            source_quality: 0.8,
+            position: 1,
+            list_len: 3,
+        }
+    }
+
+    #[test]
+    fn grouping_collects_per_pair() {
+        let recs = vec![rec("animal", "cat", 0), rec("animal", "cat", 1), rec("animal", "dog", 2)];
+        let grouped = group_by_pair(&recs);
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[&("animal".to_string(), "cat".to_string())].len(), 2);
+        assert!(!grouped[&("animal".to_string(), "dog".to_string())].is_empty());
+    }
+}

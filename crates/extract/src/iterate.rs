@@ -1,0 +1,582 @@
+//! The iterative extraction driver (paper Algorithm 1).
+//!
+//! Repeatedly scans the corpus: each sentence is parsed *once* (tokenize,
+//! tag, pattern match, syntactic extraction); the semantic procedures run
+//! against the growing knowledge Γ every round until a fixpoint:
+//!
+//! * a sentence whose super-concept is still ambiguous is retried next
+//!   round with a richer Γ (this is why the paper's Figure 10 shows the
+//!   largest gain in round *two*);
+//! * a sentence whose list was only partially in scope is revisited and
+//!   extended as more of its items become credible.
+//!
+//! The driver also performs the two corpus-level passes that feed the
+//! semantic machinery: a segment-frequency pre-pass (the Downey-style
+//! multiword signal) and part-of detection (negative evidence, §4.1).
+
+use crate::evidence::EvidenceRecord;
+use crate::knowledge::Knowledge;
+use crate::pattern::{find_partof, find_pattern};
+use crate::subc::{detect_subs, ChosenItem, SubConfig};
+use crate::superc::{detect_super, SuperConfig, SuperDecision};
+use crate::syntactic::{extract_from_match, normalize_sub, SyntacticExtraction};
+use probase_corpus::sentence::{SentenceRecord, SourceMeta};
+use probase_text::{normalize_concept, tag_tokens, tokenize, Chunker, Lexicon, Tag};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the full extraction pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct ExtractorConfig {
+    pub super_cfg: SuperConfig,
+    pub sub_cfg: SubConfig,
+    /// Upper bound on iterations (the fixpoint usually arrives earlier).
+    pub max_iterations: usize,
+    pub chunker: Chunker,
+}
+
+impl ExtractorConfig {
+    /// The defaults used throughout the evaluation.
+    pub fn paper() -> Self {
+        Self {
+            super_cfg: SuperConfig::default(),
+            sub_cfg: SubConfig::default(),
+            max_iterations: 11,
+            chunker: Chunker::default(),
+        }
+    }
+}
+
+/// Per-iteration progress counters (paper Figures 10–11 are plotted from
+/// these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Pair occurrences committed this round.
+    pub new_occurrences: u64,
+    /// Distinct pairs in Γ after the round.
+    pub distinct_pairs: usize,
+    /// Distinct super-concepts in Γ after the round.
+    pub distinct_concepts: usize,
+    /// Sentences with a resolved super-concept after the round.
+    pub sentences_resolved: usize,
+    /// Length of the evidence log after the round — `evidence[..evidence_len]`
+    /// is exactly what iterations `1..=iteration` discovered (Figure 11
+    /// judges precision per round from this).
+    pub evidence_len: usize,
+}
+
+/// Pairs extracted from one sentence (the unit the taxonomy layer builds
+/// local taxonomies from — paper Property 1 guarantees a single sense per
+/// sentence).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SentenceExtraction {
+    pub sentence_id: u64,
+    /// Normalized super-concept label.
+    pub super_label: String,
+    /// Accepted sub-concept items, in position order.
+    pub items: Vec<String>,
+}
+
+/// Everything extraction produces.
+#[derive(Debug)]
+pub struct ExtractionOutput {
+    /// The final knowledge Γ.
+    pub knowledge: Knowledge,
+    /// Flat evidence log (one record per pair occurrence).
+    pub evidence: Vec<EvidenceRecord>,
+    /// Per-sentence extractions for taxonomy construction.
+    pub sentences: Vec<SentenceExtraction>,
+    /// Per-iteration statistics.
+    pub iterations: Vec<IterationStats>,
+}
+
+/// Internal per-sentence state across iterations.
+pub(crate) struct Parsed {
+    pub(crate) extraction: SyntacticExtraction,
+    pub(crate) meta: SourceMeta,
+    pub(crate) sentence_id: u64,
+    pub(crate) resolved: Option<Resolved>,
+    pub(crate) extracted_positions: Vec<usize>,
+    pub(crate) chosen_items: Vec<String>,
+    pub(crate) done: bool,
+}
+
+#[derive(Clone)]
+pub(crate) struct Resolved {
+    pub(crate) super_label: String,
+    pub(crate) stats_label: String,
+}
+
+/// A proposal computed against a (possibly frozen) Γ, to be committed by
+/// the driver.
+pub(crate) struct Proposal {
+    pub(crate) newly_resolved: Option<Resolved>,
+    pub(crate) chosen: Vec<ChosenItem>,
+}
+
+/// Phase 0: parse all sentences once; register segment frequencies and
+/// part-of negatives in Γ.
+pub(crate) fn prepare(
+    records: &[SentenceRecord],
+    lexicon: &Lexicon,
+    cfg: &ExtractorConfig,
+    g: &mut Knowledge,
+) -> Vec<Parsed> {
+    let mut parsed = Vec::new();
+    for rec in records.iter() {
+        let tagged = tag_tokens(&tokenize(&rec.text), lexicon);
+        // Negative evidence first: a part-of sentence is not an isA source.
+        if let Some(pm) = find_partof(&tagged) {
+            let (ss, se) = pm.super_region;
+            let mut phrases = cfg.chunker.chunk(&tagged[ss..se]);
+            phrases.retain(|p| p.head_plural);
+            if let Some(whole) = phrases.last() {
+                let x = g.intern(&normalize_concept(&whole.text()));
+                let (ls, le) = pm.list_region;
+                for part in comma_segments(&tagged[ls..le]) {
+                    let y = g.intern(&normalize_sub(&part));
+                    g.add_negative(x, y);
+                }
+            }
+            continue;
+        }
+        let Some(pm) = find_pattern(&tagged) else { continue };
+        let Some(extraction) = extract_from_match(&tagged, &pm, &cfg.chunker) else { continue };
+        for seg in &extraction.segments {
+            g.add_segment(&normalize_sub(&seg.raw));
+        }
+        parsed.push(Parsed {
+            extraction,
+            meta: rec.meta,
+            sentence_id: rec.id,
+            resolved: None,
+            extracted_positions: Vec::new(),
+            chosen_items: Vec::new(),
+            done: false,
+        });
+    }
+    parsed
+}
+
+/// Split a tagged-token slice at commas into trimmed segment strings.
+fn comma_segments(tokens: &[probase_text::TaggedToken]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current: Vec<&str> = Vec::new();
+    for t in tokens {
+        match t.tag {
+            Tag::Punct => match t.token.text.as_str() {
+                "," | ";"
+                    if !current.is_empty() => {
+                        out.push(current.join(" "));
+                        current.clear();
+                    }
+                "." | "!" | "?" => break,
+                _ => {}
+            },
+            Tag::Conj => {
+                if !current.is_empty() {
+                    out.push(current.join(" "));
+                    current.clear();
+                }
+            }
+            _ => current.push(&t.token.text),
+        }
+    }
+    if !current.is_empty() {
+        out.push(current.join(" "));
+    }
+    out
+}
+
+/// Run the semantic procedures for one sentence against `g` without
+/// mutating anything. Shared between the serial and parallel drivers.
+pub(crate) fn detect_one(p: &Parsed, g: &Knowledge, cfg: &ExtractorConfig) -> Option<Proposal> {
+    let resolved = match &p.resolved {
+        Some(r) => {
+            // Prefer the extraction label's own statistics once Γ has them.
+            let stats_label = if g
+                .lookup(&r.super_label)
+                .map(|s| g.super_total(s) > 0)
+                .unwrap_or(false)
+            {
+                r.super_label.clone()
+            } else {
+                r.stats_label.clone()
+            };
+            Resolved { super_label: r.super_label.clone(), stats_label }
+        }
+        None => match detect_super(&p.extraction.supers, &p.extraction.segments, g, &cfg.super_cfg)
+        {
+            SuperDecision::Chosen { index, stats_label } => Resolved {
+                super_label: normalize_concept(&p.extraction.supers[index].text()),
+                stats_label,
+            },
+            SuperDecision::Undecided => return None,
+        },
+    };
+    let chosen = detect_subs(
+        &resolved.stats_label,
+        &p.extraction.segments,
+        &p.extracted_positions,
+        g,
+        &cfg.sub_cfg,
+    );
+    let newly_resolved = if p.resolved.is_none() { Some(resolved) } else { None };
+    Some(Proposal { newly_resolved, chosen })
+}
+
+/// Commit a proposal into Γ, the evidence log, and the sentence state.
+/// Returns the number of pair occurrences committed.
+pub(crate) fn commit(
+    p: &mut Parsed,
+    proposal: Proposal,
+    g: &mut Knowledge,
+    evidence: &mut Vec<EvidenceRecord>,
+) -> u64 {
+    if let Some(r) = proposal.newly_resolved {
+        p.resolved = Some(r);
+    }
+    let Some(resolved) = &p.resolved else { return 0 };
+    let list_len = p.extraction.segments.len() as u32;
+    let mut committed = 0u64;
+    let x = g.intern(&resolved.super_label);
+    for item in proposal.chosen {
+        // A sub-concept identical to the super is a parse artifact.
+        if item.text == resolved.super_label {
+            continue;
+        }
+        let y = g.intern(&item.text);
+        g.add_pair(x, y);
+        for prev in &p.chosen_items {
+            let prev_sym = g.intern(prev);
+            g.add_cooccurrence(x, prev_sym, y);
+        }
+        evidence.push(EvidenceRecord {
+            x: resolved.super_label.clone(),
+            y: item.text.clone(),
+            sentence_id: p.sentence_id,
+            pattern: p.extraction.pattern,
+            page_rank: p.meta.page_rank,
+            source_quality: p.meta.source_quality,
+            position: item.position as u32,
+            list_len,
+        });
+        if !p.extracted_positions.contains(&item.position) {
+            p.extracted_positions.push(item.position);
+        }
+        p.chosen_items.push(item.text);
+        committed += 1;
+    }
+    if p.extracted_positions.len() >= p.extraction.segments.len() {
+        p.done = true;
+    }
+    committed
+}
+
+/// Run the full iterative extraction (serial driver).
+pub fn extract(
+    records: &[SentenceRecord],
+    lexicon: &Lexicon,
+    cfg: &ExtractorConfig,
+) -> ExtractionOutput {
+    let mut ex = Extractor::new(lexicon.clone(), cfg.clone());
+    ex.add_sentences(records);
+    ex.run_to_fixpoint();
+    ex.into_output()
+}
+
+/// An *incremental* extractor: sentences can be added in batches and the
+/// semantic iteration resumed, with Γ carried over — the never-ending
+/// learning mode the paper's framework naturally supports ("we use
+/// existing knowledge to understand the text and acquire more
+/// knowledge"). [`extract`] is the one-shot wrapper around it.
+pub struct Extractor {
+    lexicon: Lexicon,
+    cfg: ExtractorConfig,
+    g: Knowledge,
+    parsed: Vec<Parsed>,
+    evidence: Vec<EvidenceRecord>,
+    iterations: Vec<IterationStats>,
+    next_iteration: usize,
+}
+
+impl Extractor {
+    pub fn new(lexicon: Lexicon, cfg: ExtractorConfig) -> Self {
+        Self {
+            lexicon,
+            cfg,
+            g: Knowledge::new(),
+            parsed: Vec::new(),
+            evidence: Vec::new(),
+            iterations: Vec::new(),
+            next_iteration: 1,
+        }
+    }
+
+    /// Parse and enqueue a batch of sentences. Segment frequencies and
+    /// part-of negatives register immediately; isA extraction happens on
+    /// the next [`Self::run_to_fixpoint`].
+    pub fn add_sentences(&mut self, records: &[SentenceRecord]) {
+        let batch = prepare(records, &self.lexicon, &self.cfg, &mut self.g);
+        self.parsed.extend(batch);
+    }
+
+    /// Run semantic iteration until no new pairs emerge (bounded by the
+    /// configured `max_iterations` *per call*). Returns the number of
+    /// rounds run.
+    pub fn run_to_fixpoint(&mut self) -> usize {
+        let max_iters = self.cfg.max_iterations.max(1);
+        let mut rounds = 0;
+        for _ in 0..max_iters {
+            rounds += 1;
+            let iteration = self.next_iteration;
+            self.next_iteration += 1;
+            let mut new_occurrences = 0u64;
+            for i in 0..self.parsed.len() {
+                if self.parsed[i].done {
+                    continue;
+                }
+                let proposal = match detect_one(&self.parsed[i], &self.g, &self.cfg) {
+                    Some(pr) => pr,
+                    None => continue,
+                };
+                new_occurrences +=
+                    commit(&mut self.parsed[i], proposal, &mut self.g, &mut self.evidence);
+            }
+            let resolved = self.parsed.iter().filter(|p| p.resolved.is_some()).count();
+            self.iterations.push(IterationStats {
+                iteration,
+                new_occurrences,
+                distinct_pairs: self.g.pair_count(),
+                distinct_concepts: self.g.concept_count(),
+                sentences_resolved: resolved,
+                evidence_len: self.evidence.len(),
+            });
+            if new_occurrences == 0 {
+                break;
+            }
+        }
+        rounds
+    }
+
+    /// The knowledge accumulated so far.
+    pub fn knowledge(&self) -> &Knowledge {
+        &self.g
+    }
+
+    /// The evidence log so far.
+    pub fn evidence(&self) -> &[EvidenceRecord] {
+        &self.evidence
+    }
+
+    /// Iteration statistics so far.
+    pub fn iterations(&self) -> &[IterationStats] {
+        &self.iterations
+    }
+
+    /// Number of pattern-bearing sentences queued.
+    pub fn sentence_count(&self) -> usize {
+        self.parsed.len()
+    }
+
+    /// Finish and hand over everything.
+    pub fn into_output(self) -> ExtractionOutput {
+        let sentences = collect_sentences(&self.parsed);
+        ExtractionOutput {
+            knowledge: self.g,
+            evidence: self.evidence,
+            sentences,
+            iterations: self.iterations,
+        }
+    }
+}
+
+pub(crate) fn collect_sentences(parsed: &[Parsed]) -> Vec<SentenceExtraction> {
+    parsed
+        .iter()
+        .filter(|p| !p.chosen_items.is_empty())
+        .map(|p| SentenceExtraction {
+            sentence_id: p.sentence_id,
+            super_label: p.resolved.as_ref().expect("items imply resolution").super_label.clone(),
+            items: p.chosen_items.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probase_corpus::sentence::{PatternKind, SentenceTruth};
+
+    fn rec(id: u64, text: &str) -> SentenceRecord {
+        SentenceRecord {
+            id,
+            text: text.to_string(),
+            meta: SourceMeta { page_id: id / 3, page_rank: 0.4, source_quality: 0.8 },
+            truth: SentenceTruth::default(),
+        }
+    }
+
+    fn run(texts: &[&str]) -> ExtractionOutput {
+        let records: Vec<SentenceRecord> =
+            texts.iter().enumerate().map(|(i, t)| rec(i as u64, t)).collect();
+        extract(&records, &Lexicon::default(), &ExtractorConfig::paper())
+    }
+
+    fn has_pair(out: &ExtractionOutput, x: &str, y: &str) -> bool {
+        let g = &out.knowledge;
+        match (g.lookup(x), g.lookup(y)) {
+            (Some(xs), Some(ys)) => g.count(xs, ys) > 0,
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn extracts_simple_pairs() {
+        let out = run(&[
+            "animals such as cats.",
+            "animals such as dogs.",
+            "animals such as cats and dogs.",
+        ]);
+        assert!(has_pair(&out, "animal", "cat"));
+        assert!(has_pair(&out, "animal", "dog"));
+    }
+
+    #[test]
+    fn iteration_resolves_other_than() {
+        // Bootstrap sentences teach (animal, cat); the ambiguous sentence
+        // resolves in a later round to animals, not dogs.
+        let mut texts = vec!["animals such as cats."; 6];
+        texts.push("animals other than dogs such as cats.");
+        let out = run(&texts);
+        assert!(has_pair(&out, "animal", "cat"));
+        assert!(!has_pair(&out, "dog", "cat"), "dogs must not be chosen as super");
+        assert!(out.iterations.len() >= 2);
+    }
+
+    #[test]
+    fn multi_item_lists_unlock_over_iterations() {
+        // Each item appears first somewhere, so scope eventually covers all.
+        let out = run(&[
+            "companies such as IBM, Nokia, Intel.",
+            "companies such as Nokia, Intel, IBM.",
+            "companies such as Intel, IBM, Nokia.",
+            "companies such as IBM, Nokia, Intel.",
+            "companies such as Nokia, Intel, IBM.",
+        ]);
+        for y in ["IBM", "Nokia", "Intel"] {
+            assert!(has_pair(&out, "company", y), "missing {y}");
+        }
+        // Figure 10 shape: round 2 commits more than round 1 on this corpus
+        // (round 1 only takes position 1 of each list).
+        assert!(out.iterations.len() >= 2);
+        assert!(
+            out.iterations[1].new_occurrences > 0,
+            "second round should extract more: {:?}",
+            out.iterations
+        );
+    }
+
+    #[test]
+    fn modifier_stripping_harvests_specific_concept() {
+        let mut texts = vec!["animals such as cats."; 5];
+        texts.push("domestic animals such as cats.");
+        let out = run(&texts);
+        assert!(has_pair(&out, "domestic animal", "cat"));
+    }
+
+    #[test]
+    fn partof_becomes_negative_evidence() {
+        let out = run(&["cars are comprised of wheels and engines.", "animals such as cats."]);
+        let g = &out.knowledge;
+        let car = g.lookup("car").expect("car interned");
+        let wheel = g.lookup("wheel").expect("wheel interned");
+        assert!(g.negative_count(car, wheel) > 0);
+        // And no isA pair was created from the part-of sentence.
+        assert!(!has_pair(&out, "car", "wheel"));
+    }
+
+    #[test]
+    fn evidence_records_features() {
+        let out = run(&["animals such as cats.", "animals such as cats."]);
+        assert!(!out.evidence.is_empty());
+        let e = &out.evidence[0];
+        assert_eq!(e.x, "animal");
+        assert_eq!(e.y, "cat");
+        assert_eq!(e.pattern, PatternKind::SuchAs);
+        assert_eq!(e.position, 1);
+    }
+
+    #[test]
+    fn sentence_extractions_grouped() {
+        let out = run(&[
+            "animals such as cats.",
+            "animals such as cats.",
+            "animals such as cats and dogs.",
+        ]);
+        assert!(!out.sentences.is_empty());
+        let multi = out.sentences.iter().find(|s| s.items.len() == 2);
+        assert!(multi.is_some(), "{:?}", out.sentences);
+        let multi = multi.unwrap();
+        assert_eq!(multi.super_label, "animal");
+        assert_eq!(multi.items, ["cat", "dog"]);
+    }
+
+    #[test]
+    fn fixpoint_terminates_early() {
+        let out = run(&["animals such as cats."]);
+        // One productive round plus one empty round.
+        assert!(out.iterations.len() <= 3);
+        assert_eq!(out.iterations.last().unwrap().new_occurrences, 0);
+    }
+
+    #[test]
+    fn noise_sentences_are_ignored() {
+        let out = run(&["the history of coffee is long.", "prices rose sharply."]);
+        assert_eq!(out.knowledge.pair_count(), 0);
+        assert!(out.sentences.is_empty());
+    }
+
+    #[test]
+    fn incremental_batches_accumulate_knowledge() {
+        let batch1: Vec<SentenceRecord> =
+            ["animals such as cats.", "animals such as cats and dogs."]
+                .iter()
+                .enumerate()
+                .map(|(i, t)| rec(i as u64, t))
+                .collect();
+        let batch2: Vec<SentenceRecord> = ["animals such as cats, dogs and horses."]
+            .iter()
+            .enumerate()
+            .map(|(i, t)| rec(10 + i as u64, t))
+            .collect();
+        let mut ex = Extractor::new(Lexicon::default(), ExtractorConfig::paper());
+        ex.add_sentences(&batch1);
+        ex.run_to_fixpoint();
+        let pairs_after_1 = ex.knowledge().pair_count();
+        assert!(pairs_after_1 >= 1);
+        // Second batch benefits from Γ built by the first.
+        ex.add_sentences(&batch2);
+        ex.run_to_fixpoint();
+        assert!(ex.knowledge().pair_count() >= pairs_after_1);
+        let out = ex.into_output();
+        // Iteration numbering continues across batches.
+        let iters: Vec<usize> = out.iterations.iter().map(|i| i.iteration).collect();
+        for w in iters.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // The one-shot wrapper over both batches finds at least as much.
+        let mut all = batch1;
+        all.extend(batch2);
+        let oneshot = extract(&all, &Lexicon::default(), &ExtractorConfig::paper());
+        assert!(oneshot.knowledge.pair_count() >= out.knowledge.pair_count());
+    }
+
+    #[test]
+    fn self_pairs_are_rejected() {
+        // "animals such as animals" must not create (animal, animal).
+        let out = run(&["animals such as animals."]);
+        assert_eq!(out.knowledge.pair_count(), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # probase-extract
+//!
+//! The paper's first contribution: *iterative, semantic* isA extraction
+//! from Hearst-pattern sentences (SIGMOD 2012 §2, Algorithm 1).
+//!
+//! Unlike syntactic-bootstrapping extractors (KnowItAll, TextRunner,
+//! NELL), Probase keeps the pattern set fixed — the six Hearst patterns of
+//! Table 2 — and grows its *knowledge* Γ instead. Each iteration uses the
+//! pairs already in Γ to resolve the ambiguities syntax alone cannot:
+//!
+//! * which plural NP is the super-concept ("animals other than **dogs**
+//!   such as cats") — [`superc`];
+//! * where the sub-concept list ends (", Europe, and other countries") and
+//!   whether a conjunction is a delimiter or part of a name ("Proctor and
+//!   Gamble") — [`subc`];
+//! * sentences undecidable this round are retried when Γ is richer —
+//!   [`iterate`] (serial) and [`parallel`] (sharded Map-Reduce style).
+//!
+//! Outputs: the knowledge store Γ ([`knowledge::Knowledge`]), a
+//! per-occurrence evidence log for the probabilistic layer
+//! ([`evidence::EvidenceRecord`]), and per-sentence extraction groups for
+//! taxonomy construction ([`iterate::SentenceExtraction`]).
+
+pub mod evidence;
+pub mod input;
+pub mod iterate;
+pub mod knowledge;
+pub mod parallel;
+pub mod pattern;
+pub mod persist;
+pub mod subc;
+pub mod superc;
+pub mod syntactic;
+
+pub use evidence::{group_by_pair, EvidenceRecord, PairEvidence};
+pub use input::{records_from_documents, RawDocument};
+pub use iterate::{
+    extract, ExtractionOutput, Extractor, ExtractorConfig, IterationStats, SentenceExtraction,
+};
+pub use knowledge::Knowledge;
+pub use parallel::extract_parallel;
+pub use persist::{knowledge_from_bytes, knowledge_to_bytes, PersistError};
+pub use pattern::{find_partof, find_pattern, PartOfMatch, PatternMatch};
+pub use subc::{detect_subs, ChosenItem, SubConfig};
+pub use superc::{detect_super, SuperConfig, SuperDecision};
+pub use syntactic::{normalize_sub, syntactic_extract, SegmentCandidates, SyntacticExtraction};

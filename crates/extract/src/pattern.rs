@@ -1,0 +1,241 @@
+//! Hearst pattern detection (paper Table 2).
+//!
+//! Probase deliberately uses a *fixed* set of six syntactic patterns —
+//! semantic iteration, not pattern growth, is where new extraction power
+//! comes from (§2.1). This module locates a pattern occurrence in a tagged
+//! token sequence and reports the token regions that hold the candidate
+//! super-concept(s) and the sub-concept list.
+//!
+//! | id | pattern |
+//! |----|------------------------------------------------|
+//! | 1  | NP such as {NP,}* {(or\|and)} NP               |
+//! | 2  | such NP as {NP,}* {(or\|and)} NP               |
+//! | 3  | NP {,} including {NP,}* {(or\|and)} NP         |
+//! | 4  | NP {,NP}* {,} and other NP                     |
+//! | 5  | NP {,NP}* {,} or other NP                      |
+//! | 6  | NP {,} especially {NP,}* {(or\|and)} NP        |
+
+use probase_corpus::sentence::PatternKind;
+use probase_text::{Tag, TaggedToken};
+
+/// A located pattern occurrence with its token regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternMatch {
+    pub kind: PatternKind,
+    /// Token range `[start, end)` of the pattern keywords themselves.
+    pub keywords: (usize, usize),
+    /// Token range holding super-concept candidates.
+    pub super_region: (usize, usize),
+    /// Token range holding the sub-concept list.
+    pub list_region: (usize, usize),
+}
+
+fn lower(t: &TaggedToken) -> String {
+    t.token.text.to_lowercase()
+}
+
+/// Locate the first Hearst pattern in `tagged`. Returns `None` for
+/// pattern-free sentences (the vast majority of real web text).
+pub fn find_pattern(tagged: &[TaggedToken]) -> Option<PatternMatch> {
+    let n = tagged.len();
+    let words: Vec<String> = tagged.iter().map(lower).collect();
+
+    for i in 0..n {
+        match words[i].as_str() {
+            "such" => {
+                if i + 1 < n && words[i + 1] == "as" {
+                    // Pattern 1: `NP such as …`. Needs material on both sides.
+                    if i > 0 && i + 2 < n {
+                        return Some(PatternMatch {
+                            kind: PatternKind::SuchAs,
+                            keywords: (i, i + 2),
+                            super_region: (0, i),
+                            list_region: (i + 2, n),
+                        });
+                    }
+                } else {
+                    // Pattern 2: `such NP as …` — find the closing "as"
+                    // within a small window.
+                    let window_end = (i + 7).min(n);
+                    if let Some(j) = (i + 2..window_end).find(|&j| words[j] == "as") {
+                        if j + 1 < n {
+                            return Some(PatternMatch {
+                                kind: PatternKind::SuchNpAs,
+                                keywords: (i, j + 1),
+                                super_region: (i + 1, j),
+                                list_region: (j + 1, n),
+                            });
+                        }
+                    }
+                }
+            }
+            "including"
+                if i > 0 && i + 1 < n => {
+                    return Some(PatternMatch {
+                        kind: PatternKind::Including,
+                        keywords: (i, i + 1),
+                        super_region: (0, i),
+                        list_region: (i + 1, n),
+                    });
+                }
+            "especially"
+                // Only the list form "NP, especially …"; a mid-sentence
+                // adverb ("is especially large") has no preceding comma.
+                if i > 0 && i + 1 < n && tagged[i - 1].tag == Tag::Punct => {
+                    return Some(PatternMatch {
+                        kind: PatternKind::Especially,
+                        keywords: (i, i + 1),
+                        super_region: (0, i),
+                        list_region: (i + 1, n),
+                    });
+                }
+            "other"
+                // Patterns 4/5: `…, and other NP` / `…, or other NP`.
+                // Exclude the distractor construction "other than".
+                if i > 0
+                    && i + 1 < n
+                    && (words[i - 1] == "and" || words[i - 1] == "or")
+                    && words[i + 1] != "than"
+                    && i >= 2
+                => {
+                    let kind = if words[i - 1] == "and" {
+                        PatternKind::AndOther
+                    } else {
+                        PatternKind::OrOther
+                    };
+                    return Some(PatternMatch {
+                        kind,
+                        keywords: (i - 1, i + 1),
+                        super_region: (i + 1, n),
+                        list_region: (0, i - 1),
+                    });
+                }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// A part-of (meronymy) construction: negative isA evidence (§4.1,
+/// "B is comprised of A, C, and …").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartOfMatch {
+    /// Token range holding the whole (the would-be super-concept).
+    pub super_region: (usize, usize),
+    /// Token range holding the parts list.
+    pub list_region: (usize, usize),
+}
+
+/// Locate a part-of construction ("comprised of", "composed of",
+/// "consists of").
+pub fn find_partof(tagged: &[TaggedToken]) -> Option<PartOfMatch> {
+    let n = tagged.len();
+    let words: Vec<String> = tagged.iter().map(lower).collect();
+    for i in 0..n.saturating_sub(1) {
+        let head = words[i].as_str();
+        if (head == "comprised" || head == "composed" || head == "consists" || head == "consist")
+            && words[i + 1] == "of"
+            && i > 0
+            && i + 2 < n
+        {
+            return Some(PartOfMatch { super_region: (0, i), list_region: (i + 2, n) });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probase_text::{tag_tokens, tokenize, Lexicon};
+
+    fn m(s: &str) -> Option<PatternMatch> {
+        let tagged = tag_tokens(&tokenize(s), &Lexicon::default());
+        find_pattern(&tagged)
+    }
+
+    #[test]
+    fn detects_such_as() {
+        let pm = m("animals such as cats and dogs").unwrap();
+        assert_eq!(pm.kind, PatternKind::SuchAs);
+        assert_eq!(pm.super_region, (0, 1));
+        assert_eq!(pm.list_region, (3, 6));
+    }
+
+    #[test]
+    fn detects_such_np_as() {
+        let pm = m("such tropical countries as Singapore and Malaysia").unwrap();
+        assert_eq!(pm.kind, PatternKind::SuchNpAs);
+        assert_eq!(pm.super_region, (1, 3));
+    }
+
+    #[test]
+    fn detects_including() {
+        let pm = m("classic movies , including Casablanca").unwrap();
+        assert_eq!(pm.kind, PatternKind::Including);
+        assert_eq!(pm.super_region.1, 3);
+    }
+
+    #[test]
+    fn detects_and_other_and_or_other() {
+        let pm = m("China , Japan , and other countries").unwrap();
+        assert_eq!(pm.kind, PatternKind::AndOther);
+        // list region excludes the "and".
+        assert_eq!(pm.list_region, (0, 4));
+        let pm = m("influenza , or other diseases").unwrap();
+        assert_eq!(pm.kind, PatternKind::OrOther);
+    }
+
+    #[test]
+    fn detects_especially_only_after_comma() {
+        let pm = m("european countries , especially Germany and France").unwrap();
+        assert_eq!(pm.kind, PatternKind::Especially);
+        assert!(m("the price is especially high").is_none());
+    }
+
+    #[test]
+    fn other_than_is_not_and_other() {
+        // "animals other than dogs such as cats": the "such as" must win and
+        // "other than" must not register as pattern 4.
+        let pm = m("animals other than dogs such as cats").unwrap();
+        assert_eq!(pm.kind, PatternKind::SuchAs);
+        assert_eq!(pm.super_region, (0, 4)); // includes the distractor NP
+    }
+
+    #[test]
+    fn no_pattern_in_plain_prose() {
+        assert!(m("the history of coffee is long and well documented").is_none());
+        assert!(m("prices rose sharply this quarter").is_none());
+    }
+
+    #[test]
+    fn such_as_requires_both_sides() {
+        assert!(m("such as cats").is_none());
+        assert!(m("animals such as").is_none());
+    }
+
+    #[test]
+    fn first_pattern_wins() {
+        // Both "such as" and "and other" present; "such as" comes first.
+        let pm = m("pets such as cats , dogs , and other animals").unwrap();
+        assert_eq!(pm.kind, PatternKind::SuchAs);
+    }
+
+    #[test]
+    fn and_other_requires_preceding_list() {
+        // "and other" opening a sentence has no list to its left.
+        assert!(m("and other things happened").is_none());
+    }
+
+    #[test]
+    fn partof_detection() {
+        let tagged = tag_tokens(&tokenize("cars are comprised of wheels, engines."), &Lexicon::default());
+        let pm = find_partof(&tagged).unwrap();
+        assert_eq!(pm.super_region, (0, 2));
+        assert_eq!(pm.list_region, (4, tagged.len()));
+        let tagged = tag_tokens(&tokenize("a meal consists of several courses."), &Lexicon::default());
+        assert!(find_partof(&tagged).is_some());
+        let tagged = tag_tokens(&tokenize("animals such as cats."), &Lexicon::default());
+        assert!(find_partof(&tagged).is_none());
+    }
+}

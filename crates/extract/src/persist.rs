@@ -1,0 +1,266 @@
+//! Binary persistence of the knowledge store Γ.
+//!
+//! Extraction over a large corpus is the expensive phase; persisting Γ
+//! lets the taxonomy and probability layers (or an incremental
+//! re-extraction) resume without re-reading the corpus. The format
+//! mirrors the graph snapshot in `probase-store`: length-prefixed interner
+//! strings followed by the counter tables.
+//!
+//! ```text
+//! magic  u32 = 0x50424b4e ("PBKN"), version u32 = 1
+//! n_strings u32, then per string: len u32 + utf8
+//! total u64
+//! pairs:    n u32, then (x u32, y u32, count u32)*
+//! cooccur:  n u32, then (x u32, a u32, b u32, count u32)*
+//! segments: n u32, then (sym u32, count u32)*
+//! negative: n u32, then (x u32, y u32, count u32)*
+//! ```
+//!
+//! Super/sub totals are recomputed on load from the pair table, so the
+//! invariants between them cannot be violated by a corrupt file.
+
+use crate::knowledge::Knowledge;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use probase_store::Symbol;
+
+const MAGIC: u32 = 0x5042_4b4e;
+const VERSION: u32 = 1;
+
+/// Decoding errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PersistError {
+    Truncated,
+    BadMagic,
+    BadVersion(u32),
+    BadUtf8,
+    BadIndex,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Truncated => write!(f, "knowledge snapshot truncated"),
+            PersistError::BadMagic => write!(f, "bad magic number"),
+            PersistError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            PersistError::BadUtf8 => write!(f, "invalid utf-8"),
+            PersistError::BadIndex => write!(f, "symbol out of range"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Serialize Γ to bytes.
+pub fn knowledge_to_bytes(g: &Knowledge) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 << 16);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+
+    // Interner strings in symbol order.
+    let strings: Vec<&str> = g.interner_strings().collect();
+    buf.put_u32_le(strings.len() as u32);
+    for s in &strings {
+        buf.put_u32_le(s.len() as u32);
+        buf.put_slice(s.as_bytes());
+    }
+    buf.put_u64_le(g.total());
+
+    // Pairs, sorted for deterministic output.
+    let mut pairs: Vec<(Symbol, Symbol, u32)> = g.pairs().collect();
+    pairs.sort_unstable();
+    buf.put_u32_le(pairs.len() as u32);
+    for (x, y, n) in pairs {
+        buf.put_u32_le(x.0);
+        buf.put_u32_le(y.0);
+        buf.put_u32_le(n);
+    }
+
+    let mut cooccur: Vec<(Symbol, Symbol, Symbol, u32)> = g.cooccurrences().collect();
+    cooccur.sort_unstable();
+    buf.put_u32_le(cooccur.len() as u32);
+    for (x, a, b, n) in cooccur {
+        buf.put_u32_le(x.0);
+        buf.put_u32_le(a.0);
+        buf.put_u32_le(b.0);
+        buf.put_u32_le(n);
+    }
+
+    let mut segments: Vec<(Symbol, u32)> = g.segment_frequencies().collect();
+    segments.sort_unstable();
+    buf.put_u32_le(segments.len() as u32);
+    for (s, n) in segments {
+        buf.put_u32_le(s.0);
+        buf.put_u32_le(n);
+    }
+
+    let mut negatives: Vec<(Symbol, Symbol, u32)> = g.negatives().collect();
+    negatives.sort_unstable();
+    buf.put_u32_le(negatives.len() as u32);
+    for (x, y, n) in negatives {
+        buf.put_u32_le(x.0);
+        buf.put_u32_le(y.0);
+        buf.put_u32_le(n);
+    }
+    buf.freeze()
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), PersistError> {
+    if buf.remaining() < n {
+        Err(PersistError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Deserialize Γ from bytes written by [`knowledge_to_bytes`].
+pub fn knowledge_from_bytes(mut buf: impl Buf) -> Result<Knowledge, PersistError> {
+    need(&buf, 8)?;
+    if buf.get_u32_le() != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+
+    need(&buf, 4)?;
+    let n_strings = buf.get_u32_le() as usize;
+    let mut g = Knowledge::new();
+    let mut symbols = Vec::with_capacity(n_strings);
+    for _ in 0..n_strings {
+        need(&buf, 4)?;
+        let len = buf.get_u32_le() as usize;
+        need(&buf, len)?;
+        let mut bytes = vec![0u8; len];
+        buf.copy_to_slice(&mut bytes);
+        let s = String::from_utf8(bytes).map_err(|_| PersistError::BadUtf8)?;
+        symbols.push(g.intern(&s));
+    }
+    let resolve = |i: u32| -> Result<Symbol, PersistError> {
+        symbols.get(i as usize).copied().ok_or(PersistError::BadIndex)
+    };
+
+    need(&buf, 8)?;
+    let declared_total = buf.get_u64_le();
+
+    need(&buf, 4)?;
+    let n_pairs = buf.get_u32_le() as usize;
+    for _ in 0..n_pairs {
+        need(&buf, 12)?;
+        let x = resolve(buf.get_u32_le())?;
+        let y = resolve(buf.get_u32_le())?;
+        let n = buf.get_u32_le();
+        for _ in 0..n {
+            g.add_pair(x, y);
+        }
+    }
+
+    need(&buf, 4)?;
+    let n_co = buf.get_u32_le() as usize;
+    for _ in 0..n_co {
+        need(&buf, 16)?;
+        let x = resolve(buf.get_u32_le())?;
+        let a = resolve(buf.get_u32_le())?;
+        let b = resolve(buf.get_u32_le())?;
+        let n = buf.get_u32_le();
+        for _ in 0..n {
+            g.add_cooccurrence(x, a, b);
+        }
+    }
+
+    need(&buf, 4)?;
+    let n_seg = buf.get_u32_le() as usize;
+    for _ in 0..n_seg {
+        need(&buf, 8)?;
+        let s = resolve(buf.get_u32_le())?;
+        let n = buf.get_u32_le();
+        let text = g.resolve(s).to_string();
+        for _ in 0..n {
+            g.add_segment(&text);
+        }
+    }
+
+    need(&buf, 4)?;
+    let n_neg = buf.get_u32_le() as usize;
+    for _ in 0..n_neg {
+        need(&buf, 12)?;
+        let x = resolve(buf.get_u32_le())?;
+        let y = resolve(buf.get_u32_le())?;
+        let n = buf.get_u32_le();
+        for _ in 0..n {
+            g.add_negative(x, y);
+        }
+    }
+
+    debug_assert_eq!(g.total(), declared_total, "pair mass mismatch");
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Knowledge {
+        let mut g = Knowledge::new();
+        let animal = g.intern("animal");
+        let cat = g.intern("cat");
+        let dog = g.intern("dog");
+        for _ in 0..7 {
+            g.add_pair(animal, cat);
+        }
+        for _ in 0..3 {
+            g.add_pair(animal, dog);
+        }
+        g.add_cooccurrence(animal, cat, dog);
+        g.add_segment("Proctor and Gamble");
+        g.add_segment("Proctor and Gamble");
+        let car = g.intern("car");
+        let wheel = g.intern("wheel");
+        g.add_negative(car, wheel);
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_all_statistics() {
+        let g = sample();
+        let bytes = knowledge_to_bytes(&g);
+        let h = knowledge_from_bytes(bytes).expect("decodes");
+        assert_eq!(h.total(), g.total());
+        assert_eq!(h.pair_count(), g.pair_count());
+        let (animal, cat, dog) =
+            (h.lookup("animal").unwrap(), h.lookup("cat").unwrap(), h.lookup("dog").unwrap());
+        assert_eq!(h.count(animal, cat), 7);
+        assert_eq!(h.count(animal, dog), 3);
+        assert_eq!(h.super_total(animal), 10);
+        assert!((h.p_sub_given_cosub(dog, cat, animal, 1e-6) - 1.0 / 7.0).abs() < 1e-12);
+        assert_eq!(h.segment_frequency("Proctor and Gamble"), 2);
+        let (car, wheel) = (h.lookup("car").unwrap(), h.lookup("wheel").unwrap());
+        assert_eq!(h.negative_count(car, wheel), 1);
+    }
+
+    #[test]
+    fn truncation_always_errors() {
+        let bytes = knowledge_to_bytes(&sample());
+        for cut in 0..bytes.len() {
+            assert!(knowledge_from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let mut b = knowledge_to_bytes(&sample()).to_vec();
+        b[0] ^= 1;
+        assert_eq!(knowledge_from_bytes(&b[..]).unwrap_err(), PersistError::BadMagic);
+        let mut b = knowledge_to_bytes(&sample()).to_vec();
+        b[4] = 9;
+        assert_eq!(knowledge_from_bytes(&b[..]).unwrap_err(), PersistError::BadVersion(9));
+    }
+
+    #[test]
+    fn empty_knowledge_roundtrips() {
+        let g = Knowledge::new();
+        let h = knowledge_from_bytes(knowledge_to_bytes(&g)).unwrap();
+        assert_eq!(h.pair_count(), 0);
+        assert_eq!(h.total(), 0);
+    }
+}

@@ -1,0 +1,375 @@
+//! Procedure `SubConceptDetection` (paper §2.3.3).
+//!
+//! Given the resolved super-concept `x` and the candidate positions, decide
+//! which items are valid sub-concepts:
+//!
+//! 1. **Scope** (Observations 1–2): find the largest position `k` whose
+//!    candidate is already credible under `x` in Γ; positions `1..=k` are
+//!    in scope. With no knowledge, fall back to `k = 1` provided the first
+//!    position is well formed (contains no conjunction delimiters).
+//! 2. **Reading disambiguation**: within the scope, an ambiguous position
+//!    ("Proctor and Gamble" vs {"Proctor", "Gamble"}; "Malaysia" vs
+//!    "Malaysia in recent years") is resolved by the likelihood ratio
+//!
+//!    ```text
+//!    r(c1, c2) = p(c1|x) ∏ p(yi|c1,x)  /  p(c2|x) ∏ p(yi|c2,x)
+//!    ```
+//!
+//!    over the items chosen at earlier positions, with a Downey-style
+//!    segment-frequency tie-break (§2.1, \[10\]) when Γ is silent: a string
+//!    that recurs as a whole list segment ("Proctor and Gamble") while its
+//!    fragments never stand alone is one instance, not two.
+
+use crate::knowledge::Knowledge;
+use crate::syntactic::{contains_conjunction, SegmentCandidates};
+use probase_store::Symbol;
+
+/// Configuration of sub-concept detection.
+#[derive(Debug, Clone)]
+pub struct SubConfig {
+    /// ε-smoothing.
+    pub eps: f64,
+    /// An item is "credible" for scope detection once Γ has seen the pair
+    /// at least this many times…
+    pub scope_min_count: u32,
+    /// …*and* its likelihood `p(y_k | x)` clears this relative threshold
+    /// (the paper phrases scope detection in terms of likelihood; the
+    /// relative test keeps a handful of corrupt repetitions under a
+    /// popular concept from unlocking a drifted list tail).
+    pub scope_min_prob: f64,
+    /// Likelihood ratio needed to pick one reading over another.
+    pub ratio_threshold: f64,
+    /// Segment-frequency ratio needed for the bootstrap tie-break.
+    pub freq_ratio: f64,
+}
+
+impl Default for SubConfig {
+    fn default() -> Self {
+        Self { eps: 1e-5, scope_min_count: 2, scope_min_prob: 1.5e-3, ratio_threshold: 3.0, freq_ratio: 3.0 }
+    }
+}
+
+/// One accepted sub-concept item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChosenItem {
+    /// Normalized item text.
+    pub text: String,
+    /// 1-based position (distance rank from the pattern keywords).
+    pub position: usize,
+}
+
+/// Detect valid sub-concepts of `x`. `stats_label` is the concept whose Γ
+/// statistics to consult (it differs from the extraction label when the
+/// super-concept was modifier-stripped). `skip_positions` holds positions
+/// already extracted in earlier iterations (the driver re-visits sentences
+/// as Γ grows).
+pub fn detect_subs(
+    stats_label: &str,
+    segments: &[SegmentCandidates],
+    skip_positions: &[usize],
+    g: &Knowledge,
+    cfg: &SubConfig,
+) -> Vec<ChosenItem> {
+    if segments.is_empty() {
+        return Vec::new();
+    }
+    let x = g.lookup(stats_label);
+
+    // --- 1. scope ----------------------------------------------------
+    let known = |seg: &SegmentCandidates| -> bool {
+        let Some(x) = x else { return false };
+        seg.readings.iter().flatten().any(|item| {
+            g.lookup(item)
+                .map(|y| {
+                    g.count(x, y) >= cfg.scope_min_count
+                        && g.p_sub_given_super(y, x, 0.0) >= cfg.scope_min_prob
+                })
+                .unwrap_or(false)
+        })
+    };
+    let mut k = 0;
+    for (j, seg) in segments.iter().enumerate() {
+        if known(seg) {
+            k = j + 1;
+        }
+    }
+    if k == 0 {
+        // Bootstrap: position 1 only, and only when unambiguous enough.
+        let first = &segments[0];
+        let unambiguous_first = first.readings.len() == 1
+            && first.readings[0].len() == 1
+            && !contains_conjunction(&first.readings[0][0]);
+        if unambiguous_first {
+            k = 1;
+        } else {
+            // Try the frequency tie-break alone for position 1.
+            k = 1; // resolution below may still reject it
+        }
+    }
+
+    // --- 2. choose readings within scope -----------------------------
+    let mut chosen: Vec<ChosenItem> = Vec::new();
+    let mut chosen_syms: Vec<Symbol> = Vec::new();
+    for (j, seg) in segments.iter().enumerate().take(k) {
+        let position = j + 1;
+        let accepted = choose_reading(seg, x, &chosen_syms, g, cfg);
+        let Some(reading) = accepted else {
+            // Unresolved ambiguity: stop here; later iterations may extend.
+            break;
+        };
+        if skip_positions.contains(&position) {
+            // Already extracted earlier; still record its items as context
+            // for subsequent positions, but do not re-emit.
+            for item in &reading {
+                if let Some(sym) = g.lookup(item) {
+                    chosen_syms.push(sym);
+                }
+            }
+            continue;
+        }
+        for item in reading {
+            if let Some(sym) = g.lookup(&item) {
+                chosen_syms.push(sym);
+            }
+            chosen.push(ChosenItem { text: item, position });
+        }
+    }
+    chosen
+}
+
+/// Pick the winning reading of a segment, or `None` when the ambiguity
+/// cannot be resolved yet.
+fn choose_reading(
+    seg: &SegmentCandidates,
+    x: Option<Symbol>,
+    prev: &[Symbol],
+    g: &Knowledge,
+    cfg: &SubConfig,
+) -> Option<Vec<String>> {
+    if seg.readings.len() == 1 {
+        let only = &seg.readings[0];
+        // A lone joined reading with an internal conjunction is accepted
+        // when Γ already knows the pair or the frequency evidence says the
+        // string is one unit.
+        if only.len() == 1 && contains_conjunction(&only[0]) {
+            let known_pair = x
+                .and_then(|x| g.lookup(&only[0]).map(|y| g.count(x, y) > 0))
+                .unwrap_or(false);
+            if !known_pair && !join_supported(&only[0], g, cfg) {
+                return None;
+            }
+        }
+        return Some(only.clone());
+    }
+
+    // Score every reading by its first item's likelihood under x.
+    let mut scored: Vec<(f64, usize)> = seg
+        .readings
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (reading_score(r, x, prev, g, cfg.eps), i))
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite score"));
+    let (s1, i1) = scored[0];
+    let (s2, _i2) = scored[1];
+    let ratio = (s1 - s2).exp();
+    if ratio >= cfg.ratio_threshold {
+        return Some(seg.readings[i1].clone());
+    }
+
+    // Γ is silent or torn: fall back to corpus segment frequencies.
+    frequency_fallback(seg, g, cfg)
+}
+
+/// Likelihood score of a reading: `ln p(c|x) + Σ ln p(y_i | c, x)` for its
+/// leading item `c` (paper §2.3.3), ε-smoothed.
+fn reading_score(
+    reading: &[String],
+    x: Option<Symbol>,
+    prev: &[Symbol],
+    g: &Knowledge,
+    eps: f64,
+) -> f64 {
+    let Some(x) = x else { return eps.ln() * (1 + prev.len()) as f64 };
+    let Some(c) = reading.first().and_then(|i| g.lookup(i)) else {
+        return eps.ln() * (1 + prev.len()) as f64;
+    };
+    let mut s = g.p_sub_given_super(c, x, eps).ln();
+    for &y in prev {
+        s += g.p_sub_given_cosub(y, c, x, eps).ln();
+    }
+    s
+}
+
+/// Downey-style frequency evidence that a conjunction-bearing string is a
+/// single unit: the joined string recurs as a whole segment while its
+/// fragments rarely stand alone.
+fn join_supported(joined: &str, g: &Knowledge, cfg: &SubConfig) -> bool {
+    let joint = g.segment_frequency(joined) as f64;
+    if joint <= 0.0 {
+        return false;
+    }
+    let parts: Vec<&str> = joined.split(" and ").chain(joined.split(" or ")).collect();
+    let max_part = parts
+        .iter()
+        .filter(|p| **p != joined)
+        .map(|p| g.segment_frequency(p))
+        .max()
+        .unwrap_or(0) as f64;
+    (joint + 1.0) / (max_part + 1.0) >= cfg.freq_ratio
+}
+
+/// Pick a reading by raw segment frequency of the leading item. Requires a
+/// clear margin; returns `None` otherwise.
+fn frequency_fallback(
+    seg: &SegmentCandidates,
+    g: &Knowledge,
+    cfg: &SubConfig,
+) -> Option<Vec<String>> {
+    let freq_of = |r: &Vec<String>| -> f64 {
+        // A split reading is as credible as its rarest fragment.
+        r.iter().map(|i| g.segment_frequency(i)).min().unwrap_or(0) as f64
+    };
+    let mut scored: Vec<(f64, usize)> =
+        seg.readings.iter().enumerate().map(|(i, r)| (freq_of(r), i)).collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+    let (f1, i1) = scored[0];
+    let (f2, _) = scored[1];
+    if (f1 + 1.0) / (f2 + 1.0) >= cfg.freq_ratio {
+        Some(seg.readings[i1].clone())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg1(readings: &[&[&str]]) -> SegmentCandidates {
+        SegmentCandidates {
+            raw: readings[0].join(" "),
+            readings: readings
+                .iter()
+                .map(|r| r.iter().map(|s| s.to_string()).collect())
+                .collect(),
+        }
+    }
+
+    fn g_companies() -> Knowledge {
+        let mut g = Knowledge::new();
+        let company = g.intern("company");
+        let ibm = g.intern("IBM");
+        let nokia = g.intern("Nokia");
+        let pg = g.intern("Proctor and Gamble");
+        for _ in 0..10 {
+            g.add_pair(company, ibm);
+            g.add_pair(company, nokia);
+        }
+        for _ in 0..4 {
+            g.add_pair(company, pg);
+        }
+        g
+    }
+
+    #[test]
+    fn unambiguous_items_accepted_in_scope() {
+        let g = g_companies();
+        let segs = vec![seg1(&[&["IBM"]]), seg1(&[&["Nokia"]])];
+        let out = detect_subs("company", &segs, &[], &g, &SubConfig::default());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], ChosenItem { text: "IBM".into(), position: 1 });
+        assert_eq!(out[1], ChosenItem { text: "Nokia".into(), position: 2 });
+    }
+
+    #[test]
+    fn knowledge_resolves_join_vs_split() {
+        let g = g_companies();
+        let segs = vec![
+            seg1(&[&["IBM"]]),
+            seg1(&[&["Proctor and Gamble"], &["Proctor", "Gamble"]]),
+        ];
+        let out = detect_subs("company", &segs, &[], &g, &SubConfig::default());
+        assert!(out.iter().any(|c| c.text == "Proctor and Gamble"), "{out:?}");
+        assert!(!out.iter().any(|c| c.text == "Proctor"));
+    }
+
+    #[test]
+    fn frequency_tiebreak_on_bootstrap() {
+        // Γ has no pairs but the pre-pass saw "Proctor and Gamble" often.
+        let mut g = Knowledge::new();
+        for _ in 0..6 {
+            g.add_segment("Proctor and Gamble");
+        }
+        let segs = vec![seg1(&[&["Proctor and Gamble"], &["Proctor", "Gamble"]])];
+        let out = detect_subs("company", &segs, &[], &g, &SubConfig::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].text, "Proctor and Gamble");
+    }
+
+    #[test]
+    fn unresolvable_ambiguity_stops_extraction() {
+        let g = Knowledge::new(); // no pairs, no segment counts
+        let segs = vec![seg1(&[&["Proctor and Gamble"], &["Proctor", "Gamble"]])];
+        let out = detect_subs("company", &segs, &[], &g, &SubConfig::default());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scope_limits_list_drift() {
+        // "North America, Europe, China, Japan, and other countries":
+        // Γ knows China/Japan as countries but not the continents, so scope
+        // must stop before them (positions count from the keywords).
+        let mut g = Knowledge::new();
+        let country = g.intern("country");
+        let china = g.intern("China");
+        let japan = g.intern("Japan");
+        for _ in 0..5 {
+            g.add_pair(country, china);
+            g.add_pair(country, japan);
+        }
+        // positions: 1=Japan, 2=China, 3=Europe, 4=North America
+        let segs = vec![
+            seg1(&[&["Japan"]]),
+            seg1(&[&["China"]]),
+            seg1(&[&["Europe"]]),
+            seg1(&[&["North America"]]),
+        ];
+        let out = detect_subs("country", &segs, &[], &g, &SubConfig::default());
+        let texts: Vec<&str> = out.iter().map(|c| c.text.as_str()).collect();
+        assert_eq!(texts, ["Japan", "China"]);
+    }
+
+    #[test]
+    fn bootstrap_takes_first_position_only() {
+        let g = Knowledge::new();
+        let segs = vec![seg1(&[&["cat"]]), seg1(&[&["dog"]]), seg1(&[&["horse"]])];
+        let out = detect_subs("animal", &segs, &[], &g, &SubConfig::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].text, "cat");
+    }
+
+    #[test]
+    fn skip_positions_are_not_reemitted() {
+        let g = g_companies();
+        let segs = vec![seg1(&[&["IBM"]]), seg1(&[&["Nokia"]])];
+        let out = detect_subs("company", &segs, &[1], &g, &SubConfig::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].text, "Nokia");
+    }
+
+    #[test]
+    fn boundary_cut_resolved_by_knowledge() {
+        let mut g = Knowledge::new();
+        let country = g.intern("country");
+        let malaysia = g.intern("Malaysia");
+        for _ in 0..8 {
+            g.add_pair(country, malaysia);
+        }
+        g.intern("Malaysia in recent years");
+        let segs = vec![seg1(&[&["Malaysia in recent years"], &["Malaysia"]])];
+        let out = detect_subs("country", &segs, &[], &g, &SubConfig::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].text, "Malaysia");
+    }
+}

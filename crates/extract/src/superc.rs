@@ -1,0 +1,251 @@
+//! Procedure `SuperConceptDetection` (paper §2.3.2).
+//!
+//! When syntactic extraction finds more than one candidate super-concept
+//! (e.g. `Xs = {animals, dogs}` for "animals other than dogs such as
+//! cats"), the correct one is chosen by a likelihood-ratio test against
+//! the knowledge Γ:
+//!
+//! ```text
+//! r(x1, x2) = p(x1) ∏ p(yi | x1)  /  p(x2) ∏ p(yi | x2)
+//! ```
+//!
+//! with ε-smoothing for unseen pairs. When a multiword candidate is
+//! unknown to Γ, its *modifier is stripped* and the more general concept's
+//! statistics stand in — this is how Probase harvests specific concepts
+//! like "domestic animals" before ever seeing them as supers.
+
+use crate::knowledge::Knowledge;
+use crate::syntactic::SegmentCandidates;
+use probase_text::{normalize_concept, NounPhrase};
+
+/// Configuration of the likelihood-ratio test.
+#[derive(Debug, Clone)]
+pub struct SuperConfig {
+    /// ε-smoothing for unseen pairs/concepts.
+    pub eps: f64,
+    /// Minimum ratio between best and second-best candidate to decide.
+    pub ratio_threshold: f64,
+}
+
+impl Default for SuperConfig {
+    fn default() -> Self {
+        Self { eps: 1e-5, ratio_threshold: 4.0 }
+    }
+}
+
+/// Outcome of super-concept detection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SuperDecision {
+    /// Candidate at this index wins. The second field is the *statistics
+    /// label*: the (possibly modifier-stripped) concept whose Γ statistics
+    /// backed the decision and should also back sub-concept detection.
+    Chosen { index: usize, stats_label: String },
+    /// Γ cannot separate the top candidates yet; retry next iteration.
+    Undecided,
+}
+
+/// Score a single candidate: `ln p(x) + Σ_j ln p(y_j | x)`, where each
+/// position contributes its best reading item. Returns the score and the
+/// label whose statistics were used (after modifier stripping).
+fn score_candidate(
+    np: &NounPhrase,
+    segments: &[SegmentCandidates],
+    g: &Knowledge,
+    eps: f64,
+) -> (f64, String) {
+    let stats_label = stats_label_for(np, g);
+    let x = g.lookup(&stats_label);
+    let p_x = match x {
+        Some(sym) => g.p_super(sym, eps),
+        None => eps,
+    };
+    let mut score = p_x.ln();
+    for seg in segments {
+        let mut best = eps;
+        if let Some(sym) = x {
+            for reading in &seg.readings {
+                for item in reading {
+                    if let Some(y) = g.lookup(item) {
+                        let p = g.p_sub_given_super(y, sym, eps);
+                        if p > best {
+                            best = p;
+                        }
+                    }
+                }
+            }
+        }
+        score += best.ln();
+    }
+    (score, stats_label)
+}
+
+/// The label whose Γ statistics represent this phrase: the phrase itself
+/// if Γ knows it as a super-concept, otherwise the nearest generalization
+/// obtained by stripping leading modifiers (§2.3.2).
+fn stats_label_for(np: &NounPhrase, g: &Knowledge) -> String {
+    let mut fallback: Option<String> = None;
+    for gen in np.generalizations() {
+        let label = normalize_concept(&gen.text());
+        if fallback.is_none() {
+            fallback = Some(label.clone());
+        }
+        if let Some(sym) = g.lookup(&label) {
+            if g.super_total(sym) > 0 {
+                return label;
+            }
+        }
+    }
+    fallback.expect("noun phrase has at least one generalization")
+}
+
+/// Run super-concept detection over the candidates.
+///
+/// * A single candidate is chosen unconditionally (Algorithm 1 line 8).
+/// * With several, the two highest-scoring candidates are compared; the
+///   best wins only if the likelihood ratio clears the threshold.
+pub fn detect_super(
+    supers: &[NounPhrase],
+    segments: &[SegmentCandidates],
+    g: &Knowledge,
+    cfg: &SuperConfig,
+) -> SuperDecision {
+    assert!(!supers.is_empty(), "detect_super needs at least one candidate");
+    if supers.len() == 1 {
+        let stats_label = stats_label_for(&supers[0], g);
+        return SuperDecision::Chosen { index: 0, stats_label };
+    }
+    let scored: Vec<(f64, String)> =
+        supers.iter().map(|np| score_candidate(np, segments, g, cfg.eps)).collect();
+    let mut order: Vec<usize> = (0..scored.len()).collect();
+    order.sort_by(|&a, &b| scored[b].0.partial_cmp(&scored[a].0).expect("finite scores"));
+    let (best, second) = (order[0], order[1]);
+    let ratio = (scored[best].0 - scored[second].0).exp();
+    if ratio >= cfg.ratio_threshold {
+        SuperDecision::Chosen { index: best, stats_label: scored[best].1.clone() }
+    } else {
+        SuperDecision::Undecided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn np(words: &[&str]) -> NounPhrase {
+        NounPhrase {
+            words: words.iter().map(|w| w.to_string()).collect(),
+            start: 0,
+            end: words.len(),
+            head_plural: true,
+            proper: false,
+        }
+    }
+
+    fn seg(items: &[&str]) -> SegmentCandidates {
+        SegmentCandidates {
+            raw: items.join(" "),
+            readings: items.iter().map(|i| vec![i.to_string()]).collect(),
+        }
+    }
+
+    fn knowledge_with_animals() -> Knowledge {
+        let mut g = Knowledge::new();
+        let animal = g.intern("animal");
+        let cat = g.intern("cat");
+        let dog = g.intern("dog");
+        for _ in 0..20 {
+            g.add_pair(animal, cat);
+        }
+        for _ in 0..10 {
+            g.add_pair(animal, dog);
+        }
+        g
+    }
+
+    #[test]
+    fn single_candidate_always_chosen() {
+        let g = Knowledge::new();
+        let d = detect_super(&[np(&["animals"])], &[seg(&["cat"])], &g, &SuperConfig::default());
+        assert_eq!(d, SuperDecision::Chosen { index: 0, stats_label: "animal".into() });
+    }
+
+    #[test]
+    fn knowledge_resolves_other_than_ambiguity() {
+        // Xs = {animals, dogs}, list = [cat]: Γ knows (animal, cat) well,
+        // so "animals" must win.
+        let g = knowledge_with_animals();
+        let d = detect_super(
+            &[np(&["animals"]), np(&["dogs"])],
+            &[seg(&["cat"])],
+            &g,
+            &SuperConfig::default(),
+        );
+        assert_eq!(d, SuperDecision::Chosen { index: 0, stats_label: "animal".into() });
+    }
+
+    #[test]
+    fn empty_knowledge_is_undecided() {
+        let g = Knowledge::new();
+        let d = detect_super(
+            &[np(&["animals"]), np(&["dogs"])],
+            &[seg(&["cat"])],
+            &g,
+            &SuperConfig::default(),
+        );
+        assert_eq!(d, SuperDecision::Undecided);
+    }
+
+    #[test]
+    fn modifier_stripping_backs_unknown_specific_concept() {
+        // "domestic animals" unseen; its stripped form "animals" is known
+        // and beats "dogs".
+        let g = knowledge_with_animals();
+        let d = detect_super(
+            &[np(&["domestic", "animals"]), np(&["dogs"])],
+            &[seg(&["cat"])],
+            &g,
+            &SuperConfig::default(),
+        );
+        match d {
+            SuperDecision::Chosen { index, stats_label } => {
+                assert_eq!(index, 0);
+                assert_eq!(stats_label, "animal");
+            }
+            other => panic!("expected chosen, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn distractor_with_knowledge_wins_when_it_should() {
+        // If Γ actually knows (dog, chihuahua) and not (animal, chihuahua),
+        // then for "... dogs such as chihuahuas" inside an "other than"
+        // construct, dogs should win.
+        let mut g = Knowledge::new();
+        let dog = g.intern("dog");
+        let chi = g.intern("chihuahua");
+        for _ in 0..15 {
+            g.add_pair(dog, chi);
+        }
+        let d = detect_super(
+            &[np(&["animals"]), np(&["dogs"])],
+            &[seg(&["chihuahua"])],
+            &g,
+            &SuperConfig::default(),
+        );
+        assert_eq!(d, SuperDecision::Chosen { index: 1, stats_label: "dog".into() });
+    }
+
+    #[test]
+    fn ratio_threshold_controls_decision() {
+        let g = knowledge_with_animals();
+        // cat is 2x likelier under animal than dog is — with a huge
+        // threshold we stay undecided even with knowledge.
+        let d = detect_super(
+            &[np(&["animals"]), np(&["dogs"])],
+            &[seg(&["cat"])],
+            &g,
+            &SuperConfig { ratio_threshold: 1e12, ..Default::default() },
+        );
+        assert_eq!(d, SuperDecision::Undecided);
+    }
+}

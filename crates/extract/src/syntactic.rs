@@ -1,0 +1,407 @@
+//! Procedure `SyntacticExtraction` (paper §2.3.1).
+//!
+//! From a sentence that matches a Hearst pattern, produce:
+//!
+//! * `Xs` — candidate super-concepts: *all plural noun phrases* in the
+//!   pattern's super region (not just the closest NP — "animals other than
+//!   dogs such as cats" puts both `animals` and `dogs` in `Xs`);
+//! * `Ys` — candidate sub-concepts, kept deliberately inclusive: comma
+//!   segments of the list region, where ambiguous segments carry several
+//!   *readings*:
+//!   * a conjunction segment (`"Proctor and Gamble"`) reads as one item or
+//!     as a split pair (§2.3.3);
+//!   * the segment farthest from the keywords may have prose glued to it
+//!     (`"cats in recent years"`, `"many experts recommend lions"`), so it
+//!     also reads at several cut points.
+//!
+//! Disambiguation is *not* done here — that is the job of the semantic
+//! procedures (`superc`, `subc`), which consult Γ.
+
+use crate::pattern::{find_pattern, PatternMatch};
+use probase_corpus::sentence::PatternKind;
+use probase_text::{normalize_instance, Chunker, Lexicon, NounPhrase, Tag, TaggedToken};
+use probase_text::{tag_tokens, tokenize};
+
+/// A candidate sub-concept position with its alternative readings.
+///
+/// Readings are alternatives; each reading is the list of item strings the
+/// position contributes if that reading is chosen (one item, or two when a
+/// conjunction splits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentCandidates {
+    /// Raw trimmed text of the segment.
+    pub raw: String,
+    /// Alternative readings, most-inclusive first.
+    pub readings: Vec<Vec<String>>,
+}
+
+/// Output of syntactic extraction.
+#[derive(Debug, Clone)]
+pub struct SyntacticExtraction {
+    pub pattern: PatternKind,
+    /// Candidate super-concept noun phrases (all plural NPs in the super
+    /// region), in document order.
+    pub supers: Vec<NounPhrase>,
+    /// Sub-concept positions ordered by *closeness to the pattern
+    /// keywords* (position 1 first — Observation 1/2 numbering).
+    pub segments: Vec<SegmentCandidates>,
+}
+
+/// Maximum tokens in a candidate item.
+const MAX_ITEM_TOKENS: usize = 8;
+/// Maximum alternative readings per segment.
+const MAX_READINGS: usize = 6;
+
+/// Run syntactic extraction on a raw sentence. Returns `None` when no
+/// Hearst pattern is present or no candidate super-concept/list exists.
+pub fn syntactic_extract(
+    sentence: &str,
+    lexicon: &Lexicon,
+    chunker: &Chunker,
+) -> Option<SyntacticExtraction> {
+    let tagged = tag_tokens(&tokenize(sentence), lexicon);
+    let pm = find_pattern(&tagged)?;
+    extract_from_match(&tagged, &pm, chunker)
+}
+
+/// Syntactic extraction when the pattern match is already known (lets the
+/// iteration driver parse each sentence exactly once).
+pub fn extract_from_match(
+    tagged: &[TaggedToken],
+    pm: &PatternMatch,
+    chunker: &Chunker,
+) -> Option<SyntacticExtraction> {
+    let supers = super_candidates(tagged, pm, chunker);
+    if supers.is_empty() {
+        return None;
+    }
+    let segments = list_segments(tagged, pm);
+    if segments.is_empty() {
+        return None;
+    }
+    Some(SyntacticExtraction { pattern: pm.kind, supers, segments })
+}
+
+/// Candidate super-concepts: plural NPs in the super region. Every element
+/// of `Xs` must be a plural noun phrase (paper §2.3.1).
+fn super_candidates(
+    tagged: &[TaggedToken],
+    pm: &PatternMatch,
+    chunker: &Chunker,
+) -> Vec<NounPhrase> {
+    let (s, e) = pm.super_region;
+    let region = &tagged[s..e];
+    let mut phrases = chunker.chunk(region);
+    phrases.retain(|p| p.head_plural);
+    // Keep spans relative to the full sentence.
+    for p in &mut phrases {
+        p.start += s;
+        p.end += s;
+    }
+    match pm.kind {
+        // Reverse patterns: the super is the *first* plural NP after the
+        // keywords; anything later is trailing prose.
+        PatternKind::AndOther | PatternKind::OrOther => phrases.into_iter().take(1).collect(),
+        _ => phrases,
+    }
+}
+
+fn is_boundary_tag(tag: Tag) -> bool {
+    matches!(tag, Tag::Prep | Tag::Verb | Tag::Adv | Tag::Pron | Tag::Det)
+}
+
+/// Split the list region into comma segments and build readings.
+fn list_segments(tagged: &[TaggedToken], pm: &PatternMatch) -> Vec<SegmentCandidates> {
+    let (s, e) = pm.list_region;
+    let reverse = matches!(pm.kind, PatternKind::AndOther | PatternKind::OrOther);
+
+    // Comma/semicolon split; a period ends the list.
+    let mut raw_segments: Vec<Vec<&TaggedToken>> = Vec::new();
+    let mut current: Vec<&TaggedToken> = Vec::new();
+    'outer: for t in &tagged[s..e] {
+        match t.tag {
+            Tag::Punct => match t.token.text.as_str() {
+                "," | ";"
+                    if !current.is_empty() => {
+                        raw_segments.push(std::mem::take(&mut current));
+                    }
+                "." | "!" | "?" => {
+                    break 'outer;
+                }
+                _ => {}
+            },
+            _ => current.push(t),
+        }
+    }
+    if !current.is_empty() {
+        raw_segments.push(current);
+    }
+    if raw_segments.is_empty() {
+        return Vec::new();
+    }
+
+    // Position 1 = nearest the keywords. For forward patterns that is the
+    // first segment; for reverse patterns the last. The *farthest* segment
+    // is the one prose may be glued to.
+    let n = raw_segments.len();
+    let mut out = Vec::with_capacity(n);
+    for (idx, seg) in raw_segments.iter().enumerate() {
+        let is_outer = if reverse { idx == 0 } else { idx == n - 1 };
+        if let Some(cand) = segment_candidates(seg, is_outer, reverse) {
+            out.push((idx, cand));
+        }
+    }
+    if reverse {
+        out.reverse();
+    }
+    out.into_iter().map(|(_, c)| c).collect()
+}
+
+/// Build the alternative readings of one segment.
+fn segment_candidates(
+    seg: &[&TaggedToken],
+    is_outer: bool,
+    reverse: bool,
+) -> Option<SegmentCandidates> {
+    if seg.is_empty() {
+        return None;
+    }
+    let raw = join(seg);
+    if raw.is_empty() {
+        return None;
+    }
+
+    // Candidate token spans after boundary cutting.
+    let mut spans: Vec<&[&TaggedToken]> = Vec::new();
+    spans.push(seg);
+    if is_outer {
+        if reverse {
+            // Prose may precede the item: cut after each boundary token.
+            for (i, t) in seg.iter().enumerate() {
+                if is_boundary_tag(t.tag) && i + 1 < seg.len() {
+                    spans.push(&seg[i + 1..]);
+                }
+            }
+        } else {
+            // Prose may follow the item: cut before each boundary token.
+            for (i, t) in seg.iter().enumerate() {
+                if is_boundary_tag(t.tag) && i > 0 {
+                    spans.push(&seg[..i]);
+                }
+            }
+        }
+    }
+
+    let mut readings: Vec<Vec<String>> = Vec::new();
+    for span in spans {
+        if span.is_empty() || span.len() > MAX_ITEM_TOKENS {
+            continue;
+        }
+        // An item cannot start with a verb, adverb, pronoun, preposition,
+        // or conjunction. A leading determiner is allowed only when it
+        // introduces a name ("the Alps", "the Louvre").
+        let starts_ok = match span[0].tag {
+            Tag::Adj | Tag::Noun { .. } | Tag::Num => true,
+            Tag::Det => span.len() >= 2 && matches!(span[1].tag, Tag::Adj | Tag::Noun { .. }),
+            _ => false,
+        };
+        if !starts_ok {
+            continue;
+        }
+        // No finite verb can occur inside an isA list item — "cats are
+        // popular" is a clause, not an instance name. Dropping such spans
+        // lets the verbless cut reading win even with an empty Γ.
+        if span.iter().any(|t| t.tag == Tag::Verb) {
+            continue;
+        }
+        // Joined reading.
+        push_reading(&mut readings, vec![join(span)]);
+        // Split readings at each conjunction ("Stonndranx and Sanrwanrk
+        // and MySpace" may break at either "and").
+        for (ci, t) in span.iter().enumerate() {
+            if t.tag != Tag::Conj || ci == 0 || ci + 1 >= span.len() {
+                continue;
+            }
+            let left = join(&span[..ci]);
+            let right = join(&span[ci + 1..]);
+            if !left.is_empty() && !right.is_empty() {
+                push_reading(&mut readings, vec![left, right]);
+            }
+        }
+        if readings.len() >= MAX_READINGS {
+            break;
+        }
+    }
+
+    readings.retain(|r| r.iter().all(|item| well_formed(item)));
+    if readings.is_empty() {
+        return None;
+    }
+    Some(SegmentCandidates { raw, readings })
+}
+
+fn push_reading(readings: &mut Vec<Vec<String>>, reading: Vec<String>) {
+    let reading: Vec<String> = reading.iter().map(|i| normalize_sub(i)).collect();
+    if !readings.contains(&reading) && readings.len() < MAX_READINGS {
+        readings.push(reading);
+    }
+}
+
+/// Canonicalize a candidate sub-concept item.
+///
+/// Items that contain a capitalized word are proper names or titles
+/// ("Proctor and Gamble", "the Alps") and are kept verbatim. All-lowercase
+/// items are common-noun phrases — plural-rendered instances ("cats") or
+/// sub-concept mentions ("domestic animals") — and are put in canonical
+/// concept form (lowercase, singular head), so a phrase extracted as a sub
+/// matches the same phrase extracted as a super, which is what vertical
+/// merging in the taxonomy layer keys on.
+pub fn normalize_sub(item: &str) -> String {
+    let has_capital = item
+        .split_whitespace()
+        .any(|w| w.chars().next().is_some_and(|c| c.is_uppercase()));
+    if has_capital {
+        normalize_instance(item)
+    } else {
+        probase_text::normalize_concept(item)
+    }
+}
+
+fn join(tokens: &[&TaggedToken]) -> String {
+    normalize_instance(
+        &tokens.iter().map(|t| t.token.text.as_str()).collect::<Vec<_>>().join(" "),
+    )
+}
+
+/// Basic item sanity: non-empty, not a lone function word, not "etc".
+fn well_formed(item: &str) -> bool {
+    if item.is_empty() {
+        return false;
+    }
+    let lower = item.to_lowercase();
+    if lower == "etc" || lower == "etcetera" || lower == "others" || lower == "more" {
+        return false;
+    }
+    // Must contain at least one alphabetic character.
+    item.chars().any(|c| c.is_alphabetic())
+}
+
+/// Does a reading item still contain a conjunction word? Used by
+/// sub-concept detection's "well formed" fallback test (§2.3.3: y1 must
+/// not contain delimiters such as "and" or "or").
+pub fn contains_conjunction(item: &str) -> bool {
+    item.split_whitespace().any(|w| {
+        let l = w.to_lowercase();
+        l == "and" || l == "or"
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(s: &str) -> SyntacticExtraction {
+        syntactic_extract(s, &Lexicon::default(), &Chunker::default())
+            .unwrap_or_else(|| panic!("no extraction from {s:?}"))
+    }
+
+    fn super_texts(e: &SyntacticExtraction) -> Vec<String> {
+        e.supers.iter().map(|p| p.text()).collect()
+    }
+
+    #[test]
+    fn simple_such_as() {
+        let e = x("animals such as cats, dogs and horses.");
+        assert_eq!(super_texts(&e), ["animals"]);
+        // Comma split yields "cats" and "dogs and horses"; common-noun items
+        // are canonicalized to singular form.
+        assert_eq!(e.segments.len(), 2);
+        assert_eq!(e.segments[0].readings, vec![vec!["cat".to_string()]]);
+        let last = &e.segments[1];
+        assert!(last.readings.contains(&vec!["dog".to_string(), "horse".to_string()]));
+    }
+
+    #[test]
+    fn other_than_gives_two_super_candidates() {
+        let e = x("we studied animals other than dogs such as cats.");
+        assert_eq!(super_texts(&e), ["animals", "dogs"]);
+    }
+
+    #[test]
+    fn conjunction_segment_has_join_and_split_readings() {
+        let e = x("companies such as IBM, Nokia, Proctor and Gamble.");
+        let last = e.segments.last().unwrap();
+        assert!(last.readings.contains(&vec!["Proctor and Gamble".to_string()]));
+        assert!(last
+            .readings
+            .contains(&vec!["Proctor".to_string(), "Gamble".to_string()]));
+    }
+
+    #[test]
+    fn outer_segment_gets_cut_readings_forward() {
+        let e = x("tropical countries such as Singapore, Malaysia in recent years.");
+        let last = e.segments.last().unwrap();
+        // Full reading and the cut before "in".
+        assert!(last.readings.contains(&vec!["Malaysia in recent years".to_string()]));
+        assert!(last.readings.contains(&vec!["Malaysia".to_string()]));
+    }
+
+    #[test]
+    fn and_other_positions_reversed() {
+        let e = x("many experts recommend China, Japan, and other countries.");
+        assert_eq!(super_texts(&e), ["countries"]);
+        // Position 1 = "Japan" (nearest to "and other").
+        assert_eq!(e.segments[0].readings[0], vec!["Japan".to_string()]);
+        // Farthest position carries the prose cut.
+        let far = e.segments.last().unwrap();
+        assert!(far.readings.contains(&vec!["China".to_string()]), "{far:?}");
+    }
+
+    #[test]
+    fn title_instances_survive_as_full_reading() {
+        let e = x("classic movies such as Gone with the Wind.");
+        let seg = &e.segments[0];
+        assert!(seg.readings.contains(&vec!["Gone with the Wind".to_string()]), "{seg:?}");
+        // The cut reading "Gone" is also offered; semantics must choose.
+        assert!(seg.readings.contains(&vec!["Gone".to_string()]));
+    }
+
+    #[test]
+    fn non_plural_supers_rejected() {
+        // "Japan" is singular, so it cannot be a super candidate; "countries"
+        // still qualifies.
+        let e = x("countries other than Japan such as USA.");
+        assert_eq!(super_texts(&e), ["countries"]);
+    }
+
+    #[test]
+    fn no_pattern_returns_none() {
+        assert!(syntactic_extract(
+            "the history of coffee is long.",
+            &Lexicon::default(),
+            &Chunker::default()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn etc_is_filtered() {
+        let e = x("fruits such as apples, oranges, etc.");
+        assert_eq!(e.segments.len(), 2);
+    }
+
+    #[test]
+    fn prefixed_prose_adds_distractor_super() {
+        let e = x("many experts recommend tropical countries such as Singapore.");
+        let texts = super_texts(&e);
+        assert!(texts.contains(&"experts".to_string()));
+        assert!(texts.contains(&"tropical countries".to_string()));
+    }
+
+    #[test]
+    fn contains_conjunction_helper() {
+        assert!(contains_conjunction("Proctor and Gamble"));
+        assert!(!contains_conjunction("IBM"));
+        assert!(!contains_conjunction("Sandy Beach")); // substring, not word
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the extraction pipeline invariants.
+
+use proptest::prelude::*;
+use probase_corpus::{generate, CorpusConfig, CorpusGenerator, WorldConfig};
+use probase_extract::{extract, ExtractorConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// End-to-end extraction invariants hold for any seed:
+    /// * counts in Γ equal the evidence log exactly,
+    /// * no self pairs,
+    /// * per-iteration distinct-pair counts are monotone,
+    /// * the run terminates at a fixpoint,
+    /// * per-sentence groups only contain committed pairs.
+    #[test]
+    fn extraction_invariants(seed in 0u64..1_000) {
+        let world = generate(&WorldConfig::small(seed));
+        let corpus = CorpusGenerator::new(
+            &world,
+            CorpusConfig { seed, sentences: 600, ..CorpusConfig::default() },
+        )
+        .generate_all();
+        let out = extract(&corpus, &world.lexicon, &ExtractorConfig::paper());
+        let g = &out.knowledge;
+
+        // Evidence log and Γ agree on total mass.
+        prop_assert_eq!(out.evidence.len() as u64, g.total());
+
+        // Each evidence record's pair exists with a positive count; never
+        // a self pair.
+        for e in &out.evidence {
+            prop_assert_ne!(&e.x, &e.y);
+            let x = g.lookup(&e.x).expect("x interned");
+            let y = g.lookup(&e.y).expect("y interned");
+            prop_assert!(g.count(x, y) > 0);
+            prop_assert!(e.position >= 1);
+            prop_assert!(e.list_len >= 1);
+        }
+
+        // Iterations are monotone and end at a fixpoint.
+        for w in out.iterations.windows(2) {
+            prop_assert!(w[1].distinct_pairs >= w[0].distinct_pairs);
+            prop_assert!(w[1].evidence_len >= w[0].evidence_len);
+        }
+        prop_assert_eq!(out.iterations.last().unwrap().new_occurrences, 0);
+
+        // Sentence groups reference committed pairs only.
+        for s in &out.sentences {
+            let x = g.lookup(&s.super_label).expect("super interned");
+            for item in &s.items {
+                let y = g.lookup(item).expect("item interned");
+                prop_assert!(g.count(x, y) > 0, "({}, {item}) missing from Γ", s.super_label);
+            }
+        }
+    }
+
+    /// Extraction is a pure function of its input corpus.
+    #[test]
+    fn extraction_deterministic(seed in 0u64..500) {
+        let world = generate(&WorldConfig::small(seed));
+        let corpus = CorpusGenerator::new(
+            &world,
+            CorpusConfig { seed, sentences: 300, ..CorpusConfig::default() },
+        )
+        .generate_all();
+        let a = extract(&corpus, &world.lexicon, &ExtractorConfig::paper());
+        let b = extract(&corpus, &world.lexicon, &ExtractorConfig::paper());
+        prop_assert_eq!(a.knowledge.pair_count(), b.knowledge.pair_count());
+        prop_assert_eq!(a.evidence.len(), b.evidence.len());
+        prop_assert_eq!(a.sentences, b.sentences);
+    }
+}

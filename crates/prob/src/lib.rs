@@ -1,0 +1,42 @@
+//! # probase-prob
+//!
+//! The paper's third contribution: the probabilistic model that makes
+//! Probase "not black and white" (SIGMOD 2012 §4).
+//!
+//! Two quantities are attached to the taxonomy:
+//!
+//! * **Plausibility** `P(x, y)` — how believable is the claim at all?
+//!   Per-sentence evidence confidences come from a Naive Bayes model over
+//!   extraction features (Eq. 2, [`nbayes`]), trained against a seed
+//!   taxonomy ([`seed`] — the paper uses WordNet), and are combined by a
+//!   noisy-or (Eq. 1, [`plausibility`]) with part-of sentences acting as
+//!   negative evidence.
+//! * **Typicality** `T(i|x)` / `T(x|i)` — among true claims, which are
+//!   *representative*? Robins over ostriches, Microsoft over Xyz Inc.
+//!   (Eq. 3–4, [`typicality`]). Indirect evidence through descendant
+//!   concepts is weighted by the path-existence probability computed by
+//!   the dynamic program of Algorithm 3 ([`reach`]).
+//!
+//! The unsupervised **Urns** redundancy model the paper points to as the
+//! "more sophisticated" alternative (\[11\]) is implemented in [`urns`] and
+//! compared against the noisy-or in ablation AB4.
+//!
+//! [`model::ProbaseModel`] wraps everything into the query API the §5.3
+//! applications (semantic search, short-text conceptualization, web-table
+//! understanding, attribute extraction) are built on.
+
+pub mod model;
+pub mod nbayes;
+pub mod plausibility;
+pub mod reach;
+pub mod seed;
+pub mod typicality;
+pub mod urns;
+
+pub use model::ProbaseModel;
+pub use nbayes::{EvidenceModel, NaiveBayes, PriorModel};
+pub use plausibility::{annotate_graph, compute_plausibility, PlausibilityConfig, PlausibilityTable};
+pub use reach::ReachTable;
+pub use seed::{CachedOracle, FnOracle, SeedOracle, SeedSet};
+pub use typicality::TypicalityModel;
+pub use urns::{annotate_graph_urns, UrnsModel};

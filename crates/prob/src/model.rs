@@ -1,0 +1,292 @@
+//! `ProbaseModel`: the queryable probabilistic taxonomy.
+//!
+//! Bundles the taxonomy graph with its plausibility annotations, the
+//! reachability table, and the typicality model, and exposes the
+//! string-level queries every application in §5.3 needs:
+//!
+//! * **instantiation** — top instances of a concept by `T(i|x)` (semantic
+//!   search rewriting, attribute seed selection);
+//! * **abstraction** — top concepts of a term by `T(x|i)` (short-text
+//!   understanding, web-table header inference);
+//! * **conceptualization** of a *set* of terms by naive-Bayes combination
+//!   of per-term typicalities (the India+China+Brazil → *BRIC country* /
+//!   *emerging market* example of §1 and §5.3.2).
+
+use crate::reach::ReachTable;
+use crate::typicality::TypicalityModel;
+use probase_store::{ConceptGraph, NodeId};
+use std::collections::HashMap;
+
+/// A fully annotated, queryable taxonomy.
+///
+/// ```
+/// use probase_prob::ProbaseModel;
+/// use probase_store::ConceptGraph;
+/// let mut g = ConceptGraph::new();
+/// let bird = g.ensure_node("bird", 0);
+/// let robin = g.ensure_node("robin", 0);
+/// let ostrich = g.ensure_node("ostrich", 0);
+/// g.add_evidence(bird, robin, 9);   // robins are typical birds …
+/// g.add_evidence(bird, ostrich, 1); // … ostriches are not (paper §4.2)
+/// let model = ProbaseModel::new(g);
+/// let top = model.typical_instances("bird", 2);
+/// assert_eq!(top[0].0, "robin");
+/// assert!(top[0].1 > top[1].1);
+/// ```
+#[derive(Debug)]
+pub struct ProbaseModel {
+    graph: ConceptGraph,
+    typicality: TypicalityModel,
+}
+
+impl ProbaseModel {
+    /// Build the model from an annotated graph (edges already carry
+    /// plausibility; see `plausibility::annotate_graph`).
+    pub fn new(graph: ConceptGraph) -> Self {
+        let reach = ReachTable::compute(&graph);
+        let typicality = TypicalityModel::compute(&graph, &reach);
+        Self { graph, typicality }
+    }
+
+    pub fn graph(&self) -> &ConceptGraph {
+        &self.graph
+    }
+
+    pub fn typicality_model(&self) -> &TypicalityModel {
+        &self.typicality
+    }
+
+    /// All senses of a concept label present in the taxonomy.
+    pub fn senses(&self, label: &str) -> Vec<NodeId> {
+        self.graph.senses_of(label).into_iter().filter(|&n| !self.graph.is_instance(n)).collect()
+    }
+
+    /// Does the taxonomy know this string at all (concept or instance)?
+    pub fn knows(&self, term: &str) -> bool {
+        !self.graph.senses_of(term).is_empty()
+    }
+
+    /// Is the term a concept (non-leaf) in some sense?
+    pub fn is_concept(&self, term: &str) -> bool {
+        !self.senses(term).is_empty()
+    }
+
+    /// Top-`k` typical instances of `label` (all senses pooled by sense-0
+    /// first, which holds the bulk of the evidence), as
+    /// `(surface, T(i|x))`.
+    pub fn typical_instances(&self, label: &str, k: usize) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for sense in self.senses(label) {
+            for &(i, t) in self.typicality.instances_of(sense) {
+                out.push((self.graph.label(i).to_string(), t));
+            }
+            if !out.is_empty() {
+                break; // largest sense answers the query, like the paper's demo
+            }
+        }
+        out.truncate(k);
+        out
+    }
+
+    /// Top-`k` typical concepts of a term, as `(concept label, T(x|i))`.
+    /// Works for instances; for a term that is itself a concept, returns
+    /// its parent concepts weighted by edge evidence.
+    pub fn typical_concepts(&self, term: &str, k: usize) -> Vec<(String, f64)> {
+        let nodes = self.graph.senses_of(term);
+        let mut scores: HashMap<String, f64> = HashMap::new();
+        for n in nodes {
+            if self.graph.is_instance(n) {
+                for &(c, t) in self.typicality.concepts_of(n) {
+                    *scores.entry(self.graph.label(c).to_string()).or_insert(0.0) += t;
+                }
+            } else {
+                // Concept term: parents weighted by plausibility-scaled counts.
+                let total: f64 = self
+                    .graph
+                    .parents(n)
+                    .map(|(_, e)| e.count as f64 * e.plausibility)
+                    .sum();
+                if total > 0.0 {
+                    for (p, e) in self.graph.parents(n) {
+                        *scores.entry(self.graph.label(p).to_string()).or_insert(0.0) +=
+                            e.count as f64 * e.plausibility / total;
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(String, f64)> = scores.into_iter().collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+
+    /// Conceptualize a *set* of terms (paper §5.3.2): find concepts that
+    /// are typical for all of them via a naive-Bayes score
+    /// `score(c) = prior(c) · ∏_t max(T(c|t), ε)`, normalized. This is the
+    /// mechanism behind "India, China, Brazil → BRIC country".
+    pub fn conceptualize(&self, terms: &[&str], k: usize) -> Vec<(String, f64)> {
+        const EPS: f64 = 1e-4;
+        let mut candidates: HashMap<String, f64> = HashMap::new();
+        let mut per_term: Vec<HashMap<String, f64>> = Vec::new();
+        for term in terms {
+            let mut m = HashMap::new();
+            for (c, t) in self.typical_concepts(term, usize::MAX) {
+                m.insert(c, t);
+            }
+            for c in m.keys() {
+                candidates.entry(c.clone()).or_insert(0.0);
+            }
+            per_term.push(m);
+        }
+        if per_term.is_empty() {
+            return Vec::new();
+        }
+        let mut scored: Vec<(String, f64)> = candidates
+            .into_keys()
+            .map(|c| {
+                let mut s = 0.0;
+                for m in &per_term {
+                    s += m.get(&c).copied().unwrap_or(EPS).max(EPS).ln();
+                }
+                (c, s)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        // Normalize back to probabilities for presentation.
+        let m = scored.first().map(|(_, s)| *s).unwrap_or(0.0);
+        let total: f64 = scored.iter().map(|(_, s)| (s - m).exp()).sum();
+        scored
+            .into_iter()
+            .map(|(c, s)| (c, ((s - m).exp() / total).clamp(0.0, 1.0)))
+            .collect()
+    }
+}
+
+impl ProbaseModel {
+    /// Set completion (paper §1: "With this generalization, one can even
+    /// suggest a fourth instance, Russia, to complete the sentence").
+    /// Conceptualizes the given terms, then proposes the most typical
+    /// instances of the winning concepts that are not already in the set.
+    pub fn complete(&self, terms: &[&str], k: usize) -> Vec<(String, f64)> {
+        let concepts = self.conceptualize(terms, 3);
+        let mut scores: HashMap<String, f64> = HashMap::new();
+        for (concept, weight) in &concepts {
+            for (inst, t) in self.typical_instances(concept, 3 * k + terms.len()) {
+                if terms.iter().any(|&x| x == inst) {
+                    continue;
+                }
+                *scores.entry(inst).or_insert(0.0) += weight * t;
+            }
+        }
+        let mut out: Vec<(String, f64)> = scores.into_iter().collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature paper-world: country ⊃ {bric country}, instances with
+    /// varying evidence.
+    fn model() -> ProbaseModel {
+        let mut g = ConceptGraph::new();
+        let country = g.ensure_node("country", 0);
+        let bric = g.ensure_node("bric country", 0);
+        let em = g.ensure_node("emerging market", 0);
+        let china = g.ensure_node("China", 0);
+        let india = g.ensure_node("India", 0);
+        let brazil = g.ensure_node("Brazil", 0);
+        let russia = g.ensure_node("Russia", 0);
+        let usa = g.ensure_node("USA", 0);
+        g.add_evidence(country, bric, 3);
+        g.add_evidence(bric, russia, 5);
+        g.add_evidence(em, russia, 3);
+        g.add_evidence(country, russia, 8);
+        g.add_evidence(country, china, 20);
+        g.add_evidence(country, india, 15);
+        g.add_evidence(country, brazil, 10);
+        g.add_evidence(country, usa, 30);
+        g.add_evidence(bric, china, 5);
+        g.add_evidence(bric, india, 5);
+        g.add_evidence(bric, brazil, 5);
+        g.add_evidence(em, china, 4);
+        g.add_evidence(em, india, 4);
+        g.add_evidence(em, brazil, 3);
+        ProbaseModel::new(g)
+    }
+
+    #[test]
+    fn typical_instances_ranked() {
+        let m = model();
+        let top = m.typical_instances("country", 3);
+        assert_eq!(top[0].0, "USA");
+        assert!(top[0].1 > top[1].1);
+    }
+
+    #[test]
+    fn typical_concepts_of_instance() {
+        let m = model();
+        let cs = m.typical_concepts("China", 5);
+        assert!(!cs.is_empty());
+        let labels: Vec<&str> = cs.iter().map(|(c, _)| c.as_str()).collect();
+        assert!(labels.contains(&"country"));
+        assert!(labels.contains(&"bric country"));
+    }
+
+    #[test]
+    fn conceptualize_prefers_tight_shared_concept() {
+        let m = model();
+        let cs = m.conceptualize(&["China", "India", "Brazil"], 3);
+        let labels: Vec<&str> = cs.iter().map(|(c, _)| c.as_str()).collect();
+        // All three are BRIC members; USA is not, so bric/emerging beat
+        // nothing — country also contains them, but the tighter concepts
+        // must appear at the top alongside it.
+        assert!(labels.contains(&"bric country") || labels.contains(&"emerging market"), "{labels:?}");
+        // Adding a non-BRIC member shifts the answer to country.
+        let cs2 = m.conceptualize(&["China", "India", "USA"], 1);
+        assert_eq!(cs2[0].0, "country");
+    }
+
+    #[test]
+    fn completion_suggests_russia() {
+        // The paper's §1 example: {China, India, Brazil} → Russia.
+        let m = model();
+        let suggestions = m.complete(&["China", "India", "Brazil"], 2);
+        assert!(!suggestions.is_empty());
+        // Russia ranks among the top suggestions (in this tiny model the
+        // generic "country" abstraction also pushes its own head, USA).
+        assert!(
+            suggestions.iter().take(2).any(|(s, _)| s == "Russia"),
+            "{suggestions:?}"
+        );
+        // Input terms never come back.
+        assert!(suggestions.iter().all(|(s, _)| !["China", "India", "Brazil"].contains(&s.as_str())));
+    }
+
+    #[test]
+    fn conceptualize_empty_terms() {
+        let m = model();
+        assert!(m.conceptualize(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn knows_and_is_concept() {
+        let m = model();
+        assert!(m.knows("China"));
+        assert!(m.knows("country"));
+        assert!(!m.knows("wombat"));
+        assert!(m.is_concept("country"));
+        assert!(!m.is_concept("China"));
+    }
+
+    #[test]
+    fn concept_term_parents() {
+        let m = model();
+        let cs = m.typical_concepts("bric country", 2);
+        assert_eq!(cs[0].0, "country");
+    }
+}

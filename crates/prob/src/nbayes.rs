@@ -1,0 +1,266 @@
+//! The Naive Bayes evidence model (paper §4.1, Eq. 2).
+//!
+//! Each piece of evidence `s_i` (one pair occurrence in one sentence) is
+//! characterized by a feature vector `F_i` — the paper lists the PageRank
+//! of the source page, the Hearst pattern used, list length, position of
+//! the item, and so on. Assuming feature independence,
+//!
+//! ```text
+//! p_i = p(s_i | F_i) = p(s_i) ∏ p(f | s_i)  /  Σ_{s ∈ {s_i, ¬s_i}} p(s) ∏ p(f | s)
+//! ```
+//!
+//! The model is trained on evidence whose pair a [`SeedOracle`] can label
+//! (the paper uses WordNet for this).
+
+use crate::seed::SeedOracle;
+use probase_corpus::sentence::PatternKind;
+use probase_extract::EvidenceRecord;
+use serde::{Deserialize, Serialize};
+
+/// Number of discrete features.
+const N_FEATURES: usize = 5;
+/// Values per feature (upper bound; used for Laplace smoothing).
+const FEATURE_CARD: [usize; N_FEATURES] = [6, 4, 4, 4, 3];
+
+/// Discretize an evidence record into feature values.
+fn featurize(r: &EvidenceRecord) -> [usize; N_FEATURES] {
+    let pattern = r.pattern.hearst_index().unwrap_or(0);
+    let bucket = |v: f64| -> usize {
+        if v < 0.25 {
+            0
+        } else if v < 0.5 {
+            1
+        } else if v < 0.75 {
+            2
+        } else {
+            3
+        }
+    };
+    let position = match r.position {
+        1 => 0,
+        2 => 1,
+        3 => 2,
+        _ => 3,
+    };
+    let list_len = match r.list_len {
+        1 => 0,
+        2..=3 => 1,
+        _ => 2,
+    };
+    [pattern, bucket(r.page_rank), bucket(r.source_quality), position, list_len]
+}
+
+/// A trained Naive Bayes evidence classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NaiveBayes {
+    /// log p(class)
+    log_prior: [f64; 2],
+    /// log p(feature=v | class) per feature dimension.
+    log_likelihood: Vec<[Vec<f64>; 2]>,
+    /// Number of labeled examples seen per class.
+    pub class_counts: [u64; 2],
+}
+
+impl NaiveBayes {
+    /// Train on the evidence whose pairs the oracle can label. Returns
+    /// `None` when fewer than `min_labeled` examples are labeled (the
+    /// caller should fall back to a prior-only model).
+    pub fn train(
+        records: &[EvidenceRecord],
+        oracle: &dyn SeedOracle,
+        min_labeled: usize,
+    ) -> Option<Self> {
+        let mut class_counts = [0u64; 2];
+        let mut feature_counts: Vec<[Vec<u64>; 2]> = FEATURE_CARD
+            .iter()
+            .map(|&card| [vec![0u64; card], vec![0u64; card]])
+            .collect();
+        for r in records {
+            let Some(label) = oracle.label(&r.x, &r.y) else { continue };
+            let class = usize::from(label);
+            class_counts[class] += 1;
+            let f = featurize(r);
+            for (dim, &v) in f.iter().enumerate() {
+                feature_counts[dim][class][v] += 1;
+            }
+        }
+        let total = class_counts[0] + class_counts[1];
+        if (total as usize) < min_labeled || class_counts[0] == 0 || class_counts[1] == 0 {
+            return None;
+        }
+        let log_prior = [
+            ((class_counts[0] as f64 + 1.0) / (total as f64 + 2.0)).ln(),
+            ((class_counts[1] as f64 + 1.0) / (total as f64 + 2.0)).ln(),
+        ];
+        let log_likelihood = feature_counts
+            .iter()
+            .enumerate()
+            .map(|(dim, counts)| {
+                let card = FEATURE_CARD[dim] as f64;
+                let per_class = |class: usize| -> Vec<f64> {
+                    let n = class_counts[class] as f64;
+                    counts[class]
+                        .iter()
+                        .map(|&c| ((c as f64 + 1.0) / (n + card)).ln())
+                        .collect()
+                };
+                [per_class(0), per_class(1)]
+            })
+            .collect();
+        Some(Self { log_prior, log_likelihood, class_counts })
+    }
+
+    /// Posterior probability that this evidence supports a true claim
+    /// (Eq. 2). Clamped away from 0/1 so the noisy-or never saturates on a
+    /// single sentence.
+    pub fn prob_true(&self, r: &EvidenceRecord) -> f64 {
+        let f = featurize(r);
+        let mut log_odds = [self.log_prior[0], self.log_prior[1]];
+        for (dim, &v) in f.iter().enumerate() {
+            for (class, odds) in log_odds.iter_mut().enumerate() {
+                *odds += self.log_likelihood[dim][class][v];
+            }
+        }
+        let m = log_odds[0].max(log_odds[1]);
+        let (e0, e1) = ((log_odds[0] - m).exp(), (log_odds[1] - m).exp());
+        (e1 / (e0 + e1)).clamp(0.02, 0.98)
+    }
+}
+
+/// Fallback evidence model when too little labeled data exists: a fixed
+/// per-evidence confidence, lightly modulated by source quality.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PriorModel {
+    pub base: f64,
+}
+
+impl Default for PriorModel {
+    fn default() -> Self {
+        Self { base: 0.55 }
+    }
+}
+
+impl PriorModel {
+    pub fn prob_true(&self, r: &EvidenceRecord) -> f64 {
+        (self.base + 0.25 * (r.source_quality - 0.5)).clamp(0.05, 0.95)
+    }
+}
+
+/// Either a trained model or the prior fallback.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum EvidenceModel {
+    Trained(NaiveBayes),
+    Prior(PriorModel),
+}
+
+impl EvidenceModel {
+    /// Train if possible, else fall back.
+    pub fn fit(records: &[EvidenceRecord], oracle: &dyn SeedOracle) -> Self {
+        match NaiveBayes::train(records, oracle, 50) {
+            Some(nb) => EvidenceModel::Trained(nb),
+            None => EvidenceModel::Prior(PriorModel::default()),
+        }
+    }
+
+    pub fn prob_true(&self, r: &EvidenceRecord) -> f64 {
+        match self {
+            EvidenceModel::Trained(nb) => nb.prob_true(r),
+            EvidenceModel::Prior(p) => p.prob_true(r),
+        }
+    }
+}
+
+/// Convenience constructor for tests and synthetic evidence.
+pub fn mk_record(
+    x: &str,
+    y: &str,
+    pattern: PatternKind,
+    page_rank: f64,
+    source_quality: f64,
+    position: u32,
+    list_len: u32,
+) -> EvidenceRecord {
+    EvidenceRecord {
+        x: x.to_string(),
+        y: y.to_string(),
+        sentence_id: 0,
+        pattern,
+        page_rank,
+        source_quality,
+        position,
+        list_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::SeedSet;
+
+    /// Synthetic training mix: good pairs come from high-quality pages,
+    /// bad pairs from low-quality pages.
+    fn training_records() -> (Vec<EvidenceRecord>, SeedSet) {
+        let mut seed = SeedSet::new();
+        seed.add_positive("animal", "cat");
+        seed.add_term("rock");
+        let mut recs = Vec::new();
+        for i in 0..200 {
+            let q = 0.7 + 0.2 * ((i % 3) as f64 / 3.0);
+            recs.push(mk_record("animal", "cat", PatternKind::SuchAs, 0.5, q, 1, 3));
+        }
+        for i in 0..100 {
+            let q = 0.2 + 0.1 * ((i % 3) as f64 / 3.0);
+            recs.push(mk_record("animal", "rock", PatternKind::OrOther, 0.1, q, 4, 6));
+        }
+        (recs, seed)
+    }
+
+    #[test]
+    fn trained_model_separates_quality() {
+        let (recs, seed) = training_records();
+        let nb = NaiveBayes::train(&recs, &seed, 50).expect("enough labels");
+        let good = nb.prob_true(&mk_record("x", "y", PatternKind::SuchAs, 0.5, 0.8, 1, 3));
+        let bad = nb.prob_true(&mk_record("x", "y", PatternKind::OrOther, 0.1, 0.25, 4, 6));
+        assert!(good > bad, "good {good} vs bad {bad}");
+        assert!(good > 0.5);
+        assert!(bad < 0.5);
+    }
+
+    #[test]
+    fn too_few_labels_returns_none() {
+        let (recs, _) = training_records();
+        let empty = SeedSet::new();
+        assert!(NaiveBayes::train(&recs, &empty, 50).is_none());
+    }
+
+    #[test]
+    fn fit_falls_back_to_prior() {
+        let (recs, seed) = training_records();
+        match EvidenceModel::fit(&recs, &seed) {
+            EvidenceModel::Trained(_) => {}
+            _ => panic!("expected trained"),
+        }
+        match EvidenceModel::fit(&recs, &SeedSet::new()) {
+            EvidenceModel::Prior(_) => {}
+            _ => panic!("expected prior fallback"),
+        }
+    }
+
+    #[test]
+    fn probabilities_clamped() {
+        let (recs, seed) = training_records();
+        let nb = NaiveBayes::train(&recs, &seed, 50).unwrap();
+        for r in &recs {
+            let p = nb.prob_true(r);
+            assert!((0.02..=0.98).contains(&p));
+        }
+    }
+
+    #[test]
+    fn prior_model_tracks_quality() {
+        let p = PriorModel::default();
+        let hi = p.prob_true(&mk_record("x", "y", PatternKind::SuchAs, 0.5, 0.9, 1, 1));
+        let lo = p.prob_true(&mk_record("x", "y", PatternKind::SuchAs, 0.5, 0.2, 1, 1));
+        assert!(hi > lo);
+    }
+}

@@ -1,0 +1,206 @@
+//! Plausibility: the noisy-or evidence combination (paper §4.1, Eq. 1).
+//!
+//! A claim `E = (x isA y)` backed by evidence sentences `s_1..s_n` with
+//! per-sentence confidences `p_1..p_n` is false only if *every* piece of
+//! evidence is false; with page independence,
+//!
+//! ```text
+//! P(x, y) = 1 − ∏ (1 − p_i)
+//! ```
+//!
+//! Negative evidence (a part-of sentence claiming `y` is a *component* of
+//! `x`) replaces its factor `1 − p_j` with `p_j`, pulling the plausibility
+//! down — the paper's extension for integrating contradicting sources.
+
+use crate::nbayes::EvidenceModel;
+use probase_extract::{EvidenceRecord, Knowledge};
+use probase_store::ConceptGraph;
+use std::collections::HashMap;
+
+/// Configuration of plausibility computation.
+#[derive(Debug, Clone, Copy)]
+pub struct PlausibilityConfig {
+    /// Confidence assigned to one piece of negative (part-of) evidence.
+    pub negative_confidence: f64,
+    /// Cap on the number of evidence factors per pair — beyond this the
+    /// noisy-or is saturated anyway and the extra work buys nothing.
+    pub max_factors: usize,
+}
+
+impl Default for PlausibilityConfig {
+    fn default() -> Self {
+        Self { negative_confidence: 0.7, max_factors: 64 }
+    }
+}
+
+/// Plausibility per pair of normalized labels.
+#[derive(Debug, Clone, Default)]
+pub struct PlausibilityTable {
+    map: HashMap<(String, String), f64>,
+}
+
+impl PlausibilityTable {
+    /// Look up `P(x, y)`; unknown pairs default to 0.
+    pub fn get(&self, x: &str, y: &str) -> f64 {
+        self.map.get(&(x.to_string(), y.to_string())).copied().unwrap_or(0.0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&(String, String), &f64)> {
+        self.map.iter()
+    }
+}
+
+/// Compute plausibilities for every pair in the evidence log, folding in
+/// the negative (part-of) evidence recorded in Γ.
+pub fn compute_plausibility(
+    evidence: &[EvidenceRecord],
+    knowledge: &Knowledge,
+    model: &EvidenceModel,
+    cfg: &PlausibilityConfig,
+) -> PlausibilityTable {
+    // Collect per-pair positive factor products.
+    let mut product: HashMap<(String, String), (f64, usize)> = HashMap::new();
+    for r in evidence {
+        let key = (r.x.clone(), r.y.clone());
+        let entry = product.entry(key).or_insert((1.0, 0));
+        if entry.1 >= cfg.max_factors {
+            continue;
+        }
+        let p = model.prob_true(r);
+        entry.0 *= 1.0 - p;
+        entry.1 += 1;
+    }
+    // Fold in negative evidence. The paper says to "replace the factor
+    // 1−p_i with p_i" for a negative sentence, but read literally that
+    // *raises* plausibility whenever p_i < 1; the stated intent is that
+    // part-of sentences reduce it. We implement the intent: each negative
+    // observation discounts the positive noisy-or by (1 − q), i.e.
+    // `P = (1 − ∏(1−p_i)) · ∏(1−q_j)` (deviation documented in DESIGN.md).
+    let mut discounts: HashMap<(String, String), f64> = HashMap::new();
+    for (x, y, n) in knowledge.negatives() {
+        let key = (knowledge.resolve(x).to_string(), knowledge.resolve(y).to_string());
+        let d = discounts.entry(key).or_insert(1.0);
+        for _ in 0..n.min(cfg.max_factors as u32) {
+            *d *= 1.0 - cfg.negative_confidence;
+        }
+    }
+    let map = product
+        .into_iter()
+        .map(|(k, (prod, _))| {
+            let positive = 1.0 - prod.clamp(0.0, 1.0);
+            let discount = discounts.get(&k).copied().unwrap_or(1.0);
+            (k, (positive * discount).clamp(0.0, 1.0))
+        })
+        .collect();
+    PlausibilityTable { map }
+}
+
+/// Write plausibilities onto a taxonomy graph's edges. Senses of the same
+/// label share the pair-level plausibility (the evidence log is
+/// label-level). Edges with no computed value keep their default.
+/// Returns the number of edges annotated.
+pub fn annotate_graph(graph: &mut ConceptGraph, table: &PlausibilityTable) -> usize {
+    let mut updates = Vec::new();
+    for (from, to, _) in graph.edges() {
+        let p = table.get(graph.label(from), graph.label(to));
+        if p > 0.0 {
+            updates.push((from, to, p));
+        }
+    }
+    let n = updates.len();
+    for (from, to, p) in updates {
+        graph.set_plausibility(from, to, p);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nbayes::{mk_record, PriorModel};
+    use probase_corpus::sentence::PatternKind;
+
+    fn model() -> EvidenceModel {
+        EvidenceModel::Prior(PriorModel { base: 0.6 })
+    }
+
+    fn rec(x: &str, y: &str, q: f64) -> EvidenceRecord {
+        mk_record(x, y, PatternKind::SuchAs, 0.5, q, 1, 2)
+    }
+
+    #[test]
+    fn more_evidence_raises_plausibility() {
+        let g = Knowledge::new();
+        let m = model();
+        let cfg = PlausibilityConfig::default();
+        let one = compute_plausibility(&[rec("a", "b", 0.5)], &g, &m, &cfg);
+        let three = compute_plausibility(
+            &[rec("a", "b", 0.5), rec("a", "b", 0.5), rec("a", "b", 0.5)],
+            &g,
+            &m,
+            &cfg,
+        );
+        assert!(three.get("a", "b") > one.get("a", "b"));
+        assert!(one.get("a", "b") > 0.0);
+        assert!(three.get("a", "b") < 1.0);
+    }
+
+    #[test]
+    fn negative_evidence_lowers_plausibility() {
+        let mut g = Knowledge::new();
+        let car = g.intern("car");
+        let wheel = g.intern("wheel");
+        g.add_negative(car, wheel);
+        let m = model();
+        let cfg = PlausibilityConfig::default();
+        let evidence = vec![rec("car", "wheel", 0.5), rec("car", "wheel", 0.5)];
+        let with_neg = compute_plausibility(&evidence, &g, &m, &cfg);
+        let without = compute_plausibility(&evidence, &Knowledge::new(), &m, &cfg);
+        assert!(with_neg.get("car", "wheel") < without.get("car", "wheel"));
+    }
+
+    #[test]
+    fn unknown_pair_is_zero() {
+        let t = PlausibilityTable::default();
+        assert_eq!(t.get("x", "y"), 0.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn plausibility_in_unit_interval() {
+        let g = Knowledge::new();
+        let m = model();
+        let cfg = PlausibilityConfig::default();
+        let mut ev = Vec::new();
+        for i in 0..100 {
+            ev.push(rec("a", "b", (i % 10) as f64 / 10.0));
+        }
+        let t = compute_plausibility(&ev, &g, &m, &cfg);
+        let p = t.get("a", "b");
+        assert!((0.0..=1.0).contains(&p));
+        assert!(p > 0.99, "heavy evidence should near-saturate: {p}");
+    }
+
+    #[test]
+    fn annotate_graph_sets_edges() {
+        let mut graph = ConceptGraph::new();
+        let a = graph.ensure_node("animal", 0);
+        let c = graph.ensure_node("cat", 0);
+        graph.add_evidence(a, c, 3);
+        let g = Knowledge::new();
+        let m = model();
+        let t = compute_plausibility(&[rec("animal", "cat", 0.8)], &g, &m, &PlausibilityConfig::default());
+        let n = annotate_graph(&mut graph, &t);
+        assert_eq!(n, 1);
+        let e = graph.edge(a, c).unwrap();
+        assert!(e.plausibility > 0.0 && e.plausibility < 1.0);
+    }
+}

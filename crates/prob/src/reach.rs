@@ -1,0 +1,208 @@
+//! Path-existence probabilities `P(x, y)` (paper §4.2, Eq. 5–7,
+//! Algorithm 3).
+//!
+//! Typicality must credit indirect evidence — Microsoft under *IT
+//! company* also supports Microsoft under *company* — weighted by the
+//! probability that a path from `x` down to `y` exists at all, given each
+//! edge's plausibility. With the independence assumptions of Eq. 5–6,
+//!
+//! ```text
+//! P(x, y) = 1 − ∏_{z ∈ Parent(y)} (1 − P(z, y) · P(x, z))
+//! ```
+//!
+//! computed top-down over the `L¹, L², …` parent-complete level sets —
+//! whenever `P(x, y)` is evaluated, every required `P(x, z)` is already
+//! known (Algorithm 3's invariant).
+
+use probase_store::query::parent_level_sets;
+use probase_store::{ConceptGraph, NodeId};
+use std::collections::HashMap;
+
+/// The table of `P(x, y)` values for ancestor/descendant concept pairs.
+/// `P(x, x) = 1` by definition and is not stored.
+#[derive(Debug, Clone, Default)]
+pub struct ReachTable {
+    map: HashMap<(NodeId, NodeId), f64>,
+}
+
+impl ReachTable {
+    /// `P(x, y)`: probability a path exists from `x` down to `y`.
+    pub fn get(&self, x: NodeId, y: NodeId) -> f64 {
+        if x == y {
+            return 1.0;
+        }
+        self.map.get(&(x, y)).copied().unwrap_or(0.0)
+    }
+
+    /// Number of stored (x, y) entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// All stored descendants of `x` with their probabilities, including
+    /// the implicit `(x, 1.0)` self entry.
+    pub fn descendants_of(&self, x: NodeId) -> Vec<(NodeId, f64)> {
+        let mut v: Vec<(NodeId, f64)> = self
+            .map
+            .iter()
+            .filter(|((from, _), _)| *from == x)
+            .map(|((_, to), &p)| (*to, p))
+            .collect();
+        v.push((x, 1.0));
+        v.sort_by_key(|(n, _)| *n);
+        v
+    }
+
+    /// Compute the table over the *concept* nodes of `graph` (instances
+    /// are excluded — Eq. 4 only needs concept-to-concept reachability).
+    /// This is Algorithm 3.
+    pub fn compute(graph: &ConceptGraph) -> Self {
+        // Ancestor lists are built incrementally as we walk level sets.
+        let mut map: HashMap<(NodeId, NodeId), f64> = HashMap::new();
+        // ancestors[y] = set of concepts with a path to y (any plausibility).
+        let mut ancestors: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for level in parent_level_sets(graph) {
+            for y in level {
+                if graph.is_instance(y) {
+                    continue;
+                }
+                let parents: Vec<(NodeId, f64)> = graph
+                    .parents(y)
+                    .filter(|(p, _)| !graph.is_instance(*p))
+                    .map(|(p, d)| (p, d.plausibility))
+                    .collect();
+                if parents.is_empty() {
+                    continue;
+                }
+                // Ancestor set of y = parents ∪ ancestors of parents.
+                let mut anc: Vec<NodeId> = Vec::new();
+                for &(p, _) in &parents {
+                    if !anc.contains(&p) {
+                        anc.push(p);
+                    }
+                    if let Some(pa) = ancestors.get(&p) {
+                        for &a in pa {
+                            if !anc.contains(&a) {
+                                anc.push(a);
+                            }
+                        }
+                    }
+                }
+                for &x in &anc {
+                    // Eq. 7: product over direct parents of y.
+                    let mut not_reached = 1.0;
+                    for &(z, p_zy) in &parents {
+                        let p_xz = if x == z {
+                            1.0
+                        } else {
+                            map.get(&(x, z)).copied().unwrap_or(0.0)
+                        };
+                        not_reached *= 1.0 - p_zy * p_xz;
+                    }
+                    let p = (1.0 - not_reached).clamp(0.0, 1.0);
+                    if p > 0.0 {
+                        map.insert((x, y), p);
+                    }
+                }
+                ancestors.insert(y, anc);
+            }
+        }
+        Self { map }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// company → it company → software company, plus company → software
+    /// company directly; all edges carry chosen plausibilities.
+    fn chain(p_top: f64, p_mid: f64, p_direct: Option<f64>) -> (ConceptGraph, NodeId, NodeId, NodeId) {
+        let mut g = ConceptGraph::new();
+        let company = g.ensure_node("company", 0);
+        let it = g.ensure_node("it company", 0);
+        let sw = g.ensure_node("software company", 0);
+        // Leaves so the nodes count as concepts.
+        let ms = g.ensure_node("Microsoft", 0);
+        g.add_evidence(company, it, 5);
+        g.add_evidence(it, sw, 5);
+        g.add_evidence(sw, ms, 5);
+        g.set_plausibility(company, it, p_top);
+        g.set_plausibility(it, sw, p_mid);
+        if let Some(p) = p_direct {
+            g.add_evidence(company, sw, 2);
+            g.set_plausibility(company, sw, p);
+        }
+        (g, company, it, sw)
+    }
+
+    #[test]
+    fn self_reach_is_one() {
+        let (g, company, ..) = chain(0.9, 0.8, None);
+        let t = ReachTable::compute(&g);
+        assert_eq!(t.get(company, company), 1.0);
+    }
+
+    #[test]
+    fn chain_multiplies() {
+        let (g, company, it, sw) = chain(0.9, 0.8, None);
+        let t = ReachTable::compute(&g);
+        assert!((t.get(company, it) - 0.9).abs() < 1e-12);
+        assert!((t.get(it, sw) - 0.8).abs() < 1e-12);
+        // single path: P = 0.9 * 0.8
+        assert!((t.get(company, sw) - 0.72).abs() < 1e-12, "{}", t.get(company, sw));
+    }
+
+    #[test]
+    fn parallel_paths_combine_noisy_or() {
+        let (g, company, _, sw) = chain(0.9, 0.8, Some(0.5));
+        let t = ReachTable::compute(&g);
+        // paths: direct (0.5) and via it-company (0.72) over parents:
+        // P = 1 - (1 - 0.8*0.9)(1 - 0.5)
+        let expect = 1.0 - (1.0 - 0.72) * (1.0 - 0.5);
+        assert!((t.get(company, sw) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrelated_nodes_have_zero_reach() {
+        let (mut g, company, ..) = chain(0.9, 0.8, None);
+        let lone = g.ensure_node("volcano", 0);
+        let crater = g.ensure_node("crater", 0);
+        g.add_evidence(lone, crater, 1);
+        let t = ReachTable::compute(&g);
+        assert_eq!(t.get(company, lone), 0.0);
+        assert_eq!(t.get(lone, company), 0.0);
+    }
+
+    #[test]
+    fn reach_monotone_in_edge_plausibility() {
+        let (g_lo, c1, _, s1) = chain(0.5, 0.5, None);
+        let (g_hi, c2, _, s2) = chain(0.9, 0.9, None);
+        let lo = ReachTable::compute(&g_lo).get(c1, s1);
+        let hi = ReachTable::compute(&g_hi).get(c2, s2);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn descendants_of_includes_self() {
+        let (g, company, it, sw) = chain(0.9, 0.8, None);
+        let t = ReachTable::compute(&g);
+        let d = t.descendants_of(company);
+        let nodes: Vec<NodeId> = d.iter().map(|&(n, _)| n).collect();
+        assert!(nodes.contains(&company));
+        assert!(nodes.contains(&it));
+        assert!(nodes.contains(&sw));
+    }
+
+    #[test]
+    fn instances_are_not_in_the_table() {
+        let (g, company, ..) = chain(0.9, 0.8, None);
+        let t = ReachTable::compute(&g);
+        let ms = g.find_node("Microsoft", 0).unwrap();
+        assert_eq!(t.get(company, ms), 0.0);
+    }
+}

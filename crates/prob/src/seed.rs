@@ -1,0 +1,128 @@
+//! Seed oracles for training the evidence model.
+//!
+//! The paper trains its Naive Bayes evidence classifier against WordNet
+//! (§4.1): a pair whose two ends are both in WordNet is a positive example
+//! if a path connects them, negative otherwise. The reproduction keeps the
+//! same contract behind [`SeedOracle`]; the evaluation crate implements it
+//! over a curated sample of the synthetic ground truth (our WordNet
+//! stand-in, DESIGN.md §2).
+
+use std::collections::{HashMap, HashSet};
+
+/// Labels isA pairs for supervised training. `None` means the oracle
+/// cannot judge the pair (one of the terms is outside its vocabulary).
+pub trait SeedOracle {
+    fn label(&self, x: &str, y: &str) -> Option<bool>;
+}
+
+/// A concrete oracle: a vocabulary plus the positive pairs within it.
+/// Anything with both ends in the vocabulary but not listed is negative —
+/// exactly the WordNet recipe.
+#[derive(Debug, Clone, Default)]
+pub struct SeedSet {
+    vocabulary: HashSet<String>,
+    positives: HashSet<(String, String)>,
+}
+
+impl SeedSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a known-valid pair; both ends join the vocabulary.
+    pub fn add_positive(&mut self, x: &str, y: &str) {
+        self.vocabulary.insert(x.to_string());
+        self.vocabulary.insert(y.to_string());
+        self.positives.insert((x.to_string(), y.to_string()));
+    }
+
+    /// Add a term to the vocabulary without any positive pair (its pairs
+    /// with other vocabulary terms become negative examples).
+    pub fn add_term(&mut self, term: &str) {
+        self.vocabulary.insert(term.to_string());
+    }
+
+    pub fn positive_count(&self) -> usize {
+        self.positives.len()
+    }
+
+    pub fn vocabulary_size(&self) -> usize {
+        self.vocabulary.len()
+    }
+}
+
+impl SeedOracle for SeedSet {
+    fn label(&self, x: &str, y: &str) -> Option<bool> {
+        if !self.vocabulary.contains(x) || !self.vocabulary.contains(y) {
+            return None;
+        }
+        Some(self.positives.contains(&(x.to_string(), y.to_string())))
+    }
+}
+
+/// An oracle backed by a closure, for tests and the evaluation judge.
+pub struct FnOracle<F: Fn(&str, &str) -> Option<bool>>(pub F);
+
+impl<F: Fn(&str, &str) -> Option<bool>> SeedOracle for FnOracle<F> {
+    fn label(&self, x: &str, y: &str) -> Option<bool> {
+        (self.0)(x, y)
+    }
+}
+
+/// Cache labels per pair (oracles may be expensive).
+pub struct CachedOracle<'a> {
+    inner: &'a dyn SeedOracle,
+    cache: std::cell::RefCell<HashMap<(String, String), Option<bool>>>,
+}
+
+impl<'a> CachedOracle<'a> {
+    pub fn new(inner: &'a dyn SeedOracle) -> Self {
+        Self { inner, cache: std::cell::RefCell::new(HashMap::new()) }
+    }
+}
+
+impl SeedOracle for CachedOracle<'_> {
+    fn label(&self, x: &str, y: &str) -> Option<bool> {
+        let key = (x.to_string(), y.to_string());
+        if let Some(&v) = self.cache.borrow().get(&key) {
+            return v;
+        }
+        let v = self.inner.label(x, y);
+        self.cache.borrow_mut().insert(key, v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_set_labels_follow_wordnet_recipe() {
+        let mut s = SeedSet::new();
+        s.add_positive("animal", "cat");
+        s.add_term("rock");
+        assert_eq!(s.label("animal", "cat"), Some(true));
+        assert_eq!(s.label("animal", "rock"), Some(false));
+        assert_eq!(s.label("cat", "animal"), Some(false)); // direction matters
+        assert_eq!(s.label("animal", "unknown"), None);
+        assert_eq!(s.vocabulary_size(), 3);
+        assert_eq!(s.positive_count(), 1);
+    }
+
+    #[test]
+    fn fn_oracle_delegates() {
+        let o = FnOracle(|x: &str, _y: &str| if x == "a" { Some(true) } else { None });
+        assert_eq!(o.label("a", "b"), Some(true));
+        assert_eq!(o.label("c", "b"), None);
+    }
+
+    #[test]
+    fn cached_oracle_consistent() {
+        let mut s = SeedSet::new();
+        s.add_positive("a", "b");
+        let c = CachedOracle::new(&s);
+        assert_eq!(c.label("a", "b"), Some(true));
+        assert_eq!(c.label("a", "b"), Some(true));
+    }
+}

@@ -1,0 +1,190 @@
+//! Typicality (paper §4.2, Eq. 3–4).
+//!
+//! *Instantiation* `T(i|x)`: how typical is instance `i` of concept `x`?
+//! Robins are typical birds, ostriches are not; Microsoft is a typical
+//! company, Xyz Inc. is not. Evidence counts and plausibility both feed
+//! it, and evidence under descendant concepts counts too, weighted by the
+//! path-existence probability `P(x, y)`:
+//!
+//! ```text
+//! T(i|x) = Σ_{y ∈ D(x)} P(x,y) · n(y,i) · P(y,i)  /  (normalizer over i')
+//! ```
+//!
+//! *Abstraction* `T(x|i)` is derived from instantiation by Bayes' rule
+//! with concept priors proportional to total evidence mass.
+
+use crate::reach::ReachTable;
+use probase_store::{ConceptGraph, NodeId};
+use std::collections::HashMap;
+
+/// Typicality in both directions for an annotated taxonomy graph.
+#[derive(Debug, Clone, Default)]
+pub struct TypicalityModel {
+    /// Per concept: instances with `T(i|x)`, sorted descending.
+    instantiation: HashMap<NodeId, Vec<(NodeId, f64)>>,
+    /// Per instance: concepts with `T(x|i)`, sorted descending.
+    abstraction: HashMap<NodeId, Vec<(NodeId, f64)>>,
+}
+
+impl TypicalityModel {
+    /// Compute typicality over every concept of `graph`.
+    ///
+    /// "Instances" are leaf nodes (paper §3.1). For each concept `x`, the
+    /// sum of Eq. 4 runs over `x` itself and all its descendant concepts
+    /// from `reach`.
+    pub fn compute(graph: &ConceptGraph, reach: &ReachTable) -> Self {
+        let mut instantiation: HashMap<NodeId, Vec<(NodeId, f64)>> = HashMap::new();
+        for x in graph.concepts() {
+            let mut mass: HashMap<NodeId, f64> = HashMap::new();
+            for (y, p_xy) in reach.descendants_of(x) {
+                if graph.is_instance(y) {
+                    continue;
+                }
+                for (i, edge) in graph.children(y) {
+                    if !graph.is_instance(i) {
+                        continue;
+                    }
+                    *mass.entry(i).or_insert(0.0) +=
+                        p_xy * edge.count as f64 * edge.plausibility;
+                }
+            }
+            let total: f64 = mass.values().sum();
+            if total <= 0.0 {
+                continue;
+            }
+            let mut list: Vec<(NodeId, f64)> =
+                mass.into_iter().map(|(i, m)| (i, m / total)).collect();
+            list.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+            instantiation.insert(x, list);
+        }
+
+        // Abstraction by Bayes: T(x|i) ∝ T(i|x) · prior(x), prior ∝ total
+        // evidence mass under x.
+        let prior: HashMap<NodeId, f64> = instantiation
+            .keys()
+            .map(|&x| {
+                let mass: f64 = graph.children(x).map(|(_, e)| e.count as f64).sum();
+                (x, mass.max(1.0))
+            })
+            .collect();
+        let mut abstraction: HashMap<NodeId, Vec<(NodeId, f64)>> = HashMap::new();
+        for (&x, list) in &instantiation {
+            for &(i, t) in list {
+                abstraction.entry(i).or_default().push((x, t * prior[&x]));
+            }
+        }
+        for list in abstraction.values_mut() {
+            let total: f64 = list.iter().map(|(_, s)| s).sum();
+            for (_, s) in list.iter_mut() {
+                *s /= total;
+            }
+            list.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        }
+        Self { instantiation, abstraction }
+    }
+
+    /// `T(i|x)` for all instances of concept `x`, most typical first.
+    pub fn instances_of(&self, x: NodeId) -> &[(NodeId, f64)] {
+        self.instantiation.get(&x).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// `T(x|i)` for all concepts of instance `i`, most typical first.
+    pub fn concepts_of(&self, i: NodeId) -> &[(NodeId, f64)] {
+        self.abstraction.get(&i).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// `T(i|x)` for one pair (0 when unrelated).
+    pub fn typicality(&self, i: NodeId, x: NodeId) -> f64 {
+        self.instances_of(x).iter().find(|&&(n, _)| n == i).map(|&(_, t)| t).unwrap_or(0.0)
+    }
+
+    /// Number of concepts with typicality lists.
+    pub fn concept_count(&self) -> usize {
+        self.instantiation.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// company →(n=10) Microsoft, →(n=1) Xyz; company → it company →(n=6)
+    /// Microsoft. Indirect evidence must boost Microsoft under company.
+    fn sample() -> (ConceptGraph, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = ConceptGraph::new();
+        let company = g.ensure_node("company", 0);
+        let it = g.ensure_node("it company", 0);
+        let ms = g.ensure_node("Microsoft", 0);
+        let xyz = g.ensure_node("Xyz Inc", 0);
+        g.add_evidence(company, it, 4);
+        g.add_evidence(company, ms, 10);
+        g.add_evidence(company, xyz, 1);
+        g.add_evidence(it, ms, 6);
+        g.set_plausibility(company, it, 0.9);
+        g.set_plausibility(company, ms, 0.95);
+        g.set_plausibility(company, xyz, 0.5);
+        g.set_plausibility(it, ms, 0.9);
+        (g, company, it, ms, xyz)
+    }
+
+    #[test]
+    fn typicality_sums_to_one_and_sorts() {
+        let (g, company, _, ms, xyz) = sample();
+        let reach = ReachTable::compute(&g);
+        let t = TypicalityModel::compute(&g, &reach);
+        let list = t.instances_of(company);
+        let sum: f64 = list.iter().map(|(_, v)| v).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(list[0].0, ms);
+        assert!(t.typicality(ms, company) > t.typicality(xyz, company));
+    }
+
+    #[test]
+    fn indirect_evidence_counts() {
+        let (g, company, _, ms, _) = sample();
+        let reach = ReachTable::compute(&g);
+        let t = TypicalityModel::compute(&g, &reach);
+        // Direct only would give ms mass 10*0.95 = 9.5 of (9.5 + 0.5).
+        // The it-company path adds 0.9 * 6 * 0.9 = 4.86 more.
+        let direct_share = 9.5 / 10.0;
+        assert!(t.typicality(ms, company) > direct_share);
+    }
+
+    #[test]
+    fn abstraction_is_normalized_bayes() {
+        let (g, company, it, ms, _) = sample();
+        let reach = ReachTable::compute(&g);
+        let t = TypicalityModel::compute(&g, &reach);
+        let concepts = t.concepts_of(ms);
+        let sum: f64 = concepts.iter().map(|(_, v)| v).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // company has much more evidence mass than it company.
+        assert_eq!(concepts[0].0, company);
+        assert!(concepts.iter().any(|&(c, _)| c == it));
+    }
+
+    #[test]
+    fn zero_plausibility_contributes_nothing() {
+        let mut g = ConceptGraph::new();
+        let a = g.ensure_node("a", 0);
+        let i1 = g.ensure_node("I1", 0);
+        let i2 = g.ensure_node("I2", 0);
+        g.add_evidence(a, i1, 5);
+        g.add_evidence(a, i2, 5);
+        g.set_plausibility(a, i2, 0.0);
+        let reach = ReachTable::compute(&g);
+        let t = TypicalityModel::compute(&g, &reach);
+        assert!((t.typicality(i1, a) - 1.0).abs() < 1e-9);
+        assert_eq!(t.typicality(i2, a), 0.0);
+    }
+
+    #[test]
+    fn unknown_nodes_are_empty() {
+        let (g, ..) = sample();
+        let reach = ReachTable::compute(&g);
+        let t = TypicalityModel::compute(&g, &reach);
+        let bogus = NodeId(999);
+        assert!(t.instances_of(bogus).is_empty());
+        assert!(t.concepts_of(bogus).is_empty());
+    }
+}

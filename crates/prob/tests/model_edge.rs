@@ -1,0 +1,97 @@
+//! Edge-case tests for the query model, reachability, and Urns fitting.
+
+use probase_prob::{ProbaseModel, ReachTable, TypicalityModel, UrnsModel};
+use probase_store::ConceptGraph;
+
+fn diamond() -> ConceptGraph {
+    // thing → {a, b} → shared instance I, with different plausibilities.
+    let mut g = ConceptGraph::new();
+    let thing = g.ensure_node("thing", 0);
+    let a = g.ensure_node("a", 0);
+    let b = g.ensure_node("b", 0);
+    let i = g.ensure_node("I", 0);
+    g.add_evidence(thing, a, 4);
+    g.add_evidence(thing, b, 4);
+    g.add_evidence(a, i, 3);
+    g.add_evidence(b, i, 1);
+    g.set_plausibility(thing, a, 0.9);
+    g.set_plausibility(thing, b, 0.4);
+    g
+}
+
+#[test]
+fn diamond_reach_combines_paths() {
+    let g = diamond();
+    let t = ReachTable::compute(&g);
+    let thing = g.find_node("thing", 0).unwrap();
+    let a = g.find_node("a", 0).unwrap();
+    assert!((t.get(thing, a) - 0.9).abs() < 1e-12);
+    // The instance is a leaf; reach only covers concepts.
+    let i = g.find_node("I", 0).unwrap();
+    assert_eq!(t.get(thing, i), 0.0);
+}
+
+#[test]
+fn shared_instance_counts_through_both_parents() {
+    let g = diamond();
+    let reach = ReachTable::compute(&g);
+    let t = TypicalityModel::compute(&g, &reach);
+    let thing = g.find_node("thing", 0).unwrap();
+    let i = g.find_node("I", 0).unwrap();
+    // I receives mass via a (0.9 × 3) and via b (0.4 × 1): sole instance.
+    assert!((t.typicality(i, thing) - 1.0).abs() < 1e-9);
+    // Abstraction from I sees all three concepts.
+    let m = ProbaseModel::new(g);
+    let concepts = m.typical_concepts("I", 10);
+    assert_eq!(concepts.len(), 3, "{concepts:?}");
+    // a carries more mass than b.
+    let pos = |label: &str| concepts.iter().position(|(c, _)| c == label).unwrap();
+    assert!(pos("a") < pos("b"));
+}
+
+#[test]
+fn multi_sense_instances_pool_in_abstraction() {
+    // Same surface under two senses of "plant"; typical_concepts pools.
+    let mut g = ConceptGraph::new();
+    let p0 = g.ensure_node("plant", 0);
+    let p1 = g.ensure_node("plant", 1);
+    let shared = g.ensure_node("hybrid", 0);
+    let t0 = g.ensure_node("tree", 0);
+    let b0 = g.ensure_node("boiler", 0);
+    g.add_evidence(p0, shared, 2);
+    g.add_evidence(p1, shared, 2);
+    g.add_evidence(p0, t0, 5);
+    g.add_evidence(p1, b0, 5);
+    let m = ProbaseModel::new(g);
+    let cs = m.typical_concepts("hybrid", 5);
+    // Both senses share the label "plant": scores pool under it.
+    assert_eq!(cs.len(), 1);
+    assert_eq!(cs[0].0, "plant");
+    assert!((cs[0].1 - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn typical_instances_unknown_label_empty() {
+    let m = ProbaseModel::new(diamond());
+    assert!(m.typical_instances("nonexistent", 5).is_empty());
+    assert!(m.typical_concepts("nonexistent", 5).is_empty());
+    assert!(m.complete(&["nonexistent"], 3).is_empty());
+}
+
+#[test]
+fn urns_with_uniform_counts_stays_calibrated() {
+    // Degenerate input: every claim seen exactly twice. EM must not blow
+    // up, and the posterior stays within [0, 1].
+    let counts = vec![2u32; 500];
+    let m = UrnsModel::fit(&counts, 100);
+    for k in 1..10 {
+        let p = m.plausibility(k);
+        assert!((0.0..=1.0).contains(&p), "k={k} p={p}");
+    }
+}
+
+#[test]
+fn urns_single_claim() {
+    let m = UrnsModel::fit(&[5], 50);
+    assert!((0.0..=1.0).contains(&m.plausibility(5)));
+}

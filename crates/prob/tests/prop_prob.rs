@@ -1,0 +1,135 @@
+//! Property tests for the probabilistic layer: plausibility bounds and
+//! monotonicity, reach-table bounds, typicality normalization.
+
+use proptest::prelude::*;
+use probase_corpus::sentence::PatternKind;
+use probase_extract::{EvidenceRecord, Knowledge};
+use probase_prob::{
+    compute_plausibility, EvidenceModel, PlausibilityConfig, PriorModel, ReachTable,
+    TypicalityModel,
+};
+use probase_store::{ConceptGraph, NodeId};
+
+fn record(x: &str, y: &str, q: f64) -> EvidenceRecord {
+    EvidenceRecord {
+        x: x.to_string(),
+        y: y.to_string(),
+        sentence_id: 0,
+        pattern: PatternKind::SuchAs,
+        page_rank: 0.3,
+        source_quality: q.clamp(0.0, 1.0),
+        position: 1,
+        list_len: 2,
+    }
+}
+
+/// Random layered DAG with plausibility-annotated edges.
+fn annotated_dag() -> impl Strategy<Value = ConceptGraph> {
+    (
+        3usize..16,
+        proptest::collection::vec((any::<u16>(), any::<u16>(), 0.0f64..=1.0, 1u32..6), 1..40),
+    )
+        .prop_map(|(n, raw)| {
+            let mut g = ConceptGraph::new();
+            let nodes: Vec<NodeId> = (0..n).map(|i| g.ensure_node(&format!("n{i}"), 0)).collect();
+            for (a, b, p, w) in raw {
+                let i = a as usize % n;
+                let j = b as usize % n;
+                if i < j {
+                    g.add_evidence(nodes[i], nodes[j], w);
+                    g.set_plausibility(nodes[i], nodes[j], p);
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Plausibility is always in [0, 1] and monotone in added positive
+    /// evidence.
+    #[test]
+    fn plausibility_bounds_and_monotonicity(
+        qualities in proptest::collection::vec(0.0f64..=1.0, 1..20),
+    ) {
+        let model = EvidenceModel::Prior(PriorModel::default());
+        let g = Knowledge::new();
+        let cfg = PlausibilityConfig::default();
+        let mut prev = 0.0;
+        let mut evidence: Vec<EvidenceRecord> = Vec::new();
+        for q in qualities {
+            evidence.push(record("a", "b", q));
+            let t = compute_plausibility(&evidence, &g, &model, &cfg);
+            let p = t.get("a", "b");
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p >= prev - 1e-12, "noisy-or must be monotone: {p} < {prev}");
+            prev = p;
+        }
+    }
+
+    /// Negative evidence can only lower plausibility.
+    #[test]
+    fn negative_evidence_lowers(
+        n_pos in 1usize..10,
+        n_neg in 1u32..6,
+    ) {
+        let model = EvidenceModel::Prior(PriorModel::default());
+        let cfg = PlausibilityConfig::default();
+        let evidence: Vec<EvidenceRecord> = (0..n_pos).map(|_| record("x", "y", 0.7)).collect();
+        let without = compute_plausibility(&evidence, &Knowledge::new(), &model, &cfg).get("x", "y");
+        let mut g = Knowledge::new();
+        let (x, y) = (g.intern("x"), g.intern("y"));
+        for _ in 0..n_neg {
+            g.add_negative(x, y);
+        }
+        let with = compute_plausibility(&evidence, &g, &model, &cfg).get("x", "y");
+        prop_assert!(with <= without + 1e-12, "{with} > {without}");
+    }
+
+    /// P(x, y) ∈ [0, 1] everywhere; P(x, x) = 1; reach along a present
+    /// edge is at least the edge plausibility.
+    #[test]
+    fn reach_table_bounds(g in annotated_dag()) {
+        let t = ReachTable::compute(&g);
+        for a in g.nodes() {
+            prop_assert_eq!(t.get(a, a), 1.0);
+        }
+        for (from, to, data) in g.edges() {
+            if g.is_instance(to) {
+                continue;
+            }
+            let p = t.get(from, to);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p >= data.plausibility - 1e-9, "edge reach below edge plausibility");
+        }
+    }
+
+    /// Typicality is a distribution per concept (sums to 1 over its
+    /// instance list) and each value is in [0, 1].
+    #[test]
+    fn typicality_normalized(g in annotated_dag()) {
+        let reach = ReachTable::compute(&g);
+        let t = TypicalityModel::compute(&g, &reach);
+        for x in g.concepts() {
+            let list = t.instances_of(x);
+            if list.is_empty() {
+                continue;
+            }
+            let sum: f64 = list.iter().map(|(_, v)| v).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+            for &(_, v) in list {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&v));
+            }
+        }
+        // Abstraction likewise.
+        for i in g.instances() {
+            let list = t.concepts_of(i);
+            if list.is_empty() {
+                continue;
+            }
+            let sum: f64 = list.iter().map(|(_, v)| v).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! GraphViz DOT export of a concept graph (or a neighborhood of it).
+//!
+//! Useful for eyeballing sense separation — the two *plant* senses, the
+//! modifier hierarchy under *country* — the way the paper's figures draw
+//! local taxonomies.
+
+use crate::graph::{ConceptGraph, NodeId};
+use crate::query::descendants;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Include edge counts and plausibilities as edge labels.
+    pub edge_labels: bool,
+    /// Cap on rendered nodes (breadth-first from the roots given).
+    pub max_nodes: usize,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        Self { edge_labels: true, max_nodes: 200 }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the sub-DAG reachable from `roots` as DOT. With no roots, the
+/// whole graph is rendered (subject to `max_nodes`).
+pub fn to_dot(graph: &ConceptGraph, roots: &[NodeId], opts: &DotOptions) -> String {
+    let mut include: HashSet<NodeId> = HashSet::new();
+    if roots.is_empty() {
+        include.extend(graph.nodes().take(opts.max_nodes));
+    } else {
+        for &r in roots {
+            if include.len() >= opts.max_nodes {
+                break;
+            }
+            include.insert(r);
+            for d in descendants(graph, r) {
+                if include.len() >= opts.max_nodes {
+                    break;
+                }
+                include.insert(d);
+            }
+        }
+    }
+
+    let mut out = String::from("digraph probase {\n  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n");
+    let mut nodes: Vec<NodeId> = include.iter().copied().collect();
+    nodes.sort();
+    for n in &nodes {
+        let shape = if graph.is_instance(*n) { "oval" } else { "box" };
+        let style = if graph.is_instance(*n) { "" } else { ", style=filled, fillcolor=\"#eef3fb\"" };
+        writeln!(
+            out,
+            "  n{} [label=\"{}\", shape={shape}{style}];",
+            n.0,
+            escape(&graph.display(*n))
+        )
+        .expect("write to string");
+    }
+    for (from, to, data) in graph.edges() {
+        if !include.contains(&from) || !include.contains(&to) {
+            continue;
+        }
+        if opts.edge_labels {
+            writeln!(
+                out,
+                "  n{} -> n{} [label=\"n={} p={:.2}\"];",
+                from.0, to.0, data.count, data.plausibility
+            )
+            .expect("write to string");
+        } else {
+            writeln!(out, "  n{} -> n{};", from.0, to.0).expect("write to string");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConceptGraph {
+        let mut g = ConceptGraph::new();
+        let plant0 = g.ensure_node("plant", 0);
+        let plant1 = g.ensure_node("plant", 1);
+        let tree = g.ensure_node("tree", 0);
+        let boiler = g.ensure_node("boiler", 0);
+        g.add_evidence(plant0, tree, 3);
+        g.add_evidence(plant1, boiler, 2);
+        g
+    }
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let g = sample();
+        let dot = to_dot(&g, &[], &DotOptions::default());
+        assert!(dot.starts_with("digraph probase {"));
+        assert!(dot.contains("label=\"plant\""));
+        assert!(dot.contains("label=\"plant#1\""));
+        assert!(dot.contains("n=3 p=1.00"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn root_restriction_limits_scope() {
+        let g = sample();
+        let plant0 = g.find_node("plant", 0).unwrap();
+        let dot = to_dot(&g, &[plant0], &DotOptions::default());
+        assert!(dot.contains("tree"));
+        assert!(!dot.contains("boiler"));
+    }
+
+    #[test]
+    fn max_nodes_caps_output() {
+        let mut g = ConceptGraph::new();
+        let root = g.ensure_node("root", 0);
+        for i in 0..50 {
+            let c = g.ensure_node(&format!("leaf{i}"), 0);
+            g.add_evidence(root, c, 1);
+        }
+        let dot = to_dot(&g, &[root], &DotOptions { max_nodes: 10, ..Default::default() });
+        let node_lines = dot.lines().filter(|l| l.contains("shape=")).count();
+        assert!(node_lines <= 10, "{node_lines}");
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut g = ConceptGraph::new();
+        let a = g.ensure_node("say \"hi\"", 0);
+        let b = g.ensure_node("x", 0);
+        g.add_evidence(a, b, 1);
+        let dot = to_dot(&g, &[], &DotOptions::default());
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+}

@@ -1,0 +1,119 @@
+//! A fast, non-cryptographic hasher for interned keys.
+//!
+//! The hot maps of the pipeline — Γ's pair counts, the graph's node and
+//! edge indexes — are keyed by small integers ([`crate::Symbol`],
+//! [`crate::NodeId`] and tuples of them). The standard library's SipHash
+//! is collision-resistant but slow for such keys; following the Rust
+//! Performance Book's hashing guidance, this module provides an
+//! FxHash-style multiply-xor hasher (the algorithm rustc itself uses),
+//! implemented locally so no extra dependency is needed.
+//!
+//! HashDoS resistance is irrelevant here: keys come from our own
+//! interner, not from attackers.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher (FxHash). Word-at-a-time; not cryptographic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail) ^ rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn distinct_keys_hash_differently() {
+        // Not a guarantee in general, but these must not collide for the
+        // hasher to be useful on our dense id space.
+        let hashes: std::collections::HashSet<u64> = (0u32..10_000).map(hash_of).collect();
+        assert!(hashes.len() > 9_900, "too many collisions: {}", 10_000 - hashes.len());
+    }
+
+    #[test]
+    fn tuples_and_strings_work() {
+        assert_ne!(hash_of((1u32, 2u32)), hash_of((2u32, 1u32)));
+        assert_ne!(hash_of("animal"), hash_of("animals"));
+        assert_eq!(hash_of("cat"), hash_of("cat"));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert((i, i * 2), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(500, 1000)], 500);
+    }
+
+    #[test]
+    fn partial_tail_bytes_hash() {
+        assert_ne!(hash_of("abc"), hash_of("abd"));
+        assert_ne!(hash_of([1u8, 2, 3].as_slice()), hash_of([1u8, 2, 3, 0].as_slice()));
+    }
+}

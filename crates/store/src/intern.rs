@@ -1,0 +1,147 @@
+//! String interning.
+//!
+//! Probase handles millions of distinct labels; comparing and hashing them
+//! as strings everywhere would dominate runtime. The [`Interner`] maps each
+//! distinct string to a dense [`Symbol`] (a `u32` newtype) so the graph can
+//! store and compare labels as integers. See the hashing chapter of the
+//! Rust Performance Book for why small integer keys matter here.
+
+use crate::hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// A handle to an interned string. Cheap to copy, hash, and compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Index into the interner's string table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only string interner. Symbols are dense indices in insertion
+/// order, which snapshots rely on.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Interner {
+    strings: Vec<String>,
+    #[serde(skip)]
+    lookup: FxHashMap<String, Symbol>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its symbol (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.lookup.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        self.strings.push(s.to_string());
+        self.lookup.insert(s.to_string(), sym);
+        sym
+    }
+
+    /// Look up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if the symbol did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Rebuild the lookup table after deserialization (the map is skipped
+    /// in serde to halve snapshot size).
+    pub fn rebuild_lookup(&mut self) {
+        self.lookup = self
+            .strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), Symbol(i as u32)))
+            .collect();
+    }
+
+    /// Iterate `(Symbol, &str)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings.iter().enumerate().map(|(i, s)| (Symbol(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("animal");
+        let b = i.intern("animal");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("a"), Symbol(0));
+        assert_eq!(i.intern("b"), Symbol(1));
+        assert_eq!(i.intern("a"), Symbol(0));
+        assert_eq!(i.intern("c"), Symbol(2));
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut i = Interner::new();
+        let s = i.intern("tropical country");
+        assert_eq!(i.resolve(s), "tropical country");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        assert_eq!(i.len(), 0);
+        i.intern("x");
+        assert_eq!(i.get("x"), Some(Symbol(0)));
+    }
+
+    #[test]
+    fn rebuild_lookup_restores_get() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let mut j = i.clone();
+        j.lookup.clear();
+        assert_eq!(j.get("b"), None);
+        j.rebuild_lookup();
+        assert_eq!(j.get("b"), Some(Symbol(1)));
+    }
+
+    #[test]
+    fn iter_in_insertion_order() {
+        let mut i = Interner::new();
+        i.intern("x");
+        i.intern("y");
+        let v: Vec<_> = i.iter().map(|(s, t)| (s.0, t.to_string())).collect();
+        assert_eq!(v, [(0, "x".to_string()), (1, "y".to_string())]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # probase-store
+//!
+//! In-memory concept-graph store: the reproduction's stand-in for the
+//! Trinity graph engine that hosts Probase in the paper (§5, [29, 30]).
+//!
+//! The store holds the taxonomy DAG produced by `probase-taxonomy` and
+//! annotated by `probase-prob`: interned labels, sense-disambiguated
+//! nodes, counted and weighted isA edges, plus the queries every
+//! downstream application needs — instances-of, concepts-of, level
+//! computation, degree statistics (paper Table 4), and snapshot
+//! persistence.
+//!
+//! ## Layout
+//!
+//! * [`intern`] — string interning ([`intern::Symbol`], [`intern::Interner`]).
+//! * [`hash`] — the FxHash-style fast hasher used by every hot map.
+//! * [`graph`] — the [`graph::ConceptGraph`] itself.
+//! * [`query`] — levels, statistics, reachability.
+//! * [`snapshot`] — compact binary snapshots (round-trip tested).
+//! * [`dot`] — GraphViz export for eyeballing sense separation.
+//! * [`shared`] — concurrent serving wrapper (many readers, one writer).
+
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod graph;
+pub mod hash;
+pub mod intern;
+pub mod query;
+pub mod shared;
+pub mod snapshot;
+
+pub use dot::{to_dot, DotOptions};
+pub use graph::{ConceptGraph, EdgeData, NodeId};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use intern::{Interner, Symbol};
+pub use query::{GraphStats, LevelMap};
+pub use shared::SharedStore;

@@ -1,0 +1,296 @@
+//! Graph queries: levels, statistics, reachability.
+//!
+//! * **Levels** (paper §5.2): "The level of a concept is defined to be the
+//!   length of the longest path from it to a leaf node (i.e. an instance)."
+//!   Instances have level 0; the paper's Table 4 reports average and
+//!   maximum level over concepts.
+//! * **Statistics** ([`GraphStats`]) reproduce the columns of Table 4.
+//! * **Parent level sets** implement the traversal order Algorithm 3 needs:
+//!   `L1` = concepts with no parents, `Lk` = concepts whose parents all lie
+//!   in earlier levels.
+
+use crate::graph::{ConceptGraph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Longest-path-to-leaf level for every node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevelMap {
+    levels: Vec<u32>,
+}
+
+impl LevelMap {
+    /// Compute levels over `graph`. The graph must be acyclic (the
+    /// taxonomy layer guarantees that); a cycle makes this panic rather
+    /// than loop.
+    pub fn compute(graph: &ConceptGraph) -> Self {
+        let n = graph.node_count();
+        let mut levels = vec![u32::MAX; n];
+        // Kahn-style: process nodes whose children are all resolved,
+        // starting from leaves.
+        let mut pending_children: Vec<usize> =
+            (0..n).map(|i| graph.child_count(NodeId(i as u32))).collect();
+        let mut queue: Vec<NodeId> = (0..n as u32)
+            .map(NodeId)
+            .filter(|&id| pending_children[id.index()] == 0)
+            .collect();
+        let mut head = 0;
+        while head < queue.len() {
+            let node = queue[head];
+            head += 1;
+            let level = graph
+                .children(node)
+                .map(|(c, _)| levels[c.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            levels[node.index()] = level;
+            for (p, _) in graph.parents(node) {
+                pending_children[p.index()] -= 1;
+                if pending_children[p.index()] == 0 {
+                    queue.push(p);
+                }
+            }
+        }
+        assert!(
+            head == n,
+            "level computation visited {head}/{n} nodes — graph has a cycle"
+        );
+        Self { levels }
+    }
+
+    /// Level of one node (longest path to a leaf).
+    pub fn level(&self, n: NodeId) -> u32 {
+        self.levels[n.index()]
+    }
+
+    /// Largest level in the graph.
+    pub fn max_level(&self) -> u32 {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// The concept-subconcept relationship statistics of paper Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Distinct concept-subconcept edges (edges between two non-leaf nodes).
+    pub concept_subconcept_pairs: usize,
+    /// Distinct concept-instance edges (edges into leaf nodes).
+    pub concept_instance_pairs: usize,
+    /// Average out-degree over concept nodes.
+    pub avg_children: f64,
+    /// Average in-degree over nodes that have at least one parent.
+    pub avg_parents: f64,
+    /// Average level over concept nodes.
+    pub avg_level: f64,
+    /// Maximum level.
+    pub max_level: u32,
+    /// Total concepts (non-leaf nodes).
+    pub concepts: usize,
+    /// Total instances (leaf nodes).
+    pub instances: usize,
+}
+
+impl GraphStats {
+    /// Compute the Table 4 statistics for `graph`.
+    pub fn compute(graph: &ConceptGraph) -> Self {
+        let levels = LevelMap::compute(graph);
+        let mut concept_subconcept = 0usize;
+        let mut concept_instance = 0usize;
+        for (_, to, _) in graph.edges() {
+            if graph.is_instance(to) {
+                concept_instance += 1;
+            } else {
+                concept_subconcept += 1;
+            }
+        }
+        let concepts: Vec<NodeId> = graph.concepts().collect();
+        let instances = graph.node_count() - concepts.len();
+        let avg_children = if concepts.is_empty() {
+            0.0
+        } else {
+            concepts.iter().map(|&c| graph.child_count(c) as f64).sum::<f64>()
+                / concepts.len() as f64
+        };
+        let with_parents: Vec<NodeId> =
+            graph.nodes().filter(|&n| graph.parent_count(n) > 0).collect();
+        let avg_parents = if with_parents.is_empty() {
+            0.0
+        } else {
+            with_parents.iter().map(|&n| graph.parent_count(n) as f64).sum::<f64>()
+                / with_parents.len() as f64
+        };
+        let avg_level = if concepts.is_empty() {
+            0.0
+        } else {
+            concepts.iter().map(|&c| levels.level(c) as f64).sum::<f64>() / concepts.len() as f64
+        };
+        Self {
+            concept_subconcept_pairs: concept_subconcept,
+            concept_instance_pairs: concept_instance,
+            avg_children,
+            avg_parents,
+            avg_level,
+            max_level: levels.max_level(),
+            concepts: concepts.len(),
+            instances,
+        }
+    }
+}
+
+/// Group concepts into parent-complete level sets: `result\[0\]` holds nodes
+/// with no parents, `result[k]` holds nodes whose parents all appear in
+/// `result[..k]`. This is exactly the `L^k` sequence of paper Algorithm 3.
+pub fn parent_level_sets(graph: &ConceptGraph) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    let mut remaining: Vec<usize> = (0..n).map(|i| graph.parent_count(NodeId(i as u32))).collect();
+    let mut assigned = vec![false; n];
+    let mut levels: Vec<Vec<NodeId>> = Vec::new();
+    let mut current: Vec<NodeId> = (0..n as u32)
+        .map(NodeId)
+        .filter(|&id| remaining[id.index()] == 0)
+        .collect();
+    while !current.is_empty() {
+        for &id in &current {
+            assigned[id.index()] = true;
+        }
+        let mut next = Vec::new();
+        for &id in &current {
+            for (c, _) in graph.children(id) {
+                remaining[c.index()] -= 1;
+                if remaining[c.index()] == 0 {
+                    next.push(c);
+                }
+            }
+        }
+        levels.push(std::mem::replace(&mut current, next));
+    }
+    debug_assert!(assigned.iter().all(|&a| a), "cycle detected in parent_level_sets");
+    levels
+}
+
+/// All nodes reachable from `start` by descending isA edges (excluding
+/// `start` itself).
+pub fn descendants(graph: &ConceptGraph, start: NodeId) -> HashSet<NodeId> {
+    let mut out = HashSet::new();
+    let mut stack: Vec<NodeId> = graph.children(start).map(|(c, _)| c).collect();
+    while let Some(n) = stack.pop() {
+        if out.insert(n) {
+            stack.extend(graph.children(n).map(|(c, _)| c));
+        }
+    }
+    out
+}
+
+/// All nodes that can reach `start` by descending isA edges (its ancestor
+/// concepts).
+pub fn ancestors(graph: &ConceptGraph, start: NodeId) -> HashSet<NodeId> {
+    let mut out = HashSet::new();
+    let mut stack: Vec<NodeId> = graph.parents(start).map(|(p, _)| p).collect();
+    while let Some(n) = stack.pop() {
+        if out.insert(n) {
+            stack.extend(graph.parents(n).map(|(p, _)| p));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// animal → domestic animal → cat; animal → cat; animal → bird → robin
+    fn sample() -> ConceptGraph {
+        let mut g = ConceptGraph::new();
+        let animal = g.ensure_node("animal", 0);
+        let dom = g.ensure_node("domestic animal", 0);
+        let bird = g.ensure_node("bird", 0);
+        let cat = g.ensure_node("cat", 0);
+        let robin = g.ensure_node("robin", 0);
+        g.add_evidence(animal, dom, 1);
+        g.add_evidence(animal, bird, 1);
+        g.add_evidence(animal, cat, 1);
+        g.add_evidence(dom, cat, 1);
+        g.add_evidence(bird, robin, 1);
+        g
+    }
+
+    #[test]
+    fn levels_are_longest_paths() {
+        let g = sample();
+        let l = LevelMap::compute(&g);
+        assert_eq!(l.level(g.find_node("cat", 0).unwrap()), 0);
+        assert_eq!(l.level(g.find_node("robin", 0).unwrap()), 0);
+        assert_eq!(l.level(g.find_node("domestic animal", 0).unwrap()), 1);
+        assert_eq!(l.level(g.find_node("bird", 0).unwrap()), 1);
+        // animal: longest path animal → domestic animal → cat = 2
+        assert_eq!(l.level(g.find_node("animal", 0).unwrap()), 2);
+        assert_eq!(l.max_level(), 2);
+    }
+
+    #[test]
+    fn stats_match_hand_count() {
+        let g = sample();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.concepts, 3);
+        assert_eq!(s.instances, 2);
+        assert_eq!(s.concept_subconcept_pairs, 2); // animal→dom, animal→bird
+        assert_eq!(s.concept_instance_pairs, 3); // animal→cat, dom→cat, bird→robin
+        assert!((s.avg_children - (3.0 + 1.0 + 1.0) / 3.0).abs() < 1e-12);
+        // nodes with parents: dom(1), bird(1), cat(2), robin(1) → avg 1.25
+        assert!((s.avg_parents - 1.25).abs() < 1e-12);
+        assert_eq!(s.max_level, 2);
+    }
+
+    #[test]
+    fn parent_level_sets_partition_in_order() {
+        let g = sample();
+        let sets = parent_level_sets(&g);
+        let total: usize = sets.iter().map(|s| s.len()).sum();
+        assert_eq!(total, g.node_count());
+        // level 0 is exactly the root
+        assert_eq!(sets[0].len(), 1);
+        assert_eq!(g.label(sets[0][0]), "animal");
+        // every node's parents lie in strictly earlier sets
+        let mut seen = HashSet::new();
+        for set in &sets {
+            for &n in set {
+                for (p, _) in g.parents(n) {
+                    assert!(seen.contains(&p), "parent of {} not yet emitted", g.label(n));
+                }
+            }
+            seen.extend(set.iter().copied());
+        }
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let g = sample();
+        let animal = g.find_node("animal", 0).unwrap();
+        let cat = g.find_node("cat", 0).unwrap();
+        let d = descendants(&g, animal);
+        assert_eq!(d.len(), 4);
+        let a = ancestors(&g, cat);
+        assert_eq!(a.len(), 2); // domestic animal, animal
+        assert!(a.contains(&animal));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn level_map_panics_on_cycle() {
+        let mut g = ConceptGraph::new();
+        let a = g.ensure_node("a", 0);
+        let b = g.ensure_node("b", 0);
+        g.add_evidence(a, b, 1);
+        g.add_evidence(b, a, 1);
+        let _ = LevelMap::compute(&g);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = ConceptGraph::new();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.concepts, 0);
+        assert_eq!(s.instances, 0);
+        assert_eq!(s.max_level, 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Compact binary snapshots of a [`ConceptGraph`].
+//!
+//! The paper hosts Probase in the Trinity graph engine, which persists the
+//! taxonomy between runs. Our stand-in serializes the graph to a simple
+//! length-prefixed binary format built on the `bytes` crate: strings in
+//! interner order, node keys, then edges. The skipped lookup tables are
+//! rebuilt on load ([`ConceptGraph::rebuild_indexes`]).
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic  u32 = 0x50425353 ("PBSS")
+//! version u32 = 1
+//! n_strings u32, then per string: len u32 + utf8 bytes
+//! n_nodes u32, then per node: label u32, sense u32
+//! n_edges u32, then per edge: from u32, to u32, count u32, plausibility f64
+//! ```
+
+use crate::graph::{ConceptGraph, NodeId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u32 = 0x5042_5353;
+const VERSION: u32 = 1;
+
+/// Errors decoding a snapshot.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// Magic number mismatch — not a Probase snapshot.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u32),
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// An index pointed outside its table.
+    BadIndex,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "bad magic number"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::BadUtf8 => write!(f, "invalid utf-8 in snapshot"),
+            SnapshotError::BadIndex => write!(f, "index out of range in snapshot"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Serialize `graph` to bytes.
+pub fn to_bytes(graph: &ConceptGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + graph.node_count() * 12 + graph.edge_count() * 20);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+
+    let interner = graph.interner();
+    buf.put_u32_le(interner.len() as u32);
+    for (_, s) in interner.iter() {
+        buf.put_u32_le(s.len() as u32);
+        buf.put_slice(s.as_bytes());
+    }
+
+    buf.put_u32_le(graph.node_count() as u32);
+    for n in graph.nodes() {
+        let sym = interner.get(graph.label(n)).expect("node label interned");
+        buf.put_u32_le(sym.0);
+        buf.put_u32_le(graph.sense(n));
+    }
+
+    buf.put_u32_le(graph.edge_count() as u32);
+    for (from, to, data) in graph.edges() {
+        buf.put_u32_le(from.0);
+        buf.put_u32_le(to.0);
+        buf.put_u32_le(data.count);
+        buf.put_f64_le(data.plausibility);
+    }
+    buf.freeze()
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), SnapshotError> {
+    if buf.remaining() < n {
+        Err(SnapshotError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Deserialize a graph from bytes produced by [`to_bytes`].
+pub fn from_bytes(mut buf: impl Buf) -> Result<ConceptGraph, SnapshotError> {
+    need(&buf, 8)?;
+    if buf.get_u32_le() != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+
+    need(&buf, 4)?;
+    let n_strings = buf.get_u32_le() as usize;
+    let mut strings = Vec::with_capacity(n_strings);
+    for _ in 0..n_strings {
+        need(&buf, 4)?;
+        let len = buf.get_u32_le() as usize;
+        need(&buf, len)?;
+        let mut bytes = vec![0u8; len];
+        buf.copy_to_slice(&mut bytes);
+        strings.push(String::from_utf8(bytes).map_err(|_| SnapshotError::BadUtf8)?);
+    }
+
+    let mut graph = ConceptGraph::new();
+    need(&buf, 4)?;
+    let n_nodes = buf.get_u32_le() as usize;
+    let mut ids: Vec<NodeId> = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        need(&buf, 8)?;
+        let label = buf.get_u32_le() as usize;
+        let sense = buf.get_u32_le();
+        let s = strings.get(label).ok_or(SnapshotError::BadIndex)?;
+        ids.push(graph.ensure_node(s, sense));
+    }
+
+    need(&buf, 4)?;
+    let n_edges = buf.get_u32_le() as usize;
+    for _ in 0..n_edges {
+        need(&buf, 20)?;
+        let from = buf.get_u32_le() as usize;
+        let to = buf.get_u32_le() as usize;
+        let count = buf.get_u32_le();
+        let plausibility = buf.get_f64_le();
+        let (&f, &t) = (
+            ids.get(from).ok_or(SnapshotError::BadIndex)?,
+            ids.get(to).ok_or(SnapshotError::BadIndex)?,
+        );
+        graph.add_evidence(f, t, count);
+        graph.set_plausibility(f, t, plausibility.clamp(0.0, 1.0));
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConceptGraph {
+        let mut g = ConceptGraph::new();
+        let a = g.ensure_node("animal", 0);
+        let p0 = g.ensure_node("plant", 0);
+        let p1 = g.ensure_node("plant", 1);
+        let cat = g.ensure_node("cat", 0);
+        let tree = g.ensure_node("tree", 0);
+        let boiler = g.ensure_node("boiler", 0);
+        g.add_evidence(a, cat, 12);
+        g.add_evidence(p0, tree, 7);
+        g.add_evidence(p1, boiler, 4);
+        g.set_plausibility(a, cat, 0.97);
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = sample();
+        let bytes = to_bytes(&g);
+        let h = from_bytes(bytes).unwrap();
+        assert_eq!(h.node_count(), g.node_count());
+        assert_eq!(h.edge_count(), g.edge_count());
+        let a = h.find_node("animal", 0).unwrap();
+        let cat = h.find_node("cat", 0).unwrap();
+        let e = h.edge(a, cat).unwrap();
+        assert_eq!(e.count, 12);
+        assert!((e.plausibility - 0.97).abs() < 1e-12);
+        assert_eq!(h.senses_of("plant").len(), 2);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = to_bytes(&sample()).to_vec();
+        bytes[0] ^= 0xFF;
+        assert_eq!(from_bytes(&bytes[..]).unwrap_err(), SnapshotError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let bytes = to_bytes(&sample());
+        for cut in 0..bytes.len() {
+            let r = from_bytes(&bytes[..cut]);
+            assert!(r.is_err(), "no error at cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = to_bytes(&sample()).to_vec();
+        bytes[4] = 99;
+        assert_eq!(from_bytes(&bytes[..]).unwrap_err(), SnapshotError::BadVersion(99));
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = ConceptGraph::new();
+        let h = from_bytes(to_bytes(&g)).unwrap();
+        assert_eq!(h.node_count(), 0);
+        assert_eq!(h.edge_count(), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the graph store: snapshot round-trips, interner
+//! consistency, and level-map correctness on random DAGs.
+
+use proptest::prelude::*;
+use probase_store::query::{ancestors, descendants, LevelMap};
+use probase_store::{snapshot, ConceptGraph, GraphStats, NodeId};
+
+/// A random DAG: edges only go from lower to higher node index, so
+/// acyclicity holds by construction.
+fn dag() -> impl Strategy<Value = ConceptGraph> {
+    (2usize..30, proptest::collection::vec((any::<u16>(), any::<u16>(), 1u32..5), 0..80)).prop_map(
+        |(n, raw_edges)| {
+            let mut g = ConceptGraph::new();
+            let nodes: Vec<NodeId> =
+                (0..n).map(|i| g.ensure_node(&format!("n{i}"), (i % 3) as u32)).collect();
+            for (a, b, w) in raw_edges {
+                let i = a as usize % n;
+                let j = b as usize % n;
+                if i < j {
+                    g.add_evidence(nodes[i], nodes[j], w);
+                }
+            }
+            g
+        },
+    )
+}
+
+proptest! {
+    /// Snapshot round-trip preserves nodes, edges, counts, plausibility.
+    #[test]
+    fn snapshot_roundtrip(g in dag()) {
+        let bytes = snapshot::to_bytes(&g);
+        let h = snapshot::from_bytes(bytes).expect("roundtrip decodes");
+        prop_assert_eq!(h.node_count(), g.node_count());
+        prop_assert_eq!(h.edge_count(), g.edge_count());
+        for (from, to, data) in g.edges() {
+            let hf = h.find_node(g.label(from), g.sense(from)).expect("node survives");
+            let ht = h.find_node(g.label(to), g.sense(to)).expect("node survives");
+            let hd = h.edge(hf, ht).expect("edge survives");
+            prop_assert_eq!(hd.count, data.count);
+            prop_assert!((hd.plausibility - data.plausibility).abs() < 1e-12);
+        }
+    }
+
+    /// Levels satisfy the defining recurrence: leaf = 0, otherwise
+    /// 1 + max(children).
+    #[test]
+    fn levels_satisfy_recurrence(g in dag()) {
+        let levels = LevelMap::compute(&g);
+        for node in g.nodes() {
+            let expect = g
+                .children(node)
+                .map(|(c, _)| levels.level(c) + 1)
+                .max()
+                .unwrap_or(0);
+            prop_assert_eq!(levels.level(node), expect);
+        }
+    }
+
+    /// Descendants and ancestors are mutually consistent.
+    #[test]
+    fn reachability_symmetry(g in dag()) {
+        for node in g.nodes() {
+            for d in descendants(&g, node) {
+                prop_assert!(ancestors(&g, d).contains(&node));
+            }
+        }
+    }
+
+    /// Graph stats invariants: counts partition the edge set; instances
+    /// plus concepts cover the node set.
+    #[test]
+    fn stats_partition(g in dag()) {
+        let s = GraphStats::compute(&g);
+        prop_assert_eq!(s.concept_subconcept_pairs + s.concept_instance_pairs, g.edge_count());
+        prop_assert_eq!(s.concepts + s.instances, g.node_count());
+        prop_assert_eq!(u32::from(s.max_level > 0), u32::from(g.edge_count() > 0));
+    }
+
+    /// Evidence accumulation is additive.
+    #[test]
+    fn evidence_additive(increments in proptest::collection::vec(1u32..10, 1..20)) {
+        let mut g = ConceptGraph::new();
+        let a = g.ensure_node("a", 0);
+        let b = g.ensure_node("b", 0);
+        let mut total = 0;
+        for inc in &increments {
+            total += inc;
+            prop_assert_eq!(g.add_evidence(a, b, *inc), total);
+        }
+        prop_assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,664 @@
+//! Taxonomy construction (paper Algorithm 2).
+//!
+//! Three stages, exactly as the paper orders them (Theorem 2 shows this
+//! order minimizes merge operations):
+//!
+//! 1. **Local construction** — one depth-1 taxonomy per sentence.
+//! 2. **Horizontal grouping** — same-label groups with `|A ∩ B| ≥ δ`
+//!    child overlap fuse into senses. An inverted child→group index makes
+//!    this near-linear instead of the O(n²) pairwise scan of the generic
+//!    engine in [`crate::merge`].
+//! 3. **Vertical grouping** — a group whose label appears among another
+//!    group's children, with sufficient child overlap, is linked below it.
+//!
+//! Two documented extensions beyond the paper's letter (DESIGN.md §2):
+//!
+//! * **Absorption**: local taxonomies with fewer than δ children can never
+//!   pass the strict overlap test; each is absorbed into the same-label
+//!   sense whose child set contains it, when that target is unique enough
+//!   (largest evidence wins deterministically). Web corpora are dominated
+//!   by short lists, and the paper is silent on them.
+//! * **Cycle breaking**: mutual listing noise can produce cyclic vertical
+//!   links; the weakest edge of every strongly connected component is
+//!   dropped so the result is the DAG §3.1 promises.
+
+use crate::local::{build_local_taxonomies, LocalTaxonomy};
+use crate::merge::{Group, MergeOp, MergeState};
+use crate::sim::{overlap, AbsoluteOverlap};
+use probase_extract::SentenceExtraction;
+use probase_store::{ConceptGraph, Interner, NodeId, Symbol};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Configuration of taxonomy construction.
+#[derive(Debug, Clone)]
+pub struct TaxonomyConfig {
+    /// Absolute-overlap threshold δ (paper §3.5).
+    pub delta: usize,
+    /// Absorb short local taxonomies into containing senses.
+    pub absorb: bool,
+    /// When a child label has sense groups but no overlap evidence links
+    /// it anywhere, attach it to the label's largest sense instead of
+    /// leaving a dangling leaf.
+    pub link_fallback: bool,
+}
+
+impl Default for TaxonomyConfig {
+    fn default() -> Self {
+        Self { delta: 2, absorb: true, link_fallback: true }
+    }
+}
+
+/// Counters describing a construction run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuildStats {
+    pub local_taxonomies: usize,
+    pub horizontal_merges: usize,
+    pub vertical_links: usize,
+    pub absorbed: usize,
+    pub senses: usize,
+    pub cycle_edges_dropped: usize,
+}
+
+/// The built taxonomy.
+#[derive(Debug)]
+pub struct BuiltTaxonomy {
+    pub graph: ConceptGraph,
+    pub stats: BuildStats,
+}
+
+/// Build the taxonomy DAG from per-sentence extractions.
+///
+/// ```
+/// use probase_extract::SentenceExtraction;
+/// use probase_taxonomy::{build_taxonomy, TaxonomyConfig};
+/// let s = |id, root: &str, items: &[&str]| SentenceExtraction {
+///     sentence_id: id,
+///     super_label: root.to_string(),
+///     items: items.iter().map(|i| i.to_string()).collect(),
+/// };
+/// let built = build_taxonomy(
+///     &[
+///         s(0, "plant", &["tree", "grass"]),
+///         s(1, "plant", &["tree", "grass", "herb"]),
+///         s(2, "plant", &["pump", "boiler", "generator"]),
+///     ],
+///     &TaxonomyConfig::default(),
+/// );
+/// // Two senses: flora and equipment.
+/// assert_eq!(built.graph.senses_of("plant").len(), 2);
+/// ```
+pub fn build_taxonomy(sentences: &[SentenceExtraction], cfg: &TaxonomyConfig) -> BuiltTaxonomy {
+    let (locals, interner) = build_local_taxonomies(sentences);
+    build_from_locals(&locals, &interner, cfg)
+}
+
+/// Build from pre-constructed local taxonomies (used by ablations).
+pub fn build_from_locals(
+    locals: &[LocalTaxonomy],
+    interner: &Interner,
+    cfg: &TaxonomyConfig,
+) -> BuiltTaxonomy {
+    let sim = AbsoluteOverlap { delta: cfg.delta };
+    let mut stats = BuildStats { local_taxonomies: locals.len(), ..Default::default() };
+
+    // --- stage 2: horizontal grouping (indexed) -----------------------
+    let mut state = MergeState::from_locals(locals);
+    stats.horizontal_merges = horizontal_pass(&mut state, &sim);
+
+    // --- absorption ----------------------------------------------------
+    if cfg.absorb {
+        stats.absorbed = absorb_small_groups(&mut state, cfg.delta);
+    }
+
+    // --- stage 3: vertical grouping (indexed) --------------------------
+    stats.vertical_links = vertical_pass(&mut state, &sim);
+
+    // --- graph assembly -------------------------------------------------
+    let (graph, dropped) = assemble(&state, interner, cfg);
+    stats.cycle_edges_dropped = dropped;
+    stats.senses = state.live().count();
+    BuiltTaxonomy { graph, stats }
+}
+
+/// Indexed horizontal merging: repeat until fixpoint. Returns merge count.
+fn horizontal_pass(state: &mut MergeState, sim: &AbsoluteOverlap) -> usize {
+    let mut merges = 0;
+    loop {
+        let mut merged_this_round = 0;
+        // child symbol → live groups (per label) containing it.
+        let mut index: HashMap<(Symbol, Symbol), Vec<usize>> = HashMap::new();
+        let live: Vec<usize> = state.live().collect();
+        for &gi in &live {
+            let label = state.groups[gi].label;
+            for &c in &state.groups[gi].children {
+                index.entry((label, c)).or_default().push(gi);
+            }
+        }
+        for &gi in &live {
+            if !state.groups[gi].alive {
+                continue;
+            }
+            // Count overlaps with candidate partners.
+            let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+            let label = state.groups[gi].label;
+            for &c in &state.groups[gi].children.clone() {
+                if let Some(partners) = index.get(&(label, c)) {
+                    for &p in partners {
+                        if p != gi && state.groups[p].alive {
+                            *counts.entry(p).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+            for (&p, &n) in &counts {
+                if n >= sim.delta && state.groups[p].alive && state.groups[gi].alive {
+                    // Verify against current (possibly grown) sets.
+                    let op = MergeOp::Horizontal(gi.min(p), gi.max(p));
+                    if state.applicable(op, sim) {
+                        state.apply(op, sim);
+                        merges += 1;
+                        merged_this_round += 1;
+                    }
+                }
+            }
+        }
+        if merged_this_round == 0 {
+            break;
+        }
+    }
+    merges
+}
+
+/// Absorb groups with fewer than δ children into a same-label superset
+/// sense. Deterministic: the established target with the most members
+/// wins; ties break toward the smaller group index. Returns the number of
+/// groups absorbed.
+fn absorb_small_groups(state: &mut MergeState, delta: usize) -> usize {
+    let live: Vec<usize> = state.live().collect();
+    // Established senses: at least δ children.
+    let mut established: HashMap<Symbol, Vec<usize>> = HashMap::new();
+    for &gi in &live {
+        if state.groups[gi].children.len() >= delta {
+            established.entry(state.groups[gi].label).or_default().push(gi);
+        }
+    }
+    // Plan absorptions against the frozen established set so the result
+    // is independent of processing order.
+    let mut plan: Vec<(usize, usize)> = Vec::new();
+    for &gi in &live {
+        let g = &state.groups[gi];
+        if g.children.len() >= delta {
+            continue;
+        }
+        let Some(cands) = established.get(&g.label) else { continue };
+        let mut best: Option<usize> = None;
+        for &t in cands {
+            if t == gi {
+                continue;
+            }
+            let tg = &state.groups[t];
+            if g.children.iter().all(|c| tg.children.contains(c)) {
+                best = match best {
+                    None => Some(t),
+                    Some(b) => {
+                        let (bm, tm) = (state.groups[b].members.len(), tg.members.len());
+                        Some(if tm > bm || (tm == bm && t < b) { t } else { b })
+                    }
+                };
+            }
+        }
+        if let Some(t) = best {
+            plan.push((t, gi));
+        }
+    }
+    let absorbed = plan.len();
+    for (target, src) in plan {
+        // Manual fuse (bypasses the strict similarity check by design).
+        let dead_label = state.groups[src].label;
+        let g = std::mem::replace(
+            &mut state.groups[src],
+            Group {
+                label: dead_label,
+                children: BTreeSet::new(),
+                child_counts: BTreeMap::new(),
+                members: Vec::new(),
+                alive: false,
+            },
+        );
+        let dst = &mut state.groups[target];
+        dst.children.extend(g.children.iter().copied());
+        for (c, n) in g.child_counts {
+            *dst.child_counts.entry(c).or_insert(0) += n;
+        }
+        dst.members.extend(g.members);
+    }
+    absorbed
+}
+
+/// Indexed vertical linking. Returns the number of links created.
+fn vertical_pass(state: &mut MergeState, sim: &AbsoluteOverlap) -> usize {
+    let live: Vec<usize> = state.live().collect();
+    let mut by_label: HashMap<Symbol, Vec<usize>> = HashMap::new();
+    for &gi in &live {
+        by_label.entry(state.groups[gi].label).or_default().push(gi);
+    }
+    let mut links = 0;
+    for &parent in &live {
+        let children: Vec<Symbol> = state.groups[parent].children.iter().copied().collect();
+        for c in children {
+            let Some(cands) = by_label.get(&c) else { continue };
+            for &child in cands {
+                if child == parent {
+                    continue;
+                }
+                if overlap(&state.groups[parent].children, &state.groups[child].children)
+                    >= sim.delta
+                    && state.links.insert((parent, child))
+                {
+                    links += 1;
+                }
+            }
+        }
+    }
+    links
+}
+
+/// Assemble the final [`ConceptGraph`]: sense numbering, concept edges,
+/// instance leaves, fallback linking, cycle breaking.
+fn assemble(
+    state: &MergeState,
+    interner: &Interner,
+    cfg: &TaxonomyConfig,
+) -> (ConceptGraph, usize) {
+    let live: Vec<usize> = state.live().collect();
+
+    // Sense numbering per label: more evidence (members) → lower sense.
+    let mut by_label: HashMap<Symbol, Vec<usize>> = HashMap::new();
+    for &gi in &live {
+        by_label.entry(state.groups[gi].label).or_default().push(gi);
+    }
+    let mut sense_of: HashMap<usize, u32> = HashMap::new();
+    for groups in by_label.values_mut() {
+        groups.sort_by(|&a, &b| {
+            let (ga, gb) = (&state.groups[a], &state.groups[b]);
+            gb.members
+                .len()
+                .cmp(&ga.members.len())
+                .then(gb.children.len().cmp(&ga.children.len()))
+                .then(a.cmp(&b))
+        });
+        for (sense, &gi) in groups.iter().enumerate() {
+            sense_of.insert(gi, sense as u32);
+        }
+    }
+
+    // Collect edges: (parent group, target) where target is a group or a
+    // leaf label.
+    enum Target {
+        Group(usize),
+        Leaf(Symbol),
+    }
+    let mut raw_edges: Vec<(usize, Target, u32)> = Vec::new();
+    for &gi in &live {
+        let g = &state.groups[gi];
+        // Which of g's children have explicit vertical links?
+        let mut linked: HashMap<Symbol, Vec<usize>> = HashMap::new();
+        for &(_, c) in state.links.iter().filter(|&&(p, _)| p == gi) {
+            linked.entry(state.groups[c].label).or_default().push(c);
+        }
+        for (&c, &count) in &g.child_counts {
+            if let Some(targets) = linked.get(&c) {
+                for &t in targets {
+                    raw_edges.push((gi, Target::Group(t), count));
+                }
+            } else if cfg.link_fallback {
+                match by_label.get(&c) {
+                    Some(groups) if !groups.is_empty() => {
+                        // Largest sense of the label (sense 0).
+                        let t = groups[0];
+                        if t != gi {
+                            raw_edges.push((gi, Target::Group(t), count));
+                        } else {
+                            raw_edges.push((gi, Target::Leaf(c), count));
+                        }
+                    }
+                    _ => raw_edges.push((gi, Target::Leaf(c), count)),
+                }
+            } else if by_label.contains_key(&c) {
+                // Label is conceptual elsewhere but undecidable here —
+                // keep as leaf under this parent.
+                raw_edges.push((gi, Target::Leaf(c), count));
+            } else {
+                raw_edges.push((gi, Target::Leaf(c), count));
+            }
+        }
+    }
+
+    // Build node space: group nodes + leaf nodes.
+    let mut graph = ConceptGraph::new();
+    let mut group_node: HashMap<usize, NodeId> = HashMap::new();
+    for &gi in &live {
+        let g = &state.groups[gi];
+        let node = graph.ensure_node(interner.resolve(g.label), sense_of[&gi]);
+        group_node.insert(gi, node);
+    }
+    // Leaf sense: one past the label's last concept sense, so instance
+    // leaves never collide with concept nodes of the same label.
+    let leaf_sense = |label: Symbol| -> u32 {
+        by_label.get(&label).map(|g| g.len() as u32).unwrap_or(0)
+    };
+
+    // Group-to-group edges may form cycles; break them first on a compact
+    // edge list, then materialize.
+    let mut concept_edges: Vec<(usize, usize, u32)> = Vec::new();
+    let mut leaf_edges: Vec<(usize, Symbol, u32)> = Vec::new();
+    for (from, target, count) in raw_edges {
+        match target {
+            Target::Group(t) => concept_edges.push((from, t, count)),
+            Target::Leaf(l) => leaf_edges.push((from, l, count)),
+        }
+    }
+    let dropped = break_cycles(&mut concept_edges);
+
+    for (from, to, count) in concept_edges {
+        let (f, t) = (group_node[&from], group_node[&to]);
+        if f != t {
+            graph.add_evidence(f, t, count);
+        }
+    }
+    for (from, label, count) in leaf_edges {
+        let f = group_node[&from];
+        let t = graph.ensure_node(interner.resolve(label), leaf_sense(label));
+        if f != t {
+            graph.add_evidence(f, t, count);
+        }
+    }
+    (graph, dropped)
+}
+
+/// Remove the weakest edges until the edge list is acyclic. Iterative
+/// Tarjan SCC; within each non-trivial SCC the minimum-count edge is
+/// dropped, then recompute. Returns the number of edges dropped.
+fn break_cycles(edges: &mut Vec<(usize, usize, u32)>) -> usize {
+    let mut dropped = 0;
+    loop {
+        let sccs = strongly_connected(edges);
+        // Map node → scc id.
+        let mut scc_of: HashMap<usize, usize> = HashMap::new();
+        for (i, comp) in sccs.iter().enumerate() {
+            for &n in comp {
+                scc_of.insert(n, i);
+            }
+        }
+        // Find internal edges of non-trivial SCCs.
+        let mut worst: Option<usize> = None; // index into edges
+        for (idx, &(f, t, c)) in edges.iter().enumerate() {
+            if f == t {
+                worst = Some(idx);
+                break;
+            }
+            if scc_of.get(&f) == scc_of.get(&t) {
+                let comp = &sccs[scc_of[&f]];
+                if comp.len() > 1 {
+                    worst = match worst {
+                        None => Some(idx),
+                        Some(w) => Some(if c < edges[w].2 { idx } else { w }),
+                    };
+                }
+            }
+        }
+        match worst {
+            Some(idx) => {
+                edges.swap_remove(idx);
+                dropped += 1;
+            }
+            None => break,
+        }
+    }
+    dropped
+}
+
+/// Iterative Tarjan over the edge list's node universe.
+fn strongly_connected(edges: &[(usize, usize, u32)]) -> Vec<Vec<usize>> {
+    let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut nodes: BTreeSet<usize> = BTreeSet::new();
+    for &(f, t, _) in edges {
+        adj.entry(f).or_default().push(t);
+        nodes.insert(f);
+        nodes.insert(t);
+    }
+    let mut index_counter = 0usize;
+    let mut indices: HashMap<usize, usize> = HashMap::new();
+    let mut lowlink: HashMap<usize, usize> = HashMap::new();
+    let mut on_stack: BTreeSet<usize> = BTreeSet::new();
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    #[derive(Clone, Copy)]
+    enum Frame {
+        Enter(usize),
+        Resume(usize, usize), // node, child index
+    }
+
+    for &start in &nodes {
+        if indices.contains_key(&start) {
+            continue;
+        }
+        let mut call = vec![Frame::Enter(start)];
+        while let Some(frame) = call.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    indices.insert(v, index_counter);
+                    lowlink.insert(v, index_counter);
+                    index_counter += 1;
+                    stack.push(v);
+                    on_stack.insert(v);
+                    call.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut ci) => {
+                    let succs = adj.get(&v).cloned().unwrap_or_default();
+                    let mut descended = false;
+                    while ci < succs.len() {
+                        let w = succs[ci];
+                        ci += 1;
+                        match indices.get(&w) {
+                            None => {
+                                call.push(Frame::Resume(v, ci));
+                                call.push(Frame::Enter(w));
+                                descended = true;
+                                break;
+                            }
+                            Some(&wi) => {
+                                if on_stack.contains(&w) {
+                                    let lv = lowlink[&v].min(wi);
+                                    lowlink.insert(v, lv);
+                                }
+                            }
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    // All children processed: close the SCC if root.
+                    // Propagate lowlink to parent (the frame below, if a
+                    // Resume of the parent, will see updated values when it
+                    // next reads — handle by peeking).
+                    if let Some(Frame::Resume(p, _)) = call.last().copied() {
+                        let lp = lowlink[&p].min(lowlink[&v]);
+                        lowlink.insert(p, lp);
+                    }
+                    if lowlink[&v] == indices[&v] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack.remove(&w);
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        sccs.push(comp);
+                    }
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probase_store::query::LevelMap;
+
+    fn se(id: u64, root: &str, items: &[&str]) -> SentenceExtraction {
+        SentenceExtraction {
+            sentence_id: id,
+            super_label: root.to_string(),
+            items: items.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Paper Example 3 as sentence extractions.
+    fn example3() -> Vec<SentenceExtraction> {
+        vec![
+            se(0, "plant", &["tree", "grass"]),
+            se(1, "plant", &["tree", "grass", "herb"]),
+            se(2, "plant", &["steam turbine", "pump", "boiler"]),
+            se(3, "organism", &["plant", "tree", "grass", "animal"]),
+            se(4, "thing", &["plant", "tree", "grass", "pump", "boiler"]),
+        ]
+    }
+
+    #[test]
+    fn builds_two_plant_senses() {
+        let bt = build_taxonomy(&example3(), &TaxonomyConfig::default());
+        let g = &bt.graph;
+        assert_eq!(g.senses_of("plant").len(), 2, "{:?}", bt.stats);
+        // flora sense has tree/grass children; equipment has pump/boiler.
+        let senses = g.senses_of("plant");
+        let kids = |n| {
+            g.children(n)
+                .map(|(c, _)| g.label(c).to_string())
+                .collect::<BTreeSet<_>>()
+        };
+        let all: Vec<BTreeSet<String>> = senses.iter().map(|&s| kids(s)).collect();
+        assert!(all.iter().any(|k| k.contains("tree")));
+        assert!(all.iter().any(|k| k.contains("boiler")));
+    }
+
+    #[test]
+    fn organism_links_to_flora_plant_only() {
+        let bt = build_taxonomy(&example3(), &TaxonomyConfig::default());
+        let g = &bt.graph;
+        let organism = g.senses_of("organism")[0];
+        let plant_children: Vec<NodeId> = g
+            .children(organism)
+            .map(|(c, _)| c)
+            .filter(|&c| g.label(c) == "plant")
+            .collect();
+        assert_eq!(plant_children.len(), 1);
+        let flora = plant_children[0];
+        let kids: BTreeSet<&str> = g.children(flora).map(|(c, _)| g.label(c)).collect();
+        assert!(kids.contains("tree"), "{kids:?}");
+        assert!(!kids.contains("boiler"));
+    }
+
+    #[test]
+    fn result_is_a_dag_with_levels() {
+        let bt = build_taxonomy(&example3(), &TaxonomyConfig::default());
+        let levels = LevelMap::compute(&bt.graph); // panics on cycles
+        assert!(levels.max_level() >= 2);
+    }
+
+    #[test]
+    fn absorption_pulls_in_singletons() {
+        let mut sentences = example3();
+        sentences.push(se(10, "plant", &["tree"])); // singleton, flora
+        sentences.push(se(11, "plant", &["pump"])); // singleton, equipment
+        let with = build_taxonomy(&sentences, &TaxonomyConfig::default());
+        assert_eq!(with.stats.absorbed, 2);
+        assert_eq!(with.graph.senses_of("plant").len(), 2);
+        let without = build_taxonomy(
+            &sentences,
+            &TaxonomyConfig { absorb: false, ..Default::default() },
+        );
+        assert!(without.graph.senses_of("plant").len() > 2);
+    }
+
+    #[test]
+    fn edge_counts_reflect_sentence_evidence() {
+        let bt = build_taxonomy(&example3(), &TaxonomyConfig::default());
+        let g = &bt.graph;
+        let flora = {
+            let senses = g.senses_of("plant");
+            *senses
+                .iter()
+                .find(|&&s| g.children(s).any(|(c, _)| g.label(c) == "tree"))
+                .unwrap()
+        };
+        let tree = g.children(flora).find(|(c, _)| g.label(*c) == "tree").unwrap();
+        // "tree" listed under flora-plants in sentences 0 and 1.
+        assert_eq!(tree.1.count, 2);
+    }
+
+    #[test]
+    fn cycles_are_broken() {
+        // a lists b's children and vice versa → mutual vertical links.
+        let sentences = vec![
+            se(0, "alpha", &["beta", "x", "y"]),
+            se(1, "beta", &["alpha", "x", "y"]),
+            se(2, "alpha", &["x", "y", "z"]),
+            se(3, "beta", &["x", "y", "w"]),
+        ];
+        let bt = build_taxonomy(&sentences, &TaxonomyConfig::default());
+        assert!(bt.stats.cycle_edges_dropped >= 1, "{:?}", bt.stats);
+        let _ = LevelMap::compute(&bt.graph); // must not panic
+    }
+
+    #[test]
+    fn leaf_nodes_never_collide_with_concept_senses() {
+        // "plant" appears as an undecidable leaf under a parent with no
+        // overlap evidence and link_fallback off.
+        let sentences = vec![
+            se(0, "plant", &["tree", "grass"]),
+            se(1, "plant", &["pump", "boiler"]),
+            se(2, "misc", &["plant", "rock"]),
+        ];
+        let bt = build_taxonomy(
+            &sentences,
+            &TaxonomyConfig { link_fallback: false, ..Default::default() },
+        );
+        let g = &bt.graph;
+        // two concept senses + one leaf sense
+        assert_eq!(g.senses_of("plant").len(), 3);
+        let levels = LevelMap::compute(&bt.graph);
+        let _ = levels;
+    }
+
+    #[test]
+    fn fallback_links_to_largest_sense() {
+        let sentences = vec![
+            se(0, "plant", &["tree", "grass", "herb"]),
+            se(1, "plant", &["tree", "grass"]),
+            se(2, "plant", &["pump", "boiler"]),
+            se(3, "misc", &["plant", "rock"]),
+        ];
+        let bt = build_taxonomy(&sentences, &TaxonomyConfig::default());
+        let g = &bt.graph;
+        let misc = g.senses_of("misc")[0];
+        let plant_child = g.children(misc).find(|(c, _)| g.label(*c) == "plant").unwrap().0;
+        // Largest plant sense is the flora one (2 member sentences).
+        let kids: BTreeSet<&str> = g.children(plant_child).map(|(c, _)| g.label(c)).collect();
+        assert!(kids.contains("tree"), "{kids:?}");
+    }
+
+    #[test]
+    fn stats_are_coherent() {
+        let bt = build_taxonomy(&example3(), &TaxonomyConfig::default());
+        assert_eq!(bt.stats.local_taxonomies, 5);
+        assert!(bt.stats.horizontal_merges >= 1);
+        assert!(bt.stats.vertical_links >= 2);
+        assert!(bt.stats.senses <= 5);
+    }
+}

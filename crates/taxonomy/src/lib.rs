@@ -1,0 +1,37 @@
+//! # probase-taxonomy
+//!
+//! The paper's second contribution: assembling the flat set of extracted
+//! isA pairs into a sense-disambiguated taxonomy DAG (SIGMOD 2012 §3,
+//! Algorithm 2).
+//!
+//! The word "plant" in "plants such as trees and grass" and in "plants
+//! such as steam turbines and boilers" names two different concepts.
+//! Probase separates them with three observations (Properties 1–3): a
+//! single sentence uses a single sense; same-label groups with
+//! overlapping child sets share a sense (**horizontal merge**); and a
+//! group whose label is listed among another group's children, with
+//! overlapping child sets, belongs below it (**vertical merge**). The
+//! similarity test must be *absolute* overlap (Property 4) for the merge
+//! process to be confluent (Theorem 1); horizontal-before-vertical
+//! minimizes work (Theorem 2). Both theorems are property-tested here and
+//! benchmarked in the ablation suite.
+//!
+//! * [`local`] — per-sentence local taxonomies (Figure 1).
+//! * [`sim`] — absolute-overlap similarity (plus Jaccard for the ablation).
+//! * [`merge`] — the operational merge engine used by the theorem tests.
+//! * [`build`] — the production builder with indexed merging, absorption
+//!   of short lists, fallback linking, and cycle breaking.
+//! * [`regraph`] — graph-level integration: re-run Algorithm 2 across
+//!   built taxonomies from different sources.
+
+pub mod build;
+pub mod local;
+pub mod merge;
+pub mod regraph;
+pub mod sim;
+
+pub use build::{build_from_locals, build_taxonomy, BuildStats, BuiltTaxonomy, TaxonomyConfig};
+pub use local::{build_local_taxonomies, LocalTaxonomy};
+pub use merge::{CanonicalState, Group, MergeOp, MergeState};
+pub use regraph::merge_graphs;
+pub use sim::{overlap, AbsoluteOverlap, Jaccard, Similarity};

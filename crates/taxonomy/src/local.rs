@@ -1,0 +1,87 @@
+//! Local taxonomies (paper §3.4, Figure 1).
+//!
+//! By Property 1, all isA pairs derived from a single sentence share one
+//! super-concept *sense*, so each sentence's extraction becomes a depth-1
+//! tree: the root is the super-concept, the children are the extracted
+//! items. These are the atoms that horizontal and vertical merging
+//! assemble into the taxonomy DAG.
+
+use probase_extract::SentenceExtraction;
+use probase_store::{Interner, Symbol};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A single-sentence taxonomy: root plus child set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalTaxonomy {
+    /// Interned root label.
+    pub root: Symbol,
+    /// Interned child items (set semantics — duplicates in a sentence
+    /// collapse).
+    pub children: BTreeSet<Symbol>,
+    /// Originating sentence.
+    pub sentence_id: u64,
+}
+
+/// Intern a batch of sentence extractions into local taxonomies, sharing
+/// one interner (returned alongside).
+pub fn build_local_taxonomies(
+    sentences: &[SentenceExtraction],
+) -> (Vec<LocalTaxonomy>, Interner) {
+    let mut interner = Interner::new();
+    let mut out = Vec::with_capacity(sentences.len());
+    for s in sentences {
+        if s.items.is_empty() {
+            continue;
+        }
+        let root = interner.intern(&s.super_label);
+        let children: BTreeSet<Symbol> =
+            s.items.iter().map(|i| interner.intern(i)).filter(|&c| c != root).collect();
+        if children.is_empty() {
+            continue;
+        }
+        out.push(LocalTaxonomy { root, children, sentence_id: s.sentence_id });
+    }
+    (out, interner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn se(id: u64, root: &str, items: &[&str]) -> SentenceExtraction {
+        SentenceExtraction {
+            sentence_id: id,
+            super_label: root.to_string(),
+            items: items.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn builds_one_tree_per_sentence() {
+        let (locals, interner) = build_local_taxonomies(&[
+            se(0, "plant", &["tree", "grass"]),
+            se(1, "plant", &["pump", "boiler"]),
+        ]);
+        assert_eq!(locals.len(), 2);
+        assert_eq!(interner.resolve(locals[0].root), "plant");
+        assert_eq!(locals[0].root, locals[1].root); // same label symbol
+        assert_ne!(locals[0].children, locals[1].children);
+    }
+
+    #[test]
+    fn duplicates_collapse_and_self_children_drop() {
+        let (locals, _) = build_local_taxonomies(&[se(0, "animal", &["cat", "cat", "animal"])]);
+        assert_eq!(locals.len(), 1);
+        assert_eq!(locals[0].children.len(), 1);
+    }
+
+    #[test]
+    fn empty_extractions_skipped() {
+        let (locals, _) = build_local_taxonomies(&[
+            se(0, "animal", &[]),
+            se(1, "animal", &["animal"]),
+        ]);
+        assert!(locals.is_empty());
+    }
+}

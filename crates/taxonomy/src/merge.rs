@@ -1,0 +1,405 @@
+//! The merge engine: horizontal and vertical merge operations (paper §3.4)
+//! in an *operational* form.
+//!
+//! The engine models taxonomy construction exactly as the paper's proofs
+//! do: a state (set of live groups + vertical links) and two operations —
+//!
+//! * **Horizontal merge** of two same-label groups with similar child
+//!   sets (Property 2): the groups fuse, child sets union.
+//! * **Vertical merge**: a link from group `x` to group `y` when `y`'s
+//!   label is a child of `x` and the child sets are similar (Property 3).
+//!
+//! Any sequence of applicable operations can be run to exhaustion; by
+//! Theorem 1 the final structure is order-independent (property-tested in
+//! `tests/`), and by Theorem 2 running all horizontal merges first
+//! minimizes the operation count (ablation AB1). The production builder
+//! (`crate::build`) drives this engine with an indexed
+//! horizontal-first strategy.
+
+use crate::local::LocalTaxonomy;
+use crate::sim::Similarity;
+use probase_store::Symbol;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A (possibly merged) group of local taxonomies sharing one root sense.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// Root label symbol.
+    pub label: Symbol,
+    /// Union of child symbols.
+    pub children: BTreeSet<Symbol>,
+    /// Per-child evidence: number of member sentences listing the child.
+    pub child_counts: BTreeMap<Symbol, u32>,
+    /// Sentence ids merged into this group.
+    pub members: Vec<u64>,
+    /// Dead groups have been merged into another.
+    pub alive: bool,
+}
+
+/// One merge operation, in terms of current group indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeOp {
+    /// Fuse `b` into `a` (same label).
+    Horizontal(usize, usize),
+    /// Link `parent` → `child` (child's label ∈ parent's children).
+    Vertical { parent: usize, child: usize },
+}
+
+/// Merge state: groups plus vertical links.
+#[derive(Debug, Clone)]
+pub struct MergeState {
+    pub groups: Vec<Group>,
+    /// Vertical links between live group indices.
+    pub links: BTreeSet<(usize, usize)>,
+    /// Operations applied so far.
+    pub ops_applied: usize,
+}
+
+impl MergeState {
+    /// One group per local taxonomy.
+    pub fn from_locals(locals: &[LocalTaxonomy]) -> Self {
+        let groups = locals
+            .iter()
+            .map(|lt| {
+                let child_counts = lt.children.iter().map(|&c| (c, 1)).collect();
+                Group {
+                    label: lt.root,
+                    children: lt.children.clone(),
+                    child_counts,
+                    members: vec![lt.sentence_id],
+                    alive: true,
+                }
+            })
+            .collect();
+        Self { groups, links: BTreeSet::new(), ops_applied: 0 }
+    }
+
+    /// Indices of live groups.
+    pub fn live(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.groups.len()).filter(|&i| self.groups[i].alive)
+    }
+
+    /// Is `op` currently applicable?
+    pub fn applicable(&self, op: MergeOp, sim: &dyn Similarity) -> bool {
+        match op {
+            MergeOp::Horizontal(a, b) => {
+                a != b
+                    && self.groups[a].alive
+                    && self.groups[b].alive
+                    && self.groups[a].label == self.groups[b].label
+                    && sim.similar(&self.groups[a].children, &self.groups[b].children)
+            }
+            MergeOp::Vertical { parent, child } => {
+                parent != child
+                    && self.groups[parent].alive
+                    && self.groups[child].alive
+                    && self.groups[parent].children.contains(&self.groups[child].label)
+                    && !self.links.contains(&(parent, child))
+                    && sim.similar(&self.groups[parent].children, &self.groups[child].children)
+            }
+        }
+    }
+
+    /// Enumerate all currently applicable operations (O(n²); intended for
+    /// the theorem tests and small inputs, not the production path).
+    pub fn applicable_ops(&self, sim: &dyn Similarity) -> Vec<MergeOp> {
+        let live: Vec<usize> = self.live().collect();
+        let mut ops = Vec::new();
+        for (ai, &a) in live.iter().enumerate() {
+            for &b in &live[ai + 1..] {
+                if self.applicable(MergeOp::Horizontal(a, b), sim) {
+                    ops.push(MergeOp::Horizontal(a, b));
+                }
+            }
+        }
+        for &p in &live {
+            for &c in &live {
+                if self.applicable(MergeOp::Vertical { parent: p, child: c }, sim) {
+                    ops.push(MergeOp::Vertical { parent: p, child: c });
+                }
+            }
+        }
+        ops
+    }
+
+    /// Apply an operation. Panics if it is not applicable (callers check).
+    pub fn apply(&mut self, op: MergeOp, sim: &dyn Similarity) {
+        assert!(self.applicable(op, sim), "inapplicable op {op:?}");
+        match op {
+            MergeOp::Horizontal(a, b) => {
+                let dead_label = self.groups[b].label;
+                let src = std::mem::replace(
+                    &mut self.groups[b],
+                    Group {
+                        label: dead_label,
+                        children: BTreeSet::new(),
+                        child_counts: BTreeMap::new(),
+                        members: Vec::new(),
+                        alive: false,
+                    },
+                );
+                let dst = &mut self.groups[a];
+                dst.children.extend(src.children.iter().copied());
+                for (c, n) in src.child_counts {
+                    *dst.child_counts.entry(c).or_insert(0) += n;
+                }
+                dst.members.extend(src.members);
+                // Rewire links that touched b.
+                let old: Vec<(usize, usize)> = self
+                    .links
+                    .iter()
+                    .copied()
+                    .filter(|&(p, c)| p == b || c == b)
+                    .collect();
+                for (p, c) in old {
+                    self.links.remove(&(p, c));
+                    let np = if p == b { a } else { p };
+                    let nc = if c == b { a } else { c };
+                    if np != nc {
+                        self.links.insert((np, nc));
+                    }
+                }
+            }
+            MergeOp::Vertical { parent, child } => {
+                self.links.insert((parent, child));
+            }
+        }
+        self.ops_applied += 1;
+    }
+
+    /// Run operations in the order chosen by `pick` until exhaustion.
+    /// Returns the number of operations applied.
+    pub fn run_with<F>(&mut self, sim: &dyn Similarity, mut pick: F) -> usize
+    where
+        F: FnMut(&[MergeOp]) -> usize,
+    {
+        let start = self.ops_applied;
+        loop {
+            let ops = self.applicable_ops(sim);
+            if ops.is_empty() {
+                break;
+            }
+            let idx = pick(&ops).min(ops.len() - 1);
+            self.apply(ops[idx], sim);
+        }
+        self.ops_applied - start
+    }
+
+    /// The paper's optimal strategy: all horizontal merges first, then all
+    /// vertical merges (Theorem 2). Uses the generic engine; the production
+    /// builder has an indexed fast path with identical results.
+    pub fn run_horizontal_first(&mut self, sim: &dyn Similarity) -> usize {
+        let start = self.ops_applied;
+        loop {
+            let ops: Vec<MergeOp> = self
+                .applicable_ops(sim)
+                .into_iter()
+                .filter(|op| matches!(op, MergeOp::Horizontal(..)))
+                .collect();
+            if ops.is_empty() {
+                break;
+            }
+            self.apply(ops[0], sim);
+        }
+        loop {
+            let ops: Vec<MergeOp> = self
+                .applicable_ops(sim)
+                .into_iter()
+                .filter(|op| matches!(op, MergeOp::Vertical { .. }))
+                .collect();
+            if ops.is_empty() {
+                break;
+            }
+            self.apply(ops[0], sim);
+        }
+        self.ops_applied - start
+    }
+
+    /// A canonical fingerprint of the final structure, independent of
+    /// group indices: sorted groups as (label, children) plus links as
+    /// (parent fingerprint, child fingerprint). Used to verify Theorem 1.
+    pub fn canonical(&self) -> CanonicalState {
+        let mut groups: Vec<GroupFingerprint> = self
+            .live()
+            .map(|i| {
+                let g = &self.groups[i];
+                (g.label, g.children.iter().copied().collect())
+            })
+            .collect();
+        groups.sort();
+        let fp = |i: usize| -> GroupFingerprint {
+            let g = &self.groups[i];
+            (g.label, g.children.iter().copied().collect())
+        };
+        let mut links: Vec<(GroupFingerprint, GroupFingerprint)> =
+            self.links.iter().map(|&(p, c)| (fp(p), fp(c))).collect();
+        links.sort();
+        CanonicalState { groups, links }
+    }
+}
+
+/// Index-free fingerprint of one group: its label plus sorted children.
+pub type GroupFingerprint = (Symbol, Vec<Symbol>);
+
+/// Index-free fingerprint of a merge state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalState {
+    pub groups: Vec<GroupFingerprint>,
+    pub links: Vec<(GroupFingerprint, GroupFingerprint)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::AbsoluteOverlap;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn lt(root: u32, children: &[u32], id: u64) -> LocalTaxonomy {
+        LocalTaxonomy {
+            root: Symbol(root),
+            children: children.iter().map(|&c| Symbol(c)).collect(),
+            sentence_id: id,
+        }
+    }
+
+    /// The paper's Example 3 in symbolic form:
+    /// plants=0 trees=1 grass=2 herbs=3 turbines=4 pumps=5 boilers=6
+    /// organisms=7 animals=8 things=9
+    fn example3() -> Vec<LocalTaxonomy> {
+        vec![
+            lt(0, &[1, 2], 0),          // a) plants: trees grass
+            lt(0, &[1, 2, 3], 1),       // b) plants: trees grass herbs
+            lt(0, &[4, 5, 6], 2),       // c) plants: turbines pumps boilers
+            lt(7, &[0, 1, 2, 8], 3),    // d) organisms: plants trees grass animals
+            lt(9, &[0, 1, 2, 5, 6], 4), // e) things: plants trees grass pumps boilers
+        ]
+    }
+
+    #[test]
+    fn horizontal_merge_fuses_same_sense() {
+        let sim = AbsoluteOverlap { delta: 2 };
+        let mut st = MergeState::from_locals(&example3());
+        st.run_horizontal_first(&sim);
+        // plants(a) and plants(b) merged; plants(c) stays a separate sense.
+        let plant_groups: Vec<usize> =
+            st.live().filter(|&i| st.groups[i].label == Symbol(0)).collect();
+        assert_eq!(plant_groups.len(), 2);
+    }
+
+    #[test]
+    fn vertical_merge_links_parent_to_right_sense() {
+        let sim = AbsoluteOverlap { delta: 2 };
+        let mut st = MergeState::from_locals(&example3());
+        st.run_horizontal_first(&sim);
+        // organisms{plants,trees,grass,animals} links to flora-plants
+        // {trees,grass,herbs}, not to equipment-plants.
+        let flora: Vec<usize> = st
+            .live()
+            .filter(|&i| st.groups[i].label == Symbol(0) && st.groups[i].children.contains(&Symbol(1)))
+            .collect();
+        let organisms: Vec<usize> =
+            st.live().filter(|&i| st.groups[i].label == Symbol(7)).collect();
+        assert_eq!(flora.len(), 1);
+        assert_eq!(organisms.len(), 1);
+        assert!(st.links.contains(&(organisms[0], flora[0])));
+        // equipment sense not linked from organisms
+        let equip: Vec<usize> = st
+            .live()
+            .filter(|&i| st.groups[i].label == Symbol(0) && st.groups[i].children.contains(&Symbol(4)))
+            .collect();
+        assert!(!st.links.contains(&(organisms[0], equip[0])));
+    }
+
+    #[test]
+    fn things_links_to_both_plant_senses() {
+        // Figure 3(b): "things" overlaps flora (trees, grass) and equipment
+        // (pumps, boilers) — both links form.
+        let sim = AbsoluteOverlap { delta: 2 };
+        let mut st = MergeState::from_locals(&example3());
+        st.run_horizontal_first(&sim);
+        let things: usize = st.live().find(|&i| st.groups[i].label == Symbol(9)).unwrap();
+        let plant_targets: Vec<usize> =
+            st.links.iter().filter(|&&(p, _)| p == things).map(|&(_, c)| c).collect();
+        assert_eq!(plant_targets.len(), 2, "links: {:?}", st.links);
+    }
+
+    #[test]
+    fn theorem1_confluence_under_random_orders() {
+        let sim = AbsoluteOverlap { delta: 2 };
+        let mut reference: Option<CanonicalState> = None;
+        for seed in 0..12 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut st = MergeState::from_locals(&example3());
+            st.run_with(&sim, |ops| rng.gen_range(0..ops.len()));
+            let canon = st.canonical();
+            match &reference {
+                None => reference = Some(canon),
+                Some(r) => assert_eq!(r, &canon, "order changed the result (seed {seed})"),
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_horizontal_first_minimizes_ops() {
+        let sim = AbsoluteOverlap { delta: 2 };
+        let mut hf = MergeState::from_locals(&example3());
+        let hf_ops = hf.run_horizontal_first(&sim);
+        for seed in 0..12 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut st = MergeState::from_locals(&example3());
+            let ops = st.run_with(&sim, |ops| rng.gen_range(0..ops.len()));
+            assert!(hf_ops <= ops, "hf {hf_ops} > random {ops}");
+            assert_eq!(st.canonical(), hf.canonical());
+        }
+    }
+
+    #[test]
+    fn example4_vertical_first_costs_more() {
+        // Figure 4: two A-groups and two B-groups. The figure's merges
+        // include B1+B2, which share only one child — so it implicitly
+        // runs at δ=1. Vertical-first creates redundant links that the
+        // later horizontal merges collapse, costing extra operations.
+        // A=0 B=1 C=2 D=3 E=4
+        let locals = vec![
+            lt(0, &[1, 2, 3], 0), // A1: B C D
+            lt(0, &[1, 2, 4], 1), // A2: B C E
+            lt(1, &[2, 3], 2),    // B1: C D
+            lt(1, &[2, 4], 3),    // B2: C E
+        ];
+        let sim = AbsoluteOverlap { delta: 1 };
+        let mut hf = MergeState::from_locals(&locals);
+        let hf_ops = hf.run_horizontal_first(&sim);
+
+        // Force verticals first.
+        let mut vf = MergeState::from_locals(&locals);
+        loop {
+            let ops: Vec<MergeOp> = vf
+                .applicable_ops(&sim)
+                .into_iter()
+                .filter(|op| matches!(op, MergeOp::Vertical { .. }))
+                .collect();
+            if ops.is_empty() {
+                break;
+            }
+            vf.apply(ops[0], &sim);
+        }
+        let mut total_vf = vf.ops_applied;
+        total_vf += vf.run_with(&sim, |_| 0);
+        let _ = total_vf;
+        assert!(hf_ops < vf.ops_applied, "hf {hf_ops} vs vf {}", vf.ops_applied);
+        assert_eq!(hf.canonical(), vf.canonical());
+    }
+
+    #[test]
+    fn child_counts_accumulate_across_merges() {
+        let sim = AbsoluteOverlap { delta: 2 };
+        let locals = vec![lt(0, &[1, 2], 0), lt(0, &[1, 2, 3], 1)];
+        let mut st = MergeState::from_locals(&locals);
+        st.run_horizontal_first(&sim);
+        let g = st.live().next().unwrap();
+        assert_eq!(st.groups[g].child_counts[&Symbol(1)], 2);
+        assert_eq!(st.groups[g].child_counts[&Symbol(3)], 1);
+        assert_eq!(st.groups[g].members.len(), 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Graph-level taxonomy integration.
+//!
+//! Merging knowledge *sources* happens at Γ level (`Knowledge::absorb`),
+//! but sometimes only the built taxonomies survive — e.g. two Probase
+//! snapshots built from different crawls. This module re-runs Algorithm 2
+//! across graphs: every concept sense of every input graph becomes a
+//! local taxonomy (its label plus its children's labels, weighted by the
+//! edge counts), and the standard horizontal/vertical merging decides
+//! which senses across sources are the same concept. Same-label senses
+//! with overlapping children fuse; disjoint senses (the two *plants*)
+//! stay apart — exactly the Property 2/3 semantics, applied to graphs
+//! instead of sentences.
+
+use crate::build::{build_from_locals, BuiltTaxonomy, TaxonomyConfig};
+use crate::local::LocalTaxonomy;
+use probase_store::{ConceptGraph, Interner};
+use std::collections::BTreeSet;
+
+/// Merge taxonomy graphs by re-running Algorithm 2 over their senses.
+///
+/// Edge counts are preserved: a sense's local taxonomy is inserted once
+/// per unit of child evidence mass — implemented by carrying counts into
+/// the rebuilt graph through repeated sentence ids. Plausibilities are
+/// *not* carried (they are source-relative; recompute them from merged
+/// evidence if needed).
+pub fn merge_graphs(graphs: &[&ConceptGraph], cfg: &TaxonomyConfig) -> BuiltTaxonomy {
+    let mut interner = Interner::new();
+    let mut locals = Vec::new();
+    let mut pseudo_sentence = 0u64;
+    for graph in graphs {
+        for node in graph.concepts() {
+            let root = interner.intern(graph.label(node));
+            let children: BTreeSet<_> = graph
+                .children(node)
+                .map(|(c, _)| interner.intern(graph.label(c)))
+                .filter(|&c| c != root)
+                .collect();
+            if children.is_empty() {
+                continue;
+            }
+            // One local taxonomy carrying the whole child set (the sense's
+            // identity), plus per-child weight re-injection so evidence
+            // counts survive the rebuild.
+            locals.push(LocalTaxonomy {
+                root,
+                children: children.clone(),
+                sentence_id: pseudo_sentence,
+            });
+            pseudo_sentence += 1;
+            for (c, data) in graph.children(node) {
+                let sym = interner.intern(graph.label(c));
+                if sym == root {
+                    continue;
+                }
+                for _ in 1..data.count {
+                    locals.push(LocalTaxonomy {
+                        root,
+                        children: std::iter::once(sym).collect(),
+                        sentence_id: pseudo_sentence,
+                    });
+                    pseudo_sentence += 1;
+                }
+            }
+        }
+    }
+    build_from_locals(&locals, &interner, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flora_graph() -> ConceptGraph {
+        let mut g = ConceptGraph::new();
+        let plant = g.ensure_node("plant", 0);
+        for (n, w) in [("tree", 4), ("grass", 3), ("herb", 2)] {
+            let c = g.ensure_node(n, 0);
+            g.add_evidence(plant, c, w);
+        }
+        g
+    }
+
+    fn equipment_graph() -> ConceptGraph {
+        let mut g = ConceptGraph::new();
+        let plant = g.ensure_node("plant", 0);
+        for (n, w) in [("pump", 3), ("boiler", 2)] {
+            let c = g.ensure_node(n, 0);
+            g.add_evidence(plant, c, w);
+        }
+        g
+    }
+
+    fn flora_graph_other_crawl() -> ConceptGraph {
+        let mut g = ConceptGraph::new();
+        let plant = g.ensure_node("plant", 0);
+        for (n, w) in [("tree", 2), ("grass", 1), ("moss", 2)] {
+            let c = g.ensure_node(n, 0);
+            g.add_evidence(plant, c, w);
+        }
+        g
+    }
+
+    #[test]
+    fn same_sense_across_graphs_fuses() {
+        let a = flora_graph();
+        let b = flora_graph_other_crawl();
+        let merged = merge_graphs(&[&a, &b], &TaxonomyConfig::default());
+        let g = &merged.graph;
+        let senses: Vec<_> =
+            g.senses_of("plant").into_iter().filter(|&n| !g.is_instance(n)).collect();
+        assert_eq!(senses.len(), 1, "overlapping flora senses must fuse");
+        let kids: BTreeSet<&str> = g.children(senses[0]).map(|(c, _)| g.label(c)).collect();
+        for k in ["tree", "grass", "herb", "moss"] {
+            assert!(kids.contains(k), "missing {k}: {kids:?}");
+        }
+        // Counts add across crawls: tree had 4 + 2.
+        let tree = g.children(senses[0]).find(|(c, _)| g.label(*c) == "tree").unwrap();
+        assert_eq!(tree.1.count, 6);
+    }
+
+    #[test]
+    fn disjoint_senses_stay_apart() {
+        let a = flora_graph();
+        let b = equipment_graph();
+        let merged = merge_graphs(&[&a, &b], &TaxonomyConfig::default());
+        let g = &merged.graph;
+        let senses: Vec<_> =
+            g.senses_of("plant").into_iter().filter(|&n| !g.is_instance(n)).collect();
+        assert_eq!(senses.len(), 2, "flora and equipment must not fuse");
+    }
+
+    #[test]
+    fn merging_single_graph_is_faithful() {
+        let a = flora_graph();
+        let merged = merge_graphs(&[&a], &TaxonomyConfig::default());
+        let g = &merged.graph;
+        let plant = g.senses_of("plant")[0];
+        let kids: BTreeSet<&str> = g.children(plant).map(|(c, _)| g.label(c)).collect();
+        assert_eq!(kids.len(), 3);
+        let herb = g.children(plant).find(|(c, _)| g.label(*c) == "herb").unwrap();
+        assert_eq!(herb.1.count, 2);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_graph() {
+        let merged = merge_graphs(&[], &TaxonomyConfig::default());
+        assert_eq!(merged.graph.node_count(), 0);
+    }
+
+    #[test]
+    fn hierarchy_edges_survive() {
+        // a: organism -> plant(with flora children); merging with another
+        // flora crawl keeps the vertical structure.
+        let mut a = flora_graph();
+        let organism = a.ensure_node("organism", 0);
+        let plant = a.find_node("plant", 0).unwrap();
+        a.add_evidence(organism, plant, 2);
+        // organism also lists plant's children (Property 3 evidence).
+        for n in ["tree", "grass"] {
+            let c = a.find_node(n, 0).unwrap();
+            a.add_evidence(organism, c, 1);
+        }
+        let b = flora_graph_other_crawl();
+        let merged = merge_graphs(&[&a, &b], &TaxonomyConfig::default());
+        let g = &merged.graph;
+        let organism = g.senses_of("organism")[0];
+        let has_plant_child = g.children(organism).any(|(c, _)| g.label(c) == "plant");
+        assert!(has_plant_child);
+    }
+}

@@ -1,0 +1,129 @@
+//! Similarity functions over child sets (paper §3.5).
+//!
+//! Both merge operators hinge on a similarity test `Sim(A, B)` between two
+//! local taxonomies' child sets. The paper requires the test to satisfy
+//!
+//! > **Property 4.** If `A ⊆ A'` and `B ⊆ B'`, then
+//! > `Sim(A, B) ⇒ Sim(A', B')`.
+//!
+//! because only then is the merge process confluent (Theorem 1). Relative
+//! measures like Jaccard violate it — the paper's own example shows
+//! `J({MS, IBM, HP}, {MS, IBM, Intel}) = 0.5` passing a 0.5 threshold
+//! while the superset pair fails. The shipped similarity is therefore the
+//! **absolute overlap** `|A ∩ B| ≥ δ`; Jaccard is retained only for the
+//! ablation experiment (AB2 in DESIGN.md) that reproduces the absurdity.
+
+use probase_store::Symbol;
+use std::collections::BTreeSet;
+
+/// A similarity test between child sets.
+pub trait Similarity {
+    /// Are `a` and `b` similar enough to justify a merge?
+    fn similar(&self, a: &BTreeSet<Symbol>, b: &BTreeSet<Symbol>) -> bool;
+}
+
+/// Count of common elements (no allocation).
+pub fn overlap(a: &BTreeSet<Symbol>, b: &BTreeSet<Symbol>) -> usize {
+    if a.len() > b.len() {
+        return overlap(b, a);
+    }
+    a.iter().filter(|x| b.contains(x)).count()
+}
+
+/// The paper's similarity: absolute overlap at least `delta`. Satisfies
+/// Property 4 because `|A' ∩ B'| ≥ |A ∩ B|` whenever `A ⊆ A'`, `B ⊆ B'`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsoluteOverlap {
+    pub delta: usize,
+}
+
+impl Default for AbsoluteOverlap {
+    fn default() -> Self {
+        Self { delta: 2 }
+    }
+}
+
+impl Similarity for AbsoluteOverlap {
+    fn similar(&self, a: &BTreeSet<Symbol>, b: &BTreeSet<Symbol>) -> bool {
+        overlap(a, b) >= self.delta
+    }
+}
+
+/// Jaccard similarity with a relative threshold. **Violates Property 4**;
+/// included only for the ablation that demonstrates why the paper rejects
+/// relative measures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Jaccard {
+    pub threshold: f64,
+}
+
+impl Similarity for Jaccard {
+    fn similar(&self, a: &BTreeSet<Symbol>, b: &BTreeSet<Symbol>) -> bool {
+        if a.is_empty() && b.is_empty() {
+            return false;
+        }
+        let inter = overlap(a, b) as f64;
+        let union = (a.len() + b.len()) as f64 - inter;
+        inter / union >= self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(xs: &[u32]) -> BTreeSet<Symbol> {
+        xs.iter().map(|&x| Symbol(x)).collect()
+    }
+
+    #[test]
+    fn overlap_counts_common() {
+        assert_eq!(overlap(&set(&[1, 2, 3]), &set(&[2, 3, 4])), 2);
+        assert_eq!(overlap(&set(&[]), &set(&[1])), 0);
+    }
+
+    #[test]
+    fn absolute_overlap_threshold() {
+        let s = AbsoluteOverlap { delta: 2 };
+        assert!(s.similar(&set(&[1, 2, 3]), &set(&[2, 3])));
+        assert!(!s.similar(&set(&[1, 2]), &set(&[2, 9])));
+    }
+
+    #[test]
+    fn paper_jaccard_absurdity() {
+        // A={MS, IBM, HP}=1,2,3  B={MS, IBM, Intel}=1,2,4
+        // C={MS, IBM, HP, EMC, Intel, Google, Apple}=1..7 ⊇ A
+        let a = set(&[1, 2, 3]);
+        let b = set(&[1, 2, 4]);
+        let c = set(&[1, 2, 3, 4, 5, 6, 7]);
+        let j = Jaccard { threshold: 0.5 };
+        assert!(j.similar(&a, &b)); // 2/4 = 0.5
+        assert!(!j.similar(&a, &c)); // 3/7 ≈ 0.43 — absurd: A ⊆ C
+        // Absolute overlap has no such anomaly.
+        let o = AbsoluteOverlap { delta: 2 };
+        assert!(o.similar(&a, &b));
+        assert!(o.similar(&a, &c));
+    }
+
+    /// Property 4 spot check on randomized supersets.
+    #[test]
+    fn absolute_overlap_is_monotone() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        let s = AbsoluteOverlap { delta: 2 };
+        for _ in 0..200 {
+            let a: BTreeSet<Symbol> = (0..rng.gen_range(0..10)).map(|_| Symbol(rng.gen_range(0..20))).collect();
+            let b: BTreeSet<Symbol> = (0..rng.gen_range(0..10)).map(|_| Symbol(rng.gen_range(0..20))).collect();
+            let mut a2 = a.clone();
+            let mut b2 = b.clone();
+            for _ in 0..rng.gen_range(0..5) {
+                a2.insert(Symbol(rng.gen_range(0..30)));
+                b2.insert(Symbol(rng.gen_range(0..30)));
+            }
+            if s.similar(&a, &b) {
+                assert!(s.similar(&a2, &b2), "Property 4 violated");
+            }
+        }
+    }
+}

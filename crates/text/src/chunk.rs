@@ -1,0 +1,182 @@
+//! Noun-phrase chunking.
+//!
+//! Finds maximal noun phrases in a tagged token sequence. The grammar is
+//! the classic base-NP pattern:
+//!
+//! ```text
+//! NP := Det? (Adj | Noun | Num)* Noun
+//! ```
+//!
+//! The chunker is greedy and non-overlapping, scanning left to right. A
+//! determiner is consumed but not included in the phrase words (Probase
+//! concept labels never carry articles). Conjunctions terminate phrases —
+//! splitting or joining around "and"/"or" is the extractor's decision, not
+//! the chunker's, because that is exactly the ambiguity Probase resolves
+//! semantically (paper §2.3.3, "Proctor and Gamble").
+
+use crate::lexicon::Lexicon;
+use crate::phrase::NounPhrase;
+use crate::tag::{tag_tokens, Tag, TaggedToken};
+use crate::token::tokenize;
+
+/// Configurable noun-phrase chunker.
+///
+/// The default configuration matches the paper's requirements; the knobs
+/// exist for the ablation experiments (e.g. the proper-noun-only baseline).
+#[derive(Debug, Clone)]
+pub struct Chunker {
+    /// Maximum number of words in a phrase (guards against run-on chunks).
+    pub max_words: usize,
+    /// If set, only phrases whose head is a proper noun are emitted
+    /// (KnowItAll-style restriction, paper §2.1 third bullet).
+    pub proper_only: bool,
+}
+
+impl Default for Chunker {
+    fn default() -> Self {
+        Self { max_words: 6, proper_only: false }
+    }
+}
+
+impl Chunker {
+    /// Chunk a tagged token sequence into noun phrases.
+    pub fn chunk(&self, tagged: &[TaggedToken]) -> Vec<NounPhrase> {
+        let mut phrases = Vec::new();
+        let mut i = 0;
+        while i < tagged.len() {
+            if !potential_np_start(tagged[i].tag) {
+                i += 1;
+                continue;
+            }
+            // Optional determiner.
+            let mut j = i;
+            if tagged[j].tag == Tag::Det {
+                j += 1;
+            }
+            // Collect NP-internal tokens.
+            let body_start = j;
+            let mut last_noun: Option<usize> = None;
+            while j < tagged.len() && j - body_start < self.max_words && tagged[j].tag.is_np_internal()
+            {
+                if tagged[j].tag.is_noun() {
+                    last_noun = Some(j);
+                }
+                j += 1;
+            }
+            match last_noun {
+                Some(head_idx) => {
+                    let head_tag = tagged[head_idx].tag;
+                    let words: Vec<String> = tagged[body_start..=head_idx]
+                        .iter()
+                        .map(|t| t.token.text.clone())
+                        .collect();
+                    let proper = tagged[body_start..=head_idx].iter().any(|t| t.tag.is_proper_noun());
+                    if !self.proper_only || head_tag.is_proper_noun() {
+                        phrases.push(NounPhrase {
+                            words,
+                            start: body_start,
+                            end: head_idx + 1,
+                            head_plural: head_tag.is_plural_noun(),
+                            proper,
+                        });
+                    }
+                    i = head_idx + 1;
+                }
+                None => {
+                    // No noun found: skip past what we scanned.
+                    i = j.max(i + 1);
+                }
+            }
+        }
+        phrases
+    }
+}
+
+fn potential_np_start(tag: Tag) -> bool {
+    matches!(tag, Tag::Det | Tag::Adj | Tag::Noun { .. })
+}
+
+/// Convenience: tokenize, tag (with `lexicon`), and chunk `sentence` using
+/// the default chunker.
+pub fn chunk_noun_phrases(sentence: &str, lexicon: &Lexicon) -> Vec<NounPhrase> {
+    let tokens = tokenize(sentence);
+    let tagged = tag_tokens(&tokens, lexicon);
+    Chunker::default().chunk(&tagged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(sentence: &str) -> Vec<String> {
+        chunk_noun_phrases(sentence, &Lexicon::default()).into_iter().map(|p| p.text()).collect()
+    }
+
+    #[test]
+    fn simple_nps() {
+        assert_eq!(texts("animals such as cats"), ["animals", "cats"]);
+    }
+
+    #[test]
+    fn modifier_nps_stay_together() {
+        // "such" is consumed as an adjective but "as" (Prep) splits phrases.
+        let t = texts("domestic animals other than dogs");
+        assert!(t.contains(&"domestic animals".to_string()), "{t:?}");
+        assert!(t.contains(&"dogs".to_string()));
+    }
+
+    #[test]
+    fn determiner_excluded_from_phrase() {
+        assert_eq!(texts("the largest companies"), ["largest companies"]);
+    }
+
+    #[test]
+    fn conjunctions_split_phrases() {
+        let t = texts("cats and dogs");
+        assert_eq!(t, ["cats", "dogs"]);
+    }
+
+    #[test]
+    fn head_plurality_flag() {
+        let ps = chunk_noun_phrases("tropical countries such as Singapore", &Lexicon::default());
+        assert!(ps[0].head_plural);
+        assert!(!ps[1].head_plural);
+        assert!(ps[1].proper);
+    }
+
+    #[test]
+    fn proper_only_mode() {
+        let toks = tokenize("companies such as IBM");
+        let tagged = tag_tokens(&toks, &Lexicon::default());
+        let chunker = Chunker { proper_only: true, ..Chunker::default() };
+        let ps = chunker.chunk(&tagged);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].text(), "IBM");
+    }
+
+    #[test]
+    fn max_words_caps_phrase_length() {
+        let toks = tokenize("big big big big big big big cats");
+        let tagged = tag_tokens(&toks, &Lexicon::default());
+        let chunker = Chunker { max_words: 3, ..Chunker::default() };
+        let ps = chunker.chunk(&tagged);
+        // The window never reaches the head noun in the first chunk attempt,
+        // but a later attempt starting further right does.
+        assert!(ps.iter().any(|p| p.head() == "cats"));
+    }
+
+    #[test]
+    fn no_phrases_in_verb_only_sentence() {
+        assert!(texts("is was were being").is_empty());
+    }
+
+    #[test]
+    fn phrase_spans_index_tagged_tokens() {
+        let toks = tokenize("large companies such as IBM");
+        let tagged = tag_tokens(&toks, &Lexicon::default());
+        let ps = Chunker::default().chunk(&tagged);
+        let first = &ps[0];
+        assert_eq!(tagged[first.start].token.text, "large");
+        assert_eq!(tagged[first.end - 1].token.text, "companies");
+    }
+}

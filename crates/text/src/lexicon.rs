@@ -1,0 +1,96 @@
+//! Word → tag override table.
+//!
+//! The heuristic tagger in [`crate::tag`] covers ordinary English, but any
+//! real deployment carries a dictionary for domain vocabulary. `Lexicon` is
+//! that dictionary: a map from lowercase word to a coarse lexical class.
+//! The corpus simulator emits a lexicon alongside its corpus so the tagger
+//! can classify coined modifier words the same way a trained tagger would.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Coarse lexical class for a lexicon entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LexEntry {
+    /// Common noun; plurality still decided by morphology.
+    Noun,
+    /// Proper noun regardless of capitalization.
+    ProperNoun,
+    /// Adjective.
+    Adjective,
+    /// Verb.
+    Verb,
+}
+
+/// A dictionary of word-class overrides consulted before the tagger's
+/// heuristics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Lexicon {
+    entries: HashMap<String, LexEntry>,
+}
+
+impl Lexicon {
+    /// Empty lexicon (heuristics only).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `word` (stored lowercase) with class `entry`. Later inserts
+    /// overwrite earlier ones.
+    pub fn insert(&mut self, word: &str, entry: LexEntry) {
+        self.entries.insert(word.to_lowercase(), entry);
+    }
+
+    /// Look up a lowercase word.
+    pub fn get(&self, word: &str) -> Option<LexEntry> {
+        self.entries.get(word).copied()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the lexicon has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merge another lexicon into this one; `other` wins on conflicts.
+    pub fn extend(&mut self, other: &Lexicon) {
+        for (w, e) in &other.entries {
+            self.entries.insert(w.clone(), *e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get_case_insensitive() {
+        let mut lex = Lexicon::new();
+        lex.insert("Tropical", LexEntry::Adjective);
+        assert_eq!(lex.get("tropical"), Some(LexEntry::Adjective));
+        assert_eq!(lex.get("unknown"), None);
+    }
+
+    #[test]
+    fn extend_overwrites() {
+        let mut a = Lexicon::new();
+        a.insert("x", LexEntry::Noun);
+        let mut b = Lexicon::new();
+        b.insert("x", LexEntry::Verb);
+        a.extend(&b);
+        assert_eq!(a.get("x"), Some(LexEntry::Verb));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn empty_lexicon() {
+        let lex = Lexicon::new();
+        assert!(lex.is_empty());
+        assert_eq!(lex.len(), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! # probase-text
+//!
+//! Lightweight, deterministic natural-language substrate for the Probase
+//! pipeline.
+//!
+//! The Probase paper (SIGMOD 2012) extracts *isA* pairs from sentences that
+//! match Hearst patterns. Doing so requires a handful of shallow NLP
+//! capabilities: tokenization, plural detection, singularization, a
+//! heuristic part-of-speech tagger, and noun-phrase chunking. The original
+//! system used Microsoft-internal NLP components; this crate provides a
+//! self-contained, rule-based equivalent that exercises the identical
+//! interfaces (see DESIGN.md, substitution table).
+//!
+//! Everything here is deterministic: the same input string always produces
+//! the same tokens, tags, and chunks, which keeps the whole reproduction
+//! reproducible under a fixed RNG seed.
+//!
+//! ## Layout
+//!
+//! * [`token`] — tokenizer producing [`token::Token`]s with byte spans.
+//! * [`morph`] — plural detection, pluralization and singularization.
+//! * [`tag`] — heuristic part-of-speech tagging over tokens.
+//! * [`lexicon`] — optional word → tag overrides (stand-in for a trained
+//!   tagger's dictionary).
+//! * [`sentence`] — sentence segmentation for raw documents.
+//! * [`chunk`] — noun-phrase chunking on top of tagged tokens.
+//! * [`phrase`] — the [`phrase::NounPhrase`] type plus modifier stripping,
+//!   used by super-concept detection (paper §2.3.2).
+
+#![warn(missing_docs)]
+
+pub mod chunk;
+pub mod lexicon;
+pub mod morph;
+pub mod phrase;
+pub mod sentence;
+pub mod tag;
+pub mod token;
+
+pub use chunk::{chunk_noun_phrases, Chunker};
+pub use lexicon::{LexEntry, Lexicon};
+pub use morph::{is_plural, pluralize, singularize};
+pub use phrase::NounPhrase;
+pub use sentence::split_sentences;
+pub use tag::{tag_tokens, Tag, TaggedToken};
+pub use token::{tokenize, Token, TokenKind};
+
+/// Normalize a concept label: lowercase every word and singularize the head
+/// (final) word. `"Industrialized Countries"` becomes
+/// `"industrialized country"`.
+///
+/// Probase stores concepts in this canonical form so that `"animals"` in one
+/// sentence and `"Animals"` in another land on the same node.
+pub fn normalize_concept(label: &str) -> String {
+    let words: Vec<&str> = label.split_whitespace().collect();
+    let mut out = String::with_capacity(label.len());
+    for (i, w) in words.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let lower = w.to_lowercase();
+        if i + 1 == words.len() {
+            out.push_str(&singularize(&lower));
+        } else {
+            out.push_str(&lower);
+        }
+    }
+    out
+}
+
+/// Normalize an instance surface form: trim surrounding whitespace and
+/// collapse internal runs of whitespace. Case is preserved because instances
+/// are frequently proper names (`"Proctor and Gamble"`).
+pub fn normalize_instance(surface: &str) -> String {
+    let mut out = String::with_capacity(surface.len());
+    for (i, w) in surface.split_whitespace().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(w);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_concept_lowercases_and_singularizes_head() {
+        assert_eq!(normalize_concept("Industrialized Countries"), "industrialized country");
+        assert_eq!(normalize_concept("animals"), "animal");
+        assert_eq!(normalize_concept("BRIC countries"), "bric country");
+    }
+
+    #[test]
+    fn normalize_concept_only_touches_head_word() {
+        // "sports cars": the modifier keeps its surface plural form.
+        assert_eq!(normalize_concept("sports cars"), "sports car");
+    }
+
+    #[test]
+    fn normalize_instance_collapses_whitespace() {
+        assert_eq!(normalize_instance("  Proctor   and  Gamble "), "Proctor and Gamble");
+        assert_eq!(normalize_instance("IBM"), "IBM");
+    }
+
+    #[test]
+    fn normalize_concept_empty_is_empty() {
+        assert_eq!(normalize_concept(""), "");
+        assert_eq!(normalize_instance(""), "");
+    }
+}

@@ -1,0 +1,288 @@
+//! English noun morphology: plural detection, pluralization, and
+//! singularization.
+//!
+//! Probase's syntactic extraction (paper §2.3.1) requires every candidate
+//! super-concept to be a *plural* noun phrase, and concept labels are stored
+//! in singular canonical form. A small irregular table plus suffix rules
+//! covers the vocabulary used by both the corpus simulator and realistic
+//! English text.
+//!
+//! The three functions are mutually consistent on the vocabulary they
+//! handle: `is_plural(&pluralize(w))` holds for any singular noun `w`, and
+//! `singularize(&pluralize(w)) == w` for regular nouns and the irregular
+//! table (property-tested in `tests/`).
+
+/// Irregular singular → plural pairs. Both directions are consulted.
+const IRREGULARS: &[(&str, &str)] = &[
+    ("man", "men"),
+    ("woman", "women"),
+    ("child", "children"),
+    ("person", "people"),
+    ("foot", "feet"),
+    ("tooth", "teeth"),
+    ("goose", "geese"),
+    ("mouse", "mice"),
+    ("louse", "lice"),
+    ("ox", "oxen"),
+    ("criterion", "criteria"),
+    ("phenomenon", "phenomena"),
+    ("datum", "data"),
+    ("medium", "media"),
+    ("analysis", "analyses"),
+    ("basis", "bases"),
+    ("crisis", "crises"),
+    ("thesis", "theses"),
+    ("index", "indices"),
+    ("matrix", "matrices"),
+    ("vertex", "vertices"),
+    ("appendix", "appendices"),
+    ("cactus", "cacti"),
+    ("focus", "foci"),
+    ("fungus", "fungi"),
+    ("nucleus", "nuclei"),
+    ("stimulus", "stimuli"),
+    ("syllabus", "syllabi"),
+    ("alumnus", "alumni"),
+    ("curriculum", "curricula"),
+    ("bacterium", "bacteria"),
+    ("leaf", "leaves"),
+    ("loaf", "loaves"),
+    ("knife", "knives"),
+    ("life", "lives"),
+    ("wife", "wives"),
+    ("wolf", "wolves"),
+    ("shelf", "shelves"),
+    ("half", "halves"),
+    ("calf", "calves"),
+    ("thief", "thieves"),
+    // Nouns in -ie whose plural would otherwise singularize to "-y".
+    ("movie", "movies"),
+    ("cookie", "cookies"),
+    ("zombie", "zombies"),
+    ("calorie", "calories"),
+    ("genie", "genies"),
+    ("pixie", "pixies"),
+    ("prairie", "prairies"),
+    ("sortie", "sorties"),
+    ("budgie", "budgies"),
+    ("selfie", "selfies"),
+];
+
+/// Words that are identical in singular and plural (treated as plural by
+/// `is_plural` because they commonly head plural NPs in Hearst patterns:
+/// "species such as ...").
+const INVARIANT_PLURALS: &[&str] =
+    &["species", "series", "fish", "sheep", "deer", "aircraft", "means", "offspring"];
+
+/// Common singular words ending in `s` that the suffix heuristic would
+/// otherwise misclassify as plural. Words in "-ics" (athletics, physics)
+/// are additionally covered by a suffix rule.
+const SINGULAR_S_WORDS: &[&str] = &[
+    "bus", "gas", "lens", "iris", "virus", "campus", "status", "bonus", "census", "corpus",
+    "genius", "chaos", "atlas", "canvas", "tennis", "news",
+];
+
+/// Uncountable (mass) nouns: no plural form at all. They appear among the
+/// curated instance inventory ("dishes such as beef and dairy").
+const UNCOUNTABLE: &[&str] = &[
+    "broccoli", "spinach", "sushi", "beef", "dairy", "rice", "milk", "cheese", "bread",
+    "butter", "tobacco", "alcohol", "caffeine", "insulin", "heroin", "morphine", "water",
+    "gymnastics", "athletics", "muesli", "diabetes", "tuberculosis", "rabies", "measles",
+];
+
+fn irregular_plural_of(word: &str) -> Option<&'static str> {
+    IRREGULARS.iter().find(|(s, _)| *s == word).map(|(_, p)| *p)
+}
+
+fn irregular_singular_of(word: &str) -> Option<&'static str> {
+    IRREGULARS.iter().find(|(_, p)| *p == word).map(|(s, _)| *s)
+}
+
+/// Is this (lowercase) word plausibly a plural noun form?
+///
+/// ```
+/// use probase_text::morph::is_plural;
+/// assert!(is_plural("animals"));
+/// assert!(is_plural("countries"));
+/// assert!(is_plural("children"));
+/// assert!(!is_plural("animal"));
+/// assert!(!is_plural("bus"));
+/// assert!(!is_plural("glass"));
+/// ```
+pub fn is_plural(word: &str) -> bool {
+    let w = word.to_lowercase();
+    if irregular_singular_of(&w).is_some() {
+        return true;
+    }
+    if irregular_plural_of(&w).is_some() {
+        return false; // it's a known singular
+    }
+    if INVARIANT_PLURALS.contains(&w.as_str()) {
+        return true;
+    }
+    if SINGULAR_S_WORDS.contains(&w.as_str()) || UNCOUNTABLE.contains(&w.as_str()) {
+        return false;
+    }
+    if w.len() < 3 {
+        return false;
+    }
+    if w.ends_with("ss") || w.ends_with("us") || w.ends_with("is") || w.ends_with("ics") {
+        return false;
+    }
+    w.ends_with('s')
+}
+
+/// Pluralize a (lowercase) singular noun using standard English rules.
+///
+/// ```
+/// use probase_text::morph::pluralize;
+/// assert_eq!(pluralize("country"), "countries");
+/// assert_eq!(pluralize("company"), "companies");
+/// assert_eq!(pluralize("box"), "boxes");
+/// assert_eq!(pluralize("church"), "churches");
+/// assert_eq!(pluralize("child"), "children");
+/// assert_eq!(pluralize("cat"), "cats");
+/// ```
+pub fn pluralize(word: &str) -> String {
+    if word.is_empty() {
+        return String::new();
+    }
+    if let Some(p) = irregular_plural_of(word) {
+        return p.to_string();
+    }
+    if INVARIANT_PLURALS.contains(&word)
+        || UNCOUNTABLE.contains(&word)
+        || word.ends_with("ics")
+    {
+        return word.to_string();
+    }
+    let bytes = word.as_bytes();
+    let last = bytes[bytes.len() - 1];
+    if last == b'y' && bytes.len() >= 2 && !is_vowel(bytes[bytes.len() - 2]) {
+        return format!("{}ies", &word[..word.len() - 1]);
+    }
+    if word.ends_with('s')
+        || word.ends_with('x')
+        || word.ends_with('z')
+        || word.ends_with("ch")
+        || word.ends_with("sh")
+    {
+        return format!("{word}es");
+    }
+    if word.ends_with('o') && bytes.len() >= 2 && !is_vowel(bytes[bytes.len() - 2]) {
+        // tomato → tomatoes; but piano/photo are exceptions we accept.
+        return format!("{word}es");
+    }
+    format!("{word}s")
+}
+
+/// Singularize a (lowercase) noun. Inverse of [`pluralize`] on regular nouns
+/// and the irregular table; words already singular are returned unchanged
+/// whenever the heuristics can tell.
+///
+/// ```
+/// use probase_text::morph::singularize;
+/// assert_eq!(singularize("countries"), "country");
+/// assert_eq!(singularize("boxes"), "box");
+/// assert_eq!(singularize("children"), "child");
+/// assert_eq!(singularize("animals"), "animal");
+/// assert_eq!(singularize("animal"), "animal");
+/// ```
+pub fn singularize(word: &str) -> String {
+    if let Some(s) = irregular_singular_of(word) {
+        return s.to_string();
+    }
+    if irregular_plural_of(word).is_some() {
+        return word.to_string(); // already singular (irregular)
+    }
+    if INVARIANT_PLURALS.contains(&word)
+        || SINGULAR_S_WORDS.contains(&word)
+        || UNCOUNTABLE.contains(&word)
+    {
+        return word.to_string();
+    }
+    if !is_plural(word) {
+        return word.to_string();
+    }
+    if let Some(stem) = word.strip_suffix("ies") {
+        if !stem.is_empty() {
+            return format!("{stem}y");
+        }
+    }
+    if word.ends_with("xes")
+        || word.ends_with("zes")
+        || word.ends_with("ches")
+        || word.ends_with("shes")
+        || word.ends_with("sses")
+        || word.ends_with("oes")
+    {
+        return word[..word.len() - 2].to_string();
+    }
+    if let Some(stem) = word.strip_suffix('s') {
+        return stem.to_string();
+    }
+    word.to_string()
+}
+
+fn is_vowel(b: u8) -> bool {
+    matches!(b, b'a' | b'e' | b'i' | b'o' | b'u')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn irregulars_roundtrip() {
+        for (s, p) in IRREGULARS {
+            assert_eq!(pluralize(s), *p, "pluralize({s})");
+            assert_eq!(singularize(p), *s, "singularize({p})");
+            assert!(is_plural(p), "is_plural({p})");
+            assert!(!is_plural(s), "!is_plural({s})");
+        }
+    }
+
+    #[test]
+    fn regular_roundtrip() {
+        for w in ["cat", "country", "company", "box", "church", "bush", "city", "hero", "table"] {
+            let p = pluralize(w);
+            assert!(is_plural(&p), "is_plural({p})");
+            assert_eq!(singularize(&p), w, "singularize({p})");
+        }
+    }
+
+    #[test]
+    fn invariant_plurals_stay_put() {
+        assert_eq!(pluralize("species"), "species");
+        assert_eq!(singularize("species"), "species");
+        assert!(is_plural("species"));
+    }
+
+    #[test]
+    fn singular_s_words_not_plural() {
+        for w in SINGULAR_S_WORDS {
+            assert!(!is_plural(w), "{w} misdetected as plural");
+            assert_eq!(singularize(w), *w);
+        }
+    }
+
+    #[test]
+    fn short_words_not_plural() {
+        assert!(!is_plural("is"));
+        assert!(!is_plural("as"));
+        assert!(!is_plural("us"));
+    }
+
+    #[test]
+    fn singularize_idempotent_on_singular() {
+        for w in ["animal", "country", "child", "bus", "species"] {
+            assert_eq!(singularize(&singularize(w)), singularize(w));
+        }
+    }
+
+    #[test]
+    fn case_insensitive_plural_detection() {
+        assert!(is_plural("Animals"));
+        assert!(is_plural("COUNTRIES"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Noun phrases and modifier stripping.
+//!
+//! A [`NounPhrase`] is the unit Hearst extraction reasons about: candidate
+//! super-concepts are plural noun phrases, and super-concept detection
+//! (paper §2.3.2) may *strip the modifier* of an unseen candidate
+//! ("domestic animals" → "animals") to consult the knowledge Γ about the
+//! more general concept.
+
+use serde::{Deserialize, Serialize};
+
+/// A chunked noun phrase: one or more words, the last of which is the head.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NounPhrase {
+    /// Words of the phrase in order, surface form.
+    pub words: Vec<String>,
+    /// Index of the first token of the phrase in the tagged-token sequence.
+    pub start: usize,
+    /// One past the index of the last token of the phrase.
+    pub end: usize,
+    /// Whether the head noun is plural.
+    pub head_plural: bool,
+    /// Whether any word is a proper noun.
+    pub proper: bool,
+}
+
+impl NounPhrase {
+    /// The head word (always present; chunker never emits empty phrases).
+    pub fn head(&self) -> &str {
+        self.words.last().expect("noun phrase has at least one word")
+    }
+
+    /// Surface text with single spaces.
+    pub fn text(&self) -> String {
+        self.words.join(" ")
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the phrase has no words (never produced by the chunker,
+    /// but kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Strip the leading modifier: `"domestic animals"` → `"animals"`,
+    /// `"large IT companies"` → `"IT companies"`. Returns `None` when the
+    /// phrase is a bare head already.
+    ///
+    /// Used by super-concept detection: if a multiword candidate is unknown
+    /// to Γ, the more general concept obtained by dropping one modifier is
+    /// consulted instead (paper §2.3.2, "we strip the modifier of x and
+    /// check the remaining (more general) concept in Γ again").
+    pub fn strip_modifier(&self) -> Option<NounPhrase> {
+        if self.words.len() < 2 {
+            return None;
+        }
+        Some(NounPhrase {
+            words: self.words[1..].to_vec(),
+            start: self.start + 1,
+            end: self.end,
+            head_plural: self.head_plural,
+            proper: self.proper,
+        })
+    }
+
+    /// Iterate over successively more general phrases: the phrase itself,
+    /// then with one modifier stripped, and so on down to the bare head.
+    pub fn generalizations(&self) -> impl Iterator<Item = NounPhrase> + '_ {
+        let mut current = Some(self.clone());
+        std::iter::from_fn(move || {
+            let out = current.take()?;
+            current = out.strip_modifier();
+            Some(out)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn np(words: &[&str]) -> NounPhrase {
+        NounPhrase {
+            words: words.iter().map(|w| w.to_string()).collect(),
+            start: 0,
+            end: words.len(),
+            head_plural: true,
+            proper: false,
+        }
+    }
+
+    #[test]
+    fn head_and_text() {
+        let p = np(&["domestic", "animals"]);
+        assert_eq!(p.head(), "animals");
+        assert_eq!(p.text(), "domestic animals");
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn strip_modifier_steps_toward_head() {
+        let p = np(&["large", "IT", "companies"]);
+        let s1 = p.strip_modifier().unwrap();
+        assert_eq!(s1.text(), "IT companies");
+        let s2 = s1.strip_modifier().unwrap();
+        assert_eq!(s2.text(), "companies");
+        assert!(s2.strip_modifier().is_none());
+    }
+
+    #[test]
+    fn generalizations_enumerates_all() {
+        let p = np(&["large", "IT", "companies"]);
+        let all: Vec<String> = p.generalizations().map(|g| g.text()).collect();
+        assert_eq!(all, ["large IT companies", "IT companies", "companies"]);
+    }
+
+    #[test]
+    fn generalizations_of_bare_head_is_self_only() {
+        let p = np(&["companies"]);
+        assert_eq!(p.generalizations().count(), 1);
+    }
+}

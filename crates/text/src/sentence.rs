@@ -1,0 +1,154 @@
+//! Sentence segmentation.
+//!
+//! Downstream users bring *documents*, not pre-split sentences; the paper's
+//! pipeline starts from 1.68 B pages of raw text. This splitter covers the
+//! cases Hearst extraction cares about:
+//!
+//! * `.` / `!` / `?` end a sentence,
+//! * but not inside common abbreviations ("e.g.", "Dr.", "U.S."),
+//! * and not when the period is part of a decimal number or an
+//!   initialism ("3.5", "J. K. Rowling").
+
+/// Abbreviations whose trailing period does not end a sentence.
+const ABBREVIATIONS: &[&str] = &[
+    "e.g", "i.e", "etc", "vs", "dr", "mr", "mrs", "ms", "prof", "inc", "ltd", "co", "corp",
+    "st", "no", "fig", "vol", "jr", "sr", "dept", "est", "approx",
+];
+
+/// Split raw text into sentences. Whitespace is normalized per sentence;
+/// empty sentences are dropped.
+///
+/// ```
+/// use probase_text::split_sentences;
+/// let s = split_sentences("Fruits, e.g. apples, are sweet. Prices rose 3.5 percent.");
+/// assert_eq!(s.len(), 2);
+/// ```
+pub fn split_sentences(text: &str) -> Vec<String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut sentences = Vec::new();
+    let mut current = String::new();
+
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        current.push(c);
+        let is_terminator = matches!(c, '.' | '!' | '?');
+        if is_terminator {
+            let ends_here = match c {
+                '!' | '?' => true,
+                '.' => {
+                    !is_decimal_point(&chars, i)
+                        && !is_initial(&chars, i)
+                        && !ends_with_abbreviation(&current)
+                }
+                _ => unreachable!(),
+            };
+            // A terminator only ends the sentence when followed by
+            // whitespace-then-capital/digit or end of input.
+            let followed_ok = next_nonspace(&chars, i + 1)
+                .map(|ch| ch.is_uppercase() || ch.is_ascii_digit())
+                .unwrap_or(true);
+            if ends_here && followed_ok {
+                push_sentence(&mut sentences, &current);
+                current.clear();
+            }
+        }
+        i += 1;
+    }
+    push_sentence(&mut sentences, &current);
+    sentences
+}
+
+fn push_sentence(out: &mut Vec<String>, raw: &str) {
+    let normalized = raw.split_whitespace().collect::<Vec<_>>().join(" ");
+    if !normalized.is_empty() {
+        out.push(normalized);
+    }
+}
+
+fn next_nonspace(chars: &[char], from: usize) -> Option<char> {
+    chars[from..].iter().copied().find(|c| !c.is_whitespace())
+}
+
+/// `3.5` — digit on both sides of the period.
+fn is_decimal_point(chars: &[char], dot: usize) -> bool {
+    dot > 0
+        && chars[dot - 1].is_ascii_digit()
+        && chars.get(dot + 1).map(|c| c.is_ascii_digit()).unwrap_or(false)
+}
+
+/// `J.` in "J. K. Rowling" — single capital letter before the period.
+fn is_initial(chars: &[char], dot: usize) -> bool {
+    if dot == 0 || !chars[dot - 1].is_uppercase() {
+        return false;
+    }
+    dot == 1 || !chars[dot - 2].is_alphanumeric()
+}
+
+fn ends_with_abbreviation(current: &str) -> bool {
+    let trimmed = current.trim_end_matches('.');
+    let last_word = trimmed.rsplit(|c: char| c.is_whitespace() || c == '(').next().unwrap_or("");
+    let lower = last_word.to_lowercase();
+    ABBREVIATIONS.contains(&lower.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_plain_sentences() {
+        let s = split_sentences("Animals such as cats. Companies such as IBM!");
+        assert_eq!(s, ["Animals such as cats.", "Companies such as IBM!"]);
+    }
+
+    #[test]
+    fn abbreviations_do_not_split() {
+        let s = split_sentences("Fruits, e.g. apples, are sweet. Next sentence.");
+        assert_eq!(s.len(), 2, "{s:?}");
+        assert!(s[0].contains("e.g. apples"));
+    }
+
+    #[test]
+    fn decimals_do_not_split() {
+        let s = split_sentences("The price rose 3.5 percent. It fell later.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("3.5 percent"));
+    }
+
+    #[test]
+    fn initials_do_not_split() {
+        let s = split_sentences("Books by J. K. Rowling sold well. Others did not.");
+        assert_eq!(s.len(), 2, "{s:?}");
+        assert!(s[0].contains("J. K. Rowling"));
+    }
+
+    #[test]
+    fn lowercase_continuation_does_not_split() {
+        // A period followed by a lowercase word is treated as internal
+        // (common with abbreviation-like tokens we do not know).
+        let s = split_sentences("It cost approx. twenty dollars. Done.");
+        assert_eq!(s.len(), 2, "{s:?}");
+    }
+
+    #[test]
+    fn whitespace_normalized() {
+        let s = split_sentences("  spaced   out\n\ttext.  ");
+        assert_eq!(s, ["spaced out text."]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences("   \n ").is_empty());
+    }
+
+    #[test]
+    fn trailing_text_without_terminator_kept() {
+        let s = split_sentences("First one. Second half without end");
+        assert_eq!(s.len(), 2, "{s:?}");
+        // Lowercase after a period reads as a continuation, not a split.
+        let s = split_sentences("First one. second half without end");
+        assert_eq!(s.len(), 1, "{s:?}");
+    }
+}

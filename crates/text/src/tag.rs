@@ -1,0 +1,266 @@
+//! Heuristic part-of-speech tagging.
+//!
+//! A rule-based tagger sufficient for Hearst-pattern extraction. It
+//! distinguishes the word classes the chunker and pattern matcher care
+//! about: determiners, conjunctions, prepositions, verbs/auxiliaries (so
+//! they terminate noun phrases), adjectives, and nouns (with plural and
+//! proper-noun flags). An optional [`crate::Lexicon`] supplies overrides for
+//! domain vocabulary the heuristics cannot classify.
+
+use crate::lexicon::{LexEntry, Lexicon};
+use crate::morph::is_plural;
+use crate::token::{Token, TokenKind};
+use serde::{Deserialize, Serialize};
+
+/// Part-of-speech tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tag {
+    /// Determiner / article: "the", "a", "these", …
+    Det,
+    /// Coordinating conjunction: "and", "or", "but".
+    Conj,
+    /// Preposition or subordinator: "of", "in", "than", …
+    Prep,
+    /// Pronoun: "we", "they", "it", …
+    Pron,
+    /// Verb or auxiliary: "is", "compete", "invaded", …
+    Verb,
+    /// Adverb-ish function word: "not", "very", "too", …
+    Adv,
+    /// Adjective (or unclassified modifier).
+    Adj,
+    /// Noun.
+    Noun {
+        /// Plural surface form ("animals", "children").
+        plural: bool,
+        /// Proper noun ("IBM", "China").
+        proper: bool,
+    },
+    /// Cardinal number.
+    Num,
+    /// Punctuation.
+    Punct,
+}
+
+impl Tag {
+    /// Any noun, common or proper, singular or plural.
+    pub fn is_noun(self) -> bool {
+        matches!(self, Tag::Noun { .. })
+    }
+
+    /// A plural noun (the only legal head for a super-concept NP).
+    pub fn is_plural_noun(self) -> bool {
+        matches!(self, Tag::Noun { plural: true, .. })
+    }
+
+    /// A proper noun.
+    pub fn is_proper_noun(self) -> bool {
+        matches!(self, Tag::Noun { proper: true, .. })
+    }
+
+    /// May this tag appear inside a noun phrase (after an optional leading
+    /// determiner)?
+    pub fn is_np_internal(self) -> bool {
+        matches!(self, Tag::Adj | Tag::Noun { .. } | Tag::Num)
+    }
+}
+
+/// A token together with its assigned tag.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaggedToken {
+    /// The underlying token.
+    pub token: Token,
+    /// Its assigned part-of-speech tag.
+    pub tag: Tag,
+}
+
+const DETERMINERS: &[&str] = &[
+    "the", "a", "an", "this", "that", "these", "those", "some", "any", "all", "both", "each",
+    "every", "no", "many", "most", "several", "few", "his", "her", "its", "their", "our", "my",
+    "your",
+];
+
+const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor"];
+
+const PREPOSITIONS: &[&str] = &[
+    "of", "in", "on", "at", "by", "for", "with", "from", "to", "into", "onto", "over", "under",
+    "about", "after", "before", "between", "during", "through", "without", "within", "than", "according",
+    "as", "like", "among", "across", "against", "around", "near", "per", "via",
+];
+
+const PRONOUNS: &[&str] = &[
+    "i", "we", "you", "he", "she", "it", "they", "them", "him", "us", "me", "who", "which",
+    "what", "whom", "whose", "there", "here",
+];
+
+/// Common verbs and auxiliaries that would otherwise look like nouns. The
+/// list needs to cover what appears in corpus-simulator prose plus ordinary
+/// web-sentence glue.
+const VERBS: &[&str] = &[
+    "is", "are", "was", "were", "be", "been", "being", "am", "do", "does", "did", "have", "has",
+    "had", "can", "could", "will", "would", "shall", "should", "may", "might", "must", "include",
+    "includes", "included", "contain", "contains", "contained", "offer", "offers", "offered",
+    "provide", "provides", "provided", "sell", "sells", "sold", "make", "makes", "made", "use",
+    "uses", "used", "see", "saw", "seen", "find", "found", "visit", "visited", "feature",
+    "features", "featured", "know", "known", "knows", "love", "loves", "loved", "prefer",
+    "prefers", "buy", "buys", "bought", "study", "studied", "studies", "compete", "competes",
+    "work", "works", "worked", "grow", "grows", "grew", "become", "becomes", "became",
+    "recommend", "recommends", "recommended", "mention", "mentions", "mentioned", "track",
+    "tracks", "tracked", "cover", "covers", "covered", "list", "lists", "listed", "discuss",
+    "discussed", "realize", "realizes", "realized", "remain", "remains", "remained", "rose",
+    "rise", "rises", "keep", "keeps", "kept", "ask", "asks", "asked", "change", "changes",
+    "changed",
+];
+
+const ADVERBS: &[&str] = &[
+    "not", "very", "too", "also", "just", "only", "often", "always", "never", "sometimes",
+    "usually", "typically", "generally", "especially", "particularly", "notably", "mostly",
+    "mainly", "even", "still", "already", "again", "together", "etc",
+];
+
+/// Adjective-like suffixes. Deliberately short: ambiguous suffixes like
+/// `-al` (which also ends "animal", "hospital") are excluded; the lexicon
+/// handles those.
+const ADJ_SUFFIXES: &[&str] = &["ous", "ive", "able", "ible", "ful", "less", "ish", "ile"];
+
+/// A small built-in adjective list covering modifiers that appear in the
+/// paper's examples and in the corpus simulator's modifier inventory.
+const ADJECTIVES: &[&str] = &[
+    "large", "largest", "big", "biggest", "small", "smallest", "best", "worst", "good", "great",
+    "new", "old", "young", "major", "minor", "common", "rare", "popular", "famous", "typical",
+    "classic", "modern", "ancient", "domestic", "wild", "tropical", "industrialized",
+    "developing", "developed", "emerging", "renewable", "beautiful", "important", "other",
+    "such", "same", "different", "various", "certain", "local", "global", "national",
+    "international", "public", "private", "top", "leading", "key", "main",
+];
+
+fn lookup(word: &str, list: &[&str]) -> bool {
+    list.contains(&word)
+}
+
+/// Tag a token sequence.
+///
+/// `lexicon` may be empty ([`Lexicon::default`]); entries in it override the
+/// heuristics. The tagger never looks at more than one token of context: the
+/// only contextual rule is that sentence-initial capitalization alone does
+/// not make a proper noun.
+pub fn tag_tokens(tokens: &[Token], lexicon: &Lexicon) -> Vec<TaggedToken> {
+    tokens
+        .iter()
+        .enumerate()
+        .map(|(i, tok)| TaggedToken { token: tok.clone(), tag: tag_one(tok, i == 0, lexicon) })
+        .collect()
+}
+
+fn tag_one(tok: &Token, sentence_initial: bool, lexicon: &Lexicon) -> Tag {
+    match tok.kind {
+        TokenKind::Punct => return Tag::Punct,
+        TokenKind::Number => return Tag::Num,
+        TokenKind::Word => {}
+    }
+    let lower = tok.text.to_lowercase();
+
+    if let Some(entry) = lexicon.get(&lower) {
+        return match entry {
+            LexEntry::Noun => Tag::Noun { plural: is_plural(&lower), proper: false },
+            LexEntry::ProperNoun => Tag::Noun { plural: false, proper: true },
+            LexEntry::Adjective => Tag::Adj,
+            LexEntry::Verb => Tag::Verb,
+        };
+    }
+
+    if lookup(&lower, DETERMINERS) {
+        return Tag::Det;
+    }
+    if lookup(&lower, CONJUNCTIONS) {
+        return Tag::Conj;
+    }
+    if lookup(&lower, PREPOSITIONS) {
+        return Tag::Prep;
+    }
+    if lookup(&lower, PRONOUNS) {
+        return Tag::Pron;
+    }
+    if lookup(&lower, VERBS) {
+        return Tag::Verb;
+    }
+    if lookup(&lower, ADVERBS) {
+        return Tag::Adv;
+    }
+    if tok.is_acronym() || (tok.is_capitalized() && !sentence_initial) {
+        return Tag::Noun { plural: false, proper: true };
+    }
+    if lookup(&lower, ADJECTIVES) || ADJ_SUFFIXES.iter().any(|s| lower.ends_with(s)) {
+        return Tag::Adj;
+    }
+    // Default: common noun; plurality from morphology.
+    Tag::Noun { plural: is_plural(&lower), proper: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    fn tags(s: &str) -> Vec<Tag> {
+        tag_tokens(&tokenize(s), &Lexicon::default()).into_iter().map(|t| t.tag).collect()
+    }
+
+    #[test]
+    fn tags_hearst_sentence() {
+        let t = tags("animals such as cats and dogs");
+        assert_eq!(t[0], Tag::Noun { plural: true, proper: false }); // animals
+        assert_eq!(t[1], Tag::Adj); // such
+        assert_eq!(t[2], Tag::Prep); // as
+        assert_eq!(t[3], Tag::Noun { plural: true, proper: false }); // cats
+        assert_eq!(t[4], Tag::Conj); // and
+        assert_eq!(t[5], Tag::Noun { plural: true, proper: false }); // dogs
+    }
+
+    #[test]
+    fn proper_nouns_by_capitalization() {
+        let t = tags("companies such as IBM and Nokia");
+        assert!(t[3].is_proper_noun()); // IBM (acronym)
+        assert!(t[5].is_proper_noun()); // Nokia (capitalized, non-initial)
+    }
+
+    #[test]
+    fn sentence_initial_capital_is_not_proper() {
+        let t = tags("Animals such as cats");
+        assert_eq!(t[0], Tag::Noun { plural: true, proper: false });
+    }
+
+    #[test]
+    fn sentence_initial_acronym_is_proper() {
+        let t = tags("IBM sells computers");
+        assert!(t[0].is_proper_noun());
+    }
+
+    #[test]
+    fn determiners_and_verbs() {
+        let t = tags("the company is large");
+        assert_eq!(t[0], Tag::Det);
+        assert_eq!(t[2], Tag::Verb);
+        assert_eq!(t[3], Tag::Adj);
+    }
+
+    #[test]
+    fn lexicon_overrides_heuristics() {
+        let mut lex = Lexicon::default();
+        lex.insert("frobs", LexEntry::Adjective);
+        let toks = tokenize("frobs such as things");
+        let tagged = tag_tokens(&toks, &lex);
+        assert_eq!(tagged[0].tag, Tag::Adj);
+    }
+
+    #[test]
+    fn numbers_are_num() {
+        assert_eq!(tags("25 cats")[0], Tag::Num);
+    }
+
+    #[test]
+    fn adjective_suffixes() {
+        let t = tags("famous renewable beautiful");
+        assert!(t.iter().all(|t| *t == Tag::Adj));
+    }
+}

@@ -1,0 +1,185 @@
+//! Tokenizer.
+//!
+//! Splits raw sentence text into word, number, and punctuation tokens while
+//! retaining byte spans into the original string. The tokenizer is
+//! intentionally simple — Hearst-pattern sentences are ordinary prose — but
+//! it must handle the few things extraction depends on:
+//!
+//! * commas and other punctuation become their own tokens (list splitting),
+//! * hyphenated words stay together (`"Airbus A320-200"`),
+//! * apostrophes stay inside words (`"O'Reilly"`),
+//! * everything else splits on whitespace.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of a token produced by [`tokenize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// Alphabetic word, possibly with internal hyphens/apostrophes/digits.
+    Word,
+    /// Purely numeric token (`"1881"`, `"3.5"`).
+    Number,
+    /// Single punctuation character (`","`, `"."`, `";"`, …).
+    Punct,
+}
+
+/// A single token with its byte span in the source sentence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// The token text, exactly as it appears in the source.
+    pub text: String,
+    /// Byte offset of the first byte of the token in the source string.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// Token classification.
+    pub kind: TokenKind,
+}
+
+impl Token {
+    /// True if the token's first character is an ASCII uppercase letter.
+    /// Used by the tagger's proper-noun heuristic.
+    pub fn is_capitalized(&self) -> bool {
+        self.text.chars().next().is_some_and(|c| c.is_uppercase())
+    }
+
+    /// True if every alphabetic character in the token is uppercase and the
+    /// token has at least two characters (`"IBM"`, `"HTTP"`). Acronyms are
+    /// always treated as proper nouns.
+    pub fn is_acronym(&self) -> bool {
+        self.text.chars().count() >= 2
+            && self.text.chars().any(|c| c.is_alphabetic())
+            && self.text.chars().filter(|c| c.is_alphabetic()).all(|c| c.is_uppercase())
+    }
+}
+
+/// Is `c` a character that may appear *inside* a word without splitting it?
+fn is_word_internal(c: char) -> bool {
+    c.is_alphanumeric() || c == '-' || c == '\'' || c == '_'
+}
+
+/// Tokenize a sentence into [`Token`]s.
+///
+/// The returned tokens cover all non-whitespace content of the input in
+/// order; whitespace is discarded. Punctuation characters each form their
+/// own token, except hyphens and apostrophes inside words.
+///
+/// ```
+/// use probase_text::token::{tokenize, TokenKind};
+/// let toks = tokenize("animals such as cats, dogs");
+/// let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+/// assert_eq!(texts, ["animals", "such", "as", "cats", ",", "dogs"]);
+/// assert_eq!(toks[4].kind, TokenKind::Punct);
+/// ```
+pub fn tokenize(input: &str) -> Vec<Token> {
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+
+    while i < chars.len() {
+        let (start, c) = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_alphanumeric() {
+            // Word or number. A hyphen/apostrophe/underscore is consumed
+            // only when the *next* character is alphanumeric, so "cats'"
+            // ends before the apostrophe while "A320-200" stays whole.
+            let mut j = i + 1;
+            while j < chars.len() {
+                let ch = chars[j].1;
+                if ch.is_alphanumeric() {
+                    j += 1;
+                } else if is_word_internal(ch)
+                    && j + 1 < chars.len()
+                    && chars[j + 1].1.is_alphanumeric()
+                {
+                    j += 2;
+                } else {
+                    break;
+                }
+            }
+            let end = if j < chars.len() { chars[j].0 } else { input.len() };
+            let text = &input[start..end];
+            let kind = if text.chars().all(|ch| ch.is_ascii_digit() || ch == '-' || ch == '.') {
+                TokenKind::Number
+            } else {
+                TokenKind::Word
+            };
+            tokens.push(Token { text: text.to_string(), start, end, kind });
+            i = j;
+        } else {
+            let end = start + c.len_utf8();
+            tokens.push(Token { text: c.to_string(), start, end, kind: TokenKind::Punct });
+            i += 1;
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(s: &str) -> Vec<String> {
+        tokenize(s).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn splits_on_whitespace_and_punct() {
+        assert_eq!(texts("a b, c."), ["a", "b", ",", "c", "."]);
+    }
+
+    #[test]
+    fn keeps_hyphenated_words_together() {
+        assert_eq!(texts("Airbus A320-200"), ["Airbus", "A320-200"]);
+    }
+
+    #[test]
+    fn keeps_apostrophes_inside_words() {
+        assert_eq!(texts("O'Reilly books"), ["O'Reilly", "books"]);
+    }
+
+    #[test]
+    fn drops_trailing_apostrophe() {
+        assert_eq!(texts("cats' tails"), ["cats", "'", "tails"]);
+    }
+
+    #[test]
+    fn classifies_numbers() {
+        let toks = tokenize("25 Oct 1881");
+        assert_eq!(toks[0].kind, TokenKind::Number);
+        assert_eq!(toks[1].kind, TokenKind::Word);
+        assert_eq!(toks[2].kind, TokenKind::Number);
+    }
+
+    #[test]
+    fn spans_roundtrip_into_source() {
+        let src = "companies such as IBM, Nokia";
+        for t in tokenize(src) {
+            assert_eq!(&src[t.start..t.end], t.text);
+        }
+    }
+
+    #[test]
+    fn capitalization_helpers() {
+        let toks = tokenize("IBM bought Lotus");
+        assert!(toks[0].is_acronym());
+        assert!(toks[0].is_capitalized());
+        assert!(!toks[1].is_capitalized());
+        assert!(toks[2].is_capitalized());
+        assert!(!toks[2].is_acronym());
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        assert_eq!(texts("café au lait"), ["café", "au", "lait"]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Edge-case tests for the NLP substrate beyond the per-module units.
+
+use probase_text::{
+    chunk_noun_phrases, normalize_concept, split_sentences, tag_tokens, tokenize, Chunker,
+    LexEntry, Lexicon, Tag,
+};
+
+#[test]
+fn lexicon_noun_override_controls_plurality() {
+    let mut lex = Lexicon::new();
+    lex.insert("grepins", LexEntry::Noun);
+    let tagged = tag_tokens(&tokenize("grepins such as things"), &lex);
+    assert_eq!(tagged[0].tag, Tag::Noun { plural: true, proper: false });
+}
+
+#[test]
+fn lexicon_proper_override_beats_capitalization_rule() {
+    let mut lex = Lexicon::new();
+    lex.insert("ebay", LexEntry::ProperNoun);
+    // lowercase "ebay" is still a proper noun with the override.
+    let tagged = tag_tokens(&tokenize("sites like ebay grow"), &lex);
+    let ebay = tagged.iter().find(|t| t.token.text == "ebay").unwrap();
+    assert!(ebay.tag.is_proper_noun());
+}
+
+#[test]
+fn chunker_handles_alphanumeric_model_names() {
+    // "A320" reads as an acronym-like noun, so it heads a phrase; a pure
+    // number ("747") cannot head an NP, so "Boeing 747" chunks to its
+    // noun prefix. (List-side extraction uses raw segments, so instance
+    // surfaces like "Boeing 747" are still captured verbatim there.)
+    let phrases = chunk_noun_phrases("models such as Airbus A320 and Boeing 747", &Lexicon::new());
+    let texts: Vec<String> = phrases.iter().map(|p| p.text()).collect();
+    assert!(texts.contains(&"Airbus A320".to_string()), "{texts:?}");
+    assert!(texts.contains(&"Boeing".to_string()), "{texts:?}");
+}
+
+#[test]
+fn chunker_empty_input() {
+    let tagged = tag_tokens(&tokenize(""), &Lexicon::new());
+    assert!(Chunker::default().chunk(&tagged).is_empty());
+}
+
+#[test]
+fn normalize_concept_handles_multiword_modifiers() {
+    assert_eq!(normalize_concept("Very Large IT Companies"), "very large it companies".replace("companies", "company"));
+    assert_eq!(normalize_concept("renewable energy technologies"), "renewable energy technology");
+}
+
+#[test]
+fn sentence_splitter_handles_exclamations_and_questions() {
+    let s = split_sentences("Really? Yes! Animals such as cats.");
+    assert_eq!(s.len(), 3, "{s:?}");
+}
+
+#[test]
+fn sentence_splitter_mixed_abbreviation_density() {
+    let text = "Companies, e.g. IBM, Inc. and others, grew 3.5 percent. Dr. Smith disagreed. End.";
+    let s = split_sentences(text);
+    assert_eq!(s.len(), 3, "{s:?}");
+    assert!(s[0].contains("e.g. IBM"));
+    assert!(s[1].starts_with("Dr. Smith"));
+}
+
+#[test]
+fn tokenizer_handles_punctuation_runs() {
+    let toks = tokenize("wait... what?!");
+    let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    assert_eq!(texts, ["wait", ".", ".", ".", "what", "?", "!"]);
+}
+
+#[test]
+fn uncountable_nouns_do_not_pluralize() {
+    use probase_text::{is_plural, pluralize, singularize};
+    for w in ["broccoli", "sushi", "diabetes", "athletics"] {
+        assert_eq!(pluralize(w), w, "{w}");
+        assert_eq!(singularize(w), w, "{w}");
+        assert!(!is_plural(w), "{w}");
+    }
+}
+
+#[test]
+fn ics_suffix_rule_is_general() {
+    use probase_text::{is_plural, pluralize};
+    // Not in any list, still treated as invariant by the -ics rule.
+    assert_eq!(pluralize("bioinformatics"), "bioinformatics");
+    assert!(!is_plural("bioinformatics"));
+}

@@ -1,0 +1,78 @@
+//! Property tests for the morphology and tokenizer invariants.
+
+use proptest::prelude::*;
+use probase_text::{is_plural, normalize_concept, pluralize, singularize, tokenize};
+
+/// Generator for regular lowercase nouns. Endings that are genuinely
+/// ambiguous in English are excluded: a final "i"/"u" yields plurals in
+/// "-is"/"-us" that collide with Latinate singulars ("skis" vs "basis",
+/// "menus" vs "virus") — no suffix heuristic can have both. The corpus
+/// simulator's coined nouns avoid those endings for the same reason.
+fn word() -> impl Strategy<Value = String> {
+    // Words whose regular plural collides with a lexical exception
+    // ("ga"+s = "gas", "len"+s = "lens") are excluded too.
+    const EXCEPTION_PLURALS: &[&str] = &[
+        "gas", "bus", "lens", "iris", "virus", "campus", "status", "bonus", "census",
+        "corpus", "genius", "chaos", "atlas", "canvas", "tennis", "physics", "news",
+        "species", "series", "means", "broccoli", "spinach", "sushi", "beef", "dairy",
+        "rice", "milk", "cheese", "bread", "butter", "tobacco", "alcohol", "water",
+        "diabetes", "rabies", "measles",
+    ];
+    "[a-z]{2,10}".prop_filter("regular plural spelling", |w| {
+        // "ic" excluded: "ic"+s = "ics", which the -ics rule treats as singular.
+        let bad_end = ["s", "x", "z", "i", "u", "oe", "he", "xe", "ze", "se", "ie", "ic"];
+        !bad_end.iter().any(|e| w.ends_with(e))
+            && !EXCEPTION_PLURALS.contains(&pluralize(w).as_str())
+            && !EXCEPTION_PLURALS.contains(&w.as_str())
+    })
+}
+
+proptest! {
+    /// pluralize → is_plural holds for any regular noun.
+    #[test]
+    fn pluralize_is_detected(w in word()) {
+        let p = pluralize(&w);
+        prop_assert!(is_plural(&p), "{w} -> {p}");
+    }
+
+    /// singularize(pluralize(w)) == w for regular nouns.
+    #[test]
+    fn plural_roundtrip(w in word()) {
+        let p = pluralize(&w);
+        prop_assert_eq!(singularize(&p), w);
+    }
+
+    /// singularize is idempotent.
+    #[test]
+    fn singularize_idempotent(w in "[a-z]{2,12}") {
+        let once = singularize(&w);
+        prop_assert_eq!(singularize(&once), once.clone());
+    }
+
+    /// Tokenizer spans always slice back to the token text, in order,
+    /// without overlap.
+    #[test]
+    fn token_spans_are_consistent(s in "[ -~]{0,80}") {
+        let tokens = tokenize(&s);
+        let mut last_end = 0;
+        for t in &tokens {
+            prop_assert!(t.start >= last_end);
+            prop_assert!(t.end > t.start);
+            prop_assert_eq!(&s[t.start..t.end], t.text.as_str());
+            last_end = t.end;
+        }
+    }
+
+    /// Tokenization never panics on arbitrary unicode.
+    #[test]
+    fn tokenize_total(s in "\\PC{0,60}") {
+        let _ = tokenize(&s);
+    }
+
+    /// normalize_concept is idempotent.
+    #[test]
+    fn normalize_concept_idempotent(s in "[A-Za-z ]{0,40}") {
+        let once = normalize_concept(&s);
+        prop_assert_eq!(normalize_concept(&once), once.clone());
+    }
+}

@@ -1,0 +1,51 @@
+//! Heterogeneous knowledge-source integration (paper §4.1): extract from
+//! a clean encyclopedia-like crawl and a noisy forum-like crawl, merge
+//! the knowledge stores, and merge already-built taxonomy graphs.
+//!
+//! ```sh
+//! cargo run --release --example integrate_sources
+//! ```
+
+use probase::corpus::{generate, CorpusConfig, CorpusGenerator, WorldConfig};
+use probase::extract::{extract, ExtractorConfig};
+use probase::taxonomy::{build_taxonomy, merge_graphs, TaxonomyConfig};
+
+fn main() {
+    let world = generate(&WorldConfig::default());
+    let enc = CorpusGenerator::new(&world, CorpusConfig::encyclopedia(1, 15_000)).generate_all();
+    let forum = CorpusGenerator::new(&world, CorpusConfig::forum(2, 15_000)).generate_all();
+
+    let out_enc = extract(&enc, &world.lexicon, &ExtractorConfig::paper());
+    let out_forum = extract(&forum, &world.lexicon, &ExtractorConfig::paper());
+    println!(
+        "encyclopedia: {} pairs | forum: {} pairs",
+        out_enc.knowledge.pair_count(),
+        out_forum.knowledge.pair_count()
+    );
+
+    // Γ-level integration: counters add, coverage grows.
+    let mut merged = out_enc.knowledge.clone();
+    merged.absorb(&out_forum.knowledge);
+    println!(
+        "merged Γ: {} pairs ({} total evidence)",
+        merged.pair_count(),
+        merged.total()
+    );
+
+    // Graph-level integration: re-run Algorithm 2 across the two built
+    // taxonomies (useful when only snapshots survive).
+    let g_enc = build_taxonomy(&out_enc.sentences, &TaxonomyConfig::default());
+    let g_forum = build_taxonomy(&out_forum.sentences, &TaxonomyConfig::default());
+    let combined = merge_graphs(&[&g_enc.graph, &g_forum.graph], &TaxonomyConfig::default());
+    println!(
+        "graphs: {} + {} senses -> {} senses after cross-source merging",
+        g_enc.stats.senses, g_forum.stats.senses, combined.stats.senses
+    );
+    let g = &combined.graph;
+    let plant_senses = g
+        .senses_of("plant")
+        .into_iter()
+        .filter(|&n| !g.is_instance(n) && g.child_count(n) >= 2)
+        .count();
+    println!("\"plant\" still has {plant_senses} populated senses after integration");
+}

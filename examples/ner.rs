@@ -1,0 +1,31 @@
+//! Fine-grained named-entity recognition (paper §1's motivating task).
+//!
+//! ```sh
+//! cargo run --release --example ner
+//! ```
+
+use probase::apps::{tag_entities, NerConfig};
+use probase::corpus::{CorpusConfig, WorldConfig};
+use probase::{ProbaseConfig, Simulation};
+
+fn main() {
+    let sim = Simulation::run(
+        &WorldConfig::default(),
+        &CorpusConfig { sentences: 25_000, ..CorpusConfig::default() },
+        &ProbaseConfig::paper(),
+    );
+    let model = &sim.probase.model;
+
+    for text in [
+        "flights from China to Singapore via Tokyo",
+        "Harvard and Stanford both rejected him",
+        "she compared Java with Python and Perl",
+        "the Louvre is busier than the Guggenheim",
+    ] {
+        println!("{text:?}");
+        for tag in tag_entities(model, text, &NerConfig::default()) {
+            println!("  {:<22} -> {:<22} ({:.2})", tag.surface, tag.concept, tag.confidence);
+        }
+        println!();
+    }
+}

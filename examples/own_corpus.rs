@@ -1,0 +1,60 @@
+//! Build Probase from your own raw documents — no simulation involved.
+//! This is the adoption path for downstream users: bring text, get a
+//! queryable probabilistic taxonomy.
+//!
+//! ```sh
+//! cargo run --release --example own_corpus
+//! ```
+
+use probase::extract::{records_from_documents, RawDocument};
+use probase::prob::SeedSet;
+use probase::text::Lexicon;
+use probase::{build_probase, ProbaseConfig};
+
+fn main() {
+    // Pretend these came from your crawler / database / filesystem.
+    let docs = vec![
+        RawDocument { page_id: 1, page_rank: 0.9, source_quality: 0.9, text:
+            "Domestic animals such as cats and dogs are popular. \
+             Animals such as cats are common. Animals such as dogs are loyal. \
+             Animals such as cats, dogs and horses are kept worldwide.".into() },
+        RawDocument { page_id: 2, page_rank: 0.7, source_quality: 0.8, text:
+            "Companies such as Microsoft are large. Companies such as Microsoft and Nokia are known. \
+             IT companies such as Microsoft are famous. \
+             Companies such as Nokia, Microsoft, Proctor and Gamble are discussed.".into() },
+        RawDocument { page_id: 3, page_rank: 0.5, source_quality: 0.6, text:
+            "Plants such as trees are common. Plants such as trees and grass are green. \
+             Plants such as steam turbines are loud. Plants such as steam turbines and boilers are used. \
+             Organisms such as plants, trees and grass are studied.".into() },
+        RawDocument { page_id: 4, page_rank: 0.4, source_quality: 0.5, text:
+            "Cars are comprised of wheels and engines. \
+             Countries such as France are visited. Countries such as France and Spain are loved.".into() },
+    ];
+
+    let records = records_from_documents(&docs, 0);
+    println!("{} sentences from {} documents", records.len(), docs.len());
+
+    // No seed taxonomy: the evidence model falls back to its prior.
+    let probase = build_probase(&records, &Lexicon::default(), &ProbaseConfig::paper(), &SeedSet::new());
+
+    println!(
+        "extracted {} pairs over {} concepts\n",
+        probase.extraction.knowledge.pair_count(),
+        probase.extraction.knowledge.concept_count()
+    );
+    for concept in ["animal", "company", "plant", "country"] {
+        let typical: Vec<String> = probase
+            .model
+            .typical_instances(concept, 4)
+            .into_iter()
+            .map(|(i, t)| format!("{i} ({t:.2})"))
+            .collect();
+        println!("{concept:<10} -> {}", typical.join(", "));
+    }
+    let g = probase.model.graph();
+    println!("\n\"plant\" senses: {}", probase.model.senses("plant").len());
+    for s in probase.model.senses("plant") {
+        let kids: Vec<&str> = g.children(s).map(|(c, _)| g.label(c)).collect();
+        println!("  {} -> {}", g.display(s), kids.join(", "));
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: build a Probase over a simulated web crawl and ask it the
+//! paper's introductory questions.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use probase::corpus::{CorpusConfig, WorldConfig};
+use probase::{ProbaseConfig, Simulation};
+
+fn main() {
+    println!("Simulating a web crawl and building Probase ...");
+    let sim = Simulation::run(
+        &WorldConfig::default(),
+        &CorpusConfig { sentences: 30_000, ..CorpusConfig::default() },
+        &ProbaseConfig::paper(),
+    );
+    let world_errors = sim.world.validate();
+    assert!(world_errors.is_empty(), "world invariants violated: {world_errors:?}");
+
+    let p = &sim.probase;
+    println!(
+        "extracted {} distinct isA pairs over {} concepts in {} iterations",
+        p.extraction.knowledge.pair_count(),
+        p.extraction.knowledge.concept_count(),
+        p.extraction.iterations.len(),
+    );
+    println!(
+        "taxonomy: {} concepts, {} instances, max level {}",
+        p.graph_stats.concepts, p.graph_stats.instances, p.graph_stats.max_level
+    );
+
+    // Instantiation (paper §1): "largest companies" → concrete instances.
+    println!("\nTypical instances:");
+    for concept in ["company", "country", "tropical country"] {
+        let instances = p.model.typical_instances(concept, 5);
+        let rendered: Vec<String> =
+            instances.iter().map(|(i, t)| format!("{i} ({t:.2})")).collect();
+        println!("  {concept:<18} -> {}", rendered.join(", "));
+    }
+
+    // Abstraction (paper §1): China, India, Brazil → BRIC / emerging market.
+    println!("\nConceptualization of {{China, India, Brazil}}:");
+    for (concept, score) in p.model.conceptualize(&["China", "India", "Brazil"], 5) {
+        println!("  {concept:<24} {score:.3}");
+    }
+
+    // Set completion (§1): suggest a fourth BRIC member.
+    let completions = p.model.complete(&["China", "India", "Brazil"], 3);
+    let rendered: Vec<String> =
+        completions.iter().map(|(i, s)| format!("{i} ({s:.2})")).collect();
+    println!("\nCompletion of {{China, India, Brazil}}: {}", rendered.join(", "));
+
+    // The two-sense word of §3: plant.
+    let senses = p.model.senses("plant");
+    println!("\n\"plant\" has {} concept sense(s) in the built taxonomy", senses.len());
+    for s in senses {
+        let g = p.model.graph();
+        let kids: Vec<&str> =
+            g.children(s).take(4).map(|(c, _)| g.label(c)).collect();
+        println!("  {} -> {}", g.display(s), kids.join(", "));
+    }
+}

@@ -1,0 +1,45 @@
+//! Semantic web search (paper §5.3.1): rewrite concept queries into
+//! typical-instance keyword queries and compare against the keyword
+//! baseline on the same index.
+//!
+//! ```sh
+//! cargo run --release --example semantic_search
+//! ```
+
+use probase::apps::{pages_from_corpus, rewrite_query, semantic_search, Association, MiniIndex};
+use probase::corpus::{CorpusConfig, WorldConfig};
+use probase::{ProbaseConfig, Simulation};
+
+fn main() {
+    let sim = Simulation::run(
+        &WorldConfig::default(),
+        &CorpusConfig { sentences: 25_000, ..CorpusConfig::default() },
+        &ProbaseConfig::paper(),
+    );
+    let model = &sim.probase.model;
+
+    // Index the simulated pages and mine word association.
+    let docs = pages_from_corpus(&sim.corpus);
+    println!("indexed {} pages", docs.len());
+    let vocab: Vec<String> =
+        model.typical_instances("country", 20).into_iter().map(|(i, _)| i).collect();
+    let assoc = Association::from_pages(&docs, &vocab);
+    let index = MiniIndex::build(docs);
+
+    for query in ["largest companies in tropical countries", "best universities", "famous actors"] {
+        println!("\nquery: {query:?}");
+        let rewrites = rewrite_query(model, &assoc, query, 4, 6);
+        for rw in &rewrites {
+            println!("  rewrite [{:>8.2}]: {}", rw.score, rw.text);
+        }
+        let keyword_hits = index.search(query, 5);
+        let semantic_hits = semantic_search(model, &assoc, &index, query, 5);
+        println!("  keyword baseline hits: {}", keyword_hits.len());
+        println!("  semantic search hits:  {}", semantic_hits.len());
+        for &d in semantic_hits.iter().take(2) {
+            let text = &index.doc(d).text;
+            let snippet: String = text.chars().take(90).collect();
+            println!("    page {}: {snippet}...", index.doc(d).page_id);
+        }
+    }
+}

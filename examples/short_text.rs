@@ -1,0 +1,54 @@
+//! Short-text understanding (paper §5.3.2): conceptualize tweet-sized
+//! texts and cluster them by concept vectors, comparing against a
+//! bag-of-words baseline.
+//!
+//! ```sh
+//! cargo run --release --example short_text
+//! ```
+
+use probase::apps::{bow_vector, concept_vector, conceptualize_text, kmeans, purity, FeatureSpace};
+use probase::corpus::{CorpusConfig, WorldConfig, WorldIndex};
+use probase::eval::workloads::tweets;
+use probase::{ProbaseConfig, Simulation};
+
+fn main() {
+    let sim = Simulation::run(
+        &WorldConfig::default(),
+        &CorpusConfig { sentences: 25_000, ..CorpusConfig::default() },
+        &ProbaseConfig::paper(),
+    );
+    let model = &sim.probase.model;
+
+    // Conceptualize a few texts (the paper's running demo).
+    for text in [
+        "a trip across China and India",
+        "dinner was pizza and sushi",
+        "watching Star Wars and Blade Runner again",
+    ] {
+        let concepts = conceptualize_text(model, text, 3);
+        let rendered: Vec<String> =
+            concepts.iter().map(|(c, s)| format!("{c} ({s:.2})")).collect();
+        println!("{text:?} -> {}", rendered.join(", "));
+    }
+
+    // Cluster synthetic tweets over four topics.
+    let idx = WorldIndex::new(&sim.world);
+    let topics: Vec<_> = ["country", "dish", "film", "university"]
+        .iter()
+        .filter_map(|l| idx.senses(l).first().copied())
+        .collect();
+    let tws = tweets(&sim.world, &topics, 60, 9);
+    let gold: Vec<usize> = tws.iter().map(|t| t.topic).collect();
+
+    let mut cspace = FeatureSpace::default();
+    let cvecs: Vec<_> = tws.iter().map(|t| concept_vector(model, &mut cspace, &t.text, 3)).collect();
+    let cassign = kmeans(&cvecs, topics.len(), 25, 7);
+
+    let mut wspace = FeatureSpace::default();
+    let wvecs: Vec<_> = tws.iter().map(|t| bow_vector(&mut wspace, &t.text)).collect();
+    let wassign = kmeans(&wvecs, topics.len(), 25, 7);
+
+    println!("\nclustering {} tweets into {} topics:", tws.len(), topics.len());
+    println!("  concept-vector purity : {:.3}", purity(&cassign, &gold));
+    println!("  bag-of-words purity   : {:.3}", purity(&wassign, &gold));
+}

@@ -1,0 +1,178 @@
+//! Interactive Probase explorer — the reproduction's equivalent of the
+//! paper's demo site (research.microsoft.com/probase).
+//!
+//! ```sh
+//! cargo run --release --bin probase-cli              # build a fresh simulation
+//! cargo run --release --bin probase-cli -- 60000     # bigger corpus
+//! cargo run --release --bin probase-cli -- --load t.pb   # load a snapshot
+//! ```
+//!
+//! Commands:
+//! ```text
+//! instances <concept> [k]      typical instances by T(i|x)
+//! concepts <term> [k]          typical concepts by T(x|i)
+//! abstract <t1>; <t2>; ...     conceptualize a term set
+//! senses <label>               concept senses and their children
+//! ner <free text>              fine-grained entity tagging
+//! search <keywords>            taxonomy keyword search (\[9\])
+//! stats                        Table 4-style graph statistics
+//! dot <label> [path]           GraphViz export of a label's senses
+//! save <path>                  write a binary snapshot of the graph
+//! help | quit
+//! ```
+
+use probase::apps::{tag_entities, NerConfig};
+use probase::corpus::{CorpusConfig, WorldConfig};
+use probase::prob::ProbaseModel;
+use probase::store::{snapshot, GraphStats};
+use probase::{ProbaseConfig, Simulation};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let model = if args.first().map(|a| a == "--load").unwrap_or(false) {
+        let path = args.get(1).expect("--load needs a path");
+        let bytes = std::fs::read(path).expect("snapshot readable");
+        let mut graph = snapshot::from_bytes(&bytes[..]).expect("snapshot decodes");
+        graph.rebuild_indexes();
+        eprintln!("loaded {} nodes / {} edges from {path}", graph.node_count(), graph.edge_count());
+        ProbaseModel::new(graph)
+    } else {
+        let sentences: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(30_000);
+        eprintln!("building Probase over a {sentences}-sentence simulated crawl ...");
+        let sim = Simulation::run(
+            &WorldConfig::default(),
+            &CorpusConfig { sentences, ..CorpusConfig::default() },
+            &ProbaseConfig::paper(),
+        );
+        eprintln!(
+            "ready: {} pairs, {} concepts",
+            sim.probase.extraction.knowledge.pair_count(),
+            sim.probase.graph_stats.concepts
+        );
+        sim.probase.model
+    };
+
+    let stdin = std::io::stdin();
+    print!("probase> ");
+    std::io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let line = line.trim();
+        if !line.is_empty() && !dispatch(&model, line) {
+            break;
+        }
+        print!("probase> ");
+        std::io::stdout().flush().ok();
+    }
+}
+
+/// Handle one command; returns false to quit.
+fn dispatch(model: &ProbaseModel, line: &str) -> bool {
+    let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+    match cmd {
+        "quit" | "exit" => return false,
+        "help" => {
+            println!(
+                "instances <concept> [k] | concepts <term> [k] | abstract <t1>; <t2>; ... |\n\
+                 senses <label> | ner <text> | search <keywords> | stats |\n\
+                 dot <label> [path] | save <path> | quit"
+            );
+        }
+        "instances" => {
+            let (term, k) = split_k(rest, 10);
+            for (i, t) in model.typical_instances(&term, k) {
+                println!("  {t:.4}  {i}");
+            }
+        }
+        "concepts" => {
+            let (term, k) = split_k(rest, 10);
+            for (c, t) in model.typical_concepts(&term, k) {
+                println!("  {t:.4}  {c}");
+            }
+        }
+        "abstract" => {
+            let terms: Vec<&str> = rest.split(';').map(str::trim).filter(|t| !t.is_empty()).collect();
+            for (c, s) in model.conceptualize(&terms, 8) {
+                println!("  {s:.4}  {c}");
+            }
+        }
+        "senses" => {
+            let senses = model.senses(rest.trim());
+            println!("  {} concept sense(s)", senses.len());
+            let g = model.graph();
+            for s in senses {
+                let kids: Vec<&str> = g.children(s).take(8).map(|(c, _)| g.label(c)).collect();
+                println!("  {} -> {}", g.display(s), kids.join(", "));
+            }
+        }
+        "ner" => {
+            for tag in tag_entities(model, rest, &NerConfig::default()) {
+                println!("  {} -> {} ({:.2})", tag.surface, tag.concept, tag.confidence);
+            }
+        }
+        "search" => {
+            let idx = probase::apps::TaxonomyIndex::build(model);
+            let keywords: Vec<&str> = rest.split_whitespace().collect();
+            for hit in idx.search(&keywords, 8) {
+                println!(
+                    "  [{}] {:<24} via {}",
+                    hit.covered,
+                    hit.concept,
+                    hit.witnesses.join(", ")
+                );
+            }
+        }
+        "dot" => {
+            let mut parts = rest.split_whitespace();
+            let label = parts.next().unwrap_or("");
+            let roots = model.senses(label);
+            if roots.is_empty() {
+                println!("  unknown concept {label:?}");
+            } else {
+                let dot = probase::store::to_dot(
+                    model.graph(),
+                    &roots,
+                    &probase::store::DotOptions::default(),
+                );
+                match parts.next() {
+                    Some(path) => match std::fs::write(path, &dot) {
+                        Ok(()) => println!("  wrote {} bytes to {path}", dot.len()),
+                        Err(e) => println!("  error: {e}"),
+                    },
+                    None => println!("{dot}"),
+                }
+            }
+        }
+        "stats" => {
+            println!("  {:#?}", GraphStats::compute(model.graph()));
+        }
+        "save" => {
+            let path = rest.trim();
+            if path.is_empty() {
+                println!("  usage: save <path>");
+            } else {
+                let bytes = snapshot::to_bytes(model.graph());
+                match std::fs::write(path, &bytes) {
+                    Ok(()) => println!("  wrote {} bytes to {path}", bytes.len()),
+                    Err(e) => println!("  error: {e}"),
+                }
+            }
+        }
+        other => println!("  unknown command {other:?}; try 'help'"),
+    }
+    true
+}
+
+fn split_k(rest: &str, default_k: usize) -> (String, usize) {
+    match rest.rsplit_once(' ') {
+        Some((term, k)) => match k.parse::<usize>() {
+            Ok(k) => (term.trim().to_string(), k),
+            Err(_) => (rest.trim().to_string(), default_k),
+        },
+        None => (rest.trim().to_string(), default_k),
+    }
+}

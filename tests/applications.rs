@@ -1,0 +1,120 @@
+//! Integration tests for the §5.3 applications over a shared simulation.
+
+use probase::apps::{
+    bow_vector, concept_vector, harvest_attributes, infer_header, kmeans, pages_from_corpus,
+    probase_seeds, purity, rewrite_query, Association, Column, FeatureSpace, MiniIndex,
+};
+use probase::corpus::attributes::{generate_attribute_corpus, AttributeCorpusConfig};
+use probase::corpus::{CorpusConfig, WorldConfig, WorldIndex};
+use probase::eval::workloads::{table_columns, tweets};
+use probase::{ProbaseConfig, Simulation};
+use std::sync::OnceLock;
+
+fn sim() -> &'static Simulation {
+    static SIM: OnceLock<Simulation> = OnceLock::new();
+    SIM.get_or_init(|| {
+        Simulation::run(
+            &WorldConfig::small(201),
+            &CorpusConfig { seed: 201, sentences: 10_000, ..CorpusConfig::default() },
+            &ProbaseConfig::paper(),
+        )
+    })
+}
+
+#[test]
+fn semantic_rewrites_use_real_instances() {
+    let s = sim();
+    let model = &s.probase.model;
+    let rewrites =
+        rewrite_query(model, &Association::default(), "famous actors in big companies", 3, 6);
+    assert!(rewrites.len() > 1, "expected concrete rewrites");
+    // The top rewrite replaces both concepts with known instances.
+    assert_eq!(rewrites[0].substitutions.len(), 2);
+    for sub in &rewrites[0].substitutions {
+        assert!(model.knows(sub), "substitution {sub} unknown to model");
+    }
+}
+
+#[test]
+fn semantic_search_finds_pages_keyword_misses() {
+    let s = sim();
+    let model = &s.probase.model;
+    let docs = pages_from_corpus(&s.corpus);
+    let index = MiniIndex::build(docs);
+    // A concept-only query: keyword search finds nothing (concept words
+    // appear in text only rarely as plain words), semantic search finds
+    // pages about typical instances.
+    let query = "best actors";
+    let semantic = probase::apps::semantic_search(model, &Association::default(), &index, query, 10);
+    assert!(!semantic.is_empty(), "semantic search should find instance pages");
+}
+
+#[test]
+fn table_headers_inferred_correctly() {
+    let s = sim();
+    let model = &s.probase.model;
+    let gold = table_columns(&s.world, 40, 5, 0.0, 11);
+    let mut correct = 0;
+    let mut answered = 0;
+    for g in &gold {
+        let col = Column { cells: g.cells.clone() };
+        if let Some(h) = infer_header(model, &col, 4) {
+            answered += 1;
+            // Accept the gold label or a descendant/ancestor label match.
+            if h.concept == g.concept {
+                correct += 1;
+            }
+        }
+    }
+    assert!(answered >= 20, "answered only {answered}");
+    let precision = correct as f64 / answered as f64;
+    assert!(precision >= 0.5, "header precision {precision:.2}");
+}
+
+#[test]
+fn concept_clustering_beats_bag_of_words() {
+    let s = sim();
+    let model = &s.probase.model;
+    let idx = WorldIndex::new(&s.world);
+    let topics: Vec<_> = ["country", "dish", "film", "animal"]
+        .iter()
+        .filter_map(|l| idx.senses(l).first().copied())
+        .collect();
+    assert!(topics.len() >= 3);
+    let tws = tweets(&s.world, &topics, 40, 7);
+    let gold: Vec<usize> = tws.iter().map(|t| t.topic).collect();
+
+    let mut cs = FeatureSpace::default();
+    let cv: Vec<_> = tws.iter().map(|t| concept_vector(model, &mut cs, &t.text, 3)).collect();
+    let concept_purity = purity(&kmeans(&cv, topics.len(), 25, 3), &gold);
+
+    let mut ws = FeatureSpace::default();
+    let wv: Vec<_> = tws.iter().map(|t| bow_vector(&mut ws, &t.text)).collect();
+    let bow_purity = purity(&kmeans(&wv, topics.len(), 25, 3), &gold);
+
+    assert!(
+        concept_purity > bow_purity,
+        "concept {concept_purity:.3} must beat bow {bow_purity:.3}"
+    );
+}
+
+#[test]
+fn attribute_seeds_from_typicality_work() {
+    let s = sim();
+    let model = &s.probase.model;
+    let idx = WorldIndex::new(&s.world);
+    let country = idx.senses("country")[0];
+    let mentions = generate_attribute_corpus(
+        &s.world,
+        &[country],
+        &AttributeCorpusConfig { mentions_per_attribute: 10, ..Default::default() },
+    );
+    let seeds = probase_seeds(model, "country", 5);
+    assert!(!seeds.is_empty());
+    let ranked = harvest_attributes(&mentions, &seeds);
+    assert!(!ranked.is_empty(), "no attributes harvested");
+    // Real attributes should dominate the top ranks.
+    let truth = &s.world.concept(country).attributes;
+    let top_valid = ranked.iter().take(3).filter(|r| truth.contains(&r.attribute)).count();
+    assert!(top_valid >= 2, "top-3 {:?} vs truth {truth:?}", &ranked[..3.min(ranked.len())]);
+}

@@ -1,0 +1,109 @@
+//! Golden regression test: the standard small simulation must keep
+//! reproducing the paper's headline shapes. If a change to any stage
+//! moves these guardrails, the reproduction has regressed — this is the
+//! canary for the whole repository.
+
+use probase::corpus::{CorpusConfig, WorldConfig};
+use probase::eval::{Judge, Precision};
+use probase::{ProbaseConfig, Simulation};
+use std::sync::OnceLock;
+
+fn sim() -> &'static Simulation {
+    static SIM: OnceLock<Simulation> = OnceLock::new();
+    SIM.get_or_init(|| {
+        Simulation::run(
+            &WorldConfig { seed: 2012, filler_concepts: 300, ..WorldConfig::default() },
+            &CorpusConfig { seed: 2012, sentences: 12_000, ..CorpusConfig::default() },
+            &ProbaseConfig::paper(),
+        )
+    })
+}
+
+#[test]
+fn golden_extraction_precision() {
+    let s = sim();
+    let judge = Judge::new(&s.world);
+    let g = &s.probase.extraction.knowledge;
+    let mut p = Precision::default();
+    for (x, y, _) in g.pairs() {
+        p.add(judge.pair_valid(g.resolve(x), g.resolve(y)));
+    }
+    // Paper: 92.8%. Guardrail: ≥ 90% at this scale.
+    assert!(p.ratio() >= 0.90, "precision regressed: {:.3}", p.ratio());
+    assert!(p.total >= 3_000, "pair yield regressed: {}", p.total);
+}
+
+#[test]
+fn golden_round2_spike() {
+    let iters = &sim().probase.extraction.iterations;
+    assert!(iters.len() >= 3);
+    assert!(
+        iters[1].new_occurrences as f64 >= 1.2 * iters[0].new_occurrences as f64,
+        "round-2 spike regressed: {:?}",
+        iters.iter().map(|i| i.new_occurrences).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn golden_homograph_separation() {
+    let s = sim();
+    let g = s.probase.model.graph();
+    let populated: Vec<_> = g
+        .senses_of("plant")
+        .into_iter()
+        .filter(|&n| !g.is_instance(n) && g.child_count(n) >= 2)
+        .collect();
+    assert!(populated.len() >= 2, "plant senses regressed: {}", populated.len());
+}
+
+#[test]
+fn golden_typicality_heads() {
+    let s = sim();
+    // Each curated benchmark concept's top instance must be from its
+    // curated head (the world's most typical members).
+    let m = &s.probase.model;
+    let mut hits = 0;
+    let mut total = 0;
+    for label in ["country", "company", "city", "actor", "film", "university"] {
+        let Some((top, _)) = m.typical_instances(label, 1).into_iter().next() else { continue };
+        total += 1;
+        let idx = probase::corpus::WorldIndex::new(&s.world);
+        let cid = idx.senses(label)[0];
+        let head: Vec<&str> = s.world.concept(cid).instances[..8.min(s.world.concept(cid).instances.len())]
+            .iter()
+            .map(|mem| s.world.instance(mem.instance).surface.as_str())
+            .collect();
+        hits += usize::from(head.contains(&top.as_str()));
+    }
+    assert!(total >= 5);
+    assert!(hits * 3 >= total * 2, "typicality heads regressed: {hits}/{total}");
+}
+
+#[test]
+fn golden_plausibility_separates() {
+    use probase::prob::{compute_plausibility, EvidenceModel, PlausibilityConfig};
+    use probase::seed_from_world;
+    let s = sim();
+    let judge = Judge::new(&s.world);
+    let g = &s.probase.extraction.knowledge;
+    let nb = EvidenceModel::fit(&s.probase.extraction.evidence, &seed_from_world(&s.world));
+    let table =
+        compute_plausibility(&s.probase.extraction.evidence, g, &nb, &PlausibilityConfig::default());
+    let (mut v_sum, mut v_n, mut i_sum, mut i_n) = (0.0, 0usize, 0.0, 0usize);
+    for (x, y, _) in g.pairs() {
+        let (xs, ys) = (g.resolve(x), g.resolve(y));
+        let p = table.get(xs, ys);
+        if judge.pair_valid(xs, ys) {
+            v_sum += p;
+            v_n += 1;
+        } else {
+            i_sum += p;
+            i_n += 1;
+        }
+    }
+    let (v_avg, i_avg) = (v_sum / v_n.max(1) as f64, i_sum / i_n.max(1) as f64);
+    assert!(
+        v_avg > i_avg + 0.05,
+        "plausibility no longer separates truth from noise: valid {v_avg:.3} vs invalid {i_avg:.3}"
+    );
+}

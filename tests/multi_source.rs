@@ -1,0 +1,70 @@
+//! Integration test: heterogeneous knowledge-source integration (paper
+//! §4.1 — "plausibility is useful for detecting errors and integrating
+//! heterogeneous knowledge sources").
+//!
+//! Two corpora over the same world — a clean encyclopedia profile and a
+//! noisy forum profile — are extracted separately, their Γs merged with
+//! `Knowledge::absorb`, and the union checked to cover more truth than
+//! either source alone without giving up the separately-extracted counts.
+
+use probase::corpus::{CorpusConfig, CorpusGenerator, WorldConfig};
+use probase::extract::{extract, knowledge_from_bytes, knowledge_to_bytes, ExtractorConfig};
+use probase::eval::{Judge, Precision};
+
+#[test]
+fn merging_sources_grows_coverage_and_keeps_counts() {
+    let world = probase::corpus::generate(&WorldConfig::small(401));
+    let enc = CorpusGenerator::new(&world, CorpusConfig::encyclopedia(401, 4_000)).generate_all();
+    let forum = CorpusGenerator::new(&world, CorpusConfig::forum(402, 4_000)).generate_all();
+
+    let out_enc = extract(&enc, &world.lexicon, &ExtractorConfig::paper());
+    let out_forum = extract(&forum, &world.lexicon, &ExtractorConfig::paper());
+
+    let mut merged = out_enc.knowledge.clone();
+    merged.absorb(&out_forum.knowledge);
+
+    // Mass adds exactly.
+    assert_eq!(merged.total(), out_enc.knowledge.total() + out_forum.knowledge.total());
+    // Coverage grows (deduplicated pairs, so <= sum).
+    assert!(merged.pair_count() >= out_enc.knowledge.pair_count());
+    assert!(merged.pair_count() >= out_forum.knowledge.pair_count());
+    assert!(merged.pair_count() <= out_enc.knowledge.pair_count() + out_forum.knowledge.pair_count());
+
+    // Per-pair counts add: spot-check a head pair.
+    let check = |g: &probase::extract::Knowledge, x: &str, y: &str| -> u32 {
+        match (g.lookup(x), g.lookup(y)) {
+            (Some(xs), Some(ys)) => g.count(xs, ys),
+            _ => 0,
+        }
+    };
+    let (e, f, m) = (
+        check(&out_enc.knowledge, "country", "China"),
+        check(&out_forum.knowledge, "country", "China"),
+        check(&merged, "country", "China"),
+    );
+    assert_eq!(m, e + f, "counts must add: {e} + {f} != {m}");
+
+    // The merged store's precision sits between the clean and noisy
+    // sources (or above the noisy one, at worst).
+    let judge = Judge::new(&world);
+    let precision_of = |g: &probase::extract::Knowledge| -> f64 {
+        let mut p = Precision::default();
+        for (x, y, _) in g.pairs() {
+            p.add(judge.pair_valid(g.resolve(x), g.resolve(y)));
+        }
+        p.ratio()
+    };
+    let (pe, pf, pm) = (
+        precision_of(&out_enc.knowledge),
+        precision_of(&out_forum.knowledge),
+        precision_of(&merged),
+    );
+    assert!(pe >= pf, "encyclopedia {pe:.3} must beat forum {pf:.3}");
+    assert!(pm >= pf - 0.02 && pm <= pe + 0.02, "merged {pm:.3} outside [{pf:.3}, {pe:.3}]");
+
+    // And the merged knowledge survives a persistence round-trip.
+    let restored = knowledge_from_bytes(knowledge_to_bytes(&merged)).expect("roundtrip");
+    assert_eq!(restored.total(), merged.total());
+    assert_eq!(restored.pair_count(), merged.pair_count());
+    assert_eq!(check(&restored, "country", "China"), m);
+}

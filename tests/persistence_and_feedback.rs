@@ -1,0 +1,92 @@
+//! Integration tests: snapshot persistence of a built taxonomy, the Urns
+//! pipeline variant, and the table-enrichment feedback loop.
+
+use probase::apps::{apply_enrichments, understand_tables, Column};
+use probase::corpus::{CorpusConfig, WorldConfig};
+use probase::eval::workloads::table_columns;
+use probase::prob::ProbaseModel;
+use probase::store::snapshot;
+use probase::{PlausibilityKind, ProbaseConfig, Simulation};
+
+fn sim(seed: u64) -> Simulation {
+    Simulation::run(
+        &WorldConfig::small(seed),
+        &CorpusConfig { seed, sentences: 5_000, ..CorpusConfig::default() },
+        &ProbaseConfig::paper(),
+    )
+}
+
+#[test]
+fn snapshot_roundtrip_preserves_model_answers() {
+    let s = sim(301);
+    let graph = s.probase.model.graph();
+    let bytes = snapshot::to_bytes(graph);
+    assert!(!bytes.is_empty());
+
+    let mut restored = snapshot::from_bytes(bytes).expect("snapshot decodes");
+    restored.rebuild_indexes();
+    assert_eq!(restored.node_count(), graph.node_count());
+    assert_eq!(restored.edge_count(), graph.edge_count());
+
+    // Typicality answers must be identical after a round-trip.
+    let restored_model = ProbaseModel::new(restored);
+    for concept in ["country", "company", "animal"] {
+        let a = s.probase.model.typical_instances(concept, 5);
+        let b = restored_model.typical_instances(concept, 5);
+        assert_eq!(a.len(), b.len(), "{concept}");
+        for ((ia, ta), (ib, tb)) in a.iter().zip(&b) {
+            assert_eq!(ia, ib, "{concept}");
+            assert!((ta - tb).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn urns_pipeline_variant_works_end_to_end() {
+    let cfg = ProbaseConfig { plausibility_kind: PlausibilityKind::Urns, ..ProbaseConfig::paper() };
+    let s = Simulation::run(
+        &WorldConfig::small(302),
+        &CorpusConfig { seed: 302, sentences: 5_000, ..CorpusConfig::default() },
+        &cfg,
+    );
+    let g = s.probase.model.graph();
+    // Urns annotates every edge from its count; higher-count edges must
+    // not be less plausible.
+    let mut by_count: Vec<(u32, f64)> =
+        g.edges().map(|(_, _, e)| (e.count, e.plausibility)).collect();
+    assert!(by_count.iter().any(|(_, p)| *p < 1.0), "urns must annotate");
+    by_count.sort_by_key(|(c, _)| *c);
+    for w in by_count.windows(2) {
+        if w[0].0 < w[1].0 {
+            assert!(w[0].1 <= w[1].1 + 1e-9, "urns plausibility must be monotone in count");
+        }
+    }
+    // The model still answers queries.
+    assert!(!s.probase.model.typical_instances("country", 3).is_empty());
+}
+
+#[test]
+fn enrichment_loop_grows_the_model() {
+    let s = sim(303);
+    let model = &s.probase.model;
+    // Columns with unknown cells drawn from the world's tail.
+    let gold = table_columns(&s.world, 50, 6, 0.25, 5);
+    let columns: Vec<Column> = gold.iter().map(|g| Column { cells: g.cells.clone() }).collect();
+    let (_, enrichments) = understand_tables(model, &columns, 0.05);
+    assert!(!enrichments.is_empty(), "expected enrichment proposals");
+
+    let mut graph = model.graph().clone();
+    let before = graph.edge_count();
+    let added = apply_enrichments(&mut graph, &enrichments, 0.75);
+    assert!(added > 0);
+    assert_eq!(graph.edge_count(), before + added);
+
+    // Rebuilt model now knows at least one previously unknown cell.
+    let rebuilt = ProbaseModel::new(graph);
+    let newly_known = enrichments
+        .iter()
+        .flat_map(|e| e.new_instances.iter())
+        .filter(|i| rebuilt.knows(i))
+        .count();
+    assert!(newly_known >= added.min(1));
+}
