@@ -1,0 +1,93 @@
+//! Macrobenchmark: the serving subsystem end to end — client round-trips
+//! over loopback TCP through the worker pool, with and without the
+//! versioned response cache, plus the in-process router fast path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use probase_serve::{Client, Direction, Request, ServeConfig, ServeState, Server};
+use probase_store::{ConceptGraph, SharedStore};
+use std::time::Duration;
+
+fn build_graph(concepts: usize, fanout: usize) -> ConceptGraph {
+    let mut g = ConceptGraph::new();
+    for i in 0..concepts {
+        let parent = g.ensure_node(&format!("concept{i}"), 0);
+        for j in 0..fanout {
+            let child = if j == 0 && i + 1 < concepts {
+                g.ensure_node(&format!("concept{}", i + 1), 0)
+            } else {
+                g.ensure_node(&format!("inst{i}_{j}"), 0)
+            };
+            g.add_evidence(parent, child, (i + j) as u32 % 7 + 1);
+        }
+    }
+    g.rebuild_indexes();
+    g
+}
+
+fn server_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        queue_capacity: 1024,
+        cache_capacity: 4096,
+        cache_shards: 16,
+        deadline: Duration::from_secs(5),
+    }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let graph = build_graph(500, 8);
+    let mut group = c.benchmark_group("serve");
+
+    // Full-stack round trip, cache hot: the second and later iterations
+    // of an identical query are answered from the versioned cache.
+    group.bench_function("tcp_roundtrip_cached", |b| {
+        let server =
+            Server::start(SharedStore::new(graph.clone()), &server_config()).expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let req = Request::Typicality {
+            term: "concept10".to_string(),
+            direction: Direction::Instances,
+            k: 10,
+        };
+        b.iter(|| black_box(client.call_ok(&req).expect("call").0));
+        server.shutdown();
+    });
+
+    // Cache-miss path: rotate the key so every request recomputes.
+    group.bench_function("tcp_roundtrip_uncached", |b| {
+        let server =
+            Server::start(SharedStore::new(graph.clone()), &server_config()).expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 500;
+            let req = Request::Typicality {
+                term: format!("concept{i}"),
+                direction: Direction::Instances,
+                k: 10,
+            };
+            black_box(client.call_ok(&req).expect("call").0)
+        });
+        server.shutdown();
+    });
+
+    // Router without the network: isolates dispatch + cache + model cost
+    // from socket overhead.
+    group.bench_function("router_inprocess_cached", |b| {
+        let state = ServeState::new(SharedStore::new(graph.clone()), 4096, 16);
+        let req = Request::Conceptualize {
+            terms: vec!["inst10_1".to_string(), "inst10_2".to_string()],
+            k: 8,
+        };
+        b.iter(|| {
+            let (version, result) = state.handle(&req);
+            black_box((version, result.expect("handled")))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

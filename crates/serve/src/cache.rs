@@ -1,0 +1,245 @@
+//! Sharded, versioned LRU response cache.
+//!
+//! Entries are keyed on `(canonical request key, store version)`. The
+//! version comes from [`probase_store::SharedStore::version`], captured
+//! atomically with the graph read ([`SharedStore::read_versioned`]), so a
+//! write implicitly invalidates every cached answer: lookups after the
+//! write carry the new version and simply miss, while the stale entries
+//! age out through normal LRU eviction. No explicit flush, no
+//! cross-thread epoch protocol.
+//!
+//! Sharding splits the key space over `N` independent mutexes so that
+//! worker threads probing the cache under load do not serialize on one
+//! lock. Each shard is a classic map + access-ordered queue LRU; the
+//! queue uses lazy invalidation (stale positions are skipped at eviction
+//! time) and is compacted when it outgrows the live entry count.
+
+use crate::json::Json;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+
+type Key = (String, u64);
+
+struct Entry {
+    value: Json,
+    /// Monotone access stamp; an `order` queue slot is live only if its
+    /// recorded tick equals this.
+    tick: u64,
+}
+
+struct LruShard {
+    map: HashMap<Key, Entry>,
+    /// Access order, oldest first, with lazy invalidation.
+    order: VecDeque<(Key, u64)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl LruShard {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            order: VecDeque::with_capacity(capacity.min(1024)),
+            tick: 0,
+            capacity,
+        }
+    }
+
+    fn touch(&mut self, key: &Key) -> u64 {
+        self.tick += 1;
+        self.order.push_back((key.clone(), self.tick));
+        self.tick
+    }
+
+    fn get(&mut self, key: &Key) -> Option<Json> {
+        // Split borrow: compute the new tick before mutating the entry.
+        if !self.map.contains_key(key) {
+            return None;
+        }
+        let tick = self.touch(key);
+        let entry = self.map.get_mut(key).expect("checked above");
+        entry.tick = tick;
+        let value = entry.value.clone();
+        self.maybe_compact();
+        Some(value)
+    }
+
+    fn insert(&mut self, key: Key, value: Json) {
+        let tick = self.touch(&key);
+        self.map.insert(key, Entry { value, tick });
+        while self.map.len() > self.capacity {
+            match self.order.pop_front() {
+                Some((k, t)) => {
+                    if self.map.get(&k).is_some_and(|e| e.tick == t) {
+                        self.map.remove(&k);
+                    }
+                }
+                None => break, // unreachable: map non-empty ⇒ queue non-empty
+            }
+        }
+        self.maybe_compact();
+    }
+
+    /// Keep the lazily-invalidated queue within a constant factor of the
+    /// live entry count (hit-heavy workloads push without popping).
+    fn maybe_compact(&mut self) {
+        if self.order.len() <= 8 * self.capacity.max(8) {
+            return;
+        }
+        let map = &self.map;
+        self.order.retain(|(k, t)| map.get(k).is_some_and(|e| e.tick == *t));
+    }
+}
+
+/// The concurrent response cache. See the module docs.
+pub struct ResponseCache {
+    shards: Vec<Mutex<LruShard>>,
+}
+
+impl ResponseCache {
+    /// A cache holding at most `capacity` entries total, spread over
+    /// `shards` locks (both floored at 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = (capacity.max(1)).div_ceil(shards);
+        Self { shards: (0..shards).map(|_| Mutex::new(LruShard::new(per_shard))).collect() }
+    }
+
+    fn shard(&self, key: &Key) -> &Mutex<LruShard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up a cached response for `key` computed at `version`.
+    pub fn get(&self, key: &str, version: u64) -> Option<Json> {
+        let k = (key.to_string(), version);
+        self.shard(&k).lock().get(&k)
+    }
+
+    /// Cache a response computed at `version`.
+    pub fn insert(&self, key: String, version: u64, value: Json) {
+        let k = (key, version);
+        self.shard(&k).lock().insert(k, value);
+    }
+
+    /// Total live entries (for the stats dump; takes every shard lock).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u64) -> Json {
+        Json::num(n as f64)
+    }
+
+    #[test]
+    fn hit_after_insert_same_version() {
+        let c = ResponseCache::new(16, 2);
+        c.insert("isa|a|b".into(), 0, v(1));
+        assert_eq!(c.get("isa|a|b", 0), Some(v(1)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn version_bump_misses() {
+        let c = ResponseCache::new(16, 2);
+        c.insert("k".into(), 0, v(1));
+        assert_eq!(c.get("k", 1), None, "new version must not see old answers");
+        c.insert("k".into(), 1, v(2));
+        assert_eq!(c.get("k", 1), Some(v(2)));
+        // The old-version entry still exists until evicted, but is
+        // unreachable through any current-version lookup.
+        assert_eq!(c.get("k", 0), Some(v(1)));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let c = ResponseCache::new(3, 1);
+        c.insert("a".into(), 0, v(1));
+        c.insert("b".into(), 0, v(2));
+        c.insert("c".into(), 0, v(3));
+        // Touch "a" so "b" is now the least recently used.
+        assert!(c.get("a", 0).is_some());
+        c.insert("d".into(), 0, v(4));
+        assert_eq!(c.get("b", 0), None, "LRU entry evicted");
+        assert!(c.get("a", 0).is_some());
+        assert!(c.get("c", 0).is_some());
+        assert!(c.get("d", 0).is_some());
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_updates_value() {
+        let c = ResponseCache::new(4, 1);
+        c.insert("k".into(), 0, v(1));
+        c.insert("k".into(), 0, v(2));
+        assert_eq!(c.get("k", 0), Some(v(2)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_respected_under_churn() {
+        let c = ResponseCache::new(8, 4);
+        for i in 0..1000u64 {
+            c.insert(format!("key-{i}"), i % 3, v(i));
+            // Interleave hits to exercise queue compaction.
+            let _ = c.get(&format!("key-{}", i / 2), (i / 2) % 3);
+        }
+        // Per-shard capacity is ceil(8/4)=2 → at most 8 total.
+        assert!(c.len() <= 8, "len {} exceeds capacity", c.len());
+    }
+
+    #[test]
+    fn hit_heavy_workload_bounded_queue() {
+        let c = ResponseCache::new(2, 1);
+        c.insert("a".into(), 0, v(1));
+        for _ in 0..10_000 {
+            assert!(c.get("a", 0).is_some());
+        }
+        let shard = c.shards[0].lock();
+        assert!(shard.order.len() <= 8 * 8 + 1, "queue grew unboundedly: {}", shard.order.len());
+    }
+
+    #[test]
+    fn zero_capacity_floored() {
+        let c = ResponseCache::new(0, 0);
+        c.insert("a".into(), 0, v(1));
+        assert!(c.len() <= 1);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        let c = std::sync::Arc::new(ResponseCache::new(64, 8));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let key = format!("k{}", (t * 31 + i) % 100);
+                    let ver = i % 4;
+                    if i % 3 == 0 {
+                        c.insert(key, ver, v(i));
+                    } else {
+                        let _ = c.get(&key, ver);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        assert!(c.len() <= 64 + 8, "len {}", c.len());
+    }
+}

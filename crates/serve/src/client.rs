@@ -1,0 +1,130 @@
+//! A small blocking client for the newline-delimited JSON protocol.
+//!
+//! One request, one response, in order — the closed-loop shape
+//! `probase-loadgen` and the tests use. (The server supports pipelining
+//! via response `id`s; this client simply doesn't need it.)
+
+use crate::json::{self, Json};
+use crate::proto::Request;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent something that is not a valid response.
+    Protocol(String),
+    /// A well-formed error envelope: `(code, detail)`.
+    Server(String, String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(d) => write!(f, "protocol error: {d}"),
+            ClientError::Server(code, detail) => write!(f, "server error [{code}]: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A parsed response envelope.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Store version the answer reflects (success only).
+    pub version: u64,
+    /// The `data` payload (success) or the whole envelope (error).
+    pub data: Json,
+    /// `Some((code, detail))` when the server answered an error.
+    pub error: Option<(String, String)>,
+}
+
+impl Envelope {
+    fn parse(v: &Json) -> Result<Envelope, String> {
+        let id = v.get("id").and_then(Json::as_u64).ok_or("missing id")?;
+        let ok = v.get("ok").and_then(Json::as_bool).ok_or("missing ok")?;
+        if ok {
+            Ok(Envelope {
+                id,
+                version: v.get("version").and_then(Json::as_u64).ok_or("missing version")?,
+                data: v.get("data").cloned().ok_or("missing data")?,
+                error: None,
+            })
+        } else {
+            let code = v.get("error").and_then(Json::as_str).ok_or("missing error code")?;
+            let detail = v.get("detail").and_then(Json::as_str).unwrap_or("");
+            Ok(Envelope {
+                id,
+                version: 0,
+                data: v.clone(),
+                error: Some((code.to_string(), detail.to_string())),
+            })
+        }
+    }
+}
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a running `probase-serve`.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer, next_id: 1 })
+    }
+
+    /// Send one request and wait for its response envelope (which may be
+    /// a server-side error — that is a *successful* call here).
+    pub fn call(&mut self, req: &Request) -> Result<Envelope, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut line = req.to_json(id).to_string();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".to_string()));
+        }
+        let v = json::parse(response.trim())
+            .map_err(|e| ClientError::Protocol(format!("bad response JSON: {e}")))?;
+        let envelope = Envelope::parse(&v).map_err(|d| ClientError::Protocol(d.to_string()))?;
+        if envelope.id != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                envelope.id
+            )));
+        }
+        Ok(envelope)
+    }
+
+    /// Like [`Client::call`], but turns server error envelopes into
+    /// `Err` and returns `(version, data)` on success.
+    pub fn call_ok(&mut self, req: &Request) -> Result<(u64, Json), ClientError> {
+        let envelope = self.call(req)?;
+        match envelope.error {
+            None => Ok((envelope.version, envelope.data)),
+            Some((code, detail)) => Err(ClientError::Server(code, detail)),
+        }
+    }
+}

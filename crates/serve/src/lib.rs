@@ -1,0 +1,47 @@
+//! # probase-serve
+//!
+//! The concurrent query-serving subsystem: what turns the reproduction
+//! from a library into a system. The paper hosts Probase in the Trinity
+//! graph engine and serves many applications concurrently (§5.3);
+//! [`SharedStore`](probase_store::SharedStore) already reproduces the
+//! many-readers/one-writer shape, and this crate puts a network front
+//! end on it:
+//!
+//! * a **multi-threaded TCP server** ([`server::Server`]) speaking
+//!   newline-delimited JSON — std::net listener, per-connection reader
+//!   threads, a bounded crossbeam job queue with backpressure, a worker
+//!   pool, per-request deadlines, and graceful draining shutdown;
+//! * a **typed protocol** ([`proto::Request`]) covering the existing
+//!   query surface: `isa`, `typicality`, `plausibility`,
+//!   `conceptualize`, `search-rewrite`, `stats`, `levels`, `labels`,
+//!   plus the writes `add-evidence` and `snapshot-load` (hot-swapping a
+//!   whole graph);
+//! * a **sharded LRU response cache** ([`cache::ResponseCache`]) keyed
+//!   on `(endpoint, args, store version)` so writes invalidate
+//!   implicitly through the store's version counter;
+//! * a **metrics registry** ([`metrics::ServeMetrics`]) — per-endpoint
+//!   request counts and latency histograms, cache hit rate, queue depth,
+//!   backpressure rejections — dumped by the `stats` endpoint;
+//! * a **blocking client** ([`client::Client`]) used by
+//!   `probase-loadgen`, the benches, and the tests.
+//!
+//! The dependency-free JSON codec lives in [`json`]; see its docs for
+//! why the workspace carries no `serde_json`.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod proto;
+pub mod router;
+pub mod server;
+
+pub use cache::ResponseCache;
+pub use client::{Client, ClientError, Envelope};
+pub use json::Json;
+pub use metrics::ServeMetrics;
+pub use proto::{Direction, ErrorCode, LabelKind, Request, ENDPOINTS};
+pub use router::ServeState;
+pub use server::{ServeConfig, Server};

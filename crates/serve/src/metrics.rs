@@ -1,0 +1,325 @@
+//! Serving metrics: per-endpoint counters and latency histograms,
+//! cache hit/miss rates, queue depth, and backpressure rejections.
+//!
+//! Everything is lock-free atomics so the hot path costs a handful of
+//! relaxed stores. Latencies go into power-of-two microsecond buckets
+//! (bucket `i` covers `[2^(i-1), 2^i)` µs), which answers p50/p99 with
+//! one-bucket resolution — the same shape Prometheus client histograms
+//! use, minus the dependency. The whole registry dumps to JSON through
+//! the `stats` endpoint.
+
+use crate::json::Json;
+use crate::proto::ENDPOINTS;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+const BUCKETS: usize = 40; // 2^39 µs ≈ 6.4 days: more than any deadline
+
+/// A power-of-two-bucketed latency histogram (microseconds).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        // `[T; N]: Default` stops at N = 32, so build the 40 slots by hand.
+        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)), sum_micros: AtomicU64::new(0) }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn record(&self, d: Duration) {
+        let micros = d.as_micros().min(u64::MAX as u128) as u64;
+        let idx = if micros == 0 { 0 } else { (64 - micros.leading_zeros() as usize).min(BUCKETS - 1) };
+        self.buckets[idx].fetch_add(1, Relaxed);
+        self.sum_micros.fetch_add(micros, Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Relaxed)).sum()
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_micros.load(Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Approximate `q`-quantile in microseconds: the upper bound of the
+    /// bucket containing the target rank (0 when empty).
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << i; // bucket i upper bound: 2^i µs
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// Counters for one endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointMetrics {
+    /// Completed requests (including errored ones).
+    pub requests: AtomicU64,
+    /// Requests that produced an error envelope.
+    pub errors: AtomicU64,
+    /// End-to-end handler latency (queue wait excluded).
+    pub latency: LatencyHistogram,
+}
+
+/// The registry shared by the whole server. See the module docs.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    endpoints: Vec<EndpointMetrics>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    rejected: AtomicU64,
+    deadline_expired: AtomicU64,
+    bad_requests: AtomicU64,
+    queue_depth: AtomicI64,
+    connections_open: AtomicI64,
+    connections_total: AtomicU64,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self {
+            endpoints: (0..ENDPOINTS.len()).map(|_| EndpointMetrics::default()).collect(),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            queue_depth: AtomicI64::new(0),
+            connections_open: AtomicI64::new(0),
+            connections_total: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh registry with one slot per [`ENDPOINTS`] entry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completed request for endpoint `idx`.
+    pub fn record_request(&self, idx: usize, latency: Duration, errored: bool) {
+        let e = &self.endpoints[idx];
+        e.requests.fetch_add(1, Relaxed);
+        if errored {
+            e.errors.fetch_add(1, Relaxed);
+        }
+        e.latency.record(latency);
+    }
+
+    /// Response served from the cache.
+    pub fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Relaxed);
+    }
+
+    /// Response had to be computed.
+    pub fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Relaxed);
+    }
+
+    /// Request rejected because the bounded queue was full.
+    pub fn rejected(&self) {
+        self.rejected.fetch_add(1, Relaxed);
+    }
+
+    /// Request expired in the queue before a worker picked it up.
+    pub fn deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Relaxed);
+    }
+
+    /// Unparseable line or invalid parameters.
+    pub fn bad_request(&self) {
+        self.bad_requests.fetch_add(1, Relaxed);
+    }
+
+    /// A job entered the queue.
+    pub fn enqueued(&self) {
+        self.queue_depth.fetch_add(1, Relaxed);
+    }
+
+    /// A worker took a job off the queue.
+    pub fn dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Relaxed);
+    }
+
+    /// Current queue depth (floored at 0 — racy reads can transiently
+    /// observe inc/dec out of order).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Relaxed).max(0) as u64
+    }
+
+    /// A client connected.
+    pub fn connection_opened(&self) {
+        self.connections_open.fetch_add(1, Relaxed);
+        self.connections_total.fetch_add(1, Relaxed);
+    }
+
+    /// A client disconnected.
+    pub fn connection_closed(&self) {
+        self.connections_open.fetch_sub(1, Relaxed);
+    }
+
+    /// Cache hits so far.
+    pub fn cache_hits_total(&self) -> u64 {
+        self.cache_hits.load(Relaxed)
+    }
+
+    /// Completed requests summed over all endpoints.
+    pub fn requests_total(&self) -> u64 {
+        self.endpoints.iter().map(|e| e.requests.load(Relaxed)).sum()
+    }
+
+    /// Dump the registry as JSON (`cache_entries` is supplied by the
+    /// caller because the cache is a sibling object).
+    pub fn to_json(&self, cache_entries: usize) -> Json {
+        let mut per_endpoint = Vec::new();
+        for (name, e) in ENDPOINTS.iter().zip(&self.endpoints) {
+            let requests = e.requests.load(Relaxed);
+            if requests == 0 {
+                continue;
+            }
+            per_endpoint.push((
+                name.to_string(),
+                Json::obj(vec![
+                    ("requests", Json::num(requests as f64)),
+                    ("errors", Json::num(e.errors.load(Relaxed) as f64)),
+                    ("p50_us", Json::num(e.latency.quantile_micros(0.50) as f64)),
+                    ("p99_us", Json::num(e.latency.quantile_micros(0.99) as f64)),
+                    ("mean_us", Json::num((e.latency.mean_micros() * 10.0).round() / 10.0)),
+                ]),
+            ));
+        }
+        let hits = self.cache_hits.load(Relaxed);
+        let misses = self.cache_misses.load(Relaxed);
+        let hit_rate = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
+        Json::obj(vec![
+            ("endpoints", Json::Obj(per_endpoint)),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::num(hits as f64)),
+                    ("misses", Json::num(misses as f64)),
+                    ("hit_rate", Json::num(hit_rate)),
+                    ("entries", Json::num(cache_entries as f64)),
+                ]),
+            ),
+            (
+                "queue",
+                Json::obj(vec![
+                    ("depth", Json::num(self.queue_depth() as f64)),
+                    ("rejected", Json::num(self.rejected.load(Relaxed) as f64)),
+                    ("deadline_expired", Json::num(self.deadline_expired.load(Relaxed) as f64)),
+                ]),
+            ),
+            (
+                "connections",
+                Json::obj(vec![
+                    ("open", Json::num(self.connections_open.load(Relaxed).max(0) as f64)),
+                    ("total", Json::num(self.connections_total.load(Relaxed) as f64)),
+                ]),
+            ),
+            ("bad_requests", Json::num(self.bad_requests.load(Relaxed) as f64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10)); // bucket upper bound 16
+        }
+        h.record(Duration::from_millis(100)); // ~1e5 µs, upper bound 131072
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_micros(0.50), 16);
+        assert_eq!(h.quantile_micros(0.95), 16);
+        assert_eq!(h.quantile_micros(1.0), 131072);
+        assert!((h.mean_micros() - (99.0 * 10.0 + 100_000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_empty_and_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_micros(0.5), 0);
+        assert_eq!(h.mean_micros(), 0.0);
+        h.record(Duration::from_nanos(10)); // rounds to 0 µs → bucket 0
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_micros(0.5), 1);
+    }
+
+    #[test]
+    fn histogram_huge_latency_clamped() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_secs(60 * 60 * 24 * 30)); // a month
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_micros(0.99), 1u64 << (BUCKETS - 1));
+    }
+
+    #[test]
+    fn registry_counters_flow_into_dump() {
+        let m = ServeMetrics::new();
+        m.record_request(1, Duration::from_micros(5), false); // isa
+        m.record_request(1, Duration::from_micros(7), true);
+        m.cache_hit();
+        m.cache_hit();
+        m.cache_miss();
+        m.rejected();
+        m.deadline_expired();
+        m.bad_request();
+        m.enqueued();
+        m.connection_opened();
+        let dump = m.to_json(3);
+        let isa = dump.get("endpoints").and_then(|e| e.get("isa")).expect("isa present");
+        assert_eq!(isa.get("requests").and_then(Json::as_u64), Some(2));
+        assert_eq!(isa.get("errors").and_then(Json::as_u64), Some(1));
+        assert!(isa.get("p50_us").and_then(Json::as_u64).unwrap() >= 5);
+        assert!(isa.get("p99_us").is_some());
+        let cache = dump.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(2));
+        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+        assert!((cache.get("hit_rate").and_then(Json::as_f64).unwrap() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(3));
+        let queue = dump.get("queue").unwrap();
+        assert_eq!(queue.get("depth").and_then(Json::as_u64), Some(1));
+        assert_eq!(queue.get("rejected").and_then(Json::as_u64), Some(1));
+        assert_eq!(queue.get("deadline_expired").and_then(Json::as_u64), Some(1));
+        assert_eq!(dump.get("bad_requests").and_then(Json::as_u64), Some(1));
+        // Endpoints with zero traffic are omitted from the dump.
+        assert!(dump.get("endpoints").unwrap().get("stats").is_none());
+        assert_eq!(m.requests_total(), 2);
+    }
+
+    #[test]
+    fn queue_depth_never_negative() {
+        let m = ServeMetrics::new();
+        m.dequeued();
+        assert_eq!(m.queue_depth(), 0);
+    }
+}

@@ -1,0 +1,564 @@
+//! Request dispatch: typed [`Request`]s → JSON payloads over a
+//! [`SharedStore`].
+//!
+//! The router owns three things the worker pool shares:
+//!
+//! * a **versioned model cache** — `ProbaseModel` (reach + typicality
+//!   tables) is derived data; it is rebuilt lazily whenever the store
+//!   version moves, and every read request is answered from a model
+//!   pinned to one exact version;
+//! * the **response cache** ([`ResponseCache`]) keyed on
+//!   `(endpoint, args, version)`, so writes invalidate implicitly;
+//! * the **metrics registry** ([`ServeMetrics`]).
+//!
+//! Reads never take the store's write lock; writes (`add-evidence`,
+//! `snapshot-load`) go through [`SharedStore::update_versioned`] and
+//! report the post-write version, which is what makes the smoke test's
+//! "no stale responses" assertion meaningful: response versions are
+//! monotone per connection.
+
+use crate::cache::ResponseCache;
+use crate::json::Json;
+use crate::metrics::ServeMetrics;
+use crate::proto::{Direction, ErrorCode, LabelKind, Request};
+use parking_lot::RwLock;
+use probase_apps::{rewrite_query, Association};
+use probase_prob::ProbaseModel;
+use probase_store::query::ancestors;
+use probase_store::{snapshot, ConceptGraph, GraphStats, LevelMap, NodeId, SharedStore};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A model pinned to the store version it was built from.
+struct VersionedModel {
+    version: u64,
+    model: ProbaseModel,
+}
+
+/// Everything a worker needs to answer requests. Shared via `Arc`.
+pub struct ServeState {
+    store: SharedStore,
+    cache: ResponseCache,
+    metrics: ServeMetrics,
+    model: RwLock<Arc<VersionedModel>>,
+    /// Co-occurrence association for `search-rewrite`. The server fronts
+    /// a store, not a corpus, so this is empty unless a future endpoint
+    /// feeds it; rewrites then rank purely by typicality.
+    assoc: Association,
+}
+
+/// A handler failure to be wrapped in an error envelope.
+pub type HandlerError = (ErrorCode, String);
+
+impl ServeState {
+    /// Build the state, eagerly deriving the model at the current
+    /// version so the first request does not pay the rebuild.
+    pub fn new(store: SharedStore, cache_capacity: usize, cache_shards: usize) -> Self {
+        let (graph, version) = store.read_versioned(ConceptGraph::clone);
+        let model = RwLock::new(Arc::new(VersionedModel { version, model: ProbaseModel::new(graph) }));
+        Self {
+            store,
+            cache: ResponseCache::new(cache_capacity, cache_shards),
+            metrics: ServeMetrics::new(),
+            model,
+            assoc: Association::default(),
+        }
+    }
+
+    /// The underlying store (tests use this to write out-of-band).
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Cached entry count (for the stats dump).
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The model for the store's *current* version, rebuilding if a
+    /// write moved the version since the last rebuild.
+    fn current_model(&self) -> Arc<VersionedModel> {
+        let current = self.store.version();
+        {
+            let guard = self.model.read();
+            if guard.version == current {
+                return guard.clone();
+            }
+        }
+        let mut guard = self.model.write();
+        // Double-check: another worker may have rebuilt while we waited,
+        // and the version may have moved again — always rebuild to the
+        // version captured atomically with the graph clone.
+        if guard.version != self.store.version() {
+            let (graph, version) = self.store.read_versioned(ConceptGraph::clone);
+            *guard = Arc::new(VersionedModel { version, model: ProbaseModel::new(graph) });
+        }
+        guard.clone()
+    }
+
+    /// Handle one request. Returns the store version the answer reflects
+    /// plus the payload (or an error to wrap in an error envelope).
+    pub fn handle(&self, req: &Request) -> (u64, Result<Json, HandlerError>) {
+        match req {
+            Request::Ping => (self.store.version(), Ok(Json::obj(vec![("pong", Json::Bool(true))]))),
+            Request::AddEvidence { parent, child, count } => self.add_evidence(parent, child, *count),
+            Request::SnapshotLoad { path } => self.snapshot_load(path),
+            _ => {
+                let vm = self.current_model();
+                let key = req.cache_key();
+                if let Some(k) = &key {
+                    if let Some(hit) = self.cache.get(k, vm.version) {
+                        self.metrics.cache_hit();
+                        return (vm.version, Ok(hit));
+                    }
+                    self.metrics.cache_miss();
+                }
+                let payload = self.answer(&vm.model, req);
+                if let (Some(k), Ok(data)) = (key, &payload) {
+                    self.cache.insert(k, vm.version, data.clone());
+                }
+                (vm.version, payload)
+            }
+        }
+    }
+
+    /// Pure read dispatch against a pinned model.
+    fn answer(&self, model: &ProbaseModel, req: &Request) -> Result<Json, HandlerError> {
+        let g = model.graph();
+        match req {
+            Request::Isa { parent, child } => Ok(isa(g, parent, child)),
+            Request::Typicality { term, direction, k } => {
+                let items = match direction {
+                    Direction::Instances => model.typical_instances(term, *k),
+                    Direction::Concepts => model.typical_concepts(term, *k),
+                };
+                Ok(Json::obj(vec![("items", ranked(items))]))
+            }
+            Request::Plausibility { parent, child } => Ok(direct_edge(g, parent, child)),
+            Request::Conceptualize { terms, k } => {
+                let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+                Ok(Json::obj(vec![("items", ranked(model.conceptualize(&refs, *k)))]))
+            }
+            Request::SearchRewrite { query, k } => {
+                let rewrites = rewrite_query(model, &self.assoc, query, 4, *k);
+                let arr = rewrites
+                    .into_iter()
+                    .map(|rw| {
+                        Json::obj(vec![
+                            ("text", Json::str(rw.text)),
+                            (
+                                "substitutions",
+                                Json::Arr(rw.substitutions.into_iter().map(Json::Str).collect()),
+                            ),
+                            ("score", Json::num(rw.score)),
+                        ])
+                    })
+                    .collect();
+                Ok(Json::obj(vec![("rewrites", Json::Arr(arr))]))
+            }
+            Request::Stats => {
+                let s = GraphStats::compute(g);
+                Ok(Json::obj(vec![
+                    (
+                        "graph",
+                        Json::obj(vec![
+                            ("concepts", Json::num(s.concepts as f64)),
+                            ("instances", Json::num(s.instances as f64)),
+                            ("concept_subconcept_pairs", Json::num(s.concept_subconcept_pairs as f64)),
+                            ("concept_instance_pairs", Json::num(s.concept_instance_pairs as f64)),
+                            ("avg_children", Json::num(s.avg_children)),
+                            ("avg_parents", Json::num(s.avg_parents)),
+                            ("avg_level", Json::num(s.avg_level)),
+                            ("max_level", Json::num(s.max_level as f64)),
+                        ]),
+                    ),
+                    ("serve", self.metrics.to_json(self.cache.len())),
+                ]))
+            }
+            Request::Levels { term } => Ok(levels(g, term.as_deref())),
+            Request::Labels { kind, k } => Ok(labels(g, *kind, *k)),
+            // Handled in `handle`; unreachable here.
+            Request::Ping | Request::AddEvidence { .. } | Request::SnapshotLoad { .. } => {
+                Err((ErrorCode::Internal, "write endpoint routed as read".to_string()))
+            }
+        }
+    }
+
+    fn add_evidence(
+        &self,
+        parent: &str,
+        child: &str,
+        count: u32,
+    ) -> (u64, Result<Json, HandlerError>) {
+        if parent == child {
+            return (
+                self.store.version(),
+                Err((ErrorCode::BadRequest, "parent and child must differ".to_string())),
+            );
+        }
+        let (result, version) = self.store.update_versioned(|g| {
+            // Reject cycles while holding the write lock (a cyclic graph
+            // would break level computation and model rebuilds).
+            if let (Some(p), Some(c)) = (g.find_node(parent, 0), g.find_node(child, 0)) {
+                if ancestors(g, p).contains(&c) {
+                    return Err((
+                        ErrorCode::BadRequest,
+                        format!("edge {parent:?} -> {child:?} would create a cycle"),
+                    ));
+                }
+            }
+            let p = g.ensure_node(parent, 0);
+            let c = g.ensure_node(child, 0);
+            let total = g.add_evidence(p, c, count);
+            Ok(Json::obj(vec![
+                ("count", Json::num(total as f64)),
+                ("nodes", Json::num(g.node_count() as f64)),
+            ]))
+        });
+        (version, result)
+    }
+
+    fn snapshot_load(&self, path: &str) -> (u64, Result<Json, HandlerError>) {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                return (
+                    self.store.version(),
+                    Err((ErrorCode::Internal, format!("cannot read {path:?}: {e}"))),
+                )
+            }
+        };
+        let mut graph = match snapshot::from_bytes(&bytes[..]) {
+            Ok(g) => g,
+            Err(e) => {
+                return (
+                    self.store.version(),
+                    Err((ErrorCode::Internal, format!("cannot decode {path:?}: {e}"))),
+                )
+            }
+        };
+        graph.rebuild_indexes();
+        let nodes = graph.node_count();
+        let edges = graph.edge_count();
+        let ((), version) = self.store.update_versioned(move |g| *g = graph);
+        (
+            version,
+            Ok(Json::obj(vec![
+                ("nodes", Json::num(nodes as f64)),
+                ("edges", Json::num(edges as f64)),
+            ])),
+        )
+    }
+}
+
+fn ranked(items: Vec<(String, f64)>) -> Json {
+    Json::Arr(
+        items
+            .into_iter()
+            .map(|(label, score)| Json::Arr(vec![Json::Str(label), Json::num(score)]))
+            .collect(),
+    )
+}
+
+/// Transitive isA over all sense pairs, plus the best direct edge.
+fn isa(g: &ConceptGraph, parent: &str, child: &str) -> Json {
+    let parents: Vec<NodeId> = g.senses_of(parent);
+    let children: Vec<NodeId> = g.senses_of(child);
+    let mut is_a = false;
+    let mut direct = false;
+    let mut count = 0u32;
+    let mut plausibility = 0.0f64;
+    if !parents.is_empty() && !children.is_empty() {
+        let parent_set: HashSet<NodeId> = parents.iter().copied().collect();
+        for &c in &children {
+            if ancestors(g, c).iter().any(|a| parent_set.contains(a)) {
+                is_a = true;
+                break;
+            }
+        }
+        for &p in &parents {
+            for &c in &children {
+                if let Some(e) = g.edge(p, c) {
+                    direct = true;
+                    is_a = true;
+                    if e.count > count {
+                        count = e.count;
+                        plausibility = e.plausibility;
+                    }
+                }
+            }
+        }
+    }
+    Json::obj(vec![
+        ("isa", Json::Bool(is_a)),
+        ("direct", Json::Bool(direct)),
+        ("count", Json::num(count as f64)),
+        ("plausibility", Json::num(plausibility)),
+    ])
+}
+
+/// The best direct edge between any sense pair.
+fn direct_edge(g: &ConceptGraph, parent: &str, child: &str) -> Json {
+    let mut found = false;
+    let mut count = 0u32;
+    let mut plausibility = 0.0f64;
+    for &p in &g.senses_of(parent) {
+        for &c in &g.senses_of(child) {
+            if let Some(e) = g.edge(p, c) {
+                if !found || e.count > count {
+                    count = e.count;
+                    plausibility = e.plausibility;
+                }
+                found = true;
+            }
+        }
+    }
+    Json::obj(vec![
+        ("found", Json::Bool(found)),
+        ("count", Json::num(count as f64)),
+        ("plausibility", Json::num(plausibility)),
+    ])
+}
+
+fn levels(g: &ConceptGraph, term: Option<&str>) -> Json {
+    let map = LevelMap::compute(g);
+    match term {
+        None => {
+            let concepts: Vec<NodeId> = g.concepts().collect();
+            let avg = if concepts.is_empty() {
+                0.0
+            } else {
+                concepts.iter().map(|&c| map.level(c) as f64).sum::<f64>() / concepts.len() as f64
+            };
+            Json::obj(vec![
+                ("max_level", Json::num(map.max_level() as f64)),
+                ("avg_level", Json::num(avg)),
+                ("concepts", Json::num(concepts.len() as f64)),
+                ("instances", Json::num((g.node_count() - concepts.len()) as f64)),
+            ])
+        }
+        Some(t) => {
+            let senses = g
+                .senses_of(t)
+                .into_iter()
+                .map(|n| {
+                    Json::obj(vec![
+                        ("sense", Json::num(g.sense(n) as f64)),
+                        ("level", Json::num(map.level(n) as f64)),
+                        ("is_instance", Json::Bool(g.is_instance(n))),
+                    ])
+                })
+                .collect();
+            Json::obj(vec![("term", Json::str(t)), ("senses", Json::Arr(senses))])
+        }
+    }
+}
+
+fn labels(g: &ConceptGraph, kind: LabelKind, k: usize) -> Json {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    let nodes: Vec<NodeId> = match kind {
+        LabelKind::Concepts => g.concepts().collect(),
+        LabelKind::Instances => g.instances().collect(),
+    };
+    for n in nodes {
+        let label = g.label(n);
+        if seen.insert(label.to_string()) {
+            out.push(Json::str(label));
+            if out.len() >= k {
+                break;
+            }
+        }
+    }
+    Json::obj(vec![("labels", Json::Arr(out))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// country ⊃ {bric country ⊃ {China, India, Brazil, Russia}}, plus USA.
+    fn seeded_state() -> ServeState {
+        let mut g = ConceptGraph::new();
+        let country = g.ensure_node("country", 0);
+        let bric = g.ensure_node("bric country", 0);
+        let china = g.ensure_node("China", 0);
+        let india = g.ensure_node("India", 0);
+        let brazil = g.ensure_node("Brazil", 0);
+        let russia = g.ensure_node("Russia", 0);
+        let usa = g.ensure_node("USA", 0);
+        g.add_evidence(country, bric, 3);
+        g.add_evidence(country, china, 20);
+        g.add_evidence(country, india, 15);
+        g.add_evidence(country, brazil, 10);
+        g.add_evidence(country, usa, 30);
+        g.add_evidence(bric, china, 5);
+        g.add_evidence(bric, india, 5);
+        g.add_evidence(bric, brazil, 5);
+        g.add_evidence(bric, russia, 5);
+        ServeState::new(SharedStore::new(g), 256, 4)
+    }
+
+    fn ok(state: &ServeState, req: Request) -> (u64, Json) {
+        let (v, r) = state.handle(&req);
+        (v, r.expect("handler succeeds"))
+    }
+
+    #[test]
+    fn ping_reports_version() {
+        let s = seeded_state();
+        let (v, data) = ok(&s, Request::Ping);
+        assert_eq!(v, 0);
+        assert_eq!(data.get("pong").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn isa_direct_and_transitive() {
+        let s = seeded_state();
+        let (_, d) = ok(&s, Request::Isa { parent: "country".into(), child: "China".into() });
+        assert_eq!(d.get("isa").and_then(Json::as_bool), Some(true));
+        assert_eq!(d.get("direct").and_then(Json::as_bool), Some(true));
+        assert_eq!(d.get("count").and_then(Json::as_u64), Some(20));
+        // Russia is under country only via bric country.
+        let (_, d) = ok(&s, Request::Isa { parent: "country".into(), child: "Russia".into() });
+        assert_eq!(d.get("isa").and_then(Json::as_bool), Some(true));
+        assert_eq!(d.get("direct").and_then(Json::as_bool), Some(false));
+        let (_, d) = ok(&s, Request::Isa { parent: "China".into(), child: "country".into() });
+        assert_eq!(d.get("isa").and_then(Json::as_bool), Some(false));
+        let (_, d) = ok(&s, Request::Isa { parent: "country".into(), child: "wombat".into() });
+        assert_eq!(d.get("isa").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn typicality_both_directions() {
+        let s = seeded_state();
+        let (_, d) = ok(
+            &s,
+            Request::Typicality { term: "country".into(), direction: Direction::Instances, k: 3 },
+        );
+        let items = d.get("items").and_then(Json::as_arr).unwrap();
+        assert_eq!(items[0].as_arr().unwrap()[0].as_str(), Some("USA"));
+        let (_, d) = ok(
+            &s,
+            Request::Typicality { term: "China".into(), direction: Direction::Concepts, k: 5 },
+        );
+        let items = d.get("items").and_then(Json::as_arr).unwrap();
+        assert!(!items.is_empty());
+        // Unknown terms are an empty answer, not a protocol error.
+        let (_, d) = ok(
+            &s,
+            Request::Typicality { term: "wombat".into(), direction: Direction::Instances, k: 5 },
+        );
+        assert_eq!(d.get("items").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
+    }
+
+    #[test]
+    fn conceptualize_and_stats_and_levels_and_labels() {
+        let s = seeded_state();
+        let (_, d) = ok(
+            &s,
+            Request::Conceptualize { terms: vec!["China".into(), "India".into()], k: 3 },
+        );
+        assert!(!d.get("items").and_then(Json::as_arr).unwrap().is_empty());
+
+        let (_, d) = ok(&s, Request::Stats);
+        assert_eq!(d.get("graph").unwrap().get("concepts").and_then(Json::as_u64), Some(2));
+        assert!(d.get("serve").unwrap().get("cache").is_some());
+
+        let (_, d) = ok(&s, Request::Levels { term: None });
+        assert_eq!(d.get("max_level").and_then(Json::as_u64), Some(2));
+        let (_, d) = ok(&s, Request::Levels { term: Some("bric country".into()) });
+        let senses = d.get("senses").and_then(Json::as_arr).unwrap();
+        assert_eq!(senses[0].get("level").and_then(Json::as_u64), Some(1));
+
+        let (_, d) = ok(&s, Request::Labels { kind: LabelKind::Concepts, k: 10 });
+        let labels = d.get("labels").and_then(Json::as_arr).unwrap();
+        assert_eq!(labels.len(), 2);
+        let (_, d) = ok(&s, Request::Labels { kind: LabelKind::Instances, k: 3 });
+        assert_eq!(d.get("labels").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+    }
+
+    #[test]
+    fn plausibility_direct_edge_only() {
+        let s = seeded_state();
+        let (_, d) = ok(&s, Request::Plausibility { parent: "country".into(), child: "USA".into() });
+        assert_eq!(d.get("found").and_then(Json::as_bool), Some(true));
+        assert_eq!(d.get("count").and_then(Json::as_u64), Some(30));
+        let (_, d) =
+            ok(&s, Request::Plausibility { parent: "country".into(), child: "Russia".into() });
+        assert_eq!(d.get("found").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn search_rewrite_substitutes_instances() {
+        let s = seeded_state();
+        let (_, d) = ok(&s, Request::SearchRewrite { query: "country exports".into(), k: 4 });
+        let rewrites = d.get("rewrites").and_then(Json::as_arr).unwrap();
+        assert!(!rewrites.is_empty());
+        let first = rewrites[0].get("text").and_then(Json::as_str).unwrap();
+        assert!(first.contains("exports"), "{first:?}");
+        assert!(!first.contains("country"), "concept should be substituted: {first:?}");
+    }
+
+    #[test]
+    fn write_bumps_version_and_invalidates() {
+        let s = seeded_state();
+        let req =
+            Request::Typicality { term: "country".into(), direction: Direction::Instances, k: 10 };
+        let (v0, first) = ok(&s, req.clone());
+        assert_eq!(v0, 0);
+        // Second identical request is a cache hit at the same version.
+        let hits_before = s.metrics().cache_hits_total();
+        let (_, second) = ok(&s, req.clone());
+        assert_eq!(first, second);
+        assert_eq!(s.metrics().cache_hits_total(), hits_before + 1);
+
+        // A write moves the version; the next read reflects the new edge.
+        let (v1, d) = ok(
+            &s,
+            Request::AddEvidence { parent: "country".into(), child: "Atlantis".into(), count: 999 },
+        );
+        assert_eq!(v1, 1);
+        assert_eq!(d.get("nodes").and_then(Json::as_u64), Some(8));
+        let (v2, after) = ok(&s, req);
+        assert_eq!(v2, 1);
+        let items = after.get("items").and_then(Json::as_arr).unwrap();
+        assert_eq!(items[0].as_arr().unwrap()[0].as_str(), Some("Atlantis"), "{items:?}");
+    }
+
+    #[test]
+    fn add_evidence_rejects_cycles_and_self_edges() {
+        let s = seeded_state();
+        let (_, r) = s.handle(&Request::AddEvidence {
+            parent: "China".into(),
+            child: "country".into(),
+            count: 1,
+        });
+        let (code, _) = r.expect_err("cycle must be rejected");
+        assert_eq!(code, ErrorCode::BadRequest);
+        let (_, r) = s.handle(&Request::AddEvidence {
+            parent: "country".into(),
+            child: "country".into(),
+            count: 1,
+        });
+        assert!(r.is_err());
+        // The graph still answers levels (no cycle crept in).
+        let (_, r) = s.handle(&Request::Levels { term: None });
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn snapshot_load_missing_file_is_internal_error() {
+        let s = seeded_state();
+        let (_, r) = s.handle(&Request::SnapshotLoad { path: "/nonexistent/x.pb".into() });
+        let (code, detail) = r.expect_err("missing file");
+        assert_eq!(code, ErrorCode::Internal);
+        assert!(detail.contains("cannot read"));
+        assert_eq!(s.store().version(), 0, "failed load must not bump the version");
+    }
+}

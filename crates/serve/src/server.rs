@@ -1,0 +1,336 @@
+//! The TCP server: listener, per-connection readers, bounded job queue,
+//! crossbeam worker pool, and graceful shutdown.
+//!
+//! Thread shape (no async runtime — plain std::net + threads, per the
+//! workspace's no-heavy-deps policy):
+//!
+//! ```text
+//! accept thread ──► connection reader threads (1 per client)
+//!                        │  parse line → Job
+//!                        ▼  try_send (bounded queue → backpressure)
+//!                   crossbeam channel (capacity = queue_capacity)
+//!                        │
+//!                        ▼
+//!                   worker pool (N threads) ──► router ──► socket write
+//! ```
+//!
+//! * **Backpressure**: the queue is bounded; when it is full the reader
+//!   answers `overloaded` immediately instead of buffering unboundedly.
+//! * **Deadlines**: each job records its enqueue instant; a worker that
+//!   dequeues an already-expired job answers `deadline-exceeded` without
+//!   doing the work (shedding load exactly when it is oldest).
+//! * **Out-of-order completion**: workers write responses directly to
+//!   the client socket (one write mutex per connection); the echoed `id`
+//!   lets pipelining clients match responses to requests.
+//! * **Graceful shutdown**: [`Server::shutdown`] stops accepting, lets
+//!   connection readers wind down, then drops the queue sender so
+//!   workers drain every in-flight job before exiting.
+
+use crate::json::{self, Json};
+use crate::proto::{err_envelope, ok_envelope, ErrorCode, Request};
+use crate::router::ServeState;
+use crossbeam::channel::{self, TrySendError};
+use parking_lot::Mutex;
+use probase_store::SharedStore;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Bounded request queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Response cache capacity (entries, across all shards).
+    pub cache_capacity: usize,
+    /// Response cache shard count.
+    pub cache_shards: usize,
+    /// Per-request queue deadline; jobs older than this are shed.
+    pub deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 4,
+            queue_capacity: 1024,
+            cache_capacity: 4096,
+            cache_shards: 16,
+            deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+/// How often blocked reads wake up to check the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+struct Job {
+    id: u64,
+    request: Request,
+    enqueued_at: Instant,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`]) stops
+/// accepting, drains in-flight requests, and joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    job_tx: Option<channel::Sender<Job>>,
+}
+
+impl Server {
+    /// Bind, spawn the pool, and start serving `store`.
+    pub fn start(store: SharedStore, config: &ServeConfig) -> std::io::Result<Server> {
+        let state = Arc::new(ServeState::new(store, config.cache_capacity, config.cache_shards));
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_capacity.max(1));
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let rx = job_rx.clone();
+            let state = state.clone();
+            let deadline = config.deadline;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("probase-serve-worker-{i}"))
+                    .spawn(move || worker_loop(rx, state, deadline))?,
+            );
+        }
+
+        let accept_handle = {
+            let state = state.clone();
+            let shutdown = shutdown.clone();
+            let job_tx = job_tx.clone();
+            std::thread::Builder::new()
+                .name("probase-serve-accept".to_string())
+                .spawn(move || accept_loop(listener, state, shutdown, job_tx))?
+        };
+
+        Ok(Server {
+            addr,
+            state,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            workers,
+            job_tx: Some(job_tx),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (store handle, metrics) — tests write through
+    /// this to exercise cache invalidation out-of-band.
+    pub fn state(&self) -> Arc<ServeState> {
+        self.state.clone()
+    }
+
+    /// Stop accepting, drain in-flight requests, join all threads.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept() call; the backlogged dummy connection is
+        // never served — connect() itself succeeds either way.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // All connection readers have exited (the accept thread joins
+        // them), so dropping our sender closes the channel once the
+        // queue drains; workers then see Err(recv) and exit.
+        self.job_tx = None;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    state: Arc<ServeState>,
+    shutdown: Arc<AtomicBool>,
+    job_tx: channel::Sender<Job>,
+) {
+    let mut conn_handles: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let state = state.clone();
+                let shutdown = shutdown.clone();
+                let job_tx = job_tx.clone();
+                conn_handles.retain(|h| !h.is_finished());
+                let spawned = std::thread::Builder::new()
+                    .name("probase-serve-conn".to_string())
+                    .spawn(move || connection_loop(stream, state, shutdown, job_tx));
+                match spawned {
+                    Ok(h) => conn_handles.push(h),
+                    Err(_) => continue, // thread exhaustion: drop the connection
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    for h in conn_handles {
+        let _ = h.join();
+    }
+}
+
+fn connection_loop(
+    stream: TcpStream,
+    state: Arc<ServeState>,
+    shutdown: Arc<AtomicBool>,
+    job_tx: channel::Sender<Job>,
+) {
+    state.metrics().connection_opened();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => {
+            state.metrics().connection_closed();
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        // A timeout mid-line leaves the partial line in `line`; we keep
+        // appending on the next pass, so requests survive slow writers.
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    handle_line(trimmed, &state, &writer, &job_tx);
+                }
+                line.clear();
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    state.metrics().connection_closed();
+}
+
+fn handle_line(
+    line: &str,
+    state: &Arc<ServeState>,
+    writer: &Arc<Mutex<TcpStream>>,
+    job_tx: &channel::Sender<Job>,
+) {
+    let value = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            state.metrics().bad_request();
+            write_line(writer, &err_envelope(0, ErrorCode::BadRequest, &e.to_string()));
+            return;
+        }
+    };
+    // Echo the caller's id even when the typed parse fails, so pipelined
+    // clients can correlate the error with the request that caused it.
+    let raw_id = value.get("id").and_then(Json::as_u64).unwrap_or(0);
+    let (id, request) = match Request::from_json(&value) {
+        Ok(pair) => pair,
+        Err(detail) => {
+            state.metrics().bad_request();
+            write_line(writer, &err_envelope(raw_id, ErrorCode::BadRequest, &detail));
+            return;
+        }
+    };
+    let job = Job { id, request, enqueued_at: Instant::now(), writer: writer.clone() };
+    match job_tx.try_send(job) {
+        Ok(()) => state.metrics().enqueued(),
+        Err(TrySendError::Full(job)) => {
+            state.metrics().rejected();
+            write_line(writer, &err_envelope(job.id, ErrorCode::Overloaded, "request queue full"));
+        }
+        Err(TrySendError::Disconnected(job)) => {
+            write_line(writer, &err_envelope(job.id, ErrorCode::Internal, "server shutting down"));
+        }
+    }
+}
+
+fn worker_loop(rx: channel::Receiver<Job>, state: Arc<ServeState>, deadline: Duration) {
+    while let Ok(job) = rx.recv() {
+        state.metrics().dequeued();
+        let idx = job.request.endpoint_index();
+        if job.enqueued_at.elapsed() > deadline {
+            state.metrics().deadline_expired();
+            state.metrics().record_request(idx, job.enqueued_at.elapsed(), true);
+            write_line(
+                &job.writer,
+                &err_envelope(job.id, ErrorCode::DeadlineExceeded, "expired in queue"),
+            );
+            continue;
+        }
+        let started = Instant::now();
+        // A handler panic (e.g. a pathological snapshot) must not kill
+        // the worker; it becomes an `internal` error response.
+        let outcome = catch_unwind(AssertUnwindSafe(|| state.handle(&job.request)));
+        let envelope = match outcome {
+            Ok((version, Ok(data))) => {
+                state.metrics().record_request(idx, started.elapsed(), false);
+                ok_envelope(job.id, version, data)
+            }
+            Ok((_, Err((code, detail)))) => {
+                state.metrics().record_request(idx, started.elapsed(), true);
+                err_envelope(job.id, code, &detail)
+            }
+            Err(_) => {
+                state.metrics().record_request(idx, started.elapsed(), true);
+                err_envelope(job.id, ErrorCode::Internal, "handler panicked")
+            }
+        };
+        write_line(&job.writer, &envelope);
+    }
+}
+
+/// Serialize and send one response line; write errors mean the client
+/// went away, which is not the server's problem.
+fn write_line(writer: &Arc<Mutex<TcpStream>>, payload: &Json) {
+    let mut text = payload.to_string();
+    text.push('\n');
+    let mut guard = writer.lock();
+    let _ = guard.write_all(text.as_bytes());
+    let _ = guard.flush();
+}

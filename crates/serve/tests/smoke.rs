@@ -1,0 +1,172 @@
+//! End-to-end concurrency smoke test: a real in-process server, eight
+//! concurrent reader connections, and a writer mutating the store
+//! through the wire protocol — asserting the versioned cache never
+//! serves a stale response and the server shuts down cleanly.
+
+use probase_serve::{Client, Direction, Request, ServeConfig, Server};
+use probase_store::{ConceptGraph, SharedStore};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn seeded_store() -> SharedStore {
+    let mut g = ConceptGraph::new();
+    let country = g.ensure_node("country", 0);
+    for (label, count) in [("China", 8u32), ("India", 5), ("Japan", 3)] {
+        let n = g.ensure_node(label, 0);
+        g.add_evidence(country, n, count);
+    }
+    let company = g.ensure_node("company", 0);
+    for (label, count) in [("Microsoft", 9u32), ("Apple", 6)] {
+        let n = g.ensure_node(label, 0);
+        g.add_evidence(company, n, count);
+    }
+    g.rebuild_indexes();
+    SharedStore::new(g)
+}
+
+fn start_server() -> Server {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        queue_capacity: 256,
+        cache_capacity: 1024,
+        cache_shards: 8,
+        deadline: Duration::from_secs(5),
+    };
+    Server::start(seeded_store(), &config).expect("server binds an ephemeral port")
+}
+
+#[test]
+fn repeated_identical_queries_hit_the_cache() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let req = Request::Typicality {
+        term: "country".to_string(),
+        direction: Direction::Instances,
+        k: 10,
+    };
+    let (v1, d1) = client.call_ok(&req).expect("first call");
+    let hits_before = server.state().metrics().cache_hits_total();
+    let (v2, d2) = client.call_ok(&req).expect("second call");
+    assert_eq!((v1, &d1), (v2, &d2), "same version, same answer");
+    assert!(
+        server.state().metrics().cache_hits_total() > hits_before,
+        "second identical query must be served from the cache"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_readers_and_writer_never_see_stale_responses() {
+    let server = start_server();
+    let addr = server.local_addr();
+    const READERS: usize = 8;
+    const ITERS: usize = 50;
+    const WRITES: u64 = 20;
+
+    let barrier = Arc::new(std::sync::Barrier::new(READERS + 1));
+    let mut handles = Vec::new();
+    for reader in 0..READERS {
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("reader connects");
+            barrier.wait();
+            let mut last_version = 0u64;
+            for i in 0..ITERS {
+                let req = match (reader + i) % 4 {
+                    0 => Request::Ping,
+                    1 => Request::Typicality {
+                        term: "country".to_string(),
+                        direction: Direction::Instances,
+                        k: 10,
+                    },
+                    2 => Request::Isa {
+                        parent: "company".to_string(),
+                        child: "Apple".to_string(),
+                    },
+                    _ => Request::Conceptualize {
+                        terms: vec!["China".to_string(), "India".to_string()],
+                        k: 5,
+                    },
+                };
+                let (version, _data) = client.call_ok(&req).expect("read succeeds");
+                // The staleness invariant: once this connection has seen
+                // version v, no later answer may come from an older graph.
+                // A stale cache entry would violate exactly this.
+                assert!(
+                    version >= last_version,
+                    "stale response: saw version {version} after {last_version}"
+                );
+                last_version = version;
+            }
+        }));
+    }
+
+    let writer = {
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("writer connects");
+            barrier.wait();
+            let mut last_version = 0u64;
+            for n in 0..WRITES {
+                let (version, data) = client
+                    .call_ok(&Request::AddEvidence {
+                        parent: "country".to_string(),
+                        child: format!("smoke-{n}"),
+                        count: 1,
+                    })
+                    .expect("write succeeds");
+                assert!(version > last_version, "each write must bump the version");
+                last_version = version;
+                assert!(data.get("count").is_some(), "write ack carries the new edge count");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+
+    for h in handles {
+        h.join().expect("reader thread clean");
+    }
+    writer.join().expect("writer thread clean");
+
+    // After all writes: fresh queries must reflect the final graph (the
+    // version in every cache key changed, so nothing stale can surface).
+    let mut client = Client::connect(addr).expect("post connect");
+    let (version, data) = client
+        .call_ok(&Request::Isa {
+            parent: "country".to_string(),
+            child: format!("smoke-{}", WRITES - 1),
+        })
+        .expect("post-write isa");
+    assert_eq!(version, WRITES, "exactly one bump per write");
+    assert_eq!(data.get("isa").and_then(|v| v.as_bool()), Some(true));
+
+    let state = server.state();
+    assert_eq!(
+        state.metrics().requests_total(),
+        (READERS * ITERS) as u64 + WRITES + 1,
+        "every request accounted for"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_and_stops_accepting() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client.call_ok(&Request::Ping).expect("ping");
+    server.shutdown();
+
+    // The listener is gone: either the connect fails outright or the
+    // accepted-then-closed socket yields no response.
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut c) => {
+            assert!(c.call(&Request::Ping).is_err(), "server must not answer after shutdown");
+        }
+    }
+    // The old connection is closed too.
+    assert!(client.call(&Request::Ping).is_err());
+}

@@ -39,12 +39,32 @@ impl SharedStore {
         f(&self.inner.graph.read())
     }
 
+    /// Like [`SharedStore::read`], but also returns the version the
+    /// closure observed, read *under the read guard*. Because
+    /// [`SharedStore::update`] bumps the counter while still holding the
+    /// write lock, the pair is atomic: a cache keyed on the returned
+    /// version can never associate an answer with a version the graph
+    /// had already moved past.
+    pub fn read_versioned<R>(&self, f: impl FnOnce(&ConceptGraph) -> R) -> (R, u64) {
+        let guard = self.inner.graph.read();
+        let version = self.inner.version.load(Ordering::Acquire);
+        (f(&guard), version)
+    }
+
     /// Run a mutating closure under the exclusive lock; bumps the version.
     pub fn update<R>(&self, f: impl FnOnce(&mut ConceptGraph) -> R) -> R {
+        self.update_versioned(f).0
+    }
+
+    /// Like [`SharedStore::update`], but also returns the post-write
+    /// version. The bump happens while the write lock is still held, so
+    /// the returned version is exactly the one at which the mutation
+    /// became visible (no interleaved writer can sit between them).
+    pub fn update_versioned<R>(&self, f: impl FnOnce(&mut ConceptGraph) -> R) -> (R, u64) {
         let mut guard = self.inner.graph.write();
         let out = f(&mut guard);
-        self.inner.version.fetch_add(1, Ordering::Release);
-        out
+        let version = self.inner.version.fetch_add(1, Ordering::Release) + 1;
+        (out, version)
     }
 
     /// Monotone write counter for cache invalidation.
@@ -118,6 +138,74 @@ mod tests {
         .expect("threads join");
         assert_eq!(s.version(), 50);
         assert_eq!(s.read(|g| g.node_count()), 52);
+    }
+
+    #[test]
+    fn read_versioned_pairs_graph_with_version() {
+        let s = seeded();
+        let (n, v) = s.read_versioned(|g| g.node_count());
+        assert_eq!((n, v), (2, 0));
+        s.update(|g| {
+            let c = g.find_node("country", 0).unwrap();
+            let n = g.ensure_node("India", 0);
+            g.add_evidence(c, n, 1);
+        });
+        let (n, v) = s.read_versioned(|g| g.node_count());
+        assert_eq!((n, v), (3, 1));
+    }
+
+    #[test]
+    fn update_versioned_returns_postwrite_version() {
+        let s = seeded();
+        let (count, v) = s.update_versioned(|g| {
+            let c = g.find_node("country", 0).unwrap();
+            let n = g.ensure_node("India", 0);
+            g.add_evidence(c, n, 4)
+        });
+        assert_eq!(count, 4);
+        assert_eq!(v, 1);
+        assert_eq!(s.version(), 1);
+    }
+
+    /// The invalidation-ordering contract a versioned cache depends on:
+    /// a `(result, version)` pair from `read_versioned` is internally
+    /// consistent even with a writer racing it — the observed node count
+    /// always matches what the observed version implies, because the
+    /// version is bumped while the write lock is still held.
+    #[test]
+    fn read_versioned_never_tears_under_concurrent_updates() {
+        let s = seeded();
+        let base = s.read(|g| g.node_count());
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = s.clone();
+                scope.spawn(move |_| {
+                    for _ in 0..300 {
+                        let (nodes, v) = s.read_versioned(|g| g.node_count());
+                        // Writer adds exactly one node per version bump.
+                        assert_eq!(
+                            nodes as u64,
+                            base as u64 + v,
+                            "version {v} must imply exactly {v} added nodes"
+                        );
+                    }
+                });
+            }
+            let s2 = s.clone();
+            scope.spawn(move |_| {
+                for i in 0..100 {
+                    s2.update(|g| {
+                        let c = g.find_node("country", 0).unwrap();
+                        let node = g.ensure_node(&format!("N{i}"), 0);
+                        g.add_evidence(c, node, 1);
+                    });
+                }
+            });
+        })
+        .expect("threads join");
+        let (nodes, v) = s.read_versioned(|g| g.node_count());
+        assert_eq!(v, 100);
+        assert_eq!(nodes, base + 100);
     }
 
     #[test]

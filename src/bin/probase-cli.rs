@@ -1,13 +1,16 @@
-//! Interactive Probase explorer — the reproduction's equivalent of the
-//! paper's demo site (research.microsoft.com/probase).
+//! Interactive Probase explorer and server launcher — the reproduction's
+//! equivalent of the paper's demo site (research.microsoft.com/probase)
+//! plus the serving front end of §5.3.
 //!
 //! ```sh
-//! cargo run --release --bin probase-cli              # build a fresh simulation
-//! cargo run --release --bin probase-cli -- 60000     # bigger corpus
-//! cargo run --release --bin probase-cli -- --load t.pb   # load a snapshot
+//! cargo run --release --bin probase-cli                    # explorer REPL
+//! cargo run --release --bin probase-cli -- --sentences 60000
+//! cargo run --release --bin probase-cli -- --load t.pb     # load a snapshot
+//! cargo run --release --bin probase-cli -- serve           # TCP server
+//! cargo run --release --bin probase-cli -- serve --addr 127.0.0.1:7878
 //! ```
 //!
-//! Commands:
+//! REPL commands:
 //! ```text
 //! instances <concept> [k]      typical instances by T(i|x)
 //! concepts <term> [k]          typical concepts by T(x|i)
@@ -24,35 +27,219 @@
 use probase::apps::{tag_entities, NerConfig};
 use probase::corpus::{CorpusConfig, WorldConfig};
 use probase::prob::ProbaseModel;
-use probase::store::{snapshot, GraphStats};
+use probase::store::{snapshot, ConceptGraph, GraphStats, SharedStore};
 use probase::{ProbaseConfig, Simulation};
+use probase_serve::{ServeConfig, Server};
 use std::io::{BufRead, Write};
+use std::time::Duration;
+
+const USAGE: &str = "\
+Usage: probase-cli [OPTIONS] [SENTENCES]
+       probase-cli serve [OPTIONS]
+
+Modes:
+  (default)             interactive explorer REPL
+  serve                 start the probase-serve TCP server
+
+Options (both modes):
+  --load <PATH>         load a binary snapshot instead of simulating
+  --sentences <N>       simulated crawl size (default 30000)
+  -h, --help            print this help
+
+Options (serve only):
+  --addr <HOST:PORT>    bind address (default 127.0.0.1:7878)
+  --workers <N>         worker pool size (default 4)
+  --queue <N>           bounded request queue capacity (default 1024)
+  --cache <N>           response cache entries (default 4096)
+  --deadline-ms <N>     per-request queue deadline (default 2000)
+";
+
+#[derive(Debug, PartialEq)]
+struct CliArgs {
+    serve: bool,
+    load: Option<String>,
+    sentences: usize,
+    addr: String,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    deadline_ms: u64,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        let d = ServeConfig::default();
+        Self {
+            serve: false,
+            load: None,
+            sentences: 30_000,
+            addr: d.addr,
+            workers: d.workers,
+            queue: d.queue_capacity,
+            cache: d.cache_capacity,
+            deadline_ms: d.deadline.as_millis() as u64,
+        }
+    }
+}
+
+/// Parse argv (no binary name). `Err` carries the message to print
+/// before the usage text; `Ok(None)` means `--help` was requested.
+fn parse_args(argv: &[String]) -> Result<Option<CliArgs>, String> {
+    let mut args = CliArgs::default();
+    let mut it = argv.iter().peekable();
+    if it.peek().map(|a| a.as_str()) == Some("serve") {
+        args.serve = true;
+        it.next();
+    }
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--load" => args.load = Some(take("--load")?.clone()),
+            "--sentences" => {
+                let v = take("--sentences")?;
+                args.sentences =
+                    v.parse().map_err(|_| format!("--sentences: not a number: {v:?}"))?;
+            }
+            "--addr" if args.serve => args.addr = take("--addr")?.clone(),
+            "--workers" if args.serve => {
+                let v = take("--workers")?;
+                args.workers = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--workers: need a positive number, got {v:?}"))?;
+            }
+            "--queue" if args.serve => {
+                let v = take("--queue")?;
+                args.queue = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--queue: need a positive number, got {v:?}"))?;
+            }
+            "--cache" if args.serve => {
+                let v = take("--cache")?;
+                args.cache = v.parse().map_err(|_| format!("--cache: not a number: {v:?}"))?;
+            }
+            "--deadline-ms" if args.serve => {
+                let v = take("--deadline-ms")?;
+                args.deadline_ms =
+                    v.parse().map_err(|_| format!("--deadline-ms: not a number: {v:?}"))?;
+            }
+            positional if !positional.starts_with('-') && !args.serve => {
+                // Back-compat: `probase-cli 60000`.
+                args.sentences = positional
+                    .parse()
+                    .map_err(|_| format!("unexpected argument {positional:?}"))?;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if args.load.is_some() && argv.iter().any(|a| a == "--sentences") {
+        return Err("--load and --sentences are mutually exclusive".to_string());
+    }
+    Ok(Some(args))
+}
+
+fn load_graph(args: &CliArgs) -> Result<ConceptGraph, String> {
+    match &args.load {
+        Some(path) => {
+            let bytes =
+                std::fs::read(path).map_err(|e| format!("cannot read snapshot {path:?}: {e}"))?;
+            let mut graph = snapshot::from_bytes(&bytes[..])
+                .map_err(|e| format!("cannot decode snapshot {path:?}: {e}"))?;
+            graph.rebuild_indexes();
+            eprintln!(
+                "loaded {} nodes / {} edges from {path}",
+                graph.node_count(),
+                graph.edge_count()
+            );
+            Ok(graph)
+        }
+        None => {
+            let sentences = args.sentences;
+            eprintln!("building Probase over a {sentences}-sentence simulated crawl ...");
+            let sim = Simulation::run(
+                &WorldConfig::default(),
+                &CorpusConfig { sentences, ..CorpusConfig::default() },
+                &ProbaseConfig::paper(),
+            );
+            eprintln!(
+                "ready: {} pairs, {} concepts",
+                sim.probase.extraction.knowledge.pair_count(),
+                sim.probase.graph_stats.concepts
+            );
+            Ok(sim.probase.model.graph().clone())
+        }
+    }
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let model = if args.first().map(|a| a == "--load").unwrap_or(false) {
-        let path = args.get(1).expect("--load needs a path");
-        let bytes = std::fs::read(path).expect("snapshot readable");
-        let mut graph = snapshot::from_bytes(&bytes[..]).expect("snapshot decodes");
-        graph.rebuild_indexes();
-        eprintln!("loaded {} nodes / {} edges from {path}", graph.node_count(), graph.edge_count());
-        ProbaseModel::new(graph)
-    } else {
-        let sentences: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(30_000);
-        eprintln!("building Probase over a {sentences}-sentence simulated crawl ...");
-        let sim = Simulation::run(
-            &WorldConfig::default(),
-            &CorpusConfig { sentences, ..CorpusConfig::default() },
-            &ProbaseConfig::paper(),
-        );
-        eprintln!(
-            "ready: {} pairs, {} concepts",
-            sim.probase.extraction.knowledge.pair_count(),
-            sim.probase.graph_stats.concepts
-        );
-        sim.probase.model
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            print!("{USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let graph = match load_graph(&args) {
+        Ok(g) => g,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
     };
 
+    if args.serve {
+        let config = ServeConfig {
+            addr: args.addr.clone(),
+            workers: args.workers,
+            queue_capacity: args.queue,
+            cache_capacity: args.cache,
+            cache_shards: 16,
+            deadline: Duration::from_millis(args.deadline_ms),
+        };
+        let server = match Server::start(SharedStore::new(graph), &config) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot bind {}: {e}", config.addr);
+                std::process::exit(1);
+            }
+        };
+        eprintln!(
+            "probase-serve listening on {} ({} workers, queue {}, cache {} entries)",
+            server.local_addr(),
+            config.workers,
+            config.queue_capacity,
+            config.cache_capacity
+        );
+        let bound = server.local_addr();
+        eprintln!(
+            "try: printf '{{\"endpoint\":\"stats\"}}\\n' | nc {} {}",
+            bound.ip(),
+            bound.port()
+        );
+        // Serve until the process is killed; the Drop impl would drain,
+        // but there is nothing to drain into on SIGKILL anyway.
+        loop {
+            std::thread::park();
+        }
+    }
+
+    let model = ProbaseModel::new(graph);
+    repl(&model);
+}
+
+fn repl(model: &ProbaseModel) {
     let stdin = std::io::stdin();
     print!("probase> ");
     std::io::stdout().flush().ok();
@@ -62,7 +249,7 @@ fn main() {
             Err(_) => break,
         };
         let line = line.trim();
-        if !line.is_empty() && !dispatch(&model, line) {
+        if !line.is_empty() && !dispatch(model, line) {
             break;
         }
         print!("probase> ");
@@ -174,5 +361,85 @@ fn split_k(rest: &str, default_k: usize) -> (String, usize) {
             Err(_) => (rest.trim().to_string(), default_k),
         },
         None => (rest.trim().to_string(), default_k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Option<CliArgs>, String> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn default_is_repl() {
+        let args = parse(&[]).unwrap().unwrap();
+        assert!(!args.serve);
+        assert_eq!(args.sentences, 30_000);
+        assert_eq!(args.load, None);
+    }
+
+    #[test]
+    fn positional_sentences_backcompat() {
+        let args = parse(&["60000"]).unwrap().unwrap();
+        assert_eq!(args.sentences, 60_000);
+    }
+
+    #[test]
+    fn load_flag() {
+        let args = parse(&["--load", "t.pb"]).unwrap().unwrap();
+        assert_eq!(args.load.as_deref(), Some("t.pb"));
+    }
+
+    #[test]
+    fn serve_mode_with_options() {
+        let args = parse(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "8",
+            "--queue",
+            "64",
+            "--cache",
+            "128",
+            "--deadline-ms",
+            "500",
+            "--load",
+            "x.pb",
+        ])
+        .unwrap()
+        .unwrap();
+        assert!(args.serve);
+        assert_eq!(args.addr, "0.0.0.0:9000");
+        assert_eq!(args.workers, 8);
+        assert_eq!(args.queue, 64);
+        assert_eq!(args.cache, 128);
+        assert_eq!(args.deadline_ms, 500);
+        assert_eq!(args.load.as_deref(), Some("x.pb"));
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(parse(&["--help"]).unwrap(), None);
+        assert_eq!(parse(&["serve", "-h"]).unwrap(), None);
+    }
+
+    #[test]
+    fn errors_are_reported_not_panics() {
+        for bad in [
+            vec!["--load"],
+            vec!["--sentences", "many"],
+            vec!["--bogus"],
+            vec!["serve", "--workers", "0"],
+            vec!["serve", "--queue", "-3"],
+            vec!["abc"],
+            vec!["--load", "a", "--sentences", "5"],
+            // serve-only flags outside serve mode
+            vec!["--addr", "x"],
+        ] {
+            assert!(parse(&bad).is_err(), "{bad:?} should be an error");
+        }
     }
 }

@@ -1,0 +1,379 @@
+//! Closed-loop load generator for `probase-serve`.
+//!
+//! Spawns N worker threads, each with its own connection, issuing a
+//! mixed read/write workload against a running server. Keys are drawn
+//! with zipfian skew (hot concepts dominate, like real query logs), so
+//! the versioned response cache actually gets exercised. At the end it
+//! prints per-endpoint p50/p99 latency, overall throughput, and the
+//! server's own `stats` dump (cache hit rate, queue metrics).
+//!
+//! ```sh
+//! cargo run --release --bin probase-cli -- serve &
+//! cargo run --release --bin probase-loadgen -- --threads 4 --duration-secs 10
+//! ```
+
+use probase_serve::{Client, ClientError, Json, Request};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+Usage: probase-loadgen [OPTIONS]
+
+Options:
+  --addr <HOST:PORT>     server address (default 127.0.0.1:7878)
+  --threads <N>          closed-loop workers (default 4)
+  --duration-secs <N>    run length (default 10)
+  --write-ratio <F>      fraction of add-evidence writes, 0..1 (default 0.05)
+  --zipf <S>             zipfian skew exponent (default 1.0)
+  --keys <N>             hot-key set size fetched from the server (default 256)
+  --seed <N>             RNG seed (default 42)
+  -h, --help             print this help
+";
+
+#[derive(Debug, Clone)]
+struct Args {
+    addr: String,
+    threads: usize,
+    duration: Duration,
+    write_ratio: f64,
+    zipf: f64,
+    keys: usize,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: "127.0.0.1:7878".to_string(),
+            threads: 4,
+            duration: Duration::from_secs(10),
+            write_ratio: 0.05,
+            zipf: 1.0,
+            keys: 256,
+            seed: 42,
+        }
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        fn num<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String> {
+            v.parse().map_err(|_| format!("{name}: bad value {v:?}"))
+        }
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--addr" => args.addr = take("--addr")?.clone(),
+            "--threads" => args.threads = num("--threads", take("--threads")?)?,
+            "--duration-secs" => {
+                args.duration = Duration::from_secs(num("--duration-secs", take("--duration-secs")?)?)
+            }
+            "--write-ratio" => args.write_ratio = num("--write-ratio", take("--write-ratio")?)?,
+            "--zipf" => args.zipf = num("--zipf", take("--zipf")?)?,
+            "--keys" => args.keys = num("--keys", take("--keys")?)?,
+            "--seed" => args.seed = num("--seed", take("--seed")?)?,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if args.threads == 0 {
+        return Err("--threads must be positive".to_string());
+    }
+    if !(0.0..=1.0).contains(&args.write_ratio) {
+        return Err("--write-ratio must be in 0..=1".to_string());
+    }
+    Ok(Some(args))
+}
+
+/// Precomputed zipfian CDF over ranks `0..n`: rank i has weight
+/// `1/(i+1)^s`. Sampling is a binary search with a uniform draw.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+fn percentile(sorted_micros: &[u64], p: f64) -> u64 {
+    if sorted_micros.is_empty() {
+        return 0;
+    }
+    let idx = (p * (sorted_micros.len() - 1) as f64).round() as usize;
+    sorted_micros[idx]
+}
+
+#[derive(Default)]
+struct WorkerStats {
+    /// `(endpoint name, latency in µs)` per completed request.
+    latencies: Vec<(&'static str, u64)>,
+    requests: u64,
+    /// Server-side error envelopes (overloaded, deadline, ...).
+    server_errors: u64,
+    /// Transport/parse failures — must be zero on a healthy run.
+    protocol_errors: u64,
+}
+
+/// Labels the loadgen writes under; they never collide with simulated
+/// vocabulary, so add-evidence writes can never form a cycle.
+fn write_label(thread: usize, n: u64) -> String {
+    format!("loadgen-{thread}-{n}")
+}
+
+fn pick_request(
+    rng: &mut SmallRng,
+    zipf: &Zipf,
+    concepts: &[String],
+    instances: &[String],
+    args: &Args,
+    thread: usize,
+    writes_done: &mut u64,
+) -> (&'static str, Request) {
+    if rng.gen::<f64>() < args.write_ratio {
+        let parent = concepts[zipf.sample(rng)].clone();
+        *writes_done += 1;
+        return (
+            "add-evidence",
+            Request::AddEvidence { parent, child: write_label(thread, *writes_done), count: 1 },
+        );
+    }
+    let op = rng.gen_range(0..6u32);
+    let concept = concepts[zipf.sample(rng)].clone();
+    let instance = instances[zipf.sample(rng)].clone();
+    match op {
+        0 => ("isa", Request::Isa { parent: concept, child: instance }),
+        1 => (
+            "typicality",
+            Request::Typicality {
+                term: concept,
+                direction: probase_serve::Direction::Instances,
+                k: 10,
+            },
+        ),
+        2 => ("plausibility", Request::Plausibility { parent: concept, child: instance }),
+        3 => {
+            let extra = instances[zipf.sample(rng)].clone();
+            ("conceptualize", Request::Conceptualize { terms: vec![instance, extra], k: 8 })
+        }
+        4 => ("search-rewrite", Request::SearchRewrite { query: instance, k: 5 }),
+        _ => ("levels", Request::Levels { term: Some(concept) }),
+    }
+}
+
+fn worker(
+    thread: usize,
+    args: &Args,
+    concepts: &[String],
+    instances: &[String],
+    stop: &AtomicBool,
+) -> Result<WorkerStats, ClientError> {
+    let mut client = Client::connect(&args.addr)?;
+    let mut rng = SmallRng::seed_from_u64(args.seed.wrapping_add(thread as u64 * 7919));
+    let zipf = Zipf::new(concepts.len().min(instances.len()), args.zipf);
+    let mut stats = WorkerStats::default();
+    let mut writes_done = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let (name, req) =
+            pick_request(&mut rng, &zipf, concepts, instances, args, thread, &mut writes_done);
+        let start = Instant::now();
+        match client.call(&req) {
+            Ok(envelope) => {
+                stats.requests += 1;
+                stats.latencies.push((name, start.elapsed().as_micros() as u64));
+                if envelope.error.is_some() {
+                    stats.server_errors += 1;
+                }
+            }
+            Err(ClientError::Server(..)) => unreachable!("call() never returns Server"),
+            Err(_) => {
+                stats.protocol_errors += 1;
+                // The connection may be dead; reconnect and continue.
+                client = Client::connect(&args.addr)?;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+fn fetch_labels(client: &mut Client, kind: &str, k: usize) -> Result<Vec<String>, ClientError> {
+    let req = Request::Labels {
+        kind: if kind == "concepts" {
+            probase_serve::LabelKind::Concepts
+        } else {
+            probase_serve::LabelKind::Instances
+        },
+        k,
+    };
+    let (_, data) = client.call_ok(&req)?;
+    let labels = data
+        .get("labels")
+        .and_then(Json::as_arr)
+        .map(|arr| arr.iter().filter_map(|v| v.as_str().map(str::to_string)).collect())
+        .unwrap_or_default();
+    Ok(labels)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            print!("{USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    // Bootstrap the hot-key sets from the server itself.
+    let mut bootstrap = match Client::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    let concepts = fetch_labels(&mut bootstrap, "concepts", args.keys).unwrap_or_default();
+    let instances = fetch_labels(&mut bootstrap, "instances", args.keys).unwrap_or_default();
+    if concepts.is_empty() || instances.is_empty() {
+        eprintln!("error: server has no concepts/instances to query");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "loadgen: {} threads for {:?} against {} ({} concepts, {} instances, zipf {}, {:.0}% writes)",
+        args.threads,
+        args.duration,
+        args.addr,
+        concepts.len(),
+        instances.len(),
+        args.zipf,
+        args.write_ratio * 100.0
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..args.threads)
+        .map(|t| {
+            let args = args.clone();
+            let concepts = concepts.clone();
+            let instances = instances.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || worker(t, &args, &concepts, &instances, &stop))
+        })
+        .collect();
+    std::thread::sleep(args.duration);
+    stop.store(true, Ordering::Relaxed);
+
+    let mut merged = WorkerStats::default();
+    let mut connect_failures = 0u64;
+    for h in handles {
+        match h.join().expect("worker panicked") {
+            Ok(s) => {
+                merged.requests += s.requests;
+                merged.server_errors += s.server_errors;
+                merged.protocol_errors += s.protocol_errors;
+                merged.latencies.extend(s.latencies);
+            }
+            Err(_) => connect_failures += 1,
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    println!("\n== loadgen results ==");
+    println!("requests:        {}", merged.requests);
+    println!("throughput:      {:.0} req/s", merged.requests as f64 / elapsed);
+    println!("server errors:   {}", merged.server_errors);
+    println!("protocol errors: {}", merged.protocol_errors);
+    if connect_failures > 0 {
+        println!("worker connect failures: {connect_failures}");
+    }
+
+    let mut by_endpoint: std::collections::BTreeMap<&str, Vec<u64>> = Default::default();
+    for (name, us) in &merged.latencies {
+        by_endpoint.entry(name).or_default().push(*us);
+    }
+    println!("\n{:<16} {:>8} {:>10} {:>10}", "endpoint", "count", "p50_us", "p99_us");
+    for (name, mut lats) in by_endpoint {
+        lats.sort_unstable();
+        println!(
+            "{:<16} {:>8} {:>10} {:>10}",
+            name,
+            lats.len(),
+            percentile(&lats, 0.50),
+            percentile(&lats, 0.99)
+        );
+    }
+
+    match bootstrap.call_ok(&Request::Stats) {
+        Ok((_, data)) => println!("\n== server stats ==\n{data}"),
+        Err(e) => eprintln!("warning: final stats fetch failed: {e}"),
+    }
+    if merged.protocol_errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let zipf = Zipf::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0usize; 100];
+        for _ in 0..10_000 {
+            let r = zipf.sample(&mut rng);
+            assert!(r < 100);
+            counts[r] += 1;
+        }
+        assert!(counts[0] > counts[10], "rank 0 should be hotter than rank 10");
+        assert!(counts[0] > 10_000 / 100, "rank 0 should beat uniform share");
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let v = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 1.0), 10);
+        assert_eq!(percentile(&v, 0.5), 6);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn args_parse_and_reject() {
+        let ok = parse_args(&["--threads".into(), "8".into(), "--zipf".into(), "1.2".into()])
+            .unwrap()
+            .unwrap();
+        assert_eq!(ok.threads, 8);
+        assert!(parse_args(&["--threads".into(), "0".into()]).is_err());
+        assert!(parse_args(&["--write-ratio".into(), "1.5".into()]).is_err());
+        assert!(parse_args(&["--nope".into()]).is_err());
+    }
+}

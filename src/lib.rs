@@ -56,3 +56,6 @@ pub use probase_apps as apps;
 
 /// Evaluation harness: judge, query log, workloads, metrics.
 pub use probase_eval as eval;
+
+/// Query-serving subsystem: TCP server, response cache, metrics (§5.3).
+pub use probase_serve as serve;
