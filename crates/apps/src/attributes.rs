@@ -36,7 +36,9 @@ pub fn parse_attribute_mention(text: &str) -> Option<(String, String)> {
         if lower[i] != "the" {
             continue;
         }
-        let Some(of_rel) = lower[i + 1..].iter().position(|w| w == "of") else { continue };
+        let Some(of_rel) = lower[i + 1..].iter().position(|w| w == "of") else {
+            continue;
+        };
         let of_idx = i + 1 + of_rel;
         if of_rel == 0 || of_rel > 3 || of_idx + 1 >= words.len() {
             continue;
@@ -68,14 +70,13 @@ pub fn parse_attribute_mention(text: &str) -> Option<(String, String)> {
 
 /// Harvest attributes for one concept given its seed instances: count how
 /// often each attribute appears with a seed, rank by support.
-pub fn harvest_attributes(
-    mentions: &[AttributeMention],
-    seeds: &[String],
-) -> Vec<RankedAttribute> {
+pub fn harvest_attributes(mentions: &[AttributeMention], seeds: &[String]) -> Vec<RankedAttribute> {
     let seed_set: HashSet<&str> = seeds.iter().map(|s| s.as_str()).collect();
     let mut support: HashMap<String, u32> = HashMap::new();
     for m in mentions {
-        let Some((attr, inst)) = parse_attribute_mention(&m.text) else { continue };
+        let Some((attr, inst)) = parse_attribute_mention(&m.text) else {
+            continue;
+        };
         if seed_set.contains(inst.as_str()) {
             *support.entry(attr).or_insert(0) += 1;
         }
@@ -84,14 +85,22 @@ pub fn harvest_attributes(
         .into_iter()
         .map(|(attribute, support)| RankedAttribute { attribute, support })
         .collect();
-    out.sort_by(|a, b| b.support.cmp(&a.support).then(a.attribute.cmp(&b.attribute)));
+    out.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then(a.attribute.cmp(&b.attribute))
+    });
     out
 }
 
 /// Probase seeding: the concept's most typical instances (automatic —
 /// the paper's contribution over Pasca's manual seeds).
 pub fn probase_seeds(model: &ProbaseModel, concept: &str, k: usize) -> Vec<String> {
-    model.typical_instances(concept, k).into_iter().map(|(i, _)| i).collect()
+    model
+        .typical_instances(concept, k)
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect()
 }
 
 #[cfg(test)]
@@ -117,7 +126,12 @@ mod tests {
     }
 
     fn mention(text: &str, valid: bool) -> AttributeMention {
-        AttributeMention { text: text.to_string(), instance: String::new(), attribute: String::new(), valid }
+        AttributeMention {
+            text: text.to_string(),
+            instance: String::new(),
+            attribute: String::new(),
+            valid,
+        }
     }
 
     #[test]

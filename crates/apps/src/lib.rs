@@ -34,6 +34,8 @@ pub mod taxsearch;
 pub mod terms;
 
 pub use attributes::{harvest_attributes, parse_attribute_mention, probase_seeds, RankedAttribute};
+pub use mixed::{index_from_harvest, AttributeIndex, MixedConceptualizer, TermRole};
+pub use ner::{tag_entities, EntityTag, NerConfig};
 pub use search::{
     pages_from_corpus, rewrite_query, semantic_search, Association, Document, MiniIndex,
     RewrittenQuery,
@@ -41,8 +43,8 @@ pub use search::{
 pub use shorttext::{
     bow_vector, concept_vector, conceptualize_text, kmeans, purity, FeatureSpace, SparseVector,
 };
-pub use mixed::{index_from_harvest, AttributeIndex, MixedConceptualizer, TermRole};
-pub use ner::{tag_entities, EntityTag, NerConfig};
-pub use tables::{apply_enrichments, infer_header, understand_tables, Column, Enrichment, HeaderInference};
+pub use tables::{
+    apply_enrichments, infer_header, understand_tables, Column, Enrichment, HeaderInference,
+};
 pub use taxsearch::{ConceptHit, TaxonomyIndex};
 pub use terms::{spot_terms, SpottedTerm, TermKind};

@@ -37,7 +37,9 @@ impl AttributeIndex {
 
     /// Concepts typically carrying `attribute`, normalized.
     pub fn concepts_of(&self, attribute: &str) -> Vec<(String, f64)> {
-        let Some(list) = self.map.get(&attribute.to_lowercase()) else { return Vec::new() };
+        let Some(list) = self.map.get(&attribute.to_lowercase()) else {
+            return Vec::new();
+        };
         let total: f64 = list.iter().map(|(_, w)| w).sum();
         if total <= 0.0 {
             return Vec::new();
@@ -133,7 +135,10 @@ impl<'m> MixedConceptualizer<'m> {
         scored.truncate(k);
         let m = scored.first().map(|(_, s)| *s).unwrap_or(0.0);
         let total: f64 = scored.iter().map(|(_, s)| (s - m).exp()).sum();
-        scored.into_iter().map(|(c, s)| (c, (s - m).exp() / total)).collect()
+        scored
+            .into_iter()
+            .map(|(c, s)| (c, (s - m).exp() / total))
+            .collect()
     }
 }
 
@@ -224,7 +229,10 @@ mod tests {
         use crate::attributes::RankedAttribute;
         let per = vec![(
             "country".to_string(),
-            vec![RankedAttribute { attribute: "population".into(), support: 5 }],
+            vec![RankedAttribute {
+                attribute: "population".into(),
+                support: 5,
+            }],
         )];
         let idx = index_from_harvest(&per);
         assert!(idx.knows("population"));

@@ -36,15 +36,20 @@ pub struct NerConfig {
 
 impl Default for NerConfig {
     fn default() -> Self {
-        Self { candidates_per_entity: 6, context_weight: 0.5 }
+        Self {
+            candidates_per_entity: 6,
+            context_weight: 0.5,
+        }
     }
 }
 
 /// Tag the entities of `text` with fine-grained concepts.
 pub fn tag_entities(model: &ProbaseModel, text: &str, cfg: &NerConfig) -> Vec<EntityTag> {
     let spans = spot_terms(model, text);
-    let entities: Vec<&SpottedTerm> =
-        spans.iter().filter(|s| s.kind == TermKind::Instance).collect();
+    let entities: Vec<&SpottedTerm> = spans
+        .iter()
+        .filter(|s| s.kind == TermKind::Instance)
+        .collect();
     if entities.is_empty() {
         return Vec::new();
     }
@@ -86,7 +91,11 @@ pub fn tag_entities(model: &ProbaseModel, text: &str, cfg: &NerConfig) -> Vec<En
             Some(EntityTag {
                 surface: e.surface.clone(),
                 concept: best.to_string(),
-                confidence: if total > 0.0 { (score / total).clamp(0.0, 1.0) } else { 0.0 },
+                confidence: if total > 0.0 {
+                    (score / total).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                },
             })
         })
         .collect()
@@ -150,7 +159,10 @@ mod tests {
     #[test]
     fn zero_context_weight_uses_pure_typicality() {
         let m = model();
-        let cfg = NerConfig { context_weight: 0.0, ..Default::default() };
+        let cfg = NerConfig {
+            context_weight: 0.0,
+            ..Default::default()
+        };
         let tags = tag_entities(&m, "Paris and Nicky Hilton arrived", &cfg);
         let paris = tags.iter().find(|t| t.surface == "Paris").unwrap();
         // Standalone, the city sense has more evidence mass.

@@ -36,8 +36,10 @@ pub fn pages_from_corpus(records: &[SentenceRecord]) -> Vec<Document> {
         }
         entry.push_str(&r.text);
     }
-    let mut docs: Vec<Document> =
-        by_page.into_iter().map(|(page_id, text)| Document { page_id, text }).collect();
+    let mut docs: Vec<Document> = by_page
+        .into_iter()
+        .map(|(page_id, text)| Document { page_id, text })
+        .collect();
     docs.sort_by_key(|d| d.page_id);
     docs
 }
@@ -79,8 +81,10 @@ impl MiniIndex {
     /// Documents containing *all* query words (AND), best-first by the
     /// number of distinct query word positions (crude TF).
     pub fn search(&self, query: &str, k: usize) -> Vec<u32> {
-        let words: Vec<String> =
-            tokenize(query).into_iter().map(|t| t.text.to_lowercase()).collect();
+        let words: Vec<String> = tokenize(query)
+            .into_iter()
+            .map(|t| t.text.to_lowercase())
+            .collect();
         if words.is_empty() {
             return Vec::new();
         }
@@ -116,8 +120,10 @@ impl Association {
         let mut counts = HashMap::new();
         for d in docs {
             let lower = d.text.to_lowercase();
-            let mentioned: Vec<&String> =
-                vocabulary.iter().filter(|v| lower.contains(&v.to_lowercase())).collect();
+            let mentioned: Vec<&String> = vocabulary
+                .iter()
+                .filter(|v| lower.contains(&v.to_lowercase()))
+                .collect();
             for (i, a) in mentioned.iter().enumerate() {
                 for b in &mentioned[i + 1..] {
                     let key = if a <= b {
@@ -173,7 +179,11 @@ pub fn rewrite_query(
         .map(|(i, s)| (i, model.typical_instances(&s.canonical, per_concept)))
         .collect();
     if concept_slots.is_empty() {
-        return vec![RewrittenQuery { text: query.to_string(), substitutions: vec![], score: 1.0 }];
+        return vec![RewrittenQuery {
+            text: query.to_string(),
+            substitutions: vec![],
+            score: 1.0,
+        }];
     }
     // Cartesian product over slots (bounded: per_concept^slots).
     let mut combos: Vec<(Vec<(usize, String)>, f64)> = vec![(Vec::new(), 1.0)];
@@ -204,7 +214,11 @@ pub fn rewrite_query(
                 words[*slot] = inst.clone();
                 subs.push(inst.clone());
             }
-            RewrittenQuery { text: words.join(" "), substitutions: subs, score: tscore * bonus }
+            RewrittenQuery {
+                text: words.join(" "),
+                substitutions: subs,
+                score: tscore * bonus,
+            }
         })
         .collect();
     rewrites.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"));
@@ -275,16 +289,27 @@ mod tests {
 
     fn docs() -> Vec<Document> {
         vec![
-            Document { page_id: 0, text: "SIGMOD in Beijing was memorable".into() },
-            Document { page_id: 1, text: "VLDB in Singapore attracted many".into() },
-            Document { page_id: 2, text: "a cooking blog about noodles".into() },
+            Document {
+                page_id: 0,
+                text: "SIGMOD in Beijing was memorable".into(),
+            },
+            Document {
+                page_id: 1,
+                text: "VLDB in Singapore attracted many".into(),
+            },
+            Document {
+                page_id: 2,
+                text: "a cooking blog about noodles".into(),
+            },
         ]
     }
 
     #[test]
     fn keyword_search_finds_exact_words_only() {
         let index = MiniIndex::build(docs());
-        assert!(index.search("database conferences in asian cities", 10).is_empty());
+        assert!(index
+            .search("database conferences in asian cities", 10)
+            .is_empty());
         assert_eq!(index.search("SIGMOD Beijing", 10), vec![0]);
     }
 
@@ -294,17 +319,25 @@ mod tests {
         let assoc = Association::default();
         let rewrites = rewrite_query(&m, &assoc, "database conferences in asian cities", 3, 9);
         assert!(!rewrites.is_empty());
-        assert!(rewrites.iter().any(|r| r.text == "SIGMOD in Beijing"), "{rewrites:?}");
+        assert!(
+            rewrites.iter().any(|r| r.text == "SIGMOD in Beijing"),
+            "{rewrites:?}"
+        );
         // Typicality ordering: top rewrite uses the most typical instances.
-        assert_eq!(rewrites[0].substitutions, vec!["SIGMOD".to_string(), "Beijing".to_string()]);
+        assert_eq!(
+            rewrites[0].substitutions,
+            vec!["SIGMOD".to_string(), "Beijing".to_string()]
+        );
     }
 
     #[test]
     fn association_breaks_ties_toward_cooccurring_pairs() {
         let m = model();
         let d = docs();
-        let vocab: Vec<String> =
-            ["SIGMOD", "VLDB", "ICDE", "Beijing", "Singapore", "Tokyo"].iter().map(|s| s.to_string()).collect();
+        let vocab: Vec<String> = ["SIGMOD", "VLDB", "ICDE", "Beijing", "Singapore", "Tokyo"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let assoc = Association::from_pages(&d, &vocab);
         assert_eq!(assoc.score("VLDB", "Singapore"), 1);
         assert_eq!(assoc.score("VLDB", "Beijing"), 0);
@@ -312,7 +345,12 @@ mod tests {
         // VLDB+Singapore must outrank VLDB+anything-else.
         let vldb_first = rewrites
             .iter()
-            .find(|r| r.substitutions.first().map(|s| s == "VLDB").unwrap_or(false))
+            .find(|r| {
+                r.substitutions
+                    .first()
+                    .map(|s| s == "VLDB")
+                    .unwrap_or(false)
+            })
             .unwrap();
         assert_eq!(vldb_first.substitutions[1], "Singapore");
     }
@@ -321,14 +359,24 @@ mod tests {
     fn semantic_search_beats_keyword_on_semantic_query() {
         let m = model();
         let d = docs();
-        let vocab: Vec<String> =
-            ["SIGMOD", "VLDB", "Beijing", "Singapore"].iter().map(|s| s.to_string()).collect();
+        let vocab: Vec<String> = ["SIGMOD", "VLDB", "Beijing", "Singapore"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let assoc = Association::from_pages(&d, &vocab);
         let index = MiniIndex::build(d);
-        let hits = semantic_search(&m, &assoc, &index, "database conferences in asian cities", 5);
+        let hits = semantic_search(
+            &m,
+            &assoc,
+            &index,
+            "database conferences in asian cities",
+            5,
+        );
         assert!(!hits.is_empty());
         assert!(hits.contains(&0) || hits.contains(&1));
-        assert!(index.search("database conferences in asian cities", 5).is_empty());
+        assert!(index
+            .search("database conferences in asian cities", 5)
+            .is_empty());
     }
 
     #[test]
@@ -346,13 +394,21 @@ mod tests {
             SentenceRecord {
                 id: 0,
                 text: "a".into(),
-                meta: SourceMeta { page_id: 7, page_rank: 0.1, source_quality: 0.5 },
+                meta: SourceMeta {
+                    page_id: 7,
+                    page_rank: 0.1,
+                    source_quality: 0.5,
+                },
                 truth: SentenceTruth::default(),
             },
             SentenceRecord {
                 id: 1,
                 text: "b".into(),
-                meta: SourceMeta { page_id: 7, page_rank: 0.1, source_quality: 0.5 },
+                meta: SourceMeta {
+                    page_id: 7,
+                    page_rank: 0.1,
+                    source_quality: 0.5,
+                },
                 truth: SentenceTruth::default(),
             },
         ];

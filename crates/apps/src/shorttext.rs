@@ -193,8 +193,10 @@ pub fn purity(assignment: &[usize], gold: &[usize]) -> f64 {
     for (&c, &g) in assignment.iter().zip(gold) {
         *per_cluster.entry(c).or_default().entry(g).or_insert(0) += 1;
     }
-    let correct: usize =
-        per_cluster.values().map(|m| m.values().copied().max().unwrap_or(0)).sum();
+    let correct: usize = per_cluster
+        .values()
+        .map(|m| m.values().copied().max().unwrap_or(0))
+        .sum();
     correct as f64 / assignment.len() as f64
 }
 
@@ -254,8 +256,10 @@ mod tests {
             "spicy curry",
         ];
         let gold = [0, 0, 0, 1, 1, 1];
-        let vectors: Vec<SparseVector> =
-            texts.iter().map(|t| concept_vector(&m, &mut space, t, 3)).collect();
+        let vectors: Vec<SparseVector> = texts
+            .iter()
+            .map(|t| concept_vector(&m, &mut space, t, 3))
+            .collect();
         let assignment = kmeans(&vectors, 2, 20, 3);
         assert!(purity(&assignment, &gold) >= 0.99, "{assignment:?}");
     }

@@ -30,7 +30,11 @@ pub struct HeaderInference {
 
 /// Infer the concept heading a column. Returns `None` when no cell is
 /// known to the taxonomy.
-pub fn infer_header(model: &ProbaseModel, column: &Column, per_cell: usize) -> Option<HeaderInference> {
+pub fn infer_header(
+    model: &ProbaseModel,
+    column: &Column,
+    per_cell: usize,
+) -> Option<HeaderInference> {
     let mut votes: HashMap<String, f64> = HashMap::new();
     let mut unknown = Vec::new();
     let mut known_cells = 0usize;
@@ -104,7 +108,9 @@ pub fn apply_enrichments(
     let mut added = 0;
     for e in enrichments {
         let senses = graph.senses_of(&e.concept);
-        let Some(&target) = senses.iter().find(|&&n| !graph.is_instance(n)) else { continue };
+        let Some(&target) = senses.iter().find(|&&n| !graph.is_instance(n)) else {
+            continue;
+        };
         for inst in &e.new_instances {
             let node = graph.ensure_node(inst, 0);
             if node == target || !graph.is_instance(node) {
@@ -141,7 +147,9 @@ mod tests {
     }
 
     fn col(cells: &[&str]) -> Column {
-        Column { cells: cells.iter().map(|s| s.to_string()).collect() }
+        Column {
+            cells: cells.iter().map(|s| s.to_string()).collect(),
+        }
     }
 
     #[test]
@@ -202,7 +210,10 @@ mod tests {
     #[test]
     fn understand_tables_produces_enrichments() {
         let m = model();
-        let cols = vec![col(&["China", "India", "Wakanda"]), col(&["Paris", "Tokyo"])];
+        let cols = vec![
+            col(&["China", "India", "Wakanda"]),
+            col(&["Paris", "Tokyo"]),
+        ];
         let (inferences, enrichments) = understand_tables(&m, &cols, 0.2);
         assert_eq!(inferences.len(), 2);
         assert_eq!(enrichments.len(), 1);

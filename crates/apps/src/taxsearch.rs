@@ -47,7 +47,10 @@ impl<'m> TaxonomyIndex<'m> {
                 word_to_instances.entry(w).or_default().push(inst);
             }
         }
-        Self { model, word_to_instances }
+        Self {
+            model,
+            word_to_instances,
+        }
     }
 
     /// Search for concepts covering the keywords, best first.

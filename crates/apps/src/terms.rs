@@ -61,7 +61,11 @@ pub fn spot_terms(model: &ProbaseModel, text: &str) -> Vec<SpottedTerm> {
             if model.knows(&surface) {
                 matched = Some((
                     len,
-                    SpottedTerm { canonical: surface.clone(), surface, kind: TermKind::Instance },
+                    SpottedTerm {
+                        canonical: surface.clone(),
+                        surface,
+                        kind: TermKind::Instance,
+                    },
                 ));
                 break;
             }

@@ -34,9 +34,15 @@ fn mini_index_edge_cases() {
 
 #[test]
 fn association_is_symmetric_and_zero_default() {
-    let docs = vec![probase_apps::Document { page_id: 0, text: "France met Spain".into() }];
+    let docs = vec![probase_apps::Document {
+        page_id: 0,
+        text: "France met Spain".into(),
+    }];
     let assoc = Association::from_pages(&docs, &["France".into(), "Spain".into(), "Japan".into()]);
-    assert_eq!(assoc.score("France", "Spain"), assoc.score("Spain", "France"));
+    assert_eq!(
+        assoc.score("France", "Spain"),
+        assoc.score("Spain", "France")
+    );
     assert_eq!(assoc.score("France", "Japan"), 0);
 }
 
@@ -77,8 +83,10 @@ fn ner_confidence_is_normalized() {
 #[test]
 fn kmeans_more_clusters_than_points() {
     let mut space = FeatureSpace::default();
-    let vecs: Vec<SparseVector> =
-        ["a b", "c d"].iter().map(|t| bow_vector(&mut space, t)).collect();
+    let vecs: Vec<SparseVector> = ["a b", "c d"]
+        .iter()
+        .map(|t| bow_vector(&mut space, t))
+        .collect();
     let assignment = kmeans(&vecs, 5, 10, 1);
     assert_eq!(assignment.len(), 2);
     assert!(assignment.iter().all(|&c| c < 5));
@@ -87,7 +95,14 @@ fn kmeans_more_clusters_than_points() {
 #[test]
 fn infer_header_single_cell() {
     let m = model();
-    let h = infer_header(&m, &Column { cells: vec!["France".into()] }, 3).unwrap();
+    let h = infer_header(
+        &m,
+        &Column {
+            cells: vec!["France".into()],
+        },
+        3,
+    )
+    .unwrap();
     assert_eq!(h.concept, "country");
 }
 

@@ -156,7 +156,12 @@ impl RivalConfig {
 
     /// The standard panel compared throughout §5.
     pub fn panel() -> Vec<RivalConfig> {
-        vec![Self::wordnet(), Self::wikitaxonomy(), Self::yago(), Self::freebase()]
+        vec![
+            Self::wordnet(),
+            Self::wikitaxonomy(),
+            Self::yago(),
+            Self::freebase(),
+        ]
     }
 }
 
@@ -169,7 +174,11 @@ pub fn sample_rival(world: &World, cfg: &RivalConfig) -> RivalTaxonomy {
 
     // Freebase concentrates on the most popular concepts; others sample.
     if cfg.name == "Freebase" {
-        let mut by_pop: Vec<_> = world.concepts.iter().filter(|c| !c.instances.is_empty()).collect();
+        let mut by_pop: Vec<_> = world
+            .concepts
+            .iter()
+            .filter(|c| !c.instances.is_empty())
+            .collect();
         by_pop.sort_by(|a, b| b.popularity.partial_cmp(&a.popularity).expect("finite"));
         let take = ((world.concepts.len() as f64 * cfg.concept_fraction).ceil() as usize).max(8);
         for c in by_pop.into_iter().take(take) {
@@ -225,7 +234,11 @@ pub fn sample_rival(world: &World, cfg: &RivalConfig) -> RivalTaxonomy {
                 }
             }
             // Leaf instances as graph leaves (sampled small set).
-            for m in c.instances.iter().take(cfg.max_instances.unwrap_or(5).min(5)) {
+            for m in c
+                .instances
+                .iter()
+                .take(cfg.max_instances.unwrap_or(5).min(5))
+            {
                 edges.push((c.label.clone(), world.instance(m.instance).surface.clone()));
             }
         }
@@ -279,7 +292,12 @@ impl TaxonomyView for GraphView<'_> {
     fn concept_sizes(&self) -> Vec<usize> {
         self.graph
             .concepts()
-            .map(|c| self.graph.children(c).filter(|(n, _)| self.graph.is_instance(*n)).count())
+            .map(|c| {
+                self.graph
+                    .children(c)
+                    .filter(|(n, _)| self.graph.is_instance(*n))
+                    .count()
+            })
             .collect()
     }
 }
@@ -296,8 +314,10 @@ mod tests {
     #[test]
     fn panel_has_expected_scale_ordering() {
         let w = world();
-        let rivals: Vec<RivalTaxonomy> =
-            RivalConfig::panel().iter().map(|c| sample_rival(&w, c)).collect();
+        let rivals: Vec<RivalTaxonomy> = RivalConfig::panel()
+            .iter()
+            .map(|c| sample_rival(&w, c))
+            .collect();
         let by_name: HashMap<&str, &RivalTaxonomy> =
             rivals.iter().map(|r| (r.name.as_str(), r)).collect();
         // Freebase has very few concepts, WordNet few, YAGO most.

@@ -83,7 +83,9 @@ pub fn extract_syntactic(
 
     for rec in records {
         let tagged = tag_tokens(&tokenize(&rec.text), lexicon);
-        let Some(pm) = find_pattern(&tagged) else { continue };
+        let Some(pm) = find_pattern(&tagged) else {
+            continue;
+        };
         // Closest plural NP: last NP of the super region for forward
         // patterns, first for reverse ones.
         let (ss, se) = pm.super_region;
@@ -94,7 +96,11 @@ pub fn extract_syntactic(
             probase_corpus::sentence::PatternKind::AndOther
                 | probase_corpus::sentence::PatternKind::OrOther
         );
-        let super_np = if reverse { phrases.first() } else { phrases.last() };
+        let super_np = if reverse {
+            phrases.first()
+        } else {
+            phrases.last()
+        };
         let Some(super_np) = super_np else { continue };
         let super_label = if cfg.head_noun_super {
             normalize_concept(super_np.head())
@@ -109,7 +115,9 @@ pub fn extract_syntactic(
                 continue;
             }
             let norm = normalize_sub(&item);
-            known.entry(norm.clone()).or_insert_with(|| super_label.clone());
+            known
+                .entry(norm.clone())
+                .or_insert_with(|| super_label.clone());
             out.add(super_label.clone(), norm);
         }
     }
@@ -149,7 +157,9 @@ fn flush(current: &mut Vec<&str>, out: &mut Vec<String>) {
 }
 
 fn looks_proper(item: &str) -> bool {
-    item.split_whitespace().next().is_some_and(|w| w.chars().next().is_some_and(|c| c.is_uppercase()))
+    item.split_whitespace()
+        .next()
+        .is_some_and(|w| w.chars().next().is_some_and(|c| c.is_uppercase()))
 }
 
 /// Phase 2: learn lexical contexts around known instances from *all*
@@ -172,7 +182,11 @@ fn bootstrap(
             if !t.tag.is_noun() {
                 continue;
             }
-            let prev = if i > 0 { tagged[i - 1].token.text.to_lowercase() } else { "^".into() };
+            let prev = if i > 0 {
+                tagged[i - 1].token.text.to_lowercase()
+            } else {
+                "^".into()
+            };
             let next = if i + 1 < tagged.len() {
                 tagged[i + 1].token.text.to_lowercase()
             } else {
@@ -181,7 +195,11 @@ fn bootstrap(
             let term = normalize_sub(&t.token.text);
             let ctx = (prev, next);
             if let Some(concept) = known.get(&term) {
-                *contexts.entry(ctx.clone()).or_default().entry(concept.clone()).or_insert(0) += 1;
+                *contexts
+                    .entry(ctx.clone())
+                    .or_default()
+                    .entry(concept.clone())
+                    .or_insert(0) += 1;
             }
             occurrences.push((ctx, term));
         }
@@ -213,33 +231,57 @@ mod tests {
         SentenceRecord {
             id,
             text: text.to_string(),
-            meta: SourceMeta { page_id: 0, page_rank: 0.5, source_quality: 0.5 },
+            meta: SourceMeta {
+                page_id: 0,
+                page_rank: 0.5,
+                source_quality: 0.5,
+            },
             truth: SentenceTruth::default(),
         }
     }
 
     fn run(texts: &[&str], cfg: &SyntacticConfig) -> BaselineOutput {
-        let records: Vec<SentenceRecord> =
-            texts.iter().enumerate().map(|(i, t)| rec(i as u64, t)).collect();
+        let records: Vec<SentenceRecord> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| rec(i as u64, t))
+            .collect();
         extract_syntactic(&records, &Lexicon::default(), cfg)
     }
 
     fn no_bootstrap() -> SyntacticConfig {
-        SyntacticConfig { bootstrap_patterns: false, ..Default::default() }
+        SyntacticConfig {
+            bootstrap_patterns: false,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn falls_for_other_than_distractor() {
         let out = run(&["animals other than dogs such as cats."], &no_bootstrap());
-        assert!(out.pairs.contains_key(&("dog".to_string(), "cat".to_string())), "{:?}", out.pairs);
-        assert!(!out.pairs.contains_key(&("animal".to_string(), "cat".to_string())));
+        assert!(
+            out.pairs
+                .contains_key(&("dog".to_string(), "cat".to_string())),
+            "{:?}",
+            out.pairs
+        );
+        assert!(!out
+            .pairs
+            .contains_key(&("animal".to_string(), "cat".to_string())));
     }
 
     #[test]
     fn splits_conjunction_names() {
-        let out = run(&["companies such as IBM, Proctor and Gamble."], &no_bootstrap());
-        assert!(out.pairs.contains_key(&("company".to_string(), "Proctor".to_string())));
-        assert!(out.pairs.contains_key(&("company".to_string(), "Gamble".to_string())));
+        let out = run(
+            &["companies such as IBM, Proctor and Gamble."],
+            &no_bootstrap(),
+        );
+        assert!(out
+            .pairs
+            .contains_key(&("company".to_string(), "Proctor".to_string())));
+        assert!(out
+            .pairs
+            .contains_key(&("company".to_string(), "Gamble".to_string())));
         assert!(!out.pairs.keys().any(|(_, y)| y == "Proctor and Gamble"));
     }
 
@@ -249,19 +291,33 @@ mod tests {
             &["representatives in North America, Europe, China, and other countries."],
             &no_bootstrap(),
         );
-        assert!(out.pairs.contains_key(&("country".to_string(), "Europe".to_string())), "{:?}", out.pairs);
+        assert!(
+            out.pairs
+                .contains_key(&("country".to_string(), "Europe".to_string())),
+            "{:?}",
+            out.pairs
+        );
     }
 
     #[test]
     fn head_noun_super_loses_specific_concept() {
-        let out = run(&["industrialized countries such as Germany."], &no_bootstrap());
-        assert!(out.pairs.contains_key(&("country".to_string(), "Germany".to_string())));
+        let out = run(
+            &["industrialized countries such as Germany."],
+            &no_bootstrap(),
+        );
+        assert!(out
+            .pairs
+            .contains_key(&("country".to_string(), "Germany".to_string())));
         assert!(!out.pairs.keys().any(|(x, _)| x == "industrialized country"));
     }
 
     #[test]
     fn proper_only_drops_common_instances() {
-        let cfg = SyntacticConfig { proper_only: true, bootstrap_patterns: false, ..Default::default() };
+        let cfg = SyntacticConfig {
+            proper_only: true,
+            bootstrap_patterns: false,
+            ..Default::default()
+        };
         let out = run(&["animals such as cats and dogs."], &cfg);
         assert_eq!(out.distinct_pairs(), 0);
     }
@@ -275,12 +331,16 @@ mod tests {
             "countries such as Spain.",
             "countries such as Poland.",
         ];
-        texts.extend(["the committee discussed France .", "the committee discussed Spain .",
-                      "the committee discussed Poland ."]);
+        texts.extend([
+            "the committee discussed France .",
+            "the committee discussed Spain .",
+            "the committee discussed Poland .",
+        ]);
         texts.push("the committee discussed Malaria .");
         let out = run(&texts, &SyntacticConfig::default());
         assert!(
-            out.pairs.contains_key(&("country".to_string(), "Malaria".to_string())),
+            out.pairs
+                .contains_key(&("country".to_string(), "Malaria".to_string())),
             "expected drift pair: {:?}",
             out.pairs
         );

@@ -16,13 +16,22 @@ fn syntactic_baseline_volume_exceeds_semantic_quality() {
     // larger share of them is junk — measured against truth elsewhere; here
     // we check the volume direction and the drift counter.
     let w = world();
-    let corpus =
-        CorpusGenerator::new(&w, CorpusConfig { seed: 91, sentences: 3_000, ..CorpusConfig::default() })
-            .generate_all();
+    let corpus = CorpusGenerator::new(
+        &w,
+        CorpusConfig {
+            seed: 91,
+            sentences: 3_000,
+            ..CorpusConfig::default()
+        },
+    )
+    .generate_all();
     let no_boot = extract_syntactic(
         &corpus,
         &w.lexicon,
-        &SyntacticConfig { bootstrap_patterns: false, ..Default::default() },
+        &SyntacticConfig {
+            bootstrap_patterns: false,
+            ..Default::default()
+        },
     );
     let boot = extract_syntactic(&corpus, &w.lexicon, &SyntacticConfig::default());
     assert!(no_boot.distinct_pairs() > 500);
@@ -36,46 +45,81 @@ fn syntactic_baseline_volume_exceeds_semantic_quality() {
 #[test]
 fn proper_only_loses_common_noun_recall() {
     let w = world();
-    let corpus =
-        CorpusGenerator::new(&w, CorpusConfig { seed: 92, sentences: 3_000, ..CorpusConfig::default() })
-            .generate_all();
+    let corpus = CorpusGenerator::new(
+        &w,
+        CorpusConfig {
+            seed: 92,
+            sentences: 3_000,
+            ..CorpusConfig::default()
+        },
+    )
+    .generate_all();
     let full = extract_syntactic(
         &corpus,
         &w.lexicon,
-        &SyntacticConfig { bootstrap_patterns: false, ..Default::default() },
+        &SyntacticConfig {
+            bootstrap_patterns: false,
+            ..Default::default()
+        },
     );
     let proper = extract_syntactic(
         &corpus,
         &w.lexicon,
-        &SyntacticConfig { proper_only: true, bootstrap_patterns: false, ..Default::default() },
+        &SyntacticConfig {
+            proper_only: true,
+            bootstrap_patterns: false,
+            ..Default::default()
+        },
     );
     assert!(proper.distinct_pairs() < full.distinct_pairs());
     // (animal, cat) style pairs vanish under proper-only.
     let has_cat = |out: &probase_baselines::BaselineOutput| {
-        out.pairs.keys().any(|(x, y)| x == "animal" && (y == "cat" || y == "cats"))
+        out.pairs
+            .keys()
+            .any(|(x, y)| x == "animal" && (y == "cat" || y == "cats"))
     };
     assert!(has_cat(&full), "full baseline should find (animal, cat)");
-    assert!(!has_cat(&proper), "proper-only cannot find common-noun instances");
+    assert!(
+        !has_cat(&proper),
+        "proper-only cannot find common-noun instances"
+    );
 }
 
 #[test]
 fn head_noun_super_never_yields_multiword_concepts() {
     let w = world();
-    let corpus =
-        CorpusGenerator::new(&w, CorpusConfig { seed: 93, sentences: 2_000, ..CorpusConfig::default() })
-            .generate_all();
+    let corpus = CorpusGenerator::new(
+        &w,
+        CorpusConfig {
+            seed: 93,
+            sentences: 2_000,
+            ..CorpusConfig::default()
+        },
+    )
+    .generate_all();
     let out = extract_syntactic(
         &corpus,
         &w.lexicon,
-        &SyntacticConfig { bootstrap_patterns: false, head_noun_super: true, ..Default::default() },
+        &SyntacticConfig {
+            bootstrap_patterns: false,
+            head_noun_super: true,
+            ..Default::default()
+        },
     );
-    assert!(out.pairs.keys().all(|(x, _)| !x.contains(' ')), "head-noun supers must be single words");
+    assert!(
+        out.pairs.keys().all(|(x, _)| !x.contains(' ')),
+        "head-noun supers must be single words"
+    );
 }
 
 #[test]
 fn rivals_scale_with_world_size() {
     let small = generate(&WorldConfig::small(94));
-    let big = generate(&WorldConfig { seed: 94, filler_concepts: 400, ..WorldConfig::small(94) });
+    let big = generate(&WorldConfig {
+        seed: 94,
+        filler_concepts: 400,
+        ..WorldConfig::small(94)
+    });
     for cfg in [RivalConfig::yago(), RivalConfig::wikitaxonomy()] {
         let a = sample_rival(&small, &cfg);
         let b = sample_rival(&big, &cfg);

@@ -9,7 +9,11 @@ use probase_corpus::{CorpusConfig, WorldConfig};
 fn bench_apps(c: &mut Criterion) {
     let sim = Simulation::run(
         &WorldConfig::small(904),
-        &CorpusConfig { seed: 904, sentences: 4_000, ..CorpusConfig::default() },
+        &CorpusConfig {
+            seed: 904,
+            sentences: 4_000,
+            ..CorpusConfig::default()
+        },
         &ProbaseConfig::paper(),
     );
     let model = &sim.probase.model;
@@ -25,7 +29,10 @@ fn bench_apps(c: &mut Criterion) {
         b.iter(|| black_box(conceptualize_text(model, "a trip to China and India", 3).len()))
     });
     let col = Column {
-        cells: ["China", "India", "Brazil", "France", "Japan"].iter().map(|s| s.to_string()).collect(),
+        cells: ["China", "India", "Brazil", "France", "Japan"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
     };
     group.bench_function("infer_table_header", |b| {
         b.iter(|| black_box(infer_header(model, &col, 4).map(|h| h.concept)))

@@ -9,7 +9,11 @@ fn bench_extraction(c: &mut Criterion) {
     let world = probase_corpus::generate(&WorldConfig::small(901));
     let corpus = CorpusGenerator::new(
         &world,
-        CorpusConfig { seed: 901, sentences: 3_000, ..CorpusConfig::default() },
+        CorpusConfig {
+            seed: 901,
+            sentences: 3_000,
+            ..CorpusConfig::default()
+        },
     )
     .generate_all();
     let cfg = ExtractorConfig::paper();
@@ -18,7 +22,13 @@ fn bench_extraction(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(corpus.len() as u64));
     group.bench_function("serial_3k_sentences", |b| {
-        b.iter(|| black_box(extract(&corpus, &world.lexicon, &cfg).knowledge.pair_count()))
+        b.iter(|| {
+            black_box(
+                extract(&corpus, &world.lexicon, &cfg)
+                    .knowledge
+                    .pair_count(),
+            )
+        })
     });
     for threads in [2usize, 4] {
         group.bench_with_input(
@@ -42,7 +52,11 @@ fn bench_persist(c: &mut Criterion) {
     let world = probase_corpus::generate(&WorldConfig::small(905));
     let corpus = CorpusGenerator::new(
         &world,
-        CorpusConfig { seed: 905, sentences: 3_000, ..CorpusConfig::default() },
+        CorpusConfig {
+            seed: 905,
+            sentences: 3_000,
+            ..CorpusConfig::default()
+        },
     )
     .generate_all();
     let out = extract(&corpus, &world.lexicon, &ExtractorConfig::paper());
@@ -50,7 +64,11 @@ fn bench_persist(c: &mut Criterion) {
     group.bench_function("persist_roundtrip", |b| {
         b.iter(|| {
             let bytes = probase_extract::knowledge_to_bytes(&out.knowledge);
-            black_box(probase_extract::knowledge_from_bytes(bytes).expect("roundtrip").pair_count())
+            black_box(
+                probase_extract::knowledge_from_bytes(bytes)
+                    .expect("roundtrip")
+                    .pair_count(),
+            )
         })
     });
     group.bench_function("absorb", |b| {

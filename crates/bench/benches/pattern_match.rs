@@ -10,7 +10,11 @@ fn bench_pattern(c: &mut Criterion) {
     let world = probase_corpus::generate(&WorldConfig::small(900));
     let corpus = CorpusGenerator::new(
         &world,
-        CorpusConfig { seed: 900, sentences: 2_000, ..CorpusConfig::default() },
+        CorpusConfig {
+            seed: 900,
+            sentences: 2_000,
+            ..CorpusConfig::default()
+        },
     )
     .generate_all();
     let texts: Vec<&str> = corpus.iter().map(|r| r.text.as_str()).collect();

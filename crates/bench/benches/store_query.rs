@@ -24,7 +24,9 @@ fn build_graph(concepts: usize, fanout: usize) -> ConceptGraph {
 fn bench_store(c: &mut Criterion) {
     let g = build_graph(2_000, 8);
     let mut group = c.benchmark_group("store");
-    group.bench_function("ingest_2k_x8", |b| b.iter(|| black_box(build_graph(2_000, 8).edge_count())));
+    group.bench_function("ingest_2k_x8", |b| {
+        b.iter(|| black_box(build_graph(2_000, 8).edge_count()))
+    });
     group.bench_function("graph_stats_table4", |b| {
         b.iter(|| black_box(GraphStats::compute(&g).max_level))
     });

@@ -14,7 +14,11 @@ fn bench_taxonomy(c: &mut Criterion) {
     let world = probase_corpus::generate(&WorldConfig::small(902));
     let corpus = CorpusGenerator::new(
         &world,
-        CorpusConfig { seed: 902, sentences: 4_000, ..CorpusConfig::default() },
+        CorpusConfig {
+            seed: 902,
+            sentences: 4_000,
+            ..CorpusConfig::default()
+        },
     )
     .generate_all();
     let out = extract(&corpus, &world.lexicon, &ExtractorConfig::paper());
@@ -27,7 +31,11 @@ fn bench_taxonomy(c: &mut Criterion) {
 
     // AB1: engine schedules on a subsample.
     let (locals, _) = build_local_taxonomies(&out.sentences);
-    let locals: Vec<_> = locals.into_iter().filter(|l| l.children.len() >= 2).take(80).collect();
+    let locals: Vec<_> = locals
+        .into_iter()
+        .filter(|l| l.children.len() >= 2)
+        .take(80)
+        .collect();
     let sim = AbsoluteOverlap { delta: 2 };
     group.bench_function("engine_horizontal_first_80", |b| {
         b.iter(|| {

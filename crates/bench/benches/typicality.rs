@@ -15,7 +15,11 @@ fn bench_prob(c: &mut Criterion) {
     let world = probase_corpus::generate(&WorldConfig::small(903));
     let corpus = CorpusGenerator::new(
         &world,
-        CorpusConfig { seed: 903, sentences: 4_000, ..CorpusConfig::default() },
+        CorpusConfig {
+            seed: 903,
+            sentences: 4_000,
+            ..CorpusConfig::default()
+        },
     )
     .generate_all();
     let out = extract(&corpus, &world.lexicon, &ExtractorConfig::paper());
@@ -28,8 +32,13 @@ fn bench_prob(c: &mut Criterion) {
     group.bench_function("plausibility_noisy_or", |b| {
         b.iter(|| {
             black_box(
-                compute_plausibility(&out.evidence, &out.knowledge, &model, &PlausibilityConfig::default())
-                    .len(),
+                compute_plausibility(
+                    &out.evidence,
+                    &out.knowledge,
+                    &model,
+                    &PlausibilityConfig::default(),
+                )
+                .len(),
             )
         })
     });

@@ -3,5 +3,8 @@ use probase_bench::common::standard_simulation;
 
 fn main() {
     let sim = standard_simulation(80_000);
-    print!("{}", probase_bench::exp_ablation::ablation_plausibility(&sim));
+    print!(
+        "{}",
+        probase_bench::exp_ablation::ablation_plausibility(&sim)
+    );
 }

@@ -1,4 +1,7 @@
 //! AB6: corpus-cleanliness sweep.
 fn main() {
-    print!("{}", probase_bench::exp_ablation::ablation_corpus_profiles(40_000));
+    print!(
+        "{}",
+        probase_bench::exp_ablation::ablation_corpus_profiles(40_000)
+    );
 }

@@ -1,4 +1,7 @@
 //! AB2: similarity-function ablation (no simulation needed).
 fn main() {
-    print!("{}", probase_bench::exp_ablation::ablation_similarity(20_000));
+    print!(
+        "{}",
+        probase_bench::exp_ablation::ablation_similarity(20_000)
+    );
 }

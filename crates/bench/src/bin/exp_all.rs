@@ -6,8 +6,10 @@ use probase_bench::{exp_ablation, exp_apps, exp_precision, exp_scale};
 use std::time::Instant;
 
 fn main() {
-    let sentences: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(80_000);
+    let sentences: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80_000);
     let t0 = Instant::now();
     eprintln!("building standard simulation ({sentences} sentences) ...");
     let sim = standard_simulation(sentences);

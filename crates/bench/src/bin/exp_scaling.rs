@@ -1,4 +1,7 @@
 //! E1: corpus-size scaling sweep.
 fn main() {
-    print!("{}", probase_bench::exp_scale::scaling_sweep(&[10_000, 20_000, 40_000, 80_000]));
+    print!(
+        "{}",
+        probase_bench::exp_scale::scaling_sweep(&[10_000, 20_000, 40_000, 80_000])
+    );
 }

@@ -11,17 +11,30 @@ pub fn eval_world() -> WorldConfig {
     // A slightly denser world than the library default: fewer filler
     // concepts relative to the corpus, so the corpus/world mention ratio
     // is closer to the paper's 1.68 B pages over its term space.
-    WorldConfig { seed: 2012, filler_concepts: 700, filler_instances: (4, 24), ..WorldConfig::default() }
+    WorldConfig {
+        seed: 2012,
+        filler_concepts: 700,
+        filler_instances: (4, 24),
+        ..WorldConfig::default()
+    }
 }
 
 /// The standard corpus configuration for the evaluation scale.
 pub fn eval_corpus(sentences: usize) -> CorpusConfig {
-    CorpusConfig { seed: 2012, sentences, ..CorpusConfig::default() }
+    CorpusConfig {
+        seed: 2012,
+        sentences,
+        ..CorpusConfig::default()
+    }
 }
 
 /// Build the standard simulation used by most experiments.
 pub fn standard_simulation(sentences: usize) -> Simulation {
-    Simulation::run(&eval_world(), &eval_corpus(sentences), &ProbaseConfig::paper())
+    Simulation::run(
+        &eval_world(),
+        &eval_corpus(sentences),
+        &ProbaseConfig::paper(),
+    )
 }
 
 /// Render an experiment banner.

@@ -5,9 +5,7 @@ use crate::common::banner;
 use probase_baselines::{extract_syntactic, SyntacticConfig};
 use probase_core::Simulation;
 use probase_eval::{render_table, Judge, Precision};
-use probase_taxonomy::{
-    build_local_taxonomies, AbsoluteOverlap, Jaccard, MergeState, Similarity,
-};
+use probase_taxonomy::{build_local_taxonomies, AbsoluteOverlap, Jaccard, MergeState, Similarity};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -16,7 +14,10 @@ use std::collections::BTreeSet;
 /// Runs the operational engine on a subsample of real local taxonomies
 /// under the optimal order and under random orders.
 pub fn ablation_merge_order(sim: &Simulation, subsample: usize, random_runs: usize) -> String {
-    let head = banner("AB1", "Theorem 2 ablation — merge operation counts by schedule");
+    let head = banner(
+        "AB1",
+        "Theorem 2 ablation — merge operation counts by schedule",
+    );
     let (locals, _interner) = build_local_taxonomies(&sim.probase.extraction.sentences);
     // The generic engine is O(n²); subsample deterministically.
     let locals: Vec<_> = locals
@@ -30,8 +31,11 @@ pub fn ablation_merge_order(sim: &Simulation, subsample: usize, random_runs: usi
     let hf_ops = hf.run_horizontal_first(&sim_fn);
     let hf_canon = hf.canonical();
 
-    let mut rows =
-        vec![vec!["horizontal-first (paper)".into(), hf_ops.to_string(), "reference".into()]];
+    let mut rows = vec![vec![
+        "horizontal-first (paper)".into(),
+        hf_ops.to_string(),
+        "reference".into(),
+    ]];
     let mut all_equal = true;
     let mut worst = hf_ops;
     for seed in 0..random_runs as u64 {
@@ -43,7 +47,11 @@ pub fn ablation_merge_order(sim: &Simulation, subsample: usize, random_runs: usi
         rows.push(vec![
             format!("random order (seed {seed})"),
             ops.to_string(),
-            if ops >= hf_ops { "≥ optimal".into() } else { "VIOLATION".to_string() },
+            if ops >= hf_ops {
+                "≥ optimal".into()
+            } else {
+                "VIOLATION".to_string()
+            },
         ]);
     }
     let table = render_table(&["schedule", "operations", "vs Theorem 2"], &rows);
@@ -61,7 +69,10 @@ pub fn ablation_merge_order(sim: &Simulation, subsample: usize, random_runs: usi
 /// satisfies Property 4; Jaccard does not. Counts monotonicity violations
 /// over random set pairs and reproduces the paper's worked example.
 pub fn ablation_similarity(samples: usize) -> String {
-    let head = banner("AB2", "Similarity ablation — absolute overlap vs Jaccard (Property 4)");
+    let head = banner(
+        "AB2",
+        "Similarity ablation — absolute overlap vs Jaccard (Property 4)",
+    );
     let mut rng = SmallRng::seed_from_u64(35);
     let abs = AbsoluteOverlap { delta: 2 };
     let jac = Jaccard { threshold: 0.5 };
@@ -69,7 +80,9 @@ pub fn ablation_similarity(samples: usize) -> String {
     let mut jac_viol = 0usize;
     for _ in 0..samples {
         let set = |rng: &mut SmallRng, n: usize| -> BTreeSet<probase_store::Symbol> {
-            (0..n).map(|_| probase_store::Symbol(rng.gen_range(0..18))).collect()
+            (0..n)
+                .map(|_| probase_store::Symbol(rng.gen_range(0..18)))
+                .collect()
         };
         let na = rng.gen_range(1..8);
         let a = set(&mut rng, na);
@@ -91,15 +104,27 @@ pub fn ablation_similarity(samples: usize) -> String {
     let table = render_table(
         &["similarity", "Property 4 violations", "rate"],
         &[
-            vec!["absolute overlap (δ=2)".into(), abs_viol.to_string(), format!("{:.1}%", 100.0 * abs_viol as f64 / samples as f64)],
-            vec!["Jaccard (τ=0.5)".into(), jac_viol.to_string(), format!("{:.1}%", 100.0 * jac_viol as f64 / samples as f64)],
+            vec![
+                "absolute overlap (δ=2)".into(),
+                abs_viol.to_string(),
+                format!("{:.1}%", 100.0 * abs_viol as f64 / samples as f64),
+            ],
+            vec![
+                "Jaccard (τ=0.5)".into(),
+                jac_viol.to_string(),
+                format!("{:.1}%", 100.0 * jac_viol as f64 / samples as f64),
+            ],
         ],
     );
     format!(
         "{head}{table}({samples} random superset pairs)\n\
          paper's worked example: J(A,B)=0.5 similar but J(A,C)=0.43 not, with A ⊆ C — absurd\n\
          shape check: absolute overlap has zero violations = {}\n",
-        if abs_viol == 0 && jac_viol > 0 { "YES" } else { "NO" }
+        if abs_viol == 0 && jac_viol > 0 {
+            "YES"
+        } else {
+            "NO"
+        }
     )
 }
 
@@ -107,7 +132,10 @@ pub fn ablation_similarity(samples: usize) -> String {
 /// true-pair yield of Probase against the syntactic family on the same
 /// corpus.
 pub fn ablation_iteration(sim: &Simulation) -> String {
-    let head = banner("AB3", "Semantic vs syntactic iteration — precision and true-pair yield");
+    let head = banner(
+        "AB3",
+        "Semantic vs syntactic iteration — precision and true-pair yield",
+    );
     let judge = Judge::new(&sim.world);
     let g = &sim.probase.extraction.knowledge;
 
@@ -121,9 +149,10 @@ pub fn ablation_iteration(sim: &Simulation) -> String {
         (p, correct)
     };
 
-    let (probase_p, probase_true) = judge_pairs(Box::new(
-        g.pairs().map(|(x, y, _)| (g.resolve(x).to_string(), g.resolve(y).to_string())),
-    ));
+    let (probase_p, probase_true) =
+        judge_pairs(Box::new(g.pairs().map(|(x, y, _)| {
+            (g.resolve(x).to_string(), g.resolve(y).to_string())
+        })));
     let mut rows = vec![vec![
         "Probase (semantic iteration)".into(),
         format!("{:.1}%", 100.0 * probase_p.ratio()),
@@ -131,10 +160,20 @@ pub fn ablation_iteration(sim: &Simulation) -> String {
         probase_true.to_string(),
     ]];
     for (name, cfg) in [
-        ("syntactic closest-NP", SyntacticConfig { bootstrap_patterns: false, ..Default::default() }),
+        (
+            "syntactic closest-NP",
+            SyntacticConfig {
+                bootstrap_patterns: false,
+                ..Default::default()
+            },
+        ),
         (
             "syntactic + proper-only",
-            SyntacticConfig { proper_only: true, bootstrap_patterns: false, ..Default::default() },
+            SyntacticConfig {
+                proper_only: true,
+                bootstrap_patterns: false,
+                ..Default::default()
+            },
         ),
         ("syntactic + bootstrapping", SyntacticConfig::default()),
     ] {
@@ -147,8 +186,10 @@ pub fn ablation_iteration(sim: &Simulation) -> String {
             t.to_string(),
         ]);
     }
-    let table =
-        render_table(&["system", "precision", "distinct pairs", "true pairs found"], &rows);
+    let table = render_table(
+        &["system", "precision", "distinct pairs", "true pairs found"],
+        &rows,
+    );
     format!(
         "{head}{table}shape check: semantic iteration dominates on precision = {}\n",
         if rows[1..].iter().all(|r| {
@@ -170,7 +211,10 @@ pub fn ablation_plausibility(sim: &Simulation) -> String {
     use probase_core::seed_from_world;
     use probase_prob::{compute_plausibility, EvidenceModel, PlausibilityConfig, UrnsModel};
 
-    let head = banner("AB4", "Plausibility ablation — noisy-or (Eq. 1–2) vs Urns vs raw count");
+    let head = banner(
+        "AB4",
+        "Plausibility ablation — noisy-or (Eq. 1–2) vs Urns vs raw count",
+    );
     let judge = Judge::new(&sim.world);
     let g = &sim.probase.extraction.knowledge;
 
@@ -198,8 +242,18 @@ pub fn ablation_plausibility(sim: &Simulation) -> String {
     type JudgedPair = (String, String, u32, bool);
     let auc = |score: &dyn Fn(&JudgedPair) -> f64| -> f64 {
         // Exact pairwise ranking accuracy over a deterministic sample.
-        let valid: Vec<f64> = pairs.iter().filter(|p| p.3).take(2_000).map(score).collect();
-        let invalid: Vec<f64> = pairs.iter().filter(|p| !p.3).take(2_000).map(score).collect();
+        let valid: Vec<f64> = pairs
+            .iter()
+            .filter(|p| p.3)
+            .take(2_000)
+            .map(score)
+            .collect();
+        let invalid: Vec<f64> = pairs
+            .iter()
+            .filter(|p| !p.3)
+            .take(2_000)
+            .map(score)
+            .collect();
         if valid.is_empty() || invalid.is_empty() {
             return 0.5;
         }
@@ -225,9 +279,24 @@ pub fn ablation_plausibility(sim: &Simulation) -> String {
     let table = render_table(
         &["plausibility model", "ranking accuracy (AUC)", "notes"],
         &[
-            vec!["Naive Bayes + noisy-or (paper Eq. 1-2)".into(), format!("{auc_noisy:.3}"), "supervised by seed taxonomy".into()],
-            vec!["Urns (Poisson-mixture EM)".into(), format!("{auc_urns:.3}"), format!("π={:.2} λc={:.1} λe={:.1}", urns.pi, urns.lambda_correct, urns.lambda_error)],
-            vec!["raw evidence count".into(), format!("{auc_count:.3}"), "no model".into()],
+            vec![
+                "Naive Bayes + noisy-or (paper Eq. 1-2)".into(),
+                format!("{auc_noisy:.3}"),
+                "supervised by seed taxonomy".into(),
+            ],
+            vec![
+                "Urns (Poisson-mixture EM)".into(),
+                format!("{auc_urns:.3}"),
+                format!(
+                    "π={:.2} λc={:.1} λe={:.1}",
+                    urns.pi, urns.lambda_correct, urns.lambda_error
+                ),
+            ],
+            vec![
+                "raw evidence count".into(),
+                format!("{auc_count:.3}"),
+                "no model".into(),
+            ],
         ],
     );
     let n_valid = pairs.iter().filter(|p| p.3).count();
@@ -237,7 +306,11 @@ pub fn ablation_plausibility(sim: &Simulation) -> String {
         pairs.len(),
         n_valid,
         pairs.len() - n_valid,
-        if auc_noisy > 0.6 && auc_urns > 0.6 { "YES" } else { "NO" }
+        if auc_noisy > 0.6 && auc_urns > 0.6 {
+            "YES"
+        } else {
+            "NO"
+        }
     )
 }
 
@@ -246,20 +319,34 @@ pub fn ablation_plausibility(sim: &Simulation) -> String {
 pub fn ablation_delta(sim: &Simulation) -> String {
     use probase_taxonomy::{build_taxonomy, TaxonomyConfig};
 
-    let head = banner("AB5", "δ sweep — homograph separation vs sense fragmentation");
+    let head = banner(
+        "AB5",
+        "δ sweep — homograph separation vs sense fragmentation",
+    );
     // Homograph labels with at least two populated senses in the world.
     let mut by_label: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
-    for c in sim.world.concepts.iter().filter(|c| !c.instances.is_empty()) {
+    for c in sim
+        .world
+        .concepts
+        .iter()
+        .filter(|c| !c.instances.is_empty())
+    {
         *by_label.entry(c.label.as_str()).or_default() += 1;
     }
-    let homographs: Vec<&str> =
-        by_label.iter().filter(|(_, &n)| n >= 2).map(|(&l, _)| l).collect();
+    let homographs: Vec<&str> = by_label
+        .iter()
+        .filter(|(_, &n)| n >= 2)
+        .map(|(&l, _)| l)
+        .collect();
 
     let mut rows = Vec::new();
     for delta in [1usize, 2, 3, 4] {
         let built = build_taxonomy(
             &sim.probase.extraction.sentences,
-            &TaxonomyConfig { delta, ..Default::default() },
+            &TaxonomyConfig {
+                delta,
+                ..Default::default()
+            },
         );
         let graph = &built.graph;
         // Separation: homograph labels that kept >= 2 populated senses.
@@ -288,7 +375,13 @@ pub fn ablation_delta(sim: &Simulation) -> String {
         ]);
     }
     let table = render_table(
-        &["δ", "homographs separated", "senses per label", "total senses", "vertical links"],
+        &[
+            "δ",
+            "homographs separated",
+            "senses per label",
+            "total senses",
+            "vertical links",
+        ],
         &rows,
     );
     format!(
@@ -296,8 +389,6 @@ pub fn ablation_delta(sim: &Simulation) -> String {
          large δ fragments concepts into many small senses. The shipped default is δ=2.\n"
     )
 }
-
-
 
 /// AB6 — corpus-cleanliness sweep: extraction precision and the value of
 /// the probabilistic layer across encyclopedia-, web-, and forum-grade
@@ -309,11 +400,25 @@ pub fn ablation_corpus_profiles(sentences: usize) -> String {
     use probase_corpus::{CorpusConfig, WorldConfig};
     use probase_prob::{compute_plausibility, EvidenceModel, PlausibilityConfig};
 
-    let head = banner("AB6", "Corpus-cleanliness sweep — precision and plausibility value by profile");
-    let world_cfg = WorldConfig { seed: 77, filler_concepts: 400, ..WorldConfig::default() };
+    let head = banner(
+        "AB6",
+        "Corpus-cleanliness sweep — precision and plausibility value by profile",
+    );
+    let world_cfg = WorldConfig {
+        seed: 77,
+        filler_concepts: 400,
+        ..WorldConfig::default()
+    };
     let profiles: Vec<(&str, CorpusConfig)> = vec![
         ("encyclopedia", CorpusConfig::encyclopedia(77, sentences)),
-        ("web (default)", CorpusConfig { seed: 77, sentences, ..CorpusConfig::default() }),
+        (
+            "web (default)",
+            CorpusConfig {
+                seed: 77,
+                sentences,
+                ..CorpusConfig::default()
+            },
+        ),
         ("forum", CorpusConfig::forum(77, sentences)),
     ];
     let mut rows = Vec::new();
@@ -339,16 +444,31 @@ pub fn ablation_corpus_profiles(sentences: usize) -> String {
             judged.push((table.get(xs, ys), ok));
         }
         // AUC of plausibility on this profile.
-        let valid: Vec<f64> = judged.iter().filter(|(_, ok)| *ok).map(|(s, _)| *s).take(1500).collect();
-        let invalid: Vec<f64> =
-            judged.iter().filter(|(_, ok)| !*ok).map(|(s, _)| *s).take(1500).collect();
+        let valid: Vec<f64> = judged
+            .iter()
+            .filter(|(_, ok)| *ok)
+            .map(|(s, _)| *s)
+            .take(1500)
+            .collect();
+        let invalid: Vec<f64> = judged
+            .iter()
+            .filter(|(_, ok)| !*ok)
+            .map(|(s, _)| *s)
+            .take(1500)
+            .collect();
         let auc = if valid.is_empty() || invalid.is_empty() {
             0.5
         } else {
             let mut wins = 0.0;
             for v in &valid {
                 for i in &invalid {
-                    wins += if v > i { 1.0 } else if v == i { 0.5 } else { 0.0 };
+                    wins += if v > i {
+                        1.0
+                    } else if v == i {
+                        0.5
+                    } else {
+                        0.0
+                    };
                 }
             }
             wins / (valid.len() * invalid.len()) as f64
@@ -362,7 +482,12 @@ pub fn ablation_corpus_profiles(sentences: usize) -> String {
         ]);
     }
     let table = render_table(
-        &["corpus profile", "extraction precision", "distinct pairs", "plausibility AUC"],
+        &[
+            "corpus profile",
+            "extraction precision",
+            "distinct pairs",
+            "plausibility AUC",
+        ],
         &rows,
     );
     let graceful = precisions.windows(2).all(|w| w[0] >= w[1] - 0.02);
@@ -381,7 +506,10 @@ pub fn ablation_pr_curve(sim: &Simulation) -> String {
     use probase_eval::pr_curve;
     use probase_prob::{compute_plausibility, EvidenceModel, PlausibilityConfig};
 
-    let head = banner("AB7", "Plausibility thresholding — precision/recall trade-off");
+    let head = banner(
+        "AB7",
+        "Plausibility thresholding — precision/recall trade-off",
+    );
     let judge = Judge::new(&sim.world);
     let g = &sim.probase.extraction.knowledge;
     let seed = seed_from_world(&sim.world);
@@ -410,8 +538,18 @@ pub fn ablation_pr_curve(sim: &Simulation) -> String {
             p.kept.to_string(),
         ]);
     }
-    let out = render_table(&["plausibility ≥", "precision", "recall (of valid)", "pairs kept"], &rows);
-    let monotone_p = curve.windows(2).all(|w| w[1].precision >= w[0].precision - 0.02);
+    let out = render_table(
+        &[
+            "plausibility ≥",
+            "precision",
+            "recall (of valid)",
+            "pairs kept",
+        ],
+        &rows,
+    );
+    let monotone_p = curve
+        .windows(2)
+        .all(|w| w[1].precision >= w[0].precision - 0.02);
     let falling_r = curve.windows(2).all(|w| w[1].recall <= w[0].recall + 1e-9);
     format!(
         "{head}{out}shape check: precision rises while recall falls along the sweep = {}\n",
@@ -435,7 +573,10 @@ mod tests {
     fn theorem_ablation_holds() {
         let sim = small_sim();
         let r = ablation_merge_order(&sim, 60, 3);
-        assert!(r.contains("Theorem 1 (order-independent result): HOLDS"), "{r}");
+        assert!(
+            r.contains("Theorem 1 (order-independent result): HOLDS"),
+            "{r}"
+        );
         assert!(r.contains("Theorem 2"), "{r}");
         assert!(!r.contains("VIOLATION"), "{r}");
     }

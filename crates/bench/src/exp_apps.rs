@@ -15,7 +15,10 @@ use std::collections::HashSet;
 /// Figure 12: top-20 attribute precision, Pasca-style manual seeds vs
 /// Probase automatic seeds, over the benchmark concepts.
 pub fn fig12(sim: &Simulation) -> String {
-    let head = banner("F12", "Figure 12 — precision of top-20 attributes (Pasca seeds vs Probase seeds)");
+    let head = banner(
+        "F12",
+        "Figure 12 — precision of top-20 attributes (Pasca seeds vs Probase seeds)",
+    );
     let idx = WorldIndex::new(&sim.world);
     // The paper evaluates 31 concepts; take the first 31 benchmark
     // concepts the model knows.
@@ -26,7 +29,10 @@ pub fn fig12(sim: &Simulation) -> String {
         .take(31)
         .collect();
 
-    let mentions_cfg = AttributeCorpusConfig { mentions_per_attribute: 24, ..Default::default() };
+    let mentions_cfg = AttributeCorpusConfig {
+        mentions_per_attribute: 24,
+        ..Default::default()
+    };
     let mut rows = Vec::new();
     let (mut pasca_sum, mut probase_sum, mut n) = (0.0, 0.0, 0usize);
     for (label, cid) in &concepts {
@@ -61,7 +67,10 @@ pub fn fig12(sim: &Simulation) -> String {
         ]);
     }
     let table = render_table(&["concept", "Pasca seeds", "Probase seeds"], &rows);
-    let (pa, pb) = (100.0 * pasca_sum / n.max(1) as f64, 100.0 * probase_sum / n.max(1) as f64);
+    let (pa, pb) = (
+        100.0 * pasca_sum / n.max(1) as f64,
+        100.0 * probase_sum / n.max(1) as f64,
+    );
     format!(
         "{head}{table}\naverages: Pasca {pa:.1}% vs Probase {pb:.1}% (paper: 86.2% vs 88.3%)\n\
          shape check: automatic seeds comparable to manual = {}\n",
@@ -99,9 +108,10 @@ pub fn app_search(sim: &Simulation) -> String {
         idx.senses(label)
             .iter()
             .flat_map(|&cid| {
-                idx.world().closure_instances(cid).into_iter().map(|i| {
-                    idx.world().instance(i).surface.to_lowercase()
-                })
+                idx.world()
+                    .closure_instances(cid)
+                    .into_iter()
+                    .map(|i| idx.world().instance(i).surface.to_lowercase())
             })
             .collect()
     };
@@ -137,7 +147,13 @@ pub fn app_search(sim: &Simulation) -> String {
     let kw_p = 100.0 * kw_rel as f64 / kw_tot.max(1) as f64;
     let kw_eff = 100.0 * kw_rel as f64 / (queries.len() * 10) as f64;
     let table = render_table(
-        &["system", "queries answered", "results", "relevant", "relevance"],
+        &[
+            "system",
+            "queries answered",
+            "results",
+            "relevant",
+            "relevance",
+        ],
         &[
             vec![
                 "semantic rewrite".into(),
@@ -161,7 +177,11 @@ pub fn app_search(sim: &Simulation) -> String {
          keyword search does find is higher than on the real web; the reproducible contrast\n\
          is answering power — rewritten queries answer more queries with more relevant results.\n\
          shape check: semantic relevance ≥ 80% and more relevant results than keyword = {}\n",
-        if sem_p >= 80.0 && sem_rel > kw_rel { "YES" } else { "NO" }
+        if sem_p >= 80.0 && sem_rel > kw_rel {
+            "YES"
+        } else {
+            "NO"
+        }
     )
 }
 
@@ -171,13 +191,18 @@ pub fn app_shorttext(sim: &Simulation) -> String {
     let model = &sim.probase.model;
     let idx = WorldIndex::new(&sim.world);
     let topic_labels = ["country", "dish", "film", "animal", "company", "university"];
-    let topics: Vec<ConceptId> =
-        topic_labels.iter().filter_map(|l| idx.senses(l).first().copied()).collect();
+    let topics: Vec<ConceptId> = topic_labels
+        .iter()
+        .filter_map(|l| idx.senses(l).first().copied())
+        .collect();
     let tws = tweets(&sim.world, &topics, 80, 17);
     let gold: Vec<usize> = tws.iter().map(|t| t.topic).collect();
 
     let mut cs = FeatureSpace::default();
-    let cv: Vec<_> = tws.iter().map(|t| concept_vector(model, &mut cs, &t.text, 3)).collect();
+    let cv: Vec<_> = tws
+        .iter()
+        .map(|t| concept_vector(model, &mut cs, &t.text, 3))
+        .collect();
     let concept_purity = purity(&kmeans(&cv, topics.len(), 30, 3), &gold);
     let mut ws = FeatureSpace::default();
     let wv: Vec<_> = tws.iter().map(|t| bow_vector(&mut ws, &t.text)).collect();
@@ -186,7 +211,10 @@ pub fn app_shorttext(sim: &Simulation) -> String {
     let table = render_table(
         &["representation", "k-means purity"],
         &[
-            vec!["Probase concept vectors".into(), format!("{concept_purity:.3}")],
+            vec![
+                "Probase concept vectors".into(),
+                format!("{concept_purity:.3}"),
+            ],
             vec!["bag of words".into(), format!("{bow_purity:.3}")],
         ],
     );
@@ -195,7 +223,11 @@ pub fn app_shorttext(sim: &Simulation) -> String {
          shape check: concept clustering wins (paper: beats LDA and all baselines) = {}\n",
         tws.len(),
         topics.len(),
-        if concept_purity > bow_purity { "YES" } else { "NO" }
+        if concept_purity > bow_purity {
+            "YES"
+        } else {
+            "NO"
+        }
     )
 }
 
@@ -215,15 +247,21 @@ pub fn app_tables(sim: &Simulation) -> String {
         }
         idx.senses(gold_label).iter().any(|&cid| {
             let w = idx.world();
-            w.descendant_concepts(cid).iter().any(|&d| w.concept(d).label == inferred)
+            w.descendant_concepts(cid)
+                .iter()
+                .any(|&d| w.concept(d).label == inferred)
         }) || idx.senses(inferred).iter().any(|&cid| {
             let w = idx.world();
-            w.descendant_concepts(cid).iter().any(|&d| w.concept(d).label == gold_label)
+            w.descendant_concepts(cid)
+                .iter()
+                .any(|&d| w.concept(d).label == gold_label)
         })
     };
     let (mut correct, mut answered, mut enriched) = (0usize, 0usize, 0usize);
     for g in &gold {
-        let col = Column { cells: g.cells.clone() };
+        let col = Column {
+            cells: g.cells.clone(),
+        };
         if let Some(h) = infer_header(model, &col, 4) {
             answered += 1;
             correct += usize::from(acceptable(&h.concept, &g.concept));
@@ -255,10 +293,17 @@ pub fn app_ner(sim: &Simulation) -> String {
     let head = banner("A4", "§1 — fine-grained named-entity recognition");
     let judge = Judge::new(&sim.world);
     let idx = WorldIndex::new(&sim.world);
-    let topics: Vec<ConceptId> = ["country", "city", "company", "film", "disease", "university"]
-        .iter()
-        .filter_map(|l| idx.senses(l).first().copied())
-        .collect();
+    let topics: Vec<ConceptId> = [
+        "country",
+        "city",
+        "company",
+        "film",
+        "disease",
+        "university",
+    ]
+    .iter()
+    .filter_map(|l| idx.senses(l).first().copied())
+    .collect();
     let texts = tweets(&sim.world, &topics, 80, 31);
     let (mut coarse_ok, mut fine, mut total) = (0usize, 0usize, 0usize);
     for t in &texts {
@@ -279,27 +324,43 @@ pub fn app_ner(sim: &Simulation) -> String {
         &[
             vec!["texts".into(), texts.len().to_string()],
             vec!["entity tags".into(), total.to_string()],
-            vec!["correct tags".into(), format!("{coarse_ok} ({:.1}%)", 100.0 * coarse_ok as f64 / total.max(1) as f64)],
-            vec!["correct and fine-grained".into(), format!("{fine} ({:.1}%)", 100.0 * fine as f64 / total.max(1) as f64)],
+            vec![
+                "correct tags".into(),
+                format!(
+                    "{coarse_ok} ({:.1}%)",
+                    100.0 * coarse_ok as f64 / total.max(1) as f64
+                ),
+            ],
+            vec![
+                "correct and fine-grained".into(),
+                format!("{fine} ({:.1}%)", 100.0 * fine as f64 / total.max(1) as f64),
+            ],
         ],
     );
     let prec = coarse_ok as f64 / total.max(1) as f64;
     format!(
         "{head}{table}shape check: tagging precision >= 75% with fine-grained concepts = {}\n",
-        if prec >= 0.75 && fine * 2 > total { "YES" } else { "NO" }
+        if prec >= 0.75 && fine * 2 > total {
+            "YES"
+        } else {
+            "NO"
+        }
     )
 }
-
-
 
 /// A5 — mixed instance+attribute abstraction (paper §1 footnote 1:
 /// "inferring from headquarter, apple to company"). The attribute index
 /// is harvested from the attribute corpus using automatic typicality
 /// seeds, then mixed term sets are conceptualized and judged.
 pub fn app_mixed(sim: &Simulation) -> String {
-    use probase_apps::{harvest_attributes, index_from_harvest, probase_seeds, MixedConceptualizer};
+    use probase_apps::{
+        harvest_attributes, index_from_harvest, probase_seeds, MixedConceptualizer,
+    };
 
-    let head = banner("A5", "§1 footnote 1 — abstraction from instances + attributes");
+    let head = banner(
+        "A5",
+        "§1 footnote 1 — abstraction from instances + attributes",
+    );
     let idx = WorldIndex::new(&sim.world);
     let model = &sim.probase.model;
 
@@ -308,7 +369,10 @@ pub fn app_mixed(sim: &Simulation) -> String {
         .into_iter()
         .filter_map(|l| idx.senses(l).first().map(|&c| (l, c)))
         .collect();
-    let cfg = AttributeCorpusConfig { mentions_per_attribute: 16, ..Default::default() };
+    let cfg = AttributeCorpusConfig {
+        mentions_per_attribute: 16,
+        ..Default::default()
+    };
     let mut harvested = Vec::new();
     for (label, cid) in &concepts {
         let mentions = generate_attribute_corpus(&sim.world, &[*cid], &cfg);
@@ -323,8 +387,12 @@ pub fn app_mixed(sim: &Simulation) -> String {
     let (mut top1, mut top3, mut total) = (0usize, 0usize, 0usize);
     for (label, cid) in concepts.iter().take(25) {
         let c = sim.world.concept(*cid);
-        let Some(attr) = c.attributes.first() else { continue };
-        let Some(inst) = c.instances.first() else { continue };
+        let Some(attr) = c.attributes.first() else {
+            continue;
+        };
+        let Some(inst) = c.instances.first() else {
+            continue;
+        };
         let inst_surface = sim.world.instance(inst.instance).surface.clone();
         let out = mc.conceptualize(&[attr.as_str(), inst_surface.as_str()], 3);
         if out.is_empty() {
@@ -338,8 +406,14 @@ pub fn app_mixed(sim: &Simulation) -> String {
         &["metric", "value"],
         &[
             vec!["queries (attribute + instance)".into(), total.to_string()],
-            vec!["gold concept at rank 1".into(), format!("{top1} ({:.0}%)", 100.0 * top1 as f64 / total.max(1) as f64)],
-            vec!["gold concept in top 3".into(), format!("{top3} ({:.0}%)", 100.0 * top3 as f64 / total.max(1) as f64)],
+            vec![
+                "gold concept at rank 1".into(),
+                format!("{top1} ({:.0}%)", 100.0 * top1 as f64 / total.max(1) as f64),
+            ],
+            vec![
+                "gold concept in top 3".into(),
+                format!("{top3} ({:.0}%)", 100.0 * top3 as f64 / total.max(1) as f64),
+            ],
         ],
     );
     format!(

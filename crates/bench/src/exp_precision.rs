@@ -3,42 +3,59 @@
 use crate::common::banner;
 use probase_baselines::{extract_syntactic, SyntacticConfig};
 use probase_core::Simulation;
-use probase_eval::{render_table, Judge, Precision};
 use probase_corpus::benchmark::benchmark_labels;
+use probase_eval::{render_table, Judge, Precision};
 use std::collections::HashSet;
 
 /// Table 5: the 40 benchmark concepts with their typical instances.
 pub fn table5(sim: &Simulation) -> String {
-    let head = banner("T5", "Table 5 — benchmark concepts and typical instances (top 3 by T(i|x))");
+    let head = banner(
+        "T5",
+        "Table 5 — benchmark concepts and typical instances (top 3 by T(i|x))",
+    );
     let m = &sim.probase.model;
     let g = &sim.probase.extraction.knowledge;
     let mut rows = Vec::new();
     for label in benchmark_labels() {
-        let size = g
-            .lookup(label)
-            .map(|s| g.subs_of(s).len())
-            .unwrap_or(0);
-        let typical: Vec<String> =
-            m.typical_instances(label, 3).into_iter().map(|(i, _)| i).collect();
+        let size = g.lookup(label).map(|s| g.subs_of(s).len()).unwrap_or(0);
+        let typical: Vec<String> = m
+            .typical_instances(label, 3)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
         rows.push(vec![
             format!("{label} ({size})"),
-            if typical.is_empty() { "-".into() } else { typical.join(", ") },
+            if typical.is_empty() {
+                "-".into()
+            } else {
+                typical.join(", ")
+            },
         ]);
     }
-    format!("{head}{}", render_table(&["concept (#extracted subs)", "typical instances"], &rows))
+    format!(
+        "{head}{}",
+        render_table(&["concept (#extracted subs)", "typical instances"], &rows)
+    )
 }
 
 /// Figure 9: precision of extracted pairs per benchmark concept, plus the
 /// baseline comparison the paper cites (KnowItAll 64%, NELL 74%,
 /// TextRunner 80%, Probase 92.8%).
 pub fn fig9(sim: &Simulation) -> String {
-    let head = banner("F9", "Figure 9 — precision of extracted pairs (benchmark concepts)");
+    let head = banner(
+        "F9",
+        "Figure 9 — precision of extracted pairs (benchmark concepts)",
+    );
     let judge = Judge::new(&sim.world);
     let g = &sim.probase.extraction.knowledge;
     let per = judge.benchmark_precision(g, 50, 9);
     let mut rows = Vec::new();
     for (label, p) in &per {
-        rows.push(vec![label.clone(), format!("{:.1}%", 100.0 * p.ratio()), format!("{}/{}", p.correct, p.total)]);
+        rows.push(vec![
+            label.clone(),
+            format!("{:.1}%", 100.0 * p.ratio()),
+            format!("{}/{}", p.correct, p.total),
+        ]);
     }
     let table = render_table(&["concept", "precision", "judged"], &rows);
     let avg = per.iter().map(|(_, p)| p.ratio()).sum::<f64>() / per.len().max(1) as f64;
@@ -60,13 +77,20 @@ pub fn fig9(sim: &Simulation) -> String {
     let closest = extract_syntactic(
         &sim.corpus,
         &sim.world.lexicon,
-        &SyntacticConfig { bootstrap_patterns: false, ..Default::default() },
+        &SyntacticConfig {
+            bootstrap_patterns: false,
+            ..Default::default()
+        },
     );
     let boot = extract_syntactic(&sim.corpus, &sim.world.lexicon, &SyntacticConfig::default());
     let proper = extract_syntactic(
         &sim.corpus,
         &sim.world.lexicon,
-        &SyntacticConfig { proper_only: true, bootstrap_patterns: false, ..Default::default() },
+        &SyntacticConfig {
+            proper_only: true,
+            bootstrap_patterns: false,
+            ..Default::default()
+        },
     );
     let pc = judge_output(&closest.pairs);
     let pb = judge_output(&boot.pairs);
@@ -122,8 +146,10 @@ pub fn fig10(sim: &Simulation) -> String {
             it.distinct_concepts.to_string(),
         ]);
     }
-    let table =
-        render_table(&["iteration", "new occurrences", "distinct pairs", "concepts"], &rows);
+    let table = render_table(
+        &["iteration", "new occurrences", "distinct pairs", "concepts"],
+        &rows,
+    );
     let iters = &sim.probase.extraction.iterations;
     let second_largest = iters.len() >= 2
         && iters[1].new_occurrences >= iters.iter().map(|i| i.new_occurrences).max().unwrap_or(0);

@@ -20,17 +20,28 @@ const PAPER_TABLE1: &[(&str, &str)] = &[
 
 /// Build the rival panel once.
 pub fn rivals(sim: &Simulation) -> Vec<RivalTaxonomy> {
-    RivalConfig::panel().iter().map(|c| sample_rival(&sim.world, c)).collect()
+    RivalConfig::panel()
+        .iter()
+        .map(|c| sample_rival(&sim.world, c))
+        .collect()
 }
 
 /// Table 1: scale of open-domain taxonomies (concept counts).
 pub fn table1(sim: &Simulation) -> String {
-    let head = banner("T1", "Table 1 — scale of open-domain taxonomies (concept space)");
+    let head = banner(
+        "T1",
+        "Table 1 — scale of open-domain taxonomies (concept space)",
+    );
     let rivals = rivals(sim);
-    let probase = GraphView { name: "Probase".into(), graph: sim.probase.model.graph() };
+    let probase = GraphView {
+        name: "Probase".into(),
+        graph: sim.probase.model.graph(),
+    };
     let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut entries: Vec<(String, usize)> =
-        rivals.iter().map(|r| (r.name().to_string(), r.concept_count())).collect();
+    let mut entries: Vec<(String, usize)> = rivals
+        .iter()
+        .map(|r| (r.name().to_string(), r.concept_count()))
+        .collect();
     entries.push(("Probase".into(), probase.concept_count()));
     entries.sort_by_key(|(_, n)| *n);
     for (name, n) in &entries {
@@ -45,7 +56,11 @@ pub fn table1(sim: &Simulation) -> String {
     let max = entries.last().expect("nonempty");
     let shape = format!(
         "shape check: Probase largest = {}\n",
-        if max.0 == "Probase" { "YES (matches paper)" } else { "NO" }
+        if max.0 == "Probase" {
+            "YES (matches paper)"
+        } else {
+            "NO"
+        }
     );
     format!("{head}{table}{shape}")
 }
@@ -70,21 +85,41 @@ pub fn table4(sim: &Simulation) -> String {
     }
     rows.push(fmt("Probase", &sim.probase.graph_stats));
     let table = render_table(
-        &["taxonomy", "isA pairs", "avg children", "avg parents", "avg level", "max level"],
+        &[
+            "taxonomy",
+            "isA pairs",
+            "avg children",
+            "avg parents",
+            "avg level",
+            "max level",
+        ],
         &rows,
     );
-    let fb = rivals.iter().find(|r| r.name() == "Freebase").expect("freebase in panel");
+    let fb = rivals
+        .iter()
+        .find(|r| r.name() == "Freebase")
+        .expect("freebase in panel");
     let shape = format!(
         "shape check: Freebase has zero concept-subconcept pairs = {}\n\
          paper row (Probase): 4,539,176 pairs, 7.53 children, 2.33 parents, level 1.086/7\n",
-        if fb.concept_subconcept_pairs == 0 { "YES" } else { "NO" }
+        if fb.concept_subconcept_pairs == 0 {
+            "YES"
+        } else {
+            "NO"
+        }
     );
     format!("{head}{table}{shape}")
 }
 
 /// The query log used by Figures 5–7, shared across them.
 pub fn query_log(sim: &Simulation, n: usize) -> Vec<Query> {
-    generate_query_log(&sim.world, &QueryLogConfig { queries: n, ..Default::default() })
+    generate_query_log(
+        &sim.world,
+        &QueryLogConfig {
+            queries: n,
+            ..Default::default()
+        },
+    )
 }
 
 fn checkpoints(n: usize) -> Vec<usize> {
@@ -98,7 +133,10 @@ fn series_table(
 ) -> String {
     let cps = checkpoints(log.len());
     let rivals = rivals(sim);
-    let probase = GraphView { name: "Probase".into(), graph: sim.probase.model.graph() };
+    let probase = GraphView {
+        name: "Probase".into(),
+        graph: sim.probase.model.graph(),
+    };
     let mut rows = Vec::new();
     let mut views: Vec<&dyn TaxonomyView> = rivals.iter().map(|r| r as &dyn TaxonomyView).collect();
     views.push(&probase);
@@ -108,8 +146,9 @@ fn series_table(
         row.extend(series.iter().map(|s| s.to_string()));
         rows.push(row);
     }
-    let header_cells: Vec<String> =
-        std::iter::once("taxonomy".to_string()).chain(cps.iter().map(|c| format!("top {c}"))).collect();
+    let header_cells: Vec<String> = std::iter::once("taxonomy".to_string())
+        .chain(cps.iter().map(|c| format!("top {c}")))
+        .collect();
     let headers: Vec<&str> = header_cells.iter().map(|s| s.as_str()).collect();
     render_table(&headers, &rows)
 }
@@ -119,7 +158,10 @@ fn series_table(
 pub fn fig5(sim: &Simulation, log: &[Query]) -> String {
     let head = banner("F5", "Figure 5 — relevant concepts vs top-k queries");
     let t = series_table(sim, log, |v, cps| relevant_concepts_series(log, v, cps));
-    let probase = GraphView { name: "Probase".into(), graph: sim.probase.model.graph() };
+    let probase = GraphView {
+        name: "Probase".into(),
+        graph: sim.probase.model.graph(),
+    };
     let final_cp = [log.len()];
     let p = relevant_concepts_series(log, &probase, &final_cp)[0];
     let best_rival = rivals(sim)
@@ -138,7 +180,10 @@ pub fn fig5(sim: &Simulation, log: &[Query]) -> String {
 pub fn fig6(sim: &Simulation, log: &[Query]) -> String {
     let head = banner("F6", "Figure 6 — taxonomy coverage of top-k queries");
     let t = series_table(sim, log, |v, cps| coverage_series(log, v, cps, false));
-    let probase = GraphView { name: "Probase".into(), graph: sim.probase.model.graph() };
+    let probase = GraphView {
+        name: "Probase".into(),
+        graph: sim.probase.model.graph(),
+    };
     let total = coverage_series(log, &probase, &[log.len()], false)[0];
     format!(
         "{head}{t}Probase covers {:.1}% of the log (paper: 81.04% of top 50M)\n",
@@ -150,7 +195,10 @@ pub fn fig6(sim: &Simulation, log: &[Query]) -> String {
 pub fn fig7(sim: &Simulation, log: &[Query]) -> String {
     let head = banner("F7", "Figure 7 — concept coverage of top-k queries");
     let t = series_table(sim, log, |v, cps| coverage_series(log, v, cps, true));
-    let probase = GraphView { name: "Probase".into(), graph: sim.probase.model.graph() };
+    let probase = GraphView {
+        name: "Probase".into(),
+        graph: sim.probase.model.graph(),
+    };
     let final_cp = [log.len()];
     let p = coverage_series(log, &probase, &final_cp, true)[0];
     let fb = rivals(sim)
@@ -167,8 +215,14 @@ pub fn fig7(sim: &Simulation, log: &[Query]) -> String {
 
 /// Figure 8: concept-size distributions, Probase vs Freebase.
 pub fn fig8(sim: &Simulation) -> String {
-    let head = banner("F8", "Figure 8 — concept size distributions (Probase vs Freebase)");
-    let probase = GraphView { name: "Probase".into(), graph: sim.probase.model.graph() };
+    let head = banner(
+        "F8",
+        "Figure 8 — concept size distributions (Probase vs Freebase)",
+    );
+    let probase = GraphView {
+        name: "Probase".into(),
+        graph: sim.probase.model.graph(),
+    };
     let fb = sample_rival(&sim.world, &RivalConfig::freebase());
     let hp = SizeHistogram::compute(&probase.concept_sizes());
     let hf = SizeHistogram::compute(&fb.concept_sizes());
@@ -186,8 +240,6 @@ pub fn fig8(sim: &Simulation) -> String {
     )
 }
 
-
-
 /// E1 (extra) — corpus-size scaling: how knowledge grows with crawl size.
 /// The paper's growth story (Figure 10 is per-iteration) implies pair and
 /// concept counts grow sublinearly with corpus size while precision stays
@@ -197,7 +249,10 @@ pub fn scaling_sweep(sizes: &[usize]) -> String {
     use probase_core::{ProbaseConfig, Simulation};
     use probase_eval::{Judge, Precision};
 
-    let head = banner("E1", "Corpus-size scaling — pairs, concepts, precision vs crawl size");
+    let head = banner(
+        "E1",
+        "Corpus-size scaling — pairs, concepts, precision vs crawl size",
+    );
     let mut rows = Vec::new();
     let mut precisions = Vec::new();
     for &n in sizes {
@@ -218,12 +273,16 @@ pub fn scaling_sweep(sizes: &[usize]) -> String {
         ]);
     }
     let table = render_table(
-        &["sentences", "distinct pairs", "concepts", "precision", "iterations"],
+        &[
+            "sentences",
+            "distinct pairs",
+            "concepts",
+            "precision",
+            "iterations",
+        ],
         &rows,
     );
-    let flat = precisions
-        .windows(2)
-        .all(|w| (w[0] - w[1]).abs() < 0.08);
+    let flat = precisions.windows(2).all(|w| (w[0] - w[1]).abs() < 0.08);
     format!(
         "{head}{table}shape check: precision roughly flat across scales = {}\n",
         if flat { "YES" } else { "NO" }

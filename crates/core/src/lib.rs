@@ -30,7 +30,9 @@
 
 pub mod pipeline;
 
-pub use pipeline::{build_probase, seed_from_world, PlausibilityKind, Probase, ProbaseConfig, Simulation};
+pub use pipeline::{
+    build_probase, seed_from_world, PlausibilityKind, Probase, ProbaseConfig, Simulation,
+};
 
 // Re-export the component crates under stable names.
 pub use probase_corpus as corpus;

@@ -9,13 +9,11 @@
 //! (the reproduction's stand-in for the 1.68 B-page crawl) and derives the
 //! WordNet-style seed oracle from the world's curated core.
 
-use probase_corpus::{
-    generate, CorpusConfig, CorpusGenerator, SentenceRecord, World, WorldConfig,
-};
+use probase_corpus::{generate, CorpusConfig, CorpusGenerator, SentenceRecord, World, WorldConfig};
 use probase_extract::{extract, extract_parallel, ExtractionOutput, ExtractorConfig};
 use probase_prob::{
-    annotate_graph, annotate_graph_urns, compute_plausibility, EvidenceModel,
-    PlausibilityConfig, ProbaseModel, SeedOracle, SeedSet, UrnsModel,
+    annotate_graph, annotate_graph_urns, compute_plausibility, EvidenceModel, PlausibilityConfig,
+    ProbaseModel, SeedOracle, SeedSet, UrnsModel,
 };
 use probase_store::GraphStats;
 use probase_taxonomy::{build_taxonomy, BuildStats, TaxonomyConfig};
@@ -113,7 +111,12 @@ pub fn build_probase(
     // 4. Typicality + query model.
     let graph_stats = GraphStats::compute(&graph);
     let model = ProbaseModel::new(graph);
-    Probase { model, extraction, build_stats: built.stats, graph_stats }
+    Probase {
+        model,
+        extraction,
+        build_stats: built.stats,
+        graph_stats,
+    }
 }
 
 /// Build the WordNet-style seed oracle from a world: the curated concepts
@@ -152,14 +155,22 @@ impl Simulation {
         let corpus = CorpusGenerator::new(&world, corpus_cfg.clone()).generate_all();
         let seed = seed_from_world(&world);
         let probase = build_probase(&corpus, &world.lexicon, config, &seed);
-        Self { world, corpus, probase }
+        Self {
+            world,
+            corpus,
+            probase,
+        }
     }
 
     /// A small, fast simulation for tests and the quickstart example.
     pub fn small(seed: u64) -> Self {
         Self::run(
             &WorldConfig::small(seed),
-            &CorpusConfig { seed, sentences: 4_000, ..CorpusConfig::default() },
+            &CorpusConfig {
+                seed,
+                sentences: 4_000,
+                ..CorpusConfig::default()
+            },
             &ProbaseConfig::paper(),
         )
     }
@@ -192,7 +203,9 @@ mod tests {
         // Abstraction over a famous instance.
         let concepts = m.typical_concepts("China", 8);
         assert!(
-            concepts.iter().any(|(c, _)| c.contains("country") || c == "emerging market"),
+            concepts
+                .iter()
+                .any(|(c, _)| c.contains("country") || c == "emerging market"),
             "{concepts:?}"
         );
     }
@@ -202,7 +215,10 @@ mod tests {
         let s = sim();
         let g = s.probase.model.graph();
         let annotated = g.edges().filter(|(_, _, e)| e.plausibility < 1.0).count();
-        assert!(annotated > 0, "some edges must carry non-default plausibility");
+        assert!(
+            annotated > 0,
+            "some edges must carry non-default plausibility"
+        );
         for (_, _, e) in g.edges() {
             assert!((0.0..=1.0).contains(&e.plausibility));
         }

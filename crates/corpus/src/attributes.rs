@@ -33,8 +33,8 @@ pub struct AttributeMention {
 /// Generic words that appear in "the X of Y" constructions without being
 /// attributes — the noise a real harvester fights.
 pub const JUNK_ATTRIBUTES: &[&str] = &[
-    "rest", "list", "number", "part", "side", "top", "bottom", "end", "middle", "story",
-    "picture", "photo", "map", "best", "future", "idea", "case", "cost", "kind", "sort",
+    "rest", "list", "number", "part", "side", "top", "bottom", "end", "middle", "story", "picture",
+    "photo", "map", "best", "future", "idea", "case", "cost", "kind", "sort",
 ];
 
 /// Configuration for the attribute corpus.
@@ -50,7 +50,11 @@ pub struct AttributeCorpusConfig {
 
 impl Default for AttributeCorpusConfig {
     fn default() -> Self {
-        Self { seed: 77, mentions_per_attribute: 6, junk_rate: 0.35 }
+        Self {
+            seed: 77,
+            mentions_per_attribute: 6,
+            junk_rate: 0.35,
+        }
     }
 }
 
@@ -82,9 +86,15 @@ pub fn generate_attribute_corpus(
             let iid = c.instances[z.sample(&mut rng)].instance;
             let inst = world.instance(iid).surface.clone();
             let (attr, valid) = if rng.gen_bool(config.junk_rate) {
-                (JUNK_ATTRIBUTES[rng.gen_range(0..JUNK_ATTRIBUTES.len())].to_string(), false)
+                (
+                    JUNK_ATTRIBUTES[rng.gen_range(0..JUNK_ATTRIBUTES.len())].to_string(),
+                    false,
+                )
             } else {
-                (c.attributes[rng.gen_range(0..c.attributes.len())].clone(), true)
+                (
+                    c.attributes[rng.gen_range(0..c.attributes.len())].clone(),
+                    true,
+                )
             };
             let t = TEMPLATES[rng.gen_range(0..TEMPLATES.len())];
             out.push(AttributeMention {
@@ -106,9 +116,15 @@ mod tests {
     #[test]
     fn corpus_mixes_valid_and_junk() {
         let world = generate(&WorldConfig::small(5));
-        let concepts: Vec<ConceptId> =
-            world.concepts.iter().filter(|c| c.curated).map(|c| c.id).take(10).collect();
-        let corpus = generate_attribute_corpus(&world, &concepts, &AttributeCorpusConfig::default());
+        let concepts: Vec<ConceptId> = world
+            .concepts
+            .iter()
+            .filter(|c| c.curated)
+            .map(|c| c.id)
+            .take(10)
+            .collect();
+        let corpus =
+            generate_attribute_corpus(&world, &concepts, &AttributeCorpusConfig::default());
         assert!(!corpus.is_empty());
         let valid = corpus.iter().filter(|m| m.valid).count();
         let junk = corpus.len() - valid;
@@ -132,18 +148,29 @@ mod tests {
     #[test]
     fn junk_rate_extremes() {
         let world = generate(&WorldConfig::small(6));
-        let concepts: Vec<ConceptId> =
-            world.concepts.iter().filter(|c| c.curated).map(|c| c.id).take(5).collect();
+        let concepts: Vec<ConceptId> = world
+            .concepts
+            .iter()
+            .filter(|c| c.curated)
+            .map(|c| c.id)
+            .take(5)
+            .collect();
         let all_junk = generate_attribute_corpus(
             &world,
             &concepts,
-            &AttributeCorpusConfig { junk_rate: 1.0, ..Default::default() },
+            &AttributeCorpusConfig {
+                junk_rate: 1.0,
+                ..Default::default()
+            },
         );
         assert!(all_junk.iter().all(|m| !m.valid));
         let none_junk = generate_attribute_corpus(
             &world,
             &concepts,
-            &AttributeCorpusConfig { junk_rate: 0.0, ..Default::default() },
+            &AttributeCorpusConfig {
+                junk_rate: 0.0,
+                ..Default::default()
+            },
         );
         assert!(none_junk.iter().all(|m| m.valid));
     }

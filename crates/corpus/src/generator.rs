@@ -6,7 +6,9 @@
 //! the paper's extraction algorithm must handle (references inline).
 
 use crate::ids::{ConceptId, InstanceId};
-use crate::sentence::{PatternKind, Referent, SentenceRecord, SentenceTruth, SourceMeta, TruthPair};
+use crate::sentence::{
+    PatternKind, Referent, SentenceRecord, SentenceTruth, SourceMeta, TruthPair,
+};
 use crate::world::{InstanceKind, World};
 use crate::zipf::Zipf;
 use probase_text::pluralize;
@@ -84,7 +86,11 @@ impl Default for CorpusConfig {
 impl CorpusConfig {
     /// Small corpus for unit tests.
     pub fn small(seed: u64) -> Self {
-        Self { seed, sentences: 2_000, ..Self::default() }
+        Self {
+            seed,
+            sentences: 2_000,
+            ..Self::default()
+        }
     }
 
     /// Encyclopedia-like profile: curated, high-credibility pages with
@@ -145,8 +151,10 @@ impl<'w> CorpusGenerator<'w> {
             .map(|c| c.id)
             .collect();
         assert!(!eligible.is_empty(), "world has no populated concepts");
-        let weights: Vec<f64> =
-            eligible.iter().map(|&id| world.concept(id).popularity.max(1e-12)).collect();
+        let weights: Vec<f64> = eligible
+            .iter()
+            .map(|&id| world.concept(id).popularity.max(1e-12))
+            .collect();
         let concept_sampler = WeightedIndex::new(&weights).expect("positive weights");
         let pattern_sampler = WeightedIndex::new(config.pattern_mix).expect("pattern mix");
         let rng = SmallRng::seed_from_u64(config.seed);
@@ -203,7 +211,12 @@ impl<'w> CorpusGenerator<'w> {
 
         let id = self.next_id;
         self.next_id += 1;
-        SentenceRecord { id, text, meta, truth }
+        SentenceRecord {
+            id,
+            text,
+            meta,
+            truth,
+        }
     }
 
     // ---- sentence builders ------------------------------------------
@@ -251,7 +264,9 @@ impl<'w> CorpusGenerator<'w> {
         let pattern = PatternKind::HEARST[self.pattern_sampler.sample(&mut self.rng)];
         let c = self.world.concept(cid);
 
-        let want = self.rng.gen_range(self.config.min_list..=self.config.max_list);
+        let want = self
+            .rng
+            .gen_range(self.config.min_list..=self.config.max_list);
         let drawn = self.draw_instances(cid, want);
         let mut items: Vec<TruthPair> = drawn
             .iter()
@@ -274,13 +289,19 @@ impl<'w> CorpusGenerator<'w> {
                 let pos = self.rng.gen_range(0..=items.len());
                 items.insert(
                     pos.min(items.len()),
-                    TruthPair { surface, referent: Referent::Concept(child) },
+                    TruthPair {
+                        surface,
+                        referent: Referent::Concept(child),
+                    },
                 );
                 let extra = self.rng.gen_range(1..=3);
                 for iid in self.draw_instances(child, extra) {
                     let surface = self.render_instance(iid);
                     if !items.iter().any(|t| t.surface == surface) {
-                        items.push(TruthPair { surface, referent: Referent::Instance(iid) });
+                        items.push(TruthPair {
+                            surface,
+                            referent: Referent::Instance(iid),
+                        });
                     }
                 }
             }
@@ -291,24 +312,29 @@ impl<'w> CorpusGenerator<'w> {
         let effective_corrupt = self.config.corrupt_rate * (1.6 - self.page_quality);
         if items.len() >= 2 && self.rng.gen_bool(effective_corrupt.clamp(0.0, 1.0)) {
             let pos = self.rng.gen_range(1..items.len());
-            items[pos] = TruthPair { surface: self.junk_surface(cid), referent: Referent::Junk };
+            items[pos] = TruthPair {
+                surface: self.junk_surface(cid),
+                referent: Referent::Junk,
+            };
         }
 
         // Distractor and drift.
         let mut distractor = None;
         match pattern {
             PatternKind::SuchAs | PatternKind::Including | PatternKind::Especially
-                if self.rng.gen_bool(self.config.other_than_rate) => {
-                    distractor = self.pick_distractor(cid, &items);
-                }
+                if self.rng.gen_bool(self.config.other_than_rate) =>
+            {
+                distractor = self.pick_distractor(cid, &items);
+            }
             PatternKind::AndOther | PatternKind::OrOther
-                if self.rng.gen_bool(self.config.list_drift_rate) => {
-                    let k = self.rng.gen_range(1..=self.config.max_drift_items);
-                    let drift = self.drift_items(cid, k);
-                    for (i, d) in drift.into_iter().enumerate() {
-                        items.insert(i, d);
-                    }
+                if self.rng.gen_bool(self.config.list_drift_rate) =>
+            {
+                let k = self.rng.gen_range(1..=self.config.max_drift_items);
+                let drift = self.drift_items(cid, k);
+                for (i, d) in drift.into_iter().enumerate() {
+                    items.insert(i, d);
                 }
+            }
             _ => {}
         }
 
@@ -348,7 +374,9 @@ impl<'w> CorpusGenerator<'w> {
     /// Items drifted in from a sibling concept (invalid under `cid`).
     fn drift_items(&mut self, cid: ConceptId, k: usize) -> Vec<TruthPair> {
         let sibling = self.sibling_of(cid);
-        let Some(sib) = sibling else { return Vec::new() };
+        let Some(sib) = sibling else {
+            return Vec::new();
+        };
         self.draw_instances(sib, k)
             .into_iter()
             .map(|iid| TruthPair {
@@ -518,7 +546,10 @@ impl<'w> CorpusGenerator<'w> {
             concept: Some(cid),
             items: parts
                 .into_iter()
-                .map(|surface| TruthPair { surface, referent: Referent::Junk })
+                .map(|surface| TruthPair {
+                    surface,
+                    referent: Referent::Junk,
+                })
                 .collect(),
             distractor: None,
             pattern: Some(PatternKind::PartOf),
@@ -543,7 +574,11 @@ mod tests {
 
     fn corpus(seed: u64, n: usize) -> (World, Vec<SentenceRecord>) {
         let world = generate(&WorldConfig::small(seed));
-        let cfg = CorpusConfig { seed, sentences: n, ..CorpusConfig::default() };
+        let cfg = CorpusConfig {
+            seed,
+            sentences: n,
+            ..CorpusConfig::default()
+        };
         let records = CorpusGenerator::new(&world, cfg).generate_all();
         (world, records)
     }
@@ -585,10 +620,18 @@ mod tests {
     fn such_as_sentences_contain_keyword_and_items() {
         let (_, recs) = corpus(11, 3000);
         let mut seen = 0;
-        for r in recs.iter().filter(|r| r.truth.pattern == Some(PatternKind::SuchAs)) {
+        for r in recs
+            .iter()
+            .filter(|r| r.truth.pattern == Some(PatternKind::SuchAs))
+        {
             assert!(r.text.contains("such as"), "{}", r.text);
             for item in &r.truth.items {
-                assert!(r.text.contains(&item.surface), "{} missing {}", r.text, item.surface);
+                assert!(
+                    r.text.contains(&item.surface),
+                    "{} missing {}",
+                    r.text,
+                    item.surface
+                );
             }
             seen += 1;
         }
@@ -612,8 +655,10 @@ mod tests {
         let drifted: Vec<_> = recs
             .iter()
             .filter(|r| {
-                matches!(r.truth.pattern, Some(PatternKind::AndOther | PatternKind::OrOther))
-                    && r.truth.items.first().is_some_and(|t| !t.is_valid())
+                matches!(
+                    r.truth.pattern,
+                    Some(PatternKind::AndOther | PatternKind::OrOther)
+                ) && r.truth.items.first().is_some_and(|t| !t.is_valid())
             })
             .collect();
         assert!(!drifted.is_empty(), "expected drifted and-other sentences");
@@ -622,8 +667,10 @@ mod tests {
     #[test]
     fn corruption_rate_roughly_respected() {
         let (_, recs) = corpus(19, 6000);
-        let hearst: Vec<_> =
-            recs.iter().filter(|r| r.truth.pattern.is_some_and(|p| p.hearst_index().is_some())).collect();
+        let hearst: Vec<_> = recs
+            .iter()
+            .filter(|r| r.truth.pattern.is_some_and(|p| p.hearst_index().is_some()))
+            .collect();
         let corrupted = hearst
             .iter()
             .filter(|r| r.truth.items.iter().any(|t| !t.is_valid()) && r.truth.distractor.is_none())
@@ -640,7 +687,10 @@ mod tests {
             assert!((0.0..=1.0).contains(&r.meta.source_quality));
         }
         // Consecutive sentences on the same page share metadata.
-        let same_page: Vec<_> = recs.windows(2).filter(|w| w[0].meta.page_id == w[1].meta.page_id).collect();
+        let same_page: Vec<_> = recs
+            .windows(2)
+            .filter(|w| w[0].meta.page_id == w[1].meta.page_id)
+            .collect();
         assert!(!same_page.is_empty());
         for w in same_page {
             assert_eq!(w[0].meta.source_quality, w[1].meta.source_quality);
@@ -657,8 +707,10 @@ mod tests {
     #[test]
     fn partof_sentences_use_comprised_of() {
         let (_, recs) = corpus(29, 4000);
-        let part: Vec<_> =
-            recs.iter().filter(|r| r.truth.pattern == Some(PatternKind::PartOf)).collect();
+        let part: Vec<_> = recs
+            .iter()
+            .filter(|r| r.truth.pattern == Some(PatternKind::PartOf))
+            .collect();
         assert!(!part.is_empty());
         for r in part {
             assert!(r.text.contains("are comprised of"), "{}", r.text);

@@ -14,8 +14,12 @@ const ONSETS: &[&str] = &[
     "b", "br", "c", "cr", "d", "dr", "f", "fl", "g", "gl", "gr", "h", "j", "k", "kl", "l", "m",
     "n", "p", "pl", "pr", "qu", "r", "s", "sk", "sl", "sp", "st", "t", "tr", "v", "w", "z",
 ];
-const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ar", "er", "or", "an", "en", "on", "el", "al"];
-const CODAS: &[&str] = &["", "n", "m", "l", "r", "s", "t", "x", "nd", "rk", "st", "th"];
+const NUCLEI: &[&str] = &[
+    "a", "e", "i", "o", "u", "ar", "er", "or", "an", "en", "on", "el", "al",
+];
+const CODAS: &[&str] = &[
+    "", "n", "m", "l", "r", "s", "t", "x", "nd", "rk", "st", "th",
+];
 
 /// Suffixes that make a coined word read as a common noun.
 const NOUN_SUFFIXES: &[&str] = &["on", "ite", "ant", "oid", "ide", "ome", "ine", "ode"];
@@ -157,7 +161,10 @@ mod tests {
         for _ in 0..200 {
             let w = coiner.common_noun(&mut rng);
             let p = pluralize(&w);
-            assert!(is_plural(&p), "pluralized coined noun {p} not detected as plural");
+            assert!(
+                is_plural(&p),
+                "pluralized coined noun {p} not detected as plural"
+            );
         }
     }
 

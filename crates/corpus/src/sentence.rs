@@ -135,8 +135,14 @@ mod tests {
 
     #[test]
     fn truth_pair_validity() {
-        let valid = TruthPair { surface: "cats".into(), referent: Referent::Instance(InstanceId(0)) };
-        let junk = TruthPair { surface: "tables".into(), referent: Referent::Junk };
+        let valid = TruthPair {
+            surface: "cats".into(),
+            referent: Referent::Instance(InstanceId(0)),
+        };
+        let junk = TruthPair {
+            surface: "tables".into(),
+            referent: Referent::Junk,
+        };
         assert!(valid.is_valid());
         assert!(!junk.is_valid());
     }

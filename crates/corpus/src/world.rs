@@ -114,7 +114,11 @@ impl World {
 
     /// All concept senses carrying `label` (canonical form).
     pub fn senses_of(&self, label: &str) -> Vec<ConceptId> {
-        self.concepts.iter().filter(|c| c.label == label).map(|c| c.id).collect()
+        self.concepts
+            .iter()
+            .filter(|c| c.label == label)
+            .map(|c| c.id)
+            .collect()
     }
 
     /// Number of concepts.
@@ -129,7 +133,11 @@ impl World {
 
     /// Root concepts (no parents).
     pub fn roots(&self) -> Vec<ConceptId> {
-        self.concepts.iter().filter(|c| c.parents.is_empty()).map(|c| c.id).collect()
+        self.concepts
+            .iter()
+            .filter(|c| c.parents.is_empty())
+            .map(|c| c.id)
+            .collect()
     }
 
     /// All descendant concepts of `id` (excluding `id` itself).
@@ -147,8 +155,12 @@ impl World {
     /// All instances reachable from `id` through any chain of sub-concepts,
     /// including direct memberships.
     pub fn closure_instances(&self, id: ConceptId) -> HashSet<InstanceId> {
-        let mut out: HashSet<InstanceId> =
-            self.concept(id).instances.iter().map(|m| m.instance).collect();
+        let mut out: HashSet<InstanceId> = self
+            .concept(id)
+            .instances
+            .iter()
+            .map(|m| m.instance)
+            .collect();
         for c in self.descendant_concepts(id) {
             out.extend(self.concept(c).instances.iter().map(|m| m.instance));
         }
@@ -193,7 +205,10 @@ impl World {
         let mut seen = HashMap::new();
         for i in &self.instances {
             if let Some(prev) = seen.insert(i.surface.clone(), i.id) {
-                errors.push(format!("duplicate instance surface {:?} ({} and {})", i.surface, prev, i.id));
+                errors.push(format!(
+                    "duplicate instance surface {:?} ({} and {})",
+                    i.surface, prev, i.id
+                ));
             }
         }
         errors
@@ -254,17 +269,28 @@ impl<'w> WorldIndex<'w> {
     pub fn new(world: &'w World) -> Self {
         let mut label_to_senses: HashMap<String, Vec<ConceptId>> = HashMap::new();
         for c in &world.concepts {
-            label_to_senses.entry(c.label.clone()).or_default().push(c.id);
+            label_to_senses
+                .entry(c.label.clone())
+                .or_default()
+                .push(c.id);
         }
         let mut surface_to_instances: HashMap<String, Vec<InstanceId>> = HashMap::new();
         for i in &world.instances {
-            surface_to_instances.entry(i.surface.to_lowercase()).or_default().push(i.id);
+            surface_to_instances
+                .entry(i.surface.to_lowercase())
+                .or_default()
+                .push(i.id);
         }
         let mut closures = HashMap::new();
         for c in &world.concepts {
             closures.insert(c.id, world.closure_instances(c.id));
         }
-        Self { world, label_to_senses, surface_to_instances, closures }
+        Self {
+            world,
+            label_to_senses,
+            surface_to_instances,
+            closures,
+        }
     }
 
     /// The underlying world.
@@ -274,7 +300,10 @@ impl<'w> WorldIndex<'w> {
 
     /// Concept senses for a canonical label.
     pub fn senses(&self, label: &str) -> &[ConceptId] {
-        self.label_to_senses.get(label).map(|v| v.as_slice()).unwrap_or(&[])
+        self.label_to_senses
+            .get(label)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Instances whose surface (case-insensitively) equals `surface`.
@@ -294,7 +323,10 @@ impl<'w> WorldIndex<'w> {
         for &cid in self.senses(super_label) {
             // Sub-concept by label anywhere below the sense.
             let descendants = self.world.descendant_concepts(cid);
-            if descendants.iter().any(|d| self.world.concept(*d).label == sub_lower) {
+            if descendants
+                .iter()
+                .any(|d| self.world.concept(*d).label == sub_lower)
+            {
                 return true;
             }
             // Instance anywhere in the closure.
@@ -317,7 +349,12 @@ mod tests {
     /// Tiny hand-built world: animal > {domestic animal}, with cat/dog under
     /// both, plus a homograph "plant" (flora vs equipment).
     pub(crate) fn tiny_world() -> World {
-        let mut w = World { concepts: Vec::new(), instances: Vec::new(), lexicon: Lexicon::new(), seed: 0 };
+        let mut w = World {
+            concepts: Vec::new(),
+            instances: Vec::new(),
+            lexicon: Lexicon::new(),
+            seed: 0,
+        };
         let mk_c = |id: u32, label: &str, sense: u32| ConceptSpec {
             id: ConceptId(id),
             label: label.to_string(),
@@ -343,14 +380,32 @@ mod tests {
             kind,
             concepts: cs,
         };
-        w.instances.push(mk_i(0, "cat", InstanceKind::Common, vec![ConceptId(1)]));
-        w.instances.push(mk_i(1, "dog", InstanceKind::Common, vec![ConceptId(1)]));
-        w.instances.push(mk_i(2, "tree", InstanceKind::Common, vec![ConceptId(2)]));
-        w.instances.push(mk_i(3, "boiler", InstanceKind::Common, vec![ConceptId(3)]));
-        w.concepts[1].instances =
-            vec![Membership { instance: InstanceId(0), typicality: 0.6 }, Membership { instance: InstanceId(1), typicality: 0.4 }];
-        w.concepts[2].instances = vec![Membership { instance: InstanceId(2), typicality: 1.0 }];
-        w.concepts[3].instances = vec![Membership { instance: InstanceId(3), typicality: 1.0 }];
+        w.instances
+            .push(mk_i(0, "cat", InstanceKind::Common, vec![ConceptId(1)]));
+        w.instances
+            .push(mk_i(1, "dog", InstanceKind::Common, vec![ConceptId(1)]));
+        w.instances
+            .push(mk_i(2, "tree", InstanceKind::Common, vec![ConceptId(2)]));
+        w.instances
+            .push(mk_i(3, "boiler", InstanceKind::Common, vec![ConceptId(3)]));
+        w.concepts[1].instances = vec![
+            Membership {
+                instance: InstanceId(0),
+                typicality: 0.6,
+            },
+            Membership {
+                instance: InstanceId(1),
+                typicality: 0.4,
+            },
+        ];
+        w.concepts[2].instances = vec![Membership {
+            instance: InstanceId(2),
+            typicality: 1.0,
+        }];
+        w.concepts[3].instances = vec![Membership {
+            instance: InstanceId(3),
+            typicality: 1.0,
+        }];
         w
     }
 

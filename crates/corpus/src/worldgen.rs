@@ -9,7 +9,7 @@
 use crate::benchmark::{CURATED, ROOTS};
 use crate::ids::{ConceptId, InstanceId};
 use crate::names::NameCoiner;
-use crate::world::{ConceptSpec, InstanceSpec, InstanceKind, Membership, World};
+use crate::world::{ConceptSpec, InstanceKind, InstanceSpec, Membership, World};
 use crate::zipf::Zipf;
 use probase_text::{LexEntry, Lexicon};
 use rand::rngs::SmallRng;
@@ -195,9 +195,10 @@ impl<'a> Builder<'a> {
         if !inst.concepts.contains(&cid) {
             inst.concepts.push(cid);
             // Typicality is assigned in `finalize`; store order for now.
-            self.concepts[cid.index()]
-                .instances
-                .push(Membership { instance: id, typicality: 0.0 });
+            self.concepts[cid.index()].instances.push(Membership {
+                instance: id,
+                typicality: 0.0,
+            });
         }
         id
     }
@@ -213,7 +214,9 @@ impl<'a> Builder<'a> {
         }
         // Any capitalized word makes the surface a proper name ("the
         // Alps", "eBay" is the lone exception we accept as common-ish).
-        if surface.split(' ').any(|w| w.chars().next().is_some_and(|c| c.is_uppercase()))
+        if surface
+            .split(' ')
+            .any(|w| w.chars().next().is_some_and(|c| c.is_uppercase()))
             || surface.chars().any(|c| c.is_uppercase())
         {
             InstanceKind::Proper
@@ -226,14 +229,24 @@ impl<'a> Builder<'a> {
         let r: f64 = self.rng.gen();
         let c = self.config;
         if r < c.conjunction_instance_rate {
-            (self.coiner.conjunction_name(&mut self.rng), InstanceKind::ConjunctionName)
+            (
+                self.coiner.conjunction_name(&mut self.rng),
+                InstanceKind::ConjunctionName,
+            )
         } else if r < c.conjunction_instance_rate + c.title_instance_rate {
             (self.coiner.title_name(&mut self.rng), InstanceKind::Title)
         } else if r < c.conjunction_instance_rate + c.title_instance_rate + c.common_instance_rate {
             (self.coiner.common_noun(&mut self.rng), InstanceKind::Common)
         } else {
-            let words = if self.rng.gen_bool(c.multiword_instance_rate) { 2 } else { 1 };
-            (self.coiner.proper_name(&mut self.rng, words), InstanceKind::Proper)
+            let words = if self.rng.gen_bool(c.multiword_instance_rate) {
+                2
+            } else {
+                1
+            };
+            (
+                self.coiner.proper_name(&mut self.rng, words),
+                InstanceKind::Proper,
+            )
         }
     }
 
@@ -314,8 +327,11 @@ impl<'a> Builder<'a> {
                 let depth = self.depth[cid.index()] + 1;
                 let sub = self.add_concept(&label, Some(cid), depth);
                 // Subset of parent instances, biased to the head.
-                let parent_members: Vec<InstanceId> =
-                    self.concepts[cid.index()].instances.iter().map(|m| m.instance).collect();
+                let parent_members: Vec<InstanceId> = self.concepts[cid.index()]
+                    .instances
+                    .iter()
+                    .map(|m| m.instance)
+                    .collect();
                 let take = (parent_members.len() / 2).max(2).min(parent_members.len());
                 let mut chosen = parent_members;
                 chosen.shuffle(&mut self.rng);
@@ -345,8 +361,10 @@ impl<'a> Builder<'a> {
             if a == b {
                 continue;
             }
-            let (la, lb) =
-                (self.concepts[a.index()].label.clone(), self.concepts[b.index()].label.clone());
+            let (la, lb) = (
+                self.concepts[a.index()].label.clone(),
+                self.concepts[b.index()].label.clone(),
+            );
             if la == lb || self.concepts[a.index()].parents == self.concepts[b.index()].parents {
                 continue;
             }
@@ -363,8 +381,12 @@ impl<'a> Builder<'a> {
         }
 
         // 6. Extra coined instances on curated concepts.
-        let curated_ids: Vec<ConceptId> =
-            self.concepts.iter().filter(|c| c.curated).map(|c| c.id).collect();
+        let curated_ids: Vec<ConceptId> = self
+            .concepts
+            .iter()
+            .filter(|c| c.curated)
+            .map(|c| c.id)
+            .collect();
         for cid in curated_ids {
             for _ in 0..self.config.extra_instances_per_curated {
                 let (surface, kind) = self.coin_instance();
@@ -463,7 +485,11 @@ mod tests {
         assert_eq!(a.instance_count(), b.instance_count());
         assert_eq!(a.concepts[50].label, b.concepts[50].label);
         let c = generate(&WorldConfig::small(10));
-        assert!(a.concepts.iter().zip(&c.concepts).any(|(x, y)| x.label != y.label));
+        assert!(a
+            .concepts
+            .iter()
+            .zip(&c.concepts)
+            .any(|(x, y)| x.label != y.label));
     }
 
     #[test]
@@ -491,7 +517,10 @@ mod tests {
             *counts.entry(c.label.as_str()).or_default() += 1;
         }
         let homographs = counts.values().filter(|&&v| v >= 2).count();
-        assert!(homographs >= 2, "expected coined homographs, got {homographs}");
+        assert!(
+            homographs >= 2,
+            "expected coined homographs, got {homographs}"
+        );
     }
 
     #[test]
@@ -533,8 +562,12 @@ mod tests {
         let w = small();
         assert!(w.concepts.iter().all(|c| c.popularity > 0.0));
         let avg = |f: &dyn Fn(&ConceptSpec) -> bool| {
-            let v: Vec<f64> =
-                w.concepts.iter().filter(|c| f(c)).map(|c| c.popularity).collect();
+            let v: Vec<f64> = w
+                .concepts
+                .iter()
+                .filter(|c| f(c))
+                .map(|c| c.popularity)
+                .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
         assert!(avg(&|c| c.curated) > avg(&|c| !c.curated));
@@ -559,7 +592,12 @@ mod tests {
             d
         }
         let mut memo = HashMap::new();
-        let max = w.roots().iter().map(|&r| depth_of(&w, r, &mut memo)).max().unwrap();
+        let max = w
+            .roots()
+            .iter()
+            .map(|&r| depth_of(&w, r, &mut memo))
+            .max()
+            .unwrap();
         assert!(max <= WorldConfig::small(3).max_depth + 2, "depth {max}");
     }
 

@@ -32,7 +32,10 @@ fn forum_is_noisier_than_encyclopedia() {
     };
     let enc = corrupt_fraction(CorpusConfig::encyclopedia(82, 4_000));
     let forum = corrupt_fraction(CorpusConfig::forum(82, 4_000));
-    assert!(forum > enc * 2.0, "forum {forum:.4} vs encyclopedia {enc:.4}");
+    assert!(
+        forum > enc * 2.0,
+        "forum {forum:.4} vs encyclopedia {enc:.4}"
+    );
 }
 
 #[test]
@@ -89,14 +92,19 @@ fn pattern_mix_extremes_pin_the_pattern() {
         ..CorpusConfig::default()
     };
     let recs = CorpusGenerator::new(&w, cfg).generate_all();
-    assert!(recs.iter().all(|r| r.truth.pattern == Some(PatternKind::AndOther)));
+    assert!(recs
+        .iter()
+        .all(|r| r.truth.pattern == Some(PatternKind::AndOther)));
 }
 
 #[test]
 fn sentences_always_contain_their_concept_surface() {
     let w = world();
     let recs = CorpusGenerator::new(&w, CorpusConfig::small(86)).generate_all();
-    for r in recs.iter().filter(|r| r.truth.pattern.is_some_and(|p| p.hearst_index().is_some())) {
+    for r in recs
+        .iter()
+        .filter(|r| r.truth.pattern.is_some_and(|p| p.hearst_index().is_some()))
+    {
         let cid = r.truth.concept.expect("hearst sentences name a concept");
         let label = &w.concept(cid).label;
         // The plural surface of the head word must appear in the text.

@@ -1,9 +1,7 @@
 //! Property tests for the world generator and corpus simulator.
 
+use probase_corpus::{generate, CorpusConfig, CorpusGenerator, WorldConfig, WorldIndex, Zipf};
 use proptest::prelude::*;
-use probase_corpus::{
-    generate, CorpusConfig, CorpusGenerator, WorldConfig, WorldIndex, Zipf,
-};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]

@@ -50,7 +50,9 @@ pub struct Judge<'w> {
 
 impl<'w> Judge<'w> {
     pub fn new(world: &'w World) -> Self {
-        Self { index: WorldIndex::new(world) }
+        Self {
+            index: WorldIndex::new(world),
+        }
     }
 
     pub fn index(&self) -> &WorldIndex<'w> {
@@ -92,7 +94,9 @@ impl<'w> Judge<'w> {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut out = Vec::new();
         for label in benchmark_labels() {
-            let Some(sym) = knowledge.lookup(label) else { continue };
+            let Some(sym) = knowledge.lookup(label) else {
+                continue;
+            };
             let mut subs = knowledge.subs_of(sym);
             if subs.is_empty() {
                 continue;
@@ -118,13 +122,21 @@ impl<'w> Judge<'w> {
         let mut p = Precision::default();
         for c in &world.concepts {
             let Some(x) = knowledge.lookup(&c.label) else {
-                for m in c.instances.iter().filter(|m| m.typicality >= min_typicality) {
+                for m in c
+                    .instances
+                    .iter()
+                    .filter(|m| m.typicality >= min_typicality)
+                {
                     let _ = m;
                     p.add(false);
                 }
                 continue;
             };
-            for m in c.instances.iter().filter(|m| m.typicality >= min_typicality) {
+            for m in c
+                .instances
+                .iter()
+                .filter(|m| m.typicality >= min_typicality)
+            {
                 let surface = &world.instance(m.instance).surface;
                 let found = knowledge
                     .lookup(surface)

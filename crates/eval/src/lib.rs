@@ -18,6 +18,10 @@ pub mod querylog;
 pub mod workloads;
 
 pub use judge::{Judge, Precision};
-pub use metrics::{head_concentration, pr_curve, precision_at_k, render_table, PrPoint, SizeHistogram};
-pub use querylog::{coverage_series, generate_query_log, relevant_concepts_series, Query, QueryLogConfig};
+pub use metrics::{
+    head_concentration, pr_curve, precision_at_k, render_table, PrPoint, SizeHistogram,
+};
+pub use querylog::{
+    coverage_series, generate_query_log, relevant_concepts_series, Query, QueryLogConfig,
+};
 pub use workloads::{semantic_queries, table_columns, tweets, GoldColumn, SemanticQuery, Tweet};

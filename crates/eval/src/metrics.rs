@@ -98,8 +98,7 @@ pub fn pr_curve(scored: &[(f64, bool)], thresholds: &[f64]) -> Vec<PrPoint> {
     thresholds
         .iter()
         .map(|&threshold| {
-            let kept: Vec<&(f64, bool)> =
-                scored.iter().filter(|(s, _)| *s >= threshold).collect();
+            let kept: Vec<&(f64, bool)> = scored.iter().filter(|(s, _)| *s >= threshold).collect();
             let valid = kept.iter().filter(|(_, ok)| *ok).count();
             PrPoint {
                 threshold,
@@ -179,7 +178,11 @@ mod tests {
         let mut scored = Vec::new();
         for i in 0..100 {
             let valid = i % 10 != 0; // 90% valid
-            let score = if valid { 0.5 + (i % 50) as f64 / 100.0 } else { 0.3 };
+            let score = if valid {
+                0.5 + (i % 50) as f64 / 100.0
+            } else {
+                0.3
+            };
             scored.push((score, valid));
         }
         let curve = pr_curve(&scored, &[0.0, 0.4, 0.9]);

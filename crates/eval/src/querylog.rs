@@ -57,7 +57,14 @@ pub struct QueryLogConfig {
 
 impl Default for QueryLogConfig {
     fn default() -> Self {
-        Self { seed: 7, queries: 200_000, zipf: 1.25, instance_zipf: 1.2, oov_rate: 0.12, concept_rate: 0.45 }
+        Self {
+            seed: 7,
+            queries: 200_000,
+            zipf: 1.25,
+            instance_zipf: 1.2,
+            oov_rate: 0.12,
+            concept_rate: 0.45,
+        }
     }
 }
 
@@ -93,8 +100,18 @@ const CONCEPT_TEMPLATES: &[&str] = &[
 ];
 
 const OOV_WORDS: &[&str] = &[
-    "qwerty", "asdf", "lyrics", "login", "weather", "horoscope", "zip", "codes", "meme",
-    "screensaver", "ringtone", "coupon",
+    "qwerty",
+    "asdf",
+    "lyrics",
+    "login",
+    "weather",
+    "horoscope",
+    "zip",
+    "codes",
+    "meme",
+    "screensaver",
+    "ringtone",
+    "coupon",
 ];
 
 /// Generate the log, most frequent queries first. Frequency rank is the
@@ -110,7 +127,10 @@ pub fn generate_query_log(world: &World, cfg: &QueryLogConfig) -> Vec<Query> {
         .filter(|&i| !world.concepts[i].instances.is_empty())
         .collect();
     concepts.sort_by(|&a, &b| {
-        world.concepts[b].popularity.partial_cmp(&world.concepts[a].popularity).expect("finite")
+        world.concepts[b]
+            .popularity
+            .partial_cmp(&world.concepts[a].popularity)
+            .expect("finite")
     });
     let concept_zipf = Zipf::new(concepts.len(), cfg.zipf);
 
@@ -206,7 +226,11 @@ pub fn coverage_series(
     let mut out = Vec::with_capacity(checkpoints.len());
     let mut ci = 0;
     for (i, q) in log.iter().enumerate() {
-        let hit = if concept_only { q.concept_covered_by(t) } else { q.covered_by(t) };
+        let hit = if concept_only {
+            q.concept_covered_by(t)
+        } else {
+            q.covered_by(t)
+        };
         covered += usize::from(hit);
         while ci < checkpoints.len() && i + 1 == checkpoints[ci] {
             out.push(covered);
@@ -231,7 +255,14 @@ mod tests {
     }
 
     fn log(world: &World, n: usize) -> Vec<Query> {
-        generate_query_log(world, &QueryLogConfig { queries: n, seed: 61, ..Default::default() })
+        generate_query_log(
+            world,
+            &QueryLogConfig {
+                queries: n,
+                seed: 61,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]

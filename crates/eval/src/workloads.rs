@@ -105,10 +105,19 @@ pub struct GoldColumn {
 
 /// Generate table columns: `n` columns over concepts with enough
 /// instances; `unknown_rate` of cells are novel strings.
-pub fn table_columns(world: &World, n: usize, rows: usize, unknown_rate: f64, seed: u64) -> Vec<GoldColumn> {
+pub fn table_columns(
+    world: &World,
+    n: usize,
+    rows: usize,
+    unknown_rate: f64,
+    seed: u64,
+) -> Vec<GoldColumn> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let eligible: Vec<&probase_corpus::ConceptSpec> =
-        world.concepts.iter().filter(|c| c.instances.len() >= rows).collect();
+    let eligible: Vec<&probase_corpus::ConceptSpec> = world
+        .concepts
+        .iter()
+        .filter(|c| c.instances.len() >= rows)
+        .collect();
     let mut out = Vec::with_capacity(n);
     for t in 0..n {
         let c = eligible[rng.gen_range(0..eligible.len())];
@@ -126,7 +135,11 @@ pub fn table_columns(world: &World, n: usize, rows: usize, unknown_rate: f64, se
                 }
             }
         }
-        out.push(GoldColumn { cells, concept: c.label.clone(), unknown_cells });
+        out.push(GoldColumn {
+            cells,
+            concept: c.label.clone(),
+            unknown_cells,
+        });
     }
     out
 }
@@ -160,9 +173,10 @@ mod tests {
         assert_eq!(ts.len(), 20);
         let country_tweets: Vec<_> = ts.iter().filter(|t| t.topic == 0).collect();
         assert!(country_tweets.iter().any(|t| {
-            w.concept(topics[0]).instances.iter().any(|m| {
-                t.text.contains(&w.instance(m.instance).surface)
-            })
+            w.concept(topics[0])
+                .instances
+                .iter()
+                .any(|m| t.text.contains(&w.instance(m.instance).surface))
         }));
     }
 

@@ -54,7 +54,10 @@ pub fn group_by_pair(
     let mut map: std::collections::HashMap<(String, String), PairEvidence> =
         std::collections::HashMap::new();
     for r in records {
-        map.entry((r.x.clone(), r.y.clone())).or_default().records.push(r.clone());
+        map.entry((r.x.clone(), r.y.clone()))
+            .or_default()
+            .records
+            .push(r.clone());
     }
     map
 }
@@ -78,7 +81,11 @@ mod tests {
 
     #[test]
     fn grouping_collects_per_pair() {
-        let recs = vec![rec("animal", "cat", 0), rec("animal", "cat", 1), rec("animal", "dog", 2)];
+        let recs = vec![
+            rec("animal", "cat", 0),
+            rec("animal", "cat", 1),
+            rec("animal", "dog", 2),
+        ];
         let grouped = group_by_pair(&recs);
         assert_eq!(grouped.len(), 2);
         assert_eq!(grouped[&("animal".to_string(), "cat".to_string())].len(), 2);

@@ -25,7 +25,12 @@ pub struct RawDocument {
 impl RawDocument {
     /// A document with neutral metadata.
     pub fn new(page_id: u64, text: impl Into<String>) -> Self {
-        Self { page_id, text: text.into(), page_rank: 0.5, source_quality: 0.5 }
+        Self {
+            page_id,
+            text: text.into(),
+            page_rank: 0.5,
+            source_quality: 0.5,
+        }
     }
 }
 
@@ -63,7 +68,12 @@ mod tests {
     #[test]
     fn documents_split_and_carry_metadata() {
         let docs = vec![
-            RawDocument { page_id: 7, text: "Animals such as cats. Companies such as IBM.".into(), page_rank: 0.9, source_quality: 0.8 },
+            RawDocument {
+                page_id: 7,
+                text: "Animals such as cats. Companies such as IBM.".into(),
+                page_rank: 0.9,
+                source_quality: 0.8,
+            },
             RawDocument::new(8, "No pattern here."),
         ];
         let records = records_from_documents(&docs, 100);
@@ -89,13 +99,20 @@ mod tests {
         let cat = g.lookup("cat").expect("cat extracted");
         assert!(g.count(animal, cat) >= 2, "count {}", g.count(animal, cat));
         // The specific concept from the last sentence is harvested too.
-        let dom = g.lookup("domestic animal").expect("domestic animal extracted");
+        let dom = g
+            .lookup("domestic animal")
+            .expect("domestic animal extracted");
         assert!(g.count(dom, cat) >= 1);
     }
 
     #[test]
     fn metadata_clamped() {
-        let docs = vec![RawDocument { page_id: 1, text: "x.".into(), page_rank: 7.0, source_quality: -1.0 }];
+        let docs = vec![RawDocument {
+            page_id: 1,
+            text: "x.".into(),
+            page_rank: 7.0,
+            source_quality: -1.0,
+        }];
         let records = records_from_documents(&docs, 0);
         assert_eq!(records[0].meta.page_rank, 1.0);
         assert_eq!(records[0].meta.source_quality, 0.0);

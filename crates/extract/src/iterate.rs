@@ -141,8 +141,12 @@ pub(crate) fn prepare(
             }
             continue;
         }
-        let Some(pm) = find_pattern(&tagged) else { continue };
-        let Some(extraction) = extract_from_match(&tagged, &pm, &cfg.chunker) else { continue };
+        let Some(pm) = find_pattern(&tagged) else {
+            continue;
+        };
+        let Some(extraction) = extract_from_match(&tagged, &pm, &cfg.chunker) else {
+            continue;
+        };
         for seg in &extraction.segments {
             g.add_segment(&normalize_sub(&seg.raw));
         }
@@ -166,11 +170,10 @@ fn comma_segments(tokens: &[probase_text::TaggedToken]) -> Vec<String> {
     for t in tokens {
         match t.tag {
             Tag::Punct => match t.token.text.as_str() {
-                "," | ";"
-                    if !current.is_empty() => {
-                        out.push(current.join(" "));
-                        current.clear();
-                    }
+                "," | ";" if !current.is_empty() => {
+                    out.push(current.join(" "));
+                    current.clear();
+                }
                 "." | "!" | "?" => break,
                 _ => {}
             },
@@ -204,10 +207,17 @@ pub(crate) fn detect_one(p: &Parsed, g: &Knowledge, cfg: &ExtractorConfig) -> Op
             } else {
                 r.stats_label.clone()
             };
-            Resolved { super_label: r.super_label.clone(), stats_label }
+            Resolved {
+                super_label: r.super_label.clone(),
+                stats_label,
+            }
         }
-        None => match detect_super(&p.extraction.supers, &p.extraction.segments, g, &cfg.super_cfg)
-        {
+        None => match detect_super(
+            &p.extraction.supers,
+            &p.extraction.segments,
+            g,
+            &cfg.super_cfg,
+        ) {
             SuperDecision::Chosen { index, stats_label } => Resolved {
                 super_label: normalize_concept(&p.extraction.supers[index].text()),
                 stats_label,
@@ -222,8 +232,15 @@ pub(crate) fn detect_one(p: &Parsed, g: &Knowledge, cfg: &ExtractorConfig) -> Op
         g,
         &cfg.sub_cfg,
     );
-    let newly_resolved = if p.resolved.is_none() { Some(resolved) } else { None };
-    Some(Proposal { newly_resolved, chosen })
+    let newly_resolved = if p.resolved.is_none() {
+        Some(resolved)
+    } else {
+        None
+    };
+    Some(Proposal {
+        newly_resolved,
+        chosen,
+    })
 }
 
 /// Commit a proposal into Γ, the evidence log, and the sentence state.
@@ -237,7 +254,9 @@ pub(crate) fn commit(
     if let Some(r) = proposal.newly_resolved {
         p.resolved = Some(r);
     }
-    let Some(resolved) = &p.resolved else { return 0 };
+    let Some(resolved) = &p.resolved else {
+        return 0;
+    };
     let list_len = p.extraction.segments.len() as u32;
     let mut committed = 0u64;
     let x = g.intern(&resolved.super_label);
@@ -341,8 +360,12 @@ impl Extractor {
                     Some(pr) => pr,
                     None => continue,
                 };
-                new_occurrences +=
-                    commit(&mut self.parsed[i], proposal, &mut self.g, &mut self.evidence);
+                new_occurrences += commit(
+                    &mut self.parsed[i],
+                    proposal,
+                    &mut self.g,
+                    &mut self.evidence,
+                );
             }
             let resolved = self.parsed.iter().filter(|p| p.resolved.is_some()).count();
             self.iterations.push(IterationStats {
@@ -398,7 +421,12 @@ pub(crate) fn collect_sentences(parsed: &[Parsed]) -> Vec<SentenceExtraction> {
         .filter(|p| !p.chosen_items.is_empty())
         .map(|p| SentenceExtraction {
             sentence_id: p.sentence_id,
-            super_label: p.resolved.as_ref().expect("items imply resolution").super_label.clone(),
+            super_label: p
+                .resolved
+                .as_ref()
+                .expect("items imply resolution")
+                .super_label
+                .clone(),
             items: p.chosen_items.clone(),
         })
         .collect()
@@ -413,14 +441,21 @@ mod tests {
         SentenceRecord {
             id,
             text: text.to_string(),
-            meta: SourceMeta { page_id: id / 3, page_rank: 0.4, source_quality: 0.8 },
+            meta: SourceMeta {
+                page_id: id / 3,
+                page_rank: 0.4,
+                source_quality: 0.8,
+            },
             truth: SentenceTruth::default(),
         }
     }
 
     fn run(texts: &[&str]) -> ExtractionOutput {
-        let records: Vec<SentenceRecord> =
-            texts.iter().enumerate().map(|(i, t)| rec(i as u64, t)).collect();
+        let records: Vec<SentenceRecord> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| rec(i as u64, t))
+            .collect();
         extract(&records, &Lexicon::default(), &ExtractorConfig::paper())
     }
 
@@ -451,7 +486,10 @@ mod tests {
         texts.push("animals other than dogs such as cats.");
         let out = run(&texts);
         assert!(has_pair(&out, "animal", "cat"));
-        assert!(!has_pair(&out, "dog", "cat"), "dogs must not be chosen as super");
+        assert!(
+            !has_pair(&out, "dog", "cat"),
+            "dogs must not be chosen as super"
+        );
         assert!(out.iterations.len() >= 2);
     }
 
@@ -488,7 +526,10 @@ mod tests {
 
     #[test]
     fn partof_becomes_negative_evidence() {
-        let out = run(&["cars are comprised of wheels and engines.", "animals such as cats."]);
+        let out = run(&[
+            "cars are comprised of wheels and engines.",
+            "animals such as cats.",
+        ]);
         let g = &out.knowledge;
         let car = g.lookup("car").expect("car interned");
         let wheel = g.lookup("wheel").expect("wheel interned");

@@ -39,8 +39,8 @@ pub use iterate::{
 };
 pub use knowledge::Knowledge;
 pub use parallel::extract_parallel;
-pub use persist::{knowledge_from_bytes, knowledge_to_bytes, PersistError};
 pub use pattern::{find_partof, find_pattern, PartOfMatch, PatternMatch};
+pub use persist::{knowledge_from_bytes, knowledge_to_bytes, PersistError};
 pub use subc::{detect_subs, ChosenItem, SubConfig};
 pub use superc::{detect_super, SuperConfig, SuperDecision};
 pub use syntactic::{normalize_sub, syntactic_extract, SegmentCandidates, SyntacticExtraction};

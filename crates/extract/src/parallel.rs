@@ -37,8 +37,7 @@ pub fn extract_parallel(
     let max_iters = cfg.max_iterations.max(1);
     for iteration in 1..=max_iters {
         // Map phase: detect against frozen Γ.
-        let active: Vec<usize> =
-            (0..parsed.len()).filter(|&i| !parsed[i].done).collect();
+        let active: Vec<usize> = (0..parsed.len()).filter(|&i| !parsed[i].done).collect();
         let chunk = active.len().div_ceil(threads).max(1);
         let mut proposals: Vec<(usize, crate::iterate::Proposal)> = Vec::new();
         {
@@ -50,13 +49,14 @@ pub fn extract_parallel(
                     handles.push(scope.spawn(move |_| {
                         shard
                             .iter()
-                            .filter_map(|&i| {
-                                detect_one(&parsed_ref[i], g_ref, cfg).map(|p| (i, p))
-                            })
+                            .filter_map(|&i| detect_one(&parsed_ref[i], g_ref, cfg).map(|p| (i, p)))
                             .collect::<Vec<_>>()
                     }));
                 }
-                handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("worker panicked"))
+                    .collect::<Vec<_>>()
             })
             .expect("crossbeam scope");
             proposals.extend(results);
@@ -82,7 +82,12 @@ pub fn extract_parallel(
     }
 
     let sentences = collect_sentences(&parsed);
-    ExtractionOutput { knowledge: g, evidence, sentences, iterations }
+    ExtractionOutput {
+        knowledge: g,
+        evidence,
+        sentences,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -95,11 +100,21 @@ mod tests {
     #[test]
     fn parallel_matches_requested_shape() {
         let world = generate(&WorldConfig::small(21));
-        let corpus =
-            CorpusGenerator::new(&world, CorpusConfig { seed: 21, sentences: 1500, ..CorpusConfig::default() })
-                .generate_all();
+        let corpus = CorpusGenerator::new(
+            &world,
+            CorpusConfig {
+                seed: 21,
+                sentences: 1500,
+                ..CorpusConfig::default()
+            },
+        )
+        .generate_all();
         let out = extract_parallel(&corpus, &world.lexicon, &ExtractorConfig::paper(), 4);
-        assert!(out.knowledge.pair_count() > 50, "pairs: {}", out.knowledge.pair_count());
+        assert!(
+            out.knowledge.pair_count() > 50,
+            "pairs: {}",
+            out.knowledge.pair_count()
+        );
         assert!(!out.evidence.is_empty());
         assert!(!out.sentences.is_empty());
     }
@@ -107,9 +122,15 @@ mod tests {
     #[test]
     fn parallel_is_deterministic_across_thread_counts() {
         let world = generate(&WorldConfig::small(22));
-        let corpus =
-            CorpusGenerator::new(&world, CorpusConfig { seed: 22, sentences: 800, ..CorpusConfig::default() })
-                .generate_all();
+        let corpus = CorpusGenerator::new(
+            &world,
+            CorpusConfig {
+                seed: 22,
+                sentences: 800,
+                ..CorpusConfig::default()
+            },
+        )
+        .generate_all();
         let a = extract_parallel(&corpus, &world.lexicon, &ExtractorConfig::paper(), 1);
         let b = extract_parallel(&corpus, &world.lexicon, &ExtractorConfig::paper(), 8);
         assert_eq!(a.knowledge.pair_count(), b.knowledge.pair_count());
@@ -122,12 +143,21 @@ mod tests {
         // Frozen-Γ rounds converge to nearly the same knowledge as the
         // serial driver; allow a small relative gap.
         let world = generate(&WorldConfig::small(23));
-        let corpus =
-            CorpusGenerator::new(&world, CorpusConfig { seed: 23, sentences: 1000, ..CorpusConfig::default() })
-                .generate_all();
+        let corpus = CorpusGenerator::new(
+            &world,
+            CorpusConfig {
+                seed: 23,
+                sentences: 1000,
+                ..CorpusConfig::default()
+            },
+        )
+        .generate_all();
         let s = extract(&corpus, &world.lexicon, &ExtractorConfig::paper());
         let p = extract_parallel(&corpus, &world.lexicon, &ExtractorConfig::paper(), 4);
-        let (a, b) = (s.knowledge.pair_count() as f64, p.knowledge.pair_count() as f64);
+        let (a, b) = (
+            s.knowledge.pair_count() as f64,
+            p.knowledge.pair_count() as f64,
+        );
         let gap = (a - b).abs() / a.max(1.0);
         assert!(gap < 0.15, "serial {a} vs parallel {b}");
     }

@@ -138,7 +138,10 @@ pub fn find_partof(tagged: &[TaggedToken]) -> Option<PartOfMatch> {
             && i > 0
             && i + 2 < n
         {
-            return Some(PartOfMatch { super_region: (0, i), list_region: (i + 2, n) });
+            return Some(PartOfMatch {
+                super_region: (0, i),
+                list_region: (i + 2, n),
+            });
         }
     }
     None
@@ -229,11 +232,17 @@ mod tests {
 
     #[test]
     fn partof_detection() {
-        let tagged = tag_tokens(&tokenize("cars are comprised of wheels, engines."), &Lexicon::default());
+        let tagged = tag_tokens(
+            &tokenize("cars are comprised of wheels, engines."),
+            &Lexicon::default(),
+        );
         let pm = find_partof(&tagged).unwrap();
         assert_eq!(pm.super_region, (0, 2));
         assert_eq!(pm.list_region, (4, tagged.len()));
-        let tagged = tag_tokens(&tokenize("a meal consists of several courses."), &Lexicon::default());
+        let tagged = tag_tokens(
+            &tokenize("a meal consists of several courses."),
+            &Lexicon::default(),
+        );
         assert!(find_partof(&tagged).is_some());
         let tagged = tag_tokens(&tokenize("animals such as cats."), &Lexicon::default());
         assert!(find_partof(&tagged).is_none());

@@ -137,7 +137,10 @@ pub fn knowledge_from_bytes(mut buf: impl Buf) -> Result<Knowledge, PersistError
         symbols.push(g.intern(&s));
     }
     let resolve = |i: u32| -> Result<Symbol, PersistError> {
-        symbols.get(i as usize).copied().ok_or(PersistError::BadIndex)
+        symbols
+            .get(i as usize)
+            .copied()
+            .ok_or(PersistError::BadIndex)
     };
 
     need(&buf, 8)?;
@@ -227,8 +230,11 @@ mod tests {
         let h = knowledge_from_bytes(bytes).expect("decodes");
         assert_eq!(h.total(), g.total());
         assert_eq!(h.pair_count(), g.pair_count());
-        let (animal, cat, dog) =
-            (h.lookup("animal").unwrap(), h.lookup("cat").unwrap(), h.lookup("dog").unwrap());
+        let (animal, cat, dog) = (
+            h.lookup("animal").unwrap(),
+            h.lookup("cat").unwrap(),
+            h.lookup("dog").unwrap(),
+        );
         assert_eq!(h.count(animal, cat), 7);
         assert_eq!(h.count(animal, dog), 3);
         assert_eq!(h.super_total(animal), 10);
@@ -250,10 +256,16 @@ mod tests {
     fn bad_magic_and_version() {
         let mut b = knowledge_to_bytes(&sample()).to_vec();
         b[0] ^= 1;
-        assert_eq!(knowledge_from_bytes(&b[..]).unwrap_err(), PersistError::BadMagic);
+        assert_eq!(
+            knowledge_from_bytes(&b[..]).unwrap_err(),
+            PersistError::BadMagic
+        );
         let mut b = knowledge_to_bytes(&sample()).to_vec();
         b[4] = 9;
-        assert_eq!(knowledge_from_bytes(&b[..]).unwrap_err(), PersistError::BadVersion(9));
+        assert_eq!(
+            knowledge_from_bytes(&b[..]).unwrap_err(),
+            PersistError::BadVersion(9)
+        );
     }
 
     #[test]

@@ -45,7 +45,13 @@ pub struct SubConfig {
 
 impl Default for SubConfig {
     fn default() -> Self {
-        Self { eps: 1e-5, scope_min_count: 2, scope_min_prob: 1.5e-3, ratio_threshold: 3.0, freq_ratio: 3.0 }
+        Self {
+            eps: 1e-5,
+            scope_min_count: 2,
+            scope_min_prob: 1.5e-3,
+            ratio_threshold: 3.0,
+            freq_ratio: 3.0,
+        }
     }
 }
 
@@ -131,7 +137,10 @@ pub fn detect_subs(
             if let Some(sym) = g.lookup(&item) {
                 chosen_syms.push(sym);
             }
-            chosen.push(ChosenItem { text: item, position });
+            chosen.push(ChosenItem {
+                text: item,
+                position,
+            });
         }
     }
     chosen
@@ -190,7 +199,9 @@ fn reading_score(
     g: &Knowledge,
     eps: f64,
 ) -> f64 {
-    let Some(x) = x else { return eps.ln() * (1 + prev.len()) as f64 };
+    let Some(x) = x else {
+        return eps.ln() * (1 + prev.len()) as f64;
+    };
     let Some(c) = reading.first().and_then(|i| g.lookup(i)) else {
         return eps.ln() * (1 + prev.len()) as f64;
     };
@@ -230,8 +241,12 @@ fn frequency_fallback(
         // A split reading is as credible as its rarest fragment.
         r.iter().map(|i| g.segment_frequency(i)).min().unwrap_or(0) as f64
     };
-    let mut scored: Vec<(f64, usize)> =
-        seg.readings.iter().enumerate().map(|(i, r)| (freq_of(r), i)).collect();
+    let mut scored: Vec<(f64, usize)> = seg
+        .readings
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (freq_of(r), i))
+        .collect();
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
     let (f1, i1) = scored[0];
     let (f2, _) = scored[1];
@@ -278,8 +293,20 @@ mod tests {
         let segs = vec![seg1(&[&["IBM"]]), seg1(&[&["Nokia"]])];
         let out = detect_subs("company", &segs, &[], &g, &SubConfig::default());
         assert_eq!(out.len(), 2);
-        assert_eq!(out[0], ChosenItem { text: "IBM".into(), position: 1 });
-        assert_eq!(out[1], ChosenItem { text: "Nokia".into(), position: 2 });
+        assert_eq!(
+            out[0],
+            ChosenItem {
+                text: "IBM".into(),
+                position: 1
+            }
+        );
+        assert_eq!(
+            out[1],
+            ChosenItem {
+                text: "Nokia".into(),
+                position: 2
+            }
+        );
     }
 
     #[test]
@@ -290,7 +317,10 @@ mod tests {
             seg1(&[&["Proctor and Gamble"], &["Proctor", "Gamble"]]),
         ];
         let out = detect_subs("company", &segs, &[], &g, &SubConfig::default());
-        assert!(out.iter().any(|c| c.text == "Proctor and Gamble"), "{out:?}");
+        assert!(
+            out.iter().any(|c| c.text == "Proctor and Gamble"),
+            "{out:?}"
+        );
         assert!(!out.iter().any(|c| c.text == "Proctor"));
     }
 

@@ -29,7 +29,10 @@ pub struct SuperConfig {
 
 impl Default for SuperConfig {
     fn default() -> Self {
-        Self { eps: 1e-5, ratio_threshold: 4.0 }
+        Self {
+            eps: 1e-5,
+            ratio_threshold: 4.0,
+        }
     }
 }
 
@@ -109,19 +112,35 @@ pub fn detect_super(
     g: &Knowledge,
     cfg: &SuperConfig,
 ) -> SuperDecision {
-    assert!(!supers.is_empty(), "detect_super needs at least one candidate");
+    assert!(
+        !supers.is_empty(),
+        "detect_super needs at least one candidate"
+    );
     if supers.len() == 1 {
         let stats_label = stats_label_for(&supers[0], g);
-        return SuperDecision::Chosen { index: 0, stats_label };
+        return SuperDecision::Chosen {
+            index: 0,
+            stats_label,
+        };
     }
-    let scored: Vec<(f64, String)> =
-        supers.iter().map(|np| score_candidate(np, segments, g, cfg.eps)).collect();
+    let scored: Vec<(f64, String)> = supers
+        .iter()
+        .map(|np| score_candidate(np, segments, g, cfg.eps))
+        .collect();
     let mut order: Vec<usize> = (0..scored.len()).collect();
-    order.sort_by(|&a, &b| scored[b].0.partial_cmp(&scored[a].0).expect("finite scores"));
+    order.sort_by(|&a, &b| {
+        scored[b]
+            .0
+            .partial_cmp(&scored[a].0)
+            .expect("finite scores")
+    });
     let (best, second) = (order[0], order[1]);
     let ratio = (scored[best].0 - scored[second].0).exp();
     if ratio >= cfg.ratio_threshold {
-        SuperDecision::Chosen { index: best, stats_label: scored[best].1.clone() }
+        SuperDecision::Chosen {
+            index: best,
+            stats_label: scored[best].1.clone(),
+        }
     } else {
         SuperDecision::Undecided
     }
@@ -165,8 +184,19 @@ mod tests {
     #[test]
     fn single_candidate_always_chosen() {
         let g = Knowledge::new();
-        let d = detect_super(&[np(&["animals"])], &[seg(&["cat"])], &g, &SuperConfig::default());
-        assert_eq!(d, SuperDecision::Chosen { index: 0, stats_label: "animal".into() });
+        let d = detect_super(
+            &[np(&["animals"])],
+            &[seg(&["cat"])],
+            &g,
+            &SuperConfig::default(),
+        );
+        assert_eq!(
+            d,
+            SuperDecision::Chosen {
+                index: 0,
+                stats_label: "animal".into()
+            }
+        );
     }
 
     #[test]
@@ -180,7 +210,13 @@ mod tests {
             &g,
             &SuperConfig::default(),
         );
-        assert_eq!(d, SuperDecision::Chosen { index: 0, stats_label: "animal".into() });
+        assert_eq!(
+            d,
+            SuperDecision::Chosen {
+                index: 0,
+                stats_label: "animal".into()
+            }
+        );
     }
 
     #[test]
@@ -232,7 +268,13 @@ mod tests {
             &g,
             &SuperConfig::default(),
         );
-        assert_eq!(d, SuperDecision::Chosen { index: 1, stats_label: "dog".into() });
+        assert_eq!(
+            d,
+            SuperDecision::Chosen {
+                index: 1,
+                stats_label: "dog".into()
+            }
+        );
     }
 
     #[test]
@@ -244,7 +286,10 @@ mod tests {
             &[np(&["animals"]), np(&["dogs"])],
             &[seg(&["cat"])],
             &g,
-            &SuperConfig { ratio_threshold: 1e12, ..Default::default() },
+            &SuperConfig {
+                ratio_threshold: 1e12,
+                ..Default::default()
+            },
         );
         assert_eq!(d, SuperDecision::Undecided);
     }

@@ -79,7 +79,11 @@ pub fn extract_from_match(
     if segments.is_empty() {
         return None;
     }
-    Some(SyntacticExtraction { pattern: pm.kind, supers, segments })
+    Some(SyntacticExtraction {
+        pattern: pm.kind,
+        supers,
+        segments,
+    })
 }
 
 /// Candidate super-concepts: plural NPs in the super region. Every element
@@ -121,10 +125,9 @@ fn list_segments(tagged: &[TaggedToken], pm: &PatternMatch) -> Vec<SegmentCandid
     'outer: for t in &tagged[s..e] {
         match t.tag {
             Tag::Punct => match t.token.text.as_str() {
-                "," | ";"
-                    if !current.is_empty() => {
-                        raw_segments.push(std::mem::take(&mut current));
-                    }
+                "," | ";" if !current.is_empty() => {
+                    raw_segments.push(std::mem::take(&mut current));
+                }
                 "." | "!" | "?" => {
                     break 'outer;
                 }
@@ -269,7 +272,11 @@ pub fn normalize_sub(item: &str) -> String {
 
 fn join(tokens: &[&TaggedToken]) -> String {
     normalize_instance(
-        &tokens.iter().map(|t| t.token.text.as_str()).collect::<Vec<_>>().join(" "),
+        &tokens
+            .iter()
+            .map(|t| t.token.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" "),
     )
 }
 
@@ -318,7 +325,9 @@ mod tests {
         assert_eq!(e.segments.len(), 2);
         assert_eq!(e.segments[0].readings, vec![vec!["cat".to_string()]]);
         let last = &e.segments[1];
-        assert!(last.readings.contains(&vec!["dog".to_string(), "horse".to_string()]));
+        assert!(last
+            .readings
+            .contains(&vec!["dog".to_string(), "horse".to_string()]));
     }
 
     #[test]
@@ -331,7 +340,9 @@ mod tests {
     fn conjunction_segment_has_join_and_split_readings() {
         let e = x("companies such as IBM, Nokia, Proctor and Gamble.");
         let last = e.segments.last().unwrap();
-        assert!(last.readings.contains(&vec!["Proctor and Gamble".to_string()]));
+        assert!(last
+            .readings
+            .contains(&vec!["Proctor and Gamble".to_string()]));
         assert!(last
             .readings
             .contains(&vec!["Proctor".to_string(), "Gamble".to_string()]));
@@ -342,7 +353,9 @@ mod tests {
         let e = x("tropical countries such as Singapore, Malaysia in recent years.");
         let last = e.segments.last().unwrap();
         // Full reading and the cut before "in".
-        assert!(last.readings.contains(&vec!["Malaysia in recent years".to_string()]));
+        assert!(last
+            .readings
+            .contains(&vec!["Malaysia in recent years".to_string()]));
         assert!(last.readings.contains(&vec!["Malaysia".to_string()]));
     }
 
@@ -361,7 +374,11 @@ mod tests {
     fn title_instances_survive_as_full_reading() {
         let e = x("classic movies such as Gone with the Wind.");
         let seg = &e.segments[0];
-        assert!(seg.readings.contains(&vec!["Gone with the Wind".to_string()]), "{seg:?}");
+        assert!(
+            seg.readings
+                .contains(&vec!["Gone with the Wind".to_string()]),
+            "{seg:?}"
+        );
         // The cut reading "Gone" is also offered; semantics must choose.
         assert!(seg.readings.contains(&vec!["Gone".to_string()]));
     }

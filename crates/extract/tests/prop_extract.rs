@@ -1,8 +1,8 @@
 //! Property tests for the extraction pipeline invariants.
 
-use proptest::prelude::*;
 use probase_corpus::{generate, CorpusConfig, CorpusGenerator, WorldConfig};
 use probase_extract::{extract, ExtractorConfig};
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]

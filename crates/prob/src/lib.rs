@@ -35,7 +35,9 @@ pub mod urns;
 
 pub use model::ProbaseModel;
 pub use nbayes::{EvidenceModel, NaiveBayes, PriorModel};
-pub use plausibility::{annotate_graph, compute_plausibility, PlausibilityConfig, PlausibilityTable};
+pub use plausibility::{
+    annotate_graph, compute_plausibility, PlausibilityConfig, PlausibilityTable,
+};
 pub use reach::ReachTable;
 pub use seed::{CachedOracle, FnOracle, SeedOracle, SeedSet};
 pub use typicality::TypicalityModel;

@@ -58,7 +58,11 @@ impl ProbaseModel {
 
     /// All senses of a concept label present in the taxonomy.
     pub fn senses(&self, label: &str) -> Vec<NodeId> {
-        self.graph.senses_of(label).into_iter().filter(|&n| !self.graph.is_instance(n)).collect()
+        self.graph
+            .senses_of(label)
+            .into_iter()
+            .filter(|&n| !self.graph.is_instance(n))
+            .collect()
     }
 
     /// Does the taxonomy know this string at all (concept or instance)?
@@ -245,7 +249,10 @@ mod tests {
         // All three are BRIC members; USA is not, so bric/emerging beat
         // nothing — country also contains them, but the tighter concepts
         // must appear at the top alongside it.
-        assert!(labels.contains(&"bric country") || labels.contains(&"emerging market"), "{labels:?}");
+        assert!(
+            labels.contains(&"bric country") || labels.contains(&"emerging market"),
+            "{labels:?}"
+        );
         // Adding a non-BRIC member shifts the answer to country.
         let cs2 = m.conceptualize(&["China", "India", "USA"], 1);
         assert_eq!(cs2[0].0, "country");
@@ -264,7 +271,9 @@ mod tests {
             "{suggestions:?}"
         );
         // Input terms never come back.
-        assert!(suggestions.iter().all(|(s, _)| !["China", "India", "Brazil"].contains(&s.as_str())));
+        assert!(suggestions
+            .iter()
+            .all(|(s, _)| !["China", "India", "Brazil"].contains(&s.as_str())));
     }
 
     #[test]

@@ -47,7 +47,13 @@ fn featurize(r: &EvidenceRecord) -> [usize; N_FEATURES] {
         2..=3 => 1,
         _ => 2,
     };
-    [pattern, bucket(r.page_rank), bucket(r.source_quality), position, list_len]
+    [
+        pattern,
+        bucket(r.page_rank),
+        bucket(r.source_quality),
+        position,
+        list_len,
+    ]
 }
 
 /// A trained Naive Bayes evidence classifier.
@@ -76,7 +82,9 @@ impl NaiveBayes {
             .map(|&card| [vec![0u64; card], vec![0u64; card]])
             .collect();
         for r in records {
-            let Some(label) = oracle.label(&r.x, &r.y) else { continue };
+            let Some(label) = oracle.label(&r.x, &r.y) else {
+                continue;
+            };
             let class = usize::from(label);
             class_counts[class] += 1;
             let f = featurize(r);
@@ -107,7 +115,11 @@ impl NaiveBayes {
                 [per_class(0), per_class(1)]
             })
             .collect();
-        Some(Self { log_prior, log_likelihood, class_counts })
+        Some(Self {
+            log_prior,
+            log_likelihood,
+            class_counts,
+        })
     }
 
     /// Posterior probability that this evidence supports a true claim
@@ -206,11 +218,27 @@ mod tests {
         let mut recs = Vec::new();
         for i in 0..200 {
             let q = 0.7 + 0.2 * ((i % 3) as f64 / 3.0);
-            recs.push(mk_record("animal", "cat", PatternKind::SuchAs, 0.5, q, 1, 3));
+            recs.push(mk_record(
+                "animal",
+                "cat",
+                PatternKind::SuchAs,
+                0.5,
+                q,
+                1,
+                3,
+            ));
         }
         for i in 0..100 {
             let q = 0.2 + 0.1 * ((i % 3) as f64 / 3.0);
-            recs.push(mk_record("animal", "rock", PatternKind::OrOther, 0.1, q, 4, 6));
+            recs.push(mk_record(
+                "animal",
+                "rock",
+                PatternKind::OrOther,
+                0.1,
+                q,
+                4,
+                6,
+            ));
         }
         (recs, seed)
     }

@@ -29,7 +29,10 @@ pub struct PlausibilityConfig {
 
 impl Default for PlausibilityConfig {
     fn default() -> Self {
-        Self { negative_confidence: 0.7, max_factors: 64 }
+        Self {
+            negative_confidence: 0.7,
+            max_factors: 64,
+        }
     }
 }
 
@@ -42,7 +45,10 @@ pub struct PlausibilityTable {
 impl PlausibilityTable {
     /// Look up `P(x, y)`; unknown pairs default to 0.
     pub fn get(&self, x: &str, y: &str) -> f64 {
-        self.map.get(&(x.to_string(), y.to_string())).copied().unwrap_or(0.0)
+        self.map
+            .get(&(x.to_string(), y.to_string()))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     pub fn len(&self) -> usize {
@@ -86,7 +92,10 @@ pub fn compute_plausibility(
     // `P = (1 − ∏(1−p_i)) · ∏(1−q_j)` (deviation documented in DESIGN.md).
     let mut discounts: HashMap<(String, String), f64> = HashMap::new();
     for (x, y, n) in knowledge.negatives() {
-        let key = (knowledge.resolve(x).to_string(), knowledge.resolve(y).to_string());
+        let key = (
+            knowledge.resolve(x).to_string(),
+            knowledge.resolve(y).to_string(),
+        );
         let d = discounts.entry(key).or_insert(1.0);
         for _ in 0..n.min(cfg.max_factors as u32) {
             *d *= 1.0 - cfg.negative_confidence;
@@ -197,7 +206,12 @@ mod tests {
         graph.add_evidence(a, c, 3);
         let g = Knowledge::new();
         let m = model();
-        let t = compute_plausibility(&[rec("animal", "cat", 0.8)], &g, &m, &PlausibilityConfig::default());
+        let t = compute_plausibility(
+            &[rec("animal", "cat", 0.8)],
+            &g,
+            &m,
+            &PlausibilityConfig::default(),
+        );
         let n = annotate_graph(&mut graph, &t);
         assert_eq!(n, 1);
         let e = graph.edge(a, c).unwrap();

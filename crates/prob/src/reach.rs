@@ -121,7 +121,11 @@ mod tests {
 
     /// company → it company → software company, plus company → software
     /// company directly; all edges carry chosen plausibilities.
-    fn chain(p_top: f64, p_mid: f64, p_direct: Option<f64>) -> (ConceptGraph, NodeId, NodeId, NodeId) {
+    fn chain(
+        p_top: f64,
+        p_mid: f64,
+        p_direct: Option<f64>,
+    ) -> (ConceptGraph, NodeId, NodeId, NodeId) {
         let mut g = ConceptGraph::new();
         let company = g.ensure_node("company", 0);
         let it = g.ensure_node("it company", 0);
@@ -154,7 +158,11 @@ mod tests {
         assert!((t.get(company, it) - 0.9).abs() < 1e-12);
         assert!((t.get(it, sw) - 0.8).abs() < 1e-12);
         // single path: P = 0.9 * 0.8
-        assert!((t.get(company, sw) - 0.72).abs() < 1e-12, "{}", t.get(company, sw));
+        assert!(
+            (t.get(company, sw) - 0.72).abs() < 1e-12,
+            "{}",
+            t.get(company, sw)
+        );
     }
 
     #[test]

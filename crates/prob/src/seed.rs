@@ -77,7 +77,10 @@ pub struct CachedOracle<'a> {
 
 impl<'a> CachedOracle<'a> {
     pub fn new(inner: &'a dyn SeedOracle) -> Self {
-        Self { inner, cache: std::cell::RefCell::new(HashMap::new()) }
+        Self {
+            inner,
+            cache: std::cell::RefCell::new(HashMap::new()),
+        }
     }
 }
 

@@ -44,8 +44,7 @@ impl TypicalityModel {
                     if !graph.is_instance(i) {
                         continue;
                     }
-                    *mass.entry(i).or_insert(0.0) +=
-                        p_xy * edge.count as f64 * edge.plausibility;
+                    *mass.entry(i).or_insert(0.0) += p_xy * edge.count as f64 * edge.plausibility;
                 }
             }
             let total: f64 = mass.values().sum();
@@ -80,22 +79,35 @@ impl TypicalityModel {
             }
             list.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
         }
-        Self { instantiation, abstraction }
+        Self {
+            instantiation,
+            abstraction,
+        }
     }
 
     /// `T(i|x)` for all instances of concept `x`, most typical first.
     pub fn instances_of(&self, x: NodeId) -> &[(NodeId, f64)] {
-        self.instantiation.get(&x).map(|v| v.as_slice()).unwrap_or(&[])
+        self.instantiation
+            .get(&x)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// `T(x|i)` for all concepts of instance `i`, most typical first.
     pub fn concepts_of(&self, i: NodeId) -> &[(NodeId, f64)] {
-        self.abstraction.get(&i).map(|v| v.as_slice()).unwrap_or(&[])
+        self.abstraction
+            .get(&i)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// `T(i|x)` for one pair (0 when unrelated).
     pub fn typicality(&self, i: NodeId, x: NodeId) -> f64 {
-        self.instances_of(x).iter().find(|&&(n, _)| n == i).map(|&(_, t)| t).unwrap_or(0.0)
+        self.instances_of(x)
+            .iter()
+            .find(|&&(n, _)| n == i)
+            .map(|&(_, t)| t)
+            .unwrap_or(0.0)
     }
 
     /// Number of concepts with typicality lists.

@@ -92,8 +92,7 @@ impl UrnsModel {
             let new_pi = (w_c / n).clamp(0.01, 0.99);
             let new_lc = (s_c / w_c.max(1e-9)).max(0.2);
             let new_le = (s_e / w_e.max(1e-9)).max(0.05);
-            let delta =
-                (new_pi - pi).abs() + (new_lc - lc).abs() + (new_le - le).abs();
+            let delta = (new_pi - pi).abs() + (new_lc - lc).abs() + (new_le - le).abs();
             pi = new_pi;
             // Keep component identity: correct = the heavier-repetition one.
             if new_lc >= new_le {
@@ -108,7 +107,12 @@ impl UrnsModel {
                 break;
             }
         }
-        Self { pi, lambda_correct: lc, lambda_error: le, iterations }
+        Self {
+            pi,
+            lambda_correct: lc,
+            lambda_error: le,
+            iterations,
+        }
     }
 
     /// Fit directly from a knowledge store's pair counts.
@@ -205,7 +209,12 @@ mod tests {
     fn high_count_claims_are_trusted() {
         let counts = synthetic_counts(0.5, 10.0, 1.0, 3000, 7);
         let m = UrnsModel::fit(&counts, 100);
-        assert!(m.plausibility(25) > 0.95, "{:?} p(25)={}", m, m.plausibility(25));
+        assert!(
+            m.plausibility(25) > 0.95,
+            "{:?} p(25)={}",
+            m,
+            m.plausibility(25)
+        );
         assert!(m.plausibility(1) < m.plausibility(25));
     }
 

@@ -1,7 +1,6 @@
 //! Property tests for the probabilistic layer: plausibility bounds and
 //! monotonicity, reach-table bounds, typicality normalization.
 
-use proptest::prelude::*;
 use probase_corpus::sentence::PatternKind;
 use probase_extract::{EvidenceRecord, Knowledge};
 use probase_prob::{
@@ -9,6 +8,7 @@ use probase_prob::{
     TypicalityModel,
 };
 use probase_store::{ConceptGraph, NodeId};
+use proptest::prelude::*;
 
 fn record(x: &str, y: &str, q: f64) -> EvidenceRecord {
     EvidenceRecord {

@@ -89,7 +89,8 @@ impl LruShard {
             return;
         }
         let map = &self.map;
-        self.order.retain(|(k, t)| map.get(k).is_some_and(|e| e.tick == *t));
+        self.order
+            .retain(|(k, t)| map.get(k).is_some_and(|e| e.tick == *t));
     }
 }
 
@@ -104,7 +105,11 @@ impl ResponseCache {
     pub fn new(capacity: usize, shards: usize) -> Self {
         let shards = shards.max(1);
         let per_shard = (capacity.max(1)).div_ceil(shards);
-        Self { shards: (0..shards).map(|_| Mutex::new(LruShard::new(per_shard))).collect() }
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .collect(),
+        }
     }
 
     fn shard(&self, key: &Key) -> &Mutex<LruShard> {
@@ -209,7 +214,11 @@ mod tests {
             assert!(c.get("a", 0).is_some());
         }
         let shard = c.shards[0].lock();
-        assert!(shard.order.len() <= 8 * 8 + 1, "queue grew unboundedly: {}", shard.order.len());
+        assert!(
+            shard.order.len() <= 8 * 8 + 1,
+            "queue grew unboundedly: {}",
+            shard.order.len()
+        );
     }
 
     #[test]

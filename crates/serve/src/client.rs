@@ -58,12 +58,18 @@ impl Envelope {
         if ok {
             Ok(Envelope {
                 id,
-                version: v.get("version").and_then(Json::as_u64).ok_or("missing version")?,
+                version: v
+                    .get("version")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing version")?,
                 data: v.get("data").cloned().ok_or("missing data")?,
                 error: None,
             })
         } else {
-            let code = v.get("error").and_then(Json::as_str).ok_or("missing error code")?;
+            let code = v
+                .get("error")
+                .and_then(Json::as_str)
+                .ok_or("missing error code")?;
             let detail = v.get("detail").and_then(Json::as_str).unwrap_or("");
             Ok(Envelope {
                 id,
@@ -88,7 +94,11 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
-        Ok(Client { reader: BufReader::new(stream), writer, next_id: 1 })
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
     }
 
     /// Send one request and wait for its response envelope (which may be
@@ -104,7 +114,9 @@ impl Client {
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {
-            return Err(ClientError::Protocol("server closed the connection".to_string()));
+            return Err(ClientError::Protocol(
+                "server closed the connection".to_string(),
+            ));
         }
         let v = json::parse(response.trim())
             .map_err(|e| ClientError::Protocol(format!("bad response JSON: {e}")))?;

@@ -73,9 +73,7 @@ impl Json {
     /// The value as a `u64` (numeric, non-negative, integral).
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
-                Some(*n as u64)
-            }
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
             _ => None,
         }
     }
@@ -190,7 +188,12 @@ impl std::error::Error for ParseError {}
 /// trailing whitespace).
 pub fn parse(input: &str) -> Result<Json, ParseError> {
     let bytes = input.as_bytes();
-    let mut p = Parser { bytes, input, pos: 0, depth: 0 };
+    let mut p = Parser {
+        bytes,
+        input,
+        pos: 0,
+        depth: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -211,7 +214,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> ParseError {
-        ParseError { message: message.to_string(), offset: self.pos }
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -447,7 +453,10 @@ mod tests {
         let original = "line1\nline2\t\"quoted\" back\\slash \u{1}";
         let v = Json::str(original);
         let wire = v.to_string();
-        assert!(!wire.contains('\n'), "wire form must be single-line: {wire}");
+        assert!(
+            !wire.contains('\n'),
+            "wire form must be single-line: {wire}"
+        );
         assert_eq!(parse(&wire).unwrap().as_str().unwrap(), original);
     }
 
@@ -456,9 +465,15 @@ mod tests {
         assert_eq!(parse(r#""A""#).unwrap(), Json::str("A"));
         // Surrogate pair → U+1F600
         assert_eq!(parse(r#""😀""#).unwrap(), Json::str("\u{1F600}"));
-        assert!(parse(r#""\ud83d""#).is_err(), "unpaired surrogate must fail");
+        assert!(
+            parse(r#""\ud83d""#).is_err(),
+            "unpaired surrogate must fail"
+        );
         // Non-ASCII passes through unescaped.
-        assert_eq!(parse("\"caf\u{e9}\"").unwrap().as_str().unwrap(), "caf\u{e9}");
+        assert_eq!(
+            parse("\"caf\u{e9}\"").unwrap().as_str().unwrap(),
+            "caf\u{e9}"
+        );
     }
 
     #[test]
@@ -476,14 +491,19 @@ mod tests {
         let v = parse(r#"{"a":1,"b":"x","c":[true]}"#).unwrap();
         assert_eq!(v.get("a").and_then(Json::as_u64), Some(1));
         assert_eq!(v.get("b").and_then(Json::as_str), Some("x"));
-        assert_eq!(v.get("c").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        assert_eq!(
+            v.get("c").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
         assert_eq!(v.get("missing"), None);
         assert_eq!(Json::Null.get("a"), None);
     }
 
     #[test]
     fn rejects_garbage() {
-        for bad in ["", "{", "[1,", "{\"a\"}", "tru", "1.2.3", "\"abc", "[1] x", "{'a':1}"] {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "tru", "1.2.3", "\"abc", "[1] x", "{'a':1}",
+        ] {
             assert!(parse(bad).is_err(), "{bad:?} should not parse");
         }
     }
@@ -491,13 +511,19 @@ mod tests {
     #[test]
     fn whitespace_tolerated() {
         let v = parse(" {\r\n \"a\" : [ 1 , 2 ] } \n").unwrap();
-        assert_eq!(v.get("a").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+        assert_eq!(
+            v.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
     }
 
     #[test]
     fn deep_nesting_bounded() {
         let deep = "[".repeat(100) + &"]".repeat(100);
-        assert!(parse(&deep).is_err(), "over-deep input must be rejected, not overflow");
+        assert!(
+            parse(&deep).is_err(),
+            "over-deep input must be rejected, not overflow"
+        );
         let ok = "[".repeat(40) + &"]".repeat(40);
         assert!(parse(&ok).is_ok());
     }

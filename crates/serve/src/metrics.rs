@@ -25,7 +25,10 @@ pub struct LatencyHistogram {
 impl Default for LatencyHistogram {
     fn default() -> Self {
         // `[T; N]: Default` stops at N = 32, so build the 40 slots by hand.
-        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)), sum_micros: AtomicU64::new(0) }
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_micros: AtomicU64::new(0),
+        }
     }
 }
 
@@ -33,7 +36,11 @@ impl LatencyHistogram {
     /// Record one observation.
     pub fn record(&self, d: Duration) {
         let micros = d.as_micros().min(u64::MAX as u128) as u64;
-        let idx = if micros == 0 { 0 } else { (64 - micros.leading_zeros() as usize).min(BUCKETS - 1) };
+        let idx = if micros == 0 {
+            0
+        } else {
+            (64 - micros.leading_zeros() as usize).min(BUCKETS - 1)
+        };
         self.buckets[idx].fetch_add(1, Relaxed);
         self.sum_micros.fetch_add(micros, Relaxed);
     }
@@ -101,7 +108,9 @@ pub struct ServeMetrics {
 impl Default for ServeMetrics {
     fn default() -> Self {
         Self {
-            endpoints: (0..ENDPOINTS.len()).map(|_| EndpointMetrics::default()).collect(),
+            endpoints: (0..ENDPOINTS.len())
+                .map(|_| EndpointMetrics::default())
+                .collect(),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -189,7 +198,10 @@ impl ServeMetrics {
 
     /// Completed requests summed over all endpoints.
     pub fn requests_total(&self) -> u64 {
-        self.endpoints.iter().map(|e| e.requests.load(Relaxed)).sum()
+        self.endpoints
+            .iter()
+            .map(|e| e.requests.load(Relaxed))
+            .sum()
     }
 
     /// Dump the registry as JSON (`cache_entries` is supplied by the
@@ -208,13 +220,20 @@ impl ServeMetrics {
                     ("errors", Json::num(e.errors.load(Relaxed) as f64)),
                     ("p50_us", Json::num(e.latency.quantile_micros(0.50) as f64)),
                     ("p99_us", Json::num(e.latency.quantile_micros(0.99) as f64)),
-                    ("mean_us", Json::num((e.latency.mean_micros() * 10.0).round() / 10.0)),
+                    (
+                        "mean_us",
+                        Json::num((e.latency.mean_micros() * 10.0).round() / 10.0),
+                    ),
                 ]),
             ));
         }
         let hits = self.cache_hits.load(Relaxed);
         let misses = self.cache_misses.load(Relaxed);
-        let hit_rate = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
+        let hit_rate = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
         Json::obj(vec![
             ("endpoints", Json::Obj(per_endpoint)),
             (
@@ -231,17 +250,29 @@ impl ServeMetrics {
                 Json::obj(vec![
                     ("depth", Json::num(self.queue_depth() as f64)),
                     ("rejected", Json::num(self.rejected.load(Relaxed) as f64)),
-                    ("deadline_expired", Json::num(self.deadline_expired.load(Relaxed) as f64)),
+                    (
+                        "deadline_expired",
+                        Json::num(self.deadline_expired.load(Relaxed) as f64),
+                    ),
                 ]),
             ),
             (
                 "connections",
                 Json::obj(vec![
-                    ("open", Json::num(self.connections_open.load(Relaxed).max(0) as f64)),
-                    ("total", Json::num(self.connections_total.load(Relaxed) as f64)),
+                    (
+                        "open",
+                        Json::num(self.connections_open.load(Relaxed).max(0) as f64),
+                    ),
+                    (
+                        "total",
+                        Json::num(self.connections_total.load(Relaxed) as f64),
+                    ),
                 ]),
             ),
-            ("bad_requests", Json::num(self.bad_requests.load(Relaxed) as f64)),
+            (
+                "bad_requests",
+                Json::num(self.bad_requests.load(Relaxed) as f64),
+            ),
         ])
     }
 }
@@ -296,7 +327,10 @@ mod tests {
         m.enqueued();
         m.connection_opened();
         let dump = m.to_json(3);
-        let isa = dump.get("endpoints").and_then(|e| e.get("isa")).expect("isa present");
+        let isa = dump
+            .get("endpoints")
+            .and_then(|e| e.get("isa"))
+            .expect("isa present");
         assert_eq!(isa.get("requests").and_then(Json::as_u64), Some(2));
         assert_eq!(isa.get("errors").and_then(Json::as_u64), Some(1));
         assert!(isa.get("p50_us").and_then(Json::as_u64).unwrap() >= 5);
@@ -309,7 +343,10 @@ mod tests {
         let queue = dump.get("queue").unwrap();
         assert_eq!(queue.get("depth").and_then(Json::as_u64), Some(1));
         assert_eq!(queue.get("rejected").and_then(Json::as_u64), Some(1));
-        assert_eq!(queue.get("deadline_expired").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            queue.get("deadline_expired").and_then(Json::as_u64),
+            Some(1)
+        );
         assert_eq!(dump.get("bad_requests").and_then(Json::as_u64), Some(1));
         // Endpoints with zero traffic are omitted from the dump.
         assert!(dump.get("endpoints").unwrap().get("stats").is_none());

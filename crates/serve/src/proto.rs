@@ -166,9 +166,10 @@ impl Request {
         key.push_str(self.endpoint());
         key.push(KEY_SEP);
         match self {
-            Request::Ping | Request::Stats | Request::AddEvidence { .. } | Request::SnapshotLoad { .. } => {
-                return None
-            }
+            Request::Ping
+            | Request::Stats
+            | Request::AddEvidence { .. }
+            | Request::SnapshotLoad { .. } => return None,
             Request::Isa { parent, child } | Request::Plausibility { parent, child } => {
                 key.push_str(parent);
                 key.push(KEY_SEP);
@@ -229,7 +230,11 @@ impl Request {
             },
             "typicality" => Request::Typicality {
                 term: req_str(v, "term")?,
-                direction: match v.get("direction").and_then(Json::as_str).unwrap_or("instances") {
+                direction: match v
+                    .get("direction")
+                    .and_then(Json::as_str)
+                    .unwrap_or("instances")
+                {
                     "instances" => Direction::Instances,
                     "concepts" => Direction::Concepts,
                     other => return Err(format!("bad direction {other:?}")),
@@ -253,9 +258,15 @@ impl Request {
                 if terms.is_empty() {
                     return Err("\"terms\" must be non-empty".to_string());
                 }
-                Request::Conceptualize { terms, k: opt_k(v)? }
+                Request::Conceptualize {
+                    terms,
+                    k: opt_k(v)?,
+                }
             }
-            "search-rewrite" => Request::SearchRewrite { query: req_str(v, "query")?, k: opt_k(v)? },
+            "search-rewrite" => Request::SearchRewrite {
+                query: req_str(v, "query")?,
+                k: opt_k(v)?,
+            },
             "stats" => Request::Stats,
             "levels" => Request::Levels {
                 term: v.get("term").and_then(Json::as_str).map(str::to_string),
@@ -278,7 +289,9 @@ impl Request {
                     .ok_or_else(|| "\"count\" must be an integer ≥ 1".to_string())?
                     as u32,
             },
-            "snapshot-load" => Request::SnapshotLoad { path: req_str(v, "path")? },
+            "snapshot-load" => Request::SnapshotLoad {
+                path: req_str(v, "path")?,
+            },
             other => return Err(format!("unknown endpoint {other:?}")),
         };
         Ok((id, req))
@@ -286,8 +299,10 @@ impl Request {
 
     /// Serialize this request (client side).
     pub fn to_json(&self, id: u64) -> Json {
-        let mut pairs: Vec<(&str, Json)> =
-            vec![("id", Json::num(id as f64)), ("endpoint", Json::str(self.endpoint()))];
+        let mut pairs: Vec<(&str, Json)> = vec![
+            ("id", Json::num(id as f64)),
+            ("endpoint", Json::str(self.endpoint())),
+        ];
         match self {
             Request::Ping | Request::Stats => {}
             Request::Isa { parent, child } | Request::Plausibility { parent, child } => {
@@ -331,7 +346,11 @@ impl Request {
                 ));
                 pairs.push(("k", Json::num(*k as f64)));
             }
-            Request::AddEvidence { parent, child, count } => {
+            Request::AddEvidence {
+                parent,
+                child,
+                count,
+            } => {
                 pairs.push(("parent", Json::str(parent.clone())));
                 pairs.push(("child", Json::str(child.clone())));
                 pairs.push(("count", Json::num(*count as f64)));
@@ -356,7 +375,9 @@ fn opt_k(v: &Json) -> Result<usize, String> {
     match v.get("k") {
         None => Ok(10),
         Some(j) => {
-            let k = j.as_u64().ok_or_else(|| "\"k\" must be a non-negative integer".to_string())?;
+            let k = j
+                .as_u64()
+                .ok_or_else(|| "\"k\" must be a non-negative integer".to_string())?;
             if k as usize > MAX_K {
                 return Err(format!("\"k\" exceeds max {MAX_K}"));
             }
@@ -425,25 +446,49 @@ mod tests {
     #[test]
     fn all_requests_roundtrip() {
         roundtrip(Request::Ping);
-        roundtrip(Request::Isa { parent: "animal".into(), child: "cat".into() });
+        roundtrip(Request::Isa {
+            parent: "animal".into(),
+            child: "cat".into(),
+        });
         roundtrip(Request::Typicality {
             term: "country".into(),
             direction: Direction::Instances,
             k: 5,
         });
-        roundtrip(Request::Typicality { term: "China".into(), direction: Direction::Concepts, k: 3 });
-        roundtrip(Request::Plausibility { parent: "animal".into(), child: "cat".into() });
+        roundtrip(Request::Typicality {
+            term: "China".into(),
+            direction: Direction::Concepts,
+            k: 3,
+        });
+        roundtrip(Request::Plausibility {
+            parent: "animal".into(),
+            child: "cat".into(),
+        });
         roundtrip(Request::Conceptualize {
             terms: vec!["China".into(), "India".into()],
             k: 8,
         });
-        roundtrip(Request::SearchRewrite { query: "database conferences".into(), k: 4 });
+        roundtrip(Request::SearchRewrite {
+            query: "database conferences".into(),
+            k: 4,
+        });
         roundtrip(Request::Stats);
         roundtrip(Request::Levels { term: None });
-        roundtrip(Request::Levels { term: Some("animal".into()) });
-        roundtrip(Request::Labels { kind: LabelKind::Concepts, k: 20 });
-        roundtrip(Request::AddEvidence { parent: "country".into(), child: "Chile".into(), count: 2 });
-        roundtrip(Request::SnapshotLoad { path: "/tmp/x.pb".into() });
+        roundtrip(Request::Levels {
+            term: Some("animal".into()),
+        });
+        roundtrip(Request::Labels {
+            kind: LabelKind::Concepts,
+            k: 20,
+        });
+        roundtrip(Request::AddEvidence {
+            parent: "country".into(),
+            child: "Chile".into(),
+            count: 2,
+        });
+        roundtrip(Request::SnapshotLoad {
+            path: "/tmp/x.pb".into(),
+        });
     }
 
     #[test]
@@ -453,7 +498,11 @@ mod tests {
         assert_eq!(id, 0);
         assert_eq!(
             req,
-            Request::Typicality { term: "x".into(), direction: Direction::Instances, k: 10 }
+            Request::Typicality {
+                term: "x".into(),
+                direction: Direction::Instances,
+                k: 10
+            }
         );
     }
 
@@ -479,22 +528,69 @@ mod tests {
     #[test]
     fn cache_keys_distinguish_requests() {
         let keys: Vec<Option<String>> = vec![
-            Request::Isa { parent: "a".into(), child: "b".into() }.cache_key(),
-            Request::Isa { parent: "b".into(), child: "a".into() }.cache_key(),
-            Request::Plausibility { parent: "a".into(), child: "b".into() }.cache_key(),
-            Request::Typicality { term: "a".into(), direction: Direction::Instances, k: 5 }
-                .cache_key(),
-            Request::Typicality { term: "a".into(), direction: Direction::Concepts, k: 5 }
-                .cache_key(),
-            Request::Typicality { term: "a".into(), direction: Direction::Concepts, k: 6 }
-                .cache_key(),
-            Request::Conceptualize { terms: vec!["a".into(), "b".into()], k: 5 }.cache_key(),
-            Request::Conceptualize { terms: vec!["ab".into()], k: 5 }.cache_key(),
+            Request::Isa {
+                parent: "a".into(),
+                child: "b".into(),
+            }
+            .cache_key(),
+            Request::Isa {
+                parent: "b".into(),
+                child: "a".into(),
+            }
+            .cache_key(),
+            Request::Plausibility {
+                parent: "a".into(),
+                child: "b".into(),
+            }
+            .cache_key(),
+            Request::Typicality {
+                term: "a".into(),
+                direction: Direction::Instances,
+                k: 5,
+            }
+            .cache_key(),
+            Request::Typicality {
+                term: "a".into(),
+                direction: Direction::Concepts,
+                k: 5,
+            }
+            .cache_key(),
+            Request::Typicality {
+                term: "a".into(),
+                direction: Direction::Concepts,
+                k: 6,
+            }
+            .cache_key(),
+            Request::Conceptualize {
+                terms: vec!["a".into(), "b".into()],
+                k: 5,
+            }
+            .cache_key(),
+            Request::Conceptualize {
+                terms: vec!["ab".into()],
+                k: 5,
+            }
+            .cache_key(),
             Request::Levels { term: None }.cache_key(),
-            Request::Levels { term: Some("a".into()) }.cache_key(),
-            Request::Labels { kind: LabelKind::Concepts, k: 5 }.cache_key(),
-            Request::Labels { kind: LabelKind::Instances, k: 5 }.cache_key(),
-            Request::SearchRewrite { query: "a".into(), k: 5 }.cache_key(),
+            Request::Levels {
+                term: Some("a".into()),
+            }
+            .cache_key(),
+            Request::Labels {
+                kind: LabelKind::Concepts,
+                k: 5,
+            }
+            .cache_key(),
+            Request::Labels {
+                kind: LabelKind::Instances,
+                k: 5,
+            }
+            .cache_key(),
+            Request::SearchRewrite {
+                query: "a".into(),
+                k: 5,
+            }
+            .cache_key(),
         ];
         let mut seen = std::collections::HashSet::new();
         for k in keys {
@@ -508,7 +604,12 @@ mod tests {
         assert_eq!(Request::Ping.cache_key(), None);
         assert_eq!(Request::Stats.cache_key(), None);
         assert_eq!(
-            Request::AddEvidence { parent: "a".into(), child: "b".into(), count: 1 }.cache_key(),
+            Request::AddEvidence {
+                parent: "a".into(),
+                child: "b".into(),
+                count: 1
+            }
+            .cache_key(),
             None
         );
         assert_eq!(Request::SnapshotLoad { path: "p".into() }.cache_key(), None);
@@ -517,7 +618,10 @@ mod tests {
     #[test]
     fn envelopes() {
         let ok = ok_envelope(3, 9, Json::obj(vec![("x", Json::num(1))]));
-        assert_eq!(ok.to_string(), r#"{"id":3,"ok":true,"version":9,"data":{"x":1}}"#);
+        assert_eq!(
+            ok.to_string(),
+            r#"{"id":3,"ok":true,"version":9,"data":{"x":1}}"#
+        );
         let err = err_envelope(4, ErrorCode::Overloaded, "queue full");
         assert_eq!(
             err.to_string(),
@@ -529,15 +633,38 @@ mod tests {
     fn endpoint_indexes_consistent() {
         let reqs = [
             Request::Ping,
-            Request::Isa { parent: "a".into(), child: "b".into() },
-            Request::Typicality { term: "a".into(), direction: Direction::Instances, k: 1 },
-            Request::Plausibility { parent: "a".into(), child: "b".into() },
-            Request::Conceptualize { terms: vec!["a".into()], k: 1 },
-            Request::SearchRewrite { query: "a".into(), k: 1 },
+            Request::Isa {
+                parent: "a".into(),
+                child: "b".into(),
+            },
+            Request::Typicality {
+                term: "a".into(),
+                direction: Direction::Instances,
+                k: 1,
+            },
+            Request::Plausibility {
+                parent: "a".into(),
+                child: "b".into(),
+            },
+            Request::Conceptualize {
+                terms: vec!["a".into()],
+                k: 1,
+            },
+            Request::SearchRewrite {
+                query: "a".into(),
+                k: 1,
+            },
             Request::Stats,
             Request::Levels { term: None },
-            Request::Labels { kind: LabelKind::Instances, k: 1 },
-            Request::AddEvidence { parent: "a".into(), child: "b".into(), count: 1 },
+            Request::Labels {
+                kind: LabelKind::Instances,
+                k: 1,
+            },
+            Request::AddEvidence {
+                parent: "a".into(),
+                child: "b".into(),
+                count: 1,
+            },
             Request::SnapshotLoad { path: "p".into() },
         ];
         for (i, r) in reqs.iter().enumerate() {

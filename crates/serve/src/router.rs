@@ -55,7 +55,10 @@ impl ServeState {
     /// version so the first request does not pay the rebuild.
     pub fn new(store: SharedStore, cache_capacity: usize, cache_shards: usize) -> Self {
         let (graph, version) = store.read_versioned(ConceptGraph::clone);
-        let model = RwLock::new(Arc::new(VersionedModel { version, model: ProbaseModel::new(graph) }));
+        let model = RwLock::new(Arc::new(VersionedModel {
+            version,
+            model: ProbaseModel::new(graph),
+        }));
         Self {
             store,
             cache: ResponseCache::new(cache_capacity, cache_shards),
@@ -96,7 +99,10 @@ impl ServeState {
         // version captured atomically with the graph clone.
         if guard.version != self.store.version() {
             let (graph, version) = self.store.read_versioned(ConceptGraph::clone);
-            *guard = Arc::new(VersionedModel { version, model: ProbaseModel::new(graph) });
+            *guard = Arc::new(VersionedModel {
+                version,
+                model: ProbaseModel::new(graph),
+            });
         }
         guard.clone()
     }
@@ -105,8 +111,15 @@ impl ServeState {
     /// plus the payload (or an error to wrap in an error envelope).
     pub fn handle(&self, req: &Request) -> (u64, Result<Json, HandlerError>) {
         match req {
-            Request::Ping => (self.store.version(), Ok(Json::obj(vec![("pong", Json::Bool(true))]))),
-            Request::AddEvidence { parent, child, count } => self.add_evidence(parent, child, *count),
+            Request::Ping => (
+                self.store.version(),
+                Ok(Json::obj(vec![("pong", Json::Bool(true))])),
+            ),
+            Request::AddEvidence {
+                parent,
+                child,
+                count,
+            } => self.add_evidence(parent, child, *count),
             Request::SnapshotLoad { path } => self.snapshot_load(path),
             _ => {
                 let vm = self.current_model();
@@ -142,7 +155,10 @@ impl ServeState {
             Request::Plausibility { parent, child } => Ok(direct_edge(g, parent, child)),
             Request::Conceptualize { terms, k } => {
                 let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
-                Ok(Json::obj(vec![("items", ranked(model.conceptualize(&refs, *k)))]))
+                Ok(Json::obj(vec![(
+                    "items",
+                    ranked(model.conceptualize(&refs, *k)),
+                )]))
             }
             Request::SearchRewrite { query, k } => {
                 let rewrites = rewrite_query(model, &self.assoc, query, 4, *k);
@@ -169,8 +185,14 @@ impl ServeState {
                         Json::obj(vec![
                             ("concepts", Json::num(s.concepts as f64)),
                             ("instances", Json::num(s.instances as f64)),
-                            ("concept_subconcept_pairs", Json::num(s.concept_subconcept_pairs as f64)),
-                            ("concept_instance_pairs", Json::num(s.concept_instance_pairs as f64)),
+                            (
+                                "concept_subconcept_pairs",
+                                Json::num(s.concept_subconcept_pairs as f64),
+                            ),
+                            (
+                                "concept_instance_pairs",
+                                Json::num(s.concept_instance_pairs as f64),
+                            ),
                             ("avg_children", Json::num(s.avg_children)),
                             ("avg_parents", Json::num(s.avg_parents)),
                             ("avg_level", Json::num(s.avg_level)),
@@ -183,9 +205,10 @@ impl ServeState {
             Request::Levels { term } => Ok(levels(g, term.as_deref())),
             Request::Labels { kind, k } => Ok(labels(g, *kind, *k)),
             // Handled in `handle`; unreachable here.
-            Request::Ping | Request::AddEvidence { .. } | Request::SnapshotLoad { .. } => {
-                Err((ErrorCode::Internal, "write endpoint routed as read".to_string()))
-            }
+            Request::Ping | Request::AddEvidence { .. } | Request::SnapshotLoad { .. } => Err((
+                ErrorCode::Internal,
+                "write endpoint routed as read".to_string(),
+            )),
         }
     }
 
@@ -198,7 +221,10 @@ impl ServeState {
         if parent == child {
             return (
                 self.store.version(),
-                Err((ErrorCode::BadRequest, "parent and child must differ".to_string())),
+                Err((
+                    ErrorCode::BadRequest,
+                    "parent and child must differ".to_string(),
+                )),
             );
         }
         let (result, version) = self.store.update_versioned(|g| {
@@ -339,7 +365,10 @@ fn levels(g: &ConceptGraph, term: Option<&str>) -> Json {
                 ("max_level", Json::num(map.max_level() as f64)),
                 ("avg_level", Json::num(avg)),
                 ("concepts", Json::num(concepts.len() as f64)),
-                ("instances", Json::num((g.node_count() - concepts.len()) as f64)),
+                (
+                    "instances",
+                    Json::num((g.node_count() - concepts.len()) as f64),
+                ),
             ])
         }
         Some(t) => {
@@ -420,17 +449,41 @@ mod tests {
     #[test]
     fn isa_direct_and_transitive() {
         let s = seeded_state();
-        let (_, d) = ok(&s, Request::Isa { parent: "country".into(), child: "China".into() });
+        let (_, d) = ok(
+            &s,
+            Request::Isa {
+                parent: "country".into(),
+                child: "China".into(),
+            },
+        );
         assert_eq!(d.get("isa").and_then(Json::as_bool), Some(true));
         assert_eq!(d.get("direct").and_then(Json::as_bool), Some(true));
         assert_eq!(d.get("count").and_then(Json::as_u64), Some(20));
         // Russia is under country only via bric country.
-        let (_, d) = ok(&s, Request::Isa { parent: "country".into(), child: "Russia".into() });
+        let (_, d) = ok(
+            &s,
+            Request::Isa {
+                parent: "country".into(),
+                child: "Russia".into(),
+            },
+        );
         assert_eq!(d.get("isa").and_then(Json::as_bool), Some(true));
         assert_eq!(d.get("direct").and_then(Json::as_bool), Some(false));
-        let (_, d) = ok(&s, Request::Isa { parent: "China".into(), child: "country".into() });
+        let (_, d) = ok(
+            &s,
+            Request::Isa {
+                parent: "China".into(),
+                child: "country".into(),
+            },
+        );
         assert_eq!(d.get("isa").and_then(Json::as_bool), Some(false));
-        let (_, d) = ok(&s, Request::Isa { parent: "country".into(), child: "wombat".into() });
+        let (_, d) = ok(
+            &s,
+            Request::Isa {
+                parent: "country".into(),
+                child: "wombat".into(),
+            },
+        );
         assert_eq!(d.get("isa").and_then(Json::as_bool), Some(false));
     }
 
@@ -439,22 +492,37 @@ mod tests {
         let s = seeded_state();
         let (_, d) = ok(
             &s,
-            Request::Typicality { term: "country".into(), direction: Direction::Instances, k: 3 },
+            Request::Typicality {
+                term: "country".into(),
+                direction: Direction::Instances,
+                k: 3,
+            },
         );
         let items = d.get("items").and_then(Json::as_arr).unwrap();
         assert_eq!(items[0].as_arr().unwrap()[0].as_str(), Some("USA"));
         let (_, d) = ok(
             &s,
-            Request::Typicality { term: "China".into(), direction: Direction::Concepts, k: 5 },
+            Request::Typicality {
+                term: "China".into(),
+                direction: Direction::Concepts,
+                k: 5,
+            },
         );
         let items = d.get("items").and_then(Json::as_arr).unwrap();
         assert!(!items.is_empty());
         // Unknown terms are an empty answer, not a protocol error.
         let (_, d) = ok(
             &s,
-            Request::Typicality { term: "wombat".into(), direction: Direction::Instances, k: 5 },
+            Request::Typicality {
+                term: "wombat".into(),
+                direction: Direction::Instances,
+                k: 5,
+            },
         );
-        assert_eq!(d.get("items").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
+        assert_eq!(
+            d.get("items").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(0)
+        );
     }
 
     #[test]
@@ -462,54 +530,106 @@ mod tests {
         let s = seeded_state();
         let (_, d) = ok(
             &s,
-            Request::Conceptualize { terms: vec!["China".into(), "India".into()], k: 3 },
+            Request::Conceptualize {
+                terms: vec!["China".into(), "India".into()],
+                k: 3,
+            },
         );
         assert!(!d.get("items").and_then(Json::as_arr).unwrap().is_empty());
 
         let (_, d) = ok(&s, Request::Stats);
-        assert_eq!(d.get("graph").unwrap().get("concepts").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            d.get("graph")
+                .unwrap()
+                .get("concepts")
+                .and_then(Json::as_u64),
+            Some(2)
+        );
         assert!(d.get("serve").unwrap().get("cache").is_some());
 
         let (_, d) = ok(&s, Request::Levels { term: None });
         assert_eq!(d.get("max_level").and_then(Json::as_u64), Some(2));
-        let (_, d) = ok(&s, Request::Levels { term: Some("bric country".into()) });
+        let (_, d) = ok(
+            &s,
+            Request::Levels {
+                term: Some("bric country".into()),
+            },
+        );
         let senses = d.get("senses").and_then(Json::as_arr).unwrap();
         assert_eq!(senses[0].get("level").and_then(Json::as_u64), Some(1));
 
-        let (_, d) = ok(&s, Request::Labels { kind: LabelKind::Concepts, k: 10 });
+        let (_, d) = ok(
+            &s,
+            Request::Labels {
+                kind: LabelKind::Concepts,
+                k: 10,
+            },
+        );
         let labels = d.get("labels").and_then(Json::as_arr).unwrap();
         assert_eq!(labels.len(), 2);
-        let (_, d) = ok(&s, Request::Labels { kind: LabelKind::Instances, k: 3 });
-        assert_eq!(d.get("labels").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+        let (_, d) = ok(
+            &s,
+            Request::Labels {
+                kind: LabelKind::Instances,
+                k: 3,
+            },
+        );
+        assert_eq!(
+            d.get("labels").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
     }
 
     #[test]
     fn plausibility_direct_edge_only() {
         let s = seeded_state();
-        let (_, d) = ok(&s, Request::Plausibility { parent: "country".into(), child: "USA".into() });
+        let (_, d) = ok(
+            &s,
+            Request::Plausibility {
+                parent: "country".into(),
+                child: "USA".into(),
+            },
+        );
         assert_eq!(d.get("found").and_then(Json::as_bool), Some(true));
         assert_eq!(d.get("count").and_then(Json::as_u64), Some(30));
-        let (_, d) =
-            ok(&s, Request::Plausibility { parent: "country".into(), child: "Russia".into() });
+        let (_, d) = ok(
+            &s,
+            Request::Plausibility {
+                parent: "country".into(),
+                child: "Russia".into(),
+            },
+        );
         assert_eq!(d.get("found").and_then(Json::as_bool), Some(false));
     }
 
     #[test]
     fn search_rewrite_substitutes_instances() {
         let s = seeded_state();
-        let (_, d) = ok(&s, Request::SearchRewrite { query: "country exports".into(), k: 4 });
+        let (_, d) = ok(
+            &s,
+            Request::SearchRewrite {
+                query: "country exports".into(),
+                k: 4,
+            },
+        );
         let rewrites = d.get("rewrites").and_then(Json::as_arr).unwrap();
         assert!(!rewrites.is_empty());
         let first = rewrites[0].get("text").and_then(Json::as_str).unwrap();
         assert!(first.contains("exports"), "{first:?}");
-        assert!(!first.contains("country"), "concept should be substituted: {first:?}");
+        assert!(
+            !first.contains("country"),
+            "concept should be substituted: {first:?}"
+        );
     }
 
     #[test]
     fn write_bumps_version_and_invalidates() {
         let s = seeded_state();
-        let req =
-            Request::Typicality { term: "country".into(), direction: Direction::Instances, k: 10 };
+        let req = Request::Typicality {
+            term: "country".into(),
+            direction: Direction::Instances,
+            k: 10,
+        };
         let (v0, first) = ok(&s, req.clone());
         assert_eq!(v0, 0);
         // Second identical request is a cache hit at the same version.
@@ -521,14 +641,22 @@ mod tests {
         // A write moves the version; the next read reflects the new edge.
         let (v1, d) = ok(
             &s,
-            Request::AddEvidence { parent: "country".into(), child: "Atlantis".into(), count: 999 },
+            Request::AddEvidence {
+                parent: "country".into(),
+                child: "Atlantis".into(),
+                count: 999,
+            },
         );
         assert_eq!(v1, 1);
         assert_eq!(d.get("nodes").and_then(Json::as_u64), Some(8));
         let (v2, after) = ok(&s, req);
         assert_eq!(v2, 1);
         let items = after.get("items").and_then(Json::as_arr).unwrap();
-        assert_eq!(items[0].as_arr().unwrap()[0].as_str(), Some("Atlantis"), "{items:?}");
+        assert_eq!(
+            items[0].as_arr().unwrap()[0].as_str(),
+            Some("Atlantis"),
+            "{items:?}"
+        );
     }
 
     #[test]
@@ -555,10 +683,16 @@ mod tests {
     #[test]
     fn snapshot_load_missing_file_is_internal_error() {
         let s = seeded_state();
-        let (_, r) = s.handle(&Request::SnapshotLoad { path: "/nonexistent/x.pb".into() });
+        let (_, r) = s.handle(&Request::SnapshotLoad {
+            path: "/nonexistent/x.pb".into(),
+        });
         let (code, detail) = r.expect_err("missing file");
         assert_eq!(code, ErrorCode::Internal);
         assert!(detail.contains("cannot read"));
-        assert_eq!(s.store().version(), 0, "failed load must not bump the version");
+        assert_eq!(
+            s.store().version(),
+            0,
+            "failed load must not bump the version"
+        );
     }
 }

@@ -94,7 +94,11 @@ pub struct Server {
 impl Server {
     /// Bind, spawn the pool, and start serving `store`.
     pub fn start(store: SharedStore, config: &ServeConfig) -> std::io::Result<Server> {
-        let state = Arc::new(ServeState::new(store, config.cache_capacity, config.cache_shards));
+        let state = Arc::new(ServeState::new(
+            store,
+            config.cache_capacity,
+            config.cache_shards,
+        ));
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -262,7 +266,10 @@ fn handle_line(
         Ok(v) => v,
         Err(e) => {
             state.metrics().bad_request();
-            write_line(writer, &err_envelope(0, ErrorCode::BadRequest, &e.to_string()));
+            write_line(
+                writer,
+                &err_envelope(0, ErrorCode::BadRequest, &e.to_string()),
+            );
             return;
         }
     };
@@ -273,19 +280,33 @@ fn handle_line(
         Ok(pair) => pair,
         Err(detail) => {
             state.metrics().bad_request();
-            write_line(writer, &err_envelope(raw_id, ErrorCode::BadRequest, &detail));
+            write_line(
+                writer,
+                &err_envelope(raw_id, ErrorCode::BadRequest, &detail),
+            );
             return;
         }
     };
-    let job = Job { id, request, enqueued_at: Instant::now(), writer: writer.clone() };
+    let job = Job {
+        id,
+        request,
+        enqueued_at: Instant::now(),
+        writer: writer.clone(),
+    };
     match job_tx.try_send(job) {
         Ok(()) => state.metrics().enqueued(),
         Err(TrySendError::Full(job)) => {
             state.metrics().rejected();
-            write_line(writer, &err_envelope(job.id, ErrorCode::Overloaded, "request queue full"));
+            write_line(
+                writer,
+                &err_envelope(job.id, ErrorCode::Overloaded, "request queue full"),
+            );
         }
         Err(TrySendError::Disconnected(job)) => {
-            write_line(writer, &err_envelope(job.id, ErrorCode::Internal, "server shutting down"));
+            write_line(
+                writer,
+                &err_envelope(job.id, ErrorCode::Internal, "server shutting down"),
+            );
         }
     }
 }
@@ -296,7 +317,9 @@ fn worker_loop(rx: channel::Receiver<Job>, state: Arc<ServeState>, deadline: Dur
         let idx = job.request.endpoint_index();
         if job.enqueued_at.elapsed() > deadline {
             state.metrics().deadline_expired();
-            state.metrics().record_request(idx, job.enqueued_at.elapsed(), true);
+            state
+                .metrics()
+                .record_request(idx, job.enqueued_at.elapsed(), true);
             write_line(
                 &job.writer,
                 &err_envelope(job.id, ErrorCode::DeadlineExceeded, "expired in queue"),
@@ -309,7 +332,9 @@ fn worker_loop(rx: channel::Receiver<Job>, state: Arc<ServeState>, deadline: Dur
         let outcome = catch_unwind(AssertUnwindSafe(|| state.handle(&job.request)));
         let envelope = match outcome {
             Ok((version, Ok(data))) => {
-                state.metrics().record_request(idx, started.elapsed(), false);
+                state
+                    .metrics()
+                    .record_request(idx, started.elapsed(), false);
                 ok_envelope(job.id, version, data)
             }
             Ok((_, Err((code, detail)))) => {

@@ -119,7 +119,10 @@ fn concurrent_readers_and_writer_never_see_stale_responses() {
                     .expect("write succeeds");
                 assert!(version > last_version, "each write must bump the version");
                 last_version = version;
-                assert!(data.get("count").is_some(), "write ack carries the new edge count");
+                assert!(
+                    data.get("count").is_some(),
+                    "write ack carries the new edge count"
+                );
                 std::thread::sleep(Duration::from_millis(1));
             }
         })
@@ -164,7 +167,10 @@ fn shutdown_is_clean_and_stops_accepting() {
     match Client::connect(addr) {
         Err(_) => {}
         Ok(mut c) => {
-            assert!(c.call(&Request::Ping).is_err(), "server must not answer after shutdown");
+            assert!(
+                c.call(&Request::Ping).is_err(),
+                "server must not answer after shutdown"
+            );
         }
     }
     // The old connection is closed too.

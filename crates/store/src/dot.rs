@@ -20,7 +20,10 @@ pub struct DotOptions {
 
 impl Default for DotOptions {
     fn default() -> Self {
-        Self { edge_labels: true, max_nodes: 200 }
+        Self {
+            edge_labels: true,
+            max_nodes: 200,
+        }
     }
 }
 
@@ -49,12 +52,17 @@ pub fn to_dot(graph: &ConceptGraph, roots: &[NodeId], opts: &DotOptions) -> Stri
         }
     }
 
-    let mut out = String::from("digraph probase {\n  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n");
+    let mut out =
+        String::from("digraph probase {\n  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n");
     let mut nodes: Vec<NodeId> = include.iter().copied().collect();
     nodes.sort();
     for n in &nodes {
         let shape = if graph.is_instance(*n) { "oval" } else { "box" };
-        let style = if graph.is_instance(*n) { "" } else { ", style=filled, fillcolor=\"#eef3fb\"" };
+        let style = if graph.is_instance(*n) {
+            ""
+        } else {
+            ", style=filled, fillcolor=\"#eef3fb\""
+        };
         writeln!(
             out,
             "  n{} [label=\"{}\", shape={shape}{style}];",
@@ -125,7 +133,14 @@ mod tests {
             let c = g.ensure_node(&format!("leaf{i}"), 0);
             g.add_evidence(root, c, 1);
         }
-        let dot = to_dot(&g, &[root], &DotOptions { max_nodes: 10, ..Default::default() });
+        let dot = to_dot(
+            &g,
+            &[root],
+            &DotOptions {
+                max_nodes: 10,
+                ..Default::default()
+            },
+        );
         let node_lines = dot.lines().filter(|l| l.contains("shape=")).count();
         assert!(node_lines <= 10, "{node_lines}");
     }

@@ -7,8 +7,8 @@
 //! probabilistic layer runs, a plausibility in `[0, 1]`. Nodes without
 //! out-edges are instances; all others are concepts (§3.1).
 
-use crate::intern::{Interner, Symbol};
 use crate::hash::FxHashMap;
+use crate::intern::{Interner, Symbol};
 use serde::{Deserialize, Serialize};
 
 /// Dense node identifier.
@@ -34,7 +34,10 @@ pub struct EdgeData {
 
 impl Default for EdgeData {
     fn default() -> Self {
-        Self { count: 0, plausibility: 1.0 }
+        Self {
+            count: 0,
+            plausibility: 1.0,
+        }
     }
 }
 
@@ -107,7 +110,9 @@ impl ConceptGraph {
 
     /// All senses of `label` present in the graph, in ascending sense order.
     pub fn senses_of(&self, label: &str) -> Vec<NodeId> {
-        let Some(sym) = self.interner.get(label) else { return Vec::new() };
+        let Some(sym) = self.interner.get(label) else {
+            return Vec::new();
+        };
         let mut v: Vec<NodeId> = self
             .keys
             .iter()
@@ -131,7 +136,14 @@ impl ConceptGraph {
             }
             None => {
                 let ei = self.edges.len() as u32;
-                self.edges.push(Edge { from, to, data: EdgeData { count, plausibility: 1.0 } });
+                self.edges.push(Edge {
+                    from,
+                    to,
+                    data: EdgeData {
+                        count,
+                        plausibility: 1.0,
+                    },
+                });
                 self.out[from.index()].push(ei);
                 self.incoming[to.index()].push(ei);
                 self.edge_index.insert((from, to), ei);
@@ -155,7 +167,9 @@ impl ConceptGraph {
 
     /// Edge data for `from → to`.
     pub fn edge(&self, from: NodeId, to: NodeId) -> Option<&EdgeData> {
-        self.edge_index.get(&(from, to)).map(|&ei| &self.edges[ei as usize].data)
+        self.edge_index
+            .get(&(from, to))
+            .map(|&ei| &self.edges[ei as usize].data)
     }
 
     /// Children of `n` (nodes it is a super-concept of), with edge data.

@@ -91,7 +91,11 @@ mod tests {
         // Not a guarantee in general, but these must not collide for the
         // hasher to be useful on our dense id space.
         let hashes: std::collections::HashSet<u64> = (0u32..10_000).map(hash_of).collect();
-        assert!(hashes.len() > 9_900, "too many collisions: {}", 10_000 - hashes.len());
+        assert!(
+            hashes.len() > 9_900,
+            "too many collisions: {}",
+            10_000 - hashes.len()
+        );
     }
 
     #[test]
@@ -114,6 +118,9 @@ mod tests {
     #[test]
     fn partial_tail_bytes_hash() {
         assert_ne!(hash_of("abc"), hash_of("abd"));
-        assert_ne!(hash_of([1u8, 2, 3].as_slice()), hash_of([1u8, 2, 3, 0].as_slice()));
+        assert_ne!(
+            hash_of([1u8, 2, 3].as_slice()),
+            hash_of([1u8, 2, 3, 0].as_slice())
+        );
     }
 }

@@ -82,7 +82,10 @@ impl Interner {
 
     /// Iterate `(Symbol, &str)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
-        self.strings.iter().enumerate().map(|(i, s)| (Symbol(i as u32), s.as_str()))
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_str()))
     }
 }
 

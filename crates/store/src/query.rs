@@ -28,8 +28,9 @@ impl LevelMap {
         let mut levels = vec![u32::MAX; n];
         // Kahn-style: process nodes whose children are all resolved,
         // starting from leaves.
-        let mut pending_children: Vec<usize> =
-            (0..n).map(|i| graph.child_count(NodeId(i as u32))).collect();
+        let mut pending_children: Vec<usize> = (0..n)
+            .map(|i| graph.child_count(NodeId(i as u32)))
+            .collect();
         let mut queue: Vec<NodeId> = (0..n as u32)
             .map(NodeId)
             .filter(|&id| pending_children[id.index()] == 0)
@@ -108,21 +109,33 @@ impl GraphStats {
         let avg_children = if concepts.is_empty() {
             0.0
         } else {
-            concepts.iter().map(|&c| graph.child_count(c) as f64).sum::<f64>()
+            concepts
+                .iter()
+                .map(|&c| graph.child_count(c) as f64)
+                .sum::<f64>()
                 / concepts.len() as f64
         };
-        let with_parents: Vec<NodeId> =
-            graph.nodes().filter(|&n| graph.parent_count(n) > 0).collect();
+        let with_parents: Vec<NodeId> = graph
+            .nodes()
+            .filter(|&n| graph.parent_count(n) > 0)
+            .collect();
         let avg_parents = if with_parents.is_empty() {
             0.0
         } else {
-            with_parents.iter().map(|&n| graph.parent_count(n) as f64).sum::<f64>()
+            with_parents
+                .iter()
+                .map(|&n| graph.parent_count(n) as f64)
+                .sum::<f64>()
                 / with_parents.len() as f64
         };
         let avg_level = if concepts.is_empty() {
             0.0
         } else {
-            concepts.iter().map(|&c| levels.level(c) as f64).sum::<f64>() / concepts.len() as f64
+            concepts
+                .iter()
+                .map(|&c| levels.level(c) as f64)
+                .sum::<f64>()
+                / concepts.len() as f64
         };
         Self {
             concept_subconcept_pairs: concept_subconcept,
@@ -142,7 +155,9 @@ impl GraphStats {
 /// `result[..k]`. This is exactly the `L^k` sequence of paper Algorithm 3.
 pub fn parent_level_sets(graph: &ConceptGraph) -> Vec<Vec<NodeId>> {
     let n = graph.node_count();
-    let mut remaining: Vec<usize> = (0..n).map(|i| graph.parent_count(NodeId(i as u32))).collect();
+    let mut remaining: Vec<usize> = (0..n)
+        .map(|i| graph.parent_count(NodeId(i as u32)))
+        .collect();
     let mut assigned = vec![false; n];
     let mut levels: Vec<Vec<NodeId>> = Vec::new();
     let mut current: Vec<NodeId> = (0..n as u32)
@@ -164,7 +179,10 @@ pub fn parent_level_sets(graph: &ConceptGraph) -> Vec<Vec<NodeId>> {
         }
         levels.push(std::mem::replace(&mut current, next));
     }
-    debug_assert!(assigned.iter().all(|&a| a), "cycle detected in parent_level_sets");
+    debug_assert!(
+        assigned.iter().all(|&a| a),
+        "cycle detected in parent_level_sets"
+    );
     levels
 }
 
@@ -255,7 +273,11 @@ mod tests {
         for set in &sets {
             for &n in set {
                 for (p, _) in g.parents(n) {
-                    assert!(seen.contains(&p), "parent of {} not yet emitted", g.label(n));
+                    assert!(
+                        seen.contains(&p),
+                        "parent of {} not yet emitted",
+                        g.label(n)
+                    );
                 }
             }
             seen.extend(set.iter().copied());

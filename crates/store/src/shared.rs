@@ -31,7 +31,12 @@ struct Shared {
 impl SharedStore {
     /// Wrap a graph for shared access.
     pub fn new(graph: ConceptGraph) -> Self {
-        Self { inner: Arc::new(Shared { graph: RwLock::new(graph), version: AtomicU64::new(0) }) }
+        Self {
+            inner: Arc::new(Shared {
+                graph: RwLock::new(graph),
+                version: AtomicU64::new(0),
+            }),
+        }
     }
 
     /// Run a read-only closure against the graph (many may run at once).

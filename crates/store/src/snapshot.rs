@@ -196,7 +196,10 @@ mod tests {
     fn bad_version_rejected() {
         let mut bytes = to_bytes(&sample()).to_vec();
         bytes[4] = 99;
-        assert_eq!(from_bytes(&bytes[..]).unwrap_err(), SnapshotError::BadVersion(99));
+        assert_eq!(
+            from_bytes(&bytes[..]).unwrap_err(),
+            SnapshotError::BadVersion(99)
+        );
     }
 
     #[test]

@@ -42,7 +42,9 @@ fn snapshot_round_trip_preserves_structure() {
     assert_eq!(decoded.node_count(), original.node_count());
     assert_eq!(decoded.edge_count(), original.edge_count());
     let company = decoded.find_node("company", 0).expect("company survives");
-    let msft = decoded.find_node("Microsoft", 0).expect("Microsoft survives");
+    let msft = decoded
+        .find_node("Microsoft", 0)
+        .expect("Microsoft survives");
     let edge = decoded.edge(company, msft).expect("edge survives");
     assert_eq!(edge.count, 10);
     // Both senses of "Apple" must come back, in ascending sense order.
@@ -72,7 +74,10 @@ fn hot_swap_through_shared_store_bumps_version_and_serves_new_graph() {
 
     // Queries now resolve against the new graph only.
     let ((old_gone, company), v_read) = store.read_versioned(|g| {
-        (g.find_node("country", 0), g.find_node("company", 0).expect("new concept queryable"))
+        (
+            g.find_node("country", 0),
+            g.find_node("company", 0).expect("new concept queryable"),
+        )
     });
     assert!(old_gone.is_none(), "old taxonomy fully replaced");
     assert_eq!(v_read, v1);

@@ -1,18 +1,22 @@
 //! Property tests for the graph store: snapshot round-trips, interner
 //! consistency, and level-map correctness on random DAGs.
 
-use proptest::prelude::*;
 use probase_store::query::{ancestors, descendants, LevelMap};
 use probase_store::{snapshot, ConceptGraph, GraphStats, NodeId};
+use proptest::prelude::*;
 
 /// A random DAG: edges only go from lower to higher node index, so
 /// acyclicity holds by construction.
 fn dag() -> impl Strategy<Value = ConceptGraph> {
-    (2usize..30, proptest::collection::vec((any::<u16>(), any::<u16>(), 1u32..5), 0..80)).prop_map(
-        |(n, raw_edges)| {
+    (
+        2usize..30,
+        proptest::collection::vec((any::<u16>(), any::<u16>(), 1u32..5), 0..80),
+    )
+        .prop_map(|(n, raw_edges)| {
             let mut g = ConceptGraph::new();
-            let nodes: Vec<NodeId> =
-                (0..n).map(|i| g.ensure_node(&format!("n{i}"), (i % 3) as u32)).collect();
+            let nodes: Vec<NodeId> = (0..n)
+                .map(|i| g.ensure_node(&format!("n{i}"), (i % 3) as u32))
+                .collect();
             for (a, b, w) in raw_edges {
                 let i = a as usize % n;
                 let j = b as usize % n;
@@ -21,8 +25,7 @@ fn dag() -> impl Strategy<Value = ConceptGraph> {
                 }
             }
             g
-        },
-    )
+        })
 }
 
 proptest! {

@@ -45,7 +45,11 @@ pub struct TaxonomyConfig {
 
 impl Default for TaxonomyConfig {
     fn default() -> Self {
-        Self { delta: 2, absorb: true, link_fallback: true }
+        Self {
+            delta: 2,
+            absorb: true,
+            link_fallback: true,
+        }
     }
 }
 
@@ -100,7 +104,10 @@ pub fn build_from_locals(
     cfg: &TaxonomyConfig,
 ) -> BuiltTaxonomy {
     let sim = AbsoluteOverlap { delta: cfg.delta };
-    let mut stats = BuildStats { local_taxonomies: locals.len(), ..Default::default() };
+    let mut stats = BuildStats {
+        local_taxonomies: locals.len(),
+        ..Default::default()
+    };
 
     // --- stage 2: horizontal grouping (indexed) -----------------------
     let mut state = MergeState::from_locals(locals);
@@ -180,7 +187,10 @@ fn absorb_small_groups(state: &mut MergeState, delta: usize) -> usize {
     let mut established: HashMap<Symbol, Vec<usize>> = HashMap::new();
     for &gi in &live {
         if state.groups[gi].children.len() >= delta {
-            established.entry(state.groups[gi].label).or_default().push(gi);
+            established
+                .entry(state.groups[gi].label)
+                .or_default()
+                .push(gi);
         }
     }
     // Plan absorptions against the frozen established set so the result
@@ -191,7 +201,9 @@ fn absorb_small_groups(state: &mut MergeState, delta: usize) -> usize {
         if g.children.len() >= delta {
             continue;
         }
-        let Some(cands) = established.get(&g.label) else { continue };
+        let Some(cands) = established.get(&g.label) else {
+            continue;
+        };
         let mut best: Option<usize> = None;
         for &t in cands {
             if t == gi {
@@ -247,13 +259,17 @@ fn vertical_pass(state: &mut MergeState, sim: &AbsoluteOverlap) -> usize {
     for &parent in &live {
         let children: Vec<Symbol> = state.groups[parent].children.iter().copied().collect();
         for c in children {
-            let Some(cands) = by_label.get(&c) else { continue };
+            let Some(cands) = by_label.get(&c) else {
+                continue;
+            };
             for &child in cands {
                 if child == parent {
                     continue;
                 }
-                if overlap(&state.groups[parent].children, &state.groups[child].children)
-                    >= sim.delta
+                if overlap(
+                    &state.groups[parent].children,
+                    &state.groups[child].children,
+                ) >= sim.delta
                     && state.links.insert((parent, child))
                 {
                     links += 1;
@@ -345,9 +361,8 @@ fn assemble(
     }
     // Leaf sense: one past the label's last concept sense, so instance
     // leaves never collide with concept nodes of the same label.
-    let leaf_sense = |label: Symbol| -> u32 {
-        by_label.get(&label).map(|g| g.len() as u32).unwrap_or(0)
-    };
+    let leaf_sense =
+        |label: Symbol| -> u32 { by_label.get(&label).map(|g| g.len() as u32).unwrap_or(0) };
 
     // Group-to-group edges may form cycles; break them first on a compact
     // edge list, then materialize.
@@ -581,7 +596,10 @@ mod tests {
         assert_eq!(with.graph.senses_of("plant").len(), 2);
         let without = build_taxonomy(
             &sentences,
-            &TaxonomyConfig { absorb: false, ..Default::default() },
+            &TaxonomyConfig {
+                absorb: false,
+                ..Default::default()
+            },
         );
         assert!(without.graph.senses_of("plant").len() > 2);
     }
@@ -597,7 +615,10 @@ mod tests {
                 .find(|&&s| g.children(s).any(|(c, _)| g.label(c) == "tree"))
                 .unwrap()
         };
-        let tree = g.children(flora).find(|(c, _)| g.label(*c) == "tree").unwrap();
+        let tree = g
+            .children(flora)
+            .find(|(c, _)| g.label(*c) == "tree")
+            .unwrap();
         // "tree" listed under flora-plants in sentences 0 and 1.
         assert_eq!(tree.1.count, 2);
     }
@@ -627,7 +648,10 @@ mod tests {
         ];
         let bt = build_taxonomy(
             &sentences,
-            &TaxonomyConfig { link_fallback: false, ..Default::default() },
+            &TaxonomyConfig {
+                link_fallback: false,
+                ..Default::default()
+            },
         );
         let g = &bt.graph;
         // two concept senses + one leaf sense
@@ -647,7 +671,11 @@ mod tests {
         let bt = build_taxonomy(&sentences, &TaxonomyConfig::default());
         let g = &bt.graph;
         let misc = g.senses_of("misc")[0];
-        let plant_child = g.children(misc).find(|(c, _)| g.label(*c) == "plant").unwrap().0;
+        let plant_child = g
+            .children(misc)
+            .find(|(c, _)| g.label(*c) == "plant")
+            .unwrap()
+            .0;
         // Largest plant sense is the flora one (2 member sentences).
         let kids: BTreeSet<&str> = g.children(plant_child).map(|(c, _)| g.label(c)).collect();
         assert!(kids.contains("tree"), "{kids:?}");

@@ -25,9 +25,7 @@ pub struct LocalTaxonomy {
 
 /// Intern a batch of sentence extractions into local taxonomies, sharing
 /// one interner (returned alongside).
-pub fn build_local_taxonomies(
-    sentences: &[SentenceExtraction],
-) -> (Vec<LocalTaxonomy>, Interner) {
+pub fn build_local_taxonomies(sentences: &[SentenceExtraction]) -> (Vec<LocalTaxonomy>, Interner) {
     let mut interner = Interner::new();
     let mut out = Vec::with_capacity(sentences.len());
     for s in sentences {
@@ -35,12 +33,20 @@ pub fn build_local_taxonomies(
             continue;
         }
         let root = interner.intern(&s.super_label);
-        let children: BTreeSet<Symbol> =
-            s.items.iter().map(|i| interner.intern(i)).filter(|&c| c != root).collect();
+        let children: BTreeSet<Symbol> = s
+            .items
+            .iter()
+            .map(|i| interner.intern(i))
+            .filter(|&c| c != root)
+            .collect();
         if children.is_empty() {
             continue;
         }
-        out.push(LocalTaxonomy { root, children, sentence_id: s.sentence_id });
+        out.push(LocalTaxonomy {
+            root,
+            children,
+            sentence_id: s.sentence_id,
+        });
     }
     (out, interner)
 }
@@ -78,10 +84,8 @@ mod tests {
 
     #[test]
     fn empty_extractions_skipped() {
-        let (locals, _) = build_local_taxonomies(&[
-            se(0, "animal", &[]),
-            se(1, "animal", &["animal"]),
-        ]);
+        let (locals, _) =
+            build_local_taxonomies(&[se(0, "animal", &[]), se(1, "animal", &["animal"])]);
         assert!(locals.is_empty());
     }
 }

@@ -71,7 +71,11 @@ impl MergeState {
                 }
             })
             .collect();
-        Self { groups, links: BTreeSet::new(), ops_applied: 0 }
+        Self {
+            groups,
+            links: BTreeSet::new(),
+            ops_applied: 0,
+        }
     }
 
     /// Indices of live groups.
@@ -93,7 +97,9 @@ impl MergeState {
                 parent != child
                     && self.groups[parent].alive
                     && self.groups[child].alive
-                    && self.groups[parent].children.contains(&self.groups[child].label)
+                    && self.groups[parent]
+                        .children
+                        .contains(&self.groups[child].label)
                     && !self.links.contains(&(parent, child))
                     && sim.similar(&self.groups[parent].children, &self.groups[child].children)
             }
@@ -114,8 +120,17 @@ impl MergeState {
         }
         for &p in &live {
             for &c in &live {
-                if self.applicable(MergeOp::Vertical { parent: p, child: c }, sim) {
-                    ops.push(MergeOp::Vertical { parent: p, child: c });
+                if self.applicable(
+                    MergeOp::Vertical {
+                        parent: p,
+                        child: c,
+                    },
+                    sim,
+                ) {
+                    ops.push(MergeOp::Vertical {
+                        parent: p,
+                        child: c,
+                    });
                 }
             }
         }
@@ -282,8 +297,10 @@ mod tests {
         let mut st = MergeState::from_locals(&example3());
         st.run_horizontal_first(&sim);
         // plants(a) and plants(b) merged; plants(c) stays a separate sense.
-        let plant_groups: Vec<usize> =
-            st.live().filter(|&i| st.groups[i].label == Symbol(0)).collect();
+        let plant_groups: Vec<usize> = st
+            .live()
+            .filter(|&i| st.groups[i].label == Symbol(0))
+            .collect();
         assert_eq!(plant_groups.len(), 2);
     }
 
@@ -296,17 +313,23 @@ mod tests {
         // {trees,grass,herbs}, not to equipment-plants.
         let flora: Vec<usize> = st
             .live()
-            .filter(|&i| st.groups[i].label == Symbol(0) && st.groups[i].children.contains(&Symbol(1)))
+            .filter(|&i| {
+                st.groups[i].label == Symbol(0) && st.groups[i].children.contains(&Symbol(1))
+            })
             .collect();
-        let organisms: Vec<usize> =
-            st.live().filter(|&i| st.groups[i].label == Symbol(7)).collect();
+        let organisms: Vec<usize> = st
+            .live()
+            .filter(|&i| st.groups[i].label == Symbol(7))
+            .collect();
         assert_eq!(flora.len(), 1);
         assert_eq!(organisms.len(), 1);
         assert!(st.links.contains(&(organisms[0], flora[0])));
         // equipment sense not linked from organisms
         let equip: Vec<usize> = st
             .live()
-            .filter(|&i| st.groups[i].label == Symbol(0) && st.groups[i].children.contains(&Symbol(4)))
+            .filter(|&i| {
+                st.groups[i].label == Symbol(0) && st.groups[i].children.contains(&Symbol(4))
+            })
             .collect();
         assert!(!st.links.contains(&(organisms[0], equip[0])));
     }
@@ -318,9 +341,16 @@ mod tests {
         let sim = AbsoluteOverlap { delta: 2 };
         let mut st = MergeState::from_locals(&example3());
         st.run_horizontal_first(&sim);
-        let things: usize = st.live().find(|&i| st.groups[i].label == Symbol(9)).unwrap();
-        let plant_targets: Vec<usize> =
-            st.links.iter().filter(|&&(p, _)| p == things).map(|&(_, c)| c).collect();
+        let things: usize = st
+            .live()
+            .find(|&i| st.groups[i].label == Symbol(9))
+            .unwrap();
+        let plant_targets: Vec<usize> = st
+            .links
+            .iter()
+            .filter(|&&(p, _)| p == things)
+            .map(|&(_, c)| c)
+            .collect();
         assert_eq!(plant_targets.len(), 2, "links: {:?}", st.links);
     }
 
@@ -387,7 +417,11 @@ mod tests {
         let mut total_vf = vf.ops_applied;
         total_vf += vf.run_with(&sim, |_| 0);
         let _ = total_vf;
-        assert!(hf_ops < vf.ops_applied, "hf {hf_ops} vs vf {}", vf.ops_applied);
+        assert!(
+            hf_ops < vf.ops_applied,
+            "hf {hf_ops} vs vf {}",
+            vf.ops_applied
+        );
         assert_eq!(hf.canonical(), vf.canonical());
     }
 

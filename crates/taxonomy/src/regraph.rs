@@ -106,15 +106,21 @@ mod tests {
         let b = flora_graph_other_crawl();
         let merged = merge_graphs(&[&a, &b], &TaxonomyConfig::default());
         let g = &merged.graph;
-        let senses: Vec<_> =
-            g.senses_of("plant").into_iter().filter(|&n| !g.is_instance(n)).collect();
+        let senses: Vec<_> = g
+            .senses_of("plant")
+            .into_iter()
+            .filter(|&n| !g.is_instance(n))
+            .collect();
         assert_eq!(senses.len(), 1, "overlapping flora senses must fuse");
         let kids: BTreeSet<&str> = g.children(senses[0]).map(|(c, _)| g.label(c)).collect();
         for k in ["tree", "grass", "herb", "moss"] {
             assert!(kids.contains(k), "missing {k}: {kids:?}");
         }
         // Counts add across crawls: tree had 4 + 2.
-        let tree = g.children(senses[0]).find(|(c, _)| g.label(*c) == "tree").unwrap();
+        let tree = g
+            .children(senses[0])
+            .find(|(c, _)| g.label(*c) == "tree")
+            .unwrap();
         assert_eq!(tree.1.count, 6);
     }
 
@@ -124,8 +130,11 @@ mod tests {
         let b = equipment_graph();
         let merged = merge_graphs(&[&a, &b], &TaxonomyConfig::default());
         let g = &merged.graph;
-        let senses: Vec<_> =
-            g.senses_of("plant").into_iter().filter(|&n| !g.is_instance(n)).collect();
+        let senses: Vec<_> = g
+            .senses_of("plant")
+            .into_iter()
+            .filter(|&n| !g.is_instance(n))
+            .collect();
         assert_eq!(senses.len(), 2, "flora and equipment must not fuse");
     }
 
@@ -137,7 +146,10 @@ mod tests {
         let plant = g.senses_of("plant")[0];
         let kids: BTreeSet<&str> = g.children(plant).map(|(c, _)| g.label(c)).collect();
         assert_eq!(kids.len(), 3);
-        let herb = g.children(plant).find(|(c, _)| g.label(*c) == "herb").unwrap();
+        let herb = g
+            .children(plant)
+            .find(|(c, _)| g.label(*c) == "herb")
+            .unwrap();
         assert_eq!(herb.1.count, 2);
     }
 

@@ -99,7 +99,7 @@ mod tests {
         let j = Jaccard { threshold: 0.5 };
         assert!(j.similar(&a, &b)); // 2/4 = 0.5
         assert!(!j.similar(&a, &c)); // 3/7 ≈ 0.43 — absurd: A ⊆ C
-        // Absolute overlap has no such anomaly.
+                                     // Absolute overlap has no such anomaly.
         let o = AbsoluteOverlap { delta: 2 };
         assert!(o.similar(&a, &b));
         assert!(o.similar(&a, &c));
@@ -113,8 +113,12 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let s = AbsoluteOverlap { delta: 2 };
         for _ in 0..200 {
-            let a: BTreeSet<Symbol> = (0..rng.gen_range(0..10)).map(|_| Symbol(rng.gen_range(0..20))).collect();
-            let b: BTreeSet<Symbol> = (0..rng.gen_range(0..10)).map(|_| Symbol(rng.gen_range(0..20))).collect();
+            let a: BTreeSet<Symbol> = (0..rng.gen_range(0..10))
+                .map(|_| Symbol(rng.gen_range(0..20)))
+                .collect();
+            let b: BTreeSet<Symbol> = (0..rng.gen_range(0..10))
+                .map(|_| Symbol(rng.gen_range(0..20)))
+                .collect();
             let mut a2 = a.clone();
             let mut b2 = b.clone();
             for _ in 0..rng.gen_range(0..5) {

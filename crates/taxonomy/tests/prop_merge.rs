@@ -2,13 +2,11 @@
 //! Theorem 2 (horizontal-first optimality), Property 4 (similarity
 //! monotonicity), and DAG safety of the production builder.
 
-use proptest::prelude::*;
+use probase_extract::SentenceExtraction;
 use probase_store::query::LevelMap;
 use probase_store::Symbol;
-use probase_taxonomy::{
-    build_taxonomy, AbsoluteOverlap, MergeState, Similarity, TaxonomyConfig,
-};
-use probase_extract::SentenceExtraction;
+use probase_taxonomy::{build_taxonomy, AbsoluteOverlap, MergeState, Similarity, TaxonomyConfig};
+use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;

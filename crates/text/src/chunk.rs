@@ -34,7 +34,10 @@ pub struct Chunker {
 
 impl Default for Chunker {
     fn default() -> Self {
-        Self { max_words: 6, proper_only: false }
+        Self {
+            max_words: 6,
+            proper_only: false,
+        }
     }
 }
 
@@ -56,7 +59,9 @@ impl Chunker {
             // Collect NP-internal tokens.
             let body_start = j;
             let mut last_noun: Option<usize> = None;
-            while j < tagged.len() && j - body_start < self.max_words && tagged[j].tag.is_np_internal()
+            while j < tagged.len()
+                && j - body_start < self.max_words
+                && tagged[j].tag.is_np_internal()
             {
                 if tagged[j].tag.is_noun() {
                     last_noun = Some(j);
@@ -70,7 +75,9 @@ impl Chunker {
                         .iter()
                         .map(|t| t.token.text.clone())
                         .collect();
-                    let proper = tagged[body_start..=head_idx].iter().any(|t| t.tag.is_proper_noun());
+                    let proper = tagged[body_start..=head_idx]
+                        .iter()
+                        .any(|t| t.tag.is_proper_noun());
                     if !self.proper_only || head_tag.is_proper_noun() {
                         phrases.push(NounPhrase {
                             words,
@@ -109,7 +116,10 @@ mod tests {
     use super::*;
 
     fn texts(sentence: &str) -> Vec<String> {
-        chunk_noun_phrases(sentence, &Lexicon::default()).into_iter().map(|p| p.text()).collect()
+        chunk_noun_phrases(sentence, &Lexicon::default())
+            .into_iter()
+            .map(|p| p.text())
+            .collect()
     }
 
     #[test]
@@ -148,7 +158,10 @@ mod tests {
     fn proper_only_mode() {
         let toks = tokenize("companies such as IBM");
         let tagged = tag_tokens(&toks, &Lexicon::default());
-        let chunker = Chunker { proper_only: true, ..Chunker::default() };
+        let chunker = Chunker {
+            proper_only: true,
+            ..Chunker::default()
+        };
         let ps = chunker.chunk(&tagged);
         assert_eq!(ps.len(), 1);
         assert_eq!(ps[0].text(), "IBM");
@@ -158,7 +171,10 @@ mod tests {
     fn max_words_caps_phrase_length() {
         let toks = tokenize("big big big big big big big cats");
         let tagged = tag_tokens(&toks, &Lexicon::default());
-        let chunker = Chunker { max_words: 3, ..Chunker::default() };
+        let chunker = Chunker {
+            max_words: 3,
+            ..Chunker::default()
+        };
         let ps = chunker.chunk(&tagged);
         // The window never reaches the head noun in the first chunk attempt,
         // but a later attempt starting further right does.

@@ -88,7 +88,10 @@ mod tests {
 
     #[test]
     fn normalize_concept_lowercases_and_singularizes_head() {
-        assert_eq!(normalize_concept("Industrialized Countries"), "industrialized country");
+        assert_eq!(
+            normalize_concept("Industrialized Countries"),
+            "industrialized country"
+        );
         assert_eq!(normalize_concept("animals"), "animal");
         assert_eq!(normalize_concept("BRIC countries"), "bric country");
     }
@@ -101,7 +104,10 @@ mod tests {
 
     #[test]
     fn normalize_instance_collapses_whitespace() {
-        assert_eq!(normalize_instance("  Proctor   and  Gamble "), "Proctor and Gamble");
+        assert_eq!(
+            normalize_instance("  Proctor   and  Gamble "),
+            "Proctor and Gamble"
+        );
         assert_eq!(normalize_instance("IBM"), "IBM");
     }
 

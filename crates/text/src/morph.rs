@@ -71,8 +71,16 @@ const IRREGULARS: &[(&str, &str)] = &[
 /// Words that are identical in singular and plural (treated as plural by
 /// `is_plural` because they commonly head plural NPs in Hearst patterns:
 /// "species such as ...").
-const INVARIANT_PLURALS: &[&str] =
-    &["species", "series", "fish", "sheep", "deer", "aircraft", "means", "offspring"];
+const INVARIANT_PLURALS: &[&str] = &[
+    "species",
+    "series",
+    "fish",
+    "sheep",
+    "deer",
+    "aircraft",
+    "means",
+    "offspring",
+];
 
 /// Common singular words ending in `s` that the suffix heuristic would
 /// otherwise misclassify as plural. Words in "-ics" (athletics, physics)
@@ -85,9 +93,30 @@ const SINGULAR_S_WORDS: &[&str] = &[
 /// Uncountable (mass) nouns: no plural form at all. They appear among the
 /// curated instance inventory ("dishes such as beef and dairy").
 const UNCOUNTABLE: &[&str] = &[
-    "broccoli", "spinach", "sushi", "beef", "dairy", "rice", "milk", "cheese", "bread",
-    "butter", "tobacco", "alcohol", "caffeine", "insulin", "heroin", "morphine", "water",
-    "gymnastics", "athletics", "muesli", "diabetes", "tuberculosis", "rabies", "measles",
+    "broccoli",
+    "spinach",
+    "sushi",
+    "beef",
+    "dairy",
+    "rice",
+    "milk",
+    "cheese",
+    "bread",
+    "butter",
+    "tobacco",
+    "alcohol",
+    "caffeine",
+    "insulin",
+    "heroin",
+    "morphine",
+    "water",
+    "gymnastics",
+    "athletics",
+    "muesli",
+    "diabetes",
+    "tuberculosis",
+    "rabies",
+    "measles",
 ];
 
 fn irregular_plural_of(word: &str) -> Option<&'static str> {
@@ -150,10 +179,7 @@ pub fn pluralize(word: &str) -> String {
     if let Some(p) = irregular_plural_of(word) {
         return p.to_string();
     }
-    if INVARIANT_PLURALS.contains(&word)
-        || UNCOUNTABLE.contains(&word)
-        || word.ends_with("ics")
-    {
+    if INVARIANT_PLURALS.contains(&word) || UNCOUNTABLE.contains(&word) || word.ends_with("ics") {
         return word.to_string();
     }
     let bytes = word.as_bytes();
@@ -244,7 +270,9 @@ mod tests {
 
     #[test]
     fn regular_roundtrip() {
-        for w in ["cat", "country", "company", "box", "church", "bush", "city", "hero", "table"] {
+        for w in [
+            "cat", "country", "company", "box", "church", "bush", "city", "hero", "table",
+        ] {
             let p = pluralize(w);
             assert!(is_plural(&p), "is_plural({p})");
             assert_eq!(singularize(&p), w, "singularize({p})");

@@ -26,7 +26,9 @@ pub struct NounPhrase {
 impl NounPhrase {
     /// The head word (always present; chunker never emits empty phrases).
     pub fn head(&self) -> &str {
-        self.words.last().expect("noun phrase has at least one word")
+        self.words
+            .last()
+            .expect("noun phrase has at least one word")
     }
 
     /// Surface text with single spaces.

@@ -11,8 +11,8 @@
 
 /// Abbreviations whose trailing period does not end a sentence.
 const ABBREVIATIONS: &[&str] = &[
-    "e.g", "i.e", "etc", "vs", "dr", "mr", "mrs", "ms", "prof", "inc", "ltd", "co", "corp",
-    "st", "no", "fig", "vol", "jr", "sr", "dept", "est", "approx",
+    "e.g", "i.e", "etc", "vs", "dr", "mr", "mrs", "ms", "prof", "inc", "ltd", "co", "corp", "st",
+    "no", "fig", "vol", "jr", "sr", "dept", "est", "approx",
 ];
 
 /// Split raw text into sentences. Whitespace is normalized per sentence;
@@ -74,7 +74,10 @@ fn next_nonspace(chars: &[char], from: usize) -> Option<char> {
 fn is_decimal_point(chars: &[char], dot: usize) -> bool {
     dot > 0
         && chars[dot - 1].is_ascii_digit()
-        && chars.get(dot + 1).map(|c| c.is_ascii_digit()).unwrap_or(false)
+        && chars
+            .get(dot + 1)
+            .map(|c| c.is_ascii_digit())
+            .unwrap_or(false)
 }
 
 /// `J.` in "J. K. Rowling" — single capital letter before the period.
@@ -87,7 +90,10 @@ fn is_initial(chars: &[char], dot: usize) -> bool {
 
 fn ends_with_abbreviation(current: &str) -> bool {
     let trimmed = current.trim_end_matches('.');
-    let last_word = trimmed.rsplit(|c: char| c.is_whitespace() || c == '(').next().unwrap_or("");
+    let last_word = trimmed
+        .rsplit(|c: char| c.is_whitespace() || c == '(')
+        .next()
+        .unwrap_or("");
     let lower = last_word.to_lowercase();
     ABBREVIATIONS.contains(&lower.as_str())
 }

@@ -83,39 +83,190 @@ const DETERMINERS: &[&str] = &[
 const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor"];
 
 const PREPOSITIONS: &[&str] = &[
-    "of", "in", "on", "at", "by", "for", "with", "from", "to", "into", "onto", "over", "under",
-    "about", "after", "before", "between", "during", "through", "without", "within", "than", "according",
-    "as", "like", "among", "across", "against", "around", "near", "per", "via",
+    "of",
+    "in",
+    "on",
+    "at",
+    "by",
+    "for",
+    "with",
+    "from",
+    "to",
+    "into",
+    "onto",
+    "over",
+    "under",
+    "about",
+    "after",
+    "before",
+    "between",
+    "during",
+    "through",
+    "without",
+    "within",
+    "than",
+    "according",
+    "as",
+    "like",
+    "among",
+    "across",
+    "against",
+    "around",
+    "near",
+    "per",
+    "via",
 ];
 
 const PRONOUNS: &[&str] = &[
-    "i", "we", "you", "he", "she", "it", "they", "them", "him", "us", "me", "who", "which",
-    "what", "whom", "whose", "there", "here",
+    "i", "we", "you", "he", "she", "it", "they", "them", "him", "us", "me", "who", "which", "what",
+    "whom", "whose", "there", "here",
 ];
 
 /// Common verbs and auxiliaries that would otherwise look like nouns. The
 /// list needs to cover what appears in corpus-simulator prose plus ordinary
 /// web-sentence glue.
 const VERBS: &[&str] = &[
-    "is", "are", "was", "were", "be", "been", "being", "am", "do", "does", "did", "have", "has",
-    "had", "can", "could", "will", "would", "shall", "should", "may", "might", "must", "include",
-    "includes", "included", "contain", "contains", "contained", "offer", "offers", "offered",
-    "provide", "provides", "provided", "sell", "sells", "sold", "make", "makes", "made", "use",
-    "uses", "used", "see", "saw", "seen", "find", "found", "visit", "visited", "feature",
-    "features", "featured", "know", "known", "knows", "love", "loves", "loved", "prefer",
-    "prefers", "buy", "buys", "bought", "study", "studied", "studies", "compete", "competes",
-    "work", "works", "worked", "grow", "grows", "grew", "become", "becomes", "became",
-    "recommend", "recommends", "recommended", "mention", "mentions", "mentioned", "track",
-    "tracks", "tracked", "cover", "covers", "covered", "list", "lists", "listed", "discuss",
-    "discussed", "realize", "realizes", "realized", "remain", "remains", "remained", "rose",
-    "rise", "rises", "keep", "keeps", "kept", "ask", "asks", "asked", "change", "changes",
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "being",
+    "am",
+    "do",
+    "does",
+    "did",
+    "have",
+    "has",
+    "had",
+    "can",
+    "could",
+    "will",
+    "would",
+    "shall",
+    "should",
+    "may",
+    "might",
+    "must",
+    "include",
+    "includes",
+    "included",
+    "contain",
+    "contains",
+    "contained",
+    "offer",
+    "offers",
+    "offered",
+    "provide",
+    "provides",
+    "provided",
+    "sell",
+    "sells",
+    "sold",
+    "make",
+    "makes",
+    "made",
+    "use",
+    "uses",
+    "used",
+    "see",
+    "saw",
+    "seen",
+    "find",
+    "found",
+    "visit",
+    "visited",
+    "feature",
+    "features",
+    "featured",
+    "know",
+    "known",
+    "knows",
+    "love",
+    "loves",
+    "loved",
+    "prefer",
+    "prefers",
+    "buy",
+    "buys",
+    "bought",
+    "study",
+    "studied",
+    "studies",
+    "compete",
+    "competes",
+    "work",
+    "works",
+    "worked",
+    "grow",
+    "grows",
+    "grew",
+    "become",
+    "becomes",
+    "became",
+    "recommend",
+    "recommends",
+    "recommended",
+    "mention",
+    "mentions",
+    "mentioned",
+    "track",
+    "tracks",
+    "tracked",
+    "cover",
+    "covers",
+    "covered",
+    "list",
+    "lists",
+    "listed",
+    "discuss",
+    "discussed",
+    "realize",
+    "realizes",
+    "realized",
+    "remain",
+    "remains",
+    "remained",
+    "rose",
+    "rise",
+    "rises",
+    "keep",
+    "keeps",
+    "kept",
+    "ask",
+    "asks",
+    "asked",
+    "change",
+    "changes",
     "changed",
 ];
 
 const ADVERBS: &[&str] = &[
-    "not", "very", "too", "also", "just", "only", "often", "always", "never", "sometimes",
-    "usually", "typically", "generally", "especially", "particularly", "notably", "mostly",
-    "mainly", "even", "still", "already", "again", "together", "etc",
+    "not",
+    "very",
+    "too",
+    "also",
+    "just",
+    "only",
+    "often",
+    "always",
+    "never",
+    "sometimes",
+    "usually",
+    "typically",
+    "generally",
+    "especially",
+    "particularly",
+    "notably",
+    "mostly",
+    "mainly",
+    "even",
+    "still",
+    "already",
+    "again",
+    "together",
+    "etc",
 ];
 
 /// Adjective-like suffixes. Deliberately short: ambiguous suffixes like
@@ -126,12 +277,55 @@ const ADJ_SUFFIXES: &[&str] = &["ous", "ive", "able", "ible", "ful", "less", "is
 /// A small built-in adjective list covering modifiers that appear in the
 /// paper's examples and in the corpus simulator's modifier inventory.
 const ADJECTIVES: &[&str] = &[
-    "large", "largest", "big", "biggest", "small", "smallest", "best", "worst", "good", "great",
-    "new", "old", "young", "major", "minor", "common", "rare", "popular", "famous", "typical",
-    "classic", "modern", "ancient", "domestic", "wild", "tropical", "industrialized",
-    "developing", "developed", "emerging", "renewable", "beautiful", "important", "other",
-    "such", "same", "different", "various", "certain", "local", "global", "national",
-    "international", "public", "private", "top", "leading", "key", "main",
+    "large",
+    "largest",
+    "big",
+    "biggest",
+    "small",
+    "smallest",
+    "best",
+    "worst",
+    "good",
+    "great",
+    "new",
+    "old",
+    "young",
+    "major",
+    "minor",
+    "common",
+    "rare",
+    "popular",
+    "famous",
+    "typical",
+    "classic",
+    "modern",
+    "ancient",
+    "domestic",
+    "wild",
+    "tropical",
+    "industrialized",
+    "developing",
+    "developed",
+    "emerging",
+    "renewable",
+    "beautiful",
+    "important",
+    "other",
+    "such",
+    "same",
+    "different",
+    "various",
+    "certain",
+    "local",
+    "global",
+    "national",
+    "international",
+    "public",
+    "private",
+    "top",
+    "leading",
+    "key",
+    "main",
 ];
 
 fn lookup(word: &str, list: &[&str]) -> bool {
@@ -148,7 +342,10 @@ pub fn tag_tokens(tokens: &[Token], lexicon: &Lexicon) -> Vec<TaggedToken> {
     tokens
         .iter()
         .enumerate()
-        .map(|(i, tok)| TaggedToken { token: tok.clone(), tag: tag_one(tok, i == 0, lexicon) })
+        .map(|(i, tok)| TaggedToken {
+            token: tok.clone(),
+            tag: tag_one(tok, i == 0, lexicon),
+        })
         .collect()
 }
 
@@ -162,8 +359,14 @@ fn tag_one(tok: &Token, sentence_initial: bool, lexicon: &Lexicon) -> Tag {
 
     if let Some(entry) = lexicon.get(&lower) {
         return match entry {
-            LexEntry::Noun => Tag::Noun { plural: is_plural(&lower), proper: false },
-            LexEntry::ProperNoun => Tag::Noun { plural: false, proper: true },
+            LexEntry::Noun => Tag::Noun {
+                plural: is_plural(&lower),
+                proper: false,
+            },
+            LexEntry::ProperNoun => Tag::Noun {
+                plural: false,
+                proper: true,
+            },
             LexEntry::Adjective => Tag::Adj,
             LexEntry::Verb => Tag::Verb,
         };
@@ -188,13 +391,19 @@ fn tag_one(tok: &Token, sentence_initial: bool, lexicon: &Lexicon) -> Tag {
         return Tag::Adv;
     }
     if tok.is_acronym() || (tok.is_capitalized() && !sentence_initial) {
-        return Tag::Noun { plural: false, proper: true };
+        return Tag::Noun {
+            plural: false,
+            proper: true,
+        };
     }
     if lookup(&lower, ADJECTIVES) || ADJ_SUFFIXES.iter().any(|s| lower.ends_with(s)) {
         return Tag::Adj;
     }
     // Default: common noun; plurality from morphology.
-    Tag::Noun { plural: is_plural(&lower), proper: false }
+    Tag::Noun {
+        plural: is_plural(&lower),
+        proper: false,
+    }
 }
 
 #[cfg(test)]
@@ -203,18 +412,39 @@ mod tests {
     use crate::token::tokenize;
 
     fn tags(s: &str) -> Vec<Tag> {
-        tag_tokens(&tokenize(s), &Lexicon::default()).into_iter().map(|t| t.tag).collect()
+        tag_tokens(&tokenize(s), &Lexicon::default())
+            .into_iter()
+            .map(|t| t.tag)
+            .collect()
     }
 
     #[test]
     fn tags_hearst_sentence() {
         let t = tags("animals such as cats and dogs");
-        assert_eq!(t[0], Tag::Noun { plural: true, proper: false }); // animals
+        assert_eq!(
+            t[0],
+            Tag::Noun {
+                plural: true,
+                proper: false
+            }
+        ); // animals
         assert_eq!(t[1], Tag::Adj); // such
         assert_eq!(t[2], Tag::Prep); // as
-        assert_eq!(t[3], Tag::Noun { plural: true, proper: false }); // cats
+        assert_eq!(
+            t[3],
+            Tag::Noun {
+                plural: true,
+                proper: false
+            }
+        ); // cats
         assert_eq!(t[4], Tag::Conj); // and
-        assert_eq!(t[5], Tag::Noun { plural: true, proper: false }); // dogs
+        assert_eq!(
+            t[5],
+            Tag::Noun {
+                plural: true,
+                proper: false
+            }
+        ); // dogs
     }
 
     #[test]
@@ -227,7 +457,13 @@ mod tests {
     #[test]
     fn sentence_initial_capital_is_not_proper() {
         let t = tags("Animals such as cats");
-        assert_eq!(t[0], Tag::Noun { plural: true, proper: false });
+        assert_eq!(
+            t[0],
+            Tag::Noun {
+                plural: true,
+                proper: false
+            }
+        );
     }
 
     #[test]

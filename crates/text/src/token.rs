@@ -49,7 +49,11 @@ impl Token {
     pub fn is_acronym(&self) -> bool {
         self.text.chars().count() >= 2
             && self.text.chars().any(|c| c.is_alphabetic())
-            && self.text.chars().filter(|c| c.is_alphabetic()).all(|c| c.is_uppercase())
+            && self
+                .text
+                .chars()
+                .filter(|c| c.is_alphabetic())
+                .all(|c| c.is_uppercase())
     }
 }
 
@@ -100,18 +104,35 @@ pub fn tokenize(input: &str) -> Vec<Token> {
                     break;
                 }
             }
-            let end = if j < chars.len() { chars[j].0 } else { input.len() };
+            let end = if j < chars.len() {
+                chars[j].0
+            } else {
+                input.len()
+            };
             let text = &input[start..end];
-            let kind = if text.chars().all(|ch| ch.is_ascii_digit() || ch == '-' || ch == '.') {
+            let kind = if text
+                .chars()
+                .all(|ch| ch.is_ascii_digit() || ch == '-' || ch == '.')
+            {
                 TokenKind::Number
             } else {
                 TokenKind::Word
             };
-            tokens.push(Token { text: text.to_string(), start, end, kind });
+            tokens.push(Token {
+                text: text.to_string(),
+                start,
+                end,
+                kind,
+            });
             i = j;
         } else {
             let end = start + c.len_utf8();
-            tokens.push(Token { text: c.to_string(), start, end, kind: TokenKind::Punct });
+            tokens.push(Token {
+                text: c.to_string(),
+                start,
+                end,
+                kind: TokenKind::Punct,
+            });
             i += 1;
         }
     }

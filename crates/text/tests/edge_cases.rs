@@ -10,7 +10,13 @@ fn lexicon_noun_override_controls_plurality() {
     let mut lex = Lexicon::new();
     lex.insert("grepins", LexEntry::Noun);
     let tagged = tag_tokens(&tokenize("grepins such as things"), &lex);
-    assert_eq!(tagged[0].tag, Tag::Noun { plural: true, proper: false });
+    assert_eq!(
+        tagged[0].tag,
+        Tag::Noun {
+            plural: true,
+            proper: false
+        }
+    );
 }
 
 #[test]
@@ -43,8 +49,14 @@ fn chunker_empty_input() {
 
 #[test]
 fn normalize_concept_handles_multiword_modifiers() {
-    assert_eq!(normalize_concept("Very Large IT Companies"), "very large it companies".replace("companies", "company"));
-    assert_eq!(normalize_concept("renewable energy technologies"), "renewable energy technology");
+    assert_eq!(
+        normalize_concept("Very Large IT Companies"),
+        "very large it companies".replace("companies", "company")
+    );
+    assert_eq!(
+        normalize_concept("renewable energy technologies"),
+        "renewable energy technology"
+    );
 }
 
 #[test]

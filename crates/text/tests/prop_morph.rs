@@ -1,7 +1,7 @@
 //! Property tests for the morphology and tokenizer invariants.
 
-use proptest::prelude::*;
 use probase_text::{is_plural, normalize_concept, pluralize, singularize, tokenize};
+use proptest::prelude::*;
 
 /// Generator for regular lowercase nouns. Endings that are genuinely
 /// ambiguous in English are excluded: a final "i"/"u" yields plurals in
@@ -12,15 +12,16 @@ fn word() -> impl Strategy<Value = String> {
     // Words whose regular plural collides with a lexical exception
     // ("ga"+s = "gas", "len"+s = "lens") are excluded too.
     const EXCEPTION_PLURALS: &[&str] = &[
-        "gas", "bus", "lens", "iris", "virus", "campus", "status", "bonus", "census",
-        "corpus", "genius", "chaos", "atlas", "canvas", "tennis", "physics", "news",
-        "species", "series", "means", "broccoli", "spinach", "sushi", "beef", "dairy",
-        "rice", "milk", "cheese", "bread", "butter", "tobacco", "alcohol", "water",
-        "diabetes", "rabies", "measles",
+        "gas", "bus", "lens", "iris", "virus", "campus", "status", "bonus", "census", "corpus",
+        "genius", "chaos", "atlas", "canvas", "tennis", "physics", "news", "species", "series",
+        "means", "broccoli", "spinach", "sushi", "beef", "dairy", "rice", "milk", "cheese",
+        "bread", "butter", "tobacco", "alcohol", "water", "diabetes", "rabies", "measles",
     ];
     "[a-z]{2,10}".prop_filter("regular plural spelling", |w| {
         // "ic" excluded: "ic"+s = "ics", which the -ics rule treats as singular.
-        let bad_end = ["s", "x", "z", "i", "u", "oe", "he", "xe", "ze", "se", "ie", "ic"];
+        let bad_end = [
+            "s", "x", "z", "i", "u", "oe", "he", "xe", "ze", "se", "ie", "ic",
+        ];
         !bad_end.iter().any(|e| w.ends_with(e))
             && !EXCEPTION_PLURALS.contains(&pluralize(w).as_str())
             && !EXCEPTION_PLURALS.contains(&w.as_str())

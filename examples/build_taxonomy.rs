@@ -20,7 +20,11 @@ fn rec(id: u64, text: &str) -> SentenceRecord {
     SentenceRecord {
         id,
         text: text.to_string(),
-        meta: SourceMeta { page_id: id / 2, page_rank: 0.4, source_quality: 0.8 },
+        meta: SourceMeta {
+            page_id: id / 2,
+            page_rank: 0.4,
+            source_quality: 0.8,
+        },
         truth: SentenceTruth::default(),
     }
 }
@@ -54,8 +58,11 @@ fn main() {
         "organisms such as plants, trees, grass and animals.",
         "things such as plants, trees, grass, pumps, and boilers.",
     ];
-    let records: Vec<SentenceRecord> =
-        texts.iter().enumerate().map(|(i, t)| rec(i as u64, t)).collect();
+    let records: Vec<SentenceRecord> = texts
+        .iter()
+        .enumerate()
+        .map(|(i, t)| rec(i as u64, t))
+        .collect();
 
     // Stage 1: iterative extraction.
     let out = extract(&records, &Lexicon::default(), &ExtractorConfig::paper());
@@ -68,7 +75,10 @@ fn main() {
     }
     println!("\nper-sentence extractions:");
     for s in &out.sentences {
-        println!("  [{:>2}] {} -> {:?}", s.sentence_id, s.super_label, s.items);
+        println!(
+            "  [{:>2}] {} -> {:?}",
+            s.sentence_id, s.super_label, s.items
+        );
     }
 
     // Stage 2: taxonomy construction.
@@ -86,8 +96,12 @@ fn main() {
 
     // Stage 3: plausibility + typicality.
     let model = EvidenceModel::fit(&out.evidence, &SeedSet::new());
-    let table =
-        compute_plausibility(&out.evidence, &out.knowledge, &model, &PlausibilityConfig::default());
+    let table = compute_plausibility(
+        &out.evidence,
+        &out.knowledge,
+        &model,
+        &PlausibilityConfig::default(),
+    );
     annotate_graph(&mut graph, &table);
     println!("\n=== probabilistic model ===");
     println!("graph stats: {:?}", GraphStats::compute(&graph));

@@ -11,7 +11,10 @@ use probase::{ProbaseConfig, Simulation};
 fn main() {
     let sim = Simulation::run(
         &WorldConfig::default(),
-        &CorpusConfig { sentences: 25_000, ..CorpusConfig::default() },
+        &CorpusConfig {
+            sentences: 25_000,
+            ..CorpusConfig::default()
+        },
         &ProbaseConfig::paper(),
     );
     let model = &sim.probase.model;
@@ -24,7 +27,10 @@ fn main() {
     ] {
         println!("{text:?}");
         for tag in tag_entities(model, text, &NerConfig::default()) {
-            println!("  {:<22} -> {:<22} ({:.2})", tag.surface, tag.concept, tag.confidence);
+            println!(
+                "  {:<22} -> {:<22} ({:.2})",
+                tag.surface, tag.concept, tag.confidence
+            );
         }
         println!();
     }

@@ -35,7 +35,12 @@ fn main() {
     println!("{} sentences from {} documents", records.len(), docs.len());
 
     // No seed taxonomy: the evidence model falls back to its prior.
-    let probase = build_probase(&records, &Lexicon::default(), &ProbaseConfig::paper(), &SeedSet::new());
+    let probase = build_probase(
+        &records,
+        &Lexicon::default(),
+        &ProbaseConfig::paper(),
+        &SeedSet::new(),
+    );
 
     println!(
         "extracted {} pairs over {} concepts\n",
@@ -52,7 +57,10 @@ fn main() {
         println!("{concept:<10} -> {}", typical.join(", "));
     }
     let g = probase.model.graph();
-    println!("\n\"plant\" senses: {}", probase.model.senses("plant").len());
+    println!(
+        "\n\"plant\" senses: {}",
+        probase.model.senses("plant").len()
+    );
     for s in probase.model.senses("plant") {
         let kids: Vec<&str> = g.children(s).map(|(c, _)| g.label(c)).collect();
         println!("  {} -> {}", g.display(s), kids.join(", "));

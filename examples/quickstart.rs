@@ -12,11 +12,17 @@ fn main() {
     println!("Simulating a web crawl and building Probase ...");
     let sim = Simulation::run(
         &WorldConfig::default(),
-        &CorpusConfig { sentences: 30_000, ..CorpusConfig::default() },
+        &CorpusConfig {
+            sentences: 30_000,
+            ..CorpusConfig::default()
+        },
         &ProbaseConfig::paper(),
     );
     let world_errors = sim.world.validate();
-    assert!(world_errors.is_empty(), "world invariants violated: {world_errors:?}");
+    assert!(
+        world_errors.is_empty(),
+        "world invariants violated: {world_errors:?}"
+    );
 
     let p = &sim.probase;
     println!(
@@ -34,8 +40,10 @@ fn main() {
     println!("\nTypical instances:");
     for concept in ["company", "country", "tropical country"] {
         let instances = p.model.typical_instances(concept, 5);
-        let rendered: Vec<String> =
-            instances.iter().map(|(i, t)| format!("{i} ({t:.2})")).collect();
+        let rendered: Vec<String> = instances
+            .iter()
+            .map(|(i, t)| format!("{i} ({t:.2})"))
+            .collect();
         println!("  {concept:<18} -> {}", rendered.join(", "));
     }
 
@@ -47,17 +55,24 @@ fn main() {
 
     // Set completion (§1): suggest a fourth BRIC member.
     let completions = p.model.complete(&["China", "India", "Brazil"], 3);
-    let rendered: Vec<String> =
-        completions.iter().map(|(i, s)| format!("{i} ({s:.2})")).collect();
-    println!("\nCompletion of {{China, India, Brazil}}: {}", rendered.join(", "));
+    let rendered: Vec<String> = completions
+        .iter()
+        .map(|(i, s)| format!("{i} ({s:.2})"))
+        .collect();
+    println!(
+        "\nCompletion of {{China, India, Brazil}}: {}",
+        rendered.join(", ")
+    );
 
     // The two-sense word of §3: plant.
     let senses = p.model.senses("plant");
-    println!("\n\"plant\" has {} concept sense(s) in the built taxonomy", senses.len());
+    println!(
+        "\n\"plant\" has {} concept sense(s) in the built taxonomy",
+        senses.len()
+    );
     for s in senses {
         let g = p.model.graph();
-        let kids: Vec<&str> =
-            g.children(s).take(4).map(|(c, _)| g.label(c)).collect();
+        let kids: Vec<&str> = g.children(s).take(4).map(|(c, _)| g.label(c)).collect();
         println!("  {} -> {}", g.display(s), kids.join(", "));
     }
 }

@@ -13,7 +13,10 @@ use probase::{ProbaseConfig, Simulation};
 fn main() {
     let sim = Simulation::run(
         &WorldConfig::default(),
-        &CorpusConfig { sentences: 25_000, ..CorpusConfig::default() },
+        &CorpusConfig {
+            sentences: 25_000,
+            ..CorpusConfig::default()
+        },
         &ProbaseConfig::paper(),
     );
     let model = &sim.probase.model;
@@ -21,12 +24,19 @@ fn main() {
     // Index the simulated pages and mine word association.
     let docs = pages_from_corpus(&sim.corpus);
     println!("indexed {} pages", docs.len());
-    let vocab: Vec<String> =
-        model.typical_instances("country", 20).into_iter().map(|(i, _)| i).collect();
+    let vocab: Vec<String> = model
+        .typical_instances("country", 20)
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect();
     let assoc = Association::from_pages(&docs, &vocab);
     let index = MiniIndex::build(docs);
 
-    for query in ["largest companies in tropical countries", "best universities", "famous actors"] {
+    for query in [
+        "largest companies in tropical countries",
+        "best universities",
+        "famous actors",
+    ] {
         println!("\nquery: {query:?}");
         let rewrites = rewrite_query(model, &assoc, query, 4, 6);
         for rw in &rewrites {

@@ -14,7 +14,10 @@ use probase::{ProbaseConfig, Simulation};
 fn main() {
     let sim = Simulation::run(
         &WorldConfig::default(),
-        &CorpusConfig { sentences: 25_000, ..CorpusConfig::default() },
+        &CorpusConfig {
+            sentences: 25_000,
+            ..CorpusConfig::default()
+        },
         &ProbaseConfig::paper(),
     );
     let model = &sim.probase.model;
@@ -26,8 +29,10 @@ fn main() {
         "watching Star Wars and Blade Runner again",
     ] {
         let concepts = conceptualize_text(model, text, 3);
-        let rendered: Vec<String> =
-            concepts.iter().map(|(c, s)| format!("{c} ({s:.2})")).collect();
+        let rendered: Vec<String> = concepts
+            .iter()
+            .map(|(c, s)| format!("{c} ({s:.2})"))
+            .collect();
         println!("{text:?} -> {}", rendered.join(", "));
     }
 
@@ -41,14 +46,24 @@ fn main() {
     let gold: Vec<usize> = tws.iter().map(|t| t.topic).collect();
 
     let mut cspace = FeatureSpace::default();
-    let cvecs: Vec<_> = tws.iter().map(|t| concept_vector(model, &mut cspace, &t.text, 3)).collect();
+    let cvecs: Vec<_> = tws
+        .iter()
+        .map(|t| concept_vector(model, &mut cspace, &t.text, 3))
+        .collect();
     let cassign = kmeans(&cvecs, topics.len(), 25, 7);
 
     let mut wspace = FeatureSpace::default();
-    let wvecs: Vec<_> = tws.iter().map(|t| bow_vector(&mut wspace, &t.text)).collect();
+    let wvecs: Vec<_> = tws
+        .iter()
+        .map(|t| bow_vector(&mut wspace, &t.text))
+        .collect();
     let wassign = kmeans(&wvecs, topics.len(), 25, 7);
 
-    println!("\nclustering {} tweets into {} topics:", tws.len(), topics.len());
+    println!(
+        "\nclustering {} tweets into {} topics:",
+        tws.len(),
+        topics.len()
+    );
     println!("  concept-vector purity : {:.3}", purity(&cassign, &gold));
     println!("  bag-of-words purity   : {:.3}", purity(&wassign, &gold));
 }

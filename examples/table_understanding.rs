@@ -13,26 +13,43 @@ use probase::{ProbaseConfig, Simulation};
 fn main() {
     let sim = Simulation::run(
         &WorldConfig::default(),
-        &CorpusConfig { sentences: 25_000, ..CorpusConfig::default() },
+        &CorpusConfig {
+            sentences: 25_000,
+            ..CorpusConfig::default()
+        },
         &ProbaseConfig::paper(),
     );
     let model = &sim.probase.model;
 
     // A hand-written table column, as in the paper's example.
     let column = Column {
-        cells: ["China", "India", "Brazil", "Freedonia"].iter().map(|s| s.to_string()).collect(),
+        cells: ["China", "India", "Brazil", "Freedonia"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
     };
     let (inferences, enrichments) = understand_tables(model, &[column], 0.05);
     if let Some(Some(h)) = inferences.first() {
-        println!("hand-written column -> header {:?} (confidence {:.2})", h.concept, h.confidence);
+        println!(
+            "hand-written column -> header {:?} (confidence {:.2})",
+            h.concept, h.confidence
+        );
     }
     for e in &enrichments {
-        println!("  enrichment: add {:?} under {:?}", e.new_instances, e.concept);
+        println!(
+            "  enrichment: add {:?} under {:?}",
+            e.new_instances, e.concept
+        );
     }
 
     // A batch of synthetic tables with gold headers.
     let gold = table_columns(&sim.world, 60, 6, 0.1, 5);
-    let columns: Vec<Column> = gold.iter().map(|g| Column { cells: g.cells.clone() }).collect();
+    let columns: Vec<Column> = gold
+        .iter()
+        .map(|g| Column {
+            cells: g.cells.clone(),
+        })
+        .collect();
     let (inferences, enrichments) = understand_tables(model, &columns, 0.05);
     let mut correct = 0;
     let mut answered = 0;

@@ -100,8 +100,9 @@ fn parse_args(argv: &[String]) -> Result<Option<CliArgs>, String> {
             "--load" => args.load = Some(take("--load")?.clone()),
             "--sentences" => {
                 let v = take("--sentences")?;
-                args.sentences =
-                    v.parse().map_err(|_| format!("--sentences: not a number: {v:?}"))?;
+                args.sentences = v
+                    .parse()
+                    .map_err(|_| format!("--sentences: not a number: {v:?}"))?;
             }
             "--addr" if args.serve => args.addr = take("--addr")?.clone(),
             "--workers" if args.serve => {
@@ -122,12 +123,15 @@ fn parse_args(argv: &[String]) -> Result<Option<CliArgs>, String> {
             }
             "--cache" if args.serve => {
                 let v = take("--cache")?;
-                args.cache = v.parse().map_err(|_| format!("--cache: not a number: {v:?}"))?;
+                args.cache = v
+                    .parse()
+                    .map_err(|_| format!("--cache: not a number: {v:?}"))?;
             }
             "--deadline-ms" if args.serve => {
                 let v = take("--deadline-ms")?;
-                args.deadline_ms =
-                    v.parse().map_err(|_| format!("--deadline-ms: not a number: {v:?}"))?;
+                args.deadline_ms = v
+                    .parse()
+                    .map_err(|_| format!("--deadline-ms: not a number: {v:?}"))?;
             }
             positional if !positional.starts_with('-') && !args.serve => {
                 // Back-compat: `probase-cli 60000`.
@@ -164,7 +168,10 @@ fn load_graph(args: &CliArgs) -> Result<ConceptGraph, String> {
             eprintln!("building Probase over a {sentences}-sentence simulated crawl ...");
             let sim = Simulation::run(
                 &WorldConfig::default(),
-                &CorpusConfig { sentences, ..CorpusConfig::default() },
+                &CorpusConfig {
+                    sentences,
+                    ..CorpusConfig::default()
+                },
                 &ProbaseConfig::paper(),
             );
             eprintln!(
@@ -282,7 +289,11 @@ fn dispatch(model: &ProbaseModel, line: &str) -> bool {
             }
         }
         "abstract" => {
-            let terms: Vec<&str> = rest.split(';').map(str::trim).filter(|t| !t.is_empty()).collect();
+            let terms: Vec<&str> = rest
+                .split(';')
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .collect();
             for (c, s) in model.conceptualize(&terms, 8) {
                 println!("  {s:.4}  {c}");
             }
@@ -298,7 +309,10 @@ fn dispatch(model: &ProbaseModel, line: &str) -> bool {
         }
         "ner" => {
             for tag in tag_entities(model, rest, &NerConfig::default()) {
-                println!("  {} -> {} ({:.2})", tag.surface, tag.concept, tag.confidence);
+                println!(
+                    "  {} -> {} ({:.2})",
+                    tag.surface, tag.concept, tag.confidence
+                );
             }
         }
         "search" => {

@@ -73,7 +73,8 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
             "--addr" => args.addr = take("--addr")?.clone(),
             "--threads" => args.threads = num("--threads", take("--threads")?)?,
             "--duration-secs" => {
-                args.duration = Duration::from_secs(num("--duration-secs", take("--duration-secs")?)?)
+                args.duration =
+                    Duration::from_secs(num("--duration-secs", take("--duration-secs")?)?)
             }
             "--write-ratio" => args.write_ratio = num("--write-ratio", take("--write-ratio")?)?,
             "--zipf" => args.zipf = num("--zipf", take("--zipf")?)?,
@@ -157,14 +158,24 @@ fn pick_request(
         *writes_done += 1;
         return (
             "add-evidence",
-            Request::AddEvidence { parent, child: write_label(thread, *writes_done), count: 1 },
+            Request::AddEvidence {
+                parent,
+                child: write_label(thread, *writes_done),
+                count: 1,
+            },
         );
     }
     let op = rng.gen_range(0..6u32);
     let concept = concepts[zipf.sample(rng)].clone();
     let instance = instances[zipf.sample(rng)].clone();
     match op {
-        0 => ("isa", Request::Isa { parent: concept, child: instance }),
+        0 => (
+            "isa",
+            Request::Isa {
+                parent: concept,
+                child: instance,
+            },
+        ),
         1 => (
             "typicality",
             Request::Typicality {
@@ -173,13 +184,36 @@ fn pick_request(
                 k: 10,
             },
         ),
-        2 => ("plausibility", Request::Plausibility { parent: concept, child: instance }),
+        2 => (
+            "plausibility",
+            Request::Plausibility {
+                parent: concept,
+                child: instance,
+            },
+        ),
         3 => {
             let extra = instances[zipf.sample(rng)].clone();
-            ("conceptualize", Request::Conceptualize { terms: vec![instance, extra], k: 8 })
+            (
+                "conceptualize",
+                Request::Conceptualize {
+                    terms: vec![instance, extra],
+                    k: 8,
+                },
+            )
         }
-        4 => ("search-rewrite", Request::SearchRewrite { query: instance, k: 5 }),
-        _ => ("levels", Request::Levels { term: Some(concept) }),
+        4 => (
+            "search-rewrite",
+            Request::SearchRewrite {
+                query: instance,
+                k: 5,
+            },
+        ),
+        _ => (
+            "levels",
+            Request::Levels {
+                term: Some(concept),
+            },
+        ),
     }
 }
 
@@ -196,13 +230,22 @@ fn worker(
     let mut stats = WorkerStats::default();
     let mut writes_done = 0u64;
     while !stop.load(Ordering::Relaxed) {
-        let (name, req) =
-            pick_request(&mut rng, &zipf, concepts, instances, args, thread, &mut writes_done);
+        let (name, req) = pick_request(
+            &mut rng,
+            &zipf,
+            concepts,
+            instances,
+            args,
+            thread,
+            &mut writes_done,
+        );
         let start = Instant::now();
         match client.call(&req) {
             Ok(envelope) => {
                 stats.requests += 1;
-                stats.latencies.push((name, start.elapsed().as_micros() as u64));
+                stats
+                    .latencies
+                    .push((name, start.elapsed().as_micros() as u64));
                 if envelope.error.is_some() {
                     stats.server_errors += 1;
                 }
@@ -231,7 +274,11 @@ fn fetch_labels(client: &mut Client, kind: &str, k: usize) -> Result<Vec<String>
     let labels = data
         .get("labels")
         .and_then(Json::as_arr)
-        .map(|arr| arr.iter().filter_map(|v| v.as_str().map(str::to_string)).collect())
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect()
+        })
         .unwrap_or_default();
     Ok(labels)
 }
@@ -307,7 +354,10 @@ fn main() {
 
     println!("\n== loadgen results ==");
     println!("requests:        {}", merged.requests);
-    println!("throughput:      {:.0} req/s", merged.requests as f64 / elapsed);
+    println!(
+        "throughput:      {:.0} req/s",
+        merged.requests as f64 / elapsed
+    );
     println!("server errors:   {}", merged.server_errors);
     println!("protocol errors: {}", merged.protocol_errors);
     if connect_failures > 0 {
@@ -318,7 +368,10 @@ fn main() {
     for (name, us) in &merged.latencies {
         by_endpoint.entry(name).or_default().push(*us);
     }
-    println!("\n{:<16} {:>8} {:>10} {:>10}", "endpoint", "count", "p50_us", "p99_us");
+    println!(
+        "\n{:<16} {:>8} {:>10} {:>10}",
+        "endpoint", "count", "p50_us", "p99_us"
+    );
     for (name, mut lats) in by_endpoint {
         lats.sort_unstable();
         println!(
@@ -353,7 +406,10 @@ mod tests {
             assert!(r < 100);
             counts[r] += 1;
         }
-        assert!(counts[0] > counts[10], "rank 0 should be hotter than rank 10");
+        assert!(
+            counts[0] > counts[10],
+            "rank 0 should be hotter than rank 10"
+        );
         assert!(counts[0] > 10_000 / 100, "rank 0 should beat uniform share");
     }
 
@@ -368,9 +424,14 @@ mod tests {
 
     #[test]
     fn args_parse_and_reject() {
-        let ok = parse_args(&["--threads".into(), "8".into(), "--zipf".into(), "1.2".into()])
-            .unwrap()
-            .unwrap();
+        let ok = parse_args(&[
+            "--threads".into(),
+            "8".into(),
+            "--zipf".into(),
+            "1.2".into(),
+        ])
+        .unwrap()
+        .unwrap();
         assert_eq!(ok.threads, 8);
         assert!(parse_args(&["--threads".into(), "0".into()]).is_err());
         assert!(parse_args(&["--write-ratio".into(), "1.5".into()]).is_err());

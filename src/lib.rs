@@ -28,7 +28,9 @@
 //! paper-to-module map, and `EXPERIMENTS.md` for the reproduced tables
 //! and figures.
 
-pub use probase_core::{build_probase, seed_from_world, PlausibilityKind, Probase, ProbaseConfig, Simulation};
+pub use probase_core::{
+    build_probase, seed_from_world, PlausibilityKind, Probase, ProbaseConfig, Simulation,
+};
 
 /// Shallow NLP substrate: tokenizer, morphology, tagger, NP chunker.
 pub use probase_text as text;

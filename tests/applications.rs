@@ -15,7 +15,11 @@ fn sim() -> &'static Simulation {
     SIM.get_or_init(|| {
         Simulation::run(
             &WorldConfig::small(201),
-            &CorpusConfig { seed: 201, sentences: 10_000, ..CorpusConfig::default() },
+            &CorpusConfig {
+                seed: 201,
+                sentences: 10_000,
+                ..CorpusConfig::default()
+            },
             &ProbaseConfig::paper(),
         )
     })
@@ -25,8 +29,13 @@ fn sim() -> &'static Simulation {
 fn semantic_rewrites_use_real_instances() {
     let s = sim();
     let model = &s.probase.model;
-    let rewrites =
-        rewrite_query(model, &Association::default(), "famous actors in big companies", 3, 6);
+    let rewrites = rewrite_query(
+        model,
+        &Association::default(),
+        "famous actors in big companies",
+        3,
+        6,
+    );
     assert!(rewrites.len() > 1, "expected concrete rewrites");
     // The top rewrite replaces both concepts with known instances.
     assert_eq!(rewrites[0].substitutions.len(), 2);
@@ -45,8 +54,12 @@ fn semantic_search_finds_pages_keyword_misses() {
     // appear in text only rarely as plain words), semantic search finds
     // pages about typical instances.
     let query = "best actors";
-    let semantic = probase::apps::semantic_search(model, &Association::default(), &index, query, 10);
-    assert!(!semantic.is_empty(), "semantic search should find instance pages");
+    let semantic =
+        probase::apps::semantic_search(model, &Association::default(), &index, query, 10);
+    assert!(
+        !semantic.is_empty(),
+        "semantic search should find instance pages"
+    );
 }
 
 #[test]
@@ -57,7 +70,9 @@ fn table_headers_inferred_correctly() {
     let mut correct = 0;
     let mut answered = 0;
     for g in &gold {
-        let col = Column { cells: g.cells.clone() };
+        let col = Column {
+            cells: g.cells.clone(),
+        };
         if let Some(h) = infer_header(model, &col, 4) {
             answered += 1;
             // Accept the gold label or a descendant/ancestor label match.
@@ -85,7 +100,10 @@ fn concept_clustering_beats_bag_of_words() {
     let gold: Vec<usize> = tws.iter().map(|t| t.topic).collect();
 
     let mut cs = FeatureSpace::default();
-    let cv: Vec<_> = tws.iter().map(|t| concept_vector(model, &mut cs, &t.text, 3)).collect();
+    let cv: Vec<_> = tws
+        .iter()
+        .map(|t| concept_vector(model, &mut cs, &t.text, 3))
+        .collect();
     let concept_purity = purity(&kmeans(&cv, topics.len(), 25, 3), &gold);
 
     let mut ws = FeatureSpace::default();
@@ -107,7 +125,10 @@ fn attribute_seeds_from_typicality_work() {
     let mentions = generate_attribute_corpus(
         &s.world,
         &[country],
-        &AttributeCorpusConfig { mentions_per_attribute: 10, ..Default::default() },
+        &AttributeCorpusConfig {
+            mentions_per_attribute: 10,
+            ..Default::default()
+        },
     );
     let seeds = probase_seeds(model, "country", 5);
     assert!(!seeds.is_empty());
@@ -115,6 +136,14 @@ fn attribute_seeds_from_typicality_work() {
     assert!(!ranked.is_empty(), "no attributes harvested");
     // Real attributes should dominate the top ranks.
     let truth = &s.world.concept(country).attributes;
-    let top_valid = ranked.iter().take(3).filter(|r| truth.contains(&r.attribute)).count();
-    assert!(top_valid >= 2, "top-3 {:?} vs truth {truth:?}", &ranked[..3.min(ranked.len())]);
+    let top_valid = ranked
+        .iter()
+        .take(3)
+        .filter(|r| truth.contains(&r.attribute))
+        .count();
+    assert!(
+        top_valid >= 2,
+        "top-3 {:?} vs truth {truth:?}",
+        &ranked[..3.min(ranked.len())]
+    );
 }

@@ -12,8 +12,16 @@ fn sim() -> &'static Simulation {
     static SIM: OnceLock<Simulation> = OnceLock::new();
     SIM.get_or_init(|| {
         Simulation::run(
-            &WorldConfig { seed: 2012, filler_concepts: 300, ..WorldConfig::default() },
-            &CorpusConfig { seed: 2012, sentences: 12_000, ..CorpusConfig::default() },
+            &WorldConfig {
+                seed: 2012,
+                filler_concepts: 300,
+                ..WorldConfig::default()
+            },
+            &CorpusConfig {
+                seed: 2012,
+                sentences: 12_000,
+                ..CorpusConfig::default()
+            },
             &ProbaseConfig::paper(),
         )
     })
@@ -53,7 +61,11 @@ fn golden_homograph_separation() {
         .into_iter()
         .filter(|&n| !g.is_instance(n) && g.child_count(n) >= 2)
         .collect();
-    assert!(populated.len() >= 2, "plant senses regressed: {}", populated.len());
+    assert!(
+        populated.len() >= 2,
+        "plant senses regressed: {}",
+        populated.len()
+    );
 }
 
 #[test]
@@ -65,18 +77,24 @@ fn golden_typicality_heads() {
     let mut hits = 0;
     let mut total = 0;
     for label in ["country", "company", "city", "actor", "film", "university"] {
-        let Some((top, _)) = m.typical_instances(label, 1).into_iter().next() else { continue };
+        let Some((top, _)) = m.typical_instances(label, 1).into_iter().next() else {
+            continue;
+        };
         total += 1;
         let idx = probase::corpus::WorldIndex::new(&s.world);
         let cid = idx.senses(label)[0];
-        let head: Vec<&str> = s.world.concept(cid).instances[..8.min(s.world.concept(cid).instances.len())]
+        let head: Vec<&str> = s.world.concept(cid).instances
+            [..8.min(s.world.concept(cid).instances.len())]
             .iter()
             .map(|mem| s.world.instance(mem.instance).surface.as_str())
             .collect();
         hits += usize::from(head.contains(&top.as_str()));
     }
     assert!(total >= 5);
-    assert!(hits * 3 >= total * 2, "typicality heads regressed: {hits}/{total}");
+    assert!(
+        hits * 3 >= total * 2,
+        "typicality heads regressed: {hits}/{total}"
+    );
 }
 
 #[test]
@@ -87,8 +105,12 @@ fn golden_plausibility_separates() {
     let judge = Judge::new(&s.world);
     let g = &s.probase.extraction.knowledge;
     let nb = EvidenceModel::fit(&s.probase.extraction.evidence, &seed_from_world(&s.world));
-    let table =
-        compute_plausibility(&s.probase.extraction.evidence, g, &nb, &PlausibilityConfig::default());
+    let table = compute_plausibility(
+        &s.probase.extraction.evidence,
+        g,
+        &nb,
+        &PlausibilityConfig::default(),
+    );
     let (mut v_sum, mut v_n, mut i_sum, mut i_n) = (0.0, 0usize, 0.0, 0usize);
     for (x, y, _) in g.pairs() {
         let (xs, ys) = (g.resolve(x), g.resolve(y));

@@ -8,8 +8,8 @@
 //! either source alone without giving up the separately-extracted counts.
 
 use probase::corpus::{CorpusConfig, CorpusGenerator, WorldConfig};
-use probase::extract::{extract, knowledge_from_bytes, knowledge_to_bytes, ExtractorConfig};
 use probase::eval::{Judge, Precision};
+use probase::extract::{extract, knowledge_from_bytes, knowledge_to_bytes, ExtractorConfig};
 
 #[test]
 fn merging_sources_grows_coverage_and_keeps_counts() {
@@ -24,11 +24,16 @@ fn merging_sources_grows_coverage_and_keeps_counts() {
     merged.absorb(&out_forum.knowledge);
 
     // Mass adds exactly.
-    assert_eq!(merged.total(), out_enc.knowledge.total() + out_forum.knowledge.total());
+    assert_eq!(
+        merged.total(),
+        out_enc.knowledge.total() + out_forum.knowledge.total()
+    );
     // Coverage grows (deduplicated pairs, so <= sum).
     assert!(merged.pair_count() >= out_enc.knowledge.pair_count());
     assert!(merged.pair_count() >= out_forum.knowledge.pair_count());
-    assert!(merged.pair_count() <= out_enc.knowledge.pair_count() + out_forum.knowledge.pair_count());
+    assert!(
+        merged.pair_count() <= out_enc.knowledge.pair_count() + out_forum.knowledge.pair_count()
+    );
 
     // Per-pair counts add: spot-check a head pair.
     let check = |g: &probase::extract::Knowledge, x: &str, y: &str| -> u32 {
@@ -60,7 +65,10 @@ fn merging_sources_grows_coverage_and_keeps_counts() {
         precision_of(&merged),
     );
     assert!(pe >= pf, "encyclopedia {pe:.3} must beat forum {pf:.3}");
-    assert!(pm >= pf - 0.02 && pm <= pe + 0.02, "merged {pm:.3} outside [{pf:.3}, {pe:.3}]");
+    assert!(
+        pm >= pf - 0.02 && pm <= pe + 0.02,
+        "merged {pm:.3} outside [{pf:.3}, {pe:.3}]"
+    );
 
     // And the merged knowledge survives a persistence round-trip.
     let restored = knowledge_from_bytes(knowledge_to_bytes(&merged)).expect("roundtrip");

@@ -11,7 +11,11 @@ use probase::{PlausibilityKind, ProbaseConfig, Simulation};
 fn sim(seed: u64) -> Simulation {
     Simulation::run(
         &WorldConfig::small(seed),
-        &CorpusConfig { seed, sentences: 5_000, ..CorpusConfig::default() },
+        &CorpusConfig {
+            seed,
+            sentences: 5_000,
+            ..CorpusConfig::default()
+        },
         &ProbaseConfig::paper(),
     )
 }
@@ -43,22 +47,34 @@ fn snapshot_roundtrip_preserves_model_answers() {
 
 #[test]
 fn urns_pipeline_variant_works_end_to_end() {
-    let cfg = ProbaseConfig { plausibility_kind: PlausibilityKind::Urns, ..ProbaseConfig::paper() };
+    let cfg = ProbaseConfig {
+        plausibility_kind: PlausibilityKind::Urns,
+        ..ProbaseConfig::paper()
+    };
     let s = Simulation::run(
         &WorldConfig::small(302),
-        &CorpusConfig { seed: 302, sentences: 5_000, ..CorpusConfig::default() },
+        &CorpusConfig {
+            seed: 302,
+            sentences: 5_000,
+            ..CorpusConfig::default()
+        },
         &cfg,
     );
     let g = s.probase.model.graph();
     // Urns annotates every edge from its count; higher-count edges must
     // not be less plausible.
-    let mut by_count: Vec<(u32, f64)> =
-        g.edges().map(|(_, _, e)| (e.count, e.plausibility)).collect();
+    let mut by_count: Vec<(u32, f64)> = g
+        .edges()
+        .map(|(_, _, e)| (e.count, e.plausibility))
+        .collect();
     assert!(by_count.iter().any(|(_, p)| *p < 1.0), "urns must annotate");
     by_count.sort_by_key(|(c, _)| *c);
     for w in by_count.windows(2) {
         if w[0].0 < w[1].0 {
-            assert!(w[0].1 <= w[1].1 + 1e-9, "urns plausibility must be monotone in count");
+            assert!(
+                w[0].1 <= w[1].1 + 1e-9,
+                "urns plausibility must be monotone in count"
+            );
         }
     }
     // The model still answers queries.
@@ -71,7 +87,12 @@ fn enrichment_loop_grows_the_model() {
     let model = &s.probase.model;
     // Columns with unknown cells drawn from the world's tail.
     let gold = table_columns(&s.world, 50, 6, 0.25, 5);
-    let columns: Vec<Column> = gold.iter().map(|g| Column { cells: g.cells.clone() }).collect();
+    let columns: Vec<Column> = gold
+        .iter()
+        .map(|g| Column {
+            cells: g.cells.clone(),
+        })
+        .collect();
     let (_, enrichments) = understand_tables(model, &columns, 0.05);
     assert!(!enrichments.is_empty(), "expected enrichment proposals");
 

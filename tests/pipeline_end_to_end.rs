@@ -7,7 +7,11 @@ use probase::{ProbaseConfig, Simulation};
 fn sim(seed: u64, sentences: usize) -> Simulation {
     Simulation::run(
         &WorldConfig::small(seed),
-        &CorpusConfig { seed, sentences, ..CorpusConfig::default() },
+        &CorpusConfig {
+            seed,
+            sentences,
+            ..CorpusConfig::default()
+        },
         &ProbaseConfig::paper(),
     )
 }
@@ -22,7 +26,11 @@ fn extraction_precision_is_high() {
         p.add(judge.pair_valid(g.resolve(x), g.resolve(y)));
     }
     assert!(p.total > 500, "too few pairs extracted: {}", p.total);
-    assert!(p.ratio() > 0.85, "precision {:.3} below paper-like range", p.ratio());
+    assert!(
+        p.ratio() > 0.85,
+        "precision {:.3} below paper-like range",
+        p.ratio()
+    );
 }
 
 #[test]
@@ -49,13 +57,20 @@ fn taxonomy_separates_plant_senses() {
         .into_iter()
         .filter(|&n| !g.is_instance(n) && g.child_count(n) >= 2)
         .collect();
-    assert!(senses.len() >= 2, "expected two populated plant senses, got {}", senses.len());
+    assert!(
+        senses.len() >= 2,
+        "expected two populated plant senses, got {}",
+        senses.len()
+    );
     // No sense mixes flora with equipment.
     for s_node in senses {
         let kids: Vec<&str> = g.children(s_node).map(|(c, _)| g.label(c)).collect();
-        let flora = kids.iter().any(|k| ["tree", "grass", "herb", "flower"].contains(k));
-        let equipment =
-            kids.iter().any(|k| ["steam turbine", "pump", "boiler", "generator"].contains(k));
+        let flora = kids
+            .iter()
+            .any(|k| ["tree", "grass", "herb", "flower"].contains(k));
+        let equipment = kids
+            .iter()
+            .any(|k| ["steam turbine", "pump", "boiler", "generator"].contains(k));
         assert!(!(flora && equipment), "mixed senses: {kids:?}");
     }
 }
@@ -66,22 +81,35 @@ fn typicality_ranks_curated_heads_first() {
     let m = &s.probase.model;
     // Curated order is the world's typicality order; the corpus samples by
     // it, so the model's top instances must be drawn from the curated head.
-    let top: Vec<String> =
-        m.typical_instances("country", 5).into_iter().map(|(i, _)| i).collect();
+    let top: Vec<String> = m
+        .typical_instances("country", 5)
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect();
     assert!(!top.is_empty());
-    let head = ["China", "India", "Brazil", "Russia", "USA", "Germany", "Japan", "France"];
+    let head = [
+        "China", "India", "Brazil", "Russia", "USA", "Germany", "Japan", "France",
+    ];
     let overlap = top.iter().filter(|t| head.contains(&t.as_str())).count();
-    assert!(overlap >= 2, "top countries {top:?} should overlap curated head");
+    assert!(
+        overlap >= 2,
+        "top countries {top:?} should overlap curated head"
+    );
 }
 
 #[test]
 fn conceptualization_matches_paper_example() {
     let s = sim(105, 10_000);
-    let cs = s.probase.model.conceptualize(&["China", "India", "Brazil"], 6);
+    let cs = s
+        .probase
+        .model
+        .conceptualize(&["China", "India", "Brazil"], 6);
     assert!(!cs.is_empty());
     let labels: Vec<&str> = cs.iter().map(|(c, _)| c.as_str()).collect();
     assert!(
-        labels.iter().any(|l| l.contains("country") || *l == "emerging market"),
+        labels
+            .iter()
+            .any(|l| l.contains("country") || *l == "emerging market"),
         "{labels:?}"
     );
 }
@@ -94,7 +122,11 @@ fn knowledge_monotone_and_fixpoint() {
         assert!(w[1].distinct_pairs >= w[0].distinct_pairs);
         assert!(w[1].evidence_len >= w[0].evidence_len);
     }
-    assert_eq!(iters.last().unwrap().new_occurrences, 0, "must terminate at a fixpoint");
+    assert_eq!(
+        iters.last().unwrap().new_occurrences,
+        0,
+        "must terminate at a fixpoint"
+    );
 }
 
 #[test]
@@ -105,5 +137,8 @@ fn graph_is_dag_with_sane_stats() {
     // here proves acyclicity; check the Table 4-style ranges.
     assert!(stats.avg_level >= 1.0 && stats.avg_level < 3.0, "{stats:?}");
     assert!(stats.avg_parents >= 1.0, "{stats:?}");
-    assert!(stats.concept_instance_pairs > stats.concept_subconcept_pairs, "{stats:?}");
+    assert!(
+        stats.concept_instance_pairs > stats.concept_subconcept_pairs,
+        "{stats:?}"
+    );
 }
