@@ -1,15 +1,33 @@
 //! Regenerates every table and figure of the paper in one run, reusing a
 //! single simulated deployment. Output is the raw material of
-//! EXPERIMENTS.md.
+//! EXPERIMENTS.md. Pass `--pipeline-out <PATH>` to also write the
+//! process-global stage-timing/metrics snapshot accumulated across the
+//! whole run.
 use probase_bench::common::standard_simulation;
 use probase_bench::{exp_ablation, exp_apps, exp_precision, exp_scale};
 use std::time::Instant;
 
 fn main() {
-    let sentences: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(80_000);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut pipeline_out = None;
+    let mut sentences: usize = 80_000;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--pipeline-out" {
+            match it.next() {
+                Some(path) => pipeline_out = Some(path.clone()),
+                None => {
+                    eprintln!("error: --pipeline-out needs a path");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Ok(n) = arg.parse() {
+            sentences = n;
+        } else {
+            eprintln!("error: unknown argument {arg:?}");
+            std::process::exit(2);
+        }
+    }
     let t0 = Instant::now();
     eprintln!("building standard simulation ({sentences} sentences) ...");
     let sim = standard_simulation(sentences);
@@ -43,6 +61,14 @@ fn main() {
         exp_scale::scaling_sweep(&[sentences / 8, sentences / 4, sentences / 2, sentences]),
     ] {
         println!("{report}");
+    }
+    if let Some(path) = &pipeline_out {
+        let text = probase_core::obs::global().snapshot().to_string();
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("error: cannot write {path:?}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote metrics snapshot ({} bytes) to {path}", text.len());
     }
     eprintln!("total wall time {:?}", t0.elapsed());
 }

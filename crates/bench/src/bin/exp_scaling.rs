@@ -1,7 +1,90 @@
-//! E1: corpus-size scaling sweep.
+//! E1: corpus-size scaling sweep, plus the CI stage-timing report.
+//!
+//! ```sh
+//! exp_scaling                                   # default sweep
+//! exp_scaling --sizes 2000,4000,8000            # custom sizes
+//! exp_scaling --sizes ... --pipeline-out BENCH_PIPELINE.json
+//! exp_scaling --sizes ... --pipeline-out ... --gate   # fail on bad report
+//! ```
+//!
+//! `--pipeline-out` writes the per-size stage-timing profiles (one
+//! isolated metric registry per size); `--gate` additionally runs
+//! `validate_pipeline` over the freshly written report and exits
+//! non-zero if it is structurally broken — the CI bench-smoke job runs
+//! with both.
+
+use probase_bench::pipeline_report::{scaling_profiles, validate_pipeline};
+
+const DEFAULT_SIZES: &[usize] = &[10_000, 20_000, 40_000, 80_000];
+
+struct Args {
+    sizes: Vec<usize>,
+    pipeline_out: Option<String>,
+    gate: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        sizes: DEFAULT_SIZES.to_vec(),
+        pipeline_out: None,
+        gate: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sizes" => {
+                let v = it.next().ok_or("--sizes needs a comma-separated list")?;
+                args.sizes = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("--sizes: not a number: {s:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if args.sizes.is_empty() {
+                    return Err("--sizes: need at least one size".into());
+                }
+            }
+            "--pipeline-out" => {
+                args.pipeline_out = Some(it.next().ok_or("--pipeline-out needs a path")?.clone());
+            }
+            "--gate" => args.gate = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if args.gate && args.pipeline_out.is_none() {
+        return Err("--gate requires --pipeline-out".into());
+    }
+    Ok(args)
+}
+
 fn main() {
-    print!(
-        "{}",
-        probase_bench::exp_scale::scaling_sweep(&[10_000, 20_000, 40_000, 80_000])
-    );
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", probase_bench::exp_scale::scaling_sweep(&args.sizes));
+    if let Some(path) = &args.pipeline_out {
+        let report = scaling_profiles(&args.sizes);
+        let text = report.to_string();
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("error: cannot write {path:?}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote pipeline report ({} bytes) to {path}", text.len());
+        if args.gate {
+            match validate_pipeline(&report) {
+                Ok(()) => eprintln!("pipeline gate: OK"),
+                Err(msg) => {
+                    eprintln!("pipeline gate: FAILED: {msg}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
 }

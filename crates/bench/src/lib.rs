@@ -12,3 +12,4 @@ pub mod exp_ablation;
 pub mod exp_apps;
 pub mod exp_precision;
 pub mod exp_scale;
+pub mod pipeline_report;

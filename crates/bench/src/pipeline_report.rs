@@ -1,0 +1,185 @@
+//! The stage-timing pipeline report behind `BENCH_PIPELINE.json`.
+//!
+//! [`scaling_profiles`] reruns the full pipeline at several corpus sizes,
+//! each against its own isolated [`Registry`], and bundles the per-size
+//! metric snapshots into one JSON document. CI's bench-smoke job writes
+//! it as an artifact and runs [`validate_pipeline`] over it: the gate
+//! fails the build if the report is structurally broken — a stage that
+//! stopped being recorded, sizes out of order, or a pipeline that no
+//! longer sees the sentences it was given — which is how an accidentally
+//! deleted span or a silently skipped phase surfaces in CI rather than
+//! three PRs later.
+
+use crate::common::{eval_corpus, eval_world};
+use probase_core::{ProbaseConfig, Simulation};
+use probase_obs::{Json, Registry};
+
+/// Stages that must appear (with at least one recorded span) in every
+/// profile for the report to be considered healthy.
+pub const REQUIRED_STAGES: &[&str] = &[
+    "pipeline.extract",
+    "pipeline.taxonomy",
+    "pipeline.plausibility",
+    "extract.iteration",
+    "taxonomy.local_build",
+    "taxonomy.horizontal_merge",
+    "taxonomy.vertical_merge",
+];
+
+/// Run the pipeline once per corpus size and collect per-size metric
+/// snapshots. Sizes are profiled in the order given; the gate requires
+/// them strictly increasing.
+pub fn scaling_profiles(sizes: &[usize]) -> Json {
+    let profiles = sizes
+        .iter()
+        .map(|&n| {
+            let registry = Registry::new();
+            let sim = Simulation::run_observed(
+                &eval_world(),
+                &eval_corpus(n),
+                &ProbaseConfig::paper(),
+                &registry,
+            );
+            Json::obj(vec![
+                ("sentences", Json::num(n as f64)),
+                (
+                    "distinct_pairs",
+                    Json::num(sim.probase.extraction.knowledge.pair_count() as f64),
+                ),
+                ("report", registry.snapshot()),
+            ])
+        })
+        .collect();
+    Json::obj(vec![("profiles", Json::Arr(profiles))])
+}
+
+/// The CI gate over a [`scaling_profiles`] report. Checks:
+///
+/// 1. at least one profile exists;
+/// 2. `sentences` is strictly increasing across profiles;
+/// 3. every profile's report records ≥1 span for each of
+///    [`REQUIRED_STAGES`];
+/// 4. each profile's `extract.sentences_parsed` counter equals its
+///    `sentences` (the pipeline actually saw the corpus it was given).
+pub fn validate_pipeline(report: &Json) -> Result<(), String> {
+    let profiles = report
+        .get("profiles")
+        .and_then(Json::as_arr)
+        .ok_or("report has no 'profiles' array")?;
+    if profiles.is_empty() {
+        return Err("report has zero profiles".into());
+    }
+    let mut prev_sentences = 0u64;
+    for (i, profile) in profiles.iter().enumerate() {
+        let sentences = profile
+            .get("sentences")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("profile {i}: missing 'sentences'"))?;
+        if sentences <= prev_sentences {
+            return Err(format!(
+                "profile {i}: sentence counts must be strictly increasing \
+                 ({sentences} after {prev_sentences})"
+            ));
+        }
+        prev_sentences = sentences;
+        let snapshot = profile
+            .get("report")
+            .ok_or_else(|| format!("profile {i}: missing 'report'"))?;
+        let stages = snapshot
+            .get("stages")
+            .ok_or_else(|| format!("profile {i}: report has no 'stages' section"))?;
+        for name in REQUIRED_STAGES {
+            let calls = stages
+                .get(name)
+                .and_then(|s| s.get("calls"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            if calls == 0 {
+                return Err(format!("profile {i}: stage {name:?} recorded no spans"));
+            }
+        }
+        let parsed = snapshot
+            .get("counters")
+            .and_then(|c| c.get("extract.sentences_parsed"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if parsed != sentences {
+            return Err(format!(
+                "profile {i}: extract.sentences_parsed = {parsed}, expected {sentences}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_pass_their_own_gate() {
+        let report = scaling_profiles(&[1_000, 2_000]);
+        validate_pipeline(&report).expect("fresh profiles must validate");
+        let profiles = report.get("profiles").and_then(Json::as_arr).unwrap();
+        assert_eq!(profiles.len(), 2);
+        // Profiles are isolated: the small run's counters don't bleed
+        // into the large run's.
+        let parsed = |p: &Json| {
+            p.get("report")
+                .and_then(|r| r.get("counters"))
+                .and_then(|c| c.get("extract.sentences_parsed"))
+                .and_then(Json::as_u64)
+                .unwrap()
+        };
+        assert_eq!(parsed(&profiles[0]), 1_000);
+        assert_eq!(parsed(&profiles[1]), 2_000);
+    }
+
+    #[test]
+    fn gate_rejects_broken_reports() {
+        assert!(validate_pipeline(&Json::obj(vec![])).is_err());
+        assert!(
+            validate_pipeline(&Json::obj(vec![("profiles", Json::Arr(vec![]))])).is_err(),
+            "empty profile list must fail"
+        );
+        // Non-increasing sentence counts.
+        let mut report = scaling_profiles(&[1_000]);
+        if let Json::Obj(pairs) = &mut report {
+            if let Json::Arr(profiles) = &mut pairs[0].1 {
+                let dup = profiles[0].clone();
+                profiles.push(dup);
+            }
+        }
+        let err = validate_pipeline(&report).unwrap_err();
+        assert!(err.contains("strictly increasing"), "{err}");
+    }
+
+    #[test]
+    fn gate_rejects_missing_stage() {
+        let mut report = scaling_profiles(&[1_000]);
+        // Drop the stages section of the only profile.
+        if let Json::Obj(pairs) = &mut report {
+            if let Json::Arr(profiles) = &mut pairs[0].1 {
+                if let Json::Obj(fields) = &mut profiles[0] {
+                    for (k, v) in fields.iter_mut() {
+                        if k == "report" {
+                            if let Json::Obj(sections) = v {
+                                sections.retain(|(name, _)| name != "stages");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate_pipeline(&report).unwrap_err();
+        assert!(err.contains("stages"), "{err}");
+    }
+
+    #[test]
+    fn report_round_trips_through_text() {
+        let report = scaling_profiles(&[1_000]);
+        let text = report.to_string();
+        let parsed = probase_obs::json::parse(&text).expect("self-emitted JSON parses");
+        validate_pipeline(&parsed).expect("round-tripped report still validates");
+    }
+}

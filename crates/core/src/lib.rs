@@ -31,8 +31,11 @@
 pub mod pipeline;
 
 pub use pipeline::{
-    build_probase, seed_from_world, PlausibilityKind, Probase, ProbaseConfig, Simulation,
+    build_probase, build_probase_observed, seed_from_world, PlausibilityKind, Probase,
+    ProbaseConfig, Simulation,
 };
+
+pub use probase_obs as obs;
 
 // Re-export the component crates under stable names.
 pub use probase_corpus as corpus;

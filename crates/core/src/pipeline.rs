@@ -10,13 +10,16 @@
 //! WordNet-style seed oracle from the world's curated core.
 
 use probase_corpus::{generate, CorpusConfig, CorpusGenerator, SentenceRecord, World, WorldConfig};
-use probase_extract::{extract, extract_parallel, ExtractionOutput, ExtractorConfig};
+use probase_extract::{
+    extract_observed, extract_parallel_observed, ExtractionOutput, ExtractorConfig,
+};
+use probase_obs::Registry;
 use probase_prob::{
-    annotate_graph, annotate_graph_urns, compute_plausibility, EvidenceModel, PlausibilityConfig,
-    ProbaseModel, SeedOracle, SeedSet, UrnsModel,
+    annotate_graph, annotate_graph_urns, compute_plausibility_observed, EvidenceModel,
+    PlausibilityConfig, ProbaseModel, SeedOracle, SeedSet, UrnsModel,
 };
 use probase_store::GraphStats;
-use probase_taxonomy::{build_taxonomy, BuildStats, TaxonomyConfig};
+use probase_taxonomy::{build_taxonomy_observed, BuildStats, TaxonomyConfig};
 use probase_text::Lexicon;
 
 /// Which plausibility model annotates the taxonomy edges (§4.1).
@@ -71,46 +74,79 @@ pub struct Probase {
 ///
 /// `oracle` plays WordNet's role for training the evidence model (paper
 /// §4.1); pass an empty [`SeedSet`] to fall back to the prior model.
+/// Stage timings and counters are reported to the process-global metric
+/// registry (`probase-cli --metrics-out` snapshots it).
 pub fn build_probase(
     records: &[SentenceRecord],
     lexicon: &Lexicon,
     config: &ProbaseConfig,
     oracle: &dyn SeedOracle,
 ) -> Probase {
+    build_probase_observed(records, lexicon, config, oracle, probase_obs::global())
+}
+
+/// [`build_probase`] with an explicit metric registry.
+///
+/// Each top-level phase records a `pipeline.*` stage span; the component
+/// crates record their own finer-grained `extract.*`, `taxonomy.*` and
+/// `prob.*` metrics into the same registry.
+pub fn build_probase_observed(
+    records: &[SentenceRecord],
+    lexicon: &Lexicon,
+    config: &ProbaseConfig,
+    oracle: &dyn SeedOracle,
+    registry: &Registry,
+) -> Probase {
     // 1. Iterative semantic extraction.
-    let extraction = if config.threads > 1 {
-        extract_parallel(records, lexicon, &config.extractor, config.threads)
-    } else {
-        extract(records, lexicon, &config.extractor)
-    };
+    let extraction = registry.stage("pipeline.extract").time(|| {
+        if config.threads > 1 {
+            extract_parallel_observed(
+                records,
+                lexicon,
+                &config.extractor,
+                config.threads,
+                registry,
+            )
+        } else {
+            extract_observed(records, lexicon, &config.extractor, registry)
+        }
+    });
 
     // 2. Taxonomy construction.
-    let built = build_taxonomy(&extraction.sentences, &config.taxonomy);
+    let built = registry
+        .stage("pipeline.taxonomy")
+        .time(|| build_taxonomy_observed(&extraction.sentences, &config.taxonomy, registry));
     let mut graph = built.graph;
 
     // 3. Plausibility (§4.1): annotate edges with the configured model.
-    match config.plausibility_kind {
-        PlausibilityKind::NoisyOr => {
-            let model = EvidenceModel::fit(&extraction.evidence, oracle);
-            let table = compute_plausibility(
-                &extraction.evidence,
-                &extraction.knowledge,
-                &model,
-                &config.plausibility,
-            );
-            annotate_graph(&mut graph, &table);
-        }
-        PlausibilityKind::Urns => {
-            if extraction.knowledge.pair_count() > 0 {
-                let urns = UrnsModel::fit_knowledge(&extraction.knowledge, 200);
-                annotate_graph_urns(&mut graph, &urns);
+    registry
+        .stage("pipeline.plausibility")
+        .time(|| match config.plausibility_kind {
+            PlausibilityKind::NoisyOr => {
+                let model = EvidenceModel::fit(&extraction.evidence, oracle);
+                let table = compute_plausibility_observed(
+                    &extraction.evidence,
+                    &extraction.knowledge,
+                    &model,
+                    &config.plausibility,
+                    registry,
+                );
+                annotate_graph(&mut graph, &table);
             }
-        }
-    }
+            PlausibilityKind::Urns => {
+                if extraction.knowledge.pair_count() > 0 {
+                    let urns = UrnsModel::fit_knowledge(&extraction.knowledge, 200);
+                    annotate_graph_urns(&mut graph, &urns);
+                }
+            }
+        });
 
     // 4. Typicality + query model.
-    let graph_stats = GraphStats::compute(&graph);
-    let model = ProbaseModel::new(graph);
+    let (graph_stats, model) = registry.stage("pipeline.model").time(|| {
+        let graph_stats = GraphStats::compute(&graph);
+        let model = ProbaseModel::new(graph);
+        (graph_stats, model)
+    });
     Probase {
         model,
         extraction,
@@ -151,10 +187,24 @@ pub struct Simulation {
 impl Simulation {
     /// Generate a world and corpus, then build Probase over them.
     pub fn run(world_cfg: &WorldConfig, corpus_cfg: &CorpusConfig, config: &ProbaseConfig) -> Self {
+        Self::run_observed(world_cfg, corpus_cfg, config, probase_obs::global())
+    }
+
+    /// [`Simulation::run`] with an explicit metric registry, so harnesses
+    /// (e.g. the `exp_scaling` per-size profiles) can isolate one run's
+    /// stage report from another's.
+    pub fn run_observed(
+        world_cfg: &WorldConfig,
+        corpus_cfg: &CorpusConfig,
+        config: &ProbaseConfig,
+        registry: &Registry,
+    ) -> Self {
         let world = generate(world_cfg);
-        let corpus = CorpusGenerator::new(&world, corpus_cfg.clone()).generate_all();
+        let corpus = registry
+            .stage("pipeline.corpus")
+            .time(|| CorpusGenerator::new(&world, corpus_cfg.clone()).generate_all());
         let seed = seed_from_world(&world);
-        let probase = build_probase(&corpus, &world.lexicon, config, &seed);
+        let probase = build_probase_observed(&corpus, &world.lexicon, config, &seed, registry);
         Self {
             world,
             corpus,
@@ -243,6 +293,53 @@ mod tests {
         for w in iters.windows(2) {
             assert!(w[1].distinct_pairs >= w[0].distinct_pairs);
         }
+    }
+
+    #[test]
+    fn observed_run_reports_every_pipeline_stage() {
+        let registry = probase_obs::Registry::new();
+        let _ = Simulation::run_observed(
+            &WorldConfig::small(41),
+            &CorpusConfig {
+                seed: 41,
+                sentences: 2_000,
+                ..CorpusConfig::default()
+            },
+            &ProbaseConfig::paper(),
+            &registry,
+        );
+        let snap = registry.snapshot();
+        let stages = snap.get("stages").expect("stages section");
+        for name in [
+            "pipeline.corpus",
+            "pipeline.extract",
+            "pipeline.taxonomy",
+            "pipeline.plausibility",
+            "pipeline.model",
+            "extract.iteration",
+            "taxonomy.local_build",
+            "taxonomy.horizontal_merge",
+            "taxonomy.vertical_merge",
+        ] {
+            let stage = stages.get(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(
+                stage.get("calls").and_then(probase_obs::Json::as_u64) >= Some(1),
+                "{name} never recorded a span"
+            );
+        }
+        let counters = snap.get("counters").expect("counters section");
+        assert_eq!(
+            counters
+                .get("extract.sentences_parsed")
+                .and_then(probase_obs::Json::as_u64),
+            Some(2_000)
+        );
+        assert!(
+            counters
+                .get("extract.pairs_committed")
+                .and_then(probase_obs::Json::as_u64)
+                > Some(0)
+        );
     }
 
     #[test]

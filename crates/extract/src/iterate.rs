@@ -16,11 +16,13 @@
 
 use crate::evidence::EvidenceRecord;
 use crate::knowledge::Knowledge;
+use crate::obs::ExtractObs;
 use crate::pattern::{find_partof, find_pattern};
 use crate::subc::{detect_subs, ChosenItem, SubConfig};
 use crate::superc::{detect_super, SuperConfig, SuperDecision};
 use crate::syntactic::{extract_from_match, normalize_sub, SyntacticExtraction};
 use probase_corpus::sentence::{SentenceRecord, SourceMeta};
+use probase_obs::Registry;
 use probase_text::{normalize_concept, tag_tokens, tokenize, Chunker, Lexicon, Tag};
 use serde::{Deserialize, Serialize};
 
@@ -293,13 +295,25 @@ pub(crate) fn commit(
     committed
 }
 
-/// Run the full iterative extraction (serial driver).
+/// Run the full iterative extraction (serial driver), reporting
+/// `extract.*` metrics to the process-global registry.
 pub fn extract(
     records: &[SentenceRecord],
     lexicon: &Lexicon,
     cfg: &ExtractorConfig,
 ) -> ExtractionOutput {
-    let mut ex = Extractor::new(lexicon.clone(), cfg.clone());
+    extract_observed(records, lexicon, cfg, probase_obs::global())
+}
+
+/// [`extract`] with an explicit metric registry (tests and benches use
+/// isolated registries for exact counter reads).
+pub fn extract_observed(
+    records: &[SentenceRecord],
+    lexicon: &Lexicon,
+    cfg: &ExtractorConfig,
+    registry: &Registry,
+) -> ExtractionOutput {
+    let mut ex = Extractor::with_registry(lexicon.clone(), cfg.clone(), registry);
     ex.add_sentences(records);
     ex.run_to_fixpoint();
     ex.into_output()
@@ -318,10 +332,16 @@ pub struct Extractor {
     evidence: Vec<EvidenceRecord>,
     iterations: Vec<IterationStats>,
     next_iteration: usize,
+    obs: ExtractObs,
 }
 
 impl Extractor {
     pub fn new(lexicon: Lexicon, cfg: ExtractorConfig) -> Self {
+        Self::with_registry(lexicon, cfg, probase_obs::global())
+    }
+
+    /// [`Extractor::new`] with an explicit metric registry.
+    pub fn with_registry(lexicon: Lexicon, cfg: ExtractorConfig, registry: &Registry) -> Self {
         Self {
             lexicon,
             cfg,
@@ -330,6 +350,7 @@ impl Extractor {
             evidence: Vec::new(),
             iterations: Vec::new(),
             next_iteration: 1,
+            obs: ExtractObs::new(registry),
         }
     }
 
@@ -337,6 +358,7 @@ impl Extractor {
     /// part-of negatives register immediately; isA extraction happens on
     /// the next [`Self::run_to_fixpoint`].
     pub fn add_sentences(&mut self, records: &[SentenceRecord]) {
+        self.obs.sentences_parsed.add(records.len() as u64);
         let batch = prepare(records, &self.lexicon, &self.cfg, &mut self.g);
         self.parsed.extend(batch);
     }
@@ -348,6 +370,8 @@ impl Extractor {
         let max_iters = self.cfg.max_iterations.max(1);
         let mut rounds = 0;
         for _ in 0..max_iters {
+            let _round_span = self.obs.iteration.span();
+            self.obs.rounds.inc();
             rounds += 1;
             let iteration = self.next_iteration;
             self.next_iteration += 1;
@@ -360,6 +384,7 @@ impl Extractor {
                     Some(pr) => pr,
                     None => continue,
                 };
+                self.obs.pairs_proposed.add(proposal.chosen.len() as u64);
                 new_occurrences += commit(
                     &mut self.parsed[i],
                     proposal,
@@ -367,6 +392,7 @@ impl Extractor {
                     &mut self.evidence,
                 );
             }
+            self.obs.pairs_committed.add(new_occurrences);
             let resolved = self.parsed.iter().filter(|p| p.resolved.is_some()).count();
             self.iterations.push(IterationStats {
                 iteration,

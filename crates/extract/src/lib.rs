@@ -25,6 +25,7 @@ pub mod evidence;
 pub mod input;
 pub mod iterate;
 pub mod knowledge;
+mod obs;
 pub mod parallel;
 pub mod pattern;
 pub mod persist;
@@ -35,10 +36,11 @@ pub mod syntactic;
 pub use evidence::{group_by_pair, EvidenceRecord, PairEvidence};
 pub use input::{records_from_documents, RawDocument};
 pub use iterate::{
-    extract, ExtractionOutput, Extractor, ExtractorConfig, IterationStats, SentenceExtraction,
+    extract, extract_observed, ExtractionOutput, Extractor, ExtractorConfig, IterationStats,
+    SentenceExtraction,
 };
 pub use knowledge::Knowledge;
-pub use parallel::extract_parallel;
+pub use parallel::{extract_parallel, extract_parallel_observed};
 pub use pattern::{find_partof, find_pattern, PartOfMatch, PatternMatch};
 pub use persist::{knowledge_from_bytes, knowledge_to_bytes, PersistError};
 pub use subc::{detect_subs, ChosenItem, SubConfig};

@@ -1,0 +1,38 @@
+//! Pre-resolved `extract.*` metric handles.
+//!
+//! Both drivers ([`crate::iterate`] serial, [`crate::parallel`]
+//! Map-Reduce style) report through the same handle set so their counters
+//! are directly comparable — the integration tests assert the two drivers
+//! commit identical pair counts on corpora where their fixpoints agree.
+
+use probase_obs::{Counter, Registry, Stage};
+use std::sync::Arc;
+
+/// Handles for the extraction pipeline, registered under `extract.*`.
+pub(crate) struct ExtractObs {
+    /// Sentences scanned by the parse pre-pass (`extract.sentences_parsed`).
+    pub(crate) sentences_parsed: Arc<Counter>,
+    /// Pair occurrences proposed by the semantic procedures, before
+    /// commit-time filtering (`extract.pairs_proposed`).
+    pub(crate) pairs_proposed: Arc<Counter>,
+    /// Pair occurrences committed into Γ — equals the evidence-log growth
+    /// (`extract.pairs_committed`).
+    pub(crate) pairs_committed: Arc<Counter>,
+    /// Semantic rounds run; reaches the fixpoint count after a full run
+    /// (`extract.rounds`).
+    pub(crate) rounds: Arc<Counter>,
+    /// Wall time of each semantic round (`extract.iteration`).
+    pub(crate) iteration: Arc<Stage>,
+}
+
+impl ExtractObs {
+    pub(crate) fn new(registry: &Registry) -> Self {
+        Self {
+            sentences_parsed: registry.counter("extract.sentences_parsed"),
+            pairs_proposed: registry.counter("extract.pairs_proposed"),
+            pairs_committed: registry.counter("extract.pairs_committed"),
+            rounds: registry.counter("extract.rounds"),
+            iteration: registry.stage("extract.iteration"),
+        }
+    }
+}

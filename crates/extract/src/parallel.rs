@@ -18,24 +18,43 @@ use crate::iterate::{
     IterationStats,
 };
 use crate::knowledge::Knowledge;
+use crate::obs::ExtractObs;
 use probase_corpus::sentence::SentenceRecord;
+use probase_obs::Registry;
 use probase_text::Lexicon;
 
-/// Run iterative extraction with `threads` worker threads.
+/// Run iterative extraction with `threads` worker threads, reporting
+/// `extract.*` metrics to the process-global registry.
 pub fn extract_parallel(
     records: &[SentenceRecord],
     lexicon: &Lexicon,
     cfg: &ExtractorConfig,
     threads: usize,
 ) -> ExtractionOutput {
+    extract_parallel_observed(records, lexicon, cfg, threads, probase_obs::global())
+}
+
+/// [`extract_parallel`] with an explicit metric registry (tests and
+/// benches use isolated registries for exact counter reads).
+pub fn extract_parallel_observed(
+    records: &[SentenceRecord],
+    lexicon: &Lexicon,
+    cfg: &ExtractorConfig,
+    threads: usize,
+    registry: &Registry,
+) -> ExtractionOutput {
+    let obs = ExtractObs::new(registry);
     let threads = threads.max(1);
     let mut g = Knowledge::new();
+    obs.sentences_parsed.add(records.len() as u64);
     let mut parsed = prepare(records, lexicon, cfg, &mut g);
     let mut evidence = Vec::new();
     let mut iterations = Vec::new();
 
     let max_iters = cfg.max_iterations.max(1);
     for iteration in 1..=max_iters {
+        let _round_span = obs.iteration.span();
+        obs.rounds.inc();
         // Map phase: detect against frozen Γ.
         let active: Vec<usize> = (0..parsed.len()).filter(|&i| !parsed[i].done).collect();
         let chunk = active.len().div_ceil(threads).max(1);
@@ -65,8 +84,10 @@ pub fn extract_parallel(
         proposals.sort_by_key(|(i, _)| *i);
         let mut new_occurrences = 0u64;
         for (i, proposal) in proposals {
+            obs.pairs_proposed.add(proposal.chosen.len() as u64);
             new_occurrences += commit(&mut parsed[i], proposal, &mut g, &mut evidence);
         }
+        obs.pairs_committed.add(new_occurrences);
         let resolved = parsed.iter().filter(|p| p.resolved.is_some()).count();
         iterations.push(IterationStats {
             iteration,

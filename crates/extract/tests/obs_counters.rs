@@ -1,0 +1,141 @@
+//! Metric-counter contracts of the two extraction drivers.
+//!
+//! The serial and frozen-Γ parallel drivers may commit different rounds'
+//! worth of work on an ambiguous corpus, but on a corpus where every
+//! sentence eventually resolves fully, both must arrive at the same
+//! fixpoint — and their `extract.*` counters must agree exactly.
+
+use probase_corpus::sentence::{SentenceRecord, SentenceTruth, SourceMeta};
+use probase_extract::{extract_observed, extract_parallel_observed, ExtractorConfig};
+use probase_obs::{Json, Registry};
+use probase_text::Lexicon;
+
+fn rec(id: u64, text: &str) -> SentenceRecord {
+    SentenceRecord {
+        id,
+        text: text.to_string(),
+        meta: SourceMeta {
+            page_id: id / 3,
+            page_rank: 0.4,
+            source_quality: 0.8,
+        },
+        truth: SentenceTruth::default(),
+    }
+}
+
+/// A corpus where both drivers reach the same full fixpoint: simple
+/// single-item sentences bootstrap every concept, and each item of the
+/// rotating multi-item lists appears at position 1 somewhere, so list
+/// scope eventually covers everything in either driver.
+fn fixed_corpus() -> Vec<SentenceRecord> {
+    let texts = [
+        "animals such as cats.",
+        "animals such as dogs.",
+        "animals such as horses.",
+        "animals such as cats and dogs.",
+        "animals such as dogs, horses and cats.",
+        "companies such as IBM.",
+        "companies such as Nokia.",
+        "companies such as Intel.",
+        "companies such as IBM, Nokia, Intel.",
+        "companies such as Nokia, Intel, IBM.",
+        "companies such as Intel, IBM, Nokia.",
+        "countries such as China.",
+        "countries such as India.",
+        "countries such as China and India.",
+    ];
+    texts
+        .iter()
+        .enumerate()
+        .map(|(i, t)| rec(i as u64, t))
+        .collect()
+}
+
+fn counter(registry: &Registry, name: &str) -> u64 {
+    registry
+        .snapshot()
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+#[test]
+fn serial_and_parallel_commit_identical_pair_counters() {
+    let corpus = fixed_corpus();
+    let cfg = ExtractorConfig::paper();
+
+    let serial_reg = Registry::new();
+    let serial = extract_observed(&corpus, &Lexicon::default(), &cfg, &serial_reg);
+
+    let parallel_reg = Registry::new();
+    let parallel = extract_parallel_observed(&corpus, &Lexicon::default(), &cfg, 4, &parallel_reg);
+
+    // Both drivers reached the same fixpoint.
+    assert_eq!(
+        serial.knowledge.pair_count(),
+        parallel.knowledge.pair_count()
+    );
+    assert_eq!(serial.evidence.len(), parallel.evidence.len());
+
+    for name in ["extract.sentences_parsed", "extract.pairs_committed"] {
+        assert_eq!(
+            counter(&serial_reg, name),
+            counter(&parallel_reg, name),
+            "counter {name} must agree between drivers"
+        );
+    }
+
+    // The committed counter is the evidence log, exactly.
+    assert_eq!(
+        counter(&serial_reg, "extract.pairs_committed"),
+        serial.evidence.len() as u64
+    );
+    assert_eq!(
+        counter(&parallel_reg, "extract.pairs_committed"),
+        parallel.evidence.len() as u64
+    );
+    assert_eq!(
+        counter(&serial_reg, "extract.sentences_parsed"),
+        corpus.len() as u64
+    );
+}
+
+#[test]
+fn rounds_counter_matches_iteration_stats() {
+    let corpus = fixed_corpus();
+    let cfg = ExtractorConfig::paper();
+    let registry = Registry::new();
+    let out = extract_observed(&corpus, &Lexicon::default(), &cfg, &registry);
+    assert_eq!(
+        counter(&registry, "extract.rounds"),
+        out.iterations.len() as u64
+    );
+    // Every round recorded a wall-time span.
+    let snap = registry.snapshot();
+    let calls = snap
+        .get("stages")
+        .and_then(|s| s.get("extract.iteration"))
+        .and_then(|s| s.get("calls"))
+        .and_then(Json::as_u64);
+    assert_eq!(calls, Some(out.iterations.len() as u64));
+}
+
+#[test]
+fn proposed_is_at_least_committed() {
+    let corpus = fixed_corpus();
+    let registry = Registry::new();
+    let _ = extract_observed(
+        &corpus,
+        &Lexicon::default(),
+        &ExtractorConfig::paper(),
+        &registry,
+    );
+    let proposed = counter(&registry, "extract.pairs_proposed");
+    let committed = counter(&registry, "extract.pairs_committed");
+    assert!(committed > 0);
+    assert!(
+        proposed >= committed,
+        "proposed {proposed} < committed {committed}"
+    );
+}

@@ -1,15 +1,19 @@
 //! A minimal, dependency-free JSON value with parser and writer.
 //!
-//! The serving protocol is newline-delimited JSON, but the workspace
-//! deliberately carries no `serde_json` (the dependency policy in
-//! `DESIGN.md` §6 keeps the tree tiny). The wire format here is small
+//! Two subsystems speak JSON — the newline-delimited serving protocol in
+//! `probase-serve` and the metrics reports this crate's registry emits —
+//! but the workspace deliberately carries no `serde_json` (the dependency
+//! policy in `DESIGN.md` §6 keeps the tree tiny). Both formats are small
 //! and fully under our control, so a ~300-line hand-rolled codec is the
-//! honest cost of the protocol — and it is exhaustively unit-tested.
+//! honest cost — and it is exhaustively unit-tested. The codec was born
+//! in `probase-serve` and hoisted here so every crate that reports
+//! metrics can share it without depending on the server.
 //!
-//! Numbers are stored as `f64` (adequate: the protocol carries counts,
+//! Numbers are stored as `f64` (adequate: the formats carry counts,
 //! scores, and versions far below 2^53). Object keys keep insertion
-//! order, which makes serialized output deterministic — the response
-//! cache relies on that for canonical cache keys.
+//! order, which makes serialized output deterministic — the serve
+//! response cache relies on that for canonical cache keys, and the
+//! metrics snapshot relies on it for byte-identical reports.
 
 use std::fmt::Write as _;
 

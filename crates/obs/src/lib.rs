@@ -1,0 +1,47 @@
+//! # probase-obs
+//!
+//! The workspace-wide observability substrate: lightweight, zero-dep
+//! instrumentation for a pipeline the paper ran as a 7-hour, 10-machine
+//! job (§2 Algorithm 1) and a serving layer meant for production traffic.
+//! Every stage of the reproduction — extraction rounds, the three merge
+//! phases of Algorithm 2, plausibility scoring, store swaps, server
+//! endpoints — reports through one system, so perf claims get numbers.
+//!
+//! Three pieces:
+//!
+//! * **Primitives** ([`metric`]) — [`Counter`], [`Gauge`], log-bucketed
+//!   [`Histogram`] (latencies *and* sizes), and [`Stage`] /
+//!   [`StageSpan`] scoped timers that retain per-call wall times.
+//! * **Registry** ([`registry`]) — a name → metric map handing out
+//!   `Arc` handles; [`Registry::snapshot`] renders a deterministic JSON
+//!   report. [`global`] is the process-wide instance the pipeline's
+//!   default entry points record into; tests and benches construct
+//!   isolated registries and use the `*_observed` pipeline variants.
+//! * **JSON** ([`json`]) — the hand-rolled, dependency-free codec
+//!   (hoisted from `probase-serve`, which now re-exports it) used for
+//!   both the wire protocol and the metrics reports.
+//!
+//! Naming convention (enforced by review, documented in DESIGN.md §10):
+//! `<crate>.<subject>[.<aspect>]`, lowercase snake case — e.g.
+//! `extract.pairs_committed`, `taxonomy.horizontal_merge`,
+//! `serve.isa.latency_us`, `store.snapshot_swaps`.
+//!
+//! ```
+//! use probase_obs::Registry;
+//! let reg = Registry::new();
+//! reg.counter("extract.pairs_committed").add(3);
+//! let stage = reg.stage("taxonomy.horizontal_merge");
+//! stage.time(|| { /* merge ... */ });
+//! let report = reg.snapshot(); // Json, deterministic key order
+//! assert!(report.to_string().contains("pairs_committed"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metric;
+pub mod registry;
+
+pub use json::Json;
+pub use metric::{Counter, Gauge, Histogram, Stage, StageSpan};
+pub use registry::{global, Registry};

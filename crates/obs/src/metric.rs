@@ -1,0 +1,340 @@
+//! The metric primitives: monotonic counters, signed gauges, log-bucketed
+//! histograms, and scoped stage timers.
+//!
+//! Everything on the record path is lock-free atomics with `Relaxed`
+//! ordering — instrumentation must be cheap enough to leave on in the
+//! extraction inner loop and the serving hot path. The only lock in the
+//! module guards the bounded per-call span log of [`Stage`], which is
+//! touched once per *stage* (a pipeline phase or an extraction round),
+//! not once per record.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// A signed gauge for quantities that go up *and* down (queue depth,
+/// open connections).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Relaxed);
+    }
+
+    /// Decrement by one.
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Relaxed);
+    }
+
+    /// Set to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Relaxed);
+    }
+
+    /// Current value (racy reads can transiently observe inc/dec out of
+    /// order; callers that need a floor clamp it themselves).
+    pub fn get(&self) -> i64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// Number of power-of-two buckets: bucket `i` covers `[2^(i-1), 2^i)`,
+/// bucket 0 holds zero, and the last bucket absorbs everything above
+/// `2^62` — more range than any latency in microseconds or payload size
+/// in bytes will ever need.
+pub const BUCKETS: usize = 64;
+
+/// A power-of-two-bucketed histogram over `u64` values.
+///
+/// One type serves both latencies (record microseconds via
+/// [`Histogram::record_duration`]) and sizes (record raw values via
+/// [`Histogram::record`]); the log bucketing answers p50/p99 with
+/// one-bucket resolution — the same shape Prometheus client histograms
+/// use, minus the dependency.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            // `[T; N]: Default` stops at N = 32, so build the slots by hand.
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        let idx = if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+    }
+
+    /// Record a duration in microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Relaxed)).sum()
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Mean value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Approximate `q`-quantile: the upper bound of the bucket containing
+    /// the target rank (0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << i; // bucket i upper bound: 2^i
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// How many individual span durations a [`Stage`] keeps verbatim. The
+/// pipeline stages this exists for (extraction rounds, merge phases) run
+/// a handful to a dozen times; anything chattier only keeps aggregates.
+const MAX_RECORDED_SPANS: usize = 256;
+
+/// A named pipeline stage: call count, total wall time, and the first
+/// [`MAX_RECORDED_SPANS`] per-call durations (so an extraction run's
+/// per-iteration wall times survive into the report verbatim).
+#[derive(Debug, Default)]
+pub struct Stage {
+    calls: AtomicU64,
+    total_ns: AtomicU64,
+    spans_ns: Mutex<Vec<u64>>,
+}
+
+impl Stage {
+    /// Start a scoped timer; the elapsed time records when the returned
+    /// [`StageSpan`] drops.
+    pub fn span(&self) -> StageSpan<'_> {
+        StageSpan {
+            stage: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// Time a closure as one call of this stage.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _span = self.span();
+        f()
+    }
+
+    /// Record one completed call of `elapsed` wall time.
+    pub fn record(&self, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        self.calls.fetch_add(1, Relaxed);
+        self.total_ns.fetch_add(ns, Relaxed);
+        let mut spans = self.spans_ns.lock().expect("stage span log poisoned");
+        if spans.len() < MAX_RECORDED_SPANS {
+            spans.push(ns);
+        }
+    }
+
+    /// Number of completed calls.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Relaxed)
+    }
+
+    /// Total wall time across all calls.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_ns.load(Relaxed))
+    }
+
+    /// The retained per-call durations, in call order.
+    pub fn spans(&self) -> Vec<Duration> {
+        self.spans_ns
+            .lock()
+            .expect("stage span log poisoned")
+            .iter()
+            .map(|&ns| Duration::from_nanos(ns))
+            .collect()
+    }
+}
+
+/// A scoped stage timer; records its elapsed time on drop.
+#[must_use = "a StageSpan records on drop; binding it to _ ends the span immediately"]
+pub struct StageSpan<'a> {
+    stage: &'a Stage,
+    start: Instant,
+}
+
+impl Drop for StageSpan<'_> {
+    fn drop(&mut self) {
+        self.stage.record(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let h = Histogram::default();
+        // 0 lands in bucket 0 (upper bound 2^0 = 1).
+        h.record(0);
+        assert_eq!(h.quantile(0.0), 1);
+        // Exact powers of two land in the bucket they open: value 8 is in
+        // [8, 16), upper bound 16.
+        let h = Histogram::default();
+        h.record(8);
+        assert_eq!(h.quantile(0.5), 16);
+        // One below the boundary stays in the lower bucket.
+        let h = Histogram::default();
+        h.record(7);
+        assert_eq!(h.quantile(0.5), 8);
+        // u64::MAX clamps into the last bucket.
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.99), 1u64 << (BUCKETS - 1));
+    }
+
+    #[test]
+    fn histogram_quantiles_and_mean() {
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record(10); // bucket upper bound 16
+        }
+        h.record(100_000); // upper bound 131072
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.50), 16);
+        assert_eq!(h.quantile(0.95), 16);
+        assert_eq!(h.quantile(1.0), 131072);
+        assert!((h.mean() - (99.0 * 10.0 + 100_000.0) / 100.0).abs() < 1e-9);
+        let empty = Histogram::default();
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_duration_records_micros() {
+        let h = Histogram::default();
+        h.record_duration(Duration::from_micros(10));
+        assert_eq!(h.sum(), 10);
+        h.record_duration(Duration::from_nanos(10)); // rounds to 0 µs
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn stage_span_records_on_drop() {
+        let s = Stage::default();
+        {
+            let _span = s.span();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        s.time(|| ());
+        assert_eq!(s.calls(), 2);
+        assert!(s.total() >= Duration::from_millis(2));
+        let spans = s.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0] >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn stage_span_log_is_bounded() {
+        let s = Stage::default();
+        for _ in 0..(MAX_RECORDED_SPANS + 10) {
+            s.record(Duration::from_nanos(1));
+        }
+        assert_eq!(s.calls() as usize, MAX_RECORDED_SPANS + 10);
+        assert_eq!(s.spans().len(), MAX_RECORDED_SPANS);
+    }
+
+    #[test]
+    fn concurrent_counter_increments() {
+        let c = Counter::default();
+        let h = Histogram::default();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record(i % 1024);
+                    }
+                });
+            }
+        })
+        .expect("threads join");
+        assert_eq!(c.get(), 80_000);
+        assert_eq!(h.count(), 80_000);
+    }
+}

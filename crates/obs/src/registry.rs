@@ -1,0 +1,252 @@
+//! The metric registry: named handles plus a serializable snapshot.
+//!
+//! A [`Registry`] is a name → metric map. Components ask it for handles
+//! once ([`Registry::counter`] & co. get-or-create and hand back an
+//! `Arc`), then record through the handle with no further locking — the
+//! registry's mutex is a registration-time cost, never a hot-path cost.
+//!
+//! [`Registry::snapshot`] renders everything into one [`Json`] report
+//! with names sorted (a `BTreeMap` backs each section), so two snapshots
+//! of identical metric states serialize byte-identically — CI diffs and
+//! the golden tests depend on that.
+//!
+//! [`global`] is the process-wide default registry the pipeline records
+//! into; subsystems that need isolation (one server instance per test,
+//! one registry per benchmark profile) construct their own `Registry`
+//! and thread it through the `*_observed` entry points.
+
+use crate::json::Json;
+use crate::metric::{Counter, Gauge, Histogram, Stage};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A named collection of metrics. See the module docs.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    stages: Mutex<BTreeMap<String, Arc<Stage>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+fn get_or_create<T: Default>(map: &Mutex<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    let mut guard = map.lock().expect("registry poisoned");
+    guard.entry(name.to_string()).or_default().clone()
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create(&self.counters, name)
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create(&self.gauges, name)
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_create(&self.histograms, name)
+    }
+
+    /// Get or create the stage timer named `name`.
+    pub fn stage(&self, name: &str) -> Arc<Stage> {
+        get_or_create(&self.stages, name)
+    }
+
+    /// Render every registered metric into one JSON report.
+    ///
+    /// Shape (all four sections always present, names sorted):
+    ///
+    /// ```json
+    /// {
+    ///   "counters":   {"extract.pairs_committed": 1234},
+    ///   "gauges":     {"serve.queue.depth": 0},
+    ///   "histograms": {"serve.isa.latency_us":
+    ///                    {"count": 9, "sum": 90, "mean": 10.0,
+    ///                     "p50_us": 16, "p99_us": 16}},
+    ///   "stages":     {"extract.iteration":
+    ///                    {"calls": 3, "total_us": 480,
+    ///                     "spans_us": [200, 180, 100]}}
+    /// }
+    /// ```
+    pub fn snapshot(&self) -> Json {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, c)| (name.clone(), Json::num(c.get() as f64)))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, g)| (name.clone(), Json::num(g.get() as f64)))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    Json::obj(vec![
+                        ("count", Json::num(h.count() as f64)),
+                        ("sum", Json::num(h.sum() as f64)),
+                        ("mean", Json::num((h.mean() * 10.0).round() / 10.0)),
+                        ("p50", Json::num(h.quantile(0.50) as f64)),
+                        ("p99", Json::num(h.quantile(0.99) as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        let stages = self
+            .stages
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, s)| {
+                let spans = s
+                    .spans()
+                    .iter()
+                    .map(|d| Json::num(d.as_micros() as f64))
+                    .collect();
+                (
+                    name.clone(),
+                    Json::obj(vec![
+                        ("calls", Json::num(s.calls() as f64)),
+                        ("total_us", Json::num(s.total().as_micros() as f64)),
+                        ("spans_us", Json::Arr(spans)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::obj(vec![
+            ("counters", Json::Obj(counters)),
+            ("gauges", Json::Obj(gauges)),
+            ("histograms", Json::Obj(histograms)),
+            ("stages", Json::Obj(stages)),
+        ])
+    }
+}
+
+/// The process-global registry. The pipeline's default entry points
+/// (`extract`, `build_taxonomy`, `build_probase`, `SharedStore`) record
+/// here; `probase-cli --metrics-out` and the `exp_*` binaries snapshot it.
+pub fn global() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(Registry::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("x").get(), 3);
+        // Different sections never collide on a name.
+        r.gauge("x").set(-1);
+        assert_eq!(r.counter("x").get(), 3);
+        assert_eq!(r.gauge("x").get(), -1);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_sorted() {
+        let build = || {
+            let r = Registry::new();
+            r.counter("b.second").add(2);
+            r.counter("a.first").add(1);
+            r.gauge("depth").set(4);
+            r.histogram("lat").record(10);
+            r.stage("phase").record(Duration::from_micros(250));
+            r.snapshot().to_string()
+        };
+        let one = build();
+        let two = build();
+        assert_eq!(one, two, "identical states must serialize identically");
+        // Sorted key order regardless of registration order.
+        let a = one.find("a.first").unwrap();
+        let b = one.find("b.second").unwrap();
+        assert!(a < b, "{one}");
+    }
+
+    #[test]
+    fn snapshot_sections_carry_values() {
+        let r = Registry::new();
+        r.counter("c").add(7);
+        r.gauge("g").set(-2);
+        r.histogram("h").record(100);
+        r.stage("s").record(Duration::from_micros(50));
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.get("counters")
+                .unwrap()
+                .get("c")
+                .and_then(Json::as_u64),
+            Some(7)
+        );
+        assert_eq!(
+            snap.get("gauges").unwrap().get("g").and_then(Json::as_f64),
+            Some(-2.0)
+        );
+        let h = snap.get("histograms").unwrap().get("h").unwrap();
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(1));
+        assert_eq!(h.get("p50").and_then(Json::as_u64), Some(128));
+        let s = snap.get("stages").unwrap().get("s").unwrap();
+        assert_eq!(s.get("calls").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            s.get("spans_us").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn concurrent_registration_and_recording() {
+        let r = Registry::new();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| {
+                    for i in 0..1_000 {
+                        r.counter("shared").inc();
+                        r.counter(&format!("per.{}", i % 4)).inc();
+                    }
+                });
+            }
+        })
+        .expect("threads join");
+        assert_eq!(r.counter("shared").get(), 8_000);
+        let total: u64 = (0..4).map(|i| r.counter(&format!("per.{i}")).get()).sum();
+        assert_eq!(total, 8_000);
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = global().counter("obs.test.global");
+        let b = global().counter("obs.test.global");
+        a.inc();
+        assert!(b.get() >= 1);
+        assert!(Arc::ptr_eq(global(), global()));
+    }
+}

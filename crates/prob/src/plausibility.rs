@@ -14,6 +14,7 @@
 
 use crate::nbayes::EvidenceModel;
 use probase_extract::{EvidenceRecord, Knowledge};
+use probase_obs::Registry;
 use probase_store::ConceptGraph;
 use std::collections::HashMap;
 
@@ -65,13 +66,26 @@ impl PlausibilityTable {
 }
 
 /// Compute plausibilities for every pair in the evidence log, folding in
-/// the negative (part-of) evidence recorded in Γ.
+/// the negative (part-of) evidence recorded in Γ. Reports `prob.*`
+/// metrics to the process-global registry.
 pub fn compute_plausibility(
     evidence: &[EvidenceRecord],
     knowledge: &Knowledge,
     model: &EvidenceModel,
     cfg: &PlausibilityConfig,
 ) -> PlausibilityTable {
+    compute_plausibility_observed(evidence, knowledge, model, cfg, probase_obs::global())
+}
+
+/// [`compute_plausibility`] with an explicit metric registry.
+pub fn compute_plausibility_observed(
+    evidence: &[EvidenceRecord],
+    knowledge: &Knowledge,
+    model: &EvidenceModel,
+    cfg: &PlausibilityConfig,
+    registry: &Registry,
+) -> PlausibilityTable {
+    let evidence_scored = registry.counter("prob.evidence_scored");
     // Collect per-pair positive factor products.
     let mut product: HashMap<(String, String), (f64, usize)> = HashMap::new();
     for r in evidence {
@@ -81,6 +95,7 @@ pub fn compute_plausibility(
             continue;
         }
         let p = model.prob_true(r);
+        evidence_scored.inc();
         entry.0 *= 1.0 - p;
         entry.1 += 1;
     }
@@ -101,6 +116,9 @@ pub fn compute_plausibility(
             *d *= 1.0 - cfg.negative_confidence;
         }
     }
+    registry
+        .counter("prob.noisyor_evaluations")
+        .add(product.len() as u64);
     let map = product
         .into_iter()
         .map(|(k, (prod, _))| {

@@ -19,29 +19,32 @@
 //! * a **sharded LRU response cache** ([`cache::ResponseCache`]) keyed
 //!   on `(endpoint, args, store version)` so writes invalidate
 //!   implicitly through the store's version counter;
-//! * a **metrics registry** ([`metrics::ServeMetrics`]) — per-endpoint
+//! * **telemetry** ([`telemetry::ServeTelemetry`]) — per-endpoint
 //!   request counts and latency histograms, cache hit rate, queue depth,
-//!   backpressure rejections — dumped by the `stats` endpoint;
+//!   backpressure rejections — all registered as `serve.*` metrics in a
+//!   [`probase_obs::Registry`] and dumped by the `stats` endpoint;
 //! * a **blocking client** ([`client::Client`]) used by
 //!   `probase-loadgen`, the benches, and the tests.
 //!
-//! The dependency-free JSON codec lives in [`json`]; see its docs for
-//! why the workspace carries no `serde_json`.
+//! The dependency-free JSON codec lives in [`probase_obs::json`]
+//! (re-exported here as [`json`], where it originally lived); see its
+//! docs for why the workspace carries no `serde_json`.
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod client;
-pub mod json;
-pub mod metrics;
 pub mod proto;
 pub mod router;
 pub mod server;
+pub mod telemetry;
+
+pub use probase_obs::json;
 
 pub use cache::ResponseCache;
 pub use client::{Client, ClientError, Envelope};
 pub use json::Json;
-pub use metrics::ServeMetrics;
 pub use proto::{Direction, ErrorCode, LabelKind, Request, ENDPOINTS};
 pub use router::ServeState;
 pub use server::{ServeConfig, Server};
+pub use telemetry::ServeTelemetry;

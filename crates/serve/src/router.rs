@@ -9,7 +9,9 @@
 //!   pinned to one exact version;
 //! * the **response cache** ([`ResponseCache`]) keyed on
 //!   `(endpoint, args, version)`, so writes invalidate implicitly;
-//! * the **metrics registry** ([`ServeMetrics`]).
+//! * the **telemetry handles** ([`ServeTelemetry`]) recording into a
+//!   [`probase_obs::Registry`] — private by default, shared when the
+//!   caller wants server metrics in a process-wide report.
 //!
 //! Reads never take the store's write lock; writes (`add-evidence`,
 //! `snapshot-load`) go through [`SharedStore::update_versioned`] and
@@ -19,10 +21,11 @@
 
 use crate::cache::ResponseCache;
 use crate::json::Json;
-use crate::metrics::ServeMetrics;
 use crate::proto::{Direction, ErrorCode, LabelKind, Request};
+use crate::telemetry::ServeTelemetry;
 use parking_lot::RwLock;
 use probase_apps::{rewrite_query, Association};
+use probase_obs::Registry;
 use probase_prob::ProbaseModel;
 use probase_store::query::ancestors;
 use probase_store::{snapshot, ConceptGraph, GraphStats, LevelMap, NodeId, SharedStore};
@@ -39,7 +42,7 @@ struct VersionedModel {
 pub struct ServeState {
     store: SharedStore,
     cache: ResponseCache,
-    metrics: ServeMetrics,
+    metrics: ServeTelemetry,
     model: RwLock<Arc<VersionedModel>>,
     /// Co-occurrence association for `search-rewrite`. The server fronts
     /// a store, not a corpus, so this is empty unless a future endpoint
@@ -51,9 +54,27 @@ pub struct ServeState {
 pub type HandlerError = (ErrorCode, String);
 
 impl ServeState {
-    /// Build the state, eagerly deriving the model at the current
+    /// Build the state with a private metric registry (tests want exact
+    /// counter deltas), eagerly deriving the model at the current
     /// version so the first request does not pay the rebuild.
     pub fn new(store: SharedStore, cache_capacity: usize, cache_shards: usize) -> Self {
+        Self::with_registry(
+            store,
+            cache_capacity,
+            cache_shards,
+            Arc::new(Registry::new()),
+        )
+    }
+
+    /// Like [`ServeState::new`] but recording `serve.*` metrics into an
+    /// existing registry — `probase-cli serve` passes the process-global
+    /// one so endpoint metrics join the pipeline's `--metrics-out` report.
+    pub fn with_registry(
+        store: SharedStore,
+        cache_capacity: usize,
+        cache_shards: usize,
+        registry: Arc<Registry>,
+    ) -> Self {
         let (graph, version) = store.read_versioned(ConceptGraph::clone);
         let model = RwLock::new(Arc::new(VersionedModel {
             version,
@@ -62,7 +83,7 @@ impl ServeState {
         Self {
             store,
             cache: ResponseCache::new(cache_capacity, cache_shards),
-            metrics: ServeMetrics::new(),
+            metrics: ServeTelemetry::with_registry(registry),
             model,
             assoc: Association::default(),
         }
@@ -73,8 +94,8 @@ impl ServeState {
         &self.store
     }
 
-    /// The metrics registry.
-    pub fn metrics(&self) -> &ServeMetrics {
+    /// The telemetry handles.
+    pub fn metrics(&self) -> &ServeTelemetry {
         &self.metrics
     }
 

@@ -92,12 +92,25 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind, spawn the pool, and start serving `store`.
+    /// Bind, spawn the pool, and start serving `store` with a private
+    /// metric registry.
     pub fn start(store: SharedStore, config: &ServeConfig) -> std::io::Result<Server> {
-        let state = Arc::new(ServeState::new(
+        Self::start_with_registry(store, config, Arc::new(probase_obs::Registry::new()))
+    }
+
+    /// Like [`Server::start`] but recording `serve.*` metrics into an
+    /// existing [`probase_obs::Registry`] — pass the process-global one
+    /// to fold endpoint metrics into a pipeline-wide report.
+    pub fn start_with_registry(
+        store: SharedStore,
+        config: &ServeConfig,
+        registry: Arc<probase_obs::Registry>,
+    ) -> std::io::Result<Server> {
+        let state = Arc::new(ServeState::with_registry(
             store,
             config.cache_capacity,
             config.cache_shards,
+            registry,
         ));
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;

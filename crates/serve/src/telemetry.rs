@@ -1,0 +1,317 @@
+//! Serving telemetry: the server's view onto the shared
+//! [`probase_obs`] registry.
+//!
+//! Every number the server tracks — per-endpoint request counts and
+//! latency histograms, cache hit/miss rates, queue depth, backpressure
+//! rejections — is an ordinary [`probase_obs`] metric registered under
+//! `serve.*`. That means one registry (and one `--metrics-out` report)
+//! covers the pipeline *and* the serving layer when `probase-cli serve`
+//! passes the process-global registry in; tests construct servers with
+//! isolated registries instead and read exact deltas.
+//!
+//! [`ServeTelemetry`] pre-resolves every handle at construction so the
+//! hot path never touches the registry's name map — recording is a
+//! handful of relaxed atomic stores, same cost as the hand-rolled
+//! registry this module replaced. The `stats` endpoint dump
+//! ([`ServeTelemetry::to_json`]) keeps its original shape.
+
+use crate::json::Json;
+use crate::proto::ENDPOINTS;
+use probase_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Pre-resolved handles for one endpoint.
+#[derive(Debug)]
+struct EndpointHandles {
+    /// Completed requests (including errored ones).
+    requests: Arc<Counter>,
+    /// Requests that produced an error envelope.
+    errors: Arc<Counter>,
+    /// End-to-end handler latency in microseconds (queue wait excluded).
+    latency: Arc<Histogram>,
+}
+
+/// The server's metric handles, all registered in one
+/// [`probase_obs::Registry`]. See the module docs.
+#[derive(Debug)]
+pub struct ServeTelemetry {
+    registry: Arc<Registry>,
+    endpoints: Vec<EndpointHandles>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    rejected: Arc<Counter>,
+    deadline_expired: Arc<Counter>,
+    bad_requests: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    connections_open: Arc<Gauge>,
+    connections_total: Arc<Counter>,
+}
+
+impl Default for ServeTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeTelemetry {
+    /// Telemetry backed by a fresh, private registry (what tests want:
+    /// exact counter deltas with no cross-server pollution).
+    pub fn new() -> Self {
+        Self::with_registry(Arc::new(Registry::new()))
+    }
+
+    /// Telemetry recording into an existing registry — `probase-cli`
+    /// passes [`probase_obs::global`] so endpoint metrics land in the
+    /// same `--metrics-out` report as the pipeline stages.
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        let endpoints = ENDPOINTS
+            .iter()
+            .map(|name| EndpointHandles {
+                requests: registry.counter(&format!("serve.{name}.requests")),
+                errors: registry.counter(&format!("serve.{name}.errors")),
+                latency: registry.histogram(&format!("serve.{name}.latency_us")),
+            })
+            .collect();
+        Self {
+            endpoints,
+            cache_hits: registry.counter("serve.cache.hits"),
+            cache_misses: registry.counter("serve.cache.misses"),
+            rejected: registry.counter("serve.queue.rejected"),
+            deadline_expired: registry.counter("serve.queue.deadline_expired"),
+            bad_requests: registry.counter("serve.bad_requests"),
+            queue_depth: registry.gauge("serve.queue.depth"),
+            connections_open: registry.gauge("serve.connections.open"),
+            connections_total: registry.counter("serve.connections.total"),
+            registry,
+        }
+    }
+
+    /// The backing registry (snapshot it for a full report).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Record a completed request for endpoint `idx`.
+    pub fn record_request(&self, idx: usize, latency: Duration, errored: bool) {
+        let e = &self.endpoints[idx];
+        e.requests.inc();
+        if errored {
+            e.errors.inc();
+        }
+        e.latency.record_duration(latency);
+    }
+
+    /// Response served from the cache.
+    pub fn cache_hit(&self) {
+        self.cache_hits.inc();
+    }
+
+    /// Response had to be computed.
+    pub fn cache_miss(&self) {
+        self.cache_misses.inc();
+    }
+
+    /// Request rejected because the bounded queue was full.
+    pub fn rejected(&self) {
+        self.rejected.inc();
+    }
+
+    /// Request expired in the queue before a worker picked it up.
+    pub fn deadline_expired(&self) {
+        self.deadline_expired.inc();
+    }
+
+    /// Unparseable line or invalid parameters.
+    pub fn bad_request(&self) {
+        self.bad_requests.inc();
+    }
+
+    /// A job entered the queue.
+    pub fn enqueued(&self) {
+        self.queue_depth.inc();
+    }
+
+    /// A worker took a job off the queue.
+    pub fn dequeued(&self) {
+        self.queue_depth.dec();
+    }
+
+    /// Current queue depth (floored at 0 — racy reads can transiently
+    /// observe inc/dec out of order).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.get().max(0) as u64
+    }
+
+    /// A client connected.
+    pub fn connection_opened(&self) {
+        self.connections_open.inc();
+        self.connections_total.inc();
+    }
+
+    /// A client disconnected.
+    pub fn connection_closed(&self) {
+        self.connections_open.dec();
+    }
+
+    /// Cache hits so far.
+    pub fn cache_hits_total(&self) -> u64 {
+        self.cache_hits.get()
+    }
+
+    /// Completed requests summed over all endpoints.
+    pub fn requests_total(&self) -> u64 {
+        self.endpoints.iter().map(|e| e.requests.get()).sum()
+    }
+
+    /// Dump the serving metrics as JSON (`cache_entries` is supplied by
+    /// the caller because the cache is a sibling object).
+    pub fn to_json(&self, cache_entries: usize) -> Json {
+        let mut per_endpoint = Vec::new();
+        for (name, e) in ENDPOINTS.iter().zip(&self.endpoints) {
+            let requests = e.requests.get();
+            if requests == 0 {
+                continue;
+            }
+            per_endpoint.push((
+                name.to_string(),
+                Json::obj(vec![
+                    ("requests", Json::num(requests as f64)),
+                    ("errors", Json::num(e.errors.get() as f64)),
+                    ("p50_us", Json::num(e.latency.quantile(0.50) as f64)),
+                    ("p99_us", Json::num(e.latency.quantile(0.99) as f64)),
+                    (
+                        "mean_us",
+                        Json::num((e.latency.mean() * 10.0).round() / 10.0),
+                    ),
+                ]),
+            ));
+        }
+        let hits = self.cache_hits.get();
+        let misses = self.cache_misses.get();
+        let hit_rate = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
+        Json::obj(vec![
+            ("endpoints", Json::Obj(per_endpoint)),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::num(hits as f64)),
+                    ("misses", Json::num(misses as f64)),
+                    ("hit_rate", Json::num(hit_rate)),
+                    ("entries", Json::num(cache_entries as f64)),
+                ]),
+            ),
+            (
+                "queue",
+                Json::obj(vec![
+                    ("depth", Json::num(self.queue_depth() as f64)),
+                    ("rejected", Json::num(self.rejected.get() as f64)),
+                    (
+                        "deadline_expired",
+                        Json::num(self.deadline_expired.get() as f64),
+                    ),
+                ]),
+            ),
+            (
+                "connections",
+                Json::obj(vec![
+                    ("open", Json::num(self.connections_open.get().max(0) as f64)),
+                    ("total", Json::num(self.connections_total.get() as f64)),
+                ]),
+            ),
+            ("bad_requests", Json::num(self.bad_requests.get() as f64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_flow_into_dump() {
+        let m = ServeTelemetry::new();
+        m.record_request(1, Duration::from_micros(5), false); // isa
+        m.record_request(1, Duration::from_micros(7), true);
+        m.cache_hit();
+        m.cache_hit();
+        m.cache_miss();
+        m.rejected();
+        m.deadline_expired();
+        m.bad_request();
+        m.enqueued();
+        m.connection_opened();
+        let dump = m.to_json(3);
+        let isa = dump
+            .get("endpoints")
+            .and_then(|e| e.get("isa"))
+            .expect("isa present");
+        assert_eq!(isa.get("requests").and_then(Json::as_u64), Some(2));
+        assert_eq!(isa.get("errors").and_then(Json::as_u64), Some(1));
+        assert!(isa.get("p50_us").and_then(Json::as_u64).unwrap() >= 5);
+        assert!(isa.get("p99_us").is_some());
+        let cache = dump.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(2));
+        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+        assert!((cache.get("hit_rate").and_then(Json::as_f64).unwrap() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(3));
+        let queue = dump.get("queue").unwrap();
+        assert_eq!(queue.get("depth").and_then(Json::as_u64), Some(1));
+        assert_eq!(queue.get("rejected").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            queue.get("deadline_expired").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(dump.get("bad_requests").and_then(Json::as_u64), Some(1));
+        // Endpoints with zero traffic are omitted from the dump.
+        assert!(dump.get("endpoints").unwrap().get("stats").is_none());
+        assert_eq!(m.requests_total(), 2);
+    }
+
+    #[test]
+    fn queue_depth_never_negative() {
+        let m = ServeTelemetry::new();
+        m.dequeued();
+        assert_eq!(m.queue_depth(), 0);
+    }
+
+    #[test]
+    fn metrics_surface_in_the_registry_snapshot() {
+        let m = ServeTelemetry::new();
+        m.record_request(1, Duration::from_micros(5), false); // isa
+        m.cache_hit();
+        let snap = m.registry().snapshot();
+        assert_eq!(
+            snap.get("counters")
+                .and_then(|c| c.get("serve.isa.requests"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("counters")
+                .and_then(|c| c.get("serve.cache.hits"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        let lat = snap
+            .get("histograms")
+            .and_then(|h| h.get("serve.isa.latency_us"))
+            .expect("latency histogram registered");
+        assert_eq!(lat.get("count").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn shared_registry_is_observed_by_both_handles() {
+        let registry = Arc::new(Registry::new());
+        let a = ServeTelemetry::with_registry(registry.clone());
+        let b = ServeTelemetry::with_registry(registry);
+        a.cache_hit();
+        b.cache_hit();
+        assert_eq!(a.cache_hits_total(), 2);
+        assert_eq!(b.cache_hits_total(), 2);
+    }
+}

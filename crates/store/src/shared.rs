@@ -13,6 +13,7 @@
 
 use crate::graph::ConceptGraph;
 use parking_lot::RwLock;
+use probase_obs::{Counter, Registry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -26,21 +27,37 @@ pub struct SharedStore {
 struct Shared {
     graph: RwLock<ConceptGraph>,
     version: AtomicU64,
+    queries: Arc<Counter>,
+    updates: Arc<Counter>,
+    snapshot_swaps: Arc<Counter>,
 }
 
 impl SharedStore {
-    /// Wrap a graph for shared access.
+    /// Wrap a graph for shared access. Reports `store.*` counters to the
+    /// process-global metric registry.
     pub fn new(graph: ConceptGraph) -> Self {
+        Self::with_registry(graph, probase_obs::global())
+    }
+
+    /// [`SharedStore::new`] with an explicit metric registry. Installing
+    /// the initial graph counts as the first snapshot swap.
+    pub fn with_registry(graph: ConceptGraph, registry: &Registry) -> Self {
+        let snapshot_swaps = registry.counter("store.snapshot_swaps");
+        snapshot_swaps.inc();
         Self {
             inner: Arc::new(Shared {
                 graph: RwLock::new(graph),
                 version: AtomicU64::new(0),
+                queries: registry.counter("store.queries"),
+                updates: registry.counter("store.updates"),
+                snapshot_swaps,
             }),
         }
     }
 
     /// Run a read-only closure against the graph (many may run at once).
     pub fn read<R>(&self, f: impl FnOnce(&ConceptGraph) -> R) -> R {
+        self.inner.queries.inc();
         f(&self.inner.graph.read())
     }
 
@@ -51,6 +68,7 @@ impl SharedStore {
     /// version can never associate an answer with a version the graph
     /// had already moved past.
     pub fn read_versioned<R>(&self, f: impl FnOnce(&ConceptGraph) -> R) -> (R, u64) {
+        self.inner.queries.inc();
         let guard = self.inner.graph.read();
         let version = self.inner.version.load(Ordering::Acquire);
         (f(&guard), version)
@@ -66,10 +84,21 @@ impl SharedStore {
     /// the returned version is exactly the one at which the mutation
     /// became visible (no interleaved writer can sit between them).
     pub fn update_versioned<R>(&self, f: impl FnOnce(&mut ConceptGraph) -> R) -> (R, u64) {
+        self.inner.updates.inc();
         let mut guard = self.inner.graph.write();
         let out = f(&mut guard);
         let version = self.inner.version.fetch_add(1, Ordering::Release) + 1;
         (out, version)
+    }
+
+    /// Replace the entire graph with a freshly built one (e.g. after an
+    /// offline pipeline rerun), bumping the version so versioned caches
+    /// drop stale answers. Returns the post-swap version.
+    pub fn swap_snapshot(&self, graph: ConceptGraph) -> u64 {
+        self.inner.snapshot_swaps.inc();
+        let mut guard = self.inner.graph.write();
+        *guard = graph;
+        self.inner.version.fetch_add(1, Ordering::Release) + 1
     }
 
     /// Monotone write counter for cache invalidation.
@@ -211,6 +240,48 @@ mod tests {
         let (nodes, v) = s.read_versioned(|g| g.node_count());
         assert_eq!(v, 100);
         assert_eq!(nodes, base + 100);
+    }
+
+    #[test]
+    fn swap_snapshot_replaces_graph_and_bumps_version() {
+        let s = seeded();
+        let mut replacement = ConceptGraph::new();
+        replacement.ensure_node("company", 0);
+        let v = s.swap_snapshot(replacement);
+        assert_eq!(v, 1);
+        assert_eq!(s.version(), 1);
+        assert_eq!(s.read(|g| g.node_count()), 1);
+    }
+
+    #[test]
+    fn counters_track_reads_updates_and_swaps() {
+        let registry = Registry::new();
+        let mut g = ConceptGraph::new();
+        g.ensure_node("country", 0);
+        let s = SharedStore::with_registry(g, &registry);
+        s.read(|g| g.node_count());
+        s.read_versioned(|g| g.node_count());
+        s.update(|g| {
+            g.ensure_node("China", 0);
+        });
+        s.swap_snapshot(ConceptGraph::new());
+        let snap = registry.snapshot();
+        let counters = snap.get("counters").expect("counters section");
+        assert_eq!(
+            counters.get("store.queries").and_then(|v| v.as_u64()),
+            Some(2)
+        );
+        assert_eq!(
+            counters.get("store.updates").and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        // One swap from construction, one explicit.
+        assert_eq!(
+            counters
+                .get("store.snapshot_swaps")
+                .and_then(|v| v.as_u64()),
+            Some(2)
+        );
     }
 
     #[test]

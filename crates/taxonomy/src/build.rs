@@ -26,9 +26,11 @@ use crate::local::{build_local_taxonomies, LocalTaxonomy};
 use crate::merge::{Group, MergeOp, MergeState};
 use crate::sim::{overlap, AbsoluteOverlap};
 use probase_extract::SentenceExtraction;
+use probase_obs::{Counter, Registry};
 use probase_store::{ConceptGraph, Interner, NodeId, Symbol};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Configuration of taxonomy construction.
 #[derive(Debug, Clone)]
@@ -93,17 +95,40 @@ pub struct BuiltTaxonomy {
 /// assert_eq!(built.graph.senses_of("plant").len(), 2);
 /// ```
 pub fn build_taxonomy(sentences: &[SentenceExtraction], cfg: &TaxonomyConfig) -> BuiltTaxonomy {
-    let (locals, interner) = build_local_taxonomies(sentences);
-    build_from_locals(&locals, &interner, cfg)
+    build_taxonomy_observed(sentences, cfg, probase_obs::global())
 }
 
-/// Build from pre-constructed local taxonomies (used by ablations).
+/// [`build_taxonomy`] with an explicit metric registry.
+pub fn build_taxonomy_observed(
+    sentences: &[SentenceExtraction],
+    cfg: &TaxonomyConfig,
+    registry: &Registry,
+) -> BuiltTaxonomy {
+    let (locals, interner) = registry
+        .stage("taxonomy.local_build")
+        .time(|| build_local_taxonomies(sentences));
+    build_from_locals_observed(&locals, &interner, cfg, registry)
+}
+
+/// Build from pre-constructed local taxonomies (used by ablations),
+/// reporting `taxonomy.*` metrics to the process-global registry.
 pub fn build_from_locals(
     locals: &[LocalTaxonomy],
     interner: &Interner,
     cfg: &TaxonomyConfig,
 ) -> BuiltTaxonomy {
+    build_from_locals_observed(locals, interner, cfg, probase_obs::global())
+}
+
+/// [`build_from_locals`] with an explicit metric registry.
+pub fn build_from_locals_observed(
+    locals: &[LocalTaxonomy],
+    interner: &Interner,
+    cfg: &TaxonomyConfig,
+    registry: &Registry,
+) -> BuiltTaxonomy {
     let sim = AbsoluteOverlap { delta: cfg.delta };
+    let sim_calls = registry.counter("taxonomy.similarity_calls");
     let mut stats = BuildStats {
         local_taxonomies: locals.len(),
         ..Default::default()
@@ -111,7 +136,9 @@ pub fn build_from_locals(
 
     // --- stage 2: horizontal grouping (indexed) -----------------------
     let mut state = MergeState::from_locals(locals);
-    stats.horizontal_merges = horizontal_pass(&mut state, &sim);
+    stats.horizontal_merges = registry
+        .stage("taxonomy.horizontal_merge")
+        .time(|| horizontal_pass(&mut state, &sim, &sim_calls));
 
     // --- absorption ----------------------------------------------------
     if cfg.absorb {
@@ -119,17 +146,25 @@ pub fn build_from_locals(
     }
 
     // --- stage 3: vertical grouping (indexed) --------------------------
-    stats.vertical_links = vertical_pass(&mut state, &sim);
+    stats.vertical_links = registry
+        .stage("taxonomy.vertical_merge")
+        .time(|| vertical_pass(&mut state, &sim, &sim_calls));
 
     // --- graph assembly -------------------------------------------------
-    let (graph, dropped) = assemble(&state, interner, cfg);
+    let (graph, dropped) = registry
+        .stage("taxonomy.assemble")
+        .time(|| assemble(&state, interner, cfg));
     stats.cycle_edges_dropped = dropped;
     stats.senses = state.live().count();
     BuiltTaxonomy { graph, stats }
 }
 
 /// Indexed horizontal merging: repeat until fixpoint. Returns merge count.
-fn horizontal_pass(state: &mut MergeState, sim: &AbsoluteOverlap) -> usize {
+fn horizontal_pass(
+    state: &mut MergeState,
+    sim: &AbsoluteOverlap,
+    sim_calls: &Arc<Counter>,
+) -> usize {
     let mut merges = 0;
     loop {
         let mut merged_this_round = 0;
@@ -162,6 +197,7 @@ fn horizontal_pass(state: &mut MergeState, sim: &AbsoluteOverlap) -> usize {
                 if n >= sim.delta && state.groups[p].alive && state.groups[gi].alive {
                     // Verify against current (possibly grown) sets.
                     let op = MergeOp::Horizontal(gi.min(p), gi.max(p));
+                    sim_calls.inc();
                     if state.applicable(op, sim) {
                         state.apply(op, sim);
                         merges += 1;
@@ -249,7 +285,7 @@ fn absorb_small_groups(state: &mut MergeState, delta: usize) -> usize {
 }
 
 /// Indexed vertical linking. Returns the number of links created.
-fn vertical_pass(state: &mut MergeState, sim: &AbsoluteOverlap) -> usize {
+fn vertical_pass(state: &mut MergeState, sim: &AbsoluteOverlap, sim_calls: &Arc<Counter>) -> usize {
     let live: Vec<usize> = state.live().collect();
     let mut by_label: HashMap<Symbol, Vec<usize>> = HashMap::new();
     for &gi in &live {
@@ -266,6 +302,7 @@ fn vertical_pass(state: &mut MergeState, sim: &AbsoluteOverlap) -> usize {
                 if child == parent {
                     continue;
                 }
+                sim_calls.inc();
                 if overlap(
                     &state.groups[parent].children,
                     &state.groups[child].children,

@@ -30,7 +30,10 @@ pub mod merge;
 pub mod regraph;
 pub mod sim;
 
-pub use build::{build_from_locals, build_taxonomy, BuildStats, BuiltTaxonomy, TaxonomyConfig};
+pub use build::{
+    build_from_locals, build_from_locals_observed, build_taxonomy, build_taxonomy_observed,
+    BuildStats, BuiltTaxonomy, TaxonomyConfig,
+};
 pub use local::{build_local_taxonomies, LocalTaxonomy};
 pub use merge::{CanonicalState, Group, MergeOp, MergeState};
 pub use regraph::merge_graphs;

@@ -44,6 +44,7 @@ Modes:
 Options (both modes):
   --load <PATH>         load a binary snapshot instead of simulating
   --sentences <N>       simulated crawl size (default 30000)
+  --metrics-out <PATH>  write the pipeline metrics report (JSON) to PATH
   -h, --help            print this help
 
 Options (serve only):
@@ -59,6 +60,7 @@ struct CliArgs {
     serve: bool,
     load: Option<String>,
     sentences: usize,
+    metrics_out: Option<String>,
     addr: String,
     workers: usize,
     queue: usize,
@@ -73,6 +75,7 @@ impl Default for CliArgs {
             serve: false,
             load: None,
             sentences: 30_000,
+            metrics_out: None,
             addr: d.addr,
             workers: d.workers,
             queue: d.queue_capacity,
@@ -98,6 +101,7 @@ fn parse_args(argv: &[String]) -> Result<Option<CliArgs>, String> {
         match arg.as_str() {
             "-h" | "--help" => return Ok(None),
             "--load" => args.load = Some(take("--load")?.clone()),
+            "--metrics-out" => args.metrics_out = Some(take("--metrics-out")?.clone()),
             "--sentences" => {
                 let v = take("--sentences")?;
                 args.sentences = v
@@ -205,6 +209,9 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // Host the graph in the shared store in both modes so `store.*`
+    // metrics (snapshot swaps, query counts) appear in the report.
+    let store = SharedStore::new(graph);
 
     if args.serve {
         let config = ServeConfig {
@@ -215,13 +222,17 @@ fn main() {
             cache_shards: 16,
             deadline: Duration::from_millis(args.deadline_ms),
         };
-        let server = match Server::start(SharedStore::new(graph), &config) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: cannot bind {}: {e}", config.addr);
-                std::process::exit(1);
-            }
-        };
+        // Serve metrics join the same global registry the pipeline
+        // recorded into, so the report covers build + serving.
+        let server =
+            match Server::start_with_registry(store, &config, probase::obs::global().clone()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot bind {}: {e}", config.addr);
+                    std::process::exit(1);
+                }
+            };
+        write_metrics(&args);
         eprintln!(
             "probase-serve listening on {} ({} workers, queue {}, cache {} entries)",
             server.local_addr(),
@@ -242,8 +253,24 @@ fn main() {
         }
     }
 
-    let model = ProbaseModel::new(graph);
+    let model = ProbaseModel::new(store.clone_graph());
+    write_metrics(&args);
     repl(&model);
+}
+
+/// Snapshot the process-global metric registry to `--metrics-out`, if set.
+fn write_metrics(args: &CliArgs) {
+    let Some(path) = &args.metrics_out else {
+        return;
+    };
+    let report = probase::obs::global().snapshot().to_string();
+    match std::fs::write(path, &report) {
+        Ok(()) => eprintln!("wrote metrics report ({} bytes) to {path}", report.len()),
+        Err(e) => {
+            eprintln!("error: cannot write metrics to {path:?}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn repl(model: &ProbaseModel) {
@@ -432,6 +459,17 @@ mod tests {
         assert_eq!(args.cache, 128);
         assert_eq!(args.deadline_ms, 500);
         assert_eq!(args.load.as_deref(), Some("x.pb"));
+    }
+
+    #[test]
+    fn metrics_out_flag_in_both_modes() {
+        let args = parse(&["--metrics-out", "m.json"]).unwrap().unwrap();
+        assert_eq!(args.metrics_out.as_deref(), Some("m.json"));
+        let args = parse(&["serve", "--metrics-out", "m.json"])
+            .unwrap()
+            .unwrap();
+        assert!(args.serve);
+        assert_eq!(args.metrics_out.as_deref(), Some("m.json"));
     }
 
     #[test]

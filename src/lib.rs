@@ -29,8 +29,12 @@
 //! and figures.
 
 pub use probase_core::{
-    build_probase, seed_from_world, PlausibilityKind, Probase, ProbaseConfig, Simulation,
+    build_probase, build_probase_observed, seed_from_world, PlausibilityKind, Probase,
+    ProbaseConfig, Simulation,
 };
+
+/// Observability substrate: counters, histograms, stage timers, registry.
+pub use probase_obs as obs;
 
 /// Shallow NLP substrate: tokenizer, morphology, tagger, NP chunker.
 pub use probase_text as text;
