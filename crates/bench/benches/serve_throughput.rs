@@ -32,6 +32,7 @@ fn server_config() -> ServeConfig {
         cache_capacity: 4096,
         cache_shards: 16,
         deadline: Duration::from_secs(5),
+        ..ServeConfig::default()
     }
 }
 

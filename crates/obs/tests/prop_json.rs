@@ -1,0 +1,74 @@
+//! Property tests for the dependency-free JSON codec: encode→parse is
+//! the identity on finite values, and the parser never panics on
+//! arbitrary input — it is fed raw bytes off sockets by `probase-serve`,
+//! so "rejects garbage with an error" is a load-bearing guarantee.
+
+use probase_obs::json::{self, Json};
+use proptest::prelude::*;
+
+/// Arbitrary JSON values, nested up to 3 levels. Non-finite numbers are
+/// excluded: the encoder deliberately degrades NaN/Inf to `null` (JSON
+/// has no spelling for them), so they cannot round-trip by design.
+fn json_value() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Json::Num),
+        ".*".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(3, 32, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Json::Arr),
+            proptest::collection::vec((".{0,8}", inner), 0..6).prop_map(Json::Obj),
+        ]
+    })
+}
+
+proptest! {
+    /// `parse(encode(v)) == v` for every finite value, including
+    /// insertion order of object keys (the codec preserves it).
+    #[test]
+    fn encode_parse_roundtrip(v in json_value()) {
+        let text = v.to_string();
+        let back = json::parse(&text)
+            .unwrap_or_else(|e| panic!("own output must parse: {e} in {text:?}"));
+        prop_assert_eq!(back, v);
+    }
+
+    /// Encoding is stable under a round trip: re-encoding the parsed
+    /// value yields the same bytes, so cached/compared response lines
+    /// are canonical.
+    #[test]
+    fn encoding_is_canonical(v in json_value()) {
+        let text = v.to_string();
+        let back = json::parse(&text).expect("own output parses");
+        prop_assert_eq!(back.to_string(), text);
+    }
+
+    /// The parser never panics on arbitrary strings — it either parses
+    /// or returns a `ParseError` with a sane offset.
+    #[test]
+    fn parse_never_panics_on_strings(s in ".*") {
+        if let Err(e) = json::parse(&s) {
+            prop_assert!(e.offset <= s.len(), "offset {} beyond input {}", e.offset, s.len());
+        }
+    }
+
+    /// Byte soup (lossily decoded, as the server does with socket data)
+    /// never panics the parser either.
+    #[test]
+    fn parse_never_panics_on_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let s = String::from_utf8_lossy(&bytes);
+        let _ = json::parse(&s);
+    }
+
+    /// A valid document with trailing garbage is rejected, not
+    /// silently truncated — the wire protocol is one document per line.
+    #[test]
+    fn trailing_garbage_rejected(v in json_value(), garbage in "[a-z{\\[]{1,8}") {
+        let text = format!("{v}{garbage}");
+        prop_assert!(json::parse(&text).is_err(), "accepted {text:?}");
+    }
+}

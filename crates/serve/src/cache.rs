@@ -222,6 +222,68 @@ mod tests {
     }
 
     #[test]
+    fn eviction_order_under_pressure_is_exact_lru() {
+        // Single shard, capacity 4, then a scripted access pattern; the
+        // eviction sequence must follow recency exactly, not insertion
+        // order and not approximate it.
+        let c = ResponseCache::new(4, 1);
+        for k in ["a", "b", "c", "d"] {
+            c.insert(k.into(), 0, v(1));
+        }
+        // Recency now (oldest→newest): a b c d. Touch a, then c:
+        // oldest→newest becomes b d a c.
+        assert!(c.get("a", 0).is_some());
+        assert!(c.get("c", 0).is_some());
+
+        c.insert("e".into(), 0, v(2)); // evicts b
+        assert_eq!(c.get("b", 0), None, "b was least recently used");
+        assert_eq!(c.len(), 4);
+
+        c.insert("f".into(), 0, v(3)); // evicts d
+        assert_eq!(c.get("d", 0), None, "d was next in LRU order");
+
+        // a and c survived both evictions because of the touches; the
+        // two newest inserts are of course present.
+        for k in ["a", "c", "e", "f"] {
+            assert!(c.get(k, 0).is_some(), "{k} should have survived");
+        }
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn stale_versions_never_served_after_snapshot_swap() {
+        // A snapshot-load bumps the store version; every subsequent
+        // lookup carries the new version and must never see an answer
+        // computed against the old graph, even for identical keys.
+        // One shard so eviction pressure is deterministic regardless of
+        // how the hasher spreads (key, version) pairs.
+        let c = ResponseCache::new(8, 1);
+        let keys: Vec<String> = (0..8).map(|i| format!("isa|x{i}|y")).collect();
+        for k in &keys {
+            c.insert(k.clone(), 3, v(10));
+        }
+        // "Swap": the store version is now 4. Same keys, new version —
+        // all lookups must miss.
+        for k in &keys {
+            assert_eq!(c.get(k, 4), None, "stale answer served for {k}");
+        }
+        // Repopulate at the new version and keep hammering it; the old
+        // generation must age out entirely rather than pinning capacity.
+        for round in 0..4 {
+            for k in &keys {
+                c.insert(k.clone(), 4, v(20 + round));
+                assert_eq!(c.get(k, 4), Some(v(20 + round)));
+            }
+        }
+        let stale_left = keys.iter().filter(|k| c.get(k, 3).is_some()).count();
+        assert_eq!(
+            stale_left, 0,
+            "old-version entries must be fully evicted under pressure"
+        );
+        assert!(c.len() <= 8);
+    }
+
+    #[test]
     fn zero_capacity_floored() {
         let c = ResponseCache::new(0, 0);
         c.insert("a".into(), 0, v(1));

@@ -24,7 +24,16 @@
 //!   backpressure rejections — all registered as `serve.*` metrics in a
 //!   [`probase_obs::Registry`] and dumped by the `stats` endpoint;
 //! * a **blocking client** ([`client::Client`]) used by
-//!   `probase-loadgen`, the benches, and the tests.
+//!   `probase-loadgen`, the benches, and the tests — with configurable
+//!   retries (exponential backoff, jitter, a lifetime retry budget,
+//!   idempotent-reads-only; see [`client::ClientConfig`]).
+//!
+//! The server side is hardened against hostile or broken peers: a
+//! max-connections admission guard, per-connection oversize-line limits,
+//! and strike-based shedding of garbage-spewing connections — each shed
+//! or malformed event is counted in telemetry and answered with a proper
+//! error envelope. `crates/testkit` plus `tests/chaos.rs` replay seeded
+//! fault schedules against all of it; see DESIGN.md §11.
 //!
 //! The dependency-free JSON codec lives in [`probase_obs::json`]
 //! (re-exported here as [`json`], where it originally lived); see its
@@ -42,9 +51,9 @@ pub mod telemetry;
 pub use probase_obs::json;
 
 pub use cache::ResponseCache;
-pub use client::{Client, ClientError, Envelope};
+pub use client::{Client, ClientConfig, ClientError, Envelope};
 pub use json::Json;
 pub use proto::{Direction, ErrorCode, LabelKind, Request, ENDPOINTS};
 pub use router::ServeState;
 pub use server::{ServeConfig, Server};
-pub use telemetry::ServeTelemetry;
+pub use telemetry::{ClientTelemetry, ServeTelemetry};

@@ -140,6 +140,18 @@ impl Request {
         ENDPOINTS[self.endpoint_index()]
     }
 
+    /// Whether retrying this request cannot change server state: true
+    /// for every read, false for the writes (`add-evidence` would
+    /// double-count evidence, `snapshot-load` would double-swap). The
+    /// client's retry machinery refuses to retry non-idempotent
+    /// requests.
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(
+            self,
+            Request::AddEvidence { .. } | Request::SnapshotLoad { .. }
+        )
+    }
+
     /// Index into [`ENDPOINTS`] (and the per-endpoint metrics table).
     pub fn endpoint_index(&self) -> usize {
         match self {
@@ -387,7 +399,7 @@ fn opt_k(v: &Json) -> Result<usize, String> {
 }
 
 /// Stable machine-readable error codes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ErrorCode {
     /// Malformed JSON or invalid parameters.
     BadRequest,
@@ -395,19 +407,52 @@ pub enum ErrorCode {
     Overloaded,
     /// The request waited in the queue past its deadline.
     DeadlineExceeded,
+    /// The server is at its connection limit; the connection was shed.
+    TooManyConnections,
+    /// A request line exceeded the per-line byte limit and was dropped.
+    LineTooLarge,
     /// The handler itself failed (e.g. unreadable snapshot file).
     Internal,
 }
 
 impl ErrorCode {
+    /// Every code, in wire order. The chaos suite round-trips this list
+    /// to guard the error-envelope contract.
+    pub const ALL: [ErrorCode; 6] = [
+        ErrorCode::BadRequest,
+        ErrorCode::Overloaded,
+        ErrorCode::DeadlineExceeded,
+        ErrorCode::TooManyConnections,
+        ErrorCode::LineTooLarge,
+        ErrorCode::Internal,
+    ];
+
     /// The wire string for this code.
     pub fn as_str(self) -> &'static str {
         match self {
             ErrorCode::BadRequest => "bad-request",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::TooManyConnections => "too-many-connections",
+            ErrorCode::LineTooLarge => "line-too-large",
             ErrorCode::Internal => "internal",
         }
+    }
+
+    /// Parse a wire string back into its code (the inverse of
+    /// [`ErrorCode::as_str`]).
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+
+    /// Whether a client may safely retry an idempotent request that
+    /// failed with this code: transient load-shedding outcomes are
+    /// retryable, caller bugs and handler failures are not.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Overloaded | ErrorCode::DeadlineExceeded | ErrorCode::TooManyConnections
+        )
     }
 }
 
@@ -627,6 +672,52 @@ mod tests {
             err.to_string(),
             r#"{"id":4,"ok":false,"error":"overloaded","detail":"queue full"}"#
         );
+    }
+
+    #[test]
+    fn error_codes_roundtrip_and_are_unique() {
+        // The error envelope contract the chaos suite (and every
+        // retrying client) relies on: each code has a distinct wire
+        // string that parses back to exactly that code.
+        let mut seen = std::collections::HashSet::new();
+        for code in ErrorCode::ALL {
+            let wire = code.as_str();
+            assert!(seen.insert(wire), "duplicate wire string {wire:?}");
+            assert_eq!(ErrorCode::parse(wire), Some(code), "{wire:?} round-trips");
+        }
+        assert_eq!(seen.len(), ErrorCode::ALL.len());
+        assert_eq!(ErrorCode::parse("nope"), None);
+        assert_eq!(ErrorCode::parse(""), None);
+        assert_eq!(ErrorCode::parse("Bad-Request"), None, "codes are exact");
+    }
+
+    #[test]
+    fn retryable_codes_are_the_shedding_ones() {
+        for code in ErrorCode::ALL {
+            let expect = matches!(
+                code,
+                ErrorCode::Overloaded | ErrorCode::DeadlineExceeded | ErrorCode::TooManyConnections
+            );
+            assert_eq!(code.retryable(), expect, "{:?}", code);
+        }
+    }
+
+    #[test]
+    fn idempotence_matches_write_surface() {
+        assert!(Request::Ping.is_idempotent());
+        assert!(Request::Stats.is_idempotent());
+        assert!(Request::Isa {
+            parent: "a".into(),
+            child: "b".into()
+        }
+        .is_idempotent());
+        assert!(!Request::AddEvidence {
+            parent: "a".into(),
+            child: "b".into(),
+            count: 1
+        }
+        .is_idempotent());
+        assert!(!Request::SnapshotLoad { path: "p".into() }.is_idempotent());
     }
 
     #[test]

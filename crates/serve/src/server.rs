@@ -16,6 +16,15 @@
 //!
 //! * **Backpressure**: the queue is bounded; when it is full the reader
 //!   answers `overloaded` immediately instead of buffering unboundedly.
+//! * **Admission control**: at most `max_connections` reader threads;
+//!   further connects are shed with a `too-many-connections` envelope.
+//! * **Garbage tolerance**: request lines are read as bytes, so invalid
+//!   UTF-8 or unparseable JSON is answered with `bad-request` instead of
+//!   killing the connection; lines over `max_line_bytes` are dropped
+//!   with `line-too-large` (bounded buffer memory), and a connection
+//!   exceeding `max_line_strikes` garbage lines is closed with a final
+//!   envelope — the chaos suite (`tests/chaos.rs`) drives all of these
+//!   through real sockets.
 //! * **Deadlines**: each job records its enqueue instant; a worker that
 //!   dequeues an already-expired job answers `deadline-exceeded` without
 //!   doing the work (shedding load exactly when it is oldest).
@@ -35,7 +44,7 @@ use probase_store::SharedStore;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -55,6 +64,20 @@ pub struct ServeConfig {
     pub cache_shards: usize,
     /// Per-request queue deadline; jobs older than this are shed.
     pub deadline: Duration,
+    /// Maximum simultaneously open client connections; further connects
+    /// are shed with a `too-many-connections` envelope instead of
+    /// spawning an unbounded reader thread per socket.
+    pub max_connections: usize,
+    /// Per-request-line byte cap; longer lines are dropped with a
+    /// `line-too-large` envelope (bounds per-connection buffer memory —
+    /// without it one client streaming a newline-free line stalls a
+    /// reader thread on an ever-growing buffer).
+    pub max_line_bytes: usize,
+    /// Per-connection strike limit for garbage input (unparseable JSON,
+    /// invalid UTF-8, oversize lines). A connection that exceeds it is
+    /// closed with a final error envelope — shedding the flood instead
+    /// of burning a reader thread on it.
+    pub max_line_strikes: u32,
 }
 
 impl Default for ServeConfig {
@@ -66,8 +89,18 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             cache_shards: 16,
             deadline: Duration::from_secs(2),
+            max_connections: 1024,
+            max_line_bytes: 256 * 1024,
+            max_line_strikes: 8,
         }
     }
+}
+
+/// Per-connection robustness limits, copied out of [`ServeConfig`].
+#[derive(Debug, Clone, Copy)]
+struct ConnLimits {
+    max_line_bytes: usize,
+    max_line_strikes: u32,
 }
 
 /// How often blocked reads wake up to check the shutdown flag.
@@ -133,9 +166,16 @@ impl Server {
             let state = state.clone();
             let shutdown = shutdown.clone();
             let job_tx = job_tx.clone();
+            let max_connections = config.max_connections.max(1);
+            let limits = ConnLimits {
+                max_line_bytes: config.max_line_bytes.max(64),
+                max_line_strikes: config.max_line_strikes.max(1),
+            };
             std::thread::Builder::new()
                 .name("probase-serve-accept".to_string())
-                .spawn(move || accept_loop(listener, state, shutdown, job_tx))?
+                .spawn(move || {
+                    accept_loop(listener, state, shutdown, job_tx, max_connections, limits)
+                })?
         };
 
         Ok(Server {
@@ -195,27 +235,56 @@ fn accept_loop(
     state: Arc<ServeState>,
     shutdown: Arc<AtomicBool>,
     job_tx: channel::Sender<Job>,
+    max_connections: usize,
+    limits: ConnLimits,
 ) {
     let mut conn_handles: Vec<JoinHandle<()>> = Vec::new();
+    // Open-connection count for the admission guard. Tracked here (not
+    // via the telemetry gauge) so admission is exact: incremented before
+    // the reader thread spawns, decremented when it exits.
+    let open = Arc::new(AtomicUsize::new(0));
     loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((mut stream, _peer)) => {
                 if shutdown.load(Ordering::SeqCst) {
                     break;
                 }
+                if open.load(Ordering::SeqCst) >= max_connections {
+                    // Shed with a proper envelope, not a silent close —
+                    // clients can tell "at capacity, retry later" from a
+                    // network failure. Short write timeout: the accept
+                    // thread must never block on a misbehaving peer.
+                    state.metrics().connection_rejected();
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+                    let mut text =
+                        err_envelope(0, ErrorCode::TooManyConnections, "connection limit reached")
+                            .to_string();
+                    text.push('\n');
+                    let _ = stream.write_all(text.as_bytes());
+                    continue; // dropping the stream closes it
+                }
+                open.fetch_add(1, Ordering::SeqCst);
                 let state = state.clone();
                 let shutdown = shutdown.clone();
                 let job_tx = job_tx.clone();
+                let open_guard = open.clone();
                 conn_handles.retain(|h| !h.is_finished());
                 let spawned = std::thread::Builder::new()
                     .name("probase-serve-conn".to_string())
-                    .spawn(move || connection_loop(stream, state, shutdown, job_tx));
+                    .spawn(move || {
+                        connection_loop(stream, state, shutdown, job_tx, limits);
+                        open_guard.fetch_sub(1, Ordering::SeqCst);
+                    });
                 match spawned {
                     Ok(h) => conn_handles.push(h),
-                    Err(_) => continue, // thread exhaustion: drop the connection
+                    Err(_) => {
+                        // Thread exhaustion: drop the connection.
+                        open.fetch_sub(1, Ordering::SeqCst);
+                        continue;
+                    }
                 }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -232,6 +301,7 @@ fn connection_loop(
     state: Arc<ServeState>,
     shutdown: Arc<AtomicBool>,
     job_tx: channel::Sender<Job>,
+    limits: ConnLimits,
 ) {
     state.metrics().connection_opened();
     let _ = stream.set_nodelay(true);
@@ -243,23 +313,92 @@ fn connection_loop(
             return;
         }
     };
+    // Byte-level line reader (not `read_line`): garbage bytes must be
+    // answered with a `bad-request` envelope, not kill the connection
+    // with an InvalidData error the way a `String` reader would. A
+    // timeout mid-line leaves the partial line in `buf`; the next pass
+    // keeps appending, so requests survive slow writers — up to
+    // `max_line_bytes`, at which point the line is shed and its
+    // remaining bytes discarded (memory stays bounded even against a
+    // slow-loris sender that never sends the newline).
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    let mut strikes = 0u32;
     loop {
-        // A timeout mid-line leaves the partial line in `line`; we keep
-        // appending on the next pass, so requests survive slow writers.
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // EOF
-            Ok(_) => {
-                let trimmed = line.trim();
-                if !trimmed.is_empty() {
-                    handle_line(trimmed, &state, &writer, &job_tx);
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => {
+                // EOF; a final unterminated line is still served.
+                if !buf.is_empty() && !discarding && buf.len() <= limits.max_line_bytes {
+                    let _ = process_line(&buf, &state, &writer, &job_tx);
                 }
-                line.clear();
+                break;
+            }
+            Ok(_) => {
+                let complete = buf.ends_with(b"\n");
+                if buf.len() > limits.max_line_bytes {
+                    state.metrics().oversize_line();
+                    strikes += 1;
+                    write_line(
+                        &writer,
+                        &err_envelope(
+                            0,
+                            ErrorCode::LineTooLarge,
+                            &format!("request line exceeds {} bytes", limits.max_line_bytes),
+                        ),
+                    );
+                    if strikes >= limits.max_line_strikes {
+                        shed_connection(&state, &writer);
+                        break;
+                    }
+                    discarding = !complete;
+                    buf.clear();
+                    continue;
+                }
+                if !complete {
+                    // Partial line before EOF; the next read returns
+                    // Ok(0) and serves it.
+                    continue;
+                }
+                if discarding {
+                    // Tail of an already-shed oversize line.
+                    discarding = false;
+                    buf.clear();
+                    continue;
+                }
+                if !process_line(&buf, &state, &writer, &job_tx) {
+                    strikes += 1;
+                    if strikes >= limits.max_line_strikes {
+                        shed_connection(&state, &writer);
+                        break;
+                    }
+                }
+                buf.clear();
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 if shutdown.load(Ordering::SeqCst) {
                     break;
+                }
+                // Bound the partial-line buffer while still mid-line.
+                if !discarding && buf.len() > limits.max_line_bytes {
+                    state.metrics().oversize_line();
+                    strikes += 1;
+                    write_line(
+                        &writer,
+                        &err_envelope(
+                            0,
+                            ErrorCode::LineTooLarge,
+                            &format!("request line exceeds {} bytes", limits.max_line_bytes),
+                        ),
+                    );
+                    if strikes >= limits.max_line_strikes {
+                        shed_connection(&state, &writer);
+                        break;
+                    }
+                    discarding = true;
+                    buf.clear();
+                } else if discarding {
+                    buf.clear();
                 }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -269,21 +408,55 @@ fn connection_loop(
     state.metrics().connection_closed();
 }
 
-fn handle_line(
-    line: &str,
+/// Final envelope before closing a connection that exceeded its garbage
+/// strike limit.
+fn shed_connection(state: &Arc<ServeState>, writer: &Arc<Mutex<TcpStream>>) {
+    write_line(
+        writer,
+        &err_envelope(
+            0,
+            ErrorCode::BadRequest,
+            "too many malformed lines; closing connection",
+        ),
+    );
+    let _ = writer.lock().shutdown(std::net::Shutdown::Both);
+    state.metrics().bad_request();
+}
+
+/// Parse one raw request line and enqueue it (or answer its error).
+/// Returns `false` when the line was garbage — invalid UTF-8 or
+/// unparseable JSON — which counts as a strike against the connection;
+/// well-formed JSON with bad parameters is a normal `bad-request` and
+/// does not.
+fn process_line(
+    raw: &[u8],
     state: &Arc<ServeState>,
     writer: &Arc<Mutex<TcpStream>>,
     job_tx: &channel::Sender<Job>,
-) {
+) -> bool {
+    let Ok(text) = std::str::from_utf8(raw) else {
+        state.metrics().malformed_line();
+        state.metrics().bad_request();
+        write_line(
+            writer,
+            &err_envelope(0, ErrorCode::BadRequest, "request line is not valid UTF-8"),
+        );
+        return false;
+    };
+    let line = text.trim();
+    if line.is_empty() {
+        return true; // blank keep-alive lines are fine
+    }
     let value = match json::parse(line) {
         Ok(v) => v,
         Err(e) => {
+            state.metrics().malformed_line();
             state.metrics().bad_request();
             write_line(
                 writer,
                 &err_envelope(0, ErrorCode::BadRequest, &e.to_string()),
             );
-            return;
+            return false;
         }
     };
     // Echo the caller's id even when the typed parse fails, so pipelined
@@ -297,7 +470,7 @@ fn handle_line(
                 writer,
                 &err_envelope(raw_id, ErrorCode::BadRequest, &detail),
             );
-            return;
+            return true;
         }
     };
     let job = Job {
@@ -322,6 +495,7 @@ fn handle_line(
             );
         }
     }
+    true
 }
 
 fn worker_loop(rx: channel::Receiver<Job>, state: Arc<ServeState>, deadline: Duration) {

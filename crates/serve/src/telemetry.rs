@@ -43,9 +43,12 @@ pub struct ServeTelemetry {
     rejected: Arc<Counter>,
     deadline_expired: Arc<Counter>,
     bad_requests: Arc<Counter>,
+    malformed_lines: Arc<Counter>,
+    oversize_lines: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     connections_open: Arc<Gauge>,
     connections_total: Arc<Counter>,
+    connections_rejected: Arc<Counter>,
 }
 
 impl Default for ServeTelemetry {
@@ -80,9 +83,12 @@ impl ServeTelemetry {
             rejected: registry.counter("serve.queue.rejected"),
             deadline_expired: registry.counter("serve.queue.deadline_expired"),
             bad_requests: registry.counter("serve.bad_requests"),
+            malformed_lines: registry.counter("serve.malformed_lines"),
+            oversize_lines: registry.counter("serve.oversize_lines"),
             queue_depth: registry.gauge("serve.queue.depth"),
             connections_open: registry.gauge("serve.connections.open"),
             connections_total: registry.counter("serve.connections.total"),
+            connections_rejected: registry.counter("serve.connections.rejected"),
             registry,
         }
     }
@@ -125,6 +131,53 @@ impl ServeTelemetry {
     /// Unparseable line or invalid parameters.
     pub fn bad_request(&self) {
         self.bad_requests.inc();
+    }
+
+    /// A line that never became a request: unparseable JSON or invalid
+    /// UTF-8 (a strict subset of [`ServeTelemetry::bad_request`], which
+    /// also counts well-formed JSON with bad parameters).
+    pub fn malformed_line(&self) {
+        self.malformed_lines.inc();
+    }
+
+    /// A request line exceeded the per-line byte limit and was dropped.
+    pub fn oversize_line(&self) {
+        self.oversize_lines.inc();
+    }
+
+    /// A connection was shed at accept time (connection limit reached).
+    pub fn connection_rejected(&self) {
+        self.connections_rejected.inc();
+    }
+
+    /// Malformed lines so far.
+    pub fn malformed_lines_total(&self) -> u64 {
+        self.malformed_lines.get()
+    }
+
+    /// Oversize lines so far.
+    pub fn oversize_lines_total(&self) -> u64 {
+        self.oversize_lines.get()
+    }
+
+    /// Connections shed at accept time so far.
+    pub fn connections_rejected_total(&self) -> u64 {
+        self.connections_rejected.get()
+    }
+
+    /// Requests shed because the queue was full, so far.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected.get()
+    }
+
+    /// Requests shed because they expired in the queue, so far.
+    pub fn deadline_expired_total(&self) -> u64 {
+        self.deadline_expired.get()
+    }
+
+    /// Open connections right now (floored at 0).
+    pub fn connections_open_now(&self) -> u64 {
+        self.connections_open.get().max(0) as u64
     }
 
     /// A job entered the queue.
@@ -221,10 +274,86 @@ impl ServeTelemetry {
                 Json::obj(vec![
                     ("open", Json::num(self.connections_open.get().max(0) as f64)),
                     ("total", Json::num(self.connections_total.get() as f64)),
+                    (
+                        "rejected",
+                        Json::num(self.connections_rejected.get() as f64),
+                    ),
                 ]),
             ),
             ("bad_requests", Json::num(self.bad_requests.get() as f64)),
+            (
+                "malformed_lines",
+                Json::num(self.malformed_lines.get() as f64),
+            ),
+            (
+                "oversize_lines",
+                Json::num(self.oversize_lines.get() as f64),
+            ),
         ])
+    }
+}
+
+/// Client-side retry telemetry: counters for retries attempted,
+/// reconnects performed, and calls that exhausted their retry budget.
+/// Registered as `serve.client.*` so a chaos test (or `probase-loadgen`)
+/// that shares one registry with the server gets both sides of every
+/// fault in a single snapshot.
+#[derive(Debug)]
+pub struct ClientTelemetry {
+    retries: Arc<Counter>,
+    reconnects: Arc<Counter>,
+    exhausted: Arc<Counter>,
+}
+
+impl Default for ClientTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClientTelemetry {
+    /// Telemetry backed by a fresh, private registry.
+    pub fn new() -> Self {
+        Self::with_registry(&Registry::new())
+    }
+
+    /// Telemetry recording into an existing registry.
+    pub fn with_registry(registry: &Registry) -> Self {
+        Self {
+            retries: registry.counter("serve.client.retries"),
+            reconnects: registry.counter("serve.client.reconnects"),
+            exhausted: registry.counter("serve.client.retries_exhausted"),
+        }
+    }
+
+    /// A request attempt is being retried.
+    pub fn retry(&self) {
+        self.retries.inc();
+    }
+
+    /// The client re-established its connection.
+    pub fn reconnect(&self) {
+        self.reconnects.inc();
+    }
+
+    /// A call gave up after exhausting its retries or budget.
+    pub fn exhausted(&self) {
+        self.exhausted.inc();
+    }
+
+    /// Retries attempted so far.
+    pub fn retries_total(&self) -> u64 {
+        self.retries.get()
+    }
+
+    /// Reconnects performed so far.
+    pub fn reconnects_total(&self) -> u64 {
+        self.reconnects.get()
+    }
+
+    /// Calls that exhausted retries so far.
+    pub fn exhausted_total(&self) -> u64 {
+        self.exhausted.get()
     }
 }
 
@@ -302,6 +431,47 @@ mod tests {
             .and_then(|h| h.get("serve.isa.latency_us"))
             .expect("latency histogram registered");
         assert_eq!(lat.get("count").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn robustness_counters_flow_into_dump() {
+        let m = ServeTelemetry::new();
+        m.malformed_line();
+        m.malformed_line();
+        m.oversize_line();
+        m.connection_rejected();
+        let dump = m.to_json(0);
+        assert_eq!(dump.get("malformed_lines").and_then(Json::as_u64), Some(2));
+        assert_eq!(dump.get("oversize_lines").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            dump.get("connections")
+                .and_then(|c| c.get("rejected"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(m.malformed_lines_total(), 2);
+        assert_eq!(m.oversize_lines_total(), 1);
+        assert_eq!(m.connections_rejected_total(), 1);
+    }
+
+    #[test]
+    fn client_telemetry_shares_the_registry() {
+        let registry = Arc::new(Registry::new());
+        let c = ClientTelemetry::with_registry(&registry);
+        c.retry();
+        c.retry();
+        c.reconnect();
+        c.exhausted();
+        assert_eq!(c.retries_total(), 2);
+        assert_eq!(c.reconnects_total(), 1);
+        assert_eq!(c.exhausted_total(), 1);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.get("counters")
+                .and_then(|c| c.get("serve.client.retries"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! through the wire protocol — asserting the versioned cache never
 //! serves a stale response and the server shuts down cleanly.
 
-use probase_serve::{Client, Direction, Request, ServeConfig, Server};
+use probase_serve::{json, Client, Direction, Json, Request, ServeConfig, Server};
 use probase_store::{ConceptGraph, SharedStore};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -25,6 +27,8 @@ fn seeded_store() -> SharedStore {
 }
 
 fn start_server() -> Server {
+    // Always an ephemeral port — a fixed port makes parallel test
+    // binaries race for the bind and flake.
     let config = ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 4,
@@ -32,6 +36,7 @@ fn start_server() -> Server {
         cache_capacity: 1024,
         cache_shards: 8,
         deadline: Duration::from_secs(5),
+        ..ServeConfig::default()
     };
     Server::start(seeded_store(), &config).expect("server binds an ephemeral port")
 }
@@ -150,6 +155,70 @@ fn concurrent_readers_and_writer_never_see_stale_responses() {
         state.metrics().requests_total(),
         (READERS * ITERS) as u64 + WRITES + 1,
         "every request accounted for"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_matched_by_id() {
+    // Fire a burst of requests down one raw socket without reading any
+    // responses, then drain. With a multi-worker pool the responses may
+    // come back in any order; the protocol contract is that each carries
+    // the `id` of the request it answers, so a pipelining client can
+    // match them up. Odd ids ask `isa`, even ids ping — the payload
+    // shape proves each response really belongs to its id.
+    let server = start_server();
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+
+    const N: u64 = 16;
+    let mut batch = String::new();
+    for id in 1..=N {
+        let req = if id % 2 == 1 {
+            Request::Isa {
+                parent: "country".to_string(),
+                child: "China".to_string(),
+            }
+        } else {
+            Request::Ping
+        };
+        batch.push_str(&req.to_json(id).to_string());
+        batch.push('\n');
+    }
+    stream.write_all(batch.as_bytes()).expect("write burst");
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut arrival = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..N {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read response") > 0,
+            "server closed before answering the whole burst"
+        );
+        let v = json::parse(line.trim()).expect("valid envelope");
+        let id = v.get("id").and_then(Json::as_u64).expect("envelope id");
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "pipelined request {id} failed: {line}"
+        );
+        if id % 2 == 1 {
+            assert_eq!(
+                v.get("data")
+                    .and_then(|d| d.get("isa"))
+                    .and_then(Json::as_bool),
+                Some(true),
+                "response for id {id} must answer the isa request, got {line}"
+            );
+        }
+        assert!(seen.insert(id), "duplicate response for id {id}");
+        arrival.push(id);
+    }
+    assert!(
+        (1..=N).all(|id| seen.contains(&id)),
+        "every pipelined request answered exactly once (arrival order {arrival:?})"
     );
     server.shutdown();
 }

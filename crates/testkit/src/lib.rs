@@ -1,0 +1,37 @@
+//! # probase-testkit
+//!
+//! Deterministic fault injection for the serving path. CN-Probase's
+//! deployment experience (Chen et al., 2019) is blunt about it: a
+//! taxonomy service lives or dies on serving robustness, not extraction
+//! quality. This crate is how the workspace *proves* robustness instead
+//! of asserting it — every later scaling PR (sharding, async) regression
+//! tests against the same replayable fault schedules.
+//!
+//! Three pieces, all dependency-free:
+//!
+//! * **PRNG** ([`prng::XorShift`]) — a seedable xorshift64* generator
+//!   (no `rand`, per the workspace dependency policy) whose streams are
+//!   stable across platforms and releases, so a failing seed printed by
+//!   CI reproduces the exact same byte-for-byte fault schedule locally.
+//! * **Fault plans** ([`plan::FaultPlan`]) — a seed-driven mapping from
+//!   connection index to [`plan::Fault`]: drop the socket mid-request,
+//!   truncate a response, inject garbage bytes, slow-loris the reads, or
+//!   blackhole the writes. Plans can also be scripted explicitly when a
+//!   scenario needs one precise failure.
+//! * **Chaos proxy** ([`proxy::FaultProxy`]) — a TCP proxy that sits
+//!   between a client and a real server and applies the planned fault to
+//!   each connection it relays, so production code is exercised over
+//!   real sockets, not mocks.
+//!
+//! The serve crate's `tests/chaos.rs` is the primary consumer; see
+//! `DESIGN.md` §11 for the fault taxonomy and the seed/replay workflow.
+
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod prng;
+pub mod proxy;
+
+pub use plan::{Fault, FaultPlan};
+pub use prng::XorShift;
+pub use proxy::FaultProxy;

@@ -1,0 +1,239 @@
+//! Seedable fault plans: which fault hits which connection.
+//!
+//! A [`FaultPlan`] maps a connection index (the order in which the
+//! [`FaultProxy`](crate::proxy::FaultProxy) accepted the connection) to a
+//! [`Fault`]. Two constructions:
+//!
+//! * **Seeded** ([`FaultPlan::seeded`]) — the fault and all its
+//!   parameters are a pure function of `(seed, connection index)`, so an
+//!   entire chaos run replays byte-for-byte from one `u64`. CI pins the
+//!   seed and prints it on failure; `PROBASE_CHAOS_SEED=<n>` replays it.
+//! * **Scripted** ([`FaultPlan::scripted`]) — an explicit fault per
+//!   connection, for scenarios that need one precise failure (e.g. "kill
+//!   exactly the first connection mid-request, then behave"). Past the
+//!   end of the script, connections pass through unharmed.
+
+use crate::prng::XorShift;
+
+/// One fault applied to one proxied connection. Directions are named
+/// from the proxy's perspective: *request* flows client → server,
+/// *response* flows server → client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Relay faithfully in both directions.
+    None,
+    /// Forward only the first `after_bytes` bytes of the client's
+    /// request stream to the server, then kill both sockets — the server
+    /// sees a partial line and an abrupt close.
+    DropMidRequest {
+        /// Bytes of the request stream forwarded before the kill.
+        after_bytes: usize,
+    },
+    /// Forward only the first `after_bytes` bytes of the server's
+    /// response stream to the client, then kill both sockets — the
+    /// client sees a truncated line.
+    TruncateResponse {
+        /// Bytes of the response stream forwarded before the kill.
+        after_bytes: usize,
+    },
+    /// Inject `lines` newline-terminated garbage lines into the
+    /// response stream before relaying faithfully — the client must
+    /// reject them without desyncing or crashing.
+    GarbageResponse {
+        /// Number of garbage lines injected.
+        lines: u32,
+    },
+    /// Slow-loris the response stream: relay it in `chunk`-byte pieces
+    /// with `delay_ms` milliseconds between pieces.
+    SlowLoris {
+        /// Bytes forwarded per piece (≥ 1).
+        chunk: usize,
+        /// Pause between pieces, in milliseconds.
+        delay_ms: u64,
+    },
+    /// Read and discard the client's request stream without ever
+    /// forwarding it — the client's write succeeds but no response will
+    /// ever come (it must time out, not hang forever).
+    BlackholeRequest,
+}
+
+impl Fault {
+    /// Short stable name, used in assertion messages and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::None => "none",
+            Fault::DropMidRequest { .. } => "drop-mid-request",
+            Fault::TruncateResponse { .. } => "truncate-response",
+            Fault::GarbageResponse { .. } => "garbage-response",
+            Fault::SlowLoris { .. } => "slow-loris",
+            Fault::BlackholeRequest => "blackhole-request",
+        }
+    }
+}
+
+/// A deterministic mapping from connection index to [`Fault`]. See the
+/// module docs.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    script: Option<Vec<Fault>>,
+}
+
+impl FaultPlan {
+    /// A plan fully determined by `seed`: connection `n` always gets the
+    /// same fault with the same parameters.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan { seed, script: None }
+    }
+
+    /// An explicit per-connection script; connections past the end of
+    /// the script get [`Fault::None`].
+    pub fn scripted(faults: Vec<Fault>) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            script: Some(faults),
+        }
+    }
+
+    /// A seeded plan whose seed comes from the environment variable
+    /// `var` (decimal or `0x`-prefixed hex), falling back to
+    /// `default_seed`. This is the CI replay hook.
+    pub fn from_env(var: &str, default_seed: u64) -> FaultPlan {
+        let seed = std::env::var(var)
+            .ok()
+            .and_then(|s| {
+                let s = s.trim();
+                if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                    u64::from_str_radix(hex, 16).ok()
+                } else {
+                    s.parse().ok()
+                }
+            })
+            .unwrap_or(default_seed);
+        FaultPlan::seeded(seed)
+    }
+
+    /// The seed (0 for scripted plans — print it in every assertion so a
+    /// CI failure is replayable).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault assigned to connection `conn` (0-based accept order).
+    pub fn fault_for(&self, conn: u64) -> Fault {
+        if let Some(script) = &self.script {
+            return script.get(conn as usize).cloned().unwrap_or(Fault::None);
+        }
+        // One substream per connection: parameters for connection n are
+        // independent of how many values connection n-1 consumed.
+        let mut rng = XorShift::new(self.seed).fork(conn);
+        match rng.next_range(0, 6) {
+            0 => Fault::None,
+            1 => Fault::DropMidRequest {
+                after_bytes: rng.next_range(1, 48) as usize,
+            },
+            2 => Fault::TruncateResponse {
+                after_bytes: rng.next_range(1, 32) as usize,
+            },
+            3 => Fault::GarbageResponse {
+                lines: rng.next_range(1, 4) as u32,
+            },
+            4 => Fault::SlowLoris {
+                chunk: rng.next_range(1, 8) as usize,
+                delay_ms: rng.next_range(2, 15),
+            },
+            _ => Fault::BlackholeRequest,
+        }
+    }
+
+    /// The first `n` faults of the plan — the replayable schedule. Two
+    /// plans with the same seed produce identical schedules.
+    pub fn schedule(&self, n: usize) -> Vec<Fault> {
+        (0..n as u64).map(|c| self.fault_for(c)).collect()
+    }
+
+    /// Deterministic garbage line for injection: ASCII junk that no JSON
+    /// parser accepts, newline-terminated, derived from `(seed, conn,
+    /// line index)`.
+    pub fn garbage_line(&self, conn: u64, line: u64) -> Vec<u8> {
+        let mut rng = XorShift::new(self.seed).fork(conn).fork(0xBAD0_0000 ^ line);
+        let mut out = Vec::with_capacity(24);
+        out.extend_from_slice(b"!!chaos-");
+        for _ in 0..rng.next_range(2, 6) {
+            let v = rng.next_u64();
+            out.extend_from_slice(format!("{v:08x}").as_bytes());
+        }
+        out.push(b'\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_identical_schedule() {
+        let a = FaultPlan::seeded(0xC0FFEE).schedule(128);
+        let b = FaultPlan::seeded(0xC0FFEE).schedule(128);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::seeded(1).schedule(64);
+        let b = FaultPlan::seeded(2).schedule(64);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn seeded_plans_cover_every_fault_kind() {
+        let schedule = FaultPlan::seeded(0xC0FFEE).schedule(256);
+        let mut names: Vec<&str> = schedule.iter().map(Fault::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(
+            names.len(),
+            6,
+            "256 connections should see all 6 fault kinds: {names:?}"
+        );
+    }
+
+    #[test]
+    fn scripted_plans_run_then_pass_through() {
+        let plan = FaultPlan::scripted(vec![Fault::BlackholeRequest]);
+        assert_eq!(plan.fault_for(0), Fault::BlackholeRequest);
+        assert_eq!(plan.fault_for(1), Fault::None);
+        assert_eq!(plan.fault_for(99), Fault::None);
+    }
+
+    #[test]
+    fn env_seed_parses_decimal_and_hex() {
+        // Touch only test-unique variable names; tests run concurrently.
+        std::env::set_var("PROBASE_TESTKIT_SEED_DEC", "123");
+        assert_eq!(
+            FaultPlan::from_env("PROBASE_TESTKIT_SEED_DEC", 9).seed(),
+            123
+        );
+        std::env::set_var("PROBASE_TESTKIT_SEED_HEX", "0xff");
+        assert_eq!(
+            FaultPlan::from_env("PROBASE_TESTKIT_SEED_HEX", 9).seed(),
+            255
+        );
+        assert_eq!(
+            FaultPlan::from_env("PROBASE_TESTKIT_SEED_UNSET", 9).seed(),
+            9
+        );
+    }
+
+    #[test]
+    fn garbage_lines_are_deterministic_and_unparseable() {
+        let plan = FaultPlan::seeded(7);
+        let a = plan.garbage_line(0, 0);
+        let b = plan.garbage_line(0, 0);
+        assert_eq!(a, b);
+        assert_ne!(plan.garbage_line(0, 1), a);
+        assert_eq!(*a.last().unwrap(), b'\n');
+        assert!(a.starts_with(b"!!chaos-"));
+    }
+}

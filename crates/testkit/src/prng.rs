@@ -1,0 +1,139 @@
+//! Seedable xorshift64* PRNG.
+//!
+//! The workspace carries no `rand` in the test harness on purpose: a
+//! fault schedule must be a pure function of its seed across platforms,
+//! rustc versions, and crate upgrades, so a failing seed printed by CI
+//! replays the identical byte stream locally years later. xorshift64*
+//! (Vigna 2016) is 4 lines of arithmetic with well-understood quality —
+//! more than enough to diversify fault schedules — and trivially stable.
+//!
+//! Seeding and stream-splitting go through SplitMix64, the standard
+//! recipe for turning arbitrary (possibly zero, possibly correlated)
+//! user seeds into well-mixed nonzero xorshift states.
+
+/// A deterministic xorshift64* generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift {
+    state: u64,
+}
+
+/// One round of SplitMix64: mixes `x` into a decorrelated 64-bit value.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl XorShift {
+    /// A generator seeded from `seed`. Any seed is fine (including 0):
+    /// the state is mixed through SplitMix64 and forced nonzero.
+    pub fn new(seed: u64) -> XorShift {
+        XorShift {
+            state: splitmix64(seed).max(1),
+        }
+    }
+
+    /// An independent substream for `stream` — used to give every
+    /// connection index its own generator so fault parameters for
+    /// connection `n` do not depend on how many values connection `n-1`
+    /// consumed.
+    pub fn fork(&self, stream: u64) -> XorShift {
+        XorShift {
+            state: splitmix64(self.state ^ splitmix64(stream)).max(1),
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[lo, hi)` (`lo` when the range is empty).
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits of the raw value.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fill `buf` with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift::new(1);
+        let mut b = XorShift::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0, "streams from different seeds should diverge");
+    }
+
+    #[test]
+    fn zero_seed_works() {
+        let mut r = XorShift::new(0);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn forks_are_deterministic_and_distinct() {
+        let root = XorShift::new(7);
+        let mut a = root.fork(3);
+        let mut b = root.fork(3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(root.fork(3).next_u64(), root.fork(4).next_u64());
+    }
+
+    #[test]
+    fn ranges_and_floats_in_bounds() {
+        let mut r = XorShift::new(99);
+        for _ in 0..1000 {
+            let v = r.next_range(10, 20);
+            assert!((10..20).contains(&v));
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert_eq!(r.next_range(5, 5), 5);
+    }
+
+    #[test]
+    fn fill_bytes_deterministic() {
+        let mut a = XorShift::new(5);
+        let mut b = XorShift::new(5);
+        let mut ba = [0u8; 13];
+        let mut bb = [0u8; 13];
+        a.fill_bytes(&mut ba);
+        b.fill_bytes(&mut bb);
+        assert_eq!(ba, bb);
+        assert_ne!(ba, [0u8; 13]);
+    }
+}

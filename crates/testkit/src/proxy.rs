@@ -1,0 +1,398 @@
+//! The chaos TCP proxy.
+//!
+//! [`FaultProxy`] binds an ephemeral local port, relays every accepted
+//! connection to a fixed upstream address, and applies the
+//! [`Fault`](crate::plan::Fault) its [`FaultPlan`](crate::plan::FaultPlan)
+//! assigns to that connection's accept index. Production code under test
+//! talks to the proxy exactly as it would to the real server — real
+//! sockets, real partial writes, real resets — which is the point: the
+//! faults exercised are the ones the kernel can actually deliver.
+//!
+//! Threading mirrors the server's shape (plain std::net + threads): an
+//! accept loop, and per connection one relay thread per direction. All
+//! threads poll a shutdown flag through short read timeouts, so
+//! [`FaultProxy::shutdown`] (or drop) joins everything promptly even
+//! with live connections mid-fault.
+
+use crate::plan::{Fault, FaultPlan};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often relay reads wake up to check the shutdown flag.
+const POLL: Duration = Duration::from_millis(20);
+
+/// A running fault-injecting proxy. See the module docs.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accepted: Arc<AtomicU64>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Bind `127.0.0.1:0` and start relaying to `upstream`, faulting
+    /// each connection per `plan`.
+    pub fn start(upstream: SocketAddr, plan: FaultPlan) -> std::io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let accept_handle = {
+            let shutdown = shutdown.clone();
+            let accepted = accepted.clone();
+            std::thread::Builder::new()
+                .name("testkit-proxy-accept".to_string())
+                .spawn(move || accept_loop(listener, upstream, plan, shutdown, accepted))?
+        };
+        Ok(FaultProxy {
+            addr,
+            shutdown,
+            accepted,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The proxy's listening address — point clients here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far (== the next connection's plan index).
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, sever all relayed connections, join all threads.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock accept(); the dummy connection is never relayed.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    plan: FaultPlan,
+    shutdown: Arc<AtomicBool>,
+    accepted: Arc<AtomicU64>,
+) {
+    let mut relays: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((client, _peer)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let conn = accepted.fetch_add(1, Ordering::SeqCst);
+                let fault = plan.fault_for(conn);
+                let garbage: Vec<Vec<u8>> = match &fault {
+                    Fault::GarbageResponse { lines } => (0..*lines as u64)
+                        .map(|l| plan.garbage_line(conn, l))
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                let shutdown = shutdown.clone();
+                relays.retain(|h| !h.is_finished());
+                let spawned = std::thread::Builder::new()
+                    .name(format!("testkit-proxy-conn-{conn}"))
+                    .spawn(move || relay(client, upstream, fault, garbage, shutdown));
+                if let Ok(h) = spawned {
+                    relays.push(h);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    for h in relays {
+        let _ = h.join();
+    }
+}
+
+/// Relay one client connection to the upstream, applying `fault`.
+fn relay(
+    client: TcpStream,
+    upstream: SocketAddr,
+    fault: Fault,
+    garbage: Vec<Vec<u8>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let Ok(server) = TcpStream::connect(upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+
+    // The request (client → server) pump, possibly faulted.
+    let c2s = {
+        let (Ok(client_r), Ok(server_w)) = (client.try_clone(), server.try_clone()) else {
+            return;
+        };
+        let fault = fault.clone();
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || match fault {
+            Fault::DropMidRequest { after_bytes } => {
+                pump_limited(client_r, server_w, after_bytes, &shutdown);
+            }
+            Fault::BlackholeRequest => {
+                pump_discard(client_r, &shutdown);
+            }
+            _ => {
+                pump(client_r, server_w, usize::MAX, 0, &shutdown);
+            }
+        })
+    };
+
+    // The response (server → client) pump, possibly faulted.
+    let s2c = {
+        let (Ok(server_r), Ok(mut client_w)) = (server.try_clone(), client.try_clone()) else {
+            return;
+        };
+        std::thread::spawn(move || match fault {
+            Fault::TruncateResponse { after_bytes } => {
+                pump_limited(server_r, client_w, after_bytes, &shutdown);
+            }
+            Fault::GarbageResponse { .. } => {
+                for line in &garbage {
+                    if client_w.write_all(line).is_err() {
+                        break;
+                    }
+                }
+                let _ = client_w.flush();
+                pump(server_r, client_w, usize::MAX, 0, &shutdown);
+            }
+            Fault::SlowLoris { chunk, delay_ms } => {
+                pump(server_r, client_w, chunk.max(1), delay_ms, &shutdown);
+            }
+            _ => {
+                pump(server_r, client_w, usize::MAX, 0, &shutdown);
+            }
+        })
+    };
+
+    let _ = c2s.join();
+    let _ = s2c.join();
+    let _ = client.shutdown(Shutdown::Both);
+    let _ = server.shutdown(Shutdown::Both);
+}
+
+/// Copy bytes `from` → `to` until EOF, error, or shutdown; forward at
+/// most `chunk` bytes per write, sleeping `delay_ms` between writes
+/// (chunk = `usize::MAX`, delay 0 ⇒ plain fast relay). On EOF, propagate
+/// the half-close so line protocols see it promptly.
+fn pump(mut from: TcpStream, mut to: TcpStream, chunk: usize, delay_ms: u64, stop: &AtomicBool) {
+    let _ = from.set_read_timeout(Some(POLL));
+    let mut buf = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                let mut sent = 0;
+                while sent < n {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let end = sent.saturating_add(chunk).min(n);
+                    if to.write_all(&buf[sent..end]).is_err() || to.flush().is_err() {
+                        let _ = from.shutdown(Shutdown::Read);
+                        return;
+                    }
+                    sent = end;
+                    if delay_ms > 0 && sent < n {
+                        std::thread::sleep(Duration::from_millis(delay_ms));
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+/// Copy at most `limit` bytes `from` → `to`, then kill both sockets
+/// entirely (not a polite half-close — the point is an abrupt failure).
+fn pump_limited(mut from: TcpStream, mut to: TcpStream, limit: usize, stop: &AtomicBool) {
+    let _ = from.set_read_timeout(Some(POLL));
+    let mut remaining = limit;
+    let mut buf = [0u8; 4096];
+    while remaining > 0 {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let want = remaining.min(buf.len());
+        match from.read(&mut buf[..want]) {
+            Ok(0) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() || to.flush().is_err() {
+                    break;
+                }
+                remaining -= n;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+/// Read and discard until EOF or shutdown (the blackhole).
+fn pump_discard(mut from: TcpStream, stop: &AtomicBool) {
+    let _ = from.set_read_timeout(Some(POLL));
+    let mut buf = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            _ => continue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    /// A trivial upstream echo server: answers each line with
+    /// `echo:<line>`.
+    fn echo_server() -> (SocketAddr, Arc<AtomicBool>, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stop3 = stop2.clone();
+                std::thread::spawn(move || {
+                    let mut writer = stream.try_clone().expect("clone");
+                    let _ = stream.set_read_timeout(Some(POLL));
+                    let mut reader = BufReader::new(stream);
+                    let mut line = String::new();
+                    loop {
+                        line.clear();
+                        match reader.read_line(&mut line) {
+                            Ok(0) => break,
+                            Ok(_) => {
+                                let reply = format!("echo:{line}");
+                                if writer.write_all(reply.as_bytes()).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(e)
+                                if e.kind() == ErrorKind::WouldBlock
+                                    || e.kind() == ErrorKind::TimedOut =>
+                            {
+                                if stop3.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                });
+            }
+        });
+        (addr, stop, handle)
+    }
+
+    fn stop_echo(addr: SocketAddr, stop: &Arc<AtomicBool>, handle: JoinHandle<()>) {
+        stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(addr);
+        let _ = handle.join();
+    }
+
+    #[test]
+    fn clean_connections_pass_through() {
+        let (upstream, stop, handle) = echo_server();
+        let proxy = FaultProxy::start(upstream, FaultPlan::scripted(vec![])).expect("proxy");
+        let mut conn = TcpStream::connect(proxy.local_addr()).expect("connect");
+        conn.write_all(b"hello\n").expect("write");
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        assert_eq!(line, "echo:hello\n");
+        assert_eq!(proxy.accepted(), 1);
+        proxy.shutdown();
+        stop_echo(upstream, &stop, handle);
+    }
+
+    #[test]
+    fn truncate_fault_cuts_the_response() {
+        let (upstream, stop, handle) = echo_server();
+        let plan = FaultPlan::scripted(vec![Fault::TruncateResponse { after_bytes: 3 }]);
+        let proxy = FaultProxy::start(upstream, plan).expect("proxy");
+        let mut conn = TcpStream::connect(proxy.local_addr()).expect("connect");
+        conn.write_all(b"hello\n").expect("write");
+        let mut got = Vec::new();
+        let n = conn.read_to_end(&mut got).unwrap_or(0);
+        assert!(n <= 3, "truncated to at most 3 bytes, got {got:?}");
+        proxy.shutdown();
+        stop_echo(upstream, &stop, handle);
+    }
+
+    #[test]
+    fn garbage_fault_prepends_junk_then_relays() {
+        let (upstream, stop, handle) = echo_server();
+        let plan = FaultPlan::scripted(vec![Fault::GarbageResponse { lines: 2 }]);
+        let proxy = FaultProxy::start(upstream, plan).expect("proxy");
+        let conn = TcpStream::connect(proxy.local_addr()).expect("connect");
+        let mut writer = conn.try_clone().unwrap();
+        writer.write_all(b"hi\n").expect("write");
+        let mut reader = BufReader::new(conn);
+        let mut lines = Vec::new();
+        for _ in 0..3 {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read");
+            lines.push(line);
+        }
+        assert!(lines[0].starts_with("!!chaos-"), "{lines:?}");
+        assert!(lines[1].starts_with("!!chaos-"), "{lines:?}");
+        assert_eq!(lines[2], "echo:hi\n");
+        proxy.shutdown();
+        stop_echo(upstream, &stop, handle);
+    }
+}

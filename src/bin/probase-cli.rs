@@ -221,6 +221,7 @@ fn main() {
             cache_capacity: args.cache,
             cache_shards: 16,
             deadline: Duration::from_millis(args.deadline_ms),
+            ..ServeConfig::default()
         };
         // Serve metrics join the same global registry the pipeline
         // recorded into, so the report covers build + serving.
