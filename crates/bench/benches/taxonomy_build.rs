@@ -1,7 +1,7 @@
 //! Microbenchmark: taxonomy construction (Algorithm 2) — including the
 //! AB1 ablation of merge schedules on the operational engine.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use probase_corpus::{CorpusConfig, CorpusGenerator, WorldConfig};
 use probase_extract::{extract, ExtractorConfig};
 use probase_taxonomy::{
@@ -26,8 +26,45 @@ fn bench_taxonomy(c: &mut Criterion) {
     let mut group = c.benchmark_group("taxonomy");
     group.sample_size(20);
     group.bench_function("build_indexed", |b| {
-        b.iter(|| black_box(build_taxonomy(&out.sentences, &TaxonomyConfig::default()).stats))
+        b.iter(|| {
+            let cfg = TaxonomyConfig {
+                threads: 1,
+                ..TaxonomyConfig::default()
+            };
+            black_box(build_taxonomy(&out.sentences, &cfg).stats)
+        })
     });
+
+    // P1: the parallel builder's corpus-size × thread-count matrix. The
+    // t1 rows go through the serial path (the parallel driver dispatches
+    // back), so t1-vs-tN on the same corpus is the driver's speedup and
+    // 4k-vs-8k at fixed threads is its scaling in corpus size.
+    for sentences in [4_000usize, 8_000] {
+        let extracted = if sentences == 4_000 {
+            out.sentences.clone()
+        } else {
+            let corpus = CorpusGenerator::new(
+                &world,
+                CorpusConfig {
+                    seed: 902,
+                    sentences,
+                    ..CorpusConfig::default()
+                },
+            )
+            .generate_all();
+            extract(&corpus, &world.lexicon, &ExtractorConfig::paper()).sentences
+        };
+        for threads in [1usize, 2, 4] {
+            let cfg = TaxonomyConfig {
+                threads,
+                ..TaxonomyConfig::default()
+            };
+            group.bench_function(
+                BenchmarkId::new(format!("build_{}k_sentences", sentences / 1_000), threads),
+                |b| b.iter(|| black_box(build_taxonomy(&extracted, &cfg).stats)),
+            );
+        }
+    }
 
     // AB1: engine schedules on a subsample.
     let (locals, _) = build_local_taxonomies(&out.sentences);

@@ -5,15 +5,18 @@
 //! exp_scaling --sizes 2000,4000,8000            # custom sizes
 //! exp_scaling --sizes ... --pipeline-out BENCH_PIPELINE.json
 //! exp_scaling --sizes ... --pipeline-out ... --gate   # fail on bad report
+//! exp_scaling --sizes ... --pipeline-out out.json --baseline BENCH_PIPELINE.json
 //! ```
 //!
 //! `--pipeline-out` writes the per-size stage-timing profiles (one
 //! isolated metric registry per size); `--gate` additionally runs
 //! `validate_pipeline` over the freshly written report and exits
-//! non-zero if it is structurally broken — the CI bench-smoke job runs
-//! with both.
+//! non-zero if it is structurally broken; `--baseline` compares the
+//! fresh report against a committed baseline with `compare_to_baseline`
+//! and exits non-zero on a trajectory regression — the CI bench-smoke
+//! job runs all three.
 
-use probase_bench::pipeline_report::{scaling_profiles, validate_pipeline};
+use probase_bench::pipeline_report::{compare_to_baseline, scaling_profiles, validate_pipeline};
 
 const DEFAULT_SIZES: &[usize] = &[10_000, 20_000, 40_000, 80_000];
 
@@ -21,6 +24,7 @@ struct Args {
     sizes: Vec<usize>,
     pipeline_out: Option<String>,
     gate: bool,
+    baseline: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -28,6 +32,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         sizes: DEFAULT_SIZES.to_vec(),
         pipeline_out: None,
         gate: false,
+        baseline: None,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -50,11 +55,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.pipeline_out = Some(it.next().ok_or("--pipeline-out needs a path")?.clone());
             }
             "--gate" => args.gate = true,
+            "--baseline" => {
+                args.baseline = Some(it.next().ok_or("--baseline needs a path")?.clone());
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
     if args.gate && args.pipeline_out.is_none() {
         return Err("--gate requires --pipeline-out".into());
+    }
+    if args.baseline.is_some() && args.pipeline_out.is_none() {
+        return Err("--baseline requires --pipeline-out".into());
     }
     Ok(args)
 }
@@ -82,6 +93,34 @@ fn main() {
                 Ok(()) => eprintln!("pipeline gate: OK"),
                 Err(msg) => {
                     eprintln!("pipeline gate: FAILED: {msg}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(baseline_path) = &args.baseline {
+            let text = match std::fs::read_to_string(baseline_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read baseline {baseline_path:?}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let baseline = match probase_obs::json::parse(&text) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("error: baseline {baseline_path:?} is not valid JSON: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match compare_to_baseline(&report, &baseline) {
+                Ok(warnings) => {
+                    for w in warnings {
+                        eprintln!("baseline gate: warning: {w}");
+                    }
+                    eprintln!("baseline gate: OK (vs {baseline_path})");
+                }
+                Err(msg) => {
+                    eprintln!("baseline gate: FAILED: {msg}");
                     std::process::exit(1);
                 }
             }

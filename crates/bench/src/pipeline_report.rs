@@ -9,10 +9,20 @@
 //! longer sees the sentences it was given — which is how an accidentally
 //! deleted span or a silently skipped phase surfaces in CI rather than
 //! three PRs later.
+//!
+//! [`compare_to_baseline`] is the second, stricter gate: it holds a fresh
+//! report against the committed `BENCH_PIPELINE.json` at the repo root.
+//! Absolute timings are machine-dependent and never compared; instead the
+//! gate checks the machine-independent trajectory facts — the size sweep,
+//! the deterministic `distinct_pairs` scalars, the recorded stage set,
+//! and (loosely) the taxonomy stage's share of pipeline time.
 
 use crate::common::{eval_corpus, eval_world};
 use probase_core::{ProbaseConfig, Simulation};
+use probase_extract::SentenceExtraction;
 use probase_obs::{Json, Registry};
+use probase_store::snapshot;
+use probase_taxonomy::{build_taxonomy, TaxonomyConfig};
 
 /// Stages that must appear (with at least one recorded span) in every
 /// profile for the report to be considered healthy.
@@ -26,31 +36,77 @@ pub const REQUIRED_STAGES: &[&str] = &[
     "taxonomy.vertical_merge",
 ];
 
+/// Thread counts profiled by the `thread_scaling` section of the report.
+pub const THREAD_SCALING: &[usize] = &[1, 2, 4];
+
 /// Run the pipeline once per corpus size and collect per-size metric
 /// snapshots. Sizes are profiled in the order given; the gate requires
-/// them strictly increasing.
+/// them strictly increasing. The largest size's extracted sentences are
+/// additionally rebuilt at each [`THREAD_SCALING`] thread count, timing
+/// the taxonomy stage and re-checking that every thread count produces
+/// the serial build byte-for-byte.
 pub fn scaling_profiles(sizes: &[usize]) -> Json {
-    let profiles = sizes
+    let mut profiles = Vec::with_capacity(sizes.len());
+    let mut largest_sentences: Vec<SentenceExtraction> = Vec::new();
+    for &n in sizes {
+        let registry = Registry::new();
+        let sim = Simulation::run_observed(
+            &eval_world(),
+            &eval_corpus(n),
+            &ProbaseConfig::paper(),
+            &registry,
+        );
+        profiles.push(Json::obj(vec![
+            ("sentences", Json::num(n as f64)),
+            (
+                "distinct_pairs",
+                Json::num(sim.probase.extraction.knowledge.pair_count() as f64),
+            ),
+            ("report", registry.snapshot()),
+        ]));
+        largest_sentences = sim.probase.extraction.sentences;
+    }
+    Json::obj(vec![
+        ("profiles", Json::Arr(profiles)),
+        ("thread_scaling", thread_scaling(&largest_sentences)),
+    ])
+}
+
+/// Time `build_taxonomy` over one extracted corpus at each
+/// [`THREAD_SCALING`] thread count. `build_us` is wall time (machine
+/// dependent — reported for trajectory inspection, never gated);
+/// `identical_to_serial` is the determinism contract (machine
+/// independent — the gate requires it `true` for every run).
+fn thread_scaling(sentences: &[SentenceExtraction]) -> Json {
+    let base = ProbaseConfig::paper().taxonomy;
+    let serial = build_taxonomy(
+        sentences,
+        &TaxonomyConfig {
+            threads: 1,
+            ..base.clone()
+        },
+    );
+    let serial_bytes = snapshot::to_bytes(&serial.graph);
+    let runs = THREAD_SCALING
         .iter()
-        .map(|&n| {
-            let registry = Registry::new();
-            let sim = Simulation::run_observed(
-                &eval_world(),
-                &eval_corpus(n),
-                &ProbaseConfig::paper(),
-                &registry,
-            );
+        .map(|&t| {
+            let cfg = TaxonomyConfig {
+                threads: t,
+                ..base.clone()
+            };
+            let start = std::time::Instant::now();
+            let built = build_taxonomy(sentences, &cfg);
+            let build_us = start.elapsed().as_micros();
+            let identical =
+                built.stats == serial.stats && snapshot::to_bytes(&built.graph) == serial_bytes;
             Json::obj(vec![
-                ("sentences", Json::num(n as f64)),
-                (
-                    "distinct_pairs",
-                    Json::num(sim.probase.extraction.knowledge.pair_count() as f64),
-                ),
-                ("report", registry.snapshot()),
+                ("threads", Json::num(t as f64)),
+                ("build_us", Json::num(build_us as f64)),
+                ("identical_to_serial", Json::Bool(identical)),
             ])
         })
         .collect();
-    Json::obj(vec![("profiles", Json::Arr(profiles))])
+    Json::obj(vec![("runs", Json::Arr(runs))])
 }
 
 /// The CI gate over a [`scaling_profiles`] report. Checks:
@@ -60,7 +116,11 @@ pub fn scaling_profiles(sizes: &[usize]) -> Json {
 /// 3. every profile's report records ≥1 span for each of
 ///    [`REQUIRED_STAGES`];
 /// 4. each profile's `extract.sentences_parsed` counter equals its
-///    `sentences` (the pipeline actually saw the corpus it was given).
+///    `sentences` (the pipeline actually saw the corpus it was given);
+/// 5. the `thread_scaling` section has ≥1 run, strictly increasing
+///    thread counts, and `identical_to_serial: true` on every run (the
+///    parallel builder's determinism contract, re-proven on the actual
+///    evaluation corpus every CI run).
 pub fn validate_pipeline(report: &Json) -> Result<(), String> {
     let profiles = report
         .get("profiles")
@@ -109,7 +169,169 @@ pub fn validate_pipeline(report: &Json) -> Result<(), String> {
             ));
         }
     }
+    let runs = report
+        .get("thread_scaling")
+        .and_then(|t| t.get("runs"))
+        .and_then(Json::as_arr)
+        .ok_or("report has no 'thread_scaling.runs' array")?;
+    if runs.is_empty() {
+        return Err("thread_scaling has zero runs".into());
+    }
+    let mut prev_threads = 0u64;
+    for (i, run) in runs.iter().enumerate() {
+        let threads = run
+            .get("threads")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("thread_scaling run {i}: missing 'threads'"))?;
+        if threads <= prev_threads {
+            return Err(format!(
+                "thread_scaling run {i}: thread counts must be strictly increasing \
+                 ({threads} after {prev_threads})"
+            ));
+        }
+        prev_threads = threads;
+        if run.get("identical_to_serial").and_then(Json::as_bool) != Some(true) {
+            return Err(format!(
+                "thread_scaling run {i} ({threads} threads): parallel build \
+                 diverged from the serial build"
+            ));
+        }
+    }
     Ok(())
+}
+
+/// The taxonomy stage's share of the three top-level pipeline stages'
+/// total time, if the profile carries usable timings.
+fn taxonomy_share(profile: &Json) -> Option<f64> {
+    let stages = profile.get("report")?.get("stages")?;
+    let total_us = |name: &str| -> Option<f64> { stages.get(name)?.get("total_us")?.as_f64() };
+    let taxonomy = total_us("pipeline.taxonomy")?;
+    let total = total_us("pipeline.extract")? + taxonomy + total_us("pipeline.plausibility")?;
+    if total > 0.0 {
+        Some(taxonomy / total)
+    } else {
+        None
+    }
+}
+
+/// Sentence counts of a profile list, for sweep comparison.
+fn profile_sizes(profiles: &[Json]) -> Vec<Option<u64>> {
+    profiles
+        .iter()
+        .map(|p| p.get("sentences").and_then(Json::as_u64))
+        .collect()
+}
+
+/// The perf-trajectory gate: hold a fresh [`scaling_profiles`] report
+/// against the committed baseline (`BENCH_PIPELINE.json` at the repo
+/// root). Returns advisory warnings on success.
+///
+/// Absolute timings vary by machine and are never compared. What the
+/// gate does compare is machine-independent:
+///
+/// 1. **Sweep shape** — the baseline and fresh reports must profile the
+///    same sentence counts in the same order, so the trajectory stays
+///    comparable commit to commit.
+/// 2. **Deterministic scalars** — each profile's `distinct_pairs` must
+///    match the baseline exactly. The pipeline is seeded and
+///    deterministic; any drift means extraction behavior changed, which
+///    must be a deliberate (baseline-regenerating) decision.
+/// 3. **Instrumentation coverage** — every stage the baseline recorded
+///    must still record ≥1 span. Deleting a span silently would blind
+///    the trajectory from that commit forward.
+/// 4. **Taxonomy stage share** — the taxonomy stage's fraction of total
+///    pipeline time must not exceed `2 × baseline share + 10pp`. Shares
+///    are far more machine-stable than absolute times; the generous
+///    bound only trips on order-of-magnitude events such as an
+///    accidental serial fallback or a quadratic regression.
+///
+/// A baseline with `meta.seeded: true` (the committed seed predates any
+/// reference-hardware run) arms only check 1 and returns a warning
+/// asking for regeneration.
+pub fn compare_to_baseline(fresh: &Json, baseline: &Json) -> Result<Vec<String>, String> {
+    let fresh_profiles = fresh
+        .get("profiles")
+        .and_then(Json::as_arr)
+        .ok_or("fresh report has no 'profiles' array")?;
+    let base_profiles = baseline
+        .get("profiles")
+        .and_then(Json::as_arr)
+        .ok_or("baseline has no 'profiles' array")?;
+    let fresh_sizes = profile_sizes(fresh_profiles);
+    let base_sizes = profile_sizes(base_profiles);
+    if fresh_sizes != base_sizes {
+        return Err(format!(
+            "size sweep diverged from baseline: fresh {fresh_sizes:?} vs \
+             baseline {base_sizes:?} — rerun with the baseline's --sizes, or \
+             regenerate BENCH_PIPELINE.json if the sweep change is deliberate"
+        ));
+    }
+    let mut warnings = Vec::new();
+    let seeded = baseline
+        .get("meta")
+        .and_then(|m| m.get("seeded"))
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    if seeded {
+        warnings.push(
+            "baseline is a structural seed (meta.seeded: true); scalar and \
+             stage-share checks are unarmed — regenerate BENCH_PIPELINE.json \
+             on reference hardware to arm them"
+                .into(),
+        );
+        return Ok(warnings);
+    }
+    for (i, (fresh_p, base_p)) in fresh_profiles.iter().zip(base_profiles).enumerate() {
+        let fresh_pairs = fresh_p.get("distinct_pairs").and_then(Json::as_u64);
+        let base_pairs = base_p
+            .get("distinct_pairs")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("baseline profile {i}: missing 'distinct_pairs'"))?;
+        if fresh_pairs != Some(base_pairs) {
+            return Err(format!(
+                "profile {i}: distinct_pairs = {fresh_pairs:?}, baseline has \
+                 {base_pairs} — the deterministic pipeline changed behavior; \
+                 regenerate BENCH_PIPELINE.json if this is deliberate"
+            ));
+        }
+        let base_stages = match base_p.get("report").and_then(|r| r.get("stages")) {
+            Some(Json::Obj(pairs)) => pairs,
+            _ => return Err(format!("baseline profile {i}: missing report.stages")),
+        };
+        let fresh_stages = fresh_p.get("report").and_then(|r| r.get("stages"));
+        for (name, _) in base_stages {
+            let calls = fresh_stages
+                .and_then(|s| s.get(name))
+                .and_then(|s| s.get("calls"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            if calls == 0 {
+                return Err(format!(
+                    "profile {i}: stage {name:?} is in the baseline but \
+                     recorded no spans in the fresh report"
+                ));
+            }
+        }
+        match (taxonomy_share(fresh_p), taxonomy_share(base_p)) {
+            (Some(fresh_share), Some(base_share)) => {
+                let bound = 2.0 * base_share + 0.10;
+                if fresh_share > bound {
+                    return Err(format!(
+                        "profile {i}: taxonomy stage share {:.1}% exceeds the \
+                         trajectory bound {:.1}% (baseline {:.1}%)",
+                        100.0 * fresh_share,
+                        100.0 * bound,
+                        100.0 * base_share
+                    ));
+                }
+            }
+            _ => warnings.push(format!(
+                "profile {i}: stage timings too small to compare shares; \
+                 skipping the share check"
+            )),
+        }
+    }
+    Ok(warnings)
 }
 
 #[cfg(test)]
@@ -181,5 +403,119 @@ mod tests {
         let text = report.to_string();
         let parsed = probase_obs::json::parse(&text).expect("self-emitted JSON parses");
         validate_pipeline(&parsed).expect("round-tripped report still validates");
+    }
+
+    /// Navigate to a mutable object field, panicking on shape mismatch
+    /// (tests construct the shapes they mutate).
+    fn field_mut<'a>(j: &'a mut Json, key: &str) -> &'a mut Json {
+        match j {
+            Json::Obj(pairs) => {
+                &mut pairs
+                    .iter_mut()
+                    .find(|(k, _)| k == key)
+                    .unwrap_or_else(|| panic!("missing key {key:?}"))
+                    .1
+            }
+            _ => panic!("not an object"),
+        }
+    }
+
+    fn profile_mut(report: &mut Json, i: usize) -> &mut Json {
+        match field_mut(report, "profiles") {
+            Json::Arr(ps) => &mut ps[i],
+            _ => panic!("profiles is not an array"),
+        }
+    }
+
+    fn set_total_us(report: &mut Json, i: usize, stage: &str, us: f64) {
+        let stages = field_mut(field_mut(profile_mut(report, i), "report"), "stages");
+        *field_mut(field_mut(stages, stage), "total_us") = Json::num(us);
+    }
+
+    #[test]
+    fn gate_rejects_diverged_thread_scaling_run() {
+        let mut report = scaling_profiles(&[1_000]);
+        let runs = field_mut(field_mut(&mut report, "thread_scaling"), "runs");
+        if let Json::Arr(runs) = runs {
+            *field_mut(&mut runs[1], "identical_to_serial") = Json::Bool(false);
+        } else {
+            panic!("runs is not an array");
+        }
+        let err = validate_pipeline(&report).unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn baseline_gate_accepts_identical_run() {
+        let report = scaling_profiles(&[1_000]);
+        let warnings =
+            compare_to_baseline(&report, &report).expect("a run must pass against itself");
+        // Timings at this scale are real, so the share check is armed
+        // and a self-comparison produces no warnings.
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn seeded_baseline_checks_sweep_shape_only() {
+        let report = scaling_profiles(&[1_000]);
+        let seeded = Json::obj(vec![
+            ("meta", Json::obj(vec![("seeded", Json::Bool(true))])),
+            (
+                "profiles",
+                Json::Arr(vec![Json::obj(vec![("sentences", Json::num(1_000.0))])]),
+            ),
+        ]);
+        let warnings = compare_to_baseline(&report, &seeded).expect("seed baseline must pass");
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("seed"), "{warnings:?}");
+        // Even a seeded baseline pins the sweep itself.
+        let wrong_sizes = Json::obj(vec![
+            ("meta", Json::obj(vec![("seeded", Json::Bool(true))])),
+            (
+                "profiles",
+                Json::Arr(vec![Json::obj(vec![("sentences", Json::num(2_000.0))])]),
+            ),
+        ]);
+        let err = compare_to_baseline(&report, &wrong_sizes).unwrap_err();
+        assert!(err.contains("size sweep"), "{err}");
+    }
+
+    #[test]
+    fn baseline_gate_rejects_scalar_drift() {
+        let baseline = scaling_profiles(&[1_000]);
+        let mut fresh = baseline.clone();
+        *field_mut(profile_mut(&mut fresh, 0), "distinct_pairs") = Json::num(1.0);
+        let err = compare_to_baseline(&fresh, &baseline).unwrap_err();
+        assert!(err.contains("distinct_pairs"), "{err}");
+    }
+
+    #[test]
+    fn baseline_gate_rejects_dropped_stage() {
+        let baseline = scaling_profiles(&[1_000]);
+        let mut fresh = baseline.clone();
+        let stages = field_mut(field_mut(profile_mut(&mut fresh, 0), "report"), "stages");
+        if let Json::Obj(pairs) = stages {
+            pairs.retain(|(name, _)| name != "extract.iteration");
+        }
+        let err = compare_to_baseline(&fresh, &baseline).unwrap_err();
+        assert!(err.contains("extract.iteration"), "{err}");
+    }
+
+    #[test]
+    fn baseline_gate_bounds_taxonomy_share() {
+        let mut baseline = scaling_profiles(&[1_000]);
+        // Pin both reports' timings so the shares are exact: baseline
+        // taxonomy share ≈ 0.05% (bound ≈ 10.1%), fresh share ≈ 33%.
+        for stage in ["pipeline.extract", "pipeline.plausibility"] {
+            set_total_us(&mut baseline, 0, stage, 1_000.0);
+        }
+        set_total_us(&mut baseline, 0, "pipeline.taxonomy", 1.0);
+        let mut fresh = baseline.clone();
+        set_total_us(&mut fresh, 0, "pipeline.taxonomy", 1_000.0);
+        let err = compare_to_baseline(&fresh, &baseline).unwrap_err();
+        assert!(err.contains("share"), "{err}");
+        // The baseline passing against itself shows the bound is not
+        // trivially violated by equal shares.
+        assert!(compare_to_baseline(&baseline, &baseline).is_ok());
     }
 }

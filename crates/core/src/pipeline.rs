@@ -15,8 +15,9 @@ use probase_extract::{
 };
 use probase_obs::Registry;
 use probase_prob::{
-    annotate_graph, annotate_graph_urns, compute_plausibility_observed, EvidenceModel,
-    PlausibilityConfig, ProbaseModel, SeedOracle, SeedSet, UrnsModel,
+    annotate_graph, annotate_graph_urns, compute_plausibility_observed,
+    compute_plausibility_parallel_observed, EvidenceModel, PlausibilityConfig, ProbaseModel,
+    SeedOracle, SeedSet, UrnsModel,
 };
 use probase_store::GraphStats;
 use probase_taxonomy::{build_taxonomy_observed, BuildStats, TaxonomyConfig};
@@ -40,7 +41,11 @@ pub struct ProbaseConfig {
     pub plausibility: PlausibilityConfig,
     /// Which §4.1 model computes edge plausibility.
     pub plausibility_kind: PlausibilityKind,
-    /// Worker threads for extraction; 0 or 1 = serial driver.
+    /// Worker threads for the extraction, taxonomy, and plausibility
+    /// stages; 0 or 1 = serial drivers. The taxonomy stage's own
+    /// `taxonomy.threads` knob wins when set explicitly (non-zero);
+    /// otherwise it inherits this value. Parallel and serial paths
+    /// produce byte-identical results at every stage.
     pub threads: usize,
 }
 
@@ -112,10 +117,20 @@ pub fn build_probase_observed(
         }
     });
 
-    // 2. Taxonomy construction.
+    // 2. Taxonomy construction. An explicit (non-zero) taxonomy.threads
+    // wins; otherwise the stage inherits the pipeline-wide knob, where
+    // 0 or 1 means the exact serial path.
+    let taxonomy_cfg = TaxonomyConfig {
+        threads: if config.taxonomy.threads == 0 {
+            config.threads.max(1)
+        } else {
+            config.taxonomy.threads
+        },
+        ..config.taxonomy.clone()
+    };
     let built = registry
         .stage("pipeline.taxonomy")
-        .time(|| build_taxonomy_observed(&extraction.sentences, &config.taxonomy, registry));
+        .time(|| build_taxonomy_observed(&extraction.sentences, &taxonomy_cfg, registry));
     let mut graph = built.graph;
 
     // 3. Plausibility (§4.1): annotate edges with the configured model.
@@ -124,13 +139,24 @@ pub fn build_probase_observed(
         .time(|| match config.plausibility_kind {
             PlausibilityKind::NoisyOr => {
                 let model = EvidenceModel::fit(&extraction.evidence, oracle);
-                let table = compute_plausibility_observed(
-                    &extraction.evidence,
-                    &extraction.knowledge,
-                    &model,
-                    &config.plausibility,
-                    registry,
-                );
+                let table = if config.threads > 1 {
+                    compute_plausibility_parallel_observed(
+                        &extraction.evidence,
+                        &extraction.knowledge,
+                        &model,
+                        &config.plausibility,
+                        config.threads,
+                        registry,
+                    )
+                } else {
+                    compute_plausibility_observed(
+                        &extraction.evidence,
+                        &extraction.knowledge,
+                        &model,
+                        &config.plausibility,
+                        registry,
+                    )
+                };
                 annotate_graph(&mut graph, &table);
             }
             PlausibilityKind::Urns => {
@@ -340,6 +366,40 @@ mod tests {
                 .and_then(probase_obs::Json::as_u64)
                 > Some(0)
         );
+    }
+
+    #[test]
+    fn parallel_threads_do_not_change_the_model() {
+        let cfg = |threads| ProbaseConfig {
+            threads,
+            ..ProbaseConfig::paper()
+        };
+        let world = WorldConfig::small(47);
+        let corpus_cfg = CorpusConfig {
+            seed: 47,
+            sentences: 3_000,
+            ..CorpusConfig::default()
+        };
+        let serial =
+            Simulation::run_observed(&world, &corpus_cfg, &cfg(1), &probase_obs::Registry::new());
+        let serial_bytes = probase_store::snapshot::to_bytes(serial.probase.model.graph());
+        for threads in [2, 4] {
+            let par = Simulation::run_observed(
+                &world,
+                &corpus_cfg,
+                &cfg(threads),
+                &probase_obs::Registry::new(),
+            );
+            assert_eq!(
+                serial.probase.build_stats, par.probase.build_stats,
+                "build stats differ at {threads} threads"
+            );
+            assert_eq!(
+                serial_bytes,
+                probase_store::snapshot::to_bytes(par.probase.model.graph()),
+                "graph bytes differ at {threads} threads"
+            );
+        }
     }
 
     #[test]

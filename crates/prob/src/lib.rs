@@ -36,7 +36,8 @@ pub mod urns;
 pub use model::ProbaseModel;
 pub use nbayes::{EvidenceModel, NaiveBayes, PriorModel};
 pub use plausibility::{
-    annotate_graph, compute_plausibility, compute_plausibility_observed, PlausibilityConfig,
+    annotate_graph, compute_plausibility, compute_plausibility_observed,
+    compute_plausibility_parallel, compute_plausibility_parallel_observed, PlausibilityConfig,
     PlausibilityTable,
 };
 pub use reach::ReachTable;

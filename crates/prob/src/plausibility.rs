@@ -16,7 +16,7 @@ use crate::nbayes::EvidenceModel;
 use probase_extract::{EvidenceRecord, Knowledge};
 use probase_obs::Registry;
 use probase_store::ConceptGraph;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Configuration of plausibility computation.
 #[derive(Debug, Clone, Copy)]
@@ -37,10 +37,12 @@ impl Default for PlausibilityConfig {
     }
 }
 
-/// Plausibility per pair of normalized labels.
-#[derive(Debug, Clone, Default)]
+/// Plausibility per pair of normalized labels. Backed by a `BTreeMap` so
+/// iteration order is deterministic — ablation reports and the
+/// parallel-vs-serial equality tests compare tables structurally.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PlausibilityTable {
-    map: HashMap<(String, String), f64>,
+    map: BTreeMap<(String, String), f64>,
 }
 
 impl PlausibilityTable {
@@ -122,6 +124,127 @@ pub fn compute_plausibility_observed(
     let map = product
         .into_iter()
         .map(|(k, (prod, _))| {
+            let positive = 1.0 - prod.clamp(0.0, 1.0);
+            let discount = discounts.get(&k).copied().unwrap_or(1.0);
+            (k, (positive * discount).clamp(0.0, 1.0))
+        })
+        .collect();
+    PlausibilityTable { map }
+}
+
+/// [`compute_plausibility`] sharded across `threads` scoped workers,
+/// reporting to the process-global registry.
+pub fn compute_plausibility_parallel(
+    evidence: &[EvidenceRecord],
+    knowledge: &Knowledge,
+    model: &EvidenceModel,
+    cfg: &PlausibilityConfig,
+    threads: usize,
+) -> PlausibilityTable {
+    compute_plausibility_parallel_observed(
+        evidence,
+        knowledge,
+        model,
+        cfg,
+        threads,
+        probase_obs::global(),
+    )
+}
+
+/// Parallel noisy-or with an explicit metric registry.
+///
+/// The per-pair noisy-or is embarrassingly parallel, but bit-identical
+/// results demand the factor products multiply in the serial path's
+/// order. So: group the evidence by pair in first-occurrence order
+/// (capping at `max_factors`, exactly like the serial fold), shard the
+/// *pairs* across workers, and multiply each pair's factors in evidence
+/// order. Every float operation sequence per pair matches the serial
+/// path, so the resulting table is equal — not just approximately.
+pub fn compute_plausibility_parallel_observed(
+    evidence: &[EvidenceRecord],
+    knowledge: &Knowledge,
+    model: &EvidenceModel,
+    cfg: &PlausibilityConfig,
+    threads: usize,
+    registry: &Registry,
+) -> PlausibilityTable {
+    let threads = threads.max(1);
+    if threads <= 1 {
+        return compute_plausibility_observed(evidence, knowledge, model, cfg, registry);
+    }
+    registry.gauge("prob.parallel.threads").set(threads as i64);
+
+    // Group evidence by pair, preserving evidence order within each pair
+    // and the serial max_factors cap.
+    let mut idx_of: HashMap<(&str, &str), usize> = HashMap::new();
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    let mut recs: Vec<Vec<&EvidenceRecord>> = Vec::new();
+    let mut scored = 0u64;
+    for r in evidence {
+        let i = *idx_of
+            .entry((r.x.as_str(), r.y.as_str()))
+            .or_insert_with(|| {
+                pairs.push((r.x.clone(), r.y.clone()));
+                recs.push(Vec::new());
+                pairs.len() - 1
+            });
+        if recs[i].len() < cfg.max_factors {
+            recs[i].push(r);
+            scored += 1;
+        }
+    }
+    registry.counter("prob.evidence_scored").add(scored);
+    registry
+        .counter("prob.noisyor_evaluations")
+        .add(pairs.len() as u64);
+    registry
+        .counter("prob.parallel.pairs")
+        .add(pairs.len() as u64);
+
+    // Parallel map over pair shards: per-pair positive factor products.
+    let chunk = recs.len().div_ceil(threads).max(1);
+    let products: Vec<f64> = registry.stage("prob.parallel.noisyor").time(|| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = recs
+                .chunks(chunk)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        shard
+                            .iter()
+                            .map(|rs| {
+                                let mut prod = 1.0f64;
+                                for r in rs {
+                                    prod *= 1.0 - model.prob_true(r);
+                                }
+                                prod
+                            })
+                            .collect::<Vec<f64>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("noisy-or shard panicked"))
+                .collect()
+        })
+    });
+
+    // Negative-evidence discounts: identical to the serial fold.
+    let mut discounts: HashMap<(String, String), f64> = HashMap::new();
+    for (x, y, n) in knowledge.negatives() {
+        let key = (
+            knowledge.resolve(x).to_string(),
+            knowledge.resolve(y).to_string(),
+        );
+        let d = discounts.entry(key).or_insert(1.0);
+        for _ in 0..n.min(cfg.max_factors as u32) {
+            *d *= 1.0 - cfg.negative_confidence;
+        }
+    }
+    let map = pairs
+        .into_iter()
+        .zip(products)
+        .map(|(k, prod)| {
             let positive = 1.0 - prod.clamp(0.0, 1.0);
             let discount = discounts.get(&k).copied().unwrap_or(1.0);
             (k, (positive * discount).clamp(0.0, 1.0))
@@ -214,6 +337,30 @@ mod tests {
         let p = t.get("a", "b");
         assert!((0.0..=1.0).contains(&p));
         assert!(p > 0.99, "heavy evidence should near-saturate: {p}");
+    }
+
+    #[test]
+    fn parallel_table_is_bit_identical_to_serial() {
+        let mut g = Knowledge::new();
+        let car = g.intern("x3");
+        let wheel = g.intern("y3");
+        g.add_negative(car, wheel);
+        let m = model();
+        let cfg = PlausibilityConfig {
+            max_factors: 5,
+            ..Default::default()
+        };
+        // 40 pairs, repeated records past the factor cap, varied quality.
+        let mut ev = Vec::new();
+        for i in 0..400u32 {
+            let (x, y) = (format!("x{}", i % 40), format!("y{}", i % 40));
+            ev.push(rec(&x, &y, (i % 9) as f64 / 10.0));
+        }
+        let serial = compute_plausibility(&ev, &g, &m, &cfg);
+        for threads in [1, 2, 4, 8] {
+            let par = compute_plausibility_parallel(&ev, &g, &m, &cfg, threads);
+            assert_eq!(serial, par, "table differs at {threads} threads");
+        }
     }
 
     #[test]

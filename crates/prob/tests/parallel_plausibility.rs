@@ -1,0 +1,82 @@
+//! Parallel-vs-serial equality for the noisy-or plausibility stage.
+//!
+//! Floating-point products are order-sensitive, so the parallel path
+//! promises — and these tests enforce — *bit-identical* tables: the
+//! factor sequence per pair is exactly the serial one, only the pairs are
+//! sharded across workers.
+
+use probase_corpus::sentence::PatternKind;
+use probase_extract::Knowledge;
+use probase_prob::nbayes::mk_record;
+use probase_prob::{
+    compute_plausibility, compute_plausibility_parallel, EvidenceModel, PlausibilityConfig,
+    PriorModel,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn evidence(seed: u64, records: usize, pairs: usize) -> Vec<probase_extract::EvidenceRecord> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..records)
+        .map(|_| {
+            let p = rng.gen_range(0..pairs);
+            mk_record(
+                &format!("x{p}"),
+                &format!("y{p}"),
+                PatternKind::SuchAs,
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(1..6),
+                rng.gen_range(2..9),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_noisyor_is_bit_identical_to_serial() {
+    let model = EvidenceModel::Prior(PriorModel { base: 0.6 });
+    let mut knowledge = Knowledge::new();
+    for p in 0..10 {
+        let x = knowledge.intern(&format!("x{p}"));
+        let y = knowledge.intern(&format!("y{p}"));
+        knowledge.add_negative(x, y);
+    }
+    for seed in [2, 29, 86] {
+        let ev = evidence(seed, 2_000, 120);
+        for cfg in [
+            PlausibilityConfig::default(),
+            PlausibilityConfig {
+                max_factors: 3,
+                ..Default::default()
+            },
+        ] {
+            let serial = compute_plausibility(&ev, &knowledge, &model, &cfg);
+            for threads in [1, 2, 4, 8] {
+                let par = compute_plausibility_parallel(&ev, &knowledge, &model, &cfg, threads);
+                assert_eq!(
+                    serial, par,
+                    "table diverged (seed {seed}, {threads} threads, max_factors {})",
+                    cfg.max_factors
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_handles_degenerate_inputs() {
+    let model = EvidenceModel::Prior(PriorModel { base: 0.6 });
+    let knowledge = Knowledge::new();
+    let cfg = PlausibilityConfig::default();
+    for threads in [1, 2, 8] {
+        // No evidence at all.
+        let empty = compute_plausibility_parallel(&[], &knowledge, &model, &cfg, threads);
+        assert!(empty.is_empty());
+        // Fewer pairs than workers.
+        let ev = evidence(1, 5, 1);
+        let par = compute_plausibility_parallel(&ev, &knowledge, &model, &cfg, threads);
+        let serial = compute_plausibility(&ev, &knowledge, &model, &cfg);
+        assert_eq!(serial, par);
+    }
+}

@@ -6,8 +6,9 @@
 //! store and compare labels as integers. See the hashing chapter of the
 //! Rust Performance Book for why small integer keys matter here.
 
-use crate::hash::FxHashMap;
+use crate::hash::FxHasher;
 use serde::{Deserialize, Serialize};
+use std::hash::Hasher;
 
 /// A handle to an interned string. Cheap to copy, hash, and compare.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -20,13 +21,83 @@ impl Symbol {
     }
 }
 
+/// Slot marker for an empty `SymbolIndex` cell.
+const EMPTY: u32 = u32::MAX;
+
+/// An open-addressing hash index from string content to [`Symbol`],
+/// storing only symbol ids — the strings themselves live in the
+/// interner's table, so interning a new string costs exactly one
+/// allocation (the table copy). A map keyed by owned `String`s would pay
+/// a second allocation per distinct string on the hottest path of local
+/// taxonomy construction (every label of every sentence goes through
+/// [`Interner::intern`]).
+#[derive(Debug, Clone, Default)]
+struct SymbolIndex {
+    /// Power-of-two slot table of symbol ids (`EMPTY` = vacant).
+    slots: Vec<u32>,
+    /// Occupied slot count.
+    len: usize,
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(s.as_bytes());
+    h.finish()
+}
+
+impl SymbolIndex {
+    fn get(&self, s: &str, strings: &[String]) -> Option<Symbol> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = hash_str(s) as usize & mask;
+        loop {
+            match self.slots[i] {
+                EMPTY => return None,
+                sym if strings[sym as usize] == s => return Some(Symbol(sym)),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Insert `sym`, whose string is `strings[sym.index()]`. The caller
+    /// guarantees the string is not already present.
+    fn insert(&mut self, sym: Symbol, strings: &[String]) {
+        if self.slots.len() < 2 * (self.len + 1) {
+            self.grow(strings);
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = hash_str(&strings[sym.index()]) as usize & mask;
+        while self.slots[i] != EMPTY {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = sym.0;
+        self.len += 1;
+    }
+
+    /// Double the slot table (min 16) and rehash every occupied slot.
+    fn grow(&mut self, strings: &[String]) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; new_cap]);
+        let mask = new_cap - 1;
+        for sym in old.into_iter().filter(|&s| s != EMPTY) {
+            let mut i = hash_str(&strings[sym as usize]) as usize & mask;
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = sym;
+        }
+    }
+}
+
 /// An append-only string interner. Symbols are dense indices in insertion
 /// order, which snapshots rely on.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Interner {
     strings: Vec<String>,
     #[serde(skip)]
-    lookup: FxHashMap<String, Symbol>,
+    lookup: SymbolIndex,
 }
 
 impl Interner {
@@ -37,18 +108,18 @@ impl Interner {
 
     /// Intern `s`, returning its symbol (existing or freshly assigned).
     pub fn intern(&mut self, s: &str) -> Symbol {
-        if let Some(&sym) = self.lookup.get(s) {
+        if let Some(sym) = self.lookup.get(s, &self.strings) {
             return sym;
         }
         let sym = Symbol(self.strings.len() as u32);
         self.strings.push(s.to_string());
-        self.lookup.insert(s.to_string(), sym);
+        self.lookup.insert(sym, &self.strings);
         sym
     }
 
     /// Look up a string without interning it.
     pub fn get(&self, s: &str) -> Option<Symbol> {
-        self.lookup.get(s).copied()
+        self.lookup.get(s, &self.strings)
     }
 
     /// Resolve a symbol back to its string.
@@ -69,15 +140,13 @@ impl Interner {
         self.strings.is_empty()
     }
 
-    /// Rebuild the lookup table after deserialization (the map is skipped
-    /// in serde to halve snapshot size).
+    /// Rebuild the lookup table after deserialization (the index is
+    /// skipped in serde to halve snapshot size).
     pub fn rebuild_lookup(&mut self) {
-        self.lookup = self
-            .strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.clone(), Symbol(i as u32)))
-            .collect();
+        self.lookup = SymbolIndex::default();
+        for i in 0..self.strings.len() {
+            self.lookup.insert(Symbol(i as u32), &self.strings);
+        }
     }
 
     /// Iterate `(Symbol, &str)` pairs in insertion order.
@@ -133,10 +202,24 @@ mod tests {
         i.intern("a");
         i.intern("b");
         let mut j = i.clone();
-        j.lookup.clear();
+        j.lookup = SymbolIndex::default(); // what serde deserialization yields
         assert_eq!(j.get("b"), None);
         j.rebuild_lookup();
         assert_eq!(j.get("b"), Some(Symbol(1)));
+    }
+
+    #[test]
+    fn index_survives_growth_and_collisions() {
+        let mut i = Interner::new();
+        let syms: Vec<Symbol> = (0..5_000)
+            .map(|n| i.intern(&format!("label {n}")))
+            .collect();
+        assert_eq!(i.len(), 5_000);
+        for (n, &sym) in syms.iter().enumerate() {
+            assert_eq!(i.get(&format!("label {n}")), Some(sym));
+            assert_eq!(i.intern(&format!("label {n}")), sym);
+        }
+        assert_eq!(i.get("label 5000"), None);
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! * **Cycle breaking**: mutual listing noise can produce cyclic vertical
 //!   links; the weakest edge of every strongly connected component is
 //!   dropped so the result is the DAG §3.1 promises.
+//!
+//! Determinism note: this module uses `HashMap` only as a lookup
+//! structure — every map that is *iterated* either drives per-entry
+//! independent writes ([`assemble`]'s per-label sense sort) or is a
+//! `BTreeMap`/`BTreeSet`. No hash iteration order reaches the output, so
+//! the parallel driver in [`crate::parallel`] can promise byte-identical
+//! graphs structurally rather than by luck.
 
 use crate::local::{build_local_taxonomies, LocalTaxonomy};
 use crate::merge::{Group, MergeOp, MergeState};
@@ -43,6 +50,11 @@ pub struct TaxonomyConfig {
     /// it anywhere, attach it to the label's largest sense instead of
     /// leaving a dangling leaf.
     pub link_fallback: bool,
+    /// Worker threads for the parallel construction path
+    /// ([`crate::parallel`]): `0` = use all available parallelism, `1` =
+    /// the exact serial path. Both paths produce byte-identical
+    /// taxonomies; the determinism suite in `tests/` enforces it.
+    pub threads: usize,
 }
 
 impl Default for TaxonomyConfig {
@@ -51,6 +63,20 @@ impl Default for TaxonomyConfig {
             delta: 2,
             absorb: true,
             link_fallback: true,
+            threads: 0,
+        }
+    }
+}
+
+impl TaxonomyConfig {
+    /// The worker count the `threads` knob resolves to: `0` means all
+    /// available parallelism, anything else is taken literally.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
         }
     }
 }
@@ -98,12 +124,17 @@ pub fn build_taxonomy(sentences: &[SentenceExtraction], cfg: &TaxonomyConfig) ->
     build_taxonomy_observed(sentences, cfg, probase_obs::global())
 }
 
-/// [`build_taxonomy`] with an explicit metric registry.
+/// [`build_taxonomy`] with an explicit metric registry. Dispatches to the
+/// parallel driver ([`crate::parallel`]) when the `threads` knob resolves
+/// to more than one worker; the two paths are byte-identical.
 pub fn build_taxonomy_observed(
     sentences: &[SentenceExtraction],
     cfg: &TaxonomyConfig,
     registry: &Registry,
 ) -> BuiltTaxonomy {
+    if cfg.effective_threads() > 1 {
+        return crate::parallel::build_taxonomy_parallel_observed(sentences, cfg, registry);
+    }
     let (locals, interner) = registry
         .stage("taxonomy.local_build")
         .time(|| build_local_taxonomies(sentences));
@@ -160,7 +191,7 @@ pub fn build_from_locals_observed(
 }
 
 /// Indexed horizontal merging: repeat until fixpoint. Returns merge count.
-fn horizontal_pass(
+pub(crate) fn horizontal_pass(
     state: &mut MergeState,
     sim: &AbsoluteOverlap,
     sim_calls: &Arc<Counter>,
@@ -217,7 +248,7 @@ fn horizontal_pass(
 /// sense. Deterministic: the established target with the most members
 /// wins; ties break toward the smaller group index. Returns the number of
 /// groups absorbed.
-fn absorb_small_groups(state: &mut MergeState, delta: usize) -> usize {
+pub(crate) fn absorb_small_groups(state: &mut MergeState, delta: usize) -> usize {
     let live: Vec<usize> = state.live().collect();
     // Established senses: at least δ children.
     let mut established: HashMap<Symbol, Vec<usize>> = HashMap::new();
@@ -319,7 +350,7 @@ fn vertical_pass(state: &mut MergeState, sim: &AbsoluteOverlap, sim_calls: &Arc<
 
 /// Assemble the final [`ConceptGraph`]: sense numbering, concept edges,
 /// instance leaves, fallback linking, cycle breaking.
-fn assemble(
+pub(crate) fn assemble(
     state: &MergeState,
     interner: &Interner,
     cfg: &TaxonomyConfig,
@@ -332,6 +363,8 @@ fn assemble(
         by_label.entry(state.groups[gi].label).or_default().push(gi);
     }
     let mut sense_of: HashMap<usize, u32> = HashMap::new();
+    // Hash iteration order is fine here: each entry is sorted and numbered
+    // independently, so no cross-entry order reaches the output.
     for groups in by_label.values_mut() {
         groups.sort_by(|&a, &b| {
             let (ga, gb) = (&state.groups[a], &state.groups[b]);

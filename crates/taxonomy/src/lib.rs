@@ -21,12 +21,16 @@
 //! * [`merge`] — the operational merge engine used by the theorem tests.
 //! * [`build`] — the production builder with indexed merging, absorption
 //!   of short lists, fallback linking, and cycle breaking.
+//! * [`parallel`] — the deterministic multi-threaded driver for the same
+//!   builder (label-bucketed horizontal merging, parallel vertical
+//!   scoring); byte-identical to [`build`] at any thread count.
 //! * [`regraph`] — graph-level integration: re-run Algorithm 2 across
 //!   built taxonomies from different sources.
 
 pub mod build;
 pub mod local;
 pub mod merge;
+pub mod parallel;
 pub mod regraph;
 pub mod sim;
 
@@ -34,7 +38,8 @@ pub use build::{
     build_from_locals, build_from_locals_observed, build_taxonomy, build_taxonomy_observed,
     BuildStats, BuiltTaxonomy, TaxonomyConfig,
 };
-pub use local::{build_local_taxonomies, LocalTaxonomy};
+pub use local::{build_local_taxonomies, build_local_taxonomies_parallel, LocalTaxonomy};
 pub use merge::{CanonicalState, Group, MergeOp, MergeState};
+pub use parallel::{build_taxonomy_parallel, build_taxonomy_parallel_observed};
 pub use regraph::merge_graphs;
 pub use sim::{overlap, AbsoluteOverlap, Jaccard, Similarity};

@@ -51,6 +51,52 @@ pub fn build_local_taxonomies(sentences: &[SentenceExtraction]) -> (Vec<LocalTax
     (out, interner)
 }
 
+/// [`build_local_taxonomies`] sharded across `threads` scoped workers.
+///
+/// Each worker interns its sentence shard into a private [`Interner`];
+/// the shards are then merged by re-interning every shard's strings — in
+/// shard order, in each shard's insertion order — into one global
+/// interner and rewriting the local taxonomies through the resulting
+/// symbol remap. A shard's insertion order is the first-occurrence order
+/// of its slice of the sentence stream, so replaying the shards in order
+/// reproduces the serial first-occurrence order exactly: the merged
+/// symbol table (and therefore every downstream snapshot) is
+/// byte-identical to the serial path's.
+pub fn build_local_taxonomies_parallel(
+    sentences: &[SentenceExtraction],
+    threads: usize,
+) -> (Vec<LocalTaxonomy>, Interner) {
+    if threads <= 1 || sentences.len() <= 1 {
+        return build_local_taxonomies(sentences);
+    }
+    let chunk = sentences.len().div_ceil(threads).max(1);
+    let shards: Vec<(Vec<LocalTaxonomy>, Interner)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sentences
+            .chunks(chunk)
+            .map(|shard| scope.spawn(move || build_local_taxonomies(shard)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("local-build shard panicked"))
+            .collect()
+    });
+
+    let mut interner = Interner::new();
+    let mut out = Vec::with_capacity(shards.iter().map(|(l, _)| l.len()).sum());
+    for (locals, shard_interner) in shards {
+        let remap: Vec<Symbol> = shard_interner
+            .iter()
+            .map(|(_, s)| interner.intern(s))
+            .collect();
+        out.extend(locals.into_iter().map(|lt| LocalTaxonomy {
+            root: remap[lt.root.index()],
+            children: lt.children.iter().map(|&c| remap[c.index()]).collect(),
+            sentence_id: lt.sentence_id,
+        }));
+    }
+    (out, interner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +133,28 @@ mod tests {
         let (locals, _) =
             build_local_taxonomies(&[se(0, "animal", &[]), se(1, "animal", &["animal"])]);
         assert!(locals.is_empty());
+    }
+
+    #[test]
+    fn parallel_shards_reproduce_serial_symbol_order() {
+        // Cross-shard repeats: "plant" and "tree" recur in every shard so
+        // the remap must resolve them to their first-shard symbols.
+        let sentences: Vec<SentenceExtraction> = (0..23)
+            .map(|i| {
+                se(
+                    i,
+                    if i % 3 == 0 { "plant" } else { "animal" },
+                    &[&format!("item{}", i % 7), "tree", &format!("only{i}")],
+                )
+            })
+            .collect();
+        let (serial, serial_int) = build_local_taxonomies(&sentences);
+        for threads in [2, 3, 8, 64] {
+            let (par, par_int) = build_local_taxonomies_parallel(&sentences, threads);
+            assert_eq!(serial, par, "locals differ at {threads} threads");
+            let a: Vec<&str> = serial_int.iter().map(|(_, s)| s).collect();
+            let b: Vec<&str> = par_int.iter().map(|(_, s)| s).collect();
+            assert_eq!(a, b, "interner order differs at {threads} threads");
+        }
     }
 }

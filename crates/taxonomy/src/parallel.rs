@@ -1,0 +1,397 @@
+//! Deterministic parallel taxonomy construction.
+//!
+//! The paper runs extraction as a distributed Map-Reduce job (§5) and the
+//! extract crate mirrors that; this module extends the same discipline to
+//! Algorithm 2 so the taxonomy stage scales with cores too. Every stage
+//! keeps a proof-shaped argument for why its output is *byte-identical*
+//! to the serial builder in [`crate::build`] — parallelism here buys wall
+//! clock, never a different taxonomy. The determinism suite
+//! (`tests/parallel_determinism.rs`) enforces the equality for thread
+//! counts {1, 2, 4, 8}.
+//!
+//! Stage by stage:
+//!
+//! 1. **Local construction** shards the sentence stream across scoped
+//!    threads with per-shard interners, then merges symbol tables with a
+//!    remap pass that replays shard insertion orders — reproducing the
+//!    serial first-occurrence order exactly
+//!    ([`crate::local::build_local_taxonomies_parallel`]).
+//! 2. **Horizontal grouping** partitions groups by root label. Property 2
+//!    says a horizontal merge requires equal labels, so the label buckets
+//!    are fully independent: each bucket runs the *same* indexed fixpoint
+//!    as the serial builder (which already never crosses labels — its
+//!    inverted index is keyed by `(label, child)`), concurrently.
+//!    Absorption of short lists is label-local for the same reason and
+//!    runs inside the bucket workers.
+//! 3. **Vertical candidate scoring** is a pure read of the converged
+//!    groups — child sets no longer change — so the `overlap` tests for
+//!    all (parent, child-sense) candidates run as a parallel map; the
+//!    passing links are applied serially into the deterministic
+//!    `BTreeSet`.
+//! 4. **Assembly** (sense numbering, fallback links, cycle breaking) is
+//!    serial and shared verbatim with [`crate::build`].
+//!
+//! Why bucket-local fixpoints match the serial one: the serial pass
+//! visits live groups in ascending index order each round; restricted to
+//! one label, that is exactly the bucket's local order (bucket groups are
+//! extracted in ascending global order), and groups of other labels never
+//! contribute candidates. Once a label's groups converge, they produce
+//! zero further merges or similarity calls in later global rounds, so
+//! both merge counts and `taxonomy.similarity_calls` agree exactly.
+
+use crate::build::{
+    absorb_small_groups, assemble, horizontal_pass, BuildStats, BuiltTaxonomy, TaxonomyConfig,
+};
+use crate::local::{build_local_taxonomies_parallel, LocalTaxonomy};
+use crate::merge::{Group, MergeState};
+use crate::sim::{overlap, AbsoluteOverlap};
+use probase_extract::SentenceExtraction;
+use probase_obs::Registry;
+use probase_store::{Interner, Symbol};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// [`crate::build::build_taxonomy`] on the parallel driver, recording to
+/// the process-global registry.
+pub fn build_taxonomy_parallel(
+    sentences: &[SentenceExtraction],
+    cfg: &TaxonomyConfig,
+) -> BuiltTaxonomy {
+    build_taxonomy_parallel_observed(sentences, cfg, probase_obs::global())
+}
+
+/// Parallel taxonomy construction with an explicit metric registry.
+///
+/// Records the same `taxonomy.*` stages as the serial path (so pipeline
+/// reports stay comparable) plus `taxonomy.parallel.*` detail metrics.
+/// With an effective thread count of 1 this *is* the serial path.
+pub fn build_taxonomy_parallel_observed(
+    sentences: &[SentenceExtraction],
+    cfg: &TaxonomyConfig,
+    registry: &Registry,
+) -> BuiltTaxonomy {
+    let threads = cfg.effective_threads().max(1);
+    if threads <= 1 {
+        let serial = TaxonomyConfig {
+            threads: 1,
+            ..cfg.clone()
+        };
+        return crate::build::build_taxonomy_observed(sentences, &serial, registry);
+    }
+    registry
+        .gauge("taxonomy.parallel.threads")
+        .set(threads as i64);
+    let shard_size = sentences.len().div_ceil(threads).max(1);
+    registry
+        .counter("taxonomy.parallel.local_shards")
+        .add(sentences.len().div_ceil(shard_size) as u64);
+    let (locals, interner) = registry
+        .stage("taxonomy.local_build")
+        .time(|| build_local_taxonomies_parallel(sentences, threads));
+    build_from_locals_parallel_observed(&locals, &interner, cfg, registry, threads)
+}
+
+/// Merge + assemble from pre-built locals on `threads` workers.
+fn build_from_locals_parallel_observed(
+    locals: &[LocalTaxonomy],
+    interner: &Interner,
+    cfg: &TaxonomyConfig,
+    registry: &Registry,
+    threads: usize,
+) -> BuiltTaxonomy {
+    let sim = AbsoluteOverlap { delta: cfg.delta };
+    let mut stats = BuildStats {
+        local_taxonomies: locals.len(),
+        ..Default::default()
+    };
+
+    let mut state = MergeState::from_locals(locals);
+    let (merges, absorbed) = registry
+        .stage("taxonomy.horizontal_merge")
+        .time(|| horizontal_buckets(&mut state, &sim, cfg, threads, registry));
+    stats.horizontal_merges = merges;
+    stats.absorbed = absorbed;
+
+    stats.vertical_links = registry
+        .stage("taxonomy.vertical_merge")
+        .time(|| vertical_parallel(&mut state, &sim, threads, registry));
+
+    let (graph, dropped) = registry
+        .stage("taxonomy.assemble")
+        .time(|| assemble(&state, interner, cfg));
+    stats.cycle_edges_dropped = dropped;
+    stats.senses = state.live().count();
+    BuiltTaxonomy { graph, stats }
+}
+
+/// A dead placeholder left behind when a group is moved into a bucket.
+fn tombstone(label: Symbol) -> Group {
+    Group {
+        label,
+        children: BTreeSet::new(),
+        child_counts: BTreeMap::new(),
+        members: Vec::new(),
+        alive: false,
+    }
+}
+
+/// One label bucket lifted out of the global state: the global indices of
+/// its groups (ascending) and a private merge state over them.
+struct Bucket {
+    global: Vec<usize>,
+    state: MergeState,
+}
+
+/// Bucket-parallel horizontal fixpoint + absorption. Returns
+/// `(horizontal_merges, absorbed)` with values identical to the serial
+/// [`horizontal_pass`] / [`absorb_small_groups`] sequence.
+fn horizontal_buckets(
+    state: &mut MergeState,
+    sim: &AbsoluteOverlap,
+    cfg: &TaxonomyConfig,
+    threads: usize,
+    registry: &Registry,
+) -> (usize, usize) {
+    // Partition live groups by label, ascending index within each label so
+    // bucket-local order mirrors global order (merge survivors, absorption
+    // tie-breaks, and sense numbering all compare indices).
+    let mut by_label: BTreeMap<Symbol, Vec<usize>> = BTreeMap::new();
+    for gi in state.live() {
+        by_label.entry(state.groups[gi].label).or_default().push(gi);
+    }
+
+    // Size-1 labels can neither merge nor absorb (both need a distinct
+    // same-label partner); leave them in place.
+    let mut buckets: Vec<Bucket> = Vec::new();
+    for global in by_label.into_values() {
+        if global.len() < 2 {
+            continue;
+        }
+        let groups: Vec<Group> = global
+            .iter()
+            .map(|&gi| {
+                let label = state.groups[gi].label;
+                std::mem::replace(&mut state.groups[gi], tombstone(label))
+            })
+            .collect();
+        buckets.push(Bucket {
+            global,
+            state: MergeState {
+                groups,
+                links: BTreeSet::new(),
+                ops_applied: 0,
+            },
+        });
+    }
+    registry
+        .counter("taxonomy.parallel.horizontal_buckets")
+        .add(buckets.len() as u64);
+
+    // Round-robin the buckets over workers by descending weight (total
+    // child-set size) so one giant label doesn't serialize the stage.
+    let workers = threads.min(buckets.len()).max(1);
+    let mut order: Vec<usize> = (0..buckets.len()).collect();
+    order.sort_by_key(|&b| {
+        std::cmp::Reverse(
+            buckets[b]
+                .state
+                .groups
+                .iter()
+                .map(|g| g.children.len())
+                .sum::<usize>(),
+        )
+    });
+    let mut assigned: Vec<Vec<Bucket>> = (0..workers).map(|_| Vec::new()).collect();
+    // Drain in weight order; index into the original vec via a map of
+    // leftovers to preserve ownership moves.
+    let mut slots: Vec<Option<Bucket>> = buckets.into_iter().map(Some).collect();
+    for (rank, &b) in order.iter().enumerate() {
+        let bucket = slots[b].take().expect("bucket assigned twice");
+        assigned[rank % workers].push(bucket);
+    }
+
+    let (merges, absorbed) = std::thread::scope(|scope| {
+        let handles: Vec<_> = assigned
+            .iter_mut()
+            .map(|mine| {
+                let sim_calls = registry.counter("taxonomy.similarity_calls");
+                scope.spawn(move || {
+                    let mut merges = 0usize;
+                    let mut absorbed = 0usize;
+                    for bucket in mine.iter_mut() {
+                        merges += horizontal_pass(&mut bucket.state, sim, &sim_calls);
+                        if cfg.absorb {
+                            absorbed += absorb_small_groups(&mut bucket.state, cfg.delta);
+                        }
+                    }
+                    (merges, absorbed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("horizontal bucket worker panicked"))
+            .fold((0, 0), |(m, a), (dm, da)| (m + dm, a + da))
+    });
+
+    // Write every bucket's groups back into their global slots. Bucket
+    // fixpoints create no links (none exist yet), so only groups move.
+    for bucket in assigned.into_iter().flatten() {
+        debug_assert!(bucket.state.links.is_empty());
+        state.ops_applied += bucket.state.ops_applied;
+        for (group, gi) in bucket.state.groups.into_iter().zip(bucket.global) {
+            state.groups[gi] = group;
+        }
+    }
+    (merges, absorbed)
+}
+
+/// Parallel vertical candidate scoring: a read-only map over parent
+/// shards computing `overlap` for every (parent, same-label child sense)
+/// candidate, then a serial application of the passing links. Returns the
+/// number of links created (identical to the serial pass — candidate
+/// pairs are unique because a child symbol selects exactly the groups
+/// labeled with it).
+fn vertical_parallel(
+    state: &mut MergeState,
+    sim: &AbsoluteOverlap,
+    threads: usize,
+    registry: &Registry,
+) -> usize {
+    let live: Vec<usize> = state.live().collect();
+    let mut by_label: HashMap<Symbol, Vec<usize>> = HashMap::new();
+    for &gi in &live {
+        by_label.entry(state.groups[gi].label).or_default().push(gi);
+    }
+
+    let chunk = live.len().div_ceil(threads).max(1);
+    let (passing, calls) = std::thread::scope(|scope| {
+        let groups = &state.groups;
+        let by_label = &by_label;
+        let handles: Vec<_> = live
+            .chunks(chunk)
+            .map(|shard| {
+                scope.spawn(move || {
+                    let mut passing: Vec<(usize, usize)> = Vec::new();
+                    let mut calls = 0u64;
+                    for &parent in shard {
+                        for &c in &groups[parent].children {
+                            let Some(cands) = by_label.get(&c) else {
+                                continue;
+                            };
+                            for &child in cands {
+                                if child == parent {
+                                    continue;
+                                }
+                                calls += 1;
+                                if overlap(&groups[parent].children, &groups[child].children)
+                                    >= sim.delta
+                                {
+                                    passing.push((parent, child));
+                                }
+                            }
+                        }
+                    }
+                    (passing, calls)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("vertical shard panicked"))
+            .fold((Vec::new(), 0u64), |(mut pairs, calls), (p, c)| {
+                pairs.extend(p);
+                (pairs, calls + c)
+            })
+    });
+    registry.counter("taxonomy.similarity_calls").add(calls);
+    registry
+        .counter("taxonomy.parallel.vertical_candidates")
+        .add(calls);
+
+    let mut links = 0;
+    for (parent, child) in passing {
+        if state.links.insert((parent, child)) {
+            links += 1;
+        }
+    }
+    links
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_taxonomy;
+    use probase_store::snapshot;
+
+    fn se(id: u64, root: &str, items: &[&str]) -> SentenceExtraction {
+        SentenceExtraction {
+            sentence_id: id,
+            super_label: root.to_string(),
+            items: items.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn example3() -> Vec<SentenceExtraction> {
+        vec![
+            se(0, "plant", &["tree", "grass"]),
+            se(1, "plant", &["tree", "grass", "herb"]),
+            se(2, "plant", &["steam turbine", "pump", "boiler"]),
+            se(3, "organism", &["plant", "tree", "grass", "animal"]),
+            se(4, "thing", &["plant", "tree", "grass", "pump", "boiler"]),
+        ]
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_paper_example() {
+        let serial_cfg = TaxonomyConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let serial = build_taxonomy(&example3(), &serial_cfg);
+        for threads in [2, 4, 8] {
+            let cfg = TaxonomyConfig {
+                threads,
+                ..Default::default()
+            };
+            let par = build_taxonomy_parallel(&example3(), &cfg);
+            assert_eq!(serial.stats, par.stats, "{threads} threads");
+            assert_eq!(
+                snapshot::to_bytes(&serial.graph),
+                snapshot::to_bytes(&par.graph),
+                "graph bytes differ at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn threads_one_is_the_serial_path() {
+        let cfg = TaxonomyConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let a = build_taxonomy(&example3(), &cfg);
+        let b = build_taxonomy_parallel(&example3(), &cfg);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(snapshot::to_bytes(&a.graph), snapshot::to_bytes(&b.graph));
+    }
+
+    #[test]
+    fn similarity_call_counts_match_serial() {
+        let reg_s = Registry::new();
+        let reg_p = Registry::new();
+        let serial_cfg = TaxonomyConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let par_cfg = TaxonomyConfig {
+            threads: 4,
+            ..Default::default()
+        };
+        let _ = crate::build::build_taxonomy_observed(&example3(), &serial_cfg, &reg_s);
+        let _ = build_taxonomy_parallel_observed(&example3(), &par_cfg, &reg_p);
+        assert_eq!(
+            reg_s.counter("taxonomy.similarity_calls").get(),
+            reg_p.counter("taxonomy.similarity_calls").get()
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Parallel-vs-serial determinism suite.
+//!
+//! The parallel driver's whole contract is that thread count is invisible
+//! in the output: for any corpus and any thread count, the built taxonomy
+//! — symbol table, node set, edge list, plausibility defaults, and
+//! `BuildStats` — is byte-identical to the serial builder's. These tests
+//! enforce the contract over randomized synthetic corpora shaped to
+//! exercise every merge feature: multi-sense labels, cross-shard label
+//! repeats, absorption-sized short lists, vertical links, and cycles.
+
+use probase_extract::SentenceExtraction;
+use probase_store::snapshot;
+use probase_taxonomy::{
+    build_local_taxonomies, build_local_taxonomies_parallel, build_taxonomy,
+    build_taxonomy_parallel, TaxonomyConfig,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A synthetic corpus with controlled sense structure: each root label
+/// draws its items from one of a few vocabulary clusters (so same-label
+/// sentences sometimes share a sense and sometimes don't), labels appear
+/// as items of other sentences (vertical links, occasionally cycles), and
+/// a fraction of sentences are shorter than δ (absorption fodder).
+fn corpus(seed: u64, sentences: usize) -> Vec<SentenceExtraction> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let labels = 1 + sentences / 12;
+    (0..sentences)
+        .map(|id| {
+            let root_id = rng.gen_range(0..labels);
+            // Two clusters per label → two potential senses.
+            let cluster = root_id * 2 + rng.gen_range(0..2usize);
+            let n = rng.gen_range(1..7);
+            let mut items: Vec<String> = (0..n)
+                .map(|_| format!("item{}", cluster * 6 + rng.gen_range(0..9)))
+                .collect();
+            // Sometimes list another label as an item so vertical merges
+            // (and occasionally mutual cycles) appear.
+            if rng.gen_bool(0.35) {
+                items.push(format!("label{}", rng.gen_range(0..labels)));
+            }
+            SentenceExtraction {
+                sentence_id: id as u64,
+                super_label: format!("label{root_id}"),
+                items,
+            }
+        })
+        .collect()
+}
+
+fn configs() -> Vec<TaxonomyConfig> {
+    vec![
+        TaxonomyConfig {
+            threads: 1,
+            ..Default::default()
+        },
+        TaxonomyConfig {
+            delta: 1,
+            threads: 1,
+            ..Default::default()
+        },
+        TaxonomyConfig {
+            absorb: false,
+            threads: 1,
+            ..Default::default()
+        },
+        TaxonomyConfig {
+            link_fallback: false,
+            threads: 1,
+            ..Default::default()
+        },
+    ]
+}
+
+#[test]
+fn parallel_build_is_byte_identical_to_serial() {
+    for seed in [3, 17, 92] {
+        let sentences = corpus(seed, 600);
+        for base in configs() {
+            let serial = build_taxonomy(&sentences, &base);
+            let serial_bytes = snapshot::to_bytes(&serial.graph);
+            for threads in THREAD_COUNTS {
+                let cfg = TaxonomyConfig {
+                    threads,
+                    ..base.clone()
+                };
+                let par = build_taxonomy_parallel(&sentences, &cfg);
+                assert_eq!(
+                    serial.stats, par.stats,
+                    "BuildStats diverged (seed {seed}, {threads} threads, cfg {cfg:?})"
+                );
+                assert_eq!(
+                    serial_bytes,
+                    snapshot::to_bytes(&par.graph),
+                    "graph bytes diverged (seed {seed}, {threads} threads, cfg {cfg:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn config_dispatch_matches_forced_parallel_driver() {
+    // `build_taxonomy` with threads > 1 must route through the same
+    // parallel driver `build_taxonomy_parallel` exposes.
+    let sentences = corpus(7, 400);
+    for threads in [2, 8] {
+        let cfg = TaxonomyConfig {
+            threads,
+            ..Default::default()
+        };
+        let via_dispatch = build_taxonomy(&sentences, &cfg);
+        let via_driver = build_taxonomy_parallel(&sentences, &cfg);
+        assert_eq!(via_dispatch.stats, via_driver.stats);
+        assert_eq!(
+            snapshot::to_bytes(&via_dispatch.graph),
+            snapshot::to_bytes(&via_driver.graph)
+        );
+    }
+}
+
+#[test]
+fn sharded_interning_preserves_symbol_table_order() {
+    for seed in [5, 31] {
+        let sentences = corpus(seed, 500);
+        let (serial_locals, serial_int) = build_local_taxonomies(&sentences);
+        for threads in THREAD_COUNTS {
+            let (par_locals, par_int) = build_local_taxonomies_parallel(&sentences, threads);
+            assert_eq!(serial_locals, par_locals, "seed {seed}, {threads} threads");
+            assert_eq!(serial_int.len(), par_int.len());
+            for (sym, s) in serial_int.iter() {
+                assert_eq!(par_int.resolve(sym), s, "seed {seed}, {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_corpora_do_not_panic() {
+    for threads in THREAD_COUNTS {
+        let cfg = TaxonomyConfig {
+            threads,
+            ..Default::default()
+        };
+        // Empty corpus.
+        let empty = build_taxonomy_parallel(&[], &cfg);
+        assert_eq!(empty.stats.local_taxonomies, 0);
+        // Single sentence — fewer sentences than workers.
+        let one = vec![SentenceExtraction {
+            sentence_id: 0,
+            super_label: "plant".into(),
+            items: vec!["tree".into(), "grass".into()],
+        }];
+        let built = build_taxonomy_parallel(&one, &cfg);
+        assert_eq!(built.stats.local_taxonomies, 1);
+        // Every sentence shares one label: a single giant bucket.
+        let same: Vec<SentenceExtraction> = (0..50)
+            .map(|i| SentenceExtraction {
+                sentence_id: i,
+                super_label: "thing".into(),
+                items: vec![format!("item{}", i % 5), format!("item{}", (i + 1) % 5)],
+            })
+            .collect();
+        let serial = build_taxonomy(
+            &same,
+            &TaxonomyConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let par = build_taxonomy_parallel(&same, &cfg);
+        assert_eq!(serial.stats, par.stats);
+        assert_eq!(
+            snapshot::to_bytes(&serial.graph),
+            snapshot::to_bytes(&par.graph)
+        );
+    }
+}
