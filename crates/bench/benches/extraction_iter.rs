@@ -63,7 +63,7 @@ fn bench_persist(c: &mut Criterion) {
     let mut group = c.benchmark_group("knowledge");
     group.bench_function("persist_roundtrip", |b| {
         b.iter(|| {
-            let bytes = probase_extract::knowledge_to_bytes(&out.knowledge);
+            let bytes = probase_extract::knowledge_to_bytes(&out.knowledge).expect("encode");
             black_box(
                 probase_extract::knowledge_from_bytes(bytes)
                     .expect("roundtrip")

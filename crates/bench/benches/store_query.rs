@@ -39,7 +39,7 @@ fn bench_store(c: &mut Criterion) {
     });
     group.bench_function("snapshot_roundtrip", |b| {
         b.iter(|| {
-            let bytes = snapshot::to_bytes(&g);
+            let bytes = snapshot::to_bytes(&g).expect("encode");
             black_box(snapshot::from_bytes(bytes).expect("roundtrip").node_count())
         })
     });

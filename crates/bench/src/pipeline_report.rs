@@ -86,7 +86,7 @@ fn thread_scaling(sentences: &[SentenceExtraction]) -> Json {
             ..base.clone()
         },
     );
-    let serial_bytes = snapshot::to_bytes(&serial.graph);
+    let serial_bytes = snapshot::to_bytes(&serial.graph).expect("encode");
     let runs = THREAD_SCALING
         .iter()
         .map(|&t| {
@@ -97,8 +97,8 @@ fn thread_scaling(sentences: &[SentenceExtraction]) -> Json {
             let start = std::time::Instant::now();
             let built = build_taxonomy(sentences, &cfg);
             let build_us = start.elapsed().as_micros();
-            let identical =
-                built.stats == serial.stats && snapshot::to_bytes(&built.graph) == serial_bytes;
+            let identical = built.stats == serial.stats
+                && snapshot::to_bytes(&built.graph).expect("encode") == serial_bytes;
             Json::obj(vec![
                 ("threads", Json::num(t as f64)),
                 ("build_us", Json::num(build_us as f64)),

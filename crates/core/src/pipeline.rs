@@ -382,7 +382,8 @@ mod tests {
         };
         let serial =
             Simulation::run_observed(&world, &corpus_cfg, &cfg(1), &probase_obs::Registry::new());
-        let serial_bytes = probase_store::snapshot::to_bytes(serial.probase.model.graph());
+        let serial_bytes =
+            probase_store::snapshot::to_bytes(serial.probase.model.graph()).expect("encode");
         for threads in [2, 4] {
             let par = Simulation::run_observed(
                 &world,
@@ -396,7 +397,7 @@ mod tests {
             );
             assert_eq!(
                 serial_bytes,
-                probase_store::snapshot::to_bytes(par.probase.model.graph()),
+                probase_store::snapshot::to_bytes(par.probase.model.graph()).expect("encode"),
                 "graph bytes differ at {threads} threads"
             );
         }

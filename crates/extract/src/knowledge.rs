@@ -85,6 +85,25 @@ impl Knowledge {
         is_new
     }
 
+    /// Record `n` discoveries of the pair `(x, y)` at once (snapshot
+    /// replay). Counters saturate instead of overflowing so a corrupt
+    /// or adversarial count cannot panic the decoder. Returns `true`
+    /// when the pair is new to Γ; `n == 0` is a no-op.
+    pub fn add_pair_n(&mut self, x: Symbol, y: Symbol, n: u32) -> bool {
+        if n == 0 {
+            return false;
+        }
+        let e = self.pairs.entry((x, y)).or_insert(0);
+        let is_new = *e == 0;
+        *e = e.saturating_add(n);
+        let sup = self.super_totals.entry(x).or_insert(0);
+        *sup = sup.saturating_add(n);
+        let sub = self.sub_totals.entry(y).or_insert(0);
+        *sub = sub.saturating_add(n);
+        self.total = self.total.saturating_add(n as u64);
+        is_new
+    }
+
     /// Record that `a` and `b` were both extracted as subs of `x` in the
     /// same sentence.
     pub fn add_cooccurrence(&mut self, x: Symbol, a: Symbol, b: Symbol) {
@@ -104,6 +123,38 @@ impl Knowledge {
     /// Record negative (part-of) evidence for `(x, y)`.
     pub fn add_negative(&mut self, x: Symbol, y: Symbol) {
         *self.negative.entry((x, y)).or_insert(0) += 1;
+    }
+
+    /// Bulk [`Knowledge::add_cooccurrence`] for snapshot replay
+    /// (saturating; `n == 0` is a no-op).
+    pub fn add_cooccurrence_n(&mut self, x: Symbol, a: Symbol, b: Symbol, n: u32) {
+        if a == b || n == 0 {
+            return;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let e = self.cooccur.entry((x, lo, hi)).or_insert(0);
+        *e = e.saturating_add(n);
+    }
+
+    /// Bulk [`Knowledge::add_segment`] for snapshot replay (saturating;
+    /// `n == 0` is a no-op).
+    pub fn add_segment_n(&mut self, segment: &str, n: u32) {
+        if n == 0 {
+            return;
+        }
+        let sym = self.interner.intern(segment);
+        let e = self.segment_freq.entry(sym).or_insert(0);
+        *e = e.saturating_add(n);
+    }
+
+    /// Bulk [`Knowledge::add_negative`] for snapshot replay (saturating;
+    /// `n == 0` is a no-op).
+    pub fn add_negative_n(&mut self, x: Symbol, y: Symbol, n: u32) {
+        if n == 0 {
+            return;
+        }
+        let e = self.negative.entry((x, y)).or_insert(0);
+        *e = e.saturating_add(n);
     }
 
     // ---- statistics ----------------------------------------------------

@@ -26,7 +26,7 @@ use probase_store::Symbol;
 const MAGIC: u32 = 0x5042_4b4e;
 const VERSION: u32 = 1;
 
-/// Decoding errors.
+/// Encoding/decoding errors.
 #[derive(Debug, PartialEq, Eq)]
 pub enum PersistError {
     Truncated,
@@ -34,6 +34,9 @@ pub enum PersistError {
     BadVersion(u32),
     BadUtf8,
     BadIndex,
+    /// A table or string is too large for the u32 length prefixes —
+    /// encoding would silently truncate, so it is refused instead.
+    TooLarge(&'static str),
 }
 
 impl std::fmt::Display for PersistError {
@@ -44,23 +47,31 @@ impl std::fmt::Display for PersistError {
             PersistError::BadVersion(v) => write!(f, "unsupported version {v}"),
             PersistError::BadUtf8 => write!(f, "invalid utf-8"),
             PersistError::BadIndex => write!(f, "symbol out of range"),
+            PersistError::TooLarge(what) => {
+                write!(f, "{what} exceeds the u32 length limit")
+            }
         }
     }
 }
 
 impl std::error::Error for PersistError {}
 
-/// Serialize Γ to bytes.
-pub fn knowledge_to_bytes(g: &Knowledge) -> Bytes {
+fn len_u32(n: usize, what: &'static str) -> Result<u32, PersistError> {
+    u32::try_from(n).map_err(|_| PersistError::TooLarge(what))
+}
+
+/// Serialize Γ to bytes. Fails with [`PersistError::TooLarge`] rather
+/// than silently truncating a table past `u32::MAX` entries.
+pub fn knowledge_to_bytes(g: &Knowledge) -> Result<Bytes, PersistError> {
     let mut buf = BytesMut::with_capacity(1 << 16);
     buf.put_u32_le(MAGIC);
     buf.put_u32_le(VERSION);
 
     // Interner strings in symbol order.
     let strings: Vec<&str> = g.interner_strings().collect();
-    buf.put_u32_le(strings.len() as u32);
+    buf.put_u32_le(len_u32(strings.len(), "string table")?);
     for s in &strings {
-        buf.put_u32_le(s.len() as u32);
+        buf.put_u32_le(len_u32(s.len(), "interned string")?);
         buf.put_slice(s.as_bytes());
     }
     buf.put_u64_le(g.total());
@@ -68,7 +79,7 @@ pub fn knowledge_to_bytes(g: &Knowledge) -> Bytes {
     // Pairs, sorted for deterministic output.
     let mut pairs: Vec<(Symbol, Symbol, u32)> = g.pairs().collect();
     pairs.sort_unstable();
-    buf.put_u32_le(pairs.len() as u32);
+    buf.put_u32_le(len_u32(pairs.len(), "pair table")?);
     for (x, y, n) in pairs {
         buf.put_u32_le(x.0);
         buf.put_u32_le(y.0);
@@ -77,7 +88,7 @@ pub fn knowledge_to_bytes(g: &Knowledge) -> Bytes {
 
     let mut cooccur: Vec<(Symbol, Symbol, Symbol, u32)> = g.cooccurrences().collect();
     cooccur.sort_unstable();
-    buf.put_u32_le(cooccur.len() as u32);
+    buf.put_u32_le(len_u32(cooccur.len(), "cooccurrence table")?);
     for (x, a, b, n) in cooccur {
         buf.put_u32_le(x.0);
         buf.put_u32_le(a.0);
@@ -87,7 +98,7 @@ pub fn knowledge_to_bytes(g: &Knowledge) -> Bytes {
 
     let mut segments: Vec<(Symbol, u32)> = g.segment_frequencies().collect();
     segments.sort_unstable();
-    buf.put_u32_le(segments.len() as u32);
+    buf.put_u32_le(len_u32(segments.len(), "segment table")?);
     for (s, n) in segments {
         buf.put_u32_le(s.0);
         buf.put_u32_le(n);
@@ -95,13 +106,13 @@ pub fn knowledge_to_bytes(g: &Knowledge) -> Bytes {
 
     let mut negatives: Vec<(Symbol, Symbol, u32)> = g.negatives().collect();
     negatives.sort_unstable();
-    buf.put_u32_le(negatives.len() as u32);
+    buf.put_u32_le(len_u32(negatives.len(), "negative table")?);
     for (x, y, n) in negatives {
         buf.put_u32_le(x.0);
         buf.put_u32_le(y.0);
         buf.put_u32_le(n);
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 fn need(buf: &impl Buf, n: usize) -> Result<(), PersistError> {
@@ -126,7 +137,10 @@ pub fn knowledge_from_bytes(mut buf: impl Buf) -> Result<Knowledge, PersistError
     need(&buf, 4)?;
     let n_strings = buf.get_u32_le() as usize;
     let mut g = Knowledge::new();
-    let mut symbols = Vec::with_capacity(n_strings);
+    // Cap the preallocation by what the remaining bytes could possibly
+    // hold (each string costs ≥4 bytes on the wire), so a corrupt count
+    // field cannot trigger a gigantic up-front allocation.
+    let mut symbols = Vec::with_capacity(n_strings.min(buf.remaining() / 4));
     for _ in 0..n_strings {
         need(&buf, 4)?;
         let len = buf.get_u32_le() as usize;
@@ -144,7 +158,10 @@ pub fn knowledge_from_bytes(mut buf: impl Buf) -> Result<Knowledge, PersistError
     };
 
     need(&buf, 8)?;
-    let declared_total = buf.get_u64_le();
+    // Declared total is informational: super/sub totals and the pair
+    // mass are recomputed from the pair table below, so a corrupt value
+    // here cannot poison the invariants.
+    let _declared_total = buf.get_u64_le();
 
     need(&buf, 4)?;
     let n_pairs = buf.get_u32_le() as usize;
@@ -153,9 +170,7 @@ pub fn knowledge_from_bytes(mut buf: impl Buf) -> Result<Knowledge, PersistError
         let x = resolve(buf.get_u32_le())?;
         let y = resolve(buf.get_u32_le())?;
         let n = buf.get_u32_le();
-        for _ in 0..n {
-            g.add_pair(x, y);
-        }
+        g.add_pair_n(x, y, n);
     }
 
     need(&buf, 4)?;
@@ -166,9 +181,7 @@ pub fn knowledge_from_bytes(mut buf: impl Buf) -> Result<Knowledge, PersistError
         let a = resolve(buf.get_u32_le())?;
         let b = resolve(buf.get_u32_le())?;
         let n = buf.get_u32_le();
-        for _ in 0..n {
-            g.add_cooccurrence(x, a, b);
-        }
+        g.add_cooccurrence_n(x, a, b, n);
     }
 
     need(&buf, 4)?;
@@ -178,9 +191,7 @@ pub fn knowledge_from_bytes(mut buf: impl Buf) -> Result<Knowledge, PersistError
         let s = resolve(buf.get_u32_le())?;
         let n = buf.get_u32_le();
         let text = g.resolve(s).to_string();
-        for _ in 0..n {
-            g.add_segment(&text);
-        }
+        g.add_segment_n(&text, n);
     }
 
     need(&buf, 4)?;
@@ -190,12 +201,9 @@ pub fn knowledge_from_bytes(mut buf: impl Buf) -> Result<Knowledge, PersistError
         let x = resolve(buf.get_u32_le())?;
         let y = resolve(buf.get_u32_le())?;
         let n = buf.get_u32_le();
-        for _ in 0..n {
-            g.add_negative(x, y);
-        }
+        g.add_negative_n(x, y, n);
     }
 
-    debug_assert_eq!(g.total(), declared_total, "pair mass mismatch");
     Ok(g)
 }
 
@@ -226,7 +234,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_all_statistics() {
         let g = sample();
-        let bytes = knowledge_to_bytes(&g);
+        let bytes = knowledge_to_bytes(&g).expect("encodes");
         let h = knowledge_from_bytes(bytes).expect("decodes");
         assert_eq!(h.total(), g.total());
         assert_eq!(h.pair_count(), g.pair_count());
@@ -246,7 +254,7 @@ mod tests {
 
     #[test]
     fn truncation_always_errors() {
-        let bytes = knowledge_to_bytes(&sample());
+        let bytes = knowledge_to_bytes(&sample()).expect("encodes");
         for cut in 0..bytes.len() {
             assert!(knowledge_from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
         }
@@ -254,13 +262,13 @@ mod tests {
 
     #[test]
     fn bad_magic_and_version() {
-        let mut b = knowledge_to_bytes(&sample()).to_vec();
+        let mut b = knowledge_to_bytes(&sample()).expect("encodes").to_vec();
         b[0] ^= 1;
         assert_eq!(
             knowledge_from_bytes(&b[..]).unwrap_err(),
             PersistError::BadMagic
         );
-        let mut b = knowledge_to_bytes(&sample()).to_vec();
+        let mut b = knowledge_to_bytes(&sample()).expect("encodes").to_vec();
         b[4] = 9;
         assert_eq!(
             knowledge_from_bytes(&b[..]).unwrap_err(),
@@ -271,7 +279,7 @@ mod tests {
     #[test]
     fn empty_knowledge_roundtrips() {
         let g = Knowledge::new();
-        let h = knowledge_from_bytes(knowledge_to_bytes(&g)).unwrap();
+        let h = knowledge_from_bytes(knowledge_to_bytes(&g).expect("encodes")).unwrap();
         assert_eq!(h.pair_count(), 0);
         assert_eq!(h.total(), 0);
     }

@@ -1,7 +1,9 @@
 //! Property tests for the extraction pipeline invariants.
 
 use probase_corpus::{generate, CorpusConfig, CorpusGenerator, WorldConfig};
-use probase_extract::{extract, ExtractorConfig};
+use probase_extract::{
+    extract, knowledge_from_bytes, knowledge_to_bytes, ExtractorConfig, Knowledge,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -69,5 +71,49 @@ proptest! {
         prop_assert_eq!(a.knowledge.pair_count(), b.knowledge.pair_count());
         prop_assert_eq!(a.evidence.len(), b.evidence.len());
         prop_assert_eq!(a.sentences, b.sentences);
+    }
+
+    /// Arbitrary garbage never panics the Γ decoder: every failure mode
+    /// surfaces as a structured `PersistError`.
+    #[test]
+    fn persist_decoder_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = knowledge_from_bytes(bytes.as_slice());
+    }
+
+    /// A real extraction's Γ round-trips byte-identically; every strict
+    /// prefix is rejected; and flipping one byte never panics the
+    /// decoder (anything that still decodes re-encodes cleanly).
+    #[test]
+    fn persist_decoder_is_robust(
+        seed in 0u64..200,
+        cut in any::<proptest::sample::Index>(),
+        xor in 1u8..,
+    ) {
+        let world = generate(&WorldConfig::small(seed));
+        let corpus = CorpusGenerator::new(
+            &world,
+            CorpusConfig { seed, sentences: 200, ..CorpusConfig::default() },
+        )
+        .generate_all();
+        let out = extract(&corpus, &world.lexicon, &ExtractorConfig::paper());
+        let bytes = knowledge_to_bytes(&out.knowledge).expect("encode");
+
+        // Round-trip: decode then re-encode is byte-identical (both the
+        // interner order and the table sort are deterministic).
+        let decoded: Knowledge = knowledge_from_bytes(bytes.clone()).expect("roundtrip decodes");
+        prop_assert_eq!(decoded.pair_count(), out.knowledge.pair_count());
+        prop_assert_eq!(decoded.total(), out.knowledge.total());
+        prop_assert_eq!(knowledge_to_bytes(&decoded).expect("re-encode"), bytes.clone());
+
+        // Truncation is always detected.
+        let cut_at = cut.index(bytes.len());
+        prop_assert!(knowledge_from_bytes(&bytes[..cut_at]).is_err());
+
+        // Single-byte corruption never panics.
+        let mut corrupt = bytes.to_vec();
+        corrupt[cut_at] ^= xor;
+        if let Ok(g) = knowledge_from_bytes(corrupt.as_slice()) {
+            knowledge_to_bytes(&g).expect("decoded Γ re-encodes");
+        }
     }
 }

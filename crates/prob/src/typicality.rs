@@ -74,8 +74,16 @@ impl TypicalityModel {
         }
         for list in abstraction.values_mut() {
             let total: f64 = list.iter().map(|(_, s)| s).sum();
-            for (_, s) in list.iter_mut() {
-                *s /= total;
+            // An instance can reach this point with every score zero
+            // (e.g. all its edges have zero plausibility): dividing by
+            // the zero total would turn the list to NaN and panic the
+            // `partial_cmp(...).expect("finite")` sort below. Leave the
+            // zeros unnormalized instead, mirroring the instantiation
+            // guard above.
+            if total > 0.0 {
+                for (_, s) in list.iter_mut() {
+                    *s /= total;
+                }
             }
             list.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
         }
@@ -188,6 +196,38 @@ mod tests {
         let t = TypicalityModel::compute(&g, &reach);
         assert!((t.typicality(i1, a) - 1.0).abs() < 1e-9);
         assert_eq!(t.typicality(i2, a), 0.0);
+    }
+
+    /// Regression: an instance whose *every* edge has zero plausibility
+    /// used to produce an all-zero abstraction list; normalizing it
+    /// divided by a zero total, filled the list with NaN, and panicked
+    /// the `partial_cmp(...).expect("finite")` sort.
+    #[test]
+    fn all_zero_plausibility_instance_does_not_panic() {
+        let mut g = ConceptGraph::new();
+        let a = g.ensure_node("a", 0);
+        let b = g.ensure_node("b", 0);
+        let good = g.ensure_node("Good", 0);
+        let dud = g.ensure_node("Dud", 0);
+        // `Dud` hangs off both concepts, but only through
+        // zero-plausibility edges; `Good` keeps both totals positive so
+        // the instantiation guard does not filter the lists out.
+        g.add_evidence(a, good, 5);
+        g.add_evidence(a, dud, 5);
+        g.add_evidence(b, good, 3);
+        g.add_evidence(b, dud, 3);
+        g.set_plausibility(a, dud, 0.0);
+        g.set_plausibility(b, dud, 0.0);
+        let reach = ReachTable::compute(&g);
+        let t = TypicalityModel::compute(&g, &reach);
+        // Dud's abstraction scores stay finite (all zero, unnormalized).
+        for &(_, s) in t.concepts_of(dud) {
+            assert!(s.is_finite());
+            assert_eq!(s, 0.0);
+        }
+        // Good's list is untouched by the guard and still normalized.
+        let sum: f64 = t.concepts_of(good).iter().map(|(_, v)| v).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,919 @@
+//! Durable write path: evidence WAL, crash recovery, and background
+//! rebuild.
+//!
+//! The paper's taxonomy is persistent — §2's iterative extraction grows
+//! Γ across runs, and the serving layer of §5.3 fronts a store that
+//! survives restarts. Before this module, `add-evidence` mutated the
+//! in-memory [`SharedStore`] only: a crash threw away every acked write.
+//! Durability closes that hole with a classic snapshot + write-ahead-log
+//! protocol built on [`probase_store::wal`]:
+//!
+//! * **Logging.** Every `add-evidence` appends a [`WalEntry`] (with a
+//!   *global monotone index*) to the current log generation before the
+//!   store mutation is acked. The fsync policy is a [`WalSync`] knob:
+//!   `Always` makes an ack imply the record is on disk, `EveryN`
+//!   amortizes the fsync over batches, `Os` leaves it to the page cache.
+//! * **Checkpoints.** Snapshot files are named
+//!   `snapshot-<seq>-<upto>.pb`: generation `seq`, covering every write
+//!   with index < `upto`. Log files are `wal-<seq>.log`.
+//! * **Recovery.** On open: load the newest decodable snapshot, union
+//!   the records of *all* log generations, deduplicate by index, and
+//!   replay exactly the suffix the snapshot does not already contain
+//!   (stopping at a gap). A crash anywhere between checkpoint persist
+//!   and log rotation therefore neither loses nor double-applies a
+//!   write. Recovery finishes by writing a fresh checkpoint and rotating
+//!   to a new log generation, so the directory is always one snapshot +
+//!   one active log plus whatever a crash left behind.
+//! * **Background rebuild.** Acked writes carry raw counts only; the
+//!   derived plausibility annotations go stale. A rebuild (triggered
+//!   after N writes or T seconds — see [`DurabilityConfig`]) clones the
+//!   graph *off* the read path, refits the urns plausibility model,
+//!   writes a checkpoint, folds in writes that landed meanwhile, and
+//!   hot-swaps the annotated graph via
+//!   [`SharedStore::swap_snapshot_patched`] — readers never block on
+//!   any of it.
+//!
+//! Lock order everywhere is **store lock → WAL mutex**; the WAL mutex is
+//! never held while acquiring a store lock.
+
+use crate::json::Json;
+use parking_lot::Mutex;
+use probase_obs::{Counter, Histogram, Registry};
+use probase_prob::{annotate_graph_urns, UrnsModel};
+use probase_store::wal::{read_wal, WalEntry, WalOp, WalSync, WalWriter};
+use probase_store::{snapshot, ConceptGraph, SharedStore};
+use std::fs::File;
+use std::io::Write;
+use std::path::{Component, Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tunables for the durable write path (`ServeConfig::durability`).
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding checkpoints and log generations. Created on
+    /// open; also the sandbox root for `snapshot-load` paths.
+    pub snapshot_dir: PathBuf,
+    /// When WAL appends reach disk (see [`WalSync`]).
+    pub wal_sync: WalSync,
+    /// Rebuild after this many acked writes; `0` disables the
+    /// write-count trigger.
+    pub rebuild_after_writes: u64,
+    /// Rebuild when the oldest un-checkpointed write is this old;
+    /// `None` disables the timer trigger.
+    pub rebuild_interval: Option<Duration>,
+}
+
+impl DurabilityConfig {
+    /// Defaults for a directory: fsync every ack, rebuild after 1024
+    /// writes or once a minute.
+    pub fn new(snapshot_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            snapshot_dir: snapshot_dir.into(),
+            wal_sync: WalSync::Always,
+            rebuild_after_writes: 1024,
+            rebuild_interval: Some(Duration::from_secs(60)),
+        }
+    }
+}
+
+/// Append-side state, guarded by one mutex (acquired *after* the store
+/// lock, never before).
+#[derive(Debug)]
+struct WalInner {
+    writer: WalWriter,
+    /// Current log generation.
+    seq: u64,
+    /// Index the next record will carry (global, never reused).
+    next_index: u64,
+    /// In-memory copy of the current generation's records, so rebuild
+    /// can fold the delta without re-reading the file.
+    mirror: Vec<WalEntry>,
+    /// Set after an append error: the file may hold a torn record, so
+    /// further writes are refused until a restart re-runs recovery.
+    poisoned: bool,
+}
+
+/// The durable write path: owns the WAL, the checkpoint files, and the
+/// rebuild bookkeeping. One per server; shared via `Arc` with the
+/// router (append path) and the rebuild worker.
+#[derive(Debug)]
+pub struct Durability {
+    dir: PathBuf,
+    sync: WalSync,
+    rebuild_after_writes: u64,
+    rebuild_interval: Option<Duration>,
+    wal: Mutex<WalInner>,
+    /// Acked writes not yet covered by a checkpoint.
+    pending: AtomicU64,
+    last_rebuild: Mutex<Instant>,
+    wal_appends: Arc<Counter>,
+    wal_syncs: Arc<Counter>,
+    wal_replayed: Arc<Counter>,
+    wal_rotations: Arc<Counter>,
+    wal_append_errors: Arc<Counter>,
+    rebuild_runs: Arc<Counter>,
+    rebuild_failures: Arc<Counter>,
+    rebuild_folded: Arc<Counter>,
+    rebuild_snapshots: Arc<Counter>,
+    rebuild_duration: Arc<Histogram>,
+}
+
+fn parse_snapshot_name(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("snapshot-")?.strip_suffix(".pb")?;
+    let (seq, upto) = rest.split_once('-')?;
+    Some((seq.parse().ok()?, upto.parse().ok()?))
+}
+
+fn parse_wal_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+/// Replay one logged operation onto a graph. The serve write path only
+/// ever touches sense 0, so replay does too.
+fn apply_op(g: &mut ConceptGraph, op: &WalOp) {
+    let WalOp::AddEvidence {
+        parent,
+        child,
+        count,
+    } = op;
+    let p = g.ensure_node(parent, 0);
+    let c = g.ensure_node(child, 0);
+    g.add_evidence(p, c, *count);
+}
+
+/// Write a checkpoint durably: temp file, fsync, rename, fsync the
+/// directory. Returns the final path.
+fn write_snapshot_file(dir: &Path, seq: u64, upto: u64, bytes: &[u8]) -> Result<PathBuf, String> {
+    let tmp = dir.join(format!("snapshot-{seq}-{upto}.pb.tmp"));
+    let fin = dir.join(format!("snapshot-{seq}-{upto}.pb"));
+    let io = (|| -> std::io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, &fin)?;
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    io.map_err(|e| format!("cannot write snapshot {}: {e}", fin.display()))?;
+    Ok(fin)
+}
+
+/// Best-effort removal of generations older than `keep_seq` (and stray
+/// temp files). Only called after a newer checkpoint is durably in
+/// place, so losing these files can no longer lose a write.
+fn prune(dir: &Path, keep_seq: u64) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale = match (parse_snapshot_name(name), parse_wal_name(name)) {
+            (Some((seq, _)), _) => seq < keep_seq,
+            (_, Some(seq)) => seq < keep_seq,
+            _ => name.ends_with(".pb.tmp"),
+        };
+        if stale {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+impl Durability {
+    /// Open (creating if necessary) the durability directory, run crash
+    /// recovery, and install the recovered graph into `store`.
+    ///
+    /// Recovery: newest decodable checkpoint → base graph; union of all
+    /// log generations, deduplicated by index, replayed in order from
+    /// the checkpoint's coverage up to the first gap. Finishes with a
+    /// fresh checkpoint + log rotation so acked state is consolidated.
+    pub fn open(
+        cfg: &DurabilityConfig,
+        store: &SharedStore,
+        registry: &Registry,
+    ) -> Result<Self, String> {
+        let dir = cfg.snapshot_dir.clone();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create snapshot dir {}: {e}", dir.display()))?;
+
+        // Scan the directory for checkpoint and log generations.
+        let mut snaps: Vec<(u64, u64, PathBuf)> = Vec::new();
+        let mut wals: Vec<PathBuf> = Vec::new();
+        let mut max_seq = 0u64;
+        let entries = std::fs::read_dir(&dir)
+            .map_err(|e| format!("cannot read snapshot dir {}: {e}", dir.display()))?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some((seq, upto)) = parse_snapshot_name(name) {
+                max_seq = max_seq.max(seq);
+                snaps.push((seq, upto, entry.path()));
+            } else if let Some(seq) = parse_wal_name(name) {
+                max_seq = max_seq.max(seq);
+                wals.push(entry.path());
+            }
+        }
+
+        // Newest decodable checkpoint wins; corrupt ones are skipped so
+        // a torn checkpoint degrades to replaying a longer log suffix.
+        snaps.sort_by_key(|&(seq, upto, _)| std::cmp::Reverse((upto, seq)));
+        let mut base: Option<(ConceptGraph, u64)> = None;
+        for (_, upto, path) in &snaps {
+            if let Ok(bytes) = std::fs::read(path) {
+                if let Ok(mut g) = snapshot::from_bytes(&bytes[..]) {
+                    g.rebuild_indexes();
+                    base = Some((g, *upto));
+                    break;
+                }
+            }
+        }
+        let recovered_snapshot = base.is_some();
+        let (mut graph, upto) = base.unwrap_or_else(|| (store.clone_graph(), 0));
+
+        // Union every log generation's records; dedup + gap-stop below.
+        let mut all: Vec<WalEntry> = Vec::new();
+        for path in &wals {
+            if let Ok(read) = read_wal(path) {
+                all.extend(read.entries);
+            }
+        }
+        all.sort_by_key(|e| e.index);
+        let mut expected = upto;
+        let mut replayed = 0u64;
+        for e in &all {
+            if e.index < expected {
+                continue; // covered by the checkpoint, or a duplicate
+            }
+            if e.index > expected {
+                break; // gap: the log holding this range is gone
+            }
+            apply_op(&mut graph, &e.op);
+            expected += 1;
+            replayed += 1;
+        }
+
+        // Consolidate: one fresh checkpoint + one fresh log generation.
+        let newseq = max_seq + 1;
+        let bytes = snapshot::to_bytes(&graph)
+            .map_err(|e| format!("cannot encode recovery snapshot: {e}"))?;
+        write_snapshot_file(&dir, newseq, expected, &bytes)?;
+        let wal_path = dir.join(format!("wal-{newseq}.log"));
+        let writer = WalWriter::create(&wal_path, newseq, cfg.wal_sync)
+            .map_err(|e| format!("cannot create wal {}: {e}", wal_path.display()))?;
+        prune(&dir, newseq);
+
+        if recovered_snapshot || replayed > 0 {
+            store.swap_snapshot(graph);
+        }
+
+        let d = Self {
+            dir,
+            sync: cfg.wal_sync,
+            rebuild_after_writes: cfg.rebuild_after_writes,
+            rebuild_interval: cfg.rebuild_interval,
+            wal: Mutex::new(WalInner {
+                writer,
+                seq: newseq,
+                next_index: expected,
+                mirror: Vec::new(),
+                poisoned: false,
+            }),
+            pending: AtomicU64::new(0),
+            last_rebuild: Mutex::new(Instant::now()),
+            wal_appends: registry.counter("serve.wal.appends"),
+            wal_syncs: registry.counter("serve.wal.syncs"),
+            wal_replayed: registry.counter("serve.wal.replayed"),
+            wal_rotations: registry.counter("serve.wal.rotations"),
+            wal_append_errors: registry.counter("serve.wal.append_errors"),
+            rebuild_runs: registry.counter("serve.rebuild.runs"),
+            rebuild_failures: registry.counter("serve.rebuild.failures"),
+            rebuild_folded: registry.counter("serve.rebuild.folded_writes"),
+            rebuild_snapshots: registry.counter("serve.rebuild.snapshots_written"),
+            rebuild_duration: registry.histogram("serve.rebuild.duration_us"),
+        };
+        d.wal_replayed.add(replayed);
+        d.wal_rotations.inc();
+        d.rebuild_snapshots.inc();
+        Ok(d)
+    }
+
+    /// The sandbox root for `snapshot-load` and home of the log files.
+    pub fn snapshot_dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Resolve a client-supplied `snapshot-load` path inside the
+    /// sandbox. Absolute paths and any non-plain component (`..`, `.`,
+    /// prefixes) are rejected — the serving layer must not become an
+    /// arbitrary-file read oracle.
+    pub fn resolve(&self, requested: &str) -> Result<PathBuf, String> {
+        let path = Path::new(requested);
+        if requested.is_empty() || path.is_absolute() {
+            return Err(format!(
+                "snapshot path {requested:?} must be relative to the snapshot directory"
+            ));
+        }
+        for component in path.components() {
+            match component {
+                Component::Normal(_) => {}
+                _ => {
+                    return Err(format!(
+                        "snapshot path {requested:?} escapes the snapshot directory"
+                    ))
+                }
+            }
+        }
+        Ok(self.dir.join(path))
+    }
+
+    /// Append one evidence write to the log. Called by the router
+    /// *while holding the store write lock*, before the graph mutation:
+    /// an `Err` means nothing was acked and nothing may be applied.
+    pub fn append_evidence(&self, parent: &str, child: &str, count: u32) -> Result<(), String> {
+        let mut inner = self.wal.lock();
+        if inner.poisoned {
+            return Err(
+                "write-ahead log failed earlier; writes disabled until restart".to_string(),
+            );
+        }
+        let entry = WalEntry {
+            index: inner.next_index,
+            op: WalOp::AddEvidence {
+                parent: parent.to_string(),
+                child: child.to_string(),
+                count,
+            },
+        };
+        match inner.writer.append(&entry) {
+            Ok(synced) => {
+                inner.next_index += 1;
+                inner.mirror.push(entry);
+                self.wal_appends.inc();
+                if synced {
+                    self.wal_syncs.inc();
+                }
+                self.pending.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                // The file may now hold a torn record; appending past it
+                // would corrupt the scan for everything after. Fail
+                // stop: recovery on restart truncates the torn tail.
+                inner.poisoned = true;
+                self.wal_append_errors.inc();
+                Err(format!("wal append failed: {e}"))
+            }
+        }
+    }
+
+    /// Whether a rebuild is due (write-count or timer trigger).
+    pub fn should_rebuild(&self) -> bool {
+        let pending = self.pending.load(Ordering::Relaxed);
+        if pending == 0 {
+            return false;
+        }
+        if self.rebuild_after_writes > 0 && pending >= self.rebuild_after_writes {
+            return true;
+        }
+        match self.rebuild_interval {
+            Some(interval) => self.last_rebuild.lock().elapsed() >= interval,
+            None => false,
+        }
+    }
+
+    /// Whether any background trigger is configured (the server only
+    /// spawns the rebuild worker when one is).
+    pub fn has_background_trigger(&self) -> bool {
+        self.rebuild_after_writes > 0 || self.rebuild_interval.is_some()
+    }
+
+    /// One rebuild cycle: clone the graph off the read path, refit the
+    /// urns plausibility model, checkpoint, fold in writes that landed
+    /// meanwhile, rotate the log, and hot-swap the annotated graph.
+    /// Returns the number of folded writes, or `Ok(None)` when a
+    /// concurrent `snapshot-load` superseded the captured state.
+    pub fn rebuild(&self, store: &SharedStore) -> Result<Option<u64>, String> {
+        let started = Instant::now();
+        // Capture graph + coverage atomically (store read lock, then the
+        // WAL mutex — the canonical order).
+        let (mut graph, upto, cap_seq) = store.read(|g| {
+            let inner = self.wal.lock();
+            (g.clone(), inner.next_index, inner.seq)
+        });
+
+        // Offline: refit plausibility from the evidence counts. Readers
+        // keep hitting the old graph the whole time.
+        let counts: Vec<u32> = graph.edges().map(|(_, _, e)| e.count).collect();
+        if !counts.is_empty() {
+            let model = UrnsModel::fit(&counts, 200);
+            annotate_graph_urns(&mut graph, &model);
+        }
+        let newseq = cap_seq + 1;
+        let bytes = snapshot::to_bytes(&graph).map_err(|e| {
+            self.rebuild_failures.inc();
+            format!("cannot encode rebuild snapshot: {e}")
+        })?;
+        let tmp = self.dir.join(format!("snapshot-{newseq}-{upto}.pb.tmp"));
+        let fin = self.dir.join(format!("snapshot-{newseq}-{upto}.pb"));
+        if let Err(e) = std::fs::write(&tmp, &bytes).and_then(|()| File::open(&tmp)?.sync_all()) {
+            self.rebuild_failures.inc();
+            return Err(format!("cannot write {}: {e}", tmp.display()));
+        }
+
+        // Commit under the store write lock: fold the delta, rotate the
+        // log. The checkpoint rename happens *after* — safe, because
+        // until the old generations are pruned the union of old
+        // checkpoint + old log + new log still reconstructs every write.
+        let mut folded = 0u64;
+        let mut commit_err: Option<String> = None;
+        let swapped = store.swap_snapshot_patched(graph, |g| {
+            let mut inner = self.wal.lock();
+            if inner.seq != cap_seq {
+                return false; // a snapshot-load rotated underneath us
+            }
+            let delta: Vec<WalEntry> = inner
+                .mirror
+                .iter()
+                .filter(|e| e.index >= upto)
+                .cloned()
+                .collect();
+            for e in &delta {
+                apply_op(g, &e.op);
+            }
+            folded = delta.len() as u64;
+            let wal_path = self.dir.join(format!("wal-{newseq}.log"));
+            let mut writer = match WalWriter::create(&wal_path, newseq, self.sync) {
+                Ok(w) => w,
+                Err(e) => {
+                    commit_err = Some(format!("cannot rotate wal: {e}"));
+                    return false;
+                }
+            };
+            for e in &delta {
+                if let Err(e2) = writer.append(e) {
+                    commit_err = Some(format!("cannot carry delta into new wal: {e2}"));
+                    return false;
+                }
+            }
+            if let Err(e2) = writer.sync() {
+                commit_err = Some(format!("cannot sync rotated wal: {e2}"));
+                return false;
+            }
+            inner.writer = writer;
+            inner.seq = newseq;
+            inner.mirror = delta;
+            self.pending.store(0, Ordering::Relaxed);
+            true
+        });
+
+        if swapped.is_none() {
+            let _ = std::fs::remove_file(&tmp);
+            return match commit_err {
+                Some(err) => {
+                    self.rebuild_failures.inc();
+                    Err(err)
+                }
+                None => Ok(None), // superseded; the rebase checkpointed for us
+            };
+        }
+        if let Err(e) = std::fs::rename(&tmp, &fin) {
+            // The swap and rotation already happened; the write set is
+            // still fully recoverable from the previous checkpoint plus
+            // both log generations, so just report and skip the prune.
+            self.rebuild_failures.inc();
+            return Err(format!("cannot publish {}: {e}", fin.display()));
+        }
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        prune(&self.dir, newseq);
+        *self.last_rebuild.lock() = Instant::now();
+        self.rebuild_runs.inc();
+        self.rebuild_folded.add(folded);
+        self.rebuild_snapshots.inc();
+        self.wal_rotations.inc();
+        self.rebuild_duration.record_duration(started.elapsed());
+        Ok(Some(folded))
+    }
+
+    /// Durably replace the whole taxonomy (the `snapshot-load`
+    /// endpoint): checkpoint the new graph and rotate to an empty log
+    /// *inside* the store write lock, so the ack implies the loaded
+    /// state survives a crash and stale log entries can never be
+    /// replayed over it. Returns the post-swap store version.
+    pub fn rebase(&self, store: &SharedStore, graph: ConceptGraph) -> Result<u64, String> {
+        let mut err: Option<String> = None;
+        let version = store.swap_snapshot_patched(graph, |g| {
+            let mut inner = self.wal.lock();
+            if inner.poisoned {
+                err = Some("write-ahead log failed earlier; writes disabled".to_string());
+                return false;
+            }
+            let newseq = inner.seq + 1;
+            let upto = inner.next_index;
+            let bytes = match snapshot::to_bytes(g) {
+                Ok(b) => b,
+                Err(e) => {
+                    err = Some(format!("cannot encode snapshot: {e}"));
+                    return false;
+                }
+            };
+            // Rotate the log before publishing the checkpoint: if the
+            // rename below fails, disk still reconstructs the *old*
+            // state, matching the store we are about to leave untouched.
+            let wal_path = self.dir.join(format!("wal-{newseq}.log"));
+            let writer = match WalWriter::create(&wal_path, newseq, self.sync) {
+                Ok(w) => w,
+                Err(e) => {
+                    err = Some(format!("cannot rotate wal: {e}"));
+                    return false;
+                }
+            };
+            match write_snapshot_file(&self.dir, newseq, upto, &bytes) {
+                Ok(_) => {}
+                Err(e) => {
+                    err = Some(e);
+                    let _ = std::fs::remove_file(&wal_path);
+                    return false;
+                }
+            }
+            inner.writer = writer;
+            inner.seq = newseq;
+            inner.mirror.clear();
+            self.pending.store(0, Ordering::Relaxed);
+            true
+        });
+        match version {
+            Some(v) => {
+                let keep = self.wal.lock().seq;
+                prune(&self.dir, keep);
+                *self.last_rebuild.lock() = Instant::now();
+                self.wal_rotations.inc();
+                self.rebuild_snapshots.inc();
+                Ok(v)
+            }
+            None => Err(err.unwrap_or_else(|| "snapshot rebase aborted".to_string())),
+        }
+    }
+
+    /// Flush batched appends (rotation and shutdown call this so
+    /// `WalSync::EveryN` never leaves acked records unsynced at exit).
+    pub fn sync_all(&self) {
+        let mut inner = self.wal.lock();
+        if !inner.poisoned {
+            let _ = inner.writer.sync();
+        }
+    }
+
+    /// Acked writes not yet covered by a checkpoint.
+    pub fn pending_writes(&self) -> u64 {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    /// WAL appends so far.
+    pub fn wal_appends_total(&self) -> u64 {
+        self.wal_appends.get()
+    }
+
+    /// WAL fsyncs so far.
+    pub fn wal_syncs_total(&self) -> u64 {
+        self.wal_syncs.get()
+    }
+
+    /// Records replayed by recovery at open.
+    pub fn wal_replayed_total(&self) -> u64 {
+        self.wal_replayed.get()
+    }
+
+    /// Log rotations (open, rebuilds, rebases).
+    pub fn wal_rotations_total(&self) -> u64 {
+        self.wal_rotations.get()
+    }
+
+    /// Failed WAL appends (each one poisons the log until restart).
+    pub fn wal_append_errors_total(&self) -> u64 {
+        self.wal_append_errors.get()
+    }
+
+    /// Completed background rebuilds.
+    pub fn rebuild_runs_total(&self) -> u64 {
+        self.rebuild_runs.get()
+    }
+
+    /// Failed rebuild attempts.
+    pub fn rebuild_failures_total(&self) -> u64 {
+        self.rebuild_failures.get()
+    }
+
+    /// Writes folded into rebuild checkpoints while they were running.
+    pub fn rebuild_folded_total(&self) -> u64 {
+        self.rebuild_folded.get()
+    }
+
+    /// Checkpoints written (open, rebuilds, rebases).
+    pub fn snapshots_written_total(&self) -> u64 {
+        self.rebuild_snapshots.get()
+    }
+
+    /// The durability section of the `stats` endpoint dump.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "wal",
+                Json::obj(vec![
+                    ("appends", Json::num(self.wal_appends.get() as f64)),
+                    ("syncs", Json::num(self.wal_syncs.get() as f64)),
+                    ("replayed", Json::num(self.wal_replayed.get() as f64)),
+                    ("rotations", Json::num(self.wal_rotations.get() as f64)),
+                    (
+                        "append_errors",
+                        Json::num(self.wal_append_errors.get() as f64),
+                    ),
+                    ("pending", Json::num(self.pending_writes() as f64)),
+                ]),
+            ),
+            (
+                "rebuild",
+                Json::obj(vec![
+                    ("runs", Json::num(self.rebuild_runs.get() as f64)),
+                    ("failures", Json::num(self.rebuild_failures.get() as f64)),
+                    ("folded_writes", Json::num(self.rebuild_folded.get() as f64)),
+                    (
+                        "snapshots_written",
+                        Json::num(self.rebuild_snapshots.get() as f64),
+                    ),
+                    ("mean_duration_us", Json::num(self.rebuild_duration.mean())),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("probase-dur-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn seeded_store() -> SharedStore {
+        let mut g = ConceptGraph::new();
+        let country = g.ensure_node("country", 0);
+        for (label, count) in [("China", 8u32), ("India", 5)] {
+            let n = g.ensure_node(label, 0);
+            g.add_evidence(country, n, count);
+        }
+        g.rebuild_indexes();
+        SharedStore::new(g)
+    }
+
+    fn cfg(dir: &Path) -> DurabilityConfig {
+        DurabilityConfig {
+            snapshot_dir: dir.to_path_buf(),
+            wal_sync: WalSync::Always,
+            rebuild_after_writes: 0,
+            rebuild_interval: None,
+        }
+    }
+
+    /// Mimic the router's write path: log first, then mutate the store.
+    fn write_through(d: &Durability, store: &SharedStore, parent: &str, child: &str, count: u32) {
+        d.append_evidence(parent, child, count).expect("append");
+        store.update(|g| {
+            let p = g.ensure_node(parent, 0);
+            let c = g.ensure_node(child, 0);
+            g.add_evidence(p, c, count);
+        });
+    }
+
+    fn edge_count(store: &SharedStore, parent: &str, child: &str) -> Option<u32> {
+        store.read(|g| {
+            let p = g.find_node(parent, 0)?;
+            let c = g.find_node(child, 0)?;
+            g.edge(p, c).map(|e| e.count)
+        })
+    }
+
+    #[test]
+    fn fresh_open_checkpoints_the_seed_graph() {
+        let dir = tempdir("fresh");
+        let store = seeded_store();
+        let d = Durability::open(&cfg(&dir), &store, &Registry::new()).unwrap();
+        assert_eq!(store.version(), 0, "nothing recovered, no swap");
+        assert_eq!(d.wal_replayed_total(), 0);
+        assert!(dir.join("snapshot-1-0.pb").exists());
+        assert!(dir.join("wal-1.log").exists());
+    }
+
+    #[test]
+    fn acked_writes_replay_after_reopen() {
+        let dir = tempdir("replay");
+        let store = seeded_store();
+        let d = Durability::open(&cfg(&dir), &store, &Registry::new()).unwrap();
+        write_through(&d, &store, "country", "Brazil", 7);
+        write_through(&d, &store, "country", "Japan", 2);
+        assert_eq!(d.wal_appends_total(), 2);
+        assert_eq!(d.pending_writes(), 2);
+        drop((d, store)); // no checkpoint — simulates an abrupt exit
+
+        let store2 = seeded_store();
+        let d2 = Durability::open(&cfg(&dir), &store2, &Registry::new()).unwrap();
+        assert_eq!(d2.wal_replayed_total(), 2);
+        assert_eq!(edge_count(&store2, "country", "Brazil"), Some(7));
+        assert_eq!(edge_count(&store2, "country", "Japan"), Some(2));
+        // Recovery consolidated into generation 2 covering both writes.
+        assert!(dir.join("snapshot-2-2.pb").exists());
+        assert!(dir.join("wal-2.log").exists());
+        assert!(!dir.join("wal-1.log").exists(), "old generation pruned");
+    }
+
+    #[test]
+    fn snapshot_coverage_is_not_double_applied() {
+        let dir = tempdir("dedup");
+        // Hand-craft a crash between checkpoint persist and log
+        // rotation: the checkpoint covers entries 0 and 1, and the only
+        // log generation still holds entries 0..4.
+        let mut covered = ConceptGraph::new();
+        let a = covered.ensure_node("a", 0);
+        let b = covered.ensure_node("b", 0);
+        covered.add_evidence(a, b, 2); // entries 0 and 1, one count each
+        let bytes = snapshot::to_bytes(&covered).unwrap();
+        std::fs::write(dir.join("snapshot-2-2.pb"), &bytes).unwrap();
+        let mut w = WalWriter::create(&dir.join("wal-1.log"), 1, WalSync::Always).unwrap();
+        for index in 0..4u64 {
+            w.append(&WalEntry {
+                index,
+                op: WalOp::AddEvidence {
+                    parent: "a".to_string(),
+                    child: "b".to_string(),
+                    count: 1,
+                },
+            })
+            .unwrap();
+        }
+        drop(w);
+
+        let store = SharedStore::new(ConceptGraph::new());
+        let d = Durability::open(&cfg(&dir), &store, &Registry::new()).unwrap();
+        assert_eq!(d.wal_replayed_total(), 2, "only the uncovered suffix");
+        assert_eq!(
+            edge_count(&store, "a", "b"),
+            Some(4),
+            "2 covered + 2 replayed"
+        );
+    }
+
+    #[test]
+    fn a_gap_stops_replay() {
+        let dir = tempdir("gap");
+        let mut w = WalWriter::create(&dir.join("wal-1.log"), 1, WalSync::Always).unwrap();
+        for index in [0u64, 1, 3] {
+            w.append(&WalEntry {
+                index,
+                op: WalOp::AddEvidence {
+                    parent: "a".to_string(),
+                    child: "b".to_string(),
+                    count: 1,
+                },
+            })
+            .unwrap();
+        }
+        drop(w);
+        let store = SharedStore::new(ConceptGraph::new());
+        let d = Durability::open(&cfg(&dir), &store, &Registry::new()).unwrap();
+        assert_eq!(d.wal_replayed_total(), 2, "stop before the missing index 2");
+        assert_eq!(edge_count(&store, "a", "b"), Some(2));
+    }
+
+    #[test]
+    fn resolve_sandboxes_snapshot_paths() {
+        let dir = tempdir("sandbox");
+        let store = seeded_store();
+        let d = Durability::open(&cfg(&dir), &store, &Registry::new()).unwrap();
+        assert_eq!(d.resolve("x.pb").unwrap(), dir.join("x.pb"));
+        assert_eq!(d.resolve("sub/x.pb").unwrap(), dir.join("sub/x.pb"));
+        assert!(d.resolve("/etc/passwd").is_err());
+        assert!(d.resolve("../x.pb").is_err());
+        assert!(d.resolve("sub/../../x.pb").is_err());
+        assert!(d.resolve("").is_err());
+    }
+
+    #[test]
+    fn rebuild_checkpoints_annotates_and_rotates() {
+        let dir = tempdir("rebuild");
+        let store = seeded_store();
+        let registry = Registry::new();
+        let d = Durability::open(&cfg(&dir), &store, &registry).unwrap();
+        write_through(&d, &store, "country", "Brazil", 7);
+        write_through(&d, &store, "country", "Japan", 2);
+        let v_before = store.version();
+
+        let folded = d.rebuild(&store).expect("rebuild succeeds");
+        assert_eq!(folded, Some(0), "no writes landed during the rebuild");
+        assert!(store.version() > v_before, "hot swap bumps the version");
+        assert_eq!(d.pending_writes(), 0);
+        assert_eq!(d.rebuild_runs_total(), 1);
+        assert!(dir.join("snapshot-2-2.pb").exists());
+        assert!(dir.join("wal-2.log").exists());
+        assert!(!dir.join("wal-1.log").exists(), "old generation pruned");
+        // The swapped graph carries fresh plausibility annotations.
+        let annotated = store.read(|g| {
+            let p = g.find_node("country", 0).unwrap();
+            let c = g.find_node("Brazil", 0).unwrap();
+            g.edge(p, c).unwrap().plausibility
+        });
+        assert!(annotated > 0.0, "urns model annotated the new edge");
+
+        // The checkpoint alone now reconstructs everything.
+        let store2 = seeded_store();
+        let d2 = Durability::open(&cfg(&dir), &store2, &Registry::new()).unwrap();
+        assert_eq!(d2.wal_replayed_total(), 0, "log was empty after rotation");
+        assert_eq!(edge_count(&store2, "country", "Brazil"), Some(7));
+    }
+
+    #[test]
+    fn rebase_rotates_and_supersedes_old_log() {
+        let dir = tempdir("rebase");
+        let store = seeded_store();
+        let d = Durability::open(&cfg(&dir), &store, &Registry::new()).unwrap();
+        write_through(&d, &store, "country", "Brazil", 7);
+
+        let mut fresh = ConceptGraph::new();
+        let animal = fresh.ensure_node("animal", 0);
+        let cat = fresh.ensure_node("cat", 0);
+        fresh.add_evidence(animal, cat, 3);
+        fresh.rebuild_indexes();
+        let v = d.rebase(&store, fresh).expect("rebase succeeds");
+        assert!(v > 0);
+        assert_eq!(edge_count(&store, "animal", "cat"), Some(3));
+        assert_eq!(edge_count(&store, "country", "Brazil"), None);
+
+        // Reopen: the rebased state is what recovers; the pre-rebase
+        // write must NOT leak back in.
+        let store2 = SharedStore::new(ConceptGraph::new());
+        let d2 = Durability::open(&cfg(&dir), &store2, &Registry::new()).unwrap();
+        assert_eq!(d2.wal_replayed_total(), 0);
+        assert_eq!(edge_count(&store2, "animal", "cat"), Some(3));
+        assert_eq!(edge_count(&store2, "country", "Brazil"), None);
+    }
+
+    #[test]
+    fn writes_after_rebuild_keep_their_global_indices() {
+        let dir = tempdir("monotone");
+        let store = seeded_store();
+        let d = Durability::open(&cfg(&dir), &store, &Registry::new()).unwrap();
+        write_through(&d, &store, "country", "Brazil", 1);
+        d.rebuild(&store).unwrap();
+        write_through(&d, &store, "country", "Japan", 1);
+        drop((d, store));
+
+        // The post-rebuild write sits in generation 2 with index 1; the
+        // generation-2 checkpoint covers index < 1. Recovery must apply
+        // exactly the one record.
+        let store2 = seeded_store();
+        let d2 = Durability::open(&cfg(&dir), &store2, &Registry::new()).unwrap();
+        assert_eq!(d2.wal_replayed_total(), 1);
+        assert_eq!(edge_count(&store2, "country", "Brazil"), Some(1));
+        assert_eq!(edge_count(&store2, "country", "Japan"), Some(1));
+    }
+
+    #[test]
+    fn should_rebuild_honors_both_triggers() {
+        let dir = tempdir("triggers");
+        let store = seeded_store();
+        let mut c = cfg(&dir);
+        c.rebuild_after_writes = 2;
+        c.rebuild_interval = None;
+        let d = Durability::open(&c, &store, &Registry::new()).unwrap();
+        assert!(!d.should_rebuild(), "nothing pending");
+        write_through(&d, &store, "country", "Brazil", 1);
+        assert!(!d.should_rebuild(), "below the write threshold");
+        write_through(&d, &store, "country", "Japan", 1);
+        assert!(d.should_rebuild(), "write threshold reached");
+        d.rebuild(&store).unwrap();
+        assert!(!d.should_rebuild(), "pending reset by the rebuild");
+
+        let mut c2 = cfg(&dir);
+        c2.rebuild_after_writes = 0;
+        c2.rebuild_interval = Some(Duration::ZERO);
+        let store2 = seeded_store();
+        let d2 = Durability::open(&c2, &store2, &Registry::new()).unwrap();
+        assert!(
+            !d2.should_rebuild(),
+            "timer alone never fires with no writes"
+        );
+        write_through(&d2, &store2, "country", "Brazil", 1);
+        assert!(d2.should_rebuild(), "elapsed timer with pending writes");
+    }
+}

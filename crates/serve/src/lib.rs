@@ -35,6 +35,14 @@
 //! error envelope. `crates/testkit` plus `tests/chaos.rs` replay seeded
 //! fault schedules against all of it; see DESIGN.md §11.
 //!
+//! When started with a snapshot directory, the write path becomes
+//! **durable** ([`durability::Durability`]): every `add-evidence` is
+//! appended to a checksummed write-ahead log before it is acked, crash
+//! recovery replays the log over the newest checkpoint at startup, and a
+//! background worker periodically refits plausibility, checkpoints, and
+//! hot-swaps the annotated graph without blocking reads. `snapshot-load`
+//! paths are then sandboxed to that directory. See DESIGN.md §13.
+//!
 //! The dependency-free JSON codec lives in [`probase_obs::json`]
 //! (re-exported here as [`json`], where it originally lived); see its
 //! docs for why the workspace carries no `serde_json`.
@@ -43,6 +51,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod durability;
 pub mod proto;
 pub mod router;
 pub mod server;
@@ -52,7 +61,9 @@ pub use probase_obs::json;
 
 pub use cache::ResponseCache;
 pub use client::{Client, ClientConfig, ClientError, Envelope};
+pub use durability::{Durability, DurabilityConfig};
 pub use json::Json;
+pub use probase_store::WalSync;
 pub use proto::{Direction, ErrorCode, LabelKind, Request, ENDPOINTS};
 pub use router::ServeState;
 pub use server::{ServeConfig, Server};

@@ -20,6 +20,7 @@
 //! monotone per connection.
 
 use crate::cache::ResponseCache;
+use crate::durability::Durability;
 use crate::json::Json;
 use crate::proto::{Direction, ErrorCode, LabelKind, Request};
 use crate::telemetry::ServeTelemetry;
@@ -48,6 +49,10 @@ pub struct ServeState {
     /// a store, not a corpus, so this is empty unless a future endpoint
     /// feeds it; rewrites then rank purely by typicality.
     assoc: Association,
+    /// The durable write path, when the server was started with a
+    /// snapshot directory. `None` keeps writes memory-only (and disables
+    /// `snapshot-load`, which would otherwise read arbitrary files).
+    durability: Option<Arc<Durability>>,
 }
 
 /// A handler failure to be wrapped in an error envelope.
@@ -75,6 +80,19 @@ impl ServeState {
         cache_shards: usize,
         registry: Arc<Registry>,
     ) -> Self {
+        Self::with_durability(store, cache_capacity, cache_shards, registry, None)
+    }
+
+    /// Like [`ServeState::with_registry`] plus a durable write path:
+    /// `add-evidence` then logs before acking and `snapshot-load` is
+    /// enabled, sandboxed to the durability directory.
+    pub fn with_durability(
+        store: SharedStore,
+        cache_capacity: usize,
+        cache_shards: usize,
+        registry: Arc<Registry>,
+        durability: Option<Arc<Durability>>,
+    ) -> Self {
         let (graph, version) = store.read_versioned(ConceptGraph::clone);
         let model = RwLock::new(Arc::new(VersionedModel {
             version,
@@ -86,12 +104,26 @@ impl ServeState {
             metrics: ServeTelemetry::with_registry(registry),
             model,
             assoc: Association::default(),
+            durability,
         }
     }
 
     /// The underlying store (tests use this to write out-of-band).
     pub fn store(&self) -> &SharedStore {
         &self.store
+    }
+
+    /// The durable write path, if one is configured.
+    pub fn durability(&self) -> Option<&Arc<Durability>> {
+        self.durability.as_ref()
+    }
+
+    /// Eagerly re-derive the model at the current store version. The
+    /// background rebuild worker calls this right after hot-swapping an
+    /// annotated graph so the first post-swap reader does not pay the
+    /// model rebuild on the request path.
+    pub fn refresh_model(&self) {
+        let _ = self.current_model();
     }
 
     /// The telemetry handles.
@@ -200,7 +232,7 @@ impl ServeState {
             }
             Request::Stats => {
                 let s = GraphStats::compute(g);
-                Ok(Json::obj(vec![
+                let mut pairs = vec![
                     (
                         "graph",
                         Json::obj(vec![
@@ -221,7 +253,11 @@ impl ServeState {
                         ]),
                     ),
                     ("serve", self.metrics.to_json(self.cache.len())),
-                ]))
+                ];
+                if let Some(d) = &self.durability {
+                    pairs.push(("durability", d.to_json()));
+                }
+                Ok(Json::obj(pairs))
             }
             Request::Levels { term } => Ok(levels(g, term.as_deref())),
             Request::Labels { kind, k } => Ok(labels(g, *kind, *k)),
@@ -249,14 +285,20 @@ impl ServeState {
             );
         }
         let (result, version) = self.store.update_versioned(|g| {
-            // Reject cycles while holding the write lock (a cyclic graph
-            // would break level computation and model rebuilds).
-            if let (Some(p), Some(c)) = (g.find_node(parent, 0), g.find_node(child, 0)) {
-                if ancestors(g, p).contains(&c) {
-                    return Err((
-                        ErrorCode::BadRequest,
-                        format!("edge {parent:?} -> {child:?} would create a cycle"),
-                    ));
+            // Reject cycles while holding the write lock (a cyclic
+            // taxonomy would make `isa` answer true in both directions).
+            if creates_label_cycle(g, parent, child) {
+                return Err((
+                    ErrorCode::BadRequest,
+                    format!("edge {parent:?} -> {child:?} would create a cycle"),
+                ));
+            }
+            // Log before mutating: an append failure means the write is
+            // not durable, so it must not be acked or applied. Still
+            // under the store write lock, so replay order == apply order.
+            if let Some(d) = &self.durability {
+                if let Err(e) = d.append_evidence(parent, child, count) {
+                    return Err((ErrorCode::Internal, e));
                 }
             }
             let p = g.ensure_node(parent, 0);
@@ -271,7 +313,24 @@ impl ServeState {
     }
 
     fn snapshot_load(&self, path: &str) -> (u64, Result<Json, HandlerError>) {
-        let bytes = match std::fs::read(path) {
+        // Without a durability directory there is no sandbox root, and a
+        // network endpoint that reads whatever path a client names is an
+        // arbitrary-file oracle — so the endpoint is simply off.
+        let Some(d) = &self.durability else {
+            return (
+                self.store.version(),
+                Err((
+                    ErrorCode::BadRequest,
+                    "snapshot-load is disabled: server started without a snapshot directory"
+                        .to_string(),
+                )),
+            );
+        };
+        let resolved = match d.resolve(path) {
+            Ok(p) => p,
+            Err(e) => return (self.store.version(), Err((ErrorCode::BadRequest, e))),
+        };
+        let bytes = match std::fs::read(&resolved) {
             Ok(b) => b,
             Err(e) => {
                 return (
@@ -292,15 +351,46 @@ impl ServeState {
         graph.rebuild_indexes();
         let nodes = graph.node_count();
         let edges = graph.edge_count();
-        let ((), version) = self.store.update_versioned(move |g| *g = graph);
-        (
-            version,
-            Ok(Json::obj(vec![
-                ("nodes", Json::num(nodes as f64)),
-                ("edges", Json::num(edges as f64)),
-            ])),
-        )
+        // Rebase: checkpoint the loaded graph and rotate the log inside
+        // the swap, so stale pre-load WAL entries can never replay over
+        // the loaded state after a crash.
+        match d.rebase(&self.store, graph) {
+            Ok(version) => (
+                version,
+                Ok(Json::obj(vec![
+                    ("nodes", Json::num(nodes as f64)),
+                    ("edges", Json::num(edges as f64)),
+                ])),
+            ),
+            Err(e) => (self.store.version(), Err((ErrorCode::Internal, e))),
+        }
     }
+}
+
+/// Would adding `parent -> child` create a cycle at the *label* level?
+///
+/// A node-level ancestor check is not enough once a label has several
+/// senses: with `a#0 → b#0` and `b#1 → c#0`, adding `c → a` closes the
+/// label cycle a ⊐ b ⊐ c ⊐ a even though no NodeId path does — and the
+/// `isa` endpoint, which unions senses, would then answer true in both
+/// directions. Walk the label graph upward from `parent`, collapsing
+/// every sense of each label reached; reject when `child` shows up.
+fn creates_label_cycle(g: &ConceptGraph, parent: &str, child: &str) -> bool {
+    let mut seen: HashSet<&str> = HashSet::new();
+    let mut stack: Vec<NodeId> = g.senses_of(parent);
+    seen.insert(parent);
+    while let Some(n) = stack.pop() {
+        for (p, _) in g.parents(n) {
+            let label = g.label(p);
+            if label == child {
+                return true;
+            }
+            if seen.insert(label) {
+                stack.extend(g.senses_of(label));
+            }
+        }
+    }
+    false
 }
 
 fn ranked(items: Vec<(String, f64)>) -> Json {
@@ -431,9 +521,12 @@ fn labels(g: &ConceptGraph, kind: LabelKind, k: usize) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::durability::DurabilityConfig;
+    use probase_store::WalSync;
+    use std::path::{Path, PathBuf};
 
     /// country ⊃ {bric country ⊃ {China, India, Brazil, Russia}}, plus USA.
-    fn seeded_state() -> ServeState {
+    fn seeded_graph() -> ConceptGraph {
         let mut g = ConceptGraph::new();
         let country = g.ensure_node("country", 0);
         let bric = g.ensure_node("bric country", 0);
@@ -451,7 +544,34 @@ mod tests {
         g.add_evidence(bric, india, 5);
         g.add_evidence(bric, brazil, 5);
         g.add_evidence(bric, russia, 5);
-        ServeState::new(SharedStore::new(g), 256, 4)
+        g
+    }
+
+    fn seeded_state() -> ServeState {
+        ServeState::new(SharedStore::new(seeded_graph()), 256, 4)
+    }
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("probase-router-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// A seeded state with the durable write path enabled (no background
+    /// triggers — these tests drive everything synchronously).
+    fn durable_state(dir: &Path) -> ServeState {
+        let store = SharedStore::new(seeded_graph());
+        let registry = Arc::new(Registry::new());
+        let cfg = DurabilityConfig {
+            snapshot_dir: dir.to_path_buf(),
+            wal_sync: WalSync::Always,
+            rebuild_after_writes: 0,
+            rebuild_interval: None,
+        };
+        let d = Durability::open(&cfg, &store, &registry).expect("durability opens");
+        ServeState::with_durability(store, 256, 4, registry, Some(Arc::new(d)))
     }
 
     fn ok(state: &ServeState, req: Request) -> (u64, Json) {
@@ -701,19 +821,119 @@ mod tests {
         assert!(r.is_ok());
     }
 
+    /// Regression: a node-level ancestor walk misses cycles that only
+    /// close once senses are collapsed (a#0 → b#0, b#1 → c#0: no NodeId
+    /// path from c up to a, but `isa` would report a ⊐ c *and* c ⊐ a).
     #[test]
-    fn snapshot_load_missing_file_is_internal_error() {
+    fn add_evidence_rejects_cross_sense_label_cycles() {
+        let mut g = ConceptGraph::new();
+        let a0 = g.ensure_node("a", 0);
+        let b0 = g.ensure_node("b", 0);
+        let b1 = g.ensure_node("b", 1);
+        let c0 = g.ensure_node("c", 0);
+        g.add_evidence(a0, b0, 1);
+        g.add_evidence(b1, c0, 1);
+        let s = ServeState::new(SharedStore::new(g), 16, 1);
+        let (_, r) = s.handle(&Request::AddEvidence {
+            parent: "c".into(),
+            child: "a".into(),
+            count: 1,
+        });
+        let (code, _) = r.expect_err("label-level cycle must be rejected");
+        assert_eq!(code, ErrorCode::BadRequest);
+        // The safe direction is still writable.
+        let (_, r) = s.handle(&Request::AddEvidence {
+            parent: "a".into(),
+            child: "c".into(),
+            count: 1,
+        });
+        assert!(r.is_ok(), "forward edge is not a cycle: {r:?}");
+    }
+
+    #[test]
+    fn snapshot_load_without_durability_is_disabled() {
         let s = seeded_state();
         let (_, r) = s.handle(&Request::SnapshotLoad {
-            path: "/nonexistent/x.pb".into(),
+            path: "x.pb".into(),
         });
-        let (code, detail) = r.expect_err("missing file");
-        assert_eq!(code, ErrorCode::Internal);
-        assert!(detail.contains("cannot read"));
+        let (code, detail) = r.expect_err("endpoint must be off");
+        assert_eq!(code, ErrorCode::BadRequest);
+        assert!(detail.contains("disabled"), "{detail:?}");
         assert_eq!(
             s.store().version(),
             0,
-            "failed load must not bump the version"
+            "rejected load must not bump the version"
         );
+    }
+
+    #[test]
+    fn snapshot_load_is_sandboxed_to_the_snapshot_dir() {
+        let dir = tempdir("sandbox");
+        let s = durable_state(&dir);
+        for path in ["/etc/passwd", "../escape.pb", "sub/../../escape.pb"] {
+            let (_, r) = s.handle(&Request::SnapshotLoad { path: path.into() });
+            let (code, _) = r.expect_err("escaping path must be rejected");
+            assert_eq!(code, ErrorCode::BadRequest, "{path:?}");
+        }
+        // A relative path that stays inside but does not exist is an
+        // internal error (the old missing-file contract, sandboxed).
+        let (_, r) = s.handle(&Request::SnapshotLoad {
+            path: "nonexistent.pb".into(),
+        });
+        let (code, detail) = r.expect_err("missing file");
+        assert_eq!(code, ErrorCode::Internal);
+        assert!(detail.contains("cannot read"), "{detail:?}");
+    }
+
+    #[test]
+    fn snapshot_load_round_trips_through_the_sandbox() {
+        let dir = tempdir("load");
+        let s = durable_state(&dir);
+        let mut g = ConceptGraph::new();
+        let animal = g.ensure_node("animal", 0);
+        let cat = g.ensure_node("cat", 0);
+        g.add_evidence(animal, cat, 4);
+        std::fs::write(dir.join("fresh.pb"), snapshot::to_bytes(&g).unwrap()).unwrap();
+        let (v, r) = s.handle(&Request::SnapshotLoad {
+            path: "fresh.pb".into(),
+        });
+        let data = r.expect("load succeeds");
+        assert!(v > 0, "load bumps the version");
+        assert_eq!(data.get("nodes").and_then(Json::as_u64), Some(2));
+        let (_, d) = s.handle(&Request::Isa {
+            parent: "animal".into(),
+            child: "cat".into(),
+        });
+        let d = d.unwrap();
+        assert_eq!(d.get("isa").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn durable_add_evidence_appends_to_the_wal() {
+        let dir = tempdir("wal");
+        let s = durable_state(&dir);
+        let d = s.durability().expect("configured").clone();
+        assert_eq!(d.wal_appends_total(), 0);
+        let (_, r) = s.handle(&Request::AddEvidence {
+            parent: "country".into(),
+            child: "Atlantis".into(),
+            count: 2,
+        });
+        r.expect("write succeeds");
+        assert_eq!(d.wal_appends_total(), 1);
+        assert_eq!(d.pending_writes(), 1);
+        // Rejected writes must not reach the log.
+        let (_, r) = s.handle(&Request::AddEvidence {
+            parent: "China".into(),
+            child: "country".into(),
+            count: 1,
+        });
+        assert!(r.is_err());
+        assert_eq!(d.wal_appends_total(), 1, "rejected write not logged");
+        // The stats dump now carries the durability section.
+        let (_, stats) = s.handle(&Request::Stats);
+        let stats = stats.unwrap();
+        let wal = stats.get("durability").unwrap().get("wal").unwrap();
+        assert_eq!(wal.get("appends").and_then(Json::as_u64), Some(1));
     }
 }

@@ -35,6 +35,7 @@
 //!   connection readers wind down, then drops the queue sender so
 //!   workers drain every in-flight job before exiting.
 
+use crate::durability::{Durability, DurabilityConfig};
 use crate::json::{self, Json};
 use crate::proto::{err_envelope, ok_envelope, ErrorCode, Request};
 use crate::router::ServeState;
@@ -78,6 +79,11 @@ pub struct ServeConfig {
     /// closed with a final error envelope — shedding the flood instead
     /// of burning a reader thread on it.
     pub max_line_strikes: u32,
+    /// Durable write path (see [`crate::durability`]): `Some` runs crash
+    /// recovery at startup, logs every `add-evidence` before acking,
+    /// enables sandboxed `snapshot-load`, and spawns the background
+    /// rebuild worker. `None` (the default) keeps writes memory-only.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +98,7 @@ impl Default for ServeConfig {
             max_connections: 1024,
             max_line_bytes: 256 * 1024,
             max_line_strikes: 8,
+            durability: None,
         }
     }
 }
@@ -122,6 +129,7 @@ pub struct Server {
     accept_handle: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     job_tx: Option<channel::Sender<Job>>,
+    rebuild_handle: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -139,11 +147,21 @@ impl Server {
         config: &ServeConfig,
         registry: Arc<probase_obs::Registry>,
     ) -> std::io::Result<Server> {
-        let state = Arc::new(ServeState::with_registry(
+        // Open the durable write path (crash recovery runs here, before
+        // the listener binds — no request ever sees pre-recovery state).
+        let durability = match &config.durability {
+            Some(cfg) => Some(Arc::new(
+                Durability::open(cfg, &store, &registry)
+                    .map_err(|e| std::io::Error::new(ErrorKind::Other, e))?,
+            )),
+            None => None,
+        };
+        let state = Arc::new(ServeState::with_durability(
             store,
             config.cache_capacity,
             config.cache_shards,
             registry,
+            durability.clone(),
         ));
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -178,6 +196,24 @@ impl Server {
                 })?
         };
 
+        // Background rebuild worker: off the request path entirely —
+        // readers keep hitting the current graph while it refits
+        // plausibility and checkpoints; only the final hot swap touches
+        // the store's write lock.
+        let rebuild_handle = match &durability {
+            Some(d) if d.has_background_trigger() => {
+                let d = d.clone();
+                let state = state.clone();
+                let shutdown = shutdown.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("probase-serve-rebuild".to_string())
+                        .spawn(move || rebuild_loop(d, state, shutdown))?,
+                )
+            }
+            _ => None,
+        };
+
         Ok(Server {
             addr,
             state,
@@ -185,6 +221,7 @@ impl Server {
             accept_handle: Some(accept_handle),
             workers,
             job_tx: Some(job_tx),
+            rebuild_handle,
         })
     }
 
@@ -220,6 +257,13 @@ impl Server {
         self.job_tx = None;
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        if let Some(h) = self.rebuild_handle.take() {
+            let _ = h.join();
+        }
+        // Flush any appends a batched fsync policy is still holding.
+        if let Some(d) = self.state.durability() {
+            d.sync_all();
         }
     }
 }
@@ -496,6 +540,24 @@ fn process_line(
         }
     }
     true
+}
+
+/// How often the rebuild worker checks its triggers.
+const REBUILD_POLL: Duration = Duration::from_millis(25);
+
+fn rebuild_loop(durability: Arc<Durability>, state: Arc<ServeState>, shutdown: Arc<AtomicBool>) {
+    while !shutdown.load(Ordering::SeqCst) {
+        if durability.should_rebuild() {
+            // Failures are counted in serve.rebuild.failures and the
+            // writes stay in the WAL — the next cycle retries.
+            if let Ok(Some(_)) = durability.rebuild(state.store()) {
+                // Re-derive the query model eagerly so the first reader
+                // after the swap does not pay for it.
+                state.refresh_model();
+            }
+        }
+        std::thread::sleep(REBUILD_POLL);
+    }
 }
 
 fn worker_loop(rx: channel::Receiver<Job>, state: Arc<ServeState>, deadline: Duration) {

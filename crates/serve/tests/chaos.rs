@@ -9,11 +9,15 @@
 //! clean requests, and the telemetry counters account for every shed,
 //! rejected, or malformed event the scenario provoked.
 
-use probase_serve::{json, Client, ClientConfig, ClientError, Json, Request, ServeConfig, Server};
+use probase_serve::{
+    json, Client, ClientConfig, ClientError, DurabilityConfig, Json, Request, ServeConfig, Server,
+    WalSync,
+};
 use probase_store::{ConceptGraph, SharedStore};
 use probase_testkit::{Fault, FaultPlan, FaultProxy};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Env var naming the chaos seed; defaults to a pinned value so CI runs
@@ -49,6 +53,29 @@ fn default_test_config() -> ServeConfig {
         cache_shards: 4,
         deadline: Duration::from_secs(5),
         ..ServeConfig::default()
+    }
+}
+
+/// A fresh per-test durability directory under the system temp dir.
+fn chaos_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("probase-chaos-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// The default config plus a durable write path rooted at `dir`, with
+/// background rebuild off — the durability scenarios drive rebuilds
+/// explicitly or not at all.
+fn durable_config(dir: &Path) -> ServeConfig {
+    ServeConfig {
+        durability: Some(DurabilityConfig {
+            snapshot_dir: dir.to_path_buf(),
+            wal_sync: WalSync::Always,
+            rebuild_after_writes: 0,
+            rebuild_interval: None,
+        }),
+        ..default_test_config()
     }
 }
 
@@ -360,27 +387,27 @@ fn backpressure_sheds_with_overloaded_envelope() {
 
     // One worker, a tiny queue, and a worker deterministically wedged on
     // a FIFO that blocks `snapshot-load` until we write to it — so queue
-    // overflow is exact, not a timing accident.
-    let config = ServeConfig {
-        workers: 1,
-        queue_capacity: 2,
-        ..default_test_config()
-    };
-    let server = start_server(config);
-
-    let dir = std::env::temp_dir().join(format!("probase-chaos-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).expect("temp dir");
+    // overflow is exact, not a timing accident. `snapshot-load` requires
+    // (and is sandboxed to) a durability directory, so the FIFO lives in
+    // one and the request names it relative.
+    let dir = chaos_dir("wedge");
     let fifo = dir.join("wedge.fifo");
-    let _ = std::fs::remove_file(&fifo);
     let status = std::process::Command::new("mkfifo")
         .arg(&fifo)
         .status()
         .expect("mkfifo runs");
     assert!(status.success(), "mkfifo failed");
 
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 2,
+        ..durable_config(&dir)
+    };
+    let server = start_server(config);
+
     let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
     let wedge = Request::SnapshotLoad {
-        path: fifo.to_string_lossy().into_owned(),
+        path: "wedge.fifo".to_string(),
     };
     stream
         .write_all(format!("{}\n", wedge.to_json(1)).as_bytes())
@@ -451,9 +478,8 @@ fn backpressure_sheds_with_overloaded_envelope() {
     assert_eq!(ids.len(), 3, "wedge + both queued pings answered: {ids:?}");
     assert!(ids.contains(&1));
 
-    let _ = std::fs::remove_file(&fifo);
-    let _ = std::fs::remove_dir(&dir);
     server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -609,4 +635,197 @@ fn seeded_fault_sweep_leaves_server_healthy_and_books_balanced() {
     );
     proxy.shutdown();
     server.shutdown();
+}
+
+// --- durable write path: kill -9, recovery, rebuild -------------------
+
+/// The headline durability contract: an acked `add-evidence` survives an
+/// abrupt kill (no drain, no shutdown hook, no final fsync pass) and a
+/// restart over the same directory.
+#[test]
+fn acked_write_survives_abrupt_kill_and_restart() {
+    let dir = chaos_dir("kill");
+    let server = Server::start(seeded_store(), &durable_config(&dir)).expect("server binds");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let (v, _) = client
+        .call_ok(&Request::AddEvidence {
+            parent: "country".to_string(),
+            child: "Brazil".to_string(),
+            count: 7,
+        })
+        .expect("write acked");
+    assert!(v > 0, "ack carries the post-write version");
+    drop(client);
+    // Abrupt kill: leak the whole server — none of its threads drain,
+    // nothing flushes, no checkpoint is written. The acked write now
+    // exists on disk only as a WAL record.
+    std::mem::forget(server);
+
+    // Restart: a fresh process image (pre-crash seed graph) over the
+    // same directory. Recovery must replay the acked write.
+    let server2 = Server::start(seeded_store(), &durable_config(&dir)).expect("recovery succeeds");
+    let d = server2.state().durability().expect("configured").clone();
+    assert_eq!(d.wal_replayed_total(), 1, "the acked write was replayed");
+    let mut client2 = Client::connect(server2.local_addr()).expect("reconnect");
+    let (_, found) = client2
+        .call_ok(&Request::Plausibility {
+            parent: "country".to_string(),
+            child: "Brazil".to_string(),
+        })
+        .expect("read after recovery");
+    assert_eq!(found.get("found").and_then(Json::as_bool), Some(true));
+    assert_eq!(found.get("count").and_then(Json::as_u64), Some(7));
+    drop(client2);
+    server2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Replay determinism: two byte-identical crash images (checkpoint +
+/// WAL) must recover to byte-identical consolidated checkpoints — the
+/// log fully determines the recovered state.
+#[test]
+fn wal_replay_is_deterministic() {
+    let dir_a = chaos_dir("replay-a");
+    let server = Server::start(seeded_store(), &durable_config(&dir_a)).expect("server binds");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for (child, count) in [("Brazil", 7u32), ("Russia", 4), ("Atlantis", 1)] {
+        client
+            .call_ok(&Request::AddEvidence {
+                parent: "country".to_string(),
+                child: child.to_string(),
+                count,
+            })
+            .expect("write acked");
+    }
+    drop(client);
+    std::mem::forget(server); // crash with all three writes WAL-only
+
+    // Duplicate the crash image byte-for-byte.
+    let dir_b = chaos_dir("replay-b");
+    for entry in std::fs::read_dir(&dir_a).expect("read dir").flatten() {
+        std::fs::copy(entry.path(), dir_b.join(entry.file_name())).expect("copy crash image");
+    }
+
+    // Recover both images; recovery consolidates each into exactly one
+    // fresh checkpoint (older generations are pruned).
+    Server::start(seeded_store(), &durable_config(&dir_a))
+        .expect("recover a")
+        .shutdown();
+    Server::start(seeded_store(), &durable_config(&dir_b))
+        .expect("recover b")
+        .shutdown();
+    let checkpoint = |dir: &Path| -> PathBuf {
+        let mut snaps: Vec<PathBuf> = std::fs::read_dir(dir)
+            .expect("read dir")
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                name.starts_with("snapshot-") && name.ends_with(".pb")
+            })
+            .collect();
+        assert_eq!(snaps.len(), 1, "recovery leaves one checkpoint: {snaps:?}");
+        snaps.pop().unwrap()
+    };
+    let (path_a, path_b) = (checkpoint(&dir_a), checkpoint(&dir_b));
+    assert_eq!(
+        path_a.file_name(),
+        path_b.file_name(),
+        "same generation and write coverage"
+    );
+    let bytes_a = std::fs::read(&path_a).expect("read a");
+    let bytes_b = std::fs::read(&path_b).expect("read b");
+    assert!(!bytes_a.is_empty());
+    assert_eq!(
+        bytes_a, bytes_b,
+        "identical logs must recover to byte-identical checkpoints"
+    );
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// The background rebuild worker hot-swaps a freshly annotated graph
+/// while a reader hammers the server — no read ever fails or blocks on
+/// the rebuild, and afterwards the new edges carry plausibility scores
+/// and the WAL has been checkpointed away.
+#[test]
+fn background_rebuild_hot_swaps_under_concurrent_reads() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let dir = chaos_dir("rebuild");
+    let mut config = durable_config(&dir);
+    config
+        .durability
+        .as_mut()
+        .expect("durable config")
+        .rebuild_after_writes = 4;
+    let server = Server::start(seeded_store(), &config).expect("server binds");
+    let addr = server.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_reader = stop.clone();
+    let reader = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("reader connects");
+        let mut answered = 0u64;
+        while !stop_reader.load(Ordering::Relaxed) {
+            client
+                .call_ok(&Request::Isa {
+                    parent: "country".to_string(),
+                    child: "China".to_string(),
+                })
+                .expect("reads never fail during a rebuild");
+            answered += 1;
+        }
+        answered
+    });
+
+    let mut writer = Client::connect(addr).expect("writer connects");
+    for (i, child) in ["Brazil", "Russia", "Mexico", "Kenya"].iter().enumerate() {
+        writer
+            .call_ok(&Request::AddEvidence {
+                parent: "country".to_string(),
+                child: child.to_string(),
+                count: i as u32 + 1,
+            })
+            .expect("write acked");
+    }
+
+    // Four writes hit the trigger; wait for the worker's cycle.
+    let d = server.state().durability().expect("configured").clone();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while d.rebuild_runs_total() == 0 {
+        assert!(Instant::now() < deadline, "rebuild worker never ran");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let answered = reader.join().expect("reader thread clean");
+    assert!(answered > 0, "the reader made progress throughout");
+
+    // The swapped graph carries fresh plausibility for the new edge…
+    let (_, p) = writer
+        .call_ok(&Request::Plausibility {
+            parent: "country".to_string(),
+            child: "Brazil".to_string(),
+        })
+        .expect("read after the hot swap");
+    assert_eq!(p.get("found").and_then(Json::as_bool), Some(true));
+    assert!(
+        p.get("plausibility").and_then(Json::as_f64).unwrap_or(0.0) > 0.0,
+        "rebuild annotated the new edge: {p}"
+    );
+    // …and the cycle checkpointed the writes away and shows in stats.
+    assert_eq!(d.pending_writes(), 0, "writes were checkpointed");
+    let (_, stats) = writer.call_ok(&Request::Stats).expect("stats");
+    let rebuild = stats
+        .get("durability")
+        .and_then(|s| s.get("rebuild"))
+        .expect("durability section in stats");
+    assert!(
+        rebuild.get("runs").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "stats count the rebuild: {rebuild}"
+    );
+    drop(writer);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }

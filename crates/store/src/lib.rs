@@ -19,6 +19,7 @@
 //! * [`snapshot`] — compact binary snapshots (round-trip tested).
 //! * [`dot`] — GraphViz export for eyeballing sense separation.
 //! * [`shared`] — concurrent serving wrapper (many readers, one writer).
+//! * [`wal`] — checksummed write-ahead log for durable serve-path writes.
 
 #![warn(missing_docs)]
 
@@ -29,6 +30,7 @@ pub mod intern;
 pub mod query;
 pub mod shared;
 pub mod snapshot;
+pub mod wal;
 
 pub use dot::{to_dot, DotOptions};
 pub use graph::{ConceptGraph, EdgeData, NodeId};
@@ -36,3 +38,4 @@ pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Interner, Symbol};
 pub use query::{GraphStats, LevelMap};
 pub use shared::SharedStore;
+pub use wal::{WalEntry, WalOp, WalSync};

@@ -101,6 +101,27 @@ impl SharedStore {
         self.inner.version.fetch_add(1, Ordering::Release) + 1
     }
 
+    /// Like [`SharedStore::swap_snapshot`], but runs `patch` on the
+    /// incoming graph *under the write lock* before installing it. The
+    /// serve rebuild worker uses this to fold writes that landed during
+    /// an off-path rebuild into the rebuilt graph at the moment of the
+    /// swap, so no concurrent write is lost. `patch` returning `false`
+    /// aborts: the current graph stays, the version does not move, and
+    /// `None` is returned.
+    pub fn swap_snapshot_patched(
+        &self,
+        mut graph: ConceptGraph,
+        patch: impl FnOnce(&mut ConceptGraph) -> bool,
+    ) -> Option<u64> {
+        let mut guard = self.inner.graph.write();
+        if !patch(&mut graph) {
+            return None;
+        }
+        self.inner.snapshot_swaps.inc();
+        *guard = graph;
+        Some(self.inner.version.fetch_add(1, Ordering::Release) + 1)
+    }
+
     /// Monotone write counter for cache invalidation.
     pub fn version(&self) -> u64 {
         self.inner.version.load(Ordering::Acquire)
@@ -251,6 +272,28 @@ mod tests {
         assert_eq!(v, 1);
         assert_eq!(s.version(), 1);
         assert_eq!(s.read(|g| g.node_count()), 1);
+    }
+
+    #[test]
+    fn swap_snapshot_patched_folds_writes_and_can_abort() {
+        let s = seeded();
+        let mut replacement = ConceptGraph::new();
+        replacement.ensure_node("company", 0);
+        let v = s.swap_snapshot_patched(replacement.clone(), |g| {
+            let c = g.find_node("company", 0).unwrap();
+            let m = g.ensure_node("Microsoft", 0);
+            g.add_evidence(c, m, 2);
+            true
+        });
+        assert_eq!(v, Some(1));
+        assert_eq!(s.read(|g| g.node_count()), 2);
+        assert!(s.read(|g| g.find_node("Microsoft", 0).is_some()));
+
+        // Aborted patch: graph and version untouched.
+        let v = s.swap_snapshot_patched(ConceptGraph::new(), |_| false);
+        assert_eq!(v, None);
+        assert_eq!(s.version(), 1);
+        assert_eq!(s.read(|g| g.node_count()), 2);
     }
 
     #[test]

@@ -35,6 +35,9 @@ pub enum SnapshotError {
     BadUtf8,
     /// An index pointed outside its table.
     BadIndex,
+    /// A table or string is too large for the u32 length prefixes —
+    /// encoding would silently truncate, so it is refused instead.
+    TooLarge(&'static str),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -45,40 +48,48 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
             SnapshotError::BadUtf8 => write!(f, "invalid utf-8 in snapshot"),
             SnapshotError::BadIndex => write!(f, "index out of range in snapshot"),
+            SnapshotError::TooLarge(what) => {
+                write!(f, "{what} exceeds the u32 snapshot length limit")
+            }
         }
     }
 }
 
 impl std::error::Error for SnapshotError {}
 
-/// Serialize `graph` to bytes.
-pub fn to_bytes(graph: &ConceptGraph) -> Bytes {
+fn len_u32(n: usize, what: &'static str) -> Result<u32, SnapshotError> {
+    u32::try_from(n).map_err(|_| SnapshotError::TooLarge(what))
+}
+
+/// Serialize `graph` to bytes. Fails with [`SnapshotError::TooLarge`]
+/// rather than silently truncating a table past `u32::MAX` entries.
+pub fn to_bytes(graph: &ConceptGraph) -> Result<Bytes, SnapshotError> {
     let mut buf = BytesMut::with_capacity(64 + graph.node_count() * 12 + graph.edge_count() * 20);
     buf.put_u32_le(MAGIC);
     buf.put_u32_le(VERSION);
 
     let interner = graph.interner();
-    buf.put_u32_le(interner.len() as u32);
+    buf.put_u32_le(len_u32(interner.len(), "string table")?);
     for (_, s) in interner.iter() {
-        buf.put_u32_le(s.len() as u32);
+        buf.put_u32_le(len_u32(s.len(), "interned string")?);
         buf.put_slice(s.as_bytes());
     }
 
-    buf.put_u32_le(graph.node_count() as u32);
+    buf.put_u32_le(len_u32(graph.node_count(), "node table")?);
     for n in graph.nodes() {
         let sym = interner.get(graph.label(n)).expect("node label interned");
         buf.put_u32_le(sym.0);
         buf.put_u32_le(graph.sense(n));
     }
 
-    buf.put_u32_le(graph.edge_count() as u32);
+    buf.put_u32_le(len_u32(graph.edge_count(), "edge table")?);
     for (from, to, data) in graph.edges() {
         buf.put_u32_le(from.0);
         buf.put_u32_le(to.0);
         buf.put_u32_le(data.count);
         buf.put_f64_le(data.plausibility);
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 fn need(buf: &impl Buf, n: usize) -> Result<(), SnapshotError> {
@@ -102,7 +113,10 @@ pub fn from_bytes(mut buf: impl Buf) -> Result<ConceptGraph, SnapshotError> {
 
     need(&buf, 4)?;
     let n_strings = buf.get_u32_le() as usize;
-    let mut strings = Vec::with_capacity(n_strings);
+    // Cap preallocations by what the remaining bytes could possibly
+    // hold (each string costs ≥4 bytes on the wire), so a corrupt count
+    // field cannot trigger a gigantic up-front allocation.
+    let mut strings = Vec::with_capacity(n_strings.min(buf.remaining() / 4));
     for _ in 0..n_strings {
         need(&buf, 4)?;
         let len = buf.get_u32_le() as usize;
@@ -115,7 +129,7 @@ pub fn from_bytes(mut buf: impl Buf) -> Result<ConceptGraph, SnapshotError> {
     let mut graph = ConceptGraph::new();
     need(&buf, 4)?;
     let n_nodes = buf.get_u32_le() as usize;
-    let mut ids: Vec<NodeId> = Vec::with_capacity(n_nodes);
+    let mut ids: Vec<NodeId> = Vec::with_capacity(n_nodes.min(buf.remaining() / 8));
     for _ in 0..n_nodes {
         need(&buf, 8)?;
         let label = buf.get_u32_le() as usize;
@@ -136,8 +150,18 @@ pub fn from_bytes(mut buf: impl Buf) -> Result<ConceptGraph, SnapshotError> {
             ids.get(from).ok_or(SnapshotError::BadIndex)?,
             ids.get(to).ok_or(SnapshotError::BadIndex)?,
         );
+        // Corrupt bytes can decode to a self-loop or a NaN plausibility;
+        // both would trip the graph's debug assertions downstream.
+        if f == t {
+            return Err(SnapshotError::BadIndex);
+        }
+        let plausibility = if plausibility.is_nan() {
+            0.0
+        } else {
+            plausibility.clamp(0.0, 1.0)
+        };
         graph.add_evidence(f, t, count);
-        graph.set_plausibility(f, t, plausibility.clamp(0.0, 1.0));
+        graph.set_plausibility(f, t, plausibility);
     }
     Ok(graph)
 }
@@ -164,7 +188,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_structure() {
         let g = sample();
-        let bytes = to_bytes(&g);
+        let bytes = to_bytes(&g).expect("encodes");
         let h = from_bytes(bytes).unwrap();
         assert_eq!(h.node_count(), g.node_count());
         assert_eq!(h.edge_count(), g.edge_count());
@@ -178,14 +202,14 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let mut bytes = to_bytes(&sample()).to_vec();
+        let mut bytes = to_bytes(&sample()).expect("encodes").to_vec();
         bytes[0] ^= 0xFF;
         assert_eq!(from_bytes(&bytes[..]).unwrap_err(), SnapshotError::BadMagic);
     }
 
     #[test]
     fn truncation_rejected_at_every_length() {
-        let bytes = to_bytes(&sample());
+        let bytes = to_bytes(&sample()).expect("encodes");
         for cut in 0..bytes.len() {
             let r = from_bytes(&bytes[..cut]);
             assert!(r.is_err(), "no error at cut {cut}");
@@ -194,7 +218,7 @@ mod tests {
 
     #[test]
     fn bad_version_rejected() {
-        let mut bytes = to_bytes(&sample()).to_vec();
+        let mut bytes = to_bytes(&sample()).expect("encodes").to_vec();
         bytes[4] = 99;
         assert_eq!(
             from_bytes(&bytes[..]).unwrap_err(),
@@ -205,7 +229,7 @@ mod tests {
     #[test]
     fn empty_graph_roundtrips() {
         let g = ConceptGraph::new();
-        let h = from_bytes(to_bytes(&g)).unwrap();
+        let h = from_bytes(to_bytes(&g).expect("encodes")).unwrap();
         assert_eq!(h.node_count(), 0);
         assert_eq!(h.edge_count(), 0);
     }

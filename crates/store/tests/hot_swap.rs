@@ -35,7 +35,7 @@ fn new_world() -> ConceptGraph {
 #[test]
 fn snapshot_round_trip_preserves_structure() {
     let original = new_world();
-    let bytes = snapshot::to_bytes(&original);
+    let bytes = snapshot::to_bytes(&original).expect("encode");
     let mut decoded = snapshot::from_bytes(&bytes[..]).expect("snapshot decodes");
     decoded.rebuild_indexes();
 
@@ -60,7 +60,7 @@ fn hot_swap_through_shared_store_bumps_version_and_serves_new_graph() {
 
     // Ship the new build through the snapshot wire format, exactly as a
     // `snapshot-load` request does.
-    let bytes = snapshot::to_bytes(&new_world());
+    let bytes = snapshot::to_bytes(&new_world()).expect("encode");
     let mut incoming = snapshot::from_bytes(&bytes[..]).expect("snapshot decodes");
     incoming.rebuild_indexes();
     let (nodes, v1) = store.update_versioned(move |g| {
@@ -94,7 +94,7 @@ fn hot_swap_through_shared_store_bumps_version_and_serves_new_graph() {
 #[test]
 fn swap_is_atomic_under_concurrent_readers() {
     let store = SharedStore::new(old_world());
-    let bytes = snapshot::to_bytes(&new_world());
+    let bytes = snapshot::to_bytes(&new_world()).expect("encode");
 
     crossbeam::thread::scope(|scope| {
         for _ in 0..4 {

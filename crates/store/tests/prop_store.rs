@@ -32,7 +32,7 @@ proptest! {
     /// Snapshot round-trip preserves nodes, edges, counts, plausibility.
     #[test]
     fn snapshot_roundtrip(g in dag()) {
-        let bytes = snapshot::to_bytes(&g);
+        let bytes = snapshot::to_bytes(&g).expect("encode");
         let h = snapshot::from_bytes(bytes).expect("roundtrip decodes");
         prop_assert_eq!(h.node_count(), g.node_count());
         prop_assert_eq!(h.edge_count(), g.edge_count());
@@ -92,5 +92,40 @@ proptest! {
             prop_assert_eq!(g.add_evidence(a, b, *inc), total);
         }
         prop_assert_eq!(g.edge_count(), 1);
+    }
+
+    /// Arbitrary garbage never panics the snapshot decoder: every
+    /// failure mode surfaces as a structured [`snapshot::SnapshotError`].
+    #[test]
+    fn decoder_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = snapshot::from_bytes(bytes.as_slice());
+    }
+
+    /// Every strict prefix of a valid snapshot is rejected: the format
+    /// is length-guarded end to end, so a truncated file can never be
+    /// mistaken for a smaller valid graph.
+    #[test]
+    fn truncated_snapshots_are_rejected(g in dag(), cut in any::<proptest::sample::Index>()) {
+        let bytes = snapshot::to_bytes(&g).expect("encode");
+        let cut = cut.index(bytes.len());
+        prop_assert!(snapshot::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// Flipping one byte of a valid snapshot never panics the decoder,
+    /// and anything that still decodes re-encodes cleanly (the decoder
+    /// only admits graphs the encoder can represent).
+    #[test]
+    fn corrupted_snapshots_never_panic(
+        g in dag(),
+        pos in any::<proptest::sample::Index>(),
+        xor in 1u8..,
+    ) {
+        let bytes = snapshot::to_bytes(&g).expect("encode");
+        let mut corrupt = bytes.to_vec();
+        let i = pos.index(corrupt.len());
+        corrupt[i] ^= xor;
+        if let Ok(h) = snapshot::from_bytes(corrupt.as_slice()) {
+            snapshot::to_bytes(&h).expect("decoded graph re-encodes");
+        }
     }
 }

@@ -356,8 +356,8 @@ mod tests {
             let par = build_taxonomy_parallel(&example3(), &cfg);
             assert_eq!(serial.stats, par.stats, "{threads} threads");
             assert_eq!(
-                snapshot::to_bytes(&serial.graph),
-                snapshot::to_bytes(&par.graph),
+                snapshot::to_bytes(&serial.graph).expect("encode"),
+                snapshot::to_bytes(&par.graph).expect("encode"),
                 "graph bytes differ at {threads} threads"
             );
         }
@@ -372,7 +372,10 @@ mod tests {
         let a = build_taxonomy(&example3(), &cfg);
         let b = build_taxonomy_parallel(&example3(), &cfg);
         assert_eq!(a.stats, b.stats);
-        assert_eq!(snapshot::to_bytes(&a.graph), snapshot::to_bytes(&b.graph));
+        assert_eq!(
+            snapshot::to_bytes(&a.graph).expect("encode"),
+            snapshot::to_bytes(&b.graph).expect("encode")
+        );
     }
 
     #[test]

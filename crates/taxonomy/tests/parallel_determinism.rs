@@ -80,7 +80,7 @@ fn parallel_build_is_byte_identical_to_serial() {
         let sentences = corpus(seed, 600);
         for base in configs() {
             let serial = build_taxonomy(&sentences, &base);
-            let serial_bytes = snapshot::to_bytes(&serial.graph);
+            let serial_bytes = snapshot::to_bytes(&serial.graph).expect("encode");
             for threads in THREAD_COUNTS {
                 let cfg = TaxonomyConfig {
                     threads,
@@ -93,7 +93,7 @@ fn parallel_build_is_byte_identical_to_serial() {
                 );
                 assert_eq!(
                     serial_bytes,
-                    snapshot::to_bytes(&par.graph),
+                    snapshot::to_bytes(&par.graph).expect("encode"),
                     "graph bytes diverged (seed {seed}, {threads} threads, cfg {cfg:?})"
                 );
             }
@@ -115,8 +115,8 @@ fn config_dispatch_matches_forced_parallel_driver() {
         let via_driver = build_taxonomy_parallel(&sentences, &cfg);
         assert_eq!(via_dispatch.stats, via_driver.stats);
         assert_eq!(
-            snapshot::to_bytes(&via_dispatch.graph),
-            snapshot::to_bytes(&via_driver.graph)
+            snapshot::to_bytes(&via_dispatch.graph).expect("encode"),
+            snapshot::to_bytes(&via_driver.graph).expect("encode")
         );
     }
 }
@@ -173,8 +173,8 @@ fn degenerate_corpora_do_not_panic() {
         let par = build_taxonomy_parallel(&same, &cfg);
         assert_eq!(serial.stats, par.stats);
         assert_eq!(
-            snapshot::to_bytes(&serial.graph),
-            snapshot::to_bytes(&par.graph)
+            snapshot::to_bytes(&serial.graph).expect("encode"),
+            snapshot::to_bytes(&par.graph).expect("encode")
         );
     }
 }

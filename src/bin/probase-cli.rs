@@ -29,7 +29,7 @@ use probase::corpus::{CorpusConfig, WorldConfig};
 use probase::prob::ProbaseModel;
 use probase::store::{snapshot, ConceptGraph, GraphStats, SharedStore};
 use probase::{ProbaseConfig, Simulation};
-use probase_serve::{ServeConfig, Server};
+use probase_serve::{DurabilityConfig, ServeConfig, Server, WalSync};
 use std::io::{BufRead, Write};
 use std::time::Duration;
 
@@ -53,6 +53,14 @@ Options (serve only):
   --queue <N>           bounded request queue capacity (default 1024)
   --cache <N>           response cache entries (default 4096)
   --deadline-ms <N>     per-request queue deadline (default 2000)
+  --snapshot-dir <DIR>  durable write path: WAL + checkpoints in DIR,
+                        crash recovery at startup, sandboxed snapshot-load
+  --wal-sync <MODE>     fsync policy: always | batch:<N> | os
+                        (default always; needs --snapshot-dir)
+  --rebuild-writes <N>  background rebuild after N writes, 0 = off
+                        (default 1024; needs --snapshot-dir)
+  --rebuild-secs <N>    background rebuild every N seconds, 0 = off
+                        (default 60; needs --snapshot-dir)
 ";
 
 #[derive(Debug, PartialEq)]
@@ -66,6 +74,10 @@ struct CliArgs {
     queue: usize,
     cache: usize,
     deadline_ms: u64,
+    snapshot_dir: Option<String>,
+    wal_sync: WalSync,
+    rebuild_writes: u64,
+    rebuild_secs: u64,
 }
 
 impl Default for CliArgs {
@@ -81,6 +93,10 @@ impl Default for CliArgs {
             queue: d.queue_capacity,
             cache: d.cache_capacity,
             deadline_ms: d.deadline.as_millis() as u64,
+            snapshot_dir: None,
+            wal_sync: WalSync::Always,
+            rebuild_writes: 1024,
+            rebuild_secs: 60,
         }
     }
 }
@@ -137,6 +153,25 @@ fn parse_args(argv: &[String]) -> Result<Option<CliArgs>, String> {
                     .parse()
                     .map_err(|_| format!("--deadline-ms: not a number: {v:?}"))?;
             }
+            "--snapshot-dir" if args.serve => {
+                args.snapshot_dir = Some(take("--snapshot-dir")?.clone());
+            }
+            "--wal-sync" if args.serve => {
+                let v = take("--wal-sync")?;
+                args.wal_sync = WalSync::parse(v).map_err(|e| format!("--wal-sync: {e}"))?;
+            }
+            "--rebuild-writes" if args.serve => {
+                let v = take("--rebuild-writes")?;
+                args.rebuild_writes = v
+                    .parse()
+                    .map_err(|_| format!("--rebuild-writes: not a number: {v:?}"))?;
+            }
+            "--rebuild-secs" if args.serve => {
+                let v = take("--rebuild-secs")?;
+                args.rebuild_secs = v
+                    .parse()
+                    .map_err(|_| format!("--rebuild-secs: not a number: {v:?}"))?;
+            }
             positional if !positional.starts_with('-') && !args.serve => {
                 // Back-compat: `probase-cli 60000`.
                 args.sentences = positional
@@ -148,6 +183,13 @@ fn parse_args(argv: &[String]) -> Result<Option<CliArgs>, String> {
     }
     if args.load.is_some() && argv.iter().any(|a| a == "--sentences") {
         return Err("--load and --sentences are mutually exclusive".to_string());
+    }
+    if args.snapshot_dir.is_none() {
+        for flag in ["--wal-sync", "--rebuild-writes", "--rebuild-secs"] {
+            if argv.iter().any(|a| a == flag) {
+                return Err(format!("{flag} needs --snapshot-dir"));
+            }
+        }
     }
     Ok(Some(args))
 }
@@ -221,6 +263,15 @@ fn main() {
             cache_capacity: args.cache,
             cache_shards: 16,
             deadline: Duration::from_millis(args.deadline_ms),
+            durability: args.snapshot_dir.as_ref().map(|dir| DurabilityConfig {
+                snapshot_dir: dir.into(),
+                wal_sync: args.wal_sync,
+                rebuild_after_writes: args.rebuild_writes,
+                rebuild_interval: match args.rebuild_secs {
+                    0 => None,
+                    secs => Some(Duration::from_secs(secs)),
+                },
+            }),
             ..ServeConfig::default()
         };
         // Serve metrics join the same global registry the pipeline
@@ -241,6 +292,12 @@ fn main() {
             config.queue_capacity,
             config.cache_capacity
         );
+        if let Some(dir) = &args.snapshot_dir {
+            eprintln!(
+                "durable writes: WAL + checkpoints in {dir} ({:?} sync)",
+                args.wal_sync
+            );
+        }
         let bound = server.local_addr();
         eprintln!(
             "try: printf '{{\"endpoint\":\"stats\"}}\\n' | nc {} {}",
@@ -384,10 +441,12 @@ fn dispatch(model: &ProbaseModel, line: &str) -> bool {
             if path.is_empty() {
                 println!("  usage: save <path>");
             } else {
-                let bytes = snapshot::to_bytes(model.graph());
-                match std::fs::write(path, &bytes) {
-                    Ok(()) => println!("  wrote {} bytes to {path}", bytes.len()),
-                    Err(e) => println!("  error: {e}"),
+                match snapshot::to_bytes(model.graph()) {
+                    Ok(bytes) => match std::fs::write(path, &bytes) {
+                        Ok(()) => println!("  wrote {} bytes to {path}", bytes.len()),
+                        Err(e) => println!("  error: {e}"),
+                    },
+                    Err(e) => println!("  error: cannot encode snapshot: {e}"),
                 }
             }
         }
@@ -471,6 +530,50 @@ mod tests {
             .unwrap();
         assert!(args.serve);
         assert_eq!(args.metrics_out.as_deref(), Some("m.json"));
+    }
+
+    #[test]
+    fn durability_flags_parse() {
+        let args = parse(&[
+            "serve",
+            "--snapshot-dir",
+            "/var/probase",
+            "--wal-sync",
+            "batch:16",
+            "--rebuild-writes",
+            "512",
+            "--rebuild-secs",
+            "0",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(args.snapshot_dir.as_deref(), Some("/var/probase"));
+        assert_eq!(args.wal_sync, WalSync::EveryN(16));
+        assert_eq!(args.rebuild_writes, 512);
+        assert_eq!(args.rebuild_secs, 0);
+        // Defaults when only the directory is given.
+        let args = parse(&["serve", "--snapshot-dir", "d"]).unwrap().unwrap();
+        assert_eq!(args.wal_sync, WalSync::Always);
+        assert_eq!(args.rebuild_writes, 1024);
+        assert_eq!(args.rebuild_secs, 60);
+    }
+
+    #[test]
+    fn durability_flag_errors() {
+        for bad in [
+            // tuning flags without the directory they tune
+            vec!["serve", "--wal-sync", "always"],
+            vec!["serve", "--rebuild-writes", "5"],
+            vec!["serve", "--rebuild-secs", "5"],
+            // bad values
+            vec!["serve", "--snapshot-dir", "d", "--wal-sync", "sometimes"],
+            vec!["serve", "--snapshot-dir", "d", "--rebuild-writes", "many"],
+            vec!["serve", "--snapshot-dir"],
+            // serve-only flag outside serve mode
+            vec!["--snapshot-dir", "d"],
+        ] {
+            assert!(parse(&bad).is_err(), "{bad:?} should be an error");
+        }
     }
 
     #[test]
