@@ -1,0 +1,609 @@
+//! Exact recombination of per-shard answers.
+//!
+//! Because the partitioner keeps components whole, per-label endpoints
+//! are answered by one shard verbatim. The endpoints that span shards
+//! (`stats`, `levels` summary, `labels`, `conceptualize`,
+//! `search-rewrite`) are recombined here, with some care to stay
+//! *bit-identical* to the single-node computation:
+//!
+//! * The wire codec prints non-integer `f64`s with Rust's shortest
+//!   round-trip formatting and integers exactly, so shard payload
+//!   numbers parse back to the same bits.
+//! * Averages are merged by recovering their exact integer numerators
+//!   (`round(avg × count)` — exact because integer-valued f64 sums below
+//!   2^53 are lossless) and re-dividing, which reproduces the one
+//!   division the single-node code performs.
+//! * `conceptualize` and `search-rewrite` re-run the single-node
+//!   combination logic (same operation order, same tie-breaks) over
+//!   per-term answers fetched from the owning shards.
+
+use probase_obs::Json;
+use probase_text::{normalize_concept, tokenize};
+use std::collections::HashMap;
+
+/// Parse a shard's `{"items": [[label, score], ...]}` payload.
+pub fn parse_items(data: &Json) -> Vec<(String, f64)> {
+    data.get("items")
+        .and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|pair| {
+                    let pair = pair.as_arr()?;
+                    Some((pair.first()?.as_str()?.to_string(), pair.get(1)?.as_f64()?))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Re-serialize ranked items the way the shards do.
+pub fn ranked(items: Vec<(String, f64)>) -> Json {
+    Json::Arr(
+        items
+            .into_iter()
+            .map(|(label, score)| Json::Arr(vec![Json::Str(label), Json::num(score)]))
+            .collect(),
+    )
+}
+
+fn get_u64(v: &Json, key: &str) -> u64 {
+    v.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn get_f64(v: &Json, key: &str) -> f64 {
+    v.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+/// Recover the exact integer numerator behind `avg = sum / count`.
+fn numerator(avg: f64, count: u64) -> u64 {
+    if count == 0 {
+        0
+    } else {
+        (avg * count as f64).round() as u64
+    }
+}
+
+/// Merge per-shard `stats.graph` sections into the section the
+/// unsharded graph would report (field order matches the shard payload).
+pub fn merge_stats_graph(sections: &[&Json]) -> Json {
+    let mut concepts = 0u64;
+    let mut instances = 0u64;
+    let mut cs_pairs = 0u64;
+    let mut ci_pairs = 0u64;
+    let mut max_level = 0u64;
+    let mut with_parents = 0u64;
+    let mut level_sum = 0u64;
+    for s in sections {
+        let c = get_u64(s, "concepts");
+        let cs = get_u64(s, "concept_subconcept_pairs");
+        let ci = get_u64(s, "concept_instance_pairs");
+        concepts += c;
+        instances += get_u64(s, "instances");
+        cs_pairs += cs;
+        ci_pairs += ci;
+        max_level = max_level.max(get_u64(s, "max_level"));
+        // Each edge contributes one parent slot, so a shard's in-degree
+        // numerator is its edge count; the denominator (nodes with ≥1
+        // parent) is recovered from the shard's own average.
+        let edges = cs + ci;
+        let avg_parents = get_f64(s, "avg_parents");
+        if avg_parents > 0.0 {
+            with_parents += (edges as f64 / avg_parents).round() as u64;
+        }
+        level_sum += numerator(get_f64(s, "avg_level"), c);
+    }
+    let edges = cs_pairs + ci_pairs;
+    let div = |num: u64, den: u64| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    Json::obj(vec![
+        ("concepts", Json::num(concepts as f64)),
+        ("instances", Json::num(instances as f64)),
+        ("concept_subconcept_pairs", Json::num(cs_pairs as f64)),
+        ("concept_instance_pairs", Json::num(ci_pairs as f64)),
+        ("avg_children", Json::num(div(edges, concepts))),
+        ("avg_parents", Json::num(div(edges, with_parents))),
+        ("avg_level", Json::num(div(level_sum, concepts))),
+        ("max_level", Json::num(max_level as f64)),
+    ])
+}
+
+/// Merge per-shard `levels` summaries (the `term: None` form).
+pub fn merge_levels_summary(sections: &[&Json]) -> Json {
+    let mut concepts = 0u64;
+    let mut instances = 0u64;
+    let mut max_level = 0u64;
+    let mut level_sum = 0u64;
+    for s in sections {
+        let c = get_u64(s, "concepts");
+        concepts += c;
+        instances += get_u64(s, "instances");
+        max_level = max_level.max(get_u64(s, "max_level"));
+        level_sum += numerator(get_f64(s, "avg_level"), c);
+    }
+    let avg = if concepts == 0 {
+        0.0
+    } else {
+        level_sum as f64 / concepts as f64
+    };
+    Json::obj(vec![
+        ("max_level", Json::num(max_level as f64)),
+        ("avg_level", Json::num(avg)),
+        ("concepts", Json::num(concepts as f64)),
+        ("instances", Json::num(instances as f64)),
+    ])
+}
+
+/// Merge per-shard `labels` payloads: concatenate in shard order,
+/// dedupe, truncate to `k`. (The *set* matches the single-node answer
+/// for `k` ≥ the distinct-label count; the order is shard-major rather
+/// than global node order — see DESIGN.md §14.)
+pub fn merge_labels(sections: &[&Json], k: usize) -> Json {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    'outer: for s in sections {
+        if let Some(arr) = s.get("labels").and_then(Json::as_arr) {
+            for label in arr.iter().filter_map(Json::as_str) {
+                if seen.insert(label.to_string()) {
+                    out.push(Json::str(label));
+                    if out.len() >= k {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    Json::obj(vec![("labels", Json::Arr(out))])
+}
+
+/// The naive-Bayes combination step of `conceptualize`, run over
+/// per-term typicality maps fetched from the owning shards. Mirrors
+/// `ProbaseModel::conceptualize` operation-for-operation (same EPS, same
+/// summation order, same sort tie-break, same softmax) so the result is
+/// bit-identical to the single-node answer when every map is complete.
+pub fn conceptualize_from_maps(per_term: &[HashMap<String, f64>], k: usize) -> Vec<(String, f64)> {
+    const EPS: f64 = 1e-4;
+    if per_term.is_empty() {
+        return Vec::new();
+    }
+    let mut candidates: HashMap<String, f64> = HashMap::new();
+    for m in per_term {
+        for c in m.keys() {
+            candidates.entry(c.clone()).or_insert(0.0);
+        }
+    }
+    let mut scored: Vec<(String, f64)> = candidates
+        .into_keys()
+        .map(|c| {
+            let mut s = 0.0;
+            for m in per_term {
+                s += m.get(&c).copied().unwrap_or(EPS).max(EPS).ln();
+            }
+            (c, s)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    let m = scored.first().map(|(_, s)| *s).unwrap_or(0.0);
+    let total: f64 = scored.iter().map(|(_, s)| (s - m).exp()).sum();
+    scored
+        .into_iter()
+        .map(|(c, s)| (c, ((s - m).exp() / total).clamp(0.0, 1.0)))
+        .collect()
+}
+
+/// What a router needs to know about terms to rewrite a query. The
+/// engine implements this over the wire (routing each probe to the
+/// owning shard); tests implement it over a local model to prove the
+/// mirror is exact.
+pub trait TermOracle {
+    /// `(sense, is_instance)` pairs for a label; empty = unknown label.
+    fn term_senses(&mut self, term: &str) -> Vec<(u32, bool)>;
+    /// Typical instances of a concept label, most typical first.
+    fn typical_instances(&mut self, label: &str, k: usize) -> Vec<(String, f64)>;
+}
+
+/// A query rewrite, mirroring `probase_apps::RewrittenQuery`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rewrite {
+    /// The rewritten query text.
+    pub text: String,
+    /// Instance chosen per concept slot, in slot order.
+    pub substitutions: Vec<String>,
+    /// Product-of-typicalities ranking score.
+    pub score: f64,
+}
+
+#[derive(PartialEq)]
+enum SpanKind {
+    Concept,
+    Other,
+}
+
+struct Span {
+    canonical: String,
+    surface: String,
+    kind: SpanKind,
+}
+
+/// Greedy longest-match spotting, mirroring `probase_apps::spot_terms`
+/// with the model probes replaced by oracle lookups.
+fn spot_remote(oracle: &mut impl TermOracle, text: &str) -> Vec<Span> {
+    const MAX_NGRAM: usize = 4;
+    let tokens = tokenize(text);
+    let words: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < words.len() {
+        let mut matched = None;
+        for len in (1..=MAX_NGRAM.min(words.len() - i)).rev() {
+            let surface = words[i..i + len].join(" ");
+            let concept_form = normalize_concept(&surface);
+            // is_concept: some sense is a non-leaf.
+            if oracle
+                .term_senses(&concept_form)
+                .iter()
+                .any(|&(_, is_instance)| !is_instance)
+            {
+                matched = Some((
+                    len,
+                    Span {
+                        canonical: concept_form,
+                        surface,
+                        kind: SpanKind::Concept,
+                    },
+                ));
+                break;
+            }
+            // knows: any sense at all.
+            if !oracle.term_senses(&surface).is_empty() {
+                matched = Some((
+                    len,
+                    Span {
+                        canonical: surface.clone(),
+                        surface,
+                        kind: SpanKind::Other,
+                    },
+                ));
+                break;
+            }
+        }
+        match matched {
+            Some((len, span)) => {
+                out.push(span);
+                i += len;
+            }
+            None => {
+                if words[i].chars().any(|c| c.is_alphanumeric()) {
+                    out.push(Span {
+                        canonical: words[i].to_lowercase(),
+                        surface: words[i].to_string(),
+                        kind: SpanKind::Other,
+                    });
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Rewrite `query` by substituting each spotted concept with its typical
+/// instances, mirroring `probase_apps::rewrite_query` exactly for the
+/// serving configuration (`per_concept` instances per slot, empty
+/// association model, so the bonus factor is identically 1).
+pub fn rewrite_remote(
+    oracle: &mut impl TermOracle,
+    query: &str,
+    per_concept: usize,
+    max_rewrites: usize,
+) -> Vec<Rewrite> {
+    let spans = spot_remote(oracle, query);
+    let concept_slots: Vec<(usize, Vec<(String, f64)>)> = spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.kind == SpanKind::Concept)
+        .map(|(i, s)| (i, oracle.typical_instances(&s.canonical, per_concept)))
+        .collect();
+    if concept_slots.is_empty() {
+        return vec![Rewrite {
+            text: query.to_string(),
+            substitutions: vec![],
+            score: 1.0,
+        }];
+    }
+    let mut combos: Vec<(Vec<(usize, String)>, f64)> = vec![(Vec::new(), 1.0)];
+    for (slot, instances) in &concept_slots {
+        let mut next = Vec::new();
+        for (chosen, score) in &combos {
+            for (inst, t) in instances {
+                let mut c = chosen.clone();
+                c.push((*slot, inst.clone()));
+                next.push((c, score * t.max(1e-6)));
+            }
+        }
+        combos = next;
+    }
+    let mut rewrites: Vec<Rewrite> = combos
+        .into_iter()
+        .map(|(chosen, tscore)| {
+            let mut words: Vec<String> = spans.iter().map(|s| s.surface.clone()).collect();
+            let mut subs = Vec::new();
+            for (slot, inst) in &chosen {
+                words[*slot] = inst.clone();
+                subs.push(inst.clone());
+            }
+            Rewrite {
+                text: words.join(" "),
+                substitutions: subs,
+                // The serving association model is empty, so the
+                // single-node bonus is identically 1.0.
+                score: tscore,
+            }
+        })
+        .collect();
+    rewrites.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"));
+    rewrites.truncate(max_rewrites);
+    rewrites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition;
+    use probase_apps::{rewrite_query, Association};
+    use probase_obs::json;
+    use probase_prob::ProbaseModel;
+    use probase_store::{ConceptGraph, GraphStats, LevelMap, NodeId};
+
+    /// Build the `stats.graph` payload exactly as a shard would.
+    fn graph_section(g: &ConceptGraph) -> Json {
+        let s = GraphStats::compute(g);
+        Json::obj(vec![
+            ("concepts", Json::num(s.concepts as f64)),
+            ("instances", Json::num(s.instances as f64)),
+            (
+                "concept_subconcept_pairs",
+                Json::num(s.concept_subconcept_pairs as f64),
+            ),
+            (
+                "concept_instance_pairs",
+                Json::num(s.concept_instance_pairs as f64),
+            ),
+            ("avg_children", Json::num(s.avg_children)),
+            ("avg_parents", Json::num(s.avg_parents)),
+            ("avg_level", Json::num(s.avg_level)),
+            ("max_level", Json::num(s.max_level as f64)),
+        ])
+    }
+
+    /// Build the `levels` summary payload exactly as a shard would.
+    fn levels_section(g: &ConceptGraph) -> Json {
+        let map = LevelMap::compute(g);
+        let concepts: Vec<NodeId> = g.concepts().collect();
+        let avg = if concepts.is_empty() {
+            0.0
+        } else {
+            concepts.iter().map(|&c| map.level(c) as f64).sum::<f64>() / concepts.len() as f64
+        };
+        Json::obj(vec![
+            ("max_level", Json::num(map.max_level() as f64)),
+            ("avg_level", Json::num(avg)),
+            ("concepts", Json::num(concepts.len() as f64)),
+            (
+                "instances",
+                Json::num((g.node_count() - concepts.len()) as f64),
+            ),
+        ])
+    }
+
+    /// Multi-component, multi-level graph so averages are non-trivial.
+    fn sample() -> ConceptGraph {
+        let mut g = ConceptGraph::new();
+        let country = g.ensure_node("country", 0);
+        let bric = g.ensure_node("bric country", 0);
+        g.add_evidence(country, bric, 9);
+        g.set_plausibility(country, bric, 0.95);
+        for name in ["China", "India", "Brazil", "Russia"] {
+            let n = g.ensure_node(name, 0);
+            g.add_evidence(bric, n, 4);
+            g.set_plausibility(bric, n, 0.9);
+        }
+        let usa = g.ensure_node("USA", 0);
+        g.add_evidence(country, usa, 7);
+        g.set_plausibility(country, usa, 0.85);
+        let animal = g.ensure_node("animal", 0);
+        let mammal = g.ensure_node("mammal", 0);
+        let cat = g.ensure_node("cat", 0);
+        g.add_evidence(animal, mammal, 5);
+        g.set_plausibility(animal, mammal, 0.8);
+        g.add_evidence(mammal, cat, 6);
+        g.set_plausibility(mammal, cat, 0.75);
+        let conf = g.ensure_node("conference", 0);
+        for name in ["SIGMOD", "VLDB"] {
+            let n = g.ensure_node(name, 0);
+            g.add_evidence(conf, n, 3);
+            g.set_plausibility(conf, n, 0.7);
+        }
+        g
+    }
+
+    /// Round a payload through the wire codec, as scatter-gather does.
+    fn wire(v: &Json) -> Json {
+        json::parse(&v.to_string()).expect("wire roundtrip parses")
+    }
+
+    #[test]
+    fn stats_merge_is_bit_identical_to_single_node() {
+        let g = sample();
+        let want = graph_section(&g).to_string();
+        for n in [1usize, 2, 4, 8] {
+            let p = partition(&g, n);
+            let sections: Vec<Json> = p.shards.iter().map(|s| wire(&graph_section(s))).collect();
+            let refs: Vec<&Json> = sections.iter().collect();
+            assert_eq!(merge_stats_graph(&refs).to_string(), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn levels_merge_is_bit_identical_to_single_node() {
+        let g = sample();
+        let want = levels_section(&g).to_string();
+        for n in [1usize, 2, 4, 8] {
+            let p = partition(&g, n);
+            let sections: Vec<Json> = p.shards.iter().map(|s| wire(&levels_section(s))).collect();
+            let refs: Vec<&Json> = sections.iter().collect();
+            assert_eq!(merge_levels_summary(&refs).to_string(), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn labels_merge_covers_the_same_set() {
+        let g = sample();
+        let p = partition(&g, 4);
+        let sections: Vec<Json> = p
+            .shards
+            .iter()
+            .map(|s| {
+                let labels: Vec<Json> = s
+                    .instances()
+                    .map(|n| s.label(n).to_string())
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .map(Json::Str)
+                    .collect();
+                Json::obj(vec![("labels", Json::Arr(labels))])
+            })
+            .collect();
+        let refs: Vec<&Json> = sections.iter().collect();
+        let merged = merge_labels(&refs, 1000);
+        let got: std::collections::BTreeSet<String> = merged
+            .get("labels")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect();
+        let want: std::collections::BTreeSet<String> =
+            g.instances().map(|n| g.label(n).to_string()).collect();
+        assert_eq!(got, want);
+        // Truncation respects k.
+        let truncated = merge_labels(&refs, 2);
+        assert_eq!(
+            truncated
+                .get("labels")
+                .and_then(Json::as_arr)
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn conceptualize_combination_matches_model_bit_for_bit() {
+        let g = sample();
+        // One model per shard — the router fetches each term's slice
+        // from the shard owning it. (A model over the *merged* graph
+        // would sum typicality in a different adjacency order and can
+        // drift in the last ulp; the per-shard graphs preserve the
+        // original per-component insertion order exactly.)
+        let p = partition(&g, 4);
+        let table = crate::table::RoutingTable::from_partition(&p);
+        let shard_models: Vec<ProbaseModel> = p
+            .shards
+            .iter()
+            .map(|s| ProbaseModel::new(s.clone()))
+            .collect();
+        let reference = ProbaseModel::new(sample());
+        for terms in [
+            vec!["China", "India"],
+            vec!["China", "India", "Brazil"],
+            vec!["cat"],
+            vec!["China", "cat"],
+            vec!["unknown-term", "China"],
+        ] {
+            // Per-term maps as the router fetches them: the owning
+            // shard's typical_concepts, rounded through the wire codec.
+            let per_term: Vec<HashMap<String, f64>> = terms
+                .iter()
+                .map(|t| {
+                    let model = &shard_models[table.shard_for(t)];
+                    let items = model.typical_concepts(t, probase_serve::proto::MAX_K);
+                    let parsed = parse_items(&wire(&Json::obj(vec![("items", ranked(items))])));
+                    parsed.into_iter().collect()
+                })
+                .collect();
+            let got = conceptualize_from_maps(&per_term, 8);
+            let want = reference.conceptualize(&terms, 8);
+            assert_eq!(got.len(), want.len(), "{terms:?}");
+            for ((gl, gs), (wl, ws)) in got.iter().zip(&want) {
+                assert_eq!(gl, wl, "{terms:?}");
+                assert_eq!(gs.to_bits(), ws.to_bits(), "score bits for {gl} {terms:?}");
+            }
+        }
+    }
+
+    /// Oracle over a local model — exactly what the engine does over the
+    /// wire, minus the sockets.
+    struct LocalOracle<'a> {
+        model: &'a ProbaseModel,
+    }
+
+    impl TermOracle for LocalOracle<'_> {
+        fn term_senses(&mut self, term: &str) -> Vec<(u32, bool)> {
+            let g = self.model.graph();
+            g.senses_of(term)
+                .into_iter()
+                .map(|n| (g.sense(n), g.is_instance(n)))
+                .collect()
+        }
+
+        fn typical_instances(&mut self, label: &str, k: usize) -> Vec<(String, f64)> {
+            // Wire round trip, to prove scores survive the codec.
+            let items = self.model.typical_instances(label, k);
+            parse_items(&wire(&Json::obj(vec![("items", ranked(items))])))
+        }
+    }
+
+    #[test]
+    fn rewrite_mirror_matches_apps_rewrite_query() {
+        let g = sample();
+        let model = ProbaseModel::new(g);
+        let assoc = Association::default();
+        for query in [
+            "bric countries",
+            "flights to bric countries",
+            "animals in bric countries",
+            "nothing spotted here!!",
+            "cat",
+        ] {
+            let want = rewrite_query(&model, &assoc, query, 4, 10);
+            let mut oracle = LocalOracle { model: &model };
+            let got = rewrite_remote(&mut oracle, query, 4, 10);
+            assert_eq!(got.len(), want.len(), "{query}");
+            for (g_rw, w_rw) in got.iter().zip(&want) {
+                assert_eq!(g_rw.text, w_rw.text, "{query}");
+                assert_eq!(g_rw.substitutions, w_rw.substitutions, "{query}");
+                assert_eq!(
+                    g_rw.score.to_bits(),
+                    w_rw.score.to_bits(),
+                    "score bits for {query}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_items_tolerates_malformed_entries() {
+        let v = json::parse(r#"{"items":[["a",0.5],["broken"],[1,2],["b",0.25]]}"#).unwrap();
+        assert_eq!(
+            parse_items(&v),
+            vec![("a".to_string(), 0.5), ("b".to_string(), 0.25)]
+        );
+        assert!(parse_items(&json::parse("{}").unwrap()).is_empty());
+    }
+}

@@ -1,0 +1,746 @@
+//! The routing engine: per-endpoint query plans over a shard fleet.
+//!
+//! Per-label endpoints (`isa`, `typicality`, `plausibility`, per-term
+//! `levels`) forward to the owning shard and return its answer verbatim.
+//! Whole-graph endpoints scatter to every shard and recombine exactly
+//! (see [`crate::aggregate`]). `conceptualize` and `search-rewrite`
+//! forward whole when every involved label routes to one shard and
+//! otherwise re-run the single-node combination over per-label answers
+//! fetched from the owning shards.
+//!
+//! Failure handling:
+//!
+//! * every sub-request runs under a per-shard **deadline**;
+//! * idempotent sub-requests that straggle past `hedge_after` get a
+//!   **hedged** second attempt on a fresh connection — first answer wins;
+//! * when a scatter loses some (not all) shards, the surviving answers
+//!   are combined and returned with `"degraded": true` in the envelope
+//!   (old clients ignore the key); single-shard queries to a dead shard
+//!   fail with an error envelope, so a shard outage degrades exactly the
+//!   labels that shard owns.
+
+use crate::aggregate::{self, TermOracle};
+use crate::partition::{partition, Partition};
+use crate::pool::ShardPool;
+use crate::table::RoutingTable;
+use crate::telemetry::RouterTelemetry;
+use parking_lot::RwLock;
+use probase_obs::{Json, Registry};
+use probase_serve::proto::{
+    degraded_envelope, err_envelope, ok_envelope, Direction, ErrorCode, Request, MAX_K,
+};
+use probase_serve::{ClientConfig, ClientError, Envelope};
+use probase_store::{shard_dir, snapshot};
+use std::collections::HashMap;
+use std::path::{Component, Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many instances `search-rewrite` substitutes per concept slot —
+/// must match the single-node handler for bit-identical answers.
+const REWRITE_PER_CONCEPT: usize = 4;
+
+/// Configuration for a [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Shard addresses, index = shard id. Length must match the table.
+    pub shard_addrs: Vec<String>,
+    /// Per-shard deadline for one sub-request (including hedges).
+    pub deadline: Duration,
+    /// How long an idempotent sub-request may straggle before a hedged
+    /// second attempt is launched.
+    pub hedge_after: Duration,
+    /// Idle connections kept per shard.
+    pub pool_cap: usize,
+    /// Dial configuration for shard connections. When `read_timeout` is
+    /// unset it is defaulted to `deadline` so a blackholed shard cannot
+    /// pin attempt threads forever.
+    pub client: ClientConfig,
+    /// Root of the `shard-N/` durability layout for in-process
+    /// deployments; enables the router-side `snapshot-load`
+    /// (partition + scatter). `None` for the standalone `route` mode.
+    pub snapshot_root: Option<PathBuf>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            shard_addrs: Vec::new(),
+            deadline: Duration::from_secs(2),
+            hedge_after: Duration::from_millis(150),
+            pool_cap: 4,
+            client: ClientConfig::default(),
+            snapshot_root: None,
+        }
+    }
+}
+
+/// Why a sub-request ultimately failed.
+#[derive(Debug)]
+enum ShardFailure {
+    /// The per-shard deadline elapsed with no answer.
+    Deadline,
+    /// Transport or protocol failure after retries and hedging.
+    Unavailable(String),
+}
+
+impl ShardFailure {
+    fn code(&self) -> ErrorCode {
+        match self {
+            ShardFailure::Deadline => ErrorCode::DeadlineExceeded,
+            ShardFailure::Unavailable(_) => ErrorCode::Internal,
+        }
+    }
+
+    fn detail(&self, addr: &str) -> String {
+        match self {
+            ShardFailure::Deadline => format!("shard {addr}: deadline exceeded"),
+            ShardFailure::Unavailable(e) => format!("shard {addr}: {e}"),
+        }
+    }
+}
+
+/// The routing engine for one shard fleet.
+pub struct Router {
+    table: RwLock<RoutingTable>,
+    pool: Arc<ShardPool>,
+    telemetry: RouterTelemetry,
+    deadline: Duration,
+    hedge_after: Duration,
+    snapshot_root: Option<PathBuf>,
+    load_seq: AtomicU64,
+}
+
+impl Router {
+    /// Build a router over `config.shard_addrs` using `table` for label
+    /// placement. Fails if the table's shard count disagrees with the
+    /// address list.
+    pub fn new(
+        config: RouterConfig,
+        table: RoutingTable,
+        registry: &Registry,
+    ) -> Result<Router, String> {
+        if config.shard_addrs.is_empty() {
+            return Err("router needs at least one shard address".to_string());
+        }
+        if table.shards() != config.shard_addrs.len() {
+            return Err(format!(
+                "routing table covers {} shards but {} addresses were given",
+                table.shards(),
+                config.shard_addrs.len()
+            ));
+        }
+        let mut client = config.client.clone();
+        if client.read_timeout.is_none() {
+            client.read_timeout = Some(config.deadline);
+        }
+        let telemetry = RouterTelemetry::with_registry(registry);
+        telemetry
+            .table_exceptions
+            .set(table.exception_count() as i64);
+        Ok(Router {
+            table: RwLock::new(table),
+            pool: Arc::new(ShardPool::new(config.shard_addrs, client, config.pool_cap)),
+            telemetry,
+            deadline: config.deadline,
+            hedge_after: config.hedge_after,
+            snapshot_root: config.snapshot_root,
+            load_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.pool.shards()
+    }
+
+    /// A snapshot of the current routing table.
+    pub fn table(&self) -> RoutingTable {
+        self.table.read().clone()
+    }
+
+    /// This router's metric handles.
+    pub fn telemetry(&self) -> &RouterTelemetry {
+        &self.telemetry
+    }
+
+    /// Answer one request, returning a complete response envelope.
+    pub fn handle(&self, id: u64, req: &Request) -> Json {
+        self.telemetry.requests.inc();
+        let start = Instant::now();
+        let out = match req {
+            Request::Ping => self.scatter_ping(id),
+            Request::Isa { child, .. } => self.forward(id, req, child),
+            Request::Plausibility { child, .. } => self.forward(id, req, child),
+            Request::Typicality { term, .. } => self.forward(id, req, term),
+            Request::Levels { term: Some(term) } => self.forward(id, req, term),
+            Request::Levels { term: None } => self.scatter_levels(id),
+            Request::Stats => self.scatter_stats(id),
+            Request::Labels { k, .. } => self.scatter_labels(id, req, *k),
+            Request::Conceptualize { terms, k } => self.conceptualize(id, terms, *k),
+            Request::SearchRewrite { query, k } => self.search_rewrite(id, query, *k),
+            Request::AddEvidence { parent, child, .. } => self.add_evidence(id, req, parent, child),
+            Request::SnapshotLoad { path } => self.snapshot_load(id, path),
+        };
+        let scatterish = !matches!(
+            req,
+            Request::Isa { .. }
+                | Request::Plausibility { .. }
+                | Request::Typicality { .. }
+                | Request::Levels { term: Some(_) }
+                | Request::AddEvidence { .. }
+        );
+        let us = start.elapsed().as_micros() as u64;
+        if scatterish {
+            self.telemetry.scatter.inc();
+            self.telemetry.scatter_latency_us.record(us);
+        } else {
+            self.telemetry.single_shard.inc();
+            self.telemetry.single_latency_us.record(us);
+        }
+        if out.get("ok").and_then(Json::as_bool) != Some(true) {
+            self.telemetry.errors.inc();
+        } else if out.get("degraded").and_then(Json::as_bool) == Some(true) {
+            self.telemetry.degraded.inc();
+        }
+        out
+    }
+
+    // ---- single-shard plan ------------------------------------------
+
+    fn forward(&self, id: u64, req: &Request, label: &str) -> Json {
+        let shard = self.table.read().shard_for(label);
+        match self.call_shard(shard, req) {
+            Ok(env) => env_to_json(id, env),
+            Err(f) => err_envelope(id, f.code(), &f.detail(self.pool.addr(shard))),
+        }
+    }
+
+    // ---- scatter plans ----------------------------------------------
+
+    fn scatter(&self, req: &Request) -> Vec<Result<Envelope, ShardFailure>> {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..self.pool.shards())
+                .map(|shard| s.spawn(move || self.call_shard(shard, req)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scatter worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Combine scatter results: version = Σ shard versions (monotone per
+    /// shard), degraded when some shard was lost, error when all were.
+    fn combine_scatter<F>(
+        &self,
+        id: u64,
+        results: Vec<Result<Envelope, ShardFailure>>,
+        merge: F,
+    ) -> Json
+    where
+        F: FnOnce(&[Envelope]) -> Json,
+    {
+        let mut oks = Vec::new();
+        let mut lost = 0usize;
+        let mut all_deadline = true;
+        for r in results {
+            match r {
+                Ok(env) if env.error.is_none() => oks.push(env),
+                Ok(env) => {
+                    // A shard answered an error envelope (e.g. shedding):
+                    // treat as lost for this request, but not a deadline.
+                    let _ = env;
+                    lost += 1;
+                    all_deadline = false;
+                }
+                Err(f) => {
+                    lost += 1;
+                    if !matches!(f, ShardFailure::Deadline) {
+                        all_deadline = false;
+                    }
+                }
+            }
+        }
+        if oks.is_empty() {
+            let code = if lost > 0 && all_deadline {
+                ErrorCode::DeadlineExceeded
+            } else {
+                ErrorCode::Internal
+            };
+            return err_envelope(id, code, "no shard answered");
+        }
+        let version: u64 = oks.iter().map(|e| e.version).sum();
+        let degraded = lost > 0 || oks.iter().any(|e| e.degraded);
+        let data = merge(&oks);
+        if degraded {
+            degraded_envelope(id, version, data)
+        } else {
+            ok_envelope(id, version, data)
+        }
+    }
+
+    fn scatter_ping(&self, id: u64) -> Json {
+        let results = self.scatter(&Request::Ping);
+        self.combine_scatter(id, results, |_| Json::obj(vec![("pong", Json::Bool(true))]))
+    }
+
+    fn scatter_stats(&self, id: u64) -> Json {
+        let results = self.scatter(&Request::Stats);
+        self.combine_scatter(id, results, |oks| {
+            let sections: Vec<&Json> = oks.iter().filter_map(|e| e.data.get("graph")).collect();
+            Json::obj(vec![
+                ("graph", aggregate::merge_stats_graph(&sections)),
+                ("router", self.telemetry.to_json(self.pool.shards())),
+            ])
+        })
+    }
+
+    fn scatter_levels(&self, id: u64) -> Json {
+        let results = self.scatter(&Request::Levels { term: None });
+        self.combine_scatter(id, results, |oks| {
+            let sections: Vec<&Json> = oks.iter().map(|e| &e.data).collect();
+            aggregate::merge_levels_summary(&sections)
+        })
+    }
+
+    fn scatter_labels(&self, id: u64, req: &Request, k: usize) -> Json {
+        let results = self.scatter(req);
+        self.combine_scatter(id, results, |oks| {
+            let sections: Vec<&Json> = oks.iter().map(|e| &e.data).collect();
+            aggregate::merge_labels(&sections, k)
+        })
+    }
+
+    // ---- recombination plans ----------------------------------------
+
+    fn conceptualize(&self, id: u64, terms: &[String], k: usize) -> Json {
+        let homes: Vec<usize> = {
+            let table = self.table.read();
+            terms.iter().map(|t| table.shard_for(t)).collect()
+        };
+        let first = homes.first().copied().unwrap_or(0);
+        if homes.iter().all(|&h| h == first) {
+            // Every term routes to one shard, which therefore holds every
+            // candidate concept: forward whole, answer is exact.
+            return match self.call_shard(
+                first,
+                &Request::Conceptualize {
+                    terms: terms.to_vec(),
+                    k,
+                },
+            ) {
+                Ok(env) => env_to_json(id, env),
+                Err(f) => err_envelope(id, f.code(), &f.detail(self.pool.addr(first))),
+            };
+        }
+        // Cross-shard: fetch each term's full concept distribution from
+        // its owning shard, then run the naive-Bayes combination here.
+        let results: Vec<Result<Envelope, ShardFailure>> = std::thread::scope(|s| {
+            let handles: Vec<_> = terms
+                .iter()
+                .zip(&homes)
+                .map(|(term, &shard)| {
+                    let req = Request::Typicality {
+                        term: term.clone(),
+                        direction: Direction::Concepts,
+                        k: MAX_K,
+                    };
+                    s.spawn(move || self.call_shard(shard, &req))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("conceptualize worker panicked"))
+                .collect()
+        });
+        let mut version = 0u64;
+        let mut lost = 0usize;
+        let mut per_term: Vec<HashMap<String, f64>> = Vec::with_capacity(terms.len());
+        for r in results {
+            match r {
+                Ok(env) if env.error.is_none() => {
+                    version += env.version;
+                    per_term.push(aggregate::parse_items(&env.data).into_iter().collect());
+                }
+                _ => {
+                    // A lost term contributes the same empty map an
+                    // unknown term would; flagged as degraded below.
+                    lost += 1;
+                    per_term.push(HashMap::new());
+                }
+            }
+        }
+        if lost == terms.len() {
+            return err_envelope(id, ErrorCode::Internal, "no shard answered");
+        }
+        let items = aggregate::conceptualize_from_maps(&per_term, k);
+        let data = Json::obj(vec![("items", aggregate::ranked(items))]);
+        if lost > 0 {
+            degraded_envelope(id, version, data)
+        } else {
+            ok_envelope(id, version, data)
+        }
+    }
+
+    fn search_rewrite(&self, id: u64, query: &str, k: usize) -> Json {
+        let mut oracle = NetOracle {
+            router: self,
+            degraded: false,
+            version: 0,
+            senses: HashMap::new(),
+        };
+        let rewrites = aggregate::rewrite_remote(&mut oracle, query, REWRITE_PER_CONCEPT, k);
+        let arr: Vec<Json> = rewrites
+            .into_iter()
+            .map(|rw| {
+                Json::obj(vec![
+                    ("text", Json::Str(rw.text)),
+                    (
+                        "substitutions",
+                        Json::Arr(rw.substitutions.into_iter().map(Json::Str).collect()),
+                    ),
+                    ("score", Json::num(rw.score)),
+                ])
+            })
+            .collect();
+        let data = Json::obj(vec![("rewrites", Json::Arr(arr))]);
+        if oracle.degraded {
+            degraded_envelope(id, oracle.version, data)
+        } else {
+            ok_envelope(id, oracle.version, data)
+        }
+    }
+
+    // ---- write plans ------------------------------------------------
+
+    fn add_evidence(&self, id: u64, req: &Request, parent: &str, child: &str) -> Json {
+        // Route by the parent: typicality-of-parent and isa-from-child
+        // must both see the edge, so the child label is *pinned* to the
+        // parent's shard via a learned exception.
+        let shard = self.table.read().shard_for(parent);
+        match self.call_shard(shard, req) {
+            Ok(env) => {
+                if env.error.is_none() {
+                    let mut table = self.table.write();
+                    table.learn(child, shard);
+                    self.telemetry
+                        .table_exceptions
+                        .set(table.exception_count() as i64);
+                }
+                env_to_json(id, env)
+            }
+            Err(f) => err_envelope(id, f.code(), &f.detail(self.pool.addr(shard))),
+        }
+    }
+
+    fn snapshot_load(&self, id: u64, path: &str) -> Json {
+        let Some(root) = self.snapshot_root.clone() else {
+            return err_envelope(
+                id,
+                ErrorCode::BadRequest,
+                "snapshot-load is disabled: this router has no snapshot root",
+            );
+        };
+        let resolved = match resolve_in(&root, path) {
+            Ok(p) => p,
+            Err(detail) => return err_envelope(id, ErrorCode::BadRequest, &detail),
+        };
+        let bytes = match std::fs::read(&resolved) {
+            Ok(b) => b,
+            Err(e) => {
+                return err_envelope(
+                    id,
+                    ErrorCode::Internal,
+                    &format!("read {}: {e}", resolved.display()),
+                )
+            }
+        };
+        let graph = match snapshot::from_bytes(&bytes[..]) {
+            Ok(g) => g,
+            Err(e) => {
+                return err_envelope(id, ErrorCode::Internal, &format!("decode snapshot: {e}"))
+            }
+        };
+        let (nodes, edges) = (graph.node_count(), graph.edge_count());
+
+        // Partition, stage one file per shard inside that shard's
+        // sandbox, then fan the loads out (never hedged: not idempotent).
+        let p: Partition = partition(&graph, self.pool.shards());
+        let seq = self.load_seq.fetch_add(1, Ordering::Relaxed);
+        let name = format!("incoming-{seq}.pb");
+        for (i, shard_graph) in p.shards.iter().enumerate() {
+            let staged = match snapshot::to_bytes(shard_graph) {
+                Ok(b) => b,
+                Err(e) => {
+                    return err_envelope(id, ErrorCode::Internal, &format!("encode shard {i}: {e}"))
+                }
+            };
+            let target = shard_dir(&root, i).join(&name);
+            if let Err(e) = std::fs::write(&target, &staged) {
+                return err_envelope(
+                    id,
+                    ErrorCode::Internal,
+                    &format!("stage {}: {e}", target.display()),
+                );
+            }
+        }
+        let load = Request::SnapshotLoad { path: name };
+        let results = self.scatter(&load);
+        let mut version = 0u64;
+        for (i, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(env) if env.error.is_none() => version += env.version,
+                Ok(env) => {
+                    let detail = env
+                        .error
+                        .map(|(c, d)| format!("{c}: {d}"))
+                        .unwrap_or_default();
+                    return err_envelope(
+                        id,
+                        ErrorCode::Internal,
+                        &format!("shard {i} rejected the load ({detail}); deployment may be partially loaded"),
+                    );
+                }
+                Err(f) => {
+                    return err_envelope(
+                        id,
+                        f.code(),
+                        &format!(
+                            "{}; deployment may be partially loaded",
+                            f.detail(self.pool.addr(i))
+                        ),
+                    )
+                }
+            }
+        }
+        // Every shard swapped: adopt the new placement.
+        let table = RoutingTable::from_partition(&p);
+        self.telemetry
+            .table_exceptions
+            .set(table.exception_count() as i64);
+        *self.table.write() = table;
+        ok_envelope(
+            id,
+            version,
+            Json::obj(vec![
+                ("nodes", Json::num(nodes as f64)),
+                ("edges", Json::num(edges as f64)),
+            ]),
+        )
+    }
+
+    // ---- sub-request machinery --------------------------------------
+
+    /// One sub-request with deadline + hedging. Non-idempotent requests
+    /// never hedge (the first attempt may have applied).
+    fn call_shard(&self, shard: usize, req: &Request) -> Result<Envelope, ShardFailure> {
+        self.telemetry.subrequests.inc();
+        let start = Instant::now();
+        let deadline = start + self.deadline;
+        let hedge_at = start + self.hedge_after;
+        let hedge_allowed = req.is_idempotent();
+        let (tx, rx) = mpsc::channel();
+        self.spawn_attempt(shard, req.clone(), 0, tx.clone());
+        let mut hedged = false;
+        let mut outstanding: u32 = 1;
+        let mut last_err = String::from("no attempt completed");
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                self.telemetry.shard_failures.inc();
+                return Err(ShardFailure::Deadline);
+            }
+            let wake = if hedge_allowed && !hedged {
+                deadline.min(hedge_at)
+            } else {
+                deadline
+            };
+            match rx.recv_timeout(wake.saturating_duration_since(now)) {
+                Ok((attempt, Ok(env))) => {
+                    if attempt > 0 {
+                        self.telemetry.hedge_wins.inc();
+                    }
+                    return Ok(env);
+                }
+                Ok((_, Err(e))) => {
+                    last_err = e.to_string();
+                    outstanding -= 1;
+                    if outstanding == 0 {
+                        // Fast failure: use the hedge budget as an
+                        // immediate replacement attempt.
+                        if hedge_allowed && !hedged && Instant::now() < deadline {
+                            hedged = true;
+                            self.telemetry.hedges.inc();
+                            self.spawn_attempt(shard, req.clone(), 1, tx.clone());
+                            outstanding = 1;
+                        } else {
+                            self.telemetry.shard_failures.inc();
+                            return Err(ShardFailure::Unavailable(last_err));
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Straggler: race a second attempt against the first.
+                    if hedge_allowed && !hedged && Instant::now() < deadline {
+                        hedged = true;
+                        self.telemetry.hedges.inc();
+                        self.spawn_attempt(shard, req.clone(), 1, tx.clone());
+                        outstanding += 1;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.telemetry.shard_failures.inc();
+                    return Err(ShardFailure::Unavailable(last_err));
+                }
+            }
+        }
+    }
+
+    /// Attempts run detached so an abandoned straggler cannot block the
+    /// caller; its eventual result is dropped with the channel.
+    fn spawn_attempt(
+        &self,
+        shard: usize,
+        req: Request,
+        attempt: u32,
+        tx: mpsc::Sender<(u32, Result<Envelope, ClientError>)>,
+    ) {
+        let pool = Arc::clone(&self.pool);
+        std::thread::spawn(move || {
+            let _ = tx.send((attempt, pool.call(shard, &req)));
+        });
+    }
+}
+
+/// Pass a shard's envelope through under the client's request id.
+fn env_to_json(id: u64, env: Envelope) -> Json {
+    match env.error {
+        Some((code, detail)) => err_envelope(
+            id,
+            ErrorCode::parse(&code).unwrap_or(ErrorCode::Internal),
+            &detail,
+        ),
+        None if env.degraded => degraded_envelope(id, env.version, env.data),
+        None => ok_envelope(id, env.version, env.data),
+    }
+}
+
+/// Sandboxed path resolution, mirroring the serve-side snapshot-load
+/// rules: relative, plain components only, inside `root`.
+fn resolve_in(root: &Path, requested: &str) -> Result<PathBuf, String> {
+    let path = Path::new(requested);
+    if requested.is_empty() || path.is_absolute() {
+        return Err(format!(
+            "snapshot path {requested:?} must be relative to the snapshot root"
+        ));
+    }
+    for component in path.components() {
+        match component {
+            Component::Normal(_) => {}
+            _ => {
+                return Err(format!(
+                    "snapshot path {requested:?} escapes the snapshot root"
+                ))
+            }
+        }
+    }
+    Ok(root.join(path))
+}
+
+/// Term oracle over the shard fleet: each probe routes to the owning
+/// shard; failures degrade (unknown term) rather than abort the request.
+struct NetOracle<'a> {
+    router: &'a Router,
+    degraded: bool,
+    version: u64,
+    senses: HashMap<String, Vec<(u32, bool)>>,
+}
+
+impl TermOracle for NetOracle<'_> {
+    fn term_senses(&mut self, term: &str) -> Vec<(u32, bool)> {
+        if let Some(cached) = self.senses.get(term) {
+            return cached.clone();
+        }
+        let shard = self.router.table.read().shard_for(term);
+        let req = Request::Levels {
+            term: Some(term.to_string()),
+        };
+        let out = match self.router.call_shard(shard, &req) {
+            Ok(env) if env.error.is_none() => {
+                self.version += env.version;
+                env.data
+                    .get("senses")
+                    .and_then(Json::as_arr)
+                    .map(|arr| {
+                        arr.iter()
+                            .filter_map(|s| {
+                                Some((
+                                    s.get("sense").and_then(Json::as_u64)? as u32,
+                                    s.get("is_instance").and_then(Json::as_bool)?,
+                                ))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            }
+            Ok(_) | Err(_) => {
+                self.degraded = true;
+                Vec::new()
+            }
+        };
+        self.senses.insert(term.to_string(), out.clone());
+        out
+    }
+
+    fn typical_instances(&mut self, label: &str, k: usize) -> Vec<(String, f64)> {
+        let shard = self.router.table.read().shard_for(label);
+        let req = Request::Typicality {
+            term: label.to_string(),
+            direction: Direction::Instances,
+            k,
+        };
+        match self.router.call_shard(shard, &req) {
+            Ok(env) if env.error.is_none() => {
+                self.version += env.version;
+                aggregate::parse_items(&env.data)
+            }
+            Ok(_) | Err(_) => {
+                self.degraded = true;
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_in_sandboxes_paths() {
+        let root = Path::new("/srv/probase");
+        assert_eq!(
+            resolve_in(root, "x.pb").unwrap(),
+            PathBuf::from("/srv/probase/x.pb")
+        );
+        assert!(resolve_in(root, "/etc/passwd").is_err());
+        assert!(resolve_in(root, "../x.pb").is_err());
+        assert!(resolve_in(root, "sub/../../x.pb").is_err());
+        assert!(resolve_in(root, "").is_err());
+    }
+
+    #[test]
+    fn router_rejects_mismatched_table() {
+        let config = RouterConfig {
+            shard_addrs: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
+            ..RouterConfig::default()
+        };
+        let registry = Registry::new();
+        assert!(Router::new(config, RoutingTable::new(3), &registry).is_err());
+        let none = RouterConfig::default();
+        assert!(Router::new(none, RoutingTable::new(1), &registry).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! # probase-router
+//!
+//! Shard-aware serving: splits Γ across N single-node serve stacks and
+//! puts a routing front end in front that speaks the exact same
+//! JSON-over-TCP protocol, so clients cannot tell a 4-shard deployment
+//! from one server (same answers, bit-for-bit, when all shards are up).
+//!
+//! The paper's production Probase runs distributed across a cluster
+//! (§5.3 hosts the taxonomy in the Trinity graph engine, which partitions
+//! the graph over machines); this crate reproduces that shape on top of
+//! the PR 5 durable serve stack:
+//!
+//! * [`partition`] — deterministic label-hash partitioning. All senses of
+//!   a label co-locate (Property 2) and weakly-connected components
+//!   travel whole, so every shard-local answer is bit-identical to the
+//!   unsharded one. The hash is a frozen FNV-1a: restarts re-derive the
+//!   identical placement.
+//! * [`table`] — the routing table: `shard_of(label)` plus a small
+//!   exceptions map for labels that rode along with their component.
+//! * [`pool`] / [`engine`] — per-shard connection pools and the
+//!   per-endpoint query plans: forward single-shard queries, scatter and
+//!   *exactly* recombine whole-graph ones ([`aggregate`]), hedge
+//!   straggling idempotent sub-requests, degrade gracefully (partial
+//!   results are marked `"degraded": true`) when shards are lost, and
+//!   route `add-evidence` to the owning shard's WAL.
+//! * [`server`] — the TCP front end.
+//! * [`telemetry`] — `router.*` metrics (fan-out, hedges, degraded
+//!   responses, table size), surfaced in the aggregated `stats` payload.
+//!
+//! See DESIGN.md §14 for the architecture and the degradation contract.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod engine;
+pub mod partition;
+pub mod pool;
+pub mod server;
+pub mod table;
+pub mod telemetry;
+
+pub use engine::{Router, RouterConfig};
+pub use partition::{canonical_bytes, merge_shards, partition, shard_of, stable_hash, Partition};
+pub use pool::ShardPool;
+pub use server::RouterServer;
+pub use table::RoutingTable;
+pub use telemetry::RouterTelemetry;

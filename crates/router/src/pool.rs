@@ -1,0 +1,110 @@
+//! Per-shard connection pools.
+//!
+//! Each shard gets a small LIFO pool of [`Client`]s. A checkout pops an
+//! idle connection or dials a fresh one; a connection is returned only
+//! after a clean round trip, so a desynced or dead stream is never
+//! reused. Hedged attempts always run on their own checkout, which means
+//! a straggling first attempt cannot delay (or corrupt) the hedge.
+
+use parking_lot::Mutex;
+use probase_serve::{Client, ClientConfig, ClientError, Envelope, Request};
+
+/// Connection pools for all shards of one deployment.
+pub struct ShardPool {
+    addrs: Vec<String>,
+    config: ClientConfig,
+    idle: Vec<Mutex<Vec<Client>>>,
+    /// Idle connections kept per shard.
+    cap: usize,
+}
+
+impl ShardPool {
+    /// A pool over `addrs` (index = shard id) dialing with `config`.
+    pub fn new(addrs: Vec<String>, config: ClientConfig, cap: usize) -> ShardPool {
+        let idle = addrs.iter().map(|_| Mutex::new(Vec::new())).collect();
+        ShardPool {
+            addrs,
+            config,
+            idle,
+            cap: cap.max(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The address of shard `i`.
+    pub fn addr(&self, i: usize) -> &str {
+        &self.addrs[i]
+    }
+
+    /// One round trip against shard `shard`: checkout (or dial), call,
+    /// and check the connection back in on success. The client applies
+    /// its own retry policy (idempotent reads only) under `config`.
+    pub fn call(&self, shard: usize, req: &Request) -> Result<Envelope, ClientError> {
+        let mut client = match self.idle[shard].lock().pop() {
+            Some(c) => c,
+            None => Client::connect_with(&self.addrs[shard], self.config.clone())?,
+        };
+        match client.call(req) {
+            Ok(envelope) => {
+                let mut idle = self.idle[shard].lock();
+                if idle.len() < self.cap {
+                    idle.push(client);
+                }
+                Ok(envelope)
+            }
+            // Drop the client: after a failure the stream state is
+            // unknowable (the server may still answer the old request).
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probase_serve::{ServeConfig, Server};
+    use probase_store::{ConceptGraph, SharedStore};
+
+    fn tiny_server() -> Server {
+        let mut g = ConceptGraph::new();
+        let c = g.ensure_node("country", 0);
+        let i = g.ensure_node("China", 0);
+        g.add_evidence(c, i, 5);
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServeConfig::default()
+        };
+        Server::start(SharedStore::new(g), &config).expect("server starts")
+    }
+
+    #[test]
+    fn call_reuses_connections_up_to_cap() {
+        let server = tiny_server();
+        let pool = ShardPool::new(
+            vec![server.local_addr().to_string()],
+            ClientConfig::default(),
+            2,
+        );
+        for _ in 0..5 {
+            let env = pool.call(0, &Request::Ping).expect("ping ok");
+            assert!(env.error.is_none());
+        }
+        assert!(pool.idle[0].lock().len() <= 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn dead_shard_surfaces_as_error() {
+        // Bind-then-drop leaves a port with no listener.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let pool = ShardPool::new(vec![addr], ClientConfig::default(), 2);
+        assert!(pool.call(0, &Request::Ping).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! The routing table: shard count + exceptions.
+//!
+//! Routing is `exceptions.get(label).unwrap_or(shard_of(label, n))` — a
+//! label is looked up where it hashes unless it rode along with a
+//! component whose canonical label hashed elsewhere. The table is tiny
+//! (only the disagreements), serializes to JSON for the `route` mode's
+//! `--routing-table` file, and can be rebuilt exactly by scanning the
+//! shard graphs (which is what a restarted in-process deployment does
+//! after each shard's WAL recovery).
+
+use crate::partition::{shard_of, Partition};
+use probase_obs::json::{self, Json};
+use probase_store::ConceptGraph;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+
+/// Maps labels to shards. Cheap to clone; the exceptions map holds only
+/// labels whose placement disagrees with the hash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingTable {
+    shards: usize,
+    exceptions: HashMap<String, usize>,
+}
+
+impl RoutingTable {
+    /// A pure-hash table over `shards` shards (no exceptions).
+    pub fn new(shards: usize) -> RoutingTable {
+        RoutingTable {
+            shards: shards.max(1),
+            exceptions: HashMap::new(),
+        }
+    }
+
+    /// The table a fresh [`Partition`] implies.
+    pub fn from_partition(p: &Partition) -> RoutingTable {
+        RoutingTable {
+            shards: p.shards.len().max(1),
+            exceptions: p.exceptions.clone(),
+        }
+    }
+
+    /// Rebuild the table by scanning shard graphs (index order): every
+    /// label found on a shard other than its hash shard is an exception.
+    /// This is exact — the scan sees precisely the post-recovery
+    /// placement, including labels created by routed writes.
+    pub fn from_shard_graphs(shards: &[ConceptGraph]) -> RoutingTable {
+        let n = shards.len().max(1);
+        let mut exceptions = HashMap::new();
+        for (i, shard) in shards.iter().enumerate() {
+            let mut seen: HashSet<&str> = HashSet::new();
+            for node in shard.nodes() {
+                let label = shard.label(node);
+                if seen.insert(label) && shard_of(label, n) != i {
+                    exceptions.insert(label.to_string(), i);
+                }
+            }
+        }
+        RoutingTable {
+            shards: n,
+            exceptions,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard that owns `label`.
+    pub fn shard_for(&self, label: &str) -> usize {
+        self.exceptions
+            .get(label)
+            .copied()
+            .unwrap_or_else(|| shard_of(label, self.shards))
+    }
+
+    /// Record that `label` lives on `shard` (the write path calls this
+    /// when a routed `add-evidence` creates a child on its parent's
+    /// shard rather than the child's hash shard).
+    pub fn learn(&mut self, label: &str, shard: usize) {
+        if shard_of(label, self.shards) == shard {
+            self.exceptions.remove(label);
+        } else {
+            self.exceptions.insert(label.to_string(), shard);
+        }
+    }
+
+    /// Number of exception entries (for metrics).
+    pub fn exception_count(&self) -> usize {
+        self.exceptions.len()
+    }
+
+    /// Serialize for the `--routing-table` file.
+    pub fn to_json(&self) -> Json {
+        let mut entries: Vec<(&String, &usize)> = self.exceptions.iter().collect();
+        entries.sort();
+        Json::obj(vec![
+            ("shards", Json::num(self.shards as f64)),
+            (
+                "exceptions",
+                Json::Obj(
+                    entries
+                        .into_iter()
+                        .map(|(label, &shard)| (label.clone(), Json::num(shard as f64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse a table serialized by [`RoutingTable::to_json`].
+    pub fn from_json(v: &Json) -> Result<RoutingTable, String> {
+        let shards = v
+            .get("shards")
+            .and_then(Json::as_u64)
+            .filter(|&n| n >= 1)
+            .ok_or("routing table: missing or invalid \"shards\"")? as usize;
+        let mut exceptions = HashMap::new();
+        if let Some(Json::Obj(entries)) = v.get("exceptions") {
+            for (label, shard) in entries {
+                let shard = shard
+                    .as_u64()
+                    .filter(|&s| (s as usize) < shards)
+                    .ok_or_else(|| format!("routing table: bad shard for {label:?}"))?;
+                exceptions.insert(label.clone(), shard as usize);
+            }
+        }
+        Ok(RoutingTable { shards, exceptions })
+    }
+
+    /// Write the table to `path` as JSON.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_string())
+    }
+
+    /// Load a table written by [`RoutingTable::save`].
+    pub fn load(path: &Path) -> std::io::Result<RoutingTable> {
+        let text = std::fs::read_to_string(path)?;
+        let v = json::parse(&text).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad JSON: {e}"))
+        })?;
+        RoutingTable::from_json(&v)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition;
+
+    fn sample() -> ConceptGraph {
+        let mut g = ConceptGraph::new();
+        let country = g.ensure_node("country", 0);
+        for name in ["China", "India", "Brazil"] {
+            let n = g.ensure_node(name, 0);
+            g.add_evidence(country, n, 5);
+        }
+        let animal = g.ensure_node("animal", 0);
+        let cat = g.ensure_node("cat", 0);
+        g.add_evidence(animal, cat, 3);
+        g
+    }
+
+    #[test]
+    fn pure_hash_table_matches_shard_of() {
+        let t = RoutingTable::new(4);
+        for label in ["country", "China", "zebra"] {
+            assert_eq!(t.shard_for(label), shard_of(label, 4));
+        }
+    }
+
+    #[test]
+    fn partition_table_routes_every_label_to_its_shard() {
+        let g = sample();
+        for n in [1usize, 2, 4, 8] {
+            let p = partition(&g, n);
+            let t = RoutingTable::from_partition(&p);
+            for (i, shard) in p.shards.iter().enumerate() {
+                for node in shard.nodes() {
+                    assert_eq!(t.shard_for(shard.label(node)), i, "n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_rebuild_equals_partition_table() {
+        let g = sample();
+        for n in [1usize, 2, 4, 8] {
+            let p = partition(&g, n);
+            assert_eq!(
+                RoutingTable::from_shard_graphs(&p.shards),
+                RoutingTable::from_partition(&p),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn learn_records_and_clears_exceptions() {
+        let mut t = RoutingTable::new(4);
+        let hash_home = shard_of("new-child", 4);
+        let other = (hash_home + 1) % 4;
+        t.learn("new-child", other);
+        assert_eq!(t.shard_for("new-child"), other);
+        assert_eq!(t.exception_count(), 1);
+        // Learning the hash home again removes the entry.
+        t.learn("new-child", hash_home);
+        assert_eq!(t.shard_for("new-child"), hash_home);
+        assert_eq!(t.exception_count(), 0);
+    }
+
+    #[test]
+    fn json_roundtrip_and_file_io() {
+        let g = sample();
+        let p = partition(&g, 4);
+        let t = RoutingTable::from_partition(&p);
+        let back = RoutingTable::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+
+        let dir = std::env::temp_dir().join(format!("probase-table-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table.json");
+        t.save(&path).unwrap();
+        assert_eq!(RoutingTable::load(&path).unwrap(), t);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        for bad in [
+            r#"{}"#,
+            r#"{"shards":0}"#,
+            r#"{"shards":2,"exceptions":{"x":9}}"#,
+            r#"{"shards":2,"exceptions":{"x":"a"}}"#,
+        ] {
+            let v = json::parse(bad).unwrap();
+            assert!(RoutingTable::from_json(&v).is_err(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! `router.*` metrics: fan-out, hedging, degradation.
+
+use probase_obs::{Counter, Gauge, Histogram, Json, Registry};
+use std::sync::Arc;
+
+/// Metric handles for one router, registered under `router.*`.
+#[derive(Debug, Clone)]
+pub struct RouterTelemetry {
+    /// Requests accepted by the front end.
+    pub requests: Arc<Counter>,
+    /// Error envelopes returned to clients.
+    pub errors: Arc<Counter>,
+    /// Requests answered by exactly one shard.
+    pub single_shard: Arc<Counter>,
+    /// Requests that fanned out to several shards.
+    pub scatter: Arc<Counter>,
+    /// Sub-requests issued to shards (fan-out volume).
+    pub subrequests: Arc<Counter>,
+    /// Hedge attempts launched for straggling sub-requests.
+    pub hedges: Arc<Counter>,
+    /// Hedge attempts whose response won the race.
+    pub hedge_wins: Arc<Counter>,
+    /// Responses returned with `degraded: true`.
+    pub degraded: Arc<Counter>,
+    /// Sub-requests that failed after retries/hedging.
+    pub shard_failures: Arc<Counter>,
+    /// Current routing-table exception entries.
+    pub table_exceptions: Arc<Gauge>,
+    /// End-to-end latency of single-shard requests (µs).
+    pub single_latency_us: Arc<Histogram>,
+    /// End-to-end latency of scatter-gather requests (µs).
+    pub scatter_latency_us: Arc<Histogram>,
+}
+
+impl RouterTelemetry {
+    /// Register the handles in `registry`.
+    pub fn with_registry(registry: &Registry) -> RouterTelemetry {
+        RouterTelemetry {
+            requests: registry.counter("router.requests"),
+            errors: registry.counter("router.errors"),
+            single_shard: registry.counter("router.single_shard"),
+            scatter: registry.counter("router.scatter"),
+            subrequests: registry.counter("router.subrequests"),
+            hedges: registry.counter("router.hedges"),
+            hedge_wins: registry.counter("router.hedge_wins"),
+            degraded: registry.counter("router.degraded"),
+            shard_failures: registry.counter("router.shard_failures"),
+            table_exceptions: registry.gauge("router.table.exceptions"),
+            single_latency_us: registry.histogram("router.single_shard.latency_us"),
+            scatter_latency_us: registry.histogram("router.scatter.latency_us"),
+        }
+    }
+
+    /// The `router` section of the aggregated `stats` payload.
+    pub fn to_json(&self, shards: usize) -> Json {
+        Json::obj(vec![
+            ("shards", Json::num(shards as f64)),
+            ("requests", Json::num(self.requests.get() as f64)),
+            ("errors", Json::num(self.errors.get() as f64)),
+            ("single_shard", Json::num(self.single_shard.get() as f64)),
+            ("scatter", Json::num(self.scatter.get() as f64)),
+            ("subrequests", Json::num(self.subrequests.get() as f64)),
+            ("hedges", Json::num(self.hedges.get() as f64)),
+            ("hedge_wins", Json::num(self.hedge_wins.get() as f64)),
+            ("degraded", Json::num(self.degraded.get() as f64)),
+            (
+                "shard_failures",
+                Json::num(self.shard_failures.get() as f64),
+            ),
+            (
+                "table_exceptions",
+                Json::num(self.table_exceptions.get() as f64),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_show_up_in_stats_section() {
+        let registry = Registry::new();
+        let t = RouterTelemetry::with_registry(&registry);
+        t.requests.inc();
+        t.scatter.inc();
+        t.hedges.add(3);
+        t.table_exceptions.set(2);
+        let section = t.to_json(4);
+        assert_eq!(section.get("shards").and_then(Json::as_u64), Some(4));
+        assert_eq!(section.get("requests").and_then(Json::as_u64), Some(1));
+        assert_eq!(section.get("hedges").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            section.get("table_exceptions").and_then(Json::as_u64),
+            Some(2)
+        );
+        // The same counters also land in the registry snapshot.
+        let snap = registry.snapshot();
+        let counters = snap.get("counters").expect("counters section");
+        assert_eq!(
+            counters.get("router.requests").and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,412 @@
+//! Single-node vs sharded equivalence: a 4-shard deployment behind the
+//! router must answer every serve endpoint with the same payload as one
+//! unsharded server over the same taxonomy.
+//!
+//! Versions are compared only where the contract promises them (the
+//! router reports the *sum* of shard versions on scatters), so the
+//! assertions are on `data` — which the sharding design promises
+//! bit-for-bit, not approximately.
+
+use probase_router::{partition, Router, RouterConfig, RouterServer, RoutingTable};
+use probase_serve::{Client, Direction, Json, LabelKind, Request, ServeConfig, Server};
+use probase_store::{ConceptGraph, SharedStore};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A taxonomy with several disconnected components, a label shared by
+/// two parents (joining their components), multi-level chains, and
+/// explicit plausibility — enough structure that every endpoint has
+/// something nontrivial to say.
+fn fixture_graph() -> ConceptGraph {
+    let mut g = ConceptGraph::new();
+    let country = g.ensure_node("country", 0);
+    let bric = g.ensure_node("bric", 0);
+    g.add_evidence(country, bric, 6);
+    for (label, count) in [
+        ("China", 8u32),
+        ("India", 5),
+        ("Japan", 3),
+        ("USA", 2),
+        ("Brazil", 2),
+        ("Russia", 4),
+    ] {
+        let n = g.ensure_node(label, 0);
+        g.add_evidence(country, n, count);
+    }
+    for label in ["China", "India", "Brazil", "Russia"] {
+        let n = g.ensure_node(label, 0);
+        g.add_evidence(bric, n, 2);
+    }
+
+    // "apple" under both company and fruit joins the two components.
+    let company = g.ensure_node("company", 0);
+    for (label, count) in [("Microsoft", 9u32), ("Google", 4), ("apple", 6)] {
+        let n = g.ensure_node(label, 0);
+        g.add_evidence(company, n, count);
+    }
+    let fruit = g.ensure_node("fruit", 0);
+    for (label, count) in [("apple", 5u32), ("banana", 3)] {
+        let n = g.ensure_node(label, 0);
+        g.add_evidence(fruit, n, count);
+    }
+
+    let animal = g.ensure_node("animal", 0);
+    let mammal = g.ensure_node("mammal", 0);
+    g.add_evidence(animal, mammal, 6);
+    for (label, count) in [("cat", 5u32), ("dog", 4)] {
+        let n = g.ensure_node(label, 0);
+        g.add_evidence(mammal, n, count);
+    }
+    let bird = g.ensure_node("bird", 0);
+    g.add_evidence(animal, bird, 4);
+
+    let conference = g.ensure_node("conference", 0);
+    for (label, count) in [("SIGMOD", 3u32), ("VLDB", 2)] {
+        let n = g.ensure_node(label, 0);
+        g.add_evidence(conference, n, count);
+    }
+
+    let china = g.ensure_node("China", 0);
+    g.set_plausibility(country, china, 0.97);
+    g.set_plausibility(animal, mammal, 0.9);
+    g.rebuild_indexes();
+    g
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 64,
+        cache_capacity: 256,
+        cache_shards: 4,
+        deadline: Duration::from_secs(5),
+        ..ServeConfig::default()
+    }
+}
+
+/// One unsharded server and an N-shard deployment over the same graph,
+/// with clients on both front doors.
+struct Deployments {
+    single: Server,
+    shards: Vec<Server>,
+    front: RouterServer,
+}
+
+fn deploy(graph: &ConceptGraph, n: usize) -> Deployments {
+    let single = Server::start(SharedStore::new(graph.clone()), &serve_config())
+        .expect("single-node server");
+    let p = partition(graph, n);
+    let table = RoutingTable::from_partition(&p);
+    let mut shards = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for shard_graph in p.shards {
+        let s =
+            Server::start(SharedStore::new(shard_graph), &serve_config()).expect("shard server");
+        addrs.push(s.local_addr().to_string());
+        shards.push(s);
+    }
+    let config = RouterConfig {
+        shard_addrs: addrs,
+        deadline: Duration::from_secs(5),
+        ..RouterConfig::default()
+    };
+    let router = Router::new(config, table, &probase_obs::Registry::new()).expect("router builds");
+    let front = RouterServer::start(Arc::new(router), "127.0.0.1:0").expect("router binds");
+    Deployments {
+        single,
+        shards,
+        front,
+    }
+}
+
+impl Deployments {
+    fn clients(&self) -> (Client, Client) {
+        (
+            Client::connect(self.single.local_addr()).expect("connect single"),
+            Client::connect(self.front.local_addr()).expect("connect router"),
+        )
+    }
+
+    fn shutdown(self) {
+        self.front.shutdown();
+        for s in self.shards {
+            s.shutdown();
+        }
+        self.single.shutdown();
+    }
+}
+
+/// Ask both deployments and return the two data payloads.
+fn both(single: &mut Client, routed: &mut Client, req: &Request) -> (Json, Json) {
+    let (_, a) = single.call_ok(req).expect("single-node answers");
+    let (_, b) = routed.call_ok(req).expect("router answers");
+    (a, b)
+}
+
+/// Assert both deployments produce byte-identical payloads.
+fn assert_same(single: &mut Client, routed: &mut Client, req: &Request) {
+    let (a, b) = both(single, routed, req);
+    assert_eq!(a.to_string(), b.to_string(), "payloads diverge for {req:?}");
+}
+
+fn labels_set(data: &Json) -> Vec<String> {
+    let mut v: Vec<String> = data
+        .get("labels")
+        .and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|x| x.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    v.sort();
+    v
+}
+
+#[test]
+fn four_shards_answer_every_endpoint_identically() {
+    let graph = fixture_graph();
+    let d = deploy(&graph, 4);
+    let (mut single, mut routed) = d.clients();
+
+    // ping
+    let (a, b) = both(&mut single, &mut routed, &Request::Ping);
+    assert_eq!(a.to_string(), b.to_string(), "ping payloads");
+
+    // isa — positive, negative, and cross-component pairs.
+    for (parent, child) in [
+        ("country", "China"),
+        ("bric", "Russia"),
+        ("country", "cat"),
+        ("animal", "mammal"),
+        ("mammal", "cat"),
+        ("company", "apple"),
+        ("fruit", "apple"),
+        ("conference", "SIGMOD"),
+        ("nosuch", "China"),
+    ] {
+        assert_same(
+            &mut single,
+            &mut routed,
+            &Request::Isa {
+                parent: parent.to_string(),
+                child: child.to_string(),
+            },
+        );
+    }
+
+    // typicality — both directions, every component.
+    for term in [
+        "country",
+        "bric",
+        "China",
+        "apple",
+        "company",
+        "fruit",
+        "animal",
+        "mammal",
+        "cat",
+        "conference",
+        "SIGMOD",
+        "nosuch",
+    ] {
+        for direction in [Direction::Instances, Direction::Concepts] {
+            assert_same(
+                &mut single,
+                &mut routed,
+                &Request::Typicality {
+                    term: term.to_string(),
+                    direction,
+                    k: 10,
+                },
+            );
+        }
+    }
+
+    // plausibility
+    for (parent, child) in [
+        ("country", "China"),
+        ("animal", "mammal"),
+        ("fruit", "banana"),
+    ] {
+        assert_same(
+            &mut single,
+            &mut routed,
+            &Request::Plausibility {
+                parent: parent.to_string(),
+                child: child.to_string(),
+            },
+        );
+    }
+
+    // levels — per-term and the whole-graph summary.
+    for term in ["country", "mammal", "apple", "SIGMOD", "nosuch"] {
+        assert_same(
+            &mut single,
+            &mut routed,
+            &Request::Levels {
+                term: Some(term.to_string()),
+            },
+        );
+    }
+    assert_same(&mut single, &mut routed, &Request::Levels { term: None });
+
+    // stats — the router wraps the merged graph section and adds its
+    // own telemetry section; the graph section must match exactly.
+    let (a, b) = both(&mut single, &mut routed, &Request::Stats);
+    let merged = b.get("graph").expect("router stats carry a graph section");
+    assert_eq!(
+        a.get("graph").expect("graph section").to_string(),
+        merged.to_string(),
+        "merged graph stats must equal single-node stats"
+    );
+    assert!(
+        b.get("router").is_some(),
+        "router stats carry a router section"
+    );
+
+    // labels — global ordering across shards is not promised; the sets
+    // and the cap are.
+    for kind in [LabelKind::Concepts, LabelKind::Instances] {
+        let req = Request::Labels { kind, k: 100 };
+        let (a, b) = both(&mut single, &mut routed, &req);
+        assert_eq!(labels_set(&a), labels_set(&b), "label sets for {req:?}");
+        let req = Request::Labels { kind, k: 3 };
+        let (_, b) = both(&mut single, &mut routed, &req);
+        assert_eq!(labels_set(&b).len(), 3, "k caps the routed answer");
+    }
+
+    // conceptualize — terms sharing a home shard and terms that force
+    // the cross-shard naive-Bayes combination.
+    for terms in [
+        vec!["China", "India"],
+        vec!["China", "Brazil", "Russia"],
+        vec!["apple", "banana"],
+        vec!["China", "cat"],
+        vec!["apple", "cat", "SIGMOD"],
+    ] {
+        assert_same(
+            &mut single,
+            &mut routed,
+            &Request::Conceptualize {
+                terms: terms.iter().map(|t| t.to_string()).collect(),
+                k: 8,
+            },
+        );
+    }
+
+    // search-rewrite
+    for query in ["China conference", "apple", "animal cat", "nosuch words"] {
+        assert_same(
+            &mut single,
+            &mut routed,
+            &Request::SearchRewrite {
+                query: query.to_string(),
+                k: 5,
+            },
+        );
+    }
+
+    d.shutdown();
+}
+
+#[test]
+fn writes_keep_shards_equivalent_to_single_node() {
+    let graph = fixture_graph();
+    let d = deploy(&graph, 4);
+    let (mut single, mut routed) = d.clients();
+
+    // Same writes to both deployments: bump an existing edge, add a new
+    // child under an existing parent (the router learns its placement).
+    let writes = [
+        ("country", "China", 3u32),
+        ("country", "Mongolia", 2),
+        ("mammal", "otter", 4),
+        ("conference", "ICDE", 1),
+    ];
+    for (parent, child, count) in &writes {
+        let req = Request::AddEvidence {
+            parent: parent.to_string(),
+            child: child.to_string(),
+            count: *count,
+        };
+        let (_, a) = single.call_ok(&req).expect("single-node accepts write");
+        let (_, b) = routed.call_ok(&req).expect("router accepts write");
+        // The ack's `nodes` field is store-local (shard-sized behind the
+        // router — a documented limit); the edge count must agree.
+        assert_eq!(
+            a.get("count").expect("ack count").to_string(),
+            b.get("count").expect("ack count").to_string(),
+            "ack counts for {req:?}"
+        );
+    }
+
+    // Every written label must now answer identically — including the
+    // new children, whose placement only the routing exception map
+    // knows.
+    for (parent, child, _) in &writes {
+        assert_same(
+            &mut single,
+            &mut routed,
+            &Request::Isa {
+                parent: parent.to_string(),
+                child: child.to_string(),
+            },
+        );
+        for term in [parent, child] {
+            for direction in [Direction::Instances, Direction::Concepts] {
+                assert_same(
+                    &mut single,
+                    &mut routed,
+                    &Request::Typicality {
+                        term: term.to_string(),
+                        direction,
+                        k: 10,
+                    },
+                );
+            }
+        }
+    }
+
+    // The merged graph stats still agree after the writes.
+    let (a, b) = both(&mut single, &mut routed, &Request::Stats);
+    assert_eq!(
+        a.get("graph").expect("graph section").to_string(),
+        b.get("graph").expect("graph section").to_string(),
+        "stats diverge after writes"
+    );
+
+    d.shutdown();
+}
+
+#[test]
+fn shard_counts_one_two_and_eight_also_match() {
+    // The 4-shard case gets the full sweep above; here the same spot
+    // checks across other shard counts guard the partitioner's edges
+    // (n=1 trivial placement, n > components).
+    let graph = fixture_graph();
+    for n in [1usize, 2, 8] {
+        let d = deploy(&graph, n);
+        let (mut single, mut routed) = d.clients();
+        for term in ["country", "apple", "cat", "SIGMOD"] {
+            assert_same(
+                &mut single,
+                &mut routed,
+                &Request::Typicality {
+                    term: term.to_string(),
+                    direction: Direction::Instances,
+                    k: 10,
+                },
+            );
+        }
+        assert_same(&mut single, &mut routed, &Request::Levels { term: None });
+        let (a, b) = both(&mut single, &mut routed, &Request::Stats);
+        assert_eq!(
+            a.get("graph").expect("graph section").to_string(),
+            b.get("graph").expect("graph section").to_string(),
+            "stats diverge at {n} shards"
+        );
+        d.shutdown();
+    }
+}

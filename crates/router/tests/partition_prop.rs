@@ -1,0 +1,110 @@
+//! Property tests for the partitioner: on *arbitrary* graphs — not just
+//! hand-built fixtures — the shard union must be byte-for-byte the
+//! unsharded graph, placement must be component-closed, and the routing
+//! hash must never drift.
+
+use probase_router::{canonical_bytes, merge_shards, partition, shard_of, RoutingTable};
+use probase_store::ConceptGraph;
+use proptest::prelude::*;
+
+/// Build a graph from a generated edge list over a small label universe.
+/// Labels collide on purpose (many edges share endpoints) so generated
+/// graphs get multi-edge components, diamonds, and isolated islands.
+fn graph_from_edges(edges: &[(u8, u8, u8)]) -> ConceptGraph {
+    let mut g = ConceptGraph::new();
+    for &(from, to, count) in edges {
+        if from == to {
+            continue; // self-loops are not taxonomy edges
+        }
+        let f = g.ensure_node(&format!("c{from}"), 0);
+        let t = g.ensure_node(&format!("c{to}"), 0);
+        g.add_evidence(f, t, u32::from(count) + 1);
+    }
+    g.rebuild_indexes();
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The acceptance property: for every generated graph and every
+    /// shard count, merging the shards back together reproduces the
+    /// unsharded graph byte-for-byte in canonical form.
+    #[test]
+    fn shard_union_is_the_unsharded_graph(
+        edges in proptest::collection::vec((0u8..24, 0u8..24, 0u8..16), 0..96),
+    ) {
+        let g = graph_from_edges(&edges);
+        let expected = canonical_bytes(&g);
+        for n in [1usize, 2, 4, 8] {
+            let p = partition(&g, n);
+            prop_assert_eq!(p.shards.len(), n, "n={}", n);
+            let merged = merge_shards(&p.shards);
+            prop_assert_eq!(
+                &canonical_bytes(&merged),
+                &expected,
+                "shard union diverges from the unsharded graph at n={}",
+                n
+            );
+        }
+    }
+
+    /// Every label of a shard's graph routes back to that shard — the
+    /// partition is component-closed and the table agrees with it.
+    #[test]
+    fn placement_is_component_closed(
+        edges in proptest::collection::vec((0u8..24, 0u8..24, 0u8..16), 1..96),
+        n in 1usize..9,
+    ) {
+        let g = graph_from_edges(&edges);
+        let p = partition(&g, n);
+        let table = RoutingTable::from_partition(&p);
+        for (i, shard) in p.shards.iter().enumerate() {
+            for node in shard.nodes() {
+                let label = shard.label(node);
+                prop_assert_eq!(
+                    table.shard_for(label),
+                    i,
+                    "label {} lives on shard {} but routes elsewhere (n={})",
+                    label, i, n
+                );
+            }
+        }
+    }
+
+    /// Partitioning is a function of the graph alone: a second run (and
+    /// a table rebuilt from the shard graphs, the restart path) places
+    /// every label identically.
+    #[test]
+    fn placement_is_deterministic_across_rebuilds(
+        edges in proptest::collection::vec((0u8..24, 0u8..24, 0u8..16), 1..96),
+        n in 1usize..9,
+    ) {
+        let g = graph_from_edges(&edges);
+        let a = partition(&g, n);
+        let b = partition(&g, n);
+        for (sa, sb) in a.shards.iter().zip(&b.shards) {
+            prop_assert_eq!(&canonical_bytes(sa), &canonical_bytes(sb));
+        }
+        let from_partition = RoutingTable::from_partition(&a);
+        let from_graphs = RoutingTable::from_shard_graphs(&b.shards);
+        for node in g.nodes() {
+            let label = g.label(node);
+            prop_assert_eq!(
+                from_partition.shard_for(label),
+                from_graphs.shard_for(label),
+                "restart path re-places label {} (n={})",
+                label, n
+            );
+        }
+    }
+
+    /// The frozen routing hash: exception-free labels route by
+    /// `stable_hash % n` no matter which table answers.
+    #[test]
+    fn hash_routing_is_stable(label in "[a-z]{1,12}", n in 1usize..9) {
+        prop_assert_eq!(shard_of(&label, n), shard_of(&label, n));
+        let empty = RoutingTable::new(n);
+        prop_assert_eq!(empty.shard_for(&label), shard_of(&label, n));
+    }
+}

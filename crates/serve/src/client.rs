@@ -145,6 +145,9 @@ pub struct Envelope {
     pub data: Json,
     /// `Some((code, detail))` when the server answered an error.
     pub error: Option<(String, String)>,
+    /// `true` when a sharded deployment answered from a subset of shards
+    /// (single-node servers never set this).
+    pub degraded: bool,
 }
 
 impl Envelope {
@@ -160,6 +163,7 @@ impl Envelope {
                     .ok_or("missing version")?,
                 data: v.get("data").cloned().ok_or("missing data")?,
                 error: None,
+                degraded: v.get("degraded").and_then(Json::as_bool).unwrap_or(false),
             })
         } else {
             let code = v
@@ -172,6 +176,7 @@ impl Envelope {
                 version: 0,
                 data: v.clone(),
                 error: Some((code.to_string(), detail.to_string())),
+                degraded: false,
             })
         }
     }
@@ -427,5 +432,67 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("3 attempts"), "{text}");
         assert!(text.contains("truncated"), "{text}");
+    }
+
+    #[test]
+    fn envelope_parse_reads_degraded_flag() {
+        let ok = json::parse(r#"{"id":1,"ok":true,"version":4,"data":{}}"#).unwrap();
+        assert!(!Envelope::parse(&ok).unwrap().degraded);
+        let partial =
+            json::parse(r#"{"id":1,"ok":true,"version":4,"degraded":true,"data":{}}"#).unwrap();
+        assert!(Envelope::parse(&partial).unwrap().degraded);
+        let err = json::parse(r#"{"id":1,"ok":false,"error":"internal","detail":"x"}"#).unwrap();
+        assert!(!Envelope::parse(&err).unwrap().degraded);
+    }
+
+    /// Regression guard: a reconnect after a transport failure must
+    /// re-apply the configured read timeout instead of reverting to the
+    /// default (no timeout) — otherwise a blackholed server would hang
+    /// the retried call forever.
+    #[test]
+    fn reconnect_preserves_configured_read_timeout() {
+        use crate::proto::{ok_envelope, Request};
+        use std::io::BufRead;
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // First connection: accept and slam the door, forcing the
+            // client onto its reconnect path.
+            drop(listener.accept().unwrap());
+            // Second connection: answer one request properly.
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let v = json::parse(line.trim()).unwrap();
+            let id = v.get("id").and_then(Json::as_u64).unwrap();
+            let reply = ok_envelope(id, 1, Json::obj(vec![("pong", Json::Bool(true))]));
+            use std::io::Write;
+            let mut w = &stream;
+            writeln!(w, "{reply}").unwrap();
+        });
+
+        let timeout = Some(Duration::from_millis(1234));
+        let config = ClientConfig {
+            max_retries: 2,
+            retry_budget: 4,
+            base_delay: Duration::ZERO,
+            jitter: 0.0,
+            read_timeout: timeout,
+            ..ClientConfig::default()
+        };
+        let mut client = Client::connect_with(addr, config).unwrap();
+        // The kernel may round SO_RCVTIMEO up to its tick granularity, so
+        // compare against what the first connection reports rather than
+        // the raw configured value.
+        let fresh = client.reader.get_ref().read_timeout().unwrap();
+        assert!(fresh.is_some(), "configured timeout applied on connect");
+        let envelope = client.call(&Request::Ping).expect("retried call succeeds");
+        assert!(envelope.error.is_none());
+        // White-box: the live stream after reconnect still carries the
+        // configured timeout.
+        assert_eq!(client.reader.get_ref().read_timeout().unwrap(), fresh);
+        server.join().unwrap();
     }
 }

@@ -466,6 +466,20 @@ pub fn ok_envelope(id: u64, version: u64, data: Json) -> Json {
     ])
 }
 
+/// Build a success envelope carrying the partial-result marker a
+/// sharded deployment sets when some shards were unreachable:
+/// `{"id":..,"ok":true,"version":..,"degraded":true,"data":..}`.
+/// Clients that predate sharding ignore the extra key.
+pub fn degraded_envelope(id: u64, version: u64, data: Json) -> Json {
+    Json::obj(vec![
+        ("id", Json::num(id as f64)),
+        ("ok", Json::Bool(true)),
+        ("version", Json::num(version as f64)),
+        ("degraded", Json::Bool(true)),
+        ("data", data),
+    ])
+}
+
 /// Build an error envelope: `{"id":..,"ok":false,"error":..,"detail":..}`.
 pub fn err_envelope(id: u64, code: ErrorCode, detail: &str) -> Json {
     Json::obj(vec![

@@ -151,8 +151,7 @@ impl Server {
         // the listener binds — no request ever sees pre-recovery state).
         let durability = match &config.durability {
             Some(cfg) => Some(Arc::new(
-                Durability::open(cfg, &store, &registry)
-                    .map_err(|e| std::io::Error::new(ErrorKind::Other, e))?,
+                Durability::open(cfg, &store, &registry).map_err(std::io::Error::other)?,
             )),
             None => None,
         };

@@ -20,6 +20,7 @@
 //! * [`dot`] — GraphViz export for eyeballing sense separation.
 //! * [`shared`] — concurrent serving wrapper (many readers, one writer).
 //! * [`wal`] — checksummed write-ahead log for durable serve-path writes.
+//! * [`shard`] — partitioned `shard-N/` durability layout for sharded serving.
 
 #![warn(missing_docs)]
 
@@ -28,6 +29,7 @@ pub mod graph;
 pub mod hash;
 pub mod intern;
 pub mod query;
+pub mod shard;
 pub mod shared;
 pub mod snapshot;
 pub mod wal;
@@ -37,5 +39,6 @@ pub use graph::{ConceptGraph, EdgeData, NodeId};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Interner, Symbol};
 pub use query::{GraphStats, LevelMap};
+pub use shard::{discover_shard_dirs, provision_shard_dirs, shard_dir};
 pub use shared::SharedStore;
 pub use wal::{WalEntry, WalOp, WalSync};

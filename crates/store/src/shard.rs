@@ -1,0 +1,116 @@
+//! Partitioned on-disk layout for sharded deployments.
+//!
+//! A sharded serve deployment keeps one durability directory per shard
+//! under a common root:
+//!
+//! ```text
+//! <root>/shard-0/   snapshot-*.pb, wal-*.log
+//! <root>/shard-1/   ...
+//! ```
+//!
+//! Each shard directory is an ordinary single-node durability directory
+//! (DESIGN.md §13) — the shard's serve stack owns it exclusively, so WAL
+//! append, recovery, and background rebuild all work unchanged. These
+//! helpers only name and discover the directories; the router crate
+//! decides what goes in them.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The durability directory for shard `i` under `root`.
+pub fn shard_dir(root: &Path, i: usize) -> PathBuf {
+    root.join(format!("shard-{i}"))
+}
+
+/// Discover an existing sharded layout under `root`: returns the shard
+/// directories `shard-0 ..= shard-(n-1)` in order, or an empty vector if
+/// `shard-0` does not exist (fresh root). Errors if the numbering has a
+/// gap — a half-provisioned root is more likely an operator mistake than
+/// an intent to run with fewer shards.
+pub fn discover_shard_dirs(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut dirs = Vec::new();
+    loop {
+        let dir = shard_dir(root, dirs.len());
+        if dir.is_dir() {
+            dirs.push(dir);
+        } else {
+            break;
+        }
+    }
+    if !dirs.is_empty() {
+        // A gap past the contiguous prefix means shard-k exists without
+        // shard-(k-1) having been counted; scan for strays.
+        if let Ok(entries) = std::fs::read_dir(root) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if let Some(idx) = name.strip_prefix("shard-") {
+                    if let Ok(idx) = idx.parse::<usize>() {
+                        if idx >= dirs.len() && entry.path().is_dir() {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!(
+                                    "sharded root {}: found {} but shard-{} is missing",
+                                    root.display(),
+                                    name,
+                                    dirs.len()
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(dirs)
+}
+
+/// Create the shard directories `shard-0 ..= shard-(n-1)` under `root`
+/// (and `root` itself), returning them in order.
+pub fn provision_shard_dirs(root: &Path, n: usize) -> io::Result<Vec<PathBuf>> {
+    let mut dirs = Vec::with_capacity(n);
+    for i in 0..n {
+        let dir = shard_dir(root, i);
+        std::fs::create_dir_all(&dir)?;
+        dirs.push(dir);
+    }
+    Ok(dirs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("probase-shard-layout-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn provision_then_discover_round_trips() {
+        let root = temp_root("roundtrip");
+        let made = provision_shard_dirs(&root, 4).unwrap();
+        assert_eq!(made.len(), 4);
+        assert_eq!(discover_shard_dirs(&root).unwrap(), made);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn fresh_root_discovers_empty() {
+        let root = temp_root("fresh");
+        assert!(discover_shard_dirs(&root).unwrap().is_empty());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn gap_in_numbering_is_an_error() {
+        let root = temp_root("gap");
+        std::fs::create_dir_all(shard_dir(&root, 0)).unwrap();
+        std::fs::create_dir_all(shard_dir(&root, 2)).unwrap();
+        assert!(discover_shard_dirs(&root).is_err());
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

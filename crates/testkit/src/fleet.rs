@@ -1,0 +1,190 @@
+//! A chaos proxy per shard: one [`FaultProxy`] in front of each upstream
+//! of a sharded deployment, so router chaos tests can degrade or kill
+//! individual shards while the rest of the fleet keeps serving.
+//!
+//! The fleet derives each shard's [`FaultPlan`] from one master seed
+//! (`splitmix`-style stream split), so a single `PROBASE_CHAOS_SEED`
+//! value replays the fault schedule of the *whole* deployment.
+
+use std::net::SocketAddr;
+
+use crate::plan::FaultPlan;
+use crate::proxy::FaultProxy;
+
+/// One chaos proxy per shard of a sharded deployment.
+pub struct ProxyFleet {
+    proxies: Vec<Option<FaultProxy>>,
+    addrs: Vec<SocketAddr>,
+}
+
+impl ProxyFleet {
+    /// Start one seeded [`FaultProxy`] in front of each upstream. Shard
+    /// `i` gets a plan seeded from `seed` and `i`, so schedules differ
+    /// per shard but the whole fleet replays from one seed.
+    pub fn start(upstreams: &[SocketAddr], seed: u64) -> std::io::Result<ProxyFleet> {
+        let mut proxies = Vec::with_capacity(upstreams.len());
+        let mut addrs = Vec::with_capacity(upstreams.len());
+        for (i, &up) in upstreams.iter().enumerate() {
+            let plan = FaultPlan::seeded(shard_seed(seed, i));
+            let proxy = FaultProxy::start(up, plan)?;
+            addrs.push(proxy.local_addr());
+            proxies.push(Some(proxy));
+        }
+        Ok(ProxyFleet { proxies, addrs })
+    }
+
+    /// Start a fleet with an explicit plan per upstream (scenario
+    /// scripting). Panics if the lengths differ.
+    pub fn start_scripted(
+        upstreams: &[SocketAddr],
+        plans: Vec<FaultPlan>,
+    ) -> std::io::Result<ProxyFleet> {
+        assert_eq!(
+            upstreams.len(),
+            plans.len(),
+            "one FaultPlan per upstream required"
+        );
+        let mut proxies = Vec::with_capacity(upstreams.len());
+        let mut addrs = Vec::with_capacity(upstreams.len());
+        for (&up, plan) in upstreams.iter().zip(plans) {
+            let proxy = FaultProxy::start(up, plan)?;
+            addrs.push(proxy.local_addr());
+            proxies.push(Some(proxy));
+        }
+        Ok(ProxyFleet { proxies, addrs })
+    }
+
+    /// Number of shards fronted by this fleet.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True when the fleet fronts no shards.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// The proxy-side addresses, in shard order — hand these to the
+    /// router as its shard address list.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// The proxy address fronting shard `i`.
+    pub fn addr(&self, i: usize) -> SocketAddr {
+        self.addrs[i]
+    }
+
+    /// Kill shard `i`'s proxy: every connection to it is torn down and
+    /// new ones are refused, exactly what a crashed shard looks like to
+    /// the router. Idempotent.
+    pub fn kill(&mut self, i: usize) {
+        if let Some(proxy) = self.proxies[i].take() {
+            proxy.shutdown();
+        }
+    }
+
+    /// Whether shard `i`'s proxy is still alive.
+    pub fn alive(&self, i: usize) -> bool {
+        self.proxies[i].is_some()
+    }
+
+    /// Shut the whole fleet down.
+    pub fn shutdown(mut self) {
+        for i in 0..self.proxies.len() {
+            self.kill(i);
+        }
+    }
+}
+
+/// Derive shard `i`'s plan seed from the master seed. SplitMix64-style
+/// mixing so adjacent shards get unrelated streams; `+ 1` keeps shard 0
+/// off the master seed itself.
+fn shard_seed(seed: u64, i: usize) -> u64 {
+    let mut z = seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpListener;
+
+    /// A trivial echo upstream for proxy tests.
+    fn echo_upstream() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut line = String::new();
+                    while reader.read_line(&mut line).unwrap_or(0) > 0 {
+                        let mut w = &stream;
+                        if w.write_all(line.as_bytes()).is_err() {
+                            break;
+                        }
+                        line.clear();
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn shard_seeds_differ_and_replay() {
+        let a: Vec<u64> = (0..4).map(|i| shard_seed(7, i)).collect();
+        let b: Vec<u64> = (0..4).map(|i| shard_seed(7, i)).collect();
+        assert_eq!(a, b, "same master seed replays the same plan seeds");
+        for i in 0..4 {
+            for j in 0..i {
+                assert_ne!(a[i], a[j], "shards {i} and {j} share a stream");
+            }
+        }
+    }
+
+    #[test]
+    fn kill_takes_down_one_shard_only() {
+        use crate::plan::{Fault, FaultPlan};
+        let ups: Vec<SocketAddr> = (0..3).map(|_| echo_upstream()).collect();
+        let plans = vec![FaultPlan::scripted(vec![Fault::None]); 3];
+        let mut fleet = ProxyFleet::start_scripted(&ups, plans).unwrap();
+        assert_eq!(fleet.len(), 3);
+
+        fleet.kill(1);
+        assert!(!fleet.alive(1));
+        assert!(fleet.alive(0) && fleet.alive(2));
+
+        // Survivors still relay; the killed shard refuses.
+        for i in [0usize, 2] {
+            let stream = std::net::TcpStream::connect(fleet.addr(i)).unwrap();
+            let mut w = &stream;
+            writeln!(w, "hello").unwrap();
+            let mut reader = BufReader::new(&stream);
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim(), "hello", "shard {i} should still echo");
+        }
+        let dead = std::net::TcpStream::connect(fleet.addr(1));
+        assert!(
+            dead.is_err() || {
+                // Accept-then-reset also counts as dead: a write or read
+                // must fail quickly.
+                let s = dead.unwrap();
+                let mut w = &s;
+                writeln!(w, "x").is_err() || {
+                    let mut r = BufReader::new(&s);
+                    let mut l = String::new();
+                    r.read_line(&mut l).map(|n| n == 0).unwrap_or(true)
+                }
+            },
+            "killed shard must not serve"
+        );
+        fleet.shutdown();
+    }
+}

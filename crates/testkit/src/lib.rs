@@ -25,13 +25,17 @@
 //!
 //! The serve crate's `tests/chaos.rs` is the primary consumer; see
 //! `DESIGN.md` §11 for the fault taxonomy and the seed/replay workflow.
+//! For sharded deployments, [`fleet::ProxyFleet`] runs one proxy per
+//! shard off a single master seed so router chaos replays the same way.
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod plan;
 pub mod prng;
 pub mod proxy;
 
+pub use fleet::ProxyFleet;
 pub use plan::{Fault, FaultPlan};
 pub use prng::XorShift;
 pub use proxy::FaultProxy;

@@ -8,6 +8,9 @@
 //! cargo run --release --bin probase-cli -- --load t.pb     # load a snapshot
 //! cargo run --release --bin probase-cli -- serve           # TCP server
 //! cargo run --release --bin probase-cli -- serve --addr 127.0.0.1:7878
+//! cargo run --release --bin probase-cli -- serve --shards 4   # sharded
+//! cargo run --release --bin probase-cli -- route \
+//!     --shard-addrs 10.0.0.1:7878,10.0.0.2:7878           # router only
 //! ```
 //!
 //! REPL commands:
@@ -27,19 +30,24 @@
 use probase::apps::{tag_entities, NerConfig};
 use probase::corpus::{CorpusConfig, WorldConfig};
 use probase::prob::ProbaseModel;
-use probase::store::{snapshot, ConceptGraph, GraphStats, SharedStore};
+use probase::store::{shard_dir, snapshot, ConceptGraph, GraphStats, SharedStore};
 use probase::{ProbaseConfig, Simulation};
+use probase_router::{partition, Router, RouterConfig, RouterServer, RoutingTable};
 use probase_serve::{DurabilityConfig, ServeConfig, Server, WalSync};
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "\
 Usage: probase-cli [OPTIONS] [SENTENCES]
        probase-cli serve [OPTIONS]
+       probase-cli route --shard-addrs A,B,... [OPTIONS]
 
 Modes:
   (default)             interactive explorer REPL
   serve                 start the probase-serve TCP server
+  route                 start only the shard router, over already-running
+                        shard servers
 
 Options (both modes):
   --load <PATH>         load a binary snapshot instead of simulating
@@ -61,11 +69,24 @@ Options (serve only):
                         (default 1024; needs --snapshot-dir)
   --rebuild-secs <N>    background rebuild every N seconds, 0 = off
                         (default 60; needs --snapshot-dir)
+  --shards <N>          split the taxonomy into N component-closed shards,
+                        run one serve stack per shard on loopback, and
+                        front them with the router on --addr (default 1 =
+                        single-node, exactly the historical behavior)
+
+Options (route only):
+  --shard-addrs <LIST>  comma-separated shard server addresses, in shard
+                        order (required)
+  --addr <HOST:PORT>    router bind address (default 127.0.0.1:7878)
+  --routing-table <P>   JSON routing table written by `serve --shards`
+                        (default: pure label-hash placement, no exceptions)
+  --deadline-ms <N>     per-request fan-out deadline (default 2000)
 ";
 
 #[derive(Debug, PartialEq)]
 struct CliArgs {
     serve: bool,
+    route: bool,
     load: Option<String>,
     sentences: usize,
     metrics_out: Option<String>,
@@ -78,6 +99,9 @@ struct CliArgs {
     wal_sync: WalSync,
     rebuild_writes: u64,
     rebuild_secs: u64,
+    shards: usize,
+    shard_addrs: Vec<String>,
+    routing_table: Option<String>,
 }
 
 impl Default for CliArgs {
@@ -85,6 +109,7 @@ impl Default for CliArgs {
         let d = ServeConfig::default();
         Self {
             serve: false,
+            route: false,
             load: None,
             sentences: 30_000,
             metrics_out: None,
@@ -97,6 +122,9 @@ impl Default for CliArgs {
             wal_sync: WalSync::Always,
             rebuild_writes: 1024,
             rebuild_secs: 60,
+            shards: 1,
+            shard_addrs: Vec::new(),
+            routing_table: None,
         }
     }
 }
@@ -106,9 +134,16 @@ impl Default for CliArgs {
 fn parse_args(argv: &[String]) -> Result<Option<CliArgs>, String> {
     let mut args = CliArgs::default();
     let mut it = argv.iter().peekable();
-    if it.peek().map(|a| a.as_str()) == Some("serve") {
-        args.serve = true;
-        it.next();
+    match it.peek().map(|a| a.as_str()) {
+        Some("serve") => {
+            args.serve = true;
+            it.next();
+        }
+        Some("route") => {
+            args.route = true;
+            it.next();
+        }
+        _ => {}
     }
     while let Some(arg) = it.next() {
         let mut take = |name: &str| -> Result<&String, String> {
@@ -124,7 +159,30 @@ fn parse_args(argv: &[String]) -> Result<Option<CliArgs>, String> {
                     .parse()
                     .map_err(|_| format!("--sentences: not a number: {v:?}"))?;
             }
-            "--addr" if args.serve => args.addr = take("--addr")?.clone(),
+            "--addr" if args.serve || args.route => args.addr = take("--addr")?.clone(),
+            "--shards" if args.serve => {
+                let v = take("--shards")?;
+                args.shards = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--shards: need a positive number, got {v:?}"))?;
+            }
+            "--shard-addrs" if args.route => {
+                let v = take("--shard-addrs")?;
+                args.shard_addrs = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if args.shard_addrs.is_empty() {
+                    return Err("--shard-addrs: need at least one address".to_string());
+                }
+            }
+            "--routing-table" if args.route => {
+                args.routing_table = Some(take("--routing-table")?.clone());
+            }
             "--workers" if args.serve => {
                 let v = take("--workers")?;
                 args.workers = v
@@ -147,7 +205,7 @@ fn parse_args(argv: &[String]) -> Result<Option<CliArgs>, String> {
                     .parse()
                     .map_err(|_| format!("--cache: not a number: {v:?}"))?;
             }
-            "--deadline-ms" if args.serve => {
+            "--deadline-ms" if args.serve || args.route => {
                 let v = take("--deadline-ms")?;
                 args.deadline_ms = v
                     .parse()
@@ -172,7 +230,7 @@ fn parse_args(argv: &[String]) -> Result<Option<CliArgs>, String> {
                     .parse()
                     .map_err(|_| format!("--rebuild-secs: not a number: {v:?}"))?;
             }
-            positional if !positional.starts_with('-') && !args.serve => {
+            positional if !positional.starts_with('-') && !args.serve && !args.route => {
                 // Back-compat: `probase-cli 60000`.
                 args.sentences = positional
                     .parse()
@@ -188,6 +246,16 @@ fn parse_args(argv: &[String]) -> Result<Option<CliArgs>, String> {
         for flag in ["--wal-sync", "--rebuild-writes", "--rebuild-secs"] {
             if argv.iter().any(|a| a == flag) {
                 return Err(format!("{flag} needs --snapshot-dir"));
+            }
+        }
+    }
+    if args.route {
+        if args.shard_addrs.is_empty() {
+            return Err("route mode needs --shard-addrs".to_string());
+        }
+        for flag in ["--load", "--sentences"] {
+            if argv.iter().any(|a| a == flag) {
+                return Err(format!("{flag} makes no sense in route mode"));
             }
         }
     }
@@ -244,6 +312,9 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.route {
+        run_route(&args);
+    }
     let graph = match load_graph(&args) {
         Ok(g) => g,
         Err(msg) => {
@@ -251,6 +322,9 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if args.serve && args.shards > 1 {
+        run_sharded_serve(&args, graph);
+    }
     // Host the graph in the shared store in both modes so `store.*`
     // metrics (snapshot swaps, query counts) appear in the report.
     let store = SharedStore::new(graph);
@@ -314,6 +388,157 @@ fn main() {
     let model = ProbaseModel::new(store.clone_graph());
     write_metrics(&args);
     repl(&model);
+}
+
+/// `serve --shards N`: split Γ into component-closed shards, run one
+/// full serve stack per shard on loopback, and front the fleet with the
+/// router on the public address. Never returns.
+fn run_sharded_serve(args: &CliArgs, graph: ConceptGraph) -> ! {
+    let n = args.shards;
+    eprintln!(
+        "partitioning {} nodes / {} edges into {n} shards ...",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    let p = partition(&graph, n);
+    drop(graph);
+
+    let mut servers = Vec::with_capacity(n);
+    let mut shard_addrs = Vec::with_capacity(n);
+    for (i, shard_graph) in p.shards.into_iter().enumerate() {
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: args.workers,
+            queue_capacity: args.queue,
+            cache_capacity: args.cache,
+            cache_shards: 16,
+            deadline: Duration::from_millis(args.deadline_ms),
+            durability: args.snapshot_dir.as_ref().map(|root| DurabilityConfig {
+                snapshot_dir: shard_dir(std::path::Path::new(root), i),
+                wal_sync: args.wal_sync,
+                rebuild_after_writes: args.rebuild_writes,
+                rebuild_interval: match args.rebuild_secs {
+                    0 => None,
+                    secs => Some(Duration::from_secs(secs)),
+                },
+            }),
+            ..ServeConfig::default()
+        };
+        if let Some(d) = &config.durability {
+            if let Err(e) = std::fs::create_dir_all(&d.snapshot_dir) {
+                eprintln!("error: cannot create {:?}: {e}", d.snapshot_dir);
+                std::process::exit(1);
+            }
+        }
+        // Each shard keeps a private registry; the router records the
+        // fleet-level `router.*` metrics into the global one.
+        let server = match Server::start(SharedStore::new(shard_graph), &config) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot start shard {i}: {e}");
+                std::process::exit(1);
+            }
+        };
+        shard_addrs.push(server.local_addr().to_string());
+        servers.push(server);
+    }
+
+    // Rebuild the routing table from what the shards actually serve:
+    // with a durable dir, crash recovery may have replayed WAL writes
+    // on top of the fresh partition, and those labels must route to
+    // the shard that owns them.
+    let shard_graphs: Vec<ConceptGraph> = servers
+        .iter()
+        .map(|s| s.state().store().clone_graph())
+        .collect();
+    let table = RoutingTable::from_shard_graphs(&shard_graphs);
+    drop(shard_graphs);
+    if let Some(root) = &args.snapshot_dir {
+        let path = std::path::Path::new(root).join("routing-table.json");
+        match table.save(&path) {
+            Ok(()) => eprintln!("wrote routing table to {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write routing table: {e}"),
+        }
+    }
+
+    let config = RouterConfig {
+        shard_addrs: shard_addrs.clone(),
+        deadline: Duration::from_millis(args.deadline_ms),
+        snapshot_root: args.snapshot_dir.as_ref().map(Into::into),
+        ..RouterConfig::default()
+    };
+    let router = match Router::new(config, table, probase::obs::global()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let front = match RouterServer::start(Arc::new(router), &args.addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    write_metrics(args);
+    eprintln!(
+        "probase-router listening on {} over {n} shards: {}",
+        front.local_addr(),
+        shard_addrs.join(", ")
+    );
+    if let Some(dir) = &args.snapshot_dir {
+        eprintln!("durable writes: per-shard WAL + checkpoints under {dir}/shard-<i>");
+    }
+    // Shard servers and the router stay alive until the process dies.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `route`: front already-running shard servers with a router. Never
+/// returns.
+fn run_route(args: &CliArgs) -> ! {
+    let table = match &args.routing_table {
+        Some(path) => match RoutingTable::load(std::path::Path::new(path)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot load routing table {path:?}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => RoutingTable::new(args.shard_addrs.len()),
+    };
+    let config = RouterConfig {
+        shard_addrs: args.shard_addrs.clone(),
+        deadline: Duration::from_millis(args.deadline_ms),
+        snapshot_root: None,
+        ..RouterConfig::default()
+    };
+    let router = match Router::new(config, table, probase::obs::global()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let front = match RouterServer::start(Arc::new(router), &args.addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    write_metrics(args);
+    eprintln!(
+        "probase-router listening on {} over {} shards: {}",
+        front.local_addr(),
+        args.shard_addrs.len(),
+        args.shard_addrs.join(", ")
+    );
+    loop {
+        std::thread::park();
+    }
 }
 
 /// Snapshot the process-global metric registry to `--metrics-out`, if set.
@@ -571,6 +796,62 @@ mod tests {
             vec!["serve", "--snapshot-dir"],
             // serve-only flag outside serve mode
             vec!["--snapshot-dir", "d"],
+        ] {
+            assert!(parse(&bad).is_err(), "{bad:?} should be an error");
+        }
+    }
+
+    #[test]
+    fn shards_flag_parses() {
+        let args = parse(&["serve", "--shards", "4"]).unwrap().unwrap();
+        assert!(args.serve);
+        assert_eq!(args.shards, 4);
+        // Default stays single-node.
+        let args = parse(&["serve"]).unwrap().unwrap();
+        assert_eq!(args.shards, 1);
+        for bad in [
+            vec!["serve", "--shards", "0"],
+            vec!["serve", "--shards", "lots"],
+            vec!["--shards", "4"], // serve-only
+        ] {
+            assert!(parse(&bad).is_err(), "{bad:?} should be an error");
+        }
+    }
+
+    #[test]
+    fn route_mode_parses() {
+        let args = parse(&[
+            "route",
+            "--shard-addrs",
+            "10.0.0.1:7878, 10.0.0.2:7878,10.0.0.3:7878",
+            "--addr",
+            "0.0.0.0:9000",
+            "--deadline-ms",
+            "750",
+            "--routing-table",
+            "t.json",
+        ])
+        .unwrap()
+        .unwrap();
+        assert!(args.route && !args.serve);
+        assert_eq!(
+            args.shard_addrs,
+            vec!["10.0.0.1:7878", "10.0.0.2:7878", "10.0.0.3:7878"]
+        );
+        assert_eq!(args.addr, "0.0.0.0:9000");
+        assert_eq!(args.deadline_ms, 750);
+        assert_eq!(args.routing_table.as_deref(), Some("t.json"));
+    }
+
+    #[test]
+    fn route_mode_errors() {
+        for bad in [
+            vec!["route"],                       // missing addrs
+            vec!["route", "--shard-addrs", ","], // empty list
+            vec!["route", "--shard-addrs", "a", "--load", "x.pb"],
+            vec!["route", "--shard-addrs", "a", "--sentences", "5"],
+            vec!["--shard-addrs", "a"], // route-only flag
+            vec!["serve", "--shard-addrs", "a"],
         ] {
             assert!(parse(&bad).is_err(), "{bad:?} should be an error");
         }

@@ -11,8 +11,13 @@
 //! cargo run --release --bin probase-cli -- serve &
 //! cargo run --release --bin probase-loadgen -- --threads 4 --duration-secs 10
 //! ```
+//!
+//! Point it at a shard router instead with `--router-addr`: the same
+//! workload runs (the router speaks the identical protocol), and the
+//! report additionally splits latency by query class — single-shard
+//! routes vs scatter-gather fan-outs — plus a degraded-response count.
 
-use probase_serve::{Client, ClientError, Json, Request};
+use probase_serve::{Client, ClientConfig, ClientError, Json, Request};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -24,6 +29,11 @@ Usage: probase-loadgen [OPTIONS]
 
 Options:
   --addr <HOST:PORT>     server address (default 127.0.0.1:7878)
+  --router-addr <H:P>    target a shard router instead: same workload, plus
+                         per-query-class (single-shard vs scatter-gather)
+                         latency and degraded-response reporting
+  --read-timeout-ms <N>  socket read timeout per request (default 5000);
+                         applies to fresh connections AND reconnects
   --threads <N>          closed-loop workers (default 4)
   --duration-secs <N>    run length (default 10)
   --write-ratio <F>      fraction of add-evidence writes, 0..1 (default 0.05)
@@ -36,6 +46,8 @@ Options:
 #[derive(Debug, Clone)]
 struct Args {
     addr: String,
+    router: bool,
+    read_timeout_ms: u64,
     threads: usize,
     duration: Duration,
     write_ratio: f64,
@@ -48,6 +60,8 @@ impl Default for Args {
     fn default() -> Self {
         Args {
             addr: "127.0.0.1:7878".to_string(),
+            router: false,
+            read_timeout_ms: 5_000,
             threads: 4,
             duration: Duration::from_secs(10),
             write_ratio: 0.05,
@@ -71,6 +85,13 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
         match arg.as_str() {
             "-h" | "--help" => return Ok(None),
             "--addr" => args.addr = take("--addr")?.clone(),
+            "--router-addr" => {
+                args.addr = take("--router-addr")?.clone();
+                args.router = true;
+            }
+            "--read-timeout-ms" => {
+                args.read_timeout_ms = num("--read-timeout-ms", take("--read-timeout-ms")?)?;
+            }
             "--threads" => args.threads = num("--threads", take("--threads")?)?,
             "--duration-secs" => {
                 args.duration =
@@ -88,6 +109,9 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
     }
     if !(0.0..=1.0).contains(&args.write_ratio) {
         return Err("--write-ratio must be in 0..=1".to_string());
+    }
+    if argv.iter().any(|a| a == "--addr") && argv.iter().any(|a| a == "--router-addr") {
+        return Err("--addr and --router-addr are mutually exclusive".to_string());
     }
     Ok(Some(args))
 }
@@ -136,6 +160,30 @@ struct WorkerStats {
     server_errors: u64,
     /// Transport/parse failures — must be zero on a healthy run.
     protocol_errors: u64,
+    /// Partial-result envelopes from a router with lost shards.
+    degraded: u64,
+}
+
+/// The transport profile every loadgen connection uses. Built once per
+/// worker and reused verbatim on reconnect, so a connection replaced
+/// after a transport failure keeps the configured read timeout instead
+/// of silently reverting to the blocking default.
+fn client_config(args: &Args) -> ClientConfig {
+    ClientConfig {
+        read_timeout: Some(Duration::from_millis(args.read_timeout_ms.max(1))),
+        seed: args.seed,
+        ..ClientConfig::default()
+    }
+}
+
+/// Which side of the router's fan-out decision an endpoint lands on.
+/// Must mirror `probase_router::Router`'s classification: label-keyed
+/// endpoints route to one shard, everything else scatter-gathers.
+fn query_class(endpoint: &str) -> &'static str {
+    match endpoint {
+        "isa" | "typicality" | "plausibility" | "levels" | "add-evidence" => "single-shard",
+        _ => "scatter-gather",
+    }
 }
 
 /// Labels the loadgen writes under; they never collide with simulated
@@ -224,7 +272,8 @@ fn worker(
     instances: &[String],
     stop: &AtomicBool,
 ) -> Result<WorkerStats, ClientError> {
-    let mut client = Client::connect(&args.addr)?;
+    let config = client_config(args);
+    let mut client = Client::connect_with(&args.addr, config.clone())?;
     let mut rng = SmallRng::seed_from_u64(args.seed.wrapping_add(thread as u64 * 7919));
     let zipf = Zipf::new(concepts.len().min(instances.len()), args.zipf);
     let mut stats = WorkerStats::default();
@@ -249,12 +298,16 @@ fn worker(
                 if envelope.error.is_some() {
                     stats.server_errors += 1;
                 }
+                if envelope.degraded {
+                    stats.degraded += 1;
+                }
             }
             Err(ClientError::Server(..)) => unreachable!("call() never returns Server"),
             Err(_) => {
                 stats.protocol_errors += 1;
-                // The connection may be dead; reconnect and continue.
-                client = Client::connect(&args.addr)?;
+                // The connection may be dead; reconnect and continue —
+                // with the same transport profile, not the default one.
+                client = Client::connect_with(&args.addr, config.clone())?;
             }
         }
     }
@@ -299,7 +352,7 @@ fn main() {
     };
 
     // Bootstrap the hot-key sets from the server itself.
-    let mut bootstrap = match Client::connect(&args.addr) {
+    let mut bootstrap = match Client::connect_with(&args.addr, client_config(&args)) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: cannot connect to {}: {e}", args.addr);
@@ -345,6 +398,7 @@ fn main() {
                 merged.requests += s.requests;
                 merged.server_errors += s.server_errors;
                 merged.protocol_errors += s.protocol_errors;
+                merged.degraded += s.degraded;
                 merged.latencies.extend(s.latencies);
             }
             Err(_) => connect_failures += 1,
@@ -360,6 +414,9 @@ fn main() {
     );
     println!("server errors:   {}", merged.server_errors);
     println!("protocol errors: {}", merged.protocol_errors);
+    if args.router {
+        println!("degraded:        {}", merged.degraded);
+    }
     if connect_failures > 0 {
         println!("worker connect failures: {connect_failures}");
     }
@@ -381,6 +438,30 @@ fn main() {
             percentile(&lats, 0.50),
             percentile(&lats, 0.99)
         );
+    }
+
+    if args.router {
+        // Routed deployments answer label-keyed queries from one shard
+        // and fan the rest out; the split shows what sharding buys (and
+        // costs) at a glance.
+        let mut by_class: std::collections::BTreeMap<&str, Vec<u64>> = Default::default();
+        for (name, us) in &merged.latencies {
+            by_class.entry(query_class(name)).or_default().push(*us);
+        }
+        println!(
+            "\n{:<16} {:>8} {:>10} {:>10}",
+            "query class", "count", "p50_us", "p99_us"
+        );
+        for (class, mut lats) in by_class {
+            lats.sort_unstable();
+            println!(
+                "{:<16} {:>8} {:>10} {:>10}",
+                class,
+                lats.len(),
+                percentile(&lats, 0.50),
+                percentile(&lats, 0.99)
+            );
+        }
     }
 
     match bootstrap.call_ok(&Request::Stats) {
@@ -436,5 +517,69 @@ mod tests {
         assert!(parse_args(&["--threads".into(), "0".into()]).is_err());
         assert!(parse_args(&["--write-ratio".into(), "1.5".into()]).is_err());
         assert!(parse_args(&["--nope".into()]).is_err());
+    }
+
+    #[test]
+    fn router_addr_flag() {
+        let ok = parse_args(&["--router-addr".into(), "10.0.0.9:7979".into()])
+            .unwrap()
+            .unwrap();
+        assert!(ok.router);
+        assert_eq!(ok.addr, "10.0.0.9:7979");
+        let plain = parse_args(&[]).unwrap().unwrap();
+        assert!(!plain.router);
+        assert!(parse_args(&[
+            "--addr".into(),
+            "a:1".into(),
+            "--router-addr".into(),
+            "b:2".into(),
+        ])
+        .is_err());
+    }
+
+    /// The per-class report is only honest if its endpoint → class
+    /// mapping matches the router's actual fan-out rule. Cross-check
+    /// every request the workload can produce against that rule.
+    #[test]
+    fn query_class_matches_router_fanout_rule() {
+        let concepts = vec!["country".to_string(), "company".to_string()];
+        let instances = vec!["China".to_string(), "Microsoft".to_string()];
+        let args = Args {
+            write_ratio: 0.3,
+            ..Args::default()
+        };
+        let zipf = Zipf::new(2, 1.0);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut writes = 0u64;
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            let (name, req) = pick_request(
+                &mut rng,
+                &zipf,
+                &concepts,
+                &instances,
+                &args,
+                0,
+                &mut writes,
+            );
+            seen.insert(name);
+            // The router's classification (engine.rs): these route to
+            // one shard, everything else scatter-gathers.
+            let single = matches!(
+                req,
+                Request::Isa { .. }
+                    | Request::Plausibility { .. }
+                    | Request::Typicality { .. }
+                    | Request::Levels { term: Some(_) }
+                    | Request::AddEvidence { .. }
+            );
+            let expected = if single {
+                "single-shard"
+            } else {
+                "scatter-gather"
+            };
+            assert_eq!(query_class(name), expected, "endpoint {name}");
+        }
+        assert!(seen.len() >= 6, "workload should cover all endpoints");
     }
 }

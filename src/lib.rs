@@ -65,3 +65,7 @@ pub use probase_eval as eval;
 
 /// Query-serving subsystem: TCP server, response cache, metrics (§5.3).
 pub use probase_serve as serve;
+
+/// Shard router: deterministic label-hash partitioning, scatter-gather,
+/// hedged retries, graceful degradation (§5.3 at Trinity scale).
+pub use probase_router as router;

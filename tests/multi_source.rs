@@ -71,7 +71,8 @@ fn merging_sources_grows_coverage_and_keeps_counts() {
     );
 
     // And the merged knowledge survives a persistence round-trip.
-    let restored = knowledge_from_bytes(knowledge_to_bytes(&merged)).expect("roundtrip");
+    let restored =
+        knowledge_from_bytes(knowledge_to_bytes(&merged).expect("encodes")).expect("roundtrip");
     assert_eq!(restored.total(), merged.total());
     assert_eq!(restored.pair_count(), merged.pair_count());
     assert_eq!(check(&restored, "country", "China"), m);

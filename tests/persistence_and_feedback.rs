@@ -24,7 +24,7 @@ fn sim(seed: u64) -> Simulation {
 fn snapshot_roundtrip_preserves_model_answers() {
     let s = sim(301);
     let graph = s.probase.model.graph();
-    let bytes = snapshot::to_bytes(graph);
+    let bytes = snapshot::to_bytes(graph).expect("snapshot encodes");
     assert!(!bytes.is_empty());
 
     let mut restored = snapshot::from_bytes(bytes).expect("snapshot decodes");
