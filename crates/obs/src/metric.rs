@@ -65,23 +65,44 @@ impl Gauge {
     }
 }
 
-/// Number of power-of-two buckets: bucket `i` covers `[2^(i-1), 2^i)`,
-/// bucket 0 holds zero, and the last bucket absorbs everything above
-/// `2^62` — more range than any latency in microseconds or payload size
-/// in bytes will ever need.
-pub const BUCKETS: usize = 64;
+/// Sub-bucket resolution of the HDR-style histogram: each power-of-two
+/// octave above the linear region splits into `2^SUB_BUCKET_BITS` linear
+/// sub-buckets, bounding the relative quantile error at
+/// `1 / 2^SUB_BUCKET_BITS` (≈ 3.1%).
+pub const SUB_BUCKET_BITS: usize = 5;
 
-/// A power-of-two-bucketed histogram over `u64` values.
+/// Sub-buckets per octave (see [`SUB_BUCKET_BITS`]).
+pub const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+
+/// Values below this are recorded exactly (one bucket per integer).
+const LINEAR_MAX: u64 = 2 * SUB_BUCKETS as u64;
+
+/// Number of power-of-two octaves above the linear region: `[2^6, 2^7)`
+/// through `[2^63, 2^64)`.
+const OCTAVES: usize = 64 - (SUB_BUCKET_BITS + 1);
+
+/// Total bucket count: the exact linear region plus `SUB_BUCKETS` slots
+/// per octave. More range than any latency in microseconds or payload
+/// size in bytes will ever need, at ~3% worst-case resolution.
+pub const BUCKETS: usize = 2 * SUB_BUCKETS + OCTAVES * SUB_BUCKETS;
+
+/// An HDR-style log-bucketed histogram over `u64` values.
 ///
 /// One type serves both latencies (record microseconds via
 /// [`Histogram::record_duration`]) and sizes (record raw values via
-/// [`Histogram::record`]); the log bucketing answers p50/p99 with
-/// one-bucket resolution — the same shape Prometheus client histograms
-/// use, minus the dependency.
+/// [`Histogram::record`]). Values below [`LINEAR_MAX`] land in
+/// per-integer buckets (exact quantiles — small-sample percentile math
+/// cannot be off-by-one); larger values use the HdrHistogram bucketing:
+/// the octave `[2^e, 2^(e+1))` splits into [`SUB_BUCKETS`] equal slots,
+/// so every quantile is within `1/SUB_BUCKETS` of exact — tight enough
+/// to gate p99/p99.9 SLOs on, unlike one-bucket power-of-two resolution
+/// where "p99" could be 2× the truth. The true maximum is additionally
+/// tracked exactly ([`Histogram::max`]).
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     sum: AtomicU64,
+    max: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -90,20 +111,42 @@ impl Default for Histogram {
             // `[T; N]: Default` stops at N = 32, so build the slots by hand.
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
         }
+    }
+}
+
+/// Bucket index for `value` (see the type docs for the layout).
+fn bucket_index(value: u64) -> usize {
+    if value < LINEAR_MAX {
+        value as usize
+    } else {
+        let e = 63 - value.leading_zeros() as usize;
+        let sub = ((value >> (e - SUB_BUCKET_BITS)) as usize) & (SUB_BUCKETS - 1);
+        2 * SUB_BUCKETS + (e - (SUB_BUCKET_BITS + 1)) * SUB_BUCKETS + sub
+    }
+}
+
+/// The largest value that lands in bucket `idx` — what [`Histogram::quantile`]
+/// reports, so the estimate never understates the true quantile.
+fn bucket_high(idx: usize) -> u64 {
+    if idx < 2 * SUB_BUCKETS {
+        idx as u64
+    } else {
+        let j = idx - 2 * SUB_BUCKETS;
+        let e = SUB_BUCKET_BITS + 1 + j / SUB_BUCKETS;
+        let sub = (j % SUB_BUCKETS) as u64;
+        let width = 1u64 << (e - SUB_BUCKET_BITS);
+        (1u64 << e) + sub * width + (width - 1)
     }
 }
 
 impl Histogram {
     /// Record one observation.
     pub fn record(&self, value: u64) {
-        let idx = if value == 0 {
-            0
-        } else {
-            (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
-        };
-        self.buckets[idx].fetch_add(1, Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Relaxed);
         self.sum.fetch_add(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
     }
 
     /// Record a duration in microseconds.
@@ -121,6 +164,11 @@ impl Histogram {
         self.sum.load(Relaxed)
     }
 
+    /// Largest recorded value, tracked exactly (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Relaxed)
+    }
+
     /// Mean value (0 when empty).
     pub fn mean(&self) -> f64 {
         let n = self.count();
@@ -131,8 +179,9 @@ impl Histogram {
         }
     }
 
-    /// Approximate `q`-quantile: the upper bound of the bucket containing
-    /// the target rank (0 when empty).
+    /// Nearest-rank `q`-quantile estimate: the highest value of the
+    /// bucket holding the target rank (0 when empty). Exact below
+    /// [`LINEAR_MAX`]; within `1/SUB_BUCKETS` above, never understating.
     pub fn quantile(&self, q: f64) -> u64 {
         let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
         let total: u64 = counts.iter().sum();
@@ -144,10 +193,10 @@ impl Histogram {
         for (i, &c) in counts.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return 1u64 << i; // bucket i upper bound: 2^i
+                return bucket_high(i);
             }
         }
-        1u64 << (BUCKETS - 1)
+        bucket_high(BUCKETS - 1)
     }
 }
 
@@ -248,41 +297,98 @@ mod tests {
 
     #[test]
     fn histogram_bucket_boundaries() {
+        // The linear region is exact: every value below LINEAR_MAX is its
+        // own bucket.
+        for v in [0u64, 1, 7, 8, 63] {
+            let h = Histogram::default();
+            h.record(v);
+            assert_eq!(h.quantile(0.5), v, "value {v} must be exact");
+        }
+        // First octave bucket: 64 and 65 share [64, 66); the estimate is
+        // the bucket's highest value.
         let h = Histogram::default();
-        // 0 lands in bucket 0 (upper bound 2^0 = 1).
-        h.record(0);
-        assert_eq!(h.quantile(0.0), 1);
-        // Exact powers of two land in the bucket they open: value 8 is in
-        // [8, 16), upper bound 16.
-        let h = Histogram::default();
-        h.record(8);
-        assert_eq!(h.quantile(0.5), 16);
-        // One below the boundary stays in the lower bucket.
-        let h = Histogram::default();
-        h.record(7);
-        assert_eq!(h.quantile(0.5), 8);
-        // u64::MAX clamps into the last bucket.
+        h.record(64);
+        assert_eq!(h.quantile(0.5), 65);
+        // u64::MAX clamps into the last bucket without panicking.
         let h = Histogram::default();
         h.record(u64::MAX);
         assert_eq!(h.count(), 1);
-        assert_eq!(h.quantile(0.99), 1u64 << (BUCKETS - 1));
+        assert_eq!(h.quantile(0.99), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_index_and_high_agree() {
+        // Every probe value must land in a bucket whose [index → high]
+        // round trip contains it, and bucket highs must be monotone.
+        let probes = [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            100,
+            127,
+            128,
+            1_000,
+            65_535,
+            100_000,
+            1 << 32,
+            (1 << 40) + 12345,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let idx = bucket_index(v);
+            let high = bucket_high(idx);
+            assert!(high >= v, "high({idx}) = {high} < value {v}");
+            // Within one bucket: high - v < max(1, v / SUB_BUCKETS + 1).
+            assert!(
+                high - v <= v / SUB_BUCKETS as u64 + 1,
+                "value {v}: bucket high {high} too loose"
+            );
+        }
+        for idx in 1..BUCKETS {
+            assert!(bucket_high(idx) > bucket_high(idx - 1), "idx {idx}");
+        }
     }
 
     #[test]
     fn histogram_quantiles_and_mean() {
         let h = Histogram::default();
         for _ in 0..99 {
-            h.record(10); // bucket upper bound 16
+            h.record(10); // linear region: exact
         }
-        h.record(100_000); // upper bound 131072
+        h.record(100_000); // octave [2^16, 2^17), sub-bucket width 2048
         assert_eq!(h.count(), 100);
-        assert_eq!(h.quantile(0.50), 16);
-        assert_eq!(h.quantile(0.95), 16);
-        assert_eq!(h.quantile(1.0), 131072);
+        assert_eq!(h.quantile(0.50), 10);
+        assert_eq!(h.quantile(0.95), 10);
+        let top = h.quantile(1.0);
+        assert!(
+            (100_000..=100_000 + 100_000 / SUB_BUCKETS as u64 + 1).contains(&top),
+            "{top}"
+        );
+        assert_eq!(h.max(), 100_000);
         assert!((h.mean() - (99.0 * 10.0 + 100_000.0) / 100.0).abs() < 1e-9);
         let empty = Histogram::default();
         assert_eq!(empty.quantile(0.5), 0);
         assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.max(), 0);
+    }
+
+    /// Regression for the raw-vector percentile the loadgen used to
+    /// carry: `round(p * (len - 1))` returned the 6th element as the p50
+    /// of 10 samples. Nearest-rank over the exact linear region returns
+    /// the 5th.
+    #[test]
+    fn histogram_small_sample_p50_is_not_off_by_one() {
+        let h = Histogram::default();
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 5, "p50 of 1..=10 is the 5th sample");
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(h.quantile(0.9), 9);
     }
 
     #[test]

@@ -76,7 +76,8 @@ impl Registry {
     ///   "gauges":     {"serve.queue.depth": 0},
     ///   "histograms": {"serve.isa.latency_us":
     ///                    {"count": 9, "sum": 90, "mean": 10.0,
-    ///                     "p50_us": 16, "p99_us": 16}},
+    ///                     "p50": 10, "p90": 10, "p99": 10,
+    ///                     "p999": 10, "max": 10}},
     ///   "stages":     {"extract.iteration":
     ///                    {"calls": 3, "total_us": 480,
     ///                     "spans_us": [200, 180, 100]}}
@@ -110,7 +111,10 @@ impl Registry {
                         ("sum", Json::num(h.sum() as f64)),
                         ("mean", Json::num((h.mean() * 10.0).round() / 10.0)),
                         ("p50", Json::num(h.quantile(0.50) as f64)),
+                        ("p90", Json::num(h.quantile(0.90) as f64)),
                         ("p99", Json::num(h.quantile(0.99) as f64)),
+                        ("p999", Json::num(h.quantile(0.999) as f64)),
+                        ("max", Json::num(h.max() as f64)),
                     ]),
                 )
             })
@@ -213,7 +217,11 @@ mod tests {
         );
         let h = snap.get("histograms").unwrap().get("h").unwrap();
         assert_eq!(h.get("count").and_then(Json::as_u64), Some(1));
-        assert_eq!(h.get("p50").and_then(Json::as_u64), Some(128));
+        // HDR bucketing: 100 sits in [100, 102), reported as the bucket
+        // high — within 1/SUB_BUCKETS of exact instead of the old 128.
+        assert_eq!(h.get("p50").and_then(Json::as_u64), Some(101));
+        assert_eq!(h.get("p999").and_then(Json::as_u64), Some(101));
+        assert_eq!(h.get("max").and_then(Json::as_u64), Some(100));
         let s = snap.get("stages").unwrap().get("s").unwrap();
         assert_eq!(s.get("calls").and_then(Json::as_u64), Some(1));
         assert_eq!(

@@ -1,0 +1,70 @@
+//! Property tests for the HDR-style histogram: the log-bucketed
+//! quantile must stay within one bucket of the exact nearest-rank
+//! quantile on arbitrary inputs, never understating it. The serve SLO
+//! gate trusts these numbers (`BENCH_SERVE.json` p99/p99.9), so "within
+//! 1/SUB_BUCKETS above the truth" is a load-bearing guarantee, not a
+//! nicety.
+
+use probase_obs::metric::{Histogram, SUB_BUCKETS};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile over raw samples: the smallest value
+/// whose rank is ≥ `ceil(q · n)` (rank ≥ 1).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let target = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[target - 1]
+}
+
+proptest! {
+    /// For any sample set and quantile, the histogram estimate `h`
+    /// brackets the exact nearest-rank value `x`:
+    /// `x <= h <= x + x/SUB_BUCKETS + 1` — i.e. within one bucket,
+    /// and never an underestimate.
+    #[test]
+    fn quantile_within_one_bucket_of_exact(
+        mut values in proptest::collection::vec(0u64..100_000_000, 1..500),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let exact = exact_quantile(&values, q);
+        let est = h.quantile(q);
+        prop_assert!(est >= exact, "estimate {est} understates exact {exact}");
+        prop_assert!(
+            est <= exact + exact / SUB_BUCKETS as u64 + 1,
+            "estimate {est} more than one bucket above exact {exact}"
+        );
+    }
+
+    /// Count, sum, and max are exact regardless of bucketing.
+    #[test]
+    fn count_sum_max_are_exact(
+        values in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+    }
+
+    /// Quantiles are monotone in `q`.
+    #[test]
+    fn quantiles_are_monotone(
+        values in proptest::collection::vec(0u64..10_000_000, 1..200),
+    ) {
+        let h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let qs = [0.0, 0.5, 0.9, 0.99, 0.999, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(h.quantile(w[0]) <= h.quantile(w[1]));
+        }
+    }
+}

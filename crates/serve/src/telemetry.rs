@@ -233,6 +233,8 @@ impl ServeTelemetry {
                     ("errors", Json::num(e.errors.get() as f64)),
                     ("p50_us", Json::num(e.latency.quantile(0.50) as f64)),
                     ("p99_us", Json::num(e.latency.quantile(0.99) as f64)),
+                    ("p999_us", Json::num(e.latency.quantile(0.999) as f64)),
+                    ("max_us", Json::num(e.latency.max() as f64)),
                     (
                         "mean_us",
                         Json::num((e.latency.mean() * 10.0).round() / 10.0),

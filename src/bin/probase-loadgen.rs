@@ -1,73 +1,96 @@
-//! Closed-loop load generator for `probase-serve`.
+//! Traffic harness for `probase-serve` — open-loop by default in CI.
 //!
-//! Spawns N worker threads, each with its own connection, issuing a
-//! mixed read/write workload against a running server. Keys are drawn
-//! with zipfian skew (hot concepts dominate, like real query logs), so
-//! the versioned response cache actually gets exercised. At the end it
-//! prints per-endpoint p50/p99 latency, overall throughput, and the
-//! server's own `stats` dump (cache hit rate, queue metrics).
+//! Two modes (see `probase::loadgen` and DESIGN.md §15):
+//!
+//! * **Open-loop** (`--rate R`): Poisson arrivals at R req/s, latency
+//!   measured from each request's *intended* send time, so a server
+//!   stall surfaces as the tail-latency cliff its users would see
+//!   instead of silently reducing the offered load (coordinated
+//!   omission).
+//! * **Closed-loop** (no `--rate`): each worker sends as fast as the
+//!   server answers — a saturation probe, not a latency benchmark.
+//!
+//! Workloads are named profiles (`--profile read-heavy|write-heavy|
+//! mixed|conceptualize`) with zipfian key skew. Results render to a
+//! machine-readable `BENCH_SERVE.json` (`--report-out`), and the
+//! process can gate CI: `--slo-p99-ms` / `--slo-min-rate` enforce
+//! absolute SLOs, `--baseline` compares against a committed
+//! `BENCH_SERVE.json` (shape-only while the baseline is seeded). Gate
+//! failures exit 3 and print the exact replay command.
 //!
 //! ```sh
 //! cargo run --release --bin probase-cli -- serve &
-//! cargo run --release --bin probase-loadgen -- --threads 4 --duration-secs 10
+//! cargo run --release --bin probase-loadgen -- \
+//!     --rate 400 --profile mixed --duration-secs 8 \
+//!     --report-out BENCH_SERVE.fresh.json --baseline BENCH_SERVE.json \
+//!     --slo-p99-ms 250 --slo-min-rate 100
 //! ```
 //!
-//! Point it at a shard router instead with `--router-addr`: the same
-//! workload runs (the router speaks the identical protocol), and the
-//! report additionally splits latency by query class — single-shard
-//! routes vs scatter-gather fan-outs — plus a degraded-response count.
+//! Point it at a shard router with `--router-addr`: same workload, and
+//! the per-query-class split (single-shard vs scatter-gather) in the
+//! report shows what sharding buys and costs.
 
-use probase_serve::{Client, ClientConfig, ClientError, Json, Request};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use probase::loadgen::{
+    check_slo, compare_serve_baseline, render_report, run, validate_serve_report, HarnessConfig,
+    Mode, Profile, Slo, Vocab,
+};
+use probase_serve::{Client, ClientConfig, ClientError, Json, LabelKind, Request};
+use std::time::Duration;
 
 const USAGE: &str = "\
 Usage: probase-loadgen [OPTIONS]
 
-Options:
+Target:
   --addr <HOST:PORT>     server address (default 127.0.0.1:7878)
-  --router-addr <H:P>    target a shard router instead: same workload, plus
-                         per-query-class (single-shard vs scatter-gather)
-                         latency and degraded-response reporting
-  --read-timeout-ms <N>  socket read timeout per request (default 5000);
-                         applies to fresh connections AND reconnects
-  --threads <N>          closed-loop workers (default 4)
+  --router-addr <H:P>    target a shard router instead (same protocol);
+                         adds per-query-class reporting
+  --read-timeout-ms <N>  socket read timeout per request (default 5000)
+
+Workload:
+  --profile <NAME>       read-heavy | write-heavy | mixed | conceptualize
+                         (default mixed)
+  --rate <R>             open-loop: Poisson arrivals at R req/s, latency
+                         from intended send time. Without it the run is
+                         closed-loop (saturation probe)
+  --threads <N>          worker connections (default 4); in open-loop
+                         mode this caps in-flight concurrency
   --duration-secs <N>    run length (default 10)
-  --write-ratio <F>      fraction of add-evidence writes, 0..1 (default 0.05)
   --zipf <S>             zipfian skew exponent (default 1.0)
-  --keys <N>             hot-key set size fetched from the server (default 256)
-  --seed <N>             RNG seed (default 42)
+  --keys <N>             key-set size fetched from the server (default 256)
+  --seed <N>             seed for the arrival schedule + request stream
+                         (default 42); a seed replays the run exactly
+
+Reporting and gating:
+  --report-out <PATH>    write the BENCH_SERVE.json document
+  --stats-out <PATH>     write the server's own stats dump (JSON)
+  --baseline <PATH>      compare against a committed BENCH_SERVE.json;
+                         seeded baselines check shape only
+  --slo-p99-ms <MS>      gate: overall p99 must be <= MS
+  --slo-min-rate <R>     gate: achieved ok-rate must be >= R req/s
   -h, --help             print this help
+
+Exit codes: 0 ok, 1 runtime error, 2 usage error, 3 gate failure.
 ";
 
 #[derive(Debug, Clone)]
 struct Args {
-    addr: String,
-    router: bool,
-    read_timeout_ms: u64,
-    threads: usize,
-    duration: Duration,
-    write_ratio: f64,
-    zipf: f64,
+    cfg: HarnessConfig,
     keys: usize,
-    seed: u64,
+    report_out: Option<String>,
+    stats_out: Option<String>,
+    baseline: Option<String>,
+    slo: Slo,
 }
 
 impl Default for Args {
     fn default() -> Self {
         Args {
-            addr: "127.0.0.1:7878".to_string(),
-            router: false,
-            read_timeout_ms: 5_000,
-            threads: 4,
-            duration: Duration::from_secs(10),
-            write_ratio: 0.05,
-            zipf: 1.0,
+            cfg: HarnessConfig::default(),
             keys: 256,
-            seed: 42,
+            report_out: None,
+            stats_out: None,
+            baseline: None,
+            slo: Slo::default(),
         }
     }
 }
@@ -84,31 +107,46 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
         }
         match arg.as_str() {
             "-h" | "--help" => return Ok(None),
-            "--addr" => args.addr = take("--addr")?.clone(),
+            "--addr" => args.cfg.addr = take("--addr")?.clone(),
             "--router-addr" => {
-                args.addr = take("--router-addr")?.clone();
-                args.router = true;
+                args.cfg.addr = take("--router-addr")?.clone();
+                args.cfg.router = true;
             }
             "--read-timeout-ms" => {
-                args.read_timeout_ms = num("--read-timeout-ms", take("--read-timeout-ms")?)?;
+                let ms: u64 = num("--read-timeout-ms", take("--read-timeout-ms")?)?;
+                args.cfg.read_timeout = Duration::from_millis(ms);
             }
-            "--threads" => args.threads = num("--threads", take("--threads")?)?,
+            "--profile" => args.cfg.profile = Profile::parse(take("--profile")?)?,
+            "--rate" => {
+                let rate: f64 = num("--rate", take("--rate")?)?;
+                if rate <= 0.0 {
+                    return Err("--rate must be positive".to_string());
+                }
+                args.cfg.mode = Mode::Open { rate };
+            }
+            "--threads" => args.cfg.threads = num("--threads", take("--threads")?)?,
             "--duration-secs" => {
-                args.duration =
+                args.cfg.duration =
                     Duration::from_secs(num("--duration-secs", take("--duration-secs")?)?)
             }
-            "--write-ratio" => args.write_ratio = num("--write-ratio", take("--write-ratio")?)?,
-            "--zipf" => args.zipf = num("--zipf", take("--zipf")?)?,
+            "--zipf" => args.cfg.zipf = num("--zipf", take("--zipf")?)?,
             "--keys" => args.keys = num("--keys", take("--keys")?)?,
-            "--seed" => args.seed = num("--seed", take("--seed")?)?,
+            "--seed" => args.cfg.seed = num("--seed", take("--seed")?)?,
+            "--report-out" => args.report_out = Some(take("--report-out")?.clone()),
+            "--stats-out" => args.stats_out = Some(take("--stats-out")?.clone()),
+            "--baseline" => args.baseline = Some(take("--baseline")?.clone()),
+            "--slo-p99-ms" => args.slo.p99_ms = Some(num("--slo-p99-ms", take("--slo-p99-ms")?)?),
+            "--slo-min-rate" => {
+                args.slo.min_rate = Some(num("--slo-min-rate", take("--slo-min-rate")?)?)
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
-    if args.threads == 0 {
+    if args.cfg.threads == 0 {
         return Err("--threads must be positive".to_string());
     }
-    if !(0.0..=1.0).contains(&args.write_ratio) {
-        return Err("--write-ratio must be in 0..=1".to_string());
+    if args.keys == 0 {
+        return Err("--keys must be positive".to_string());
     }
     if argv.iter().any(|a| a == "--addr") && argv.iter().any(|a| a == "--router-addr") {
         return Err("--addr and --router-addr are mutually exclusive".to_string());
@@ -116,224 +154,217 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
     Ok(Some(args))
 }
 
-/// Precomputed zipfian CDF over ranks `0..n`: rank i has weight
-/// `1/(i+1)^s`. Sampling is a binary search with a uniform draw.
-struct Zipf {
-    cdf: Vec<f64>,
-}
-
-impl Zipf {
-    fn new(n: usize, s: f64) -> Zipf {
-        assert!(n > 0);
-        let mut cdf = Vec::with_capacity(n);
-        let mut total = 0.0;
-        for i in 0..n {
-            total += 1.0 / ((i + 1) as f64).powf(s);
-            cdf.push(total);
-        }
-        for v in &mut cdf {
-            *v /= total;
-        }
-        Zipf { cdf }
-    }
-
-    fn sample(&self, rng: &mut impl Rng) -> usize {
-        let u: f64 = rng.gen();
-        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
-    }
-}
-
-fn percentile(sorted_micros: &[u64], p: f64) -> u64 {
-    if sorted_micros.is_empty() {
-        return 0;
-    }
-    let idx = (p * (sorted_micros.len() - 1) as f64).round() as usize;
-    sorted_micros[idx]
-}
-
-#[derive(Default)]
-struct WorkerStats {
-    /// `(endpoint name, latency in µs)` per completed request.
-    latencies: Vec<(&'static str, u64)>,
-    requests: u64,
-    /// Server-side error envelopes (overloaded, deadline, ...).
-    server_errors: u64,
-    /// Transport/parse failures — must be zero on a healthy run.
-    protocol_errors: u64,
-    /// Partial-result envelopes from a router with lost shards.
-    degraded: u64,
-}
-
-/// The transport profile every loadgen connection uses. Built once per
-/// worker and reused verbatim on reconnect, so a connection replaced
-/// after a transport failure keeps the configured read timeout instead
-/// of silently reverting to the blocking default.
-fn client_config(args: &Args) -> ClientConfig {
-    ClientConfig {
-        read_timeout: Some(Duration::from_millis(args.read_timeout_ms.max(1))),
-        seed: args.seed,
-        ..ClientConfig::default()
-    }
-}
-
-/// Which side of the router's fan-out decision an endpoint lands on.
-/// Must mirror `probase_router::Router`'s classification: label-keyed
-/// endpoints route to one shard, everything else scatter-gathers.
-fn query_class(endpoint: &str) -> &'static str {
-    match endpoint {
-        "isa" | "typicality" | "plausibility" | "levels" | "add-evidence" => "single-shard",
-        _ => "scatter-gather",
-    }
-}
-
-/// Labels the loadgen writes under; they never collide with simulated
-/// vocabulary, so add-evidence writes can never form a cycle.
-fn write_label(thread: usize, n: u64) -> String {
-    format!("loadgen-{thread}-{n}")
-}
-
-fn pick_request(
-    rng: &mut SmallRng,
-    zipf: &Zipf,
-    concepts: &[String],
-    instances: &[String],
-    args: &Args,
-    thread: usize,
-    writes_done: &mut u64,
-) -> (&'static str, Request) {
-    if rng.gen::<f64>() < args.write_ratio {
-        let parent = concepts[zipf.sample(rng)].clone();
-        *writes_done += 1;
-        return (
-            "add-evidence",
-            Request::AddEvidence {
-                parent,
-                child: write_label(thread, *writes_done),
-                count: 1,
-            },
-        );
-    }
-    let op = rng.gen_range(0..6u32);
-    let concept = concepts[zipf.sample(rng)].clone();
-    let instance = instances[zipf.sample(rng)].clone();
-    match op {
-        0 => (
-            "isa",
-            Request::Isa {
-                parent: concept,
-                child: instance,
-            },
-        ),
-        1 => (
-            "typicality",
-            Request::Typicality {
-                term: concept,
-                direction: probase_serve::Direction::Instances,
-                k: 10,
-            },
-        ),
-        2 => (
-            "plausibility",
-            Request::Plausibility {
-                parent: concept,
-                child: instance,
-            },
-        ),
-        3 => {
-            let extra = instances[zipf.sample(rng)].clone();
-            (
-                "conceptualize",
-                Request::Conceptualize {
-                    terms: vec![instance, extra],
-                    k: 8,
-                },
-            )
-        }
-        4 => (
-            "search-rewrite",
-            Request::SearchRewrite {
-                query: instance,
-                k: 5,
-            },
-        ),
-        _ => (
-            "levels",
-            Request::Levels {
-                term: Some(concept),
-            },
-        ),
-    }
-}
-
-fn worker(
-    thread: usize,
-    args: &Args,
-    concepts: &[String],
-    instances: &[String],
-    stop: &AtomicBool,
-) -> Result<WorkerStats, ClientError> {
-    let config = client_config(args);
-    let mut client = Client::connect_with(&args.addr, config.clone())?;
-    let mut rng = SmallRng::seed_from_u64(args.seed.wrapping_add(thread as u64 * 7919));
-    let zipf = Zipf::new(concepts.len().min(instances.len()), args.zipf);
-    let mut stats = WorkerStats::default();
-    let mut writes_done = 0u64;
-    while !stop.load(Ordering::Relaxed) {
-        let (name, req) = pick_request(
-            &mut rng,
-            &zipf,
-            concepts,
-            instances,
-            args,
-            thread,
-            &mut writes_done,
-        );
-        let start = Instant::now();
-        match client.call(&req) {
-            Ok(envelope) => {
-                stats.requests += 1;
-                stats
-                    .latencies
-                    .push((name, start.elapsed().as_micros() as u64));
-                if envelope.error.is_some() {
-                    stats.server_errors += 1;
-                }
-                if envelope.degraded {
-                    stats.degraded += 1;
-                }
-            }
-            Err(ClientError::Server(..)) => unreachable!("call() never returns Server"),
-            Err(_) => {
-                stats.protocol_errors += 1;
-                // The connection may be dead; reconnect and continue —
-                // with the same transport profile, not the default one.
-                client = Client::connect_with(&args.addr, config.clone())?;
-            }
-        }
-    }
-    Ok(stats)
-}
-
-fn fetch_labels(client: &mut Client, kind: &str, k: usize) -> Result<Vec<String>, ClientError> {
-    let req = Request::Labels {
-        kind: if kind == "concepts" {
-            probase_serve::LabelKind::Concepts
-        } else {
-            probase_serve::LabelKind::Instances
-        },
-        k,
+/// The exact command line that replays this run (printed when a gate
+/// fails, so CI failures are reproducible locally in one paste).
+fn replay_command(args: &Args) -> String {
+    let cfg = &args.cfg;
+    let mut cmd = String::from("cargo run --release --bin probase-loadgen --");
+    let addr_flag = if cfg.router {
+        "--router-addr"
+    } else {
+        "--addr"
     };
-    let (_, data) = client.call_ok(&req)?;
-    let labels = data
+    cmd.push_str(&format!(" {addr_flag} {}", cfg.addr));
+    cmd.push_str(&format!(" --profile {}", cfg.profile.name()));
+    if let Some(rate) = cfg.mode.offered_rate() {
+        cmd.push_str(&format!(" --rate {rate}"));
+    }
+    cmd.push_str(&format!(
+        " --threads {} --duration-secs {} --zipf {} --keys {} --seed {}",
+        cfg.threads,
+        cfg.duration.as_secs(),
+        cfg.zipf,
+        args.keys,
+        cfg.seed
+    ));
+    if let Some(ms) = args.slo.p99_ms {
+        cmd.push_str(&format!(" --slo-p99-ms {ms}"));
+    }
+    if let Some(rate) = args.slo.min_rate {
+        cmd.push_str(&format!(" --slo-min-rate {rate}"));
+    }
+    if let Some(path) = &args.baseline {
+        cmd.push_str(&format!(" --baseline {path}"));
+    }
+    cmd
+}
+
+fn fetch_labels(
+    client: &mut Client,
+    kind: LabelKind,
+    k: usize,
+) -> Result<Vec<String>, ClientError> {
+    let (_, data) = client.call_ok(&Request::Labels { kind, k })?;
+    Ok(data
         .get("labels")
         .and_then(Json::as_arr)
         .map(|arr| {
             arr.iter()
-                .filter_map(|v| v.as_str().map(str::to_string))
+                .filter_map(Json::as_str)
+                .map(str::to_string)
                 .collect()
         })
-        .unwrap_or_default();
-    Ok(labels)
+        .unwrap_or_default())
+}
+
+/// Print one histogram-summary row.
+fn print_row(name: &str, h: &Json) {
+    let n = |key: &str| h.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    println!(
+        "{:<16} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        name,
+        n("count") as u64,
+        n("p50_us") as u64,
+        n("p90_us") as u64,
+        n("p99_us") as u64,
+        n("p999_us") as u64,
+        n("max_us") as u64
+    );
+}
+
+fn print_section(report: &Json, section: &str, heading: &str) {
+    let Some(Json::Obj(pairs)) = report.get(section) else {
+        return;
+    };
+    if pairs.is_empty() {
+        return;
+    }
+    println!(
+        "\n{:<16} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        heading, "count", "p50_us", "p90_us", "p99_us", "p999_us", "max_us"
+    );
+    for (name, h) in pairs {
+        print_row(name, h);
+    }
+}
+
+fn print_summary(report: &Json, router: bool) {
+    let meta = |key: &str| {
+        report
+            .get("meta")
+            .and_then(|m| m.get(key))
+            .cloned()
+            .unwrap_or(Json::Null)
+    };
+    let total = |key: &str| {
+        report
+            .get("totals")
+            .and_then(|t| t.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    println!("\n== loadgen results ==");
+    println!(
+        "mode:            {} ({} profile)",
+        meta("mode").as_str().unwrap_or("?"),
+        meta("profile").as_str().unwrap_or("?")
+    );
+    if let Some(rate) = meta("offered_rate").as_f64() {
+        println!("offered rate:    {rate:.0} req/s");
+    }
+    println!(
+        "achieved rate:   {:.1} req/s ({} ok of {} scheduled in {:.2}s)",
+        total("achieved_rate"),
+        total("completed") as u64,
+        total("scheduled") as u64,
+        total("elapsed_secs")
+    );
+    println!("server errors:   {}", total("server_errors") as u64);
+    println!("transport errors:{}", total("transport_errors") as u64);
+    if total("connect_failures") > 0.0 {
+        println!("connect failures:{}", total("connect_failures") as u64);
+    }
+    if router {
+        println!("degraded:        {}", total("degraded") as u64);
+    }
+    if let Some(overall) = report.get("overall") {
+        println!(
+            "\n{:<16} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "", "count", "p50_us", "p90_us", "p99_us", "p999_us", "max_us"
+        );
+        print_row("overall", overall);
+    }
+    print_section(report, "endpoints", "endpoint");
+    if router {
+        print_section(report, "classes", "query class");
+    }
+}
+
+fn write_file(path: &str, text: &str) -> Result<(), String> {
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path:?}: {e}"))
+}
+
+fn run_main(args: &Args) -> Result<i32, String> {
+    let client_config = ClientConfig {
+        read_timeout: Some(args.cfg.read_timeout),
+        ..ClientConfig::default()
+    };
+    let mut bootstrap = Client::connect_with(&args.cfg.addr, client_config)
+        .map_err(|e| format!("cannot connect to {}: {e}", args.cfg.addr))?;
+    let vocab = Vocab {
+        concepts: fetch_labels(&mut bootstrap, LabelKind::Concepts, args.keys)
+            .map_err(|e| format!("label bootstrap failed: {e}"))?,
+        instances: fetch_labels(&mut bootstrap, LabelKind::Instances, args.keys)
+            .map_err(|e| format!("label bootstrap failed: {e}"))?,
+    };
+    if vocab.is_empty() {
+        return Err("server has no concepts/instances to query".to_string());
+    }
+    eprintln!(
+        "loadgen: {} mode, profile {}, {} concepts / {} instances, seed {}",
+        args.cfg.mode.name(),
+        args.cfg.profile.name(),
+        vocab.concepts.len(),
+        vocab.instances.len(),
+        args.cfg.seed
+    );
+
+    let stats = run(&args.cfg, &vocab)?;
+    let report = render_report(&args.cfg, &stats);
+    validate_serve_report(&report)?;
+    print_summary(&report, args.cfg.router);
+
+    if let Some(path) = &args.report_out {
+        write_file(path, &report.to_string())?;
+        eprintln!("loadgen: wrote report to {path}");
+    }
+    if let Some(path) = &args.stats_out {
+        match bootstrap.call_ok(&Request::Stats) {
+            Ok((_, data)) => {
+                write_file(path, &data.to_string())?;
+                eprintln!("loadgen: wrote server stats to {path}");
+            }
+            Err(e) => eprintln!("warning: final stats fetch failed: {e}"),
+        }
+    }
+
+    let mut gate_failures = check_slo(&report, &args.slo);
+    if let Some(path) = &args.baseline {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let baseline =
+            probase_obs::json::parse(&text).map_err(|e| format!("{path:?} is not JSON: {e}"))?;
+        match compare_serve_baseline(&report, &baseline) {
+            Ok(warnings) => {
+                for w in warnings {
+                    eprintln!("baseline warning: {w}");
+                }
+            }
+            Err(e) => gate_failures.push(format!("baseline check failed: {e}")),
+        }
+    }
+    if !gate_failures.is_empty() {
+        eprintln!("\nSLO GATE FAILED:");
+        for v in &gate_failures {
+            eprintln!("  - {v}");
+        }
+        eprintln!("\nreplay with:\n  {}", replay_command(args));
+        return Ok(3);
+    }
+    if !args.slo.is_empty() || args.baseline.is_some() {
+        eprintln!("loadgen: SLO gate passed");
+    }
+    Ok(0)
 }
 
 fn main() {
@@ -350,236 +381,11 @@ fn main() {
             std::process::exit(2);
         }
     };
-
-    // Bootstrap the hot-key sets from the server itself.
-    let mut bootstrap = match Client::connect_with(&args.addr, client_config(&args)) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("error: cannot connect to {}: {e}", args.addr);
+    match run_main(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(msg) => {
+            eprintln!("error: {msg}");
             std::process::exit(1);
         }
-    };
-    let concepts = fetch_labels(&mut bootstrap, "concepts", args.keys).unwrap_or_default();
-    let instances = fetch_labels(&mut bootstrap, "instances", args.keys).unwrap_or_default();
-    if concepts.is_empty() || instances.is_empty() {
-        eprintln!("error: server has no concepts/instances to query");
-        std::process::exit(1);
-    }
-    eprintln!(
-        "loadgen: {} threads for {:?} against {} ({} concepts, {} instances, zipf {}, {:.0}% writes)",
-        args.threads,
-        args.duration,
-        args.addr,
-        concepts.len(),
-        instances.len(),
-        args.zipf,
-        args.write_ratio * 100.0
-    );
-
-    let stop = Arc::new(AtomicBool::new(false));
-    let started = Instant::now();
-    let handles: Vec<_> = (0..args.threads)
-        .map(|t| {
-            let args = args.clone();
-            let concepts = concepts.clone();
-            let instances = instances.clone();
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || worker(t, &args, &concepts, &instances, &stop))
-        })
-        .collect();
-    std::thread::sleep(args.duration);
-    stop.store(true, Ordering::Relaxed);
-
-    let mut merged = WorkerStats::default();
-    let mut connect_failures = 0u64;
-    for h in handles {
-        match h.join().expect("worker panicked") {
-            Ok(s) => {
-                merged.requests += s.requests;
-                merged.server_errors += s.server_errors;
-                merged.protocol_errors += s.protocol_errors;
-                merged.degraded += s.degraded;
-                merged.latencies.extend(s.latencies);
-            }
-            Err(_) => connect_failures += 1,
-        }
-    }
-    let elapsed = started.elapsed().as_secs_f64();
-
-    println!("\n== loadgen results ==");
-    println!("requests:        {}", merged.requests);
-    println!(
-        "throughput:      {:.0} req/s",
-        merged.requests as f64 / elapsed
-    );
-    println!("server errors:   {}", merged.server_errors);
-    println!("protocol errors: {}", merged.protocol_errors);
-    if args.router {
-        println!("degraded:        {}", merged.degraded);
-    }
-    if connect_failures > 0 {
-        println!("worker connect failures: {connect_failures}");
-    }
-
-    let mut by_endpoint: std::collections::BTreeMap<&str, Vec<u64>> = Default::default();
-    for (name, us) in &merged.latencies {
-        by_endpoint.entry(name).or_default().push(*us);
-    }
-    println!(
-        "\n{:<16} {:>8} {:>10} {:>10}",
-        "endpoint", "count", "p50_us", "p99_us"
-    );
-    for (name, mut lats) in by_endpoint {
-        lats.sort_unstable();
-        println!(
-            "{:<16} {:>8} {:>10} {:>10}",
-            name,
-            lats.len(),
-            percentile(&lats, 0.50),
-            percentile(&lats, 0.99)
-        );
-    }
-
-    if args.router {
-        // Routed deployments answer label-keyed queries from one shard
-        // and fan the rest out; the split shows what sharding buys (and
-        // costs) at a glance.
-        let mut by_class: std::collections::BTreeMap<&str, Vec<u64>> = Default::default();
-        for (name, us) in &merged.latencies {
-            by_class.entry(query_class(name)).or_default().push(*us);
-        }
-        println!(
-            "\n{:<16} {:>8} {:>10} {:>10}",
-            "query class", "count", "p50_us", "p99_us"
-        );
-        for (class, mut lats) in by_class {
-            lats.sort_unstable();
-            println!(
-                "{:<16} {:>8} {:>10} {:>10}",
-                class,
-                lats.len(),
-                percentile(&lats, 0.50),
-                percentile(&lats, 0.99)
-            );
-        }
-    }
-
-    match bootstrap.call_ok(&Request::Stats) {
-        Ok((_, data)) => println!("\n== server stats ==\n{data}"),
-        Err(e) => eprintln!("warning: final stats fetch failed: {e}"),
-    }
-    if merged.protocol_errors > 0 {
-        std::process::exit(1);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn zipf_is_skewed_and_in_range() {
-        let zipf = Zipf::new(100, 1.0);
-        let mut rng = SmallRng::seed_from_u64(7);
-        let mut counts = [0usize; 100];
-        for _ in 0..10_000 {
-            let r = zipf.sample(&mut rng);
-            assert!(r < 100);
-            counts[r] += 1;
-        }
-        assert!(
-            counts[0] > counts[10],
-            "rank 0 should be hotter than rank 10"
-        );
-        assert!(counts[0] > 10_000 / 100, "rank 0 should beat uniform share");
-    }
-
-    #[test]
-    fn percentile_bounds() {
-        let v = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
-        assert_eq!(percentile(&v, 0.0), 1);
-        assert_eq!(percentile(&v, 1.0), 10);
-        assert_eq!(percentile(&v, 0.5), 6);
-        assert_eq!(percentile(&[], 0.5), 0);
-    }
-
-    #[test]
-    fn args_parse_and_reject() {
-        let ok = parse_args(&[
-            "--threads".into(),
-            "8".into(),
-            "--zipf".into(),
-            "1.2".into(),
-        ])
-        .unwrap()
-        .unwrap();
-        assert_eq!(ok.threads, 8);
-        assert!(parse_args(&["--threads".into(), "0".into()]).is_err());
-        assert!(parse_args(&["--write-ratio".into(), "1.5".into()]).is_err());
-        assert!(parse_args(&["--nope".into()]).is_err());
-    }
-
-    #[test]
-    fn router_addr_flag() {
-        let ok = parse_args(&["--router-addr".into(), "10.0.0.9:7979".into()])
-            .unwrap()
-            .unwrap();
-        assert!(ok.router);
-        assert_eq!(ok.addr, "10.0.0.9:7979");
-        let plain = parse_args(&[]).unwrap().unwrap();
-        assert!(!plain.router);
-        assert!(parse_args(&[
-            "--addr".into(),
-            "a:1".into(),
-            "--router-addr".into(),
-            "b:2".into(),
-        ])
-        .is_err());
-    }
-
-    /// The per-class report is only honest if its endpoint → class
-    /// mapping matches the router's actual fan-out rule. Cross-check
-    /// every request the workload can produce against that rule.
-    #[test]
-    fn query_class_matches_router_fanout_rule() {
-        let concepts = vec!["country".to_string(), "company".to_string()];
-        let instances = vec!["China".to_string(), "Microsoft".to_string()];
-        let args = Args {
-            write_ratio: 0.3,
-            ..Args::default()
-        };
-        let zipf = Zipf::new(2, 1.0);
-        let mut rng = SmallRng::seed_from_u64(9);
-        let mut writes = 0u64;
-        let mut seen = std::collections::BTreeSet::new();
-        for _ in 0..500 {
-            let (name, req) = pick_request(
-                &mut rng,
-                &zipf,
-                &concepts,
-                &instances,
-                &args,
-                0,
-                &mut writes,
-            );
-            seen.insert(name);
-            // The router's classification (engine.rs): these route to
-            // one shard, everything else scatter-gathers.
-            let single = matches!(
-                req,
-                Request::Isa { .. }
-                    | Request::Plausibility { .. }
-                    | Request::Typicality { .. }
-                    | Request::Levels { term: Some(_) }
-                    | Request::AddEvidence { .. }
-            );
-            let expected = if single {
-                "single-shard"
-            } else {
-                "scatter-gather"
-            };
-            assert_eq!(query_class(name), expected, "endpoint {name}");
-        }
-        assert!(seen.len() >= 6, "workload should cover all endpoints");
     }
 }

@@ -28,6 +28,11 @@
 //! paper-to-module map, and `EXPERIMENTS.md` for the reproduced tables
 //! and figures.
 
+/// Open-loop traffic harness behind `probase-loadgen`: Poisson
+/// arrivals, named workload profiles, HDR latency capture, the
+/// `BENCH_SERVE.json` report, and the CI SLO gate.
+pub mod loadgen;
+
 pub use probase_core::{
     build_probase, build_probase_observed, seed_from_world, PlausibilityKind, Probase,
     ProbaseConfig, Simulation,

@@ -1,0 +1,429 @@
+//! The load-generating engine: open-loop Poisson arrivals (latency from
+//! *intended* send time) plus the legacy closed-loop mode.
+//!
+//! Open-loop is the honest mode: the arrival schedule is fixed up front
+//! from the seed, workers drain it through a shared cursor, and a
+//! request that could not be sent on time is charged its full queueing
+//! delay. A server stall therefore surfaces as the tail-latency cliff
+//! it really is, instead of silently reducing the offered load
+//! (coordinated omission). Closed-loop is retained for saturation
+//! probing, where "how fast will the server admit work" is the question.
+
+use super::profile::query_class;
+use super::{HarnessConfig, SeededRng, Vocab, Zipf};
+use probase_obs::Registry;
+use probase_serve::{Client, ClientConfig, ClientError, Request};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How requests are issued.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// Each worker sends its next request as soon as the previous one
+    /// completes. Subject to coordinated omission; good for probing the
+    /// admission rate, wrong for tail-latency claims.
+    Closed,
+    /// Poisson arrivals at `rate` requests/second across all workers;
+    /// latency is measured from the scheduled send time.
+    Open {
+        /// Offered rate, requests per second (> 0).
+        rate: f64,
+    },
+}
+
+impl Mode {
+    /// Wire name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Closed => "closed",
+            Mode::Open { .. } => "open",
+        }
+    }
+
+    /// The offered rate, if open-loop.
+    pub fn offered_rate(&self) -> Option<f64> {
+        match self {
+            Mode::Closed => None,
+            Mode::Open { rate } => Some(*rate),
+        }
+    }
+}
+
+/// What a run produced: latency histograms (in the registry) plus exact
+/// outcome counts.
+#[derive(Debug)]
+pub struct RunStats {
+    /// Latency histograms: `loadgen.overall.latency_us`,
+    /// `loadgen.endpoint.<name>.latency_us`,
+    /// `loadgen.class.<class>.latency_us`.
+    pub registry: Arc<Registry>,
+    /// Requests the schedule offered (open) or workers issued (closed).
+    pub scheduled: u64,
+    /// Requests answered with an ok envelope.
+    pub completed: u64,
+    /// Well-formed error envelopes from the server.
+    pub server_errors: u64,
+    /// Transport/protocol failures (timeouts, broken pipes, bad frames).
+    pub transport_errors: u64,
+    /// Ok envelopes flagged degraded (sharded deployments only).
+    pub degraded: u64,
+    /// Reconnect attempts that failed.
+    pub connect_failures: u64,
+    /// Wall time from first scheduled arrival to last completion.
+    pub elapsed: Duration,
+}
+
+impl RunStats {
+    /// Completed ok-responses per second of wall time.
+    pub fn achieved_rate(&self) -> f64 {
+        if self.elapsed.as_secs_f64() <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Draw a Poisson arrival schedule: offsets from run start, one per
+/// arrival, covering `duration` at `rate` requests/second. Exposed for
+/// the property tests — the mean inter-arrival gap must converge to
+/// `1/rate`.
+pub fn poisson_offsets(rate: f64, duration: Duration, rng: &mut SeededRng) -> Vec<Duration> {
+    assert!(rate > 0.0, "offered rate must be positive");
+    let horizon = duration.as_secs_f64();
+    let mut offsets = Vec::with_capacity((rate * horizon) as usize + 1);
+    let mut t = 0.0;
+    loop {
+        // Inverse-CDF exponential inter-arrival. `1 - u` keeps the log
+        // argument in (0, 1] so the draw is always finite.
+        let u = rng.next_unit();
+        t += -(1.0 - u).ln() / rate;
+        if t >= horizon {
+            return offsets;
+        }
+        offsets.push(Duration::from_secs_f64(t));
+    }
+}
+
+struct Outcome {
+    completed: u64,
+    server_errors: u64,
+    transport_errors: u64,
+    degraded: u64,
+    connect_failures: u64,
+    issued: u64,
+}
+
+impl Outcome {
+    fn new() -> Outcome {
+        Outcome {
+            completed: 0,
+            server_errors: 0,
+            transport_errors: 0,
+            degraded: 0,
+            connect_failures: 0,
+            issued: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &Outcome) {
+        self.completed += other.completed;
+        self.server_errors += other.server_errors;
+        self.transport_errors += other.transport_errors;
+        self.degraded += other.degraded;
+        self.connect_failures += other.connect_failures;
+        self.issued += other.issued;
+    }
+}
+
+fn client_config(cfg: &HarnessConfig) -> ClientConfig {
+    ClientConfig {
+        // No retries: a retried request would hide the very latency the
+        // harness exists to measure. Failures are counted instead.
+        max_retries: 0,
+        retry_budget: 0,
+        read_timeout: Some(cfg.read_timeout),
+        seed: cfg.seed,
+        ..ClientConfig::default()
+    }
+}
+
+/// Issue one request on `client` (reconnecting once if the connection
+/// has died) and account the outcome. Returns the send-to-completion
+/// latency when the server produced a well-formed envelope.
+fn issue(
+    client: &mut Option<Client>,
+    cfg: &HarnessConfig,
+    req: &Request,
+    outcome: &mut Outcome,
+) -> Option<Duration> {
+    outcome.issued += 1;
+    if client.is_none() {
+        match Client::connect_with(&cfg.addr, client_config(cfg)) {
+            Ok(c) => *client = Some(c),
+            Err(_) => {
+                outcome.connect_failures += 1;
+                outcome.transport_errors += 1;
+                return None;
+            }
+        }
+    }
+    let c = client.as_mut().expect("client connected above");
+    let sent = Instant::now();
+    match c.call(req) {
+        Ok(env) => {
+            if env.error.is_some() {
+                outcome.server_errors += 1;
+            } else {
+                outcome.completed += 1;
+                if env.degraded {
+                    outcome.degraded += 1;
+                }
+            }
+            Some(sent.elapsed())
+        }
+        Err(err) => {
+            outcome.transport_errors += 1;
+            // Drop the connection on transport-level damage so the next
+            // request starts clean; server-signalled errors above keep it.
+            if matches!(
+                err,
+                ClientError::Io(_)
+                    | ClientError::Protocol(_)
+                    | ClientError::RetriesExhausted { .. }
+            ) {
+                *client = None;
+            }
+            None
+        }
+    }
+}
+
+struct Recorder<'a> {
+    registry: &'a Registry,
+}
+
+impl Recorder<'_> {
+    fn record(&self, endpoint: &str, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.registry
+            .histogram("loadgen.overall.latency_us")
+            .record(us);
+        self.registry
+            .histogram(&format!("loadgen.endpoint.{endpoint}.latency_us"))
+            .record(us);
+        self.registry
+            .histogram(&format!(
+                "loadgen.class.{}.latency_us",
+                query_class(endpoint)
+            ))
+            .record(us);
+    }
+}
+
+/// Run the harness against a live server and return its stats.
+///
+/// Open-loop: the full arrival schedule (times *and* requests) is drawn
+/// from `cfg.seed` before the clock starts, workers drain it through a
+/// shared cursor, and each latency is measured from the scheduled
+/// arrival time. Closed-loop: each worker issues back-to-back requests
+/// from its own forked stream until the duration elapses, measuring
+/// from actual send time.
+pub fn run(cfg: &HarnessConfig, vocab: &Vocab) -> Result<RunStats, String> {
+    if vocab.is_empty() {
+        return Err("empty vocabulary: server returned no labels".to_string());
+    }
+    if cfg.threads == 0 {
+        return Err("need at least one worker thread".to_string());
+    }
+    let registry = Arc::new(Registry::new());
+    let zipf_concepts = Zipf::new(vocab.concepts.len(), cfg.zipf);
+    let mut outcome = Outcome::new();
+    let start = Instant::now();
+    let scheduled;
+
+    match cfg.mode {
+        Mode::Open { rate } => {
+            if rate <= 0.0 {
+                return Err("open-loop rate must be positive".to_string());
+            }
+            // Draw the whole run up front: arrival offsets, then one
+            // request per arrival, all from the same seed.
+            let mut rng = SeededRng::new(cfg.seed);
+            let offsets = poisson_offsets(rate, cfg.duration, &mut rng);
+            let mut write_seq = 0u64;
+            let schedule: Vec<(Duration, &'static str, Request)> = offsets
+                .into_iter()
+                .map(|off| {
+                    let (name, req) =
+                        cfg.profile
+                            .sample(&mut rng, &zipf_concepts, vocab, "o", &mut write_seq);
+                    (off, name, req)
+                })
+                .collect();
+            scheduled = schedule.len() as u64;
+            let cursor = AtomicUsize::new(0);
+            let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..cfg.threads)
+                    .map(|_| {
+                        let schedule = &schedule;
+                        let cursor = &cursor;
+                        let registry = &registry;
+                        scope.spawn(move || {
+                            let recorder = Recorder {
+                                registry: registry.as_ref(),
+                            };
+                            let mut local = Outcome::new();
+                            let mut client = None;
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some((offset, name, req)) = schedule.get(i) else {
+                                    break;
+                                };
+                                let intended = start + *offset;
+                                let now = Instant::now();
+                                if intended > now {
+                                    std::thread::sleep(intended - now);
+                                }
+                                if issue(&mut client, cfg, req, &mut local).is_some() {
+                                    // Latency from the *intended* send
+                                    // time: queueing delay behind a
+                                    // stall is part of the number.
+                                    recorder.record(name, intended.elapsed());
+                                }
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("loadgen worker panicked"))
+                    .collect()
+            });
+            for o in &outcomes {
+                outcome.merge(o);
+            }
+        }
+        Mode::Closed => {
+            let deadline = start + cfg.duration;
+            let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..cfg.threads)
+                    .map(|t| {
+                        let registry = &registry;
+                        let zipf = &zipf_concepts;
+                        scope.spawn(move || {
+                            let recorder = Recorder {
+                                registry: registry.as_ref(),
+                            };
+                            let mut rng = SeededRng::new(cfg.seed).fork(t as u64);
+                            let mut write_seq = 0u64;
+                            let space = format!("c{t}");
+                            let mut local = Outcome::new();
+                            let mut client = None;
+                            while Instant::now() < deadline {
+                                let (name, req) = cfg.profile.sample(
+                                    &mut rng,
+                                    zipf,
+                                    vocab,
+                                    &space,
+                                    &mut write_seq,
+                                );
+                                if let Some(latency) = issue(&mut client, cfg, &req, &mut local) {
+                                    recorder.record(name, latency);
+                                }
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("loadgen worker panicked"))
+                    .collect()
+            });
+            for o in &outcomes {
+                outcome.merge(o);
+            }
+            scheduled = outcome.issued;
+        }
+    }
+
+    Ok(RunStats {
+        registry,
+        scheduled,
+        completed: outcome.completed,
+        server_errors: outcome.server_errors,
+        transport_errors: outcome.transport_errors,
+        degraded: outcome.degraded,
+        connect_failures: outcome.connect_failures,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_offsets_are_deterministic_sorted_and_bounded() {
+        let mut a = SeededRng::new(99);
+        let mut b = SeededRng::new(99);
+        let one = poisson_offsets(200.0, Duration::from_secs(2), &mut a);
+        let two = poisson_offsets(200.0, Duration::from_secs(2), &mut b);
+        assert_eq!(one, two, "same seed must yield the same schedule");
+        assert!(
+            one.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be sorted"
+        );
+        assert!(one.iter().all(|o| *o < Duration::from_secs(2)));
+        // ~400 expected arrivals; Poisson sd is ±20, allow 5 sd.
+        assert!((300..500).contains(&one.len()), "got {}", one.len());
+    }
+
+    #[test]
+    fn poisson_mean_rate_matches_offered_rate() {
+        for seed in [1u64, 42, 0xCAFE_BABE] {
+            let mut rng = SeededRng::new(seed);
+            let rate = 1000.0;
+            let offsets = poisson_offsets(rate, Duration::from_secs(10), &mut rng);
+            let achieved = offsets.len() as f64 / 10.0;
+            assert!(
+                (achieved - rate).abs() / rate < 0.05,
+                "seed {seed}: achieved {achieved} vs offered {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn mode_names_and_rates() {
+        assert_eq!(Mode::Closed.name(), "closed");
+        assert_eq!(Mode::Open { rate: 50.0 }.name(), "open");
+        assert_eq!(Mode::Closed.offered_rate(), None);
+        assert_eq!(Mode::Open { rate: 50.0 }.offered_rate(), Some(50.0));
+    }
+
+    #[test]
+    fn run_rejects_bad_configs() {
+        let vocab = Vocab {
+            concepts: vec!["a".to_string()],
+            instances: vec!["b".to_string()],
+        };
+        let empty = Vocab {
+            concepts: vec![],
+            instances: vec![],
+        };
+        let cfg = HarnessConfig::default();
+        assert!(run(&cfg, &empty).is_err());
+        let zero_threads = HarnessConfig {
+            threads: 0,
+            ..HarnessConfig::default()
+        };
+        assert!(run(&zero_threads, &vocab).is_err());
+        let bad_rate = HarnessConfig {
+            mode: Mode::Open { rate: 0.0 },
+            ..HarnessConfig::default()
+        };
+        assert!(run(&bad_rate, &vocab).is_err());
+    }
+}

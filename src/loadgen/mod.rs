@@ -1,0 +1,169 @@
+//! The open-loop traffic harness behind `probase-loadgen`.
+//!
+//! Probase's serving claims (§6: applications driven by Bing query-log
+//! traffic) only mean something under realistic load, and the classic
+//! failure of naive load generators is **coordinated omission**: a
+//! closed-loop worker that waits for each response before sending the
+//! next request stops *offering* load the moment the server stalls, so
+//! the stall shows up as one slow sample instead of the hundreds of
+//! requests that real users would have sent into the stall. This module
+//! measures the system the way its users experience it:
+//!
+//! * **Open-loop arrivals** ([`engine`]) — requests arrive on a Poisson
+//!   schedule at a configured offered rate, and every latency is
+//!   measured from the request's *intended* send time, not its actual
+//!   send time. A server stall therefore inflates the tail of the
+//!   distribution by exactly the backlog it caused. The closed-loop
+//!   mode is retained for comparison (and for saturation probing, where
+//!   "as fast as the server admits" is the question being asked).
+//! * **Named workload profiles** ([`profile`]) — `read-heavy`,
+//!   `write-heavy`, `mixed`, and `conceptualize` mixes over the wire
+//!   protocol's endpoints, modeled on the paper's query-log
+//!   substitution, with zipfian key skew so caches are exercised
+//!   honestly.
+//! * **HDR latency capture** — all latencies land in
+//!   [`probase_obs::Histogram`]s (p50/p90/p99/p99.9 + exact max at
+//!   ~3% resolution), replacing the raw-vector percentile math that was
+//!   off-by-one at small sample counts.
+//! * **Machine-readable reports and an SLO gate** ([`report`]) — the
+//!   run renders to a deterministic `BENCH_SERVE.json` document
+//!   (per-endpoint and per-query-class percentiles, achieved vs offered
+//!   rate, error/degraded counts), which CI gates against a committed
+//!   baseline and a stated p99/throughput SLO.
+//!
+//! Randomness is a self-contained xorshift64* / SplitMix64 pair — the
+//! same generators `probase-testkit` and the client's retry jitter use —
+//! so a seed replays the whole run's request stream exactly.
+//!
+//! See DESIGN.md §15 for the methodology and the CI protocol.
+
+pub mod engine;
+pub mod profile;
+pub mod report;
+
+pub use engine::{run, Mode, RunStats};
+pub use profile::{Profile, Vocab, Zipf};
+pub use report::{check_slo, compare_serve_baseline, render_report, validate_serve_report, Slo};
+
+use std::time::Duration;
+
+/// Everything a harness run needs besides the vocabulary.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Server (or router front door) address.
+    pub addr: String,
+    /// Whether `addr` is a shard router — turns on per-query-class
+    /// reporting in the rendered document.
+    pub router: bool,
+    /// Open-loop (Poisson arrivals at an offered rate) or closed-loop.
+    pub mode: Mode,
+    /// The workload mix.
+    pub profile: Profile,
+    /// Worker connections. In open-loop mode this caps in-flight
+    /// concurrency: if all workers are busy, scheduled arrivals queue
+    /// and their waiting time is *measured* (that is the point).
+    pub threads: usize,
+    /// Run length. Open-loop schedules `rate × duration` arrivals;
+    /// closed-loop stops issuing after this much wall time.
+    pub duration: Duration,
+    /// Zipfian skew of key choice.
+    pub zipf: f64,
+    /// Seed for the arrival schedule and the request stream.
+    pub seed: u64,
+    /// Per-request socket read timeout (bounds a blackholed request).
+    pub read_timeout: Duration,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            router: false,
+            mode: Mode::Closed,
+            profile: Profile::Mixed,
+            threads: 4,
+            duration: Duration::from_secs(10),
+            zipf: 1.0,
+            seed: 42,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Seeded xorshift64* generator, mixed through SplitMix64 — the exact
+/// pair `probase-testkit` uses, so loadgen runs replay like chaos runs.
+#[derive(Debug, Clone)]
+pub struct SeededRng(u64);
+
+impl SeededRng {
+    /// A generator seeded with `seed` (any value, including 0).
+    pub fn new(seed: u64) -> SeededRng {
+        SeededRng(splitmix64(seed).max(1))
+    }
+
+    /// Fork an independent substream: worker `i` gets its own stream so
+    /// thread scheduling cannot reorder the global request sequence.
+    pub fn fork(&self, stream: u64) -> SeededRng {
+        SeededRng(splitmix64(self.0.wrapping_add(splitmix64(stream))).max(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next value in `[0, 1)`, with 53 bits of precision.
+    pub fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Next index in `[0, n)` (`n` must be positive).
+    pub fn next_index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        ((self.next_unit() * n as f64) as usize).min(n - 1)
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_forked_streams_differ() {
+        let mut a = SeededRng::new(7);
+        let mut b = SeededRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let base = SeededRng::new(7);
+        let mut f0 = base.fork(0);
+        let mut f1 = base.fork(1);
+        let same = (0..64).filter(|_| f0.next_u64() == f1.next_u64()).count();
+        assert!(same < 4, "forked streams should diverge ({same}/64 equal)");
+    }
+
+    #[test]
+    fn next_unit_in_range_and_next_index_in_bounds() {
+        let mut rng = SeededRng::new(0); // zero seed must still work
+        for _ in 0..10_000 {
+            let u = rng.next_unit();
+            assert!((0.0..1.0).contains(&u), "{u}");
+            let i = rng.next_index(17);
+            assert!(i < 17);
+        }
+        let mut one = SeededRng::new(3);
+        assert_eq!(one.next_index(1), 0);
+    }
+}

@@ -1,0 +1,510 @@
+//! `BENCH_SERVE.json` rendering, validation, SLO checks, and the
+//! committed-baseline comparison — the serve-side mirror of
+//! `probase-bench`'s `BENCH_PIPELINE.json` protocol.
+//!
+//! The document is deterministic given identical metric state (section
+//! names sorted, schema fixed), so CI can diff two runs. A committed
+//! baseline with `meta.seeded: true` arms shape checks only (endpoint
+//! coverage, profile/mode identity) and emits a regeneration warning;
+//! once regenerated on reference hardware with `seeded: false`, the
+//! scalar gates (p99, achieved rate) arm too.
+
+use super::engine::RunStats;
+use super::HarnessConfig;
+use probase_obs::Json;
+
+/// The schema tag every report carries.
+pub const SERVE_SCHEMA: &str = "bench-serve-v1";
+
+/// Service-level objectives the gate enforces on a fresh report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Slo {
+    /// Overall p99 must be at or below this many milliseconds.
+    pub p99_ms: Option<f64>,
+    /// Achieved ok-responses/second must be at or above this.
+    pub min_rate: Option<f64>,
+}
+
+impl Slo {
+    /// True when no objective is set (the gate has nothing to enforce).
+    pub fn is_empty(&self) -> bool {
+        self.p99_ms.is_none() && self.min_rate.is_none()
+    }
+}
+
+/// Map one snapshot histogram entry (`count/sum/mean/p50/.../max`) to
+/// the report's `*_us` summary shape.
+fn hist_summary(h: &Json) -> Json {
+    let n = |key: &str| h.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    Json::obj(vec![
+        ("count", Json::num(n("count"))),
+        ("mean_us", Json::num(n("mean"))),
+        ("p50_us", Json::num(n("p50"))),
+        ("p90_us", Json::num(n("p90"))),
+        ("p99_us", Json::num(n("p99"))),
+        ("p999_us", Json::num(n("p999"))),
+        ("max_us", Json::num(n("max"))),
+    ])
+}
+
+/// Collect `loadgen.<section>.<name>.latency_us` histograms from a
+/// registry snapshot into a `name → summary` object (sorted — the
+/// snapshot is backed by a `BTreeMap`).
+fn section(hists: &Json, prefix: &str) -> Json {
+    let mut out = Vec::new();
+    if let Json::Obj(pairs) = hists {
+        for (name, h) in pairs {
+            if let Some(rest) = name.strip_prefix(prefix) {
+                if let Some(endpoint) = rest.strip_suffix(".latency_us") {
+                    out.push((endpoint.to_string(), hist_summary(h)));
+                }
+            }
+        }
+    }
+    Json::Obj(out)
+}
+
+/// Render a run into the `BENCH_SERVE.json` document.
+pub fn render_report(cfg: &HarnessConfig, stats: &RunStats) -> Json {
+    let snapshot = stats.registry.snapshot();
+    let empty = Json::obj(vec![]);
+    let hists = snapshot.get("histograms").unwrap_or(&empty);
+    let overall = hists
+        .get("loadgen.overall.latency_us")
+        .map(hist_summary)
+        .unwrap_or_else(|| hist_summary(&empty));
+    let offered = match cfg.mode.offered_rate() {
+        Some(rate) => Json::num(rate),
+        None => Json::Null,
+    };
+    Json::obj(vec![
+        (
+            "meta",
+            Json::obj(vec![
+                ("schema", Json::str(SERVE_SCHEMA)),
+                ("seeded", Json::Bool(false)),
+                ("mode", Json::str(cfg.mode.name())),
+                ("profile", Json::str(cfg.profile.name())),
+                (
+                    "target",
+                    Json::str(if cfg.router { "router" } else { "single" }),
+                ),
+                ("offered_rate", offered),
+                ("duration_secs", Json::num(cfg.duration.as_secs_f64())),
+                ("threads", Json::num(cfg.threads as f64)),
+                ("zipf", Json::num(cfg.zipf)),
+                ("seed", Json::num(cfg.seed as f64)),
+            ]),
+        ),
+        (
+            "totals",
+            Json::obj(vec![
+                ("scheduled", Json::num(stats.scheduled as f64)),
+                ("completed", Json::num(stats.completed as f64)),
+                ("server_errors", Json::num(stats.server_errors as f64)),
+                ("transport_errors", Json::num(stats.transport_errors as f64)),
+                ("degraded", Json::num(stats.degraded as f64)),
+                ("connect_failures", Json::num(stats.connect_failures as f64)),
+                (
+                    "achieved_rate",
+                    Json::num((stats.achieved_rate() * 100.0).round() / 100.0),
+                ),
+                (
+                    "elapsed_secs",
+                    Json::num((stats.elapsed.as_secs_f64() * 1000.0).round() / 1000.0),
+                ),
+            ]),
+        ),
+        ("overall", overall),
+        ("endpoints", section(hists, "loadgen.endpoint.")),
+        ("classes", section(hists, "loadgen.class.")),
+    ])
+}
+
+fn require_num(doc: &Json, section: &str, key: &str) -> Result<f64, String> {
+    doc.get(section)
+        .and_then(|s| s.get(key))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing numeric {section}.{key}"))
+}
+
+/// Structural validation: every consumer-visible field the CI gate and
+/// the baseline comparison read must be present and typed.
+pub fn validate_serve_report(report: &Json) -> Result<(), String> {
+    let meta = report.get("meta").ok_or("missing meta")?;
+    let schema = meta
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing meta.schema")?;
+    if schema != SERVE_SCHEMA {
+        return Err(format!(
+            "schema mismatch: {schema:?} (expected {SERVE_SCHEMA:?})"
+        ));
+    }
+    for key in ["mode", "profile", "target"] {
+        meta.get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing meta.{key}"))?;
+    }
+    for key in [
+        "scheduled",
+        "completed",
+        "server_errors",
+        "transport_errors",
+        "degraded",
+        "connect_failures",
+        "achieved_rate",
+        "elapsed_secs",
+    ] {
+        require_num(report, "totals", key)?;
+    }
+    for key in ["count", "p50_us", "p90_us", "p99_us", "p999_us", "max_us"] {
+        require_num(report, "overall", key)?;
+    }
+    for sect in ["endpoints", "classes"] {
+        match report.get(sect) {
+            Some(Json::Obj(_)) => {}
+            _ => return Err(format!("missing object section {sect:?}")),
+        }
+    }
+    Ok(())
+}
+
+/// Check a fresh report against the stated SLOs. Returns one line per
+/// violation (empty ⇒ pass).
+pub fn check_slo(report: &Json, slo: &Slo) -> Vec<String> {
+    let mut violations = Vec::new();
+    if let Some(limit_ms) = slo.p99_ms {
+        match require_num(report, "overall", "p99_us") {
+            Ok(p99_us) => {
+                if p99_us > limit_ms * 1000.0 {
+                    violations.push(format!(
+                        "overall p99 {:.2}ms exceeds SLO {limit_ms}ms",
+                        p99_us / 1000.0
+                    ));
+                }
+            }
+            Err(e) => violations.push(e),
+        }
+    }
+    if let Some(min_rate) = slo.min_rate {
+        match require_num(report, "totals", "achieved_rate") {
+            Ok(rate) => {
+                if rate < min_rate {
+                    violations.push(format!(
+                        "achieved rate {rate:.2}/s below SLO floor {min_rate}/s"
+                    ));
+                }
+            }
+            Err(e) => violations.push(e),
+        }
+    }
+    violations
+}
+
+fn obj_keys<'a>(doc: &'a Json, section: &str) -> Vec<&'a str> {
+    match doc.get(section) {
+        Some(Json::Obj(pairs)) => pairs.iter().map(|(k, _)| k.as_str()).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Compare a fresh report against the committed `BENCH_SERVE.json`
+/// baseline. Mirrors `probase-bench`'s protocol:
+///
+/// 1. **Shape, always:** profile/mode/target must match, and every
+///    endpoint and query class the baseline covers must appear in the
+///    fresh run with a nonzero count — a silently vanished endpoint is
+///    a harness bug, not a perf change.
+/// 2. **Scalars, only on measured baselines:** a baseline with
+///    `meta.seeded: true` predates any reference-hardware run; it emits
+///    a regeneration warning and skips scalar gates. Otherwise the
+///    fresh overall p99 must stay within 2× baseline + 10ms and the
+///    achieved rate within 2× down.
+///
+/// `Err` fails the gate; `Ok(warnings)` passes with advisories.
+pub fn compare_serve_baseline(fresh: &Json, baseline: &Json) -> Result<Vec<String>, String> {
+    validate_serve_report(fresh).map_err(|e| format!("fresh report invalid: {e}"))?;
+    let b_meta = baseline
+        .get("meta")
+        .ok_or_else(|| "baseline has no meta".to_string())?;
+    for key in ["profile", "mode", "target"] {
+        let b = b_meta.get(key).and_then(Json::as_str);
+        let f = fresh
+            .get("meta")
+            .and_then(|m| m.get(key))
+            .and_then(Json::as_str);
+        if b.is_some() && b != f {
+            return Err(format!(
+                "meta.{key} mismatch: baseline {b:?} vs fresh {f:?} — \
+                 the gate must drive the baseline's workload"
+            ));
+        }
+    }
+    for sect in ["endpoints", "classes"] {
+        for name in obj_keys(baseline, sect) {
+            let count = fresh
+                .get(sect)
+                .and_then(|s| s.get(name))
+                .and_then(|e| e.get("count"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            if count <= 0.0 {
+                return Err(format!(
+                    "{sect}.{name} present in baseline but absent/empty in \
+                     fresh run — workload coverage regressed"
+                ));
+            }
+        }
+    }
+    let mut warnings = Vec::new();
+    let seeded = b_meta
+        .get("seeded")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    if seeded {
+        warnings.push(
+            "baseline is a structural seed (meta.seeded: true); latency and \
+             throughput gates are DISARMED. Regenerate BENCH_SERVE.json on \
+             reference hardware to arm them."
+                .to_string(),
+        );
+        return Ok(warnings);
+    }
+    let b_p99 = require_num(baseline, "overall", "p99_us")?;
+    let f_p99 = require_num(fresh, "overall", "p99_us")?;
+    if f_p99 > b_p99 * 2.0 + 10_000.0 {
+        return Err(format!(
+            "overall p99 regressed: fresh {f_p99}us vs baseline {b_p99}us \
+             (limit 2x + 10ms)"
+        ));
+    }
+    let b_rate = require_num(baseline, "totals", "achieved_rate")?;
+    let f_rate = require_num(fresh, "totals", "achieved_rate")?;
+    if f_rate < b_rate * 0.5 {
+        return Err(format!(
+            "achieved rate regressed: fresh {f_rate:.2}/s vs baseline \
+             {b_rate:.2}/s (floor 0.5x)"
+        ));
+    }
+    if f_p99 > b_p99 * 1.25 {
+        warnings.push(format!(
+            "overall p99 drifted up: fresh {f_p99}us vs baseline {b_p99}us"
+        ));
+    }
+    Ok(warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::engine::{Mode, RunStats};
+    use super::super::{HarnessConfig, Profile};
+    use super::*;
+    use probase_obs::Registry;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn fake_stats() -> RunStats {
+        let registry = Arc::new(Registry::new());
+        for (endpoint, lat) in [
+            ("isa", 120u64),
+            ("typicality", 300),
+            ("add-evidence", 450),
+            ("conceptualize", 900),
+        ] {
+            for i in 0..50 {
+                let us = lat + i;
+                registry.histogram("loadgen.overall.latency_us").record(us);
+                registry
+                    .histogram(&format!("loadgen.endpoint.{endpoint}.latency_us"))
+                    .record(us);
+                let class = super::super::profile::query_class(endpoint);
+                registry
+                    .histogram(&format!("loadgen.class.{class}.latency_us"))
+                    .record(us);
+            }
+        }
+        RunStats {
+            registry,
+            scheduled: 200,
+            completed: 200,
+            server_errors: 0,
+            transport_errors: 0,
+            degraded: 0,
+            connect_failures: 0,
+            elapsed: Duration::from_secs(2),
+        }
+    }
+
+    fn cfg() -> HarnessConfig {
+        HarnessConfig {
+            mode: Mode::Open { rate: 100.0 },
+            profile: Profile::Mixed,
+            ..HarnessConfig::default()
+        }
+    }
+
+    #[test]
+    fn rendered_report_validates_and_is_deterministic() {
+        let stats = fake_stats();
+        let report = render_report(&cfg(), &stats);
+        validate_serve_report(&report).expect("fresh render must validate");
+        assert_eq!(
+            report.to_string(),
+            render_report(&cfg(), &stats).to_string(),
+            "same state must serialize identically"
+        );
+        let meta = report.get("meta").unwrap();
+        assert_eq!(meta.get("mode").and_then(Json::as_str), Some("open"));
+        assert_eq!(meta.get("offered_rate").and_then(Json::as_f64), Some(100.0));
+        assert_eq!(
+            report
+                .get("totals")
+                .and_then(|t| t.get("achieved_rate"))
+                .and_then(Json::as_f64),
+            Some(100.0)
+        );
+        // Per-endpoint and per-class sections carry the recorded data.
+        let isa = report.get("endpoints").unwrap().get("isa").unwrap();
+        assert_eq!(isa.get("count").and_then(Json::as_u64), Some(50));
+        let single = report.get("classes").unwrap().get("single-shard").unwrap();
+        assert_eq!(single.get("count").and_then(Json::as_u64), Some(150));
+        let scatter = report
+            .get("classes")
+            .unwrap()
+            .get("scatter-gather")
+            .unwrap();
+        assert_eq!(scatter.get("count").and_then(Json::as_u64), Some(50));
+    }
+
+    #[test]
+    fn slo_gate_passes_and_fails() {
+        let report = render_report(&cfg(), &fake_stats());
+        assert!(check_slo(&report, &Slo::default()).is_empty());
+        let loose = Slo {
+            p99_ms: Some(250.0),
+            min_rate: Some(50.0),
+        };
+        assert!(check_slo(&report, &loose).is_empty(), "loose SLO must pass");
+        let tight_lat = Slo {
+            p99_ms: Some(0.5),
+            min_rate: None,
+        };
+        let violations = check_slo(&report, &tight_lat);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("p99"), "{violations:?}");
+        let tight_rate = Slo {
+            p99_ms: None,
+            min_rate: Some(1_000_000.0),
+        };
+        assert!(check_slo(&report, &tight_rate)[0].contains("rate"));
+    }
+
+    #[test]
+    fn seeded_baseline_is_shape_only_with_warning() {
+        let fresh = render_report(&cfg(), &fake_stats());
+        let seeded = Json::obj(vec![
+            (
+                "meta",
+                Json::obj(vec![
+                    ("seeded", Json::Bool(true)),
+                    ("profile", Json::str("mixed")),
+                    ("mode", Json::str("open")),
+                ]),
+            ),
+            (
+                "endpoints",
+                Json::obj(vec![("isa", Json::obj(vec![("count", Json::num(1.0))]))]),
+            ),
+            (
+                "classes",
+                Json::obj(vec![(
+                    "single-shard",
+                    Json::obj(vec![("count", Json::num(1.0))]),
+                )]),
+            ),
+        ]);
+        let warnings = compare_serve_baseline(&fresh, &seeded).expect("seeded must pass");
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("DISARMED"), "{warnings:?}");
+        // But shape still gates: a baseline endpoint the fresh run never
+        // exercised is a hard failure even when seeded.
+        let missing = Json::obj(vec![
+            ("meta", Json::obj(vec![("seeded", Json::Bool(true))])),
+            (
+                "endpoints",
+                Json::obj(vec![(
+                    "snapshot-load",
+                    Json::obj(vec![("count", Json::num(1.0))]),
+                )]),
+            ),
+        ]);
+        let err = compare_serve_baseline(&fresh, &missing).unwrap_err();
+        assert!(err.contains("snapshot-load"), "{err}");
+        // And a profile mismatch is a hard failure too.
+        let wrong_profile = Json::obj(vec![(
+            "meta",
+            Json::obj(vec![
+                ("seeded", Json::Bool(true)),
+                ("profile", Json::str("write-heavy")),
+            ]),
+        )]);
+        let err = compare_serve_baseline(&fresh, &wrong_profile).unwrap_err();
+        assert!(err.contains("profile"), "{err}");
+    }
+
+    /// Overwrite `doc.<section>.<key>` with a number (test helper).
+    fn set(doc: &mut Json, section: &str, key: &str, value: f64) {
+        let Json::Obj(pairs) = doc else {
+            unreachable!()
+        };
+        for (k, v) in pairs.iter_mut() {
+            if k == section {
+                let Json::Obj(fields) = v else { unreachable!() };
+                for (fk, fv) in fields.iter_mut() {
+                    if fk == key {
+                        *fv = Json::num(value);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn measured_baseline_arms_scalar_gates() {
+        let fresh = render_report(&cfg(), &fake_stats());
+        // Self-comparison passes with no warnings.
+        let warnings = compare_serve_baseline(&fresh, &fresh).expect("self-compare passes");
+        assert!(warnings.is_empty(), "{warnings:?}");
+        // A fresh p99 beyond 2x baseline + 10ms fails the gate. The
+        // fake run's p99 is under 1ms, so 60ms clears the slack.
+        let mut slow = fresh.clone();
+        set(&mut slow, "overall", "p99_us", 60_000.0);
+        let err = compare_serve_baseline(&slow, &fresh).unwrap_err();
+        assert!(err.contains("p99 regressed"), "{err}");
+        // A fresh rate under half the baseline's fails too.
+        let mut fast_base = fresh.clone();
+        set(&mut fast_base, "totals", "achieved_rate", 1_000.0);
+        let err = compare_serve_baseline(&fresh, &fast_base).unwrap_err();
+        assert!(err.contains("rate regressed"), "{err}");
+        // A modest p99 drift (within the gate) is only a warning.
+        let mut drift = fresh.clone();
+        set(&mut drift, "overall", "p99_us", 1_300.0);
+        let mut base = fresh.clone();
+        set(&mut base, "overall", "p99_us", 1_000.0);
+        let warnings = compare_serve_baseline(&drift, &base).expect("drift passes the gate");
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("drifted"), "{warnings:?}");
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        assert!(validate_serve_report(&Json::obj(vec![])).is_err());
+        let wrong_schema = Json::obj(vec![(
+            "meta",
+            Json::obj(vec![("schema", Json::str("bench-pipeline-v1"))]),
+        )]);
+        let err = validate_serve_report(&wrong_schema).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+}
