@@ -43,4 +43,4 @@ pub use plausibility::{
 pub use reach::ReachTable;
 pub use seed::{CachedOracle, FnOracle, SeedOracle, SeedSet};
 pub use typicality::TypicalityModel;
-pub use urns::{annotate_graph_urns, UrnsModel};
+pub use urns::{annotate_graph_urns, annotate_graph_urns_touched, UrnsModel};

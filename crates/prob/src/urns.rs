@@ -18,7 +18,7 @@
 
 use probase_extract::Knowledge;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A fitted Urns model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,12 +53,29 @@ impl UrnsModel {
     pub fn fit(counts: &[u32], max_iters: usize) -> Self {
         assert!(!counts.is_empty(), "need at least one claim");
         // Histogram compression: EM over distinct k values.
-        let mut hist: HashMap<u32, f64> = HashMap::new();
+        let mut hist: BTreeMap<u32, u64> = BTreeMap::new();
         for &c in counts {
-            *hist.entry(c.max(1)).or_insert(0.0) += 1.0;
+            *hist.entry(c.max(1)).or_insert(0) += 1;
         }
-        let n: f64 = hist.values().sum();
-        let mean = hist.iter().map(|(&k, &w)| k as f64 * w).sum::<f64>() / n;
+        Self::fit_histogram(&hist, max_iters)
+    }
+
+    /// Fit by EM directly on a `count → multiplicity` histogram.
+    ///
+    /// This is the deterministic core: the map is iterated in sorted key
+    /// order, so every float summation happens in the same order on every
+    /// run and across processes. (The earlier `HashMap` histogram summed
+    /// in hash-iteration order, which made the fitted parameters — and
+    /// therefore snapshot plausibility bytes — vary between processes.)
+    /// The incremental serve path maintains such a histogram across folds
+    /// and refits from it without rescanning the graph.
+    pub fn fit_histogram(hist: &BTreeMap<u32, u64>, max_iters: usize) -> Self {
+        assert!(
+            hist.values().any(|&w| w > 0),
+            "need at least one claim in the histogram"
+        );
+        let n: f64 = hist.values().map(|&w| w as f64).sum();
+        let mean = hist.iter().map(|(&k, &w)| k as f64 * w as f64).sum::<f64>() / n;
 
         // Initialization: errors ~1 repetition, correct ~ a few times mean.
         let mut pi: f64 = 0.5;
@@ -67,23 +84,19 @@ impl UrnsModel {
         let mut iterations = 0;
         for _ in 0..max_iters {
             iterations += 1;
-            // E step: responsibility of the "correct" component per k.
-            let mut resp: HashMap<u32, f64> = HashMap::new();
-            for &k in hist.keys() {
+            // E + M step fused, iterating distinct k in ascending order.
+            let mut w_c = 0.0;
+            let mut w_e = 0.0;
+            let mut s_c = 0.0;
+            let mut s_e = 0.0;
+            for (&k, &w) in hist {
+                let w = w as f64;
                 let lc_ll = pi.max(1e-9).ln() + log_poisson_trunc(k, lc);
                 let le_ll = (1.0 - pi).max(1e-9).ln() + log_poisson_trunc(k, le);
                 let m = lc_ll.max(le_ll);
                 let rc = (lc_ll - m).exp();
                 let re = (le_ll - m).exp();
-                resp.insert(k, rc / (rc + re));
-            }
-            // M step.
-            let mut w_c = 0.0;
-            let mut w_e = 0.0;
-            let mut s_c = 0.0;
-            let mut s_e = 0.0;
-            for (&k, &w) in &hist {
-                let r = resp[&k];
+                let r = rc / (rc + re);
                 w_c += w * r;
                 w_e += w * (1.0 - r);
                 s_c += w * r * k as f64;
@@ -139,6 +152,32 @@ pub fn annotate_graph_urns(graph: &mut probase_store::ConceptGraph, model: &Urns
     let updates: Vec<(probase_store::NodeId, probase_store::NodeId, f64)> = graph
         .edges()
         .map(|(f, t, d)| (f, t, model.plausibility(d.count)))
+        .collect();
+    let n = updates.len();
+    for (f, t, p) in updates {
+        graph.set_plausibility(f, t, p);
+    }
+    n
+}
+
+/// Like [`annotate_graph_urns`] but only writes edges whose plausibility
+/// actually changes (bitwise), and returns how many were written. The
+/// model is evaluated once per distinct count via a memo table, so a
+/// refit that moves the parameters by nothing costs one read pass and
+/// zero writes. This is the serve rebuild worker's fast path.
+pub fn annotate_graph_urns_touched(
+    graph: &mut probase_store::ConceptGraph,
+    model: &UrnsModel,
+) -> usize {
+    let mut table: BTreeMap<u32, f64> = BTreeMap::new();
+    let updates: Vec<(probase_store::NodeId, probase_store::NodeId, f64)> = graph
+        .edges()
+        .filter_map(|(f, t, d)| {
+            let p = *table
+                .entry(d.count)
+                .or_insert_with(|| model.plausibility(d.count));
+            (p.to_bits() != d.plausibility.to_bits()).then_some((f, t, p))
+        })
         .collect();
     let n = updates.len();
     for (f, t, p) in updates {
@@ -253,8 +292,61 @@ mod tests {
     }
 
     #[test]
+    fn annotate_touched_writes_only_changed_edges() {
+        let mut graph = probase_store::ConceptGraph::new();
+        let a = graph.ensure_node("a", 0);
+        let hi = graph.ensure_node("hi", 0);
+        let lo = graph.ensure_node("lo", 0);
+        graph.add_evidence(a, hi, 20);
+        graph.add_evidence(a, lo, 1);
+        let counts = synthetic_counts(0.5, 10.0, 1.0, 2000, 9);
+        let m = UrnsModel::fit(&counts, 100);
+        // First pass annotates both edges; a second pass with the same
+        // model changes nothing bitwise and writes nothing.
+        assert_eq!(annotate_graph_urns_touched(&mut graph, &m), 2);
+        let p_hi = graph.edge(a, hi).unwrap().plausibility;
+        assert_eq!(p_hi.to_bits(), m.plausibility(20).to_bits());
+        assert_eq!(annotate_graph_urns_touched(&mut graph, &m), 0);
+        // Bump one edge's count: only that edge is rewritten.
+        graph.add_evidence(a, lo, 3);
+        assert_eq!(annotate_graph_urns_touched(&mut graph, &m), 1);
+        assert_eq!(
+            graph.edge(a, hi).unwrap().plausibility.to_bits(),
+            p_hi.to_bits()
+        );
+    }
+
+    #[test]
+    fn fit_histogram_matches_fit_and_is_repeatable() {
+        let counts = synthetic_counts(0.6, 9.0, 1.2, 4000, 3);
+        let mut hist: BTreeMap<u32, u64> = BTreeMap::new();
+        for &c in &counts {
+            *hist.entry(c.max(1)).or_insert(0) += 1;
+        }
+        let a = UrnsModel::fit(&counts, 200);
+        let b = UrnsModel::fit_histogram(&hist, 200);
+        assert_eq!(a.pi.to_bits(), b.pi.to_bits());
+        assert_eq!(a.lambda_correct.to_bits(), b.lambda_correct.to_bits());
+        assert_eq!(a.lambda_error.to_bits(), b.lambda_error.to_bits());
+        assert_eq!(a.iterations, b.iterations);
+        // Shuffled input order changes nothing: the histogram is the
+        // sufficient statistic and it iterates sorted.
+        let mut rev = counts.clone();
+        rev.reverse();
+        let c = UrnsModel::fit(&rev, 200);
+        assert_eq!(a.pi.to_bits(), c.pi.to_bits());
+        assert_eq!(a.lambda_correct.to_bits(), c.lambda_correct.to_bits());
+    }
+
+    #[test]
     #[should_panic]
     fn empty_counts_panics() {
         let _ = UrnsModel::fit(&[], 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_histogram_panics() {
+        let _ = UrnsModel::fit_histogram(&BTreeMap::new(), 10);
     }
 }

@@ -212,6 +212,81 @@ mod tests {
     }
 
     #[test]
+    fn learn_covers_labels_created_by_an_incremental_fold() {
+        // The write path's contract with incremental maintenance: when a
+        // shard's fold worker creates labels (new concepts, new
+        // children), the router learns each one onto that shard, and the
+        // incrementally learned table must equal the table a full
+        // post-recovery scan of the shard graphs would rebuild.
+        use probase_store::ConceptGraph;
+        use probase_taxonomy::{IncrementalTaxonomy, TaxonomyConfig};
+
+        let n = 4;
+        let home = 2; // the shard whose worker runs these folds
+        let cfg = TaxonomyConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let mut inc = IncrementalTaxonomy::new(cfg);
+        let mut g1 = ConceptGraph::new();
+        let alloy = g1.ensure_node("alloy", 0);
+        for child in ["bronze", "brass"] {
+            let c = g1.ensure_node(child, 0);
+            g1.add_evidence(alloy, c, 1);
+        }
+        inc.fold_graph(&g1);
+        let built = inc.build();
+        let mut t = RoutingTable::new(n);
+        for node in built.graph.nodes() {
+            t.learn(built.graph.label(node), home);
+        }
+        for node in built.graph.nodes() {
+            let label = built.graph.label(node);
+            assert_eq!(t.shard_for(label), home, "folded label {label}");
+        }
+
+        // A later fold introduces a brand-new label; until the router
+        // learns it, it routes to its hash home.
+        let mut g2 = ConceptGraph::new();
+        let alloy2 = g2.ensure_node("alloy", 0);
+        let pewter = g2.ensure_node("pewter", 0);
+        g2.add_evidence(alloy2, pewter, 1);
+        inc.fold_graph(&g2);
+        let built2 = inc.build();
+        assert!(
+            built2
+                .graph
+                .nodes()
+                .any(|nd| built2.graph.label(nd) == "pewter"),
+            "the fold created the new label"
+        );
+        assert_eq!(t.shard_for("pewter"), shard_of("pewter", n));
+        t.learn("pewter", home);
+        assert_eq!(t.shard_for("pewter"), home);
+
+        // Exceptions hold exactly the labels whose hash disagrees.
+        let disagreeing = built2
+            .graph
+            .nodes()
+            .map(|nd| built2.graph.label(nd).to_string())
+            .collect::<std::collections::HashSet<_>>()
+            .into_iter()
+            .filter(|l| shard_of(l, n) != home)
+            .count();
+        assert_eq!(t.exception_count(), disagreeing);
+
+        // Scan-rebuild over the final placement agrees with what was
+        // learned fold by fold.
+        let mut shards: Vec<ConceptGraph> = (0..n).map(|_| ConceptGraph::new()).collect();
+        shards[home] = built2.graph;
+        assert_eq!(
+            RoutingTable::from_shard_graphs(&shards),
+            t,
+            "incremental learning must match a post-recovery scan"
+        );
+    }
+
+    #[test]
     fn json_roundtrip_and_file_io() {
         let g = sample();
         let p = partition(&g, 4);

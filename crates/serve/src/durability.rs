@@ -24,24 +24,35 @@
 //!   write. Recovery finishes by writing a fresh checkpoint and rotating
 //!   to a new log generation, so the directory is always one snapshot +
 //!   one active log plus whatever a crash left behind.
-//! * **Background rebuild.** Acked writes carry raw counts only; the
-//!   derived plausibility annotations go stale. A rebuild (triggered
-//!   after N writes or T seconds — see [`DurabilityConfig`]) clones the
-//!   graph *off* the read path, refits the urns plausibility model,
-//!   writes a checkpoint, folds in writes that landed meanwhile, and
-//!   hot-swaps the annotated graph via
-//!   [`SharedStore::swap_snapshot_patched`] — readers never block on
-//!   any of it.
+//! * **Incremental rebuild.** Acked writes carry raw counts only; the
+//!   derived plausibility annotations go stale. The rebuild worker
+//!   (triggered after N writes or T seconds — see [`DurabilityConfig`])
+//!   treats the WAL as a real-time evidence stream: a **fold cursor**
+//!   marks how far the stream has been consumed, and each cycle folds
+//!   only the un-consumed suffix — shifting a persistent edge-count
+//!   histogram ([`probase_taxonomy::shift_count_histogram`]), refitting
+//!   the urns model from that histogram
+//!   ([`UrnsModel::fit_histogram`]), and rewriting only the edges whose
+//!   plausibility actually changed
+//!   ([`probase_prob::annotate_graph_urns_touched`]). Each WAL record is
+//!   decoded into the fold exactly once; records an earlier cycle
+//!   already consumed are counted as skips, never re-read. A checkpoint
+//!   (snapshot encode under the read lock, rotation under the WAL
+//!   mutex) then bounds replay. The old path cloned the graph, refit
+//!   over every edge count, and re-annotated every edge on every
+//!   trigger — O(graph) per cycle instead of O(delta).
 //!
 //! Lock order everywhere is **store lock → WAL mutex**; the WAL mutex is
-//! never held while acquiring a store lock.
+//! never held while acquiring a store lock (taking it alone is fine).
 
 use crate::json::Json;
 use parking_lot::Mutex;
 use probase_obs::{Counter, Histogram, Registry};
-use probase_prob::{annotate_graph_urns, UrnsModel};
+use probase_prob::{annotate_graph_urns_touched, UrnsModel};
 use probase_store::wal::{read_wal, WalEntry, WalOp, WalSync, WalWriter};
-use probase_store::{snapshot, ConceptGraph, SharedStore};
+use probase_store::{snapshot, ConceptGraph, NodeId, SharedStore};
+use probase_taxonomy::{count_histogram, shift_count_histogram};
+use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::Write;
 use std::path::{Component, Path, PathBuf};
@@ -87,12 +98,34 @@ struct WalInner {
     seq: u64,
     /// Index the next record will carry (global, never reused).
     next_index: u64,
-    /// In-memory copy of the current generation's records, so rebuild
-    /// can fold the delta without re-reading the file.
+    /// In-memory copy of the current generation's records (plus any
+    /// older records the fold cursor has not consumed yet), so the
+    /// incremental fold never re-reads a log file.
     mirror: Vec<WalEntry>,
+    /// Index of the next record the incremental fold will consume.
+    /// Everything below it is already reflected in `hist` and in the
+    /// graph's plausibility annotations.
+    fold_cursor: u64,
+    /// Edge-count histogram of the store's graph (`count → edges`),
+    /// maintained by [`shift_count_histogram`] as folds consume the
+    /// stream. Sufficient statistic for the urns refit — the model is
+    /// refit from here without rescanning the graph.
+    hist: BTreeMap<u32, u64>,
     /// Set after an append error: the file may hold a torn record, so
     /// further writes are refused until a restart re-runs recovery.
     poisoned: bool,
+}
+
+/// What one incremental fold pass did (see [`Durability::fold_incremental`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FoldReport {
+    /// WAL records consumed (the cursor advanced past them).
+    pub records: u64,
+    /// Mirror records passed over because an earlier fold already
+    /// consumed them.
+    pub skipped: u64,
+    /// Edges whose plausibility changed bitwise under the refit model.
+    pub edges_refit: u64,
 }
 
 /// The durable write path: owns the WAL, the checkpoint files, and the
@@ -117,7 +150,12 @@ pub struct Durability {
     rebuild_failures: Arc<Counter>,
     rebuild_folded: Arc<Counter>,
     rebuild_snapshots: Arc<Counter>,
+    rebuild_skipped: Arc<Counter>,
     rebuild_duration: Arc<Histogram>,
+    inc_folds: Arc<Counter>,
+    inc_records: Arc<Counter>,
+    inc_edges_refit: Arc<Counter>,
+    inc_model_refits: Arc<Counter>,
 }
 
 fn parse_snapshot_name(name: &str) -> Option<(u64, u64)> {
@@ -269,6 +307,10 @@ impl Durability {
             .map_err(|e| format!("cannot create wal {}: {e}", wal_path.display()))?;
         prune(&dir, newseq);
 
+        // Seed the fold state from the recovered graph: the histogram is
+        // the graph's current edge counts, the cursor sits at the end of
+        // the replayed stream.
+        let hist = count_histogram(&graph);
         if recovered_snapshot || replayed > 0 {
             store.swap_snapshot(graph);
         }
@@ -283,6 +325,8 @@ impl Durability {
                 seq: newseq,
                 next_index: expected,
                 mirror: Vec::new(),
+                fold_cursor: expected,
+                hist,
                 poisoned: false,
             }),
             pending: AtomicU64::new(0),
@@ -296,7 +340,12 @@ impl Durability {
             rebuild_failures: registry.counter("serve.rebuild.failures"),
             rebuild_folded: registry.counter("serve.rebuild.folded_writes"),
             rebuild_snapshots: registry.counter("serve.rebuild.snapshots_written"),
+            rebuild_skipped: registry.counter("serve.rebuild.skipped_records"),
             rebuild_duration: registry.histogram("serve.rebuild.duration_us"),
+            inc_folds: registry.counter("serve.rebuild.incremental.folds"),
+            inc_records: registry.counter("serve.rebuild.incremental.records_folded"),
+            inc_edges_refit: registry.counter("serve.rebuild.incremental.edges_refit"),
+            inc_model_refits: registry.counter("serve.rebuild.incremental.model_refits"),
         };
         d.wal_replayed.add(replayed);
         d.wal_rotations.inc();
@@ -394,32 +443,107 @@ impl Durability {
         self.rebuild_after_writes > 0 || self.rebuild_interval.is_some()
     }
 
-    /// One rebuild cycle: clone the graph off the read path, refit the
-    /// urns plausibility model, checkpoint, fold in writes that landed
-    /// meanwhile, rotate the log, and hot-swap the annotated graph.
-    /// Returns the number of folded writes, or `Ok(None)` when a
-    /// concurrent `snapshot-load` superseded the captured state.
+    /// Fold the un-consumed WAL suffix into the live graph, in place:
+    /// shift the edge-count histogram by the delta each record added,
+    /// refit the urns model from the histogram, and rewrite only the
+    /// edges whose plausibility changed bitwise. Advances the fold
+    /// cursor so every record is consumed exactly once; records an
+    /// earlier pass already consumed are counted as skips, never
+    /// re-decoded.
+    ///
+    /// Runs under the store write lock (readers wait for the O(delta)
+    /// shift + O(edges) changed-bits scan, not for a clone or an
+    /// encode); a no-op when the cursor is already at the stream head —
+    /// then the store version is not bumped and caches stay warm.
+    pub fn fold_incremental(&self, store: &SharedStore) -> FoldReport {
+        // Cheap emptiness probe off the store lock (taking the WAL mutex
+        // alone respects the store → WAL order).
+        {
+            let inner = self.wal.lock();
+            if inner.fold_cursor >= inner.next_index {
+                return FoldReport::default();
+            }
+        }
+        store.update(|g| {
+            let mut inner = self.wal.lock();
+            let cursor = inner.fold_cursor;
+            if cursor >= inner.next_index {
+                return FoldReport::default(); // raced with another fold
+            }
+            // The mirror is index-sorted; the prefix below the cursor
+            // was folded by an earlier pass and is only retained until
+            // the next rotation.
+            let start = inner.mirror.partition_point(|e| e.index < cursor);
+            let skipped = start as u64;
+            // Group the suffix by edge so a multi-record burst on one
+            // edge shifts its histogram bucket once, by the total delta.
+            let mut by_edge: BTreeMap<(String, String), u32> = BTreeMap::new();
+            let mut records = 0u64;
+            for e in &inner.mirror[start..] {
+                let WalOp::AddEvidence {
+                    parent,
+                    child,
+                    count,
+                } = &e.op;
+                *by_edge.entry((parent.clone(), child.clone())).or_insert(0) += *count;
+                records += 1;
+            }
+            let touched: Vec<((NodeId, NodeId), u32)> = by_edge
+                .iter()
+                .filter_map(|((p, c), &delta)| {
+                    let pn = g.find_node(p, 0)?;
+                    let cn = g.find_node(c, 0)?;
+                    Some(((pn, cn), delta))
+                })
+                .collect();
+            let next = inner.next_index;
+            shift_count_histogram(g, touched, &mut inner.hist);
+            let edges_refit = if inner.hist.values().any(|&w| w > 0) {
+                let model = UrnsModel::fit_histogram(&inner.hist, 200);
+                self.inc_model_refits.inc();
+                annotate_graph_urns_touched(g, &model) as u64
+            } else {
+                0
+            };
+            inner.fold_cursor = next;
+            self.inc_folds.inc();
+            self.inc_records.add(records);
+            self.inc_edges_refit.add(edges_refit);
+            self.rebuild_skipped.add(skipped);
+            FoldReport {
+                records,
+                skipped,
+                edges_refit,
+            }
+        })
+    }
+
+    /// One rebuild cycle: incrementally fold the pending WAL suffix into
+    /// the live graph (histogram shift + urns refit + changed-edge
+    /// annotation — see [`Durability::fold_incremental`]), then
+    /// checkpoint and rotate the log. Returns the number of writes that
+    /// raced past the checkpoint capture (carried into the new
+    /// generation), or `Ok(None)` when a concurrent `snapshot-load`
+    /// superseded the captured state.
     pub fn rebuild(&self, store: &SharedStore) -> Result<Option<u64>, String> {
         let started = Instant::now();
-        // Capture graph + coverage atomically (store read lock, then the
-        // WAL mutex — the canonical order).
-        let (mut graph, upto, cap_seq) = store.read(|g| {
-            let inner = self.wal.lock();
-            (g.clone(), inner.next_index, inner.seq)
-        });
+        // Phase A: consume the evidence stream. The graph is annotated
+        // in place and the store version bumps, so the serving model
+        // refreshes without a snapshot swap.
+        self.fold_incremental(store);
 
-        // Offline: refit plausibility from the evidence counts. Readers
-        // keep hitting the old graph the whole time.
-        let counts: Vec<u32> = graph.edges().map(|(_, _, e)| e.count).collect();
-        if !counts.is_empty() {
-            let model = UrnsModel::fit(&counts, 200);
-            annotate_graph_urns(&mut graph, &model);
-        }
-        let newseq = cap_seq + 1;
-        let bytes = snapshot::to_bytes(&graph).map_err(|e| {
+        // Phase B: checkpoint. Capture bytes + coverage atomically
+        // (store read lock, then the WAL mutex — the canonical order);
+        // writers wait for the encode, readers do not.
+        let (encoded, upto, cap_seq) = store.read(|g| {
+            let inner = self.wal.lock();
+            (snapshot::to_bytes(g), inner.next_index, inner.seq)
+        });
+        let bytes = encoded.map_err(|e| {
             self.rebuild_failures.inc();
             format!("cannot encode rebuild snapshot: {e}")
         })?;
+        let newseq = cap_seq + 1;
         let tmp = self.dir.join(format!("snapshot-{newseq}-{upto}.pb.tmp"));
         let fin = self.dir.join(format!("snapshot-{newseq}-{upto}.pb"));
         if let Err(e) = std::fs::write(&tmp, &bytes).and_then(|()| File::open(&tmp)?.sync_all()) {
@@ -427,66 +551,65 @@ impl Durability {
             return Err(format!("cannot write {}: {e}", tmp.display()));
         }
 
-        // Commit under the store write lock: fold the delta, rotate the
-        // log. The checkpoint rename happens *after* — safe, because
+        // Commit: rotate the log under the WAL mutex alone — the fold
+        // already applied every record to the graph, so no store lock is
+        // needed. The checkpoint rename happens *after* — safe, because
         // until the old generations are pruned the union of old
         // checkpoint + old log + new log still reconstructs every write.
-        let mut folded = 0u64;
-        let mut commit_err: Option<String> = None;
-        let swapped = store.swap_snapshot_patched(graph, |g| {
+        let raced = {
             let mut inner = self.wal.lock();
             if inner.seq != cap_seq {
-                return false; // a snapshot-load rotated underneath us
+                drop(inner);
+                let _ = std::fs::remove_file(&tmp);
+                return Ok(None); // superseded; the rebase checkpointed for us
             }
-            let delta: Vec<WalEntry> = inner
+            // Records the checkpoint covers but the fold has not
+            // consumed yet must stay in the mirror (they still owe a
+            // histogram shift); only records past the checkpoint also
+            // go into the new log generation.
+            let keep_from = inner.fold_cursor.min(upto);
+            let mirror: Vec<WalEntry> = inner
                 .mirror
                 .iter()
-                .filter(|e| e.index >= upto)
+                .filter(|e| e.index >= keep_from)
                 .cloned()
                 .collect();
-            for e in &delta {
-                apply_op(g, &e.op);
-            }
-            folded = delta.len() as u64;
             let wal_path = self.dir.join(format!("wal-{newseq}.log"));
-            let mut writer = match WalWriter::create(&wal_path, newseq, self.sync) {
+            let commit = (|| -> Result<WalWriter, String> {
+                let mut writer = WalWriter::create(&wal_path, newseq, self.sync)
+                    .map_err(|e| format!("cannot rotate wal: {e}"))?;
+                for e in mirror.iter().filter(|e| e.index >= upto) {
+                    writer
+                        .append(e)
+                        .map_err(|e2| format!("cannot carry delta into new wal: {e2}"))?;
+                }
+                writer
+                    .sync()
+                    .map_err(|e2| format!("cannot sync rotated wal: {e2}"))?;
+                Ok(writer)
+            })();
+            let writer = match commit {
                 Ok(w) => w,
-                Err(e) => {
-                    commit_err = Some(format!("cannot rotate wal: {e}"));
-                    return false;
+                Err(err) => {
+                    drop(inner);
+                    self.rebuild_failures.inc();
+                    let _ = std::fs::remove_file(&tmp);
+                    let _ = std::fs::remove_file(&wal_path);
+                    return Err(err);
                 }
             };
-            for e in &delta {
-                if let Err(e2) = writer.append(e) {
-                    commit_err = Some(format!("cannot carry delta into new wal: {e2}"));
-                    return false;
-                }
-            }
-            if let Err(e2) = writer.sync() {
-                commit_err = Some(format!("cannot sync rotated wal: {e2}"));
-                return false;
-            }
+            let raced = mirror.iter().filter(|e| e.index >= upto).count() as u64;
             inner.writer = writer;
             inner.seq = newseq;
-            inner.mirror = delta;
+            inner.mirror = mirror;
             self.pending.store(0, Ordering::Relaxed);
-            true
-        });
+            raced
+        };
 
-        if swapped.is_none() {
-            let _ = std::fs::remove_file(&tmp);
-            return match commit_err {
-                Some(err) => {
-                    self.rebuild_failures.inc();
-                    Err(err)
-                }
-                None => Ok(None), // superseded; the rebase checkpointed for us
-            };
-        }
         if let Err(e) = std::fs::rename(&tmp, &fin) {
-            // The swap and rotation already happened; the write set is
-            // still fully recoverable from the previous checkpoint plus
-            // both log generations, so just report and skip the prune.
+            // The rotation already happened; the write set is still
+            // fully recoverable from the previous checkpoint plus both
+            // log generations, so just report and skip the prune.
             self.rebuild_failures.inc();
             return Err(format!("cannot publish {}: {e}", fin.display()));
         }
@@ -496,11 +619,11 @@ impl Durability {
         prune(&self.dir, newseq);
         *self.last_rebuild.lock() = Instant::now();
         self.rebuild_runs.inc();
-        self.rebuild_folded.add(folded);
+        self.rebuild_folded.add(raced);
         self.rebuild_snapshots.inc();
         self.wal_rotations.inc();
         self.rebuild_duration.record_duration(started.elapsed());
-        Ok(Some(folded))
+        Ok(Some(raced))
     }
 
     /// Durably replace the whole taxonomy (the `snapshot-load`
@@ -547,6 +670,11 @@ impl Durability {
             inner.writer = writer;
             inner.seq = newseq;
             inner.mirror.clear();
+            // The loaded graph replaces everything the fold state
+            // described: rebuild the histogram from it and park the
+            // cursor at the stream head.
+            inner.hist = count_histogram(g);
+            inner.fold_cursor = inner.next_index;
             self.pending.store(0, Ordering::Relaxed);
             true
         });
@@ -617,6 +745,21 @@ impl Durability {
         self.rebuild_folded.get()
     }
 
+    /// Incremental fold passes that consumed at least the cursor check.
+    pub fn incremental_folds_total(&self) -> u64 {
+        self.inc_folds.get()
+    }
+
+    /// WAL records consumed by incremental folds (each exactly once).
+    pub fn incremental_records_total(&self) -> u64 {
+        self.inc_records.get()
+    }
+
+    /// Already-consumed mirror records passed over by later folds.
+    pub fn skipped_records_total(&self) -> u64 {
+        self.rebuild_skipped.get()
+    }
+
     /// Checkpoints written (open, rebuilds, rebases).
     pub fn snapshots_written_total(&self) -> u64 {
         self.rebuild_snapshots.get()
@@ -649,7 +792,23 @@ impl Durability {
                         "snapshots_written",
                         Json::num(self.rebuild_snapshots.get() as f64),
                     ),
+                    (
+                        "skipped_records",
+                        Json::num(self.rebuild_skipped.get() as f64),
+                    ),
                     ("mean_duration_us", Json::num(self.rebuild_duration.mean())),
+                ]),
+            ),
+            (
+                "incremental",
+                Json::obj(vec![
+                    ("folds", Json::num(self.inc_folds.get() as f64)),
+                    ("records_folded", Json::num(self.inc_records.get() as f64)),
+                    ("edges_refit", Json::num(self.inc_edges_refit.get() as f64)),
+                    (
+                        "model_refits",
+                        Json::num(self.inc_model_refits.get() as f64),
+                    ),
                 ]),
             ),
         ])
@@ -915,5 +1074,114 @@ mod tests {
         );
         write_through(&d2, &store2, "country", "Brazil", 1);
         assert!(d2.should_rebuild(), "elapsed timer with pending writes");
+    }
+
+    #[test]
+    fn fold_cursor_consumes_each_record_once() {
+        let dir = tempdir("cursor");
+        let store = seeded_store();
+        let d = Durability::open(&cfg(&dir), &store, &Registry::new()).unwrap();
+        write_through(&d, &store, "country", "Brazil", 7);
+        write_through(&d, &store, "country", "Japan", 2);
+        write_through(&d, &store, "country", "Brazil", 1);
+
+        let first = d.fold_incremental(&store);
+        assert_eq!(first.records, 3, "all three records consumed");
+        assert_eq!(first.skipped, 0);
+        assert!(first.edges_refit > 0, "stale annotations rewritten");
+
+        // Nothing new: the cheap probe returns without touching the
+        // store (no version bump, caches stay warm).
+        let v = store.version();
+        assert_eq!(d.fold_incremental(&store), FoldReport::default());
+        assert_eq!(store.version(), v, "no-op fold must not bump the version");
+
+        // One more write: the mirror still holds the three consumed
+        // records (no rotation yet) — they are skipped, not re-folded.
+        write_through(&d, &store, "country", "India", 4);
+        let second = d.fold_incremental(&store);
+        assert_eq!(second.records, 1, "only the new record");
+        assert_eq!(second.skipped, 3, "consumed prefix passed over");
+        assert_eq!(d.incremental_records_total(), 4);
+        assert_eq!(d.skipped_records_total(), 3);
+        assert_eq!(d.incremental_folds_total(), 2);
+    }
+
+    #[test]
+    fn fold_histogram_matches_full_rescan() {
+        let dir = tempdir("hist");
+        let store = seeded_store();
+        let d = Durability::open(&cfg(&dir), &store, &Registry::new()).unwrap();
+        // Mix of new edges and repeat bumps on existing edges.
+        write_through(&d, &store, "country", "Brazil", 7);
+        write_through(&d, &store, "country", "China", 2); // 8 -> 10
+        write_through(&d, &store, "country", "Brazil", 1); // 7 -> 8
+        write_through(&d, &store, "fruit", "apple", 3);
+        d.fold_incremental(&store);
+        let maintained = d.wal.lock().hist.clone();
+        let rescanned = store.read(count_histogram);
+        assert_eq!(maintained, rescanned, "shifted histogram drifted");
+
+        // Rebuild rotates; a later fold over fresh writes still agrees.
+        d.rebuild(&store).unwrap();
+        write_through(&d, &store, "fruit", "pear", 1);
+        d.fold_incremental(&store);
+        assert_eq!(d.wal.lock().hist.clone(), store.read(count_histogram));
+    }
+
+    #[test]
+    fn fold_annotations_match_histogram_model() {
+        let dir = tempdir("foldfit");
+        let store = seeded_store();
+        let d = Durability::open(&cfg(&dir), &store, &Registry::new()).unwrap();
+        write_through(&d, &store, "country", "Brazil", 7);
+        write_through(&d, &store, "country", "Japan", 2);
+        let v_before = store.version();
+        d.fold_incremental(&store);
+        assert!(
+            store.version() > v_before,
+            "in-place fold bumps the version"
+        );
+        let hist = d.wal.lock().hist.clone();
+        let model = UrnsModel::fit_histogram(&hist, 200);
+        store.read(|g| {
+            for (f, t, e) in g.edges() {
+                assert_eq!(
+                    e.plausibility.to_bits(),
+                    model.plausibility(e.count).to_bits(),
+                    "edge {}->{} not annotated from the maintained histogram",
+                    g.label(f),
+                    g.label(t),
+                );
+            }
+        });
+        // A second rebuild cycle with nothing pending changes no edges.
+        let again = d.fold_incremental(&store);
+        assert_eq!(again.edges_refit, 0);
+    }
+
+    #[test]
+    fn rebuild_keeps_unfolded_records_for_the_next_fold() {
+        let dir = tempdir("carry");
+        let store = seeded_store();
+        let registry = Registry::new();
+        let d = Durability::open(&cfg(&dir), &store, &registry).unwrap();
+        write_through(&d, &store, "country", "Brazil", 7);
+        // rebuild = fold + checkpoint: the record is consumed exactly
+        // once even though it is also checkpointed.
+        d.rebuild(&store).unwrap();
+        assert_eq!(d.incremental_records_total(), 1);
+        write_through(&d, &store, "country", "Japan", 2);
+        d.rebuild(&store).unwrap();
+        assert_eq!(d.incremental_records_total(), 2);
+        assert_eq!(d.wal.lock().hist.clone(), store.read(count_histogram));
+
+        // Recovery from the final checkpoint alone sees both writes.
+        drop((d, store));
+        let store2 = seeded_store();
+        let d2 = Durability::open(&cfg(&dir), &store2, &Registry::new()).unwrap();
+        assert_eq!(d2.wal_replayed_total(), 0, "log empty after rotation");
+        assert_eq!(edge_count(&store2, "country", "Brazil"), Some(7));
+        assert_eq!(edge_count(&store2, "country", "Japan"), Some(2));
     }
 }

@@ -39,9 +39,11 @@
 //! **durable** ([`durability::Durability`]): every `add-evidence` is
 //! appended to a checksummed write-ahead log before it is acked, crash
 //! recovery replays the log over the newest checkpoint at startup, and a
-//! background worker periodically refits plausibility, checkpoints, and
-//! hot-swaps the annotated graph without blocking reads. `snapshot-load`
-//! paths are then sandboxed to that directory. See DESIGN.md §13.
+//! background worker consumes the log as a real-time evidence stream —
+//! incrementally folding the un-consumed suffix (histogram shift, urns
+//! refit, changed-edge annotation) behind a fold cursor so each record
+//! is processed once, then checkpointing. `snapshot-load` paths are
+//! then sandboxed to that directory. See DESIGN.md §13 and §16.
 //!
 //! The dependency-free JSON codec lives in [`probase_obs::json`]
 //! (re-exported here as [`json`], where it originally lived); see its
@@ -61,7 +63,7 @@ pub use probase_obs::json;
 
 pub use cache::ResponseCache;
 pub use client::{Client, ClientConfig, ClientError, Envelope};
-pub use durability::{Durability, DurabilityConfig};
+pub use durability::{Durability, DurabilityConfig, FoldReport};
 pub use json::Json;
 pub use probase_store::WalSync;
 pub use proto::{Direction, ErrorCode, LabelKind, Request, ENDPOINTS};

@@ -744,6 +744,180 @@ fn wal_replay_is_deterministic() {
     let _ = std::fs::remove_dir_all(&dir_b);
 }
 
+/// Seeded xorshift-style mixer so chaos scenarios can derive write
+/// streams from `PROBASE_CHAOS_SEED` without a rand dependency.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The newest (highest-generation) checkpoint file in a durability dir.
+/// After a rebuild has pruned, exactly one remains.
+fn sole_checkpoint(dir: &Path) -> PathBuf {
+    let mut snaps: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read dir")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            name.starts_with("snapshot-") && name.ends_with(".pb")
+        })
+        .collect();
+    assert_eq!(snaps.len(), 1, "pruning leaves one checkpoint: {snaps:?}");
+    snaps.pop().unwrap()
+}
+
+/// Kill -9 in the middle of incremental maintenance: a server whose
+/// background worker is folding the WAL after every few writes is
+/// abruptly leaked mid-stream, restarted over the same directory, and
+/// fed the rest of the stream. The contract (DESIGN.md §16): every
+/// acked write is present after recovery, and the final consolidated
+/// checkpoint is **byte-identical** to one from an uninterrupted run of
+/// the same stream — the fold cursor and histogram are rebuilt from
+/// disk, so a crash can lose no maintenance state that matters.
+#[test]
+fn crash_mid_incremental_fold_converges_to_uninterrupted_bytes() {
+    let seed = chaos_seed();
+    let mut s = seed;
+    // 10 writes over two parents ("metal" is brand-new) and a small
+    // child pool, so the stream mixes new edges with count bumps —
+    // both fold paths (insert + histogram shift) get exercised.
+    let writes: Vec<(String, String, u32)> = (0..10)
+        .map(|_| {
+            let r = splitmix(&mut s);
+            let parent = if r.is_multiple_of(2) {
+                "country"
+            } else {
+                "metal"
+            };
+            let child = format!("inc-{}", (r >> 4) % 6);
+            let count = ((r >> 8) % 4 + 1) as u32;
+            (parent.to_string(), child, count)
+        })
+        .collect();
+    let crash_at = 2 + (splitmix(&mut s) % 7) as usize; // 2..=8 of 10
+
+    // Interrupted run: background folds every 3 writes, crash at a
+    // seed-chosen point in the stream.
+    let dir_a = chaos_dir("inc-crash-a");
+    let mut config = durable_config(&dir_a);
+    config
+        .durability
+        .as_mut()
+        .expect("durable config")
+        .rebuild_after_writes = 3;
+    let server = Server::start(seeded_store(), &config).expect("server binds");
+    let d = server.state().durability().expect("configured").clone();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for (parent, child, count) in &writes[..crash_at] {
+        client
+            .call_ok(&Request::AddEvidence {
+                parent: parent.clone(),
+                child: child.clone(),
+                count: *count,
+            })
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: pre-crash write failed: {e}"));
+    }
+    drop(client);
+    // Let any in-flight fold/checkpoint cycle commit before a second
+    // server opens the same directory — the leaked worker threads keep
+    // running in-process, so an overlapping cycle would be two writers
+    // on one dir, which a real kill -9 cannot produce. Where the crash
+    // lands *between* cycles still varies with the seed via `crash_at`.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let runs = d.rebuild_runs_total();
+        std::thread::sleep(Duration::from_millis(80));
+        if d.rebuild_runs_total() == runs && d.pending_writes() < 3 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "seed {seed:#x}: rebuild worker never quiesced"
+        );
+    }
+    std::mem::forget(server); // kill -9: no drain, no flush, no checkpoint
+
+    // Recovery over the crash image, then the rest of the stream.
+    let server2 = Server::start(seeded_store(), &durable_config(&dir_a))
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: recovery failed: {e}"));
+    let d2 = server2.state().durability().expect("configured").clone();
+    let mut client2 = Client::connect(server2.local_addr()).expect("reconnect");
+    for (parent, child, count) in &writes[crash_at..] {
+        client2
+            .call_ok(&Request::AddEvidence {
+                parent: parent.clone(),
+                child: child.clone(),
+                count: *count,
+            })
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: post-crash write failed: {e}"));
+    }
+    // Every acked write of the whole stream is present with its full
+    // accumulated count — nothing the crash could have eaten.
+    let mut expected: std::collections::BTreeMap<(String, String), u64> = Default::default();
+    for (parent, child, count) in &writes {
+        *expected.entry((parent.clone(), child.clone())).or_default() += u64::from(*count);
+    }
+    for ((parent, child), total) in &expected {
+        let (_, p) = client2
+            .call_ok(&Request::Plausibility {
+                parent: parent.clone(),
+                child: child.clone(),
+            })
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: read failed: {e}"));
+        assert_eq!(
+            p.get("found").and_then(Json::as_bool),
+            Some(true),
+            "seed {seed:#x}: acked edge {parent}->{child} lost"
+        );
+        assert_eq!(
+            p.get("count").and_then(Json::as_u64),
+            Some(*total),
+            "seed {seed:#x}: {parent}->{child} count drifted"
+        );
+    }
+    d2.rebuild(server2.state().store())
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: final rebuild failed: {e}"))
+        .expect("no writer racing the final rebuild");
+    drop(client2);
+    server2.shutdown();
+    let bytes_interrupted = std::fs::read(sole_checkpoint(&dir_a)).expect("read checkpoint");
+
+    // Uninterrupted reference: same seed graph, same stream, one
+    // process, one explicit consolidation at the end.
+    let dir_b = chaos_dir("inc-crash-b");
+    let server_b = Server::start(seeded_store(), &durable_config(&dir_b)).expect("server binds");
+    let db = server_b.state().durability().expect("configured").clone();
+    let mut client_b = Client::connect(server_b.local_addr()).expect("connect");
+    for (parent, child, count) in &writes {
+        client_b
+            .call_ok(&Request::AddEvidence {
+                parent: parent.clone(),
+                child: child.clone(),
+                count: *count,
+            })
+            .expect("write acked");
+    }
+    db.rebuild(server_b.state().store())
+        .expect("rebuild")
+        .expect("committed");
+    drop(client_b);
+    server_b.shutdown();
+    let bytes_reference = std::fs::read(sole_checkpoint(&dir_b)).expect("read checkpoint");
+
+    assert!(!bytes_reference.is_empty());
+    assert_eq!(
+        bytes_interrupted, bytes_reference,
+        "seed {seed:#x}, crash at {crash_at}: interrupted maintenance must \
+         converge to the uninterrupted checkpoint bytes"
+    );
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
 /// The background rebuild worker hot-swaps a freshly annotated graph
 /// while a reader hammers the server — no read ever fails or blocks on
 /// the rebuild, and afterwards the new edges carry plausibility scores

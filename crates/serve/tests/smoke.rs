@@ -3,12 +3,14 @@
 //! through the wire protocol — asserting the versioned cache never
 //! serves a stale response and the server shuts down cleanly.
 
-use probase_serve::{json, Client, Direction, Json, Request, ServeConfig, Server};
+use probase_serve::{
+    json, Client, Direction, DurabilityConfig, Json, Request, ServeConfig, Server, WalSync,
+};
 use probase_store::{ConceptGraph, SharedStore};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn seeded_store() -> SharedStore {
     let mut g = ConceptGraph::new();
@@ -221,6 +223,128 @@ fn pipelined_requests_are_matched_by_id() {
         "every pipelined request answered exactly once (arrival order {arrival:?})"
     );
     server.shutdown();
+}
+
+/// Continuous ingestion end-to-end: an `add-evidence` write that
+/// introduces a brand-new concept is queryable at ack time (the write
+/// path applies it structurally), and after the next background
+/// incremental fold — no restart, no full rebuild — the new edge
+/// carries a plausibility score, ranks in `typicality`, and shows up
+/// in `levels`.
+#[test]
+fn new_concept_is_served_after_the_next_incremental_fold() {
+    let dir = std::env::temp_dir().join(format!("probase-smoke-fold-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 64,
+        cache_capacity: 256,
+        cache_shards: 4,
+        deadline: Duration::from_secs(5),
+        durability: Some(DurabilityConfig {
+            snapshot_dir: dir.clone(),
+            wal_sync: WalSync::Always,
+            rebuild_after_writes: 2,
+            rebuild_interval: None,
+        }),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(seeded_store(), &config).expect("server binds");
+    let d = server.state().durability().expect("configured").clone();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // "vehicle" and both children are brand-new labels.
+    for (child, count) in [("hovercraft", 4u32), ("gyrocopter", 2)] {
+        client
+            .call_ok(&Request::AddEvidence {
+                parent: "vehicle".to_string(),
+                child: child.to_string(),
+                count,
+            })
+            .expect("write acked");
+    }
+    // Ack-time visibility: the edge exists before any fold ran.
+    let (_, isa) = client
+        .call_ok(&Request::Isa {
+            parent: "vehicle".to_string(),
+            child: "hovercraft".to_string(),
+        })
+        .expect("isa after ack");
+    assert_eq!(isa.get("isa").and_then(Json::as_bool), Some(true));
+
+    // Two writes hit the fold trigger; wait for the worker's cycle and
+    // the model refresh that follows it.
+    let runs_deadline = Instant::now() + Duration::from_secs(10);
+    while d.rebuild_runs_total() == 0 {
+        assert!(
+            Instant::now() < runs_deadline,
+            "incremental fold worker never ran"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let typ_req = Request::Typicality {
+        term: "vehicle".to_string(),
+        direction: Direction::Instances,
+        k: 5,
+    };
+    let items = loop {
+        let (_, t) = client.call_ok(&typ_req).expect("typicality");
+        let items: Vec<String> = t
+            .get("items")
+            .and_then(Json::as_arr)
+            .map(|a| {
+                a.iter()
+                    .filter_map(|i| Some(i.as_arr()?.first()?.as_str()?.to_string()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        if !items.is_empty() {
+            break items;
+        }
+        assert!(
+            Instant::now() < runs_deadline,
+            "model never refreshed after the fold"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(
+        items.contains(&"hovercraft".to_string()),
+        "new concept ranks its instances after the fold: {items:?}"
+    );
+
+    // The folded edge carries a plausibility score from the refit model.
+    let (_, p) = client
+        .call_ok(&Request::Plausibility {
+            parent: "vehicle".to_string(),
+            child: "hovercraft".to_string(),
+        })
+        .expect("plausibility after fold");
+    assert_eq!(p.get("found").and_then(Json::as_bool), Some(true));
+    assert!(
+        p.get("plausibility").and_then(Json::as_f64).unwrap_or(0.0) > 0.0,
+        "fold annotated the new edge: {p}"
+    );
+
+    // `levels` sees the new concept too.
+    let (_, l) = client
+        .call_ok(&Request::Levels {
+            term: Some("vehicle".to_string()),
+        })
+        .expect("levels after fold");
+    let senses = l.get("senses").and_then(Json::as_arr).expect("senses");
+    assert!(
+        !senses.is_empty(),
+        "new concept has a level without a restart: {l}"
+    );
+
+    // All of that happened in one process: nothing was replayed.
+    assert_eq!(d.wal_replayed_total(), 0, "no restart occurred");
+    assert!(d.incremental_folds_total() >= 1, "a fold ran");
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -316,7 +316,11 @@ pub(crate) fn absorb_small_groups(state: &mut MergeState, delta: usize) -> usize
 }
 
 /// Indexed vertical linking. Returns the number of links created.
-fn vertical_pass(state: &mut MergeState, sim: &AbsoluteOverlap, sim_calls: &Arc<Counter>) -> usize {
+pub(crate) fn vertical_pass(
+    state: &mut MergeState,
+    sim: &AbsoluteOverlap,
+    sim_calls: &Arc<Counter>,
+) -> usize {
     let live: Vec<usize> = state.live().collect();
     let mut by_label: HashMap<Symbol, Vec<usize>> = HashMap::new();
     for &gi in &live {

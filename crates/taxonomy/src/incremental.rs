@@ -1,0 +1,494 @@
+//! Incremental taxonomy maintenance: fold evidence in without a full
+//! rebuild.
+//!
+//! The paper's Theorem 1 (the merge process is confluent: the order in
+//! which applicable merges run does not change the final structure) is a
+//! license for *incrementality*: instead of rebuilding Algorithm 2's
+//! output from scratch whenever new sentences arrive, fold each batch
+//! into the existing merge state and re-run only the merges the batch
+//! could possibly have enabled. [`IncrementalTaxonomy`] implements that
+//! fold with a byte-identical contract — building after any sequence of
+//! folds yields exactly the snapshot bytes and [`BuildStats`] a one-shot
+//! [`crate::build::build_taxonomy`] over the concatenated stream yields
+//! (property-tested in `tests/incremental_prop.rs` across seeds × batch
+//! sizes × orderings × thread counts).
+//!
+//! ## What is maintained between folds
+//!
+//! The persistent state is the **post-horizontal-fixpoint** merge state
+//! ("H-state"): the interner plus the group array after all applicable
+//! horizontal merges, *before* absorption and vertical linking. The split
+//! matters:
+//!
+//! * **Horizontal merging is confluent** (Property 4: absolute overlap
+//!   is monotone — merging only grows child sets, so an applicable merge
+//!   can never become inapplicable). The label-partitioned fixpoint the
+//!   fold runs (Property 2: merges never cross labels) therefore lands
+//!   on the same final partition as a global pass over the union, and
+//!   because every pairwise fuse keeps the smaller index, the surviving
+//!   index of a merge class is the class minimum regardless of order —
+//!   the *group array itself*, not just its quotient, is identical.
+//! * **Absorption and vertical linking are not batch-confluent**:
+//!   absorption consults a frozen "established senses" set and vertical
+//!   links are threshold reads of the converged child sets, so running
+//!   them against a half-folded state could bake in decisions a later
+//!   batch would change. They are deferred to [`IncrementalTaxonomy::build`],
+//!   which runs them (plus assembly) on a clone — exactly the suffix of
+//!   the one-shot pipeline downstream of the horizontal fixpoint.
+//!
+//! A fold is therefore: intern the batch in stream order (appending to
+//! the shared interner — first-occurrence order is what snapshot bytes
+//! key on), append one group per local taxonomy, and re-run the
+//! horizontal fixpoint *restricted to the labels the batch touched*.
+//! Untouched labels are already at fixpoint and monotonicity says the
+//! new groups cannot enable merges under labels they do not carry.
+//!
+//! The serve layer's evidence-stream half lives here too:
+//! [`shift_count_histogram`] maintains the edge-count histogram the urns
+//! plausibility model is fitted from, so a WAL batch updates the model's
+//! input in O(batch) instead of O(graph) (see `probase-serve`'s
+//! durability module).
+
+use crate::build::{
+    absorb_small_groups, assemble, horizontal_pass, vertical_pass, BuildStats, BuiltTaxonomy,
+    TaxonomyConfig,
+};
+use crate::local::{build_local_taxonomies_into, LocalTaxonomy};
+use crate::merge::{Group, MergeState};
+use crate::sim::AbsoluteOverlap;
+use probase_extract::SentenceExtraction;
+use probase_obs::{Counter, Registry};
+use probase_store::{ConceptGraph, Interner, NodeId, Symbol};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// What one fold did (also mirrored into `taxonomy.incremental.*`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FoldOutcome {
+    /// Local taxonomies appended by this batch (empty sentences skip).
+    pub locals_added: usize,
+    /// Horizontal merges the batch enabled.
+    pub horizontal_merges: usize,
+    /// Distinct root labels whose fixpoint was re-run.
+    pub labels_touched: usize,
+}
+
+/// A continuously-maintained taxonomy: fold sentence batches in as they
+/// arrive, build the full DAG on demand.
+///
+/// ```
+/// use probase_extract::SentenceExtraction;
+/// use probase_taxonomy::{build_taxonomy, IncrementalTaxonomy, TaxonomyConfig};
+/// let s = |id, root: &str, items: &[&str]| SentenceExtraction {
+///     sentence_id: id,
+///     super_label: root.to_string(),
+///     items: items.iter().map(|i| i.to_string()).collect(),
+/// };
+/// let batch1 = [s(0, "plant", &["tree", "grass"])];
+/// let batch2 = [s(1, "plant", &["tree", "grass", "herb"])];
+/// let cfg = TaxonomyConfig { threads: 1, ..Default::default() };
+/// let mut inc = IncrementalTaxonomy::new(cfg.clone());
+/// inc.fold(&batch1);
+/// inc.fold(&batch2);
+/// let union: Vec<_> = batch1.iter().chain(&batch2).cloned().collect();
+/// let one_shot = build_taxonomy(&union, &cfg);
+/// assert_eq!(inc.build().stats, one_shot.stats);
+/// ```
+#[derive(Debug)]
+pub struct IncrementalTaxonomy {
+    cfg: TaxonomyConfig,
+    interner: Interner,
+    /// H-state: groups at the horizontal fixpoint, no links yet.
+    state: MergeState,
+    /// Horizontal merges accumulated across folds (equals the one-shot
+    /// build's count: merges = dead groups, and the dead set is
+    /// order-invariant).
+    horizontal_merges: usize,
+    folds: u64,
+    /// Synthetic sentence ids for [`Self::fold_graph`] locals.
+    next_synthetic_id: u64,
+    c_folds: Arc<Counter>,
+    c_locals: Arc<Counter>,
+    c_merges: Arc<Counter>,
+    c_labels: Arc<Counter>,
+    sim_calls: Arc<Counter>,
+}
+
+impl IncrementalTaxonomy {
+    /// An empty maintained taxonomy recording to the process-global
+    /// registry.
+    pub fn new(cfg: TaxonomyConfig) -> Self {
+        Self::with_registry(cfg, probase_obs::global())
+    }
+
+    /// [`Self::new`] with an explicit metric registry
+    /// (`taxonomy.incremental.*`).
+    pub fn with_registry(cfg: TaxonomyConfig, registry: &Registry) -> Self {
+        Self {
+            cfg,
+            interner: Interner::new(),
+            state: MergeState {
+                groups: Vec::new(),
+                links: BTreeSet::new(),
+                ops_applied: 0,
+            },
+            horizontal_merges: 0,
+            folds: 0,
+            next_synthetic_id: 0,
+            c_folds: registry.counter("taxonomy.incremental.folds"),
+            c_locals: registry.counter("taxonomy.incremental.locals_added"),
+            c_merges: registry.counter("taxonomy.incremental.merges"),
+            c_labels: registry.counter("taxonomy.incremental.labels_touched"),
+            sim_calls: registry.counter("taxonomy.incremental.similarity_calls"),
+        }
+    }
+
+    /// The shared symbol table (grows in first-occurrence stream order).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Local taxonomies folded so far (== the one-shot
+    /// `BuildStats::local_taxonomies`).
+    pub fn locals_folded(&self) -> usize {
+        self.state.groups.len()
+    }
+
+    /// Completed folds.
+    pub fn folds(&self) -> u64 {
+        self.folds
+    }
+
+    /// Fold one sentence batch into the maintained state. Batches are
+    /// order-sensitive only down to snapshot bytes (symbol and node
+    /// numbering track stream order); the *structure* is order-invariant
+    /// by Theorem 1.
+    pub fn fold(&mut self, sentences: &[SentenceExtraction]) -> FoldOutcome {
+        let locals = build_local_taxonomies_into(&mut self.interner, sentences);
+        self.next_synthetic_id = self.next_synthetic_id.max(
+            sentences
+                .iter()
+                .map(|s| s.sentence_id + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        self.fold_locals(locals)
+    }
+
+    /// Fold a built taxonomy graph in: every concept sense becomes one
+    /// identity local (its whole child set) plus per-child weight
+    /// re-injection so evidence counts survive — the [`crate::regraph`]
+    /// encoding, batched through the incremental path.
+    pub fn fold_graph(&mut self, graph: &ConceptGraph) -> FoldOutcome {
+        let mut locals = Vec::new();
+        for node in graph.concepts() {
+            let root = self.interner.intern(graph.label(node));
+            let children: BTreeSet<Symbol> = graph
+                .children(node)
+                .map(|(c, _)| self.interner.intern(graph.label(c)))
+                .filter(|&c| c != root)
+                .collect();
+            if children.is_empty() {
+                continue;
+            }
+            locals.push(LocalTaxonomy {
+                root,
+                children: children.clone(),
+                sentence_id: self.next_synthetic_id,
+            });
+            self.next_synthetic_id += 1;
+            for (c, data) in graph.children(node) {
+                let sym = self.interner.intern(graph.label(c));
+                if sym == root {
+                    continue;
+                }
+                for _ in 1..data.count {
+                    locals.push(LocalTaxonomy {
+                        root,
+                        children: std::iter::once(sym).collect(),
+                        sentence_id: self.next_synthetic_id,
+                    });
+                    self.next_synthetic_id += 1;
+                }
+            }
+        }
+        self.fold_locals(locals)
+    }
+
+    /// Append pre-interned locals (symbols must come from
+    /// [`Self::interner`]) and restore the horizontal fixpoint for the
+    /// labels they touch.
+    fn fold_locals(&mut self, locals: Vec<LocalTaxonomy>) -> FoldOutcome {
+        let base = self.state.groups.len();
+        let mut affected: BTreeSet<Symbol> = BTreeSet::new();
+        for lt in locals {
+            affected.insert(lt.root);
+            let child_counts = lt.children.iter().map(|&c| (c, 1)).collect();
+            self.state.groups.push(Group {
+                label: lt.root,
+                children: lt.children,
+                child_counts,
+                members: vec![lt.sentence_id],
+                alive: true,
+            });
+        }
+        let locals_added = self.state.groups.len() - base;
+
+        // Live groups of the affected labels, ascending index — the same
+        // bucket extraction as the parallel driver, restricted to the
+        // labels whose fixpoint the batch could have perturbed.
+        let mut buckets: BTreeMap<Symbol, Vec<usize>> = BTreeMap::new();
+        for gi in 0..self.state.groups.len() {
+            let g = &self.state.groups[gi];
+            if g.alive && affected.contains(&g.label) {
+                buckets.entry(g.label).or_default().push(gi);
+            }
+        }
+        let sim = AbsoluteOverlap {
+            delta: self.cfg.delta,
+        };
+        let mut merges = 0usize;
+        for global in buckets.values() {
+            if global.len() < 2 {
+                continue;
+            }
+            // Lift the bucket into a private state (bucket-local order
+            // mirrors global order, so min-index survivors agree), run
+            // the serial fixpoint, write the groups back.
+            let groups: Vec<Group> = global
+                .iter()
+                .map(|&gi| {
+                    let label = self.state.groups[gi].label;
+                    std::mem::replace(
+                        &mut self.state.groups[gi],
+                        Group {
+                            label,
+                            children: BTreeSet::new(),
+                            child_counts: BTreeMap::new(),
+                            members: Vec::new(),
+                            alive: false,
+                        },
+                    )
+                })
+                .collect();
+            let mut bucket = MergeState {
+                groups,
+                links: BTreeSet::new(),
+                ops_applied: 0,
+            };
+            merges += horizontal_pass(&mut bucket, &sim, &self.sim_calls);
+            self.state.ops_applied += bucket.ops_applied;
+            for (group, &gi) in bucket.groups.into_iter().zip(global) {
+                self.state.groups[gi] = group;
+            }
+        }
+        self.horizontal_merges += merges;
+        self.folds += 1;
+
+        let outcome = FoldOutcome {
+            locals_added,
+            horizontal_merges: merges,
+            labels_touched: affected.len(),
+        };
+        self.c_folds.inc();
+        self.c_locals.add(outcome.locals_added as u64);
+        self.c_merges.add(outcome.horizontal_merges as u64);
+        self.c_labels.add(outcome.labels_touched as u64);
+        outcome
+    }
+
+    /// Run the deferred pipeline suffix — absorption, vertical linking,
+    /// assembly — on a clone of the maintained state. The result is
+    /// byte-identical (graph snapshot and [`BuildStats`]) to a one-shot
+    /// build over the concatenation of every folded batch, at any thread
+    /// count.
+    pub fn build(&self) -> BuiltTaxonomy {
+        self.build_observed(probase_obs::global())
+    }
+
+    /// [`Self::build`] with an explicit registry for the
+    /// `taxonomy.similarity_calls` counter.
+    pub fn build_observed(&self, registry: &Registry) -> BuiltTaxonomy {
+        let sim = AbsoluteOverlap {
+            delta: self.cfg.delta,
+        };
+        let sim_calls = registry.counter("taxonomy.similarity_calls");
+        let mut state = self.state.clone();
+        let mut stats = BuildStats {
+            local_taxonomies: state.groups.len(),
+            horizontal_merges: self.horizontal_merges,
+            ..Default::default()
+        };
+        if self.cfg.absorb {
+            stats.absorbed = absorb_small_groups(&mut state, self.cfg.delta);
+        }
+        stats.vertical_links = vertical_pass(&mut state, &sim, &sim_calls);
+        let (graph, dropped) = assemble(&state, &self.interner, &self.cfg);
+        stats.cycle_edges_dropped = dropped;
+        stats.senses = state.live().count();
+        BuiltTaxonomy { graph, stats }
+    }
+}
+
+/// Build the edge-count histogram of a whole graph: `hist[k]` = number of
+/// edges observed exactly `k` times. This is the input the urns
+/// plausibility model fits on; [`shift_count_histogram`] maintains it
+/// incrementally as evidence folds in.
+pub fn count_histogram(graph: &ConceptGraph) -> BTreeMap<u32, u64> {
+    let mut hist = BTreeMap::new();
+    for (_, _, e) in graph.edges() {
+        *hist.entry(e.count.max(1)).or_insert(0u64) += 1;
+    }
+    hist
+}
+
+/// Shift the edge-count histogram for a batch of *already applied*
+/// evidence: `touched` maps each updated edge to the total count the
+/// batch added to it, and `graph` already reflects the batch. Each edge
+/// moves from its pre-batch bucket (`post - delta`, absent when the edge
+/// is new) to its post-batch bucket, so maintaining the histogram is
+/// O(batch·log k) instead of the O(edges) full rescan. Returns the number
+/// of distinct edges shifted.
+pub fn shift_count_histogram(
+    graph: &ConceptGraph,
+    touched: impl IntoIterator<Item = ((NodeId, NodeId), u32)>,
+    hist: &mut BTreeMap<u32, u64>,
+) -> usize {
+    let mut shifted = 0usize;
+    for ((parent, child), delta) in touched {
+        let Some(post) = graph.edge(parent, child).map(|e| e.count.max(1)) else {
+            continue; // edge vanished (e.g. rebased away) — nothing to move
+        };
+        let pre = post.saturating_sub(delta);
+        if pre > 0 {
+            if let Some(w) = hist.get_mut(&pre.max(1)) {
+                *w -= 1;
+                if *w == 0 {
+                    hist.remove(&pre.max(1));
+                }
+            }
+        }
+        *hist.entry(post).or_insert(0) += 1;
+        shifted += 1;
+    }
+    shifted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_taxonomy;
+    use probase_store::snapshot;
+
+    fn se(id: u64, root: &str, items: &[&str]) -> SentenceExtraction {
+        SentenceExtraction {
+            sentence_id: id,
+            super_label: root.to_string(),
+            items: items.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn example3() -> Vec<SentenceExtraction> {
+        vec![
+            se(0, "plant", &["tree", "grass"]),
+            se(1, "plant", &["tree", "grass", "herb"]),
+            se(2, "plant", &["steam turbine", "pump", "boiler"]),
+            se(3, "organism", &["plant", "tree", "grass", "animal"]),
+            se(4, "thing", &["plant", "tree", "grass", "pump", "boiler"]),
+        ]
+    }
+
+    fn serial_cfg() -> TaxonomyConfig {
+        TaxonomyConfig {
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn folding_one_batch_matches_one_shot() {
+        let sentences = example3();
+        let mut inc = IncrementalTaxonomy::new(serial_cfg());
+        inc.fold(&sentences);
+        let built = inc.build();
+        let one_shot = build_taxonomy(&sentences, &serial_cfg());
+        assert_eq!(built.stats, one_shot.stats);
+        assert_eq!(
+            snapshot::to_bytes(&built.graph).unwrap(),
+            snapshot::to_bytes(&one_shot.graph).unwrap()
+        );
+    }
+
+    #[test]
+    fn per_sentence_folds_match_one_shot() {
+        let sentences = example3();
+        let mut inc = IncrementalTaxonomy::new(serial_cfg());
+        for s in &sentences {
+            inc.fold(std::slice::from_ref(s));
+        }
+        let built = inc.build();
+        let one_shot = build_taxonomy(&sentences, &serial_cfg());
+        assert_eq!(built.stats, one_shot.stats);
+        assert_eq!(
+            snapshot::to_bytes(&built.graph).unwrap(),
+            snapshot::to_bytes(&one_shot.graph).unwrap()
+        );
+    }
+
+    #[test]
+    fn build_is_repeatable_and_non_destructive() {
+        let sentences = example3();
+        let mut inc = IncrementalTaxonomy::new(serial_cfg());
+        inc.fold(&sentences[..2]);
+        let a = inc.build();
+        let b = inc.build();
+        assert_eq!(a.stats, b.stats);
+        inc.fold(&sentences[2..]);
+        let after = inc.build();
+        let one_shot = build_taxonomy(&sentences, &serial_cfg());
+        assert_eq!(after.stats, one_shot.stats);
+    }
+
+    #[test]
+    fn fold_reports_merges_and_labels() {
+        let mut inc = IncrementalTaxonomy::new(serial_cfg());
+        let first = inc.fold(&[se(0, "plant", &["tree", "grass"])]);
+        assert_eq!(first.locals_added, 1);
+        assert_eq!(first.horizontal_merges, 0);
+        assert_eq!(first.labels_touched, 1);
+        let second = inc.fold(&[se(1, "plant", &["tree", "grass", "herb"])]);
+        assert_eq!(second.horizontal_merges, 1, "same flora sense fuses");
+        assert_eq!(inc.locals_folded(), 2);
+        assert_eq!(inc.folds(), 2);
+    }
+
+    #[test]
+    fn empty_and_self_only_sentences_fold_to_nothing() {
+        let mut inc = IncrementalTaxonomy::new(serial_cfg());
+        let out = inc.fold(&[se(0, "animal", &[]), se(1, "animal", &["animal"])]);
+        assert_eq!(out.locals_added, 0);
+        assert_eq!(inc.build().graph.node_count(), 0);
+    }
+
+    #[test]
+    fn count_histogram_and_shift_agree() {
+        let mut g = ConceptGraph::new();
+        let a = g.ensure_node("a", 0);
+        let b = g.ensure_node("b", 0);
+        let c = g.ensure_node("c", 0);
+        g.add_evidence(a, b, 3);
+        g.add_evidence(a, c, 1);
+        let mut hist = count_histogram(&g);
+        assert_eq!(hist.get(&3), Some(&1));
+        assert_eq!(hist.get(&1), Some(&1));
+
+        // Apply a batch: (a,b) += 2 (3 → 5), (a,c) += 1 (1 → 2), new (b,c) = 4.
+        g.add_evidence(a, b, 2);
+        g.add_evidence(a, c, 1);
+        g.add_evidence(b, c, 4);
+        let shifted =
+            shift_count_histogram(&g, [((a, b), 2u32), ((a, c), 1), ((b, c), 4)], &mut hist);
+        assert_eq!(shifted, 3);
+        assert_eq!(hist, count_histogram(&g), "shift must equal full rescan");
+    }
+}

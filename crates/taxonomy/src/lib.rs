@@ -24,10 +24,15 @@
 //! * [`parallel`] — the deterministic multi-threaded driver for the same
 //!   builder (label-bucketed horizontal merging, parallel vertical
 //!   scoring); byte-identical to [`build`] at any thread count.
+//! * [`incremental`] — continuous maintenance: fold evidence batches
+//!   into a live merge state (Theorem 1 makes the fold confluent) with
+//!   builds byte-identical to a from-scratch run over the union corpus.
 //! * [`regraph`] — graph-level integration: re-run Algorithm 2 across
-//!   built taxonomies from different sources.
+//!   built taxonomies from different sources (now a thin wrapper over
+//!   [`incremental`]).
 
 pub mod build;
+pub mod incremental;
 pub mod local;
 pub mod merge;
 pub mod parallel;
@@ -38,7 +43,11 @@ pub use build::{
     build_from_locals, build_from_locals_observed, build_taxonomy, build_taxonomy_observed,
     BuildStats, BuiltTaxonomy, TaxonomyConfig,
 };
-pub use local::{build_local_taxonomies, build_local_taxonomies_parallel, LocalTaxonomy};
+pub use incremental::{count_histogram, shift_count_histogram, FoldOutcome, IncrementalTaxonomy};
+pub use local::{
+    build_local_taxonomies, build_local_taxonomies_into, build_local_taxonomies_parallel,
+    LocalTaxonomy,
+};
 pub use merge::{CanonicalState, Group, MergeOp, MergeState};
 pub use parallel::{build_taxonomy_parallel, build_taxonomy_parallel_observed};
 pub use regraph::merge_graphs;

@@ -27,6 +27,20 @@ pub struct LocalTaxonomy {
 /// one interner (returned alongside).
 pub fn build_local_taxonomies(sentences: &[SentenceExtraction]) -> (Vec<LocalTaxonomy>, Interner) {
     let mut interner = Interner::new();
+    let out = build_local_taxonomies_into(&mut interner, sentences);
+    (out, interner)
+}
+
+/// [`build_local_taxonomies`] against an existing interner: new labels are
+/// appended in first-occurrence stream order, so folding batches one after
+/// another through the same interner reproduces exactly the symbol table a
+/// single call over the concatenated stream would produce. This is what
+/// lets [`crate::incremental`] keep snapshot bytes identical to a
+/// from-scratch build.
+pub fn build_local_taxonomies_into(
+    interner: &mut Interner,
+    sentences: &[SentenceExtraction],
+) -> Vec<LocalTaxonomy> {
     let mut out = Vec::with_capacity(sentences.len());
     for s in sentences {
         if s.items.is_empty() {
@@ -48,7 +62,7 @@ pub fn build_local_taxonomies(sentences: &[SentenceExtraction]) -> (Vec<LocalTax
             sentence_id: s.sentence_id,
         });
     }
-    (out, interner)
+    out
 }
 
 /// [`build_local_taxonomies`] sharded across `threads` scoped workers.

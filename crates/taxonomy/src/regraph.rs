@@ -11,10 +11,9 @@
 //! stay apart — exactly the Property 2/3 semantics, applied to graphs
 //! instead of sentences.
 
-use crate::build::{build_from_locals, BuiltTaxonomy, TaxonomyConfig};
-use crate::local::LocalTaxonomy;
-use probase_store::{ConceptGraph, Interner};
-use std::collections::BTreeSet;
+use crate::build::{BuiltTaxonomy, TaxonomyConfig};
+use crate::incremental::IncrementalTaxonomy;
+use probase_store::ConceptGraph;
 
 /// Merge taxonomy graphs by re-running Algorithm 2 over their senses.
 ///
@@ -23,52 +22,23 @@ use std::collections::BTreeSet;
 /// the rebuilt graph through repeated sentence ids. Plausibilities are
 /// *not* carried (they are source-relative; recompute them from merged
 /// evidence if needed).
+///
+/// Each graph is one incremental fold ([`IncrementalTaxonomy::fold_graph`]),
+/// which makes this function a standing integration test of the fold's
+/// byte-identity contract: by Theorem 1 the per-graph folds land on the
+/// same structure a one-shot build over all senses would.
 pub fn merge_graphs(graphs: &[&ConceptGraph], cfg: &TaxonomyConfig) -> BuiltTaxonomy {
-    let mut interner = Interner::new();
-    let mut locals = Vec::new();
-    let mut pseudo_sentence = 0u64;
+    let mut inc = IncrementalTaxonomy::new(cfg.clone());
     for graph in graphs {
-        for node in graph.concepts() {
-            let root = interner.intern(graph.label(node));
-            let children: BTreeSet<_> = graph
-                .children(node)
-                .map(|(c, _)| interner.intern(graph.label(c)))
-                .filter(|&c| c != root)
-                .collect();
-            if children.is_empty() {
-                continue;
-            }
-            // One local taxonomy carrying the whole child set (the sense's
-            // identity), plus per-child weight re-injection so evidence
-            // counts survive the rebuild.
-            locals.push(LocalTaxonomy {
-                root,
-                children: children.clone(),
-                sentence_id: pseudo_sentence,
-            });
-            pseudo_sentence += 1;
-            for (c, data) in graph.children(node) {
-                let sym = interner.intern(graph.label(c));
-                if sym == root {
-                    continue;
-                }
-                for _ in 1..data.count {
-                    locals.push(LocalTaxonomy {
-                        root,
-                        children: std::iter::once(sym).collect(),
-                        sentence_id: pseudo_sentence,
-                    });
-                    pseudo_sentence += 1;
-                }
-            }
-        }
+        inc.fold_graph(graph);
     }
-    build_from_locals(&locals, &interner, cfg)
+    inc.build()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
 
     fn flora_graph() -> ConceptGraph {
         let mut g = ConceptGraph::new();

@@ -1,0 +1,248 @@
+//! Incremental-vs-one-shot differential determinism suite.
+//!
+//! The incremental maintainer's headline contract (DESIGN.md §16): for
+//! any corpus, any partition of it into fold batches, and any thread
+//! count on the one-shot side, folding the batches through
+//! [`IncrementalTaxonomy`] and then building produces a taxonomy that is
+//! **byte-identical** — canonical snapshot bytes and `BuildStats` — to a
+//! from-scratch build over the concatenated evidence stream. The license
+//! is Theorem 1: absolute-overlap similarity is monotone under merging,
+//! so the horizontal fixpoint is confluent and reaching it in stages
+//! lands on the same merge state as reaching it in one pass.
+//!
+//! Corpora are randomized with the same generator the parallel suite
+//! uses, shaped to exercise every merge feature: multi-sense labels,
+//! cross-batch label repeats, absorption-sized short lists, vertical
+//! links, and cycles. Seeds are pinned; a failure message carries the
+//! seed, batch count, thread count, and config for replay.
+
+use probase_extract::SentenceExtraction;
+use probase_store::snapshot;
+use probase_taxonomy::{build_taxonomy, IncrementalTaxonomy, TaxonomyConfig};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Synthetic corpus with controlled sense structure (same shape as the
+/// parallel determinism suite): clustered vocabularies give same-label
+/// sentences that sometimes share a sense and sometimes don't, labels
+/// recur as items (vertical links, occasional cycles), and short lists
+/// provide absorption fodder.
+fn corpus(seed: u64, sentences: usize) -> Vec<SentenceExtraction> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let labels = 1 + sentences / 12;
+    (0..sentences)
+        .map(|id| {
+            let root_id = rng.gen_range(0..labels);
+            let cluster = root_id * 2 + rng.gen_range(0..2usize);
+            let n = rng.gen_range(1..7);
+            let mut items: Vec<String> = (0..n)
+                .map(|_| format!("item{}", cluster * 6 + rng.gen_range(0..9)))
+                .collect();
+            if rng.gen_bool(0.35) {
+                items.push(format!("label{}", rng.gen_range(0..labels)));
+            }
+            SentenceExtraction {
+                sentence_id: id as u64,
+                super_label: format!("label{root_id}"),
+                items,
+            }
+        })
+        .collect()
+}
+
+fn configs() -> Vec<TaxonomyConfig> {
+    vec![
+        TaxonomyConfig {
+            threads: 1,
+            ..Default::default()
+        },
+        TaxonomyConfig {
+            delta: 1,
+            threads: 1,
+            ..Default::default()
+        },
+        TaxonomyConfig {
+            absorb: false,
+            threads: 1,
+            ..Default::default()
+        },
+        TaxonomyConfig {
+            link_fallback: false,
+            threads: 1,
+            ..Default::default()
+        },
+    ]
+}
+
+/// Fold a batched stream and build.
+fn fold_all(stream: &[Vec<SentenceExtraction>], cfg: &TaxonomyConfig) -> (Vec<u8>, String) {
+    let mut inc = IncrementalTaxonomy::new(cfg.clone());
+    for batch in stream {
+        inc.fold(batch);
+    }
+    let built = inc.build();
+    let bytes = snapshot::to_bytes(&built.graph)
+        .expect("encode incremental")
+        .to_vec();
+    (bytes, format!("{:?}", built.stats))
+}
+
+#[test]
+fn incremental_folds_match_one_shot_at_any_batching_and_ordering() {
+    for seed in [3u64, 17, 92] {
+        let base_corpus = corpus(seed, 360);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x1AC0);
+        for batches in [1usize, 3, 7, 16] {
+            // Contiguous runs, folded in a random order: the union
+            // stream the one-shot side sees is exactly the fold order.
+            let chunk = base_corpus.len().div_ceil(batches).max(1);
+            let mut stream: Vec<Vec<SentenceExtraction>> =
+                base_corpus.chunks(chunk).map(|c| c.to_vec()).collect();
+            stream.shuffle(&mut rng);
+            let union: Vec<SentenceExtraction> = stream.iter().flatten().cloned().collect();
+            for base in configs() {
+                let mut inc = IncrementalTaxonomy::new(base.clone());
+                for batch in &stream {
+                    inc.fold(batch);
+                }
+                let built = inc.build();
+                let built_bytes = snapshot::to_bytes(&built.graph).expect("encode incremental");
+                for threads in THREAD_COUNTS {
+                    let cfg = TaxonomyConfig {
+                        threads,
+                        ..base.clone()
+                    };
+                    let oneshot = build_taxonomy(&union, &cfg);
+                    assert_eq!(
+                        oneshot.stats, built.stats,
+                        "BuildStats diverged (seed {seed}, {batches} batches, {threads} threads, cfg {cfg:?})"
+                    );
+                    assert_eq!(
+                        snapshot::to_bytes(&oneshot.graph).expect("encode one-shot"),
+                        built_bytes,
+                        "snapshot bytes diverged (seed {seed}, {batches} batches, {threads} threads, cfg {cfg:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_size_is_invisible_at_fixed_order() {
+    // The purest Theorem 1 statement: the same stream, cut anywhere —
+    // per-sentence drip, uneven chunks, one big batch — folds to the
+    // same bytes as the one-shot build over that stream.
+    for seed in [5u64, 41] {
+        let sentences = corpus(seed, 240);
+        let cfg = TaxonomyConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let oneshot = build_taxonomy(&sentences, &cfg);
+        let reference = snapshot::to_bytes(&oneshot.graph).expect("encode one-shot");
+        for size in [1usize, 5, 64, 240] {
+            let stream: Vec<Vec<SentenceExtraction>> =
+                sentences.chunks(size).map(|c| c.to_vec()).collect();
+            let (bytes, stats) = fold_all(&stream, &cfg);
+            assert_eq!(
+                stats,
+                format!("{:?}", oneshot.stats),
+                "stats diverged (seed {seed}, batch size {size})"
+            );
+            assert_eq!(
+                bytes,
+                reference.to_vec(),
+                "bytes diverged (seed {seed}, batch size {size})"
+            );
+        }
+    }
+}
+
+#[test]
+fn order_invariant_stats_agree_across_fold_orderings() {
+    // Different fold orders permute the symbol table, so bytes rightly
+    // differ between orderings — each ordering is byte-checked against
+    // its own one-shot above. But the merge *partition* is confluent
+    // (Theorem 1), so the order-insensitive stats must agree across
+    // orderings: group count, horizontal merges, absorbed short lists,
+    // surviving senses, and vertical links (similarity sees child *sets*,
+    // which absorption cannot change). `cycle_edges_dropped` is excluded:
+    // tie-breaking on counts may legally pick different cycle edges.
+    let sentences = corpus(23, 300);
+    let cfg = TaxonomyConfig {
+        threads: 1,
+        ..Default::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(99);
+    let chunks: Vec<Vec<SentenceExtraction>> = sentences.chunks(30).map(|c| c.to_vec()).collect();
+    let mut reference: Option<probase_taxonomy::BuildStats> = None;
+    for trial in 0..4 {
+        let mut stream = chunks.clone();
+        stream.shuffle(&mut rng);
+        let mut inc = IncrementalTaxonomy::new(cfg.clone());
+        for batch in &stream {
+            inc.fold(batch);
+        }
+        let stats = inc.build().stats;
+        match &reference {
+            None => reference = Some(stats),
+            Some(r) => {
+                assert_eq!(r.local_taxonomies, stats.local_taxonomies, "trial {trial}");
+                assert_eq!(
+                    r.horizontal_merges, stats.horizontal_merges,
+                    "trial {trial}"
+                );
+                assert_eq!(r.absorbed, stats.absorbed, "trial {trial}");
+                assert_eq!(r.senses, stats.senses, "trial {trial}");
+                assert_eq!(r.vertical_links, stats.vertical_links, "trial {trial}");
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_folds_do_not_panic_or_drift() {
+    let cfg = TaxonomyConfig {
+        threads: 1,
+        ..Default::default()
+    };
+
+    // Nothing folded: empty graph.
+    let empty = IncrementalTaxonomy::new(cfg.clone()).build();
+    assert_eq!(empty.graph.node_count(), 0);
+    assert_eq!(empty.stats.local_taxonomies, 0);
+
+    // Empty batches interleaved with real ones are invisible.
+    let sentences = corpus(11, 80);
+    let oneshot = build_taxonomy(&sentences, &cfg);
+    let mut inc = IncrementalTaxonomy::new(cfg.clone());
+    inc.fold(&[]);
+    for batch in sentences.chunks(17) {
+        inc.fold(batch);
+        inc.fold(&[]);
+    }
+    let built = inc.build();
+    assert_eq!(oneshot.stats, built.stats);
+    assert_eq!(
+        snapshot::to_bytes(&oneshot.graph).expect("encode"),
+        snapshot::to_bytes(&built.graph).expect("encode")
+    );
+
+    // Build is non-destructive: folding after a build continues the
+    // stream exactly where it left off.
+    let more = corpus(13, 60);
+    let mut all = sentences.clone();
+    all.extend(more.iter().cloned());
+    inc.fold(&more);
+    let extended = inc.build();
+    let oneshot_all = build_taxonomy(&all, &cfg);
+    assert_eq!(oneshot_all.stats, extended.stats);
+    assert_eq!(
+        snapshot::to_bytes(&oneshot_all.graph).expect("encode"),
+        snapshot::to_bytes(&extended.graph).expect("encode")
+    );
+}
