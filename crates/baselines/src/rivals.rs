@@ -15,7 +15,7 @@
 //! | Freebase | **tiny** concept set, **zero** concept-subconcept edges, enormous instance sets concentrated in a few concepts |
 
 use probase_corpus::{World, WorldIndex};
-use probase_store::{ConceptGraph, GraphStats};
+use probase_store::{ConceptGraph, GraphHandle, GraphStats};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -270,7 +270,7 @@ pub fn sample_rival(world: &World, cfg: &RivalConfig) -> RivalTaxonomy {
 /// A [`TaxonomyView`] over a built Probase graph.
 pub struct GraphView<'g> {
     pub name: String,
-    pub graph: &'g ConceptGraph,
+    pub graph: &'g GraphHandle,
 }
 
 impl TaxonomyView for GraphView<'_> {

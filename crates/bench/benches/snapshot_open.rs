@@ -1,0 +1,73 @@
+//! Microbenchmark: serve restart cost — what the zero-copy packed
+//! snapshot format buys at startup.
+//!
+//! `legacy_decode` is the old path: parse every node and edge out of
+//! the length-prefixed snapshot and rebuild the pointer graph plus its
+//! indexes. `packed_validate` / `packed_open_mmap` are the new path:
+//! header + checksum + section-bounds validation over an mmap'd (or
+//! in-memory) buffer, with no per-edge work at all. The gap between
+//! them is the recovery-time win asserted by the CI startup-latency
+//! smoke step; `packed_first_queries` shows the read path is already
+//! hot right after open (no lazy decode hiding the cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use probase_store::{pack, snapshot, ConceptGraph, PackedGraph};
+
+fn build_graph(concepts: usize, fanout: usize) -> ConceptGraph {
+    let mut g = ConceptGraph::new();
+    for i in 0..concepts {
+        let parent = g.ensure_node(&format!("concept{i}"), 0);
+        for j in 0..fanout {
+            let child = if j == 0 && i + 1 < concepts {
+                g.ensure_node(&format!("concept{}", i + 1), 0)
+            } else {
+                g.ensure_node(&format!("inst{i}_{j}"), 0)
+            };
+            g.add_evidence(parent, child, (i + j) as u32 % 7 + 1);
+        }
+    }
+    g.rebuild_indexes();
+    g
+}
+
+fn bench_snapshot_open(c: &mut Criterion) {
+    let g = build_graph(2_000, 8);
+    let legacy = snapshot::to_bytes(&g).expect("legacy encode");
+    let packed = pack(&g).expect("packed encode");
+    let path = std::env::temp_dir().join(format!("probase-bench-open-{}.pb", std::process::id()));
+    std::fs::write(&path, &packed).expect("write packed snapshot");
+
+    let mut group = c.benchmark_group("snapshot_open");
+    group.bench_function("legacy_decode", |b| {
+        b.iter(|| {
+            let mut g = snapshot::from_bytes(legacy.clone()).expect("decode");
+            g.rebuild_indexes();
+            black_box(g.node_count())
+        })
+    });
+    group.bench_function("packed_validate", |b| {
+        // `Bytes::clone` is a refcount bump — this measures validation
+        // alone, the whole startup cost once the bytes are resident.
+        b.iter(|| black_box(PackedGraph::from_bytes(packed.clone()).expect("validate")))
+    });
+    group.bench_function("packed_open_mmap", |b| {
+        b.iter(|| black_box(PackedGraph::open(&path).expect("open")))
+    });
+    group.bench_function("packed_first_queries", |b| {
+        // Open + a spread of adjacency reads: proves there is no lazy
+        // decode deferred past `open` waiting to bite the first request.
+        b.iter(|| {
+            let p = PackedGraph::open(&path).expect("open");
+            let mut touched = 0usize;
+            for n in p.nodes().step_by(97) {
+                touched += p.children(n).count() + p.parents(n).count();
+            }
+            black_box(touched)
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(benches, bench_snapshot_open);
+criterion_main!(benches);

@@ -382,8 +382,12 @@ mod tests {
         };
         let serial =
             Simulation::run_observed(&world, &corpus_cfg, &cfg(1), &probase_obs::Registry::new());
-        let serial_bytes =
-            probase_store::snapshot::to_bytes(serial.probase.model.graph()).expect("encode");
+        let serial_bytes = serial
+            .probase
+            .model
+            .graph()
+            .to_packed_bytes()
+            .expect("encode");
         for threads in [2, 4] {
             let par = Simulation::run_observed(
                 &world,
@@ -397,7 +401,7 @@ mod tests {
             );
             assert_eq!(
                 serial_bytes,
-                probase_store::snapshot::to_bytes(par.probase.model.graph()).expect("encode"),
+                par.probase.model.graph().to_packed_bytes().expect("encode"),
                 "graph bytes differ at {threads} threads"
             );
         }

@@ -14,7 +14,7 @@
 
 use crate::reach::ReachTable;
 use crate::typicality::TypicalityModel;
-use probase_store::{ConceptGraph, NodeId};
+use probase_store::{GraphHandle, NodeId};
 use std::collections::HashMap;
 
 /// A fully annotated, queryable taxonomy.
@@ -35,20 +35,27 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug)]
 pub struct ProbaseModel {
-    graph: ConceptGraph,
+    graph: GraphHandle,
     typicality: TypicalityModel,
 }
 
 impl ProbaseModel {
     /// Build the model from an annotated graph (edges already carry
-    /// plausibility; see `plausibility::annotate_graph`).
-    pub fn new(graph: ConceptGraph) -> Self {
+    /// plausibility; see `plausibility::annotate_graph`). Accepts either
+    /// representation — a mutable `ConceptGraph` or a zero-copy
+    /// `PackedGraph` — and derives the reach and typicality tables
+    /// directly over it, so a packed snapshot never has to be unpacked
+    /// to serve model queries.
+    pub fn new(graph: impl Into<GraphHandle>) -> Self {
+        let graph = graph.into();
         let reach = ReachTable::compute(&graph);
         let typicality = TypicalityModel::compute(&graph, &reach);
         Self { graph, typicality }
     }
 
-    pub fn graph(&self) -> &ConceptGraph {
+    /// The graph the model was derived from, in whichever representation
+    /// it was supplied.
+    pub fn graph(&self) -> &GraphHandle {
         &self.graph
     }
 
@@ -193,6 +200,7 @@ impl ProbaseModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use probase_store::ConceptGraph;
 
     /// A miniature paper-world: country ⊃ {bric country}, instances with
     /// varying evidence.

@@ -15,7 +15,7 @@
 //! known (Algorithm 3's invariant).
 
 use probase_store::query::parent_level_sets;
-use probase_store::{ConceptGraph, NodeId};
+use probase_store::{GraphView, NodeId};
 use std::collections::HashMap;
 
 /// The table of `P(x, y)` values for ancestor/descendant concept pairs.
@@ -59,8 +59,11 @@ impl ReachTable {
 
     /// Compute the table over the *concept* nodes of `graph` (instances
     /// are excluded — Eq. 4 only needs concept-to-concept reachability).
-    /// This is Algorithm 3.
-    pub fn compute(graph: &ConceptGraph) -> Self {
+    /// This is Algorithm 3. Generic over [`GraphView`] so the packed
+    /// (mmap) representation feeds the model without being unpacked;
+    /// both representations iterate parents in identical order, so the
+    /// accumulated floats are bit-identical.
+    pub fn compute<G: GraphView>(graph: &G) -> Self {
         // Ancestor lists are built incrementally as we walk level sets.
         let mut map: HashMap<(NodeId, NodeId), f64> = HashMap::new();
         // ancestors[y] = set of concepts with a path to y (any plausibility).
@@ -118,6 +121,7 @@ impl ReachTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use probase_store::ConceptGraph;
 
     /// company → it company → software company, plus company → software
     /// company directly; all edges carry chosen plausibilities.

@@ -14,7 +14,7 @@
 //! with concept priors proportional to total evidence mass.
 
 use crate::reach::ReachTable;
-use probase_store::{ConceptGraph, NodeId};
+use probase_store::{GraphView, NodeId};
 use std::collections::HashMap;
 
 /// Typicality in both directions for an annotated taxonomy graph.
@@ -31,8 +31,10 @@ impl TypicalityModel {
     ///
     /// "Instances" are leaf nodes (paper §3.1). For each concept `x`, the
     /// sum of Eq. 4 runs over `x` itself and all its descendant concepts
-    /// from `reach`.
-    pub fn compute(graph: &ConceptGraph, reach: &ReachTable) -> Self {
+    /// from `reach`. Generic over [`GraphView`]: mutable and packed
+    /// graphs iterate children in the same order, so the accumulated
+    /// typicality mass is bit-identical across representations.
+    pub fn compute<G: GraphView>(graph: &G, reach: &ReachTable) -> Self {
         let mut instantiation: HashMap<NodeId, Vec<(NodeId, f64)>> = HashMap::new();
         for x in graph.concepts() {
             let mut mass: HashMap<NodeId, f64> = HashMap::new();
@@ -47,12 +49,20 @@ impl TypicalityModel {
                     *mass.entry(i).or_insert(0.0) += p_xy * edge.count as f64 * edge.plausibility;
                 }
             }
-            let total: f64 = mass.values().sum();
+            // Sum the normalizer in NodeId order, never in map iteration
+            // order: float addition is not associative, and the map's
+            // per-instance order would leak into the low bits of every
+            // typicality — breaking bit-identity between two models
+            // built from equivalent graphs (e.g. mutable vs packed).
+            let mut list: Vec<(NodeId, f64)> = mass.into_iter().collect();
+            list.sort_by_key(|&(i, _)| i);
+            let total: f64 = list.iter().map(|&(_, m)| m).sum();
             if total <= 0.0 {
                 continue;
             }
-            let mut list: Vec<(NodeId, f64)> =
-                mass.into_iter().map(|(i, m)| (i, m / total)).collect();
+            for (_, m) in list.iter_mut() {
+                *m /= total;
+            }
             list.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
             instantiation.insert(x, list);
         }
@@ -66,9 +76,14 @@ impl TypicalityModel {
                 (x, mass.max(1.0))
             })
             .collect();
+        // Build each abstraction list in concept-id order (not map
+        // iteration order) so the normalizing sum below is bitwise
+        // deterministic too.
+        let mut concepts: Vec<NodeId> = instantiation.keys().copied().collect();
+        concepts.sort_unstable();
         let mut abstraction: HashMap<NodeId, Vec<(NodeId, f64)>> = HashMap::new();
-        for (&x, list) in &instantiation {
-            for &(i, t) in list {
+        for &x in &concepts {
+            for &(i, t) in &instantiation[&x] {
                 abstraction.entry(i).or_default().push((x, t * prior[&x]));
             }
         }
@@ -127,6 +142,7 @@ impl TypicalityModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use probase_store::ConceptGraph;
 
     /// company →(n=10) Microsoft, →(n=1) Xyz; company → it company →(n=6)
     /// Microsoft. Indirect evidence must boost Microsoft under company.
@@ -228,6 +244,52 @@ mod tests {
         // Good's list is untouched by the guard and still normalized.
         let sum: f64 = t.concepts_of(good).iter().map(|(_, v)| v).sum();
         assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// Regression: the instantiation normalizer was summed in `HashMap`
+    /// iteration order (and abstraction lists were built in it), so two
+    /// models computed from the same graph could differ in the low bits
+    /// — each `HashMap` draws its own random seed. Bit-identity across
+    /// builds is what lets the packed (mmap) representation answer
+    /// byte-for-byte like the mutable graph it was packed from.
+    #[test]
+    fn compute_is_bitwise_deterministic_across_builds() {
+        let mut g = ConceptGraph::new();
+        // Wide enough that hash order would actually vary: many
+        // instances per concept, shared children, indirect paths.
+        let concepts: Vec<NodeId> = (0..8)
+            .map(|c| g.ensure_node(&format!("concept{c}"), 0))
+            .collect();
+        for (ci, &c) in concepts.iter().enumerate() {
+            if ci > 0 {
+                g.add_evidence(concepts[ci - 1], c, 3 + ci as u32);
+                g.set_plausibility(concepts[ci - 1], c, 0.5 + 0.05 * ci as f64);
+            }
+            for k in 0..6 {
+                let i = g.ensure_node(&format!("inst{}", (ci * 5 + k) % 17), 0);
+                g.add_evidence(c, i, 1 + ((ci + k) % 5) as u32);
+                g.set_plausibility(c, i, 0.3 + 0.07 * ((ci + k) % 9) as f64);
+            }
+        }
+        let reach = ReachTable::compute(&g);
+        let a = TypicalityModel::compute(&g, &reach);
+        let b = TypicalityModel::compute(&g, &reach);
+        for &x in &concepts {
+            let (la, lb) = (a.instances_of(x), b.instances_of(x));
+            assert_eq!(la.len(), lb.len());
+            for (&(ia, ta), &(ib, tb)) in la.iter().zip(lb) {
+                assert_eq!(ia, ib);
+                assert_eq!(ta.to_bits(), tb.to_bits(), "T(i|x) low bits diverged");
+            }
+        }
+        for n in g.nodes() {
+            let (la, lb) = (a.concepts_of(n), b.concepts_of(n));
+            assert_eq!(la.len(), lb.len());
+            for (&(xa, sa), &(xb, sb)) in la.iter().zip(lb) {
+                assert_eq!(xa, xb);
+                assert_eq!(sa.to_bits(), sb.to_bits(), "T(x|i) low bits diverged");
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! a front-end needs. The hash itself is a frozen FNV-1a so a restarted
 //! deployment re-derives the identical placement from the same graph.
 
-use probase_store::{snapshot, ConceptGraph, NodeId};
+use probase_store::{snapshot, ConceptGraph, GraphView, NodeId};
 use std::collections::HashMap;
 
 /// Frozen 64-bit FNV-1a over the label bytes. This function is part of
@@ -62,8 +62,10 @@ pub struct Partition {
 /// Deterministic: the same graph and `n` always produce byte-identical
 /// shard graphs (nodes inserted in `NodeId` order, edges in `edges()`
 /// order), so a restart that rebuilds the partition from the same
-/// snapshot re-creates the exact same layout.
-pub fn partition(graph: &ConceptGraph, n: usize) -> Partition {
+/// snapshot re-creates the exact same layout. Generic over
+/// [`GraphView`], so a zero-copy packed snapshot partitions without
+/// being thawed first.
+pub fn partition<G: GraphView>(graph: &G, n: usize) -> Partition {
     let n = n.max(1);
     let nodes: Vec<NodeId> = graph.nodes().collect();
     let mut dsu = Dsu::new(nodes.len());

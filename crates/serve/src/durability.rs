@@ -15,15 +15,27 @@
 //!   amortizes the fsync over batches, `Os` leaves it to the page cache.
 //! * **Checkpoints.** Snapshot files are named
 //!   `snapshot-<seq>-<upto>.pb`: generation `seq`, covering every write
-//!   with index < `upto`. Log files are `wal-<seq>.log`.
-//! * **Recovery.** On open: load the newest decodable snapshot, union
-//!   the records of *all* log generations, deduplicate by index, and
-//!   replay exactly the suffix the snapshot does not already contain
-//!   (stopping at a gap). A crash anywhere between checkpoint persist
-//!   and log rotation therefore neither loses nor double-applies a
-//!   write. Recovery finishes by writing a fresh checkpoint and rotating
-//!   to a new log generation, so the directory is always one snapshot +
-//!   one active log plus whatever a crash left behind.
+//!   with index < `upto`. Log files are `wal-<seq>.log`. New checkpoints
+//!   are written in the **packed (v2)** zero-copy format
+//!   ([`probase_store::packed`]); legacy (v1) checkpoints left by older
+//!   builds still decode (the format is sniffed per file).
+//! * **Recovery.** On open: load the newest decodable snapshot — a
+//!   packed checkpoint is validated and `mmap`ed straight into a
+//!   [`GraphHandle::Packed`] with **no per-edge decode**, so restart cost
+//!   is page-cache population rather than deserialization (and sibling
+//!   shards of one host share those pages); a legacy checkpoint is
+//!   decoded the old way — then union the records of *all* log
+//!   generations, deduplicate by index, and replay exactly the suffix
+//!   the snapshot does not already contain (stopping at a gap). The
+//!   first replayed record thaws a packed base into the mutable
+//!   representation; a clean restart (empty WAL suffix) never pays that
+//!   cost. A crash anywhere between checkpoint persist and log rotation
+//!   therefore neither loses nor double-applies a write. Recovery
+//!   finishes by writing a fresh checkpoint and rotating to a new log
+//!   generation, so the directory is always one snapshot + one active
+//!   log plus whatever a crash left behind. `serve.startup.*` metrics
+//!   (packed_open / legacy_decode counters, recovery_ms /
+//!   snapshot_bytes gauges) record which path ran and what it cost.
 //! * **Incremental rebuild.** Acked writes carry raw counts only; the
 //!   derived plausibility annotations go stale. The rebuild worker
 //!   (triggered after N writes or T seconds — see [`DurabilityConfig`])
@@ -47,14 +59,17 @@
 
 use crate::json::Json;
 use parking_lot::Mutex;
-use probase_obs::{Counter, Histogram, Registry};
+use probase_obs::{Counter, Gauge, Histogram, Registry};
 use probase_prob::{annotate_graph_urns_touched, UrnsModel};
 use probase_store::wal::{read_wal, WalEntry, WalOp, WalSync, WalWriter};
-use probase_store::{snapshot, ConceptGraph, NodeId, SharedStore};
+use probase_store::{
+    pack, snapshot, sniff_format, ConceptGraph, GraphHandle, NodeId, PackedGraph, SharedStore,
+    SnapshotFormat,
+};
 use probase_taxonomy::{count_histogram, shift_count_histogram};
 use std::collections::BTreeMap;
 use std::fs::File;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::path::{Component, Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -156,6 +171,17 @@ pub struct Durability {
     inc_records: Arc<Counter>,
     inc_edges_refit: Arc<Counter>,
     inc_model_refits: Arc<Counter>,
+    startup_packed_open: Arc<Counter>,
+    startup_legacy_decode: Arc<Counter>,
+    startup_recovery_ms: Arc<Gauge>,
+    startup_snapshot_bytes: Arc<Gauge>,
+}
+
+/// Identify a snapshot file by its magic number without reading the body.
+fn sniff_snapshot_file(path: &Path) -> Option<SnapshotFormat> {
+    let mut head = [0u8; 4];
+    File::open(path).ok()?.read_exact(&mut head).ok()?;
+    sniff_format(&head)
 }
 
 fn parse_snapshot_name(name: &str) -> Option<(u64, u64)> {
@@ -237,6 +263,7 @@ impl Durability {
         store: &SharedStore,
         registry: &Registry,
     ) -> Result<Self, String> {
+        let started = Instant::now();
         let dir = cfg.snapshot_dir.clone();
         std::fs::create_dir_all(&dir)
             .map_err(|e| format!("cannot create snapshot dir {}: {e}", dir.display()))?;
@@ -262,18 +289,35 @@ impl Durability {
         // Newest decodable checkpoint wins; corrupt ones are skipped so
         // a torn checkpoint degrades to replaying a longer log suffix.
         snaps.sort_by_key(|&(seq, upto, _)| std::cmp::Reverse((upto, seq)));
-        let mut base: Option<(ConceptGraph, u64)> = None;
+        let mut base: Option<(GraphHandle, u64)> = None;
         for (_, upto, path) in &snaps {
-            if let Ok(bytes) = std::fs::read(path) {
-                if let Ok(mut g) = snapshot::from_bytes(&bytes[..]) {
-                    g.rebuild_indexes();
-                    base = Some((g, *upto));
-                    break;
+            match sniff_snapshot_file(path) {
+                Some(SnapshotFormat::Packed) => {
+                    // Zero-copy path: validate and mmap in place. The
+                    // node table, CSR adjacency, and string arena are
+                    // then served straight from the page cache — no
+                    // per-edge decode, and sibling shards on one host
+                    // share the cached pages of their region files.
+                    if let Ok(p) = PackedGraph::open(path) {
+                        base = Some((GraphHandle::Packed(p), *upto));
+                        break;
+                    }
                 }
+                Some(SnapshotFormat::Legacy) => {
+                    if let Ok(bytes) = std::fs::read(path) {
+                        if let Ok(mut g) = snapshot::from_bytes(&bytes[..]) {
+                            g.rebuild_indexes();
+                            base = Some((GraphHandle::Mutable(g), *upto));
+                            break;
+                        }
+                    }
+                }
+                None => {}
             }
         }
         let recovered_snapshot = base.is_some();
-        let (mut graph, upto) = base.unwrap_or_else(|| (store.clone_graph(), 0));
+        let recovered_packed = matches!(base, Some((GraphHandle::Packed(_), _)));
+        let (mut handle, upto) = base.unwrap_or_else(|| (store.clone_handle(), 0));
 
         // Union every log generation's records; dedup + gap-stop below.
         let mut all: Vec<WalEntry> = Vec::new();
@@ -292,14 +336,20 @@ impl Durability {
             if e.index > expected {
                 break; // gap: the log holding this range is gone
             }
-            apply_op(&mut graph, &e.op);
+            // The first un-covered record thaws a packed base; a clean
+            // packed restart (empty suffix) never reaches this line.
+            let (g, _) = handle.make_mutable();
+            apply_op(g, &e.op);
             expected += 1;
             replayed += 1;
         }
 
-        // Consolidate: one fresh checkpoint + one fresh log generation.
+        // Consolidate: one fresh checkpoint + one fresh log generation,
+        // in the packed format. For an unreplayed packed base this is a
+        // verbatim byte copy of the validated snapshot, not a re-encode.
         let newseq = max_seq + 1;
-        let bytes = snapshot::to_bytes(&graph)
+        let bytes = handle
+            .to_packed_bytes()
             .map_err(|e| format!("cannot encode recovery snapshot: {e}"))?;
         write_snapshot_file(&dir, newseq, expected, &bytes)?;
         let wal_path = dir.join(format!("wal-{newseq}.log"));
@@ -308,11 +358,13 @@ impl Durability {
         prune(&dir, newseq);
 
         // Seed the fold state from the recovered graph: the histogram is
-        // the graph's current edge counts, the cursor sits at the end of
-        // the replayed stream.
-        let hist = count_histogram(&graph);
+        // the graph's current edge counts (a contiguous CSR walk on a
+        // packed base), the cursor sits at the end of the replayed
+        // stream.
+        let hist = count_histogram(&handle);
+        let snapshot_bytes = bytes.len();
         if recovered_snapshot || replayed > 0 {
-            store.swap_snapshot(graph);
+            store.swap_snapshot(handle);
         }
 
         let d = Self {
@@ -346,10 +398,22 @@ impl Durability {
             inc_records: registry.counter("serve.rebuild.incremental.records_folded"),
             inc_edges_refit: registry.counter("serve.rebuild.incremental.edges_refit"),
             inc_model_refits: registry.counter("serve.rebuild.incremental.model_refits"),
+            startup_packed_open: registry.counter("serve.startup.packed_open"),
+            startup_legacy_decode: registry.counter("serve.startup.legacy_decode"),
+            startup_recovery_ms: registry.gauge("serve.startup.recovery_ms"),
+            startup_snapshot_bytes: registry.gauge("serve.startup.snapshot_bytes"),
         };
         d.wal_replayed.add(replayed);
         d.wal_rotations.inc();
         d.rebuild_snapshots.inc();
+        if recovered_packed {
+            d.startup_packed_open.inc();
+        } else if recovered_snapshot {
+            d.startup_legacy_decode.inc();
+        }
+        d.startup_recovery_ms
+            .set(started.elapsed().as_millis() as i64);
+        d.startup_snapshot_bytes.set(snapshot_bytes as i64);
         Ok(d)
     }
 
@@ -534,10 +598,11 @@ impl Durability {
 
         // Phase B: checkpoint. Capture bytes + coverage atomically
         // (store read lock, then the WAL mutex — the canonical order);
-        // writers wait for the encode, readers do not.
+        // writers wait for the encode, readers do not. Checkpoints are
+        // packed (v2): the next open mmaps them with no per-edge decode.
         let (encoded, upto, cap_seq) = store.read(|g| {
             let inner = self.wal.lock();
-            (snapshot::to_bytes(g), inner.next_index, inner.seq)
+            (g.to_packed_bytes(), inner.next_index, inner.seq)
         });
         let bytes = encoded.map_err(|e| {
             self.rebuild_failures.inc();
@@ -641,7 +706,7 @@ impl Durability {
             }
             let newseq = inner.seq + 1;
             let upto = inner.next_index;
-            let bytes = match snapshot::to_bytes(g) {
+            let bytes = match pack(g) {
                 Ok(b) => b,
                 Err(e) => {
                     err = Some(format!("cannot encode snapshot: {e}"));
@@ -765,6 +830,26 @@ impl Durability {
         self.rebuild_snapshots.get()
     }
 
+    /// Packed (v2) checkpoints opened zero-copy by recovery (0 or 1).
+    pub fn packed_opens_total(&self) -> u64 {
+        self.startup_packed_open.get()
+    }
+
+    /// Legacy (v1) checkpoints decoded edge-by-edge by recovery (0 or 1).
+    pub fn legacy_decodes_total(&self) -> u64 {
+        self.startup_legacy_decode.get()
+    }
+
+    /// Wall-clock milliseconds recovery took at open.
+    pub fn recovery_ms(&self) -> i64 {
+        self.startup_recovery_ms.get()
+    }
+
+    /// Size in bytes of the consolidated checkpoint recovery wrote.
+    pub fn startup_snapshot_bytes(&self) -> i64 {
+        self.startup_snapshot_bytes.get()
+    }
+
     /// The durability section of the `stats` endpoint dump.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -808,6 +893,27 @@ impl Durability {
                     (
                         "model_refits",
                         Json::num(self.inc_model_refits.get() as f64),
+                    ),
+                ]),
+            ),
+            (
+                "startup",
+                Json::obj(vec![
+                    (
+                        "packed_open",
+                        Json::num(self.startup_packed_open.get() as f64),
+                    ),
+                    (
+                        "legacy_decode",
+                        Json::num(self.startup_legacy_decode.get() as f64),
+                    ),
+                    (
+                        "recovery_ms",
+                        Json::num(self.startup_recovery_ms.get() as f64),
+                    ),
+                    (
+                        "snapshot_bytes",
+                        Json::num(self.startup_snapshot_bytes.get() as f64),
                     ),
                 ]),
             ),
@@ -1183,5 +1289,93 @@ mod tests {
         assert_eq!(d2.wal_replayed_total(), 0, "log empty after rotation");
         assert_eq!(edge_count(&store2, "country", "Brazil"), Some(7));
         assert_eq!(edge_count(&store2, "country", "Japan"), Some(2));
+    }
+
+    /// The acceptance check of the packed-snapshot work: a restart from
+    /// a packed checkpoint with an empty WAL must mmap the file and skip
+    /// the per-edge decode entirely, observable through the
+    /// `serve.startup.*` counters and the installed representation.
+    #[test]
+    fn packed_checkpoint_recovers_without_per_edge_decode() {
+        let dir = tempdir("packedopen");
+        let store = seeded_store();
+        let d = Durability::open(&cfg(&dir), &store, &Registry::new()).unwrap();
+        // Fresh open wrote a packed consolidation checkpoint.
+        assert_eq!(d.packed_opens_total(), 0, "nothing recovered yet");
+        assert_eq!(d.legacy_decodes_total(), 0);
+        assert!(d.startup_snapshot_bytes() > 0, "checkpoint size recorded");
+        drop((d, store));
+
+        let store2 = SharedStore::new(ConceptGraph::new());
+        let d2 = Durability::open(&cfg(&dir), &store2, &Registry::new()).unwrap();
+        assert_eq!(d2.packed_opens_total(), 1, "base opened zero-copy");
+        assert_eq!(d2.legacy_decodes_total(), 0, "no per-edge decode ran");
+        assert_eq!(d2.wal_replayed_total(), 0);
+        assert!(
+            store2.is_packed(),
+            "the mmap-backed representation is what serves"
+        );
+        assert!(d2.recovery_ms() >= 0);
+        assert!(d2.startup_snapshot_bytes() > 0);
+        assert_eq!(edge_count(&store2, "country", "China"), Some(8));
+        assert_eq!(edge_count(&store2, "country", "India"), Some(5));
+    }
+
+    /// A legacy (v1) checkpoint from an older deployment still recovers
+    /// through the edge-by-edge decoder — counted as such — and the
+    /// consolidation pass auto-migrates it to the packed format, so the
+    /// *next* restart is zero-copy.
+    #[test]
+    fn legacy_checkpoint_recovers_and_migrates_to_packed() {
+        let dir = tempdir("legacymigrate");
+        let mut old = ConceptGraph::new();
+        let a = old.ensure_node("a", 0);
+        let b = old.ensure_node("b", 0);
+        old.add_evidence(a, b, 3);
+        std::fs::write(
+            dir.join("snapshot-1-0.pb"),
+            snapshot::to_bytes(&old).unwrap(),
+        )
+        .unwrap();
+        drop(WalWriter::create(&dir.join("wal-1.log"), 1, WalSync::Always).unwrap());
+
+        let store = SharedStore::new(ConceptGraph::new());
+        let d = Durability::open(&cfg(&dir), &store, &Registry::new()).unwrap();
+        assert_eq!(d.legacy_decodes_total(), 1, "old format decoded");
+        assert_eq!(d.packed_opens_total(), 0);
+        assert!(!store.is_packed(), "legacy decode installs mutable");
+        assert_eq!(edge_count(&store, "a", "b"), Some(3));
+        drop((d, store));
+
+        // The consolidation checkpoint was re-encoded packed: the next
+        // restart takes the zero-copy path.
+        let store2 = SharedStore::new(ConceptGraph::new());
+        let d2 = Durability::open(&cfg(&dir), &store2, &Registry::new()).unwrap();
+        assert_eq!(d2.packed_opens_total(), 1, "migrated to packed");
+        assert_eq!(d2.legacy_decodes_total(), 0);
+        assert!(store2.is_packed());
+        assert_eq!(edge_count(&store2, "a", "b"), Some(3));
+    }
+
+    /// A packed base with a non-empty WAL suffix thaws exactly once and
+    /// replays on the mutable representation.
+    #[test]
+    fn packed_base_with_wal_suffix_thaws_and_replays() {
+        let dir = tempdir("thawreplay");
+        let store = seeded_store();
+        let d = Durability::open(&cfg(&dir), &store, &Registry::new()).unwrap();
+        write_through(&d, &store, "country", "Brazil", 7);
+        drop((d, store)); // crash before any checkpoint of the write
+
+        let store2 = seeded_store();
+        let d2 = Durability::open(&cfg(&dir), &store2, &Registry::new()).unwrap();
+        assert_eq!(d2.packed_opens_total(), 1, "base still opened packed");
+        assert_eq!(d2.wal_replayed_total(), 1);
+        assert!(
+            !store2.is_packed(),
+            "replay thaws to the mutable representation"
+        );
+        assert_eq!(edge_count(&store2, "country", "Brazil"), Some(7));
+        assert_eq!(edge_count(&store2, "country", "China"), Some(8));
     }
 }

@@ -29,7 +29,10 @@ use probase_apps::{rewrite_query, Association};
 use probase_obs::Registry;
 use probase_prob::ProbaseModel;
 use probase_store::query::ancestors;
-use probase_store::{snapshot, ConceptGraph, GraphStats, LevelMap, NodeId, SharedStore};
+use probase_store::{
+    snapshot, sniff_format, ConceptGraph, GraphHandle, GraphStats, LevelMap, NodeId, PackedGraph,
+    SharedStore, SnapshotFormat,
+};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -93,7 +96,7 @@ impl ServeState {
         registry: Arc<Registry>,
         durability: Option<Arc<Durability>>,
     ) -> Self {
-        let (graph, version) = store.read_versioned(ConceptGraph::clone);
+        let (graph, version) = store.read_versioned(GraphHandle::clone);
         let model = RwLock::new(Arc::new(VersionedModel {
             version,
             model: ProbaseModel::new(graph),
@@ -151,7 +154,7 @@ impl ServeState {
         // and the version may have moved again — always rebuild to the
         // version captured atomically with the graph clone.
         if guard.version != self.store.version() {
-            let (graph, version) = self.store.read_versioned(ConceptGraph::clone);
+            let (graph, version) = self.store.read_versioned(GraphHandle::clone);
             *guard = Arc::new(VersionedModel {
                 version,
                 model: ProbaseModel::new(graph),
@@ -339,16 +342,33 @@ impl ServeState {
                 )
             }
         };
-        let mut graph = match snapshot::from_bytes(&bytes[..]) {
-            Ok(g) => g,
-            Err(e) => {
-                return (
-                    self.store.version(),
-                    Err((ErrorCode::Internal, format!("cannot decode {path:?}: {e}"))),
-                )
-            }
+        // Accept either snapshot format: legacy (v1) decodes edge by
+        // edge, packed (v2) validates the zero-copy layout and thaws.
+        // Both feed the same rebase below, which re-checkpoints in the
+        // packed format.
+        let graph = match sniff_format(&bytes) {
+            Some(SnapshotFormat::Packed) => match PackedGraph::open(&resolved) {
+                Ok(p) => p.unpack(),
+                Err(e) => {
+                    return (
+                        self.store.version(),
+                        Err((ErrorCode::Internal, format!("cannot decode {path:?}: {e}"))),
+                    )
+                }
+            },
+            _ => match snapshot::from_bytes(&bytes[..]) {
+                Ok(mut g) => {
+                    g.rebuild_indexes();
+                    g
+                }
+                Err(e) => {
+                    return (
+                        self.store.version(),
+                        Err((ErrorCode::Internal, format!("cannot decode {path:?}: {e}"))),
+                    )
+                }
+            },
         };
-        graph.rebuild_indexes();
         let nodes = graph.node_count();
         let edges = graph.edge_count();
         // Rebase: checkpoint the loaded graph and rotate the log inside
@@ -403,7 +423,7 @@ fn ranked(items: Vec<(String, f64)>) -> Json {
 }
 
 /// Transitive isA over all sense pairs, plus the best direct edge.
-fn isa(g: &ConceptGraph, parent: &str, child: &str) -> Json {
+fn isa(g: &GraphHandle, parent: &str, child: &str) -> Json {
     let parents: Vec<NodeId> = g.senses_of(parent);
     let children: Vec<NodeId> = g.senses_of(child);
     let mut is_a = false;
@@ -440,7 +460,7 @@ fn isa(g: &ConceptGraph, parent: &str, child: &str) -> Json {
 }
 
 /// The best direct edge between any sense pair.
-fn direct_edge(g: &ConceptGraph, parent: &str, child: &str) -> Json {
+fn direct_edge(g: &GraphHandle, parent: &str, child: &str) -> Json {
     let mut found = false;
     let mut count = 0u32;
     let mut plausibility = 0.0f64;
@@ -462,7 +482,7 @@ fn direct_edge(g: &ConceptGraph, parent: &str, child: &str) -> Json {
     ])
 }
 
-fn levels(g: &ConceptGraph, term: Option<&str>) -> Json {
+fn levels(g: &GraphHandle, term: Option<&str>) -> Json {
     let map = LevelMap::compute(g);
     match term {
         None => {
@@ -499,7 +519,7 @@ fn levels(g: &ConceptGraph, term: Option<&str>) -> Json {
     }
 }
 
-fn labels(g: &ConceptGraph, kind: LabelKind, k: usize) -> Json {
+fn labels(g: &GraphHandle, kind: LabelKind, k: usize) -> Json {
     let mut seen = HashSet::new();
     let mut out = Vec::new();
     let nodes: Vec<NodeId> = match kind {

@@ -4,8 +4,9 @@
 //! modifier hierarchy under *country* — the way the paper's figures draw
 //! local taxonomies.
 
-use crate::graph::{ConceptGraph, NodeId};
+use crate::graph::NodeId;
 use crate::query::descendants;
+use crate::view::GraphView;
 use std::collections::HashSet;
 use std::fmt::Write as _;
 
@@ -33,7 +34,7 @@ fn escape(s: &str) -> String {
 
 /// Render the sub-DAG reachable from `roots` as DOT. With no roots, the
 /// whole graph is rendered (subject to `max_nodes`).
-pub fn to_dot(graph: &ConceptGraph, roots: &[NodeId], opts: &DotOptions) -> String {
+pub fn to_dot<G: GraphView>(graph: &G, roots: &[NodeId], opts: &DotOptions) -> String {
     let mut include: HashSet<NodeId> = HashSet::new();
     if roots.is_empty() {
         include.extend(graph.nodes().take(opts.max_nodes));
@@ -93,6 +94,7 @@ pub fn to_dot(graph: &ConceptGraph, roots: &[NodeId], opts: &DotOptions) -> Stri
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::ConceptGraph;
 
     fn sample() -> ConceptGraph {
         let mut g = ConceptGraph::new();

@@ -15,8 +15,14 @@
 //! * [`intern`] — string interning ([`intern::Symbol`], [`intern::Interner`]).
 //! * [`hash`] — the FxHash-style fast hasher used by every hot map.
 //! * [`graph`] — the [`graph::ConceptGraph`] itself.
-//! * [`query`] — levels, statistics, reachability.
-//! * [`snapshot`] — compact binary snapshots (round-trip tested).
+//! * [`query`] — levels, statistics, reachability (generic over [`view::GraphView`]).
+//! * [`snapshot`] — legacy (v1) length-prefixed binary snapshots.
+//! * [`packed`] — zero-copy packed (v2) snapshots: the mmap-able CSR
+//!   [`packed::PackedGraph`] whose in-memory layout is the on-disk format.
+//! * [`view`] — the [`view::GraphView`] read abstraction both graph
+//!   representations implement.
+//! * [`handle`] — [`handle::GraphHandle`], the mutable-or-packed unit of
+//!   hot swap.
 //! * [`dot`] — GraphViz export for eyeballing sense separation.
 //! * [`shared`] — concurrent serving wrapper (many readers, one writer).
 //! * [`wal`] — checksummed write-ahead log for durable serve-path writes.
@@ -26,19 +32,26 @@
 
 pub mod dot;
 pub mod graph;
+pub mod handle;
 pub mod hash;
 pub mod intern;
+pub mod packed;
 pub mod query;
 pub mod shard;
 pub mod shared;
 pub mod snapshot;
+pub mod view;
 pub mod wal;
 
 pub use dot::{to_dot, DotOptions};
 pub use graph::{ConceptGraph, EdgeData, NodeId};
+pub use handle::GraphHandle;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Interner, Symbol};
+pub use packed::{pack, PackedGraph, PackedOpenError};
 pub use query::{GraphStats, LevelMap};
 pub use shard::{discover_shard_dirs, provision_shard_dirs, shard_dir};
 pub use shared::SharedStore;
+pub use snapshot::{sniff_format, SnapshotFormat};
+pub use view::GraphView;
 pub use wal::{WalEntry, WalOp, WalSync};

@@ -9,7 +9,8 @@
 //!   `L1` = concepts with no parents, `Lk` = concepts whose parents all lie
 //!   in earlier levels.
 
-use crate::graph::{ConceptGraph, NodeId};
+use crate::graph::NodeId;
+use crate::view::GraphView;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -23,7 +24,7 @@ impl LevelMap {
     /// Compute levels over `graph`. The graph must be acyclic (the
     /// taxonomy layer guarantees that); a cycle makes this panic rather
     /// than loop.
-    pub fn compute(graph: &ConceptGraph) -> Self {
+    pub fn compute<G: GraphView>(graph: &G) -> Self {
         let n = graph.node_count();
         let mut levels = vec![u32::MAX; n];
         // Kahn-style: process nodes whose children are all resolved,
@@ -93,7 +94,7 @@ pub struct GraphStats {
 
 impl GraphStats {
     /// Compute the Table 4 statistics for `graph`.
-    pub fn compute(graph: &ConceptGraph) -> Self {
+    pub fn compute<G: GraphView>(graph: &G) -> Self {
         let levels = LevelMap::compute(graph);
         let mut concept_subconcept = 0usize;
         let mut concept_instance = 0usize;
@@ -153,7 +154,7 @@ impl GraphStats {
 /// Group concepts into parent-complete level sets: `result\[0\]` holds nodes
 /// with no parents, `result[k]` holds nodes whose parents all appear in
 /// `result[..k]`. This is exactly the `L^k` sequence of paper Algorithm 3.
-pub fn parent_level_sets(graph: &ConceptGraph) -> Vec<Vec<NodeId>> {
+pub fn parent_level_sets<G: GraphView>(graph: &G) -> Vec<Vec<NodeId>> {
     let n = graph.node_count();
     let mut remaining: Vec<usize> = (0..n)
         .map(|i| graph.parent_count(NodeId(i as u32)))
@@ -188,7 +189,7 @@ pub fn parent_level_sets(graph: &ConceptGraph) -> Vec<Vec<NodeId>> {
 
 /// All nodes reachable from `start` by descending isA edges (excluding
 /// `start` itself).
-pub fn descendants(graph: &ConceptGraph, start: NodeId) -> HashSet<NodeId> {
+pub fn descendants<G: GraphView>(graph: &G, start: NodeId) -> HashSet<NodeId> {
     let mut out = HashSet::new();
     let mut stack: Vec<NodeId> = graph.children(start).map(|(c, _)| c).collect();
     while let Some(n) = stack.pop() {
@@ -201,7 +202,7 @@ pub fn descendants(graph: &ConceptGraph, start: NodeId) -> HashSet<NodeId> {
 
 /// All nodes that can reach `start` by descending isA edges (its ancestor
 /// concepts).
-pub fn ancestors(graph: &ConceptGraph, start: NodeId) -> HashSet<NodeId> {
+pub fn ancestors<G: GraphView>(graph: &G, start: NodeId) -> HashSet<NodeId> {
     let mut out = HashSet::new();
     let mut stack: Vec<NodeId> = graph.parents(start).map(|(p, _)| p).collect();
     while let Some(n) = stack.pop() {
@@ -215,6 +216,7 @@ pub fn ancestors(graph: &ConceptGraph, start: NodeId) -> HashSet<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::ConceptGraph;
 
     /// animal → domestic animal → cat; animal → cat; animal → bird → robin
     fn sample() -> ConceptGraph {

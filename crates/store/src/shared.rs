@@ -6,12 +6,16 @@
 //! concurrent readers, exclusive writers, over a `parking_lot` RwLock
 //! (chosen per the Rust Performance Book's synchronization guidance).
 //!
-//! Reads take a guard and run closures against the graph so no data is
-//! copied; writes go through [`SharedStore::update`], which also bumps a
-//! version counter that caches (e.g. a memoized typicality model) can use
-//! for invalidation.
+//! The store holds a [`GraphHandle`] — either the mutable
+//! [`ConceptGraph`] or the zero-copy [`crate::packed::PackedGraph`] —
+//! and hot-swaps between them. Reads take a guard and run closures
+//! against the handle so no data is copied; writes go through
+//! [`SharedStore::update`], which thaws a packed handle in place on the
+//! first mutation and bumps a version counter that caches (e.g. a
+//! memoized typicality model) can use for invalidation.
 
 use crate::graph::ConceptGraph;
+use crate::handle::GraphHandle;
 use parking_lot::RwLock;
 use probase_obs::{Counter, Registry};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,38 +29,40 @@ pub struct SharedStore {
 
 #[derive(Debug)]
 struct Shared {
-    graph: RwLock<ConceptGraph>,
+    graph: RwLock<GraphHandle>,
     version: AtomicU64,
     queries: Arc<Counter>,
     updates: Arc<Counter>,
     snapshot_swaps: Arc<Counter>,
+    thaws: Arc<Counter>,
 }
 
 impl SharedStore {
-    /// Wrap a graph for shared access. Reports `store.*` counters to the
-    /// process-global metric registry.
-    pub fn new(graph: ConceptGraph) -> Self {
+    /// Wrap a graph (mutable or packed) for shared access. Reports
+    /// `store.*` counters to the process-global metric registry.
+    pub fn new(graph: impl Into<GraphHandle>) -> Self {
         Self::with_registry(graph, probase_obs::global())
     }
 
     /// [`SharedStore::new`] with an explicit metric registry. Installing
     /// the initial graph counts as the first snapshot swap.
-    pub fn with_registry(graph: ConceptGraph, registry: &Registry) -> Self {
+    pub fn with_registry(graph: impl Into<GraphHandle>, registry: &Registry) -> Self {
         let snapshot_swaps = registry.counter("store.snapshot_swaps");
         snapshot_swaps.inc();
         Self {
             inner: Arc::new(Shared {
-                graph: RwLock::new(graph),
+                graph: RwLock::new(graph.into()),
                 version: AtomicU64::new(0),
                 queries: registry.counter("store.queries"),
                 updates: registry.counter("store.updates"),
                 snapshot_swaps,
+                thaws: registry.counter("store.thaws"),
             }),
         }
     }
 
     /// Run a read-only closure against the graph (many may run at once).
-    pub fn read<R>(&self, f: impl FnOnce(&ConceptGraph) -> R) -> R {
+    pub fn read<R>(&self, f: impl FnOnce(&GraphHandle) -> R) -> R {
         self.inner.queries.inc();
         f(&self.inner.graph.read())
     }
@@ -67,14 +73,16 @@ impl SharedStore {
     /// write lock, the pair is atomic: a cache keyed on the returned
     /// version can never associate an answer with a version the graph
     /// had already moved past.
-    pub fn read_versioned<R>(&self, f: impl FnOnce(&ConceptGraph) -> R) -> (R, u64) {
+    pub fn read_versioned<R>(&self, f: impl FnOnce(&GraphHandle) -> R) -> (R, u64) {
         self.inner.queries.inc();
         let guard = self.inner.graph.read();
         let version = self.inner.version.load(Ordering::Acquire);
         (f(&guard), version)
     }
 
-    /// Run a mutating closure under the exclusive lock; bumps the version.
+    /// Run a mutating closure under the exclusive lock; bumps the
+    /// version. A packed handle is thawed to its mutable form in place
+    /// before the closure runs (counted in `store.thaws`).
     pub fn update<R>(&self, f: impl FnOnce(&mut ConceptGraph) -> R) -> R {
         self.update_versioned(f).0
     }
@@ -86,18 +94,23 @@ impl SharedStore {
     pub fn update_versioned<R>(&self, f: impl FnOnce(&mut ConceptGraph) -> R) -> (R, u64) {
         self.inner.updates.inc();
         let mut guard = self.inner.graph.write();
-        let out = f(&mut guard);
+        let (graph, thawed) = guard.make_mutable();
+        if thawed {
+            self.inner.thaws.inc();
+        }
+        let out = f(graph);
         let version = self.inner.version.fetch_add(1, Ordering::Release) + 1;
         (out, version)
     }
 
     /// Replace the entire graph with a freshly built one (e.g. after an
-    /// offline pipeline rerun), bumping the version so versioned caches
-    /// drop stale answers. Returns the post-swap version.
-    pub fn swap_snapshot(&self, graph: ConceptGraph) -> u64 {
+    /// offline pipeline rerun or a packed-snapshot recovery), bumping the
+    /// version so versioned caches drop stale answers. Returns the
+    /// post-swap version.
+    pub fn swap_snapshot(&self, graph: impl Into<GraphHandle>) -> u64 {
         self.inner.snapshot_swaps.inc();
         let mut guard = self.inner.graph.write();
-        *guard = graph;
+        *guard = graph.into();
         self.inner.version.fetch_add(1, Ordering::Release) + 1
     }
 
@@ -118,7 +131,7 @@ impl SharedStore {
             return None;
         }
         self.inner.snapshot_swaps.inc();
-        *guard = graph;
+        *guard = GraphHandle::Mutable(graph);
         Some(self.inner.version.fetch_add(1, Ordering::Release) + 1)
     }
 
@@ -127,9 +140,23 @@ impl SharedStore {
         self.inner.version.load(Ordering::Acquire)
     }
 
-    /// Clone the current graph out (for snapshotting or rebuilding a
-    /// query model off the serving path).
+    /// True when the currently installed handle is the packed
+    /// representation (no write has thawed it yet).
+    pub fn is_packed(&self) -> bool {
+        self.inner.graph.read().is_packed()
+    }
+
+    /// Clone the current graph out as a mutable [`ConceptGraph`] (for
+    /// snapshotting or rebuilding a query model off the serving path).
+    /// Thaws a copy if the store is packed; the installed handle is
+    /// untouched.
     pub fn clone_graph(&self) -> ConceptGraph {
+        self.inner.graph.read().materialize()
+    }
+
+    /// Clone the current handle — O(1) when packed, a deep copy when
+    /// mutable.
+    pub fn clone_handle(&self) -> GraphHandle {
         self.inner.graph.read().clone()
     }
 }
@@ -144,6 +171,16 @@ mod tests {
         let china = g.ensure_node("China", 0);
         g.add_evidence(c, china, 5);
         SharedStore::new(g)
+    }
+
+    fn seeded_packed(registry: &Registry) -> SharedStore {
+        let mut g = ConceptGraph::new();
+        let c = g.ensure_node("country", 0);
+        let china = g.ensure_node("China", 0);
+        g.add_evidence(c, china, 5);
+        let packed =
+            crate::packed::PackedGraph::from_bytes(crate::packed::pack(&g).unwrap()).unwrap();
+        SharedStore::with_registry(packed, registry)
     }
 
     #[test]
@@ -338,5 +375,56 @@ mod tests {
         });
         assert_eq!(snapshot.node_count(), 2);
         assert_eq!(s.read(|g| g.node_count()), 3);
+    }
+
+    #[test]
+    fn packed_store_serves_reads_without_thawing() {
+        let registry = Registry::new();
+        let s = seeded_packed(&registry);
+        assert!(s.is_packed());
+        assert_eq!(s.read(|g| g.node_count()), 2);
+        assert!(s.read(|g| g.find_node("China", 0).is_some()));
+        // Reads never thaw.
+        assert!(s.is_packed());
+        let snap = registry.snapshot();
+        let counters = snap.get("counters").expect("counters section");
+        assert_eq!(
+            counters.get("store.thaws").and_then(|v| v.as_u64()),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn first_write_thaws_packed_store_once() {
+        let registry = Registry::new();
+        let s = seeded_packed(&registry);
+        s.update(|g| {
+            let c = g.find_node("country", 0).unwrap();
+            let n = g.ensure_node("India", 0);
+            g.add_evidence(c, n, 2);
+        });
+        assert!(!s.is_packed());
+        assert_eq!(s.read(|g| g.node_count()), 3);
+        s.update(|g| {
+            g.ensure_node("other", 0);
+        });
+        let snap = registry.snapshot();
+        let counters = snap.get("counters").expect("counters section");
+        assert_eq!(
+            counters.get("store.thaws").and_then(|v| v.as_u64()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn clone_graph_thaws_copy_not_store() {
+        let registry = Registry::new();
+        let s = seeded_packed(&registry);
+        let g = s.clone_graph();
+        assert_eq!(g.node_count(), 2);
+        assert!(
+            s.is_packed(),
+            "materializing a copy must not thaw the store"
+        );
     }
 }

@@ -19,8 +19,32 @@
 use crate::graph::{ConceptGraph, NodeId};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-const MAGIC: u32 = 0x5042_5353;
+/// Magic number of legacy (v1) length-prefixed snapshots.
+pub const LEGACY_MAGIC: u32 = 0x5042_5353;
+const MAGIC: u32 = LEGACY_MAGIC;
 const VERSION: u32 = 1;
+
+/// The snapshot format a byte buffer claims to be, from its magic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotFormat {
+    /// Legacy v1: length-prefixed, decoded into a [`ConceptGraph`].
+    Legacy,
+    /// Packed v2: zero-copy CSR layout ([`crate::packed::PackedGraph`]).
+    Packed,
+}
+
+/// Identify a snapshot buffer by its magic number without decoding it.
+/// `None` when the buffer is too short or carries neither magic.
+pub fn sniff_format(bytes: &[u8]) -> Option<SnapshotFormat> {
+    if bytes.len() < 4 {
+        return None;
+    }
+    match u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) {
+        LEGACY_MAGIC => Some(SnapshotFormat::Legacy),
+        crate::packed::PACKED_MAGIC => Some(SnapshotFormat::Packed),
+        _ => None,
+    }
+}
 
 /// Errors decoding a snapshot.
 #[derive(Debug, PartialEq, Eq)]
@@ -38,6 +62,15 @@ pub enum SnapshotError {
     /// A table or string is too large for the u32 length prefixes —
     /// encoding would silently truncate, so it is refused instead.
     TooLarge(&'static str),
+    /// The buffer is a packed (v2) snapshot but the legacy decoder was
+    /// invoked. Use [`crate::packed::PackedGraph::from_bytes`].
+    PackedNotLegacy,
+    /// The buffer is a legacy (v1) snapshot but the packed decoder was
+    /// invoked. Use [`from_bytes`].
+    LegacyNotPacked,
+    /// Structural validation of a packed snapshot failed (checksum,
+    /// offsets, or cross-section consistency).
+    Corrupt(&'static str),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -51,6 +84,15 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::TooLarge(what) => {
                 write!(f, "{what} exceeds the u32 snapshot length limit")
             }
+            SnapshotError::PackedNotLegacy => write!(
+                f,
+                "this is a packed (v2) snapshot; decode it with the packed reader"
+            ),
+            SnapshotError::LegacyNotPacked => write!(
+                f,
+                "this is a legacy (v1) snapshot; decode it with the legacy reader"
+            ),
+            SnapshotError::Corrupt(what) => write!(f, "packed snapshot corrupt: {what}"),
         }
     }
 }
@@ -103,8 +145,10 @@ fn need(buf: &impl Buf, n: usize) -> Result<(), SnapshotError> {
 /// Deserialize a graph from bytes produced by [`to_bytes`].
 pub fn from_bytes(mut buf: impl Buf) -> Result<ConceptGraph, SnapshotError> {
     need(&buf, 8)?;
-    if buf.get_u32_le() != MAGIC {
-        return Err(SnapshotError::BadMagic);
+    match buf.get_u32_le() {
+        MAGIC => {}
+        crate::packed::PACKED_MAGIC => return Err(SnapshotError::PackedNotLegacy),
+        _ => return Err(SnapshotError::BadMagic),
     }
     let version = buf.get_u32_le();
     if version != VERSION {
@@ -232,5 +276,25 @@ mod tests {
         let h = from_bytes(to_bytes(&g).expect("encodes")).unwrap();
         assert_eq!(h.node_count(), 0);
         assert_eq!(h.edge_count(), 0);
+    }
+
+    #[test]
+    fn packed_bytes_rejected_with_clear_error() {
+        let packed = crate::packed::pack(&sample()).expect("packs");
+        assert_eq!(
+            from_bytes(&packed[..]).unwrap_err(),
+            SnapshotError::PackedNotLegacy
+        );
+    }
+
+    #[test]
+    fn sniff_distinguishes_formats() {
+        let g = sample();
+        let legacy = to_bytes(&g).unwrap();
+        let packed = crate::packed::pack(&g).unwrap();
+        assert_eq!(sniff_format(&legacy), Some(SnapshotFormat::Legacy));
+        assert_eq!(sniff_format(&packed), Some(SnapshotFormat::Packed));
+        assert_eq!(sniff_format(b"nope"), None);
+        assert_eq!(sniff_format(b"ab"), None);
     }
 }

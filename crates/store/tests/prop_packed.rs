@@ -1,0 +1,147 @@
+//! Property tests for the zero-copy packed snapshot format: packed and
+//! pointer representations answer every [`GraphView`] query identically
+//! on random DAGs, the encoding is byte-deterministic and survives a
+//! thaw/re-pack cycle bit-for-bit, and the validator rejects truncation
+//! and corruption without ever panicking.
+
+use probase_store::query::{ancestors, descendants, LevelMap};
+use probase_store::{pack, ConceptGraph, GraphHandle, GraphStats, NodeId, PackedGraph};
+use proptest::prelude::*;
+
+/// A random DAG with multi-sense labels and non-trivial plausibilities;
+/// edges only go from lower to higher node index, so acyclicity holds by
+/// construction.
+fn dag() -> impl Strategy<Value = ConceptGraph> {
+    (
+        2usize..30,
+        proptest::collection::vec((any::<u16>(), any::<u16>(), 1u32..9, 0.0f64..1.0), 0..80),
+    )
+        .prop_map(|(n, raw_edges)| {
+            let mut g = ConceptGraph::new();
+            let nodes: Vec<NodeId> = (0..n)
+                .map(|i| g.ensure_node(&format!("n{i}"), (i % 3) as u32))
+                .collect();
+            for (a, b, w, p) in raw_edges {
+                let i = a as usize % n;
+                let j = b as usize % n;
+                if i < j {
+                    g.add_evidence(nodes[i], nodes[j], w);
+                    g.set_plausibility(nodes[i], nodes[j], p);
+                }
+            }
+            g.rebuild_indexes();
+            g
+        })
+}
+
+fn packed(g: &ConceptGraph) -> PackedGraph {
+    PackedGraph::from_bytes(pack(g).expect("encode")).expect("validate")
+}
+
+proptest! {
+    /// The packed representation answers every read query exactly like
+    /// the pointer graph it was packed from — same ids, same adjacency
+    /// order, and bit-identical floats.
+    #[test]
+    fn packed_view_is_equivalent(g in dag()) {
+        let p = packed(&g);
+        prop_assert_eq!(p.node_count(), g.node_count());
+        prop_assert_eq!(p.edge_count(), g.edge_count());
+        for n in g.nodes() {
+            prop_assert_eq!(p.label(n), g.label(n));
+            prop_assert_eq!(p.sense(n), g.sense(n));
+            prop_assert_eq!(p.is_instance(n), g.is_instance(n));
+            prop_assert_eq!(p.find_node(g.label(n), g.sense(n)), Some(n));
+            prop_assert_eq!(p.senses_of(g.label(n)), g.senses_of(g.label(n)));
+            let gk: Vec<(NodeId, u32, u64)> = g
+                .children(n)
+                .map(|(c, d)| (c, d.count, d.plausibility.to_bits()))
+                .collect();
+            let pk: Vec<(NodeId, u32, u64)> = p
+                .children(n)
+                .map(|(c, d)| (c, d.count, d.plausibility.to_bits()))
+                .collect();
+            prop_assert_eq!(gk, pk, "children order/payload must match");
+            let gp: Vec<NodeId> = g.parents(n).map(|(q, _)| q).collect();
+            let pp: Vec<NodeId> = p.parents(n).map(|(q, _)| q).collect();
+            prop_assert_eq!(gp, pp, "parent order must match");
+        }
+        for (from, to, d) in g.edges() {
+            let pd = p.edge(from, to).expect("edge present");
+            prop_assert_eq!(pd.count, d.count);
+            prop_assert_eq!(pd.plausibility.to_bits(), d.plausibility.to_bits());
+        }
+    }
+
+    /// Derived structures (levels, stats, reachability) computed over
+    /// the packed view agree with the pointer graph.
+    #[test]
+    fn derived_queries_agree(g in dag()) {
+        let p = packed(&g);
+        let gl = LevelMap::compute(&g);
+        let pl = LevelMap::compute(&p);
+        for n in g.nodes() {
+            prop_assert_eq!(gl.level(n), pl.level(n));
+        }
+        let gs = GraphStats::compute(&g);
+        let ps = GraphStats::compute(&p);
+        prop_assert_eq!(gs, ps);
+        for n in g.nodes() {
+            prop_assert_eq!(ancestors(&g, n), ancestors(&p, n));
+            prop_assert_eq!(descendants(&g, n), descendants(&p, n));
+        }
+    }
+
+    /// Packing is byte-deterministic: the same graph always encodes to
+    /// the identical buffer (sharded serving and the differential test
+    /// harness both compare checkpoints byte-for-byte).
+    #[test]
+    fn packing_is_deterministic(g in dag()) {
+        prop_assert_eq!(pack(&g).expect("encode"), pack(&g).expect("encode"));
+    }
+
+    /// Thawing a packed graph and re-packing reproduces the exact same
+    /// bytes: `edge_order` preserves global insertion order, so the
+    /// cycle loses nothing.
+    #[test]
+    fn thaw_repack_roundtrip_is_byte_identical(g in dag()) {
+        let bytes = pack(&g).expect("encode");
+        let thawed = PackedGraph::from_bytes(bytes.clone()).expect("validate").unpack();
+        prop_assert_eq!(pack(&thawed).expect("re-encode"), bytes);
+        // And the handle-level shortcut returns the buffer verbatim.
+        let handle = GraphHandle::Packed(PackedGraph::from_bytes(bytes.clone()).expect("validate"));
+        prop_assert_eq!(handle.to_packed_bytes().expect("verbatim"), bytes);
+    }
+
+    /// Every strict prefix of a valid packed snapshot is rejected — the
+    /// header records the exact buffer length, so truncation can never
+    /// validate.
+    #[test]
+    fn truncated_packed_is_rejected(g in dag(), cut in any::<proptest::sample::Index>()) {
+        let bytes = pack(&g).expect("encode");
+        let cut = cut.index(bytes.len());
+        prop_assert!(PackedGraph::from_bytes(bytes.slice(..cut)).is_err());
+    }
+
+    /// Single-bit corruption anywhere in the buffer is caught by the
+    /// checksum/validators and never panics.
+    #[test]
+    fn bit_flips_never_panic(g in dag(), pos in any::<proptest::sample::Index>(), bit in 0u8..8) {
+        let bytes = pack(&g).expect("encode");
+        let mut corrupt = bytes.to_vec();
+        let pos = pos.index(corrupt.len());
+        corrupt[pos] ^= 1 << bit;
+        if corrupt != bytes.as_ref() {
+            prop_assert!(
+                PackedGraph::from_bytes(bytes::Bytes::from(corrupt)).is_err(),
+                "flipped bit {bit} at byte {pos} must be rejected"
+            );
+        }
+    }
+
+    /// Arbitrary garbage never panics the packed validator.
+    #[test]
+    fn validator_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = PackedGraph::from_bytes(bytes::Bytes::from(bytes));
+    }
+}

@@ -58,7 +58,7 @@ use crate::merge::{Group, MergeState};
 use crate::sim::AbsoluteOverlap;
 use probase_extract::SentenceExtraction;
 use probase_obs::{Counter, Registry};
-use probase_store::{ConceptGraph, Interner, NodeId, Symbol};
+use probase_store::{ConceptGraph, GraphView, Interner, NodeId, Symbol};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -333,8 +333,9 @@ impl IncrementalTaxonomy {
 /// Build the edge-count histogram of a whole graph: `hist[k]` = number of
 /// edges observed exactly `k` times. This is the input the urns
 /// plausibility model fits on; [`shift_count_histogram`] maintains it
-/// incrementally as evidence folds in.
-pub fn count_histogram(graph: &ConceptGraph) -> BTreeMap<u32, u64> {
+/// incrementally as evidence folds in. Generic over [`GraphView`] so a
+/// packed snapshot can be histogrammed without unpacking.
+pub fn count_histogram<G: GraphView>(graph: &G) -> BTreeMap<u32, u64> {
     let mut hist = BTreeMap::new();
     for (_, _, e) in graph.edges() {
         *hist.entry(e.count.max(1)).or_insert(0u64) += 1;

@@ -30,7 +30,10 @@
 use probase::apps::{tag_entities, NerConfig};
 use probase::corpus::{CorpusConfig, WorldConfig};
 use probase::prob::ProbaseModel;
-use probase::store::{shard_dir, snapshot, ConceptGraph, GraphStats, SharedStore};
+use probase::store::{
+    shard_dir, snapshot, sniff_format, ConceptGraph, GraphHandle, GraphStats, PackedGraph,
+    SharedStore, SnapshotFormat,
+};
 use probase::{ProbaseConfig, Simulation};
 use probase_router::{partition, Router, RouterConfig, RouterServer, RoutingTable};
 use probase_serve::{DurabilityConfig, ServeConfig, Server, WalSync};
@@ -262,20 +265,38 @@ fn parse_args(argv: &[String]) -> Result<Option<CliArgs>, String> {
     Ok(Some(args))
 }
 
-fn load_graph(args: &CliArgs) -> Result<ConceptGraph, String> {
+fn load_graph(args: &CliArgs) -> Result<GraphHandle, String> {
     match &args.load {
         Some(path) => {
             let bytes =
                 std::fs::read(path).map_err(|e| format!("cannot read snapshot {path:?}: {e}"))?;
-            let mut graph = snapshot::from_bytes(&bytes[..])
-                .map_err(|e| format!("cannot decode snapshot {path:?}: {e}"))?;
-            graph.rebuild_indexes();
+            // Packed (v2) snapshots mmap straight into serving shape;
+            // legacy (v1) snapshots decode edge by edge as before.
+            let handle = match sniff_format(&bytes) {
+                Some(SnapshotFormat::Packed) => {
+                    drop(bytes);
+                    let packed = PackedGraph::open(std::path::Path::new(path))
+                        .map_err(|e| format!("cannot open packed snapshot {path:?}: {e}"))?;
+                    GraphHandle::Packed(packed)
+                }
+                _ => {
+                    let mut graph = snapshot::from_bytes(&bytes[..])
+                        .map_err(|e| format!("cannot decode snapshot {path:?}: {e}"))?;
+                    graph.rebuild_indexes();
+                    GraphHandle::Mutable(graph)
+                }
+            };
             eprintln!(
-                "loaded {} nodes / {} edges from {path}",
-                graph.node_count(),
-                graph.edge_count()
+                "loaded {} nodes / {} edges from {path}{}",
+                handle.node_count(),
+                handle.edge_count(),
+                if handle.is_packed() {
+                    " (zero-copy mmap)"
+                } else {
+                    ""
+                }
             );
-            Ok(graph)
+            Ok(handle)
         }
         None => {
             let sentences = args.sentences;
@@ -393,7 +414,7 @@ fn main() {
 /// `serve --shards N`: split Γ into component-closed shards, run one
 /// full serve stack per shard on loopback, and front the fleet with the
 /// router on the public address. Never returns.
-fn run_sharded_serve(args: &CliArgs, graph: ConceptGraph) -> ! {
+fn run_sharded_serve(args: &CliArgs, graph: GraphHandle) -> ! {
     let n = args.shards;
     eprintln!(
         "partitioning {} nodes / {} edges into {n} shards ...",
@@ -666,9 +687,9 @@ fn dispatch(model: &ProbaseModel, line: &str) -> bool {
             if path.is_empty() {
                 println!("  usage: save <path>");
             } else {
-                match snapshot::to_bytes(model.graph()) {
+                match model.graph().to_packed_bytes() {
                     Ok(bytes) => match std::fs::write(path, &bytes) {
-                        Ok(()) => println!("  wrote {} bytes to {path}", bytes.len()),
+                        Ok(()) => println!("  wrote {} packed bytes to {path}", bytes.len()),
                         Err(e) => println!("  error: {e}"),
                     },
                     Err(e) => println!("  error: cannot encode snapshot: {e}"),

@@ -31,8 +31,8 @@
 //! report shows what sharding buys and costs.
 
 use probase::loadgen::{
-    check_slo, compare_serve_baseline, render_report, run, validate_serve_report, HarnessConfig,
-    Mode, Profile, Slo, Vocab,
+    check_slo, compare_serve_baseline, diff_serve_reports, render_report, run,
+    validate_serve_report, HarnessConfig, Mode, Profile, Slo, Vocab,
 };
 use probase_serve::{Client, ClientConfig, ClientError, Json, LabelKind, Request};
 use std::time::Duration;
@@ -69,6 +69,11 @@ Reporting and gating:
   --slo-min-rate <R>     gate: achieved ok-rate must be >= R req/s
   -h, --help             print this help
 
+Offline diff (no traffic is generated):
+  --diff <A> <B>         print per-endpoint/per-class p50/p99 and
+                         throughput deltas between two BENCH_SERVE.json
+                         reports, then exit; other options are ignored
+
 Exit codes: 0 ok, 1 runtime error, 2 usage error, 3 gate failure.
 ";
 
@@ -80,6 +85,7 @@ struct Args {
     stats_out: Option<String>,
     baseline: Option<String>,
     slo: Slo,
+    diff: Option<(String, String)>,
 }
 
 impl Default for Args {
@@ -91,6 +97,7 @@ impl Default for Args {
             stats_out: None,
             baseline: None,
             slo: Slo::default(),
+            diff: None,
         }
     }
 }
@@ -138,6 +145,11 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
             "--slo-p99-ms" => args.slo.p99_ms = Some(num("--slo-p99-ms", take("--slo-p99-ms")?)?),
             "--slo-min-rate" => {
                 args.slo.min_rate = Some(num("--slo-min-rate", take("--slo-min-rate")?)?)
+            }
+            "--diff" => {
+                let a = take("--diff")?.clone();
+                let b = take("--diff <A>")?.clone();
+                args.diff = Some((a, b));
             }
             other => return Err(format!("unknown option {other:?}")),
         }
@@ -294,6 +306,21 @@ fn write_file(path: &str, text: &str) -> Result<(), String> {
     std::fs::write(path, text).map_err(|e| format!("cannot write {path:?}: {e}"))
 }
 
+/// Offline mode: read two committed reports and print their deltas.
+/// No server connection, no traffic — safe to run anywhere CI can
+/// read artifacts.
+fn run_diff(a_path: &str, b_path: &str) -> Result<(), String> {
+    let read = |path: &str| -> Result<Json, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        probase_obs::json::parse(&text).map_err(|e| format!("{path:?} is not JSON: {e}"))
+    };
+    let a = read(a_path)?;
+    let b = read(b_path)?;
+    print!("{}", diff_serve_reports(&a, &b)?);
+    Ok(())
+}
+
 fn run_main(args: &Args) -> Result<i32, String> {
     let client_config = ClientConfig {
         read_timeout: Some(args.cfg.read_timeout),
@@ -381,6 +408,15 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some((a, b)) = &args.diff {
+        match run_diff(a, b) {
+            Ok(()) => return,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
     match run_main(&args) {
         Ok(code) => std::process::exit(code),
         Err(msg) => {

@@ -43,7 +43,10 @@ pub mod report;
 
 pub use engine::{run, Mode, RunStats};
 pub use profile::{Profile, Vocab, Zipf};
-pub use report::{check_slo, compare_serve_baseline, render_report, validate_serve_report, Slo};
+pub use report::{
+    check_slo, compare_serve_baseline, diff_serve_reports, render_report, validate_serve_report,
+    Slo,
+};
 
 use std::time::Duration;
 

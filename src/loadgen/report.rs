@@ -295,6 +295,109 @@ pub fn compare_serve_baseline(fresh: &Json, baseline: &Json) -> Result<Vec<Strin
     Ok(warnings)
 }
 
+/// Signed delta with percent-of-A, e.g. `+120 (+40.0%)`. When A is
+/// zero the percent is meaningless and only the absolute delta prints.
+fn fmt_delta(a: f64, b: f64) -> String {
+    let d = b - a;
+    if a == 0.0 {
+        format!("{d:+.0}")
+    } else {
+        format!("{d:+.0} ({:+.1}%)", d / a * 100.0)
+    }
+}
+
+/// One diff-table row. A side missing the entry renders as "only in
+/// A/B" rather than a zero delta — an endpoint that vanished between
+/// two runs is coverage signal, not a latency improvement.
+fn diff_row(out: &mut String, name: &str, a: Option<&Json>, b: Option<&Json>) {
+    let num = |h: &Json, key: &str| h.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    match (a, b) {
+        (Some(a), Some(b)) => {
+            let (ap50, bp50) = (num(a, "p50_us"), num(b, "p50_us"));
+            let (ap99, bp99) = (num(a, "p99_us"), num(b, "p99_us"));
+            out.push_str(&format!(
+                "{:<16} {:>9.0} {:>9.0} {:>16} {:>9.0} {:>9.0} {:>16}\n",
+                name,
+                ap50,
+                bp50,
+                fmt_delta(ap50, bp50),
+                ap99,
+                bp99,
+                fmt_delta(ap99, bp99)
+            ));
+        }
+        (Some(_), None) => out.push_str(&format!("{name:<16} only in A\n")),
+        (None, Some(_)) => out.push_str(&format!("{name:<16} only in B\n")),
+        (None, None) => {}
+    }
+}
+
+/// Render a human-readable diff between two `BENCH_SERVE.json`
+/// documents (`probase-loadgen --diff A.json B.json`): achieved
+/// throughput plus per-endpoint and per-query-class p50/p99 deltas,
+/// B measured relative to A. Both documents must validate. A workload
+/// mismatch (profile/mode/target) is a printed note, not an error, so
+/// cross-profile comparisons stay possible but never silent.
+pub fn diff_serve_reports(a: &Json, b: &Json) -> Result<String, String> {
+    validate_serve_report(a).map_err(|e| format!("report A invalid: {e}"))?;
+    validate_serve_report(b).map_err(|e| format!("report B invalid: {e}"))?;
+    fn meta<'a>(doc: &'a Json, key: &str) -> &'a str {
+        doc.get("meta")
+            .and_then(|m| m.get(key))
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+    }
+    let a_rate = require_num(a, "totals", "achieved_rate")?;
+    let b_rate = require_num(b, "totals", "achieved_rate")?;
+    let mut out = String::from("== report diff (A -> B) ==\n");
+    for (tag, doc, rate) in [("A", a, a_rate), ("B", b, b_rate)] {
+        out.push_str(&format!(
+            "{tag}: profile {} / {} mode, target {}, achieved {rate:.2} req/s\n",
+            meta(doc, "profile"),
+            meta(doc, "mode"),
+            meta(doc, "target"),
+        ));
+    }
+    for key in ["profile", "mode", "target"] {
+        if meta(a, key) != meta(b, key) {
+            out.push_str(&format!(
+                "note: meta.{key} differs ({} vs {}) — the deltas compare \
+                 different workloads\n",
+                meta(a, key),
+                meta(b, key)
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "throughput: {a_rate:.2} -> {b_rate:.2} req/s ({})\n",
+        fmt_delta(a_rate, b_rate)
+    ));
+    out.push_str(&format!(
+        "\n{:<16} {:>9} {:>9} {:>16} {:>9} {:>9} {:>16}\n",
+        "", "A p50_us", "B p50_us", "Δ p50", "A p99_us", "B p99_us", "Δ p99"
+    ));
+    diff_row(&mut out, "overall", a.get("overall"), b.get("overall"));
+    for (sect, heading) in [("endpoints", "endpoint"), ("classes", "query class")] {
+        let mut names = obj_keys(a, sect);
+        names.extend(obj_keys(b, sect));
+        names.sort_unstable();
+        names.dedup();
+        if names.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("\n{heading}\n"));
+        for name in names {
+            diff_row(
+                &mut out,
+                name,
+                a.get(sect).and_then(|s| s.get(name)),
+                b.get(sect).and_then(|s| s.get(name)),
+            );
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::engine::{Mode, RunStats};
@@ -495,6 +598,103 @@ mod tests {
         let warnings = compare_serve_baseline(&drift, &base).expect("drift passes the gate");
         assert_eq!(warnings.len(), 1, "{warnings:?}");
         assert!(warnings[0].contains("drifted"), "{warnings:?}");
+    }
+
+    /// Overwrite a number at an arbitrary path (test helper for nested
+    /// sections like `endpoints.isa.p50_us`).
+    fn set_nested(doc: &mut Json, path: &[&str], value: f64) {
+        let Json::Obj(pairs) = doc else {
+            unreachable!()
+        };
+        for (k, v) in pairs.iter_mut() {
+            if k == path[0] {
+                if path.len() == 1 {
+                    *v = Json::num(value);
+                } else {
+                    set_nested(v, &path[1..], value);
+                }
+            }
+        }
+    }
+
+    /// Drop `doc.<section>.<name>` entirely (test helper).
+    fn remove_entry(doc: &mut Json, section: &str, name: &str) {
+        let Json::Obj(pairs) = doc else {
+            unreachable!()
+        };
+        for (k, v) in pairs.iter_mut() {
+            if k == section {
+                let Json::Obj(fields) = v else { unreachable!() };
+                fields.retain(|(fk, _)| fk != name);
+            }
+        }
+    }
+
+    #[test]
+    fn diff_of_identical_reports_is_all_zero_deltas() {
+        let report = render_report(&cfg(), &fake_stats());
+        let text = diff_serve_reports(&report, &report).expect("valid reports diff");
+        assert!(text.contains("+0 (+0.0%)"), "{text}");
+        assert!(!text.contains("note:"), "identical meta, no notes: {text}");
+        assert!(!text.contains("only in"), "{text}");
+        for name in [
+            "overall",
+            "isa",
+            "typicality",
+            "conceptualize",
+            "single-shard",
+            "scatter-gather",
+        ] {
+            assert!(text.contains(name), "missing row {name}: {text}");
+        }
+    }
+
+    #[test]
+    fn diff_shows_percent_deltas_per_endpoint_and_throughput() {
+        let a = render_report(&cfg(), &fake_stats());
+        let mut b = a.clone();
+        // Double isa's p50 → an exact +100.0% row; halve the achieved
+        // rate → an exact -50.0% throughput line.
+        let isa_p50 = a
+            .get("endpoints")
+            .and_then(|s| s.get("isa"))
+            .and_then(|h| h.get("p50_us"))
+            .and_then(Json::as_f64)
+            .expect("isa p50 present");
+        set_nested(&mut b, &["endpoints", "isa", "p50_us"], isa_p50 * 2.0);
+        set_nested(&mut b, &["totals", "achieved_rate"], 50.0);
+        let text = diff_serve_reports(&a, &b).expect("diff renders");
+        assert!(text.contains("(+100.0%)"), "{text}");
+        assert!(
+            text.contains("100.00 -> 50.00 req/s (-50 (-50.0%))"),
+            "{text}"
+        );
+        // Deterministic: same inputs, same text.
+        assert_eq!(text, diff_serve_reports(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn diff_flags_coverage_changes_and_workload_mismatch() {
+        let a = render_report(&cfg(), &fake_stats());
+        let mismatched_cfg = HarnessConfig {
+            mode: Mode::Open { rate: 100.0 },
+            profile: Profile::ReadHeavy,
+            ..HarnessConfig::default()
+        };
+        let mut b = render_report(&mismatched_cfg, &fake_stats());
+        remove_entry(&mut b, "endpoints", "conceptualize");
+        let text = diff_serve_reports(&a, &b).expect("diff renders");
+        assert!(text.contains("note: meta.profile differs"), "{text}");
+        assert!(text.contains("conceptualize    only in A"), "{text}");
+    }
+
+    #[test]
+    fn diff_rejects_invalid_documents() {
+        let report = render_report(&cfg(), &fake_stats());
+        let err = diff_serve_reports(&Json::obj(vec![]), &report).unwrap_err();
+        assert!(err.contains("report A invalid"), "{err}");
+        let err = diff_serve_reports(&report, &Json::obj(vec![])).unwrap_err();
+        assert!(err.contains("report B invalid"), "{err}");
     }
 
     #[test]

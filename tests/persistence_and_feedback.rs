@@ -24,7 +24,7 @@ fn sim(seed: u64) -> Simulation {
 fn snapshot_roundtrip_preserves_model_answers() {
     let s = sim(301);
     let graph = s.probase.model.graph();
-    let bytes = snapshot::to_bytes(graph).expect("snapshot encodes");
+    let bytes = snapshot::to_bytes(&graph.materialize()).expect("snapshot encodes");
     assert!(!bytes.is_empty());
 
     let mut restored = snapshot::from_bytes(bytes).expect("snapshot decodes");
@@ -96,7 +96,7 @@ fn enrichment_loop_grows_the_model() {
     let (_, enrichments) = understand_tables(model, &columns, 0.05);
     assert!(!enrichments.is_empty(), "expected enrichment proposals");
 
-    let mut graph = model.graph().clone();
+    let mut graph = model.graph().materialize();
     let before = graph.edge_count();
     let added = apply_enrichments(&mut graph, &enrichments, 0.75);
     assert!(added > 0);
