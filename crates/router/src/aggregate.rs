@@ -138,25 +138,26 @@ pub fn merge_levels_summary(sections: &[&Json]) -> Json {
     ])
 }
 
-/// Merge per-shard `labels` payloads: concatenate in shard order,
-/// dedupe, truncate to `k`. (The *set* matches the single-node answer
-/// for `k` ≥ the distinct-label count; the order is shard-major rather
-/// than global node order — see DESIGN.md §14.)
+/// Merge per-shard `labels` payloads: union, dedupe, sort by label
+/// bytes, truncate to `k`. Each shard answers in the same byte order
+/// (see `ServeState::labels`), so the merged sequence is byte-identical
+/// to the single-node answer whenever every shard returned its full
+/// inventory — shard order and insertion order no longer leak through.
 pub fn merge_labels(sections: &[&Json], k: usize) -> Json {
+    let mut all: Vec<String> = Vec::new();
     let mut seen = std::collections::HashSet::new();
-    let mut out = Vec::new();
-    'outer: for s in sections {
+    for s in sections {
         if let Some(arr) = s.get("labels").and_then(Json::as_arr) {
             for label in arr.iter().filter_map(Json::as_str) {
                 if seen.insert(label.to_string()) {
-                    out.push(Json::str(label));
-                    if out.len() >= k {
-                        break 'outer;
-                    }
+                    all.push(label.to_string());
                 }
             }
         }
     }
+    all.sort_unstable();
+    all.truncate(k);
+    let out = all.into_iter().map(|l| Json::str(&l)).collect();
     Json::obj(vec![("labels", Json::Arr(out))])
 }
 
@@ -481,26 +482,32 @@ mod tests {
             .collect();
         let refs: Vec<&Json> = sections.iter().collect();
         let merged = merge_labels(&refs, 1000);
-        let got: std::collections::BTreeSet<String> = merged
+        let got: Vec<String> = merged
             .get("labels")
             .and_then(Json::as_arr)
             .unwrap()
             .iter()
             .filter_map(|v| v.as_str().map(str::to_string))
             .collect();
-        let want: std::collections::BTreeSet<String> =
-            g.instances().map(|n| g.label(n).to_string()).collect();
+        // Exact sequence, not just the same set: the merge sorts by
+        // label bytes, so shard count and shard order must not show.
+        let want: Vec<String> = g
+            .instances()
+            .map(|n| g.label(n).to_string())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
         assert_eq!(got, want);
-        // Truncation respects k.
+        // Truncation respects k and keeps the byte-order prefix.
         let truncated = merge_labels(&refs, 2);
-        assert_eq!(
-            truncated
-                .get("labels")
-                .and_then(Json::as_arr)
-                .unwrap()
-                .len(),
-            2
-        );
+        let head: Vec<String> = truncated
+            .get("labels")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect();
+        assert_eq!(head, want[..2].to_vec());
     }
 
     #[test]

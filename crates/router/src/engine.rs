@@ -24,10 +24,11 @@ use crate::partition::{partition, Partition};
 use crate::pool::ShardPool;
 use crate::table::RoutingTable;
 use crate::telemetry::RouterTelemetry;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use probase_obs::{Json, Registry};
 use probase_serve::proto::{
-    degraded_envelope, err_envelope, ok_envelope, Direction, ErrorCode, Request, MAX_K,
+    annotated_envelope, degraded_envelope, err_envelope, ok_envelope, Direction, ErrorCode,
+    LabelKind, Request, MAX_K,
 };
 use probase_serve::{ClientConfig, ClientError, Envelope};
 use probase_store::{shard_dir, snapshot};
@@ -62,6 +63,13 @@ pub struct RouterConfig {
     /// deployments; enables the router-side `snapshot-load`
     /// (partition + scatter). `None` for the standalone `route` mode.
     pub snapshot_root: Option<PathBuf>,
+    /// Replica addresses per shard (`replica_addrs[i]` = replicas of
+    /// shard `i`, primary excluded). Empty for unreplicated fleets;
+    /// otherwise the outer length must match `shard_addrs`. Hedges and
+    /// fast-failure retries of idempotent sub-requests rotate onto the
+    /// replicas, so a dead primary costs reads one hedge interval, not
+    /// availability. Writes and migration calls always hit the primary.
+    pub replica_addrs: Vec<Vec<String>>,
 }
 
 impl Default for RouterConfig {
@@ -73,6 +81,7 @@ impl Default for RouterConfig {
             pool_cap: 4,
             client: ClientConfig::default(),
             snapshot_root: None,
+            replica_addrs: Vec::new(),
         }
     }
 }
@@ -111,6 +120,9 @@ pub struct Router {
     hedge_after: Duration,
     snapshot_root: Option<PathBuf>,
     load_seq: AtomicU64,
+    /// Serializes component migrations: two concurrent bridge writes
+    /// could otherwise race moves of overlapping components.
+    migration: Mutex<()>,
 }
 
 impl Router {
@@ -132,6 +144,15 @@ impl Router {
                 config.shard_addrs.len()
             ));
         }
+        if !config.replica_addrs.is_empty()
+            && config.replica_addrs.len() != config.shard_addrs.len()
+        {
+            return Err(format!(
+                "replica groups cover {} shards but {} primaries were given",
+                config.replica_addrs.len(),
+                config.shard_addrs.len()
+            ));
+        }
         let mut client = config.client.clone();
         if client.read_timeout.is_none() {
             client.read_timeout = Some(config.deadline);
@@ -140,14 +161,20 @@ impl Router {
         telemetry
             .table_exceptions
             .set(table.exception_count() as i64);
+        let mut groups: Vec<Vec<String>> =
+            config.shard_addrs.into_iter().map(|a| vec![a]).collect();
+        for (group, replicas) in groups.iter_mut().zip(&config.replica_addrs) {
+            group.extend(replicas.iter().cloned());
+        }
         Ok(Router {
             table: RwLock::new(table),
-            pool: Arc::new(ShardPool::new(config.shard_addrs, client, config.pool_cap)),
+            pool: Arc::new(ShardPool::with_groups(groups, client, config.pool_cap)),
             telemetry,
             deadline: config.deadline,
             hedge_after: config.hedge_after,
             snapshot_root: config.snapshot_root,
             load_seq: AtomicU64::new(0),
+            migration: Mutex::new(()),
         })
     }
 
@@ -183,6 +210,14 @@ impl Router {
             Request::SearchRewrite { query, k } => self.search_rewrite(id, query, *k),
             Request::AddEvidence { parent, child, .. } => self.add_evidence(id, req, parent, child),
             Request::SnapshotLoad { path } => self.snapshot_load(id, path),
+            // The migration pair is router→shard plumbing: a client
+            // invoking it through the router could desync the routing
+            // table from shard contents.
+            Request::ExportComponent { .. } | Request::ImportComponent { .. } => err_envelope(
+                id,
+                ErrorCode::BadRequest,
+                "migration endpoints are shard-internal and not routable",
+            ),
         };
         let scatterish = !matches!(
             req,
@@ -191,6 +226,8 @@ impl Router {
                 | Request::Typicality { .. }
                 | Request::Levels { term: Some(_) }
                 | Request::AddEvidence { .. }
+                | Request::ExportComponent { .. }
+                | Request::ImportComponent { .. }
         );
         let us = start.elapsed().as_micros() as u64;
         if scatterish {
@@ -211,10 +248,37 @@ impl Router {
     // ---- single-shard plan ------------------------------------------
 
     fn forward(&self, id: u64, req: &Request, label: &str) -> Json {
+        match self.call_label(label, req) {
+            Ok(env) => env_to_json(id, env),
+            Err((shard, f)) => err_envelope(id, f.code(), &f.detail(self.pool.addr(shard))),
+        }
+    }
+
+    /// Call the shard owning `label`, following at most one `moved`
+    /// tombstone redirect. A redirect means the routing table went
+    /// stale across a migration (e.g. the router restarted with an old
+    /// table file); the corrected placement is learned so the next
+    /// request routes directly.
+    fn call_label(&self, label: &str, req: &Request) -> Result<Envelope, (usize, ShardFailure)> {
         let shard = self.table.read().shard_for(label);
         match self.call_shard(shard, req) {
-            Ok(env) => env_to_json(id, env),
-            Err(f) => err_envelope(id, f.code(), &f.detail(self.pool.addr(shard))),
+            Ok(env) => {
+                if let Some(target) = moved_target(&env) {
+                    if target != shard && target < self.pool.shards() {
+                        self.telemetry.moved_redirects.inc();
+                        {
+                            let mut table = self.table.write();
+                            table.learn(label, target);
+                            self.telemetry
+                                .table_exceptions
+                                .set(table.exception_count() as i64);
+                        }
+                        return self.call_shard(target, req).map_err(|f| (target, f));
+                    }
+                }
+                Ok(env)
+            }
+            Err(f) => Err((shard, f)),
         }
     }
 
@@ -274,12 +338,9 @@ impl Router {
         }
         let version: u64 = oks.iter().map(|e| e.version).sum();
         let degraded = lost > 0 || oks.iter().any(|e| e.degraded);
+        let truncated = oks.iter().any(|e| e.truncated);
         let data = merge(&oks);
-        if degraded {
-            degraded_envelope(id, version, data)
-        } else {
-            ok_envelope(id, version, data)
-        }
+        annotated_envelope(id, version, degraded, truncated, data)
     }
 
     fn scatter_ping(&self, id: u64) -> Json {
@@ -337,18 +398,18 @@ impl Router {
             };
         }
         // Cross-shard: fetch each term's full concept distribution from
-        // its owning shard, then run the naive-Bayes combination here.
-        let results: Vec<Result<Envelope, ShardFailure>> = std::thread::scope(|s| {
+        // its owning shard (following any `moved` redirect), then run
+        // the naive-Bayes combination here.
+        let results: Vec<Result<Envelope, (usize, ShardFailure)>> = std::thread::scope(|s| {
             let handles: Vec<_> = terms
                 .iter()
-                .zip(&homes)
-                .map(|(term, &shard)| {
+                .map(|term| {
                     let req = Request::Typicality {
                         term: term.clone(),
                         direction: Direction::Concepts,
                         k: MAX_K,
                     };
-                    s.spawn(move || self.call_shard(shard, &req))
+                    s.spawn(move || self.call_label(term, &req))
                 })
                 .collect();
             handles
@@ -358,12 +419,20 @@ impl Router {
         });
         let mut version = 0u64;
         let mut lost = 0usize;
+        let mut truncated = false;
         let mut per_term: Vec<HashMap<String, f64>> = Vec::with_capacity(terms.len());
         for r in results {
             match r {
                 Ok(env) if env.error.is_none() => {
                     version += env.version;
-                    per_term.push(aggregate::parse_items(&env.data).into_iter().collect());
+                    let items = aggregate::parse_items(&env.data);
+                    // A slice that filled the MAX_K cap may have lost
+                    // tail concepts, so the combined ranking is no
+                    // longer provably exact: flag it.
+                    if items.len() >= MAX_K {
+                        truncated = true;
+                    }
+                    per_term.push(items.into_iter().collect());
                 }
                 _ => {
                     // A lost term contributes the same empty map an
@@ -378,11 +447,7 @@ impl Router {
         }
         let items = aggregate::conceptualize_from_maps(&per_term, k);
         let data = Json::obj(vec![("items", aggregate::ranked(items))]);
-        if lost > 0 {
-            degraded_envelope(id, version, data)
-        } else {
-            ok_envelope(id, version, data)
-        }
+        annotated_envelope(id, version, lost > 0, truncated, data)
     }
 
     fn search_rewrite(&self, id: u64, query: &str, k: usize) -> Json {
@@ -417,14 +482,21 @@ impl Router {
     // ---- write plans ------------------------------------------------
 
     fn add_evidence(&self, id: u64, req: &Request, parent: &str, child: &str) -> Json {
-        // Route by the parent: typicality-of-parent and isa-from-child
-        // must both see the edge, so the child label is *pinned* to the
-        // parent's shard via a learned exception.
-        let shard = self.table.read().shard_for(parent);
+        // A write must land where both endpoints live. When the labels
+        // route to different shards and both components actually exist,
+        // the smaller component is migrated onto the other shard first
+        // (see `ensure_colocated`); otherwise the missing side is simply
+        // created next to the existing one and pinned by a learned
+        // exception.
+        let shard = match self.ensure_colocated(parent, child) {
+            Ok(shard) => shard,
+            Err((code, detail)) => return err_envelope(id, code, &detail),
+        };
         match self.call_shard(shard, req) {
             Ok(env) => {
                 if env.error.is_none() {
                     let mut table = self.table.write();
+                    table.learn(parent, shard);
                     table.learn(child, shard);
                     self.telemetry
                         .table_exceptions
@@ -434,6 +506,190 @@ impl Router {
             }
             Err(f) => err_envelope(id, f.code(), &f.detail(self.pool.addr(shard))),
         }
+    }
+
+    // ---- component migration ----------------------------------------
+
+    /// Make `parent` and `child` route to one shard, migrating a
+    /// component across shards when the write genuinely bridges two.
+    /// Returns the shard the write must be applied on.
+    fn ensure_colocated(&self, parent: &str, child: &str) -> Result<usize, (ErrorCode, String)> {
+        {
+            let table = self.table.read();
+            let (p, c) = (table.shard_for(parent), table.shard_for(child));
+            if p == c {
+                return Ok(p);
+            }
+        }
+        let _serialize = self.migration.lock();
+        // Re-read under the migration lock: a concurrent bridge write
+        // may have already moved one side.
+        let (p_shard, c_shard) = {
+            let table = self.table.read();
+            (table.shard_for(parent), table.shard_for(child))
+        };
+        if p_shard == c_shard {
+            return Ok(p_shard);
+        }
+        let p_labels = self.peek_component(p_shard, parent)?;
+        let c_labels = self.peek_component(c_shard, child)?;
+        if c_labels.is_empty() {
+            // The child does not exist yet: it is created on the
+            // parent's shard and pinned there after the write.
+            return Ok(p_shard);
+        }
+        if p_labels.is_empty() {
+            // The parent is new but the child's component already lives
+            // elsewhere: create the parent next to the child.
+            return Ok(c_shard);
+        }
+        // True bridge: both components exist on different shards. Move
+        // the smaller one (ties move the child's side, matching the
+        // offline partitioner's parent-anchored placement).
+        let (src, dst, seed) = if c_labels.len() <= p_labels.len() {
+            (c_shard, p_shard, child)
+        } else {
+            (p_shard, c_shard, parent)
+        };
+        self.telemetry.migrations.inc();
+        match self.migrate_component(src, dst, seed) {
+            Ok(moved) => {
+                let mut table = self.table.write();
+                for label in &moved {
+                    table.learn(label, dst);
+                }
+                self.telemetry
+                    .table_exceptions
+                    .set(table.exception_count() as i64);
+                Ok(dst)
+            }
+            Err(e) => {
+                self.telemetry.migration_failures.inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// The copy-then-delete move: full export from `src`, import into
+    /// `dst` (whose WAL journal entry is the migration's commit point),
+    /// then drain `src` (journals the drop and arms `moved` tombstones
+    /// there). A crash between import and drain leaves the component on
+    /// both shards; the startup reconciler resolves the duplicate in
+    /// the importer's favour (see `crate::migrate`). Returns the moved
+    /// labels so the routing table can learn their new home.
+    fn migrate_component(
+        &self,
+        src: usize,
+        dst: usize,
+        seed: &str,
+    ) -> Result<Vec<String>, (ErrorCode, String)> {
+        let export = self.shard_ok(
+            src,
+            &Request::ExportComponent {
+                label: seed.to_string(),
+                drain: false,
+                target: None,
+                labels_only: false,
+            },
+        )?;
+        let labels = parse_label_list(&export.data);
+        let Some(payload) = export
+            .data
+            .get("payload")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+        else {
+            return Err((
+                ErrorCode::Internal,
+                format!(
+                    "shard {} exported no payload for {seed:?}",
+                    self.pool.addr(src)
+                ),
+            ));
+        };
+        self.shard_ok(
+            dst,
+            &Request::ImportComponent {
+                source: src as u32,
+                payload,
+            },
+        )?;
+        // The import is durable on dst; now drop the src copy. Failing
+        // here fails the triggering write, but the graph is already
+        // consistent-on-dst — the reconciler (or a retried write after
+        // src recovers) heals the leftover copy.
+        self.shard_ok(
+            src,
+            &Request::ExportComponent {
+                label: seed.to_string(),
+                drain: true,
+                target: Some(dst as u32),
+                labels_only: false,
+            },
+        )?;
+        Ok(labels)
+    }
+
+    /// Labels of the component containing `label` on `shard` (empty
+    /// when the label is unknown there). A cheap idempotent read.
+    fn peek_component(
+        &self,
+        shard: usize,
+        label: &str,
+    ) -> Result<Vec<String>, (ErrorCode, String)> {
+        let req = Request::ExportComponent {
+            label: label.to_string(),
+            drain: false,
+            target: None,
+            labels_only: true,
+        };
+        let env = self.shard_ok(shard, &req)?;
+        Ok(parse_label_list(&env.data))
+    }
+
+    /// Call `shard`'s primary and require a non-error envelope.
+    fn shard_ok(&self, shard: usize, req: &Request) -> Result<Envelope, (ErrorCode, String)> {
+        match self.call_shard(shard, req) {
+            Ok(env) => match &env.error {
+                None => Ok(env),
+                Some((code, detail)) => Err((
+                    ErrorCode::parse(code).unwrap_or(ErrorCode::Internal),
+                    format!("shard {}: {detail}", self.pool.addr(shard)),
+                )),
+            },
+            Err(f) => Err((f.code(), f.detail(self.pool.addr(shard)))),
+        }
+    }
+
+    /// Rebuild the routing table from the live fleet: query every
+    /// shard's label inventory and record an exception for each label
+    /// living off its hash home. Used when the router starts without a
+    /// persisted table (satellite of the migration work: migrations
+    /// invalidate old table files, so `route` mode can no longer demand
+    /// one). Exact as long as no shard holds more than `MAX_K` labels
+    /// of either kind — the `labels` endpoint cap; see DESIGN.md §18.
+    /// Returns the number of exception entries learned.
+    pub fn rebuild_table_from_shards(&self) -> Result<usize, String> {
+        let shards = self.pool.shards();
+        let mut table = RoutingTable::new(shards);
+        for shard in 0..shards {
+            for kind in [LabelKind::Concepts, LabelKind::Instances] {
+                let req = Request::Labels { kind, k: MAX_K };
+                let env = self
+                    .call_shard(shard, &req)
+                    .map_err(|f| f.detail(self.pool.addr(shard)))?;
+                if let Some((code, detail)) = &env.error {
+                    return Err(format!("shard {shard} label inventory: {code}: {detail}"));
+                }
+                for label in parse_label_list(&env.data) {
+                    table.learn(&label, shard);
+                }
+            }
+        }
+        let count = table.exception_count();
+        self.telemetry.table_exceptions.set(count as i64);
+        *self.table.write() = table;
+        Ok(count)
     }
 
     fn snapshot_load(&self, id: u64, path: &str) -> Json {
@@ -610,12 +866,40 @@ impl Router {
     ) {
         let pool = Arc::clone(&self.pool);
         std::thread::spawn(move || {
-            let _ = tx.send((attempt, pool.call(shard, &req)));
+            // Attempt index picks the replica-group member: attempt 0 is
+            // the primary, hedges rotate onto replicas (when configured)
+            // so a dead primary's hedge dials a live process. Writes
+            // never hedge, so they only ever see the primary.
+            let _ = tx.send((attempt, pool.call_member(shard, attempt as usize, &req)));
         });
     }
 }
 
-/// Pass a shard's envelope through under the client's request id.
+/// The shard index out of a `moved` tombstone error, if `env` is one.
+/// The serve side formats the detail to end with `"moved to shard N"`.
+fn moved_target(env: &Envelope) -> Option<usize> {
+    match &env.error {
+        Some((code, detail)) if code == "moved" => {
+            detail.rsplit(' ').next().and_then(|n| n.parse().ok())
+        }
+        _ => None,
+    }
+}
+
+/// The `"labels"` string array of a payload, or empty.
+fn parse_label_list(data: &Json) -> Vec<String> {
+    data.get("labels")
+        .and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Pass a shard's envelope through under the client's request id,
+/// preserving its `degraded`/`truncated` annotations.
 fn env_to_json(id: u64, env: Envelope) -> Json {
     match env.error {
         Some((code, detail)) => err_envelope(
@@ -623,8 +907,7 @@ fn env_to_json(id: u64, env: Envelope) -> Json {
             ErrorCode::parse(&code).unwrap_or(ErrorCode::Internal),
             &detail,
         ),
-        None if env.degraded => degraded_envelope(id, env.version, env.data),
-        None => ok_envelope(id, env.version, env.data),
+        None => annotated_envelope(id, env.version, env.degraded, env.truncated, env.data),
     }
 }
 
@@ -664,11 +947,10 @@ impl TermOracle for NetOracle<'_> {
         if let Some(cached) = self.senses.get(term) {
             return cached.clone();
         }
-        let shard = self.router.table.read().shard_for(term);
         let req = Request::Levels {
             term: Some(term.to_string()),
         };
-        let out = match self.router.call_shard(shard, &req) {
+        let out = match self.router.call_label(term, &req) {
             Ok(env) if env.error.is_none() => {
                 self.version += env.version;
                 env.data
@@ -696,13 +978,12 @@ impl TermOracle for NetOracle<'_> {
     }
 
     fn typical_instances(&mut self, label: &str, k: usize) -> Vec<(String, f64)> {
-        let shard = self.router.table.read().shard_for(label);
         let req = Request::Typicality {
             term: label.to_string(),
             direction: Direction::Instances,
             k,
         };
-        match self.router.call_shard(shard, &req) {
+        match self.router.call_label(label, &req) {
             Ok(env) if env.error.is_none() => {
                 self.version += env.version;
                 aggregate::parse_items(&env.data)

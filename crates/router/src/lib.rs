@@ -25,14 +25,29 @@
 //!   route `add-evidence` to the owning shard's WAL.
 //! * [`server`] — the TCP front end.
 //! * [`telemetry`] — `router.*` metrics (fan-out, hedges, degraded
-//!   responses, table size), surfaced in the aggregated `stats` payload.
+//!   responses, migrations, table size), surfaced in the aggregated
+//!   `stats` payload.
+//! * [`migrate`] — startup reconciliation for migrations interrupted
+//!   mid-protocol (duplicate components resolved in the importer's
+//!   favour).
 //!
-//! See DESIGN.md §14 for the architecture and the degradation contract.
+//! Writes whose parent and child land on different shards no longer
+//! silently diverge: the engine migrates the smaller component onto
+//! the other shard over the wire (`export-component` /
+//! `import-component`, journalled on both sides) and the old copy
+//! leaves `moved` tombstones that redirect stale readers. With
+//! replicas configured ([`RouterConfig::replica_addrs`]), hedged
+//! sub-requests rotate onto replicas so a dead primary degrades no
+//! reads at all.
+//!
+//! See DESIGN.md §14 for the architecture and the degradation
+//! contract, and §18 for the migration + replication protocol.
 
 #![warn(missing_docs)]
 
 pub mod aggregate;
 pub mod engine;
+pub mod migrate;
 pub mod partition;
 pub mod pool;
 pub mod server;
@@ -40,6 +55,7 @@ pub mod table;
 pub mod telemetry;
 
 pub use engine::{Router, RouterConfig};
+pub use migrate::{reconcile_fleet, ReconcileReport};
 pub use partition::{canonical_bytes, merge_shards, partition, shard_of, stable_hash, Partition};
 pub use pool::ShardPool;
 pub use server::RouterServer;

@@ -1,29 +1,50 @@
 //! Per-shard connection pools.
 //!
-//! Each shard gets a small LIFO pool of [`Client`]s. A checkout pops an
-//! idle connection or dials a fresh one; a connection is returned only
-//! after a clean round trip, so a desynced or dead stream is never
-//! reused. Hedged attempts always run on their own checkout, which means
-//! a straggling first attempt cannot delay (or corrupt) the hedge.
+//! Each shard is a *replica group*: member 0 is the primary, members
+//! 1.. are WAL-shipped replicas. Every member gets a small LIFO pool of
+//! [`Client`]s. A checkout pops an idle connection or dials a fresh
+//! one; a connection is returned only after a clean round trip, so a
+//! desynced or dead stream is never reused. Hedged attempts always run
+//! on their own checkout, which means a straggling first attempt cannot
+//! delay (or corrupt) the hedge — and with replicas configured, attempt
+//! `n` lands on member `n % group size`, so the hedge for a dead
+//! primary dials a replica instead of the same dead socket.
 
 use parking_lot::Mutex;
 use probase_serve::{Client, ClientConfig, ClientError, Envelope, Request};
 
 /// Connection pools for all shards of one deployment.
 pub struct ShardPool {
-    addrs: Vec<String>,
+    /// `groups[shard][member]`: member 0 is the primary.
+    groups: Vec<Vec<String>>,
     config: ClientConfig,
-    idle: Vec<Mutex<Vec<Client>>>,
-    /// Idle connections kept per shard.
+    /// `idle[shard][member]`: idle connections per group member.
+    idle: Vec<Vec<Mutex<Vec<Client>>>>,
+    /// Idle connections kept per member.
     cap: usize,
 }
 
 impl ShardPool {
-    /// A pool over `addrs` (index = shard id) dialing with `config`.
+    /// A pool over `addrs` (index = shard id, no replicas) dialing with
+    /// `config`.
     pub fn new(addrs: Vec<String>, config: ClientConfig, cap: usize) -> ShardPool {
-        let idle = addrs.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let groups = addrs.into_iter().map(|a| vec![a]).collect();
+        ShardPool::with_groups(groups, config, cap)
+    }
+
+    /// A pool over replica groups (`groups[shard][0]` = primary).
+    /// Every group must be non-empty.
+    pub fn with_groups(groups: Vec<Vec<String>>, config: ClientConfig, cap: usize) -> ShardPool {
+        assert!(
+            groups.iter().all(|g| !g.is_empty()),
+            "every shard needs at least a primary address"
+        );
+        let idle = groups
+            .iter()
+            .map(|g| g.iter().map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
         ShardPool {
-            addrs,
+            groups,
             config,
             idle,
             cap: cap.max(1),
@@ -32,25 +53,44 @@ impl ShardPool {
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.addrs.len()
+        self.groups.len()
     }
 
-    /// The address of shard `i`.
+    /// The primary address of shard `i`.
     pub fn addr(&self, i: usize) -> &str {
-        &self.addrs[i]
+        &self.groups[i][0]
     }
 
-    /// One round trip against shard `shard`: checkout (or dial), call,
-    /// and check the connection back in on success. The client applies
-    /// its own retry policy (idempotent reads only) under `config`.
+    /// Number of members (primary + replicas) in shard `i`'s group.
+    pub fn members(&self, i: usize) -> usize {
+        self.groups[i].len()
+    }
+
+    /// One round trip against shard `shard`'s **primary**. Writes and
+    /// migration calls use this: replicas are read-only by protocol.
     pub fn call(&self, shard: usize, req: &Request) -> Result<Envelope, ClientError> {
-        let mut client = match self.idle[shard].lock().pop() {
+        self.call_member(shard, 0, req)
+    }
+
+    /// One round trip against attempt `attempt` of shard `shard`:
+    /// checkout (or dial) member `attempt % group size`, call, and
+    /// check the connection back in on success. The client applies its
+    /// own retry policy (idempotent reads only) under `config`.
+    pub fn call_member(
+        &self,
+        shard: usize,
+        attempt: usize,
+        req: &Request,
+    ) -> Result<Envelope, ClientError> {
+        let member = attempt % self.groups[shard].len();
+        let slot = &self.idle[shard][member];
+        let mut client = match slot.lock().pop() {
             Some(c) => c,
-            None => Client::connect_with(&self.addrs[shard], self.config.clone())?,
+            None => Client::connect_with(&self.groups[shard][member], self.config.clone())?,
         };
         match client.call(req) {
             Ok(envelope) => {
-                let mut idle = self.idle[shard].lock();
+                let mut idle = slot.lock();
                 if idle.len() < self.cap {
                     idle.push(client);
                 }
@@ -93,7 +133,7 @@ mod tests {
             let env = pool.call(0, &Request::Ping).expect("ping ok");
             assert!(env.error.is_none());
         }
-        assert!(pool.idle[0].lock().len() <= 2);
+        assert!(pool.idle[0][0].lock().len() <= 2);
         server.shutdown();
     }
 
@@ -106,5 +146,24 @@ mod tests {
         };
         let pool = ShardPool::new(vec![addr], ClientConfig::default(), 2);
         assert!(pool.call(0, &Request::Ping).is_err());
+    }
+
+    #[test]
+    fn hedge_attempts_rotate_onto_replicas() {
+        let primary_is_dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let replica = tiny_server();
+        let pool = ShardPool::with_groups(
+            vec![vec![primary_is_dead, replica.local_addr().to_string()]],
+            ClientConfig::default(),
+            2,
+        );
+        // Attempt 0 hits the dead primary, attempt 1 the live replica.
+        assert!(pool.call_member(0, 0, &Request::Ping).is_err());
+        let env = pool.call_member(0, 1, &Request::Ping).expect("replica ok");
+        assert!(env.error.is_none());
+        replica.shutdown();
     }
 }

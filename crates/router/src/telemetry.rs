@@ -24,6 +24,12 @@ pub struct RouterTelemetry {
     pub degraded: Arc<Counter>,
     /// Sub-requests that failed after retries/hedging.
     pub shard_failures: Arc<Counter>,
+    /// Component migrations triggered by bridge writes.
+    pub migrations: Arc<Counter>,
+    /// Migrations that failed mid-protocol (reconciler heals on restart).
+    pub migration_failures: Arc<Counter>,
+    /// `moved` redirects followed (stale routing corrected in place).
+    pub moved_redirects: Arc<Counter>,
     /// Current routing-table exception entries.
     pub table_exceptions: Arc<Gauge>,
     /// End-to-end latency of single-shard requests (µs).
@@ -45,6 +51,9 @@ impl RouterTelemetry {
             hedge_wins: registry.counter("router.hedge_wins"),
             degraded: registry.counter("router.degraded"),
             shard_failures: registry.counter("router.shard_failures"),
+            migrations: registry.counter("router.migrations"),
+            migration_failures: registry.counter("router.migration_failures"),
+            moved_redirects: registry.counter("router.moved_redirects"),
             table_exceptions: registry.gauge("router.table.exceptions"),
             single_latency_us: registry.histogram("router.single_shard.latency_us"),
             scatter_latency_us: registry.histogram("router.scatter.latency_us"),
@@ -66,6 +75,15 @@ impl RouterTelemetry {
             (
                 "shard_failures",
                 Json::num(self.shard_failures.get() as f64),
+            ),
+            ("migrations", Json::num(self.migrations.get() as f64)),
+            (
+                "migration_failures",
+                Json::num(self.migration_failures.get() as f64),
+            ),
+            (
+                "moved_redirects",
+                Json::num(self.moved_redirects.get() as f64),
             ),
             (
                 "table_exceptions",

@@ -18,7 +18,7 @@ use probase_serve::{
     Client, ClientConfig, DurabilityConfig, Json, Request, ServeConfig, Server, WalSync,
 };
 use probase_store::{shard_dir, ConceptGraph, SharedStore};
-use probase_testkit::{Fault, FaultPlan, ProxyFleet};
+use probase_testkit::{Fault, FaultPlan, FaultProxy, ProxyFleet};
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -466,6 +466,308 @@ fn hedged_retry_beats_slow_loris_straggler() {
     front.shutdown();
     fleet.shutdown();
     for s in servers {
+        s.shutdown();
+    }
+}
+
+// --- migration vs chaos: shard death mid-protocol stays consistent ---
+
+/// Every label of the chaos fixture, for full-fleet equivalence sweeps.
+const ALL_LABELS: [&str; 10] = [
+    "country",
+    "China",
+    "India",
+    "Japan",
+    "conference",
+    "SIGMOD",
+    "VLDB",
+    "animal",
+    "cat",
+    "dog",
+];
+
+/// Assert both deployments answer `req` with byte-identical payloads.
+fn assert_matches_single(single: &mut Client, routed: &mut Client, req: &Request) {
+    let (_, a) = single.call_ok(req).expect("single-node answers");
+    let (_, b) = routed.call_ok(req).expect("routed fleet answers");
+    assert_eq!(a.to_string(), b.to_string(), "payloads diverge for {req:?}");
+}
+
+/// A bridge write whose migration hits a dead shard must fail *clean*
+/// — an error envelope with nothing half-applied anywhere — and once
+/// the fleet is reachable again the retried write migrates for real,
+/// leaving the union byte-identical to a single node.
+#[test]
+fn bridge_write_to_a_dead_shard_fails_clean_then_recovers() {
+    let seed = chaos_seed();
+    let graph = fixture_graph();
+    let p = partition(&graph, 2);
+    let table = RoutingTable::from_partition(&p);
+    let (live_root, dead_root) = split_roots(&table);
+    let dead_home = table.shard_for(dead_root);
+
+    let servers: Vec<Server> = p
+        .shards
+        .into_iter()
+        .map(|g| Server::start(SharedStore::new(g), &serve_config()).expect("shard binds"))
+        .collect();
+    let upstreams: Vec<SocketAddr> = servers.iter().map(|s| s.local_addr()).collect();
+    let plans = vec![FaultPlan::scripted(vec![Fault::None]); upstreams.len()];
+    let mut fleet = ProxyFleet::start_scripted(&upstreams, plans).expect("fleet starts");
+    let front = start_router(
+        fleet.addrs().iter().map(SocketAddr::to_string).collect(),
+        table,
+        RouterConfig {
+            deadline: Duration::from_millis(800),
+            client: shard_client_config(seed),
+            ..RouterConfig::default()
+        },
+    );
+    let mut client = Client::connect(front.local_addr()).expect("connect router");
+
+    // The child's shard dies; the bridge write cannot colocate and must
+    // be refused outright — not applied on the parent's side only.
+    fleet.kill(dead_home);
+    let write = Request::AddEvidence {
+        parent: live_root.to_string(),
+        child: dead_root.to_string(),
+        count: 4,
+    };
+    let envelope = client.call(&write).expect("transport ok");
+    assert!(
+        envelope.error.is_some(),
+        "seed {seed:#x}: bridge write with a dead shard must fail, got {:?}",
+        envelope.data
+    );
+    // Nothing was half-applied: neither shard knows the edge.
+    for s in &servers {
+        let mut direct = Client::connect(s.local_addr()).expect("direct connect");
+        let (_, found) = direct
+            .call_ok(&Request::Plausibility {
+                parent: live_root.to_string(),
+                child: dead_root.to_string(),
+            })
+            .expect("direct plausibility");
+        assert_eq!(
+            found.get("found").and_then(Json::as_bool),
+            Some(false),
+            "seed {seed:#x}: failed bridge write left a partial edge behind"
+        );
+    }
+    front.shutdown();
+    fleet.shutdown();
+
+    // Recovery: a fresh front straight onto the (always alive) shards.
+    // The retried write now migrates the component and succeeds.
+    let table2 = RoutingTable::from_partition(&partition(&fixture_graph(), 2));
+    let front2 = start_router(
+        servers.iter().map(|s| s.local_addr().to_string()).collect(),
+        table2,
+        RouterConfig {
+            deadline: Duration::from_secs(5),
+            client: shard_client_config(seed),
+            ..RouterConfig::default()
+        },
+    );
+    let mut client2 = Client::connect(front2.local_addr()).expect("reconnect router");
+    client2
+        .call_ok(&write)
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: retried bridge write failed: {e}"));
+    let router = front2.router();
+    assert!(
+        router.telemetry().migrations.get() >= 1,
+        "seed {seed:#x}: the retried bridge write should have migrated"
+    );
+
+    // The fleet union is byte-identical to a single node that took the
+    // same (single, successful) write.
+    let single = Server::start(SharedStore::new(fixture_graph()), &serve_config())
+        .expect("single-node server");
+    let mut single_client = Client::connect(single.local_addr()).expect("connect single");
+    single_client.call_ok(&write).expect("single-node write");
+    for term in ALL_LABELS {
+        for direction in [
+            probase_serve::Direction::Instances,
+            probase_serve::Direction::Concepts,
+        ] {
+            assert_matches_single(
+                &mut single_client,
+                &mut client2,
+                &Request::Typicality {
+                    term: term.to_string(),
+                    direction,
+                    k: 10,
+                },
+            );
+        }
+    }
+    assert_matches_single(
+        &mut single_client,
+        &mut client2,
+        &Request::Isa {
+            parent: live_root.to_string(),
+            child: dead_root.to_string(),
+        },
+    );
+    for kind in [
+        probase_serve::LabelKind::Concepts,
+        probase_serve::LabelKind::Instances,
+    ] {
+        assert_matches_single(
+            &mut single_client,
+            &mut client2,
+            &Request::Labels { kind, k: 100 },
+        );
+    }
+    front2.shutdown();
+    single.shutdown();
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+/// Chaos on the replica set: the destination's replica dies before the
+/// migration ships into it, then the *source primary* dies after. The
+/// bridge write still acks (replication is best-effort), ship failures
+/// are counted, and afterwards every read — served by the surviving
+/// members, including the drained source's replica — answers clean and
+/// byte-identical to a single node.
+#[test]
+fn migration_survives_a_dead_replica_then_a_primary_kill() {
+    let seed = chaos_seed();
+    let graph = fixture_graph();
+    let p = partition(&graph, 2);
+    let table = RoutingTable::from_partition(&p);
+    let (root_a, root_b) = split_roots(&table);
+    // The moving side is the smaller (ties: the child's) component, so
+    // the merged owner is always the parent's shard here.
+    let dst_home = table.shard_for(root_a);
+    let src_home = 1 - dst_home;
+
+    let mut primaries: Vec<Option<Server>> = Vec::new();
+    let mut replicas = Vec::new();
+    let mut replica_proxies: Vec<Option<FaultProxy>> = Vec::new();
+    let mut addrs = Vec::new();
+    let mut groups = Vec::new();
+    for shard_graph in p.shards {
+        let replica = Server::start(SharedStore::new(shard_graph.clone()), &serve_config())
+            .expect("replica binds");
+        // The primary ships through the proxy, and the router reads
+        // replicas through it too — killing it is killing the replica.
+        let proxy = FaultProxy::start(replica.local_addr(), FaultPlan::scripted(vec![Fault::None]))
+            .expect("replica proxy");
+        let primary = Server::start(
+            SharedStore::new(shard_graph),
+            &ServeConfig {
+                replica_addrs: vec![proxy.local_addr()],
+                ..serve_config()
+            },
+        )
+        .expect("primary binds");
+        addrs.push(primary.local_addr().to_string());
+        groups.push(vec![proxy.local_addr().to_string()]);
+        replica_proxies.push(Some(proxy));
+        replicas.push(replica);
+        primaries.push(Some(primary));
+    }
+    let front = start_router(
+        addrs,
+        table,
+        RouterConfig {
+            replica_addrs: groups,
+            deadline: Duration::from_secs(5),
+            client: shard_client_config(seed),
+            ..RouterConfig::default()
+        },
+    );
+    let mut client = Client::connect(front.local_addr()).expect("connect router");
+
+    // The destination's replica dies first: the import and the write
+    // itself will ship into a dead socket mid-migration.
+    replica_proxies[dst_home]
+        .take()
+        .expect("dst replica proxy")
+        .shutdown();
+
+    let write = Request::AddEvidence {
+        parent: root_a.to_string(),
+        child: root_b.to_string(),
+        count: 4,
+    };
+    client.call_ok(&write).unwrap_or_else(|e| {
+        panic!("seed {seed:#x}: bridge write must survive a dead replica: {e}")
+    });
+    let router = front.router();
+    assert!(
+        router.telemetry().migrations.get() >= 1,
+        "seed {seed:#x}: the bridge write should have migrated a component"
+    );
+    let dst_state = primaries[dst_home]
+        .as_ref()
+        .expect("dst primary alive")
+        .state();
+    let dst_replicator = dst_state.replicator().expect("dst replicates");
+    assert!(
+        dst_replicator.failures_total() >= 1,
+        "seed {seed:#x}: ships into the dead replica must be counted as failures"
+    );
+    let src_state = primaries[src_home]
+        .as_ref()
+        .expect("src primary alive")
+        .state();
+    let src_replicator = src_state.replicator().expect("src replicates");
+    assert!(
+        src_replicator.shipped_total() >= 1,
+        "seed {seed:#x}: the drain must have shipped to the source's live replica"
+    );
+
+    // Now the *source primary* dies. Moved labels redirect to the
+    // destination; everything still owned by the source fails over to
+    // its (drained, tombstoned) replica. Nothing degrades.
+    primaries[src_home].take().expect("src primary").shutdown();
+
+    let single = Server::start(SharedStore::new(fixture_graph()), &serve_config())
+        .expect("single-node server");
+    let mut single_client = Client::connect(single.local_addr()).expect("connect single");
+    single_client.call_ok(&write).expect("single-node write");
+    for term in ALL_LABELS {
+        let req = typicality(term);
+        let envelope = client
+            .call(&req)
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: read {term} after primary kill: {e}"));
+        assert!(
+            envelope.error.is_none(),
+            "seed {seed:#x}: {term} errored after primary kill: {:?}",
+            envelope.error
+        );
+        assert!(
+            !envelope.degraded,
+            "seed {seed:#x}: {term} degraded despite a live replica"
+        );
+        assert_matches_single(&mut single_client, &mut client, &req);
+    }
+    for kind in [
+        probase_serve::LabelKind::Concepts,
+        probase_serve::LabelKind::Instances,
+    ] {
+        let req = Request::Labels { kind, k: 100 };
+        let envelope = client.call(&req).expect("labels scatter");
+        assert!(
+            envelope.error.is_none() && !envelope.degraded,
+            "seed {seed:#x}: labels scatter must be clean over the failover set"
+        );
+        assert_matches_single(&mut single_client, &mut client, &req);
+    }
+
+    front.shutdown();
+    single.shutdown();
+    for p in replica_proxies.into_iter().flatten() {
+        p.shutdown();
+    }
+    for s in primaries.into_iter().flatten() {
+        s.shutdown();
+    }
+    for s in replicas {
         s.shutdown();
     }
 }

@@ -150,18 +150,22 @@ fn assert_same(single: &mut Client, routed: &mut Client, req: &Request) {
     assert_eq!(a.to_string(), b.to_string(), "payloads diverge for {req:?}");
 }
 
-fn labels_set(data: &Json) -> Vec<String> {
-    let mut v: Vec<String> = data
-        .get("labels")
-        .and_then(Json::as_arr)
-        .map(|arr| {
-            arr.iter()
-                .filter_map(|x| x.as_str().map(str::to_string))
-                .collect()
-        })
-        .unwrap_or_default();
-    v.sort();
-    v
+/// A tiny deterministic generator (splitmix-ish) so the randomized
+/// bridge-write sequence replays identically on every run.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn pick<'a, T>(&mut self, pool: &'a [T]) -> &'a T {
+        &pool[self.next() as usize % pool.len()]
+    }
 }
 
 #[test]
@@ -266,15 +270,13 @@ fn four_shards_answer_every_endpoint_identically() {
         "router stats carry a router section"
     );
 
-    // labels — global ordering across shards is not promised; the sets
-    // and the cap are.
+    // labels — byte-identical *sequences*, not just sets: both sides
+    // now sort by label bytes, and the per-shard k cap still covers the
+    // global byte-order prefix (each global minimum is some shard's
+    // minimum), so even truncated answers must match exactly.
     for kind in [LabelKind::Concepts, LabelKind::Instances] {
-        let req = Request::Labels { kind, k: 100 };
-        let (a, b) = both(&mut single, &mut routed, &req);
-        assert_eq!(labels_set(&a), labels_set(&b), "label sets for {req:?}");
-        let req = Request::Labels { kind, k: 3 };
-        let (_, b) = both(&mut single, &mut routed, &req);
-        assert_eq!(labels_set(&b).len(), 3, "k caps the routed answer");
+        assert_same(&mut single, &mut routed, &Request::Labels { kind, k: 100 });
+        assert_same(&mut single, &mut routed, &Request::Labels { kind, k: 3 });
     }
 
     // conceptualize — terms sharing a home shard and terms that force
@@ -377,6 +379,382 @@ fn writes_keep_shards_equivalent_to_single_node() {
         "stats diverge after writes"
     );
 
+    d.shutdown();
+}
+
+/// The headline migration property: a 4-shard fleet absorbs a
+/// *randomized* sequence of bridge writes — writes whose parent and
+/// child start on different shards, which historically either
+/// diverged (edge applied on the parent's shard while the child's
+/// component kept serving stale answers elsewhere) or required a full
+/// repartition restart — and afterwards answers every endpoint
+/// byte-identically to a single node that absorbed the same sequence.
+/// The fleet is never restarted or repartitioned: components move
+/// between shards online, via export/import, while serving.
+#[test]
+fn randomized_bridge_writes_stay_byte_identical_without_repartition() {
+    let graph = fixture_graph();
+    let d = deploy(&graph, 4);
+    let (mut single, mut routed) = d.clients();
+
+    // Labels from every component of the fixture plus fresh ones, so
+    // the generated pairs bridge shards, extend components, create new
+    // components, and re-bridge components that already migrated.
+    let pool = [
+        "country",
+        "China",
+        "bric",
+        "company",
+        "apple",
+        "fruit",
+        "banana",
+        "animal",
+        "mammal",
+        "cat",
+        "bird",
+        "conference",
+        "SIGMOD",
+        "planet",
+        "Mars",
+        "tool",
+        "hammer",
+    ];
+    let mut rng = Rng(0x5EED_CAFE);
+    let mut attempts = Vec::new();
+    while attempts.len() < 40 {
+        let parent = *rng.pick(&pool);
+        let child = *rng.pick(&pool);
+        if parent == child {
+            continue;
+        }
+        attempts.push((parent, child, (rng.next() % 5 + 1) as u32));
+    }
+    // Both deployments must agree write-for-write: same acks with the
+    // same counts, and the *same rejections* (cycle-creating pairs are
+    // refused by the single node, so the routed fleet — whose migrated
+    // merged component sees the identical topology — must refuse them
+    // too, not half-apply them on one shard).
+    let mut writes = Vec::new();
+    for (parent, child, count) in attempts {
+        let req = Request::AddEvidence {
+            parent: parent.to_string(),
+            child: child.to_string(),
+            count,
+        };
+        let a = single.call(&req).expect("single-node answers write");
+        let b = routed.call(&req).expect("router answers write");
+        match (&a.error, &b.error) {
+            (None, None) => {
+                assert_eq!(
+                    a.data.get("count").expect("ack count").to_string(),
+                    b.data.get("count").expect("ack count").to_string(),
+                    "ack counts for {req:?}"
+                );
+                writes.push((parent, child));
+            }
+            (Some((code_a, _)), Some((code_b, _))) => {
+                assert_eq!(code_a, code_b, "rejection codes for {req:?}");
+            }
+            _ => panic!(
+                "deployments disagree on accepting {req:?}: single {:?}, routed {:?}",
+                a.error, b.error
+            ),
+        }
+    }
+    assert!(
+        writes.len() >= 20,
+        "fixture too cyclic: only {} of 40 writes accepted",
+        writes.len()
+    );
+
+    // Full endpoint sweep over every label the writes touched.
+    for term in pool {
+        for direction in [Direction::Instances, Direction::Concepts] {
+            assert_same(
+                &mut single,
+                &mut routed,
+                &Request::Typicality {
+                    term: term.to_string(),
+                    direction,
+                    k: 10,
+                },
+            );
+        }
+        assert_same(
+            &mut single,
+            &mut routed,
+            &Request::Levels {
+                term: Some(term.to_string()),
+            },
+        );
+    }
+    for (parent, child) in &writes {
+        assert_same(
+            &mut single,
+            &mut routed,
+            &Request::Isa {
+                parent: parent.to_string(),
+                child: child.to_string(),
+            },
+        );
+        assert_same(
+            &mut single,
+            &mut routed,
+            &Request::Plausibility {
+                parent: parent.to_string(),
+                child: child.to_string(),
+            },
+        );
+    }
+    for terms in [
+        vec!["China", "Mars"],
+        vec!["apple", "cat", "hammer"],
+        vec!["country", "planet", "SIGMOD"],
+    ] {
+        assert_same(
+            &mut single,
+            &mut routed,
+            &Request::Conceptualize {
+                terms: terms.iter().map(|t| t.to_string()).collect(),
+                k: 8,
+            },
+        );
+    }
+    assert_same(&mut single, &mut routed, &Request::Levels { term: None });
+    for kind in [LabelKind::Concepts, LabelKind::Instances] {
+        assert_same(&mut single, &mut routed, &Request::Labels { kind, k: 1000 });
+    }
+    let (a, b) = both(&mut single, &mut routed, &Request::Stats);
+    assert_eq!(
+        a.get("graph").expect("graph section").to_string(),
+        b.get("graph").expect("graph section").to_string(),
+        "stats diverge after bridge writes"
+    );
+
+    d.shutdown();
+}
+
+/// Replica failover: with one op-shipped replica per shard, killing a
+/// shard primary degrades nothing — idempotent reads fail over to the
+/// replica via the hedge path and every envelope stays clean.
+#[test]
+fn replicated_shards_survive_a_primary_kill_without_degrading() {
+    let graph = fixture_graph();
+    let p = partition(&graph, 2);
+    let table = RoutingTable::from_partition(&p);
+    let mut primaries = Vec::new();
+    let mut replicas = Vec::new();
+    let mut addrs = Vec::new();
+    let mut groups = Vec::new();
+    for shard_graph in p.shards {
+        let replica = Server::start(SharedStore::new(shard_graph.clone()), &serve_config())
+            .expect("replica server");
+        let primary_config = ServeConfig {
+            replica_addrs: vec![replica.local_addr()],
+            ..serve_config()
+        };
+        let primary =
+            Server::start(SharedStore::new(shard_graph), &primary_config).expect("primary server");
+        addrs.push(primary.local_addr().to_string());
+        groups.push(vec![replica.local_addr().to_string()]);
+        replicas.push(replica);
+        primaries.push(primary);
+    }
+    let config = RouterConfig {
+        shard_addrs: addrs,
+        replica_addrs: groups,
+        deadline: Duration::from_secs(5),
+        ..RouterConfig::default()
+    };
+    let router = Router::new(config, table, &probase_obs::Registry::new()).expect("router builds");
+    let front = RouterServer::start(Arc::new(router), "127.0.0.1:0").expect("router binds");
+    let mut client = Client::connect(front.local_addr()).expect("connect router");
+
+    // A write through the router is shipped to the replica before the
+    // ack, so the surviving copy must already have it.
+    client
+        .call_ok(&Request::AddEvidence {
+            parent: "country".to_string(),
+            child: "Mongolia".to_string(),
+            count: 2,
+        })
+        .expect("write accepted");
+
+    // Kill shard 0's primary outright.
+    primaries.remove(0).shutdown();
+
+    let reads = [
+        Request::Typicality {
+            term: "country".to_string(),
+            direction: Direction::Instances,
+            k: 10,
+        },
+        Request::Typicality {
+            term: "animal".to_string(),
+            direction: Direction::Instances,
+            k: 10,
+        },
+        Request::Isa {
+            parent: "country".to_string(),
+            child: "Mongolia".to_string(),
+        },
+        Request::Levels { term: None },
+        Request::Labels {
+            kind: LabelKind::Concepts,
+            k: 100,
+        },
+        Request::Stats,
+        Request::Ping,
+    ];
+    for req in &reads {
+        let env = client.call(req).expect("read answers after primary kill");
+        assert!(env.error.is_none(), "error for {req:?}: {:?}", env.error);
+        assert!(!env.degraded, "degraded envelope for {req:?}");
+    }
+    // The shipped write is visible on the surviving copy.
+    let env = client
+        .call(&Request::Isa {
+            parent: "country".to_string(),
+            child: "Mongolia".to_string(),
+        })
+        .expect("isa answers");
+    assert_eq!(env.data.get("isa").and_then(Json::as_bool), Some(true));
+
+    front.shutdown();
+    for s in primaries {
+        s.shutdown();
+    }
+    for s in replicas {
+        s.shutdown();
+    }
+}
+
+/// Satellite regression: a term under more than `MAX_K` concepts can
+/// lose tail candidates to the per-term slice cap in the cross-shard
+/// conceptualize combination. The envelope must say `truncated: true`
+/// instead of silently presenting a clipped ranking as exact.
+#[test]
+fn cross_shard_conceptualize_flags_the_max_k_slice_cap() {
+    use probase_serve::proto::MAX_K;
+    let mut g = ConceptGraph::new();
+    let item = g.ensure_node("item", 0);
+    for i in 0..=MAX_K {
+        let c = g.ensure_node(&format!("concept-{i:04}"), 0);
+        g.add_evidence(c, item, 1 + (i % 3) as u32);
+    }
+    // Small separate components so at least one lands on the other
+    // shard from "item"'s giant component.
+    for (parent, child) in [
+        ("pet", "cat"),
+        ("tool", "hammer"),
+        ("color", "red"),
+        ("metal", "iron"),
+        ("planet", "Mars"),
+        ("river", "Nile"),
+    ] {
+        let p = g.ensure_node(parent, 0);
+        let c = g.ensure_node(child, 0);
+        g.add_evidence(p, c, 2);
+    }
+    g.rebuild_indexes();
+
+    let p = partition(&g, 2);
+    let table = RoutingTable::from_partition(&p);
+    let item_home = table.shard_for("item");
+    let other = ["cat", "hammer", "red", "iron", "Mars", "Nile"]
+        .into_iter()
+        .find(|t| table.shard_for(t) != item_home)
+        .expect("some small component lands on the other shard");
+
+    let d = deploy(&g, 2);
+    let (_, mut routed) = d.clients();
+    let env = routed
+        .call(&Request::Conceptualize {
+            terms: vec!["item".to_string(), other.to_string()],
+            k: 8,
+        })
+        .expect("conceptualize answers");
+    assert!(env.error.is_none(), "unexpected error: {:?}", env.error);
+    assert!(
+        env.truncated,
+        "a MAX_K-clipped per-term slice must flag the envelope"
+    );
+    // The single-shard fast path is exact and must stay unflagged.
+    let env = routed
+        .call(&Request::Conceptualize {
+            terms: vec!["item".to_string()],
+            k: 8,
+        })
+        .expect("conceptualize answers");
+    assert!(env.error.is_none());
+    assert!(!env.truncated, "whole-shard forwarding is exact");
+    d.shutdown();
+}
+
+/// Satellite regression: a router restarted *without* its routing
+/// table (the `routing-table.json` was lost, or went stale across
+/// migrations) rebuilds placement by querying the shards' label
+/// inventories instead of misrouting learned/migrated labels.
+#[test]
+fn router_restarted_without_a_table_rebuilds_placement_from_shards() {
+    let graph = fixture_graph();
+    let d = deploy(&graph, 4);
+    let (mut single, mut routed) = d.clients();
+
+    // Writes that only the first router's learned exceptions know how
+    // to route: a brand-new child pinned off its hash home, and a
+    // bridge write that migrates a whole component.
+    for (parent, child, count) in [
+        ("country", "Mongolia", 2u32),
+        ("country", "Laos", 1),
+        ("mammal", "apple", 1), // bridges the animal and company/fruit components
+    ] {
+        let req = Request::AddEvidence {
+            parent: parent.to_string(),
+            child: child.to_string(),
+            count,
+        };
+        single.call_ok(&req).expect("single-node accepts write");
+        routed.call_ok(&req).expect("router accepts write");
+    }
+
+    // A second router over the same (still running) shards, with no
+    // table file to load: it must rebuild placement from the fleet.
+    let config = RouterConfig {
+        shard_addrs: d
+            .shards
+            .iter()
+            .map(|s| s.local_addr().to_string())
+            .collect(),
+        deadline: Duration::from_secs(5),
+        ..RouterConfig::default()
+    };
+    let router2 = Router::new(
+        config,
+        RoutingTable::new(d.shards.len()),
+        &probase_obs::Registry::new(),
+    )
+    .expect("second router builds");
+    router2
+        .rebuild_table_from_shards()
+        .expect("table rebuilds from live shards");
+    let front2 = RouterServer::start(Arc::new(router2), "127.0.0.1:0").expect("binds");
+    let mut routed2 = Client::connect(front2.local_addr()).expect("connect rebuilt router");
+
+    for term in ["Mongolia", "Laos", "apple", "mammal", "country", "cat"] {
+        for direction in [Direction::Instances, Direction::Concepts] {
+            assert_same(
+                &mut single,
+                &mut routed2,
+                &Request::Typicality {
+                    term: term.to_string(),
+                    direction,
+                    k: 10,
+                },
+            );
+        }
+    }
+    front2.shutdown();
     d.shutdown();
 }
 

@@ -3,9 +3,15 @@
 //! unsharded graph, placement must be component-closed, and the routing
 //! hash must never drift.
 
-use probase_router::{canonical_bytes, merge_shards, partition, shard_of, RoutingTable};
-use probase_store::ConceptGraph;
+use probase_router::{
+    canonical_bytes, merge_shards, partition, shard_of, Router, RouterConfig, RouterServer,
+    RoutingTable,
+};
+use probase_serve::{Client, Request, ServeConfig, Server};
+use probase_store::{ConceptGraph, SharedStore};
 use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Build a graph from a generated edge list over a small label universe.
 /// Labels collide on purpose (many edges share endpoints) so generated
@@ -106,5 +112,98 @@ proptest! {
         prop_assert_eq!(shard_of(&label, n), shard_of(&label, n));
         let empty = RoutingTable::new(n);
         prop_assert_eq!(empty.shard_for(&label), shard_of(&label, n));
+    }
+}
+
+// --- online migration property: live fleets, fewer cases -------------
+//
+// These cases boot a real 2-shard fleet (three servers + router) per
+// input, so the case count is deliberately small; the cheap structural
+// properties above keep their 64-case budget.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The migration acceptance property on *arbitrary* write
+    /// sequences: starting from an empty taxonomy, a randomized stream
+    /// of `add-evidence` writes — most of which bridge components
+    /// across shards, forcing online migrations — leaves the union of
+    /// the live shard graphs byte-for-byte equal to a single node that
+    /// absorbed the same stream. Both deployments must also agree
+    /// write-by-write on acceptance (cycle rejections included).
+    #[test]
+    fn bridge_write_streams_keep_the_shard_union_exact(
+        writes in proptest::collection::vec((0u8..12, 0u8..12, 0u8..4), 1..24),
+    ) {
+        let serve_config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_capacity: 32,
+            cache_capacity: 64,
+            cache_shards: 1,
+            deadline: Duration::from_secs(5),
+            ..ServeConfig::default()
+        };
+        let single = Server::start(SharedStore::new(ConceptGraph::new()), &serve_config)
+            .expect("single-node server");
+        let p = partition(&ConceptGraph::new(), 2);
+        let table = RoutingTable::from_partition(&p);
+        let shards: Vec<Server> = p
+            .shards
+            .into_iter()
+            .map(|g| Server::start(SharedStore::new(g), &serve_config).expect("shard binds"))
+            .collect();
+        let config = RouterConfig {
+            shard_addrs: shards.iter().map(|s| s.local_addr().to_string()).collect(),
+            deadline: Duration::from_secs(5),
+            ..RouterConfig::default()
+        };
+        let router = Router::new(config, table, &probase_obs::Registry::new())
+            .expect("router builds");
+        let front = RouterServer::start(Arc::new(router), "127.0.0.1:0").expect("router binds");
+        let mut single_client = Client::connect(single.local_addr()).expect("connect single");
+        let mut routed_client = Client::connect(front.local_addr()).expect("connect router");
+
+        for &(from, to, count) in &writes {
+            if from == to {
+                continue;
+            }
+            let req = Request::AddEvidence {
+                parent: format!("c{from}"),
+                child: format!("c{to}"),
+                count: u32::from(count) + 1,
+            };
+            let a = single_client.call(&req).expect("single answers");
+            let b = routed_client.call(&req).expect("router answers");
+            match (&a.error, &b.error) {
+                (None, None) => {}
+                (Some((code_a, _)), Some((code_b, _))) => {
+                    prop_assert_eq!(code_a, code_b, "rejection codes diverge");
+                }
+                _ => prop_assert!(
+                    false,
+                    "deployments disagree on {:?}: single {:?}, routed {:?}",
+                    req, a.error, b.error
+                ),
+            }
+        }
+
+        let expected = canonical_bytes(&single.state().store().clone_graph());
+        let shard_graphs: Vec<ConceptGraph> = shards
+            .iter()
+            .map(|s| s.state().store().clone_graph())
+            .collect();
+        let merged = merge_shards(&shard_graphs);
+        prop_assert_eq!(
+            &canonical_bytes(&merged),
+            &expected,
+            "shard union diverged from the single node after bridge writes"
+        );
+
+        front.shutdown();
+        for s in shards {
+            s.shutdown();
+        }
+        single.shutdown();
     }
 }

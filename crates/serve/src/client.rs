@@ -148,6 +148,9 @@ pub struct Envelope {
     /// `true` when a sharded deployment answered from a subset of shards
     /// (single-node servers never set this).
     pub degraded: bool,
+    /// `true` when the answer was clipped by a server-side cap (e.g. a
+    /// conceptualize slice hit `MAX_K`) and may be missing entries.
+    pub truncated: bool,
 }
 
 impl Envelope {
@@ -164,6 +167,7 @@ impl Envelope {
                 data: v.get("data").cloned().ok_or("missing data")?,
                 error: None,
                 degraded: v.get("degraded").and_then(Json::as_bool).unwrap_or(false),
+                truncated: v.get("truncated").and_then(Json::as_bool).unwrap_or(false),
             })
         } else {
             let code = v
@@ -177,6 +181,7 @@ impl Envelope {
                 data: v.clone(),
                 error: Some((code.to_string(), detail.to_string())),
                 degraded: false,
+                truncated: false,
             })
         }
     }

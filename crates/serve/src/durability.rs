@@ -62,12 +62,13 @@ use parking_lot::Mutex;
 use probase_obs::{Counter, Gauge, Histogram, Registry};
 use probase_prob::{annotate_graph_urns_touched, UrnsModel};
 use probase_store::wal::{read_wal, WalEntry, WalOp, WalSync, WalWriter};
+use probase_store::{merge_subgraph, remove_labels};
 use probase_store::{
     pack, snapshot, sniff_format, ConceptGraph, GraphHandle, NodeId, PackedGraph, SharedStore,
     SnapshotFormat,
 };
 use probase_taxonomy::{count_histogram, shift_count_histogram};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fs::File;
 use std::io::{Read, Write};
 use std::path::{Component, Path, PathBuf};
@@ -153,6 +154,18 @@ pub struct Durability {
     rebuild_after_writes: u64,
     rebuild_interval: Option<Duration>,
     wal: Mutex<WalInner>,
+    /// Labels this shard imported via component migration, mapped to the
+    /// WAL index of the import record — populated both at replay and at
+    /// ack time, erased when a later drop drains the label away. The
+    /// fleet reconciler uses this to decide which shard won a component
+    /// when a crash interrupted a migration between import and drain.
+    migrations: Mutex<HashMap<String, u64>>,
+    /// Labels a drop record drained *off* this shard, mapped to the
+    /// shard that received them — the durable side of the serving
+    /// layer's migration tombstones. Re-populated from the WAL at
+    /// replay so a restarted shard keeps redirecting stale readers
+    /// instead of answering empty.
+    dropped: Mutex<HashMap<String, u32>>,
     /// Acked writes not yet covered by a checkpoint.
     pending: AtomicU64,
     last_rebuild: Mutex<Instant>,
@@ -198,16 +211,34 @@ fn parse_wal_name(name: &str) -> Option<u64> {
 }
 
 /// Replay one logged operation onto a graph. The serve write path only
-/// ever touches sense 0, so replay does too.
+/// ever touches sense 0 for evidence, so replay does too. Migration
+/// records re-run their component surgery: an import re-merges the
+/// journaled payload, a drop re-removes. Replay is exactly-once by
+/// construction (records covered by the checkpoint are never replayed),
+/// so the merge cannot double-count. A payload that fails to validate
+/// (impossible past the record CRC short of a targeted collision) is
+/// skipped.
 fn apply_op(g: &mut ConceptGraph, op: &WalOp) {
-    let WalOp::AddEvidence {
-        parent,
-        child,
-        count,
-    } = op;
-    let p = g.ensure_node(parent, 0);
-    let c = g.ensure_node(child, 0);
-    g.add_evidence(p, c, *count);
+    match op {
+        WalOp::AddEvidence {
+            parent,
+            child,
+            count,
+        } => {
+            let p = g.ensure_node(parent, 0);
+            let c = g.ensure_node(child, 0);
+            g.add_evidence(p, c, *count);
+        }
+        WalOp::ImportComponent { payload, .. } => {
+            if let Ok(packed) = PackedGraph::from_vec(payload.clone()) {
+                merge_subgraph(g, &packed);
+            }
+        }
+        WalOp::DropComponent { labels, .. } => {
+            let set: HashSet<String> = labels.iter().cloned().collect();
+            *g = remove_labels(g, &set);
+        }
+    }
 }
 
 /// Write a checkpoint durably: temp file, fsync, rename, fsync the
@@ -329,6 +360,8 @@ impl Durability {
         all.sort_by_key(|e| e.index);
         let mut expected = upto;
         let mut replayed = 0u64;
+        let mut migrations: HashMap<String, u64> = HashMap::new();
+        let mut dropped: HashMap<String, u32> = HashMap::new();
         for e in &all {
             if e.index < expected {
                 continue; // covered by the checkpoint, or a duplicate
@@ -340,6 +373,21 @@ impl Durability {
             // packed restart (empty suffix) never reaches this line.
             let (g, _) = handle.make_mutable();
             apply_op(g, &e.op);
+            match &e.op {
+                WalOp::ImportComponent { labels, .. } => {
+                    for l in labels {
+                        migrations.insert(l.clone(), e.index);
+                        dropped.remove(l);
+                    }
+                }
+                WalOp::DropComponent { target, labels } => {
+                    for l in labels {
+                        migrations.remove(l);
+                        dropped.insert(l.clone(), *target);
+                    }
+                }
+                WalOp::AddEvidence { .. } => {}
+            }
             expected += 1;
             replayed += 1;
         }
@@ -381,6 +429,8 @@ impl Durability {
                 hist,
                 poisoned: false,
             }),
+            migrations: Mutex::new(migrations),
+            dropped: Mutex::new(dropped),
             pending: AtomicU64::new(0),
             last_rebuild: Mutex::new(Instant::now()),
             wal_appends: registry.counter("serve.wal.appends"),
@@ -450,6 +500,21 @@ impl Durability {
     /// *while holding the store write lock*, before the graph mutation:
     /// an `Err` means nothing was acked and nothing may be applied.
     pub fn append_evidence(&self, parent: &str, child: &str, count: u32) -> Result<(), String> {
+        self.append_op(WalOp::AddEvidence {
+            parent: parent.to_string(),
+            child: child.to_string(),
+            count,
+        })
+        .map(|_| ())
+    }
+
+    /// Append any durable operation to the log, returning the WAL index
+    /// it was assigned. Same contract as [`Durability::append_evidence`]:
+    /// called under the store write lock, before the matching graph
+    /// mutation; `Err` means nothing may be applied. Migration records
+    /// additionally maintain the imported-labels map the fleet
+    /// reconciler consults after a crash.
+    pub fn append_op(&self, op: WalOp) -> Result<u64, String> {
         let mut inner = self.wal.lock();
         if inner.poisoned {
             return Err(
@@ -458,22 +523,38 @@ impl Durability {
         }
         let entry = WalEntry {
             index: inner.next_index,
-            op: WalOp::AddEvidence {
-                parent: parent.to_string(),
-                child: child.to_string(),
-                count,
-            },
+            op,
         };
         match inner.writer.append(&entry) {
             Ok(synced) => {
+                let index = entry.index;
                 inner.next_index += 1;
+                match &entry.op {
+                    WalOp::ImportComponent { labels, .. } => {
+                        let mut m = self.migrations.lock();
+                        let mut dr = self.dropped.lock();
+                        for l in labels {
+                            m.insert(l.clone(), index);
+                            dr.remove(l);
+                        }
+                    }
+                    WalOp::DropComponent { target, labels } => {
+                        let mut m = self.migrations.lock();
+                        let mut dr = self.dropped.lock();
+                        for l in labels {
+                            m.remove(l);
+                            dr.insert(l.clone(), *target);
+                        }
+                    }
+                    WalOp::AddEvidence { .. } => {}
+                }
                 inner.mirror.push(entry);
                 self.wal_appends.inc();
                 if synced {
                     self.wal_syncs.inc();
                 }
                 self.pending.fetch_add(1, Ordering::Relaxed);
-                Ok(())
+                Ok(index)
             }
             Err(e) => {
                 // The file may now hold a torn record; appending past it
@@ -539,29 +620,47 @@ impl Durability {
             // the next rotation.
             let start = inner.mirror.partition_point(|e| e.index < cursor);
             let skipped = start as u64;
-            // Group the suffix by edge so a multi-record burst on one
-            // edge shifts its histogram bucket once, by the total delta.
-            let mut by_edge: BTreeMap<(String, String), u32> = BTreeMap::new();
-            let mut records = 0u64;
-            for e in &inner.mirror[start..] {
-                let WalOp::AddEvidence {
-                    parent,
-                    child,
-                    count,
-                } = &e.op;
-                *by_edge.entry((parent.clone(), child.clone())).or_insert(0) += *count;
-                records += 1;
-            }
-            let touched: Vec<((NodeId, NodeId), u32)> = by_edge
+            // Migration records restructure the graph wholesale (grafts
+            // and removals were applied to the store at ack time, not
+            // deferred to the fold), so an incremental histogram shift
+            // cannot describe them. When the suffix holds one, consume
+            // the whole suffix and re-derive the histogram from the live
+            // graph instead of shifting — same O(edges) as the refit
+            // scan that follows, and bit-identical to a fresh restart.
+            let structural = inner.mirror[start..]
                 .iter()
-                .filter_map(|((p, c), &delta)| {
-                    let pn = g.find_node(p, 0)?;
-                    let cn = g.find_node(c, 0)?;
-                    Some(((pn, cn), delta))
-                })
-                .collect();
+                .any(|e| !matches!(e.op, WalOp::AddEvidence { .. }));
+            let mut records = 0u64;
+            if structural {
+                records = inner.mirror[start..].len() as u64;
+                inner.hist = count_histogram(&*g);
+            } else {
+                // Group the suffix by edge so a multi-record burst on one
+                // edge shifts its histogram bucket once, by the total
+                // delta.
+                let mut by_edge: BTreeMap<(String, String), u32> = BTreeMap::new();
+                for e in &inner.mirror[start..] {
+                    if let WalOp::AddEvidence {
+                        parent,
+                        child,
+                        count,
+                    } = &e.op
+                    {
+                        *by_edge.entry((parent.clone(), child.clone())).or_insert(0) += *count;
+                    }
+                    records += 1;
+                }
+                let touched: Vec<((NodeId, NodeId), u32)> = by_edge
+                    .iter()
+                    .filter_map(|((p, c), &delta)| {
+                        let pn = g.find_node(p, 0)?;
+                        let cn = g.find_node(c, 0)?;
+                        Some(((pn, cn), delta))
+                    })
+                    .collect();
+                shift_count_histogram(g, touched, &mut inner.hist);
+            }
             let next = inner.next_index;
-            shift_count_histogram(g, touched, &mut inner.hist);
             let edges_refit = if inner.hist.values().any(|&w| w > 0) {
                 let model = UrnsModel::fit_histogram(&inner.hist, 200);
                 self.inc_model_refits.inc();
@@ -745,6 +844,10 @@ impl Durability {
         });
         match version {
             Some(v) => {
+                // The loaded snapshot supersedes any half-finished
+                // migration bookkeeping along with the graph itself.
+                self.migrations.lock().clear();
+                self.dropped.lock().clear();
                 let keep = self.wal.lock().seq;
                 prune(&self.dir, keep);
                 *self.last_rebuild.lock() = Instant::now();
@@ -768,6 +871,26 @@ impl Durability {
     /// Acked writes not yet covered by a checkpoint.
     pub fn pending_writes(&self) -> u64 {
         self.pending.load(Ordering::Relaxed)
+    }
+
+    /// Labels this shard imported via component migration that have not
+    /// since been drained away, with the WAL index of the import record.
+    /// The fleet reconciler treats an entry here as proof this shard
+    /// won the component (the importer journals before the drainer
+    /// drops, so after a crash between the two, exactly the importing
+    /// side still holds a record).
+    pub fn imported_labels(&self) -> HashMap<String, u64> {
+        self.migrations.lock().clone()
+    }
+
+    /// Labels drained off this shard by drop records still present in
+    /// the replayable WAL suffix, with the shard that received them.
+    /// The serving layer seeds its migration tombstones from this at
+    /// startup so redirects survive a restart (until a checkpoint
+    /// retires the drop record — by then the routing layer has
+    /// converged on the new owner).
+    pub fn dropped_labels(&self) -> HashMap<String, u32> {
+        self.dropped.lock().clone()
     }
 
     /// WAL appends so far.

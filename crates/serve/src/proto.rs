@@ -113,6 +113,31 @@ pub enum Request {
         /// Path to a `snapshot::to_bytes` file.
         path: String,
     },
+    /// Migration: read (and optionally drain) the whole label component
+    /// containing `label`. The response carries the component's labels
+    /// and, unless `labels_only`, a base64 packed-snapshot payload.
+    /// With `drain: true` the shard journals a drop, removes the
+    /// component, and tombstones its labels as moved to `target`.
+    ExportComponent {
+        /// Any label inside the component.
+        label: String,
+        /// When true, remove the component after exporting (the second,
+        /// destructive half of a migration). False = idempotent peek.
+        drain: bool,
+        /// Shard index that owns the component after a drain (recorded
+        /// in tombstones and the drop journal). Required when draining.
+        target: Option<u32>,
+        /// When true, skip encoding the payload (cheap sizing peek).
+        labels_only: bool,
+    },
+    /// Migration: graft an exported component onto this shard. The
+    /// payload is journaled in the WAL before the graft is applied.
+    ImportComponent {
+        /// Shard index the component is moving from.
+        source: u32,
+        /// Base64 packed-snapshot bytes from an `export-component`.
+        payload: String,
+    },
 }
 
 /// Largest accepted `k` (bounds response size).
@@ -120,7 +145,7 @@ pub const MAX_K: usize = 1000;
 
 /// All endpoint names, in metric-index order. Keep in sync with
 /// [`Request::endpoint_index`].
-pub const ENDPOINTS: [&str; 11] = [
+pub const ENDPOINTS: [&str; 13] = [
     "ping",
     "isa",
     "typicality",
@@ -132,6 +157,8 @@ pub const ENDPOINTS: [&str; 11] = [
     "labels",
     "add-evidence",
     "snapshot-load",
+    "export-component",
+    "import-component",
 ];
 
 impl Request {
@@ -142,14 +169,18 @@ impl Request {
 
     /// Whether retrying this request cannot change server state: true
     /// for every read, false for the writes (`add-evidence` would
-    /// double-count evidence, `snapshot-load` would double-swap). The
-    /// client's retry machinery refuses to retry non-idempotent
-    /// requests.
+    /// double-count evidence, `snapshot-load` would double-swap, a
+    /// draining `export-component` would remove twice, and
+    /// `import-component` would double-merge). The client's retry
+    /// machinery refuses to retry non-idempotent requests.
     pub fn is_idempotent(&self) -> bool {
-        !matches!(
-            self,
-            Request::AddEvidence { .. } | Request::SnapshotLoad { .. }
-        )
+        match self {
+            Request::AddEvidence { .. }
+            | Request::SnapshotLoad { .. }
+            | Request::ImportComponent { .. } => false,
+            Request::ExportComponent { drain, .. } => !drain,
+            _ => true,
+        }
     }
 
     /// Index into [`ENDPOINTS`] (and the per-endpoint metrics table).
@@ -166,6 +197,8 @@ impl Request {
             Request::Labels { .. } => 8,
             Request::AddEvidence { .. } => 9,
             Request::SnapshotLoad { .. } => 10,
+            Request::ExportComponent { .. } => 11,
+            Request::ImportComponent { .. } => 12,
         }
     }
 
@@ -181,7 +214,9 @@ impl Request {
             Request::Ping
             | Request::Stats
             | Request::AddEvidence { .. }
-            | Request::SnapshotLoad { .. } => return None,
+            | Request::SnapshotLoad { .. }
+            | Request::ExportComponent { .. }
+            | Request::ImportComponent { .. } => return None,
             Request::Isa { parent, child } | Request::Plausibility { parent, child } => {
                 key.push_str(parent);
                 key.push(KEY_SEP);
@@ -304,6 +339,39 @@ impl Request {
             "snapshot-load" => Request::SnapshotLoad {
                 path: req_str(v, "path")?,
             },
+            "export-component" => {
+                let drain = v.get("drain").and_then(Json::as_bool).unwrap_or(false);
+                let target = match v.get("target") {
+                    None => None,
+                    Some(j) => Some(
+                        j.as_u64()
+                            .filter(|&t| t <= u32::MAX as u64)
+                            .ok_or_else(|| "\"target\" must be a shard index".to_string())?
+                            as u32,
+                    ),
+                };
+                if drain && target.is_none() {
+                    return Err("draining export requires \"target\"".to_string());
+                }
+                Request::ExportComponent {
+                    label: req_str(v, "label")?,
+                    drain,
+                    target,
+                    labels_only: v
+                        .get("labels_only")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false),
+                }
+            }
+            "import-component" => Request::ImportComponent {
+                source: v
+                    .get("source")
+                    .and_then(Json::as_u64)
+                    .filter(|&s| s <= u32::MAX as u64)
+                    .ok_or_else(|| "\"source\" must be a shard index".to_string())?
+                    as u32,
+                payload: req_str(v, "payload")?,
+            },
             other => return Err(format!("unknown endpoint {other:?}")),
         };
         Ok((id, req))
@@ -370,6 +438,27 @@ impl Request {
             Request::SnapshotLoad { path } => {
                 pairs.push(("path", Json::str(path.clone())));
             }
+            Request::ExportComponent {
+                label,
+                drain,
+                target,
+                labels_only,
+            } => {
+                pairs.push(("label", Json::str(label.clone())));
+                if *drain {
+                    pairs.push(("drain", Json::Bool(true)));
+                }
+                if let Some(t) = target {
+                    pairs.push(("target", Json::num(*t as f64)));
+                }
+                if *labels_only {
+                    pairs.push(("labels_only", Json::Bool(true)));
+                }
+            }
+            Request::ImportComponent { source, payload } => {
+                pairs.push(("source", Json::num(*source as f64)));
+                pairs.push(("payload", Json::str(payload.clone())));
+            }
         }
         Json::obj(pairs)
     }
@@ -413,18 +502,23 @@ pub enum ErrorCode {
     LineTooLarge,
     /// The handler itself failed (e.g. unreadable snapshot file).
     Internal,
+    /// The label's component migrated to another shard; the detail says
+    /// which (`moved to shard N`). Routers learn the new owner and
+    /// re-route; direct clients should re-resolve.
+    Moved,
 }
 
 impl ErrorCode {
     /// Every code, in wire order. The chaos suite round-trips this list
     /// to guard the error-envelope contract.
-    pub const ALL: [ErrorCode; 6] = [
+    pub const ALL: [ErrorCode; 7] = [
         ErrorCode::BadRequest,
         ErrorCode::Overloaded,
         ErrorCode::DeadlineExceeded,
         ErrorCode::TooManyConnections,
         ErrorCode::LineTooLarge,
         ErrorCode::Internal,
+        ErrorCode::Moved,
     ];
 
     /// The wire string for this code.
@@ -436,6 +530,7 @@ impl ErrorCode {
             ErrorCode::TooManyConnections => "too-many-connections",
             ErrorCode::LineTooLarge => "line-too-large",
             ErrorCode::Internal => "internal",
+            ErrorCode::Moved => "moved",
         }
     }
 
@@ -454,6 +549,80 @@ impl ErrorCode {
             ErrorCode::Overloaded | ErrorCode::DeadlineExceeded | ErrorCode::TooManyConnections
         )
     }
+}
+
+// Base64 (RFC 4648, standard alphabet, padded) for carrying packed
+// snapshot bytes inside JSON string fields. Hand-rolled so the serve
+// crate stays dependency-free, like the store's CRC-32.
+const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode bytes as standard padded base64.
+pub fn b64_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
+        let n = (b[0] as u32) << 16 | (b[1] as u32) << 8 | b[2] as u32;
+        out.push(B64[(n >> 18) as usize & 63] as char);
+        out.push(B64[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            B64[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decode standard padded base64; `None` on any malformed input.
+pub fn b64_decode(s: &str) -> Option<Vec<u8>> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return None;
+    }
+    let val = |c: u8| -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some((c - b'A') as u32),
+            b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+            b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    };
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, chunk) in bytes.chunks(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let pad = if last {
+            chunk.iter().rev().take_while(|&&c| c == b'=').count()
+        } else {
+            0
+        };
+        if pad > 2 {
+            return None;
+        }
+        let mut n = 0u32;
+        for &c in &chunk[..4 - pad] {
+            n = n << 6 | val(c)?;
+        }
+        n <<= 6 * pad as u32;
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Some(out)
 }
 
 /// Build a success envelope: `{"id":..,"ok":true,"version":..,"data":..}`.
@@ -478,6 +647,34 @@ pub fn degraded_envelope(id: u64, version: u64, data: Json) -> Json {
         ("degraded", Json::Bool(true)),
         ("data", data),
     ])
+}
+
+/// Build a success envelope with explicit partial-result markers:
+/// `degraded` (some shards unreachable) and `truncated` (a cross-shard
+/// recombination hit the `MAX_K` slice cap, so the tail may be
+/// incomplete). Either flag is omitted when false, so the output
+/// matches [`ok_envelope`] / [`degraded_envelope`] byte-for-byte in
+/// the unflagged cases.
+pub fn annotated_envelope(
+    id: u64,
+    version: u64,
+    degraded: bool,
+    truncated: bool,
+    data: Json,
+) -> Json {
+    let mut pairs = vec![
+        ("id", Json::num(id as f64)),
+        ("ok", Json::Bool(true)),
+        ("version", Json::num(version as f64)),
+    ];
+    if degraded {
+        pairs.push(("degraded", Json::Bool(true)));
+    }
+    if truncated {
+        pairs.push(("truncated", Json::Bool(true)));
+    }
+    pairs.push(("data", data));
+    Json::obj(pairs)
 }
 
 /// Build an error envelope: `{"id":..,"ok":false,"error":..,"detail":..}`.
@@ -548,6 +745,22 @@ mod tests {
         roundtrip(Request::SnapshotLoad {
             path: "/tmp/x.pb".into(),
         });
+        roundtrip(Request::ExportComponent {
+            label: "apple".into(),
+            drain: false,
+            target: None,
+            labels_only: true,
+        });
+        roundtrip(Request::ExportComponent {
+            label: "apple".into(),
+            drain: true,
+            target: Some(2),
+            labels_only: false,
+        });
+        roundtrip(Request::ImportComponent {
+            source: 3,
+            payload: "UEJTUA==".into(),
+        });
     }
 
     #[test]
@@ -578,6 +791,10 @@ mod tests {
             r#"{"endpoint":"conceptualize","terms":[1]}"#,
             r#"{"endpoint":"add-evidence","parent":"a","child":"b","count":0}"#,
             r#"{"endpoint":"add-evidence","parent":"a","child":"b"}"#,
+            r#"{"endpoint":"export-component","label":"a","drain":true}"#,
+            r#"{"endpoint":"export-component","label":"","drain":false}"#,
+            r#"{"endpoint":"import-component","payload":"AA=="}"#,
+            r#"{"endpoint":"import-component","source":1,"payload":""}"#,
         ] {
             let v = json::parse(bad).unwrap();
             assert!(Request::from_json(&v).is_err(), "{bad} should be rejected");
@@ -672,6 +889,24 @@ mod tests {
             None
         );
         assert_eq!(Request::SnapshotLoad { path: "p".into() }.cache_key(), None);
+        assert_eq!(
+            Request::ExportComponent {
+                label: "a".into(),
+                drain: false,
+                target: None,
+                labels_only: false
+            }
+            .cache_key(),
+            None
+        );
+        assert_eq!(
+            Request::ImportComponent {
+                source: 0,
+                payload: "AA==".into()
+            }
+            .cache_key(),
+            None
+        );
     }
 
     #[test]
@@ -732,6 +967,25 @@ mod tests {
         }
         .is_idempotent());
         assert!(!Request::SnapshotLoad { path: "p".into() }.is_idempotent());
+        assert!(Request::ExportComponent {
+            label: "a".into(),
+            drain: false,
+            target: None,
+            labels_only: false
+        }
+        .is_idempotent());
+        assert!(!Request::ExportComponent {
+            label: "a".into(),
+            drain: true,
+            target: Some(1),
+            labels_only: false
+        }
+        .is_idempotent());
+        assert!(!Request::ImportComponent {
+            source: 0,
+            payload: "AA==".into()
+        }
+        .is_idempotent());
     }
 
     #[test]
@@ -771,10 +1025,67 @@ mod tests {
                 count: 1,
             },
             Request::SnapshotLoad { path: "p".into() },
+            Request::ExportComponent {
+                label: "a".into(),
+                drain: false,
+                target: None,
+                labels_only: false,
+            },
+            Request::ImportComponent {
+                source: 0,
+                payload: "AA==".into(),
+            },
         ];
+        assert_eq!(reqs.len(), ENDPOINTS.len());
         for (i, r) in reqs.iter().enumerate() {
             assert_eq!(r.endpoint_index(), i);
             assert_eq!(r.endpoint(), ENDPOINTS[i]);
+        }
+    }
+
+    #[test]
+    fn annotated_envelope_flags() {
+        let plain = annotated_envelope(1, 2, false, false, Json::num(0));
+        assert_eq!(
+            plain.to_string(),
+            ok_envelope(1, 2, Json::num(0)).to_string()
+        );
+        let deg = annotated_envelope(1, 2, true, false, Json::num(0));
+        assert_eq!(
+            deg.to_string(),
+            degraded_envelope(1, 2, Json::num(0)).to_string()
+        );
+        let trunc = annotated_envelope(1, 2, false, true, Json::num(0));
+        assert_eq!(
+            trunc.to_string(),
+            r#"{"id":1,"ok":true,"version":2,"truncated":true,"data":0}"#
+        );
+        let both = annotated_envelope(1, 2, true, true, Json::num(0));
+        assert!(both
+            .to_string()
+            .contains(r#""degraded":true,"truncated":true"#));
+    }
+
+    #[test]
+    fn base64_roundtrips_and_rejects_garbage() {
+        // RFC 4648 §10 test vectors.
+        for (raw, enc) in [
+            (&b""[..], ""),
+            (&b"f"[..], "Zg=="),
+            (&b"fo"[..], "Zm8="),
+            (&b"foo"[..], "Zm9v"),
+            (&b"foob"[..], "Zm9vYg=="),
+            (&b"fooba"[..], "Zm9vYmE="),
+            (&b"foobar"[..], "Zm9vYmFy"),
+        ] {
+            assert_eq!(b64_encode(raw), enc);
+            assert_eq!(b64_decode(enc).as_deref(), Some(raw));
+        }
+        // Every binary byte value survives a roundtrip.
+        let all: Vec<u8> = (0u8..=255).collect();
+        assert_eq!(b64_decode(&b64_encode(&all)).as_deref(), Some(&all[..]));
+        for bad in ["Zg=", "Zg=a", "Z===", "Zm9v!a==", "=Zg=", "ab"] {
+            assert!(b64_decode(bad).is_none(), "{bad:?} should be rejected");
         }
     }
 }

@@ -20,21 +20,34 @@
 //! monotone per connection.
 
 use crate::cache::ResponseCache;
+use crate::client::{Client, ClientConfig};
 use crate::durability::Durability;
 use crate::json::Json;
-use crate::proto::{Direction, ErrorCode, LabelKind, Request};
+use crate::proto::{b64_decode, b64_encode, Direction, ErrorCode, LabelKind, Request};
 use crate::telemetry::ServeTelemetry;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use probase_apps::{rewrite_query, Association};
-use probase_obs::Registry;
+use probase_obs::{Counter, Registry};
 use probase_prob::ProbaseModel;
 use probase_store::query::ancestors;
+use probase_store::wal::WalOp;
 use probase_store::{
-    snapshot, sniff_format, ConceptGraph, GraphHandle, GraphStats, LevelMap, NodeId, PackedGraph,
+    component_labels, export_component, merge_subgraph, pack, remove_labels, snapshot,
+    sniff_format, ConceptGraph, GraphHandle, GraphStats, LevelMap, NodeId, PackedGraph,
     SharedStore, SnapshotFormat,
 };
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::net::SocketAddr;
 use std::sync::Arc;
+
+/// Largest packed component the `export-component` endpoint will put on
+/// the wire. Base64 inflates by 4/3 and the request line budget is
+/// `ServeConfig::max_line_bytes` (256 KiB by default), so 160 KiB of
+/// packed bytes keeps the resulting `import-component` line comfortably
+/// under the cap (and well under the WAL's 1 MiB record cap). A
+/// component too large to migrate fails the bridge write cleanly; the
+/// operator repartitions offline.
+pub const MAX_MIGRATION_PAYLOAD: usize = 160 * 1024;
 
 /// A model pinned to the store version it was built from.
 struct VersionedModel {
@@ -56,6 +69,85 @@ pub struct ServeState {
     /// snapshot directory. `None` keeps writes memory-only (and disables
     /// `snapshot-load`, which would otherwise read arbitrary files).
     durability: Option<Arc<Durability>>,
+    /// Migration tombstones: labels whose component was drained off this
+    /// shard, mapped to the shard that owns them now. Label-keyed reads
+    /// on a tombstoned label answer [`ErrorCode::Moved`] with the new
+    /// owner in the detail, so a stale routing table redirects instead
+    /// of silently serving pre-migration data.
+    moved: RwLock<HashMap<String, u32>>,
+    /// Write replication to this shard's replica set, when configured.
+    replicator: RwLock<Option<Arc<Replicator>>>,
+}
+
+/// Ships acked writes to a shard's replicas, synchronously and
+/// best-effort: a dead replica costs a reconnect attempt per write (and
+/// a `serve.replication.ship_failures` tick), never the primary's ack.
+/// Connections are cached per replica and re-dialed once on failure.
+pub struct Replicator {
+    addrs: Vec<SocketAddr>,
+    clients: Mutex<Vec<Option<Client>>>,
+    shipped: Arc<Counter>,
+    failures: Arc<Counter>,
+}
+
+impl Replicator {
+    fn new(addrs: Vec<SocketAddr>, registry: &Registry) -> Self {
+        let n = addrs.len();
+        Self {
+            addrs,
+            clients: Mutex::new((0..n).map(|_| None).collect()),
+            shipped: registry.counter("serve.replication.shipped"),
+            failures: registry.counter("serve.replication.ship_failures"),
+        }
+    }
+
+    /// The replica addresses this shard ships to.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Writes successfully acknowledged by a replica.
+    pub fn shipped_total(&self) -> u64 {
+        self.shipped.get()
+    }
+
+    /// Ship attempts that failed (replica down or rejected the write).
+    pub fn failures_total(&self) -> u64 {
+        self.failures.get()
+    }
+
+    /// Forward one already-acked write to every replica. Holding the
+    /// mutex across the calls keeps the ship order equal to the local
+    /// ack order for callers that ship immediately after their store
+    /// update.
+    fn ship(&self, req: &Request) {
+        let mut clients = self.clients.lock();
+        for (i, addr) in self.addrs.iter().enumerate() {
+            let attempt = |slot: &mut Option<Client>| -> bool {
+                if slot.is_none() {
+                    *slot = Client::connect_with(*addr, ClientConfig::default()).ok();
+                }
+                let Some(client) = slot.as_mut() else {
+                    return false;
+                };
+                // Default config = one wire attempt, no internal retry.
+                match client.call(req) {
+                    Ok(env) if env.error.is_none() => true,
+                    _ => {
+                        *slot = None;
+                        false
+                    }
+                }
+            };
+            // One retry on a fresh connection: the common failure is a
+            // replica restart having closed the cached socket.
+            if attempt(&mut clients[i]) || attempt(&mut clients[i]) {
+                self.shipped.inc();
+            } else {
+                self.failures.inc();
+            }
+        }
+    }
 }
 
 /// A handler failure to be wrapped in an error envelope.
@@ -101,6 +193,12 @@ impl ServeState {
             version,
             model: ProbaseModel::new(graph),
         }));
+        // Re-arm migration tombstones from the WAL's surviving drop
+        // records, so a restarted shard keeps redirecting stale readers.
+        let moved = durability
+            .as_ref()
+            .map(|d| d.dropped_labels())
+            .unwrap_or_default();
         Self {
             store,
             cache: ResponseCache::new(cache_capacity, cache_shards),
@@ -108,6 +206,8 @@ impl ServeState {
             model,
             assoc: Association::default(),
             durability,
+            moved: RwLock::new(moved),
+            replicator: RwLock::new(None),
         }
     }
 
@@ -119,6 +219,30 @@ impl ServeState {
     /// The durable write path, if one is configured.
     pub fn durability(&self) -> Option<&Arc<Durability>> {
         self.durability.as_ref()
+    }
+
+    /// Configure write replication: every acked write is forwarded to
+    /// these replicas (best-effort, after the local ack). Counters land
+    /// in `registry` as `serve.replication.*`.
+    pub fn set_replicas(&self, addrs: Vec<SocketAddr>, registry: &Registry) {
+        *self.replicator.write() = Some(Arc::new(Replicator::new(addrs, registry)));
+    }
+
+    /// The replica shipper, when replication is configured.
+    pub fn replicator(&self) -> Option<Arc<Replicator>> {
+        self.replicator.read().clone()
+    }
+
+    /// Current migration tombstones: drained label → owning shard.
+    pub fn tombstones(&self) -> HashMap<String, u32> {
+        self.moved.read().clone()
+    }
+
+    /// Forward one acked write to the replica set, if one is configured.
+    fn ship_to_replicas(&self, req: &Request) {
+        if let Some(r) = self.replicator.read().clone() {
+            r.ship(req);
+        }
     }
 
     /// Eagerly re-derive the model at the current store version. The
@@ -177,7 +301,27 @@ impl ServeState {
                 count,
             } => self.add_evidence(parent, child, *count),
             Request::SnapshotLoad { path } => self.snapshot_load(path),
+            Request::ExportComponent {
+                label,
+                drain,
+                target,
+                labels_only,
+            } => self.export_component(label, *drain, *target, *labels_only),
+            Request::ImportComponent { source, payload } => self.import_component(*source, payload),
             _ => {
+                // A label-keyed read on a migrated-away component must
+                // redirect, not answer from pre-migration leftovers. The
+                // error is never cached, so lifting the tombstone (a
+                // later import back) un-blocks the label immediately.
+                if let Some((label, shard)) = self.moved_to(req) {
+                    return (
+                        self.store.version(),
+                        Err((
+                            ErrorCode::Moved,
+                            format!("{label:?} moved to shard {shard}"),
+                        )),
+                    );
+                }
                 let vm = self.current_model();
                 let key = req.cache_key();
                 if let Some(k) = &key {
@@ -265,7 +409,11 @@ impl ServeState {
             Request::Levels { term } => Ok(levels(g, term.as_deref())),
             Request::Labels { kind, k } => Ok(labels(g, *kind, *k)),
             // Handled in `handle`; unreachable here.
-            Request::Ping | Request::AddEvidence { .. } | Request::SnapshotLoad { .. } => Err((
+            Request::Ping
+            | Request::AddEvidence { .. }
+            | Request::SnapshotLoad { .. }
+            | Request::ExportComponent { .. }
+            | Request::ImportComponent { .. } => Err((
                 ErrorCode::Internal,
                 "write endpoint routed as read".to_string(),
             )),
@@ -312,10 +460,258 @@ impl ServeState {
                 ("nodes", Json::num(g.node_count() as f64)),
             ]))
         });
+        if result.is_ok() {
+            self.ship_to_replicas(&Request::AddEvidence {
+                parent: parent.to_string(),
+                child: child.to_string(),
+                count,
+            });
+        }
+        (version, result)
+    }
+
+    /// Which shard owns `req`'s label, when that label was drained away.
+    fn moved_to(&self, req: &Request) -> Option<(String, u32)> {
+        let moved = self.moved.read();
+        if moved.is_empty() {
+            return None;
+        }
+        let hit = |l: &String| moved.get(l).map(|&s| (l.clone(), s));
+        match req {
+            Request::Isa { parent, child } | Request::Plausibility { parent, child } => {
+                hit(parent).or_else(|| hit(child))
+            }
+            Request::Typicality { term, .. } => hit(term),
+            Request::Levels { term: Some(term) } => hit(term),
+            _ => None,
+        }
+    }
+
+    /// The `export-component` endpoint. Peek mode (`drain: false`) is an
+    /// idempotent read: the connected component of `label` as a sorted
+    /// label list, its edge count, and — unless `labels_only` — the
+    /// packed (v2) subgraph bytes, base64-encoded for the wire. Drain
+    /// mode (`drain: true`, `target` required) journals a drop record,
+    /// removes the component from the graph, and tombstones every
+    /// removed label so stale readers redirect to `target`. An unknown
+    /// label is an empty component, not an error — the router probes
+    /// both sides of a bridge write with peeks.
+    fn export_component(
+        &self,
+        label: &str,
+        drain: bool,
+        target: Option<u32>,
+        labels_only: bool,
+    ) -> (u64, Result<Json, HandlerError>) {
+        if drain {
+            let Some(target) = target else {
+                return (
+                    self.store.version(),
+                    Err((
+                        ErrorCode::BadRequest,
+                        "drain requires a target shard".to_string(),
+                    )),
+                );
+            };
+            let labels = self.store.read(|g| component_labels(g, label));
+            let (version, result) = self.drain_labels(labels, target);
+            if result.is_ok() {
+                self.ship_to_replicas(&Request::ExportComponent {
+                    label: label.to_string(),
+                    drain: true,
+                    target: Some(target),
+                    labels_only: false,
+                });
+            }
+            return (version, result);
+        }
+        let (result, version) = self.store.read_versioned(|g| {
+            let labels = component_labels(g, label);
+            let set: HashSet<String> = labels.iter().cloned().collect();
+            let sub = export_component(g, &set);
+            let edges = sub.edge_count();
+            let mut pairs = vec![
+                ("labels", Json::Arr(labels.iter().map(Json::str).collect())),
+                ("edges", Json::num(edges as f64)),
+            ];
+            if !labels_only && !labels.is_empty() {
+                let bytes = match pack(&sub) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        return Err((
+                            ErrorCode::Internal,
+                            format!("cannot pack component of {label:?}: {e}"),
+                        ))
+                    }
+                };
+                if bytes.len() > MAX_MIGRATION_PAYLOAD {
+                    return Err((
+                        ErrorCode::Internal,
+                        format!(
+                            "component of {label:?} is {} bytes packed, over the {} byte \
+                             migration cap — repartition offline instead",
+                            bytes.len(),
+                            MAX_MIGRATION_PAYLOAD
+                        ),
+                    ));
+                }
+                pairs.push(("payload", Json::str(b64_encode(&bytes))));
+            }
+            Ok(Json::obj(pairs))
+        });
+        (version, result)
+    }
+
+    /// Remove `labels` from this shard: journal a drop record (when
+    /// durable), rebuild the graph without them, and tombstone each
+    /// label → `target`. Shared by the drain path and the fleet
+    /// reconciler ([`ServeState::drop_labels`]).
+    fn drain_labels(&self, labels: Vec<String>, target: u32) -> (u64, Result<Json, HandlerError>) {
+        if labels.is_empty() {
+            // Nothing to drain — idempotent success (a crashed retry may
+            // re-ask for a component the first attempt already removed).
+            return (
+                self.store.version(),
+                Ok(Json::obj(vec![
+                    ("labels", Json::Arr(Vec::new())),
+                    ("dropped_edges", Json::num(0.0)),
+                    ("target", Json::num(target as f64)),
+                ])),
+            );
+        }
+        let set: HashSet<String> = labels.iter().cloned().collect();
+        let (result, version) = self.store.update_versioned(|g| {
+            // Log before mutating, same contract as add-evidence: an
+            // append failure acks nothing and applies nothing.
+            if let Some(d) = &self.durability {
+                if let Err(e) = d.append_op(WalOp::DropComponent {
+                    target,
+                    labels: labels.clone(),
+                }) {
+                    return Err((ErrorCode::Internal, e));
+                }
+            }
+            let before = g.edge_count();
+            *g = remove_labels(g, &set);
+            Ok(Json::obj(vec![
+                ("labels", Json::Arr(labels.iter().map(Json::str).collect())),
+                ("dropped_edges", Json::num((before - g.edge_count()) as f64)),
+                ("target", Json::num(target as f64)),
+            ]))
+        });
+        if result.is_ok() {
+            let mut moved = self.moved.write();
+            for l in &labels {
+                moved.insert(l.clone(), target);
+            }
+        }
+        (version, result)
+    }
+
+    /// Drop `labels` from this shard in favor of `target` — the fleet
+    /// reconciler's entry point for healing a crash that left a
+    /// component on two shards. Journals and tombstones exactly like a
+    /// drain, and ships the drop to replicas.
+    pub fn drop_labels(&self, labels: Vec<String>, target: u32) -> Result<(), String> {
+        if labels.is_empty() {
+            return Ok(());
+        }
+        let seed = labels[0].clone();
+        let (_, result) = self.drain_labels(labels, target);
+        match result {
+            Ok(_) => {
+                self.ship_to_replicas(&Request::ExportComponent {
+                    label: seed,
+                    drain: true,
+                    target: Some(target),
+                    labels_only: false,
+                });
+                Ok(())
+            }
+            Err((_, detail)) => Err(detail),
+        }
+    }
+
+    /// The `import-component` endpoint: validate the base64 packed
+    /// payload, journal it (when durable — the import record is the
+    /// migration's commit point, written *before* the graft so a crash
+    /// replays it), and merge the subgraph into this shard's graph.
+    /// Tombstones on the imported labels are lifted — the component is
+    /// home again.
+    fn import_component(&self, source: u32, payload: &str) -> (u64, Result<Json, HandlerError>) {
+        let Some(bytes) = b64_decode(payload) else {
+            return (
+                self.store.version(),
+                Err((
+                    ErrorCode::BadRequest,
+                    "payload is not valid base64".to_string(),
+                )),
+            );
+        };
+        let packed = match PackedGraph::from_vec(bytes.clone()) {
+            Ok(p) => p,
+            Err(e) => {
+                return (
+                    self.store.version(),
+                    Err((
+                        ErrorCode::BadRequest,
+                        format!("payload is not a packed snapshot: {e}"),
+                    )),
+                )
+            }
+        };
+        let sub = packed.unpack();
+        let labels: Vec<String> = sub
+            .nodes()
+            .map(|n| sub.label(n).to_string())
+            .collect::<BTreeSet<String>>()
+            .into_iter()
+            .collect();
+        let (result, version) = self.store.update_versioned(|g| {
+            if let Some(d) = &self.durability {
+                if let Err(e) = d.append_op(WalOp::ImportComponent {
+                    source,
+                    labels: labels.clone(),
+                    payload: bytes.clone(),
+                }) {
+                    return Err((ErrorCode::Internal, e));
+                }
+            }
+            merge_subgraph(g, &sub);
+            Ok(Json::obj(vec![
+                ("merged_nodes", Json::num(sub.node_count() as f64)),
+                ("merged_edges", Json::num(sub.edge_count() as f64)),
+                ("nodes", Json::num(g.node_count() as f64)),
+            ]))
+        });
+        if result.is_ok() {
+            {
+                let mut moved = self.moved.write();
+                for l in &labels {
+                    moved.remove(l);
+                }
+            }
+            self.ship_to_replicas(&Request::ImportComponent {
+                source,
+                payload: payload.to_string(),
+            });
+        }
         (version, result)
     }
 
     fn snapshot_load(&self, path: &str) -> (u64, Result<Json, HandlerError>) {
+        // A replicated shard must not wholesale-replace its graph out
+        // from under the ship stream: replicas would silently diverge
+        // from the primary on every later write.
+        if self.replicator.read().is_some() {
+            return (
+                self.store.version(),
+                Err((
+                    ErrorCode::BadRequest,
+                    "snapshot-load is disabled on a replicated shard".to_string(),
+                )),
+            );
+        }
         // Without a durability directory there is no sandbox root, and a
         // network endpoint that reads whatever path a client names is an
         // arbitrary-file oracle — so the endpoint is simply off.
@@ -519,23 +915,30 @@ fn levels(g: &GraphHandle, term: Option<&str>) -> Json {
     }
 }
 
+/// Deduplicated labels in byte order, truncated to `k`. Sorting before
+/// truncating (rather than emitting the first `k` in node order) makes
+/// the answer independent of insertion history — and therefore
+/// shardable: the sorted-merge of per-shard top-`k` slices equals the
+/// global top-`k`, which node order can never guarantee.
 fn labels(g: &GraphHandle, kind: LabelKind, k: usize) -> Json {
     let mut seen = HashSet::new();
-    let mut out = Vec::new();
+    let mut all: Vec<&str> = Vec::new();
     let nodes: Vec<NodeId> = match kind {
         LabelKind::Concepts => g.concepts().collect(),
         LabelKind::Instances => g.instances().collect(),
     };
     for n in nodes {
         let label = g.label(n);
-        if seen.insert(label.to_string()) {
-            out.push(Json::str(label));
-            if out.len() >= k {
-                break;
-            }
+        if seen.insert(label) {
+            all.push(label);
         }
     }
-    Json::obj(vec![("labels", Json::Arr(out))])
+    all.sort_unstable();
+    all.truncate(k);
+    Json::obj(vec![(
+        "labels",
+        Json::Arr(all.into_iter().map(Json::str).collect()),
+    )])
 }
 
 #[cfg(test)]
@@ -926,6 +1329,298 @@ mod tests {
         });
         let d = d.unwrap();
         assert_eq!(d.get("isa").and_then(Json::as_bool), Some(true));
+    }
+
+    fn label_list(d: &Json) -> Vec<String> {
+        d.get("labels")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(|l| l.as_str().map(str::to_string))
+            .collect()
+    }
+
+    /// Satellite regression: `labels` answers in byte order with the
+    /// truncation applied *after* the sort, so the answer no longer
+    /// depends on node-insertion history (and per-shard top-k slices
+    /// merge to the global top-k).
+    #[test]
+    fn labels_answer_in_byte_order_regardless_of_insertion() {
+        let mut g = ConceptGraph::new();
+        let zebra = g.ensure_node("zebra", 0);
+        let animal = g.ensure_node("animal", 0);
+        let mammal = g.ensure_node("mammal", 0);
+        let cat = g.ensure_node("cat", 0);
+        g.add_evidence(animal, mammal, 1);
+        g.add_evidence(mammal, cat, 1);
+        g.add_evidence(animal, zebra, 1);
+        let s = ServeState::new(SharedStore::new(g), 16, 1);
+        let (_, d) = ok(
+            &s,
+            Request::Labels {
+                kind: LabelKind::Concepts,
+                k: 10,
+            },
+        );
+        assert_eq!(label_list(&d), ["animal", "mammal"]);
+        // "zebra" was inserted first, but "cat" sorts first — the k=1
+        // slice must be the sorted prefix, not the insertion prefix.
+        let (_, d) = ok(
+            &s,
+            Request::Labels {
+                kind: LabelKind::Instances,
+                k: 1,
+            },
+        );
+        assert_eq!(label_list(&d), ["cat"]);
+    }
+
+    #[test]
+    fn export_drain_import_round_trips_a_component() {
+        let s = seeded_state();
+        // Peek: idempotent read of the component, labels byte-sorted.
+        let (_, d) = ok(
+            &s,
+            Request::ExportComponent {
+                label: "country".into(),
+                drain: false,
+                target: None,
+                labels_only: false,
+            },
+        );
+        assert_eq!(
+            label_list(&d),
+            [
+                "Brazil",
+                "China",
+                "India",
+                "Russia",
+                "USA",
+                "bric country",
+                "country"
+            ]
+        );
+        assert_eq!(d.get("edges").and_then(Json::as_u64), Some(9));
+        let payload = d.get("payload").and_then(Json::as_str).unwrap().to_string();
+        assert_eq!(s.store().version(), 0, "peek is a read");
+        // labels_only skips the packing work.
+        let (_, d) = ok(
+            &s,
+            Request::ExportComponent {
+                label: "country".into(),
+                drain: false,
+                target: None,
+                labels_only: true,
+            },
+        );
+        assert!(d.get("payload").is_none());
+        // An unknown label is an empty component, not an error.
+        let (_, d) = ok(
+            &s,
+            Request::ExportComponent {
+                label: "wombat".into(),
+                drain: false,
+                target: None,
+                labels_only: false,
+            },
+        );
+        assert!(label_list(&d).is_empty());
+        assert!(d.get("payload").is_none());
+
+        // Import into a fresh shard: the component comes up whole.
+        let dst = ServeState::new(SharedStore::new(ConceptGraph::new()), 16, 1);
+        let (_, d) = ok(
+            &dst,
+            Request::ImportComponent {
+                source: 0,
+                payload: payload.clone(),
+            },
+        );
+        assert_eq!(d.get("merged_nodes").and_then(Json::as_u64), Some(7));
+        assert_eq!(d.get("merged_edges").and_then(Json::as_u64), Some(9));
+        let (_, d) = ok(
+            &dst,
+            Request::Isa {
+                parent: "country".into(),
+                child: "Russia".into(),
+            },
+        );
+        assert_eq!(d.get("isa").and_then(Json::as_bool), Some(true));
+
+        // Drain the source: the component is gone and label reads
+        // redirect to the new owner instead of answering empty.
+        let (_, d) = ok(
+            &s,
+            Request::ExportComponent {
+                label: "country".into(),
+                drain: true,
+                target: Some(2),
+                labels_only: false,
+            },
+        );
+        assert_eq!(d.get("dropped_edges").and_then(Json::as_u64), Some(9));
+        let redirected = [
+            Request::Typicality {
+                term: "country".into(),
+                direction: Direction::Instances,
+                k: 3,
+            },
+            Request::Isa {
+                parent: "country".into(),
+                child: "Russia".into(),
+            },
+            Request::Plausibility {
+                parent: "bric country".into(),
+                child: "China".into(),
+            },
+            Request::Levels {
+                term: Some("USA".into()),
+            },
+        ];
+        for req in &redirected {
+            let (_, r) = s.handle(req);
+            let (code, detail) = r.expect_err("tombstoned label must redirect");
+            assert_eq!(code, ErrorCode::Moved);
+            assert!(detail.ends_with("moved to shard 2"), "{detail:?}");
+        }
+        // Whole-graph reads still answer (they see the drained graph).
+        let (_, r) = s.handle(&Request::Levels { term: None });
+        assert!(r.is_ok());
+        // A second drain of the same label is an idempotent no-op.
+        let (_, d) = ok(
+            &s,
+            Request::ExportComponent {
+                label: "country".into(),
+                drain: true,
+                target: Some(2),
+                labels_only: false,
+            },
+        );
+        assert_eq!(d.get("dropped_edges").and_then(Json::as_u64), Some(0));
+
+        // Importing the component back lifts the tombstones.
+        let (_, _) = ok(&s, Request::ImportComponent { source: 2, payload });
+        let (_, d) = ok(
+            &s,
+            Request::Typicality {
+                term: "country".into(),
+                direction: Direction::Instances,
+                k: 3,
+            },
+        );
+        let items = d.get("items").and_then(Json::as_arr).unwrap();
+        assert_eq!(items[0].as_arr().unwrap()[0].as_str(), Some("USA"));
+        assert!(s.tombstones().is_empty());
+    }
+
+    #[test]
+    fn import_rejects_garbage_payloads() {
+        let s = seeded_state();
+        let (_, r) = s.handle(&Request::ImportComponent {
+            source: 1,
+            payload: "!!!not base64!!!".into(),
+        });
+        assert_eq!(r.expect_err("bad base64").0, ErrorCode::BadRequest);
+        let (_, r) = s.handle(&Request::ImportComponent {
+            source: 1,
+            payload: crate::proto::b64_encode(b"not a packed snapshot"),
+        });
+        assert_eq!(r.expect_err("bad snapshot").0, ErrorCode::BadRequest);
+        assert_eq!(s.store().version(), 0, "rejected imports apply nothing");
+    }
+
+    /// Crash-consistency of the migration records: an import replays
+    /// after a restart, a drain replays *and re-arms its tombstones*,
+    /// and the durability bookkeeping (`imported_labels`) survives for
+    /// the fleet reconciler.
+    #[test]
+    fn migration_ops_replay_and_reseed_tombstones_after_restart() {
+        let dir = tempdir("migrate");
+        let payload = {
+            let s = durable_state(&dir);
+            let mut g = ConceptGraph::new();
+            let animal = g.ensure_node("animal", 0);
+            let cat = g.ensure_node("cat", 0);
+            g.add_evidence(animal, cat, 4);
+            g.rebuild_indexes();
+            let payload = crate::proto::b64_encode(&pack(&g).unwrap());
+            ok(
+                &s,
+                Request::ImportComponent {
+                    source: 3,
+                    payload: payload.clone(),
+                },
+            );
+            let imported = s.durability().unwrap().imported_labels();
+            assert!(imported.contains_key("animal") && imported.contains_key("cat"));
+            payload
+            // Drop without a checkpoint: the import must replay.
+        };
+        {
+            let s = durable_state(&dir);
+            let (_, d) = ok(
+                &s,
+                Request::Isa {
+                    parent: "animal".into(),
+                    child: "cat".into(),
+                },
+            );
+            assert_eq!(d.get("isa").and_then(Json::as_bool), Some(true));
+            assert!(
+                s.durability()
+                    .unwrap()
+                    .imported_labels()
+                    .contains_key("cat"),
+                "import record survives the restart"
+            );
+            // Drain it away again, then "crash".
+            ok(
+                &s,
+                Request::ExportComponent {
+                    label: "cat".into(),
+                    drain: true,
+                    target: Some(1),
+                    labels_only: false,
+                },
+            );
+            let (_, r) = s.handle(&Request::Typicality {
+                term: "cat".into(),
+                direction: Direction::Concepts,
+                k: 3,
+            });
+            assert_eq!(r.expect_err("drained").0, ErrorCode::Moved);
+        }
+        {
+            let s = durable_state(&dir);
+            // The drop replayed: the component is gone and the tombstone
+            // is re-armed from the WAL, so stale readers still redirect.
+            let (_, r) = s.handle(&Request::Typicality {
+                term: "cat".into(),
+                direction: Direction::Concepts,
+                k: 3,
+            });
+            let (code, detail) = r.expect_err("tombstone survives restart");
+            assert_eq!(code, ErrorCode::Moved);
+            assert!(detail.ends_with("moved to shard 1"), "{detail:?}");
+            assert!(s.durability().unwrap().imported_labels().is_empty());
+            // The original data is untouched.
+            let (_, d) = ok(
+                &s,
+                Request::Isa {
+                    parent: "country".into(),
+                    child: "China".into(),
+                },
+            );
+            assert_eq!(d.get("isa").and_then(Json::as_bool), Some(true));
+            // And the component can come home: import lifts everything.
+            ok(&s, Request::ImportComponent { source: 1, payload });
+            let (_, r) = s.handle(&Request::Typicality {
+                term: "cat".into(),
+                direction: Direction::Concepts,
+                k: 3,
+            });
+            assert!(r.is_ok());
+        }
     }
 
     #[test]

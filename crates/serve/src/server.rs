@@ -84,6 +84,11 @@ pub struct ServeConfig {
     /// enables sandboxed `snapshot-load`, and spawns the background
     /// rebuild worker. `None` (the default) keeps writes memory-only.
     pub durability: Option<DurabilityConfig>,
+    /// Addresses of this shard's replicas. When non-empty, every acked
+    /// write is forwarded to each replica (synchronously, best-effort —
+    /// a dead replica ticks `serve.replication.ship_failures`, never
+    /// fails the primary's ack) and `snapshot-load` is disabled.
+    pub replica_addrs: Vec<SocketAddr>,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +104,7 @@ impl Default for ServeConfig {
             max_line_bytes: 256 * 1024,
             max_line_strikes: 8,
             durability: None,
+            replica_addrs: Vec::new(),
         }
     }
 }
@@ -159,9 +165,12 @@ impl Server {
             store,
             config.cache_capacity,
             config.cache_shards,
-            registry,
+            registry.clone(),
             durability.clone(),
         ));
+        if !config.replica_addrs.is_empty() {
+            state.set_replicas(config.replica_addrs.clone(), &registry);
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));

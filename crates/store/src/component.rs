@@ -1,0 +1,246 @@
+//! Label-component surgery for online shard migration.
+//!
+//! The router's partitioner places whole weakly-connected components of
+//! the *label* graph on one shard (all senses of a label travel
+//! together — see `probase-router`'s `partition`). When a write bridges
+//! two components that live on different shards, the smaller one has to
+//! move over the wire. These are the store-level pieces of that
+//! protocol:
+//!
+//! * [`component_labels`] — the label component containing a label,
+//!   discovered by the same connectivity rule the partitioner uses
+//!   (same-label senses are one unit; every edge connects its
+//!   endpoints' labels).
+//! * [`export_component`] — a standalone [`ConceptGraph`] holding
+//!   exactly that component, with node and edge insertion order
+//!   preserved *relative to the source graph* so per-label read answers
+//!   (children/parents iterate in edge order) stay byte-identical after
+//!   a move.
+//! * [`merge_subgraph`] — graft an exported component into another
+//!   graph, appending nodes and edges in the exported order.
+//! * [`remove_labels`] — rebuild a graph without a set of labels (the
+//!   drain side; `ConceptGraph` is append-only, so removal is a
+//!   filtered rebuild).
+//!
+//! Invariant (property-tested in `probase-router`'s
+//! `partition_prop.rs`): `merge_subgraph(remove_labels(g, C), export(g,
+//! C))` over any component C reproduces `g` up to node renumbering —
+//! the canonical-bytes union of the shards never changes under a
+//! migration.
+
+use crate::graph::{ConceptGraph, NodeId};
+use crate::view::GraphView;
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// Every label in the weakly-connected label component containing
+/// `label`, sorted by label bytes. Empty when the label has no node.
+///
+/// Connectivity matches the partitioner: all senses of one label are a
+/// single unit, and an edge connects its endpoints' labels.
+pub fn component_labels<G: GraphView>(g: &G, label: &str) -> Vec<String> {
+    if g.senses_of(label).is_empty() {
+        return Vec::new();
+    }
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut queue: VecDeque<String> = VecDeque::new();
+    seen.insert(label.to_string());
+    queue.push_back(label.to_string());
+    while let Some(current) = queue.pop_front() {
+        for node in g.senses_of(&current) {
+            let neighbors = g
+                .children(node)
+                .map(|(c, _)| c)
+                .chain(g.parents(node).map(|(p, _)| p));
+            for other in neighbors {
+                let other_label = g.label(other);
+                if !seen.contains(other_label) {
+                    seen.insert(other_label.to_string());
+                    queue.push_back(other_label.to_string());
+                }
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
+/// Extract the labels in `labels` into a standalone graph, preserving
+/// the source's node and edge insertion order among the extracted
+/// items. Edges are copied with their exact counts and plausibility
+/// bits. Edges with only one endpoint inside the set are *not* copied —
+/// callers pass a closed component, where that case cannot arise.
+pub fn export_component<G: GraphView>(g: &G, labels: &HashSet<String>) -> ConceptGraph {
+    let mut sub = ConceptGraph::new();
+    let mut map: Vec<Option<NodeId>> = vec![None; g.node_count()];
+    for n in g.nodes() {
+        if labels.contains(g.label(n)) {
+            map[n.index()] = Some(sub.ensure_node(g.label(n), g.sense(n)));
+        }
+    }
+    for (from, to, data) in g.edges() {
+        if let (Some(f), Some(t)) = (map[from.index()], map[to.index()]) {
+            sub.add_evidence(f, t, data.count);
+            sub.set_plausibility(f, t, data.plausibility);
+        }
+    }
+    sub
+}
+
+/// Graft `sub` onto `dst`: nodes are ensured in `sub`'s node order,
+/// edges re-added in `sub`'s edge order with exact counts and
+/// plausibility bits. Labels already present in `dst` merge into their
+/// existing nodes (evidence accumulates), so importing is tolerant of a
+/// half-completed earlier import.
+pub fn merge_subgraph<G: GraphView>(dst: &mut ConceptGraph, sub: &G) {
+    let mut map: Vec<NodeId> = Vec::with_capacity(sub.node_count());
+    for n in sub.nodes() {
+        map.push(dst.ensure_node(sub.label(n), sub.sense(n)));
+    }
+    for (from, to, data) in sub.edges() {
+        let f = map[from.index()];
+        let t = map[to.index()];
+        dst.add_evidence(f, t, data.count);
+        dst.set_plausibility(f, t, data.plausibility);
+    }
+}
+
+/// A copy of `g` without any node whose label is in `labels` (and
+/// without their edges). Remaining nodes and edges keep their relative
+/// order, so untouched components answer byte-identically afterwards.
+pub fn remove_labels<G: GraphView>(g: &G, labels: &HashSet<String>) -> ConceptGraph {
+    let mut out = ConceptGraph::new();
+    let mut map: Vec<Option<NodeId>> = vec![None; g.node_count()];
+    for n in g.nodes() {
+        if !labels.contains(g.label(n)) {
+            map[n.index()] = Some(out.ensure_node(g.label(n), g.sense(n)));
+        }
+    }
+    for (from, to, data) in g.edges() {
+        if let (Some(f), Some(t)) = (map[from.index()], map[to.index()]) {
+            out.add_evidence(f, t, data.count);
+            out.set_plausibility(f, t, data.plausibility);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot;
+
+    /// Two components (fruit/apple/pear and animal/cat) plus a
+    /// multi-sense label ("bank") joined to the fruit component.
+    fn fixture() -> ConceptGraph {
+        let mut g = ConceptGraph::new();
+        let fruit = g.ensure_node("fruit", 0);
+        let apple = g.ensure_node("apple", 0);
+        let pear = g.ensure_node("pear", 0);
+        g.add_evidence(fruit, apple, 5);
+        g.add_evidence(fruit, pear, 2);
+        let animal = g.ensure_node("animal", 0);
+        let cat = g.ensure_node("cat", 0);
+        g.add_evidence(animal, cat, 7);
+        let bank0 = g.ensure_node("bank", 0);
+        let bank1 = g.ensure_node("bank", 1);
+        g.add_evidence(fruit, bank0, 1);
+        let vault = g.ensure_node("vault", 0);
+        g.add_evidence(bank1, vault, 3);
+        g.set_plausibility(fruit, apple, 0.75);
+        g
+    }
+
+    fn canon(g: &ConceptGraph) -> Vec<(String, u32, String, u32, u32, u64)> {
+        let mut v: Vec<_> = g
+            .edges()
+            .map(|(f, t, e)| {
+                (
+                    g.label(f).to_string(),
+                    g.sense(f),
+                    g.label(t).to_string(),
+                    g.sense(t),
+                    e.count,
+                    e.plausibility.to_bits(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn component_spans_senses_and_edges() {
+        let g = fixture();
+        // "bank" sense 0 hangs off fruit; sense 1 drags vault in too.
+        let c = component_labels(&g, "apple");
+        assert_eq!(c, vec!["apple", "bank", "fruit", "pear", "vault"]);
+        let c2 = component_labels(&g, "vault");
+        assert_eq!(c, c2, "same component from any member");
+        assert_eq!(component_labels(&g, "cat"), vec!["animal", "cat"]);
+        assert!(component_labels(&g, "nope").is_empty());
+    }
+
+    #[test]
+    fn export_then_remove_partitions_the_graph() {
+        let g = fixture();
+        let labels: HashSet<String> = component_labels(&g, "cat").into_iter().collect();
+        let sub = export_component(&g, &labels);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 1);
+        let rest = remove_labels(&g, &labels);
+        assert_eq!(rest.node_count(), g.node_count() - 2);
+        assert_eq!(rest.edge_count(), g.edge_count() - 1);
+
+        // Re-merging reproduces the original graph up to renumbering.
+        let mut rebuilt = rest.clone();
+        merge_subgraph(&mut rebuilt, &sub);
+        assert_eq!(canon(&rebuilt), canon(&g));
+    }
+
+    #[test]
+    fn export_preserves_plausibility_bits_and_counts() {
+        let g = fixture();
+        let labels: HashSet<String> = component_labels(&g, "apple").into_iter().collect();
+        let sub = export_component(&g, &labels);
+        let f = sub.find_node("fruit", 0).unwrap();
+        let a = sub.find_node("apple", 0).unwrap();
+        let e = sub.edge(f, a).unwrap();
+        assert_eq!(e.count, 5);
+        assert_eq!(e.plausibility.to_bits(), 0.75f64.to_bits());
+    }
+
+    #[test]
+    fn merge_accumulates_into_existing_nodes() {
+        let mut dst = ConceptGraph::new();
+        let fruit = dst.ensure_node("fruit", 0);
+        let apple = dst.ensure_node("apple", 0);
+        dst.add_evidence(fruit, apple, 2);
+        let mut sub = ConceptGraph::new();
+        let f = sub.ensure_node("fruit", 0);
+        let a = sub.ensure_node("apple", 0);
+        sub.add_evidence(f, a, 3);
+        merge_subgraph(&mut dst, &sub);
+        let e = dst.edge(fruit, apple).unwrap();
+        assert_eq!(e.count, 5, "evidence accumulates on re-import");
+    }
+
+    #[test]
+    fn untouched_component_keeps_adjacency_order() {
+        let g = fixture();
+        let gone: HashSet<String> = component_labels(&g, "cat").into_iter().collect();
+        let rest = remove_labels(&g, &gone);
+        let fruit = rest.find_node("fruit", 0).unwrap();
+        let kids: Vec<&str> = rest.children(fruit).map(|(c, _)| rest.label(c)).collect();
+        assert_eq!(kids, vec!["apple", "pear", "bank"], "edge order preserved");
+    }
+
+    #[test]
+    fn roundtrips_through_snapshot_encoding() {
+        let g = fixture();
+        let labels: HashSet<String> = component_labels(&g, "apple").into_iter().collect();
+        let sub = export_component(&g, &labels);
+        let bytes = snapshot::to_bytes(&sub).unwrap();
+        let mut back = snapshot::from_bytes(&bytes[..]).unwrap();
+        back.rebuild_indexes();
+        assert_eq!(canon(&back), canon(&sub));
+    }
+}

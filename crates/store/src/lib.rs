@@ -27,9 +27,12 @@
 //! * [`shared`] — concurrent serving wrapper (many readers, one writer).
 //! * [`wal`] — checksummed write-ahead log for durable serve-path writes.
 //! * [`shard`] — partitioned `shard-N/` durability layout for sharded serving.
+//! * [`component`] — label-component export/import/removal for online
+//!   shard migration.
 
 #![warn(missing_docs)]
 
+pub mod component;
 pub mod dot;
 pub mod graph;
 pub mod handle;
@@ -43,6 +46,7 @@ pub mod snapshot;
 pub mod view;
 pub mod wal;
 
+pub use component::{component_labels, export_component, merge_subgraph, remove_labels};
 pub use dot::{to_dot, DotOptions};
 pub use graph::{ConceptGraph, EdgeData, NodeId};
 pub use handle::GraphHandle;

@@ -686,6 +686,13 @@ impl PackedGraph {
         })
     }
 
+    /// Validate and adopt owned packed bytes (convenience over
+    /// [`PackedGraph::from_bytes`] for callers that do not hold a
+    /// `Bytes` handle, e.g. WAL replay of a migration payload).
+    pub fn from_vec(bytes: Vec<u8>) -> Result<Self, SnapshotError> {
+        Self::from_bytes(Bytes::from(bytes))
+    }
+
     /// Open a packed snapshot file. On unix the file is memory-mapped
     /// (zero-copy, page cache shared across processes); elsewhere it is
     /// read into memory. Either way the bytes are fully validated.

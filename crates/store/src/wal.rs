@@ -12,9 +12,21 @@
 //! ```text
 //! header:  magic u32 = 0x5042574C ("PBWL"), version u32 = 1, seq u64
 //! record:  payload_len u32, crc32 u32 (over payload), payload
-//! payload: index u64, op u8 = 1, parent_len u32 + utf8,
-//!          child_len u32 + utf8, count u32
+//! payload: index u64, op u8, op-specific body
+//!   op 1 (add-evidence):    parent_len u32 + utf8, child_len u32 + utf8,
+//!                           count u32
+//!   op 2 (import-component): source_shard u32, label_count u32,
+//!                           (len u32 + utf8)*, payload_len u32 + packed
+//!                           snapshot bytes of the imported subgraph
+//!   op 3 (drop-component):  target_shard u32, label_count u32,
+//!                           (len u32 + utf8)*
 //! ```
+//!
+//! Ops 2 and 3 journal the two sides of an online component migration
+//! (see `probase-router`): the importing shard logs the whole transfer
+//! payload *before* applying it, the draining shard logs the drop before
+//! removing, so either side's crash recovery replays a consistent half
+//! that the fleet-level reconciler can finish.
 //!
 //! Every record carries a *global* monotone `index` assigned by the
 //! writer. Snapshots record the index they cover through, so recovery
@@ -38,10 +50,15 @@ const VERSION: u32 = 1;
 /// Fixed byte length of the file header.
 pub const HEADER_LEN: u64 = 16;
 /// Upper bound on a single record payload; anything larger is treated
-/// as corruption (a real evidence record is two labels and a count).
-const MAX_PAYLOAD: u32 = 1 << 20;
+/// as corruption on read and refused on append. Evidence records are two
+/// labels and a count; import-component records carry a whole packed
+/// component, so this also caps how large a component can migrate
+/// through the WAL (the wire line cap is tighter in practice).
+pub const MAX_PAYLOAD: u32 = 1 << 20;
 
 const OP_ADD_EVIDENCE: u8 = 1;
+const OP_IMPORT_COMPONENT: u8 = 2;
+const OP_DROP_COMPONENT: u8 = 3;
 
 /// One durable write-path operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +71,26 @@ pub enum WalOp {
         child: String,
         /// Evidence count added to the edge.
         count: u32,
+    },
+    /// A migrated component grafted onto this shard. Logged *before* the
+    /// graft is applied, so recovery re-imports it idempotently (the
+    /// graft merges by label) and the fleet reconciler can tell this
+    /// shard won the component.
+    ImportComponent {
+        /// Shard index the component came from.
+        source: u32,
+        /// Labels of the component, sorted by label bytes.
+        labels: Vec<String>,
+        /// Packed (v2) snapshot bytes of the component subgraph.
+        payload: Vec<u8>,
+    },
+    /// A component drained off this shard after a successful import on
+    /// `target`. Logged before the removal; replay re-removes.
+    DropComponent {
+        /// Shard index that now owns the component.
+        target: u32,
+        /// Labels removed, sorted by label bytes.
+        labels: Vec<String>,
     },
 }
 
@@ -173,20 +210,49 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     c ^ 0xFFFF_FFFF
 }
 
+fn put_str(p: &mut Vec<u8>, s: &str) {
+    p.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    p.extend_from_slice(s.as_bytes());
+}
+
+fn put_labels(p: &mut Vec<u8>, labels: &[String]) {
+    p.extend_from_slice(&(labels.len() as u32).to_le_bytes());
+    for l in labels {
+        put_str(p, l);
+    }
+}
+
 fn encode_payload(entry: &WalEntry) -> Vec<u8> {
-    let WalOp::AddEvidence {
-        parent,
-        child,
-        count,
-    } = &entry.op;
-    let mut p = Vec::with_capacity(21 + parent.len() + child.len());
+    let mut p = Vec::with_capacity(32);
     p.extend_from_slice(&entry.index.to_le_bytes());
-    p.push(OP_ADD_EVIDENCE);
-    p.extend_from_slice(&(parent.len() as u32).to_le_bytes());
-    p.extend_from_slice(parent.as_bytes());
-    p.extend_from_slice(&(child.len() as u32).to_le_bytes());
-    p.extend_from_slice(child.as_bytes());
-    p.extend_from_slice(&count.to_le_bytes());
+    match &entry.op {
+        WalOp::AddEvidence {
+            parent,
+            child,
+            count,
+        } => {
+            p.push(OP_ADD_EVIDENCE);
+            put_str(&mut p, parent);
+            put_str(&mut p, child);
+            p.extend_from_slice(&count.to_le_bytes());
+        }
+        WalOp::ImportComponent {
+            source,
+            labels,
+            payload,
+        } => {
+            p.push(OP_IMPORT_COMPONENT);
+            p.extend_from_slice(&source.to_le_bytes());
+            put_labels(&mut p, labels);
+            p.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            p.extend_from_slice(payload);
+        }
+        WalOp::DropComponent { target, labels } => {
+            p.push(OP_DROP_COMPONENT);
+            p.extend_from_slice(&target.to_le_bytes());
+            put_labels(&mut p, labels);
+        }
+    }
     p
 }
 
@@ -208,27 +274,64 @@ fn decode_payload(payload: &[u8]) -> Option<WalEntry> {
         *at += n;
         Some(s)
     };
+    let take_u32 = |at: &mut usize| -> Option<u32> {
+        let s = payload.get(*at..*at + 4)?;
+        *at += 4;
+        Some(u32::from_le_bytes(s.try_into().ok()?))
+    };
+    let take_str = |at: &mut usize| -> Option<String> {
+        let len = take_u32(at)? as usize;
+        let s = payload.get(*at..*at + len)?;
+        *at += len;
+        String::from_utf8(s.to_vec()).ok()
+    };
+    let take_labels = |at: &mut usize| -> Option<Vec<String>> {
+        let n = take_u32(at)? as usize;
+        // A label is at least 4 bytes of length prefix; bound n so a
+        // corrupt count cannot trigger a huge allocation.
+        if n > payload.len() / 4 {
+            return None;
+        }
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            labels.push(take_str(at)?);
+        }
+        Some(labels)
+    };
     let index = u64::from_le_bytes(take(&mut at, 8)?.try_into().ok()?);
-    let op = take(&mut at, 1)?[0];
-    if op != OP_ADD_EVIDENCE {
-        return None;
-    }
-    let plen = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
-    let parent = String::from_utf8(take(&mut at, plen)?.to_vec()).ok()?;
-    let clen = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
-    let child = String::from_utf8(take(&mut at, clen)?.to_vec()).ok()?;
-    let count = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?);
+    let op = match take(&mut at, 1)?[0] {
+        OP_ADD_EVIDENCE => {
+            let parent = take_str(&mut at)?;
+            let child = take_str(&mut at)?;
+            let count = take_u32(&mut at)?;
+            WalOp::AddEvidence {
+                parent,
+                child,
+                count,
+            }
+        }
+        OP_IMPORT_COMPONENT => {
+            let source = take_u32(&mut at)?;
+            let labels = take_labels(&mut at)?;
+            let plen = take_u32(&mut at)? as usize;
+            let bytes = take(&mut at, plen)?.to_vec();
+            WalOp::ImportComponent {
+                source,
+                labels,
+                payload: bytes,
+            }
+        }
+        OP_DROP_COMPONENT => {
+            let target = take_u32(&mut at)?;
+            let labels = take_labels(&mut at)?;
+            WalOp::DropComponent { target, labels }
+        }
+        _ => return None,
+    };
     if at != payload.len() {
         return None;
     }
-    Some(WalEntry {
-        index,
-        op: WalOp::AddEvidence {
-            parent,
-            child,
-            count,
-        },
-    })
+    Some(WalEntry { index, op })
 }
 
 /// Scan a log file, returning every record in its valid prefix.
@@ -337,8 +440,22 @@ impl WalWriter {
     }
 
     /// Append one record; returns `true` when the append was fsynced.
+    /// Records whose payload exceeds [`MAX_PAYLOAD`] are refused (the
+    /// read side would treat them as corruption), so an oversized
+    /// component migration fails cleanly before any bytes are written.
     pub fn append(&mut self, entry: &WalEntry) -> io::Result<bool> {
-        self.file.write_all(&encode_record(entry))?;
+        let rec = encode_record(entry);
+        if rec.len() - 8 > MAX_PAYLOAD as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "wal record payload {} exceeds cap {}",
+                    rec.len() - 8,
+                    MAX_PAYLOAD
+                ),
+            ));
+        }
+        self.file.write_all(&rec)?;
         let due = match self.sync {
             WalSync::Always => true,
             WalSync::EveryN(n) => {
@@ -432,6 +549,80 @@ mod tests {
         assert_eq!(r.entries.len(), 3);
         assert!(!r.torn);
         assert_eq!(r.entries[2], entry(2, "a", "d", 3));
+    }
+
+    #[test]
+    fn migration_ops_roundtrip() {
+        let dir = tempdir("migration");
+        let path = dir.join("wal-0.log");
+        let mut w = WalWriter::create(&path, 3, WalSync::Always).unwrap();
+        let entries = vec![
+            entry(0, "country", "China", 5),
+            WalEntry {
+                index: 1,
+                op: WalOp::ImportComponent {
+                    source: 2,
+                    labels: vec!["apple".into(), "fruit".into()],
+                    payload: vec![0xDE, 0xAD, 0xBE, 0xEF, 0x00],
+                },
+            },
+            WalEntry {
+                index: 2,
+                op: WalOp::DropComponent {
+                    target: 0,
+                    labels: vec!["apple".into(), "fruit".into()],
+                },
+            },
+            entry(3, "fruit", "apple", 1),
+        ];
+        for e in &entries {
+            assert!(w.append(e).unwrap());
+        }
+        let r = read_wal(&path).unwrap();
+        assert_eq!(r.seq, 3);
+        assert_eq!(r.entries, entries);
+        assert!(!r.torn);
+    }
+
+    #[test]
+    fn unknown_op_stops_the_scan() {
+        let dir = tempdir("unknown-op");
+        let path = dir.join("wal-0.log");
+        let mut w = WalWriter::create(&path, 0, WalSync::Always).unwrap();
+        w.append(&entry(0, "a", "b", 1)).unwrap();
+        drop(w);
+        // Craft a record with a future op code and a valid CRC.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.push(99);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        std::fs::write(&path, &bytes).unwrap();
+        let r = read_wal(&path).unwrap();
+        assert_eq!(r.entries.len(), 1, "scan keeps the prefix, drops the op");
+        assert!(r.torn);
+    }
+
+    #[test]
+    fn oversized_payload_is_refused_on_append() {
+        let dir = tempdir("oversized");
+        let path = dir.join("wal-0.log");
+        let mut w = WalWriter::create(&path, 0, WalSync::Always).unwrap();
+        let big = WalEntry {
+            index: 0,
+            op: WalOp::ImportComponent {
+                source: 1,
+                labels: vec!["x".into()],
+                payload: vec![0u8; MAX_PAYLOAD as usize + 1],
+            },
+        };
+        assert!(w.append(&big).is_err());
+        // The file is untouched: still a valid, empty log.
+        let r = read_wal(&path).unwrap();
+        assert!(r.entries.is_empty());
+        assert!(!r.torn);
     }
 
     #[test]

@@ -11,10 +11,16 @@ use std::net::SocketAddr;
 use crate::plan::FaultPlan;
 use crate::proxy::FaultProxy;
 
-/// One chaos proxy per shard of a sharded deployment.
+/// One chaos proxy per shard of a sharded deployment — and, for
+/// replicated fleets, one per replica group member.
 pub struct ProxyFleet {
     proxies: Vec<Option<FaultProxy>>,
     addrs: Vec<SocketAddr>,
+    /// `replicas[i][j-1]` fronts replica `j` of shard `i` (the primary
+    /// is member 0 and lives in `proxies`). Empty for unreplicated
+    /// fleets, so the historical constructors are unchanged.
+    replicas: Vec<Vec<Option<FaultProxy>>>,
+    replica_addrs: Vec<Vec<SocketAddr>>,
 }
 
 impl ProxyFleet {
@@ -30,7 +36,51 @@ impl ProxyFleet {
             addrs.push(proxy.local_addr());
             proxies.push(Some(proxy));
         }
-        Ok(ProxyFleet { proxies, addrs })
+        Ok(ProxyFleet {
+            proxies,
+            addrs,
+            replicas: Vec::new(),
+            replica_addrs: Vec::new(),
+        })
+    }
+
+    /// Start a proxy in front of every member of every replica group
+    /// (`upstream_groups[i][0]` = shard `i`'s primary, the rest its
+    /// replicas). Member `(i, j)` gets a plan seeded from `seed`, `i`
+    /// and `j`, so one master seed still replays the whole fleet's
+    /// fault schedule. Hand [`ProxyFleet::addrs`] to the router as the
+    /// primaries and [`ProxyFleet::replica_addrs`] as the groups.
+    pub fn start_groups(
+        upstream_groups: &[Vec<SocketAddr>],
+        seed: u64,
+    ) -> std::io::Result<ProxyFleet> {
+        let mut proxies = Vec::with_capacity(upstream_groups.len());
+        let mut addrs = Vec::with_capacity(upstream_groups.len());
+        let mut replicas = Vec::with_capacity(upstream_groups.len());
+        let mut replica_addrs = Vec::with_capacity(upstream_groups.len());
+        for (i, group) in upstream_groups.iter().enumerate() {
+            assert!(!group.is_empty(), "shard {i} needs at least a primary");
+            let group_seed = shard_seed(seed, i);
+            let primary =
+                FaultProxy::start(group[0], FaultPlan::seeded(shard_seed(group_seed, 0)))?;
+            addrs.push(primary.local_addr());
+            proxies.push(Some(primary));
+            let mut member_proxies = Vec::with_capacity(group.len() - 1);
+            let mut member_addrs = Vec::with_capacity(group.len() - 1);
+            for (j, &up) in group.iter().enumerate().skip(1) {
+                let proxy = FaultProxy::start(up, FaultPlan::seeded(shard_seed(group_seed, j)))?;
+                member_addrs.push(proxy.local_addr());
+                member_proxies.push(Some(proxy));
+            }
+            replica_addrs.push(member_addrs);
+            replicas.push(member_proxies);
+        }
+        Ok(ProxyFleet {
+            proxies,
+            addrs,
+            replicas,
+            replica_addrs,
+        })
     }
 
     /// Start a fleet with an explicit plan per upstream (scenario
@@ -51,7 +101,12 @@ impl ProxyFleet {
             addrs.push(proxy.local_addr());
             proxies.push(Some(proxy));
         }
-        Ok(ProxyFleet { proxies, addrs })
+        Ok(ProxyFleet {
+            proxies,
+            addrs,
+            replicas: Vec::new(),
+            replica_addrs: Vec::new(),
+        })
     }
 
     /// Number of shards fronted by this fleet.
@@ -75,24 +130,57 @@ impl ProxyFleet {
         self.addrs[i]
     }
 
-    /// Kill shard `i`'s proxy: every connection to it is torn down and
-    /// new ones are refused, exactly what a crashed shard looks like to
-    /// the router. Idempotent.
+    /// The proxy-side replica addresses per shard (primaries excluded)
+    /// — hand these to the router as its replica groups. Empty for
+    /// fleets started without groups.
+    pub fn replica_addrs(&self) -> Vec<Vec<SocketAddr>> {
+        self.replica_addrs.clone()
+    }
+
+    /// Kill shard `i`'s primary proxy: every connection to it is torn
+    /// down and new ones are refused, exactly what a crashed shard
+    /// looks like to the router. Idempotent.
     pub fn kill(&mut self, i: usize) {
         if let Some(proxy) = self.proxies[i].take() {
             proxy.shutdown();
         }
     }
 
-    /// Whether shard `i`'s proxy is still alive.
+    /// Kill member `j` of shard `i`'s replica group: `j == 0` is the
+    /// primary, `j >= 1` the `j`-th replica. Idempotent.
+    pub fn kill_member(&mut self, i: usize, j: usize) {
+        if j == 0 {
+            self.kill(i);
+        } else if let Some(proxy) = self.replicas[i][j - 1].take() {
+            proxy.shutdown();
+        }
+    }
+
+    /// Whether shard `i`'s primary proxy is still alive.
     pub fn alive(&self, i: usize) -> bool {
         self.proxies[i].is_some()
     }
 
-    /// Shut the whole fleet down.
+    /// Whether member `j` of shard `i`'s group is still alive.
+    pub fn alive_member(&self, i: usize, j: usize) -> bool {
+        if j == 0 {
+            self.alive(i)
+        } else {
+            self.replicas[i][j - 1].is_some()
+        }
+    }
+
+    /// Shut the whole fleet down, replicas included.
     pub fn shutdown(mut self) {
         for i in 0..self.proxies.len() {
             self.kill(i);
+        }
+        for group in &mut self.replicas {
+            for slot in group.iter_mut() {
+                if let Some(proxy) = slot.take() {
+                    proxy.shutdown();
+                }
+            }
         }
     }
 }
@@ -146,6 +234,29 @@ mod tests {
                 assert_ne!(a[i], a[j], "shards {i} and {j} share a stream");
             }
         }
+    }
+
+    #[test]
+    fn group_fleet_tracks_members_independently() {
+        let groups: Vec<Vec<SocketAddr>> = (0..2)
+            .map(|_| (0..3).map(|_| echo_upstream()).collect())
+            .collect();
+        let mut fleet = ProxyFleet::start_groups(&groups, 11).unwrap();
+        assert_eq!(fleet.len(), 2);
+        assert_eq!(fleet.replica_addrs()[0].len(), 2);
+        assert_eq!(fleet.replica_addrs()[1].len(), 2);
+
+        // Killing a replica leaves its primary and siblings alive.
+        fleet.kill_member(0, 2);
+        assert!(!fleet.alive_member(0, 2));
+        assert!(fleet.alive_member(0, 0) && fleet.alive_member(0, 1));
+        assert!(fleet.alive_member(1, 0) && fleet.alive_member(1, 2));
+
+        // Killing member 0 is killing the primary.
+        fleet.kill_member(1, 0);
+        assert!(!fleet.alive(1));
+        assert!(fleet.alive(0));
+        fleet.shutdown();
     }
 
     #[test]

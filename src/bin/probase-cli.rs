@@ -76,13 +76,20 @@ Options (serve only):
                         run one serve stack per shard on loopback, and
                         front them with the router on --addr (default 1 =
                         single-node, exactly the historical behavior)
+  --replicas <R>        total copies per shard (default 1 = primary only).
+                        With R >= 2 each shard gets R-1 replicas fed by
+                        synchronous op shipping from the primary; router
+                        hedges rotate onto them, so a dead primary costs
+                        reads one hedge interval instead of availability
 
 Options (route only):
   --shard-addrs <LIST>  comma-separated shard server addresses, in shard
                         order (required)
   --addr <HOST:PORT>    router bind address (default 127.0.0.1:7878)
   --routing-table <P>   JSON routing table written by `serve --shards`
-                        (default: pure label-hash placement, no exceptions)
+                        (default: rebuild the table by querying the shards'
+                        label inventories at startup — survives migrations
+                        that would invalidate a stale table file)
   --deadline-ms <N>     per-request fan-out deadline (default 2000)
 ";
 
@@ -103,6 +110,7 @@ struct CliArgs {
     rebuild_writes: u64,
     rebuild_secs: u64,
     shards: usize,
+    replicas: usize,
     shard_addrs: Vec<String>,
     routing_table: Option<String>,
 }
@@ -126,6 +134,7 @@ impl Default for CliArgs {
             rebuild_writes: 1024,
             rebuild_secs: 60,
             shards: 1,
+            replicas: 1,
             shard_addrs: Vec::new(),
             routing_table: None,
         }
@@ -170,6 +179,14 @@ fn parse_args(argv: &[String]) -> Result<Option<CliArgs>, String> {
                     .ok()
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--shards: need a positive number, got {v:?}"))?;
+            }
+            "--replicas" if args.serve => {
+                let v = take("--replicas")?;
+                args.replicas = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--replicas: need a positive number, got {v:?}"))?;
             }
             "--shard-addrs" if args.route => {
                 let v = take("--shard-addrs")?;
@@ -343,7 +360,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    if args.serve && args.shards > 1 {
+    if args.serve && (args.shards > 1 || args.replicas > 1) {
         run_sharded_serve(&args, graph);
     }
     // Host the graph in the shared store in both modes so `store.*`
@@ -411,9 +428,38 @@ fn main() {
     repl(&model);
 }
 
-/// `serve --shards N`: split Γ into component-closed shards, run one
-/// full serve stack per shard on loopback, and front the fleet with the
-/// router on the public address. Never returns.
+/// One shard-fleet member's serve configuration (primaries and
+/// replicas differ only in directory and in who ships to whom).
+fn fleet_member_config(
+    args: &CliArgs,
+    dir: Option<std::path::PathBuf>,
+    replica_addrs: Vec<std::net::SocketAddr>,
+) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: args.workers,
+        queue_capacity: args.queue,
+        cache_capacity: args.cache,
+        cache_shards: 16,
+        deadline: Duration::from_millis(args.deadline_ms),
+        durability: dir.map(|snapshot_dir| DurabilityConfig {
+            snapshot_dir,
+            wal_sync: args.wal_sync,
+            rebuild_after_writes: args.rebuild_writes,
+            rebuild_interval: match args.rebuild_secs {
+                0 => None,
+                secs => Some(Duration::from_secs(secs)),
+            },
+        }),
+        replica_addrs,
+        ..ServeConfig::default()
+    }
+}
+
+/// `serve --shards N [--replicas R]`: split Γ into component-closed
+/// shards, run one full serve stack per shard (plus R-1 op-shipped
+/// replicas each) on loopback, and front the fleet with the router on
+/// the public address. Never returns.
 fn run_sharded_serve(args: &CliArgs, graph: GraphHandle) -> ! {
     let n = args.shards;
     eprintln!(
@@ -425,26 +471,37 @@ fn run_sharded_serve(args: &CliArgs, graph: GraphHandle) -> ! {
     drop(graph);
 
     let mut servers = Vec::with_capacity(n);
+    let mut replica_servers = Vec::new();
     let mut shard_addrs = Vec::with_capacity(n);
+    let mut replica_groups: Vec<Vec<String>> = Vec::with_capacity(n);
     for (i, shard_graph) in p.shards.into_iter().enumerate() {
-        let config = ServeConfig {
-            addr: "127.0.0.1:0".to_string(),
-            workers: args.workers,
-            queue_capacity: args.queue,
-            cache_capacity: args.cache,
-            cache_shards: 16,
-            deadline: Duration::from_millis(args.deadline_ms),
-            durability: args.snapshot_dir.as_ref().map(|root| DurabilityConfig {
-                snapshot_dir: shard_dir(std::path::Path::new(root), i),
-                wal_sync: args.wal_sync,
-                rebuild_after_writes: args.rebuild_writes,
-                rebuild_interval: match args.rebuild_secs {
-                    0 => None,
-                    secs => Some(Duration::from_secs(secs)),
-                },
-            }),
-            ..ServeConfig::default()
-        };
+        let shard_root = args
+            .snapshot_dir
+            .as_ref()
+            .map(|root| shard_dir(std::path::Path::new(root), i));
+        // Replicas come up first so the primary knows where to ship.
+        let mut replica_addrs = Vec::new();
+        for j in 1..args.replicas {
+            let dir = shard_root.as_ref().map(|d| d.join(format!("replica-{j}")));
+            let config = fleet_member_config(args, dir, Vec::new());
+            if let Some(d) = &config.durability {
+                if let Err(e) = std::fs::create_dir_all(&d.snapshot_dir) {
+                    eprintln!("error: cannot create {:?}: {e}", d.snapshot_dir);
+                    std::process::exit(1);
+                }
+            }
+            let server = match Server::start(SharedStore::new(shard_graph.clone()), &config) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot start shard {i} replica {j}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            replica_addrs.push(server.local_addr());
+            replica_servers.push(server);
+        }
+        replica_groups.push(replica_addrs.iter().map(|a| a.to_string()).collect());
+        let config = fleet_member_config(args, shard_root, replica_addrs);
         if let Some(d) = &config.durability {
             if let Err(e) = std::fs::create_dir_all(&d.snapshot_dir) {
                 eprintln!("error: cannot create {:?}: {e}", d.snapshot_dir);
@@ -464,10 +521,26 @@ fn run_sharded_serve(args: &CliArgs, graph: GraphHandle) -> ! {
         servers.push(server);
     }
 
+    // Heal any migration a crash interrupted mid-protocol: a component
+    // imported on one shard but not yet drained from another would
+    // otherwise serve from both. Must run before the routing table is
+    // derived so the table reflects the healed placement.
+    if n > 1 {
+        let states: Vec<_> = servers.iter().map(|s| s.state()).collect();
+        match probase_router::reconcile_fleet(&states) {
+            Ok(report) if report.components_dropped > 0 => eprintln!(
+                "reconciled {} interrupted migration(s) across {} duplicated label(s)",
+                report.components_dropped, report.duplicate_labels
+            ),
+            Ok(_) => {}
+            Err(e) => eprintln!("warning: migration reconciliation failed: {e}"),
+        }
+    }
+
     // Rebuild the routing table from what the shards actually serve:
     // with a durable dir, crash recovery may have replayed WAL writes
-    // on top of the fresh partition, and those labels must route to
-    // the shard that owns them.
+    // (including migrations) on top of the fresh partition, and those
+    // labels must route to the shard that owns them.
     let shard_graphs: Vec<ConceptGraph> = servers
         .iter()
         .map(|s| s.state().store().clone_graph())
@@ -484,6 +557,11 @@ fn run_sharded_serve(args: &CliArgs, graph: GraphHandle) -> ! {
 
     let config = RouterConfig {
         shard_addrs: shard_addrs.clone(),
+        replica_addrs: if args.replicas > 1 {
+            replica_groups
+        } else {
+            Vec::new()
+        },
         deadline: Duration::from_millis(args.deadline_ms),
         snapshot_root: args.snapshot_dir.as_ref().map(Into::into),
         ..RouterConfig::default()
@@ -508,10 +586,18 @@ fn run_sharded_serve(args: &CliArgs, graph: GraphHandle) -> ! {
         front.local_addr(),
         shard_addrs.join(", ")
     );
+    if args.replicas > 1 {
+        eprintln!(
+            "replication: {} op-shipped replica(s) per shard; read hedges fail over",
+            args.replicas - 1
+        );
+    }
     if let Some(dir) = &args.snapshot_dir {
         eprintln!("durable writes: per-shard WAL + checkpoints under {dir}/shard-<i>");
     }
-    // Shard servers and the router stay alive until the process dies.
+    // Shard servers, replicas, and the router stay alive until the
+    // process dies.
+    let _keep_alive = replica_servers;
     loop {
         std::thread::park();
     }
@@ -530,6 +616,7 @@ fn run_route(args: &CliArgs) -> ! {
         },
         None => RoutingTable::new(args.shard_addrs.len()),
     };
+    let rebuild = args.routing_table.is_none();
     let config = RouterConfig {
         shard_addrs: args.shard_addrs.clone(),
         deadline: Duration::from_millis(args.deadline_ms),
@@ -543,6 +630,22 @@ fn run_route(args: &CliArgs) -> ! {
             std::process::exit(1);
         }
     };
+    if rebuild {
+        // No table file: derive placement from the live shards' label
+        // inventories. Migrations retire old table files, so asking the
+        // fleet beats trusting a stale snapshot of it; with unreachable
+        // shards we fall back to pure hash placement and the `moved`
+        // redirects correct routes lazily.
+        match router.rebuild_table_from_shards() {
+            Ok(exceptions) => eprintln!(
+                "rebuilt routing table from {} shard(s): {exceptions} exception(s)",
+                args.shard_addrs.len()
+            ),
+            Err(e) => {
+                eprintln!("warning: cannot rebuild routing table ({e}); using label-hash placement")
+            }
+        }
+    }
     let front = match RouterServer::start(Arc::new(router), &args.addr) {
         Ok(s) => s,
         Err(e) => {
@@ -834,6 +937,30 @@ mod tests {
             vec!["serve", "--shards", "0"],
             vec!["serve", "--shards", "lots"],
             vec!["--shards", "4"], // serve-only
+        ] {
+            assert!(parse(&bad).is_err(), "{bad:?} should be an error");
+        }
+    }
+
+    #[test]
+    fn replicas_flag_parses() {
+        let args = parse(&["serve", "--shards", "2", "--replicas", "3"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.shards, 2);
+        assert_eq!(args.replicas, 3);
+        // Replication without sharding is valid: one shard, R copies.
+        let args = parse(&["serve", "--replicas", "2"]).unwrap().unwrap();
+        assert_eq!(args.shards, 1);
+        assert_eq!(args.replicas, 2);
+        // Default stays a single unreplicated primary.
+        let args = parse(&["serve"]).unwrap().unwrap();
+        assert_eq!(args.replicas, 1);
+        for bad in [
+            vec!["serve", "--replicas", "0"],
+            vec!["serve", "--replicas", "many"],
+            vec!["--replicas", "2"], // serve-only
+            vec!["route", "--shard-addrs", "a", "--replicas", "2"],
         ] {
             assert!(parse(&bad).is_err(), "{bad:?} should be an error");
         }
